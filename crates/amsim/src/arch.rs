@@ -1,0 +1,235 @@
+//! The printer's CPPS architecture: the input to Algorithm 1 that yields
+//! the paper's Figure 6 graph.
+//!
+//! Nodes follow the paper's labeling: cyber components `C1..C4` (with
+//! `C4` the *external* G/M-code source) and physical components `P1..P9`
+//! (with `P9` the *environment* that all unintentional emissions flow
+//! into).
+
+use gansec_cpps::{ComponentId, CppsArchitecture, FlowId, FlowKind};
+
+/// Handles into the constructed printer architecture, so experiments can
+/// reference the paper's named nodes and flows without string lookups.
+#[derive(Debug, Clone)]
+pub struct PrinterArchitecture {
+    /// The architecture itself (run Algorithm 1 via
+    /// [`CppsArchitecture::build_graph`]).
+    pub arch: CppsArchitecture,
+    /// `C1`: main controller board.
+    pub c1_controller: ComponentId,
+    /// `C2`: firmware motion planner.
+    pub c2_firmware: ComponentId,
+    /// `C3`: stepper driver electronics.
+    pub c3_drivers: ComponentId,
+    /// `C4`: external G/M-code source (another sub-system).
+    pub c4_external: ComponentId,
+    /// `P1`: frame/chassis.
+    pub p1_frame: ComponentId,
+    /// `P2`: X stepper motor.
+    pub p2_motor_x: ComponentId,
+    /// `P3`: Y stepper motor.
+    pub p3_motor_y: ComponentId,
+    /// `P4`: Z stepper motor.
+    pub p4_motor_z: ComponentId,
+    /// `P5`: extruder stepper motor.
+    pub p5_motor_e: ComponentId,
+    /// `P6`: hotend heater.
+    pub p6_hotend: ComponentId,
+    /// `P7`: print bed.
+    pub p7_bed: ComponentId,
+    /// `P8`: cooling fan.
+    pub p8_fan: ComponentId,
+    /// `P9`: the physical environment.
+    pub p9_environment: ComponentId,
+    /// The G/M-code signal flow `C4 -> C1` — the conditioning flow of the
+    /// case study.
+    pub gcode_flow: FlowId,
+    /// Acoustic energy flows into `P9` from `P2, P3, P4, P5, P8` — the
+    /// monitored emissions of §IV-B, in that order.
+    pub acoustic_flows: Vec<FlowId>,
+}
+
+/// Builds the additive-manufacturing sub-system of Figures 5 and 6.
+pub fn printer_architecture() -> PrinterArchitecture {
+    let mut arch = CppsArchitecture::new("additive-manufacturing");
+    let printer = arch.add_subsystem("3d-printer");
+    let external = arch.add_subsystem("external");
+    let environment = arch.add_subsystem("environment");
+
+    let expect = "subsystem ids are fresh";
+    let c1 = arch.add_cyber(printer, "C1 controller").expect(expect);
+    let c2 = arch.add_cyber(printer, "C2 firmware").expect(expect);
+    let c3 = arch.add_cyber(printer, "C3 stepper drivers").expect(expect);
+    let c4 = arch
+        .add_cyber(external, "C4 external G-code source")
+        .expect(expect);
+    let p1 = arch.add_physical(printer, "P1 frame").expect(expect);
+    let p2 = arch.add_physical(printer, "P2 X motor").expect(expect);
+    let p3 = arch.add_physical(printer, "P3 Y motor").expect(expect);
+    let p4 = arch.add_physical(printer, "P4 Z motor").expect(expect);
+    let p5 = arch.add_physical(printer, "P5 E motor").expect(expect);
+    let p6 = arch.add_physical(printer, "P6 hotend").expect(expect);
+    let p7 = arch.add_physical(printer, "P7 bed").expect(expect);
+    let p8 = arch.add_physical(printer, "P8 fan").expect(expect);
+    let p9 = arch
+        .add_physical(environment, "P9 environment")
+        .expect(expect);
+
+    let fe = "component ids are fresh";
+    // Cyber signal chain: external source -> controller -> firmware -> drivers.
+    let gcode_flow = arch
+        .add_flow("G/M-code stream", FlowKind::Signal, c4, c1)
+        .expect(fe);
+    let _ = arch
+        .add_flow("parsed commands", FlowKind::Signal, c1, c2)
+        .expect(fe);
+    let _ = arch
+        .add_flow("step pulses", FlowKind::Signal, c2, c3)
+        .expect(fe);
+    let _ = arch
+        .add_flow("heater control", FlowKind::Signal, c1, p6)
+        .expect(fe);
+    let _ = arch
+        .add_flow("fan control", FlowKind::Signal, c1, p8)
+        .expect(fe);
+
+    // Electrical energy: drivers -> motors.
+    for (motor, name) in [
+        (p2, "X drive current"),
+        (p3, "Y drive current"),
+        (p4, "Z drive current"),
+        (p5, "E drive current"),
+    ] {
+        let _ = arch.add_flow(name, FlowKind::Energy, c3, motor).expect(fe);
+    }
+
+    // Mechanical energy within the machine.
+    let _ = arch
+        .add_flow("X vibration to frame", FlowKind::Energy, p2, p1)
+        .expect(fe);
+    let _ = arch
+        .add_flow("Y vibration to bed", FlowKind::Energy, p3, p7)
+        .expect(fe);
+    let _ = arch
+        .add_flow("Z vibration to frame", FlowKind::Energy, p4, p1)
+        .expect(fe);
+    let _ = arch
+        .add_flow("heat to bed", FlowKind::Energy, p6, p7)
+        .expect(fe);
+
+    // Emissions to the environment (the side-channels): the five energy
+    // flows §IV-B monitors, plus thermal/frame paths.
+    let mut acoustic_flows = Vec::new();
+    for (src, name) in [
+        (p2, "acoustic X"),
+        (p3, "acoustic Y"),
+        (p4, "acoustic Z"),
+        (p5, "acoustic E"),
+        (p8, "acoustic fan"),
+    ] {
+        acoustic_flows.push(arch.add_flow(name, FlowKind::Energy, src, p9).expect(fe));
+    }
+    let _ = arch
+        .add_flow("frame vibration", FlowKind::Energy, p1, p9)
+        .expect(fe);
+    let _ = arch
+        .add_flow("thermal emission", FlowKind::Energy, p6, p9)
+        .expect(fe);
+
+    PrinterArchitecture {
+        arch,
+        c1_controller: c1,
+        c2_firmware: c2,
+        c3_drivers: c3,
+        c4_external: c4,
+        p1_frame: p1,
+        p2_motor_x: p2,
+        p3_motor_y: p3,
+        p4_motor_z: p4,
+        p5_motor_e: p5,
+        p6_hotend: p6,
+        p7_bed: p7,
+        p8_fan: p8,
+        p9_environment: p9,
+        gcode_flow,
+        acoustic_flows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gansec_cpps::{CppsGraph, Domain};
+
+    #[test]
+    fn node_counts_match_figure6() {
+        let pa = printer_architecture();
+        let cyber = pa
+            .arch
+            .components()
+            .iter()
+            .filter(|c| c.domain() == Domain::Cyber)
+            .count();
+        let physical = pa
+            .arch
+            .components()
+            .iter()
+            .filter(|c| c.domain() == Domain::Physical)
+            .count();
+        assert_eq!(cyber, 4, "C1..C4");
+        assert_eq!(physical, 9, "P1..P9");
+    }
+
+    #[test]
+    fn graph_is_acyclic_as_designed() {
+        let pa = printer_architecture();
+        let g: CppsGraph = pa.arch.build_graph();
+        assert!(g.feedback_flows().is_empty());
+    }
+
+    #[test]
+    fn gcode_reaches_every_acoustic_emission() {
+        let pa = printer_architecture();
+        let g = pa.arch.build_graph();
+        let gcode = g.flow(pa.gcode_flow).unwrap();
+        // Motor emissions are reachable from the external source, so all
+        // (gcode, acoustic-motor) pairs are candidates for CGAN modeling.
+        let pairs = g.candidate_flow_pairs();
+        for &f in &pa.acoustic_flows[..4] {
+            assert!(
+                g.reachable(gcode.from(), g.flow(f).unwrap().to()),
+                "emission {f} unreachable from C4"
+            );
+            assert!(pairs.contains(pa.gcode_flow, f));
+        }
+    }
+
+    #[test]
+    fn cross_domain_pairs_include_case_study_pairs() {
+        let pa = printer_architecture();
+        let g = pa.arch.build_graph();
+        let cross = g.cross_domain_pairs();
+        for &f in &pa.acoustic_flows[..4] {
+            assert!(cross.contains(pa.gcode_flow, f));
+        }
+    }
+
+    #[test]
+    fn monitored_emissions_terminate_at_environment() {
+        let pa = printer_architecture();
+        for &f in &pa.acoustic_flows {
+            let flow = pa.arch.flow(f).unwrap();
+            assert_eq!(flow.to(), pa.p9_environment);
+        }
+    }
+
+    #[test]
+    fn dot_export_renders_figure6() {
+        let pa = printer_architecture();
+        let g = pa.arch.build_graph();
+        let dot = g.to_dot(&pa.arch);
+        assert!(dot.contains("C4 external G-code source"));
+        assert!(dot.contains("P9 environment"));
+        assert!(dot.contains("acoustic Z"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Cross-domain attack injection.
+//!
+//! The paper's Algorithm 3 discussion (§IV-D): "if a designer needs to
+//! create an integrity and availability attack detection model to detect
+//! attacks on individual components (X, Y or Z motor) using the
+//! side-channels, he/she will be able to estimate the performance of such
+//! a model using the CGAN model." These injectors create the attacked
+//! executions that the detection experiments score:
+//!
+//! * **integrity** (kinetic-cyber): the G-code the controller executes is
+//!   tampered with — scaled geometry or swapped axes — while the cyber
+//!   record still claims the original program;
+//! * **availability**: an axis is stalled (its moves dropped), denying
+//!   the physical actuation the program requested.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Axis, GCodeProgram};
+
+/// The attack classes of the case study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Integrity: scale every target on one axis by `factor`, silently
+    /// deforming the printed geometry (the classic kinetic-cyber attack
+    /// on additive manufacturing, cf. paper refs \[13\], \[14\]).
+    ScaleAxis {
+        /// Axis whose coordinates are scaled.
+        axis: Axis,
+        /// Multiplicative factor applied to each coordinate.
+        factor: f64,
+    },
+    /// Integrity: swap the coordinates of two axes on every move,
+    /// rotating the part 90 degrees in the firmware's back.
+    SwapAxes {
+        /// First axis.
+        a: Axis,
+        /// Second axis.
+        b: Axis,
+    },
+    /// Availability: remove one axis' words from every move, stalling
+    /// that motor for the whole program.
+    StallAxis {
+        /// The denied axis.
+        axis: Axis,
+    },
+    /// Availability: randomly slow moves by inflating feed overrides,
+    /// degrading throughput without changing geometry.
+    SlowFeed {
+        /// Multiplier `< 1` applied to every feed word.
+        factor: f64,
+    },
+}
+
+/// A labeled attack: the tampered program plus ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attack {
+    /// What was done.
+    pub kind: AttackKind,
+    /// The tampered program the printer actually executes.
+    pub tampered: GCodeProgram,
+    /// Command indices whose semantics were altered.
+    pub affected_commands: Vec<usize>,
+}
+
+/// Applies [`AttackKind`]s to benign programs.
+///
+/// # Example
+///
+/// ```
+/// use gansec_amsim::{AttackInjector, AttackKind, Axis, GCodeProgram};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let benign: GCodeProgram = "G1 F1200 X10".parse()?;
+/// let attack = AttackInjector::new().inject(
+///     &benign,
+///     AttackKind::ScaleAxis { axis: Axis::X, factor: 2.0 },
+/// );
+/// // The printed part is silently twice as wide.
+/// assert_eq!(attack.tampered.commands()[0].word('X'), Some(20.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackInjector;
+
+impl AttackInjector {
+    /// Creates an injector.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Applies `kind` to `program`, returning the labeled attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scale/slow factor is not positive and finite, or if
+    /// [`AttackKind::SwapAxes`] names the same axis twice.
+    pub fn inject(&self, program: &GCodeProgram, kind: AttackKind) -> Attack {
+        let mut tampered = program.clone();
+        let mut affected = Vec::new();
+        match kind {
+            AttackKind::ScaleAxis { axis, factor } => {
+                assert!(
+                    factor.is_finite() && factor > 0.0,
+                    "factor must be positive"
+                );
+                for (i, cmd) in tampered.commands_mut().iter_mut().enumerate() {
+                    if cmd.is_move() {
+                        if let Some(v) = cmd.word(axis.letter()) {
+                            cmd.set_word(axis.letter(), v * factor);
+                            affected.push(i);
+                        }
+                    }
+                }
+            }
+            AttackKind::SwapAxes { a, b } => {
+                assert!(a != b, "cannot swap an axis with itself");
+                for (i, cmd) in tampered.commands_mut().iter_mut().enumerate() {
+                    if !cmd.is_move() {
+                        continue;
+                    }
+                    let va = cmd.word(a.letter());
+                    let vb = cmd.word(b.letter());
+                    if va.is_some() || vb.is_some() {
+                        match va {
+                            Some(v) => cmd.set_word(b.letter(), v),
+                            None => {
+                                let _ = cmd.remove_word(b.letter());
+                            }
+                        }
+                        match vb {
+                            Some(v) => cmd.set_word(a.letter(), v),
+                            None => {
+                                let _ = cmd.remove_word(a.letter());
+                            }
+                        }
+                        affected.push(i);
+                    }
+                }
+            }
+            AttackKind::StallAxis { axis } => {
+                for (i, cmd) in tampered.commands_mut().iter_mut().enumerate() {
+                    if cmd.is_move() && cmd.remove_word(axis.letter()).is_some() {
+                        affected.push(i);
+                    }
+                }
+            }
+            AttackKind::SlowFeed { factor } => {
+                assert!(
+                    factor.is_finite() && factor > 0.0,
+                    "factor must be positive"
+                );
+                for (i, cmd) in tampered.commands_mut().iter_mut().enumerate() {
+                    if cmd.is_move() {
+                        if let Some(f) = cmd.word('F') {
+                            cmd.set_word('F', f * factor);
+                            affected.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        Attack {
+            kind,
+            tampered,
+            affected_commands: affected,
+        }
+    }
+
+    /// Samples a random attack kind for fuzz-style detection evaluation.
+    pub fn random_kind(&self, rng: &mut impl Rng) -> AttackKind {
+        let axes = [Axis::X, Axis::Y, Axis::Z];
+        match rng.gen_range(0..4) {
+            0 => AttackKind::ScaleAxis {
+                axis: axes[rng.gen_range(0..3)],
+                factor: rng.gen_range(1.3..2.5),
+            },
+            1 => {
+                let a = axes[rng.gen_range(0..3)];
+                let b = loop {
+                    let c = axes[rng.gen_range(0..3)];
+                    if c != a {
+                        break c;
+                    }
+                };
+                AttackKind::SwapAxes { a, b }
+            }
+            2 => AttackKind::StallAxis {
+                axis: axes[rng.gen_range(0..3)],
+            },
+            _ => AttackKind::SlowFeed {
+                factor: rng.gen_range(0.3..0.7),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{single_axis_program, Kinematics, MotorSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn benign() -> GCodeProgram {
+        single_axis_program(Axis::X, 4, 10.0, 1200.0)
+    }
+
+    #[test]
+    fn scale_attack_changes_geometry() {
+        let attack = AttackInjector::new().inject(
+            &benign(),
+            AttackKind::ScaleAxis {
+                axis: Axis::X,
+                factor: 2.0,
+            },
+        );
+        // Only even-indexed moves carry X != 0 and X10 -> X20.
+        let x0 = attack.tampered.commands()[0].word('X');
+        assert_eq!(x0, Some(20.0));
+        assert!(!attack.affected_commands.is_empty());
+        // Kinematics now travel twice as far.
+        let k = Kinematics::printrbot_class();
+        let orig = k.plan(&benign());
+        let tampered = k.plan(&attack.tampered);
+        assert!(tampered[0].distances_mm[0] > orig[0].distances_mm[0] * 1.9);
+    }
+
+    #[test]
+    fn swap_attack_moves_wrong_motor() {
+        let attack = AttackInjector::new().inject(
+            &benign(),
+            AttackKind::SwapAxes {
+                a: Axis::X,
+                b: Axis::Y,
+            },
+        );
+        let k = Kinematics::printrbot_class();
+        let segs = k.plan(&attack.tampered);
+        // The benign program moved only X; the attacked one moves only Y.
+        for s in &segs {
+            assert_eq!(MotorSet::from_segment(s), MotorSet::Y);
+        }
+    }
+
+    #[test]
+    fn stall_attack_silences_motor() {
+        let attack =
+            AttackInjector::new().inject(&benign(), AttackKind::StallAxis { axis: Axis::X });
+        let k = Kinematics::printrbot_class();
+        let segs = k.plan(&attack.tampered);
+        assert!(
+            segs.is_empty(),
+            "all moves were X-only, so no motion remains"
+        );
+        assert_eq!(attack.affected_commands.len(), 4);
+    }
+
+    #[test]
+    fn slow_feed_attack_slows_motion() {
+        let attack = AttackInjector::new().inject(&benign(), AttackKind::SlowFeed { factor: 0.5 });
+        let k = Kinematics::printrbot_class();
+        let orig = k.plan(&benign());
+        let slowed = k.plan(&attack.tampered);
+        assert!(slowed[0].duration_s > orig[0].duration_s * 1.9);
+    }
+
+    #[test]
+    fn benign_program_untouched() {
+        let p = benign();
+        let attack = AttackInjector::new().inject(
+            &p,
+            AttackKind::ScaleAxis {
+                axis: Axis::Z,
+                factor: 2.0,
+            },
+        );
+        // No Z words in an X-only program: nothing affected.
+        assert!(attack.affected_commands.is_empty());
+        assert_eq!(attack.tampered, p);
+    }
+
+    #[test]
+    fn random_kinds_are_valid() {
+        let inj = AttackInjector::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let kind = inj.random_kind(&mut rng);
+            // Must not panic when applied.
+            let _ = inj.inject(&benign(), kind);
+            if let AttackKind::SwapAxes { a, b } = kind {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "swap an axis with itself")]
+    fn swap_same_axis_rejected() {
+        let _ = AttackInjector::new().inject(
+            &benign(),
+            AttackKind::SwapAxes {
+                a: Axis::X,
+                b: Axis::X,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be positive")]
+    fn zero_scale_rejected() {
+        let _ = AttackInjector::new().inject(
+            &benign(),
+            AttackKind::ScaleAxis {
+                axis: Axis::X,
+                factor: 0.0,
+            },
+        );
+    }
+}

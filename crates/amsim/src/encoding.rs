@@ -1,0 +1,304 @@
+//! One-hot condition encoding of G/M-code motor activity (§IV-B).
+//!
+//! "The G/M code is one-hot encoded based on presence of instructions
+//! that run stepper motors X ([1,0,0]), Y ([0,1,0]) and Z ([0,0,1]) ...
+//! based on G/M-codes `G_t` and `G_{t-1}`." The paper also proposes the
+//! extension to motor *combinations*: "for three physical components and
+//! their combination, the one-hot encoding can be of size 2^3 = 8".
+//! Both encodings are implemented here.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Axis, MotionSegment};
+
+/// The set of XYZ motors active in a segment (the extruder is tracked by
+/// the simulator but excluded from the paper's condition space).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MotorSet {
+    /// X stepper running.
+    pub x: bool,
+    /// Y stepper running.
+    pub y: bool,
+    /// Z stepper running.
+    pub z: bool,
+}
+
+impl MotorSet {
+    /// No motors.
+    pub const NONE: MotorSet = MotorSet {
+        x: false,
+        y: false,
+        z: false,
+    };
+    /// Only X.
+    pub const X: MotorSet = MotorSet {
+        x: true,
+        y: false,
+        z: false,
+    };
+    /// Only Y.
+    pub const Y: MotorSet = MotorSet {
+        x: false,
+        y: true,
+        z: false,
+    };
+    /// Only Z.
+    pub const Z: MotorSet = MotorSet {
+        x: false,
+        y: false,
+        z: true,
+    };
+
+    /// Derives the motor set from a planned segment.
+    pub fn from_segment(segment: &MotionSegment) -> Self {
+        Self {
+            x: segment.step_rates_hz[Axis::X.index()] > 0.0,
+            y: segment.step_rates_hz[Axis::Y.index()] > 0.0,
+            z: segment.step_rates_hz[Axis::Z.index()] > 0.0,
+        }
+    }
+
+    /// Number of active motors.
+    pub fn count(self) -> usize {
+        self.x as usize + self.y as usize + self.z as usize
+    }
+
+    /// Whether exactly one motor runs (the paper's simple-case regime).
+    pub fn is_single(self) -> bool {
+        self.count() == 1
+    }
+
+    /// Bitmask with X as bit 0, Y bit 1, Z bit 2.
+    pub fn bits(self) -> usize {
+        self.x as usize | (self.y as usize) << 1 | (self.z as usize) << 2
+    }
+
+    /// Inverse of [`MotorSet::bits`] (low three bits only).
+    pub fn from_bits(bits: usize) -> Self {
+        Self {
+            x: bits & 1 != 0,
+            y: bits & 2 != 0,
+            z: bits & 4 != 0,
+        }
+    }
+}
+
+impl fmt::Display for MotorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count() == 0 {
+            return write!(f, "idle");
+        }
+        let mut first = true;
+        for (on, name) in [(self.x, "X"), (self.y, "Y"), (self.z, "Z")] {
+            if on {
+                if !first {
+                    write!(f, "+")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How motor activity maps to a CGAN condition vector.
+///
+/// # Example
+///
+/// ```
+/// use gansec_amsim::{ConditionEncoding, MotorSet};
+///
+/// // The paper's §IV-B example: only the X motor runs.
+/// let enc = ConditionEncoding::Simple3;
+/// assert_eq!(enc.encode(MotorSet::X), Some(vec![1.0, 0.0, 0.0]));
+/// // Multi-motor moves need the suggested 2^3 combination encoding.
+/// let xy = MotorSet { x: true, y: true, z: false };
+/// assert_eq!(enc.encode(xy), None);
+/// assert!(ConditionEncoding::Combination8.encode(xy).is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConditionEncoding {
+    /// The paper's 3-way single-motor one-hot: X→`[1,0,0]`, Y→`[0,1,0]`,
+    /// Z→`[0,0,1]`. Multi-motor or idle segments do not encode
+    /// ([`ConditionEncoding::encode`] returns `None`).
+    Simple3,
+    /// The paper's suggested `2^3 = 8`-way combination one-hot, indexed
+    /// by [`MotorSet::bits`]; every motor set encodes.
+    Combination8,
+}
+
+impl ConditionEncoding {
+    /// Width of the condition vectors this encoding produces.
+    pub fn dim(self) -> usize {
+        match self {
+            ConditionEncoding::Simple3 => 3,
+            ConditionEncoding::Combination8 => 8,
+        }
+    }
+
+    /// Encodes a motor set, or `None` when the set is outside the
+    /// encoding's domain (non-single sets under [`Self::Simple3`]).
+    pub fn encode(self, motors: MotorSet) -> Option<Vec<f64>> {
+        match self {
+            ConditionEncoding::Simple3 => {
+                if !motors.is_single() {
+                    return None;
+                }
+                let mut v = vec![0.0; 3];
+                if motors.x {
+                    v[0] = 1.0;
+                } else if motors.y {
+                    v[1] = 1.0;
+                } else {
+                    v[2] = 1.0;
+                }
+                Some(v)
+            }
+            ConditionEncoding::Combination8 => {
+                let mut v = vec![0.0; 8];
+                v[motors.bits()] = 1.0;
+                Some(v)
+            }
+        }
+    }
+
+    /// Decodes a condition vector back to a motor set, or `None` if the
+    /// vector is not a valid one-hot of this encoding.
+    pub fn decode(self, cond: &[f64]) -> Option<MotorSet> {
+        if cond.len() != self.dim() {
+            return None;
+        }
+        let hot: Vec<usize> = cond
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| (v - 1.0).abs() < 1e-9)
+            .map(|(i, _)| i)
+            .collect();
+        let all_else_zero = cond
+            .iter()
+            .filter(|&&v| v.abs() >= 1e-9 && (v - 1.0).abs() >= 1e-9)
+            .count()
+            == 0;
+        if hot.len() != 1 || !all_else_zero {
+            return None;
+        }
+        match self {
+            ConditionEncoding::Simple3 => Some(match hot[0] {
+                0 => MotorSet::X,
+                1 => MotorSet::Y,
+                _ => MotorSet::Z,
+            }),
+            ConditionEncoding::Combination8 => Some(MotorSet::from_bits(hot[0])),
+        }
+    }
+
+    /// Every encodable condition vector, in index order. For `Simple3`
+    /// these are the paper's `Cond1`, `Cond2`, `Cond3`.
+    pub fn all_conditions(self) -> Vec<Vec<f64>> {
+        match self {
+            ConditionEncoding::Simple3 => vec![
+                vec![1.0, 0.0, 0.0],
+                vec![0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 1.0],
+            ],
+            ConditionEncoding::Combination8 => (0..8)
+                .map(|b| {
+                    let mut v = vec![0.0; 8];
+                    v[b] = 1.0;
+                    v
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for ConditionEncoding {
+    /// The paper's 3-way single-motor encoding.
+    fn default() -> Self {
+        ConditionEncoding::Simple3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_encoding_values() {
+        let e = ConditionEncoding::Simple3;
+        assert_eq!(e.encode(MotorSet::X), Some(vec![1.0, 0.0, 0.0]));
+        assert_eq!(e.encode(MotorSet::Y), Some(vec![0.0, 1.0, 0.0]));
+        assert_eq!(e.encode(MotorSet::Z), Some(vec![0.0, 0.0, 1.0]));
+    }
+
+    #[test]
+    fn simple3_rejects_multi_motor() {
+        let e = ConditionEncoding::Simple3;
+        assert_eq!(e.encode(MotorSet::NONE), None);
+        let xy = MotorSet {
+            x: true,
+            y: true,
+            z: false,
+        };
+        assert_eq!(e.encode(xy), None);
+    }
+
+    #[test]
+    fn combination8_encodes_everything() {
+        let e = ConditionEncoding::Combination8;
+        for bits in 0..8 {
+            let m = MotorSet::from_bits(bits);
+            let v = e.encode(m).unwrap();
+            assert_eq!(v.len(), 8);
+            assert_eq!(v.iter().filter(|&&x| x == 1.0).count(), 1);
+            assert_eq!(v[bits], 1.0);
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for enc in [ConditionEncoding::Simple3, ConditionEncoding::Combination8] {
+            for cond in enc.all_conditions() {
+                let m = enc.decode(&cond).expect("valid one-hot");
+                assert_eq!(enc.encode(m), Some(cond.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_invalid() {
+        let e = ConditionEncoding::Simple3;
+        assert_eq!(e.decode(&[1.0, 1.0, 0.0]), None);
+        assert_eq!(e.decode(&[0.0, 0.0, 0.0]), None);
+        assert_eq!(e.decode(&[0.5, 0.5, 0.0]), None);
+        assert_eq!(e.decode(&[1.0, 0.0]), None);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for b in 0..8 {
+            assert_eq!(MotorSet::from_bits(b).bits(), b);
+        }
+    }
+
+    #[test]
+    fn display_names_motors() {
+        assert_eq!(MotorSet::X.to_string(), "X");
+        assert_eq!(MotorSet::NONE.to_string(), "idle");
+        let xz = MotorSet {
+            x: true,
+            y: false,
+            z: true,
+        };
+        assert_eq!(xz.to_string(), "X+Z");
+    }
+
+    #[test]
+    fn all_conditions_counts() {
+        assert_eq!(ConditionEncoding::Simple3.all_conditions().len(), 3);
+        assert_eq!(ConditionEncoding::Combination8.all_conditions().len(), 8);
+    }
+}

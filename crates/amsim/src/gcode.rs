@@ -1,0 +1,387 @@
+//! G/M-code parsing and emission.
+//!
+//! The paper drives its printer with "G-code, a programming language
+//! widely used in industrial systems ... along with M-code, auxiliary
+//! commands" (§IV). This parser covers the dialect the case study uses:
+//! `G0`/`G1` moves with `F`/`X`/`Y`/`Z`/`E` words, `G4` dwells, `G28`
+//! homing, `G90`/`G91` positioning modes, and arbitrary `M` codes, with
+//! `;` and parenthesized comments.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// One address word of a command, e.g. `X10.5`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GCodeWord {
+    /// Address letter, uppercased (`'X'`, `'F'`, ...).
+    pub letter: char,
+    /// Numeric value.
+    pub value: f64,
+}
+
+impl fmt::Display for GCodeWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.value == self.value.trunc() && self.value.abs() < 1e15 {
+            write!(f, "{}{}", self.letter, self.value as i64)
+        } else {
+            write!(f, "{}{}", self.letter, self.value)
+        }
+    }
+}
+
+/// One G/M-code command: a code word plus its parameter words.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GCodeCommand {
+    /// `'G'` or `'M'`.
+    pub mnemonic: char,
+    /// Code number (`1` in `G1`).
+    pub code: u32,
+    /// Parameter words in source order.
+    pub words: Vec<GCodeWord>,
+}
+
+impl GCodeCommand {
+    /// Creates a command from its parts.
+    pub fn new(mnemonic: char, code: u32, words: Vec<GCodeWord>) -> Self {
+        Self {
+            mnemonic: mnemonic.to_ascii_uppercase(),
+            code,
+            words,
+        }
+    }
+
+    /// Convenience constructor for a `G1` linear move.
+    pub fn linear_move(words: Vec<GCodeWord>) -> Self {
+        Self::new('G', 1, words)
+    }
+
+    /// The value of parameter `letter`, if present (first occurrence).
+    pub fn word(&self, letter: char) -> Option<f64> {
+        let letter = letter.to_ascii_uppercase();
+        self.words
+            .iter()
+            .find(|w| w.letter == letter)
+            .map(|w| w.value)
+    }
+
+    /// Sets or replaces parameter `letter`.
+    pub fn set_word(&mut self, letter: char, value: f64) {
+        let letter = letter.to_ascii_uppercase();
+        if let Some(w) = self.words.iter_mut().find(|w| w.letter == letter) {
+            w.value = value;
+        } else {
+            self.words.push(GCodeWord { letter, value });
+        }
+    }
+
+    /// Removes parameter `letter` if present; returns its old value.
+    pub fn remove_word(&mut self, letter: char) -> Option<f64> {
+        let letter = letter.to_ascii_uppercase();
+        let pos = self.words.iter().position(|w| w.letter == letter)?;
+        Some(self.words.remove(pos).value)
+    }
+
+    /// Whether this is a motion command (`G0` or `G1`).
+    pub fn is_move(&self) -> bool {
+        self.mnemonic == 'G' && (self.code == 0 || self.code == 1)
+    }
+
+    /// Whether this is a dwell (`G4`).
+    pub fn is_dwell(&self) -> bool {
+        self.mnemonic == 'G' && self.code == 4
+    }
+}
+
+impl fmt::Display for GCodeCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.mnemonic, self.code)?;
+        for w in &self.words {
+            write!(f, " {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from parsing G-code text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseGCodeError {
+    line: usize,
+    message: String,
+}
+
+impl ParseGCodeError {
+    /// 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseGCodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "g-code parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ParseGCodeError {}
+
+/// A parsed G/M-code program: the signal flow entering the printer
+/// sub-system from external node `C4`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GCodeProgram {
+    commands: Vec<GCodeCommand>,
+}
+
+impl GCodeProgram {
+    /// Wraps a command list.
+    pub fn new(commands: Vec<GCodeCommand>) -> Self {
+        Self { commands }
+    }
+
+    /// Parses a full program, skipping blank lines and comments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseGCodeError`] with the offending 1-based line number
+    /// on malformed input.
+    pub fn parse(source: &str) -> Result<Self, ParseGCodeError> {
+        let mut commands = Vec::new();
+        for (i, raw_line) in source.lines().enumerate() {
+            let line_no = i + 1;
+            let line = strip_comments(raw_line);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            commands.push(parse_command(line, line_no)?);
+        }
+        Ok(Self { commands })
+    }
+
+    /// The commands in program order.
+    pub fn commands(&self) -> &[GCodeCommand] {
+        &self.commands
+    }
+
+    /// Mutable access for attack injection.
+    pub fn commands_mut(&mut self) -> &mut Vec<GCodeCommand> {
+        &mut self.commands
+    }
+
+    /// Number of commands.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Appends a command.
+    pub fn push(&mut self, command: GCodeCommand) {
+        self.commands.push(command);
+    }
+
+    /// Serializes back to G-code text (one command per line).
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        for c in &self.commands {
+            out.push_str(&c.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FromStr for GCodeProgram {
+    type Err = ParseGCodeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s)
+    }
+}
+
+impl FromIterator<GCodeCommand> for GCodeProgram {
+    fn from_iter<I: IntoIterator<Item = GCodeCommand>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+fn strip_comments(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_parens = false;
+    for ch in line.chars() {
+        match ch {
+            ';' if !in_parens => break,
+            '(' => in_parens = true,
+            ')' if in_parens => in_parens = false,
+            _ if !in_parens => out.push(ch),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn parse_command(line: &str, line_no: usize) -> Result<GCodeCommand, ParseGCodeError> {
+    let err = |message: String| ParseGCodeError {
+        line: line_no,
+        message,
+    };
+    let mut tokens = line.split_whitespace();
+    let head = tokens.next().expect("caller skips empty lines");
+    let mut head_chars = head.chars();
+    let mnemonic = head_chars
+        .next()
+        .expect("split_whitespace yields nonempty tokens")
+        .to_ascii_uppercase();
+    if mnemonic != 'G' && mnemonic != 'M' {
+        return Err(err(format!("expected G or M command, found {head:?}")));
+    }
+    let code_str: String = head_chars.collect();
+    let code: u32 = code_str
+        .parse()
+        .map_err(|_| err(format!("invalid code number in {head:?}")))?;
+
+    let mut words = Vec::new();
+    for tok in tokens {
+        let mut chars = tok.chars();
+        let letter = chars
+            .next()
+            .expect("split_whitespace yields nonempty tokens")
+            .to_ascii_uppercase();
+        if !letter.is_ascii_alphabetic() {
+            return Err(err(format!("invalid word {tok:?}")));
+        }
+        let value_str: String = chars.collect();
+        let value: f64 = value_str
+            .parse()
+            .map_err(|_| err(format!("invalid number in word {tok:?}")))?;
+        words.push(GCodeWord { letter, value });
+    }
+    Ok(GCodeCommand {
+        mnemonic,
+        code,
+        words,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        // §IV-B: "if G_{t-1} is [G1 F1200 X5 Y5 Z5] and G_t is
+        // [G1 F1200 X10 Y5 Z5] then encoding for G_t will be [1,0,0]".
+        let prog = GCodeProgram::parse("G1 F1200 X5 Y5 Z5\nG1 F1200 X10 Y5 Z5").unwrap();
+        assert_eq!(prog.len(), 2);
+        let c = &prog.commands()[1];
+        assert!(c.is_move());
+        assert_eq!(c.word('X'), Some(10.0));
+        assert_eq!(c.word('F'), Some(1200.0));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let src = "; full line comment\nG1 X1 ; trailing\n\nG1 X2 (inline) Y3\n";
+        let prog = GCodeProgram::parse(src).unwrap();
+        assert_eq!(prog.len(), 2);
+        assert_eq!(prog.commands()[1].word('Y'), Some(3.0));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let prog = GCodeProgram::parse("g1 x5 y-2.5 f600").unwrap();
+        let c = &prog.commands()[0];
+        assert_eq!(c.mnemonic, 'G');
+        assert_eq!(c.word('x'), Some(5.0));
+        assert_eq!(c.word('Y'), Some(-2.5));
+    }
+
+    #[test]
+    fn m_codes_parse() {
+        let prog = GCodeProgram::parse("M104 S200\nM84").unwrap();
+        assert_eq!(prog.commands()[0].mnemonic, 'M');
+        assert_eq!(prog.commands()[0].code, 104);
+        assert_eq!(prog.commands()[0].word('S'), Some(200.0));
+        assert!(prog.commands()[1].words.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = GCodeProgram::parse("G1 X1\nT0 nonsense").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("line 2"));
+        let err = GCodeProgram::parse("G1 Xfoo").unwrap_err();
+        assert_eq!(err.line(), 1);
+        let err = GCodeProgram::parse("Gx").unwrap_err();
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn round_trip_through_source() {
+        let src = "G1 F1200 X10 Y5 Z5\nG4 P500\nM107\n";
+        let prog = GCodeProgram::parse(src).unwrap();
+        let emitted = prog.to_source();
+        let reparsed = GCodeProgram::parse(&emitted).unwrap();
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn word_mutation() {
+        let mut c = GCodeCommand::linear_move(vec![GCodeWord {
+            letter: 'X',
+            value: 5.0,
+        }]);
+        c.set_word('x', 7.0);
+        assert_eq!(c.word('X'), Some(7.0));
+        c.set_word('Y', 1.0);
+        assert_eq!(c.word('Y'), Some(1.0));
+        assert_eq!(c.remove_word('Y'), Some(1.0));
+        assert_eq!(c.word('Y'), None);
+        assert_eq!(c.remove_word('Q'), None);
+    }
+
+    #[test]
+    fn display_formats_integers_cleanly() {
+        let c = GCodeCommand::new(
+            'G',
+            1,
+            vec![
+                GCodeWord {
+                    letter: 'F',
+                    value: 1200.0,
+                },
+                GCodeWord {
+                    letter: 'X',
+                    value: 10.5,
+                },
+            ],
+        );
+        assert_eq!(c.to_string(), "G1 F1200 X10.5");
+    }
+
+    #[test]
+    fn dwell_and_move_predicates() {
+        let prog = GCodeProgram::parse("G0 X1\nG1 X2\nG4 P100\nG28").unwrap();
+        let c = prog.commands();
+        assert!(c[0].is_move());
+        assert!(c[1].is_move());
+        assert!(!c[2].is_move());
+        assert!(c[2].is_dwell());
+        assert!(!c[3].is_move());
+    }
+
+    #[test]
+    fn from_str_trait() {
+        let prog: GCodeProgram = "G1 X1".parse().unwrap();
+        assert_eq!(prog.len(), 1);
+    }
+}

@@ -1,0 +1,409 @@
+//! Printer kinematics: G-code command pairs to per-axis motion.
+//!
+//! The acoustic fundamental of a stepper motor is its *step frequency*:
+//! `steps_per_mm x axis_speed_mm_s`. The kinematic model tracks absolute
+//! position and feed rate across commands and converts each move into a
+//! [`MotionSegment`] carrying the per-axis step rates that drive the
+//! acoustic synthesis.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GCodeCommand, GCodeProgram};
+
+/// The four driven axes of a cartesian fused-deposition printer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    /// Carriage left/right.
+    X,
+    /// Bed forward/back (on the paper's printer the Y motor moves the
+    /// whole bed — the heaviest load).
+    Y,
+    /// Vertical leadscrew.
+    Z,
+    /// Filament extruder.
+    E,
+}
+
+impl Axis {
+    /// All axes in canonical order.
+    pub const ALL: [Axis; 4] = [Axis::X, Axis::Y, Axis::Z, Axis::E];
+
+    /// The G-code address letter.
+    pub fn letter(self) -> char {
+        match self {
+            Axis::X => 'X',
+            Axis::Y => 'Y',
+            Axis::Z => 'Z',
+            Axis::E => 'E',
+        }
+    }
+
+    /// Dense index into per-axis arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+            Axis::E => 3,
+        }
+    }
+}
+
+/// Kinematic parameters of the printer.
+///
+/// # Example
+///
+/// ```
+/// use gansec_amsim::{Axis, GCodeProgram, Kinematics};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // F1200 = 20 mm/s; X at 80 steps/mm emits a 1600 Hz step comb.
+/// let program: GCodeProgram = "G1 F1200 X10".parse()?;
+/// let segments = Kinematics::printrbot_class().plan(&program);
+/// assert_eq!(segments[0].step_rates_hz[Axis::X.index()], 1600.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kinematics {
+    /// Full steps (including microstepping) per millimeter, per axis.
+    steps_per_mm: [f64; 4],
+    /// Feed rate (mm/min) assumed when a program never sets `F`.
+    default_feed_mm_min: f64,
+    /// Upper clamp on feed rate (mm/min), as firmware would enforce.
+    max_feed_mm_min: f64,
+}
+
+impl Kinematics {
+    /// Creates a kinematic model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `steps_per_mm` entry or feed parameter is not
+    /// positive and finite.
+    pub fn new(steps_per_mm: [f64; 4], default_feed_mm_min: f64, max_feed_mm_min: f64) -> Self {
+        assert!(
+            steps_per_mm.iter().all(|&s| s.is_finite() && s > 0.0),
+            "steps_per_mm must be positive"
+        );
+        assert!(
+            default_feed_mm_min > 0.0 && max_feed_mm_min >= default_feed_mm_min,
+            "need 0 < default_feed <= max_feed"
+        );
+        Self {
+            steps_per_mm,
+            default_feed_mm_min,
+            max_feed_mm_min,
+        }
+    }
+
+    /// A Printrbot-class printer: belt-driven X/Y at 80 steps/mm,
+    /// leadscrew Z at 400 steps/mm, geared extruder at 96 steps/mm.
+    /// The 5x step ratio of Z is what makes its acoustic signature the
+    /// most distinctive (the paper's `Cond3`).
+    pub fn printrbot_class() -> Self {
+        Self::new([80.0, 80.0, 400.0, 96.0], 1200.0, 6000.0)
+    }
+
+    /// Steps per millimeter for `axis`.
+    pub fn steps_per_mm(&self, axis: Axis) -> f64 {
+        self.steps_per_mm[axis.index()]
+    }
+
+    /// Converts a program into motion segments, tracking absolute
+    /// position, modal feed rate, and the `G90`/`G91`
+    /// absolute/relative positioning mode. Non-move commands produce:
+    /// `G4` dwells a silent segment of the requested duration (`P` ms or
+    /// `S` seconds); `G28` homes tracked axes (instantaneous at this
+    /// abstraction level); everything else (M-codes) is skipped as
+    /// acoustically negligible.
+    pub fn plan(&self, program: &GCodeProgram) -> Vec<MotionSegment> {
+        let mut segments = Vec::new();
+        let mut pos = [0.0f64; 4];
+        let mut feed = self.default_feed_mm_min;
+        let mut relative = false;
+        for (i, cmd) in program.commands().iter().enumerate() {
+            if cmd.mnemonic == 'G' {
+                match cmd.code {
+                    90 => {
+                        relative = false;
+                        continue;
+                    }
+                    91 => {
+                        relative = true;
+                        continue;
+                    }
+                    28 => {
+                        // Home: named axes (or all, if none named) to 0.
+                        let named: Vec<Axis> = Axis::ALL
+                            .into_iter()
+                            .filter(|a| cmd.word(a.letter()).is_some())
+                            .collect();
+                        let targets = if named.is_empty() {
+                            vec![Axis::X, Axis::Y, Axis::Z]
+                        } else {
+                            named
+                        };
+                        for a in targets {
+                            pos[a.index()] = 0.0;
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if cmd.is_dwell() {
+                let seconds = cmd
+                    .word('P')
+                    .map(|ms| ms / 1000.0)
+                    .or_else(|| cmd.word('S'))
+                    .unwrap_or(0.0)
+                    .max(0.0);
+                if seconds > 0.0 {
+                    segments.push(MotionSegment {
+                        command_index: i,
+                        duration_s: seconds,
+                        step_rates_hz: [0.0; 4],
+                        distances_mm: [0.0; 4],
+                        feed_mm_s: 0.0,
+                    });
+                }
+                continue;
+            }
+            if !cmd.is_move() {
+                continue;
+            }
+            if let Some(f) = cmd.word('F') {
+                feed = f.clamp(1.0, self.max_feed_mm_min);
+            }
+            if let Some(seg) = self.segment_for_move(i, cmd, &mut pos, feed, relative) {
+                segments.push(seg);
+            }
+        }
+        segments
+    }
+
+    /// Plans a single move given the current position, updating it.
+    /// Returns `None` for zero-distance moves.
+    fn segment_for_move(
+        &self,
+        command_index: usize,
+        cmd: &GCodeCommand,
+        pos: &mut [f64; 4],
+        feed_mm_min: f64,
+        relative: bool,
+    ) -> Option<MotionSegment> {
+        let mut distances = [0.0f64; 4];
+        for axis in Axis::ALL {
+            if let Some(value) = cmd.word(axis.letter()) {
+                let target = if relative {
+                    pos[axis.index()] + value
+                } else {
+                    value
+                };
+                distances[axis.index()] = target - pos[axis.index()];
+                pos[axis.index()] = target;
+            }
+        }
+        // Cartesian path length over XYZ; E-only moves use E distance.
+        let xyz_len = (distances[0] * distances[0]
+            + distances[1] * distances[1]
+            + distances[2] * distances[2])
+            .sqrt();
+        let path_len = if xyz_len > 0.0 {
+            xyz_len
+        } else {
+            distances[3].abs()
+        };
+        if path_len <= 0.0 {
+            return None;
+        }
+        let feed_mm_s = feed_mm_min / 60.0;
+        let duration_s = path_len / feed_mm_s;
+        let mut step_rates = [0.0f64; 4];
+        for axis in Axis::ALL {
+            let d = distances[axis.index()].abs();
+            if d > 0.0 {
+                let axis_speed = d / duration_s;
+                step_rates[axis.index()] = axis_speed * self.steps_per_mm[axis.index()];
+            }
+        }
+        Some(MotionSegment {
+            command_index,
+            duration_s,
+            step_rates_hz: step_rates,
+            distances_mm: distances,
+            feed_mm_s,
+        })
+    }
+}
+
+impl Default for Kinematics {
+    /// The Printrbot-class parameters of the case study.
+    fn default() -> Self {
+        Self::printrbot_class()
+    }
+}
+
+/// One planned motion: the kinematic ground truth for a command.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionSegment {
+    /// Index of the originating command within the program.
+    pub command_index: usize,
+    /// Wall-clock duration in seconds.
+    pub duration_s: f64,
+    /// Per-axis stepper step frequency in Hz (0 for idle axes), indexed
+    /// by [`Axis::index`].
+    pub step_rates_hz: [f64; 4],
+    /// Signed per-axis travel in millimeters.
+    pub distances_mm: [f64; 4],
+    /// Path feed rate in mm/s (0 for dwells).
+    pub feed_mm_s: f64,
+}
+
+impl MotionSegment {
+    /// Axes with nonzero step rate.
+    pub fn active_axes(&self) -> Vec<Axis> {
+        Axis::ALL
+            .into_iter()
+            .filter(|a| self.step_rates_hz[a.index()] > 0.0)
+            .collect()
+    }
+
+    /// Whether any motor is running.
+    pub fn is_motion(&self) -> bool {
+        self.step_rates_hz.iter().any(|&r| r > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(src: &str) -> Vec<MotionSegment> {
+        Kinematics::printrbot_class().plan(&GCodeProgram::parse(src).unwrap())
+    }
+
+    #[test]
+    fn single_axis_step_rate_matches_physics() {
+        // F1200 = 20 mm/s; X at 80 steps/mm -> 1600 Hz fundamental.
+        let segs = plan("G1 F1200 X10");
+        assert_eq!(segs.len(), 1);
+        let s = &segs[0];
+        assert!((s.duration_s - 0.5).abs() < 1e-9);
+        assert!((s.step_rates_hz[Axis::X.index()] - 1600.0).abs() < 1e-9);
+        assert_eq!(s.active_axes(), vec![Axis::X]);
+    }
+
+    #[test]
+    fn z_axis_is_five_times_denser() {
+        let x = plan("G1 F1200 X10");
+        let z = plan("G1 F1200 Z10");
+        let rx = x[0].step_rates_hz[Axis::X.index()];
+        let rz = z[0].step_rates_hz[Axis::Z.index()];
+        assert!((rz / rx - 5.0).abs() < 1e-9, "rz {rz} rx {rx}");
+    }
+
+    #[test]
+    fn diagonal_move_splits_rates() {
+        // 3-4-5 triangle: X=3, Y=4, path=5 at 20 mm/s -> duration 0.25 s.
+        let segs = plan("G1 F1200 X3 Y4");
+        let s = &segs[0];
+        assert!((s.duration_s - 0.25).abs() < 1e-9);
+        let rx = s.step_rates_hz[Axis::X.index()];
+        let ry = s.step_rates_hz[Axis::Y.index()];
+        assert!((rx - 3.0 / 0.25 * 80.0).abs() < 1e-9);
+        assert!((ry - 4.0 / 0.25 * 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn positions_are_modal() {
+        // Second command moves X 10 -> 10 (no-op) so yields no segment.
+        let segs = plan("G1 F1200 X10\nG1 X10\nG1 X20");
+        assert_eq!(segs.len(), 2);
+        assert!((segs[1].distances_mm[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feed_rate_is_modal() {
+        let segs = plan("G1 F600 X10\nG1 X20");
+        assert!((segs[0].feed_mm_s - 10.0).abs() < 1e-9);
+        assert!((segs[1].feed_mm_s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_moves_have_positive_rates() {
+        let segs = plan("G1 F1200 X-10");
+        assert!(segs[0].step_rates_hz[0] > 0.0);
+        assert!(segs[0].distances_mm[0] < 0.0);
+    }
+
+    #[test]
+    fn dwell_is_silent_segment() {
+        let segs = plan("G4 P500");
+        assert_eq!(segs.len(), 1);
+        assert!((segs[0].duration_s - 0.5).abs() < 1e-9);
+        assert!(!segs[0].is_motion());
+        // S variant in seconds.
+        let segs = plan("G4 S2");
+        assert!((segs[0].duration_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extruder_only_move_uses_e_distance() {
+        let segs = plan("G1 F120 E5");
+        assert_eq!(segs.len(), 1);
+        // 2 mm/s * 96 steps/mm = 192 Hz.
+        assert!((segs[0].step_rates_hz[Axis::E.index()] - 192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_motion_commands_skipped() {
+        let segs = plan("M104 S200\nG28\nM84");
+        assert!(segs.is_empty());
+    }
+
+    #[test]
+    fn relative_mode_accumulates() {
+        // G91: each X5 advances 5 mm from the previous position.
+        let segs = plan("G91\nG1 F1200 X5\nG1 X5\nG1 X-10");
+        assert_eq!(segs.len(), 3);
+        assert!((segs[0].distances_mm[0] - 5.0).abs() < 1e-9);
+        assert!((segs[1].distances_mm[0] - 5.0).abs() < 1e-9);
+        assert!((segs[2].distances_mm[0] + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn g90_returns_to_absolute() {
+        let segs = plan("G91\nG1 F1200 X5\nG90\nG1 X5");
+        // After the relative X5, position is 5; absolute X5 is a no-op.
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn g28_homes_axes() {
+        // Move out, home X only, then absolute X10 travels the full 10.
+        let segs = plan("G1 F1200 X10\nG28 X0\nG1 X10");
+        assert_eq!(segs.len(), 2);
+        assert!((segs[1].distances_mm[0] - 10.0).abs() < 1e-9);
+        // Bare G28 homes X, Y and Z.
+        let segs = plan("G1 F1200 X10 Y10\nG28\nG1 X10 Y10");
+        assert!((segs[1].distances_mm[0] - 10.0).abs() < 1e-9);
+        assert!((segs[1].distances_mm[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feed_clamped_to_max() {
+        let k = Kinematics::printrbot_class();
+        let prog = GCodeProgram::parse("G1 F999999 X10").unwrap();
+        let segs = k.plan(&prog);
+        // 6000 mm/min = 100 mm/s -> 0.1 s for 10 mm.
+        assert!((segs[0].duration_s - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "steps_per_mm")]
+    fn rejects_nonpositive_steps() {
+        let _ = Kinematics::new([0.0, 80.0, 400.0, 96.0], 1200.0, 6000.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Additive-manufacturing (fused-deposition 3D printer) simulator.
+//!
+//! The paper's case study records a physical Printrbot-class printer in a
+//! makeshift anechoic chamber through a contact microphone (§IV). That
+//! testbed is not reproducible in software-only form, so this crate
+//! simulates the same *information structure*: a cartesian printer whose
+//! four stepper motors emit axis-specific acoustic signatures driven by
+//! the G/M-code it executes. The security question GAN-Sec asks — *is the
+//! conditional distribution of emission features given the executing
+//! command learnable and separable per motor?* — is preserved because:
+//!
+//! * each motor's fundamental is its kinematic **step frequency**
+//!   (`steps/mm x mm/s`), exactly as in a real stepper;
+//! * each axis adds a distinct mechanical-resonance signature (light X
+//!   carriage vs. heavy Y bed vs. high-ratio Z leadscrew), with deliberate
+//!   X/Y overlap and a well-separated Z — the overlap structure behind
+//!   Table I's ordering (`Cond3` most identifiable, `Cond2` least) is an
+//!   emergent property of these physical parameters, not of the labels;
+//! * the anechoic chamber and contact microphone become a Gaussian noise
+//!   floor, band-limited sampling, and soft clipping.
+//!
+//! Contents:
+//!
+//! * [`GCodeProgram`]/[`GCodeCommand`] — G/M-code parsing and emission;
+//! * [`Kinematics`]/[`MotionSegment`] — command pairs to per-axis step
+//!   rates and durations;
+//! * [`AcousticModel`]/[`Microphone`] — emission synthesis and capture;
+//! * [`MotorSet`]/[`ConditionEncoding`] — the paper's one-hot encodings
+//!   (3-way single-motor and the suggested `2^3 = 8`-way combination);
+//! * [`PrinterSim`]/[`SimulationTrace`] — end-to-end program execution;
+//! * workload generators ([`single_axis_program`],
+//!   [`mixed_axis_program`], [`calibration_pattern`]);
+//! * [`AttackInjector`] — integrity (G-code tampering) and availability
+//!   (axis stall) attacks with ground-truth labels;
+//! * [`printer_architecture`] — the Figure 5/6 CPPS architecture for
+//!   `gansec-cpps`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acoustics;
+mod arch;
+mod attacks;
+mod encoding;
+mod gcode;
+mod kinematics;
+mod simulator;
+mod workload;
+
+pub use acoustics::{AcousticModel, AxisAcoustics, Microphone, SensorKind};
+pub use arch::{printer_architecture, PrinterArchitecture};
+pub use attacks::{Attack, AttackInjector, AttackKind};
+pub use encoding::{ConditionEncoding, MotorSet};
+pub use gcode::{GCodeCommand, GCodeProgram, GCodeWord, ParseGCodeError};
+pub use kinematics::{Axis, Kinematics, MotionSegment};
+pub use simulator::{PrinterSim, SegmentRecord, SimulationTrace};
+pub use workload::{calibration_pattern, mixed_axis_program, single_axis_program};

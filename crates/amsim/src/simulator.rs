@@ -1,0 +1,284 @@
+//! End-to-end printer simulation: program in, labeled audio out.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use rand::SeedableRng;
+
+use crate::{
+    AcousticModel, GCodeProgram, Kinematics, Microphone, MotionSegment, MotorSet, SensorKind,
+};
+
+/// One executed segment of the trace: the ground-truth label source for
+/// dataset generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentRecord {
+    /// The planned motion.
+    pub segment: MotionSegment,
+    /// XYZ motors active during the segment.
+    pub motors: MotorSet,
+    /// Start sample index into [`SimulationTrace::audio`].
+    pub audio_start: usize,
+    /// One-past-end sample index.
+    pub audio_end: usize,
+}
+
+impl SegmentRecord {
+    /// Number of audio samples covered by this segment.
+    pub fn n_samples(&self) -> usize {
+        self.audio_end - self.audio_start
+    }
+}
+
+/// The result of executing a program: the captured physical emissions
+/// (two observation points of the same energy flows) plus per-segment
+/// ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationTrace {
+    /// Captured contact-microphone samples for the whole program.
+    pub audio: Vec<f64>,
+    /// Captured frame-accelerometer samples, time-aligned with `audio`
+    /// (the second physical emission of §IV's "multiple physical
+    /// emissions").
+    pub vibration: Vec<f64>,
+    /// Sampling rate in Hz.
+    pub sample_rate: f64,
+    /// Per-segment records in execution order.
+    pub segments: Vec<SegmentRecord>,
+}
+
+impl SimulationTrace {
+    /// The audio samples of one segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.segments.len()`.
+    pub fn segment_audio(&self, index: usize) -> &[f64] {
+        let rec = &self.segments[index];
+        &self.audio[rec.audio_start..rec.audio_end]
+    }
+
+    /// The vibration samples of one segment (same indices as audio).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.segments.len()`.
+    pub fn segment_vibration(&self, index: usize) -> &[f64] {
+        let rec = &self.segments[index];
+        &self.vibration[rec.audio_start..rec.audio_end]
+    }
+
+    /// Total trace duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.audio.len() as f64 / self.sample_rate
+    }
+}
+
+/// The printer simulator: kinematics + acoustics + microphone.
+///
+/// # Example
+///
+/// ```
+/// use gansec_amsim::{PrinterSim, single_axis_program, Axis};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let sim = PrinterSim::printrbot_class();
+/// let program = single_axis_program(Axis::X, 4, 10.0, 1200.0);
+/// let trace = sim.run(&program, &mut rng);
+/// assert_eq!(trace.segments.len(), 4);
+/// assert!(trace.audio.len() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrinterSim {
+    kinematics: Kinematics,
+    acoustics: AcousticModel,
+    microphone: Microphone,
+}
+
+impl PrinterSim {
+    /// Composes a simulator from explicit models.
+    pub fn new(kinematics: Kinematics, acoustics: AcousticModel, microphone: Microphone) -> Self {
+        Self {
+            kinematics,
+            acoustics,
+            microphone,
+        }
+    }
+
+    /// The case-study configuration: Printrbot-class kinematics and
+    /// acoustics, C411-class capture in an anechoic chamber.
+    pub fn printrbot_class() -> Self {
+        Self::new(
+            Kinematics::printrbot_class(),
+            AcousticModel::printrbot_class(),
+            Microphone::c411_anechoic(),
+        )
+    }
+
+    /// The kinematic model.
+    pub fn kinematics(&self) -> &Kinematics {
+        &self.kinematics
+    }
+
+    /// The acoustic model.
+    pub fn acoustics(&self) -> &AcousticModel {
+        &self.acoustics
+    }
+
+    /// Mutable acoustic model (for redesign what-if studies).
+    pub fn acoustics_mut(&mut self) -> &mut AcousticModel {
+        &mut self.acoustics
+    }
+
+    /// The microphone model.
+    pub fn microphone(&self) -> &Microphone {
+        &self.microphone
+    }
+
+    /// Executes `program`: plans motion, synthesizes each segment's
+    /// emissions on both sensor paths, and captures them through the
+    /// microphone model.
+    pub fn run(&self, program: &GCodeProgram, rng: &mut impl Rng) -> SimulationTrace {
+        let sample_rate = self.microphone.sample_rate();
+        let segments = self.kinematics.plan(program);
+        let mut audio = Vec::new();
+        let mut vibration = Vec::new();
+        let mut records = Vec::with_capacity(segments.len());
+        for segment in segments {
+            let mut chunk = self.acoustics.synthesize_channel(
+                &segment,
+                sample_rate,
+                SensorKind::AcousticMic,
+                rng,
+            );
+            self.microphone.capture(&mut chunk, rng);
+            // The accelerometer observes the same mechanical event; a
+            // forked RNG keeps its phases independent but reproducible.
+            let mut vib_rng = rand::rngs::StdRng::seed_from_u64(rng.gen());
+            let mut vib_chunk = self.acoustics.synthesize_channel(
+                &segment,
+                sample_rate,
+                SensorKind::FrameAccelerometer,
+                &mut vib_rng,
+            );
+            self.microphone.capture(&mut vib_chunk, &mut vib_rng);
+            let start = audio.len();
+            audio.extend_from_slice(&chunk);
+            vibration.extend_from_slice(&vib_chunk);
+            records.push(SegmentRecord {
+                motors: MotorSet::from_segment(&segment),
+                segment,
+                audio_start: start,
+                audio_end: audio.len(),
+            });
+        }
+        SimulationTrace {
+            audio,
+            vibration,
+            sample_rate,
+            segments: records,
+        }
+    }
+}
+
+impl Default for PrinterSim {
+    /// The case-study configuration.
+    fn default() -> Self {
+        Self::printrbot_class()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{single_axis_program, Axis};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trace_covers_whole_program() {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(1);
+        let program = single_axis_program(Axis::X, 5, 10.0, 1200.0);
+        let trace = sim.run(&program, &mut rng);
+        assert_eq!(trace.segments.len(), 5);
+        // Segments tile the audio contiguously.
+        let mut cursor = 0;
+        for rec in &trace.segments {
+            assert_eq!(rec.audio_start, cursor);
+            cursor = rec.audio_end;
+        }
+        assert_eq!(cursor, trace.audio.len());
+    }
+
+    #[test]
+    fn segment_labels_match_axis() {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(2);
+        for (axis, expected) in [
+            (Axis::X, MotorSet::X),
+            (Axis::Y, MotorSet::Y),
+            (Axis::Z, MotorSet::Z),
+        ] {
+            let trace = sim.run(&single_axis_program(axis, 3, 5.0, 600.0), &mut rng);
+            for rec in &trace.segments {
+                assert_eq!(rec.motors, expected, "axis {axis:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn audio_is_bounded_and_finite() {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = sim.run(&single_axis_program(Axis::Z, 3, 2.0, 240.0), &mut rng);
+        assert!(trace.audio.iter().all(|s| s.is_finite() && s.abs() < 1.0));
+    }
+
+    #[test]
+    fn vibration_channel_is_aligned_with_audio() {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(9);
+        let trace = sim.run(&single_axis_program(Axis::X, 3, 10.0, 1200.0), &mut rng);
+        assert_eq!(trace.audio.len(), trace.vibration.len());
+        for i in 0..trace.segments.len() {
+            assert_eq!(
+                trace.segment_audio(i).len(),
+                trace.segment_vibration(i).len()
+            );
+        }
+        assert!(trace
+            .vibration
+            .iter()
+            .all(|s| s.is_finite() && s.abs() <= 1.0));
+    }
+
+    #[test]
+    fn empty_program_yields_empty_trace() {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trace = sim.run(&GCodeProgram::default(), &mut rng);
+        assert!(trace.audio.is_empty());
+        assert!(trace.segments.is_empty());
+        assert_eq!(trace.duration_s(), 0.0);
+    }
+
+    #[test]
+    fn segment_audio_slices_align() {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trace = sim.run(&single_axis_program(Axis::Y, 2, 10.0, 1200.0), &mut rng);
+        let a0 = trace.segment_audio(0);
+        assert_eq!(a0.len(), trace.segments[0].n_samples());
+    }
+
+    #[test]
+    fn duration_matches_kinematics() {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(6);
+        // 10 mm at 20 mm/s = 0.5 s per move, 4 moves = 2 s.
+        let trace = sim.run(&single_axis_program(Axis::X, 4, 10.0, 1200.0), &mut rng);
+        assert!((trace.duration_s() - 2.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,225 @@
+//! Workload (toolpath) generators.
+//!
+//! §IV-B: "for simplicity, we extract G/M-codes from 3D objects that only
+//! move one stepper motor at a time" — [`single_axis_program`] generates
+//! exactly those. [`mixed_axis_program`] and [`calibration_pattern`]
+//! exercise the extended `2^3` combination encoding.
+
+use rand::Rng;
+
+use crate::{Axis, GCodeCommand, GCodeProgram, GCodeWord};
+
+/// A program of `n_moves` back-and-forth moves on a single axis at the
+/// given feed (mm/min), starting from the origin. Matches the paper's
+/// single-motor training objects.
+///
+/// # Panics
+///
+/// Panics if `distance <= 0` or `feed_mm_min <= 0`.
+pub fn single_axis_program(
+    axis: Axis,
+    n_moves: usize,
+    distance: f64,
+    feed_mm_min: f64,
+) -> GCodeProgram {
+    assert!(distance > 0.0, "distance must be positive");
+    assert!(feed_mm_min > 0.0, "feed must be positive");
+    let mut prog = GCodeProgram::default();
+    for i in 0..n_moves {
+        let position = if i % 2 == 0 { distance } else { 0.0 };
+        let mut words = Vec::new();
+        if i == 0 {
+            words.push(GCodeWord {
+                letter: 'F',
+                value: feed_mm_min,
+            });
+        }
+        words.push(GCodeWord {
+            letter: axis.letter(),
+            value: position,
+        });
+        prog.push(GCodeCommand::linear_move(words));
+    }
+    prog
+}
+
+/// A program alternating single-axis moves over X, Y, Z in round-robin
+/// order with per-axis feeds (slower Z, as slicers emit). Produces a
+/// balanced dataset over the paper's three conditions.
+///
+/// # Panics
+///
+/// Panics if `moves_per_axis == 0`.
+pub fn calibration_pattern(moves_per_axis: usize) -> GCodeProgram {
+    assert!(moves_per_axis > 0, "moves_per_axis must be positive");
+    let mut prog = GCodeProgram::default();
+    // Slicer-realistic feeds: belt axes fast, the Z leadscrew slow. At
+    // these rates the step combs are distinct (X/Y 1600 Hz, Z 800 Hz).
+    let feeds = [1200.0, 1200.0, 120.0];
+    let distances = [20.0, 20.0, 2.0];
+    let axes = [Axis::X, Axis::Y, Axis::Z];
+    let mut positions = [0.0f64; 3];
+    for round in 0..moves_per_axis {
+        for (i, axis) in axes.iter().enumerate() {
+            positions[i] = if round % 2 == 0 { distances[i] } else { 0.0 };
+            prog.push(GCodeCommand::linear_move(vec![
+                GCodeWord {
+                    letter: 'F',
+                    value: feeds[i],
+                },
+                GCodeWord {
+                    letter: axis.letter(),
+                    value: positions[i],
+                },
+            ]));
+        }
+    }
+    prog
+}
+
+/// A randomized program mixing single- and multi-axis moves, dwells and
+/// occasional extrusion: the workload for the `2^3` combination-encoding
+/// ablation and for attack-detection experiments.
+///
+/// # Panics
+///
+/// Panics if `n_commands == 0`.
+pub fn mixed_axis_program(n_commands: usize, rng: &mut impl Rng) -> GCodeProgram {
+    assert!(n_commands > 0, "n_commands must be positive");
+    let mut prog = GCodeProgram::default();
+    let mut pos = [0.0f64; 3];
+    for _ in 0..n_commands {
+        let roll: f64 = rng.gen();
+        if roll < 0.08 {
+            // Dwell.
+            prog.push(GCodeCommand::new(
+                'G',
+                4,
+                vec![GCodeWord {
+                    letter: 'P',
+                    value: rng.gen_range(100.0..400.0),
+                }],
+            ));
+            continue;
+        }
+        let mut words = vec![GCodeWord {
+            letter: 'F',
+            value: rng.gen_range(300.0..2400.0),
+        }];
+        // Choose 1-3 axes to move.
+        let n_axes = 1 + (rng.gen_range(0..100) % 3).min(2);
+        let mut axes: Vec<usize> = (0..3).collect();
+        for i in (1..axes.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            axes.swap(i, j);
+        }
+        for &ai in axes.iter().take(n_axes) {
+            let delta: f64 = rng.gen_range(1.0..15.0);
+            let sign = if rng.gen::<bool>() && pos[ai] - delta > -50.0 {
+                -1.0
+            } else {
+                1.0
+            };
+            pos[ai] += sign * delta;
+            let letter = [Axis::X, Axis::Y, Axis::Z][ai].letter();
+            words.push(GCodeWord {
+                letter,
+                value: pos[ai],
+            });
+        }
+        if roll > 0.85 {
+            words.push(GCodeWord {
+                letter: 'E',
+                value: rng.gen_range(0.1..2.0),
+            });
+        }
+        prog.push(GCodeCommand::linear_move(words));
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kinematics, MotorSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_axis_moves_only_one_motor() {
+        for axis in [Axis::X, Axis::Y, Axis::Z] {
+            let prog = single_axis_program(axis, 6, 10.0, 1200.0);
+            let segs = Kinematics::printrbot_class().plan(&prog);
+            assert_eq!(segs.len(), 6);
+            for s in &segs {
+                assert_eq!(s.active_axes(), vec![axis]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_axis_alternates_direction() {
+        let prog = single_axis_program(Axis::X, 4, 10.0, 1200.0);
+        let segs = Kinematics::printrbot_class().plan(&prog);
+        assert!(segs[0].distances_mm[0] > 0.0);
+        assert!(segs[1].distances_mm[0] < 0.0);
+        assert!(segs[2].distances_mm[0] > 0.0);
+    }
+
+    #[test]
+    fn calibration_pattern_is_balanced() {
+        let prog = calibration_pattern(4);
+        let segs = Kinematics::printrbot_class().plan(&prog);
+        let mut counts = [0usize; 3];
+        for s in &segs {
+            let m = MotorSet::from_segment(s);
+            assert!(m.is_single(), "calibration must be single-axis");
+            counts[if m.x {
+                0
+            } else if m.y {
+                1
+            } else {
+                2
+            }] += 1;
+        }
+        assert_eq!(counts, [4, 4, 4]);
+    }
+
+    #[test]
+    fn mixed_program_contains_multi_axis_moves() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let prog = mixed_axis_program(100, &mut rng);
+        let segs = Kinematics::printrbot_class().plan(&prog);
+        let multi = segs
+            .iter()
+            .filter(|s| MotorSet::from_segment(s).count() > 1)
+            .count();
+        assert!(multi > 5, "expected multi-axis moves, got {multi}");
+    }
+
+    #[test]
+    fn mixed_program_is_reproducible_per_seed() {
+        let a = mixed_axis_program(20, &mut StdRng::seed_from_u64(3));
+        let b = mixed_axis_program(20, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn programs_reparse() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for prog in [
+            single_axis_program(Axis::Z, 3, 4.0, 240.0),
+            calibration_pattern(2),
+            mixed_axis_program(30, &mut rng),
+        ] {
+            let reparsed = GCodeProgram::parse(&prog.to_source()).unwrap();
+            assert_eq!(prog.len(), reparsed.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn rejects_zero_distance() {
+        let _ = single_axis_program(Axis::X, 1, 0.0, 1200.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! The realistic slicer-style fixture (`assets/sample_part.gcode`) must
+//! flow through the whole substrate: parse, plan, simulate, label.
+
+use gansec_amsim::{Axis, GCodeProgram, Kinematics, PrinterSim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SAMPLE: &str = include_str!("../../../assets/sample_part.gcode");
+
+#[test]
+fn fixture_parses_completely() {
+    let prog = GCodeProgram::parse(SAMPLE).expect("fixture is valid G-code");
+    // Comments and blank lines are dropped; commands remain.
+    assert!(prog.len() > 40, "commands: {}", prog.len());
+    // Slicer staples are present.
+    assert!(prog
+        .commands()
+        .iter()
+        .any(|c| c.mnemonic == 'M' && c.code == 104));
+    assert!(prog
+        .commands()
+        .iter()
+        .any(|c| c.mnemonic == 'G' && c.code == 28));
+    assert!(prog.commands().iter().any(|c| c.word('E').is_some()));
+}
+
+#[test]
+fn fixture_plans_with_extrusion_and_travel() {
+    let prog = GCodeProgram::parse(SAMPLE).expect("valid");
+    let segs = Kinematics::printrbot_class().plan(&prog);
+    assert!(segs.len() > 30, "segments: {}", segs.len());
+    // Printing moves drive E alongside X/Y; travel moves do not.
+    let printing = segs
+        .iter()
+        .filter(|s| s.step_rates_hz[Axis::E.index()] > 0.0)
+        .count();
+    let travel = segs
+        .iter()
+        .filter(|s| {
+            s.step_rates_hz[Axis::E.index()] == 0.0
+                && (s.step_rates_hz[Axis::X.index()] > 0.0
+                    || s.step_rates_hz[Axis::Y.index()] > 0.0)
+        })
+        .count();
+    assert!(printing > 10, "printing moves: {printing}");
+    assert!(travel > 2, "travel moves: {travel}");
+    // Z only moves at layer changes and lift: few, slow segments.
+    let z_moves = segs
+        .iter()
+        .filter(|s| s.step_rates_hz[Axis::Z.index()] > 0.0)
+        .count();
+    assert!((2..8).contains(&z_moves), "z moves: {z_moves}");
+}
+
+#[test]
+fn fixture_simulates_to_audio() {
+    let prog = GCodeProgram::parse(SAMPLE).expect("valid");
+    let sim = PrinterSim::printrbot_class();
+    let mut rng = StdRng::seed_from_u64(1);
+    let trace = sim.run(&prog, &mut rng);
+    assert!(trace.duration_s() > 5.0, "duration {}", trace.duration_s());
+    assert!(trace.audio.iter().all(|s| s.is_finite()));
+    assert_eq!(trace.audio.len(), trace.vibration.len());
+    // Multi-axis printing moves dominate: X+Y simultaneously.
+    let multi = trace
+        .segments
+        .iter()
+        .filter(|r| r.motors.count() > 1 || (r.motors.count() == 1 && !r.motors.is_single()))
+        .count();
+    assert!(multi < trace.segments.len(), "some single-axis moves exist");
+}
+
+#[test]
+fn fixture_round_trips_through_emitter() {
+    let prog = GCodeProgram::parse(SAMPLE).expect("valid");
+    let reparsed = GCodeProgram::parse(&prog.to_source()).expect("emitted source reparses");
+    assert_eq!(prog, reparsed);
+}

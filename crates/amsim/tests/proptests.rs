@@ -1,0 +1,157 @@
+//! Property tests for the simulator: parser round-trips, kinematic
+//! invariants, attack-injection guarantees.
+
+use gansec_amsim::{
+    Attack, AttackInjector, AttackKind, Axis, GCodeCommand, GCodeProgram, GCodeWord, Kinematics,
+    MotorSet,
+};
+use proptest::prelude::*;
+
+fn axis_strategy() -> impl Strategy<Value = Axis> {
+    prop_oneof![Just(Axis::X), Just(Axis::Y), Just(Axis::Z), Just(Axis::E),]
+}
+
+/// Random well-formed move commands.
+fn move_command() -> impl Strategy<Value = GCodeCommand> {
+    (
+        proptest::option::of(60.0..6000.0f64),
+        proptest::collection::vec((axis_strategy(), -50.0..50.0f64), 0..4),
+    )
+        .prop_map(|(feed, axes)| {
+            let mut words = Vec::new();
+            if let Some(f) = feed {
+                words.push(GCodeWord {
+                    letter: 'F',
+                    value: (f * 100.0).round() / 100.0,
+                });
+            }
+            for (axis, v) in axes {
+                if words.iter().all(|w: &GCodeWord| w.letter != axis.letter()) {
+                    words.push(GCodeWord {
+                        letter: axis.letter(),
+                        value: (v * 100.0).round() / 100.0,
+                    });
+                }
+            }
+            GCodeCommand::linear_move(words)
+        })
+}
+
+fn program() -> impl Strategy<Value = GCodeProgram> {
+    proptest::collection::vec(move_command(), 0..20).prop_map(GCodeProgram::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_round_trips_generated_programs(prog in program()) {
+        let source = prog.to_source();
+        let reparsed = GCodeProgram::parse(&source).expect("emitted source is valid");
+        prop_assert_eq!(prog.len(), reparsed.len());
+        for (a, b) in prog.commands().iter().zip(reparsed.commands()) {
+            prop_assert_eq!(a.mnemonic, b.mnemonic);
+            prop_assert_eq!(a.code, b.code);
+            for w in &a.words {
+                let rb = b.word(w.letter).expect("word survives round trip");
+                prop_assert!((w.value - rb).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kinematics_invariants(prog in program()) {
+        let kin = Kinematics::printrbot_class();
+        let segments = kin.plan(&prog);
+        prop_assert!(segments.len() <= prog.len());
+        for s in &segments {
+            prop_assert!(s.duration_s > 0.0, "zero-duration segment");
+            prop_assert!(s.duration_s.is_finite());
+            for axis in Axis::ALL {
+                let rate = s.step_rates_hz[axis.index()];
+                prop_assert!(rate >= 0.0 && rate.is_finite());
+                // Rate is distance-consistent: rate * duration = steps.
+                let steps = s.distances_mm[axis.index()].abs() * kin.steps_per_mm(axis);
+                prop_assert!((rate * s.duration_s - steps).abs() < 1e-6);
+            }
+            prop_assert!(s.command_index < prog.len());
+        }
+    }
+
+    #[test]
+    fn planning_is_deterministic(prog in program()) {
+        let kin = Kinematics::printrbot_class();
+        prop_assert_eq!(kin.plan(&prog), kin.plan(&prog));
+    }
+
+    #[test]
+    fn stall_attack_silences_exactly_one_axis(
+        prog in program(),
+        axis in prop_oneof![Just(Axis::X), Just(Axis::Y), Just(Axis::Z)],
+    ) {
+        let Attack { tampered, .. } =
+            AttackInjector::new().inject(&prog, AttackKind::StallAxis { axis });
+        for cmd in tampered.commands() {
+            if cmd.is_move() {
+                prop_assert!(cmd.word(axis.letter()).is_none());
+            }
+        }
+        // Kinematics confirm: the axis never steps.
+        let segs = Kinematics::printrbot_class().plan(&tampered);
+        for s in &segs {
+            prop_assert_eq!(s.step_rates_hz[axis.index()], 0.0);
+        }
+    }
+
+    #[test]
+    fn swap_attack_is_involutive(prog in program()) {
+        let inj = AttackInjector::new();
+        let kind = AttackKind::SwapAxes { a: Axis::X, b: Axis::Y };
+        let once = inj.inject(&prog, kind);
+        let twice = inj.inject(&once.tampered, kind);
+        // Word order may differ (set_word appends), so compare semantics.
+        prop_assert_eq!(twice.tampered.len(), prog.len());
+        for (a, b) in prog.commands().iter().zip(twice.tampered.commands()) {
+            prop_assert_eq!(a.mnemonic, b.mnemonic);
+            prop_assert_eq!(a.code, b.code);
+            for letter in ['X', 'Y', 'Z', 'E', 'F'] {
+                prop_assert_eq!(a.word(letter), b.word(letter), "letter {}", letter);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_attack_scales_exactly_the_axis(
+        prog in program(),
+        factor in 1.1..3.0f64,
+    ) {
+        let attack = AttackInjector::new().inject(
+            &prog,
+            AttackKind::ScaleAxis { axis: Axis::X, factor },
+        );
+        for (orig, tampered) in prog.commands().iter().zip(attack.tampered.commands()) {
+            match (orig.word('X'), tampered.word('X')) {
+                (Some(a), Some(b)) if orig.is_move() => {
+                    prop_assert!((b - a * factor).abs() < 1e-9);
+                }
+                (None, None) => {}
+                (a, b) => prop_assert_eq!(a, b),
+            }
+            // Other axes untouched.
+            for letter in ['Y', 'Z', 'E', 'F'] {
+                prop_assert_eq!(orig.word(letter), tampered.word(letter));
+            }
+        }
+    }
+
+    #[test]
+    fn motor_set_matches_kinematics(prog in program()) {
+        let segs = Kinematics::printrbot_class().plan(&prog);
+        for s in &segs {
+            let m = MotorSet::from_segment(s);
+            prop_assert_eq!(m.x, s.step_rates_hz[Axis::X.index()] > 0.0);
+            prop_assert_eq!(m.y, s.step_rates_hz[Axis::Y.index()] > 0.0);
+            prop_assert_eq!(m.z, s.step_rates_hz[Axis::Z.index()] > 0.0);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks for the computational kernels behind the
+//! experiments: FFT, CWT feature extraction, G-code parsing, Algorithm 1
+//! graph generation, one CGAN training step, and Parzen scoring.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gansec_amsim::{calibration_pattern, printer_architecture, Kinematics, PrinterSim};
+use gansec_dsp::{fft_real, FeatureExtractor, FrequencyBins, ScalingKind};
+use gansec_gan::{Cgan, CganConfig, PairedData};
+use gansec_stats::ParzenWindow;
+use gansec_tensor::Matrix;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [1024usize, 4096, 16384] {
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.bench_function(format!("radix2_{n}"), |b| {
+            b.iter(|| black_box(fft_real(black_box(&signal))))
+        });
+    }
+    // Non-power-of-two exercises the Bluestein path.
+    let signal: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.37).sin()).collect();
+    group.bench_function("bluestein_3000", |b| {
+        b.iter(|| black_box(fft_real(black_box(&signal))))
+    });
+    group.finish();
+}
+
+fn bench_cwt_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cwt_features");
+    group.sample_size(10);
+    let fs = 12_000.0;
+    let signal: Vec<f64> = (0..(fs as usize))
+        .map(|i| (std::f64::consts::TAU * 1600.0 * i as f64 / fs).sin())
+        .collect();
+    for n_bins in [48usize, 100] {
+        let extractor = FeatureExtractor::new(
+            FrequencyBins::log_spaced(n_bins, 50.0, 5000.0),
+            1024,
+            512,
+            ScalingKind::MinMax,
+        );
+        group.bench_function(format!("1s_audio_{n_bins}_bins"), |b| {
+            b.iter(|| black_box(extractor.extract(black_box(&signal), fs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gcode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcode");
+    let program = calibration_pattern(200);
+    let source = program.to_source();
+    group.bench_function("parse_600_commands", |b| {
+        b.iter(|| gansec_amsim::GCodeProgram::parse(black_box(&source)).expect("valid"))
+    });
+    let kin = Kinematics::printrbot_class();
+    group.bench_function("plan_600_commands", |b| {
+        b.iter(|| black_box(kin.plan(black_box(&program))))
+    });
+    group.finish();
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1");
+    let pa = printer_architecture();
+    group.bench_function("graph_generation", |b| {
+        b.iter(|| black_box(pa.arch.build_graph()))
+    });
+    let graph = pa.arch.build_graph();
+    group.bench_function("flow_pair_enumeration", |b| {
+        b.iter(|| black_box(graph.candidate_flow_pairs()))
+    });
+    group.finish();
+}
+
+fn bench_cgan_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cgan");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 256;
+    let data = Matrix::from_fn(n, 100, |r, c| ((r * 7 + c) as f64 * 0.01).sin().abs());
+    let conds = Matrix::from_fn(n, 3, |r, c| if r % 3 == c { 1.0 } else { 0.0 });
+    let dataset = PairedData::new(data, conds).expect("aligned");
+    let config = CganConfig::paper_case_study();
+    group.bench_function("train_step_100bins", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Cgan::new(config.clone(), &mut rng),
+                    StdRng::seed_from_u64(2),
+                )
+            },
+            |(mut cgan, mut step_rng)| {
+                black_box(cgan.train_step(&dataset, &mut step_rng));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut cgan = Cgan::new(config, &mut rng);
+    let gen_conds = Matrix::from_fn(100, 3, |_, c| if c == 0 { 1.0 } else { 0.0 });
+    group.bench_function("generate_100_samples", |b| {
+        b.iter(|| black_box(cgan.generate(black_box(&gen_conds), &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_parzen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parzen");
+    let samples: Vec<f64> = (0..500).map(|i| (i as f64 * 0.171).sin().abs()).collect();
+    let kde = ParzenWindow::fit(&samples, 0.2).expect("nonempty");
+    group.bench_function("score_500_support", |b| {
+        b.iter(|| black_box(kde.log_density(black_box(0.42))))
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    let sim = PrinterSim::printrbot_class();
+    let program = calibration_pattern(2);
+    group.bench_function("printer_6s_trace", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(3),
+            |mut rng| black_box(sim.run(&program, &mut rng)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_cwt_features,
+    bench_gcode,
+    bench_algorithm1,
+    bench_cgan_step,
+    bench_parzen,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation A4: is the GAN needed? CGAN-estimated conditional densities
+//! vs a Parzen window fitted directly on the real training data.
+//!
+//! §I motivates the GAN: the generator "never sees the real data \[and\]
+//! estimates the distribution without overfitting on the currently
+//! limited data". The comparison here scores both estimators on the same
+//! held-out frames, at full data and at a starved 10% budget.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gansec::{KdeBaseline, LikelihoodAnalysis, SecurityModel};
+use gansec_bench::{CaseStudy, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Ablation A4: CGAN vs direct-KDE estimator ==\n");
+
+    let study = CaseStudy::build(scale, 42);
+    let mut results = Vec::new();
+    for (regime, train) in [
+        ("full data", study.train.clone()),
+        ("10% budget", study.train.truncated(study.train.len() / 10)),
+    ] {
+        let top = train.top_feature_indices(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = SecurityModel::for_dataset(&train, &mut rng);
+        model
+            .train(&train, scale.train_iterations(), &mut rng)
+            .expect("training is stable at bench scales");
+        let cgan = LikelihoodAnalysis::new(0.2, scale.gsize(), top.clone()).analyze(
+            &mut model,
+            &study.test,
+            &mut rng,
+        );
+        let kde = KdeBaseline::new(0.2, top).analyze(&train, &study.test);
+
+        println!("{regime} ({} frames):", train.len());
+        println!(
+            "{:>10}{:>12}{:>12}{:>12}",
+            "", "mean Cor", "mean Inc", "margin"
+        );
+        println!(
+            "{:>10}{:>12.4}{:>12.4}{:>12.4}",
+            "CGAN",
+            cgan.mean_cor(),
+            cgan.mean_inc(),
+            cgan.mean_cor() - cgan.mean_inc()
+        );
+        println!(
+            "{:>10}{:>12.4}{:>12.4}{:>12.4}\n",
+            "KDE",
+            kde.mean_cor(),
+            kde.mean_inc(),
+            kde.mean_cor() - kde.mean_inc()
+        );
+        results.push(serde_json::json!({
+            "regime": regime,
+            "frames": train.len(),
+            "cgan": { "cor": cgan.mean_cor(), "inc": cgan.mean_inc() },
+            "kde": { "cor": kde.mean_cor(), "inc": kde.mean_inc() },
+        }));
+    }
+
+    println!(
+        "reading: with abundant data the estimators agree; the interesting\n\
+         regime is the starved one, where the CGAN's smoothing either helps\n\
+         (paper's claim) or the direct KDE's fidelity wins — the table above\n\
+         quantifies it for this testbed."
+    );
+    gansec_bench::save_json("baseline_kde", &results);
+}

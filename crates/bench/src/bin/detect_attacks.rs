@@ -1,0 +1,204 @@
+//! Ablation A5: integrity/availability attack detection ROC (§IV-D).
+//!
+//! Trains the CGAN on benign executions, then scores attacked executions
+//! where the cyber domain still claims the benign G/M-code: axis swap and
+//! geometry scaling (integrity), axis stall and feed slowdown
+//! (availability). Reports AUC, recall and false-positive rate at the
+//! calibrated 5%-false-alarm threshold, per attack.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gansec::{AttackDetector, SideChannelDataset};
+use gansec_amsim::{
+    calibration_pattern, AttackInjector, AttackKind, Axis, ConditionEncoding, GCodeProgram,
+    MotorSet, PrinterSim,
+};
+use gansec_bench::{CaseStudy, Scale, FRAME_LEN, HOP};
+use gansec_dsp::{FeatureExtractor, FeatureMatrix, ScalingKind};
+use gansec_tensor::Matrix;
+
+fn attacked_frames(
+    sim: &PrinterSim,
+    benign: &GCodeProgram,
+    kind: AttackKind,
+    reference: &SideChannelDataset,
+    scale: Scale,
+    rng: &mut StdRng,
+) -> (Matrix, Matrix, Vec<bool>) {
+    let attack = AttackInjector::new().inject(benign, kind);
+    let trace = sim.run(&attack.tampered, rng);
+    let benign_plan = sim.kinematics().plan(benign);
+    let extractor = FeatureExtractor::new(scale.bins(), FRAME_LEN, HOP, ScalingKind::None);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut conds: Vec<Vec<f64>> = Vec::new();
+    let mut tampered_frame: Vec<bool> = Vec::new();
+    for (i, rec) in trace.segments.iter().enumerate() {
+        let claimed = benign_plan
+            .iter()
+            .find(|s| s.command_index == rec.segment.command_index)
+            .map(MotorSet::from_segment)
+            .unwrap_or(rec.motors);
+        let Some(cond) = ConditionEncoding::Simple3.encode(claimed) else {
+            continue;
+        };
+        let affected = attack
+            .affected_commands
+            .contains(&rec.segment.command_index);
+        let fm = extractor.extract(trace.segment_audio(i), trace.sample_rate);
+        for row in fm.rows() {
+            rows.push(row.clone());
+            conds.push(cond.clone());
+            tampered_frame.push(affected);
+        }
+    }
+    // Availability attacks: commands the benign plan expected to actuate
+    // but the attacked execution never produced. A monitor synchronized
+    // to the command stream hears only the noise floor where the motor
+    // should have run — score those windows under the claimed condition.
+    let executed: std::collections::HashSet<usize> = trace
+        .segments
+        .iter()
+        .map(|r| r.segment.command_index)
+        .collect();
+    for seg in &benign_plan {
+        if executed.contains(&seg.command_index) {
+            continue;
+        }
+        let claimed = MotorSet::from_segment(seg);
+        let Some(cond) = ConditionEncoding::Simple3.encode(claimed) else {
+            continue;
+        };
+        let n = (seg.duration_s * trace.sample_rate) as usize;
+        let mut silence = vec![0.0; n];
+        sim.microphone().capture(&mut silence, rng);
+        let fm = extractor.extract(&silence, trace.sample_rate);
+        for row in fm.rows() {
+            rows.push(row.clone());
+            conds.push(cond.clone());
+            tampered_frame.push(true);
+        }
+    }
+    if rows.is_empty() {
+        return (
+            Matrix::zeros(0, reference.n_features()),
+            Matrix::zeros(0, 3),
+            Vec::new(),
+        );
+    }
+    let mut fm = FeatureMatrix::from_rows(rows);
+    reference.apply_scale(&mut fm);
+    let n = fm.n_rows();
+    let d = fm.n_features();
+    let features = Matrix::from_vec(n, d, fm.into_rows().into_iter().flatten().collect())
+        .expect("rectangular rows");
+    let conds =
+        Matrix::from_vec(n, 3, conds.into_iter().flatten().collect()).expect("rectangular conds");
+    (features, conds, tampered_frame)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== A5: attack detection through the acoustic side-channel ==\n");
+
+    let study = CaseStudy::build(scale, 42);
+    let mut model = study.train_model(5);
+    let mut rng = StdRng::seed_from_u64(55);
+    let top = study.train.top_feature_indices(6);
+    let detector = AttackDetector::fit(
+        &mut model,
+        &study.train,
+        0.2,
+        scale.gsize(),
+        top,
+        0.05,
+        &mut rng,
+    );
+    println!(
+        "alarm threshold {:.5} (5% target false alarms)\n",
+        detector.threshold()
+    );
+
+    let sim = PrinterSim::printrbot_class();
+    let benign_prog = calibration_pattern(scale.moves_per_axis());
+    let attacks: Vec<(&str, AttackKind)> = vec![
+        (
+            "swap X/Y (integrity)",
+            AttackKind::SwapAxes {
+                a: Axis::X,
+                b: Axis::Y,
+            },
+        ),
+        (
+            "swap X/Z (integrity)",
+            AttackKind::SwapAxes {
+                a: Axis::X,
+                b: Axis::Z,
+            },
+        ),
+        (
+            "scale X by 1.8 (integrity)",
+            AttackKind::ScaleAxis {
+                axis: Axis::X,
+                factor: 1.8,
+            },
+        ),
+        (
+            "stall Z (availability)",
+            AttackKind::StallAxis { axis: Axis::Z },
+        ),
+        (
+            "slow feeds to 40% (availability)",
+            AttackKind::SlowFeed { factor: 0.4 },
+        ),
+    ];
+
+    println!(
+        "{:<34}{:>8}{:>9}{:>9}{:>9}{:>9}",
+        "attack", "frames", "AUC", "recall", "prec", "FPR"
+    );
+    let mut results = Vec::new();
+    for (name, kind) in attacks {
+        let (atk_features, atk_conds, atk_labels) =
+            attacked_frames(&sim, &benign_prog, kind, &study.train, scale, &mut rng);
+        if atk_features.rows() == 0 {
+            println!("{name:<34}{:>8}", 0);
+            continue;
+        }
+        let features = study
+            .test
+            .features()
+            .vstack(&atk_features)
+            .expect("same width");
+        let conds = study.test.conds().vstack(&atk_conds).expect("same width");
+        // Frame-level ground truth: only frames whose emission is
+        // actually inconsistent with the claim count as attack frames.
+        let mut labels = vec![false; study.test.len()];
+        labels.extend(atk_labels);
+        let outcome = detector.evaluate(&features, &conds, &labels);
+        println!(
+            "{name:<34}{:>8}{:>9.3}{:>9.3}{:>9.3}{:>9.3}",
+            atk_features.rows(),
+            outcome.auc,
+            outcome.confusion.recall(),
+            outcome.confusion.precision(),
+            outcome.confusion.false_positive_rate()
+        );
+        results.push(serde_json::json!({
+            "attack": name,
+            "frames": atk_features.rows(),
+            "auc": outcome.auc,
+            "recall": outcome.confusion.recall(),
+            "precision": outcome.confusion.precision(),
+            "fpr": outcome.confusion.false_positive_rate(),
+        }));
+    }
+
+    println!(
+        "\nreading: axis swaps and stalls displace spectral energy and are\n\
+         caught; constant-feed geometry scaling preserves per-frame spectra\n\
+         and needs duration-level features — an honest limit of frame-wise\n\
+         likelihood detection."
+    );
+    gansec_bench::save_json("detect_attacks", &results);
+}

@@ -1,0 +1,92 @@
+//! Figure 7: CGAN training dynamics under the paper's growing-data
+//! regime.
+//!
+//! "On the X-axis, the iteration number is increasing. With the
+//! increasing iteration, however, the more signal and energy pair data
+//! are also incorporated. We can observe that initially, G's loss is
+//! high, whereas D's loss is low. However, over more iterations and
+//! data, the G's loss decreases, making it difficult for D to know
+//! whether the data generated is real or fake, and hence increasing the
+//! loss of D."
+//!
+//! Expected shape: G loss trends down, D loss trends up, both toward the
+//! `ln 4 ~ 1.386` / `ln 2 ~ 0.693` equilibrium region.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gansec::SecurityModel;
+use gansec_bench::{sparkline, CaseStudy, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Figure 7: CGAN training losses (scale: {scale:?}) ==\n");
+
+    let study = CaseStudy::build(scale, 42);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut model = SecurityModel::for_dataset(&study.train, &mut rng);
+
+    // Growing-data regime: start with 20% of the pair data, unlock the
+    // rest in equal tranches as iterations proceed.
+    let total_iters = scale.train_iterations();
+    let phases = 5;
+    let iters_per_phase = total_iters / phases;
+    for phase in 1..=phases {
+        let budget = study.train.len() * phase / phases;
+        let visible = study.train.truncated(budget.max(1));
+        model
+            .train(&visible, iters_per_phase, &mut rng)
+            .expect("training is stable at bench scales");
+    }
+
+    let history = model.history();
+    let points = history.downsample(24);
+    println!("{:>9}  {:>8}  {:>8}", "iteration", "D loss", "G loss");
+    for r in &points {
+        println!("{:>9}  {:>8.4}  {:>8.4}", r.iteration, r.d_loss, r.g_loss);
+    }
+
+    let d: Vec<f64> = points.iter().map(|r| r.d_loss).collect();
+    let g: Vec<f64> = points.iter().map(|r| r.g_loss).collect();
+    println!("\n  D loss {}", sparkline(&d));
+    println!("  G loss {}", sparkline(&g));
+
+    let early_g: f64 = history.records()[..total_iters / 10]
+        .iter()
+        .map(|r| r.g_loss)
+        .sum::<f64>()
+        / (total_iters / 10) as f64;
+    let late_g = history.final_g_loss(total_iters / 10);
+    let early_d: f64 = history.records()[..total_iters / 10]
+        .iter()
+        .map(|r| r.d_loss)
+        .sum::<f64>()
+        / (total_iters / 10) as f64;
+    let late_d = history.final_d_loss(total_iters / 10);
+    println!("\npaper-shape check:");
+    println!(
+        "  G loss early {early_g:.3} -> late {late_g:.3}  ({})",
+        if late_g < early_g {
+            "falls, as in the paper"
+        } else {
+            "WARNING: did not fall"
+        }
+    );
+    println!(
+        "  D loss early {early_d:.3} -> late {late_d:.3}  ({})",
+        if late_d > early_d {
+            "rises, as in the paper"
+        } else {
+            "WARNING: did not rise"
+        }
+    );
+
+    gansec_bench::save_json(
+        "fig7_training",
+        &serde_json::json!({
+            "records": points,
+            "early_g": early_g, "late_g": late_g,
+            "early_d": early_d, "late_d": late_d,
+        }),
+    );
+}

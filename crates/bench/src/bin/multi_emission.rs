@@ -1,0 +1,85 @@
+//! Extension: leakage from **multiple physical emissions** — the exact
+//! framing of the paper's case-study contribution (§I-C: "analyzing
+//! information leakage from multiple physical emissions in a single
+//! sub-system").
+//!
+//! Two observation points of the printer's energy flows are compared:
+//! the contact microphone (flat transfer), a frame accelerometer
+//! (low-frequency mechanical path), and their fusion. For each, the same
+//! CGAN pipeline is trained and the attacker's reconstruction accuracy
+//! plus Algorithm 3 margins are reported, per condition.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gansec::{
+    EmissionChannel, GCodeEstimator, LikelihoodAnalysis, SecurityModel, SideChannelDataset,
+};
+use gansec_amsim::{calibration_pattern, ConditionEncoding, PrinterSim};
+use gansec_bench::{Scale, FRAME_LEN, HOP};
+use gansec_dsp::AnalysisKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Extension: multiple physical emissions ==\n");
+
+    let sim = PrinterSim::printrbot_class();
+    let mut rng = StdRng::seed_from_u64(42);
+    let trace = sim.run(&calibration_pattern(scale.moves_per_axis()), &mut rng);
+
+    println!(
+        "{:<12}{:>8}{:>10}{:>14}{:>14}{:>14}{:>14}",
+        "channel", "width", "frames", "margin X", "margin Y", "margin Z", "attacker acc"
+    );
+    let mut results = Vec::new();
+    for (name, channel) in [
+        ("acoustic", EmissionChannel::Acoustic),
+        ("vibration", EmissionChannel::Vibration),
+        ("fused", EmissionChannel::Fused),
+    ] {
+        let dataset = SideChannelDataset::from_trace_channel(
+            &trace,
+            scale.bins(),
+            FRAME_LEN,
+            HOP,
+            ConditionEncoding::Simple3,
+            AnalysisKind::Cwt,
+            channel,
+        )
+        .expect("calibration frames");
+        let (train, test) = dataset.split_even_odd();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut model = SecurityModel::for_dataset(&train, &mut rng);
+        model
+            .train(&train, scale.train_iterations(), &mut rng)
+            .expect("training stable");
+        let features = train.per_condition_top_features(2);
+        let report = LikelihoodAnalysis::new(0.2, scale.gsize(), features.clone())
+            .analyze(&mut model, &test, &mut rng);
+        let margins: Vec<f64> = report.conditions.iter().map(|c| c.margin()).collect();
+        let estimator = GCodeEstimator::fit(&mut model, 0.2, scale.gsize(), features, &mut rng);
+        let acc = estimator.evaluate(&test).accuracy();
+        println!(
+            "{name:<12}{:>8}{:>10}{:>14.4}{:>14.4}{:>14.4}{acc:>14.3}",
+            dataset.n_features(),
+            dataset.len(),
+            margins[0],
+            margins[1],
+            margins[2],
+        );
+        results.push(serde_json::json!({
+            "channel": name,
+            "width": dataset.n_features(),
+            "margins": margins,
+            "attacker_accuracy": acc,
+        }));
+    }
+
+    println!(
+        "\nreading: the vibration path attenuates the high band, dulling Z's\n\
+         signature, yet still leaks; fusing both observation points gives\n\
+         the attacker the union of the evidence. Securing one emission is\n\
+         not securing the system — the multi-flow premise of Figure 1."
+    );
+    gansec_bench::save_json("multi_emission", &results);
+}

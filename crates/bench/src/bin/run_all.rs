@@ -1,0 +1,72 @@
+//! Runs every figure/table/ablation experiment in sequence by spawning
+//! the sibling binaries, so one command regenerates the full
+//! `EXPERIMENTS.md` evidence set (and `bench_results/*.json`).
+//!
+//! ```sh
+//! cargo run --release -p gansec-bench --bin run_all
+//! GANSEC_SCALE=paper cargo run --release -p gansec-bench --bin run_all
+//! ```
+
+use std::process::Command;
+use std::time::Instant;
+
+const EXPERIMENTS: [&str; 14] = [
+    "fig6_graph",
+    "fig7_training",
+    "fig8_cond_density",
+    "fig9_likelihood_iters",
+    "table1_likelihoods",
+    "ablation_encoding",
+    "ablation_genloss",
+    "ablation_databudget",
+    "baseline_kde",
+    "detect_attacks",
+    "attack_reconstruction",
+    "whatif_damping",
+    "ablation_features",
+    "multi_emission",
+];
+
+fn main() {
+    // Sibling binaries live next to this one.
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+
+    let mut failures = Vec::new();
+    let total_start = Instant::now();
+    for (i, name) in EXPERIMENTS.iter().enumerate() {
+        let path = bin_dir.join(name);
+        println!("\n=== [{}/{}] {name} ===", i + 1, EXPERIMENTS.len());
+        let start = Instant::now();
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {
+                println!("--- {name} ok in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            Ok(s) => {
+                eprintln!("--- {name} FAILED with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!(
+                    "--- {name} could not start ({e}); build all bins first:\n    cargo build --release -p gansec-bench --bins"
+                );
+                failures.push(*name);
+            }
+        }
+    }
+    println!(
+        "\n{} experiments in {:.1}s; {} failed{}",
+        EXPERIMENTS.len(),
+        total_start.elapsed().as_secs_f64(),
+        failures.len(),
+        if failures.is_empty() {
+            String::new()
+        } else {
+            format!(": {failures:?}")
+        }
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

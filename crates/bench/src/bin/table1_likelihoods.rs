@@ -1,0 +1,182 @@
+//! Table I: average correct (Cor) and incorrect (Inc) likelihood of the
+//! acoustic energy flow given each condition, for Parzen widths
+//! `h in {0.2, 0.4, 0.6, 0.8, 1.0}`, on a single frequency feature.
+//!
+//! Shape criteria from the paper (absolute values depend on the
+//! simulated testbed):
+//! * Cor > Inc for every condition at every `h`;
+//! * the Cor-Inc gap narrows as `h` grows (wider kernels blur the
+//!   conditional structure);
+//! * `Cond3` (Z motor) attains the highest correct likelihood; `Cond2`
+//!   (Y) the lowest.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gansec::{LikelihoodAnalysis, TableOneRow};
+use gansec_amsim::ConditionEncoding;
+use gansec_bench::{CaseStudy, Scale};
+
+const H_VALUES: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// The paper's published Table I, for side-by-side comparison.
+const PAPER: [(&str, [(f64, f64); 5]); 3] = [
+    (
+        "Cond1",
+        [
+            (0.6000, 0.2245),
+            (0.6000, 0.3247),
+            (0.6069, 0.3634),
+            (0.6293, 0.3783),
+            (0.6437, 0.3856),
+        ],
+    ),
+    (
+        "Cond2",
+        [
+            (0.5750, 0.3887),
+            (0.5750, 0.3961),
+            (0.5750, 0.3974),
+            (0.5750, 0.3982),
+            (0.5532, 0.3978),
+        ],
+    ),
+    (
+        "Cond3",
+        [
+            (0.6556, 0.3876),
+            (0.6556, 0.3956),
+            (0.6556, 0.3979),
+            (0.6601, 0.3983),
+            (0.6556, 0.3985),
+        ],
+    ),
+];
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Table I: Cor/Inc likelihoods over Parzen widths (scale: {scale:?}) ==\n");
+
+    // The ceiling-saturated Cor values make single-run orderings a coin
+    // flip at the fourth decimal; averaging a few independently seeded
+    // runs (train + analyze) gives the stable ordering the paper reports.
+    const SEEDS: [u64; 5] = [1, 2, 3, 5, 8];
+    let study = CaseStudy::build(scale, 42);
+
+    // "a single feature in the frequency domain": the paper picks an
+    // informative bin per analysis. We take each condition's two most
+    // variant bins (union), so every motor's signature band contributes.
+    let top = study.train.per_condition_top_features(2);
+    println!(
+        "features analyzed: bins {:?} (centers {:?} Hz); {} seeds averaged\n",
+        top,
+        top.iter()
+            .map(|&i| study.train.bins().centers()[i].round())
+            .collect::<Vec<_>>(),
+        SEEDS.len()
+    );
+
+    // acc[ci][hi] = (sum_cor, sum_inc)
+    let mut acc = vec![vec![(0.0f64, 0.0f64); H_VALUES.len()]; 3];
+    let mut motors = [None; 3];
+    for &seed in &SEEDS {
+        let mut model = study.train_model(seed);
+        let mut rng = StdRng::seed_from_u64(seed * 31 + 11);
+        for (hi, &h) in H_VALUES.iter().enumerate() {
+            let report = LikelihoodAnalysis::new(h, scale.gsize(), top.clone()).analyze(
+                &mut model,
+                &study.test,
+                &mut rng,
+            );
+            for c in &report.conditions {
+                motors[c.condition_index] = c.motor;
+                acc[c.condition_index][hi].0 += c.mean_cor();
+                acc[c.condition_index][hi].1 += c.mean_inc();
+            }
+        }
+    }
+    let n = SEEDS.len() as f64;
+    let rows: Vec<TableOneRow> = (0..3)
+        .map(|ci| TableOneRow {
+            condition_index: ci,
+            motor: motors[ci],
+            cells: H_VALUES
+                .iter()
+                .enumerate()
+                .map(|(hi, &h)| (h, acc[ci][hi].0 / n, acc[ci][hi].1 / n))
+                .collect(),
+        })
+        .collect();
+
+    println!("measured:");
+    println!("{}", TableOneRow::format_table(&rows));
+
+    println!("paper (for shape comparison):");
+    let paper_rows: Vec<TableOneRow> = PAPER
+        .iter()
+        .enumerate()
+        .map(|(ci, (_, cells))| TableOneRow {
+            condition_index: ci,
+            motor: ConditionEncoding::Simple3
+                .decode(&ConditionEncoding::Simple3.all_conditions()[ci]),
+            cells: H_VALUES
+                .iter()
+                .zip(cells.iter())
+                .map(|(&h, &(cor, inc))| (h, cor, inc))
+                .collect(),
+        })
+        .collect();
+    println!("{}", TableOneRow::format_table(&paper_rows));
+
+    // Shape checks.
+    println!("shape checks:");
+    let mut all_cor_beat_inc = true;
+    for row in &rows {
+        for &(_, cor, inc) in &row.cells {
+            if cor <= inc {
+                all_cor_beat_inc = false;
+            }
+        }
+    }
+    println!(
+        "  Cor > Inc for every condition and h : {}",
+        if all_cor_beat_inc {
+            "yes (matches paper)"
+        } else {
+            "NO"
+        }
+    );
+    let gap = |row: &TableOneRow, k: usize| row.cells[k].1 - row.cells[k].2;
+    let gaps_narrow = rows
+        .iter()
+        .all(|r| gap(r, 0) >= gap(r, H_VALUES.len() - 1) - 1e-9);
+    println!(
+        "  Cor-Inc gap narrows as h grows      : {}",
+        if gaps_narrow {
+            "yes (matches paper)"
+        } else {
+            "NO"
+        }
+    );
+    let mean_cor =
+        |r: &TableOneRow| r.cells.iter().map(|c| c.1).sum::<f64>() / r.cells.len() as f64;
+    let (c1, c2, c3) = (mean_cor(&rows[0]), mean_cor(&rows[1]), mean_cor(&rows[2]));
+    println!(
+        "  Cond3 highest Cor ({c3:.4} vs {c1:.4}/{c2:.4}) : {}",
+        if c3 >= c1 && c3 >= c2 {
+            "yes (matches paper)"
+        } else {
+            "NO (feature-choice dependent)"
+        }
+    );
+    println!(
+        "  Cond2 lowest Cor                     : {}",
+        if c2 <= c1 && c2 <= c3 {
+            "yes (matches paper)"
+        } else {
+            "NO (feature-choice dependent)"
+        }
+    );
+
+    gansec_bench::save_json("table1_likelihoods", &rows);
+}

@@ -1,0 +1,210 @@
+//! Experiment harness shared by the figure/table reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the index); this library holds the common
+//! setup — simulate the case-study workload, build the side-channel
+//! dataset, train the flow-pair CGAN — and small printing/serialization
+//! helpers so the binaries stay declarative.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use gansec::{SecurityModel, SideChannelDataset};
+use gansec_amsim::{calibration_pattern, ConditionEncoding, PrinterSim, SimulationTrace};
+use gansec_dsp::FrequencyBins;
+
+/// Analysis frame length used across experiments (samples).
+pub const FRAME_LEN: usize = 1024;
+/// Frame hop used across experiments (samples).
+pub const HOP: usize = 512;
+
+/// Experiment sizing, overridable from the environment:
+/// `GANSEC_SCALE=paper` selects the full 100-bin configuration, anything
+/// else (or unset) the fast CI-friendly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 48 bins, 6 moves/axis, 800 iterations — minutes on a laptop.
+    Fast,
+    /// The paper's 100 bins, 10 moves/axis, 2000 iterations.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `GANSEC_SCALE` from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("GANSEC_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Fast,
+        }
+    }
+
+    /// Number of frequency bins.
+    pub fn n_bins(self) -> usize {
+        match self {
+            Scale::Fast => 48,
+            Scale::Paper => 100,
+        }
+    }
+
+    /// Calibration moves per axis.
+    pub fn moves_per_axis(self) -> usize {
+        match self {
+            Scale::Fast => 6,
+            Scale::Paper => 10,
+        }
+    }
+
+    /// Algorithm 2 iterations.
+    pub fn train_iterations(self) -> usize {
+        match self {
+            Scale::Fast => 800,
+            Scale::Paper => 2000,
+        }
+    }
+
+    /// Generated samples per condition in Algorithm 3.
+    pub fn gsize(self) -> usize {
+        match self {
+            Scale::Fast => 300,
+            Scale::Paper => 500,
+        }
+    }
+
+    /// The frequency binning.
+    pub fn bins(self) -> FrequencyBins {
+        FrequencyBins::log_spaced(self.n_bins(), 50.0, 5000.0)
+    }
+}
+
+/// The common experiment setup: simulated trace, train/test datasets.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// The captured trace.
+    pub trace: SimulationTrace,
+    /// Training frames.
+    pub train: SideChannelDataset,
+    /// Held-out frames for Algorithm 3.
+    pub test: SideChannelDataset,
+    /// The scale the study was built at.
+    pub scale: Scale,
+}
+
+impl CaseStudy {
+    /// Simulates the calibration workload and builds the datasets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is too short to frame (cannot happen at
+    /// the provided scales).
+    pub fn build(scale: Scale, seed: u64) -> Self {
+        Self::build_with_encoding(scale, seed, ConditionEncoding::Simple3)
+    }
+
+    /// Like [`CaseStudy::build`] with an explicit condition encoding.
+    ///
+    /// # Panics
+    ///
+    /// See [`CaseStudy::build`].
+    pub fn build_with_encoding(scale: Scale, seed: u64, encoding: ConditionEncoding) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sim = PrinterSim::printrbot_class();
+        let trace = sim.run(&calibration_pattern(scale.moves_per_axis()), &mut rng);
+        let dataset =
+            SideChannelDataset::from_trace(&trace, scale.bins(), FRAME_LEN, HOP, encoding)
+                .expect("calibration workload always frames");
+        let (train, test) = dataset.split_even_odd();
+        Self {
+            trace,
+            train,
+            test,
+            scale,
+        }
+    }
+
+    /// Trains a fresh CGAN on the training split for the study's scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if training diverges (stable at the provided scales).
+    pub fn train_model(&self, seed: u64) -> SecurityModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = SecurityModel::for_dataset(&self.train, &mut rng);
+        model
+            .train(&self.train, self.scale.train_iterations(), &mut rng)
+            .expect("training is stable at bench scales");
+        model
+    }
+}
+
+/// Writes `value` as pretty JSON under `bench_results/<name>.json`
+/// (creating the directory), so every figure/table also exists in
+/// machine-readable form. Errors are printed, not fatal — the textual
+/// output on stdout is the primary artifact.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("bench_results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("(saved {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Renders a fixed-width ASCII sparkline of `values` (for loss curves in
+/// terminal output).
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| {
+            let t = ((v - lo) / span * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[t.min(GLYPHS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_case_study_builds() {
+        let cs = CaseStudy::build(Scale::Fast, 1);
+        assert!(cs.train.len() > 50);
+        assert!(cs.test.len() > 50);
+        assert_eq!(cs.train.n_features(), 48);
+    }
+
+    #[test]
+    fn sparkline_renders() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn scale_env_default_is_fast() {
+        assert_eq!(Scale::from_env(), Scale::Fast);
+    }
+}

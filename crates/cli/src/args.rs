@@ -1,0 +1,163 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Argument-parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` had no following value.
+    MissingValue(String),
+    /// A positional argument appeared where none is accepted.
+    UnexpectedPositional(String),
+    /// A flag value failed to parse as the requested type.
+    InvalidValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value supplied.
+        value: String,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            ArgError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument {arg:?}")
+            }
+            ArgError::InvalidValue { flag, value } => {
+                write!(f, "invalid value {value:?} for {flag}")
+            }
+        }
+    }
+}
+
+impl Error for ArgError {}
+
+/// Parsed `--flag value` pairs plus the `-h`/`--help` marker.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    flags: HashMap<String, String>,
+    help: bool,
+}
+
+impl ParsedArgs {
+    /// Parses everything after the command word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for dangling flags or stray positionals.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut flags = HashMap::new();
+        let mut help = false;
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if arg == "-h" || arg == "--help" {
+                help = true;
+                continue;
+            }
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(arg.clone()))?;
+                flags.insert(name.to_string(), value);
+            } else {
+                return Err(ArgError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(Self { flags, help })
+    }
+
+    /// Whether `-h`/`--help` was given.
+    pub fn wants_help(&self) -> bool {
+        self.help
+    }
+
+    /// A string flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::MissingValue`] when absent.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name)
+            .ok_or_else(|| ArgError::MissingValue(format!("--{name}")))
+    }
+
+    /// A parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::InvalidValue`] if present but unparsable.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::InvalidValue {
+                flag: format!("--{name}"),
+                value: raw.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let a = parse(&["--gcode", "part.gcode", "--seed", "7"]).unwrap();
+        assert_eq!(a.get("gcode"), Some("part.gcode"));
+        assert_eq!(a.get_parsed::<u64>("seed", 42).unwrap(), 7);
+        assert_eq!(a.get_parsed::<u64>("iters", 600).unwrap(), 600);
+        assert!(!a.wants_help());
+    }
+
+    #[test]
+    fn help_markers() {
+        assert!(parse(&["-h"]).unwrap().wants_help());
+        assert!(parse(&["--help"]).unwrap().wants_help());
+    }
+
+    #[test]
+    fn dangling_flag_is_error() {
+        assert_eq!(
+            parse(&["--gcode"]),
+            Err(ArgError::MissingValue("--gcode".into()))
+        );
+    }
+
+    #[test]
+    fn positional_is_error() {
+        assert!(matches!(
+            parse(&["stray"]),
+            Err(ArgError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let a = parse(&[]).unwrap();
+        let err = a.require("benign").unwrap_err();
+        assert!(err.to_string().contains("--benign"));
+    }
+
+    #[test]
+    fn invalid_numeric_value() {
+        let a = parse(&["--seed", "abc"]).unwrap();
+        assert!(matches!(
+            a.get_parsed::<u64>("seed", 0),
+            Err(ArgError::InvalidValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,66 @@
+//! Library backing the `gansec` command-line tool.
+//!
+//! The CLI wraps the GAN-Sec pipeline for practitioners: point it at a
+//! G-code file and get graph exports, simulated side-channel summaries,
+//! confidentiality audits, tamper checks, and attacker simulations —
+//! without writing any Rust. All heavy lifting lives in the workspace
+//! crates; this crate owns argument parsing and human-readable output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+pub mod commands;
+
+pub use args::{ArgError, ParsedArgs};
+
+/// Exit codes used by the binary: 0 success, 1 usage error, 2 analysis
+/// found a problem (e.g. tampering detected), 3 runtime failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitCode {
+    /// Clean completion.
+    Ok,
+    /// Bad usage (unknown command, malformed flags).
+    Usage,
+    /// Analysis completed and flagged a security problem.
+    Flagged,
+    /// A runtime failure (I/O, parse error, diverged training).
+    Failure,
+}
+
+impl ExitCode {
+    /// The process exit status.
+    pub fn status(self) -> i32 {
+        match self {
+            ExitCode::Ok => 0,
+            ExitCode::Usage => 1,
+            ExitCode::Flagged => 2,
+            ExitCode::Failure => 3,
+        }
+    }
+}
+
+/// Top-level usage text.
+pub fn usage() -> &'static str {
+    "gansec — GAN-Sec security analysis for additive manufacturing
+
+USAGE:
+    gansec <command> [flags]
+
+COMMANDS:
+    graph                         print the printer's G_CPPS as Graphviz DOT
+    simulate  --gcode <file>      run a program and summarize the emission trace
+    audit     [--gcode <file>]    train the CGAN and report per-motor leakage
+    detect    --benign <file> --suspect <file>
+                                  check a suspect program's emission against
+                                  the benign program's claims
+    reconstruct [--gcode <file>]  simulate an eavesdropper recovering commands
+
+COMMON FLAGS:
+    --seed <u64>       RNG seed (default 42)
+    --iters <n>        CGAN training iterations (default 600)
+    --bins <n>         frequency bins (default 48)
+    --moves <n>        calibration moves per axis for training (default 5)
+    -h, --help         this text
+"
+}

@@ -1,0 +1,49 @@
+//! The `gansec` command-line entry point.
+
+use gansec_cli::{commands, usage, ExitCode, ParsedArgs};
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprint!("{}", usage());
+        std::process::exit(ExitCode::Usage.status());
+    };
+    if command == "-h" || command == "--help" || command == "help" {
+        print!("{}", usage());
+        std::process::exit(ExitCode::Ok.status());
+    }
+
+    let args = match ParsedArgs::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", usage());
+            std::process::exit(ExitCode::Usage.status());
+        }
+    };
+    if args.wants_help() {
+        print!("{}", usage());
+        std::process::exit(ExitCode::Ok.status());
+    }
+
+    let result = match command.as_str() {
+        "graph" => commands::graph(&args),
+        "simulate" => commands::simulate(&args),
+        "audit" => commands::audit(&args),
+        "detect" => commands::detect(&args),
+        "reconstruct" => commands::reconstruct(&args),
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            eprint!("{}", usage());
+            std::process::exit(ExitCode::Usage.status());
+        }
+    };
+
+    match result {
+        Ok(code) => std::process::exit(code.status()),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(ExitCode::Failure.status());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end tests of the `gansec` binary via `std::process`.
+
+use std::io::Write;
+use std::process::Command;
+
+fn gansec() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gansec"))
+}
+
+fn write_gcode(name: &str, source: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("gansec_cli_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create gcode");
+    f.write_all(source.as_bytes()).expect("write gcode");
+    path
+}
+
+const BENIGN: &str = "G90\nG1 F1200 X20\nG1 X0\nG1 Y20\nG1 Y0\nG1 F120 Z2\nG1 Z0\n";
+const SWAPPED: &str = "G90\nG1 F1200 Y20\nG1 Y0\nG1 X20\nG1 X0\nG1 F120 Z2\nG1 Z0\n";
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = gansec().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("audit"));
+}
+
+#[test]
+fn no_args_is_usage_error() {
+    let out = gansec().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn unknown_command_is_usage_error() {
+    let out = gansec().arg("frobnicate").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn graph_emits_dot() {
+    let out = gansec().arg("graph").output().expect("spawn");
+    assert!(out.status.success());
+    let dot = String::from_utf8_lossy(&out.stdout);
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("P9 environment"));
+}
+
+#[test]
+fn simulate_summarizes_trace() {
+    let path = write_gcode("sim.gcode", BENIGN);
+    let out = gansec()
+        .args(["simulate", "--gcode"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("6 motion segments"));
+    assert!(text.contains('Z'));
+}
+
+#[test]
+fn simulate_missing_file_fails_cleanly() {
+    let out = gansec()
+        .args(["simulate", "--gcode", "/nonexistent/nowhere.gcode"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn detect_flags_swapped_axes_but_passes_benign() {
+    let benign = write_gcode("benign.gcode", BENIGN);
+    let swapped = write_gcode("swapped.gcode", SWAPPED);
+    // Small budget to keep the test fast; the swap is blatant.
+    let out = gansec()
+        .args(["detect", "--iters", "300", "--moves", "3", "--benign"])
+        .arg(&benign)
+        .arg("--suspect")
+        .arg(&swapped)
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = gansec()
+        .args(["detect", "--iters", "300", "--moves", "3", "--benign"])
+        .arg(&benign)
+        .arg("--suspect")
+        .arg(&benign)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn reconstruct_recovers_commands_and_flags_leak() {
+    let path = write_gcode("reco.gcode", BENIGN);
+    let out = gansec()
+        .args(["reconstruct", "--iters", "300", "--moves", "3", "--gcode"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "leak should be flagged");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recovered"));
+}
+
+#[test]
+fn bad_flag_value_is_usage_failure() {
+    let out = gansec()
+        .args(["audit", "--iters", "not-a-number"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(3));
+}

@@ -1,0 +1,361 @@
+//! Algorithm 3: Parzen-window likelihood security analysis.
+//!
+//! For every condition label `C_i` and every selected frequency feature,
+//! the analysis generates `GSize` samples from `G(Z|C_i)`, fits a Parzen
+//! Gaussian window of width `h` to the generated feature column, scores
+//! every held-out test frame (`Like = exp(score) * h`), and accumulates
+//! the likelihood into *correct* (test label == `C_i`) or *incorrect*
+//! buckets. High `AvgCorLike` with low `AvgIncLike` means the emission
+//! leaks the condition — a confidentiality exposure and, dually, a usable
+//! integrity/availability detection channel.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gansec_amsim::MotorSet;
+use gansec_stats::ParzenWindow;
+
+use crate::{SecurityModel, SideChannelDataset};
+
+/// Configuration of one Algorithm 3 run.
+///
+/// # Example
+///
+/// ```
+/// use gansec::LikelihoodAnalysis;
+///
+/// // The paper's Figure 8 setting: h = 0.2, one feature, 500 samples.
+/// let analysis = LikelihoodAnalysis::paper_default(0);
+/// assert_eq!(analysis.h, 0.2);
+/// assert_eq!(analysis.feature_indices, vec![0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LikelihoodAnalysis {
+    /// Parzen window width `h`.
+    pub h: f64,
+    /// Generated samples per condition (`GSize`).
+    pub gsize: usize,
+    /// Frequency feature indices to analyze (`FtIndices`).
+    pub feature_indices: Vec<usize>,
+}
+
+impl LikelihoodAnalysis {
+    /// Creates an analysis configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h <= 0`, `gsize == 0` or `feature_indices` is empty.
+    pub fn new(h: f64, gsize: usize, feature_indices: Vec<usize>) -> Self {
+        assert!(h > 0.0 && h.is_finite(), "h must be positive");
+        assert!(gsize > 0, "gsize must be positive");
+        assert!(
+            !feature_indices.is_empty(),
+            "need at least one feature index"
+        );
+        Self {
+            h,
+            gsize,
+            feature_indices,
+        }
+    }
+
+    /// The paper's Figure 8 configuration: `h = 0.2`, a single top
+    /// feature, 500 generated samples.
+    pub fn paper_default(feature_index: usize) -> Self {
+        Self::new(0.2, 500, vec![feature_index])
+    }
+
+    /// Runs Algorithm 3 for all conditions of the model's encoding
+    /// against `test`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a feature index is out of range for the dataset or if
+    /// sample generation fails (condition width is guaranteed by the
+    /// shared encoding).
+    pub fn analyze(
+        &self,
+        model: &mut SecurityModel,
+        test: &SideChannelDataset,
+        rng: &mut impl Rng,
+    ) -> LikelihoodReport {
+        let encoding = model.encoding();
+        assert_eq!(
+            encoding,
+            test.encoding(),
+            "model and test dataset must share an encoding"
+        );
+        for &ft in &self.feature_indices {
+            assert!(
+                ft < test.n_features(),
+                "feature index {ft} out of range ({})",
+                test.n_features()
+            );
+        }
+        let mut conditions = Vec::new();
+        for (ci, cond) in encoding.all_conditions().into_iter().enumerate() {
+            let motor = encoding.decode(&cond);
+            // Line 6: X_G = generated GSize samples from G(Z|C_i).
+            let generated = model
+                .generate_for_condition(&cond, self.gsize, rng)
+                .expect("condition width fixed by encoding");
+            let mut avg_cor = Vec::with_capacity(self.feature_indices.len());
+            let mut avg_inc = Vec::with_capacity(self.feature_indices.len());
+            for &ft in &self.feature_indices {
+                // Line 8: FtDistr = ParzenGaussianWindow(X_G^{FtIdx}, h).
+                let column = generated.col(ft);
+                let kde = ParzenWindow::fit(&column, self.h)
+                    .expect("generated column is nonempty and finite");
+                let mut cor = 0.0;
+                let mut cor_n = 0usize;
+                let mut inc = 0.0;
+                let mut inc_n = 0usize;
+                // Lines 7-14: score each test sample.
+                for l in 0..test.len() {
+                    let x = test.features()[(l, ft)];
+                    let like = kde.windowed_likelihood(x);
+                    let label = test.conds().row(l);
+                    let is_correct = label.iter().zip(&cond).all(|(&a, &b)| (a - b).abs() < 1e-9);
+                    if is_correct {
+                        cor += like;
+                        cor_n += 1;
+                    } else {
+                        inc += like;
+                        inc_n += 1;
+                    }
+                }
+                // Lines 15-16: average per bucket.
+                avg_cor.push(if cor_n > 0 { cor / cor_n as f64 } else { 0.0 });
+                avg_inc.push(if inc_n > 0 { inc / inc_n as f64 } else { 0.0 });
+            }
+            conditions.push(ConditionLikelihood {
+                condition_index: ci,
+                condition: cond,
+                motor,
+                avg_cor,
+                avg_inc,
+            });
+        }
+        LikelihoodReport {
+            h: self.h,
+            feature_indices: self.feature_indices.clone(),
+            conditions,
+        }
+    }
+
+    /// The paper's Figure 9: trains `model` in `checkpoints` chunks of
+    /// `iters_per_checkpoint`, running the analysis after each chunk, and
+    /// returns `(iterations_so_far, report)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures from [`SecurityModel::train`].
+    pub fn trajectory(
+        &self,
+        model: &mut SecurityModel,
+        train: &SideChannelDataset,
+        test: &SideChannelDataset,
+        checkpoints: usize,
+        iters_per_checkpoint: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<(usize, LikelihoodReport)>, crate::ModelError> {
+        let mut out = Vec::with_capacity(checkpoints);
+        for _ in 0..checkpoints {
+            model.train(train, iters_per_checkpoint, rng)?;
+            let report = self.analyze(model, test, rng);
+            out.push((model.cgan().iterations_trained(), report));
+        }
+        Ok(out)
+    }
+}
+
+/// Algorithm 3 output for one condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConditionLikelihood {
+    /// Index within the encoding's condition list (`Cond1` = 0, ...).
+    pub condition_index: usize,
+    /// The one-hot condition vector.
+    pub condition: Vec<f64>,
+    /// Decoded motor set, if the vector is a valid one-hot.
+    pub motor: Option<MotorSet>,
+    /// `AvgCorLike` per analyzed feature.
+    pub avg_cor: Vec<f64>,
+    /// `AvgIncLike` per analyzed feature.
+    pub avg_inc: Vec<f64>,
+}
+
+impl ConditionLikelihood {
+    /// Mean correct likelihood across analyzed features.
+    pub fn mean_cor(&self) -> f64 {
+        mean(&self.avg_cor)
+    }
+
+    /// Mean incorrect likelihood across analyzed features.
+    pub fn mean_inc(&self) -> f64 {
+        mean(&self.avg_inc)
+    }
+
+    /// The leakage margin `AvgCorLike - AvgIncLike` (mean over features);
+    /// positive when the model has learned the true conditional
+    /// relationship.
+    pub fn margin(&self) -> f64 {
+        self.mean_cor() - self.mean_inc()
+    }
+}
+
+/// Full Algorithm 3 output: the matrices `AvgCorLike`, `AvgIncLike`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LikelihoodReport {
+    /// The Parzen width used.
+    pub h: f64,
+    /// The analyzed feature indices.
+    pub feature_indices: Vec<usize>,
+    /// Per-condition results, in encoding order.
+    pub conditions: Vec<ConditionLikelihood>,
+}
+
+impl LikelihoodReport {
+    /// The condition with the largest leakage margin — the one an
+    /// attacker can estimate best (paper: `Cond3`, the Z motor).
+    pub fn most_identifiable(&self) -> Option<&ConditionLikelihood> {
+        self.conditions
+            .iter()
+            .max_by(|a, b| a.margin().total_cmp(&b.margin()))
+    }
+
+    /// Mean of `AvgCorLike` over all conditions and features.
+    pub fn mean_cor(&self) -> f64 {
+        mean(
+            &self
+                .conditions
+                .iter()
+                .map(ConditionLikelihood::mean_cor)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Mean of `AvgIncLike` over all conditions and features.
+    pub fn mean_inc(&self) -> f64 {
+        mean(
+            &self
+                .conditions
+                .iter()
+                .map(ConditionLikelihood::mean_inc)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gansec_amsim::{calibration_pattern, ConditionEncoding, PrinterSim};
+    use gansec_dsp::FrequencyBins;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(seed: u64) -> SideChannelDataset {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sim.run(&calibration_pattern(3), &mut rng);
+        SideChannelDataset::from_trace(
+            &trace,
+            FrequencyBins::log_spaced(16, 50.0, 5000.0),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn report_structure_matches_config() {
+        let ds = dataset(1);
+        let (train, test) = ds.split_even_odd();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = SecurityModel::for_dataset(&train, &mut rng);
+        model.train(&train, 30, &mut rng).unwrap();
+        let analysis = LikelihoodAnalysis::new(0.2, 50, vec![0, 5]);
+        let report = analysis.analyze(&mut model, &test, &mut rng);
+        assert_eq!(report.conditions.len(), 3);
+        for c in &report.conditions {
+            assert_eq!(c.avg_cor.len(), 2);
+            assert_eq!(c.avg_inc.len(), 2);
+            assert!(c.avg_cor.iter().all(|v| v.is_finite() && *v >= 0.0));
+            assert!(c.motor.is_some());
+        }
+        assert_eq!(report.h, 0.2);
+    }
+
+    #[test]
+    fn trained_model_beats_incorrect_likelihood() {
+        // The central claim of the paper: after training, AvgCorLike
+        // exceeds AvgIncLike on average — the emission leaks the motor.
+        let ds = dataset(3);
+        let (train, test) = ds.split_even_odd();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = SecurityModel::for_dataset(&train, &mut rng);
+        model.train(&train, 600, &mut rng).unwrap();
+        let top = train.top_feature_indices(1);
+        let analysis = LikelihoodAnalysis::new(0.2, 200, top);
+        let report = analysis.analyze(&mut model, &test, &mut rng);
+        assert!(
+            report.mean_cor() > report.mean_inc(),
+            "cor {} should beat inc {}",
+            report.mean_cor(),
+            report.mean_inc()
+        );
+    }
+
+    #[test]
+    fn trajectory_accumulates_iterations() {
+        let ds = dataset(5);
+        let (train, test) = ds.split_even_odd();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut model = SecurityModel::for_dataset(&train, &mut rng);
+        let analysis = LikelihoodAnalysis::new(0.2, 30, vec![0]);
+        let traj = analysis
+            .trajectory(&mut model, &train, &test, 3, 20, &mut rng)
+            .unwrap();
+        assert_eq!(traj.len(), 3);
+        assert_eq!(traj[0].0, 20);
+        assert_eq!(traj[2].0, 60);
+    }
+
+    #[test]
+    fn most_identifiable_is_max_margin() {
+        let ds = dataset(7);
+        let (train, test) = ds.split_even_odd();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut model = SecurityModel::for_dataset(&train, &mut rng);
+        model.train(&train, 50, &mut rng).unwrap();
+        let report = LikelihoodAnalysis::new(0.2, 50, vec![0]).analyze(&mut model, &test, &mut rng);
+        let best = report.most_identifiable().unwrap();
+        for c in &report.conditions {
+            assert!(best.margin() >= c.margin());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature index")]
+    fn out_of_range_feature_panics() {
+        let ds = dataset(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
+        let _ = LikelihoodAnalysis::new(0.2, 10, vec![999]).analyze(&mut model, &ds, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "h must be positive")]
+    fn zero_h_rejected() {
+        let _ = LikelihoodAnalysis::new(0.0, 10, vec![0]);
+    }
+}

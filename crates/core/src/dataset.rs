@@ -1,0 +1,578 @@
+//! Side-channel dataset construction: trace → labeled feature rows.
+//!
+//! Implements the paper's experimental data path (§IV-B): per executed
+//! G/M-code segment, the acoustic emission is wavelet-transformed into
+//! non-uniform frequency bins; magnitudes are scaled into `[0, 1]`
+//! *globally* (one min/max for the whole dataset, so relative magnitudes
+//! across conditions survive); each frame is labeled with the one-hot
+//! encoding of the motors the command ran.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use gansec_amsim::{ConditionEncoding, MotorSet, SimulationTrace};
+use gansec_dsp::{AnalysisKind, FeatureExtractor, FeatureMatrix, FrequencyBins, ScalingKind};
+use gansec_gan::PairedData;
+use gansec_tensor::Matrix;
+
+/// Which captured physical emission feeds the features — the paper's
+/// case study is about "information leakage from multiple physical
+/// emissions in a single sub-system" (§I-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmissionChannel {
+    /// The contact-microphone acoustic flow (the paper's default).
+    Acoustic,
+    /// The frame-accelerometer vibration flow.
+    Vibration,
+    /// Both, feature-concatenated (sensor fusion; doubles the width).
+    Fused,
+}
+
+impl Default for EmissionChannel {
+    /// The acoustic channel of the case study.
+    fn default() -> Self {
+        EmissionChannel::Acoustic
+    }
+}
+
+/// Error from dataset construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// No segment produced any feature frame (trace too short or no
+    /// encodable condition).
+    NoUsableSegments,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::NoUsableSegments => {
+                write!(f, "no trace segment yielded labeled feature frames")
+            }
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+/// Labeled emission features: one row per analysis frame, one column per
+/// frequency bin, plus the condition encoding of the motors that ran.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SideChannelDataset {
+    features: Matrix,
+    conds: Matrix,
+    labels: Vec<MotorSet>,
+    encoding: ConditionEncoding,
+    bins: FrequencyBins,
+    scale: (f64, f64),
+}
+
+impl SideChannelDataset {
+    /// Builds the dataset from a simulated trace.
+    ///
+    /// Segments whose motor set is not encodable under `encoding` (e.g.
+    /// multi-motor moves under [`ConditionEncoding::Simple3`]) and
+    /// segments shorter than one analysis frame are skipped — exactly the
+    /// paper's "only move one stepper motor at a time" restriction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::NoUsableSegments`] if nothing survives.
+    pub fn from_trace(
+        trace: &SimulationTrace,
+        bins: FrequencyBins,
+        frame_len: usize,
+        hop: usize,
+        encoding: ConditionEncoding,
+    ) -> Result<Self, DatasetError> {
+        Self::from_trace_with_analysis(trace, bins, frame_len, hop, encoding, AnalysisKind::Cwt)
+    }
+
+    /// Like [`Self::from_trace`] with an explicit time-frequency analysis
+    /// (the paper's CWT, or STFT for the feature ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::NoUsableSegments`] if nothing survives.
+    pub fn from_trace_with_analysis(
+        trace: &SimulationTrace,
+        bins: FrequencyBins,
+        frame_len: usize,
+        hop: usize,
+        encoding: ConditionEncoding,
+        analysis: AnalysisKind,
+    ) -> Result<Self, DatasetError> {
+        Self::from_trace_channel(
+            trace,
+            bins,
+            frame_len,
+            hop,
+            encoding,
+            analysis,
+            EmissionChannel::Acoustic,
+        )
+    }
+
+    /// The fully general constructor: explicit analysis *and* emission
+    /// channel. [`EmissionChannel::Fused`] concatenates acoustic and
+    /// vibration features per frame (width `2 * bins.n_bins()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::NoUsableSegments`] if nothing survives.
+    pub fn from_trace_channel(
+        trace: &SimulationTrace,
+        bins: FrequencyBins,
+        frame_len: usize,
+        hop: usize,
+        encoding: ConditionEncoding,
+        analysis: AnalysisKind,
+        channel: EmissionChannel,
+    ) -> Result<Self, DatasetError> {
+        // Raw (unscaled) features first; one global min-max at the end.
+        let extractor = FeatureExtractor::with_analysis(
+            bins.clone(),
+            frame_len,
+            hop,
+            ScalingKind::None,
+            analysis,
+        );
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut cond_rows: Vec<Vec<f64>> = Vec::new();
+        let mut labels = Vec::new();
+        for (i, rec) in trace.segments.iter().enumerate() {
+            let Some(cond) = encoding.encode(rec.motors) else {
+                continue;
+            };
+            let segment_rows: Vec<Vec<f64>> = match channel {
+                EmissionChannel::Acoustic => extractor
+                    .extract(trace.segment_audio(i), trace.sample_rate)
+                    .into_rows(),
+                EmissionChannel::Vibration => extractor
+                    .extract(trace.segment_vibration(i), trace.sample_rate)
+                    .into_rows(),
+                EmissionChannel::Fused => {
+                    let a = extractor
+                        .extract(trace.segment_audio(i), trace.sample_rate)
+                        .into_rows();
+                    let v = extractor
+                        .extract(trace.segment_vibration(i), trace.sample_rate)
+                        .into_rows();
+                    a.into_iter()
+                        .zip(v)
+                        .map(|(mut ra, rv)| {
+                            ra.extend(rv);
+                            ra
+                        })
+                        .collect()
+                }
+            };
+            for row in segment_rows {
+                rows.push(row);
+                cond_rows.push(cond.clone());
+                labels.push(rec.motors);
+            }
+        }
+        if rows.is_empty() {
+            return Err(DatasetError::NoUsableSegments);
+        }
+        let mut fm = FeatureMatrix::from_rows(rows);
+        let scale = fm.minmax_scale_global();
+        let n = fm.n_rows();
+        let d = fm.n_features();
+        let features = Matrix::from_vec(n, d, fm.into_rows().into_iter().flatten().collect())
+            .expect("rows are rectangular");
+        let cd = encoding.dim();
+        let conds = Matrix::from_vec(n, cd, cond_rows.into_iter().flatten().collect())
+            .expect("conds are rectangular");
+        Ok(Self {
+            features,
+            conds,
+            labels,
+            encoding,
+            bins,
+            scale,
+        })
+    }
+
+    /// Number of labeled frames.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Always false — construction fails on empty data.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Feature width (number of frequency bins).
+    pub fn n_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The feature rows (frames x bins, scaled to `[0, 1]`).
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The condition rows (frames x encoding dim).
+    pub fn conds(&self) -> &Matrix {
+        &self.conds
+    }
+
+    /// Ground-truth motor set per frame.
+    pub fn labels(&self) -> &[MotorSet] {
+        &self.labels
+    }
+
+    /// The encoding that produced the condition rows.
+    pub fn encoding(&self) -> ConditionEncoding {
+        self.encoding
+    }
+
+    /// The frequency binning used for the features.
+    pub fn bins(&self) -> &FrequencyBins {
+        &self.bins
+    }
+
+    /// The global `(min, max)` used to scale features; apply the same to
+    /// any data scored against a model trained on this dataset.
+    pub fn scale(&self) -> (f64, f64) {
+        self.scale
+    }
+
+    /// Scales *external* raw features (same extractor settings) with this
+    /// dataset's min/max, clamping into `[0, 1]`.
+    pub fn apply_scale(&self, raw: &mut FeatureMatrix) {
+        raw.apply_minmax(self.scale.0, self.scale.1);
+    }
+
+    /// Converts into CGAN training data.
+    pub fn to_paired_data(&self) -> PairedData {
+        PairedData::new(self.features.clone(), self.conds.clone())
+            .expect("dataset is nonempty and aligned by construction")
+    }
+
+    /// Splits frames into train/test by index parity (deterministic,
+    /// balanced across the interleaved per-axis segments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has fewer than 2 frames.
+    pub fn split_even_odd(&self) -> (SideChannelDataset, SideChannelDataset) {
+        assert!(self.len() >= 2, "need at least 2 frames to split");
+        let even: Vec<usize> = (0..self.len()).step_by(2).collect();
+        let odd: Vec<usize> = (1..self.len()).step_by(2).collect();
+        (self.subset(&even), self.subset(&odd))
+    }
+
+    /// Restricts to the first `n` frames (attacker data-budget studies),
+    /// clamped to `[1, len]`.
+    pub fn truncated(&self, n: usize) -> SideChannelDataset {
+        let n = n.clamp(1, self.len());
+        let idx: Vec<usize> = (0..n).collect();
+        self.subset(&idx)
+    }
+
+    /// The `k` most informative feature (bin) indices by variance — the
+    /// paper's `FtIndices` input to Algorithm 3.
+    pub fn top_feature_indices(&self, k: usize) -> Vec<usize> {
+        let fm = FeatureMatrix::from_rows(
+            self.features
+                .rows_iter()
+                .map(|r| r.to_vec())
+                .collect::<Vec<_>>(),
+        );
+        fm.top_variance_indices(k)
+    }
+
+    /// The union of each condition's `k` most variant feature bins,
+    /// deduplicated and sorted. Unlike [`Self::top_feature_indices`],
+    /// which can collapse onto a single axis' signature band, this
+    /// selection guarantees every condition contributes the bins where
+    /// *its* emission actually varies — the feature set a real analyst
+    /// would pick for a per-motor study.
+    pub fn per_condition_top_features(&self, k: usize) -> Vec<usize> {
+        let mut union: Vec<usize> = Vec::new();
+        for cond in self.encoding.all_conditions() {
+            let rows: Vec<usize> = (0..self.len())
+                .filter(|&i| {
+                    self.conds
+                        .row(i)
+                        .iter()
+                        .zip(&cond)
+                        .all(|(&a, &b)| (a - b).abs() < 1e-9)
+                })
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let fm = FeatureMatrix::from_rows(
+                rows.iter()
+                    .map(|&i| self.features.row(i).to_vec())
+                    .collect::<Vec<_>>(),
+            );
+            union.extend(fm.top_variance_indices(k));
+        }
+        union.sort_unstable();
+        union.dedup();
+        union
+    }
+
+    fn subset(&self, indices: &[usize]) -> SideChannelDataset {
+        SideChannelDataset {
+            features: self.features.select_rows(indices),
+            conds: self.conds.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            encoding: self.encoding,
+            bins: self.bins.clone(),
+            scale: self.scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gansec_amsim::{calibration_pattern, mixed_axis_program, PrinterSim};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_bins() -> FrequencyBins {
+        FrequencyBins::log_spaced(16, 50.0, 5000.0)
+    }
+
+    fn trace(seed: u64) -> SimulationTrace {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(seed);
+        sim.run(&calibration_pattern(2), &mut rng)
+    }
+
+    #[test]
+    fn builds_labeled_rows() {
+        let ds = SideChannelDataset::from_trace(
+            &trace(1),
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap();
+        assert!(!ds.is_empty());
+        assert_eq!(ds.n_features(), 16);
+        assert_eq!(ds.conds().cols(), 3);
+        assert_eq!(ds.labels().len(), ds.len());
+        // Every row's condition matches its label.
+        for i in 0..ds.len() {
+            let cond = ds.conds().row(i);
+            let decoded = ConditionEncoding::Simple3.decode(cond).unwrap();
+            assert_eq!(decoded, ds.labels()[i]);
+        }
+    }
+
+    #[test]
+    fn features_are_unit_scaled() {
+        let ds = SideChannelDataset::from_trace(
+            &trace(2),
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap();
+        for v in ds.features().as_slice() {
+            assert!((0.0..=1.0).contains(v), "feature {v}");
+        }
+        let (lo, hi) = ds.scale();
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn all_three_conditions_present() {
+        let ds = SideChannelDataset::from_trace(
+            &trace(3),
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap();
+        for m in [MotorSet::X, MotorSet::Y, MotorSet::Z] {
+            assert!(ds.labels().contains(&m), "missing condition {m}");
+        }
+    }
+
+    #[test]
+    fn simple3_skips_multi_motor_moves() {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trace = sim.run(&mixed_axis_program(40, &mut rng), &mut rng);
+        if let Ok(ds) = SideChannelDataset::from_trace(
+            &trace,
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        ) {
+            assert!(ds.labels().iter().all(|l| l.is_single()));
+        }
+        // Combination8 keeps everything long enough to frame.
+        let ds8 = SideChannelDataset::from_trace(
+            &trace,
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Combination8,
+        )
+        .unwrap();
+        assert_eq!(ds8.conds().cols(), 8);
+    }
+
+    #[test]
+    fn too_short_trace_is_error() {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(5);
+        // 0.2 mm at 20 mm/s = 10 ms = 120 samples < 1024 frame.
+        let prog = gansec_amsim::single_axis_program(gansec_amsim::Axis::X, 2, 0.2, 1200.0);
+        let trace = sim.run(&prog, &mut rng);
+        let err = SideChannelDataset::from_trace(
+            &trace,
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap_err();
+        assert_eq!(err, DatasetError::NoUsableSegments);
+    }
+
+    #[test]
+    fn split_partitions_and_preserves_alignment() {
+        let ds = SideChannelDataset::from_trace(
+            &trace(6),
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap();
+        let (train, test) = ds.split_even_odd();
+        assert_eq!(train.len() + test.len(), ds.len());
+        for part in [&train, &test] {
+            for i in 0..part.len() {
+                let decoded = ConditionEncoding::Simple3
+                    .decode(part.conds().row(i))
+                    .unwrap();
+                assert_eq!(decoded, part.labels()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_clamps() {
+        let ds = SideChannelDataset::from_trace(
+            &trace(7),
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap();
+        assert_eq!(ds.truncated(1).len(), 1);
+        assert_eq!(ds.truncated(usize::MAX).len(), ds.len());
+    }
+
+    #[test]
+    fn top_features_are_valid_indices() {
+        let ds = SideChannelDataset::from_trace(
+            &trace(8),
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap();
+        let top = ds.top_feature_indices(3);
+        assert_eq!(top.len(), 3);
+        assert!(top.iter().all(|&i| i < ds.n_features()));
+    }
+
+    #[test]
+    fn per_condition_features_cover_all_axes() {
+        let ds = SideChannelDataset::from_trace(
+            &trace(10),
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap();
+        let union = ds.per_condition_top_features(2);
+        assert!(union.len() >= 2, "union {union:?}");
+        assert!(union.len() <= 6);
+        assert!(union.windows(2).all(|w| w[0] < w[1]), "sorted dedup");
+        assert!(union.iter().all(|&i| i < ds.n_features()));
+    }
+
+    #[test]
+    fn vibration_and_fused_channels_build() {
+        let t = trace(11);
+        let acoustic = SideChannelDataset::from_trace_channel(
+            &t,
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+            gansec_dsp::AnalysisKind::Cwt,
+            EmissionChannel::Acoustic,
+        )
+        .unwrap();
+        let vibration = SideChannelDataset::from_trace_channel(
+            &t,
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+            gansec_dsp::AnalysisKind::Cwt,
+            EmissionChannel::Vibration,
+        )
+        .unwrap();
+        let fused = SideChannelDataset::from_trace_channel(
+            &t,
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+            gansec_dsp::AnalysisKind::Cwt,
+            EmissionChannel::Fused,
+        )
+        .unwrap();
+        assert_eq!(acoustic.n_features(), 16);
+        assert_eq!(vibration.n_features(), 16);
+        assert_eq!(fused.n_features(), 32);
+        assert_eq!(acoustic.len(), vibration.len());
+        assert_eq!(acoustic.len(), fused.len());
+        // Vibration features differ from acoustic ones (different
+        // transfer path), but labels agree.
+        assert_ne!(acoustic.features(), vibration.features());
+        assert_eq!(acoustic.labels(), vibration.labels());
+    }
+
+    #[test]
+    fn to_paired_data_round_trips() {
+        let ds = SideChannelDataset::from_trace(
+            &trace(9),
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap();
+        let pd = ds.to_paired_data();
+        assert_eq!(pd.len(), ds.len());
+        assert_eq!(pd.data_dim(), ds.n_features());
+        assert_eq!(pd.cond_dim(), 3);
+    }
+}

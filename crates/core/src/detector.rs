@@ -1,0 +1,295 @@
+//! Integrity/availability attack detection from the side-channel.
+//!
+//! §IV-D: the same conditional relationship that makes the emission a
+//! confidentiality risk lets a *defender* check, frame by frame, whether
+//! the observed emission is consistent with the condition the cyber
+//! domain claims to be executing. A tampered execution (swapped axis,
+//! scaled geometry, stalled motor) produces emissions that are unlikely
+//! under `Pr(Freq | claimed Cond)` and is flagged.
+
+use serde::{Deserialize, Serialize};
+
+use rand::Rng;
+
+use gansec_stats::{roc_auc, ConfusionMatrix, ParzenWindow};
+use gansec_tensor::Matrix;
+
+use crate::{SecurityModel, SideChannelDataset};
+
+/// A fitted detector: per-condition Parzen densities over generator
+/// output plus a calibrated alarm threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackDetector {
+    /// `kdes[condition_index][k]` for the k-th analyzed feature.
+    kdes: Vec<Vec<ParzenWindow>>,
+    conditions: Vec<Vec<f64>>,
+    feature_indices: Vec<usize>,
+    threshold: f64,
+    h: f64,
+}
+
+impl AttackDetector {
+    /// Fits the detector from a trained model and calibrates the alarm
+    /// threshold so that roughly `false_alarm_rate` of *benign* frames
+    /// would be flagged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h <= 0`, `gsize == 0`, `feature_indices` is empty or
+    /// out of range, or `false_alarm_rate` is outside `(0, 1)`.
+    pub fn fit(
+        model: &mut SecurityModel,
+        benign: &SideChannelDataset,
+        h: f64,
+        gsize: usize,
+        feature_indices: Vec<usize>,
+        false_alarm_rate: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(h > 0.0 && h.is_finite(), "h must be positive");
+        assert!(gsize > 0, "gsize must be positive");
+        assert!(!feature_indices.is_empty(), "need at least one feature");
+        assert!(
+            (0.0..1.0).contains(&false_alarm_rate) && false_alarm_rate > 0.0,
+            "false_alarm_rate must be in (0, 1)"
+        );
+        for &ft in &feature_indices {
+            assert!(ft < benign.n_features(), "feature index {ft} out of range");
+        }
+        let conditions = model.encoding().all_conditions();
+        let mut kdes = Vec::with_capacity(conditions.len());
+        for cond in &conditions {
+            let generated = model
+                .generate_for_condition(cond, gsize, rng)
+                .expect("condition width fixed by encoding");
+            let per_feature = feature_indices
+                .iter()
+                .map(|&ft| {
+                    ParzenWindow::fit(&generated.col(ft), h)
+                        .expect("generated samples are finite and nonempty")
+                })
+                .collect();
+            kdes.push(per_feature);
+        }
+        let mut detector = Self {
+            kdes,
+            conditions,
+            feature_indices,
+            threshold: 0.0,
+            h,
+        };
+        // Calibrate: benign frames scored under their own (true) claims.
+        let mut scores: Vec<f64> = (0..benign.len())
+            .map(|i| detector.score_frame(benign.features().row(i), benign.conds().row(i)))
+            .collect();
+        scores.sort_by(f64::total_cmp);
+        let idx = ((scores.len() as f64 * false_alarm_rate) as usize).min(scores.len() - 1);
+        detector.threshold = scores[idx];
+        detector
+    }
+
+    /// The calibrated alarm threshold (scores below it are attacks).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The Parzen width in force.
+    pub fn h(&self) -> f64 {
+        self.h
+    }
+
+    /// Consistency score of one frame under the claimed condition: mean
+    /// windowed likelihood over the analyzed features. Returns 0 for an
+    /// unknown claimed condition (maximally suspicious).
+    pub fn score_frame(&self, features: &[f64], claimed_cond: &[f64]) -> f64 {
+        let Some(ci) = self.condition_index(claimed_cond) else {
+            return 0.0;
+        };
+        let kdes = &self.kdes[ci];
+        let mut acc = 0.0;
+        for (k, &ft) in self.feature_indices.iter().enumerate() {
+            acc += kdes[k].windowed_likelihood(features[ft]);
+        }
+        acc / self.feature_indices.len() as f64
+    }
+
+    /// Whether a score trips the alarm.
+    pub fn is_attack(&self, score: f64) -> bool {
+        score < self.threshold
+    }
+
+    /// Scores every frame of `(features, claimed_conds)` and evaluates
+    /// against ground truth (`true` = attacked frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts of the three inputs differ.
+    pub fn evaluate(
+        &self,
+        features: &Matrix,
+        claimed_conds: &Matrix,
+        attacked: &[bool],
+    ) -> DetectionOutcome {
+        assert_eq!(features.rows(), claimed_conds.rows(), "row count mismatch");
+        assert_eq!(features.rows(), attacked.len(), "label count mismatch");
+        let scores: Vec<f64> = (0..features.rows())
+            .map(|i| self.score_frame(features.row(i), claimed_conds.row(i)))
+            .collect();
+        // Lower likelihood = more anomalous, so negate for AUC.
+        let anomaly: Vec<f64> = scores.iter().map(|&s| -s).collect();
+        let auc = roc_auc(attacked, &anomaly);
+        let mut confusion = ConfusionMatrix::new();
+        for (i, &is_attack) in attacked.iter().enumerate() {
+            confusion.record(is_attack, self.is_attack(scores[i]));
+        }
+        DetectionOutcome {
+            auc,
+            confusion,
+            threshold: self.threshold,
+            scores,
+        }
+    }
+
+    fn condition_index(&self, cond: &[f64]) -> Option<usize> {
+        self.conditions.iter().position(|c| {
+            c.len() == cond.len() && c.iter().zip(cond).all(|(&a, &b)| (a - b).abs() < 1e-9)
+        })
+    }
+}
+
+/// Result of evaluating a detector on labeled frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionOutcome {
+    /// Area under the ROC curve of the anomaly score.
+    pub auc: f64,
+    /// Confusion matrix at the calibrated threshold.
+    pub confusion: ConfusionMatrix,
+    /// The threshold used.
+    pub threshold: f64,
+    /// Per-frame consistency scores (higher = more benign-looking).
+    pub scores: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gansec_amsim::{
+        calibration_pattern, Attack, AttackInjector, AttackKind, Axis, ConditionEncoding,
+        PrinterSim,
+    };
+    use gansec_dsp::{FeatureExtractor, FrequencyBins, ScalingKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bins() -> FrequencyBins {
+        FrequencyBins::log_spaced(16, 50.0, 5000.0)
+    }
+
+    fn benign_dataset(seed: u64) -> SideChannelDataset {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sim.run(&calibration_pattern(3), &mut rng);
+        SideChannelDataset::from_trace(&trace, bins(), 1024, 512, ConditionEncoding::Simple3)
+            .unwrap()
+    }
+
+    fn fitted_detector(seed: u64, train: &SideChannelDataset) -> AttackDetector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = SecurityModel::for_dataset(train, &mut rng);
+        model.train(train, 500, &mut rng).unwrap();
+        let top = train.top_feature_indices(4);
+        AttackDetector::fit(&mut model, train, 0.2, 200, top, 0.05, &mut rng)
+    }
+
+    /// Builds attacked frames: swap X and Y, so the cyber domain claims X
+    /// while the emission is Y's (and vice versa).
+    fn swapped_frames(seed: u64, reference: &SideChannelDataset) -> (Matrix, Matrix) {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let benign_prog = calibration_pattern(2);
+        let Attack { tampered, .. } = AttackInjector::new().inject(
+            &benign_prog,
+            AttackKind::SwapAxes {
+                a: Axis::X,
+                b: Axis::Y,
+            },
+        );
+        let trace = sim.run(&tampered, &mut rng);
+        // Claimed condition comes from the BENIGN program's plan.
+        let benign_plan = sim.kinematics().plan(&benign_prog);
+        let extractor = FeatureExtractor::new(bins(), 1024, 512, ScalingKind::None);
+        let mut feat_rows: Vec<Vec<f64>> = Vec::new();
+        let mut cond_rows = Vec::new();
+        for (i, rec) in trace.segments.iter().enumerate() {
+            let claimed_motors = gansec_amsim::MotorSet::from_segment(
+                &benign_plan[rec.segment.command_index.min(benign_plan.len() - 1)],
+            );
+            let Some(cond) = ConditionEncoding::Simple3.encode(claimed_motors) else {
+                continue;
+            };
+            let fm = extractor.extract(trace.segment_audio(i), trace.sample_rate);
+            for row in fm.rows() {
+                feat_rows.push(row.clone());
+                cond_rows.push(cond.clone());
+            }
+        }
+        let mut fm = gansec_dsp::FeatureMatrix::from_rows(feat_rows);
+        reference.apply_scale(&mut fm);
+        let n = fm.n_rows();
+        let d = fm.n_features();
+        let features =
+            Matrix::from_vec(n, d, fm.into_rows().into_iter().flatten().collect()).unwrap();
+        let conds = Matrix::from_vec(n, 3, cond_rows.into_iter().flatten().collect()).unwrap();
+        (features, conds)
+    }
+
+    #[test]
+    fn detector_calibration_bounds_false_alarms() {
+        let ds = benign_dataset(1);
+        let (train, test) = ds.split_even_odd();
+        let det = fitted_detector(2, &train);
+        // Score held-out benign frames under their true claims.
+        let labels = vec![false; test.len()];
+        let outcome = det.evaluate(test.features(), test.conds(), &labels);
+        let far = outcome.confusion.false_positive_rate();
+        assert!(far < 0.35, "false alarm rate {far}");
+    }
+
+    #[test]
+    fn swap_attack_is_detected_better_than_chance() {
+        let ds = benign_dataset(3);
+        let (train, test) = ds.split_even_odd();
+        let det = fitted_detector(4, &train);
+        let (atk_features, atk_conds) = swapped_frames(5, &ds);
+        assert!(atk_features.rows() > 0, "attack produced no frames");
+        // Combine benign (label false) and attacked (label true) frames.
+        let features = test.features().vstack(&atk_features).unwrap();
+        let conds = test.conds().vstack(&atk_conds).unwrap();
+        let mut labels = vec![false; test.len()];
+        labels.extend(std::iter::repeat_n(true, atk_features.rows()));
+        let outcome = det.evaluate(&features, &conds, &labels);
+        assert!(
+            outcome.auc > 0.7,
+            "swap attack should be clearly detectable, auc {}",
+            outcome.auc
+        );
+    }
+
+    #[test]
+    fn unknown_condition_scores_zero() {
+        let ds = benign_dataset(6);
+        let det = fitted_detector(7, &ds);
+        let score = det.score_frame(ds.features().row(0), &[0.5, 0.5, 0.0]);
+        assert_eq!(score, 0.0);
+        assert!(det.is_attack(score) || det.threshold() == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "false_alarm_rate")]
+    fn bad_false_alarm_rate_rejected() {
+        let ds = benign_dataset(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
+        let _ = AttackDetector::fit(&mut model, &ds, 0.2, 10, vec![0], 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,266 @@
+//! The confidentiality attacker: estimating G/M-code conditions from the
+//! acoustic emission alone.
+//!
+//! §IV-D: "a CPPS designer can estimate if an attacker is able to
+//! estimate the G/M-code based on the acoustic emissions." This module
+//! implements that attacker concretely: per-condition Parzen densities
+//! are fitted to generator output, and each observed frame is assigned
+//! the condition with the highest joint likelihood over the analyzed
+//! features. Per-segment majority voting turns frame estimates into a
+//! command-stream reconstruction.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gansec_amsim::MotorSet;
+use gansec_stats::{MultiConfusion, ParzenWindow};
+use gansec_tensor::Matrix;
+
+use crate::{SecurityModel, SideChannelDataset};
+
+/// A maximum-likelihood condition estimator built from a trained CGAN:
+/// the attacker model of the paper's confidentiality analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GCodeEstimator {
+    /// `kdes[condition][k]` over the k-th analyzed feature.
+    kdes: Vec<Vec<ParzenWindow>>,
+    conditions: Vec<Vec<f64>>,
+    motors: Vec<Option<MotorSet>>,
+    feature_indices: Vec<usize>,
+    h: f64,
+}
+
+impl GCodeEstimator {
+    /// Fits the estimator by sampling `gsize` generator outputs per
+    /// condition and fitting a Parzen window of width `h` per analyzed
+    /// feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h <= 0`, `gsize == 0` or `feature_indices` is empty.
+    pub fn fit(
+        model: &mut SecurityModel,
+        h: f64,
+        gsize: usize,
+        feature_indices: Vec<usize>,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(h > 0.0 && h.is_finite(), "h must be positive");
+        assert!(gsize > 0, "gsize must be positive");
+        assert!(!feature_indices.is_empty(), "need at least one feature");
+        let encoding = model.encoding();
+        let conditions = encoding.all_conditions();
+        let motors = conditions.iter().map(|c| encoding.decode(c)).collect();
+        let mut kdes = Vec::with_capacity(conditions.len());
+        for cond in &conditions {
+            let generated = model
+                .generate_for_condition(cond, gsize, rng)
+                .expect("condition width fixed by encoding");
+            kdes.push(
+                feature_indices
+                    .iter()
+                    .map(|&ft| {
+                        ParzenWindow::fit(&generated.col(ft), h)
+                            .expect("generated samples are finite and nonempty")
+                    })
+                    .collect(),
+            );
+        }
+        Self {
+            kdes,
+            conditions,
+            motors,
+            feature_indices,
+            h,
+        }
+    }
+
+    /// Number of estimable conditions.
+    pub fn n_conditions(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// The Parzen width in force.
+    pub fn h(&self) -> f64 {
+        self.h
+    }
+
+    /// Joint log-likelihood of one frame under condition `ci` (sum of
+    /// per-feature log densities — features treated as independent, the
+    /// naive-Bayes attacker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ci` is out of range or `features` is narrower than the
+    /// largest analyzed index.
+    pub fn log_likelihood(&self, features: &[f64], ci: usize) -> f64 {
+        assert!(ci < self.conditions.len(), "condition {ci} out of range");
+        self.feature_indices
+            .iter()
+            .enumerate()
+            .map(|(k, &ft)| self.kdes[ci][k].log_density(features[ft]))
+            .sum()
+    }
+
+    /// The maximum-likelihood condition index for one frame.
+    pub fn classify_frame(&self, features: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_ll = f64::NEG_INFINITY;
+        for ci in 0..self.conditions.len() {
+            let ll = self.log_likelihood(features, ci);
+            if ll > best_ll {
+                best_ll = ll;
+                best = ci;
+            }
+        }
+        best
+    }
+
+    /// Classifies every row of a feature matrix.
+    pub fn classify_frames(&self, features: &Matrix) -> Vec<usize> {
+        (0..features.rows())
+            .map(|i| self.classify_frame(features.row(i)))
+            .collect()
+    }
+
+    /// The decoded motor set for condition index `ci`, if the encoding
+    /// vector is a valid one-hot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ci` is out of range.
+    pub fn motor(&self, ci: usize) -> Option<MotorSet> {
+        self.motors[ci]
+    }
+
+    /// Evaluates frame-level reconstruction on a labeled dataset: the
+    /// attacker sees only `test.features()`; ground truth comes from the
+    /// condition rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a test row's condition is not one of the estimator's
+    /// conditions (encodings must match).
+    pub fn evaluate(&self, test: &SideChannelDataset) -> MultiConfusion {
+        let mut confusion = MultiConfusion::new(self.conditions.len());
+        for i in 0..test.len() {
+            let truth = self
+                .condition_index(test.conds().row(i))
+                .expect("test conditions must come from the same encoding");
+            let predicted = self.classify_frame(test.features().row(i));
+            confusion.record(truth, predicted);
+        }
+        confusion
+    }
+
+    /// Majority vote over a run of frame predictions: the attacker's
+    /// per-command estimate. Ties resolve to the lowest index.
+    pub fn majority_vote(&self, frame_predictions: &[usize]) -> Option<usize> {
+        if frame_predictions.is_empty() {
+            return None;
+        }
+        let mut counts = vec![0usize; self.conditions.len()];
+        for &p in frame_predictions {
+            if p < counts.len() {
+                counts[p] += 1;
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+    }
+
+    fn condition_index(&self, cond: &[f64]) -> Option<usize> {
+        self.conditions.iter().position(|c| {
+            c.len() == cond.len() && c.iter().zip(cond).all(|(&a, &b)| (a - b).abs() < 1e-9)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gansec_amsim::{calibration_pattern, ConditionEncoding, PrinterSim};
+    use gansec_dsp::FrequencyBins;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(seed: u64) -> SideChannelDataset {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sim.run(&calibration_pattern(4), &mut rng);
+        SideChannelDataset::from_trace(
+            &trace,
+            FrequencyBins::log_spaced(24, 50.0, 5000.0),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap()
+    }
+
+    fn fitted(seed: u64) -> (GCodeEstimator, SideChannelDataset) {
+        let ds = dataset(seed);
+        let (train, test) = ds.split_even_odd();
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let mut model = SecurityModel::for_dataset(&train, &mut rng);
+        model.train(&train, 600, &mut rng).unwrap();
+        let features = train.per_condition_top_features(3);
+        (
+            GCodeEstimator::fit(&mut model, 0.2, 300, features, &mut rng),
+            test,
+        )
+    }
+
+    #[test]
+    fn attacker_beats_chance_by_a_wide_margin() {
+        let (estimator, test) = fitted(1);
+        let confusion = estimator.evaluate(&test);
+        let acc = confusion.accuracy();
+        // Chance is 1/3; the paper's premise is that the channel leaks.
+        assert!(acc > 0.7, "reconstruction accuracy {acc}");
+    }
+
+    #[test]
+    fn per_class_recall_is_positive() {
+        let (estimator, test) = fitted(2);
+        let confusion = estimator.evaluate(&test);
+        for c in 0..3 {
+            assert!(
+                confusion.recall(c) > 0.4,
+                "class {c} recall {}",
+                confusion.recall(c)
+            );
+        }
+    }
+
+    #[test]
+    fn majority_vote_aggregates() {
+        let (estimator, _) = fitted(3);
+        assert_eq!(estimator.majority_vote(&[0, 0, 1]), Some(0));
+        assert_eq!(estimator.majority_vote(&[2, 2, 1, 2]), Some(2));
+        assert_eq!(estimator.majority_vote(&[]), None);
+        // Tie resolves to the lowest index.
+        assert_eq!(estimator.majority_vote(&[1, 0]), Some(0));
+    }
+
+    #[test]
+    fn classify_frames_matches_single_calls() {
+        let (estimator, test) = fitted(4);
+        let all = estimator.classify_frames(test.features());
+        for (i, &p) in all.iter().enumerate().take(10) {
+            assert_eq!(p, estimator.classify_frame(test.features().row(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "h must be positive")]
+    fn fit_rejects_bad_h() {
+        let ds = dataset(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
+        let _ = GCodeEstimator::fit(&mut model, 0.0, 10, vec![0], &mut rng);
+    }
+}

@@ -1,0 +1,64 @@
+//! # GAN-Sec
+//!
+//! A from-scratch reproduction of **"GAN-Sec: Generative Adversarial
+//! Network Modeling for the Security Analysis of Cyber-Physical
+//! Production Systems"** (Chhetri, Lopez, Wan, Al Faruque — DATE 2019).
+//!
+//! GAN-Sec abstracts a CPPS by its signal and energy flows, learns the
+//! conditional distribution `Pr(F_i | F_j)` between flow pairs with a
+//! conditional GAN, and derives confidentiality / integrity /
+//! availability verdicts from Parzen-window likelihoods of held-out
+//! emissions (the paper's Algorithms 1-3).
+//!
+//! This crate is the methodology layer tying the substrates together:
+//!
+//! * [`SideChannelDataset`] — turns a simulated printer trace
+//!   (`gansec-amsim`) into aligned `(features, conditions)` training data
+//!   through the paper's CWT + 100-bin + `[0,1]`-scaling pipeline
+//!   (`gansec-dsp`);
+//! * [`SecurityModel`] — a per-flow-pair CGAN (`gansec-gan`, Algorithm 2)
+//!   with dataset bookkeeping;
+//! * [`LikelihoodAnalysis`] — Algorithm 3: average correct/incorrect
+//!   Parzen likelihoods per condition and feature (`gansec-stats`);
+//! * [`ConfidentialityReport`] / [`AttackDetector`] — the security
+//!   verdicts of §IV-D;
+//! * [`GanSecPipeline`] — the end-to-end design-time flow of Figure 4:
+//!   architecture → `G_CPPS` → flow pairs → CGAN models → analysis.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gansec::{GanSecPipeline, PipelineConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = PipelineConfig::smoke_test(); // tiny sizes for CI
+//! let outcome = GanSecPipeline::new(config).run(7)?;
+//! // The printer leaks: correct likelihood beats incorrect on average.
+//! let report = outcome.confidentiality;
+//! assert!(report.conditions.len() == 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod baseline;
+mod dataset;
+mod detector;
+mod estimator;
+mod model;
+mod persist;
+mod pipeline;
+mod report;
+
+pub use analysis::{ConditionLikelihood, LikelihoodAnalysis, LikelihoodReport};
+pub use baseline::KdeBaseline;
+pub use dataset::{DatasetError, EmissionChannel, SideChannelDataset};
+pub use detector::{AttackDetector, DetectionOutcome};
+pub use estimator::GCodeEstimator;
+pub use model::{ModelError, SecurityModel};
+pub use persist::{load_report, save_report, PersistError};
+pub use pipeline::{GanSecPipeline, PipelineConfig, PipelineError, PipelineOutcome};
+pub use report::{ConditionVerdict, ConfidentialityReport, TableOneRow};

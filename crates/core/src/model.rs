@@ -1,0 +1,232 @@
+//! Per-flow-pair security models: the CGAN of Algorithm 2 plus dataset
+//! bookkeeping.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gansec_amsim::ConditionEncoding;
+use gansec_gan::{Cgan, CganConfig, TrainError, TrainingHistory};
+use gansec_tensor::Matrix;
+
+use crate::SideChannelDataset;
+
+/// Error from model training or use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The underlying CGAN rejected the data or diverged.
+    Train(TrainError),
+    /// A condition vector of the wrong width was supplied.
+    CondWidth {
+        /// Expected width.
+        expected: usize,
+        /// Supplied width.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Train(e) => write!(f, "training failed: {e}"),
+            ModelError::CondWidth { expected, found } => {
+                write!(f, "condition width {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Train(e) => Some(e),
+            ModelError::CondWidth { .. } => None,
+        }
+    }
+}
+
+impl From<TrainError> for ModelError {
+    fn from(e: TrainError) -> Self {
+        ModelError::Train(e)
+    }
+}
+
+/// A trained (or trainable) `Pr(F_i | F_j)` model for one flow pair:
+/// the unit Algorithm 2 returns and Algorithm 3 consumes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SecurityModel {
+    cgan: Cgan,
+    encoding: ConditionEncoding,
+    history: TrainingHistory,
+}
+
+impl SecurityModel {
+    /// Builds an untrained model from an explicit CGAN configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cond_dim` does not equal `encoding.dim()`.
+    pub fn new(config: CganConfig, encoding: ConditionEncoding, rng: &mut impl Rng) -> Self {
+        assert_eq!(
+            config.cond_dim,
+            encoding.dim(),
+            "config cond_dim must match encoding width"
+        );
+        Self {
+            cgan: Cgan::new(config, rng),
+            encoding,
+            history: TrainingHistory::new(),
+        }
+    }
+
+    /// A model sized for `dataset` with sensible defaults: noise 16,
+    /// hidden 64/64 vs 64/32, batch 32.
+    pub fn for_dataset(dataset: &SideChannelDataset, rng: &mut impl Rng) -> Self {
+        let config = CganConfig::builder(dataset.n_features(), dataset.encoding().dim()).build();
+        Self::new(config, dataset.encoding(), rng)
+    }
+
+    /// The condition encoding in force.
+    pub fn encoding(&self) -> ConditionEncoding {
+        self.encoding
+    }
+
+    /// The underlying CGAN.
+    pub fn cgan(&self) -> &Cgan {
+        &self.cgan
+    }
+
+    /// Mutable CGAN access (generation requires `&mut` for the forward
+    /// pass caches).
+    pub fn cgan_mut(&mut self) -> &mut Cgan {
+        &mut self.cgan
+    }
+
+    /// Accumulated loss history across all [`SecurityModel::train`] calls
+    /// (the paper's Figure 7 data).
+    pub fn history(&self) -> &TrainingHistory {
+        &self.history
+    }
+
+    /// Runs `iterations` of Algorithm 2 on the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Train`] on dimension mismatch or divergence.
+    pub fn train(
+        &mut self,
+        dataset: &SideChannelDataset,
+        iterations: usize,
+        rng: &mut impl Rng,
+    ) -> Result<(), ModelError> {
+        let paired = dataset.to_paired_data();
+        let h = self.cgan.train(&paired, iterations, rng)?;
+        self.history.extend(h.records().iter().copied());
+        Ok(())
+    }
+
+    /// Generates `n` samples from `G(Z | cond)` — Algorithm 3's
+    /// `X_G = generated GSize samples from G(Z|C_i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CondWidth`] for a wrong-width condition.
+    pub fn generate_for_condition(
+        &mut self,
+        cond: &[f64],
+        n: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Matrix, ModelError> {
+        if cond.len() != self.encoding.dim() {
+            return Err(ModelError::CondWidth {
+                expected: self.encoding.dim(),
+                found: cond.len(),
+            });
+        }
+        let conds = Matrix::from_fn(n, cond.len(), |_, j| cond[j]);
+        Ok(self.cgan.generate(&conds, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gansec_amsim::{calibration_pattern, PrinterSim};
+    use gansec_dsp::FrequencyBins;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(seed: u64) -> SideChannelDataset {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sim.run(&calibration_pattern(2), &mut rng);
+        SideChannelDataset::from_trace(
+            &trace,
+            FrequencyBins::log_spaced(16, 50.0, 5000.0),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn for_dataset_matches_dims() {
+        let ds = dataset(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = SecurityModel::for_dataset(&ds, &mut rng);
+        assert_eq!(model.cgan().config().data_dim, ds.n_features());
+        assert_eq!(model.cgan().config().cond_dim, 3);
+    }
+
+    #[test]
+    fn train_accumulates_history() {
+        let ds = dataset(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
+        model.train(&ds, 10, &mut rng).unwrap();
+        assert_eq!(model.history().len(), 10);
+        model.train(&ds, 5, &mut rng).unwrap();
+        assert_eq!(model.history().len(), 15);
+    }
+
+    #[test]
+    fn generate_for_condition_shapes() {
+        let ds = dataset(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
+        let out = model
+            .generate_for_condition(&[1.0, 0.0, 0.0], 7, &mut rng)
+            .unwrap();
+        assert_eq!(out.shape(), (7, ds.n_features()));
+        assert!(out.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn wrong_cond_width_is_error() {
+        let ds = dataset(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
+        let err = model
+            .generate_for_condition(&[1.0, 0.0], 3, &mut rng)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::CondWidth {
+                expected: 3,
+                found: 2
+            }
+        ));
+        assert!(err.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cond_dim must match")]
+    fn config_encoding_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = CganConfig::builder(4, 8).build();
+        let _ = SecurityModel::new(config, ConditionEncoding::Simple3, &mut rng);
+    }
+}

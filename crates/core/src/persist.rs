@@ -1,0 +1,223 @@
+//! Model and report persistence.
+//!
+//! Design-time analysis (Figure 4) produces per-flow-pair models that a
+//! CPPS designer will re-load at audit time; this module provides JSON
+//! round-trips for [`SecurityModel`] and any serializable report.
+//! Forward-pass caches and RNG state are intentionally excluded from the
+//! wire format (marked `#[serde(skip)]` in the network layers), so a
+//! re-loaded model generates identically given identical noise.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::SecurityModel;
+
+/// Error from persistence operations.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// (De)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o failure: {e}"),
+            PersistError::Json(e) => write!(f, "json failure: {e}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+impl SecurityModel {
+    /// Serializes the model (networks, optimizer state, loss history) to
+    /// a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Json`] on serialization failure (cannot
+    /// happen for well-formed models).
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Restores a model from [`SecurityModel::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Json`] for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, PersistError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Writes the model to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or serialization failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Loads a model previously written by [`SecurityModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or deserialization failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::from_json(&fs::read_to_string(path)?)
+    }
+}
+
+/// Writes any serializable report to `path` as pretty JSON.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem or serialization failure.
+pub fn save_report<T: Serialize>(report: &T, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    fs::write(path, serde_json::to_string_pretty(report)?)?;
+    Ok(())
+}
+
+/// Loads a report previously written by [`save_report`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem or deserialization failure.
+pub fn load_report<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, PersistError> {
+    Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LikelihoodAnalysis, SideChannelDataset};
+    use gansec_amsim::{calibration_pattern, ConditionEncoding, PrinterSim};
+    use gansec_dsp::FrequencyBins;
+    use gansec_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_model() -> (SecurityModel, SideChannelDataset) {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = sim.run(&calibration_pattern(2), &mut rng);
+        let ds = SideChannelDataset::from_trace(
+            &trace,
+            FrequencyBins::log_spaced(12, 50.0, 5000.0),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap();
+        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
+        model.train(&ds, 40, &mut rng).unwrap();
+        (model, ds)
+    }
+
+    #[test]
+    fn json_round_trip_preserves_generation() {
+        let (mut model, _) = trained_model();
+        let json = model.to_json().unwrap();
+        let mut restored = SecurityModel::from_json(&json).unwrap();
+
+        // Same noise, same conditions -> identical output.
+        let z = Matrix::from_fn(4, model.cgan().config().noise_dim, |r, c| {
+            ((r * 3 + c) as f64 * 0.21).sin()
+        });
+        let conds = Matrix::from_fn(4, 3, |r, c| if r % 3 == c { 1.0 } else { 0.0 });
+        let a = model.cgan_mut().generate_with_noise(&z, &conds);
+        let b = restored.cgan_mut().generate_with_noise(&z, &conds);
+        assert_eq!(a, b);
+        assert_eq!(model.history().len(), restored.history().len());
+        assert_eq!(model.encoding(), restored.encoding());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (model, _) = trained_model();
+        let dir = std::env::temp_dir().join("gansec_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save(&path).unwrap();
+        let restored = SecurityModel::load(&path).unwrap();
+        assert_eq!(
+            model.cgan().config().data_dim,
+            restored.cgan().config().data_dim
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restored_model_can_continue_training() {
+        let (model, ds) = trained_model();
+        let json = model.to_json().unwrap();
+        let mut restored = SecurityModel::from_json(&json).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        restored.train(&ds, 5, &mut rng).unwrap();
+        assert_eq!(restored.history().len(), 45);
+    }
+
+    #[test]
+    fn restored_model_supports_analysis() {
+        let (model, ds) = trained_model();
+        let mut restored = SecurityModel::from_json(&model.to_json().unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let report =
+            LikelihoodAnalysis::new(0.2, 20, vec![0]).analyze(&mut restored, &ds, &mut rng);
+        assert_eq!(report.conditions.len(), 3);
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let dir = std::env::temp_dir().join("gansec_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let report = vec![1.0f64, 2.0, 3.0];
+        save_report(&report, &path).unwrap();
+        let loaded: Vec<f64> = load_report(&path).unwrap();
+        assert_eq!(loaded, report);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_error() {
+        let err = SecurityModel::from_json("{not json").unwrap_err();
+        assert!(matches!(err, PersistError::Json(_)));
+        assert!(err.to_string().contains("json"));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = SecurityModel::load("/nonexistent/gansec/model.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

@@ -1,0 +1,320 @@
+//! The end-to-end design-time flow of the paper's Figure 4:
+//! architecture → `G_CPPS` → flow pairs → data → CGAN → analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use gansec_amsim::{calibration_pattern, printer_architecture, ConditionEncoding, PrinterSim};
+use gansec_cpps::FlowPairList;
+use gansec_dsp::FrequencyBins;
+use gansec_gan::{CganConfig, TrainingHistory};
+
+use crate::{
+    ConfidentialityReport, DatasetError, LikelihoodAnalysis, LikelihoodReport, ModelError,
+    SecurityModel, SideChannelDataset,
+};
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Dataset construction failed (workload too small for framing).
+    Dataset(DatasetError),
+    /// CGAN training failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Dataset(e) => write!(f, "dataset stage failed: {e}"),
+            PipelineError::Model(e) => write!(f, "model stage failed: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Dataset(e) => Some(e),
+            PipelineError::Model(e) => Some(e),
+        }
+    }
+}
+
+impl From<DatasetError> for PipelineError {
+    fn from(e: DatasetError) -> Self {
+        PipelineError::Dataset(e)
+    }
+}
+
+impl From<ModelError> for PipelineError {
+    fn from(e: ModelError) -> Self {
+        PipelineError::Model(e)
+    }
+}
+
+/// Pipeline sizing knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Number of frequency bins (the paper uses 100).
+    pub n_bins: usize,
+    /// Lower edge of the analyzed band in Hz (paper: 50).
+    pub fmin_hz: f64,
+    /// Upper edge in Hz (paper: 5000).
+    pub fmax_hz: f64,
+    /// Analysis frame length in samples.
+    pub frame_len: usize,
+    /// Frame hop in samples.
+    pub hop: usize,
+    /// Back-and-forth moves per axis in the calibration workload.
+    pub moves_per_axis: usize,
+    /// Condition encoding (paper default: 3-way single-motor).
+    pub encoding: ConditionEncoding,
+    /// Algorithm 2 iterations.
+    pub train_iterations: usize,
+    /// CGAN minibatch size `n`.
+    pub batch_size: usize,
+    /// Generated samples per condition in Algorithm 3 (`GSize`).
+    pub gsize: usize,
+    /// Parzen width for the default analysis (paper Figure 8: 0.2).
+    pub h: f64,
+    /// Number of top-variance features analyzed.
+    pub n_top_features: usize,
+    /// Leakage margin above which a condition counts as identifiable.
+    pub margin_threshold: f64,
+}
+
+impl PipelineConfig {
+    /// Tiny sizes for unit tests and doctests: 16 bins, 2 moves per
+    /// axis, 60 training iterations.
+    pub fn smoke_test() -> Self {
+        Self {
+            n_bins: 16,
+            fmin_hz: 50.0,
+            fmax_hz: 5000.0,
+            frame_len: 1024,
+            hop: 512,
+            moves_per_axis: 2,
+            encoding: ConditionEncoding::Simple3,
+            train_iterations: 60,
+            batch_size: 16,
+            gsize: 50,
+            h: 0.2,
+            n_top_features: 1,
+            margin_threshold: 0.02,
+        }
+    }
+
+    /// The paper's configuration: 100 bins in [50, 5000] Hz, a larger
+    /// workload, and a full training run.
+    pub fn paper_scale() -> Self {
+        Self {
+            n_bins: 100,
+            fmin_hz: 50.0,
+            fmax_hz: 5000.0,
+            frame_len: 1024,
+            hop: 512,
+            moves_per_axis: 8,
+            encoding: ConditionEncoding::Simple3,
+            train_iterations: 1500,
+            batch_size: 32,
+            gsize: 500,
+            h: 0.2,
+            n_top_features: 1,
+            margin_threshold: 0.02,
+        }
+    }
+
+    /// The frequency binning this config implies.
+    pub fn bins(&self) -> FrequencyBins {
+        FrequencyBins::log_spaced(self.n_bins, self.fmin_hz, self.fmax_hz)
+    }
+
+    /// The CGAN configuration this config implies for `data_dim`-wide
+    /// features.
+    pub fn cgan_config(&self) -> CganConfig {
+        CganConfig::builder(self.n_bins, self.encoding.dim())
+            .batch_size(self.batch_size)
+            .build()
+    }
+}
+
+impl Default for PipelineConfig {
+    /// Paper-scale configuration.
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+/// Everything the pipeline produces.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// Graphviz DOT of `G_CPPS` (the paper's Figure 6).
+    pub graph_dot: String,
+    /// All Algorithm 1 candidate flow pairs.
+    pub candidate_pairs: FlowPairList,
+    /// The pairs actually modeled (cross-domain, with data).
+    pub modeled_pairs: FlowPairList,
+    /// Labeled frames used for training.
+    pub train_len: usize,
+    /// Labeled frames held out for Algorithm 3.
+    pub test_len: usize,
+    /// Training losses (Figure 7 data).
+    pub history: TrainingHistory,
+    /// The trained model for the G/M-code → acoustic pair.
+    pub model: SecurityModel,
+    /// The training split (kept for follow-on analyses).
+    pub train: SideChannelDataset,
+    /// The held-out split.
+    pub test: SideChannelDataset,
+    /// Algorithm 3 output at the configured `h`.
+    pub likelihood: LikelihoodReport,
+    /// Derived confidentiality verdicts.
+    pub confidentiality: ConfidentialityReport,
+}
+
+/// The GAN-Sec design-time pipeline (paper Figure 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GanSecPipeline {
+    config: PipelineConfig,
+}
+
+impl GanSecPipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the whole flow deterministically from `seed`:
+    ///
+    /// 1. build the printer architecture and run Algorithm 1;
+    /// 2. simulate the calibration workload on the printer;
+    /// 3. construct the side-channel dataset (CWT + bins + scaling);
+    /// 4. train the flow-pair CGAN (Algorithm 2);
+    /// 5. run the likelihood analysis (Algorithm 3) on held-out frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if the workload is too small to frame or
+    /// training diverges.
+    pub fn run(&self, seed: u64) -> Result<PipelineOutcome, PipelineError> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Step 1: Algorithm 1.
+        let pa = printer_architecture();
+        let graph = pa.arch.build_graph();
+        let graph_dot = graph.to_dot(&pa.arch);
+        let candidate_pairs = graph.candidate_flow_pairs();
+        // Historical data exists for the G/M-code stream conditioning the
+        // motor acoustic emissions (X, Y, Z): exactly the case study.
+        let with_data = graph.flow_pairs_with_data(|p| {
+            p.from == pa.gcode_flow && pa.acoustic_flows[..3].contains(&p.to)
+        });
+        let modeled_pairs = with_data;
+
+        // Step 2: simulate the workload.
+        let sim = PrinterSim::printrbot_class();
+        let trace = sim.run(&calibration_pattern(cfg.moves_per_axis), &mut rng);
+
+        // Step 3: dataset.
+        let dataset = SideChannelDataset::from_trace(
+            &trace,
+            cfg.bins(),
+            cfg.frame_len,
+            cfg.hop,
+            cfg.encoding,
+        )?;
+        let (train, test) = dataset.split_even_odd();
+
+        // Step 4: Algorithm 2.
+        let mut model = SecurityModel::new(cfg.cgan_config(), cfg.encoding, &mut rng);
+        model.train(&train, cfg.train_iterations, &mut rng)?;
+        let history = model.history().clone();
+
+        // Step 5: Algorithm 3.
+        let top = train.top_feature_indices(cfg.n_top_features);
+        let analysis = LikelihoodAnalysis::new(cfg.h, cfg.gsize, top);
+        let likelihood = analysis.analyze(&mut model, &test, &mut rng);
+        let confidentiality =
+            ConfidentialityReport::from_likelihoods(&likelihood, cfg.margin_threshold);
+
+        Ok(PipelineOutcome {
+            graph_dot,
+            candidate_pairs,
+            modeled_pairs,
+            train_len: train.len(),
+            test_len: test.len(),
+            history,
+            model,
+            train,
+            test,
+            likelihood,
+            confidentiality,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_pipeline_runs_end_to_end() {
+        let outcome = GanSecPipeline::new(PipelineConfig::smoke_test())
+            .run(42)
+            .unwrap();
+        assert!(outcome.graph_dot.contains("digraph"));
+        assert!(!outcome.candidate_pairs.is_empty());
+        assert_eq!(outcome.modeled_pairs.len(), 3, "gcode -> X/Y/Z acoustics");
+        assert!(outcome.train_len > 0 && outcome.test_len > 0);
+        assert_eq!(outcome.history.len(), 60);
+        assert_eq!(outcome.likelihood.conditions.len(), 3);
+        assert_eq!(outcome.confidentiality.conditions.len(), 3);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_per_seed() {
+        let p = GanSecPipeline::new(PipelineConfig::smoke_test());
+        let a = p.run(7).unwrap();
+        let b = p.run(7).unwrap();
+        assert_eq!(a.train_len, b.train_len);
+        assert_eq!(
+            a.history.records().last().unwrap().d_loss,
+            b.history.records().last().unwrap().d_loss
+        );
+        assert_eq!(
+            a.likelihood.conditions[0].avg_cor,
+            b.likelihood.conditions[0].avg_cor
+        );
+    }
+
+    #[test]
+    fn modeled_pairs_are_subset_of_candidates() {
+        let outcome = GanSecPipeline::new(PipelineConfig::smoke_test())
+            .run(1)
+            .unwrap();
+        for p in outcome.modeled_pairs.iter() {
+            assert!(outcome.candidate_pairs.contains(p.from, p.to));
+        }
+    }
+
+    #[test]
+    fn config_accessors() {
+        let cfg = PipelineConfig::smoke_test();
+        assert_eq!(cfg.bins().n_bins(), 16);
+        assert_eq!(cfg.cgan_config().data_dim, 16);
+        assert_eq!(cfg.cgan_config().cond_dim, 3);
+        let p = GanSecPipeline::new(cfg.clone());
+        assert_eq!(p.config(), &cfg);
+    }
+}

@@ -1,0 +1,233 @@
+//! Security verdicts and paper-style table formatting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use gansec_amsim::MotorSet;
+
+use crate::LikelihoodReport;
+
+/// The confidentiality verdict for one condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConditionVerdict {
+    /// Condition index (`Cond1` = 0, ...).
+    pub condition_index: usize,
+    /// Decoded motor set if available.
+    pub motor: Option<MotorSet>,
+    /// Mean correct likelihood.
+    pub avg_cor: f64,
+    /// Mean incorrect likelihood.
+    pub avg_inc: f64,
+    /// `avg_cor - avg_inc`.
+    pub margin: f64,
+    /// Whether an attacker observing the emission can identify this
+    /// condition (margin above the report's threshold).
+    pub identifiable: bool,
+}
+
+/// Confidentiality analysis: can an attacker recover the G/M-code
+/// condition from the physical emission? (§IV-D.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfidentialityReport {
+    /// Margin above which a condition counts as identifiable.
+    pub margin_threshold: f64,
+    /// Per-condition verdicts in encoding order.
+    pub conditions: Vec<ConditionVerdict>,
+}
+
+impl ConfidentialityReport {
+    /// Derives verdicts from an Algorithm 3 report.
+    pub fn from_likelihoods(report: &LikelihoodReport, margin_threshold: f64) -> Self {
+        let conditions = report
+            .conditions
+            .iter()
+            .map(|c| {
+                let margin = c.margin();
+                ConditionVerdict {
+                    condition_index: c.condition_index,
+                    motor: c.motor,
+                    avg_cor: c.mean_cor(),
+                    avg_inc: c.mean_inc(),
+                    margin,
+                    identifiable: margin > margin_threshold,
+                }
+            })
+            .collect();
+        Self {
+            margin_threshold,
+            conditions,
+        }
+    }
+
+    /// Whether any condition leaks (the system has a confidentiality
+    /// exposure through this flow pair).
+    pub fn leaks(&self) -> bool {
+        self.conditions.iter().any(|c| c.identifiable)
+    }
+
+    /// The most identifiable condition, if any verdicts exist.
+    pub fn most_identifiable(&self) -> Option<&ConditionVerdict> {
+        self.conditions
+            .iter()
+            .max_by(|a, b| a.margin.total_cmp(&b.margin))
+    }
+}
+
+impl fmt::Display for ConfidentialityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "confidentiality report (margin threshold {:.3}):",
+            self.margin_threshold
+        )?;
+        for c in &self.conditions {
+            let name = c
+                .motor
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| format!("cond{}", c.condition_index + 1));
+            writeln!(
+                f,
+                "  Cond{} ({name}): Cor {:.4}  Inc {:.4}  margin {:+.4}  {}",
+                c.condition_index + 1,
+                c.avg_cor,
+                c.avg_inc,
+                c.margin,
+                if c.identifiable { "LEAKS" } else { "ok" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One row of the paper's Table I: correct/incorrect likelihood per
+/// Parzen width for one condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableOneRow {
+    /// Condition index (`Cond1` = 0, ...).
+    pub condition_index: usize,
+    /// Decoded motor set if available.
+    pub motor: Option<MotorSet>,
+    /// `(h, AvgCorLike, AvgIncLike)` triples in ascending `h`.
+    pub cells: Vec<(f64, f64, f64)>,
+}
+
+impl TableOneRow {
+    /// Formats a set of rows as the paper's Table I (fixed-width text).
+    pub fn format_table(rows: &[TableOneRow]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if rows.is_empty() {
+            return out;
+        }
+        let _ = write!(out, "{:<14}", "");
+        for &(h, _, _) in &rows[0].cells {
+            let _ = write!(out, "h={h:<6.1}{:<8}", "");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:<14}", "");
+        for _ in &rows[0].cells {
+            let _ = write!(out, "{:<7}{:<8}", "Cor", "Inc");
+        }
+        let _ = writeln!(out);
+        for row in rows {
+            let name = row
+                .motor
+                .map(|m| format!("Cond{} ({m})", row.condition_index + 1))
+                .unwrap_or_else(|| format!("Cond{}", row.condition_index + 1));
+            let _ = write!(out, "{name:<14}");
+            for &(_, cor, inc) in &row.cells {
+                let _ = write!(out, "{cor:<7.4}{inc:<8.4}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConditionLikelihood;
+
+    fn fake_report() -> LikelihoodReport {
+        LikelihoodReport {
+            h: 0.2,
+            feature_indices: vec![0],
+            conditions: vec![
+                ConditionLikelihood {
+                    condition_index: 0,
+                    condition: vec![1.0, 0.0, 0.0],
+                    motor: Some(MotorSet::X),
+                    avg_cor: vec![0.60],
+                    avg_inc: vec![0.22],
+                },
+                ConditionLikelihood {
+                    condition_index: 1,
+                    condition: vec![0.0, 1.0, 0.0],
+                    motor: Some(MotorSet::Y),
+                    avg_cor: vec![0.40],
+                    avg_inc: vec![0.39],
+                },
+                ConditionLikelihood {
+                    condition_index: 2,
+                    condition: vec![0.0, 0.0, 1.0],
+                    motor: Some(MotorSet::Z),
+                    avg_cor: vec![0.65],
+                    avg_inc: vec![0.38],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn verdicts_respect_threshold() {
+        let report = ConfidentialityReport::from_likelihoods(&fake_report(), 0.05);
+        assert!(report.conditions[0].identifiable); // margin 0.38
+        assert!(!report.conditions[1].identifiable); // margin 0.01
+        assert!(report.conditions[2].identifiable); // margin 0.27
+        assert!(report.leaks());
+    }
+
+    #[test]
+    fn most_identifiable_is_x_in_fake_data() {
+        let report = ConfidentialityReport::from_likelihoods(&fake_report(), 0.05);
+        let best = report.most_identifiable().unwrap();
+        assert_eq!(best.condition_index, 0); // 0.38 > 0.27
+    }
+
+    #[test]
+    fn display_mentions_all_conditions() {
+        let report = ConfidentialityReport::from_likelihoods(&fake_report(), 0.05);
+        let s = report.to_string();
+        assert!(s.contains("Cond1"));
+        assert!(s.contains("Cond3"));
+        assert!(s.contains("LEAKS"));
+    }
+
+    #[test]
+    fn table_formatting_contains_all_cells() {
+        let rows = vec![
+            TableOneRow {
+                condition_index: 0,
+                motor: Some(MotorSet::X),
+                cells: vec![(0.2, 0.6000, 0.2245), (0.4, 0.6000, 0.3247)],
+            },
+            TableOneRow {
+                condition_index: 2,
+                motor: Some(MotorSet::Z),
+                cells: vec![(0.2, 0.6556, 0.3876), (0.4, 0.6556, 0.3956)],
+            },
+        ];
+        let s = TableOneRow::format_table(&rows);
+        assert!(s.contains("h=0.2"));
+        assert!(s.contains("0.6556"));
+        assert!(s.contains("Cond1 (X)"));
+        assert!(s.contains("Cond3 (Z)"));
+    }
+
+    #[test]
+    fn empty_table_is_empty_string() {
+        assert!(TableOneRow::format_table(&[]).is_empty());
+    }
+}

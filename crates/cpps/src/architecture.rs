@@ -1,0 +1,399 @@
+//! Design-time CPPS architecture description: the input to Algorithm 1.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ComponentId, CppsGraph, FlowId, SubsystemId};
+
+/// Whether a component lives in the cyber or the physical domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Computation/communication: controllers, firmware, external networks.
+    Cyber,
+    /// Matter/energy: motors, frames, the ambient environment.
+    Physical,
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Cyber => write!(f, "cyber"),
+            Domain::Physical => write!(f, "physical"),
+        }
+    }
+}
+
+/// Whether a flow carries discrete signals or continuous energy.
+///
+/// Signal flows (`F_S`) are cyber-domain discrete random variables;
+/// energy flows (`F_E`) are continuous-time physical quantities (§I-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowKind {
+    /// Discrete signal flow `F_S` (e.g. G/M-code streams).
+    Signal,
+    /// Continuous energy flow `F_E` (e.g. acoustic, vibration, thermal).
+    Energy,
+}
+
+impl fmt::Display for FlowKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowKind::Signal => write!(f, "signal"),
+            FlowKind::Energy => write!(f, "energy"),
+        }
+    }
+}
+
+/// A named sub-system grouping components (`Sub_1 ... Sub_n` in Fig. 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subsystem {
+    id: SubsystemId,
+    name: String,
+}
+
+impl Subsystem {
+    /// Identifier.
+    pub fn id(&self) -> SubsystemId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A cyber or physical component: one node of `G_CPPS`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Component {
+    id: ComponentId,
+    name: String,
+    domain: Domain,
+    subsystem: SubsystemId,
+}
+
+impl Component {
+    /// Identifier (the graph node id).
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `"X stepper motor"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cyber or physical domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Owning sub-system.
+    pub fn subsystem(&self) -> SubsystemId {
+        self.subsystem
+    }
+}
+
+/// A directed signal or energy flow: one edge of `G_CPPS`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flow {
+    id: FlowId,
+    name: String,
+    kind: FlowKind,
+    from: ComponentId,
+    to: ComponentId,
+}
+
+impl Flow {
+    /// Identifier (the graph edge id).
+    pub fn id(&self) -> FlowId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `"acoustic emission"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Signal or energy.
+    pub fn kind(&self) -> FlowKind {
+        self.kind
+    }
+
+    /// Source component (the flow's *tail* in Algorithm 1's terminology).
+    pub fn from(&self) -> ComponentId {
+        self.from
+    }
+
+    /// Destination component (the flow's *head*).
+    pub fn to(&self) -> ComponentId {
+        self.to
+    }
+}
+
+/// Errors from architecture construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// A referenced subsystem id does not exist.
+    UnknownSubsystem(SubsystemId),
+    /// A referenced component id does not exist.
+    UnknownComponent(ComponentId),
+    /// A flow was declared from a component to itself.
+    SelfFlow(ComponentId),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::UnknownSubsystem(id) => write!(f, "unknown subsystem {id}"),
+            ArchError::UnknownComponent(id) => write!(f, "unknown component {id}"),
+            ArchError::SelfFlow(id) => write!(f, "flow from component {id} to itself"),
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+/// Design-time CPPS architecture: the `Sub, C, P, F_S, F_E` inputs of
+/// Algorithm 1.
+///
+/// Build incrementally with [`CppsArchitecture::add_subsystem`],
+/// [`CppsArchitecture::add_cyber`] / [`CppsArchitecture::add_physical`]
+/// and [`CppsArchitecture::add_flow`], then call
+/// [`CppsArchitecture::build_graph`] to run the graph-generation step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CppsArchitecture {
+    name: String,
+    subsystems: Vec<Subsystem>,
+    components: Vec<Component>,
+    flows: Vec<Flow>,
+}
+
+impl CppsArchitecture {
+    /// Creates an empty architecture with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            subsystems: Vec::new(),
+            components: Vec::new(),
+            flows: Vec::new(),
+        }
+    }
+
+    /// Architecture display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a sub-system and returns its id.
+    pub fn add_subsystem(&mut self, name: impl Into<String>) -> SubsystemId {
+        let id = SubsystemId::new(self.subsystems.len());
+        self.subsystems.push(Subsystem {
+            id,
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Registers a cyber-domain component in `subsystem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnknownSubsystem`] for a stale id.
+    pub fn add_cyber(
+        &mut self,
+        subsystem: SubsystemId,
+        name: impl Into<String>,
+    ) -> Result<ComponentId, ArchError> {
+        self.add_component(subsystem, name, Domain::Cyber)
+    }
+
+    /// Registers a physical-domain component in `subsystem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnknownSubsystem`] for a stale id.
+    pub fn add_physical(
+        &mut self,
+        subsystem: SubsystemId,
+        name: impl Into<String>,
+    ) -> Result<ComponentId, ArchError> {
+        self.add_component(subsystem, name, Domain::Physical)
+    }
+
+    fn add_component(
+        &mut self,
+        subsystem: SubsystemId,
+        name: impl Into<String>,
+        domain: Domain,
+    ) -> Result<ComponentId, ArchError> {
+        if subsystem.index() >= self.subsystems.len() {
+            return Err(ArchError::UnknownSubsystem(subsystem));
+        }
+        let id = ComponentId::new(self.components.len());
+        self.components.push(Component {
+            id,
+            name: name.into(),
+            domain,
+            subsystem,
+        });
+        Ok(id)
+    }
+
+    /// Registers a directed flow between two existing components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnknownComponent`] for stale ids and
+    /// [`ArchError::SelfFlow`] if `from == to` (self-loops carry no
+    /// cross-component information and would defeat the feedback-removal
+    /// step).
+    pub fn add_flow(
+        &mut self,
+        name: impl Into<String>,
+        kind: FlowKind,
+        from: ComponentId,
+        to: ComponentId,
+    ) -> Result<FlowId, ArchError> {
+        for c in [from, to] {
+            if c.index() >= self.components.len() {
+                return Err(ArchError::UnknownComponent(c));
+            }
+        }
+        if from == to {
+            return Err(ArchError::SelfFlow(from));
+        }
+        let id = FlowId::new(self.flows.len());
+        self.flows.push(Flow {
+            id,
+            name: name.into(),
+            kind,
+            from,
+            to,
+        });
+        Ok(id)
+    }
+
+    /// Registered sub-systems.
+    pub fn subsystems(&self) -> &[Subsystem] {
+        &self.subsystems
+    }
+
+    /// Registered components in id order.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Registered flows in id order.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Looks up a component.
+    pub fn component(&self, id: ComponentId) -> Option<&Component> {
+        self.components.get(id.index())
+    }
+
+    /// Looks up a flow.
+    pub fn flow(&self, id: FlowId) -> Option<&Flow> {
+        self.flows.get(id.index())
+    }
+
+    /// Components belonging to `subsystem`, in id order (Algorithm 1's
+    /// node list `Q`).
+    pub fn components_in(&self, subsystem: SubsystemId) -> Vec<&Component> {
+        self.components
+            .iter()
+            .filter(|c| c.subsystem == subsystem)
+            .collect()
+    }
+
+    /// Runs Algorithm 1's graph-generation step (lines 1-10): builds
+    /// `G_CPPS` with feedback loops removed.
+    pub fn build_graph(&self) -> CppsGraph {
+        CppsGraph::from_architecture(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (CppsArchitecture, ComponentId, ComponentId) {
+        let mut arch = CppsArchitecture::new("toy");
+        let s = arch.add_subsystem("s");
+        let a = arch.add_cyber(s, "a").unwrap();
+        let b = arch.add_physical(s, "b").unwrap();
+        (arch, a, b)
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let (arch, a, b) = toy();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(arch.components().len(), 2);
+        assert_eq!(arch.component(a).unwrap().domain(), Domain::Cyber);
+        assert_eq!(arch.component(b).unwrap().domain(), Domain::Physical);
+    }
+
+    #[test]
+    fn add_flow_validates_components() {
+        let (mut arch, a, _) = toy();
+        let bogus = ComponentId::new(99);
+        assert_eq!(
+            arch.add_flow("x", FlowKind::Signal, a, bogus),
+            Err(ArchError::UnknownComponent(bogus))
+        );
+    }
+
+    #[test]
+    fn self_flows_rejected() {
+        let (mut arch, a, _) = toy();
+        assert_eq!(
+            arch.add_flow("loop", FlowKind::Signal, a, a),
+            Err(ArchError::SelfFlow(a))
+        );
+    }
+
+    #[test]
+    fn unknown_subsystem_rejected() {
+        let mut arch = CppsArchitecture::new("x");
+        let bogus = SubsystemId::new(7);
+        assert_eq!(
+            arch.add_cyber(bogus, "c"),
+            Err(ArchError::UnknownSubsystem(bogus))
+        );
+    }
+
+    #[test]
+    fn components_in_filters_by_subsystem() {
+        let mut arch = CppsArchitecture::new("two");
+        let s1 = arch.add_subsystem("one");
+        let s2 = arch.add_subsystem("two");
+        let _ = arch.add_cyber(s1, "a").unwrap();
+        let _ = arch.add_cyber(s2, "b").unwrap();
+        let _ = arch.add_physical(s1, "c").unwrap();
+        let in1: Vec<&str> = arch.components_in(s1).iter().map(|c| c.name()).collect();
+        assert_eq!(in1, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ArchError::SelfFlow(ComponentId::new(4));
+        assert!(e.to_string().contains("n4"));
+    }
+
+    #[test]
+    fn flow_accessors() {
+        let (mut arch, a, b) = toy();
+        let f = arch.add_flow("sig", FlowKind::Signal, a, b).unwrap();
+        let flow = arch.flow(f).unwrap();
+        assert_eq!(flow.from(), a);
+        assert_eq!(flow.to(), b);
+        assert_eq!(flow.kind(), FlowKind::Signal);
+        assert_eq!(flow.name(), "sig");
+    }
+}

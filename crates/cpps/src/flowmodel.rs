@@ -1,0 +1,316 @@
+//! Probabilistic flow models: the paper's §I-B preliminaries.
+//!
+//! *Signal flow*: a discrete random variable `F_S ∈ {f_1..f_n}` with
+//! events `E_i = [F_S = f_i]` of known probability `Pr(E_i)`.
+//!
+//! *Energy flow*: a continuous signal whose feature-extraction pipeline
+//! (`f_X`, `f_Y`) yields feature variables `Y^i`, each again discrete
+//! with events `E_{i_j}` and probabilities.
+//!
+//! These models give the information-theoretic frame around the CGAN:
+//! the entropy of a signal flow is the ceiling on what *any* side
+//! channel can leak about it, and comparing it with the measured mutual
+//! information quantifies how much of the ceiling an attacker reaches.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error from flow-model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowModelError {
+    /// No events were supplied.
+    Empty,
+    /// A probability was negative or non-finite.
+    InvalidProbability(f64),
+    /// Probabilities do not sum to ~1.
+    NotNormalized(f64),
+    /// Value and probability lists differ in length.
+    LengthMismatch {
+        /// Number of event values.
+        values: usize,
+        /// Number of probabilities.
+        probs: usize,
+    },
+}
+
+impl fmt::Display for FlowModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowModelError::Empty => write!(f, "a flow needs at least one event"),
+            FlowModelError::InvalidProbability(p) => write!(f, "invalid probability {p}"),
+            FlowModelError::NotNormalized(s) => {
+                write!(f, "probabilities sum to {s}, expected 1")
+            }
+            FlowModelError::LengthMismatch { values, probs } => {
+                write!(f, "{values} values but {probs} probabilities")
+            }
+        }
+    }
+}
+
+impl Error for FlowModelError {}
+
+/// A discrete signal-flow model: named event values with probabilities
+/// (`F_S`, `E_i`, `Pr(E_i)` of §I-B).
+///
+/// # Example
+///
+/// ```
+/// use gansec_cpps::SignalFlowModel;
+///
+/// // A uniform 3-way command flow can leak at most ln(3) nats.
+/// let flow = SignalFlowModel::uniform(3);
+/// assert!((flow.entropy_nats() - 3.0f64.ln()).abs() < 1e-12);
+/// // A side channel measured at 0.55 nats captures half the ceiling.
+/// assert!((flow.leakage_fraction(3.0f64.ln() / 2.0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalFlowModel {
+    values: Vec<String>,
+    probs: Vec<f64>,
+}
+
+impl SignalFlowModel {
+    /// Creates a model from event names and probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty inputs, mismatched lengths, negative/non-finite
+    /// probabilities, and distributions not summing to 1 (tolerance
+    /// `1e-9`).
+    pub fn new(values: Vec<String>, probs: Vec<f64>) -> Result<Self, FlowModelError> {
+        if values.is_empty() {
+            return Err(FlowModelError::Empty);
+        }
+        if values.len() != probs.len() {
+            return Err(FlowModelError::LengthMismatch {
+                values: values.len(),
+                probs: probs.len(),
+            });
+        }
+        if let Some(&bad) = probs.iter().find(|&&p| !p.is_finite() || p < 0.0) {
+            return Err(FlowModelError::InvalidProbability(bad));
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(FlowModelError::NotNormalized(sum));
+        }
+        Ok(Self { values, probs })
+    }
+
+    /// A uniform distribution over `n` events named `e0..e(n-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "need at least one event");
+        Self {
+            values: (0..n).map(|i| format!("e{i}")).collect(),
+            probs: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Estimates the model from observed event counts, with names taken
+    /// from `values`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty or mismatched inputs and all-zero counts.
+    pub fn from_counts(values: Vec<String>, counts: &[u64]) -> Result<Self, FlowModelError> {
+        if values.len() != counts.len() {
+            return Err(FlowModelError::LengthMismatch {
+                values: values.len(),
+                probs: counts.len(),
+            });
+        }
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Err(FlowModelError::Empty);
+        }
+        let probs = counts.iter().map(|&c| c as f64 / total as f64).collect();
+        Self::new(values, probs)
+    }
+
+    /// Number of events `n`.
+    pub fn n_events(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Event names in index order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// `Pr(E_i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// The full probability vector.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Shannon entropy `H(F_S)` in nats — the ceiling on the information
+    /// any side channel can leak about this flow per observation.
+    pub fn entropy_nats(&self) -> f64 {
+        self.probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum()
+    }
+
+    /// Entropy in bits.
+    pub fn entropy_bits(&self) -> f64 {
+        self.entropy_nats() / std::f64::consts::LN_2
+    }
+
+    /// What fraction of this flow's entropy a measured leakage of
+    /// `mutual_information_nats` captures, clamped to `[0, 1]`. A value
+    /// of 1 means the side channel reveals the flow completely.
+    pub fn leakage_fraction(&self, mutual_information_nats: f64) -> f64 {
+        let h = self.entropy_nats();
+        if h <= 0.0 {
+            return 0.0;
+        }
+        (mutual_information_nats / h).clamp(0.0, 1.0)
+    }
+}
+
+/// An energy-flow model after feature extraction: one discrete event
+/// model per extracted feature `Y^i` (§I-B's `E_{i_j}` families).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyFlowModel {
+    features: Vec<SignalFlowModel>,
+}
+
+impl EnergyFlowModel {
+    /// Wraps per-feature event models.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty feature list.
+    pub fn new(features: Vec<SignalFlowModel>) -> Result<Self, FlowModelError> {
+        if features.is_empty() {
+            return Err(FlowModelError::Empty);
+        }
+        Ok(Self { features })
+    }
+
+    /// Number of feature variables `m`.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// The event model of feature `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn feature(&self, i: usize) -> &SignalFlowModel {
+        &self.features[i]
+    }
+
+    /// Upper bound on the joint entropy (nats): the sum of per-feature
+    /// entropies (equality iff features are independent).
+    pub fn joint_entropy_upper_bound_nats(&self) -> f64 {
+        self.features
+            .iter()
+            .map(SignalFlowModel::entropy_nats)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("v{i}")).collect()
+    }
+
+    #[test]
+    fn uniform_entropy_is_log_n() {
+        let m = SignalFlowModel::uniform(8);
+        assert!((m.entropy_nats() - 8.0f64.ln()).abs() < 1e-12);
+        assert!((m.entropy_bits() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_mass_has_zero_entropy() {
+        let m = SignalFlowModel::new(names(2), vec![1.0, 0.0]).unwrap();
+        assert_eq!(m.entropy_nats(), 0.0);
+        assert_eq!(m.leakage_fraction(0.5), 0.0);
+    }
+
+    #[test]
+    fn from_counts_normalizes() {
+        let m = SignalFlowModel::from_counts(names(3), &[10, 30, 60]).unwrap();
+        assert!((m.probability(0) - 0.1).abs() < 1e-12);
+        assert!((m.probability(2) - 0.6).abs() < 1e-12);
+        let sum: f64 = m.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_fraction_is_clamped_ratio() {
+        let m = SignalFlowModel::uniform(3); // H = ln 3
+        let h = 3.0f64.ln();
+        assert!((m.leakage_fraction(h / 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(m.leakage_fraction(10.0), 1.0);
+        assert_eq!(m.leakage_fraction(-1.0), 0.0);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            SignalFlowModel::new(vec![], vec![]),
+            Err(FlowModelError::Empty)
+        );
+        assert!(matches!(
+            SignalFlowModel::new(names(2), vec![0.5]),
+            Err(FlowModelError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            SignalFlowModel::new(names(2), vec![0.7, 0.7]),
+            Err(FlowModelError::NotNormalized(_))
+        ));
+        assert!(matches!(
+            SignalFlowModel::new(names(2), vec![-0.5, 1.5]),
+            Err(FlowModelError::InvalidProbability(_))
+        ));
+        assert_eq!(
+            SignalFlowModel::from_counts(names(2), &[0, 0]),
+            Err(FlowModelError::Empty)
+        );
+    }
+
+    #[test]
+    fn energy_flow_entropy_bound() {
+        let f1 = SignalFlowModel::uniform(4); // ln 4
+        let f2 = SignalFlowModel::uniform(2); // ln 2
+        let e = EnergyFlowModel::new(vec![f1, f2]).unwrap();
+        assert_eq!(e.n_features(), 2);
+        assert!((e.joint_entropy_upper_bound_nats() - (4.0f64.ln() + 2.0f64.ln())).abs() < 1e-12);
+        assert_eq!(e.feature(1).n_events(), 2);
+    }
+
+    #[test]
+    fn energy_flow_rejects_empty() {
+        assert_eq!(EnergyFlowModel::new(vec![]), Err(FlowModelError::Empty));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FlowModelError::NotNormalized(0.7);
+        assert!(e.to_string().contains("0.7"));
+    }
+}

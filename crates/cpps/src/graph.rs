@@ -1,0 +1,452 @@
+//! `G_CPPS` generation and traversal: Algorithm 1 lines 1-14.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    Component, ComponentId, CppsArchitecture, Domain, Flow, FlowId, FlowKind, FlowPair,
+    FlowPairList,
+};
+
+/// The CPPS graph: components as nodes, flows as directed edges, with
+/// feedback loops removed (Algorithm 1 line 3) so that reachability
+/// queries terminate and flow pairs have a causal direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CppsGraph {
+    components: Vec<Component>,
+    flows: Vec<Flow>,
+    /// `adjacency[v]` lists (neighbor, flow id) for kept flows out of `v`.
+    adjacency: Vec<Vec<(ComponentId, FlowId)>>,
+    /// Flows classified as feedback (back edges) and excluded from the
+    /// adjacency structure. They remain listed for reporting.
+    feedback_flows: Vec<FlowId>,
+}
+
+impl CppsGraph {
+    /// Builds the graph from a design-time architecture (Algorithm 1
+    /// lines 1-10): every component becomes a node; every flow becomes a
+    /// directed edge; back edges found by a deterministic DFS over nodes
+    /// in id order are classified as feedback loops and removed.
+    pub fn from_architecture(arch: &CppsArchitecture) -> Self {
+        let n = arch.components().len();
+        let mut adjacency: Vec<Vec<(ComponentId, FlowId)>> = vec![Vec::new(); n];
+        for flow in arch.flows() {
+            adjacency[flow.from().index()].push((flow.to(), flow.id()));
+        }
+
+        let feedback = find_back_edges(n, &adjacency);
+        if !feedback.is_empty() {
+            let feedback_set: HashSet<FlowId> = feedback.iter().copied().collect();
+            for adj in &mut adjacency {
+                adj.retain(|(_, f)| !feedback_set.contains(f));
+            }
+        }
+
+        Self {
+            components: arch.components().to_vec(),
+            flows: arch.flows().to_vec(),
+            adjacency,
+            feedback_flows: feedback,
+        }
+    }
+
+    /// Graph nodes in id order.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// All declared flows in id order, including removed feedback flows.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Flows classified as feedback loops and excluded from traversal.
+    pub fn feedback_flows(&self) -> &[FlowId] {
+        &self.feedback_flows
+    }
+
+    /// Whether `flow` survived feedback removal.
+    pub fn is_kept(&self, flow: FlowId) -> bool {
+        !self.feedback_flows.contains(&flow)
+    }
+
+    /// Looks up a flow by id.
+    pub fn flow(&self, id: FlowId) -> Option<&Flow> {
+        self.flows.get(id.index())
+    }
+
+    /// Looks up a component by id.
+    pub fn component(&self, id: ComponentId) -> Option<&Component> {
+        self.components.get(id.index())
+    }
+
+    /// Kept out-edges of `v` as `(neighbor, flow)` pairs.
+    pub fn neighbors(&self, v: ComponentId) -> &[(ComponentId, FlowId)] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Whether `to` is reachable from `from` along kept flows (DFS);
+    /// a node is reachable from itself.
+    pub fn reachable(&self, from: ComponentId, to: ComponentId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut visited = vec![false; self.components.len()];
+        let mut stack = vec![from];
+        visited[from.index()] = true;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in &self.adjacency[v.index()] {
+                if u == to {
+                    return true;
+                }
+                if !visited[u.index()] {
+                    visited[u.index()] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        false
+    }
+
+    /// Shortest flow path (by hop count, BFS) from component `from` to
+    /// component `to`, as the list of traversed flow ids; `None` if
+    /// unreachable, `Some(vec![])` if `from == to`. This is the
+    /// "explanation" of a flow pair: the physical route the information
+    /// takes from the conditioning flow to the modeled emission.
+    pub fn flow_path(&self, from: ComponentId, to: ComponentId) -> Option<Vec<FlowId>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let n = self.components.len();
+        let mut prev: Vec<Option<(ComponentId, FlowId)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[from.index()] = true;
+        queue.push_back(from);
+        while let Some(v) = queue.pop_front() {
+            for &(u, f) in &self.adjacency[v.index()] {
+                if !visited[u.index()] {
+                    visited[u.index()] = true;
+                    prev[u.index()] = Some((v, f));
+                    if u == to {
+                        // Reconstruct the path backwards.
+                        let mut path = Vec::new();
+                        let mut cursor = to;
+                        while cursor != from {
+                            let (p, flow) =
+                                prev[cursor.index()].expect("visited nodes have predecessors");
+                            path.push(flow);
+                            cursor = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(u);
+                }
+            }
+        }
+        None
+    }
+
+    /// Explains a flow pair: the shortest kept-flow route from the tail
+    /// of `pair.from` to the *source* of `pair.to`, ending with
+    /// `pair.to` itself — i.e. the causal chain that terminates in the
+    /// modeled emission (not merely any path to its destination node).
+    /// `None` when the pair is not connected that way.
+    pub fn explain_pair(&self, pair: &FlowPair) -> Option<Vec<FlowId>> {
+        let from = self.flows.get(pair.from.index())?.from();
+        let emission = self.flows.get(pair.to.index())?;
+        if !self.is_kept(emission.id()) {
+            return None;
+        }
+        let mut path = self.flow_path(from, emission.from())?;
+        path.push(emission.id());
+        Some(path)
+    }
+
+    /// Algorithm 1 lines 11-14: enumerates candidate flow pairs
+    /// `(F_1, F_2)` of *kept* flows with `F_1 != F_2` where the head of
+    /// `F_2` is reachable from the tail of `F_1`, i.e. the two flows lie
+    /// on a common causal path and `Pr(F_2 | F_1)` is physically
+    /// meaningful to model.
+    pub fn candidate_flow_pairs(&self) -> FlowPairList {
+        let mut pairs = Vec::new();
+        for f1 in &self.flows {
+            if !self.is_kept(f1.id()) {
+                continue;
+            }
+            for f2 in &self.flows {
+                if f1.id() == f2.id() || !self.is_kept(f2.id()) {
+                    continue;
+                }
+                if self.reachable(f1.from(), f2.to()) {
+                    pairs.push(FlowPair::new(f1.id(), f2.id()));
+                }
+            }
+        }
+        FlowPairList::new(pairs)
+    }
+
+    /// Algorithm 1 lines 15-17: prunes candidate pairs to those for which
+    /// historical data exists, as decided by `has_data`.
+    pub fn flow_pairs_with_data(&self, has_data: impl Fn(&FlowPair) -> bool) -> FlowPairList {
+        self.candidate_flow_pairs().retain(has_data)
+    }
+
+    /// Candidate pairs restricted to cross-domain `(signal, energy)` or
+    /// `(energy, signal)` combinations — the pairs the paper's case study
+    /// selects for side-channel analysis (§IV-B).
+    pub fn cross_domain_pairs(&self) -> FlowPairList {
+        self.candidate_flow_pairs().retain(|p| {
+            let k1 = self.flows[p.from.index()].kind();
+            let k2 = self.flows[p.to.index()].kind();
+            k1 != k2
+        })
+    }
+
+    /// Exports the graph in Graphviz DOT form, clustered by sub-system:
+    /// cyber components as boxes, physical as ellipses, signal flows as
+    /// solid edges, energy flows dashed, removed feedback flows dotted
+    /// red. Rendering this for the printer architecture reproduces the
+    /// paper's Figure 6.
+    pub fn to_dot(&self, arch: &CppsArchitecture) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph g_cpps {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        for sub in arch.subsystems() {
+            let _ = writeln!(out, "  subgraph cluster_{} {{", sub.id().index());
+            let _ = writeln!(out, "    label=\"{}\";", sub.name());
+            for c in &self.components {
+                if c.subsystem() == sub.id() {
+                    let shape = match c.domain() {
+                        Domain::Cyber => "box",
+                        Domain::Physical => "ellipse",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "    {} [label=\"{}\", shape={}];",
+                        c.id(),
+                        c.name(),
+                        shape
+                    );
+                }
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for f in &self.flows {
+            let style = if !self.is_kept(f.id()) {
+                "style=dotted, color=red"
+            } else {
+                match f.kind() {
+                    FlowKind::Signal => "style=solid",
+                    FlowKind::Energy => "style=dashed",
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}\", {}];",
+                f.from(),
+                f.to(),
+                f.name(),
+                style
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Deterministic iterative DFS classifying back edges (edges into a node
+/// still on the current DFS stack). Removing exactly these edges makes
+/// the remaining graph acyclic.
+fn find_back_edges(n: usize, adjacency: &[Vec<(ComponentId, FlowId)>]) -> Vec<FlowId> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unvisited,
+        OnStack,
+        Done,
+    }
+    let mut state = vec![State::Unvisited; n];
+    let mut back = Vec::new();
+
+    for root in 0..n {
+        if state[root] != State::Unvisited {
+            continue;
+        }
+        // Each stack frame: (node, next out-edge index to examine).
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        state[root] = State::OnStack;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < adjacency[v].len() {
+                let (u, f) = adjacency[v][*next];
+                *next += 1;
+                match state[u.index()] {
+                    State::OnStack => back.push(f),
+                    State::Unvisited => {
+                        state[u.index()] = State::OnStack;
+                        stack.push((u.index(), 0));
+                    }
+                    State::Done => {}
+                }
+            } else {
+                state[v] = State::Done;
+                stack.pop();
+            }
+        }
+    }
+    back.sort_unstable();
+    back
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CppsArchitecture;
+
+    /// a -> b -> c with a feedback edge c -> a.
+    fn cyclic_arch() -> (CppsArchitecture, Vec<ComponentId>, Vec<FlowId>) {
+        let mut arch = CppsArchitecture::new("cyclic");
+        let s = arch.add_subsystem("s");
+        let a = arch.add_cyber(s, "a").unwrap();
+        let b = arch.add_physical(s, "b").unwrap();
+        let c = arch.add_physical(s, "c").unwrap();
+        let f0 = arch.add_flow("ab", FlowKind::Signal, a, b).unwrap();
+        let f1 = arch.add_flow("bc", FlowKind::Energy, b, c).unwrap();
+        let f2 = arch.add_flow("ca", FlowKind::Signal, c, a).unwrap();
+        (arch, vec![a, b, c], vec![f0, f1, f2])
+    }
+
+    #[test]
+    fn feedback_edge_is_removed() {
+        let (arch, _, flows) = cyclic_arch();
+        let g = arch.build_graph();
+        assert_eq!(g.feedback_flows(), &[flows[2]]);
+        assert!(g.is_kept(flows[0]));
+        assert!(!g.is_kept(flows[2]));
+    }
+
+    #[test]
+    fn acyclic_graph_keeps_everything() {
+        let mut arch = CppsArchitecture::new("dag");
+        let s = arch.add_subsystem("s");
+        let a = arch.add_cyber(s, "a").unwrap();
+        let b = arch.add_physical(s, "b").unwrap();
+        let _ = arch.add_flow("ab", FlowKind::Signal, a, b).unwrap();
+        let g = arch.build_graph();
+        assert!(g.feedback_flows().is_empty());
+    }
+
+    #[test]
+    fn reachability_follows_kept_edges_only() {
+        let (arch, comps, _) = cyclic_arch();
+        let g = arch.build_graph();
+        assert!(g.reachable(comps[0], comps[2])); // a -> b -> c
+        assert!(!g.reachable(comps[2], comps[0])); // feedback removed
+        assert!(g.reachable(comps[1], comps[1])); // self
+    }
+
+    #[test]
+    fn candidate_pairs_respect_causality() {
+        let (arch, _, flows) = cyclic_arch();
+        let g = arch.build_graph();
+        let pairs = g.candidate_flow_pairs();
+        // (ab, bc): head(bc)=c reachable from tail(ab)=a -> included.
+        assert!(pairs.contains(flows[0], flows[1]));
+        // (bc, ab): head(ab)=b reachable from tail(bc)=b (self) -> included.
+        assert!(pairs.contains(flows[1], flows[0]));
+        // Feedback flow ca excluded entirely.
+        assert!(pairs.iter().all(|p| p.from != flows[2] && p.to != flows[2]));
+    }
+
+    #[test]
+    fn no_self_pairs() {
+        let (arch, _, _) = cyclic_arch();
+        let pairs = arch.build_graph().candidate_flow_pairs();
+        assert!(pairs.iter().all(|p| p.from != p.to));
+    }
+
+    #[test]
+    fn data_pruning_is_subset() {
+        let (arch, _, flows) = cyclic_arch();
+        let g = arch.build_graph();
+        let all = g.candidate_flow_pairs();
+        let pruned = g.flow_pairs_with_data(|p| p.from == flows[0]);
+        assert!(pruned.len() <= all.len());
+        assert!(pruned.iter().all(|p| all.contains(p.from, p.to)));
+        assert!(pruned.iter().all(|p| p.from == flows[0]));
+    }
+
+    #[test]
+    fn cross_domain_pairs_mix_kinds() {
+        let (arch, _, _) = cyclic_arch();
+        let g = arch.build_graph();
+        for p in g.cross_domain_pairs().iter() {
+            let k1 = g.flow(p.from).unwrap().kind();
+            let k2 = g.flow(p.to).unwrap().kind();
+            assert_ne!(k1, k2);
+        }
+    }
+
+    #[test]
+    fn dot_export_mentions_all_components_and_flows() {
+        let (arch, _, _) = cyclic_arch();
+        let g = arch.build_graph();
+        let dot = g.to_dot(&arch);
+        for c in g.components() {
+            assert!(dot.contains(c.name()), "missing component {}", c.name());
+        }
+        for f in g.flows() {
+            assert!(dot.contains(f.name()), "missing flow {}", f.name());
+        }
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("color=red")); // removed feedback flow styled
+    }
+
+    #[test]
+    fn flow_path_finds_route() {
+        let (arch, comps, flows) = cyclic_arch();
+        let g = arch.build_graph();
+        // a -> b -> c uses flows ab then bc.
+        assert_eq!(g.flow_path(comps[0], comps[2]), Some(vec![flows[0], flows[1]]));
+        // Self path is empty.
+        assert_eq!(g.flow_path(comps[1], comps[1]), Some(vec![]));
+        // Feedback edge removed: c cannot reach a.
+        assert_eq!(g.flow_path(comps[2], comps[0]), None);
+    }
+
+    #[test]
+    fn explain_pair_routes_end_with_the_emission() {
+        let (arch, _, flows) = cyclic_arch();
+        let g = arch.build_graph();
+        let pair = FlowPair::new(flows[0], flows[1]);
+        // Route from a to b (the source of bc), then the emission bc.
+        assert_eq!(g.explain_pair(&pair), Some(vec![flows[0], flows[1]]));
+        // Removed feedback flows cannot be explained.
+        let bad = FlowPair::new(flows[0], flows[2]);
+        assert_eq!(g.explain_pair(&bad), None);
+    }
+
+    #[test]
+    fn two_cycles_both_broken() {
+        let mut arch = CppsArchitecture::new("two-cycles");
+        let s = arch.add_subsystem("s");
+        let a = arch.add_cyber(s, "a").unwrap();
+        let b = arch.add_physical(s, "b").unwrap();
+        let c = arch.add_physical(s, "c").unwrap();
+        let d = arch.add_physical(s, "d").unwrap();
+        let _ = arch.add_flow("ab", FlowKind::Signal, a, b).unwrap();
+        let _ = arch.add_flow("ba", FlowKind::Signal, b, a).unwrap();
+        let _ = arch.add_flow("cd", FlowKind::Energy, c, d).unwrap();
+        let _ = arch.add_flow("dc", FlowKind::Energy, d, c).unwrap();
+        let g = arch.build_graph();
+        assert_eq!(g.feedback_flows().len(), 2);
+        // After removal the graph is acyclic: no node reaches itself via
+        // a nonempty path. Check via pair enumeration terminating and
+        // mutual reachability being broken.
+        assert!(!(g.reachable(a, b) && g.reachable(b, a)));
+        assert!(!(g.reachable(c, d) && g.reachable(d, c)));
+    }
+}

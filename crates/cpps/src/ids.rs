@@ -1,0 +1,83 @@
+//! Typed identifiers for architecture entities.
+//!
+//! Newtypes keep component, flow, and subsystem indices from being mixed
+//! up in the graph algorithms (C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Wraps a raw index. Indices are assigned densely by
+            /// [`crate::CppsArchitecture`] in insertion order.
+            pub fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// The raw dense index.
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a cyber or physical component (a graph node).
+    ComponentId,
+    "n"
+);
+id_type!(
+    /// Identifier of a signal or energy flow (a graph edge).
+    FlowId,
+    "f"
+);
+id_type!(
+    /// Identifier of a sub-system grouping components.
+    SubsystemId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        let c = ComponentId::new(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(usize::from(c), 3);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(ComponentId::new(1).to_string(), "n1");
+        assert_eq!(FlowId::new(2).to_string(), "f2");
+        assert_eq!(SubsystemId::new(0).to_string(), "s0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(FlowId::new(1) < FlowId::new(2));
+    }
+}

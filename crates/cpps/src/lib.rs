@@ -1,0 +1,50 @@
+//! CPPS architecture modeling and flow-pair generation (paper §II-III).
+//!
+//! A Cyber-Physical Production System is modeled as sub-systems containing
+//! cyber (`C_i`) and physical (`P_i`) components connected by *signal
+//! flows* (cyber-domain, discrete) and *energy flows* (physical-domain,
+//! continuous). This crate implements:
+//!
+//! * the design-time architecture description ([`CppsArchitecture`] and
+//!   its builder API);
+//! * **Algorithm 1** of the paper: [`CppsGraph`] generation, feedback-loop
+//!   removal, DFS reachability, exhaustive flow-pair enumeration
+//!   ([`CppsGraph::candidate_flow_pairs`]) and pruning against available
+//!   historical data ([`CppsGraph::flow_pairs_with_data`]);
+//! * Graphviz DOT export reproducing the paper's Figure 6 layout
+//!   ([`CppsGraph::to_dot`]).
+//!
+//! # Example
+//!
+//! ```
+//! use gansec_cpps::{CppsArchitecture, FlowKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut arch = CppsArchitecture::new("toy");
+//! let sub = arch.add_subsystem("printer");
+//! let c1 = arch.add_cyber(sub, "controller")?;
+//! let p1 = arch.add_physical(sub, "motor")?;
+//! let p9 = arch.add_physical(sub, "environment")?;
+//! let f1 = arch.add_flow("pwm", FlowKind::Signal, c1, p1)?;
+//! let f2 = arch.add_flow("acoustic", FlowKind::Energy, p1, p9)?;
+//! let graph = arch.build_graph();
+//! let pairs = graph.candidate_flow_pairs();
+//! assert!(pairs.iter().any(|p| p.from == f1 && p.to == f2));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod architecture;
+mod flowmodel;
+mod graph;
+mod ids;
+mod pairs;
+
+pub use architecture::{ArchError, Component, CppsArchitecture, Domain, Flow, FlowKind, Subsystem};
+pub use flowmodel::{EnergyFlowModel, FlowModelError, SignalFlowModel};
+pub use graph::CppsGraph;
+pub use ids::{ComponentId, FlowId, SubsystemId};
+pub use pairs::{FlowPair, FlowPairList};

@@ -1,0 +1,167 @@
+//! Flow pairs: the unit of CGAN modeling (`FP_T` in Algorithm 1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::FlowId;
+
+/// An ordered pair of flows `(F_1, F_2)`: the CGAN models
+/// `Pr(F_to | F_from)` — information about `from` conditions the
+/// distribution of `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowPair {
+    /// The conditioning flow (`F_1` in Algorithm 1 line 14).
+    pub from: FlowId,
+    /// The modeled flow (`F_2`).
+    pub to: FlowId,
+}
+
+impl FlowPair {
+    /// Creates a pair.
+    pub fn new(from: FlowId, to: FlowId) -> Self {
+        Self { from, to }
+    }
+
+    /// The pair with roles swapped, for modeling the reverse conditional.
+    pub fn reversed(self) -> Self {
+        Self {
+            from: self.to,
+            to: self.from,
+        }
+    }
+}
+
+impl fmt::Display for FlowPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} -> {})", self.from, self.to)
+    }
+}
+
+/// An ordered list of flow pairs (`FP_F` / `FP_T` in Algorithm 1).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowPairList {
+    pairs: Vec<FlowPair>,
+}
+
+impl FlowPairList {
+    /// Wraps a pair list, preserving order.
+    pub fn new(pairs: Vec<FlowPair>) -> Self {
+        Self { pairs }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over the pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowPair> {
+        self.pairs.iter()
+    }
+
+    /// Whether the list contains `(from, to)`.
+    pub fn contains(&self, from: FlowId, to: FlowId) -> bool {
+        self.pairs.iter().any(|p| p.from == from && p.to == to)
+    }
+
+    /// Borrows the underlying slice.
+    pub fn as_slice(&self) -> &[FlowPair] {
+        &self.pairs
+    }
+
+    /// Consumes into the underlying vector.
+    pub fn into_vec(self) -> Vec<FlowPair> {
+        self.pairs
+    }
+
+    /// Keeps only pairs satisfying `keep`; Algorithm 1's data-availability
+    /// pruning (`FP_F` → `FP_T`) is expressed through this.
+    pub fn retain(mut self, keep: impl Fn(&FlowPair) -> bool) -> Self {
+        self.pairs.retain(|p| keep(p));
+        self
+    }
+}
+
+impl FromIterator<FlowPair> for FlowPairList {
+    fn from_iter<I: IntoIterator<Item = FlowPair>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<FlowPair> for FlowPairList {
+    fn extend<I: IntoIterator<Item = FlowPair>>(&mut self, iter: I) {
+        self.pairs.extend(iter);
+    }
+}
+
+impl IntoIterator for FlowPairList {
+    type Item = FlowPair;
+    type IntoIter = std::vec::IntoIter<FlowPair>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.pairs.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FlowPairList {
+    type Item = &'a FlowPair;
+    type IntoIter = std::slice::Iter<'a, FlowPair>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.pairs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(i: usize) -> FlowId {
+        FlowId::new(i)
+    }
+
+    #[test]
+    fn reversed_swaps_roles() {
+        let p = FlowPair::new(fid(1), fid(2));
+        assert_eq!(p.reversed(), FlowPair::new(fid(2), fid(1)));
+        assert_eq!(p.reversed().reversed(), p);
+    }
+
+    #[test]
+    fn display_shows_direction() {
+        assert_eq!(FlowPair::new(fid(0), fid(3)).to_string(), "(f0 -> f3)");
+    }
+
+    #[test]
+    fn retain_filters_in_place() {
+        let list: FlowPairList = (0..4).map(|i| FlowPair::new(fid(i), fid(i + 1))).collect();
+        let kept = list.retain(|p| p.from.index() % 2 == 0);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(fid(0), fid(1)));
+        assert!(kept.contains(fid(2), fid(3)));
+    }
+
+    #[test]
+    fn collection_traits() {
+        let mut list: FlowPairList = std::iter::once(FlowPair::new(fid(0), fid(1))).collect();
+        list.extend([FlowPair::new(fid(1), fid(2))]);
+        assert_eq!(list.len(), 2);
+        let v: Vec<FlowPair> = list.clone().into_iter().collect();
+        assert_eq!(v.len(), 2);
+        let borrowed: Vec<&FlowPair> = (&list).into_iter().collect();
+        assert_eq!(borrowed.len(), 2);
+    }
+
+    #[test]
+    fn empty_list_behaves() {
+        let list = FlowPairList::default();
+        assert!(list.is_empty());
+        assert!(!list.contains(fid(0), fid(1)));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for Algorithm 1's graph invariants over randomly
+//! generated architectures.
+
+use gansec_cpps::{ComponentId, CppsArchitecture, FlowKind};
+use proptest::prelude::*;
+
+/// A random architecture: `n` components in 1-3 subsystems with random
+/// directed flows (self-loops excluded by the builder contract, so we
+/// filter them out of the generated edge list).
+fn random_arch() -> impl Strategy<Value = CppsArchitecture> {
+    (
+        2usize..10,
+        proptest::collection::vec((0usize..10, 0usize..10, any::<bool>()), 0..30),
+    )
+        .prop_map(|(n, edges)| {
+            let mut arch = CppsArchitecture::new("random");
+            let s1 = arch.add_subsystem("s1");
+            let s2 = arch.add_subsystem("s2");
+            let mut ids = Vec::new();
+            for i in 0..n {
+                let sub = if i % 2 == 0 { s1 } else { s2 };
+                let id = if i % 3 == 0 {
+                    arch.add_cyber(sub, format!("c{i}")).expect("valid sub")
+                } else {
+                    arch.add_physical(sub, format!("p{i}")).expect("valid sub")
+                };
+                ids.push(id);
+            }
+            for (k, (a, b, sig)) in edges.into_iter().enumerate() {
+                let from = ids[a % n];
+                let to = ids[b % n];
+                if from != to {
+                    let kind = if sig {
+                        FlowKind::Signal
+                    } else {
+                        FlowKind::Energy
+                    };
+                    let _ = arch
+                        .add_flow(format!("f{k}"), kind, from, to)
+                        .expect("valid ids");
+                }
+            }
+            arch
+        })
+}
+
+/// Is the kept subgraph acyclic? (Kahn's algorithm.)
+fn kept_graph_is_acyclic(g: &gansec_cpps::CppsGraph) -> bool {
+    let n = g.components().len();
+    let mut indeg = vec![0usize; n];
+    for v in 0..n {
+        for &(u, _) in g.neighbors(ComponentId::new(v)) {
+            indeg[u.index()] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut seen = 0;
+    while let Some(v) = queue.pop() {
+        seen += 1;
+        for &(u, _) in g.neighbors(ComponentId::new(v)) {
+            indeg[u.index()] -= 1;
+            if indeg[u.index()] == 0 {
+                queue.push(u.index());
+            }
+        }
+    }
+    seen == n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn feedback_removal_yields_acyclic_graph(arch in random_arch()) {
+        let g = arch.build_graph();
+        prop_assert!(kept_graph_is_acyclic(&g));
+    }
+
+    #[test]
+    fn no_pair_references_removed_flow(arch in random_arch()) {
+        let g = arch.build_graph();
+        let pairs = g.candidate_flow_pairs();
+        for p in pairs.iter() {
+            prop_assert!(g.is_kept(p.from));
+            prop_assert!(g.is_kept(p.to));
+        }
+    }
+
+    #[test]
+    fn no_self_pairs(arch in random_arch()) {
+        let g = arch.build_graph();
+        prop_assert!(g.candidate_flow_pairs().iter().all(|p| p.from != p.to));
+    }
+
+    #[test]
+    fn pruning_is_subset_and_idempotent(arch in random_arch()) {
+        let g = arch.build_graph();
+        let all = g.candidate_flow_pairs();
+        let pruned = g.flow_pairs_with_data(|p| p.from.index() % 2 == 0);
+        prop_assert!(pruned.len() <= all.len());
+        for p in pruned.iter() {
+            prop_assert!(all.contains(p.from, p.to));
+        }
+        let again = pruned.clone().retain(|p| p.from.index() % 2 == 0);
+        prop_assert_eq!(again, pruned);
+    }
+
+    #[test]
+    fn cross_domain_pairs_are_subset_with_mixed_kinds(arch in random_arch()) {
+        let g = arch.build_graph();
+        let all = g.candidate_flow_pairs();
+        let cross = g.cross_domain_pairs();
+        prop_assert!(cross.len() <= all.len());
+        for p in cross.iter() {
+            let k1 = g.flow(p.from).unwrap().kind();
+            let k2 = g.flow(p.to).unwrap().kind();
+            prop_assert!(k1 != k2);
+        }
+    }
+
+    #[test]
+    fn reachability_is_transitive_on_samples(arch in random_arch()) {
+        let g = arch.build_graph();
+        let n = g.components().len();
+        for a in 0..n.min(4) {
+            for b in 0..n.min(4) {
+                for c in 0..n.min(4) {
+                    let (a, b, c) = (
+                        ComponentId::new(a),
+                        ComponentId::new(b),
+                        ComponentId::new(c),
+                    );
+                    if g.reachable(a, b) && g.reachable(b, c) {
+                        prop_assert!(g.reachable(a, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_count_bounded_by_kept_flow_pairs(arch in random_arch()) {
+        let g = arch.build_graph();
+        let kept = g.flows().iter().filter(|f| g.is_kept(f.id())).count();
+        let max_pairs = kept.saturating_mul(kept.saturating_sub(1));
+        prop_assert!(g.candidate_flow_pairs().len() <= max_pairs);
+    }
+
+    #[test]
+    fn dot_export_is_well_formed(arch in random_arch()) {
+        let g = arch.build_graph();
+        let dot = g.to_dot(&arch);
+        prop_assert!(dot.starts_with("digraph"));
+        prop_assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        prop_assert!(dot.matches("->").count() >= g.flows().len());
+    }
+}

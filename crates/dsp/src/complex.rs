@@ -1,0 +1,217 @@
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number over `f64`.
+///
+/// `num-complex` is outside the approved dependency set, and the FFT/CWT
+/// kernels only need a handful of operations, so this is a minimal local
+/// implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real number.
+    pub fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^(i theta)` on the unit circle.
+    pub fn from_angle(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Creates from polar coordinates.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Magnitude `sqrt(re^2 + im^2)`.
+    pub fn abs(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude, cheaper than [`Complex::abs`] when comparing.
+    pub fn norm_sq(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in `(-pi, pi]`.
+    pub fn arg(&self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(&self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// True when both parts are finite.
+    pub fn is_finite(&self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+
+    fn mul(self, s: f64) -> Complex {
+        self.scale(s)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sq();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn multiplication_matches_polar() {
+        let a = Complex::from_polar(2.0, 0.5);
+        let b = Complex::from_polar(3.0, 1.1);
+        let c = a * b;
+        assert!((c.abs() - 6.0).abs() < EPS);
+        assert!((c.arg() - 1.6).abs() < EPS);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let c = Complex::I * Complex::I;
+        assert!((c.re + 1.0).abs() < EPS);
+        assert!(c.im.abs() < EPS);
+    }
+
+    #[test]
+    fn conjugate_product_is_norm_squared() {
+        let a = Complex::new(3.0, -4.0);
+        let p = a * a.conj();
+        assert!((p.re - 25.0).abs() < EPS);
+        assert!(p.im.abs() < EPS);
+        assert!((a.abs() - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(1.5, -2.5);
+        let b = Complex::new(-0.5, 0.75);
+        let c = (a * b) / b;
+        assert!((c.re - a.re).abs() < EPS);
+        assert!((c.im - a.im).abs() < EPS);
+    }
+
+    #[test]
+    fn from_angle_is_unit() {
+        for k in 0..8 {
+            let theta = k as f64 * 0.7;
+            assert!((Complex::from_angle(theta).abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Complex::ONE.is_finite());
+        assert!(!Complex::new(f64::NAN, 0.0).is_finite());
+        assert!(!Complex::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,279 @@
+//! Fast Fourier transforms: iterative radix-2 Cooley-Tukey for power-of-two
+//! lengths and the Bluestein chirp-z algorithm for everything else, so the
+//! CWT and STFT layers never need to care about input length.
+
+use crate::Complex;
+
+/// Smallest power of two `>= n` (and `>= 1`).
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Forward discrete Fourier transform of `input`, any length.
+///
+/// Uses radix-2 Cooley-Tukey when `input.len()` is a power of two and the
+/// Bluestein chirp-z transform otherwise. The empty input returns an empty
+/// spectrum. No normalization is applied on the forward transform;
+/// [`ifft`] divides by `n`, so `ifft(fft(x)) == x`.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = input.to_vec();
+        fft_in_place(&mut buf, false);
+        buf
+    } else {
+        bluestein(input, false)
+    }
+}
+
+/// Inverse discrete Fourier transform, any length; normalizes by `1/n`.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = if n.is_power_of_two() {
+        let mut buf = input.to_vec();
+        fft_in_place(&mut buf, true);
+        buf
+    } else {
+        bluestein(input, true)
+    };
+    let scale = 1.0 / n as f64;
+    for c in &mut out {
+        *c = c.scale(scale);
+    }
+    out
+}
+
+/// Convenience wrapper: FFT of a real signal.
+pub fn fft_real(input: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
+    fft(&buf)
+}
+
+/// Iterative radix-2 Cooley-Tukey; `inverse` flips the twiddle sign.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+fn fft_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT requires power-of-two length"
+    );
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for j in 0..len / 2 {
+                let u = buf[i + j];
+                let v = buf[i + j + len / 2] * w;
+                buf[i + j] = u + v;
+                buf[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with a zero-padded power-of-two FFT.
+fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // chirp[k] = exp(sign * i * pi * k^2 / n)
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            // k^2 mod 2n computed with u128 to dodge overflow for large k.
+            let k2 = ((k as u128 * k as u128) % (2 * n as u128)) as f64;
+            Complex::from_angle(sign * std::f64::consts::PI * k2 / n as f64)
+        })
+        .collect();
+
+    let m = next_power_of_two(2 * n - 1);
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    fft_in_place(&mut a, false);
+    fft_in_place(&mut b, false);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x *= *y;
+    }
+    fft_in_place(&mut a, true);
+    let scale = 1.0 / m as f64;
+    (0..n).map(|k| a[k].scale(scale) * chirp[k]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &x) in input.iter().enumerate() {
+                    let ang = -std::f64::consts::TAU * (k * j) as f64 / n as f64;
+                    acc += x * Complex::from_angle(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "bin {i}: {x:?} vs {y:?} (diff {})",
+                (*x - *y).abs()
+            );
+        }
+    }
+
+    fn test_signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.73).sin(), (i as f64 * 1.31).cos() * 0.4))
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_power_of_two() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let x = test_signal(n);
+            assert_close(&fft(&x), &naive_dft(&x), 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_arbitrary_length() {
+        for n in [3usize, 5, 7, 12, 100, 150] {
+            let x = test_signal(n);
+            assert_close(&fft(&x), &naive_dft(&x), 1e-8);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for n in [8usize, 17, 64, 100] {
+            let x = test_signal(n);
+            let back = ifft(&fft(&x));
+            assert_close(&back, &x, 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        let spec = fft(&x);
+        for c in spec {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_energy() {
+        let n = 128;
+        let f = 10;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| {
+                Complex::from_real((std::f64::consts::TAU * f as f64 * i as f64 / n as f64).sin())
+            })
+            .collect();
+        let spec = fft(&x);
+        let mags: Vec<f64> = spec.iter().map(Complex::abs).collect();
+        // Peak at bin f (and its mirror n-f).
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(peak == f || peak == n - f);
+        assert!((mags[f] - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x = test_signal(64);
+        let spec = fft(&x);
+        let time_energy: f64 = x.iter().map(Complex::norm_sq).sum();
+        let freq_energy: f64 = spec.iter().map(Complex::norm_sq).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linearity() {
+        let x = test_signal(32);
+        let y: Vec<Complex> = test_signal(32).iter().map(|c| c.conj()).collect();
+        let sum: Vec<Complex> = x.iter().zip(&y).map(|(&a, &b)| a + b).collect();
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let fsum = fft(&sum);
+        for i in 0..32 {
+            assert!((fsum[i] - (fx[i] + fy[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+    }
+
+    #[test]
+    fn next_power_of_two_bounds() {
+        assert_eq!(next_power_of_two(0), 1);
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(5), 8);
+        assert_eq!(next_power_of_two(64), 64);
+        assert_eq!(next_power_of_two(65), 128);
+    }
+
+    #[test]
+    fn fft_real_matches_complex_path() {
+        let xs: Vec<f64> = (0..48).map(|i| (i as f64 * 0.31).sin()).collect();
+        let a = fft_real(&xs);
+        let b = fft(&xs
+            .iter()
+            .map(|&v| Complex::from_real(v))
+            .collect::<Vec<_>>());
+        assert_close(&a, &b, 1e-12);
+    }
+}

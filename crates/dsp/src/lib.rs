@@ -1,0 +1,53 @@
+//! Signal-processing substrate for the GAN-Sec reproduction.
+//!
+//! The paper converts the 3D printer's time-domain acoustic energy flow
+//! into frequency-domain features "using continuous-wavelet transforms,
+//! which preserves the high-frequency resolution in time-domain", then
+//! reduces the result to **100 non-uniformly distributed bins between 50
+//! and 5000 Hz** (§IV-B). This crate implements that pipeline from
+//! scratch:
+//!
+//! * [`Complex`] arithmetic and radix-2 / Bluestein [`fft`] kernels;
+//! * window functions and a short-time Fourier transform ([`Stft`]) used
+//!   as an ablation baseline against the wavelet features;
+//! * a Morlet continuous wavelet transform ([`cwt`], [`MorletCwt`]);
+//! * [`FrequencyBins`]: the paper's non-uniform binning of spectra;
+//! * [`FeatureExtractor`]: the paper's `f_X` (feature construction) and
+//!   `f_Y` (feature extraction/selection) maps from energy flows to
+//!   bounded feature vectors.
+//!
+//! # Example
+//!
+//! ```
+//! use gansec_dsp::{fft, Complex};
+//!
+//! // A pure tone lands its energy in a single FFT bin.
+//! let n = 64;
+//! let signal: Vec<Complex> = (0..n)
+//!     .map(|i| Complex::new((std::f64::consts::TAU * 8.0 * i as f64 / n as f64).cos(), 0.0))
+//!     .collect();
+//! let spectrum = fft(&signal);
+//! // Only the non-negative-frequency half (the mirror bin is symmetric).
+//! let mags: Vec<f64> = spectrum[..n / 2].iter().map(Complex::abs).collect();
+//! let peak = mags.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+//! assert_eq!(peak, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bins;
+mod complex;
+mod cwt;
+mod features;
+mod fft;
+mod stft;
+mod window;
+
+pub use bins::FrequencyBins;
+pub use complex::Complex;
+pub use cwt::{cwt, MorletCwt, Scalogram};
+pub use features::{AnalysisKind, FeatureExtractor, FeatureMatrix, ScalingKind};
+pub use fft::{fft, fft_real, ifft, next_power_of_two};
+pub use stft::{Spectrogram, Stft};
+pub use window::Window;

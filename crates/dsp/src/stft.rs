@@ -1,0 +1,211 @@
+//! Short-time Fourier transform.
+//!
+//! The paper uses a wavelet transform for its features; the STFT here
+//! serves two purposes: it is the ablation baseline (`fig8`-style densities
+//! computed from STFT features instead of CWT features), and it provides
+//! the spectrogram view used by the simulator's own tests to verify motor
+//! signatures land at the intended frequencies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{fft_real, Window};
+
+/// Configuration for a short-time Fourier transform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stft {
+    frame_len: usize,
+    hop: usize,
+    window: Window,
+}
+
+impl Stft {
+    /// Creates an STFT with the given frame length and hop size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len == 0` or `hop == 0`.
+    pub fn new(frame_len: usize, hop: usize, window: Window) -> Self {
+        assert!(frame_len > 0, "frame_len must be positive");
+        assert!(hop > 0, "hop must be positive");
+        Self {
+            frame_len,
+            hop,
+            window,
+        }
+    }
+
+    /// Frame length in samples.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// Hop size in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Number of complete frames available in a signal of length `n`.
+    pub fn frame_count(&self, n: usize) -> usize {
+        if n < self.frame_len {
+            0
+        } else {
+            (n - self.frame_len) / self.hop + 1
+        }
+    }
+
+    /// Computes the magnitude spectrogram of `signal` sampled at
+    /// `sample_rate` Hz. Only the non-negative-frequency half of each
+    /// spectrum is kept.
+    pub fn spectrogram(&self, signal: &[f64], sample_rate: f64) -> Spectrogram {
+        let n_frames = self.frame_count(signal.len());
+        let n_bins = self.frame_len / 2 + 1;
+        let mut mags = Vec::with_capacity(n_frames);
+        let mut frame = vec![0.0; self.frame_len];
+        for f in 0..n_frames {
+            let start = f * self.hop;
+            frame.copy_from_slice(&signal[start..start + self.frame_len]);
+            self.window.apply(&mut frame);
+            let spec = fft_real(&frame);
+            mags.push(spec[..n_bins].iter().map(|c| c.abs()).collect());
+        }
+        let bin_hz = sample_rate / self.frame_len as f64;
+        Spectrogram {
+            magnitudes: mags,
+            bin_hz,
+            hop_seconds: self.hop as f64 / sample_rate,
+        }
+    }
+}
+
+impl Default for Stft {
+    /// 1024-sample Hann frames with 50% overlap.
+    fn default() -> Self {
+        Self::new(1024, 512, Window::Hann)
+    }
+}
+
+/// Magnitude spectrogram: `magnitudes[frame][bin]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spectrogram {
+    magnitudes: Vec<Vec<f64>>,
+    bin_hz: f64,
+    hop_seconds: f64,
+}
+
+impl Spectrogram {
+    /// Magnitudes indexed as `[frame][bin]`.
+    pub fn magnitudes(&self) -> &[Vec<f64>] {
+        &self.magnitudes
+    }
+
+    /// Width of one frequency bin in Hz.
+    pub fn bin_hz(&self) -> f64 {
+        self.bin_hz
+    }
+
+    /// Time step between frames in seconds.
+    pub fn hop_seconds(&self) -> f64 {
+        self.hop_seconds
+    }
+
+    /// Number of frames.
+    pub fn n_frames(&self) -> usize {
+        self.magnitudes.len()
+    }
+
+    /// Center frequency of bin `b` in Hz.
+    pub fn bin_frequency(&self, b: usize) -> f64 {
+        b as f64 * self.bin_hz
+    }
+
+    /// Average magnitude per bin across all frames (the marginal spectrum).
+    pub fn mean_spectrum(&self) -> Vec<f64> {
+        if self.magnitudes.is_empty() {
+            return Vec::new();
+        }
+        let n_bins = self.magnitudes[0].len();
+        let mut acc = vec![0.0; n_bins];
+        for frame in &self.magnitudes {
+            for (a, &m) in acc.iter_mut().zip(frame) {
+                *a += m;
+            }
+        }
+        let n = self.magnitudes.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+
+    /// Frequency (Hz) of the strongest bin in the mean spectrum, skipping
+    /// the DC bin; `None` when empty.
+    pub fn dominant_frequency(&self) -> Option<f64> {
+        let mean = self.mean_spectrum();
+        if mean.len() < 2 {
+            return None;
+        }
+        let (idx, _) = mean
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        Some(self.bin_frequency(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, sample_rate: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * freq * i as f64 / sample_rate).sin())
+            .collect()
+    }
+
+    #[test]
+    fn frame_count_math() {
+        let stft = Stft::new(4, 2, Window::Rectangular);
+        assert_eq!(stft.frame_count(3), 0);
+        assert_eq!(stft.frame_count(4), 1);
+        assert_eq!(stft.frame_count(6), 2);
+        assert_eq!(stft.frame_count(8), 3);
+    }
+
+    #[test]
+    fn pure_tone_dominates_correct_bin() {
+        let fs = 8000.0;
+        let sig = tone(1000.0, fs, 8192);
+        let spec = Stft::new(1024, 512, Window::Hann).spectrogram(&sig, fs);
+        let dom = spec.dominant_frequency().unwrap();
+        assert!((dom - 1000.0).abs() < spec.bin_hz(), "dominant {dom}");
+    }
+
+    #[test]
+    fn two_tones_both_visible() {
+        let fs = 8000.0;
+        let a = tone(500.0, fs, 8192);
+        let b = tone(2000.0, fs, 8192);
+        let sig: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x + 0.5 * y).collect();
+        let spec = Stft::default().spectrogram(&sig, fs);
+        let mean = spec.mean_spectrum();
+        let bin = |f: f64| (f / spec.bin_hz()).round() as usize;
+        let background = mean[bin(3500.0)];
+        assert!(mean[bin(500.0)] > 10.0 * background);
+        assert!(mean[bin(2000.0)] > 10.0 * background);
+    }
+
+    #[test]
+    fn short_signal_yields_empty_spectrogram() {
+        let spec = Stft::default().spectrogram(&[0.0; 10], 8000.0);
+        assert_eq!(spec.n_frames(), 0);
+        assert!(spec.mean_spectrum().is_empty());
+        assert_eq!(spec.dominant_frequency(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop must be positive")]
+    fn zero_hop_rejected() {
+        let _ = Stft::new(16, 0, Window::Hann);
+    }
+}

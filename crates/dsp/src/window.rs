@@ -1,0 +1,117 @@
+//! Analysis window functions for the STFT baseline.
+
+use serde::{Deserialize, Serialize};
+
+/// A tapering window applied to each analysis frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Window {
+    /// No tapering (all ones).
+    Rectangular,
+    /// Hann window `0.5 (1 - cos(2 pi n / (N-1)))`.
+    Hann,
+    /// Hamming window `0.54 - 0.46 cos(2 pi n / (N-1))`.
+    Hamming,
+    /// Blackman window (three-term).
+    Blackman,
+}
+
+impl Window {
+    /// Evaluates the window at sample `n` of a length-`len` frame.
+    ///
+    /// Returns `1.0` for frames of length 0 or 1 (degenerate but defined).
+    pub fn coefficient(self, n: usize, len: usize) -> f64 {
+        if len <= 1 {
+            return 1.0;
+        }
+        let x = n as f64 / (len - 1) as f64;
+        let tau = std::f64::consts::TAU;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 * (1.0 - (tau * x).cos()),
+            Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
+        }
+    }
+
+    /// Materializes the window as a coefficient vector.
+    pub fn coefficients(self, len: usize) -> Vec<f64> {
+        (0..len).map(|n| self.coefficient(n, len)).collect()
+    }
+
+    /// Applies the window to a frame in place.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the frame defines the window length.
+    pub fn apply(self, frame: &mut [f64]) {
+        let len = frame.len();
+        for (n, x) in frame.iter_mut().enumerate() {
+            *x *= self.coefficient(n, len);
+        }
+    }
+}
+
+impl Default for Window {
+    /// Hann: the standard spectral-analysis default.
+    fn default() -> Self {
+        Window::Hann
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hann_endpoints_are_zero() {
+        let w = Window::Hann.coefficients(64);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[63].abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_peak_near_center() {
+        for win in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let w = win.coefficients(65);
+            let peak = w
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            assert_eq!(peak, 32, "{win:?}");
+        }
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for win in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let w = win.coefficients(33);
+            for i in 0..33 {
+                assert!((w[i] - w[32 - i]).abs() < 1e-12, "{win:?} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(10)
+            .iter()
+            .all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert_eq!(Window::Hann.coefficient(0, 0), 1.0);
+        assert_eq!(Window::Hann.coefficient(0, 1), 1.0);
+    }
+
+    #[test]
+    fn apply_windows_in_place() {
+        let mut frame = vec![1.0; 8];
+        Window::Hann.apply(&mut frame);
+        assert!(frame[0].abs() < 1e-12);
+        assert!(frame[4] > 0.9);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the DSP kernels: the Fourier identities and
+//! binning invariants that the feature pipeline (and hence every
+//! experiment) silently relies on.
+
+use gansec_dsp::{fft, ifft, Complex, FeatureMatrix, FrequencyBins};
+use proptest::prelude::*;
+
+fn complex_signal(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64), len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    #[test]
+    fn fft_round_trip_power_of_two(x in complex_signal(32)) {
+        let back = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_round_trip_arbitrary_len(x in complex_signal(21)) {
+        let back = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(x in complex_signal(16), y in complex_signal(16), a in -3.0..3.0f64) {
+        let combo: Vec<Complex> = x.iter().zip(&y).map(|(&u, &v)| u.scale(a) + v).collect();
+        let f_combo = fft(&combo);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        for i in 0..16 {
+            let expected = fx[i].scale(a) + fy[i];
+            prop_assert!((f_combo[i] - expected).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(x in complex_signal(64)) {
+        let spec = fft(&x);
+        let te: f64 = x.iter().map(Complex::norm_sq).sum();
+        let fe: f64 = spec.iter().map(Complex::norm_sq).sum::<f64>() / 64.0;
+        prop_assert!((te - fe).abs() < 1e-7 * (1.0 + te));
+    }
+
+    #[test]
+    fn dc_bin_is_signal_sum(x in complex_signal(16)) {
+        let spec = fft(&x);
+        let sum = x.iter().fold(Complex::ZERO, |acc, &c| acc + c);
+        prop_assert!((spec[0] - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_bins_monotone_and_bounded(
+        n in 2usize..64,
+        fmin in 1.0..100.0f64,
+        ratio in 1.5..100.0f64,
+    ) {
+        let fmax = fmin * ratio;
+        let bins = FrequencyBins::log_spaced(n, fmin, fmax);
+        prop_assert_eq!(bins.n_bins(), n);
+        let edges = bins.edges();
+        for w in edges.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        prop_assert!((bins.fmin() - fmin).abs() < 1e-9 * fmin);
+        prop_assert!((bins.fmax() - fmax).abs() < 1e-6 * fmax);
+    }
+
+    #[test]
+    fn every_in_range_freq_has_a_bin(
+        f in 50.0..5000.0f64,
+    ) {
+        let bins = FrequencyBins::paper_default();
+        let idx = bins.bin_index(f);
+        prop_assert!(idx.is_some());
+        let b = idx.unwrap();
+        prop_assert!(f >= bins.edges()[b] - 1e-9);
+        prop_assert!(f <= bins.edges()[b + 1] + 1e-9);
+    }
+
+    #[test]
+    fn bin_spectrum_total_bounded_by_max_mag(
+        samples in proptest::collection::vec((50.0..5000.0f64, 0.0..10.0f64), 1..50),
+    ) {
+        let bins = FrequencyBins::paper_default();
+        let freqs: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let mags: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        let out = bins.bin_spectrum(&freqs, &mags);
+        let max_mag = mags.iter().copied().fold(0.0, f64::max);
+        // Each bin is a mean of member magnitudes, so no bin exceeds max.
+        prop_assert!(out.iter().all(|&v| v <= max_mag + 1e-12));
+    }
+
+    #[test]
+    fn minmax_scaling_is_idempotent_on_bounds(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100.0..100.0f64, 4),
+            2..10,
+        ),
+    ) {
+        let mut fm = FeatureMatrix::from_rows(rows.clone());
+        let distinct = {
+            let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+            flat.iter().any(|&v| (v - flat[0]).abs() > 1e-12)
+        };
+        fm.minmax_scale_global();
+        if distinct {
+            let flat: Vec<f64> = fm.rows().iter().flatten().copied().collect();
+            let lo = flat.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = flat.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(lo.abs() < 1e-12);
+            prop_assert!((hi - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_variance_returns_distinct_sorted_by_variance(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-10.0..10.0f64, 6),
+            3..12,
+        ),
+        k in 1usize..6,
+    ) {
+        let fm = FeatureMatrix::from_rows(rows);
+        let top = fm.top_variance_indices(k);
+        prop_assert_eq!(top.len(), k.min(6));
+        let vars = fm.column_variances();
+        for w in top.windows(2) {
+            prop_assert!(vars[w[0]] >= vars[w[1]] - 1e-12);
+        }
+        let mut sorted = top.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), top.len());
+    }
+}

@@ -1,0 +1,607 @@
+//! The conditional GAN and its Algorithm 2 training loop.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gansec_nn::{bce_with_logits, Activation, Adam, Layer, Optimizer, Sequential, Sgd};
+use gansec_tensor::{sample_standard_normal, Matrix, WeightInit};
+
+use crate::{CganConfig, GeneratorLoss, IterationRecord, OptimKind, PairedData, TrainingHistory};
+
+/// Losses observed in one [`Cgan::train_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepLosses {
+    /// Discriminator BCE over real+fake batches, averaged over `k` steps.
+    pub d_loss: f64,
+    /// `-mean log D(G(z|c))` on the generator batch (reporting loss).
+    pub g_loss: f64,
+}
+
+/// Errors from CGAN training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// Dataset width does not match the configured `data_dim`/`cond_dim`.
+    DimMismatch {
+        /// Expected `(data_dim, cond_dim)`.
+        expected: (usize, usize),
+        /// Dataset's `(data_dim, cond_dim)`.
+        found: (usize, usize),
+    },
+    /// Parameters became non-finite (training diverged).
+    Diverged {
+        /// Iteration at which divergence was detected.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::DimMismatch { expected, found } => write!(
+                f,
+                "dataset dims (data {}, cond {}) do not match config (data {}, cond {})",
+                found.0, found.1, expected.0, expected.1
+            ),
+            TrainError::Diverged { iteration } => {
+                write!(f, "training diverged at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl Error for TrainError {}
+
+/// Per-network optimizer state, enum-dispatched for serializability.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum OptState {
+    Sgd(Sgd),
+    Adam(Adam),
+}
+
+impl OptState {
+    fn new(kind: OptimKind, lr: f64) -> Self {
+        match kind {
+            OptimKind::Sgd { momentum } => OptState::Sgd(Sgd::with_momentum(lr, momentum)),
+            OptimKind::Adam => OptState::Adam(Adam::with_betas(lr, 0.5, 0.999)),
+        }
+    }
+}
+
+impl Optimizer for OptState {
+    fn update(&mut self, id: usize, param: &mut Matrix, grad: &Matrix) {
+        match self {
+            OptState::Sgd(o) => o.update(id, param, grad),
+            OptState::Adam(o) => o.update(id, param, grad),
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        match self {
+            OptState::Sgd(o) => o.learning_rate(),
+            OptState::Adam(o) => o.learning_rate(),
+        }
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        match self {
+            OptState::Sgd(o) => o.set_learning_rate(lr),
+            OptState::Adam(o) => o.set_learning_rate(lr),
+        }
+    }
+}
+
+/// A conditional GAN: generator `G(Z|F_2)` and discriminator `D(F_1|F_2)`
+/// trained by the paper's Algorithm 2.
+///
+/// The generator's final activation is a sigmoid because the paper's
+/// features (frequency magnitudes) are scaled to `[0, 1]`; the
+/// discriminator outputs a raw logit for numerically stable BCE.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cgan {
+    config: CganConfig,
+    generator: Sequential,
+    discriminator: Sequential,
+    gen_opt: OptState,
+    disc_opt: OptState,
+    iterations_trained: usize,
+}
+
+impl Cgan {
+    /// Builds generator and discriminator MLPs per `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`CganConfig::validate`]).
+    pub fn new(config: CganConfig, rng: &mut impl Rng) -> Self {
+        config.validate();
+        let generator = build_mlp(
+            config.noise_dim + config.cond_dim,
+            &config.gen_hidden,
+            config.data_dim,
+            Some(Activation::Sigmoid),
+            rng,
+        );
+        let discriminator = build_mlp(
+            config.data_dim + config.cond_dim,
+            &config.disc_hidden,
+            1,
+            None,
+            rng,
+        );
+        let gen_opt = OptState::new(config.optimizer, config.gen_lr);
+        let disc_opt = OptState::new(config.optimizer, config.disc_lr);
+        Self {
+            config,
+            generator,
+            discriminator,
+            gen_opt,
+            disc_opt,
+            iterations_trained: 0,
+        }
+    }
+
+    /// The configuration this CGAN was built with.
+    pub fn config(&self) -> &CganConfig {
+        &self.config
+    }
+
+    /// Borrows the generator network.
+    pub fn generator(&self) -> &Sequential {
+        &self.generator
+    }
+
+    /// Borrows the discriminator network.
+    pub fn discriminator(&self) -> &Sequential {
+        &self.discriminator
+    }
+
+    /// Total Algorithm 2 iterations applied so far.
+    pub fn iterations_trained(&self) -> usize {
+        self.iterations_trained
+    }
+
+    /// Samples a `rows x noise_dim` standard-normal noise matrix `Z`.
+    pub fn sample_noise(&self, rows: usize, rng: &mut impl Rng) -> Matrix {
+        Matrix::from_fn(rows, self.config.noise_dim, |_, _| {
+            sample_standard_normal(rng)
+        })
+    }
+
+    /// Generates samples from `G(Z | conds)`, one row per condition row,
+    /// with fresh noise. The generator runs in evaluation mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conds.cols() != config.cond_dim`.
+    pub fn generate(&mut self, conds: &Matrix, rng: &mut impl Rng) -> Matrix {
+        let z = self.sample_noise(conds.rows(), rng);
+        self.generate_with_noise(&z, conds)
+    }
+
+    /// Generates samples from `G(z | conds)` with caller-provided noise
+    /// (for reproducibility in tests and benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.rows() != conds.rows()`, `z.cols() != noise_dim` or
+    /// `conds.cols() != cond_dim`.
+    pub fn generate_with_noise(&mut self, z: &Matrix, conds: &Matrix) -> Matrix {
+        assert_eq!(z.cols(), self.config.noise_dim, "noise width mismatch");
+        assert_eq!(
+            conds.cols(),
+            self.config.cond_dim,
+            "condition width mismatch"
+        );
+        let input = z.hstack(conds).expect("row counts must match");
+        let was_training = self.generator.is_training();
+        self.generator.set_training(false);
+        let out = self.generator.forward(&input);
+        self.generator.set_training(was_training);
+        out
+    }
+
+    /// `D(F_1 | F_2)` as probabilities (sigmoid of the logit), evaluation
+    /// mode; one probability per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths do not match the configuration.
+    pub fn discriminate(&mut self, data: &Matrix, conds: &Matrix) -> Vec<f64> {
+        assert_eq!(data.cols(), self.config.data_dim, "data width mismatch");
+        assert_eq!(
+            conds.cols(),
+            self.config.cond_dim,
+            "condition width mismatch"
+        );
+        let input = data.hstack(conds).expect("row counts must match");
+        let was_training = self.discriminator.is_training();
+        self.discriminator.set_training(false);
+        let logits = self.discriminator.forward(&input);
+        self.discriminator.set_training(was_training);
+        logits
+            .as_slice()
+            .iter()
+            .map(|&z| gansec_nn::sigmoid(z))
+            .collect()
+    }
+
+    /// One Algorithm 2 iteration: `k` discriminator ascent steps on fresh
+    /// minibatches (lines 4-8), then one generator step re-using the last
+    /// minibatch's conditions with fresh noise (lines 9-10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset widths do not match the configuration; use
+    /// [`Cgan::train`] for a fallible wrapper.
+    pub fn train_step(&mut self, dataset: &PairedData, rng: &mut impl Rng) -> StepLosses {
+        assert_eq!(
+            dataset.data_dim(),
+            self.config.data_dim,
+            "data width mismatch"
+        );
+        assert_eq!(
+            dataset.cond_dim(),
+            self.config.cond_dim,
+            "condition width mismatch"
+        );
+        let n = self.config.batch_size;
+        let ones = Matrix::filled(n, 1, 1.0);
+        // One-sided smoothing applies only to the discriminator's real
+        // labels; the generator still aims for full confidence.
+        let real_targets = Matrix::filled(n, 1, 1.0 - self.config.label_smoothing);
+        let zeros = Matrix::zeros(n, 1);
+
+        let mut d_loss_acc = 0.0;
+        let mut last_conds = Matrix::zeros(n, self.config.cond_dim);
+        for _ in 0..self.config.disc_steps {
+            // Lines 5-7: noise and aligned real minibatch.
+            let (x, c) = dataset.sample_batch(n, rng);
+            let z = self.sample_noise(n, rng);
+            let g_in = z.hstack(&c).expect("batch rows align");
+            let fake = self.generator.forward(&g_in);
+
+            // Line 8: ascend log D(x|c) + log(1 - D(G(z|c)|c)).
+            self.discriminator.zero_grad();
+            let real_logits = self
+                .discriminator
+                .forward(&x.hstack(&c).expect("batch rows align"));
+            let (l_real, grad_real) =
+                bce_with_logits(&real_logits, &real_targets).expect("shapes fixed by config");
+            self.discriminator.backward(&grad_real);
+            let fake_logits = self
+                .discriminator
+                .forward(&fake.hstack(&c).expect("batch rows align"));
+            let (l_fake, grad_fake) =
+                bce_with_logits(&fake_logits, &zeros).expect("shapes fixed by config");
+            self.discriminator.backward(&grad_fake);
+            if let Some(clip) = self.config.grad_clip {
+                self.discriminator.clip_grad_norm(clip);
+            }
+            self.discriminator.step(&mut self.disc_opt);
+            d_loss_acc += l_real + l_fake;
+            last_conds = c;
+        }
+
+        // Lines 9-10: generator step with fresh noise, same conditions.
+        let z = self.sample_noise(n, rng);
+        let g_in = z.hstack(&last_conds).expect("batch rows align");
+        let fake = self.generator.forward(&g_in);
+        let d_in = fake.hstack(&last_conds).expect("batch rows align");
+        let logits = self.discriminator.forward(&d_in);
+
+        let (g_report, _) = bce_with_logits(&logits, &ones).expect("shapes fixed by config");
+        let grad_logits = match self.config.generator_loss {
+            GeneratorLoss::NonSaturating => {
+                let (_, g) = bce_with_logits(&logits, &ones).expect("shapes fixed by config");
+                g
+            }
+            GeneratorLoss::Minimax => {
+                // Descend mean log(1 - D(G)) = descend -BCE(logits, 0):
+                // the gradient is the negated BCE-to-zero gradient.
+                let (_, g) = bce_with_logits(&logits, &zeros).expect("shapes fixed by config");
+                -&g
+            }
+        };
+
+        // Push the gradient through a frozen discriminator into G.
+        self.discriminator.zero_grad();
+        let grad_d_in = self.discriminator.backward(&grad_logits);
+        let grad_fake = grad_d_in.slice_cols(0, self.config.data_dim);
+        self.generator.zero_grad();
+        self.generator.backward(&grad_fake);
+        if let Some(clip) = self.config.grad_clip {
+            self.generator.clip_grad_norm(clip);
+        }
+        self.generator.step(&mut self.gen_opt);
+        self.discriminator.zero_grad(); // discard grads from the G pass
+
+        self.iterations_trained += 1;
+        StepLosses {
+            d_loss: d_loss_acc / self.config.disc_steps as f64,
+            g_loss: g_report,
+        }
+    }
+
+    /// Runs `iterations` Algorithm 2 steps, recording losses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::DimMismatch`] if the dataset does not match
+    /// the configuration and [`TrainError::Diverged`] if any parameter
+    /// becomes non-finite.
+    pub fn train(
+        &mut self,
+        dataset: &PairedData,
+        iterations: usize,
+        rng: &mut impl Rng,
+    ) -> Result<TrainingHistory, TrainError> {
+        if dataset.data_dim() != self.config.data_dim || dataset.cond_dim() != self.config.cond_dim
+        {
+            return Err(TrainError::DimMismatch {
+                expected: (self.config.data_dim, self.config.cond_dim),
+                found: (dataset.data_dim(), dataset.cond_dim()),
+            });
+        }
+        let mut history = TrainingHistory::new();
+        for i in 0..iterations {
+            let losses = self.train_step(dataset, rng);
+            history.push(IterationRecord {
+                iteration: self.iterations_trained - 1,
+                d_loss: losses.d_loss,
+                g_loss: losses.g_loss,
+            });
+            if !losses.d_loss.is_finite()
+                || !losses.g_loss.is_finite()
+                || !self.generator.params_finite()
+                || !self.discriminator.params_finite()
+            {
+                return Err(TrainError::Diverged { iteration: i });
+            }
+        }
+        Ok(history)
+    }
+}
+
+/// Builds a LeakyReLU MLP with He-initialized hidden layers and an
+/// optional output activation.
+fn build_mlp(
+    input_dim: usize,
+    hidden: &[usize],
+    output_dim: usize,
+    output_act: Option<Activation>,
+    rng: &mut impl Rng,
+) -> Sequential {
+    let mut layers = Vec::new();
+    let mut prev = input_dim;
+    for &h in hidden {
+        layers.push(Layer::dense_with_init(prev, h, WeightInit::HeNormal, rng));
+        layers.push(Layer::activation(Activation::leaky_relu()));
+        prev = h;
+    }
+    layers.push(Layer::dense_with_init(
+        prev,
+        output_dim,
+        WeightInit::XavierUniform,
+        rng,
+    ));
+    if let Some(act) = output_act {
+        layers.push(Layer::activation(act));
+    }
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_cluster_dataset() -> PairedData {
+        // Cond [1,0] -> data near 0.2; cond [0,1] -> data near 0.8.
+        let mut data_rows = Vec::new();
+        let mut cond_rows = Vec::new();
+        for i in 0..64 {
+            let jitter = (i % 8) as f64 * 0.005;
+            if i % 2 == 0 {
+                data_rows.push(vec![0.2 + jitter]);
+                cond_rows.push(vec![1.0, 0.0]);
+            } else {
+                data_rows.push(vec![0.8 - jitter]);
+                cond_rows.push(vec![0.0, 1.0]);
+            }
+        }
+        let flat = |rows: &[Vec<f64>]| {
+            Matrix::from_vec(
+                rows.len(),
+                rows[0].len(),
+                rows.iter().flatten().copied().collect(),
+            )
+            .unwrap()
+        };
+        PairedData::new(flat(&data_rows), flat(&cond_rows)).unwrap()
+    }
+
+    fn small_config() -> CganConfig {
+        CganConfig::builder(1, 2)
+            .noise_dim(4)
+            .gen_hidden(vec![16])
+            .disc_hidden(vec![16])
+            .batch_size(16)
+            .learning_rate(5e-3)
+            .build()
+    }
+
+    #[test]
+    fn construction_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cgan = Cgan::new(small_config(), &mut rng);
+        let conds = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let out = cgan.generate(&conds, &mut rng);
+        assert_eq!(out.shape(), (2, 1));
+        // Sigmoid output is bounded.
+        assert!(out.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn generate_with_noise_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cgan = Cgan::new(small_config(), &mut rng);
+        let z = Matrix::filled(3, 4, 0.5);
+        let c = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let a = cgan.generate_with_noise(&z, &c);
+        let b = cgan.generate_with_noise(&z, &c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_learns_conditional_clusters() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dataset = two_cluster_dataset();
+        let mut cgan = Cgan::new(small_config(), &mut rng);
+        cgan.train(&dataset, 1500, &mut rng).unwrap();
+
+        let n = 200;
+        let c0 = Matrix::from_fn(n, 2, |_, j| if j == 0 { 1.0 } else { 0.0 });
+        let c1 = Matrix::from_fn(n, 2, |_, j| if j == 1 { 1.0 } else { 0.0 });
+        let s0 = cgan.generate(&c0, &mut rng);
+        let s1 = cgan.generate(&c1, &mut rng);
+        let m0 = s0.mean();
+        let m1 = s1.mean();
+        // Conditioning must steer the mean towards the right cluster.
+        assert!(m0 < m1, "cond0 mean {m0} vs cond1 mean {m1}");
+        assert!((m0 - 0.2).abs() < 0.25, "cond0 mean {m0}");
+        assert!((m1 - 0.8).abs() < 0.25, "cond1 mean {m1}");
+    }
+
+    #[test]
+    fn history_shows_adversarial_dynamics() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dataset = two_cluster_dataset();
+        let mut cgan = Cgan::new(small_config(), &mut rng);
+        let history = cgan.train(&dataset, 800, &mut rng).unwrap();
+        assert_eq!(history.len(), 800);
+        // Fig. 7 shape: generator loss decreases from its early value.
+        let early_g: f64 = history.records()[..50]
+            .iter()
+            .map(|r| r.g_loss)
+            .sum::<f64>()
+            / 50.0;
+        let late_g = history.final_g_loss(50);
+        assert!(
+            late_g < early_g,
+            "generator loss should fall: early {early_g} late {late_g}"
+        );
+        // All finite.
+        assert!(history
+            .records()
+            .iter()
+            .all(|r| r.d_loss.is_finite() && r.g_loss.is_finite()));
+    }
+
+    #[test]
+    fn minimax_variant_trains() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dataset = two_cluster_dataset();
+        let config = CganConfig::builder(1, 2)
+            .noise_dim(4)
+            .gen_hidden(vec![16])
+            .disc_hidden(vec![16])
+            .batch_size(16)
+            .generator_loss(GeneratorLoss::Minimax)
+            .learning_rate(5e-3)
+            .build();
+        let mut cgan = Cgan::new(config, &mut rng);
+        let history = cgan.train(&dataset, 200, &mut rng).unwrap();
+        assert_eq!(history.len(), 200);
+        assert!(!cgan.generator().layers().is_empty());
+    }
+
+    #[test]
+    fn label_smoothing_trains_and_caps_discriminator_confidence() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let dataset = two_cluster_dataset();
+        let config = CganConfig::builder(1, 2)
+            .noise_dim(4)
+            .gen_hidden(vec![16])
+            .disc_hidden(vec![16])
+            .batch_size(16)
+            .label_smoothing(0.1)
+            .learning_rate(5e-3)
+            .build();
+        let mut cgan = Cgan::new(config, &mut rng);
+        let history = cgan.train(&dataset, 400, &mut rng).unwrap();
+        assert!(history.records().iter().all(|r| r.d_loss.is_finite()));
+        // Smoothed real targets keep D's real-side loss bounded away
+        // from zero even late in training.
+        assert!(history.final_d_loss(50) > 0.1);
+    }
+
+    #[test]
+    fn sgd_paper_configuration_trains() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let dataset = two_cluster_dataset();
+        let config = CganConfig::builder(1, 2)
+            .noise_dim(4)
+            .gen_hidden(vec![16])
+            .disc_hidden(vec![16])
+            .batch_size(16)
+            .optimizer(OptimKind::Sgd { momentum: 0.0 })
+            .learning_rate(0.05)
+            .build();
+        let mut cgan = Cgan::new(config, &mut rng);
+        let history = cgan.train(&dataset, 300, &mut rng).unwrap();
+        assert!(history.records().iter().all(|r| r.d_loss.is_finite()));
+    }
+
+    #[test]
+    fn dim_mismatch_is_error() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut cgan = Cgan::new(small_config(), &mut rng);
+        let bad = PairedData::new(Matrix::zeros(4, 2), Matrix::zeros(4, 2)).unwrap();
+        let err = cgan.train(&bad, 1, &mut rng).unwrap_err();
+        assert!(matches!(err, TrainError::DimMismatch { .. }));
+        assert!(err.to_string().contains("do not match"));
+    }
+
+    #[test]
+    fn discriminate_returns_probabilities() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut cgan = Cgan::new(small_config(), &mut rng);
+        let data = Matrix::from_rows(&[&[0.2], &[0.8]]).unwrap();
+        let conds = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let probs = cgan.discriminate(&data, &conds);
+        assert_eq!(probs.len(), 2);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn iterations_counter_advances() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let dataset = two_cluster_dataset();
+        let mut cgan = Cgan::new(small_config(), &mut rng);
+        assert_eq!(cgan.iterations_trained(), 0);
+        let _ = cgan.train(&dataset, 5, &mut rng).unwrap();
+        assert_eq!(cgan.iterations_trained(), 5);
+        let _ = cgan.train_step(&dataset, &mut rng);
+        assert_eq!(cgan.iterations_trained(), 6);
+    }
+
+    #[test]
+    fn disc_steps_k_runs_multiple_inner_updates() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let dataset = two_cluster_dataset();
+        let config = CganConfig::builder(1, 2)
+            .noise_dim(4)
+            .gen_hidden(vec![8])
+            .disc_hidden(vec![8])
+            .batch_size(8)
+            .disc_steps(3)
+            .build();
+        let mut cgan = Cgan::new(config, &mut rng);
+        let losses = cgan.train_step(&dataset, &mut rng);
+        assert!(losses.d_loss.is_finite());
+    }
+}

@@ -1,0 +1,289 @@
+//! CGAN hyper-parameters: Algorithm 2's training-parameter inputs.
+
+use serde::{Deserialize, Serialize};
+
+/// The generator's training objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum GeneratorLoss {
+    /// The paper's Algorithm 2 line 10: descend
+    /// `∇ 1/n Σ log(1 - D(G(z|c)))`. Saturates when D is confident,
+    /// which is visible in the ablation bench.
+    Minimax,
+    /// Goodfellow's practical alternative: ascend `log D(G(z|c))`
+    /// (implemented as BCE against the "real" label). Stronger early
+    /// gradients; the default.
+    #[default]
+    NonSaturating,
+}
+
+/// Which first-order optimizer drives both networks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum OptimKind {
+    /// Minibatch SGD, as written in Algorithm 2. `momentum = 0` is the
+    /// literal paper configuration.
+    Sgd {
+        /// Classical momentum coefficient in `[0, 1)`.
+        momentum: f64,
+    },
+    /// Adam with GAN-conventional `beta1 = 0.5`.
+    #[default]
+    Adam,
+}
+
+/// Full CGAN configuration. Construct via [`CganConfig::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CganConfig {
+    /// Width of the modeled flow samples `F_1` (e.g. 100 frequency bins).
+    pub data_dim: usize,
+    /// Width of the conditioning vector `F_2` (e.g. 3 one-hot motors);
+    /// 0 yields an unconditional GAN.
+    pub cond_dim: usize,
+    /// Width of the noise prior `Z`.
+    pub noise_dim: usize,
+    /// Hidden-layer widths of the generator MLP.
+    pub gen_hidden: Vec<usize>,
+    /// Hidden-layer widths of the discriminator MLP.
+    pub disc_hidden: Vec<usize>,
+    /// Generator objective (paper minimax vs non-saturating).
+    pub generator_loss: GeneratorLoss,
+    /// Minibatch size `n` of Algorithm 2.
+    pub batch_size: usize,
+    /// Discriminator steps `k` per generator step (Algorithm 2 line 4).
+    pub disc_steps: usize,
+    /// Generator learning rate.
+    pub gen_lr: f64,
+    /// Discriminator learning rate.
+    pub disc_lr: f64,
+    /// Optimizer family for both networks.
+    pub optimizer: OptimKind,
+    /// Optional global gradient-norm clip for both networks.
+    pub grad_clip: Option<f64>,
+    /// One-sided label smoothing: real labels become `1 - label_smoothing`
+    /// during discriminator updates (Salimans et al. 2016). 0 disables.
+    pub label_smoothing: f64,
+}
+
+impl CganConfig {
+    /// Starts a builder for a CGAN modeling `data_dim`-wide flows
+    /// conditioned on `cond_dim`-wide vectors.
+    pub fn builder(data_dim: usize, cond_dim: usize) -> CganConfigBuilder {
+        CganConfigBuilder::new(data_dim, cond_dim)
+    }
+
+    /// The configuration used for the paper's case study: 100-bin features
+    /// conditioned on 3-way one-hot motor encodings.
+    pub fn paper_case_study() -> Self {
+        Self::builder(100, 3).build()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero `data_dim`, `batch_size`, `disc_steps` or
+    /// non-positive learning rates. Called by [`crate::Cgan::new`].
+    pub fn validate(&self) {
+        assert!(self.data_dim > 0, "data_dim must be positive");
+        assert!(self.noise_dim > 0, "noise_dim must be positive");
+        assert!(self.batch_size > 0, "batch_size must be positive");
+        assert!(self.disc_steps > 0, "disc_steps must be positive");
+        assert!(
+            self.gen_lr > 0.0 && self.gen_lr.is_finite(),
+            "gen_lr must be positive"
+        );
+        assert!(
+            self.disc_lr > 0.0 && self.disc_lr.is_finite(),
+            "disc_lr must be positive"
+        );
+        if let Some(c) = self.grad_clip {
+            assert!(c > 0.0, "grad_clip must be positive when set");
+        }
+        assert!(
+            (0.0..0.5).contains(&self.label_smoothing),
+            "label_smoothing must be in [0, 0.5): {}",
+            self.label_smoothing
+        );
+    }
+}
+
+/// Builder for [`CganConfig`] with paper-appropriate defaults.
+#[derive(Debug, Clone)]
+pub struct CganConfigBuilder {
+    config: CganConfig,
+}
+
+impl CganConfigBuilder {
+    fn new(data_dim: usize, cond_dim: usize) -> Self {
+        Self {
+            config: CganConfig {
+                data_dim,
+                cond_dim,
+                noise_dim: 16,
+                gen_hidden: vec![64, 64],
+                disc_hidden: vec![64, 32],
+                generator_loss: GeneratorLoss::default(),
+                batch_size: 32,
+                disc_steps: 1,
+                gen_lr: 2e-3,
+                disc_lr: 2e-3,
+                optimizer: OptimKind::default(),
+                grad_clip: Some(5.0),
+                label_smoothing: 0.0,
+            },
+        }
+    }
+
+    /// Sets the noise width `Z`.
+    pub fn noise_dim(mut self, noise_dim: usize) -> Self {
+        self.config.noise_dim = noise_dim;
+        self
+    }
+
+    /// Sets the generator hidden widths.
+    pub fn gen_hidden(mut self, widths: Vec<usize>) -> Self {
+        self.config.gen_hidden = widths;
+        self
+    }
+
+    /// Sets the discriminator hidden widths.
+    pub fn disc_hidden(mut self, widths: Vec<usize>) -> Self {
+        self.config.disc_hidden = widths;
+        self
+    }
+
+    /// Sets the generator objective.
+    pub fn generator_loss(mut self, loss: GeneratorLoss) -> Self {
+        self.config.generator_loss = loss;
+        self
+    }
+
+    /// Sets the minibatch size `n`.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.config.batch_size = n;
+        self
+    }
+
+    /// Sets discriminator steps `k` per iteration.
+    pub fn disc_steps(mut self, k: usize) -> Self {
+        self.config.disc_steps = k;
+        self
+    }
+
+    /// Sets both learning rates at once.
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        self.config.gen_lr = lr;
+        self.config.disc_lr = lr;
+        self
+    }
+
+    /// Sets the generator learning rate.
+    pub fn gen_lr(mut self, lr: f64) -> Self {
+        self.config.gen_lr = lr;
+        self
+    }
+
+    /// Sets the discriminator learning rate.
+    pub fn disc_lr(mut self, lr: f64) -> Self {
+        self.config.disc_lr = lr;
+        self
+    }
+
+    /// Sets the optimizer family.
+    pub fn optimizer(mut self, kind: OptimKind) -> Self {
+        self.config.optimizer = kind;
+        self
+    }
+
+    /// Sets or clears gradient clipping.
+    pub fn grad_clip(mut self, clip: Option<f64>) -> Self {
+        self.config.grad_clip = clip;
+        self
+    }
+
+    /// Sets one-sided label smoothing for the discriminator's real labels.
+    pub fn label_smoothing(mut self, epsilon: f64) -> Self {
+        self.config.label_smoothing = epsilon;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting configuration is invalid (see
+    /// [`CganConfig::validate`]).
+    pub fn build(self) -> CganConfig {
+        self.config.validate();
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let c = CganConfig::builder(10, 3).build();
+        assert_eq!(c.data_dim, 10);
+        assert_eq!(c.cond_dim, 3);
+        assert!(c.noise_dim > 0);
+        assert_eq!(c.generator_loss, GeneratorLoss::NonSaturating);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = CganConfig::builder(5, 0)
+            .noise_dim(7)
+            .gen_hidden(vec![11])
+            .disc_hidden(vec![13])
+            .generator_loss(GeneratorLoss::Minimax)
+            .batch_size(9)
+            .disc_steps(3)
+            .learning_rate(0.01)
+            .optimizer(OptimKind::Sgd { momentum: 0.5 })
+            .grad_clip(None)
+            .build();
+        assert_eq!(c.noise_dim, 7);
+        assert_eq!(c.gen_hidden, vec![11]);
+        assert_eq!(c.disc_hidden, vec![13]);
+        assert_eq!(c.generator_loss, GeneratorLoss::Minimax);
+        assert_eq!(c.batch_size, 9);
+        assert_eq!(c.disc_steps, 3);
+        assert_eq!(c.gen_lr, 0.01);
+        assert_eq!(c.optimizer, OptimKind::Sgd { momentum: 0.5 });
+        assert_eq!(c.grad_clip, None);
+    }
+
+    #[test]
+    fn paper_case_study_shape() {
+        let c = CganConfig::paper_case_study();
+        assert_eq!(c.data_dim, 100);
+        assert_eq!(c.cond_dim, 3);
+    }
+
+    #[test]
+    fn label_smoothing_builder() {
+        let c = CganConfig::builder(1, 1).label_smoothing(0.1).build();
+        assert_eq!(c.label_smoothing, 0.1);
+        assert_eq!(CganConfig::builder(1, 1).build().label_smoothing, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label_smoothing")]
+    fn label_smoothing_half_rejected() {
+        let _ = CganConfig::builder(1, 1).label_smoothing(0.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn zero_batch_rejected() {
+        let _ = CganConfig::builder(1, 1).batch_size(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "gen_lr")]
+    fn zero_lr_rejected() {
+        let _ = CganConfig::builder(1, 1).gen_lr(0.0).build();
+    }
+}

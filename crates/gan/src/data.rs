@@ -1,0 +1,238 @@
+//! Paired `(F_1, F_2)` training data for a flow-pair CGAN.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gansec_tensor::Matrix;
+
+/// Error constructing a paired dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// `data` and `conds` have different row counts.
+    RowMismatch {
+        /// Rows of the data matrix.
+        data_rows: usize,
+        /// Rows of the condition matrix.
+        cond_rows: usize,
+    },
+    /// The dataset has no rows.
+    Empty,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::RowMismatch {
+                data_rows,
+                cond_rows,
+            } => write!(
+                f,
+                "data has {data_rows} rows but conditions have {cond_rows}"
+            ),
+            DataError::Empty => write!(f, "dataset has no rows"),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+/// Aligned samples of the modeled flow (`data`, `n x data_dim`) and the
+/// conditioning flow (`conds`, `n x cond_dim`): the labeled pairs
+/// `(f_1_i, f_2_i)` that Algorithm 2 draws its minibatches from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairedData {
+    data: Matrix,
+    conds: Matrix,
+}
+
+impl PairedData {
+    /// Creates a paired dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::RowMismatch`] if row counts differ and
+    /// [`DataError::Empty`] for zero rows.
+    pub fn new(data: Matrix, conds: Matrix) -> Result<Self, DataError> {
+        if data.rows() != conds.rows() {
+            return Err(DataError::RowMismatch {
+                data_rows: data.rows(),
+                cond_rows: conds.rows(),
+            });
+        }
+        if data.rows() == 0 {
+            return Err(DataError::Empty);
+        }
+        Ok(Self { data, conds })
+    }
+
+    /// Number of aligned samples.
+    pub fn len(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// Always false: construction rejects empty datasets.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Width of the modeled flow samples.
+    pub fn data_dim(&self) -> usize {
+        self.data.cols()
+    }
+
+    /// Width of the conditioning vectors.
+    pub fn cond_dim(&self) -> usize {
+        self.conds.cols()
+    }
+
+    /// Borrows the modeled-flow matrix.
+    pub fn data(&self) -> &Matrix {
+        &self.data
+    }
+
+    /// Borrows the condition matrix.
+    pub fn conds(&self) -> &Matrix {
+        &self.conds
+    }
+
+    /// Algorithm 2 lines 6-7: draws a minibatch of `n` aligned
+    /// `(data, cond)` rows uniformly with replacement.
+    pub fn sample_batch(&self, n: usize, rng: &mut impl Rng) -> (Matrix, Matrix) {
+        let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..self.len())).collect();
+        (self.data.select_rows(&idx), self.conds.select_rows(&idx))
+    }
+
+    /// Restricts to the first `n` samples (attacker data-budget ablation);
+    /// clamps `n` into `[1, len]`.
+    pub fn truncated(&self, n: usize) -> Self {
+        let n = n.clamp(1, self.len());
+        let idx: Vec<usize> = (0..n).collect();
+        Self {
+            data: self.data.select_rows(&idx),
+            conds: self.conds.select_rows(&idx),
+        }
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of rows in train,
+    /// preserving order (callers shuffle beforehand if needed). Both
+    /// halves keep at least one row.
+    pub fn split(&self, train_fraction: f64) -> (Self, Self) {
+        let n = self.len();
+        let n_train =
+            ((n as f64 * train_fraction).round() as usize).clamp(1, n.saturating_sub(1).max(1));
+        let train_idx: Vec<usize> = (0..n_train).collect();
+        let test_idx: Vec<usize> = (n_train..n).collect();
+        let test_idx = if test_idx.is_empty() {
+            vec![n - 1]
+        } else {
+            test_idx
+        };
+        (
+            Self {
+                data: self.data.select_rows(&train_idx),
+                conds: self.conds.select_rows(&train_idx),
+            },
+            Self {
+                data: self.data.select_rows(&test_idx),
+                conds: self.conds.select_rows(&test_idx),
+            },
+        )
+    }
+
+    /// Rows whose condition vector equals `cond` (within `1e-9`).
+    pub fn rows_with_condition(&self, cond: &[f64]) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| {
+                let row = self.conds.row(i);
+                row.len() == cond.len() && row.iter().zip(cond).all(|(&a, &b)| (a - b).abs() < 1e-9)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> PairedData {
+        let data = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]).unwrap();
+        let conds =
+            Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]]).unwrap();
+        PairedData::new(data, conds).unwrap()
+    }
+
+    #[test]
+    fn dims_reported() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.data_dim(), 1);
+        assert_eq!(d.cond_dim(), 2);
+    }
+
+    #[test]
+    fn mismatched_rows_rejected() {
+        let data = Matrix::zeros(3, 1);
+        let conds = Matrix::zeros(2, 1);
+        assert!(matches!(
+            PairedData::new(data, conds),
+            Err(DataError::RowMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            PairedData::new(Matrix::zeros(0, 1), Matrix::zeros(0, 1)),
+            Err(DataError::Empty)
+        );
+    }
+
+    #[test]
+    fn batches_stay_aligned() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (x, c) = d.sample_batch(64, &mut rng);
+        assert_eq!(x.rows(), 64);
+        assert_eq!(c.rows(), 64);
+        // Row value determines its condition in the toy data: 0/1 -> cond
+        // [1,0], 2/3 -> [0,1]. Verify the pairing survived sampling.
+        for i in 0..64 {
+            let v = x[(i, 0)];
+            let expected = if v < 2.0 { [1.0, 0.0] } else { [0.0, 1.0] };
+            assert_eq!(c.row(i), &expected);
+        }
+    }
+
+    #[test]
+    fn truncated_takes_prefix() {
+        let d = toy().truncated(2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.data()[(1, 0)], 1.0);
+        // Clamps at both ends.
+        assert_eq!(toy().truncated(0).len(), 1);
+        assert_eq!(toy().truncated(99).len(), 4);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let (train, test) = toy().split(0.5);
+        assert_eq!(train.len(), 2);
+        assert_eq!(test.len(), 2);
+        assert_eq!(train.data()[(0, 0)], 0.0);
+        assert_eq!(test.data()[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn rows_with_condition_filters() {
+        let d = toy();
+        assert_eq!(d.rows_with_condition(&[1.0, 0.0]), vec![0, 1]);
+        assert_eq!(d.rows_with_condition(&[0.0, 1.0]), vec![2, 3]);
+        assert!(d.rows_with_condition(&[0.5, 0.5]).is_empty());
+        assert!(d.rows_with_condition(&[1.0]).is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Unconditional GAN: the `cond_dim == 0` degenerate case.
+//!
+//! Flow pairs where the conditioning flow carries no usable labels (e.g.
+//! modeling the marginal distribution of an energy flow for anomaly
+//! detection without cyber-side context) reduce the CGAN of Eq. 2 to the
+//! plain GAN of Goodfellow et al.; this wrapper provides that case with a
+//! data-matrix API.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gansec_tensor::Matrix;
+
+use crate::{Cgan, CganConfig, PairedData, StepLosses, TrainError, TrainingHistory};
+
+/// An unconditional GAN over `data_dim`-wide samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gan {
+    inner: Cgan,
+}
+
+impl Gan {
+    /// Builds a GAN from a config whose `cond_dim` is forced to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adjusted configuration is invalid.
+    pub fn new(mut config: CganConfig, rng: &mut impl Rng) -> Self {
+        config.cond_dim = 0;
+        Self {
+            inner: Cgan::new(config, rng),
+        }
+    }
+
+    /// The underlying configuration (with `cond_dim == 0`).
+    pub fn config(&self) -> &CganConfig {
+        self.inner.config()
+    }
+
+    /// Access to the underlying conditional machinery.
+    pub fn as_cgan(&self) -> &Cgan {
+        &self.inner
+    }
+
+    /// Generates `n` samples with fresh noise.
+    pub fn generate(&mut self, n: usize, rng: &mut impl Rng) -> Matrix {
+        let conds = Matrix::zeros(n, 0);
+        self.inner.generate(&conds, rng)
+    }
+
+    /// `D(x)` probabilities for each row of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.cols() != config.data_dim`.
+    pub fn discriminate(&mut self, data: &Matrix) -> Vec<f64> {
+        let conds = Matrix::zeros(data.rows(), 0);
+        self.inner.discriminate(data, &conds)
+    }
+
+    /// One Algorithm 2 iteration over unconditioned data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.cols() != config.data_dim` or `data` is empty.
+    pub fn train_step(&mut self, data: &Matrix, rng: &mut impl Rng) -> StepLosses {
+        let dataset = self.wrap(data);
+        self.inner.train_step(&dataset, rng)
+    }
+
+    /// Runs `iterations` training steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the conditional trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has no rows.
+    pub fn train(
+        &mut self,
+        data: &Matrix,
+        iterations: usize,
+        rng: &mut impl Rng,
+    ) -> Result<TrainingHistory, TrainError> {
+        let dataset = self.wrap(data);
+        self.inner.train(&dataset, iterations, rng)
+    }
+
+    fn wrap(&self, data: &Matrix) -> PairedData {
+        let conds = Matrix::zeros(data.rows(), 0);
+        PairedData::new(data.clone(), conds).expect("nonempty data required")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> CganConfig {
+        CganConfig::builder(1, 3) // cond_dim overridden to 0 by Gan::new
+            .noise_dim(4)
+            .gen_hidden(vec![16])
+            .disc_hidden(vec![16])
+            .batch_size(16)
+            .learning_rate(5e-3)
+            .build()
+    }
+
+    #[test]
+    fn cond_dim_is_forced_to_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gan = Gan::new(config(), &mut rng);
+        assert_eq!(gan.config().cond_dim, 0);
+    }
+
+    #[test]
+    fn generates_bounded_samples() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut gan = Gan::new(config(), &mut rng);
+        let out = gan.generate(10, &mut rng);
+        assert_eq!(out.shape(), (10, 1));
+        assert!(out.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn learns_unimodal_target() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut gan = Gan::new(config(), &mut rng);
+        // Data clustered near 0.7.
+        let data = Matrix::from_fn(64, 1, |r, _| 0.7 + ((r % 8) as f64 - 4.0) * 0.005);
+        gan.train(&data, 1200, &mut rng).unwrap();
+        let samples = gan.generate(300, &mut rng);
+        let mean = samples.mean();
+        assert!((mean - 0.7).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn discriminate_length_matches_rows() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut gan = Gan::new(config(), &mut rng);
+        let probs = gan.discriminate(&Matrix::zeros(5, 1));
+        assert_eq!(probs.len(), 5);
+    }
+}

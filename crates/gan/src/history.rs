@@ -1,0 +1,151 @@
+//! Training-loss telemetry: the data behind the paper's Figure 7.
+
+use serde::{Deserialize, Serialize};
+
+/// Losses recorded at one Algorithm 2 iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Discriminator BCE loss over the real and fake minibatches
+    /// (averaged over the `k` inner steps).
+    pub d_loss: f64,
+    /// Generator loss reported as `-mean log D(G(z|c))` regardless of the
+    /// training objective, so minimax and non-saturating runs are plotted
+    /// on the same axis.
+    pub g_loss: f64,
+}
+
+/// Loss trajectory of one training run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    records: Vec<IterationRecord>,
+}
+
+impl TrainingHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one iteration's losses.
+    pub fn push(&mut self, record: IterationRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether any iterations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records in iteration order.
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.records
+    }
+
+    /// The last record, if any.
+    pub fn last(&self) -> Option<&IterationRecord> {
+        self.records.last()
+    }
+
+    /// Mean discriminator loss over the final `n` iterations (clamped).
+    pub fn final_d_loss(&self, n: usize) -> f64 {
+        self.tail_mean(n, |r| r.d_loss)
+    }
+
+    /// Mean generator loss over the final `n` iterations (clamped).
+    pub fn final_g_loss(&self, n: usize) -> f64 {
+        self.tail_mean(n, |r| r.g_loss)
+    }
+
+    fn tail_mean(&self, n: usize, f: impl Fn(&IterationRecord) -> f64) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let n = n.clamp(1, self.records.len());
+        let tail = &self.records[self.records.len() - n..];
+        tail.iter().map(f).sum::<f64>() / n as f64
+    }
+
+    /// Downsamples to at most `max_points` evenly spaced records for
+    /// plotting (always keeps the final record).
+    pub fn downsample(&self, max_points: usize) -> Vec<IterationRecord> {
+        if max_points == 0 || self.records.is_empty() {
+            return Vec::new();
+        }
+        if self.records.len() <= max_points {
+            return self.records.clone();
+        }
+        let stride = self.records.len() as f64 / max_points as f64;
+        let mut out: Vec<IterationRecord> = (0..max_points)
+            .map(|i| self.records[(i as f64 * stride) as usize])
+            .collect();
+        let last = *self.records.last().expect("nonempty");
+        if out.last().map(|r| r.iteration) != Some(last.iteration) {
+            out.push(last);
+        }
+        out
+    }
+}
+
+impl Extend<IterationRecord> for TrainingHistory {
+    fn extend<I: IntoIterator<Item = IterationRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: usize, d: f64, g: f64) -> IterationRecord {
+        IterationRecord {
+            iteration: i,
+            d_loss: d,
+            g_loss: g,
+        }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut h = TrainingHistory::new();
+        assert!(h.is_empty());
+        h.push(rec(0, 1.0, 2.0));
+        h.push(rec(1, 0.5, 1.5));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.last().unwrap().iteration, 1);
+    }
+
+    #[test]
+    fn tail_means_clamp() {
+        let mut h = TrainingHistory::new();
+        h.extend([rec(0, 1.0, 4.0), rec(1, 2.0, 2.0)]);
+        assert!((h.final_d_loss(1) - 2.0).abs() < 1e-12);
+        assert!((h.final_d_loss(10) - 1.5).abs() < 1e-12);
+        assert!((h.final_g_loss(2) - 3.0).abs() < 1e-12);
+        assert_eq!(TrainingHistory::new().final_d_loss(5), 0.0);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let mut h = TrainingHistory::new();
+        h.extend((0..100).map(|i| rec(i, i as f64, 0.0)));
+        let ds = h.downsample(10);
+        assert!(ds.len() <= 11);
+        assert_eq!(ds[0].iteration, 0);
+        assert_eq!(ds.last().unwrap().iteration, 99);
+    }
+
+    #[test]
+    fn downsample_short_history_is_identity() {
+        let mut h = TrainingHistory::new();
+        h.extend((0..5).map(|i| rec(i, 0.0, 0.0)));
+        assert_eq!(h.downsample(10).len(), 5);
+        assert!(h.downsample(0).is_empty());
+    }
+}

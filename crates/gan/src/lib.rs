@@ -1,0 +1,54 @@
+//! Generative adversarial networks for GAN-Sec: the paper's Algorithm 2.
+//!
+//! A [`Cgan`] couples a generator `G(Z | F_2)` and discriminator
+//! `D(F_1 | F_2)` over the two-player minimax objective of Eq. 2:
+//!
+//! ```text
+//! min_G max_D  E[log D(F1|F2)] + E[log(1 - D(G(Z|F2)))]
+//! ```
+//!
+//! Training follows Algorithm 2 exactly: per iteration, `k` discriminator
+//! ascent steps on minibatches of `n` real/fake pairs, then one generator
+//! descent step re-using fresh noise with the same conditions. Both the
+//! paper's original *minimax* generator loss and the standard
+//! *non-saturating* variant are provided ([`GeneratorLoss`]) so the bench
+//! harness can ablate them.
+//!
+//! The unconditional [`Gan`] is the degenerate `cond_dim == 0` case and is
+//! used for flow pairs where no conditioning signal is available.
+//!
+//! # Example
+//!
+//! ```
+//! use gansec_gan::{Cgan, CganConfig, PairedData};
+//! use gansec_tensor::Matrix;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! // Two conditions with well-separated 1-D data.
+//! let data = Matrix::from_rows(&[&[0.2], &[0.21], &[0.8], &[0.79]])?;
+//! let conds = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]])?;
+//! let dataset = PairedData::new(data, conds)?;
+//! let config = CganConfig::builder(1, 2).noise_dim(4).build();
+//! let mut cgan = Cgan::new(config, &mut rng);
+//! let history = cgan.train(&dataset, 50, &mut rng)?;
+//! assert_eq!(history.len(), 50);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cgan;
+mod config;
+mod data;
+mod gan;
+mod history;
+
+pub use cgan::{Cgan, StepLosses, TrainError};
+pub use config::{CganConfig, CganConfigBuilder, GeneratorLoss, OptimKind};
+pub use data::{DataError, PairedData};
+pub use gan::Gan;
+pub use history::{IterationRecord, TrainingHistory};

@@ -1,0 +1,143 @@
+//! Property tests for the adversarial-training layer: whatever the
+//! configuration, one Algorithm 2 step must preserve shapes, finiteness,
+//! and the paired-data alignment it samples from.
+
+use gansec_gan::{Cgan, CganConfig, GeneratorLoss, OptimKind, PairedData};
+use gansec_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone)]
+struct RandomSetup {
+    config: CganConfig,
+    dataset: PairedData,
+    seed: u64,
+}
+
+fn setup() -> impl Strategy<Value = RandomSetup> {
+    (
+        1usize..6,     // data_dim
+        0usize..4,     // cond_dim
+        1usize..8,     // noise_dim
+        1usize..24,    // hidden width
+        1usize..16,    // batch size
+        1usize..3,     // disc steps
+        any::<bool>(), // generator loss
+        any::<bool>(), // optimizer
+        4usize..32,    // dataset rows
+        0u64..1000,    // seed
+    )
+        .prop_map(
+            |(data_dim, cond_dim, noise_dim, hidden, batch, k, minimax, sgd, rows, seed)| {
+                let config = CganConfig::builder(data_dim, cond_dim)
+                    .noise_dim(noise_dim)
+                    .gen_hidden(vec![hidden])
+                    .disc_hidden(vec![hidden])
+                    .batch_size(batch)
+                    .disc_steps(k)
+                    .generator_loss(if minimax {
+                        GeneratorLoss::Minimax
+                    } else {
+                        GeneratorLoss::NonSaturating
+                    })
+                    .optimizer(if sgd {
+                        OptimKind::Sgd { momentum: 0.5 }
+                    } else {
+                        OptimKind::Adam
+                    })
+                    .learning_rate(1e-3)
+                    .build();
+                let data = Matrix::from_fn(rows, data_dim, |r, c| {
+                    (((r * 13 + c * 7 + seed as usize) % 97) as f64 / 97.0).clamp(0.0, 1.0)
+                });
+                let conds = Matrix::from_fn(rows, cond_dim, |r, c| {
+                    if cond_dim > 0 && r % cond_dim == c {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                });
+                let dataset = PairedData::new(data, conds).expect("rows > 0");
+                RandomSetup {
+                    config,
+                    dataset,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn train_step_keeps_everything_finite(s in setup()) {
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        let mut cgan = Cgan::new(s.config.clone(), &mut rng);
+        for _ in 0..3 {
+            let losses = cgan.train_step(&s.dataset, &mut rng);
+            prop_assert!(losses.d_loss.is_finite());
+            prop_assert!(losses.g_loss.is_finite());
+        }
+        let conds = Matrix::from_fn(5, s.config.cond_dim, |r, c| {
+            if s.config.cond_dim > 0 && r % s.config.cond_dim == c { 1.0 } else { 0.0 }
+        });
+        let out = cgan.generate(&conds, &mut rng);
+        prop_assert_eq!(out.shape(), (5, s.config.data_dim));
+        prop_assert!(out.all_finite());
+        // Sigmoid output head keeps samples in [0, 1].
+        prop_assert!(out.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn discriminator_outputs_probabilities(s in setup()) {
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        let mut cgan = Cgan::new(s.config.clone(), &mut rng);
+        let _ = cgan.train_step(&s.dataset, &mut rng);
+        let probs = cgan.discriminate(s.dataset.data(), s.dataset.conds());
+        prop_assert_eq!(probs.len(), s.dataset.len());
+        prop_assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p) && p.is_finite()));
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed(s in setup()) {
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut cgan = Cgan::new(s.config.clone(), &mut rng);
+            let mut last = (0.0, 0.0);
+            for _ in 0..2 {
+                let l = cgan.train_step(&s.dataset, &mut rng);
+                last = (l.d_loss, l.g_loss);
+            }
+            last
+        };
+        prop_assert_eq!(run(s.seed), run(s.seed));
+    }
+
+    #[test]
+    fn minibatch_sampling_preserves_alignment(s in setup()) {
+        prop_assume!(s.config.cond_dim > 0);
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        let (x, c) = s.dataset.sample_batch(20, &mut rng);
+        prop_assert_eq!(x.rows(), 20);
+        prop_assert_eq!(c.rows(), 20);
+        // Every sampled (data, cond) row must exist as a pair in the
+        // original dataset.
+        for i in 0..20 {
+            let found = (0..s.dataset.len()).any(|j| {
+                s.dataset.data().row(j) == x.row(i) && s.dataset.conds().row(j) == c.row(i)
+            });
+            prop_assert!(found, "sampled row {} not an original pair", i);
+        }
+    }
+
+    #[test]
+    fn split_partitions_rows(s in setup(), frac in 0.1..0.9f64) {
+        prop_assume!(s.dataset.len() >= 4);
+        let (train, test) = s.dataset.split(frac);
+        prop_assert!(!train.is_empty());
+        prop_assert!(!test.is_empty());
+        prop_assert!(train.len() + test.len() >= s.dataset.len());
+    }
+}

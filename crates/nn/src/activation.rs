@@ -1,0 +1,144 @@
+use serde::{Deserialize, Serialize};
+
+/// Elementwise activation functions.
+///
+/// The CGAN generator in the paper outputs feature magnitudes scaled to
+/// `[0, 1]`, so its final layer uses [`Activation::Sigmoid`]; hidden layers
+/// use [`Activation::LeakyRelu`], the standard choice for discriminators
+/// since Radford et al. (DCGAN).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// `x` for `x > 0`, `alpha * x` otherwise.
+    LeakyRelu {
+        /// Negative-slope coefficient, typically `0.01`-`0.2`.
+        alpha: f64,
+    },
+    /// Logistic sigmoid `1 / (1 + e^-x)`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (no-op); useful for ablation wiring.
+    Identity,
+}
+
+impl Activation {
+    /// A leaky ReLU with the conventional GAN slope of 0.2.
+    pub fn leaky_relu() -> Self {
+        Activation::LeakyRelu { alpha: 0.2 }
+    }
+
+    /// Applies the activation to a scalar.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu { alpha } => {
+                if x > 0.0 {
+                    x
+                } else {
+                    alpha * x
+                }
+            }
+            Activation::Sigmoid => crate::loss::sigmoid(x),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative of the activation with respect to its scalar input.
+    ///
+    /// For ReLU-family activations the derivative at exactly `x == 0` is
+    /// taken from the negative branch, the usual subgradient convention.
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu { alpha } => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    alpha
+                }
+            }
+            Activation::Sigmoid => {
+                let s = crate::loss::sigmoid(x);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+impl Default for Activation {
+    /// The GAN-conventional leaky ReLU (`alpha = 0.2`).
+    fn default() -> Self {
+        Activation::leaky_relu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negative() {
+        let a = Activation::LeakyRelu { alpha: 0.1 };
+        assert!((a.apply(-2.0) + 0.2).abs() < 1e-12);
+        assert_eq!(a.apply(2.0), 2.0);
+        assert_eq!(a.derivative(-1.0), 0.1);
+        assert_eq!(a.derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(s.apply(100.0) <= 1.0);
+        assert!(s.apply(-100.0) >= 0.0);
+        assert!((s.apply(2.0) + s.apply(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let h = 1e-6;
+        for act in [
+            Activation::Relu,
+            Activation::leaky_relu(),
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
+            for &x in &[-2.0, -0.5, 0.7, 3.0] {
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let analytic = act.derivative(x);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tanh_derivative_peaks_at_origin() {
+        let t = Activation::Tanh;
+        assert!((t.derivative(0.0) - 1.0).abs() < 1e-12);
+        assert!(t.derivative(3.0) < t.derivative(0.0));
+    }
+}

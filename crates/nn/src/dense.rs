@@ -1,0 +1,217 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gansec_tensor::{Matrix, WeightInit};
+
+/// A fully-connected layer computing `y = x W + b` over a batch.
+///
+/// `x` is `n x in`, `W` is `in x out`, `b` is `1 x out` broadcast over the
+/// batch. The layer caches its input on the forward pass so that
+/// [`Dense::backward`] can form the exact weight gradients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    weight: Matrix,
+    bias: Matrix,
+    grad_weight: Matrix,
+    grad_bias: Matrix,
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a layer with the given initialization scheme and zero biases.
+    pub fn with_init(
+        input_dim: usize,
+        output_dim: usize,
+        init: WeightInit,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            weight: init.sample(input_dim, output_dim, rng),
+            bias: Matrix::zeros(1, output_dim),
+            grad_weight: Matrix::zeros(input_dim, output_dim),
+            grad_bias: Matrix::zeros(1, output_dim),
+            cached_input: None,
+        }
+    }
+
+    /// Creates a layer with the default (Xavier uniform) initialization.
+    pub fn new(input_dim: usize, output_dim: usize, rng: &mut impl Rng) -> Self {
+        Self::with_init(input_dim, output_dim, WeightInit::XavierUniform, rng)
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Borrows the weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Borrows the bias row vector.
+    pub fn bias(&self) -> &Matrix {
+        &self.bias
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Forward pass over a batch; caches the input for backprop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_dim()`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let y = x
+            .matmul(&self.weight)
+            .and_then(|xw| xw.add_row_broadcast(&self.bias))
+            .expect("dense forward: input width must equal layer input_dim");
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Dense::forward`] or with a gradient whose
+    /// shape does not match the forward output.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("dense backward called before forward");
+        let gw = x
+            .transpose()
+            .matmul(grad_output)
+            .expect("dense backward: grad shape mismatch");
+        self.grad_weight += &gw;
+        self.grad_bias += &grad_output.sum_rows();
+        grad_output
+            .matmul(&self.weight.transpose())
+            .expect("dense backward: grad shape mismatch")
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight = Matrix::zeros(self.weight.rows(), self.weight.cols());
+        self.grad_bias = Matrix::zeros(1, self.bias.cols());
+    }
+
+    /// Visits `(parameter, gradient)` pairs; the optimizer driver supplies
+    /// a globally unique index per parameter for per-parameter state.
+    pub fn visit_params(&mut self, mut f: impl FnMut(&mut Matrix, &Matrix)) {
+        f(&mut self.weight, &self.grad_weight);
+        f(&mut self.bias, &self.grad_bias);
+    }
+
+    /// Sum of squared gradient entries, used for global-norm clipping.
+    pub fn grad_sq_norm(&self) -> f64 {
+        let w = self.grad_weight.frobenius_norm();
+        let b = self.grad_bias.frobenius_norm();
+        w * w + b * b
+    }
+
+    /// Scales all gradients in place (global-norm clipping support).
+    pub fn scale_grads(&mut self, s: f64) {
+        self.grad_weight.scale_inplace(s);
+        self.grad_bias.scale_inplace(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer() -> Dense {
+        let mut rng = StdRng::seed_from_u64(9);
+        Dense::new(3, 2, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut l = layer();
+        let x = Matrix::zeros(5, 3);
+        assert_eq!(l.forward(&x).shape(), (5, 2));
+    }
+
+    #[test]
+    fn forward_zero_input_yields_bias() {
+        let mut l = layer();
+        let x = Matrix::zeros(2, 3);
+        let y = l.forward(&x);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(y[(r, c)], l.bias()[(0, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_bias_grad_is_row_sum() {
+        let mut l = layer();
+        let x = Matrix::filled(4, 3, 1.0);
+        let _ = l.forward(&x);
+        let g = Matrix::filled(4, 2, 0.5);
+        let _ = l.backward(&g);
+        // bias grad should be the column sums of g: 4 * 0.5 = 2.0
+        let mut seen = Vec::new();
+        l.visit_params(|_, grad| seen.push(grad.clone()));
+        assert_eq!(seen[1], Matrix::filled(1, 2, 2.0));
+    }
+
+    #[test]
+    fn backward_returns_input_shaped_grad() {
+        let mut l = layer();
+        let x = Matrix::zeros(4, 3);
+        let _ = l.forward(&x);
+        let gin = l.backward(&Matrix::zeros(4, 2));
+        assert_eq!(gin.shape(), (4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut l = layer();
+        let _ = l.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut l = layer();
+        let x = Matrix::filled(1, 3, 1.0);
+        let _ = l.forward(&x);
+        let _ = l.backward(&Matrix::filled(1, 2, 1.0));
+        assert!(l.grad_sq_norm() > 0.0);
+        l.zero_grad();
+        assert_eq!(l.grad_sq_norm(), 0.0);
+    }
+
+    #[test]
+    fn grads_accumulate_across_backwards() {
+        let mut l = layer();
+        let x = Matrix::filled(1, 3, 1.0);
+        let _ = l.forward(&x);
+        let _ = l.backward(&Matrix::filled(1, 2, 1.0));
+        let n1 = l.grad_sq_norm();
+        let _ = l.forward(&x);
+        let _ = l.backward(&Matrix::filled(1, 2, 1.0));
+        let n2 = l.grad_sq_norm();
+        assert!(
+            (n2 - 4.0 * n1).abs() < 1e-9,
+            "grads should double: {n1} -> {n2}"
+        );
+    }
+}

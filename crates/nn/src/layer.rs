@@ -1,0 +1,262 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use gansec_tensor::{Matrix, WeightInit};
+
+use crate::{Activation, Dense};
+
+/// One layer of a [`crate::Sequential`] network.
+///
+/// An enum rather than a trait object: the set of layer kinds needed by the
+/// paper's MLP CGAN is closed, enum dispatch is faster at these sizes, and
+/// it keeps networks trivially serializable for model persistence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully-connected affine layer.
+    Dense(Dense),
+    /// Elementwise activation; caches its forward input.
+    Activation {
+        /// The activation function applied elementwise.
+        act: Activation,
+        /// Input cached by the forward pass for the backward derivative.
+        #[serde(skip)]
+        cached_input: Option<Matrix>,
+    },
+    /// Inverted dropout; active only while the network is in training mode.
+    Dropout(Dropout),
+}
+
+impl Layer {
+    /// Convenience constructor for a Xavier-initialized dense layer.
+    pub fn dense(input_dim: usize, output_dim: usize, rng: &mut impl Rng) -> Self {
+        Layer::Dense(Dense::new(input_dim, output_dim, rng))
+    }
+
+    /// Convenience constructor for a dense layer with an explicit scheme.
+    pub fn dense_with_init(
+        input_dim: usize,
+        output_dim: usize,
+        init: WeightInit,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Layer::Dense(Dense::with_init(input_dim, output_dim, init, rng))
+    }
+
+    /// Convenience constructor for an activation layer.
+    pub fn activation(act: Activation) -> Self {
+        Layer::Activation {
+            act,
+            cached_input: None,
+        }
+    }
+
+    /// Convenience constructor for a dropout layer with keep-probability
+    /// `1 - rate` and a deterministic seed.
+    pub fn dropout(rate: f64, seed: u64) -> Self {
+        Layer::Dropout(Dropout::new(rate, seed))
+    }
+
+    /// Forward pass; `training` controls dropout behaviour.
+    pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        match self {
+            Layer::Dense(d) => d.forward(x),
+            Layer::Activation { act, cached_input } => {
+                let a = *act;
+                let y = x.map(|v| a.apply(v));
+                *cached_input = Some(x.clone());
+                y
+            }
+            Layer::Dropout(d) => d.forward(x, training),
+        }
+    }
+
+    /// Backward pass; returns the gradient with respect to the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` on a caching layer.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        match self {
+            Layer::Dense(d) => d.backward(grad_output),
+            Layer::Activation { act, cached_input } => {
+                let x = cached_input
+                    .as_ref()
+                    .expect("activation backward called before forward");
+                let a = *act;
+                x.map(|v| a.derivative(v))
+                    .hadamard(grad_output)
+                    .expect("activation backward: grad shape mismatch")
+            }
+            Layer::Dropout(d) => d.backward(grad_output),
+        }
+    }
+
+    /// Clears accumulated gradients (no-op for parameterless layers).
+    pub fn zero_grad(&mut self) {
+        if let Layer::Dense(d) = self {
+            d.zero_grad();
+        }
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Dense(d) => d.param_count(),
+            _ => 0,
+        }
+    }
+
+    /// Visits `(parameter, gradient)` pairs of this layer.
+    pub fn visit_params(&mut self, f: impl FnMut(&mut Matrix, &Matrix)) {
+        if let Layer::Dense(d) = self {
+            d.visit_params(f);
+        }
+    }
+
+    /// Sum of squared gradient entries across this layer's parameters.
+    pub fn grad_sq_norm(&self) -> f64 {
+        match self {
+            Layer::Dense(d) => d.grad_sq_norm(),
+            _ => 0.0,
+        }
+    }
+
+    /// Scales this layer's gradients in place.
+    pub fn scale_grads(&mut self, s: f64) {
+        if let Layer::Dense(d) = self {
+            d.scale_grads(s);
+        }
+    }
+}
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `rate` and survivors are scaled by `1/(1-rate)` so the
+/// expected activation is unchanged; at evaluation time it is the identity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropout {
+    rate: f64,
+    seed: u64,
+    #[serde(skip)]
+    rng: Option<StdRng>,
+    #[serde(skip)]
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate < 1.0`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must be in [0, 1): {rate}"
+        );
+        Self {
+            rate,
+            seed,
+            rng: None,
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        if !training || self.rate == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let seed = self.seed;
+        let rng = self.rng.get_or_insert_with(|| StdRng::seed_from_u64(seed));
+        let keep = 1.0 - self.rate;
+        let mask = Matrix::from_fn(x.rows(), x.cols(), |_, _| {
+            if rng.gen::<f64>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let y = x.hadamard(&mask).expect("same shape by construction");
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => grad_output
+                .hadamard(mask)
+                .expect("dropout backward: grad shape mismatch"),
+            None => grad_output.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn activation_layer_round_trip() {
+        let mut l = Layer::activation(Activation::Tanh);
+        let x = Matrix::row_vector(&[0.5, -0.5]);
+        let y = l.forward(&x, true);
+        assert!((y[(0, 0)] - 0.5f64.tanh()).abs() < 1e-12);
+        let g = l.backward(&Matrix::row_vector(&[1.0, 1.0]));
+        let expected = 1.0 - 0.5f64.tanh().powi(2);
+        assert!((g[(0, 0)] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut l = Layer::dropout(0.5, 1);
+        let x = Matrix::filled(3, 3, 2.0);
+        assert_eq!(l.forward(&x, false), x);
+    }
+
+    #[test]
+    fn dropout_training_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Matrix::filled(200, 50, 1.0);
+        let y = d.forward(&x, true);
+        // Mean should be ~1.0 thanks to inverted scaling.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Roughly half the entries are zero.
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f64 / y.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "zero fraction {frac}");
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3, 3);
+        let x = Matrix::filled(4, 4, 1.0);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Matrix::filled(4, 4, 1.0));
+        // Gradient is zero exactly where output was zero.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn dropout_rejects_rate_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn param_count_only_counts_dense() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(Layer::dense(3, 4, &mut rng).param_count(), 16);
+        assert_eq!(Layer::activation(Activation::Relu).param_count(), 0);
+        assert_eq!(Layer::dropout(0.1, 0).param_count(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! From-scratch feed-forward neural networks for the GAN-Sec stack.
+//!
+//! The DATE'19 GAN-Sec paper trains a conditional GAN on 100-bin acoustic
+//! feature vectors conditioned on 3-dimensional one-hot G/M-code encodings.
+//! At that scale a dense multilayer perceptron with manual backpropagation
+//! is the right tool, and implementing it here keeps the reproduction free
+//! of any external deep-learning runtime (the Rust DL ecosystem the paper's
+//! Python stack assumed does not exist in this dependency-closed build).
+//!
+//! The crate provides:
+//!
+//! * [`Dense`] fully-connected layers and [`Activation`] nonlinearities,
+//!   wrapped in a serializable [`Layer`] enum;
+//! * [`Sequential`] networks with exact reverse-mode gradients;
+//! * losses ([`bce_with_logits`], [`mse`]) returning both the scalar loss
+//!   and the gradient with respect to the predictions;
+//! * optimizers ([`Sgd`], [`Adam`]) driven through the [`Optimizer`] trait;
+//! * a finite-difference [`gradient_check`] used by the test-suite to pin
+//!   backprop correctness.
+//!
+//! # Example
+//!
+//! ```
+//! use gansec_nn::{Activation, Layer, Sequential, Sgd, mse};
+//! use gansec_tensor::Matrix;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let mut net = Sequential::new(vec![
+//!     Layer::dense(2, 8, &mut rng),
+//!     Layer::activation(Activation::Tanh),
+//!     Layer::dense(8, 1, &mut rng),
+//! ]);
+//! let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]])?;
+//! let t = Matrix::from_rows(&[&[0.0], &[1.0]])?;
+//! let mut opt = Sgd::with_momentum(0.3, 0.9);
+//! for _ in 0..1000 {
+//!     let y = net.forward(&x);
+//!     let (_, grad) = mse(&y, &t)?;
+//!     net.zero_grad();
+//!     net.backward(&grad);
+//!     net.step(&mut opt);
+//! }
+//! let y = net.forward(&x);
+//! assert!((y[(0, 0)] - 0.0).abs() < 0.2);
+//! assert!((y[(1, 0)] - 1.0).abs() < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod dense;
+mod gradcheck;
+mod layer;
+mod loss;
+mod optim;
+mod sequential;
+
+pub use activation::Activation;
+pub use dense::Dense;
+pub use gradcheck::{gradient_check, GradCheckReport};
+pub use layer::{Dropout, Layer};
+pub use loss::{bce_with_logits, mse, sigmoid, LossError};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use sequential::Sequential;

@@ -1,0 +1,192 @@
+use std::error::Error;
+use std::fmt;
+
+use gansec_tensor::Matrix;
+
+/// Error returned when predictions and targets have mismatched shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LossError {
+    pred: (usize, usize),
+    target: (usize, usize),
+}
+
+impl fmt::Display for LossError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "loss shape mismatch: predictions {}x{} vs targets {}x{}",
+            self.pred.0, self.pred.1, self.target.0, self.target.1
+        )
+    }
+}
+
+impl Error for LossError {}
+
+/// Numerically stable logistic sigmoid.
+///
+/// Uses the two-branch formulation to avoid overflow in `exp` for large
+/// negative inputs.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary cross-entropy on raw logits, averaged over all entries.
+///
+/// For logits `z` and targets `t in [0,1]` this computes the stable form
+/// `max(z,0) - z*t + ln(1+exp(-|z|))` and returns `(loss, dloss/dz)` where
+/// the gradient is `(sigmoid(z) - t) / n`. Feeding logits rather than
+/// probabilities is what keeps the paper's Algorithm 2 discriminator
+/// updates finite when D becomes confident.
+///
+/// # Errors
+///
+/// Returns [`LossError`] if shapes differ.
+pub fn bce_with_logits(logits: &Matrix, targets: &Matrix) -> Result<(f64, Matrix), LossError> {
+    if logits.shape() != targets.shape() {
+        return Err(LossError {
+            pred: logits.shape(),
+            target: targets.shape(),
+        });
+    }
+    let n = logits.len().max(1) as f64;
+    let loss: f64 = logits
+        .as_slice()
+        .iter()
+        .zip(targets.as_slice())
+        .map(|(&z, &t)| z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln())
+        .sum::<f64>()
+        / n;
+    let grad = logits
+        .zip_map(targets, |z, t| (sigmoid(z) - t) / n)
+        .expect("shapes already checked");
+    Ok((loss, grad))
+}
+
+/// Mean squared error, averaged over all entries.
+///
+/// Returns `(loss, dloss/dpred)` with gradient `2 (pred - t) / n`.
+///
+/// # Errors
+///
+/// Returns [`LossError`] if shapes differ.
+pub fn mse(pred: &Matrix, targets: &Matrix) -> Result<(f64, Matrix), LossError> {
+    if pred.shape() != targets.shape() {
+        return Err(LossError {
+            pred: pred.shape(),
+            target: targets.shape(),
+        });
+    }
+    let n = pred.len().max(1) as f64;
+    let loss: f64 = pred
+        .as_slice()
+        .iter()
+        .zip(targets.as_slice())
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n;
+    let grad = pred
+        .zip_map(targets, |p, t| 2.0 * (p - t) / n)
+        .expect("shapes already checked");
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bce_matches_closed_form_at_zero_logit() {
+        let z = Matrix::row_vector(&[0.0]);
+        let t = Matrix::row_vector(&[1.0]);
+        let (loss, grad) = bce_with_logits(&z, &t).unwrap();
+        assert!((loss - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((grad[(0, 0)] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_confident_correct_is_near_zero() {
+        let z = Matrix::row_vector(&[50.0]);
+        let t = Matrix::row_vector(&[1.0]);
+        let (loss, _) = bce_with_logits(&z, &t).unwrap();
+        assert!(loss < 1e-10);
+    }
+
+    #[test]
+    fn bce_confident_wrong_is_large_but_finite() {
+        let z = Matrix::row_vector(&[50.0]);
+        let t = Matrix::row_vector(&[0.0]);
+        let (loss, grad) = bce_with_logits(&z, &t).unwrap();
+        assert!((loss - 50.0).abs() < 1e-9);
+        assert!(grad.all_finite());
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let t = Matrix::row_vector(&[1.0, 0.0, 0.5]);
+        let z0 = [0.3, -1.2, 2.0];
+        let h = 1e-6;
+        let (_, grad) = bce_with_logits(&Matrix::row_vector(&z0), &t).unwrap();
+        for i in 0..3 {
+            let mut zp = z0;
+            zp[i] += h;
+            let mut zm = z0;
+            zm[i] -= h;
+            let (lp, _) = bce_with_logits(&Matrix::row_vector(&zp), &t).unwrap();
+            let (lm, _) = bce_with_logits(&Matrix::row_vector(&zm), &t).unwrap();
+            let numeric = (lp - lm) / (2.0 * h);
+            assert!(
+                (numeric - grad[(0, i)]).abs() < 1e-6,
+                "entry {i}: numeric {numeric} vs analytic {}",
+                grad[(0, i)]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_perfect_prediction_is_zero() {
+        let p = Matrix::row_vector(&[1.0, 2.0]);
+        let (loss, grad) = mse(&p, &p.clone()).unwrap();
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad, Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let t = Matrix::row_vector(&[0.5, -0.5]);
+        let p0 = [1.0, 2.0];
+        let h = 1e-6;
+        let (_, grad) = mse(&Matrix::row_vector(&p0), &t).unwrap();
+        for i in 0..2 {
+            let mut pp = p0;
+            pp[i] += h;
+            let mut pm = p0;
+            pm[i] -= h;
+            let (lp, _) = mse(&Matrix::row_vector(&pp), &t).unwrap();
+            let (lm, _) = mse(&Matrix::row_vector(&pm), &t).unwrap();
+            let numeric = (lp - lm) / (2.0 * h);
+            assert!((numeric - grad[(0, i)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(2, 1);
+        assert!(bce_with_logits(&a, &b).is_err());
+        assert!(mse(&a, &b).is_err());
+        let msg = mse(&a, &b).unwrap_err().to_string();
+        assert!(msg.contains("1x2"));
+    }
+}

@@ -1,0 +1,266 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use gansec_tensor::Matrix;
+
+/// First-order optimizer updating one parameter matrix at a time.
+///
+/// The driver ([`crate::Sequential::step`]) walks the network's parameters
+/// in a stable order and passes each a unique `param_id`, which optimizers
+/// use to key per-parameter state (momentum buffers, Adam moments).
+pub trait Optimizer {
+    /// Applies one update to `param` given its accumulated `grad`.
+    fn update(&mut self, param_id: usize, param: &mut Matrix, grad: &Matrix);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Replaces the learning rate (used by decay schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+///
+/// Algorithm 2 of the paper specifies plain minibatch stochastic gradient
+/// ascent/descent for D and G; this is that optimizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: HashMap<usize, Matrix>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f64) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with classical momentum `mu` (0 disables momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive or `mu` is outside `[0,1)`.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        assert!(
+            lr.is_finite() && lr > 0.0,
+            "learning rate must be positive: {lr}"
+        );
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1): {momentum}"
+        );
+        Self {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn update(&mut self, param_id: usize, param: &mut Matrix, grad: &Matrix) {
+        if self.momentum == 0.0 {
+            param
+                .axpy(-self.lr, grad)
+                .expect("param/grad shape mismatch");
+            return;
+        }
+        let v = self
+            .velocity
+            .entry(param_id)
+            .or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+        v.scale_inplace(self.momentum);
+        v.axpy(1.0, grad).expect("param/grad shape mismatch");
+        param.axpy(-self.lr, v).expect("param/grad shape mismatch");
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba 2015) with bias-corrected moments.
+///
+/// Not in the paper's pseudocode but the de-facto CGAN trainer; exposed so
+/// the benchmark harness can ablate SGD-as-published against Adam.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    /// Per-parameter (step count, first moment, second moment).
+    state: HashMap<usize, (u64, Matrix, Matrix)>,
+}
+
+impl Adam {
+    /// Adam with conventional betas (0.9, 0.999) and `eps = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f64) -> Self {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Adam with explicit betas. GAN practice often uses `beta1 = 0.5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive or betas are outside `[0,1)`.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64) -> Self {
+        assert!(
+            lr.is_finite() && lr > 0.0,
+            "learning rate must be positive: {lr}"
+        );
+        assert!(
+            (0.0..1.0).contains(&beta1),
+            "beta1 must be in [0, 1): {beta1}"
+        );
+        assert!(
+            (0.0..1.0).contains(&beta2),
+            "beta2 must be in [0, 1): {beta2}"
+        );
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            state: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn update(&mut self, param_id: usize, param: &mut Matrix, grad: &Matrix) {
+        let (t, m, v) = self.state.entry(param_id).or_insert_with(|| {
+            (
+                0,
+                Matrix::zeros(grad.rows(), grad.cols()),
+                Matrix::zeros(grad.rows(), grad.cols()),
+            )
+        });
+        *t += 1;
+        m.scale_inplace(self.beta1);
+        m.axpy(1.0 - self.beta1, grad)
+            .expect("param/grad shape mismatch");
+        let grad_sq = grad.hadamard(grad).expect("same shape");
+        v.scale_inplace(self.beta2);
+        v.axpy(1.0 - self.beta2, &grad_sq)
+            .expect("param/grad shape mismatch");
+        let bc1 = 1.0 - self.beta1.powi(*t as i32);
+        let bc2 = 1.0 - self.beta2.powi(*t as i32);
+        let eps = self.eps;
+        let lr = self.lr;
+        let update = m
+            .zip_map(v, |mi, vi| {
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                lr * m_hat / (v_hat.sqrt() + eps)
+            })
+            .expect("same shape");
+        param
+            .axpy(-1.0, &update)
+            .expect("param/grad shape mismatch");
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &Matrix) -> Matrix {
+        // grad of f(p) = |p|^2 / 2 is p itself; minimum at 0.
+        p.clone()
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut p = Matrix::filled(2, 2, 4.0);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let g = quadratic_grad(&p);
+            opt.update(0, &mut p, &g);
+        }
+        assert!(p.frobenius_norm() < 1e-3, "norm {}", p.frobenius_norm());
+    }
+
+    #[test]
+    fn momentum_accelerates_on_quadratic() {
+        let run = |mut opt: Sgd| {
+            let mut p = Matrix::filled(1, 1, 1.0);
+            for _ in 0..20 {
+                let g = quadratic_grad(&p);
+                opt.update(0, &mut p, &g);
+            }
+            p[(0, 0)].abs()
+        };
+        let plain = run(Sgd::new(0.05));
+        let momentum = run(Sgd::with_momentum(0.05, 0.9));
+        assert!(momentum < plain, "momentum {momentum} vs plain {plain}");
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut p = Matrix::filled(3, 1, 5.0);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..300 {
+            let g = quadratic_grad(&p);
+            opt.update(0, &mut p, &g);
+        }
+        assert!(p.frobenius_norm() < 1e-2, "norm {}", p.frobenius_norm());
+    }
+
+    #[test]
+    fn adam_state_is_per_parameter() {
+        let mut opt = Adam::new(0.1);
+        let mut a = Matrix::filled(1, 1, 1.0);
+        let mut b = Matrix::filled(2, 2, 1.0);
+        // Interleave two parameters of different shapes; state must not mix.
+        for _ in 0..5 {
+            let ga = quadratic_grad(&a);
+            opt.update(0, &mut a, &ga);
+            let gb = quadratic_grad(&b);
+            opt.update(1, &mut b, &gb);
+        }
+        assert!(a.all_finite() && b.all_finite());
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Sgd::new(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+        opt.set_learning_rate(0.25);
+        assert_eq!(opt.learning_rate(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_zero_lr() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn rejects_momentum_one() {
+        let _ = Sgd::with_momentum(0.1, 1.0);
+    }
+}

@@ -1,0 +1,242 @@
+use serde::{Deserialize, Serialize};
+
+use gansec_tensor::Matrix;
+
+use crate::{Layer, Optimizer};
+
+/// A feed-forward network: an ordered stack of [`Layer`]s.
+///
+/// The generator and discriminator of the paper's CGAN are both
+/// `Sequential` networks; [`crate::gradient_check`] validates that the
+/// composite backward pass is the exact adjoint of the forward pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sequential {
+    layers: Vec<Layer>,
+    training: bool,
+}
+
+impl Sequential {
+    /// Creates a network from a layer stack (may be empty, acting as the
+    /// identity).
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Self {
+            layers,
+            training: true,
+        }
+    }
+
+    /// Borrows the layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Whether dropout-style layers are active.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Switches training mode (dropout on) vs evaluation mode.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Forward pass through all layers, caching activations for backprop.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let training = self.training;
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, training);
+        }
+        h
+    }
+
+    /// Backward pass; accumulates parameter gradients and returns the
+    /// gradient with respect to the network input. The input gradient is
+    /// what lets the GAN trainer push generator updates through a frozen
+    /// discriminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Sequential::forward`].
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Applies one optimizer step using the accumulated gradients.
+    /// Parameters receive stable ids in layer order, so an optimizer can be
+    /// reused across steps (and must not be shared between networks).
+    pub fn step(&mut self, opt: &mut impl Optimizer) {
+        let mut id = 0;
+        for layer in &mut self.layers {
+            layer.visit_params(|param, grad| {
+                opt.update(id, param, grad);
+                id += 1;
+            });
+        }
+    }
+
+    /// Rescales gradients so their global L2 norm is at most `max_norm`;
+    /// returns the pre-clip norm. Standard stabilizer for adversarial
+    /// training.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_norm` is positive.
+    pub fn clip_grad_norm(&mut self, max_norm: f64) -> f64 {
+        assert!(max_norm > 0.0, "max_norm must be positive: {max_norm}");
+        let total: f64 = self.layers.iter().map(Layer::grad_sq_norm).sum();
+        let norm = total.sqrt();
+        if norm > max_norm {
+            let s = max_norm / norm;
+            for layer in &mut self.layers {
+                layer.scale_grads(s);
+            }
+        }
+        norm
+    }
+
+    /// True if every parameter is finite; used to detect diverged training.
+    pub fn params_finite(&mut self) -> bool {
+        let mut ok = true;
+        for layer in &mut self.layers {
+            layer.visit_params(|param, _| {
+                if !param.all_finite() {
+                    ok = false;
+                }
+            });
+        }
+        ok
+    }
+}
+
+impl Default for Sequential {
+    /// The empty (identity) network.
+    fn default() -> Self {
+        Self::new(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mse, Activation, Sgd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new(vec![
+            Layer::dense(2, 6, &mut rng),
+            Layer::activation(Activation::Tanh),
+            Layer::dense(6, 1, &mut rng),
+        ])
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let mut net = Sequential::default();
+        let x = Matrix::row_vector(&[1.0, 2.0]);
+        assert_eq!(net.forward(&x), x);
+        assert_eq!(net.backward(&x), x);
+        assert_eq!(net.param_count(), 0);
+    }
+
+    #[test]
+    fn forward_shape_flows_through() {
+        let mut net = tiny_net(1);
+        let y = net.forward(&Matrix::zeros(7, 2));
+        assert_eq!(y.shape(), (7, 1));
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut net = {
+            let mut rng = StdRng::seed_from_u64(3);
+            Sequential::new(vec![
+                Layer::dense(2, 8, &mut rng),
+                Layer::activation(Activation::Tanh),
+                Layer::dense(8, 1, &mut rng),
+                Layer::activation(Activation::Sigmoid),
+            ])
+        };
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let t = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]).unwrap();
+        let mut opt = Sgd::with_momentum(0.5, 0.9);
+        let mut last = f64::INFINITY;
+        for _ in 0..2000 {
+            let y = net.forward(&x);
+            let (loss, grad) = mse(&y, &t).unwrap();
+            last = loss;
+            net.zero_grad();
+            net.backward(&grad);
+            net.step(&mut opt);
+        }
+        assert!(last < 0.02, "xor loss {last}");
+        let y = net.forward(&x);
+        for (i, &target) in [0.0, 1.0, 1.0, 0.0].iter().enumerate() {
+            assert!((y[(i, 0)] - target).abs() < 0.3, "row {i}: {}", y[(i, 0)]);
+        }
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_gradients() {
+        let mut net = tiny_net(5);
+        let x = Matrix::filled(4, 2, 10.0);
+        let t = Matrix::filled(4, 1, -10.0);
+        let y = net.forward(&x);
+        let (_, grad) = mse(&y, &t).unwrap();
+        net.zero_grad();
+        net.backward(&grad);
+        let pre = net.clip_grad_norm(0.5);
+        assert!(pre > 0.5);
+        let post: f64 = net
+            .layers()
+            .iter()
+            .map(Layer::grad_sq_norm)
+            .sum::<f64>()
+            .sqrt();
+        assert!(post <= 0.5 + 1e-9, "post-clip norm {post}");
+    }
+
+    #[test]
+    fn params_finite_detects_divergence() {
+        let mut net = tiny_net(6);
+        assert!(net.params_finite());
+        // Blow up the parameters with an absurd learning rate.
+        let x = Matrix::filled(2, 2, 1.0);
+        let t = Matrix::filled(2, 1, 0.0);
+        let mut opt = Sgd::new(1e300);
+        for _ in 0..4 {
+            let y = net.forward(&x);
+            let (_, grad) = mse(&y, &t).unwrap();
+            net.zero_grad();
+            net.backward(&grad);
+            net.step(&mut opt);
+        }
+        assert!(!net.params_finite());
+    }
+
+    #[test]
+    fn training_flag_round_trips() {
+        let mut net = tiny_net(7);
+        assert!(net.is_training());
+        net.set_training(false);
+        assert!(!net.is_training());
+    }
+}

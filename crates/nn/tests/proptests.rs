@@ -1,0 +1,92 @@
+//! Property tests for the neural substrate: backprop must agree with
+//! finite differences for randomly shaped networks, and the losses must
+//! satisfy their analytic identities on random inputs.
+
+use gansec_nn::{bce_with_logits, gradient_check, mse, sigmoid, Activation, Layer, Sequential};
+use gansec_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn smooth_activation() -> impl Strategy<Value = Activation> {
+    // ReLU-family excluded: finite differences straddle the kink.
+    prop_oneof![
+        Just(Activation::Sigmoid),
+        Just(Activation::Tanh),
+        Just(Activation::Identity)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_mlps_pass_gradient_check(
+        in_dim in 1usize..5,
+        hidden in 1usize..8,
+        out_dim in 1usize..4,
+        act in smooth_activation(),
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new(vec![
+            Layer::dense(in_dim, hidden, &mut rng),
+            Layer::activation(act),
+            Layer::dense(hidden, out_dim, &mut rng),
+        ]);
+        let x = Matrix::from_fn(3, in_dim, |r, c| ((r * 5 + c + seed as usize) as f64 * 0.17).sin());
+        let t = Matrix::from_fn(3, out_dim, |r, c| ((r + c * 3) as f64 * 0.29).cos());
+        let report = gradient_check(&mut net, &x, &t, 1e-5);
+        prop_assert!(report.checked > 0);
+        prop_assert!(report.passed(1e-4), "max rel err {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn bce_bounds_and_grad_sign(
+        z in -30.0..30.0f64,
+        t in 0.0..1.0f64,
+    ) {
+        let logits = Matrix::row_vector(&[z]);
+        let targets = Matrix::row_vector(&[t]);
+        let (loss, grad) = bce_with_logits(&logits, &targets).expect("same shape");
+        prop_assert!(loss >= 0.0);
+        prop_assert!(loss.is_finite());
+        // Gradient is sigmoid(z) - t (for n = 1).
+        prop_assert!((grad[(0, 0)] - (sigmoid(z) - t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_is_zero_iff_equal(
+        vals in proptest::collection::vec(-10.0..10.0f64, 1..8),
+        shift in 0.01..5.0f64,
+    ) {
+        let p = Matrix::row_vector(&vals);
+        let (zero_loss, _) = mse(&p, &p.clone()).expect("same shape");
+        prop_assert_eq!(zero_loss, 0.0);
+        let shifted = p.map(|v| v + shift);
+        let (loss, _) = mse(&p, &shifted).expect("same shape");
+        prop_assert!((loss - shift * shift).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forward_is_deterministic_without_dropout(
+        seed in 0u64..500,
+        rows in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new(vec![
+            Layer::dense(3, 7, &mut rng),
+            Layer::activation(Activation::leaky_relu()),
+            Layer::dense(7, 2, &mut rng),
+        ]);
+        let x = Matrix::from_fn(rows, 3, |r, c| (r as f64 - c as f64) * 0.3);
+        prop_assert_eq!(net.forward(&x), net.forward(&x));
+    }
+
+    #[test]
+    fn sigmoid_identities(z in -50.0..50.0f64) {
+        let s = sigmoid(z);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((sigmoid(-z) - (1.0 - s)).abs() < 1e-12);
+    }
+}

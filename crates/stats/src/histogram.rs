@@ -1,0 +1,170 @@
+//! Uniform-bin histograms and empirical distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with uniform bins; values outside the range
+/// are clamped into the edge bins so that no observation is lost (the
+/// feature pipeline guarantees `[0, 1]` but generator output may stray
+/// slightly during early training).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bins == 0` or `lo >= hi`.
+    pub fn new(n_bins: usize, lo: f64, hi: f64) -> Self {
+        assert!(n_bins > 0, "n_bins must be positive");
+        assert!(lo < hi, "need lo < hi, got [{lo}, {hi})");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; n_bins],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram from observations in one pass.
+    pub fn from_samples(n_bins: usize, lo: f64, hi: f64, samples: &[f64]) -> Self {
+        let mut h = Self::new(n_bins, lo, hi);
+        for &s in samples {
+            h.add(s);
+        }
+        h
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bin index for value `x` (clamped into range). NaN goes to bin 0.
+    pub fn bin_index(&self, x: f64) -> usize {
+        let n = self.counts.len();
+        if !x.is_finite() {
+            return 0;
+        }
+        let t = (x - self.lo) / (self.hi - self.lo);
+        ((t * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        let b = self.bin_index(x);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Normalized bin probabilities (empirical pmf); uniform if empty.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let n = self.counts.len();
+        if self.total == 0 {
+            return vec![1.0 / n as f64; n];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Probability *density* per bin (pmf divided by bin width).
+    pub fn densities(&self) -> Vec<f64> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.probabilities()
+            .into_iter()
+            .map(|p| p / width)
+            .collect()
+    }
+
+    /// Center of bin `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= self.n_bins()`.
+    pub fn bin_center(&self, b: usize) -> f64 {
+        assert!(b < self.counts.len(), "bin {b} out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (b as f64 + 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_partition_samples() {
+        let h = Histogram::from_samples(4, 0.0, 1.0, &[0.1, 0.3, 0.6, 0.9, 0.95]);
+        assert_eq!(h.counts(), &[1, 1, 1, 2]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_clamped_to_edges() {
+        let h = Histogram::from_samples(2, 0.0, 1.0, &[-5.0, 7.0]);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn nan_goes_to_first_bin() {
+        let h = Histogram::from_samples(3, 0.0, 1.0, &[f64::NAN]);
+        assert_eq!(h.counts(), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let h = Histogram::from_samples(8, 0.0, 1.0, &[0.2, 0.4, 0.4, 0.7]);
+        let sum: f64 = h.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_uniform() {
+        let h = Histogram::new(4, 0.0, 1.0);
+        assert_eq!(h.probabilities(), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn densities_account_for_width() {
+        let h = Histogram::from_samples(2, 0.0, 2.0, &[0.5]);
+        // All mass in first bin, width 1.0 -> density 1.0.
+        assert_eq!(h.densities(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(2, 0.0, 1.0);
+        assert!((h.bin_center(0) - 0.25).abs() < 1e-12);
+        assert!((h.bin_center(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_value_goes_to_upper_bin() {
+        let h = Histogram::new(2, 0.0, 1.0);
+        assert_eq!(h.bin_index(0.5), 1);
+        assert_eq!(h.bin_index(1.0), 1); // hi clamps to last bin
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn rejects_inverted_range() {
+        let _ = Histogram::new(2, 1.0, 0.0);
+    }
+}

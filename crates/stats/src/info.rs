@@ -1,0 +1,174 @@
+//! Discrete information measures.
+//!
+//! §II of the paper: "Various other metrics may also be created using the
+//! conditional probability values (e.g., mutual information metrics of
+//! side channel attacks)." These functions implement those derived
+//! metrics over discretized flow distributions.
+
+/// Shannon entropy (nats) of a probability vector.
+///
+/// Zero-probability entries contribute nothing. Probabilities are not
+/// required to be normalized exactly, but should sum to ~1 for the result
+/// to be meaningful.
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.ln()).sum()
+}
+
+/// Kullback-Leibler divergence `D_KL(p || q)` in nats.
+///
+/// This is the quantity the GAN objective minimizes between the data
+/// distribution and the generator distribution (Eq. 1 of the paper).
+/// Returns `f64::INFINITY` where `p > 0` but `q == 0`.
+///
+/// # Panics
+///
+/// Panics if `p` and `q` differ in length.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi <= 0.0 {
+                return f64::INFINITY;
+            }
+            acc += pi * (pi / qi).ln();
+        }
+    }
+    acc
+}
+
+/// Jensen-Shannon divergence (nats): symmetric, bounded by `ln 2`.
+///
+/// # Panics
+///
+/// Panics if `p` and `q` differ in length.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// Mutual information (nats) from a joint count table
+/// `joint[i][j] = #(X = i, Y = j)`.
+///
+/// For side-channel analysis, `X` is the cyber condition (which motor the
+/// G/M-code drives) and `Y` a discretized emission feature; high MI means
+/// the emission leaks the condition.
+///
+/// Returns 0 for an empty or all-zero table.
+///
+/// # Panics
+///
+/// Panics if the table is ragged.
+pub fn mutual_information(joint: &[Vec<u64>]) -> f64 {
+    if joint.is_empty() {
+        return 0.0;
+    }
+    let cols = joint[0].len();
+    assert!(joint.iter().all(|r| r.len() == cols), "ragged joint table");
+    let total: u64 = joint.iter().flatten().sum();
+    if total == 0 || cols == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    let row_sums: Vec<f64> = joint.iter().map(|r| r.iter().sum::<u64>() as f64).collect();
+    let mut col_sums = vec![0.0; cols];
+    for row in joint {
+        for (c, &v) in row.iter().enumerate() {
+            col_sums[c] += v as f64;
+        }
+    }
+    let mut mi = 0.0;
+    for (i, row) in joint.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if v > 0 {
+                let pxy = v as f64 / n;
+                let px = row_sums[i] / n;
+                let py = col_sums[j] / n;
+                mi += pxy * (pxy / (px * py)).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LN2: f64 = std::f64::consts::LN_2;
+
+    #[test]
+    fn entropy_of_uniform_is_log_n() {
+        let p = vec![0.25; 4];
+        assert!((entropy(&p) - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_point_mass_is_zero() {
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let p = [0.3, 0.7];
+        assert!(kl_divergence(&p, &p).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kl_is_positive_and_asymmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        let pq = kl_divergence(&p, &q);
+        let qp = kl_divergence(&q, &p);
+        assert!(pq > 0.0 && qp > 0.0);
+        assert!((pq - qp).abs() > 1e-3);
+    }
+
+    #[test]
+    fn kl_infinite_on_missing_support() {
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn js_is_symmetric_and_bounded() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        let d = js_divergence(&p, &q);
+        assert!((d - LN2).abs() < 1e-12); // disjoint support -> ln 2
+        assert!((js_divergence(&q, &p) - d).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mi_of_independent_is_zero() {
+        // X uniform over 2, Y uniform over 2, independent: counts all equal.
+        let joint = vec![vec![25, 25], vec![25, 25]];
+        assert!(mutual_information(&joint).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_of_deterministic_is_entropy() {
+        // Y = X: diagonal table; MI = H(X) = ln 2 for uniform binary X.
+        let joint = vec![vec![50, 0], vec![0, 50]];
+        assert!((mutual_information(&joint) - LN2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_handles_empty_table() {
+        assert_eq!(mutual_information(&[]), 0.0);
+        assert_eq!(mutual_information(&[vec![0, 0], vec![0, 0]]), 0.0);
+    }
+
+    #[test]
+    fn mi_increases_with_dependence() {
+        let weak = vec![vec![30, 20], vec![20, 30]];
+        let strong = vec![vec![45, 5], vec![5, 45]];
+        assert!(mutual_information(&strong) > mutual_information(&weak));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal support")]
+    fn kl_rejects_mismatched_lengths() {
+        let _ = kl_divergence(&[1.0], &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Statistical machinery for GAN-Sec's security analysis.
+//!
+//! Algorithm 3 of the paper scores held-out emission samples against a
+//! Parzen Gaussian-window density fitted to generator output
+//! (`FtDistr = ParzenGaussianWindow(X_G, h)`; `Like = exp(score) * h`).
+//! This crate provides that estimator ([`ParzenWindow`]) plus the
+//! supporting statistics used across the evaluation:
+//!
+//! * [`Histogram`] — uniform-bin empirical densities;
+//! * discrete information measures — [`entropy`], [`kl_divergence`],
+//!   [`js_divergence`], [`mutual_information`] (the paper §II suggests
+//!   "mutual information metrics of side channel attacks" as derived
+//!   metrics);
+//! * classification metrics — [`ConfusionMatrix`], [`roc_auc`] — used by
+//!   the integrity/availability attack-detection experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod info;
+mod metrics;
+mod parzen;
+
+pub use histogram::Histogram;
+pub use info::{entropy, js_divergence, kl_divergence, mutual_information};
+pub use metrics::{roc_auc, ConfusionMatrix, MultiConfusion};
+pub use parzen::{FitError, ParzenWindow};

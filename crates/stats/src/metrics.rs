@@ -1,0 +1,369 @@
+//! Classification metrics for the attack-detection experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix for attack detection: "positive" means an
+/// attack was flagged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Attacks correctly flagged.
+    pub true_positives: u64,
+    /// Benign samples incorrectly flagged.
+    pub false_positives: u64,
+    /// Benign samples correctly passed.
+    pub true_negatives: u64,
+    /// Attacks missed.
+    pub false_negatives: u64,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction.
+    pub fn record(&mut self, actual_attack: bool, predicted_attack: bool) {
+        match (actual_attack, predicted_attack) {
+            (true, true) => self.true_positives += 1,
+            (false, true) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+            (true, false) => self.false_negatives += 1,
+        }
+    }
+
+    /// Builds from parallel label/prediction slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_predictions(actual: &[bool], predicted: &[bool]) -> Self {
+        assert_eq!(
+            actual.len(),
+            predicted.len(),
+            "label/prediction length mismatch"
+        );
+        let mut m = Self::new();
+        for (&a, &p) in actual.iter().zip(predicted) {
+            m.record(a, p);
+        }
+        m
+    }
+
+    /// Total predictions recorded.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Fraction of correct predictions; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.true_positives + self.true_negatives) as f64 / t as f64
+        }
+    }
+
+    /// TP / (TP + FP); 0 when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// TP / (TP + FN) — detection rate; 0 when there were no attacks.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// FP / (FP + TN) — false-alarm rate; 0 when there were no benign samples.
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.false_positives + self.true_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 if either is 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// A multiclass confusion matrix for condition-estimation attacks
+/// (`counts[actual][predicted]`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiConfusion {
+    counts: Vec<Vec<u64>>,
+}
+
+impl MultiConfusion {
+    /// Creates an empty `n_classes x n_classes` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes == 0`.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        Self {
+            counts: vec![vec![0; n_classes]; n_classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(
+            actual < self.counts.len(),
+            "actual class {actual} out of range"
+        );
+        assert!(
+            predicted < self.counts.len(),
+            "predicted class {predicted} out of range"
+        );
+        self.counts[actual][predicted] += 1;
+    }
+
+    /// The raw count table (`[actual][predicted]`).
+    pub fn counts(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+
+    /// Total recorded predictions.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall of class `c` (diagonal over row sum); 0 for an absent class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn recall(&self, c: usize) -> f64 {
+        assert!(c < self.counts.len(), "class {c} out of range");
+        let row: u64 = self.counts[c].iter().sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.counts[c][c] as f64 / row as f64
+        }
+    }
+
+    /// Precision of class `c` (diagonal over column sum); 0 if never
+    /// predicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn precision(&self, c: usize) -> f64 {
+        assert!(c < self.counts.len(), "class {c} out of range");
+        let col: u64 = self.counts.iter().map(|r| r[c]).sum();
+        if col == 0 {
+            0.0
+        } else {
+            self.counts[c][c] as f64 / col as f64
+        }
+    }
+}
+
+/// Area under the ROC curve from per-sample anomaly scores (higher score
+/// = more likely attack), computed via the Mann-Whitney U statistic with
+/// tie correction.
+///
+/// Returns 0.5 (chance) when either class is absent.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn roc_auc(actual_attack: &[bool], score: &[f64]) -> f64 {
+    assert_eq!(
+        actual_attack.len(),
+        score.len(),
+        "label/score length mismatch"
+    );
+    let n_pos = actual_attack.iter().filter(|&&a| a).count();
+    let n_neg = actual_attack.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank all scores (average rank for ties).
+    let mut order: Vec<usize> = (0..score.len()).collect();
+    order.sort_by(|&a, &b| score[a].total_cmp(&score[b]));
+    let mut ranks = vec![0.0; score.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && score[order[j + 1]] == score[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = actual_attack
+        .iter()
+        .zip(&ranks)
+        .filter(|(&a, _)| a)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detector_metrics() {
+        let m = ConfusionMatrix::from_predictions(
+            &[true, true, false, false],
+            &[true, true, false, false],
+        );
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn always_negative_detector() {
+        let m = ConfusionMatrix::from_predictions(&[true, false], &[false, false]);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn record_tallies_each_quadrant() {
+        let mut m = ConfusionMatrix::new();
+        m.record(true, true);
+        m.record(true, false);
+        m.record(false, true);
+        m.record(false, false);
+        assert_eq!(
+            (
+                m.true_positives,
+                m.false_negatives,
+                m.false_positives,
+                m.true_negatives
+            ),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn multi_confusion_accuracy_and_per_class() {
+        let mut m = MultiConfusion::new(3);
+        // Perfect class 0, half class 1, class 2 always mistaken for 0.
+        m.record(0, 0);
+        m.record(0, 0);
+        m.record(1, 1);
+        m.record(1, 2);
+        m.record(2, 0);
+        assert_eq!(m.total(), 5);
+        assert!((m.accuracy() - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(m.recall(0), 1.0);
+        assert_eq!(m.recall(1), 0.5);
+        assert_eq!(m.recall(2), 0.0);
+        assert!((m.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.precision(1), 1.0);
+    }
+
+    #[test]
+    fn multi_confusion_empty_is_zero() {
+        let m = MultiConfusion::new(2);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.recall(0), 0.0);
+        assert_eq!(m.precision(1), 0.0);
+        assert_eq!(m.n_classes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn multi_confusion_bounds_checked() {
+        let mut m = MultiConfusion::new(2);
+        m.record(0, 5);
+    }
+
+    #[test]
+    fn auc_perfect_separation_is_one() {
+        let labels = [false, false, true, true];
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        assert!((roc_auc(&labels, &scores) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_inverted_scores_is_zero() {
+        let labels = [false, false, true, true];
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        assert!(roc_auc(&labels, &scores).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_interleaving_is_half() {
+        let labels = [true, false, true, false];
+        let scores = [0.4, 0.4, 0.4, 0.4]; // all tied
+        assert!((roc_auc(&labels, &scores) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_chance() {
+        assert_eq!(roc_auc(&[true, true], &[0.1, 0.9]), 0.5);
+        assert_eq!(roc_auc(&[false, false], &[0.1, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_partial_overlap() {
+        let labels = [false, true, false, true];
+        let scores = [0.1, 0.3, 0.5, 0.9];
+        let auc = roc_auc(&labels, &scores);
+        assert!((auc - 0.75).abs() < 1e-12, "auc {auc}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the statistics layer: the probabilistic invariants
+//! Algorithm 3's likelihood metrics depend on.
+
+use gansec_stats::{
+    entropy, js_divergence, kl_divergence, mutual_information, roc_auc, ConfusionMatrix, Histogram,
+    ParzenWindow,
+};
+use proptest::prelude::*;
+
+fn prob_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01..1.0f64, n).prop_map(|v| {
+        let s: f64 = v.iter().sum();
+        v.into_iter().map(|x| x / s).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn kde_density_nonnegative(
+        samples in proptest::collection::vec(-5.0..5.0f64, 1..30),
+        h in 0.05..2.0f64,
+        x in -10.0..10.0f64,
+    ) {
+        let kde = ParzenWindow::fit(&samples, h).unwrap();
+        prop_assert!(kde.density(x) >= 0.0);
+        prop_assert!(kde.density(x).is_finite());
+    }
+
+    #[test]
+    fn kde_integrates_to_one(
+        samples in proptest::collection::vec(-2.0..2.0f64, 1..10),
+        h in 0.1..1.0f64,
+    ) {
+        let kde = ParzenWindow::fit(&samples, h).unwrap();
+        let total = kde.integrate(-12.0, 12.0, 4000);
+        prop_assert!((total - 1.0).abs() < 1e-3, "integral {}", total);
+    }
+
+    #[test]
+    fn kde_density_peaks_within_sample_hull(
+        samples in proptest::collection::vec(-1.0..1.0f64, 2..20),
+        h in 0.05..0.5f64,
+    ) {
+        let kde = ParzenWindow::fit(&samples, h).unwrap();
+        // Density far outside the hull is below density at the sample mean.
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!(kde.density(mean) > kde.density(50.0));
+    }
+
+    #[test]
+    fn entropy_bounds(p in prob_vec(8)) {
+        let h = entropy(&p);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= 8.0f64.ln() + 1e-9);
+    }
+
+    #[test]
+    fn kl_nonnegative_gibbs(p in prob_vec(6), q in prob_vec(6)) {
+        prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+    }
+
+    #[test]
+    fn js_symmetric_and_bounded(p in prob_vec(5), q in prob_vec(5)) {
+        let d1 = js_divergence(&p, &q);
+        let d2 = js_divergence(&q, &p);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!(d1 >= -1e-12);
+        prop_assert!(d1 <= std::f64::consts::LN_2 + 1e-9);
+    }
+
+    #[test]
+    fn mi_nonnegative_and_bounded_by_marginal_entropy(
+        counts in proptest::collection::vec(
+            proptest::collection::vec(0u64..100, 4),
+            3,
+        ),
+    ) {
+        let mi = mutual_information(&counts);
+        prop_assert!(mi >= 0.0);
+        // MI <= min(H(X), H(Y)) <= ln(min(rows, cols)).
+        prop_assert!(mi <= 3.0f64.ln() + 1e-9);
+    }
+
+    #[test]
+    fn histogram_mass_conserved(
+        samples in proptest::collection::vec(-3.0..3.0f64, 0..100),
+        n_bins in 1usize..20,
+    ) {
+        let h = Histogram::from_samples(n_bins, -1.0, 1.0, &samples);
+        prop_assert_eq!(h.total() as usize, samples.len());
+        let sum: u64 = h.counts().iter().sum();
+        prop_assert_eq!(sum, h.total());
+        if !samples.is_empty() {
+            let psum: f64 = h.probabilities().iter().sum();
+            prop_assert!((psum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn auc_is_within_unit_interval(
+        data in proptest::collection::vec((any::<bool>(), 0.0..1.0f64), 2..50),
+    ) {
+        let labels: Vec<bool> = data.iter().map(|d| d.0).collect();
+        let scores: Vec<f64> = data.iter().map(|d| d.1).collect();
+        let auc = roc_auc(&labels, &scores);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn auc_antisymmetric_under_score_negation(
+        data in proptest::collection::vec((any::<bool>(), 0.0..1.0f64), 2..50),
+    ) {
+        let labels: Vec<bool> = data.iter().map(|d| d.0).collect();
+        let scores: Vec<f64> = data.iter().map(|d| d.1).collect();
+        let neg: Vec<f64> = scores.iter().map(|&s| -s).collect();
+        let a = roc_auc(&labels, &scores);
+        let b = roc_auc(&labels, &neg);
+        let has_both = labels.iter().any(|&l| l) && labels.iter().any(|&l| !l);
+        if has_both {
+            prop_assert!((a + b - 1.0).abs() < 1e-9, "a {} b {}", a, b);
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_rates_consistent(
+        data in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..60),
+    ) {
+        let actual: Vec<bool> = data.iter().map(|d| d.0).collect();
+        let predicted: Vec<bool> = data.iter().map(|d| d.1).collect();
+        let m = ConfusionMatrix::from_predictions(&actual, &predicted);
+        prop_assert_eq!(m.total() as usize, data.len());
+        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&m.precision()));
+        prop_assert!((0.0..=1.0).contains(&m.recall()));
+        prop_assert!((0.0..=1.0).contains(&m.f1()));
+        prop_assert!((0.0..=1.0).contains(&m.false_positive_rate()));
+    }
+}

@@ -1,0 +1,121 @@
+//! Weight initialization schemes for the neural-network layers.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Matrix;
+
+/// Weight initialization scheme for a dense layer mapping `fan_in` inputs
+/// to `fan_out` outputs.
+///
+/// GAN training is sensitive to initialization scale: discriminators that
+/// start too confident saturate the generator gradient (Eq. 2 of the
+/// paper), so the generator side defaults to Xavier and LeakyReLU stacks
+/// to He.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WeightInit {
+    /// Uniform in `[-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out))]`
+    /// (Glorot & Bengio 2010). Suits tanh/sigmoid layers.
+    XavierUniform,
+    /// Normal with stddev `sqrt(2/fan_in)` (He et al. 2015). Suits
+    /// ReLU-family layers.
+    HeNormal,
+    /// Uniform in `[-scale, scale]`.
+    Uniform {
+        /// Half-width of the uniform range.
+        scale: f64,
+    },
+    /// All zeros; used for biases.
+    Zeros,
+}
+
+impl WeightInit {
+    /// Samples a `fan_in x fan_out` weight matrix with this scheme.
+    pub fn sample(self, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+        match self {
+            WeightInit::XavierUniform => xavier_uniform(fan_in, fan_out, rng),
+            WeightInit::HeNormal => he_normal(fan_in, fan_out, rng),
+            WeightInit::Uniform { scale } => {
+                let dist = rand::distributions::Uniform::new_inclusive(-scale, scale);
+                Matrix::from_fn(fan_in, fan_out, |_, _| dist.sample(rng))
+            }
+            WeightInit::Zeros => Matrix::zeros(fan_in, fan_out),
+        }
+    }
+}
+
+impl Default for WeightInit {
+    /// Xavier uniform: the safe default for mixed activation stacks.
+    fn default() -> Self {
+        WeightInit::XavierUniform
+    }
+}
+
+/// Xavier/Glorot uniform initialization for a `fan_in x fan_out` matrix.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    let dist = rand::distributions::Uniform::new_inclusive(-limit, limit);
+    Matrix::from_fn(fan_in, fan_out, |_, _| dist.sample(rng))
+}
+
+/// He normal initialization for a `fan_in x fan_out` matrix.
+pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| sample_standard_normal(rng) * std)
+}
+
+/// Box-Muller standard normal sample. `rand`'s `StandardNormal` lives in
+/// `rand_distr`, which is outside the approved dependency set, so we roll
+/// the two-line transform ourselves.
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(10, 20, &mut rng);
+        let limit = (6.0 / 30.0_f64).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit + 1e-12));
+    }
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = he_normal(100, 100, &mut rng);
+        let std = (2.0 / 100.0_f64).sqrt();
+        let sample_std = gansec_variance(m.as_slice()).sqrt();
+        assert!(
+            (sample_std - std).abs() < std * 0.2,
+            "std {sample_std} vs {std}"
+        );
+    }
+
+    #[test]
+    fn zeros_scheme_is_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = WeightInit::Zeros.sample(3, 4, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    fn gansec_variance(xs: &[f64]) -> f64 {
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+    }
+}

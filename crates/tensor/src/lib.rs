@@ -1,0 +1,32 @@
+//! Dense `f64` matrix and vector kernels used by the GAN-Sec neural stack.
+//!
+//! The paper's conditional GAN operates on small dense feature vectors
+//! (100 frequency bins, 3- or 8-dimensional one-hot conditions), so this
+//! crate provides a deliberately small, allocation-friendly, row-major
+//! [`Matrix`] type rather than a general n-dimensional tensor. Everything
+//! is `f64`: the training loops are numerically delicate (minimax descent)
+//! and the matrices are tiny, so precision is worth more than bandwidth.
+//!
+//! # Example
+//!
+//! ```
+//! use gansec_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod init;
+mod matrix;
+mod vector;
+
+pub use error::ShapeError;
+pub use init::{he_normal, sample_standard_normal, xavier_uniform, WeightInit};
+pub use matrix::Matrix;
+pub use vector::{argmax, dot, l2_norm, mean, softmax, variance};

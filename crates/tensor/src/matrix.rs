@@ -1,0 +1,736 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ShapeError;
+
+/// A dense, row-major `f64` matrix.
+///
+/// This is the only numeric container in the GAN-Sec stack. Rows are the
+/// batch dimension throughout `gansec-nn`: a minibatch of `n` feature
+/// vectors of width `d` is an `n x d` matrix.
+///
+/// # Example
+///
+/// ```
+/// use gansec_tensor::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.transpose().shape(), (3, 2));
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows.checked_mul(cols).expect("matrix size overflow");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        m.data.fill(value);
+        m
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_vec", (rows, cols), (data.len(), 1)));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if rows are ragged or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, ShapeError> {
+        let r = rows.len();
+        if r == 0 {
+            return Err(ShapeError::new("from_rows", (0, 0), (0, 0)));
+        }
+        let c = rows[0].len();
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(ShapeError::new("from_rows", (r, c), (1, row.len())));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a `1 x n` row vector from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates an `n x 1` column vector from a slice.
+    pub fn col_vector(values: &[f64]) -> Self {
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the flat row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the flat row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
+    }
+
+    /// Iterates over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns a new matrix whose rows are the rows of `self` selected by
+    /// `indices` (with repetition allowed). Used for minibatch sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let mut out = Self::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Stacks `self` on top of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if column counts differ.
+    pub fn vstack(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.cols != other.cols {
+            return Err(ShapeError::new("vstack", self.shape(), other.shape()));
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Self {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Concatenates `other` to the right of `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if row counts differ.
+    pub fn hstack(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.rows != other.rows {
+            return Err(ShapeError::new("hstack", self.shape(), other.shape()));
+        }
+        let cols = self.cols + other.cols;
+        let mut out = Self::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Copies columns `start..end` into a new matrix; used to split
+    /// concatenated `[data | condition]` batches back apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start <= end <= self.cols()`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Self {
+        assert!(
+            start <= end && end <= self.cols,
+            "invalid column range {start}..{end} for {} cols",
+            self.cols
+        );
+        let mut out = Self::zeros(self.rows, end - start);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new("matmul", self.shape(), other.shape()));
+        }
+        let mut out = Self::zeros(self.rows, other.cols);
+        // ikj loop order keeps the inner loop contiguous in both `other`
+        // and `out`, which matters for the per-step training kernels.
+        for i in 0..self.rows {
+            let out_row = i * other.cols;
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let other_row = k * other.cols;
+                for j in 0..other.cols {
+                    out.data[out_row + j] += a * other.data[other_row + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` elementwise, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination `f(self, other)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if shapes differ.
+    pub fn zip_map(&self, other: &Self, f: impl Fn(f64, f64) -> f64) -> Result<Self, ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new("zip_map", self.shape(), other.shape()));
+        }
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if shapes differ.
+    pub fn hadamard(&self, other: &Self) -> Result<Self, ShapeError> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Adds `row` (a `1 x cols` matrix) to every row of `self`; used for
+    /// bias addition over a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `row` is not `1 x self.cols()`.
+    pub fn add_row_broadcast(&self, row: &Self) -> Result<Self, ShapeError> {
+        if row.rows != 1 || row.cols != self.cols {
+            return Err(ShapeError::new(
+                "add_row_broadcast",
+                self.shape(),
+                row.shape(),
+            ));
+        }
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                out.data[r * out.cols + c] += row.data[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sums the rows of `self` into a `1 x cols` matrix; the adjoint of
+    /// [`Matrix::add_row_broadcast`].
+    pub fn sum_rows(&self) -> Self {
+        let mut out = Self::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements; `0.0` for an empty matrix.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum element; `NaN` for an empty matrix.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NAN, f64::max)
+    }
+
+    /// Minimum element; `NaN` for an empty matrix.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NAN, f64::min)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Scales every element by `s` in place.
+    pub fn scale_inplace(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Returns `self` scaled by `s`.
+    pub fn scaled(&self, s: f64) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// `self += alpha * other`, the AXPY update used by the optimizers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Self) -> Result<(), ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new("axpy", self.shape(), other.shape()));
+        }
+        for (x, &y) in self.data.iter_mut().zip(&other.data) {
+            *x += alpha * y;
+        }
+        Ok(())
+    }
+
+    /// True if every element is finite (no NaN or infinity). Training
+    /// loops use this to detect divergence early.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for r in 0..show {
+            write!(f, "  [")?;
+            let cols = self.cols.min(8);
+            for c in 0..cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self.data[r * self.cols + c])?;
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if shapes differ; use [`Matrix::zip_map`] for a fallible add.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a + b)
+            .expect("shape mismatch in Add")
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if shapes differ; use [`Matrix::zip_map`] for a fallible sub.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a - b)
+            .expect("shape mismatch in Sub")
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.axpy(1.0, rhs).expect("shape mismatch in AddAssign");
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        self.axpy(-1.0, rhs).expect("shape mismatch in SubAssign");
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        self.scaled(s)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+impl Default for Matrix {
+    /// The empty `0 x 0` matrix.
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]).unwrap();
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let err = a.matmul(&b).unwrap_err();
+        assert_eq!(err.op(), "matmul");
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(a[(r, c)], t[(c, r)]);
+            }
+        }
+    }
+
+    #[test]
+    fn row_broadcast_adds_bias() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::row_vector(&[10.0, 20.0]);
+        let y = x.add_row_broadcast(&b).unwrap();
+        assert_eq!(
+            y,
+            Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]]).unwrap()
+        );
+    }
+
+    #[test]
+    fn sum_rows_is_adjoint_of_broadcast() {
+        let g = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        assert_eq!(g.sum_rows(), Matrix::row_vector(&[9.0, 12.0]));
+    }
+
+    #[test]
+    fn select_rows_repeats() {
+        let m = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        let s = m.select_rows(&[2, 0, 2]);
+        assert_eq!(s, Matrix::from_rows(&[&[3.0], &[1.0], &[3.0]]).unwrap());
+    }
+
+    #[test]
+    fn hstack_vstack() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0], &[4.0]]).unwrap();
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h, Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]).unwrap());
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(
+            v,
+            Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]).unwrap()
+        );
+    }
+
+    #[test]
+    fn hstack_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 1);
+        let b = Matrix::zeros(3, 1);
+        assert!(a.hstack(&b).is_err());
+        assert!(Matrix::zeros(1, 2).vstack(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.sum(), 6.0);
+        assert_eq!(m.mean(), 1.5);
+        assert_eq!(m.max(), 4.0);
+        assert_eq!(m.min(), -2.0);
+        assert!((m.frobenius_norm() - 30.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let g = Matrix::filled(2, 2, 2.0);
+        a.axpy(-0.5, &g).unwrap();
+        assert_eq!(a, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = Matrix::zeros(1, 2);
+        assert!(m.all_finite());
+        m[(0, 1)] = f64::NAN;
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn operator_sugar() {
+        let a = Matrix::filled(2, 2, 3.0);
+        let b = Matrix::filled(2, 2, 1.0);
+        assert_eq!(&a + &b, Matrix::filled(2, 2, 4.0));
+        assert_eq!(&a - &b, Matrix::filled(2, 2, 2.0));
+        assert_eq!(&a * 2.0, Matrix::filled(2, 2, 6.0));
+        assert_eq!(-&b, Matrix::filled(2, 2, -1.0));
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c, Matrix::filled(2, 2, 4.0));
+        c -= &b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let m = Matrix::zeros(1, 1);
+        assert!(!format!("{m:?}").is_empty());
+    }
+
+    #[test]
+    fn slice_cols_splits_hstack() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0], &[6.0]]).unwrap();
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.slice_cols(0, 2), a);
+        assert_eq!(h.slice_cols(2, 3), b);
+        assert_eq!(h.slice_cols(1, 1).shape(), (2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid column range")]
+    fn slice_cols_rejects_bad_range() {
+        let _ = Matrix::zeros(1, 2).slice_cols(1, 3);
+    }
+
+    #[test]
+    fn col_extracts_column() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+}

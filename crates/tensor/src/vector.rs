@@ -1,0 +1,117 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! The feature-extraction and statistics layers mostly operate on plain
+//! slices (a single frequency bin across a trace, a single generated
+//! sample); these helpers avoid round-tripping through [`crate::Matrix`].
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn l2_norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance; `0.0` for slices with fewer than two elements.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Index of the maximum element; `None` for an empty slice. Ties resolve
+/// to the first maximum, matching one-hot decoding conventions.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &x) in a.iter().enumerate() {
+        if x > a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Numerically stable softmax.
+///
+/// Returns an empty vector for empty input.
+pub fn softmax(a: &[f64]) -> Vec<f64> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let max = a.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = a.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn l2_norm_pythagorean() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(argmax(&[]), None);
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1001.0, 1002.0]);
+        let s: f64 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| x.is_finite() && x > 0.0));
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+}

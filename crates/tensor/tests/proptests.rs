@@ -1,0 +1,133 @@
+//! Property-based tests for the matrix algebra laws the neural stack
+//! relies on. Backprop correctness (and hence every experiment in the
+//! paper) depends on these identities holding exactly or to floating
+//! point tolerance.
+
+use gansec_tensor::{argmax, dot, softmax, Matrix};
+use proptest::prelude::*;
+
+const DIM: usize = 6;
+const TOL: f64 = 1e-9;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0_f64, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized vec"))
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(&x, &y)| (x - y).abs() <= TOL * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in small_matrix(DIM, DIM - 1)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associative(
+        a in small_matrix(3, 4),
+        b in small_matrix(4, 5),
+        c in small_matrix(5, 2),
+    ) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(approx_eq(&left, &right));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in small_matrix(3, 4),
+        b in small_matrix(4, 2),
+        c in small_matrix(4, 2),
+    ) {
+        let left = a.matmul(&(&b + &c)).unwrap();
+        let right = &a.matmul(&b).unwrap() + &a.matmul(&c).unwrap();
+        prop_assert!(approx_eq(&left, &right));
+    }
+
+    #[test]
+    fn transpose_of_product_reverses(
+        a in small_matrix(3, 4),
+        b in small_matrix(4, 5),
+    ) {
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(approx_eq(&left, &right));
+    }
+
+    #[test]
+    fn add_commutes(a in small_matrix(4, 4), b in small_matrix(4, 4)) {
+        prop_assert!(approx_eq(&(&a + &b), &(&b + &a)));
+    }
+
+    #[test]
+    fn hadamard_commutes(a in small_matrix(4, 3), b in small_matrix(4, 3)) {
+        prop_assert!(approx_eq(
+            &a.hadamard(&b).unwrap(),
+            &b.hadamard(&a).unwrap()
+        ));
+    }
+
+    #[test]
+    fn sum_rows_matches_manual(m in small_matrix(5, 3)) {
+        let s = m.sum_rows();
+        for c in 0..3 {
+            let manual: f64 = (0..5).map(|r| m[(r, c)]).sum();
+            prop_assert!((s[(0, c)] - manual).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn scale_then_sum_is_linear(m in small_matrix(4, 4), k in -5.0..5.0f64) {
+        prop_assert!((m.scaled(k).sum() - k * m.sum()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(
+        a in proptest::collection::vec(-10.0..10.0f64, DIM),
+        b in proptest::collection::vec(-10.0..10.0f64, DIM),
+    ) {
+        let lhs = dot(&a, &b).abs();
+        let rhs = dot(&a, &a).sqrt() * dot(&b, &b).sqrt();
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+
+    #[test]
+    fn softmax_is_probability_vector(
+        a in proptest::collection::vec(-50.0..50.0f64, 1..10),
+    ) {
+        let p = softmax(&a);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(
+        a in proptest::collection::vec(-50.0..50.0f64, 2..10),
+    ) {
+        let p = softmax(&a);
+        prop_assert_eq!(argmax(&a), argmax(&p));
+    }
+
+    #[test]
+    fn select_rows_identity_permutation(m in small_matrix(5, 3)) {
+        let idx: Vec<usize> = (0..5).collect();
+        prop_assert_eq!(m.select_rows(&idx), m);
+    }
+
+    #[test]
+    fn hstack_then_split_preserves(m in small_matrix(4, 3), n in small_matrix(4, 2)) {
+        let h = m.hstack(&n).unwrap();
+        prop_assert_eq!(h.shape(), (4, 5));
+        for r in 0..4 {
+            prop_assert_eq!(&h.row(r)[..3], m.row(r));
+            prop_assert_eq!(&h.row(r)[3..], n.row(r));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Design-time → audit-time workflow: train once, persist the flow-pair
+//! model, reload it later (e.g. in a plant-floor monitor) and run both
+//! the confidentiality analysis and the G/M-code reconstruction attacker
+//! against the stored model.
+//!
+//! ```sh
+//! cargo run --release --example audit_workflow
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gansec::{GCodeEstimator, LikelihoodAnalysis, SecurityModel, SideChannelDataset};
+use gansec_amsim::{calibration_pattern, ConditionEncoding, PrinterSim};
+use gansec_dsp::FrequencyBins;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let model_path = std::env::temp_dir().join("gansec_audit_model.json");
+
+    // ---- Design time: collect data, train, persist -----------------------
+    println!("== design time ==");
+    let sim = PrinterSim::printrbot_class();
+    let trace = sim.run(&calibration_pattern(5), &mut rng);
+    let dataset = SideChannelDataset::from_trace(
+        &trace,
+        FrequencyBins::log_spaced(32, 50.0, 5000.0),
+        1024,
+        512,
+        ConditionEncoding::Simple3,
+    )?;
+    let (train, test) = dataset.split_even_odd();
+    let mut model = SecurityModel::for_dataset(&train, &mut rng);
+    model.train(&train, 600, &mut rng)?;
+    model.save(&model_path)?;
+    println!(
+        "trained on {} frames ({} iterations), saved to {}",
+        train.len(),
+        model.history().len(),
+        model_path.display()
+    );
+
+    // ---- Audit time: reload and analyze -----------------------------------
+    println!("\n== audit time (fresh process would start here) ==");
+    let mut reloaded = SecurityModel::load(&model_path)?;
+    println!(
+        "reloaded model: {} training iterations on record, encoding {:?}",
+        reloaded.history().len(),
+        reloaded.encoding()
+    );
+
+    let features = train.per_condition_top_features(2);
+    let report =
+        LikelihoodAnalysis::new(0.2, 300, features.clone()).analyze(&mut reloaded, &test, &mut rng);
+    println!("\nAlgorithm 3 on the reloaded model:");
+    for c in &report.conditions {
+        println!(
+            "  Cond{} ({}): Cor {:.4}  Inc {:.4}",
+            c.condition_index + 1,
+            c.motor.map(|m| m.to_string()).unwrap_or_default(),
+            c.mean_cor(),
+            c.mean_inc()
+        );
+    }
+
+    let estimator = GCodeEstimator::fit(&mut reloaded, 0.2, 300, features, &mut rng);
+    let confusion = estimator.evaluate(&test);
+    println!(
+        "\nattacker reconstruction from the stored model: {:.1}% frame accuracy (chance 33.3%)",
+        confusion.accuracy() * 100.0
+    );
+
+    std::fs::remove_file(&model_path).ok();
+    println!("\nWorkflow complete: the persisted CGAN is the reusable security artifact.");
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Modeling a *different* CPPS with the same API: a two-sub-system
+//! bottling line. Shows that Algorithm 1 (graph + flow pairs) and the
+//! CGAN layer generalize beyond the paper's 3D-printer case study.
+//!
+//! The filler pump's vibration (energy flow) leaks the recipe command
+//! (signal flow) — the same cross-domain structure as the printer, in a
+//! different plant.
+//!
+//! ```sh
+//! cargo run --release --example custom_cpps
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gansec_cpps::{CppsArchitecture, FlowKind};
+use gansec_gan::{Cgan, CganConfig, PairedData};
+use gansec_stats::ParzenWindow;
+use gansec_tensor::Matrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(77);
+
+    println!("== Custom CPPS: bottling line ==\n");
+
+    // --- Architecture (Algorithm 1 input) ---------------------------------
+    let mut arch = CppsArchitecture::new("bottling-line");
+    let filler = arch.add_subsystem("filler");
+    let capper = arch.add_subsystem("capper");
+    let env = arch.add_subsystem("environment");
+
+    let scada = arch.add_cyber(filler, "SCADA recipe master")?;
+    let plc_f = arch.add_cyber(filler, "filler PLC")?;
+    let pump = arch.add_physical(filler, "dosing pump")?;
+    let valve = arch.add_physical(filler, "fill valve")?;
+    let plc_c = arch.add_cyber(capper, "capper PLC")?;
+    let torque = arch.add_physical(capper, "torque head")?;
+    let environment = arch.add_physical(env, "plant floor")?;
+
+    let recipe = arch.add_flow("recipe command", FlowKind::Signal, scada, plc_f)?;
+    let _ = arch.add_flow("pump setpoint", FlowKind::Signal, plc_f, pump)?;
+    let _ = arch.add_flow("valve actuation", FlowKind::Energy, plc_f, valve)?;
+    let _ = arch.add_flow("bottle handoff", FlowKind::Signal, plc_f, plc_c)?;
+    let _ = arch.add_flow("torque drive", FlowKind::Energy, plc_c, torque)?;
+    let pump_vib = arch.add_flow("pump vibration", FlowKind::Energy, pump, environment)?;
+    let _ = arch.add_flow("torque noise", FlowKind::Energy, torque, environment)?;
+
+    // --- Algorithm 1 -------------------------------------------------------
+    let graph = arch.build_graph();
+    let candidates = graph.candidate_flow_pairs();
+    let cross = graph.cross_domain_pairs();
+    println!(
+        "Algorithm 1: {} components, {} flows, {} candidate pairs, {} cross-domain",
+        graph.components().len(),
+        graph.flows().len(),
+        candidates.len(),
+        cross.len()
+    );
+    assert!(cross.contains(recipe, pump_vib));
+    println!("  -> modeling Pr(pump vibration | recipe command)\n");
+    println!("G_CPPS (Graphviz DOT):\n{}", graph.to_dot(&arch));
+
+    // --- Synthetic historical data for the selected pair -------------------
+    // Two recipes: "water" runs the pump slow (spectral feature ~0.3),
+    // "syrup" runs it fast (~0.7). 1-D feature + 2-way one-hot condition.
+    let n = 400;
+    let mut data_rows = Vec::with_capacity(n);
+    let mut cond_rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let syrup = i % 2 == 1;
+        let center = if syrup { 0.7 } else { 0.3 };
+        let jitter: f64 = rng.gen_range(-0.04..0.04);
+        data_rows.push(center + jitter);
+        cond_rows.push(if syrup { [0.0, 1.0] } else { [1.0, 0.0] });
+    }
+    let data = Matrix::from_vec(n, 1, data_rows)?;
+    let conds = Matrix::from_vec(n, 2, cond_rows.into_iter().flatten().collect())?;
+    let dataset = PairedData::new(data, conds)?;
+
+    // --- Algorithm 2 on the pair -------------------------------------------
+    let config = CganConfig::builder(1, 2)
+        .noise_dim(8)
+        .gen_hidden(vec![32])
+        .disc_hidden(vec![32])
+        .batch_size(32)
+        .build();
+    let mut cgan = Cgan::new(config, &mut rng);
+    println!("training CGAN for the (recipe -> vibration) pair...");
+    let history = cgan.train(&dataset, 1200, &mut rng)?;
+    println!(
+        "  G loss {:.3} -> {:.3} over {} iterations\n",
+        history.records().first().expect("nonempty").g_loss,
+        history.final_g_loss(50),
+        history.len()
+    );
+
+    // --- Leakage check ------------------------------------------------------
+    let per_cond = |cgan: &mut Cgan, cond: [f64; 2], rng: &mut StdRng| {
+        let conds = Matrix::from_fn(300, 2, |_, j| cond[j]);
+        cgan.generate(&conds, rng).col(0)
+    };
+    let water = per_cond(&mut cgan, [1.0, 0.0], &mut rng);
+    let syrup = per_cond(&mut cgan, [0.0, 1.0], &mut rng);
+    let kde_water = ParzenWindow::fit(&water, 0.1)?;
+    let kde_syrup = ParzenWindow::fit(&syrup, 0.1)?;
+    let p_water_at_water = kde_water.windowed_likelihood(0.3);
+    let p_water_at_syrup = kde_water.windowed_likelihood(0.7);
+    let p_syrup_at_syrup = kde_syrup.windowed_likelihood(0.7);
+    println!("likelihoods from the learned conditional densities:");
+    println!("  Pr(vib=0.3 | water) ~ {p_water_at_water:.3}   Pr(vib=0.7 | water) ~ {p_water_at_syrup:.3}");
+    println!("  Pr(vib=0.7 | syrup) ~ {p_syrup_at_syrup:.3}");
+    if p_water_at_water > p_water_at_syrup && p_syrup_at_syrup > p_water_at_syrup {
+        println!("\nVerdict: pump vibration leaks the running recipe — a competitor on the");
+        println!("plant floor can infer production volumes. Same analysis, different CPPS.");
+    } else {
+        println!("\nModel under-trained; rerun with more iterations.");
+    }
+    Ok(())
+}

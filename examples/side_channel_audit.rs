@@ -1,0 +1,139 @@
+//! Full confidentiality audit of the 3D printer's acoustic side-channel:
+//! Table-I-style likelihoods over several Parzen widths, a mutual-
+//! information leakage metric, and a comparison against the direct-KDE
+//! baseline.
+//!
+//! ```sh
+//! cargo run --release --example side_channel_audit
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gansec::{KdeBaseline, LikelihoodAnalysis, SecurityModel, SideChannelDataset, TableOneRow};
+use gansec_amsim::{calibration_pattern, ConditionEncoding, PrinterSim};
+use gansec_dsp::FrequencyBins;
+use gansec_stats::{mutual_information, Histogram};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(1234);
+
+    println!("== Acoustic side-channel confidentiality audit ==\n");
+    println!("simulating printer workload (single-axis calibration moves)...");
+    let sim = PrinterSim::printrbot_class();
+    let trace = sim.run(&calibration_pattern(6), &mut rng);
+    println!(
+        "  captured {:.1} s of audio over {} segments",
+        trace.duration_s(),
+        trace.segments.len()
+    );
+
+    let dataset = SideChannelDataset::from_trace(
+        &trace,
+        FrequencyBins::log_spaced(48, 50.0, 5000.0),
+        1024,
+        512,
+        ConditionEncoding::Simple3,
+    )?;
+    let (train, test) = dataset.split_even_odd();
+    println!(
+        "  {} train frames / {} test frames\n",
+        train.len(),
+        test.len()
+    );
+
+    println!("training the flow-pair CGAN (Algorithm 2)...");
+    let mut model = SecurityModel::for_dataset(&train, &mut rng);
+    model.train(&train, 800, &mut rng)?;
+    println!(
+        "  final losses: D {:.3}  G {:.3}\n",
+        model.history().final_d_loss(50),
+        model.history().final_g_loss(50)
+    );
+
+    // Table I: single top feature, h sweep.
+    let top = train.top_feature_indices(1);
+    println!(
+        "Table I reproduction (single feature = bin {}, center {:.0} Hz):",
+        top[0],
+        train.bins().centers()[top[0]]
+    );
+    let h_values = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut rows: Vec<TableOneRow> = Vec::new();
+    for (ci, _) in ConditionEncoding::Simple3
+        .all_conditions()
+        .iter()
+        .enumerate()
+    {
+        rows.push(TableOneRow {
+            condition_index: ci,
+            motor: None,
+            cells: Vec::new(),
+        });
+    }
+    for &h in &h_values {
+        let report =
+            LikelihoodAnalysis::new(h, 400, top.clone()).analyze(&mut model, &test, &mut rng);
+        for c in &report.conditions {
+            rows[c.condition_index].motor = c.motor;
+            rows[c.condition_index]
+                .cells
+                .push((h, c.mean_cor(), c.mean_inc()));
+        }
+    }
+    println!("{}", TableOneRow::format_table(&rows));
+
+    // Mutual information between the condition and the top feature,
+    // discretized into 8 levels — the derived metric §II suggests.
+    let levels = 8;
+    let mut joint = vec![vec![0u64; levels]; 3];
+    let hist = Histogram::new(levels, 0.0, 1.0);
+    for i in 0..test.len() {
+        let cond_idx = test
+            .conds()
+            .row(i)
+            .iter()
+            .position(|&v| (v - 1.0).abs() < 1e-9)
+            .expect("one-hot by construction");
+        let bin = hist.bin_index(test.features()[(i, top[0])]);
+        joint[cond_idx][bin] += 1;
+    }
+    let mi = mutual_information(&joint);
+    // The §I-B flow model gives the theoretical ceiling: the condition
+    // flow's entropy, estimated from the observed label counts.
+    let cond_counts: Vec<u64> = (0..3)
+        .map(|c| {
+            (0..test.len())
+                .filter(|&i| (test.conds()[(i, c)] - 1.0).abs() < 1e-9)
+                .count() as u64
+        })
+        .collect();
+    let flow = gansec_cpps::SignalFlowModel::from_counts(
+        vec!["X".into(), "Y".into(), "Z".into()],
+        &cond_counts,
+    )?;
+    println!(
+        "mutual information I(Cond; feature) = {:.3} nats; condition entropy H = {:.3} nats",
+        mi,
+        flow.entropy_nats()
+    );
+    println!(
+        "-> this single feature leaks {:.0}% of the command-stream information ceiling",
+        flow.leakage_fraction(mi) * 100.0
+    );
+
+    // Baseline comparison: direct KDE on real data, same test frames.
+    let baseline = KdeBaseline::new(0.2, top.clone()).analyze(&train, &test);
+    let cgan = LikelihoodAnalysis::new(0.2, 400, top).analyze(&mut model, &test, &mut rng);
+    println!("\nCGAN vs direct-KDE baseline (h = 0.2, margin = Cor - Inc):");
+    for (b, c) in baseline.conditions.iter().zip(&cgan.conditions) {
+        println!(
+            "  Cond{}: CGAN margin {:+.4}  |  KDE-on-real-data margin {:+.4}",
+            b.condition_index + 1,
+            c.margin(),
+            b.margin()
+        );
+    }
+    println!("\nVerdict: the acoustic emission leaks which motor the G/M-code runs.");
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Umbrella crate for the GAN-Sec reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the repo-level
+//! examples and integration tests (and downstream users who want a
+//! single dependency) can reach the whole stack:
+//!
+//! * [`gansec`] — the methodology (pipeline, Algorithms 2-3 wrappers);
+//! * [`cpps`] — architecture modeling and Algorithm 1;
+//! * [`amsim`] — the additive-manufacturing simulator;
+//! * [`dsp`] — FFT/CWT/binning feature pipeline;
+//! * [`gan`] — GAN/CGAN training;
+//! * [`nn`] / [`tensor`] — the neural substrate;
+//! * [`stats`] — Parzen KDE, information and detection metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gansec;
+
+/// Additive-manufacturing simulator (`gansec-amsim`).
+pub use gansec_amsim as amsim;
+/// CPPS architecture modeling (`gansec-cpps`).
+pub use gansec_cpps as cpps;
+/// Signal processing (`gansec-dsp`).
+pub use gansec_dsp as dsp;
+/// Adversarial training (`gansec-gan`).
+pub use gansec_gan as gan;
+/// Neural networks (`gansec-nn`).
+pub use gansec_nn as nn;
+/// Statistics (`gansec-stats`).
+pub use gansec_stats as stats;
+/// Matrix kernels (`gansec-tensor`).
+pub use gansec_tensor as tensor;

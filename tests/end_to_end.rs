@@ -1,0 +1,113 @@
+//! Cross-crate integration tests: the full paper pipeline from
+//! architecture description to security verdict.
+
+use gansec::{ConfidentialityReport, GanSecPipeline, LikelihoodAnalysis, PipelineConfig};
+use gansec_amsim::printer_architecture;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn pipeline_produces_all_paper_artifacts() {
+    let outcome = GanSecPipeline::new(PipelineConfig::smoke_test())
+        .run(2024)
+        .expect("smoke pipeline");
+
+    // Figure 6 artifact: a DOT graph with the paper's nodes.
+    assert!(outcome.graph_dot.contains("C4 external G-code source"));
+    assert!(outcome.graph_dot.contains("P9 environment"));
+
+    // Algorithm 1 artifacts.
+    assert!(outcome.candidate_pairs.len() > 100, "rich pair space");
+    assert_eq!(outcome.modeled_pairs.len(), 3);
+
+    // Figure 7 artifact: a full loss history.
+    assert_eq!(outcome.history.len(), 60);
+    assert!(outcome
+        .history
+        .records()
+        .iter()
+        .all(|r| r.d_loss.is_finite() && r.g_loss.is_finite()));
+
+    // Table I / Figure 8-9 artifacts.
+    assert_eq!(outcome.likelihood.conditions.len(), 3);
+    assert_eq!(outcome.confidentiality.conditions.len(), 3);
+}
+
+#[test]
+fn leakage_emerges_from_training() {
+    // With a real training budget, correct likelihood must dominate
+    // incorrect likelihood — the paper's core security finding.
+    let mut config = PipelineConfig::smoke_test();
+    config.n_bins = 24;
+    config.moves_per_axis = 4;
+    config.train_iterations = 500;
+    config.gsize = 200;
+    let outcome = GanSecPipeline::new(config).run(7).expect("pipeline");
+    let report = &outcome.likelihood;
+    assert!(
+        report.mean_cor() > report.mean_inc(),
+        "cor {} vs inc {}",
+        report.mean_cor(),
+        report.mean_inc()
+    );
+    assert!(outcome.confidentiality.leaks(), "emission must leak");
+}
+
+#[test]
+fn untrained_model_shows_weaker_separation_than_trained() {
+    let mut config = PipelineConfig::smoke_test();
+    config.moves_per_axis = 4;
+    config.train_iterations = 500;
+    let pipeline = GanSecPipeline::new(config.clone());
+    let trained = pipeline.run(3).expect("pipeline");
+
+    // Re-analyze with an untrained model of the same shape.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut fresh = gansec::SecurityModel::new(config.cgan_config(), config.encoding, &mut rng);
+    let top = trained.train.top_feature_indices(config.n_top_features);
+    let analysis = LikelihoodAnalysis::new(config.h, config.gsize, top);
+    let untrained_report = analysis.analyze(&mut fresh, &trained.test, &mut rng);
+
+    let trained_margin = trained.likelihood.mean_cor() - trained.likelihood.mean_inc();
+    let untrained_margin = untrained_report.mean_cor() - untrained_report.mean_inc();
+    assert!(
+        trained_margin > untrained_margin + 0.02,
+        "training must add separation: trained {trained_margin:.4} vs untrained {untrained_margin:.4}"
+    );
+}
+
+#[test]
+fn architecture_pairs_survive_into_pipeline() {
+    // Independent Algorithm 1 run agrees with what the pipeline modeled.
+    let pa = printer_architecture();
+    let graph = pa.arch.build_graph();
+    let cross = graph.cross_domain_pairs();
+    let outcome = GanSecPipeline::new(PipelineConfig::smoke_test())
+        .run(1)
+        .expect("pipeline");
+    for p in outcome.modeled_pairs.iter() {
+        assert!(
+            cross.contains(p.from, p.to),
+            "modeled pair must be cross-domain"
+        );
+    }
+}
+
+#[test]
+fn confidentiality_report_round_trips_from_likelihoods() {
+    let outcome = GanSecPipeline::new(PipelineConfig::smoke_test())
+        .run(5)
+        .expect("pipeline");
+    let rebuilt = ConfidentialityReport::from_likelihoods(&outcome.likelihood, 0.02);
+    assert_eq!(
+        rebuilt.conditions.len(),
+        outcome.confidentiality.conditions.len()
+    );
+    for (a, b) in rebuilt
+        .conditions
+        .iter()
+        .zip(&outcome.confidentiality.conditions)
+    {
+        assert!((a.margin - b.margin).abs() < 1e-12);
+    }
+}

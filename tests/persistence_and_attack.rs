@@ -1,0 +1,106 @@
+//! Integration tests for the persistence + attacker layers across a
+//! process-boundary-like round trip.
+
+use gansec::{GCodeEstimator, SecurityModel, SideChannelDataset};
+use gansec_amsim::{calibration_pattern, ConditionEncoding, PrinterSim};
+use gansec_dsp::FrequencyBins;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(seed: u64) -> (SecurityModel, SideChannelDataset, SideChannelDataset) {
+    let sim = PrinterSim::printrbot_class();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = sim.run(&calibration_pattern(4), &mut rng);
+    let ds = SideChannelDataset::from_trace(
+        &trace,
+        FrequencyBins::log_spaced(24, 50.0, 5000.0),
+        1024,
+        512,
+        ConditionEncoding::Simple3,
+    )
+    .expect("calibration frames");
+    let (train, test) = ds.split_even_odd();
+    let mut model = SecurityModel::for_dataset(&train, &mut rng);
+    model.train(&train, 500, &mut rng).expect("stable training");
+    (model, train, test)
+}
+
+#[test]
+fn estimator_survives_model_persistence() {
+    let (mut model, train, test) = setup(11);
+    let features = train.per_condition_top_features(2);
+
+    // Estimator from the live model.
+    let mut rng = StdRng::seed_from_u64(12);
+    let live = GCodeEstimator::fit(&mut model, 0.2, 200, features.clone(), &mut rng);
+    let live_acc = live.evaluate(&test).accuracy();
+
+    // Estimator from a JSON round-tripped model with the same RNG seed.
+    let mut restored =
+        SecurityModel::from_json(&model.to_json().expect("serialize")).expect("deserialize");
+    let mut rng = StdRng::seed_from_u64(12);
+    let stored = GCodeEstimator::fit(&mut restored, 0.2, 200, features, &mut rng);
+    let stored_acc = stored.evaluate(&test).accuracy();
+
+    assert!(
+        (live_acc - stored_acc).abs() < 1e-12,
+        "persistence changed the attacker: {live_acc} vs {stored_acc}"
+    );
+    assert!(
+        live_acc > 0.6,
+        "attacker should beat chance, got {live_acc}"
+    );
+}
+
+#[test]
+fn attacker_degrades_gracefully_with_tiny_training() {
+    // An under-trained model must not crash the attacker; it just
+    // reconstructs worse than a converged one.
+    let sim = PrinterSim::printrbot_class();
+    let mut rng = StdRng::seed_from_u64(21);
+    let trace = sim.run(&calibration_pattern(4), &mut rng);
+    let ds = SideChannelDataset::from_trace(
+        &trace,
+        FrequencyBins::log_spaced(24, 50.0, 5000.0),
+        1024,
+        512,
+        ConditionEncoding::Simple3,
+    )
+    .expect("frames");
+    let (train, test) = ds.split_even_odd();
+
+    let accuracy_after = |iters: usize, rng: &mut StdRng| {
+        let mut model = SecurityModel::for_dataset(&train, rng);
+        model.train(&train, iters, rng).expect("stable");
+        let features = train.per_condition_top_features(2);
+        GCodeEstimator::fit(&mut model, 0.2, 200, features, rng)
+            .evaluate(&test)
+            .accuracy()
+    };
+    let mut rng = StdRng::seed_from_u64(22);
+    let weak = accuracy_after(5, &mut rng);
+    let mut rng = StdRng::seed_from_u64(22);
+    let strong = accuracy_after(600, &mut rng);
+    assert!(
+        strong >= weak,
+        "more training must not hurt: weak {weak} strong {strong}"
+    );
+    assert!(strong > 0.6, "converged attacker accuracy {strong}");
+}
+
+#[test]
+fn save_report_round_trips_likelihood_report() {
+    let (mut model, train, test) = setup(31);
+    let mut rng = StdRng::seed_from_u64(32);
+    let top = train.top_feature_indices(1);
+    let report =
+        gansec::LikelihoodAnalysis::new(0.2, 100, top).analyze(&mut model, &test, &mut rng);
+
+    let dir = std::env::temp_dir().join("gansec_integration_reports");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("likelihood.json");
+    gansec::save_report(&report, &path).expect("save");
+    let loaded: gansec::LikelihoodReport = gansec::load_report(&path).expect("load");
+    assert_eq!(loaded, report);
+    std::fs::remove_file(&path).ok();
+}
