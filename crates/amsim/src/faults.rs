@@ -1,0 +1,338 @@
+//! Physical-fault injection for emission capture.
+//!
+//! The clean simulator models anechoic-chamber capture; real factory-floor
+//! sensors do not behave that well. This module wraps a captured emission
+//! signal with the three dominant failure modes of contact-microphone
+//! telemetry:
+//!
+//! * **sensor dropout** — the channel goes dead for short windows
+//!   (connector glitches, buffer underruns), reading exactly zero;
+//! * **amplitude clipping** — the ADC saturates at a rail, flattening
+//!   peaks (misplaced sensor, wrong gain);
+//! * **frame corruption** — individual samples are replaced with garbage
+//!   (stuck-at-zero, full-scale spikes, or non-finite values from a
+//!   corrupted DMA transfer).
+//!
+//! Downstream dataset construction and Algorithm 3 scoring must degrade
+//! gracefully under these faults — skipping or flagging bad frames rather
+//! than producing NaN likelihoods — and the integration suite uses
+//! [`FaultModel`] to prove that.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::SimulationTrace;
+
+/// What a corrupted sample is replaced with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CorruptionKind {
+    /// Stuck-at-zero samples.
+    Zero,
+    /// Full-scale spikes of random polarity.
+    Spike {
+        /// Absolute amplitude of the injected spike.
+        amplitude: f64,
+    },
+    /// Non-finite garbage (`NaN`), the worst case for numeric pipelines.
+    NonFinite,
+}
+
+/// Tally of samples degraded by one [`FaultModel::apply`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Samples zeroed by dropout windows.
+    pub dropout_samples: usize,
+    /// Samples flattened to the clip rail.
+    pub clipped_samples: usize,
+    /// Samples replaced by the corruption model.
+    pub corrupted_samples: usize,
+}
+
+impl FaultReport {
+    /// Total degraded samples (a sample hit twice counts twice).
+    pub fn total_faulted(&self) -> usize {
+        self.dropout_samples + self.clipped_samples + self.corrupted_samples
+    }
+
+    /// Whether the pass left the signal untouched.
+    pub fn is_clean(&self) -> bool {
+        self.total_faulted() == 0
+    }
+
+    /// Accumulates another report into this one.
+    pub fn absorb(&mut self, other: &FaultReport) {
+        self.dropout_samples += other.dropout_samples;
+        self.clipped_samples += other.clipped_samples;
+        self.corrupted_samples += other.corrupted_samples;
+    }
+}
+
+/// A configurable sensor-fault model applied over a captured signal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Expected dropout events per second of signal (Poisson-like via a
+    /// per-sample Bernoulli start).
+    pub dropout_per_s: f64,
+    /// Duration of each dropout window in seconds.
+    pub dropout_len_s: f64,
+    /// Saturation rail: samples beyond `±level` are flattened to it.
+    pub clip_level: Option<f64>,
+    /// Per-sample probability of corruption in `[0, 1]`.
+    pub corruption_prob: f64,
+    /// What corrupted samples become.
+    pub corruption: CorruptionKind,
+}
+
+impl FaultModel {
+    /// The identity model: no faults injected.
+    pub fn none() -> Self {
+        Self {
+            dropout_per_s: 0.0,
+            dropout_len_s: 0.0,
+            clip_level: None,
+            corruption_prob: 0.0,
+            corruption: CorruptionKind::Zero,
+        }
+    }
+
+    /// A factory-floor preset: a couple of dropouts per second, a
+    /// saturating ADC, and sporadic non-finite corruption. Used by the
+    /// robustness tests to stress the analysis pipeline.
+    pub fn harsh() -> Self {
+        Self {
+            dropout_per_s: 2.0,
+            dropout_len_s: 0.01,
+            clip_level: Some(0.5),
+            corruption_prob: 2e-4,
+            corruption: CorruptionKind::NonFinite,
+        }
+    }
+
+    /// Whether this model can alter any sample.
+    pub fn is_disabled(&self) -> bool {
+        (self.dropout_per_s == 0.0 || self.dropout_len_s == 0.0)
+            && self.clip_level.is_none()
+            && self.corruption_prob == 0.0
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.dropout_per_s.is_finite() && self.dropout_per_s >= 0.0,
+            "dropout_per_s must be finite and non-negative: {}",
+            self.dropout_per_s
+        );
+        assert!(
+            self.dropout_len_s.is_finite() && self.dropout_len_s >= 0.0,
+            "dropout_len_s must be finite and non-negative: {}",
+            self.dropout_len_s
+        );
+        if let Some(level) = self.clip_level {
+            assert!(
+                level.is_finite() && level > 0.0,
+                "clip_level must be finite and positive: {level}"
+            );
+        }
+        assert!(
+            (0.0..=1.0).contains(&self.corruption_prob),
+            "corruption_prob must be in [0, 1]: {}",
+            self.corruption_prob
+        );
+    }
+
+    /// Degrades `signal` in place and reports what was hit. Faults are
+    /// applied in physical order: dropout (sensor), clipping (ADC), then
+    /// corruption (transfer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model parameters are out of range or `sample_rate`
+    /// is not positive.
+    pub fn apply(&self, signal: &mut [f64], sample_rate: f64, rng: &mut impl Rng) -> FaultReport {
+        self.validate();
+        assert!(
+            sample_rate.is_finite() && sample_rate > 0.0,
+            "sample_rate must be positive: {sample_rate}"
+        );
+        let mut report = FaultReport::default();
+        let n = signal.len();
+        if n == 0 {
+            return report;
+        }
+
+        if self.dropout_per_s > 0.0 && self.dropout_len_s > 0.0 {
+            let p_start = (self.dropout_per_s / sample_rate).min(1.0);
+            let len = ((self.dropout_len_s * sample_rate).ceil() as usize).max(1);
+            let mut i = 0;
+            while i < n {
+                if rng.gen_bool(p_start) {
+                    let end = (i + len).min(n);
+                    for s in &mut signal[i..end] {
+                        *s = 0.0;
+                    }
+                    report.dropout_samples += end - i;
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        if let Some(level) = self.clip_level {
+            for s in signal.iter_mut() {
+                if s.abs() > level {
+                    *s = level * s.signum();
+                    report.clipped_samples += 1;
+                }
+            }
+        }
+
+        if self.corruption_prob > 0.0 {
+            for s in signal.iter_mut() {
+                if rng.gen_bool(self.corruption_prob) {
+                    *s = match self.corruption {
+                        CorruptionKind::Zero => 0.0,
+                        CorruptionKind::Spike { amplitude } => {
+                            if rng.gen_bool(0.5) {
+                                amplitude
+                            } else {
+                                -amplitude
+                            }
+                        }
+                        CorruptionKind::NonFinite => f64::NAN,
+                    };
+                    report.corrupted_samples += 1;
+                }
+            }
+        }
+
+        report
+    }
+
+    /// Degrades both capture channels of a [`SimulationTrace`] in place
+    /// (independent fault draws per channel) and returns the combined
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// As for [`FaultModel::apply`].
+    pub fn apply_to_trace(&self, trace: &mut SimulationTrace, rng: &mut impl Rng) -> FaultReport {
+        let sample_rate = trace.sample_rate;
+        let mut report = self.apply(&mut trace.audio, sample_rate, rng);
+        report.absorb(&self.apply(&mut trace.vibration, sample_rate, rng));
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sine(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.13).sin()).collect()
+    }
+
+    #[test]
+    fn none_model_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut signal = sine(1000);
+        let original = signal.clone();
+        let report = FaultModel::none().apply(&mut signal, 8000.0, &mut rng);
+        assert!(report.is_clean());
+        assert!(FaultModel::none().is_disabled());
+        assert_eq!(signal, original);
+    }
+
+    #[test]
+    fn dropout_zeroes_whole_windows() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut signal = vec![1.0; 8000];
+        let model = FaultModel {
+            dropout_per_s: 50.0,
+            dropout_len_s: 0.01,
+            ..FaultModel::none()
+        };
+        let report = model.apply(&mut signal, 8000.0, &mut rng);
+        assert!(report.dropout_samples > 0);
+        let zeros = signal.iter().filter(|&&s| s == 0.0).count();
+        assert_eq!(zeros, report.dropout_samples);
+        // Windows are 80 samples; at least one full window must exist.
+        let mut run = 0usize;
+        let mut longest = 0usize;
+        for &s in &signal {
+            if s == 0.0 {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(longest >= 80, "longest zero run {longest}");
+    }
+
+    #[test]
+    fn clipping_saturates_at_rail() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut signal: Vec<f64> = (0..100).map(|i| (i as f64 - 50.0) * 0.1).collect();
+        let model = FaultModel {
+            clip_level: Some(1.0),
+            ..FaultModel::none()
+        };
+        let report = model.apply(&mut signal, 8000.0, &mut rng);
+        assert!(report.clipped_samples > 0);
+        assert!(signal.iter().all(|s| s.abs() <= 1.0));
+        // In-range samples are untouched.
+        assert_eq!(signal[50], 0.0);
+    }
+
+    #[test]
+    fn corruption_injects_requested_kind() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut signal = sine(5000);
+        let model = FaultModel {
+            corruption_prob: 0.05,
+            corruption: CorruptionKind::NonFinite,
+            ..FaultModel::none()
+        };
+        let report = model.apply(&mut signal, 8000.0, &mut rng);
+        assert!(report.corrupted_samples > 0);
+        let nans = signal.iter().filter(|s| !s.is_finite()).count();
+        assert_eq!(nans, report.corrupted_samples);
+
+        let mut spiked = sine(5000);
+        let model = FaultModel {
+            corruption_prob: 0.05,
+            corruption: CorruptionKind::Spike { amplitude: 9.0 },
+            ..FaultModel::none()
+        };
+        let report = model.apply(&mut spiked, 8000.0, &mut rng);
+        let spikes = spiked.iter().filter(|&&s| s.abs() == 9.0).count();
+        assert_eq!(spikes, report.corrupted_samples);
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut signal = sine(2000);
+            let report = FaultModel::harsh().apply(&mut signal, 8000.0, &mut rng);
+            let fingerprint = signal
+                .iter()
+                .fold(0u64, |acc, s| acc.rotate_left(7) ^ s.to_bits());
+            (fingerprint, report)
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "corruption_prob")]
+    fn invalid_probability_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = FaultModel {
+            corruption_prob: 1.5,
+            ..FaultModel::none()
+        };
+        let _ = model.apply(&mut [0.0], 8000.0, &mut rng);
+    }
+}

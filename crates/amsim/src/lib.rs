@@ -32,6 +32,8 @@
 //!   [`mixed_axis_program`], [`calibration_pattern`]);
 //! * [`AttackInjector`] — integrity (G-code tampering) and availability
 //!   (axis stall) attacks with ground-truth labels;
+//! * [`FaultModel`] — physical sensor faults (dropout, clipping, frame
+//!   corruption) for robustness testing of the downstream pipeline;
 //! * [`printer_architecture`] — the Figure 5/6 CPPS architecture for
 //!   `gansec-cpps`.
 
@@ -42,6 +44,7 @@ mod acoustics;
 mod arch;
 mod attacks;
 mod encoding;
+mod faults;
 mod gcode;
 mod kinematics;
 mod simulator;
@@ -51,6 +54,7 @@ pub use acoustics::{AcousticModel, AxisAcoustics, Microphone, SensorKind};
 pub use arch::{printer_architecture, PrinterArchitecture};
 pub use attacks::{Attack, AttackInjector, AttackKind};
 pub use encoding::{ConditionEncoding, MotorSet};
+pub use faults::{CorruptionKind, FaultModel, FaultReport};
 pub use gcode::{GCodeCommand, GCodeProgram, GCodeWord, ParseGCodeError};
 pub use kinematics::{Axis, Kinematics, MotionSegment};
 pub use simulator::{PrinterSim, SegmentRecord, SimulationTrace};

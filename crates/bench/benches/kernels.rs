@@ -96,7 +96,10 @@ fn bench_cgan_step(c: &mut Criterion) {
                 )
             },
             |(mut cgan, mut step_rng)| {
-                black_box(cgan.train_step(&dataset, &mut step_rng));
+                black_box(
+                    cgan.train_step(&dataset, &mut step_rng)
+                        .expect("healthy step"),
+                );
             },
             BatchSize::SmallInput,
         )

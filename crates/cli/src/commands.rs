@@ -5,8 +5,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use gansec::{
-    AttackDetector, ConfidentialityReport, GCodeEstimator, LikelihoodAnalysis, SecurityModel,
-    SideChannelDataset,
+    AttackDetector, CheckpointedTrainer, ConfidentialityReport, GCodeEstimator, LikelihoodAnalysis,
+    RecoveryPolicy, SecurityModel, SideChannelDataset, TrainingCheckpoint,
 };
 use gansec_amsim::{
     calibration_pattern, printer_architecture, ConditionEncoding, GCodeProgram, MotorSet,
@@ -48,13 +48,127 @@ impl Common {
     }
 }
 
+/// Fault-tolerance knobs pulled from the flag set: `--checkpoint`,
+/// `--checkpoint-every`, `--resume`, `--max-retries`, `--lr-backoff`.
+struct FtFlags {
+    every: usize,
+    checkpoint: Option<String>,
+    resume: Option<String>,
+    max_retries: usize,
+    lr_backoff: f64,
+}
+
+impl FtFlags {
+    fn from_args(args: &ParsedArgs) -> Result<Self, String> {
+        Ok(Self {
+            every: args
+                .get_parsed("checkpoint-every", 100usize)
+                .map_err(|e| e.to_string())?,
+            checkpoint: args.get("checkpoint").map(str::to_string),
+            resume: args.get("resume").map(str::to_string),
+            max_retries: args
+                .get_parsed("max-retries", 3usize)
+                .map_err(|e| e.to_string())?,
+            lr_backoff: args
+                .get_parsed("lr-backoff", 0.5f64)
+                .map_err(|e| e.to_string())?,
+        })
+    }
+
+    /// Whether any flag asks for the checkpointed trainer. Recovery
+    /// flags alone are enough: rollback works in memory without a
+    /// checkpoint file.
+    fn enabled(&self, args: &ParsedArgs) -> bool {
+        self.checkpoint.is_some()
+            || self.resume.is_some()
+            || args.get("checkpoint-every").is_some()
+            || args.get("max-retries").is_some()
+            || args.get("lr-backoff").is_some()
+    }
+
+    fn trainer(&self) -> Result<CheckpointedTrainer, String> {
+        if self.every == 0 {
+            return Err("--checkpoint-every must be positive".into());
+        }
+        if !(self.lr_backoff > 0.0 && self.lr_backoff <= 1.0) {
+            return Err(format!(
+                "--lr-backoff must be in (0, 1], got {}",
+                self.lr_backoff
+            ));
+        }
+        let policy = RecoveryPolicy {
+            max_retries: self.max_retries,
+            lr_backoff: self.lr_backoff,
+            ..RecoveryPolicy::default()
+        };
+        let trainer = CheckpointedTrainer::new(self.every).with_policy(policy);
+        Ok(match &self.checkpoint {
+            Some(path) => trainer.with_path(path),
+            None => trainer,
+        })
+    }
+}
+
 fn load_program(path: &str) -> Result<GCodeProgram, String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     GCodeProgram::parse(&source).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Trains (or resumes) the flow-pair model on `train`, honoring the
+/// fault-tolerance flags. Recoveries are reported on stderr.
+fn fit_model(
+    common: &Common,
+    ft: Option<&FtFlags>,
+    train: &SideChannelDataset,
+    rng: &mut StdRng,
+) -> Result<SecurityModel, String> {
+    let model = match ft {
+        Some(ft) if ft.resume.is_some() => {
+            let path = ft.resume.as_deref().expect("checked above");
+            let trainer = ft.trainer()?;
+            let checkpoint = TrainingCheckpoint::load(std::path::Path::new(path))
+                .map_err(|e| format!("{path}: {e}"))?;
+            let paired = train.to_paired_data();
+            let (cgan, history) = trainer
+                .resume(checkpoint, &paired, common.iters, rng)
+                .map_err(|e| format!("resume from {path}: {e}"))?;
+            if cgan.config().cond_dim != ConditionEncoding::Simple3.dim() {
+                return Err(format!(
+                    "{path}: checkpointed model has cond_dim {}, expected {}",
+                    cgan.config().cond_dim,
+                    ConditionEncoding::Simple3.dim()
+                ));
+            }
+            SecurityModel::from_parts(cgan, ConditionEncoding::Simple3, history)
+        }
+        Some(ft) => {
+            let trainer = ft.trainer()?;
+            let mut model = SecurityModel::for_dataset(train, rng);
+            model
+                .train_fault_tolerant(train, common.iters, &trainer, rng)
+                .map_err(|e| e.to_string())?;
+            model
+        }
+        None => {
+            let mut model = SecurityModel::for_dataset(train, rng);
+            model
+                .train(train, common.iters, rng)
+                .map_err(|e| e.to_string())?;
+            model
+        }
+    };
+    for r in model.history().recoveries() {
+        eprintln!(
+            "# recovered from divergence at iteration {} (retry {}): lr {:.3e}/{:.3e}, clip {:?}",
+            r.at_iteration, r.retry, r.gen_lr, r.disc_lr, r.grad_clip
+        );
+    }
+    Ok(model)
+}
+
 fn train_on_calibration(
     common: &Common,
+    ft: Option<&FtFlags>,
     rng: &mut StdRng,
 ) -> Result<(SecurityModel, SideChannelDataset, SideChannelDataset), String> {
     let sim = PrinterSim::printrbot_class();
@@ -68,10 +182,7 @@ fn train_on_calibration(
     )
     .map_err(|e| e.to_string())?;
     let (train, test) = dataset.split_even_odd();
-    let mut model = SecurityModel::for_dataset(&train, rng);
-    model
-        .train(&train, common.iters, rng)
-        .map_err(|e| e.to_string())?;
+    let model = fit_model(common, ft, &train, rng)?;
     Ok((model, train, test))
 }
 
@@ -147,10 +258,16 @@ pub fn simulate(args: &ParsedArgs) -> Result<ExitCode, String> {
 /// the given program) and print the confidentiality report.
 pub fn audit(args: &ParsedArgs) -> Result<ExitCode, String> {
     let common = Common::from_args(args)?;
+    let ft_flags = FtFlags::from_args(args)?;
+    let ft = if ft_flags.enabled(args) {
+        Some(&ft_flags)
+    } else {
+        None
+    };
     let mut rng = StdRng::seed_from_u64(common.seed);
 
     let (mut model, train, test) = match args.get("gcode") {
-        None => train_on_calibration(&common, &mut rng)?,
+        None => train_on_calibration(&common, ft, &mut rng)?,
         Some(path) => {
             let program = load_program(path)?;
             let sim = PrinterSim::printrbot_class();
@@ -164,10 +281,7 @@ pub fn audit(args: &ParsedArgs) -> Result<ExitCode, String> {
             )
             .map_err(|e| format!("{path}: {e} (are the moves single-axis and long enough?)"))?;
             let (train, test) = dataset.split_even_odd();
-            let mut model = SecurityModel::for_dataset(&train, &mut rng);
-            model
-                .train(&train, common.iters, &mut rng)
-                .map_err(|e| e.to_string())?;
+            let model = fit_model(&common, ft, &train, &mut rng)?;
             (model, train, test)
         }
     };
@@ -192,7 +306,7 @@ pub fn detect(args: &ParsedArgs) -> Result<ExitCode, String> {
     let benign = load_program(args.require("benign").map_err(|e| e.to_string())?)?;
     let suspect = load_program(args.require("suspect").map_err(|e| e.to_string())?)?;
     let mut rng = StdRng::seed_from_u64(common.seed);
-    let (mut model, train, _) = train_on_calibration(&common, &mut rng)?;
+    let (mut model, train, _) = train_on_calibration(&common, None, &mut rng)?;
     let features = train.per_condition_top_features(4);
     let detector = AttackDetector::fit(&mut model, &train, 0.2, 300, features, 0.05, &mut rng);
 
@@ -245,7 +359,7 @@ pub fn detect(args: &ParsedArgs) -> Result<ExitCode, String> {
 pub fn reconstruct(args: &ParsedArgs) -> Result<ExitCode, String> {
     let common = Common::from_args(args)?;
     let mut rng = StdRng::seed_from_u64(common.seed);
-    let (mut model, train, _) = train_on_calibration(&common, &mut rng)?;
+    let (mut model, train, _) = train_on_calibration(&common, None, &mut rng)?;
     let features = train.per_condition_top_features(3);
     let estimator = GCodeEstimator::fit(&mut model, 0.2, 300, features, &mut rng);
 

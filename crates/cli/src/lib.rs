@@ -62,5 +62,13 @@ COMMON FLAGS:
     --bins <n>         frequency bins (default 48)
     --moves <n>        calibration moves per axis for training (default 5)
     -h, --help         this text
+
+FAULT TOLERANCE (audit):
+    --checkpoint <file>      write a training checkpoint every interval
+    --checkpoint-every <n>   snapshot cadence in iterations (default 100)
+    --resume <file>          continue training from a checkpoint file
+    --max-retries <n>        divergence rollbacks before giving up (default 3)
+    --lr-backoff <f>         learning-rate damping per retry, in (0, 1]
+                             (default 0.5)
 "
 }

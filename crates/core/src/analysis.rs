@@ -8,6 +8,13 @@
 //! buckets. High `AvgCorLike` with low `AvgIncLike` means the emission
 //! leaks the condition — a confidentiality exposure and, dually, a usable
 //! integrity/availability detection channel.
+//!
+//! The analysis is robust to degraded inputs (see `gansec_amsim`'s fault
+//! injection): test frames carrying non-finite features are excluded from
+//! scoring, and a generated feature column the Parzen window cannot fit
+//! contributes zero likelihood instead of poisoning the report with NaN.
+//! Both degradations are tallied in [`AnalysisWarnings`] so a caller can
+//! distinguish a clean run from a survived one.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -92,6 +99,18 @@ impl LikelihoodAnalysis {
                 test.n_features()
             );
         }
+        let mut warnings = AnalysisWarnings::default();
+        // A test frame that carries a non-finite value on any analyzed
+        // feature (e.g. surviving sensor corruption) is excluded from
+        // every bucket — scoring it would turn the averages into NaN.
+        let frame_ok: Vec<bool> = (0..test.len())
+            .map(|l| {
+                self.feature_indices
+                    .iter()
+                    .all(|&ft| test.features()[(l, ft)].is_finite())
+            })
+            .collect();
+        warnings.non_finite_test_frames = frame_ok.iter().filter(|ok| !**ok).count();
         let mut conditions = Vec::new();
         for (ci, cond) in encoding.all_conditions().into_iter().enumerate() {
             let motor = encoding.decode(&cond);
@@ -104,14 +123,24 @@ impl LikelihoodAnalysis {
             for &ft in &self.feature_indices {
                 // Line 8: FtDistr = ParzenGaussianWindow(X_G^{FtIdx}, h).
                 let column = generated.col(ft);
-                let kde = ParzenWindow::fit(&column, self.h)
-                    .expect("generated column is nonempty and finite");
+                // A degenerate generated column (non-finite output from a
+                // damaged model) contributes zero likelihood and a
+                // warning rather than aborting the whole report.
+                let Ok(kde) = ParzenWindow::fit(&column, self.h) else {
+                    warnings.degenerate_features += 1;
+                    avg_cor.push(0.0);
+                    avg_inc.push(0.0);
+                    continue;
+                };
                 let mut cor = 0.0;
                 let mut cor_n = 0usize;
                 let mut inc = 0.0;
                 let mut inc_n = 0usize;
-                // Lines 7-14: score each test sample.
-                for l in 0..test.len() {
+                // Lines 7-14: score each (finite) test sample.
+                for (l, ok) in frame_ok.iter().enumerate() {
+                    if !ok {
+                        continue;
+                    }
                     let x = test.features()[(l, ft)];
                     let like = kde.windowed_likelihood(x);
                     let label = test.conds().row(l);
@@ -140,6 +169,7 @@ impl LikelihoodAnalysis {
             h: self.h,
             feature_indices: self.feature_indices.clone(),
             conditions,
+            warnings,
         }
     }
 
@@ -203,6 +233,24 @@ impl ConditionLikelihood {
     }
 }
 
+/// Degradations survived while producing a [`LikelihoodReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisWarnings {
+    /// Generated feature columns the Parzen window could not fit
+    /// (non-finite model output); each scored as zero likelihood.
+    pub degenerate_features: usize,
+    /// Test frames excluded from scoring because an analyzed feature was
+    /// non-finite (e.g. surviving sensor corruption).
+    pub non_finite_test_frames: usize,
+}
+
+impl AnalysisWarnings {
+    /// Whether the analysis ran without any degradation.
+    pub fn is_clean(&self) -> bool {
+        self.degenerate_features == 0 && self.non_finite_test_frames == 0
+    }
+}
+
 /// Full Algorithm 3 output: the matrices `AvgCorLike`, `AvgIncLike`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LikelihoodReport {
@@ -212,6 +260,10 @@ pub struct LikelihoodReport {
     pub feature_indices: Vec<usize>,
     /// Per-condition results, in encoding order.
     pub conditions: Vec<ConditionLikelihood>,
+    /// Degradations survived during the run (absent in pre-existing
+    /// reports, which deserialize as clean).
+    #[serde(default)]
+    pub warnings: AnalysisWarnings,
 }
 
 impl LikelihoodReport {
@@ -341,6 +393,55 @@ mod tests {
         let best = report.most_identifiable().unwrap();
         for c in &report.conditions {
             assert!(best.margin() >= c.margin());
+        }
+    }
+
+    #[test]
+    fn clean_run_reports_clean_warnings() {
+        let ds = dataset(11);
+        let (train, test) = ds.split_even_odd();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut model = SecurityModel::for_dataset(&train, &mut rng);
+        model.train(&train, 20, &mut rng).unwrap();
+        let report = LikelihoodAnalysis::new(0.2, 30, vec![0]).analyze(&mut model, &test, &mut rng);
+        assert!(report.warnings.is_clean());
+    }
+
+    #[test]
+    fn corrupted_test_frames_are_flagged_not_propagated() {
+        use gansec_amsim::{CorruptionKind, FaultModel};
+
+        // Train on clean capture; audit a trace whose sensor corrupted
+        // samples to NaN (unscreened dataset construction keeps the bad
+        // frames). The report must stay finite and own up to the damage.
+        let clean = dataset(13);
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut trace = sim.run(&calibration_pattern(3), &mut rng);
+        let faults = FaultModel {
+            corruption_prob: 5e-3,
+            corruption: CorruptionKind::NonFinite,
+            ..FaultModel::none()
+        };
+        let report = faults.apply_to_trace(&mut trace, &mut rng);
+        assert!(report.corrupted_samples > 0);
+        let corrupted = SideChannelDataset::from_trace(
+            &trace,
+            FrequencyBins::log_spaced(16, 50.0, 5000.0),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+        )
+        .unwrap();
+
+        let mut model = SecurityModel::for_dataset(&clean, &mut rng);
+        model.train(&clean, 20, &mut rng).unwrap();
+        let analysis = LikelihoodAnalysis::new(0.2, 30, vec![0, 5]);
+        let report = analysis.analyze(&mut model, &corrupted, &mut rng);
+        assert!(report.warnings.non_finite_test_frames > 0);
+        for c in &report.conditions {
+            assert!(c.avg_cor.iter().all(|v| v.is_finite()));
+            assert!(c.avg_inc.iter().all(|v| v.is_finite()));
         }
     }
 

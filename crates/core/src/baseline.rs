@@ -61,6 +61,7 @@ impl KdeBaseline {
             assert!(ft < train.n_features(), "feature index {ft} out of range");
         }
         let encoding = train.encoding();
+        let mut warnings = crate::AnalysisWarnings::default();
         let mut conditions = Vec::new();
         for (ci, cond) in encoding.all_conditions().into_iter().enumerate() {
             let motor = encoding.decode(&cond);
@@ -80,6 +81,9 @@ impl KdeBaseline {
             for &ft in &self.feature_indices {
                 let samples: Vec<f64> = rows.iter().map(|&i| train.features()[(i, ft)]).collect();
                 let kde = ParzenWindow::fit(&samples, self.h).ok();
+                if kde.is_none() {
+                    warnings.degenerate_features += 1;
+                }
                 let mut cor = 0.0;
                 let mut cor_n = 0usize;
                 let mut inc = 0.0;
@@ -118,6 +122,7 @@ impl KdeBaseline {
             h: self.h,
             feature_indices: self.feature_indices.clone(),
             conditions,
+            warnings,
         }
     }
 }

@@ -57,6 +57,33 @@ impl fmt::Display for DatasetError {
 
 impl Error for DatasetError {}
 
+/// What frame screening dropped: the typed warning report of
+/// [`SideChannelDataset::from_trace_screened`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameScreenReport {
+    /// Frames that survived screening and entered the dataset.
+    pub kept_frames: usize,
+    /// Frames rejected for carrying non-finite feature values.
+    pub dropped_frames: usize,
+}
+
+impl FrameScreenReport {
+    /// Fraction of candidate frames dropped, in `[0, 1]`.
+    pub fn dropped_fraction(&self) -> f64 {
+        let total = self.kept_frames + self.dropped_frames;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped_frames as f64 / total as f64
+        }
+    }
+
+    /// Whether every candidate frame survived.
+    pub fn is_clean(&self) -> bool {
+        self.dropped_frames == 0
+    }
+}
+
 /// Labeled emission features: one row per analysis frame, one column per
 /// frequency bin, plus the condition encoding of the motors that ran.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -131,50 +158,63 @@ impl SideChannelDataset {
         analysis: AnalysisKind,
         channel: EmissionChannel,
     ) -> Result<Self, DatasetError> {
-        // Raw (unscaled) features first; one global min-max at the end.
-        let extractor = FeatureExtractor::with_analysis(
-            bins.clone(),
-            frame_len,
-            hop,
-            ScalingKind::None,
-            analysis,
-        );
-        let mut rows: Vec<Vec<f64>> = Vec::new();
-        let mut cond_rows: Vec<Vec<f64>> = Vec::new();
-        let mut labels = Vec::new();
-        for (i, rec) in trace.segments.iter().enumerate() {
-            let Some(cond) = encoding.encode(rec.motors) else {
-                continue;
-            };
-            let segment_rows: Vec<Vec<f64>> = match channel {
-                EmissionChannel::Acoustic => extractor
-                    .extract(trace.segment_audio(i), trace.sample_rate)
-                    .into_rows(),
-                EmissionChannel::Vibration => extractor
-                    .extract(trace.segment_vibration(i), trace.sample_rate)
-                    .into_rows(),
-                EmissionChannel::Fused => {
-                    let a = extractor
-                        .extract(trace.segment_audio(i), trace.sample_rate)
-                        .into_rows();
-                    let v = extractor
-                        .extract(trace.segment_vibration(i), trace.sample_rate)
-                        .into_rows();
-                    a.into_iter()
-                        .zip(v)
-                        .map(|(mut ra, rv)| {
-                            ra.extend(rv);
-                            ra
-                        })
-                        .collect()
-                }
-            };
-            for row in segment_rows {
-                rows.push(row);
-                cond_rows.push(cond.clone());
-                labels.push(rec.motors);
+        let (rows, cond_rows, labels) =
+            raw_rows(trace, &bins, frame_len, hop, encoding, analysis, channel);
+        Self::assemble(rows, cond_rows, labels, encoding, bins)
+    }
+
+    /// Like [`Self::from_trace_channel`], but screens out frames whose
+    /// raw features are non-finite *before* the global min-max scaling —
+    /// the constructor to use for capture that went through a physical
+    /// [`gansec_amsim::FaultModel`] (or any untrusted sensor). Dropped
+    /// frames are tallied in the returned [`FrameScreenReport`] rather
+    /// than silently discarded, so callers can distinguish a clean build
+    /// from one that survived corrupted capture.
+    ///
+    /// On a fully finite trace the resulting dataset is identical to the
+    /// unscreened constructor's and the report is clean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::NoUsableSegments`] if no finite frame
+    /// survives.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_trace_screened(
+        trace: &SimulationTrace,
+        bins: FrequencyBins,
+        frame_len: usize,
+        hop: usize,
+        encoding: ConditionEncoding,
+        analysis: AnalysisKind,
+        channel: EmissionChannel,
+    ) -> Result<(Self, FrameScreenReport), DatasetError> {
+        let (rows, cond_rows, labels) =
+            raw_rows(trace, &bins, frame_len, hop, encoding, analysis, channel);
+        let mut report = FrameScreenReport::default();
+        let mut kept_rows = Vec::with_capacity(rows.len());
+        let mut kept_conds = Vec::with_capacity(cond_rows.len());
+        let mut kept_labels = Vec::with_capacity(labels.len());
+        for ((row, cond), label) in rows.into_iter().zip(cond_rows).zip(labels) {
+            if row.iter().all(|v| v.is_finite()) {
+                report.kept_frames += 1;
+                kept_rows.push(row);
+                kept_conds.push(cond);
+                kept_labels.push(label);
+            } else {
+                report.dropped_frames += 1;
             }
         }
+        let ds = Self::assemble(kept_rows, kept_conds, kept_labels, encoding, bins)?;
+        Ok((ds, report))
+    }
+
+    fn assemble(
+        rows: Vec<Vec<f64>>,
+        cond_rows: Vec<Vec<f64>>,
+        labels: Vec<MotorSet>,
+        encoding: ConditionEncoding,
+        bins: FrequencyBins,
+    ) -> Result<Self, DatasetError> {
         if rows.is_empty() {
             return Err(DatasetError::NoUsableSegments);
         }
@@ -331,6 +371,60 @@ impl SideChannelDataset {
             scale: self.scale,
         }
     }
+}
+
+/// Raw (unscaled) labeled feature rows for every encodable segment; one
+/// global min-max is applied later so relative magnitudes across
+/// conditions survive.
+#[allow(clippy::too_many_arguments)]
+fn raw_rows(
+    trace: &SimulationTrace,
+    bins: &FrequencyBins,
+    frame_len: usize,
+    hop: usize,
+    encoding: ConditionEncoding,
+    analysis: AnalysisKind,
+    channel: EmissionChannel,
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<MotorSet>) {
+    let extractor =
+        FeatureExtractor::with_analysis(bins.clone(), frame_len, hop, ScalingKind::None, analysis);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut cond_rows: Vec<Vec<f64>> = Vec::new();
+    let mut labels = Vec::new();
+    for (i, rec) in trace.segments.iter().enumerate() {
+        let Some(cond) = encoding.encode(rec.motors) else {
+            continue;
+        };
+        let segment_rows: Vec<Vec<f64>> = match channel {
+            EmissionChannel::Acoustic => extractor
+                .extract(trace.segment_audio(i), trace.sample_rate)
+                .into_rows(),
+            EmissionChannel::Vibration => extractor
+                .extract(trace.segment_vibration(i), trace.sample_rate)
+                .into_rows(),
+            EmissionChannel::Fused => {
+                let a = extractor
+                    .extract(trace.segment_audio(i), trace.sample_rate)
+                    .into_rows();
+                let v = extractor
+                    .extract(trace.segment_vibration(i), trace.sample_rate)
+                    .into_rows();
+                a.into_iter()
+                    .zip(v)
+                    .map(|(mut ra, rv)| {
+                        ra.extend(rv);
+                        ra
+                    })
+                    .collect()
+            }
+        };
+        for row in segment_rows {
+            rows.push(row);
+            cond_rows.push(cond.clone());
+            labels.push(rec.motors);
+        }
+    }
+    (rows, cond_rows, labels)
 }
 
 #[cfg(test)]
@@ -558,6 +652,68 @@ mod tests {
         // transfer path), but labels agree.
         assert_ne!(acoustic.features(), vibration.features());
         assert_eq!(acoustic.labels(), vibration.labels());
+    }
+
+    #[test]
+    fn screened_clean_trace_matches_unscreened() {
+        let t = trace(12);
+        let unscreened =
+            SideChannelDataset::from_trace(&t, small_bins(), 1024, 512, ConditionEncoding::Simple3)
+                .unwrap();
+        let (screened, report) = SideChannelDataset::from_trace_screened(
+            &t,
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+            gansec_dsp::AnalysisKind::Cwt,
+            EmissionChannel::Acoustic,
+        )
+        .unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.kept_frames, unscreened.len());
+        assert_eq!(report.dropped_fraction(), 0.0);
+        assert_eq!(screened, unscreened);
+    }
+
+    #[test]
+    fn screened_corrupted_trace_drops_bad_frames() {
+        use gansec_amsim::{CorruptionKind, FaultModel};
+
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut t = sim.run(&calibration_pattern(2), &mut rng);
+        // The whole-segment CWT smears one NaN across every frame of its
+        // segment, so corrupt only the first few segments' capture span:
+        // their frames must drop while later segments survive.
+        assert!(t.segments.len() > 3);
+        let span = t.segments[0].audio_start..t.segments[2].audio_end;
+        let faults = FaultModel {
+            corruption_prob: 0.01,
+            corruption: CorruptionKind::NonFinite,
+            ..FaultModel::none()
+        };
+        let sample_rate = t.sample_rate;
+        let fault_report = faults.apply(&mut t.audio[span], sample_rate, &mut rng);
+        assert!(fault_report.corrupted_samples > 0);
+        let (ds, report) = SideChannelDataset::from_trace_screened(
+            &t,
+            small_bins(),
+            1024,
+            512,
+            ConditionEncoding::Simple3,
+            gansec_dsp::AnalysisKind::Cwt,
+            EmissionChannel::Acoustic,
+        )
+        .unwrap();
+        assert!(report.dropped_frames > 0, "{report:?}");
+        assert!(report.dropped_fraction() > 0.0 && report.dropped_fraction() < 1.0);
+        assert_eq!(report.kept_frames, ds.len());
+        // Everything that survived screening is finite and scaled.
+        for v in ds.features().as_slice() {
+            assert!(v.is_finite());
+            assert!((0.0..=1.0).contains(v), "feature {v}");
+        }
     }
 
     #[test]

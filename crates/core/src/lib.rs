@@ -23,7 +23,9 @@
 //! * [`ConfidentialityReport`] / [`AttackDetector`] — the security
 //!   verdicts of §IV-D;
 //! * [`GanSecPipeline`] — the end-to-end design-time flow of Figure 4:
-//!   architecture → `G_CPPS` → flow pairs → CGAN models → analysis.
+//!   architecture → `G_CPPS` → flow pairs → CGAN models → analysis, with
+//!   a fault-tolerant variant (checkpoint/resume plus divergence
+//!   recovery) behind [`FaultTolerance`].
 //!
 //! # Quickstart
 //!
@@ -53,12 +55,20 @@ mod persist;
 mod pipeline;
 mod report;
 
-pub use analysis::{ConditionLikelihood, LikelihoodAnalysis, LikelihoodReport};
+pub use analysis::{AnalysisWarnings, ConditionLikelihood, LikelihoodAnalysis, LikelihoodReport};
 pub use baseline::KdeBaseline;
-pub use dataset::{DatasetError, EmissionChannel, SideChannelDataset};
+pub use dataset::{DatasetError, EmissionChannel, FrameScreenReport, SideChannelDataset};
 pub use detector::{AttackDetector, DetectionOutcome};
 pub use estimator::GCodeEstimator;
 pub use model::{ModelError, SecurityModel};
 pub use persist::{load_report, save_report, PersistError};
-pub use pipeline::{GanSecPipeline, PipelineConfig, PipelineError, PipelineOutcome};
+pub use pipeline::{
+    FaultTolerance, GanSecPipeline, PipelineConfig, PipelineError, PipelineOutcome,
+};
 pub use report::{ConditionVerdict, ConfidentialityReport, TableOneRow};
+
+// Fault-tolerant training surface re-exported for downstream consumers
+// (the CLI depends only on this crate).
+pub use gansec_gan::{
+    CheckpointError, CheckpointedTrainer, RecoveryEvent, RecoveryPolicy, TrainingCheckpoint,
+};

@@ -4,11 +4,12 @@
 use std::error::Error;
 use std::fmt;
 
+use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use gansec_amsim::ConditionEncoding;
-use gansec_gan::{Cgan, CganConfig, TrainError, TrainingHistory};
+use gansec_gan::{Cgan, CganConfig, CheckpointedTrainer, TrainError, TrainingHistory};
 use gansec_tensor::Matrix;
 
 use crate::SideChannelDataset;
@@ -88,6 +89,26 @@ impl SecurityModel {
         Self::new(config, dataset.encoding(), rng)
     }
 
+    /// Reassembles a model from an already-built CGAN and its history —
+    /// the path a resumed [`gansec_gan::TrainingCheckpoint`] takes back
+    /// into the analysis pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CGAN's `cond_dim` does not equal `encoding.dim()`.
+    pub fn from_parts(cgan: Cgan, encoding: ConditionEncoding, history: TrainingHistory) -> Self {
+        assert_eq!(
+            cgan.config().cond_dim,
+            encoding.dim(),
+            "config cond_dim must match encoding width"
+        );
+        Self {
+            cgan,
+            encoding,
+            history,
+        }
+    }
+
     /// The condition encoding in force.
     pub fn encoding(&self) -> ConditionEncoding {
         self.encoding
@@ -124,6 +145,27 @@ impl SecurityModel {
         let paired = dataset.to_paired_data();
         let h = self.cgan.train(&paired, iterations, rng)?;
         self.history.extend(h.records().iter().copied());
+        Ok(())
+    }
+
+    /// Runs `iterations` of Algorithm 2 under a [`CheckpointedTrainer`]:
+    /// periodic snapshots plus rollback-and-backoff divergence recovery,
+    /// with recovery events merged into this model's history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Train`] on dimension mismatch, unrecoverable
+    /// divergence, or checkpoint I/O failure.
+    pub fn train_fault_tolerant(
+        &mut self,
+        dataset: &SideChannelDataset,
+        iterations: usize,
+        trainer: &CheckpointedTrainer,
+        rng: &mut StdRng,
+    ) -> Result<(), ModelError> {
+        let paired = dataset.to_paired_data();
+        let h = trainer.train(&mut self.cgan, &paired, iterations, rng)?;
+        self.history.merge(&h);
         Ok(())
     }
 
@@ -190,6 +232,28 @@ mod tests {
         assert_eq!(model.history().len(), 10);
         model.train(&ds, 5, &mut rng).unwrap();
         assert_eq!(model.history().len(), 15);
+    }
+
+    #[test]
+    fn fault_tolerant_training_accumulates_history() {
+        let ds = dataset(10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
+        let trainer = CheckpointedTrainer::new(5);
+        model
+            .train_fault_tolerant(&ds, 12, &trainer, &mut rng)
+            .unwrap();
+        assert_eq!(model.history().len(), 12);
+        assert!(model.history().recoveries().is_empty());
+
+        // A model rebuilt from its parts carries everything over.
+        let rebuilt = SecurityModel::from_parts(
+            model.cgan().clone(),
+            model.encoding(),
+            model.history().clone(),
+        );
+        assert_eq!(rebuilt.history().len(), 12);
+        assert_eq!(rebuilt.encoding(), model.encoding());
     }
 
     #[test]

@@ -6,12 +6,18 @@
 //! Forward-pass caches and RNG state are intentionally excluded from the
 //! wire format (marked `#[serde(skip)]` in the network layers), so a
 //! re-loaded model generates identically given identical noise.
+//!
+//! All writes go through [`gansec_gan::write_atomic`]: the JSON is staged
+//! in a temporary file in the destination directory and renamed into
+//! place, so a crash or serialization failure mid-save never leaves a
+//! truncated or corrupted artifact where a good one used to be.
 
 use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::path::Path;
 
+use gansec_gan::write_atomic;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
@@ -77,13 +83,15 @@ impl SecurityModel {
         Ok(serde_json::from_str(json)?)
     }
 
-    /// Writes the model to `path` as JSON.
+    /// Writes the model to `path` as JSON, atomically: an existing file
+    /// at `path` is either fully replaced or left untouched.
     ///
     /// # Errors
     ///
-    /// Returns [`PersistError`] on filesystem or serialization failure.
+    /// Returns [`PersistError`] on filesystem or serialization failure;
+    /// a prior file at `path` survives either failure intact.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        fs::write(path, self.to_json()?)?;
+        write_atomic(path.as_ref(), self.to_json()?.as_bytes())?;
         Ok(())
     }
 
@@ -97,13 +105,18 @@ impl SecurityModel {
     }
 }
 
-/// Writes any serializable report to `path` as pretty JSON.
+/// Writes any serializable report to `path` as pretty JSON, atomically:
+/// an existing file at `path` is either fully replaced or left untouched.
 ///
 /// # Errors
 ///
-/// Returns [`PersistError`] on filesystem or serialization failure.
+/// Returns [`PersistError`] on filesystem or serialization failure; a
+/// prior file at `path` survives either failure intact.
 pub fn save_report<T: Serialize>(report: &T, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    fs::write(path, serde_json::to_string_pretty(report)?)?;
+    write_atomic(
+        path.as_ref(),
+        serde_json::to_string_pretty(report)?.as_bytes(),
+    )?;
     Ok(())
 }
 
@@ -205,6 +218,50 @@ mod tests {
         save_report(&report, &path).unwrap();
         let loaded: Vec<f64> = load_report(&path).unwrap();
         assert_eq!(loaded, report);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_save_never_clobbers_existing_file() {
+        use std::collections::HashMap;
+
+        let dir = std::env::temp_dir().join("gansec_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("precious_report.json");
+        std::fs::write(&path, "precious bytes").unwrap();
+
+        // Tuple map keys are not representable as JSON object keys, so
+        // serialization fails after the save has been requested.
+        let mut poison: HashMap<(u8, u8), u8> = HashMap::new();
+        poison.insert((1, 2), 3);
+        let err = save_report(&poison, &path).unwrap_err();
+        assert!(matches!(err, PersistError::Json(_)));
+
+        // The failed save must leave the previous artifact intact and
+        // must not litter staging files next to it.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "precious bytes");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging litter: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_overwrites_atomically() {
+        let (model, _) = trained_model();
+        let dir = std::env::temp_dir().join("gansec_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model_overwrite.json");
+        std::fs::write(&path, "stale").unwrap();
+        model.save(&path).unwrap();
+        let restored = SecurityModel::load(&path).unwrap();
+        assert_eq!(
+            model.cgan().config().data_dim,
+            restored.cgan().config().data_dim
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -3,6 +3,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,7 +12,10 @@ use serde::{Deserialize, Serialize};
 use gansec_amsim::{calibration_pattern, printer_architecture, ConditionEncoding, PrinterSim};
 use gansec_cpps::FlowPairList;
 use gansec_dsp::FrequencyBins;
-use gansec_gan::{CganConfig, TrainingHistory};
+use gansec_gan::{
+    CganConfig, CheckpointError, CheckpointedTrainer, RecoveryPolicy, TrainingCheckpoint,
+    TrainingHistory,
+};
 
 use crate::{
     ConfidentialityReport, DatasetError, LikelihoodAnalysis, LikelihoodReport, ModelError,
@@ -25,6 +29,8 @@ pub enum PipelineError {
     Dataset(DatasetError),
     /// CGAN training failed.
     Model(ModelError),
+    /// A training checkpoint could not be loaded or written.
+    Checkpoint(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -32,6 +38,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Dataset(e) => write!(f, "dataset stage failed: {e}"),
             PipelineError::Model(e) => write!(f, "model stage failed: {e}"),
+            PipelineError::Checkpoint(msg) => write!(f, "checkpoint stage failed: {msg}"),
         }
     }
 }
@@ -41,6 +48,7 @@ impl Error for PipelineError {
         match self {
             PipelineError::Dataset(e) => Some(e),
             PipelineError::Model(e) => Some(e),
+            PipelineError::Checkpoint(_) => None,
         }
     }
 }
@@ -54,6 +62,12 @@ impl From<DatasetError> for PipelineError {
 impl From<ModelError> for PipelineError {
     fn from(e: ModelError) -> Self {
         PipelineError::Model(e)
+    }
+}
+
+impl From<CheckpointError> for PipelineError {
+    fn from(e: CheckpointError) -> Self {
+        PipelineError::Checkpoint(e.to_string())
     }
 }
 
@@ -150,6 +164,59 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Fault-tolerance knobs for [`GanSecPipeline::run_fault_tolerant`]:
+/// the CLI's `--checkpoint-every` / `--checkpoint` / `--resume` flags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultTolerance {
+    /// Snapshot cadence in training iterations.
+    pub checkpoint_every: usize,
+    /// Where to write checkpoints (`None` keeps recovery in-memory only).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint file to resume training from instead of starting fresh.
+    pub resume_from: Option<PathBuf>,
+    /// Divergence recovery policy.
+    pub policy: RecoveryPolicy,
+}
+
+impl FaultTolerance {
+    /// Snapshots every `checkpoint_every` iterations with the default
+    /// recovery policy, no persistence, no resume.
+    pub fn every(checkpoint_every: usize) -> Self {
+        Self {
+            checkpoint_every,
+            checkpoint_path: None,
+            resume_from: None,
+            policy: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Sets the checkpoint file.
+    pub fn with_checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Resumes from a previously written checkpoint.
+    pub fn with_resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Sets the recovery policy.
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn trainer(&self) -> CheckpointedTrainer {
+        let trainer = CheckpointedTrainer::new(self.checkpoint_every).with_policy(self.policy);
+        match &self.checkpoint_path {
+            Some(path) => trainer.with_path(path),
+            None => trainer,
+        }
+    }
+}
+
 /// Everything the pipeline produces.
 #[derive(Debug, Clone)]
 pub struct PipelineOutcome {
@@ -209,6 +276,70 @@ impl GanSecPipeline {
     pub fn run(&self, seed: u64) -> Result<PipelineOutcome, PipelineError> {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(seed);
+        let prepared = self.prepare(&mut rng)?;
+
+        // Step 4: Algorithm 2.
+        let mut model = SecurityModel::new(cfg.cgan_config(), cfg.encoding, &mut rng);
+        model.train(&prepared.train, cfg.train_iterations, &mut rng)?;
+
+        self.finish(prepared, model, &mut rng)
+    }
+
+    /// Like [`GanSecPipeline::run`], but trains under a
+    /// [`CheckpointedTrainer`]: periodic snapshots to
+    /// `ft.checkpoint_path`, rollback-and-backoff divergence recovery per
+    /// `ft.policy`, and — when `ft.resume_from` is set — continuation
+    /// from a previously written [`TrainingCheckpoint`] instead of a
+    /// fresh model. Steps 1-3 are deterministic in `seed`, so a resumed
+    /// run rebuilds the identical dataset and, thanks to the trainer's
+    /// seed chaining, produces the same [`PipelineOutcome::likelihood`]
+    /// as an uninterrupted run of the same total length.
+    ///
+    /// # Errors
+    ///
+    /// As [`GanSecPipeline::run`], plus [`PipelineError::Checkpoint`]
+    /// when the resume file cannot be loaded or a snapshot cannot be
+    /// written.
+    pub fn run_fault_tolerant(
+        &self,
+        seed: u64,
+        ft: &FaultTolerance,
+    ) -> Result<PipelineOutcome, PipelineError> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prepared = self.prepare(&mut rng)?;
+
+        // Step 4: Algorithm 2 under the fault-tolerant trainer.
+        let trainer = ft.trainer();
+        let model = match &ft.resume_from {
+            Some(path) => {
+                let checkpoint = TrainingCheckpoint::load(path)?;
+                let paired = prepared.train.to_paired_data();
+                let (cgan, history) = trainer
+                    .resume(checkpoint, &paired, cfg.train_iterations, &mut rng)
+                    .map_err(ModelError::from)?;
+                SecurityModel::from_parts(cgan, cfg.encoding, history)
+            }
+            None => {
+                let mut model = SecurityModel::new(cfg.cgan_config(), cfg.encoding, &mut rng);
+                model.train_fault_tolerant(
+                    &prepared.train,
+                    cfg.train_iterations,
+                    &trainer,
+                    &mut rng,
+                )?;
+                model
+            }
+        };
+
+        self.finish(prepared, model, &mut rng)
+    }
+
+    /// Steps 1-3: architecture and flow pairs, workload simulation,
+    /// dataset construction and split. Deterministic in the state of
+    /// `rng`.
+    fn prepare(&self, rng: &mut StdRng) -> Result<Prepared, PipelineError> {
+        let cfg = &self.config;
 
         // Step 1: Algorithm 1.
         let pa = printer_architecture();
@@ -224,7 +355,7 @@ impl GanSecPipeline {
 
         // Step 2: simulate the workload.
         let sim = PrinterSim::printrbot_class();
-        let trace = sim.run(&calibration_pattern(cfg.moves_per_axis), &mut rng);
+        let trace = sim.run(&calibration_pattern(cfg.moves_per_axis), rng);
 
         // Step 3: dataset.
         let dataset = SideChannelDataset::from_trace(
@@ -236,32 +367,53 @@ impl GanSecPipeline {
         )?;
         let (train, test) = dataset.split_even_odd();
 
-        // Step 4: Algorithm 2.
-        let mut model = SecurityModel::new(cfg.cgan_config(), cfg.encoding, &mut rng);
-        model.train(&train, cfg.train_iterations, &mut rng)?;
-        let history = model.history().clone();
+        Ok(Prepared {
+            graph_dot,
+            candidate_pairs,
+            modeled_pairs,
+            train,
+            test,
+        })
+    }
 
-        // Step 5: Algorithm 3.
-        let top = train.top_feature_indices(cfg.n_top_features);
+    /// Step 5: Algorithm 3 plus the derived verdicts.
+    fn finish(
+        &self,
+        prepared: Prepared,
+        mut model: SecurityModel,
+        rng: &mut StdRng,
+    ) -> Result<PipelineOutcome, PipelineError> {
+        let cfg = &self.config;
+        let history = model.history().clone();
+        let top = prepared.train.top_feature_indices(cfg.n_top_features);
         let analysis = LikelihoodAnalysis::new(cfg.h, cfg.gsize, top);
-        let likelihood = analysis.analyze(&mut model, &test, &mut rng);
+        let likelihood = analysis.analyze(&mut model, &prepared.test, rng);
         let confidentiality =
             ConfidentialityReport::from_likelihoods(&likelihood, cfg.margin_threshold);
 
         Ok(PipelineOutcome {
-            graph_dot,
-            candidate_pairs,
-            modeled_pairs,
-            train_len: train.len(),
-            test_len: test.len(),
+            graph_dot: prepared.graph_dot,
+            candidate_pairs: prepared.candidate_pairs,
+            modeled_pairs: prepared.modeled_pairs,
+            train_len: prepared.train.len(),
+            test_len: prepared.test.len(),
             history,
             model,
-            train,
-            test,
+            train: prepared.train,
+            test: prepared.test,
             likelihood,
             confidentiality,
         })
     }
+}
+
+/// Output of pipeline steps 1-3.
+struct Prepared {
+    graph_dot: String,
+    candidate_pairs: FlowPairList,
+    modeled_pairs: FlowPairList,
+    train: SideChannelDataset,
+    test: SideChannelDataset,
 }
 
 #[cfg(test)]
@@ -296,6 +448,26 @@ mod tests {
             a.likelihood.conditions[0].avg_cor,
             b.likelihood.conditions[0].avg_cor
         );
+    }
+
+    #[test]
+    fn fault_tolerant_run_completes_healthy() {
+        let outcome = GanSecPipeline::new(PipelineConfig::smoke_test())
+            .run_fault_tolerant(42, &FaultTolerance::every(20))
+            .unwrap();
+        assert_eq!(outcome.history.len(), 60);
+        assert!(outcome.history.recoveries().is_empty());
+        assert_eq!(outcome.likelihood.conditions.len(), 3);
+        assert!(outcome.likelihood.warnings.is_clean());
+    }
+
+    #[test]
+    fn resume_from_missing_file_is_checkpoint_error() {
+        let ft = FaultTolerance::every(20).with_resume_from("/nonexistent/gansec/ckpt.json");
+        let err = GanSecPipeline::new(PipelineConfig::smoke_test())
+            .run_fault_tolerant(42, &ft)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Checkpoint(_)), "{err}");
     }
 
     #[test]

@@ -177,6 +177,7 @@ mod tests {
                     avg_inc: vec![0.38],
                 },
             ],
+            warnings: crate::AnalysisWarnings::default(),
         }
     }
 

@@ -410,7 +410,10 @@ mod tests {
         let (arch, comps, flows) = cyclic_arch();
         let g = arch.build_graph();
         // a -> b -> c uses flows ab then bc.
-        assert_eq!(g.flow_path(comps[0], comps[2]), Some(vec![flows[0], flows[1]]));
+        assert_eq!(
+            g.flow_path(comps[0], comps[2]),
+            Some(vec![flows[0], flows[1]])
+        );
         // Self path is empty.
         assert_eq!(g.flow_path(comps[1], comps[1]), Some(vec![]));
         // Feedback edge removed: c cannot reach a.

@@ -6,7 +6,7 @@ use std::fmt;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use gansec_nn::{bce_with_logits, Activation, Adam, Layer, Optimizer, Sequential, Sgd};
+use gansec_nn::{bce_with_logits, Activation, Adam, Layer, OptimError, Optimizer, Sequential, Sgd};
 use gansec_tensor::{sample_standard_normal, Matrix, WeightInit};
 
 use crate::{CganConfig, GeneratorLoss, IterationRecord, OptimKind, PairedData, TrainingHistory};
@@ -35,6 +35,11 @@ pub enum TrainError {
         /// Iteration at which divergence was detected.
         iteration: usize,
     },
+    /// An optimizer update failed (parameter/gradient wiring bug).
+    Optim(OptimError),
+    /// Checkpointing I/O or serialization failed during fault-tolerant
+    /// training.
+    Checkpoint(String),
 }
 
 impl fmt::Display for TrainError {
@@ -48,11 +53,26 @@ impl fmt::Display for TrainError {
             TrainError::Diverged { iteration } => {
                 write!(f, "training diverged at iteration {iteration}")
             }
+            TrainError::Optim(e) => write!(f, "optimizer update failed: {e}"),
+            TrainError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
     }
 }
 
-impl Error for TrainError {}
+impl Error for TrainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrainError::Optim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OptimError> for TrainError {
+    fn from(e: OptimError) -> Self {
+        TrainError::Optim(e)
+    }
+}
 
 /// Per-network optimizer state, enum-dispatched for serializability.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -71,7 +91,7 @@ impl OptState {
 }
 
 impl Optimizer for OptState {
-    fn update(&mut self, id: usize, param: &mut Matrix, grad: &Matrix) {
+    fn update(&mut self, id: usize, param: &mut Matrix, grad: &Matrix) -> Result<(), OptimError> {
         match self {
             OptState::Sgd(o) => o.update(id, param, grad),
             OptState::Adam(o) => o.update(id, param, grad),
@@ -89,6 +109,20 @@ impl Optimizer for OptState {
         match self {
             OptState::Sgd(o) => o.set_learning_rate(lr),
             OptState::Adam(o) => o.set_learning_rate(lr),
+        }
+    }
+
+    fn grad_clip(&self) -> Option<f64> {
+        match self {
+            OptState::Sgd(o) => o.grad_clip(),
+            OptState::Adam(o) => o.grad_clip(),
+        }
+    }
+
+    fn set_grad_clip(&mut self, clip: Option<f64>) {
+        match self {
+            OptState::Sgd(o) => o.set_grad_clip(clip),
+            OptState::Adam(o) => o.set_grad_clip(clip),
         }
     }
 }
@@ -163,6 +197,51 @@ impl Cgan {
         self.iterations_trained
     }
 
+    /// Current `(generator, discriminator)` learning rates.
+    pub fn learning_rates(&self) -> (f64, f64) {
+        (self.gen_opt.learning_rate(), self.disc_opt.learning_rate())
+    }
+
+    /// Multiplies both learning rates by `factor` (recovery backoff,
+    /// decay schedules). The configuration is kept in sync so serialized
+    /// models reload with the damped rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn scale_learning_rates(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "lr scale factor must be positive: {factor}"
+        );
+        let gen_lr = self.gen_opt.learning_rate() * factor;
+        let disc_lr = self.disc_opt.learning_rate() * factor;
+        self.gen_opt.set_learning_rate(gen_lr);
+        self.disc_opt.set_learning_rate(disc_lr);
+        self.config.gen_lr = gen_lr;
+        self.config.disc_lr = disc_lr;
+    }
+
+    /// Current gradient-norm clip applied by [`Cgan::train_step`].
+    pub fn grad_clip(&self) -> Option<f64> {
+        self.config.grad_clip
+    }
+
+    /// Sets or clears gradient clipping on both networks: the global
+    /// pre-step norm clip and the optimizers' per-parameter clip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clip` is non-positive.
+    pub fn set_grad_clip(&mut self, clip: Option<f64>) {
+        if let Some(c) = clip {
+            assert!(c > 0.0, "grad_clip must be positive when set: {c}");
+        }
+        self.config.grad_clip = clip;
+        self.gen_opt.set_grad_clip(clip);
+        self.disc_opt.set_grad_clip(clip);
+    }
+
     /// Samples a `rows x noise_dim` standard-normal noise matrix `Z`.
     pub fn sample_noise(&self, rows: usize, rng: &mut impl Rng) -> Matrix {
         Matrix::from_fn(rows, self.config.noise_dim, |_, _| {
@@ -232,11 +311,20 @@ impl Cgan {
     /// minibatches (lines 4-8), then one generator step re-using the last
     /// minibatch's conditions with fresh noise (lines 9-10).
     ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Optim`] if an optimizer update rejects a
+    /// parameter/gradient pair (a layer-wiring bug).
+    ///
     /// # Panics
     ///
     /// Panics if the dataset widths do not match the configuration; use
-    /// [`Cgan::train`] for a fallible wrapper.
-    pub fn train_step(&mut self, dataset: &PairedData, rng: &mut impl Rng) -> StepLosses {
+    /// [`Cgan::train`] for a fully fallible wrapper.
+    pub fn train_step(
+        &mut self,
+        dataset: &PairedData,
+        rng: &mut impl Rng,
+    ) -> Result<StepLosses, TrainError> {
         assert_eq!(
             dataset.data_dim(),
             self.config.data_dim,
@@ -280,7 +368,7 @@ impl Cgan {
             if let Some(clip) = self.config.grad_clip {
                 self.discriminator.clip_grad_norm(clip);
             }
-            self.discriminator.step(&mut self.disc_opt);
+            self.discriminator.step(&mut self.disc_opt)?;
             d_loss_acc += l_real + l_fake;
             last_conds = c;
         }
@@ -315,14 +403,14 @@ impl Cgan {
         if let Some(clip) = self.config.grad_clip {
             self.generator.clip_grad_norm(clip);
         }
-        self.generator.step(&mut self.gen_opt);
+        self.generator.step(&mut self.gen_opt)?;
         self.discriminator.zero_grad(); // discard grads from the G pass
 
         self.iterations_trained += 1;
-        StepLosses {
+        Ok(StepLosses {
             d_loss: d_loss_acc / self.config.disc_steps as f64,
             g_loss: g_report,
-        }
+        })
     }
 
     /// Runs `iterations` Algorithm 2 steps, recording losses.
@@ -347,7 +435,7 @@ impl Cgan {
         }
         let mut history = TrainingHistory::new();
         for i in 0..iterations {
-            let losses = self.train_step(dataset, rng);
+            let losses = self.train_step(dataset, rng)?;
             history.push(IterationRecord {
                 iteration: self.iterations_trained - 1,
                 d_loss: losses.d_loss,
@@ -585,8 +673,26 @@ mod tests {
         assert_eq!(cgan.iterations_trained(), 0);
         let _ = cgan.train(&dataset, 5, &mut rng).unwrap();
         assert_eq!(cgan.iterations_trained(), 5);
-        let _ = cgan.train_step(&dataset, &mut rng);
+        let _ = cgan.train_step(&dataset, &mut rng).unwrap();
         assert_eq!(cgan.iterations_trained(), 6);
+    }
+
+    #[test]
+    fn recovery_hooks_scale_lr_and_set_clip() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut cgan = Cgan::new(small_config(), &mut rng);
+        let (g0, d0) = cgan.learning_rates();
+        cgan.scale_learning_rates(0.5);
+        let (g1, d1) = cgan.learning_rates();
+        assert_eq!(g1, g0 * 0.5);
+        assert_eq!(d1, d0 * 0.5);
+        // The config mirrors the damped rates so a reloaded model keeps them.
+        assert_eq!(cgan.config().gen_lr, g1);
+        assert_eq!(cgan.config().disc_lr, d1);
+        cgan.set_grad_clip(Some(1.5));
+        assert_eq!(cgan.grad_clip(), Some(1.5));
+        cgan.set_grad_clip(None);
+        assert_eq!(cgan.grad_clip(), None);
     }
 
     #[test]
@@ -601,7 +707,7 @@ mod tests {
             .disc_steps(3)
             .build();
         let mut cgan = Cgan::new(config, &mut rng);
-        let losses = cgan.train_step(&dataset, &mut rng);
+        let losses = cgan.train_step(&dataset, &mut rng).unwrap();
         assert!(losses.d_loss.is_finite());
     }
 }

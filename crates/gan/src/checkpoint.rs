@@ -1,0 +1,789 @@
+//! Fault-tolerant Algorithm 2 training: checkpoint/resume and divergence
+//! recovery.
+//!
+//! Long adversarial runs fail two ways in practice: the process dies
+//! (SIGKILL, OOM, power) or the optimization blows up into non-finite
+//! parameters. [`CheckpointedTrainer`] handles both. It slices a run into
+//! chunks of `checkpoint_every` iterations, snapshots a
+//! [`TrainingCheckpoint`] (atomically) after each successful chunk, and on
+//! divergence rolls the networks back to the last good snapshot and
+//! retries with hyperparameters damped by a [`RecoveryPolicy`].
+//!
+//! # Determinism
+//!
+//! Each chunk's RNG is derived from a per-run *seed chain*: chunk `i`
+//! trains with `StdRng::seed_from_u64(f(chain_i))` and advances
+//! `chain_{i+1}` from a boundary RNG, so the exact weights — and the RNG
+//! handed back to the caller — depend only on the initial seed and the
+//! number of completed chunks, not on when (or whether) the process was
+//! restarted in between. A run resumed from a checkpoint is bit-identical
+//! to one that never stopped. Retries salt the chunk seed with the retry
+//! count so a damped attempt does not replay the exact minibatch sequence
+//! that just diverged.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Cgan, PairedData, RecoveryEvent, TrainError, TrainingHistory};
+
+/// Format version stamped into every checkpoint file.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Distinct per-retry seed salt (the 64-bit golden ratio).
+const RETRY_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Errors from saving or loading a [`TrainingCheckpoint`].
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// (De)serialization failure.
+    Json(serde_json::Error),
+    /// The file's format version is not supported by this build.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::Json(e) => write!(f, "checkpoint JSON: {e}"),
+            CheckpointError::Version { found, expected } => write!(
+                f,
+                "checkpoint version {found} not supported (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Json(e) => Some(e),
+            CheckpointError::Version { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Json(e)
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e.to_string())
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the data lands in a temporary
+/// file in the same directory and is renamed over the target, so readers
+/// never observe a truncated or half-written file and a crash mid-write
+/// cannot clobber an existing good one.
+///
+/// # Errors
+///
+/// Any I/O error from writing or renaming; the temporary file is removed
+/// on failure.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("path has no file name: {}", path.display()),
+        )
+    })?;
+    // Same directory as the target: rename(2) is only atomic within one
+    // filesystem.
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let tmp = dir.join(format!(
+        ".{}.{}.{}.tmp",
+        name.to_string_lossy(),
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    match fs::write(&tmp, bytes).and_then(|()| fs::rename(&tmp, path)) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Everything needed to continue an interrupted training run: networks,
+/// optimizer state (inside [`Cgan`]), loss history, the seed chain, and
+/// the retry budget already spent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Iterations of the checkpointed run completed so far.
+    pub completed_iterations: usize,
+    /// Seed-chain value for the next chunk.
+    pub chain_seed: u64,
+    /// Divergence retries already consumed.
+    pub retries_used: usize,
+    /// Networks plus optimizer state.
+    pub cgan: Cgan,
+    /// Loss records and recovery events accumulated so far.
+    pub history: TrainingHistory,
+}
+
+impl TrainingCheckpoint {
+    /// Serializes and atomically writes this checkpoint to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on serialization or I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string(self)?;
+        write_atomic(path, json.as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint previously written by [`TrainingCheckpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on I/O or parse failure, or if the file
+    /// was written by an incompatible format version.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = fs::read_to_string(path)?;
+        let ckpt: Self = serde_json::from_str(&text)?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version {
+                found: ckpt.version,
+                expected: CHECKPOINT_VERSION,
+            });
+        }
+        Ok(ckpt)
+    }
+}
+
+/// How to react when a training chunk diverges (non-finite parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Total rollback/retry budget for one run; 0 disables recovery and
+    /// surfaces [`TrainError::Diverged`] immediately.
+    pub max_retries: usize,
+    /// Factor in `(0, 1]` multiplied into both learning rates per retry.
+    pub lr_backoff: f64,
+    /// Gradient-norm clip enforced from the first retry on; merged with
+    /// any existing clip by taking the minimum.
+    pub grad_clip: Option<f64>,
+}
+
+impl Default for RecoveryPolicy {
+    /// Three retries, halving learning rates, clipping gradients to 1.0.
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            lr_backoff: 0.5,
+            grad_clip: Some(1.0),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that never retries: divergence is fatal, as in plain
+    /// [`Cgan::train`].
+    pub fn disabled() -> Self {
+        Self {
+            max_retries: 0,
+            lr_backoff: 1.0,
+            grad_clip: None,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.lr_backoff.is_finite() && self.lr_backoff > 0.0 && self.lr_backoff <= 1.0,
+            "lr_backoff must be in (0, 1]: {}",
+            self.lr_backoff
+        );
+        if let Some(c) = self.grad_clip {
+            assert!(c > 0.0, "recovery grad_clip must be positive: {c}");
+        }
+    }
+}
+
+/// Drives [`Cgan::train`] in checkpointed chunks with divergence recovery.
+///
+/// ```
+/// use gansec_gan::{Cgan, CganConfig, CheckpointedTrainer, PairedData, RecoveryPolicy};
+/// use gansec_tensor::Matrix;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let data = Matrix::from_rows(&[&[0.2], &[0.21], &[0.8], &[0.79]])?;
+/// let conds = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]])?;
+/// let dataset = PairedData::new(data, conds)?;
+/// let mut cgan = Cgan::new(CganConfig::builder(1, 2).noise_dim(4).build(), &mut rng);
+/// let trainer = CheckpointedTrainer::new(20).with_policy(RecoveryPolicy::default());
+/// let history = trainer.train(&mut cgan, &dataset, 40, &mut rng)?;
+/// assert_eq!(history.len(), 40);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckpointedTrainer {
+    every: usize,
+    path: Option<PathBuf>,
+    policy: RecoveryPolicy,
+}
+
+impl CheckpointedTrainer {
+    /// Trainer that checkpoints every `every` iterations (in memory; no
+    /// file is written until a path is attached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is 0 or the default policy is invalid.
+    pub fn new(every: usize) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        Self {
+            every,
+            path: None,
+            policy: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Persists a checkpoint file at `path` after every successful chunk.
+    pub fn with_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Replaces the divergence-recovery policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's backoff is outside `(0, 1]` or its clip is
+    /// non-positive.
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        policy.validate();
+        self.policy = policy;
+        self
+    }
+
+    /// The checkpoint interval in iterations.
+    pub fn checkpoint_every(&self) -> usize {
+        self.every
+    }
+
+    /// Where checkpoints are persisted, if anywhere.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// The active recovery policy.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Trains `cgan` for `iterations` Algorithm 2 steps with checkpointing
+    /// and divergence recovery. On return, `rng` is reseeded from the final
+    /// chain value so downstream draws match a resumed run exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::DimMismatch`] for a misshaped dataset,
+    /// [`TrainError::Diverged`] once the retry budget is exhausted,
+    /// [`TrainError::Checkpoint`] if persisting a snapshot fails, and
+    /// [`TrainError::Optim`] for optimizer wiring bugs.
+    pub fn train(
+        &self,
+        cgan: &mut Cgan,
+        dataset: &PairedData,
+        iterations: usize,
+        rng: &mut StdRng,
+    ) -> Result<TrainingHistory, TrainError> {
+        let chain: u64 = rng.gen();
+        self.drive(
+            cgan,
+            dataset,
+            0,
+            iterations,
+            chain,
+            0,
+            TrainingHistory::new(),
+            rng,
+        )
+    }
+
+    /// Continues an interrupted run from `checkpoint` until
+    /// `total_iterations` are complete, returning the trained networks and
+    /// the stitched history. `rng` is reseeded from the final chain value,
+    /// so the combination (weights, history, rng) is bit-identical to an
+    /// uninterrupted [`CheckpointedTrainer::train`] with the same original
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CheckpointedTrainer::train`].
+    pub fn resume(
+        &self,
+        checkpoint: TrainingCheckpoint,
+        dataset: &PairedData,
+        total_iterations: usize,
+        rng: &mut StdRng,
+    ) -> Result<(Cgan, TrainingHistory), TrainError> {
+        let TrainingCheckpoint {
+            completed_iterations,
+            chain_seed,
+            retries_used,
+            mut cgan,
+            history,
+            ..
+        } = checkpoint;
+        let history = self.drive(
+            &mut cgan,
+            dataset,
+            completed_iterations,
+            total_iterations,
+            chain_seed,
+            retries_used,
+            history,
+            rng,
+        )?;
+        Ok((cgan, history))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        &self,
+        cgan: &mut Cgan,
+        dataset: &PairedData,
+        mut done: usize,
+        total: usize,
+        mut chain: u64,
+        mut retries_used: usize,
+        mut history: TrainingHistory,
+        rng_out: &mut StdRng,
+    ) -> Result<TrainingHistory, TrainError> {
+        let (data_dim, cond_dim) = (cgan.config().data_dim, cgan.config().cond_dim);
+        if dataset.data_dim() != data_dim || dataset.cond_dim() != cond_dim {
+            return Err(TrainError::DimMismatch {
+                expected: (data_dim, cond_dim),
+                found: (dataset.data_dim(), dataset.cond_dim()),
+            });
+        }
+        let mut last_good = cgan.clone();
+        while done < total {
+            let chunk = self.every.min(total - done);
+            // Two draws per boundary: the chunk's base seed and the next
+            // chain value. Both are functions of `chain` alone, which is
+            // what makes resume deterministic.
+            let mut boundary = StdRng::seed_from_u64(chain);
+            let base_seed: u64 = boundary.gen();
+            let next_chain: u64 = boundary.gen();
+            let attempt_seed = base_seed.wrapping_add(RETRY_SALT.wrapping_mul(retries_used as u64));
+            let mut attempt_rng = StdRng::seed_from_u64(attempt_seed);
+            match cgan.train(dataset, chunk, &mut attempt_rng) {
+                Ok(chunk_history) => {
+                    history.merge(&chunk_history);
+                    done += chunk;
+                    chain = next_chain;
+                    last_good = cgan.clone();
+                    if let Some(path) = &self.path {
+                        TrainingCheckpoint {
+                            version: CHECKPOINT_VERSION,
+                            completed_iterations: done,
+                            chain_seed: chain,
+                            retries_used,
+                            cgan: cgan.clone(),
+                            history: history.clone(),
+                        }
+                        .save(path)
+                        .map_err(TrainError::from)?;
+                    }
+                }
+                Err(TrainError::Diverged { .. }) => {
+                    if retries_used >= self.policy.max_retries {
+                        return Err(TrainError::Diverged { iteration: done });
+                    }
+                    retries_used += 1;
+                    // Roll back whole chunks: partial progress inside the
+                    // diverged chunk is discarded along with its history.
+                    *cgan = last_good.clone();
+                    cgan.scale_learning_rates(self.policy.lr_backoff);
+                    let clip = match (cgan.grad_clip(), self.policy.grad_clip) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    cgan.set_grad_clip(clip);
+                    // Compound damping across consecutive retries.
+                    last_good = cgan.clone();
+                    let (gen_lr, disc_lr) = cgan.learning_rates();
+                    history.push_recovery(RecoveryEvent {
+                        at_iteration: done,
+                        retry: retries_used,
+                        gen_lr,
+                        disc_lr,
+                        grad_clip: clip,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Hand post-training randomness off the chain: a resumed run and an
+        // uninterrupted run leave the caller's RNG in the same state.
+        *rng_out = StdRng::seed_from_u64(chain);
+        Ok(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CganConfig, OptimKind, TrainError};
+    use gansec_tensor::Matrix;
+
+    fn cluster_dataset() -> PairedData {
+        let mut data_rows = Vec::new();
+        let mut cond_rows = Vec::new();
+        for i in 0..64 {
+            let jitter = (i % 8) as f64 * 0.005;
+            if i % 2 == 0 {
+                data_rows.push(0.2 + jitter);
+                cond_rows.extend([1.0, 0.0]);
+            } else {
+                data_rows.push(0.8 - jitter);
+                cond_rows.extend([0.0, 1.0]);
+            }
+        }
+        PairedData::new(
+            Matrix::from_vec(64, 1, data_rows).unwrap(),
+            Matrix::from_vec(64, 2, cond_rows).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn small_config(lr: f64) -> CganConfig {
+        CganConfig::builder(1, 2)
+            .noise_dim(4)
+            .gen_hidden(vec![16])
+            .disc_hidden(vec![16])
+            .batch_size(16)
+            .learning_rate(lr)
+            .build()
+    }
+
+    fn tmp_file(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gansec_ckpt_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_atomic_creates_and_overwrites() {
+        let path = tmp_file("atomic_basic.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer content").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer content");
+        // No temp litter left behind.
+        let litter: Vec<_> = fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(litter.is_empty(), "leftover temp files: {litter:?}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_rejects_directoryless_path() {
+        assert!(write_atomic(Path::new("/"), b"x").is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_disk() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cgan = Cgan::new(small_config(5e-3), &mut rng);
+        let dataset = cluster_dataset();
+        let history = cgan.train(&dataset, 3, &mut rng).unwrap();
+        let ckpt = TrainingCheckpoint {
+            version: CHECKPOINT_VERSION,
+            completed_iterations: 3,
+            chain_seed: 77,
+            retries_used: 1,
+            cgan: cgan.clone(),
+            history,
+        };
+        let path = tmp_file("roundtrip.ckpt");
+        ckpt.save(&path).unwrap();
+        let loaded = TrainingCheckpoint::load(&path).unwrap();
+        assert_eq!(loaded.completed_iterations, 3);
+        assert_eq!(loaded.chain_seed, 77);
+        assert_eq!(loaded.retries_used, 1);
+        assert_eq!(loaded.history.len(), 3);
+        // The reloaded generator reproduces the original's outputs exactly.
+        let z = Matrix::filled(4, 4, 0.3);
+        let c = Matrix::from_fn(4, 2, |r, j| if r % 2 == j { 1.0 } else { 0.0 });
+        let mut reloaded_cgan = loaded.cgan;
+        assert_eq!(
+            cgan.generate_with_noise(&z, &c),
+            reloaded_cgan.generate_with_noise(&z, &c)
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_unknown_version() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cgan = Cgan::new(small_config(5e-3), &mut rng);
+        let ckpt = TrainingCheckpoint {
+            version: CHECKPOINT_VERSION + 1,
+            completed_iterations: 0,
+            chain_seed: 0,
+            retries_used: 0,
+            cgan,
+            history: TrainingHistory::new(),
+        };
+        let path = tmp_file("badversion.ckpt");
+        ckpt.save(&path).unwrap();
+        let err = TrainingCheckpoint::load(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Version { .. }));
+        assert!(err.to_string().contains("version"));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn healthy_run_records_no_recoveries() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dataset = cluster_dataset();
+        let mut cgan = Cgan::new(small_config(5e-3), &mut rng);
+        let trainer = CheckpointedTrainer::new(10);
+        let history = trainer.train(&mut cgan, &dataset, 25, &mut rng).unwrap();
+        assert_eq!(history.len(), 25);
+        assert!(history.recoveries().is_empty());
+        assert_eq!(cgan.iterations_trained(), 25);
+    }
+
+    #[test]
+    fn diverging_run_recovers_via_rollback_and_backoff() {
+        // An SGD learning rate of 1e250 overflows the weights within the
+        // first few iterations; the plain trainer must report Diverged.
+        let config = CganConfig::builder(1, 2)
+            .noise_dim(4)
+            .gen_hidden(vec![16])
+            .disc_hidden(vec![16])
+            .batch_size(16)
+            .optimizer(OptimKind::Sgd { momentum: 0.0 })
+            .learning_rate(1e250)
+            .grad_clip(None)
+            .build();
+        let dataset = cluster_dataset();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cgan = Cgan::new(config, &mut rng);
+
+        let mut probe = cgan.clone();
+        let mut probe_rng = StdRng::seed_from_u64(7);
+        assert!(matches!(
+            probe.train(&dataset, 40, &mut probe_rng),
+            Err(TrainError::Diverged { .. })
+        ));
+
+        // The recovery policy backs the rate off to 1e-2 and clips.
+        let trainer = CheckpointedTrainer::new(20).with_policy(RecoveryPolicy {
+            max_retries: 3,
+            lr_backoff: 1e-252,
+            grad_clip: Some(1.0),
+        });
+        let mut train_rng = StdRng::seed_from_u64(7);
+        let history = trainer
+            .train(&mut cgan, &dataset, 40, &mut train_rng)
+            .unwrap();
+
+        assert_eq!(history.len(), 40, "rolled-back run must still complete");
+        assert!(!history.recoveries().is_empty());
+        let ev = history.recoveries()[0];
+        assert_eq!(ev.at_iteration, 0);
+        assert_eq!(ev.retry, 1);
+        assert!(ev.gen_lr <= 1e-2 * 1.000001, "damped lr, got {}", ev.gen_lr);
+        assert_eq!(ev.grad_clip, Some(1.0));
+        assert!(history
+            .records()
+            .iter()
+            .all(|r| r.d_loss.is_finite() && r.g_loss.is_finite()));
+        // The damped hyperparameters stick for the rest of the run.
+        let (gen_lr, disc_lr) = cgan.learning_rates();
+        assert!(gen_lr < 1.0 && disc_lr < 1.0);
+        assert_eq!(cgan.grad_clip(), Some(1.0));
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_fatal() {
+        let config = CganConfig::builder(1, 2)
+            .noise_dim(4)
+            .gen_hidden(vec![16])
+            .disc_hidden(vec![16])
+            .batch_size(16)
+            .optimizer(OptimKind::Sgd { momentum: 0.0 })
+            .learning_rate(1e250)
+            .grad_clip(None)
+            .build();
+        let dataset = cluster_dataset();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut cgan = Cgan::new(config, &mut rng);
+        // Backoff of 1.0 keeps the absurd rate, so every retry diverges too.
+        let trainer = CheckpointedTrainer::new(20).with_policy(RecoveryPolicy {
+            max_retries: 2,
+            lr_backoff: 1.0,
+            grad_clip: None,
+        });
+        let err = trainer
+            .train(&mut cgan, &dataset, 40, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, TrainError::Diverged { .. }));
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_uninterrupted_run() {
+        let dataset = cluster_dataset();
+        let trainer = CheckpointedTrainer::new(8);
+        let fresh = |seed: u64| {
+            let mut init_rng = StdRng::seed_from_u64(seed);
+            Cgan::new(small_config(5e-3), &mut init_rng)
+        };
+
+        // Uninterrupted: 24 iterations in one call.
+        let mut full = fresh(1);
+        let mut full_rng = StdRng::seed_from_u64(9);
+        let full_history = trainer
+            .train(&mut full, &dataset, 24, &mut full_rng)
+            .unwrap();
+
+        // Interrupted: 16 iterations, killed, resumed from disk to 24.
+        let path = tmp_file("resume_equiv.ckpt");
+        let persisting = trainer.clone().with_path(&path);
+        let mut part = fresh(1);
+        let mut part_rng = StdRng::seed_from_u64(9);
+        persisting
+            .train(&mut part, &dataset, 16, &mut part_rng)
+            .unwrap();
+        drop(part); // the "killed" process
+
+        let ckpt = TrainingCheckpoint::load(&path).unwrap();
+        assert_eq!(ckpt.completed_iterations, 16);
+        let mut resumed_rng = StdRng::seed_from_u64(4242); // value must not matter
+        let (mut resumed, resumed_history) = persisting
+            .resume(ckpt, &dataset, 24, &mut resumed_rng)
+            .unwrap();
+
+        assert_eq!(full_history, resumed_history);
+        let z = Matrix::filled(5, 4, 0.25);
+        let c = Matrix::from_fn(5, 2, |r, j| if r % 2 == j { 1.0 } else { 0.0 });
+        assert_eq!(
+            full.generate_with_noise(&z, &c),
+            resumed.generate_with_noise(&z, &c)
+        );
+        // Post-training RNG state is also identical.
+        assert_eq!(full_rng.gen::<u64>(), resumed_rng.gen::<u64>());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_from_in_memory_checkpoint_matches() {
+        // Exercises resume() without any file I/O: the checkpoint is
+        // reconstructed in memory, advancing the seed chain exactly the
+        // way drive() does (two draws per chunk boundary).
+        let dataset = cluster_dataset();
+        let trainer = CheckpointedTrainer::new(8);
+        let fresh = || {
+            let mut init_rng = StdRng::seed_from_u64(1);
+            Cgan::new(small_config(5e-3), &mut init_rng)
+        };
+
+        let mut full = fresh();
+        let mut full_rng = StdRng::seed_from_u64(9);
+        let full_history = trainer
+            .train(&mut full, &dataset, 24, &mut full_rng)
+            .unwrap();
+
+        let mut part = fresh();
+        let mut part_rng = StdRng::seed_from_u64(9);
+        let part_history = trainer
+            .train(&mut part, &dataset, 16, &mut part_rng)
+            .unwrap();
+
+        let mut chain: u64 = StdRng::seed_from_u64(9).gen();
+        for _ in 0..2 {
+            let mut boundary = StdRng::seed_from_u64(chain);
+            let _base: u64 = boundary.gen();
+            chain = boundary.gen();
+        }
+        let ckpt = TrainingCheckpoint {
+            version: CHECKPOINT_VERSION,
+            completed_iterations: 16,
+            chain_seed: chain,
+            retries_used: 0,
+            cgan: part,
+            history: part_history,
+        };
+        let mut resumed_rng = StdRng::seed_from_u64(4242); // value must not matter
+        let (mut resumed, resumed_history) = trainer
+            .resume(ckpt, &dataset, 24, &mut resumed_rng)
+            .unwrap();
+
+        assert_eq!(full_history, resumed_history);
+        let z = Matrix::filled(5, 4, 0.25);
+        let c = Matrix::from_fn(5, 2, |r, j| if r % 2 == j { 1.0 } else { 0.0 });
+        assert_eq!(
+            full.generate_with_noise(&z, &c),
+            resumed.generate_with_noise(&z, &c)
+        );
+        assert_eq!(full_rng.gen::<u64>(), resumed_rng.gen::<u64>());
+    }
+
+    #[test]
+    fn dim_mismatch_surfaces_before_any_io() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut cgan = Cgan::new(small_config(5e-3), &mut rng);
+        let bad = PairedData::new(Matrix::zeros(4, 3), Matrix::zeros(4, 2)).unwrap();
+        let trainer = CheckpointedTrainer::new(5).with_path(tmp_file("never_written.ckpt"));
+        let err = trainer.train(&mut cgan, &bad, 10, &mut rng).unwrap_err();
+        assert!(matches!(err, TrainError::DimMismatch { .. }));
+        assert!(!trainer.path().unwrap().exists());
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint interval")]
+    fn zero_interval_rejected() {
+        let _ = CheckpointedTrainer::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lr_backoff")]
+    fn bad_backoff_rejected() {
+        let _ = CheckpointedTrainer::new(1).with_policy(RecoveryPolicy {
+            max_retries: 1,
+            lr_backoff: 0.0,
+            grad_clip: None,
+        });
+    }
+}

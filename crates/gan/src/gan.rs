@@ -60,10 +60,18 @@ impl Gan {
 
     /// One Algorithm 2 iteration over unconditioned data.
     ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the conditional trainer.
+    ///
     /// # Panics
     ///
     /// Panics if `data.cols() != config.data_dim` or `data` is empty.
-    pub fn train_step(&mut self, data: &Matrix, rng: &mut impl Rng) -> StepLosses {
+    pub fn train_step(
+        &mut self,
+        data: &Matrix,
+        rng: &mut impl Rng,
+    ) -> Result<StepLosses, TrainError> {
         let dataset = self.wrap(data);
         self.inner.train_step(&dataset, rng)
     }

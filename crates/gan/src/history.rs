@@ -16,10 +16,32 @@ pub struct IterationRecord {
     pub g_loss: f64,
 }
 
+/// One divergence-recovery intervention during fault-tolerant training.
+///
+/// Recorded by `CheckpointedTrainer` whenever non-finite parameters force
+/// a rollback to the last good snapshot with damped hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Iteration count (completed iterations) the run was rolled back to.
+    pub at_iteration: usize,
+    /// Retry number for this run, 1-based.
+    pub retry: usize,
+    /// Generator learning rate used for the retry.
+    pub gen_lr: f64,
+    /// Discriminator learning rate used for the retry.
+    pub disc_lr: f64,
+    /// Gradient clip in force for the retry, if any.
+    pub grad_clip: Option<f64>,
+}
+
 /// Loss trajectory of one training run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrainingHistory {
     records: Vec<IterationRecord>,
+    /// Divergence recoveries applied during the run (empty for healthy
+    /// runs, and for histories serialized before this field existed).
+    #[serde(default)]
+    recoveries: Vec<RecoveryEvent>,
 }
 
 impl TrainingHistory {
@@ -51,6 +73,23 @@ impl TrainingHistory {
     /// The last record, if any.
     pub fn last(&self) -> Option<&IterationRecord> {
         self.records.last()
+    }
+
+    /// Divergence recoveries applied during this run, in order.
+    pub fn recoveries(&self) -> &[RecoveryEvent] {
+        &self.recoveries
+    }
+
+    /// Records a divergence-recovery intervention.
+    pub fn push_recovery(&mut self, event: RecoveryEvent) {
+        self.recoveries.push(event);
+    }
+
+    /// Appends all records and recovery events of `other` (chunked
+    /// training stitches per-chunk histories into one trajectory).
+    pub fn merge(&mut self, other: &TrainingHistory) {
+        self.records.extend_from_slice(&other.records);
+        self.recoveries.extend_from_slice(&other.recoveries);
     }
 
     /// Mean discriminator loss over the final `n` iterations (clamped).
@@ -139,6 +178,26 @@ mod tests {
         assert!(ds.len() <= 11);
         assert_eq!(ds[0].iteration, 0);
         assert_eq!(ds.last().unwrap().iteration, 99);
+    }
+
+    #[test]
+    fn merge_stitches_records_and_recoveries() {
+        let mut a = TrainingHistory::new();
+        a.extend([rec(0, 1.0, 1.0)]);
+        let mut b = TrainingHistory::new();
+        b.extend([rec(1, 0.5, 0.5)]);
+        b.push_recovery(RecoveryEvent {
+            at_iteration: 1,
+            retry: 1,
+            gen_lr: 1e-3,
+            disc_lr: 1e-3,
+            grad_clip: Some(1.0),
+        });
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.records()[1].iteration, 1);
+        assert_eq!(a.recoveries().len(), 1);
+        assert_eq!(a.recoveries()[0].retry, 1);
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! The unconditional [`Gan`] is the degenerate `cond_dim == 0` case and is
 //! used for flow pairs where no conditioning signal is available.
 //!
+//! Long-running training is made fault-tolerant by [`CheckpointedTrainer`]:
+//! periodic [`TrainingCheckpoint`] snapshots (resumable after a crash) and
+//! a [`RecoveryPolicy`] that rolls diverged runs back to the last good
+//! snapshot with damped hyperparameters instead of aborting.
+//!
 //! # Example
 //!
 //! ```
@@ -42,13 +47,18 @@
 #![warn(missing_docs)]
 
 mod cgan;
+mod checkpoint;
 mod config;
 mod data;
 mod gan;
 mod history;
 
 pub use cgan::{Cgan, StepLosses, TrainError};
+pub use checkpoint::{
+    write_atomic, CheckpointError, CheckpointedTrainer, RecoveryPolicy, TrainingCheckpoint,
+    CHECKPOINT_VERSION,
+};
 pub use config::{CganConfig, CganConfigBuilder, GeneratorLoss, OptimKind};
 pub use data::{DataError, PairedData};
 pub use gan::Gan;
-pub use history::{IterationRecord, TrainingHistory};
+pub use history::{IterationRecord, RecoveryEvent, TrainingHistory};

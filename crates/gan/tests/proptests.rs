@@ -76,7 +76,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(s.seed);
         let mut cgan = Cgan::new(s.config.clone(), &mut rng);
         for _ in 0..3 {
-            let losses = cgan.train_step(&s.dataset, &mut rng);
+            let losses = cgan.train_step(&s.dataset, &mut rng).unwrap();
             prop_assert!(losses.d_loss.is_finite());
             prop_assert!(losses.g_loss.is_finite());
         }
@@ -94,7 +94,7 @@ proptest! {
     fn discriminator_outputs_probabilities(s in setup()) {
         let mut rng = StdRng::seed_from_u64(s.seed);
         let mut cgan = Cgan::new(s.config.clone(), &mut rng);
-        let _ = cgan.train_step(&s.dataset, &mut rng);
+        let _ = cgan.train_step(&s.dataset, &mut rng).unwrap();
         let probs = cgan.discriminate(s.dataset.data(), s.dataset.conds());
         prop_assert_eq!(probs.len(), s.dataset.len());
         prop_assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p) && p.is_finite()));
@@ -107,7 +107,7 @@ proptest! {
             let mut cgan = Cgan::new(s.config.clone(), &mut rng);
             let mut last = (0.0, 0.0);
             for _ in 0..2 {
-                let l = cgan.train_step(&s.dataset, &mut rng);
+                let l = cgan.train_step(&s.dataset, &mut rng).unwrap();
                 last = (l.d_loss, l.g_loss);
             }
             last

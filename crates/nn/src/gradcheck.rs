@@ -127,31 +127,44 @@ fn visit_params_mut(net: &mut Sequential, mut f: impl FnMut(&mut Matrix)) {
     // Reuse the public step-visitation machinery through a shim optimizer.
     struct Visitor<'a, F: FnMut(&mut Matrix)>(&'a mut F);
     impl<F: FnMut(&mut Matrix)> crate::Optimizer for Visitor<'_, F> {
-        fn update(&mut self, _id: usize, param: &mut Matrix, _grad: &Matrix) {
+        fn update(
+            &mut self,
+            _id: usize,
+            param: &mut Matrix,
+            _grad: &Matrix,
+        ) -> Result<(), crate::OptimError> {
             (self.0)(param);
+            Ok(())
         }
         fn learning_rate(&self) -> f64 {
             0.0
         }
         fn set_learning_rate(&mut self, _lr: f64) {}
     }
-    net.step(&mut Visitor(&mut f));
+    net.step(&mut Visitor(&mut f)).expect("visitor cannot fail");
 }
 
 fn for_each_param(net: &mut Sequential, mut f: impl FnMut(usize, f64, f64)) {
     struct Collector<'a, F: FnMut(usize, f64, f64)>(&'a mut F);
     impl<F: FnMut(usize, f64, f64)> crate::Optimizer for Collector<'_, F> {
-        fn update(&mut self, id: usize, param: &mut Matrix, grad: &Matrix) {
+        fn update(
+            &mut self,
+            id: usize,
+            param: &mut Matrix,
+            grad: &Matrix,
+        ) -> Result<(), crate::OptimError> {
             for (p, g) in param.as_slice().iter().zip(grad.as_slice()) {
                 (self.0)(id, *p, *g);
             }
+            Ok(())
         }
         fn learning_rate(&self) -> f64 {
             0.0
         }
         fn set_learning_rate(&mut self, _lr: f64) {}
     }
-    net.step(&mut Collector(&mut f));
+    net.step(&mut Collector(&mut f))
+        .expect("collector cannot fail");
 }
 
 #[cfg(test)]

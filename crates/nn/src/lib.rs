@@ -40,7 +40,7 @@
 //!     let (_, grad) = mse(&y, &t)?;
 //!     net.zero_grad();
 //!     net.backward(&grad);
-//!     net.step(&mut opt);
+//!     net.step(&mut opt)?;
 //! }
 //! let y = net.forward(&x);
 //! assert!((y[(0, 0)] - 0.0).abs() < 0.2);
@@ -65,5 +65,5 @@ pub use dense::Dense;
 pub use gradcheck::{gradient_check, GradCheckReport};
 pub use layer::{Dropout, Layer};
 pub use loss::{bce_with_logits, mse, sigmoid, LossError};
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, OptimError, Optimizer, Sgd};
 pub use sequential::Sequential;

@@ -1,8 +1,53 @@
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use gansec_tensor::Matrix;
+use gansec_tensor::{Matrix, ShapeError};
+
+/// Error returned by [`Optimizer::update`] when a parameter/gradient pair
+/// cannot be combined.
+///
+/// Optimizer state is keyed by `param_id`, so a wiring bug (two layers
+/// sharing an id, or a parameter re-registered with a different shape)
+/// surfaces here with enough context to find the offending layer instead
+/// of panicking mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimError {
+    /// The parameter, its gradient, or cached optimizer state disagreed
+    /// on shape.
+    Shape {
+        /// Stable parameter index assigned by the driver.
+        param_id: usize,
+        /// The underlying tensor-level mismatch.
+        source: ShapeError,
+    },
+}
+
+impl OptimError {
+    fn shape(param_id: usize, source: ShapeError) -> Self {
+        OptimError::Shape { param_id, source }
+    }
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::Shape { param_id, source } => {
+                write!(f, "optimizer update for parameter {param_id}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for OptimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OptimError::Shape { source, .. } => Some(source),
+        }
+    }
+}
 
 /// First-order optimizer updating one parameter matrix at a time.
 ///
@@ -11,13 +56,49 @@ use gansec_tensor::Matrix;
 /// use to key per-parameter state (momentum buffers, Adam moments).
 pub trait Optimizer {
     /// Applies one update to `param` given its accumulated `grad`.
-    fn update(&mut self, param_id: usize, param: &mut Matrix, grad: &Matrix);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::Shape`] if `param`, `grad`, and any cached
+    /// state for `param_id` do not share one shape.
+    fn update(
+        &mut self,
+        param_id: usize,
+        param: &mut Matrix,
+        grad: &Matrix,
+    ) -> Result<(), OptimError>;
 
     /// Current learning rate.
     fn learning_rate(&self) -> f64;
 
     /// Replaces the learning rate (used by decay schedules).
     fn set_learning_rate(&mut self, lr: f64);
+
+    /// Per-parameter gradient-norm clip, if any.
+    fn grad_clip(&self) -> Option<f64> {
+        None
+    }
+
+    /// Sets or clears the per-parameter gradient-norm clip.
+    fn set_grad_clip(&mut self, _clip: Option<f64>) {}
+}
+
+/// Scale factor that brings `grad`'s Frobenius norm under `clip`.
+///
+/// Non-finite norms are left alone (scale 1.0) so divergence detection
+/// downstream still sees the blow-up instead of a silently zeroed update.
+fn clip_scale(grad: &Matrix, clip: Option<f64>) -> f64 {
+    match clip {
+        Some(c) => {
+            let norm = grad.frobenius_norm();
+            if norm.is_finite() && norm > c {
+                c / norm
+            } else {
+                1.0
+            }
+        }
+        None => 1.0,
+    }
 }
 
 /// Stochastic gradient descent with optional classical momentum.
@@ -29,6 +110,9 @@ pub struct Sgd {
     lr: f64,
     momentum: f64,
     velocity: HashMap<usize, Matrix>,
+    /// Per-parameter gradient-norm clip (recovery policies tighten this).
+    #[serde(default)]
+    grad_clip: Option<f64>,
 }
 
 impl Sgd {
@@ -59,25 +143,34 @@ impl Sgd {
             lr,
             momentum,
             velocity: HashMap::new(),
+            grad_clip: None,
         }
     }
 }
 
 impl Optimizer for Sgd {
-    fn update(&mut self, param_id: usize, param: &mut Matrix, grad: &Matrix) {
+    fn update(
+        &mut self,
+        param_id: usize,
+        param: &mut Matrix,
+        grad: &Matrix,
+    ) -> Result<(), OptimError> {
+        let scale = clip_scale(grad, self.grad_clip);
         if self.momentum == 0.0 {
-            param
-                .axpy(-self.lr, grad)
-                .expect("param/grad shape mismatch");
-            return;
+            return param
+                .axpy(-self.lr * scale, grad)
+                .map_err(|e| OptimError::shape(param_id, e));
         }
         let v = self
             .velocity
             .entry(param_id)
             .or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
         v.scale_inplace(self.momentum);
-        v.axpy(1.0, grad).expect("param/grad shape mismatch");
-        param.axpy(-self.lr, v).expect("param/grad shape mismatch");
+        v.axpy(scale, grad)
+            .map_err(|e| OptimError::shape(param_id, e))?;
+        param
+            .axpy(-self.lr, v)
+            .map_err(|e| OptimError::shape(param_id, e))
     }
 
     fn learning_rate(&self) -> f64 {
@@ -86,6 +179,14 @@ impl Optimizer for Sgd {
 
     fn set_learning_rate(&mut self, lr: f64) {
         self.lr = lr;
+    }
+
+    fn grad_clip(&self) -> Option<f64> {
+        self.grad_clip
+    }
+
+    fn set_grad_clip(&mut self, clip: Option<f64>) {
+        self.grad_clip = clip;
     }
 }
 
@@ -101,6 +202,9 @@ pub struct Adam {
     eps: f64,
     /// Per-parameter (step count, first moment, second moment).
     state: HashMap<usize, (u64, Matrix, Matrix)>,
+    /// Per-parameter gradient-norm clip (recovery policies tighten this).
+    #[serde(default)]
+    grad_clip: Option<f64>,
 }
 
 impl Adam {
@@ -137,12 +241,19 @@ impl Adam {
             beta2,
             eps: 1e-8,
             state: HashMap::new(),
+            grad_clip: None,
         }
     }
 }
 
 impl Optimizer for Adam {
-    fn update(&mut self, param_id: usize, param: &mut Matrix, grad: &Matrix) {
+    fn update(
+        &mut self,
+        param_id: usize,
+        param: &mut Matrix,
+        grad: &Matrix,
+    ) -> Result<(), OptimError> {
+        let scale = clip_scale(grad, self.grad_clip);
         let (t, m, v) = self.state.entry(param_id).or_insert_with(|| {
             (
                 0,
@@ -152,12 +263,14 @@ impl Optimizer for Adam {
         });
         *t += 1;
         m.scale_inplace(self.beta1);
-        m.axpy(1.0 - self.beta1, grad)
-            .expect("param/grad shape mismatch");
-        let grad_sq = grad.hadamard(grad).expect("same shape");
+        m.axpy((1.0 - self.beta1) * scale, grad)
+            .map_err(|e| OptimError::shape(param_id, e))?;
+        let grad_sq = grad
+            .hadamard(grad)
+            .map_err(|e| OptimError::shape(param_id, e))?;
         v.scale_inplace(self.beta2);
-        v.axpy(1.0 - self.beta2, &grad_sq)
-            .expect("param/grad shape mismatch");
+        v.axpy((1.0 - self.beta2) * scale * scale, &grad_sq)
+            .map_err(|e| OptimError::shape(param_id, e))?;
         let bc1 = 1.0 - self.beta1.powi(*t as i32);
         let bc2 = 1.0 - self.beta2.powi(*t as i32);
         let eps = self.eps;
@@ -168,10 +281,10 @@ impl Optimizer for Adam {
                 let v_hat = vi / bc2;
                 lr * m_hat / (v_hat.sqrt() + eps)
             })
-            .expect("same shape");
+            .map_err(|e| OptimError::shape(param_id, e))?;
         param
             .axpy(-1.0, &update)
-            .expect("param/grad shape mismatch");
+            .map_err(|e| OptimError::shape(param_id, e))
     }
 
     fn learning_rate(&self) -> f64 {
@@ -180,6 +293,14 @@ impl Optimizer for Adam {
 
     fn set_learning_rate(&mut self, lr: f64) {
         self.lr = lr;
+    }
+
+    fn grad_clip(&self) -> Option<f64> {
+        self.grad_clip
+    }
+
+    fn set_grad_clip(&mut self, clip: Option<f64>) {
+        self.grad_clip = clip;
     }
 }
 
@@ -198,7 +319,7 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         for _ in 0..100 {
             let g = quadratic_grad(&p);
-            opt.update(0, &mut p, &g);
+            opt.update(0, &mut p, &g).unwrap();
         }
         assert!(p.frobenius_norm() < 1e-3, "norm {}", p.frobenius_norm());
     }
@@ -209,7 +330,7 @@ mod tests {
             let mut p = Matrix::filled(1, 1, 1.0);
             for _ in 0..20 {
                 let g = quadratic_grad(&p);
-                opt.update(0, &mut p, &g);
+                opt.update(0, &mut p, &g).unwrap();
             }
             p[(0, 0)].abs()
         };
@@ -224,7 +345,7 @@ mod tests {
         let mut opt = Adam::new(0.2);
         for _ in 0..300 {
             let g = quadratic_grad(&p);
-            opt.update(0, &mut p, &g);
+            opt.update(0, &mut p, &g).unwrap();
         }
         assert!(p.frobenius_norm() < 1e-2, "norm {}", p.frobenius_norm());
     }
@@ -237,9 +358,9 @@ mod tests {
         // Interleave two parameters of different shapes; state must not mix.
         for _ in 0..5 {
             let ga = quadratic_grad(&a);
-            opt.update(0, &mut a, &ga);
+            opt.update(0, &mut a, &ga).unwrap();
             let gb = quadratic_grad(&b);
-            opt.update(1, &mut b, &gb);
+            opt.update(1, &mut b, &gb).unwrap();
         }
         assert!(a.all_finite() && b.all_finite());
     }
@@ -250,6 +371,66 @@ mod tests {
         assert_eq!(opt.learning_rate(), 0.5);
         opt.set_learning_rate(0.25);
         assert_eq!(opt.learning_rate(), 0.25);
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error_not_a_panic() {
+        let mut p = Matrix::filled(1, 1, 1.0);
+        let g = Matrix::filled(2, 2, 1.0);
+        let err = Sgd::new(0.1).update(7, &mut p, &g).unwrap_err();
+        let OptimError::Shape { param_id, .. } = err.clone();
+        assert_eq!(param_id, 7);
+        assert!(err.to_string().contains("parameter 7"));
+
+        let err = Adam::new(0.1).update(3, &mut p, &g).unwrap_err();
+        assert!(err.to_string().contains("parameter 3"));
+    }
+
+    #[test]
+    fn stale_momentum_shape_is_a_typed_error() {
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let ga = quadratic_grad(&a);
+        opt.update(0, &mut a, &ga).unwrap();
+        // Same id re-registered with a different shape: velocity is stale.
+        let mut b = Matrix::filled(3, 3, 1.0);
+        let gb = quadratic_grad(&b);
+        assert!(opt.update(0, &mut b, &gb).is_err());
+    }
+
+    #[test]
+    fn grad_clip_bounds_sgd_step() {
+        let mut clipped = Sgd::new(1.0);
+        clipped.set_grad_clip(Some(1.0));
+        assert_eq!(clipped.grad_clip(), Some(1.0));
+        let mut p = Matrix::filled(1, 1, 0.0);
+        let huge = Matrix::filled(1, 1, 1e6);
+        clipped.update(0, &mut p, &huge).unwrap();
+        // Step magnitude is lr * clip, not lr * |grad|.
+        assert!((p[(0, 0)].abs() - 1.0).abs() < 1e-12, "step {}", p[(0, 0)]);
+    }
+
+    #[test]
+    fn grad_clip_leaves_small_gradients_alone() {
+        let mut clipped = Sgd::new(0.5);
+        clipped.set_grad_clip(Some(10.0));
+        let mut plain = Sgd::new(0.5);
+        let mut a = Matrix::filled(1, 2, 1.0);
+        let mut b = a.clone();
+        let g = Matrix::filled(1, 2, 0.5);
+        clipped.update(0, &mut a, &g).unwrap();
+        plain.update(0, &mut b, &g).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn grad_clip_bounds_adam_moments() {
+        let mut opt = Adam::new(0.1);
+        opt.set_grad_clip(Some(1.0));
+        let mut p = Matrix::filled(1, 1, 0.0);
+        let huge = Matrix::filled(1, 1, 1e100);
+        opt.update(0, &mut p, &huge).unwrap();
+        assert!(p.all_finite());
     }
 
     #[test]

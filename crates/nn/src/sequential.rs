@@ -2,7 +2,7 @@ use serde::{Deserialize, Serialize};
 
 use gansec_tensor::Matrix;
 
-use crate::{Layer, Optimizer};
+use crate::{Layer, OptimError, Optimizer};
 
 /// A feed-forward network: an ordered stack of [`Layer`]s.
 ///
@@ -81,14 +81,23 @@ impl Sequential {
     /// Applies one optimizer step using the accumulated gradients.
     /// Parameters receive stable ids in layer order, so an optimizer can be
     /// reused across steps (and must not be shared between networks).
-    pub fn step(&mut self, opt: &mut impl Optimizer) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`OptimError`] hit while walking the
+    /// parameters; later parameters are left un-updated.
+    pub fn step(&mut self, opt: &mut impl Optimizer) -> Result<(), OptimError> {
         let mut id = 0;
+        let mut result = Ok(());
         for layer in &mut self.layers {
             layer.visit_params(|param, grad| {
-                opt.update(id, param, grad);
+                if result.is_ok() {
+                    result = opt.update(id, param, grad);
+                }
                 id += 1;
             });
         }
+        result
     }
 
     /// Rescales gradients so their global L2 norm is at most `max_norm`;
@@ -185,7 +194,7 @@ mod tests {
             last = loss;
             net.zero_grad();
             net.backward(&grad);
-            net.step(&mut opt);
+            net.step(&mut opt).unwrap();
         }
         assert!(last < 0.02, "xor loss {last}");
         let y = net.forward(&x);
@@ -227,7 +236,7 @@ mod tests {
             let (_, grad) = mse(&y, &t).unwrap();
             net.zero_grad();
             net.backward(&grad);
-            net.step(&mut opt);
+            net.step(&mut opt).unwrap();
         }
         assert!(!net.params_finite());
     }

@@ -122,11 +122,20 @@ impl ParzenWindow {
 
     /// Mean log-likelihood of a test set (sklearn's `score` semantics over
     /// multiple samples, normalized by count).
-    pub fn mean_log_likelihood(&self, xs: &[f64]) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError::Empty`] for an empty test set and
+    /// [`FitError::Invalid`] if any test sample is non-finite — scoring
+    /// corrupted input must surface a typed error, not a silent `NaN`.
+    pub fn mean_log_likelihood(&self, xs: &[f64]) -> Result<f64, FitError> {
         if xs.is_empty() {
-            return 0.0;
+            return Err(FitError::Empty);
         }
-        xs.iter().map(|&x| self.log_density(x)).sum::<f64>() / xs.len() as f64
+        if let Some(&bad) = xs.iter().find(|x| !x.is_finite()) {
+            return Err(FitError::Invalid(bad));
+        }
+        Ok(xs.iter().map(|&x| self.log_density(x)).sum::<f64>() / xs.len() as f64)
     }
 
     /// Integrates the density over `[lo, hi]` with `steps` trapezoids;
@@ -199,9 +208,30 @@ mod tests {
     #[test]
     fn mean_log_likelihood_prefers_matching_data() {
         let kde = ParzenWindow::fit(&[0.0, 0.1, -0.1, 0.05], 0.1).unwrap();
-        let near = kde.mean_log_likelihood(&[0.0, 0.05]);
-        let far = kde.mean_log_likelihood(&[2.0, 3.0]);
+        let near = kde.mean_log_likelihood(&[0.0, 0.05]).unwrap();
+        let far = kde.mean_log_likelihood(&[2.0, 3.0]).unwrap();
         assert!(near > far);
+    }
+
+    #[test]
+    fn mean_log_likelihood_rejects_empty_input() {
+        let kde = ParzenWindow::fit(&[0.0, 0.1], 0.1).unwrap();
+        assert_eq!(kde.mean_log_likelihood(&[]), Err(FitError::Empty));
+    }
+
+    #[test]
+    fn mean_log_likelihood_rejects_non_finite_input() {
+        let kde = ParzenWindow::fit(&[0.0, 0.1], 0.1).unwrap();
+        assert!(matches!(
+            kde.mean_log_likelihood(&[0.0, f64::NAN]),
+            Err(FitError::Invalid(_))
+        ));
+        assert!(matches!(
+            kde.mean_log_likelihood(&[f64::INFINITY]),
+            Err(FitError::Invalid(_))
+        ));
+        // A finite set still scores.
+        assert!(kde.mean_log_likelihood(&[0.0]).unwrap().is_finite());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Cross-crate fault-tolerance tests: divergence recovery end-to-end,
+//! checkpoint/resume equivalence through the full pipeline, and graceful
+//! analysis of fault-injected capture.
+
+use gansec::{
+    CheckpointedTrainer, FaultTolerance, GanSecPipeline, LikelihoodAnalysis, PipelineConfig,
+    RecoveryPolicy, SecurityModel, SideChannelDataset,
+};
+use gansec_amsim::{
+    calibration_pattern, ConditionEncoding, CorruptionKind, FaultModel, PrinterSim,
+};
+use gansec_dsp::FrequencyBins;
+use gansec_gan::{CganConfig, OptimKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bins() -> FrequencyBins {
+    FrequencyBins::log_spaced(16, 50.0, 5000.0)
+}
+
+fn tmp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gansec_ft_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn diverging_training_recovers_end_to_end() {
+    // Real simulated capture, a deliberately explosive optimizer (raw SGD
+    // at an absurd rate, no gradient clipping), and a recovery policy
+    // damping hard enough to land at a sane rate: the run must complete
+    // with recovery events on record instead of dying with Diverged.
+    let sim = PrinterSim::printrbot_class();
+    let mut rng = StdRng::seed_from_u64(31);
+    let trace = sim.run(&calibration_pattern(2), &mut rng);
+    let ds = SideChannelDataset::from_trace(&trace, bins(), 1024, 512, ConditionEncoding::Simple3)
+        .expect("dataset");
+
+    let config = CganConfig::builder(ds.n_features(), 3)
+        .noise_dim(4)
+        .gen_hidden(vec![8])
+        .disc_hidden(vec![8])
+        .batch_size(8)
+        .learning_rate(1e250)
+        .optimizer(OptimKind::Sgd { momentum: 0.0 })
+        .grad_clip(None)
+        .build();
+    let mut model = SecurityModel::new(config, ConditionEncoding::Simple3, &mut rng);
+    let trainer = CheckpointedTrainer::new(20).with_policy(RecoveryPolicy {
+        max_retries: 3,
+        lr_backoff: 1e-252,
+        grad_clip: Some(1.0),
+    });
+    model
+        .train_fault_tolerant(&ds, 40, &trainer, &mut rng)
+        .expect("recovery must complete the run");
+
+    assert_eq!(model.history().len(), 40);
+    assert!(
+        !model.history().recoveries().is_empty(),
+        "a recovery event must be on record"
+    );
+    assert!(model
+        .history()
+        .records()
+        .iter()
+        .all(|r| r.d_loss.is_finite() && r.g_loss.is_finite()));
+    let first = model.history().recoveries()[0];
+    assert!(first.gen_lr <= 1e-1, "damped lr, got {}", first.gen_lr);
+    assert_eq!(first.grad_clip, Some(1.0));
+}
+
+#[test]
+fn resumed_pipeline_reproduces_uninterrupted_likelihoods() {
+    let seed = 77;
+    let cfg = PipelineConfig::smoke_test(); // 60 training iterations
+
+    // Uninterrupted fault-tolerant run to 60.
+    let full = GanSecPipeline::new(cfg.clone())
+        .run_fault_tolerant(seed, &FaultTolerance::every(20))
+        .expect("full run");
+
+    // The same run killed at 40, leaving a checkpoint behind...
+    let ckpt = tmp_dir().join("pipeline.ckpt.json");
+    let mut interrupted_cfg = cfg.clone();
+    interrupted_cfg.train_iterations = 40;
+    let ft = FaultTolerance::every(20).with_checkpoint_path(&ckpt);
+    GanSecPipeline::new(interrupted_cfg)
+        .run_fault_tolerant(seed, &ft)
+        .expect("interrupted run");
+
+    // ...then resumed to 60 from that checkpoint.
+    let ft = FaultTolerance::every(20).with_resume_from(&ckpt);
+    let resumed = GanSecPipeline::new(cfg)
+        .run_fault_tolerant(seed, &ft)
+        .expect("resumed run");
+    std::fs::remove_file(&ckpt).ok();
+
+    // Seed chaining makes the resumed run bit-identical.
+    assert_eq!(full.history, resumed.history);
+    assert_eq!(full.likelihood, resumed.likelihood);
+    assert_eq!(
+        full.confidentiality.leaks(),
+        resumed.confidentiality.leaks()
+    );
+}
+
+#[test]
+fn fault_injected_capture_screens_into_a_clean_analysis() {
+    let sim = PrinterSim::printrbot_class();
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // Design-time model trained on clean capture.
+    let clean = sim.run(&calibration_pattern(3), &mut rng);
+    let ds = SideChannelDataset::from_trace(&clean, bins(), 1024, 512, ConditionEncoding::Simple3)
+        .expect("clean dataset");
+    let (train, _) = ds.split_even_odd();
+    let mut model = SecurityModel::for_dataset(&train, &mut rng);
+    model.train(&train, 40, &mut rng).expect("training");
+
+    // Audit-time capture through a faulty sensor: dropouts and ADC
+    // saturation everywhere, NaN corruption confined to the first few
+    // segments (the whole-segment CWT smears one NaN over its segment).
+    let mut faulty = sim.run(&calibration_pattern(2), &mut rng);
+    let sample_rate = faulty.sample_rate;
+    let benign = FaultModel {
+        dropout_per_s: 2.0,
+        dropout_len_s: 0.01,
+        clip_level: Some(0.5),
+        corruption_prob: 0.0,
+        corruption: CorruptionKind::Zero,
+    };
+    let benign_report = benign.apply_to_trace(&mut faulty, &mut rng);
+    assert!(benign_report.dropout_samples > 0 || benign_report.clipped_samples > 0);
+    assert!(faulty.segments.len() > 3);
+    let span = faulty.segments[0].audio_start..faulty.segments[2].audio_end;
+    let corrupting = FaultModel {
+        corruption_prob: 0.01,
+        corruption: CorruptionKind::NonFinite,
+        ..FaultModel::none()
+    };
+    let corrupt_report = corrupting.apply(&mut faulty.audio[span], sample_rate, &mut rng);
+    assert!(corrupt_report.corrupted_samples > 0);
+
+    // Screening drops the poisoned frames with a typed report...
+    let (screened, screen) = SideChannelDataset::from_trace_screened(
+        &faulty,
+        bins(),
+        1024,
+        512,
+        ConditionEncoding::Simple3,
+        gansec_dsp::AnalysisKind::Cwt,
+        gansec::EmissionChannel::Acoustic,
+    )
+    .expect("screened dataset");
+    assert!(screen.dropped_frames > 0, "{screen:?}");
+    assert!(screen.kept_frames > 0);
+    assert!(screen.dropped_fraction() < 1.0);
+
+    // ...and Algorithm 3 on the survivors stays finite and clean.
+    let report = LikelihoodAnalysis::new(0.2, 50, vec![0]).analyze(&mut model, &screened, &mut rng);
+    assert!(report.warnings.is_clean(), "{:?}", report.warnings);
+    for c in &report.conditions {
+        assert!(c.avg_cor.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(c.avg_inc.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+}
