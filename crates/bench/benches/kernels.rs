@@ -112,6 +112,51 @@ fn bench_cgan_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dense/backprop matrix products at CGAN layer sizes (batch 32,
+/// 103-wide conditioned input, 128-wide hidden layer): the blocked
+/// kernel, the explicit transpose round-trip it replaced, and the fused
+/// variants `nn::dense` now uses.
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let (m, k, n) = (32usize, 103usize, 128usize);
+    let x = Matrix::from_fn(m, k, |r, cc| ((r * k + cc) as f64 * 0.618).sin());
+    let w = Matrix::from_fn(k, n, |r, cc| ((r * n + cc) as f64 * 0.414).cos());
+    let g = Matrix::from_fn(m, n, |r, cc| ((r * n + cc) as f64 * 0.27).sin());
+
+    group.bench_function("blocked_32x103x128", |b| {
+        b.iter(|| black_box(black_box(&x).matmul(black_box(&w)).expect("shapes")))
+    });
+    group.bench_function("transpose_then_matmul", |b| {
+        b.iter(|| {
+            black_box(
+                black_box(&x)
+                    .transpose()
+                    .matmul(black_box(&g))
+                    .expect("shapes"),
+            )
+        })
+    });
+    group.bench_function("fused_transpose_a", |b| {
+        b.iter(|| {
+            black_box(
+                black_box(&x)
+                    .matmul_transpose_a(black_box(&g))
+                    .expect("shapes"),
+            )
+        })
+    });
+    group.bench_function("fused_transpose_b", |b| {
+        b.iter(|| {
+            black_box(
+                black_box(&g)
+                    .matmul_transpose_b(black_box(&w))
+                    .expect("shapes"),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_parzen(c: &mut Criterion) {
     let mut group = c.benchmark_group("parzen");
     let samples: Vec<f64> = (0..500).map(|i| (i as f64 * 0.171).sin().abs()).collect();
@@ -119,6 +164,44 @@ fn bench_parzen(c: &mut Criterion) {
     group.bench_function("score_500_support", |b| {
         b.iter(|| black_box(kde.log_density(black_box(0.42))))
     });
+    // Batched scoring of a full held-out feature column (Algorithm 3's
+    // access pattern) through the allocation-free batch entry point.
+    let queries: Vec<f64> = (0..600).map(|i| (i as f64 * 0.093).cos().abs()).collect();
+    group.bench_function("batched_600_queries", |b| {
+        b.iter(|| black_box(kde.log_densities(black_box(&queries))))
+    });
+    group.bench_function("scalar_600_queries", |b| {
+        b.iter(|| {
+            let v: Vec<f64> = queries.iter().map(|&q| kde.log_density(q)).collect();
+            black_box(v)
+        })
+    });
+    group.finish();
+}
+
+/// Thread-count scaling of the parallel sections (CWT feature
+/// extraction). Thread counts are forced through the override so the
+/// comparison is meaningful even where `available_parallelism` is 1.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    let fs = 12_000.0;
+    let signal: Vec<f64> = (0..(2 * fs as usize))
+        .map(|i| (std::f64::consts::TAU * 900.0 * i as f64 / fs).sin())
+        .collect();
+    let extractor = FeatureExtractor::new(
+        FrequencyBins::log_spaced(48, 50.0, 5000.0),
+        1024,
+        512,
+        ScalingKind::MinMax,
+    );
+    for threads in [1usize, 2, 4] {
+        gansec_parallel::set_threads(threads);
+        group.bench_function(format!("cwt_features_{threads}_threads"), |b| {
+            b.iter(|| black_box(extractor.extract(black_box(&signal), fs)))
+        });
+    }
+    gansec_parallel::set_threads(0);
     group.finish();
 }
 
@@ -144,7 +227,9 @@ criterion_group!(
     bench_gcode,
     bench_algorithm1,
     bench_cgan_step,
+    bench_matmul,
     bench_parzen,
+    bench_parallel_scaling,
     bench_simulation
 );
 criterion_main!(benches);

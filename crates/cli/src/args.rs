@@ -36,21 +36,39 @@ impl fmt::Display for ArgError {
 
 impl Error for ArgError {}
 
-/// Parsed `--flag value` pairs plus the `-h`/`--help` marker.
+/// Parsed `--flag value` pairs, boolean switches, and the `-h`/`--help`
+/// marker.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ParsedArgs {
     flags: HashMap<String, String>,
+    switches: Vec<String>,
     help: bool,
 }
 
 impl ParsedArgs {
-    /// Parses everything after the command word.
+    /// Parses everything after the command word; every `--flag` takes a
+    /// value.
     ///
     /// # Errors
     ///
     /// Returns [`ArgError`] for dangling flags or stray positionals.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        Self::parse_with_switches(args, &[])
+    }
+
+    /// Parses everything after the command word, treating each name in
+    /// `switches` as a valueless boolean flag (e.g. `--smoke`) and every
+    /// other `--flag` as taking a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for dangling flags or stray positionals.
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(
+        args: I,
+        switches: &[&str],
+    ) -> Result<Self, ArgError> {
         let mut flags = HashMap::new();
+        let mut seen_switches = Vec::new();
         let mut help = false;
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
@@ -59,6 +77,10 @@ impl ParsedArgs {
                 continue;
             }
             if let Some(name) = arg.strip_prefix("--") {
+                if switches.contains(&name) {
+                    seen_switches.push(name.to_string());
+                    continue;
+                }
                 let value = iter
                     .next()
                     .ok_or_else(|| ArgError::MissingValue(arg.clone()))?;
@@ -67,7 +89,17 @@ impl ParsedArgs {
                 return Err(ArgError::UnexpectedPositional(arg));
             }
         }
-        Ok(Self { flags, help })
+        Ok(Self {
+            flags,
+            switches: seen_switches,
+            help,
+        })
+    }
+
+    /// Whether the boolean switch `name` was given (only meaningful for
+    /// names passed to [`ParsedArgs::parse_with_switches`]).
+    pub fn has_switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 
     /// Whether `-h`/`--help` was given.
@@ -127,6 +159,25 @@ mod tests {
     fn help_markers() {
         assert!(parse(&["-h"]).unwrap().wants_help());
         assert!(parse(&["--help"]).unwrap().wants_help());
+    }
+
+    #[test]
+    fn switches_parse_without_values() {
+        let a = ParsedArgs::parse_with_switches(
+            ["--smoke", "--out", "x.json"].iter().map(|s| s.to_string()),
+            &["smoke"],
+        )
+        .unwrap();
+        assert!(a.has_switch("smoke"));
+        assert!(!a.has_switch("out"));
+        assert_eq!(a.get("out"), Some("x.json"));
+        // A declared switch never consumes the next token.
+        let b = ParsedArgs::parse_with_switches(
+            ["--smoke"].iter().map(|s| s.to_string()),
+            &["smoke"],
+        )
+        .unwrap();
+        assert!(b.has_switch("smoke"));
     }
 
     #[test]

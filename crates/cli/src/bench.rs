@@ -1,0 +1,274 @@
+//! The `gansec bench` subcommand: a pinned-seed macro-benchmark tracking
+//! the perf trajectory of the hot kernels and the Algorithm 1-3 pipeline.
+//!
+//! Writes `BENCH_pipeline.json` (schema below) so successive PRs can
+//! compare like-for-like numbers. `--smoke` shrinks every workload to
+//! validate the schema and plumbing in well under a second — CI runs
+//! that mode, where timing noise must not gate the build.
+//!
+//! The JSON is assembled with `format!` so the report stays dependency-
+//! free; the schema is pinned by `SCHEMA_VERSION` and the
+//! `bench_smoke_schema` test.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gansec::{GanSecPipeline, LikelihoodAnalysis, PipelineConfig, SecurityModel};
+use gansec_dsp::{FeatureExtractor, FrequencyBins, ScalingKind};
+use gansec_tensor::Matrix;
+
+use crate::{ExitCode, ParsedArgs};
+
+/// Bumped whenever a field is added, removed, or renamed.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Pinned seed: every run of the same binary benches the same workload.
+const BENCH_SEED: u64 = 42;
+
+/// Runs the macro-benchmark and writes the JSON report.
+///
+/// Flags: `--smoke` (tiny workloads, schema validation only), `--out
+/// <file>` (default `BENCH_pipeline.json`), `--threads <n>` (handled
+/// globally in `main`, echoed into the report).
+///
+/// # Errors
+///
+/// Returns a message if the report file cannot be written or the
+/// pipeline workload fails to build.
+pub fn bench(args: &ParsedArgs) -> Result<ExitCode, String> {
+    let smoke = args.has_switch("smoke");
+    let out_path = args.get("out").unwrap_or("BENCH_pipeline.json");
+    let report = run(smoke)?;
+    std::fs::write(out_path, &report).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(ExitCode::Ok)
+}
+
+/// Runs every section and renders the JSON document.
+pub fn run(smoke: bool) -> Result<String, String> {
+    let threads = gansec_parallel::threads();
+    let hardware = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let matmul = bench_matmul(smoke);
+    let train = bench_train_step(smoke)?;
+    let analyze = bench_analyze(smoke)?;
+    let features = bench_features(smoke);
+
+    Ok(format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"mode\": \"{mode}\",\n  \"seed\": {BENCH_SEED},\n  \"threads\": {threads},\n  \"available_parallelism\": {hardware},\n  \"parallel_feature\": {parallel},\n  \"matmul\": {matmul},\n  \"train_step\": {train},\n  \"analyze\": {analyze},\n  \"features\": {features}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        parallel = gansec_parallel::parallel_enabled(),
+    ))
+}
+
+/// Milliseconds elapsed by the fastest of `reps` runs of `f` (best-of
+/// timing rejects scheduler noise better than averaging).
+fn best_of_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// The seed kernel this PR replaced: materialized transpose plus an
+/// index-arithmetic ikj product with a zero-skip branch per inner
+/// product. Kept here as the fixed baseline the fused kernels are
+/// measured against.
+fn seed_transpose_matmul(x: &Matrix, g: &Matrix) -> Matrix {
+    let xt = x.transpose();
+    let (rows, inner, cols) = (xt.rows(), xt.cols(), g.cols());
+    let mut out = vec![0.0; rows * cols];
+    let a = xt.as_slice();
+    let b = g.as_slice();
+    for i in 0..rows {
+        let out_row = i * cols;
+        for k in 0..inner {
+            let av = a[i * inner + k];
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = k * cols;
+            for j in 0..cols {
+                out[out_row + j] += av * b[b_row + j];
+            }
+        }
+    }
+    Matrix::from_vec(rows, cols, out).expect("shape by construction")
+}
+
+/// Backprop-shaped product at CGAN layer sizes: `xᵀ·g` with a 32-row
+/// batch, 103-wide input (100 features + 3 conditions) and 128-wide
+/// hidden layer.
+fn bench_matmul(smoke: bool) -> String {
+    let (m, k, n, reps) = if smoke {
+        (8, 13, 16, 2)
+    } else {
+        (32, 103, 128, 400)
+    };
+    let x = Matrix::from_fn(m, k, |r, c| ((r * k + c) as f64 * 0.618).sin());
+    let g = Matrix::from_fn(m, n, |r, c| ((r * n + c) as f64 * 0.414).cos());
+
+    let naive_ms = best_of_ms(reps, || {
+        std::hint::black_box(seed_transpose_matmul(
+            std::hint::black_box(&x),
+            std::hint::black_box(&g),
+        ));
+    });
+    let fused_ms = best_of_ms(reps, || {
+        std::hint::black_box(
+            std::hint::black_box(&x)
+                .matmul_transpose_a(std::hint::black_box(&g))
+                .expect("shapes match"),
+        );
+    });
+    format!(
+        "{{ \"m\": {m}, \"k\": {k}, \"n\": {n}, \"reps\": {reps}, \"seed_transpose_ms\": {naive_ms:.6}, \"fused_ms\": {fused_ms:.6}, \"speedup\": {:.3} }}",
+        naive_ms / fused_ms.max(1e-12)
+    )
+}
+
+/// A small simulated side-channel workload shared by the macro sections.
+fn workload(smoke: bool) -> PipelineConfig {
+    let mut cfg = PipelineConfig::smoke_test();
+    if smoke {
+        cfg.train_iterations = 5;
+        cfg.gsize = 10;
+    } else {
+        cfg.n_bins = 48;
+        cfg.moves_per_axis = 4;
+        cfg.train_iterations = 150;
+        cfg.gsize = 400;
+        cfg.n_top_features = 4;
+    }
+    cfg
+}
+
+/// Algorithm 2 throughput: wall time of a fixed training run.
+fn bench_train_step(smoke: bool) -> Result<String, String> {
+    let cfg = workload(smoke);
+    let pipeline = GanSecPipeline::new(cfg.clone());
+    let t = Instant::now();
+    let outcome = pipeline.run(BENCH_SEED).map_err(|e| e.to_string())?;
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let iters = outcome.history.len();
+    Ok(format!(
+        "{{ \"iterations\": {iters}, \"pipeline_ms\": {ms:.3}, \"steps_per_sec\": {:.2} }}",
+        iters as f64 / (ms / 1e3).max(1e-12)
+    ))
+}
+
+/// Algorithm 3 wall time, serial vs. the configured thread count.
+fn bench_analyze(smoke: bool) -> Result<String, String> {
+    let cfg = workload(smoke);
+    let pipeline = GanSecPipeline::new(cfg.clone());
+    let outcome = pipeline.run(BENCH_SEED).map_err(|e| e.to_string())?;
+    let mut model: SecurityModel = outcome.model;
+    let test = outcome.test;
+    let top = outcome.train.top_feature_indices(cfg.n_top_features);
+    let analysis = LikelihoodAnalysis::new(cfg.h, cfg.gsize, top);
+
+    let requested = gansec_parallel::threads();
+    let reps = if smoke { 1 } else { 3 };
+    gansec_parallel::set_threads(1);
+    let serial_ms = best_of_ms(reps, || {
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+        std::hint::black_box(analysis.analyze(&mut model, &test, &mut rng));
+    });
+    gansec_parallel::set_threads(requested);
+    let parallel_ms = best_of_ms(reps, || {
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+        std::hint::black_box(analysis.analyze(&mut model, &test, &mut rng));
+    });
+    gansec_parallel::set_threads(0);
+
+    Ok(format!(
+        "{{ \"test_frames\": {frames}, \"gsize\": {gsize}, \"features\": {features}, \"serial_ms\": {serial_ms:.3}, \"parallel_ms\": {parallel_ms:.3}, \"threads\": {requested}, \"speedup\": {speedup:.3} }}",
+        frames = test.len(),
+        gsize = cfg.gsize,
+        features = cfg.n_top_features,
+        speedup = serial_ms / parallel_ms.max(1e-12),
+    ))
+}
+
+/// CWT feature-extraction throughput in frames per second.
+fn bench_features(smoke: bool) -> String {
+    let (n_bins, seconds) = if smoke { (8, 0.5) } else { (48, 4.0) };
+    let fs = 16_000.0;
+    let n = (fs * seconds) as usize;
+    // Deterministic multi-tone test signal (no RNG: identical across runs).
+    let signal: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            (std::f64::consts::TAU * 440.0 * t).sin() + 0.5 * (std::f64::consts::TAU * 1320.0 * t).sin()
+        })
+        .collect();
+    let fx = FeatureExtractor::new(
+        FrequencyBins::log_spaced(n_bins, 50.0, 5000.0),
+        1024,
+        512,
+        ScalingKind::MinMax,
+    );
+    let reps = if smoke { 1 } else { 3 };
+    let mut frames = 0usize;
+    let ms = best_of_ms(reps, || {
+        let fm = fx.extract(std::hint::black_box(&signal), fs);
+        frames = fm.n_rows();
+        std::hint::black_box(fm);
+    });
+    format!(
+        "{{ \"samples\": {n}, \"bins\": {n_bins}, \"frames\": {frames}, \"extract_ms\": {ms:.3}, \"frames_per_sec\": {:.1} }}",
+        frames as f64 / (ms / 1e3).max(1e-12)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke_schema() {
+        let json = run(true).unwrap();
+        // Every schema key must appear; a rename without a version bump
+        // breaks the perf trajectory.
+        for key in [
+            "\"schema_version\"",
+            "\"mode\"",
+            "\"seed\"",
+            "\"threads\"",
+            "\"available_parallelism\"",
+            "\"parallel_feature\"",
+            "\"matmul\"",
+            "\"speedup\"",
+            "\"train_step\"",
+            "\"steps_per_sec\"",
+            "\"analyze\"",
+            "\"serial_ms\"",
+            "\"parallel_ms\"",
+            "\"features\"",
+            "\"frames_per_sec\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"mode\": \"smoke\""));
+        // Balanced braces: structurally valid JSON for this flat schema.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn seed_baseline_matches_fused_kernel() {
+        let x = Matrix::from_fn(6, 5, |r, c| (r as f64 - c as f64) * 0.3);
+        let g = Matrix::from_fn(6, 4, |r, c| (r * 4 + c) as f64 * 0.1);
+        let baseline = seed_transpose_matmul(&x, &g);
+        let fused = x.matmul_transpose_a(&g).unwrap();
+        for (a, b) in baseline.as_slice().iter().zip(fused.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 mod args;
+pub mod bench;
 pub mod commands;
 
 pub use args::{ArgError, ParsedArgs};
@@ -55,12 +56,19 @@ COMMANDS:
                                   check a suspect program's emission against
                                   the benign program's claims
     reconstruct [--gcode <file>]  simulate an eavesdropper recovering commands
+    bench     [--smoke] [--out <file>]
+                                  pinned-seed macro-benchmark of the hot
+                                  kernels and pipeline; writes
+                                  BENCH_pipeline.json (--smoke: tiny
+                                  workloads for schema validation)
 
 COMMON FLAGS:
     --seed <u64>       RNG seed (default 42)
     --iters <n>        CGAN training iterations (default 600)
     --bins <n>         frequency bins (default 48)
     --moves <n>        calibration moves per axis for training (default 5)
+    --threads <n>      worker threads for parallel sections (default: all
+                       cores; 1 forces serial execution)
     -h, --help         this text
 
 FAULT TOLERANCE (audit):

@@ -1,6 +1,6 @@
 //! The `gansec` command-line entry point.
 
-use gansec_cli::{commands, usage, ExitCode, ParsedArgs};
+use gansec_cli::{bench, commands, usage, ExitCode, ParsedArgs};
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -13,7 +13,7 @@ fn main() {
         std::process::exit(ExitCode::Ok.status());
     }
 
-    let args = match ParsedArgs::parse(argv) {
+    let args = match ParsedArgs::parse_with_switches(argv, &["smoke"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -26,12 +26,23 @@ fn main() {
         std::process::exit(ExitCode::Ok.status());
     }
 
+    // Global `--threads <n>`: caps the worker pool for every parallel
+    // section; `--threads 1` forces fully serial execution.
+    match args.get_parsed::<usize>("threads", 0) {
+        Ok(n) => gansec_parallel::set_threads(n),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(ExitCode::Usage.status());
+        }
+    }
+
     let result = match command.as_str() {
         "graph" => commands::graph(&args),
         "simulate" => commands::simulate(&args),
         "audit" => commands::audit(&args),
         "detect" => commands::detect(&args),
         "reconstruct" => commands::reconstruct(&args),
+        "bench" => bench::bench(&args),
         other => {
             eprintln!("error: unknown command {other:?}");
             eprint!("{}", usage());

@@ -132,19 +132,29 @@ impl LikelihoodAnalysis {
                     avg_inc.push(0.0);
                     continue;
                 };
+                // Lines 7-14: score each (finite) test sample. Frames
+                // are scored independently in parallel, then reduced
+                // serially in frame order — the same accumulation order
+                // as a serial loop, so the report is bit-identical at
+                // every thread count (collect-then-reduce, never shared
+                // float accumulators).
+                let scored: Vec<Option<(f64, bool)>> =
+                    gansec_parallel::par_map_indexed(frame_ok.len(), |l| {
+                        if !frame_ok[l] {
+                            return None;
+                        }
+                        let x = test.features()[(l, ft)];
+                        let like = kde.windowed_likelihood(x);
+                        let label = test.conds().row(l);
+                        let is_correct =
+                            label.iter().zip(&cond).all(|(&a, &b)| (a - b).abs() < 1e-9);
+                        Some((like, is_correct))
+                    });
                 let mut cor = 0.0;
                 let mut cor_n = 0usize;
                 let mut inc = 0.0;
                 let mut inc_n = 0usize;
-                // Lines 7-14: score each (finite) test sample.
-                for (l, ok) in frame_ok.iter().enumerate() {
-                    if !ok {
-                        continue;
-                    }
-                    let x = test.features()[(l, ft)];
-                    let like = kde.windowed_likelihood(x);
-                    let label = test.conds().row(l);
-                    let is_correct = label.iter().zip(&cond).all(|(&a, &b)| (a - b).abs() < 1e-9);
+                for (like, is_correct) in scored.into_iter().flatten() {
                     if is_correct {
                         cor += like;
                         cor_n += 1;

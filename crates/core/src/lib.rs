@@ -63,7 +63,8 @@ pub use estimator::GCodeEstimator;
 pub use model::{ModelError, SecurityModel};
 pub use persist::{load_report, save_report, PersistError};
 pub use pipeline::{
-    FaultTolerance, GanSecPipeline, PipelineConfig, PipelineError, PipelineOutcome,
+    FaultTolerance, FlowPairRun, GanSecPipeline, MultiPairOutcome, PipelineConfig, PipelineError,
+    PipelineOutcome,
 };
 pub use report::{ConditionVerdict, ConfidentialityReport, TableOneRow};
 

@@ -10,7 +10,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use gansec_amsim::{calibration_pattern, printer_architecture, ConditionEncoding, PrinterSim};
-use gansec_cpps::FlowPairList;
+use gansec_cpps::{FlowPair, FlowPairList};
 use gansec_dsp::FrequencyBins;
 use gansec_gan::{
     CganConfig, CheckpointError, CheckpointedTrainer, RecoveryPolicy, TrainingCheckpoint,
@@ -335,6 +335,60 @@ impl GanSecPipeline {
         self.finish(prepared, model, &mut rng)
     }
 
+    /// Trains one independent [`SecurityModel`] per modeled flow pair,
+    /// fanning the pairs out across threads (the paper's Figure 4 loops
+    /// Algorithm 2-3 over every `(F_1, F_2)` pair Algorithm 1 emits).
+    ///
+    /// Steps 1-3 run once, serially, exactly as in
+    /// [`GanSecPipeline::run`]. Each pair then trains and analyzes under
+    /// its own RNG seeded from `(seed, pair index)` — never from shared
+    /// mutable state — so the outcome is bit-identical at every thread
+    /// count and matches a serial loop over the pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if the workload is too small to frame or
+    /// any pair's training diverges.
+    pub fn run_multi_pair(&self, seed: u64) -> Result<MultiPairOutcome, PipelineError> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prepared = self.prepare(&mut rng)?;
+        let pairs: Vec<FlowPair> = prepared.modeled_pairs.iter().cloned().collect();
+
+        let runs: Vec<Result<FlowPairRun, PipelineError>> =
+            gansec_parallel::par_map_indexed(pairs.len(), |i| {
+                let pair_seed = derive_pair_seed(seed, i);
+                let mut pair_rng = StdRng::seed_from_u64(pair_seed);
+                let mut model = SecurityModel::new(cfg.cgan_config(), cfg.encoding, &mut pair_rng);
+                model.train(&prepared.train, cfg.train_iterations, &mut pair_rng)?;
+                let history = model.history().clone();
+                let top = prepared.train.top_feature_indices(cfg.n_top_features);
+                let analysis = LikelihoodAnalysis::new(cfg.h, cfg.gsize, top);
+                let likelihood = analysis.analyze(&mut model, &prepared.test, &mut pair_rng);
+                let confidentiality =
+                    ConfidentialityReport::from_likelihoods(&likelihood, cfg.margin_threshold);
+                Ok(FlowPairRun {
+                    pair_index: i,
+                    pair: pairs[i].clone(),
+                    seed: pair_seed,
+                    history,
+                    model,
+                    likelihood,
+                    confidentiality,
+                })
+            });
+        let per_pair = runs.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+        Ok(MultiPairOutcome {
+            graph_dot: prepared.graph_dot,
+            candidate_pairs: prepared.candidate_pairs,
+            modeled_pairs: prepared.modeled_pairs,
+            train_len: prepared.train.len(),
+            test_len: prepared.test.len(),
+            per_pair,
+        })
+    }
+
     /// Steps 1-3: architecture and flow pairs, workload simulation,
     /// dataset construction and split. Deterministic in the state of
     /// `rng`.
@@ -407,6 +461,53 @@ impl GanSecPipeline {
     }
 }
 
+/// Splitmix64-style mix of the run seed and a pair index: statistically
+/// independent per-pair streams that depend only on `(seed, idx)`, never
+/// on scheduling.
+fn derive_pair_seed(seed: u64, idx: usize) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(idx as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One flow pair's independently trained model and analysis, from
+/// [`GanSecPipeline::run_multi_pair`].
+#[derive(Debug, Clone)]
+pub struct FlowPairRun {
+    /// Index into [`MultiPairOutcome::modeled_pairs`].
+    pub pair_index: usize,
+    /// The modeled `(F_1, F_2)` flow pair.
+    pub pair: FlowPair,
+    /// The derived seed this pair trained under.
+    pub seed: u64,
+    /// Training losses for this pair's model.
+    pub history: TrainingHistory,
+    /// The trained model.
+    pub model: SecurityModel,
+    /// Algorithm 3 output for this pair.
+    pub likelihood: LikelihoodReport,
+    /// Derived confidentiality verdicts.
+    pub confidentiality: ConfidentialityReport,
+}
+
+/// Everything [`GanSecPipeline::run_multi_pair`] produces.
+#[derive(Debug, Clone)]
+pub struct MultiPairOutcome {
+    /// Graphviz DOT of `G_CPPS`.
+    pub graph_dot: String,
+    /// All Algorithm 1 candidate flow pairs.
+    pub candidate_pairs: FlowPairList,
+    /// The pairs actually modeled, in [`MultiPairOutcome::per_pair`] order.
+    pub modeled_pairs: FlowPairList,
+    /// Labeled frames used for training.
+    pub train_len: usize,
+    /// Labeled frames held out for Algorithm 3.
+    pub test_len: usize,
+    /// One independently trained and analyzed run per modeled pair.
+    pub per_pair: Vec<FlowPairRun>,
+}
+
 /// Output of pipeline steps 1-3.
 struct Prepared {
     graph_dot: String,
@@ -448,6 +549,40 @@ mod tests {
             a.likelihood.conditions[0].avg_cor,
             b.likelihood.conditions[0].avg_cor
         );
+    }
+
+    #[test]
+    fn multi_pair_run_trains_one_model_per_pair() {
+        let mut cfg = PipelineConfig::smoke_test();
+        cfg.train_iterations = 20;
+        let outcome = GanSecPipeline::new(cfg).run_multi_pair(42).unwrap();
+        assert_eq!(outcome.per_pair.len(), outcome.modeled_pairs.len());
+        assert_eq!(outcome.per_pair.len(), 3, "gcode -> X/Y/Z acoustics");
+        let mut seeds = Vec::new();
+        for (i, run) in outcome.per_pair.iter().enumerate() {
+            assert_eq!(run.pair_index, i);
+            assert_eq!(run.history.len(), 20);
+            assert_eq!(run.likelihood.conditions.len(), 3);
+            seeds.push(run.seed);
+        }
+        seeds.dedup();
+        assert_eq!(seeds.len(), 3, "pair seeds must differ");
+    }
+
+    #[test]
+    fn multi_pair_run_is_deterministic_per_seed() {
+        let mut cfg = PipelineConfig::smoke_test();
+        cfg.train_iterations = 15;
+        let p = GanSecPipeline::new(cfg);
+        let a = p.run_multi_pair(7).unwrap();
+        let b = p.run_multi_pair(7).unwrap();
+        for (ra, rb) in a.per_pair.iter().zip(&b.per_pair) {
+            assert_eq!(ra.seed, rb.seed);
+            assert_eq!(
+                ra.likelihood.conditions[0].avg_cor,
+                rb.likelihood.conditions[0].avg_cor
+            );
+        }
     }
 
     #[test]

@@ -102,8 +102,11 @@ impl MorletCwt {
             .collect();
 
         let norm_pi = std::f64::consts::PI.powf(-0.25);
-        let mut magnitudes = Vec::with_capacity(self.frequencies_hz.len());
-        for &f in &self.frequencies_hz {
+        // Each frequency row is an independent daughter-wavelet product +
+        // inverse FFT over the shared spectrum, so rows fan out across
+        // threads; results are stitched in declaration order, identical
+        // to the serial loop.
+        let magnitudes = gansec_parallel::par_map(&self.frequencies_hz, |&f| {
             let s = self.frequency_to_scale(f);
             let norm = (std::f64::consts::TAU * s / dt).sqrt() * norm_pi;
             let mut prod = vec![Complex::ZERO; m];
@@ -117,8 +120,8 @@ impl MorletCwt {
                 }
             }
             let coeffs = ifft(&prod);
-            magnitudes.push(coeffs[..n].iter().map(Complex::abs).collect());
-        }
+            coeffs[..n].iter().map(Complex::abs).collect()
+        });
         Scalogram {
             frequencies_hz: self.frequencies_hz.clone(),
             magnitudes,

@@ -285,12 +285,12 @@ impl FeatureExtractor {
     fn extract_cwt_rows(&self, signal: &[f64], sample_rate: f64, n_frames: usize) -> Vec<Vec<f64>> {
         let cwt = MorletCwt::standard(self.bins.centers());
         let scal = cwt.transform(signal, sample_rate);
-        (0..n_frames)
-            .map(|f| {
-                let start = f * self.hop;
-                scal.mean_per_frequency_in(start, start + self.frame_len)
-            })
-            .collect()
+        // Per-frame rows are independent reads of the shared scalogram;
+        // fan out over frames and stitch in frame order.
+        gansec_parallel::par_map_indexed(n_frames, |f| {
+            let start = f * self.hop;
+            scal.mean_per_frequency_in(start, start + self.frame_len)
+        })
     }
 
     fn extract_stft_rows(

@@ -82,6 +82,10 @@ impl Dense {
     /// Backward pass: accumulates parameter gradients and returns the
     /// gradient with respect to the layer input.
     ///
+    /// Both products route through the transpose-fused matmul variants,
+    /// so no transposed copy of the input or the weights is materialized
+    /// and the weight gradient accumulates directly into `grad_weight`.
+    ///
     /// # Panics
     ///
     /// Panics if called before [`Dense::forward`] or with a gradient whose
@@ -91,14 +95,11 @@ impl Dense {
             .cached_input
             .as_ref()
             .expect("dense backward called before forward");
-        let gw = x
-            .transpose()
-            .matmul(grad_output)
+        x.matmul_transpose_a_acc(grad_output, &mut self.grad_weight)
             .expect("dense backward: grad shape mismatch");
-        self.grad_weight += &gw;
         self.grad_bias += &grad_output.sum_rows();
         grad_output
-            .matmul(&self.weight.transpose())
+            .matmul_transpose_b(&self.weight)
             .expect("dense backward: grad shape mismatch")
     }
 

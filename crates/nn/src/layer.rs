@@ -84,8 +84,9 @@ impl Layer {
                     .as_ref()
                     .expect("activation backward called before forward");
                 let a = *act;
-                x.map(|v| a.derivative(v))
-                    .hadamard(grad_output)
+                // Single fused pass: one allocation instead of the
+                // derivative matrix plus a hadamard product.
+                x.zip_map(grad_output, |v, g| a.derivative(v) * g)
                     .expect("activation backward: grad shape mismatch")
             }
             Layer::Dropout(d) => d.backward(grad_output),

@@ -1,0 +1,278 @@
+//! Deterministic fork-join parallelism for the GAN-Sec workspace.
+//!
+//! Every numeric stage this crate parallelizes — matmul rows, CWT
+//! frequency rows, per-frame Parzen scoring, per-flow-pair training — is
+//! *embarrassingly parallel and order-independent*: each output slot is a
+//! pure function of its index. The combinators here exploit exactly that
+//! shape and nothing more:
+//!
+//! * work is split into **contiguous index ranges**, one per worker;
+//! * each worker writes only its own range (or returns its own `Vec`);
+//! * results are stitched back together **in index order**.
+//!
+//! There are no atomic float accumulations and no work stealing, so a run
+//! with `N` threads produces *bit-identical* output to a run with one
+//! thread — the determinism guarantee the checkpoint/resume machinery
+//! (PR 1) and the serial-vs-parallel equivalence tests rely on. Callers
+//! that need a *reduction* (sums, averages) must collect per-index values
+//! first and reduce serially in index order ("collect-then-reduce");
+//! [`par_map`] and [`par_map_indexed`] give them the collected vector.
+//!
+//! Built on `std::thread::scope` only — no external dependencies — and
+//! feature-gated: with `--no-default-features` (or `parallel` off) every
+//! combinator degrades to an inline serial loop with identical results.
+//!
+//! # Thread-count resolution
+//!
+//! 1. [`set_threads`] (the CLI's `--threads` flag) when non-zero;
+//! 2. the `GANSEC_THREADS` environment variable when set and non-zero;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With the `parallel` feature disabled the answer is always 1.
+//!
+//! # Example
+//!
+//! ```
+//! // Squares computed across threads, returned in index order.
+//! let squares = gansec_parallel::par_map_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `0` means "not overridden": fall back to the environment, then to the
+/// hardware count.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count for all subsequent parallel calls
+/// (the CLI's `--threads` flag). Passing `0` clears the override and
+/// restores automatic detection. Results never depend on this value —
+/// only wall-clock time does.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The number of worker threads parallel calls will use right now.
+///
+/// Always at least 1; exactly 1 when the `parallel` feature is disabled.
+pub fn threads() -> usize {
+    if !cfg!(feature = "parallel") {
+        return 1;
+    }
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("GANSEC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Whether the parallel execution layer is compiled in.
+pub fn parallel_enabled() -> bool {
+    cfg!(feature = "parallel")
+}
+
+/// Splits `n` items into at most `workers` contiguous `(start, end)`
+/// ranges of near-equal length, in index order. Empty when `n == 0`.
+fn split_ranges(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = workers.max(1).min(n);
+    let mut ranges = Vec::with_capacity(workers);
+    let base = n / workers.max(1);
+    let extra = n % workers.max(1);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// `f` must be a pure function of its index for the parallel and serial
+/// paths to agree — which they then do bit-exactly, because each index's
+/// result is computed by exactly the same code and placed by position.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = threads();
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let ranges = split_ranges(n, workers);
+    let mut chunks: Vec<Vec<U>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len().saturating_sub(1));
+        let mut iter = ranges.iter();
+        // The calling thread takes the first range instead of idling.
+        let first = iter.next().copied();
+        for &(start, end) in iter {
+            let f = &f;
+            handles.push(scope.spawn(move || (start..end).map(f).collect::<Vec<U>>()));
+        }
+        if let Some((start, end)) = first {
+            chunks.push((start..end).map(&f).collect());
+        }
+        for h in handles {
+            chunks.push(h.join().expect("gansec-parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Maps `f` over a slice, returning results in item order. See
+/// [`par_map_indexed`] for the determinism contract.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Fills disjoint contiguous chunks of `data` in parallel.
+///
+/// `data` is split at multiples of `chunk_len` (the final chunk may be
+/// shorter) and `f(chunk_index, chunk)` is invoked exactly once per
+/// chunk, distributed over contiguous chunk ranges per worker. Used by
+/// the matmul kernels to write output rows in place without collecting
+/// row vectors.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` while `data` is non-empty.
+pub fn par_fill_chunks<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = threads();
+    if workers <= 1 || n_chunks <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let ranges = split_ranges(n_chunks, workers);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for &(start, end) in &ranges {
+            let len = ((end - start) * chunk_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                for (i, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                    f(start + i, chunk);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("gansec-parallel worker panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_indexed_preserves_order() {
+        let out = par_map_indexed(1000, |i| i * 2);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<f64> = (0..512).map(|i| i as f64 * 0.25).collect();
+        let serial: Vec<f64> = items.iter().map(|x| x.sin() * x.cos()).collect();
+        let parallel = par_map(&items, |x| x.sin() * x.cos());
+        // Bit-exact, not approximate: same code ran per index.
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i + 7), vec![7]);
+        assert_eq!(par_map(&[] as &[u8], |b| *b), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn split_ranges_cover_everything_in_order() {
+        for n in [0usize, 1, 2, 7, 64, 1001] {
+            for w in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(n, w);
+                let mut expect = 0;
+                for (s, e) in ranges {
+                    assert_eq!(s, expect);
+                    assert!(e >= s);
+                    expect = e;
+                }
+                assert_eq!(expect, n);
+            }
+        }
+    }
+
+    #[test]
+    fn par_fill_chunks_writes_every_slot() {
+        let mut data = vec![0usize; 103];
+        par_fill_chunks(&mut data, 10, |first_chunk, slice| {
+            for (j, v) in slice.iter_mut().enumerate() {
+                *v = first_chunk * 10 + j;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn par_fill_chunks_empty_is_noop() {
+        let mut data: Vec<u8> = Vec::new();
+        par_fill_chunks(&mut data, 0, |_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let compute = || par_map_indexed(777, |i| ((i as f64) * 0.1).exp().ln());
+        set_threads(1);
+        let one = compute();
+        set_threads(4);
+        let four = compute();
+        set_threads(0);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn threads_is_at_least_one() {
+        assert!(threads() >= 1);
+    }
+}

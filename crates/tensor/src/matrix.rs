@@ -5,6 +5,127 @@ use serde::{Deserialize, Serialize};
 
 use crate::ShapeError;
 
+/// `k`-dimension block size for the dense product kernels: bounds the
+/// slice of `other` streamed per pass so it stays cache-resident at
+/// large sizes. Blocking never reorders the per-element accumulation.
+const K_BLOCK: usize = 64;
+
+/// Minimum flop count (`2·m·k·n`) before a product is fanned out across
+/// threads; below this fork-join overhead dominates the arithmetic.
+const PAR_MIN_FLOPS: usize = 1 << 17;
+
+/// Applies `row_op` to every `row_len`-wide row of `out`, distributing
+/// contiguous row ranges over threads for large products. Each row is
+/// written by exactly one invocation, so thread count never changes the
+/// result.
+fn run_rows<F>(out: &mut [f64], row_len: usize, flops: usize, row_op: &F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if flops >= PAR_MIN_FLOPS && gansec_parallel::threads() > 1 {
+        gansec_parallel::par_fill_chunks(out, row_len, row_op);
+    } else {
+        for (i, row) in out.chunks_mut(row_len.max(1)).enumerate() {
+            row_op(i, row);
+        }
+    }
+}
+
+/// `out_row += c0*b0 + c1*b1 + c2*b2 + c3*b3`, element-wise, with the
+/// four contributions added in order — bit-identical to four successive
+/// single-coefficient passes, but with one load/store of `out_row`
+/// instead of four. This 4-way `k` unroll is where the product kernels
+/// beat the memory-bound single-`k` loop.
+#[inline]
+fn axpy4(out_row: &mut [f64], c: [f64; 4], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) {
+    for ((((o, &v0), &v1), &v2), &v3) in
+        out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+    {
+        let mut acc = *o;
+        acc += c[0] * v0;
+        acc += c[1] * v1;
+        acc += c[2] * v2;
+        acc += c[3] * v3;
+        *o = acc;
+    }
+}
+
+/// `out_row += c * b_row`, element-wise (the unroll remainder).
+#[inline]
+fn axpy1(out_row: &mut [f64], c: f64, b_row: &[f64]) {
+    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+        *o += c * bv;
+    }
+}
+
+/// The four-output-row variant of [`axpy4`]: a 4×4 register block (4 `k` steps × 4
+/// rows) amortizing both the `out` and the `b` traffic four ways. The
+/// pre-sliced equal lengths let the compiler drop every bounds check in
+/// the inner loop. Accumulation order per element is still `k` ascending.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn axpy4x4(
+    r0: &mut [f64],
+    r1: &mut [f64],
+    r2: &mut [f64],
+    r3: &mut [f64],
+    c: [[f64; 4]; 4],
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+) {
+    let len = r0.len();
+    let (r1, r2, r3) = (&mut r1[..len], &mut r2[..len], &mut r3[..len]);
+    let (b0, b1, b2, b3) = (&b0[..len], &b1[..len], &b2[..len], &b3[..len]);
+    for j in 0..len {
+        let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
+        let mut x0 = r0[j];
+        x0 += c[0][0] * v0;
+        x0 += c[0][1] * v1;
+        x0 += c[0][2] * v2;
+        x0 += c[0][3] * v3;
+        r0[j] = x0;
+        let mut x1 = r1[j];
+        x1 += c[1][0] * v0;
+        x1 += c[1][1] * v1;
+        x1 += c[1][2] * v2;
+        x1 += c[1][3] * v3;
+        r1[j] = x1;
+        let mut x2 = r2[j];
+        x2 += c[2][0] * v0;
+        x2 += c[2][1] * v1;
+        x2 += c[2][2] * v2;
+        x2 += c[2][3] * v3;
+        r2[j] = x2;
+        let mut x3 = r3[j];
+        x3 += c[3][0] * v0;
+        x3 += c[3][1] * v1;
+        x3 += c[3][2] * v2;
+        x3 += c[3][3] * v3;
+        r3[j] = x3;
+    }
+}
+
+/// Applies `quad_op` to consecutive four-row blocks of `out` (the final
+/// block holds the 1-3 remainder rows), distributing contiguous block
+/// ranges over threads for large products. Blocking by quads lets the
+/// kernels share each streamed `b` row between four accumulator rows;
+/// like [`run_rows`], it never changes any element's accumulation order.
+fn run_row_quads<F>(out: &mut [f64], row_len: usize, flops: usize, quad_op: &F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let block = (4 * row_len).max(1);
+    if flops >= PAR_MIN_FLOPS && gansec_parallel::threads() > 1 {
+        gansec_parallel::par_fill_chunks(out, block, quad_op);
+    } else {
+        for (qi, chunk) in out.chunks_mut(block).enumerate() {
+            quad_op(qi, chunk);
+        }
+    }
+}
+
 /// A dense, row-major `f64` matrix.
 ///
 /// This is the only numeric container in the GAN-Sec stack. Rows are the
@@ -272,6 +393,14 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
+    /// ikj loop order with a row-major inner loop that is contiguous in
+    /// both `other` and the output, blocked over `k` so the touched rows
+    /// of `other` stay cache-resident at large sizes. Blocking does not
+    /// change the `k`-ascending accumulation order per output element, so
+    /// results are bit-identical at every block size and thread count;
+    /// rows of the output are distributed over threads when the product
+    /// is large enough to amortize fork-join overhead.
+    ///
     /// # Errors
     ///
     /// Returns a [`ShapeError`] if `self.cols() != other.rows()`.
@@ -280,21 +409,309 @@ impl Matrix {
             return Err(ShapeError::new("matmul", self.shape(), other.shape()));
         }
         let mut out = Self::zeros(self.rows, other.cols);
-        // ikj loop order keeps the inner loop contiguous in both `other`
-        // and `out`, which matters for the per-step training kernels.
-        for i in 0..self.rows {
-            let out_row = i * other.cols;
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
+        if out.data.is_empty() {
+            return Ok(out);
+        }
+        let (k_dim, n) = (self.cols, other.cols);
+        let a = &self.data;
+        let b = &other.data;
+        let quad_op = |qi: usize, block: &mut [f64]| {
+            let i0 = qi * 4;
+            if block.len() == 4 * n {
+                let (r01, r23) = block.split_at_mut(2 * n);
+                let (r0, r1) = r01.split_at_mut(n);
+                let (r2, r3) = r23.split_at_mut(n);
+                let rows: [&[f64]; 4] = [
+                    &a[i0 * k_dim..(i0 + 1) * k_dim],
+                    &a[(i0 + 1) * k_dim..(i0 + 2) * k_dim],
+                    &a[(i0 + 2) * k_dim..(i0 + 3) * k_dim],
+                    &a[(i0 + 3) * k_dim..(i0 + 4) * k_dim],
+                ];
+                let mut kb = 0;
+                while kb < k_dim {
+                    let k_end = (kb + K_BLOCK).min(k_dim);
+                    let mut k = kb;
+                    while k + 4 <= k_end {
+                        let c = [
+                            [rows[0][k], rows[0][k + 1], rows[0][k + 2], rows[0][k + 3]],
+                            [rows[1][k], rows[1][k + 1], rows[1][k + 2], rows[1][k + 3]],
+                            [rows[2][k], rows[2][k + 1], rows[2][k + 2], rows[2][k + 3]],
+                            [rows[3][k], rows[3][k + 1], rows[3][k + 2], rows[3][k + 3]],
+                        ];
+                        axpy4x4(
+                            r0,
+                            r1,
+                            r2,
+                            r3,
+                            c,
+                            &b[k * n..(k + 1) * n],
+                            &b[(k + 1) * n..(k + 2) * n],
+                            &b[(k + 2) * n..(k + 3) * n],
+                            &b[(k + 3) * n..(k + 4) * n],
+                        );
+                        k += 4;
+                    }
+                    while k < k_end {
+                        let b_row = &b[k * n..(k + 1) * n];
+                        axpy1(r0, rows[0][k], b_row);
+                        axpy1(r1, rows[1][k], b_row);
+                        axpy1(r2, rows[2][k], b_row);
+                        axpy1(r3, rows[3][k], b_row);
+                        k += 1;
+                    }
+                    kb = k_end;
+                }
+            } else {
+                for (ri, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                    let a_row = &a[(i0 + ri) * k_dim..(i0 + ri + 1) * k_dim];
+                    let mut kb = 0;
+                    while kb < k_dim {
+                        let k_end = (kb + K_BLOCK).min(k_dim);
+                        let mut k = kb;
+                        while k + 4 <= k_end {
+                            axpy4(
+                                out_row,
+                                [a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]],
+                                &b[k * n..(k + 1) * n],
+                                &b[(k + 1) * n..(k + 2) * n],
+                                &b[(k + 2) * n..(k + 3) * n],
+                                &b[(k + 3) * n..(k + 4) * n],
+                            );
+                            k += 4;
+                        }
+                        while k < k_end {
+                            axpy1(out_row, a_row[k], &b[k * n..(k + 1) * n]);
+                            k += 1;
+                        }
+                        kb = k_end;
+                    }
+                }
+            }
+        };
+        run_row_quads(&mut out.data, n, 2 * self.rows * k_dim * n, &quad_op);
+        Ok(out)
+    }
+
+    /// Matrix product `self * other` with a zero-skip fast path per inner
+    /// product, for operands that are mostly exact zeros — one-hot
+    /// condition matrices in the CGAN conditioning path. On dense
+    /// operands this is slower than [`Matrix::matmul`] (a branch per
+    /// multiply), which is why the general kernel no longer carries it.
+    ///
+    /// Note the skip changes IEEE edge cases versus the dense kernel:
+    /// `0.0 * inf` contributes `NaN` there but nothing here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols() != other.rows()`.
+    pub fn matmul_onehot(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new("matmul_onehot", self.shape(), other.shape()));
+        }
+        let mut out = Self::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for (i, out_row) in out.data.chunks_exact_mut(n.max(1)).enumerate() {
+            for (k, &a) in self.row(i).iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let other_row = k * other.cols;
-                for j in 0..other.cols {
-                    out.data[out_row + j] += a * other.data[other_row + j];
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a * bv;
                 }
             }
         }
+        Ok(out)
+    }
+
+    /// Fused product `self.transpose() * other` without materializing the
+    /// transposed copy.
+    ///
+    /// For an `m x p` `self` and `m x n` `other` the result is `p x n`:
+    /// `out[i][j] = Σ_k self[k][i] * other[k][j]` with `k` ascending —
+    /// the same per-element accumulation order as
+    /// `self.transpose().matmul(other)`, so gradients computed through
+    /// this path match the unfused path bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.rows() != other.rows()`.
+    pub fn matmul_transpose_a(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.rows != other.rows {
+            return Err(ShapeError::new(
+                "matmul_transpose_a",
+                self.shape(),
+                other.shape(),
+            ));
+        }
+        let mut out = Self::zeros(self.cols, other.cols);
+        self.transpose_a_into(other, &mut out.data);
+        Ok(out)
+    }
+
+    /// Like [`Matrix::matmul_transpose_a`] but accumulates the product
+    /// into `acc` (`acc += self.transpose() * other`) instead of
+    /// allocating a fresh matrix — the gradient-accumulation shape of the
+    /// dense-layer backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.rows() != other.rows()` or `acc`
+    /// is not `self.cols() x other.cols()`.
+    pub fn matmul_transpose_a_acc(&self, other: &Self, acc: &mut Self) -> Result<(), ShapeError> {
+        if self.rows != other.rows {
+            return Err(ShapeError::new(
+                "matmul_transpose_a_acc",
+                self.shape(),
+                other.shape(),
+            ));
+        }
+        if acc.shape() != (self.cols, other.cols) {
+            return Err(ShapeError::new(
+                "matmul_transpose_a_acc",
+                (self.cols, other.cols),
+                acc.shape(),
+            ));
+        }
+        self.transpose_a_into(other, &mut acc.data);
+        Ok(())
+    }
+
+    /// Shared kernel for the `Aᵀ·B` variants: accumulates into `out`
+    /// (assumed `self.cols x other.cols`, row-major).
+    fn transpose_a_into(&self, other: &Self, out: &mut [f64]) {
+        if out.is_empty() || self.rows == 0 {
+            return;
+        }
+        let (m, p, n) = (self.rows, self.cols, other.cols);
+        let a = &self.data;
+        let b = &other.data;
+        let quad_op = |qi: usize, block: &mut [f64]| {
+            let i = qi * 4;
+            if block.len() == 4 * n {
+                // Four adjacent output rows read four adjacent
+                // coefficients `a[k*p + i .. i+4]` and share every
+                // streamed `b` row.
+                let (r01, r23) = block.split_at_mut(2 * n);
+                let (r0, r1) = r01.split_at_mut(n);
+                let (r2, r3) = r23.split_at_mut(n);
+                let mut k = 0;
+                while k + 4 <= m {
+                    let c = [
+                        [
+                            a[k * p + i],
+                            a[(k + 1) * p + i],
+                            a[(k + 2) * p + i],
+                            a[(k + 3) * p + i],
+                        ],
+                        [
+                            a[k * p + i + 1],
+                            a[(k + 1) * p + i + 1],
+                            a[(k + 2) * p + i + 1],
+                            a[(k + 3) * p + i + 1],
+                        ],
+                        [
+                            a[k * p + i + 2],
+                            a[(k + 1) * p + i + 2],
+                            a[(k + 2) * p + i + 2],
+                            a[(k + 3) * p + i + 2],
+                        ],
+                        [
+                            a[k * p + i + 3],
+                            a[(k + 1) * p + i + 3],
+                            a[(k + 2) * p + i + 3],
+                            a[(k + 3) * p + i + 3],
+                        ],
+                    ];
+                    axpy4x4(
+                        r0,
+                        r1,
+                        r2,
+                        r3,
+                        c,
+                        &b[k * n..(k + 1) * n],
+                        &b[(k + 1) * n..(k + 2) * n],
+                        &b[(k + 2) * n..(k + 3) * n],
+                        &b[(k + 3) * n..(k + 4) * n],
+                    );
+                    k += 4;
+                }
+                while k < m {
+                    let b_row = &b[k * n..(k + 1) * n];
+                    axpy1(r0, a[k * p + i], b_row);
+                    axpy1(r1, a[k * p + i + 1], b_row);
+                    axpy1(r2, a[k * p + i + 2], b_row);
+                    axpy1(r3, a[k * p + i + 3], b_row);
+                    k += 1;
+                }
+            } else {
+                for (ri, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                    let col = i + ri;
+                    let mut k = 0;
+                    while k + 4 <= m {
+                        axpy4(
+                            out_row,
+                            [
+                                a[k * p + col],
+                                a[(k + 1) * p + col],
+                                a[(k + 2) * p + col],
+                                a[(k + 3) * p + col],
+                            ],
+                            &b[k * n..(k + 1) * n],
+                            &b[(k + 1) * n..(k + 2) * n],
+                            &b[(k + 2) * n..(k + 3) * n],
+                            &b[(k + 3) * n..(k + 4) * n],
+                        );
+                        k += 4;
+                    }
+                    while k < m {
+                        axpy1(out_row, a[k * p + col], &b[k * n..(k + 1) * n]);
+                        k += 1;
+                    }
+                }
+            }
+        };
+        run_row_quads(out, n, 2 * m * p * n, &quad_op);
+    }
+
+    /// Fused product `self * other.transpose()` without materializing the
+    /// transposed copy.
+    ///
+    /// For an `m x n` `self` and `p x n` `other` the result is `m x p`:
+    /// each element is the dot product of a row of `self` with a row of
+    /// `other` — both contiguous — accumulated in the same `k`-ascending
+    /// order as `self.matmul(&other.transpose())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols() != other.cols()`.
+    pub fn matmul_transpose_b(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.cols != other.cols {
+            return Err(ShapeError::new(
+                "matmul_transpose_b",
+                self.shape(),
+                other.shape(),
+            ));
+        }
+        let mut out = Self::zeros(self.rows, other.rows);
+        if out.data.is_empty() {
+            return Ok(out);
+        }
+        let (n, p) = (self.cols, other.rows);
+        let a = &self.data;
+        let b = &other.data;
+        let row_op = |i: usize, out_row: &mut [f64]| {
+            let a_row = &a[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * n..(j + 1) * n];
+                let mut s = 0.0;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    s += av * bv;
+                }
+                *o = s;
+            }
+        };
+        run_rows(&mut out.data, p, 2 * self.rows * n * p, &row_op);
         Ok(out)
     }
 
@@ -355,6 +772,40 @@ impl Matrix {
         self.zip_map(other, |a, b| a * b)
     }
 
+    /// Elementwise combination `self = f(self, other)` in place — the
+    /// buffer-reusing form of [`Matrix::zip_map`] for per-step training
+    /// kernels that would otherwise allocate a fresh matrix per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if shapes differ.
+    pub fn zip_map_inplace(
+        &mut self,
+        other: &Self,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<(), ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new(
+                "zip_map_inplace",
+                self.shape(),
+                other.shape(),
+            ));
+        }
+        for (x, &y) in self.data.iter_mut().zip(&other.data) {
+            *x = f(*x, y);
+        }
+        Ok(())
+    }
+
+    /// Elementwise (Hadamard) product in place: `self *= other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if shapes differ.
+    pub fn hadamard_inplace(&mut self, other: &Self) -> Result<(), ShapeError> {
+        self.zip_map_inplace(other, |a, b| a * b)
+    }
+
     /// Adds `row` (a `1 x cols` matrix) to every row of `self`; used for
     /// bias addition over a batch.
     ///
@@ -370,12 +821,30 @@ impl Matrix {
             ));
         }
         let mut out = self.clone();
-        for r in 0..out.rows {
-            for c in 0..out.cols {
-                out.data[r * out.cols + c] += row.data[c];
+        out.add_row_broadcast_inplace(row)?;
+        Ok(out)
+    }
+
+    /// Adds `row` (a `1 x cols` matrix) to every row of `self` in place —
+    /// the buffer-reusing form of [`Matrix::add_row_broadcast`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `row` is not `1 x self.cols()`.
+    pub fn add_row_broadcast_inplace(&mut self, row: &Self) -> Result<(), ShapeError> {
+        if row.rows != 1 || row.cols != self.cols {
+            return Err(ShapeError::new(
+                "add_row_broadcast_inplace",
+                self.shape(),
+                row.shape(),
+            ));
+        }
+        for r in self.data.chunks_exact_mut(self.cols.max(1)) {
+            for (x, &b) in r.iter_mut().zip(&row.data) {
+                *x += b;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Sums the rows of `self` into a `1 x cols` matrix; the adjoint of
@@ -594,6 +1063,140 @@ mod tests {
         let b = Matrix::zeros(2, 3);
         let err = a.matmul(&b).unwrap_err();
         assert_eq!(err.op(), "matmul");
+    }
+
+    /// Reference triple-loop product for cross-checking the optimized
+    /// kernels.
+    fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|k| a[(i, k)] * b[(k, j)]).sum()
+        })
+    }
+
+    fn test_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let x = (r * cols + c) as f64 + salt as f64 * 0.37;
+            (x * 0.618).sin() * 3.0
+        })
+    }
+
+    #[test]
+    fn matmul_matches_reference_at_odd_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (7, 1, 9), (13, 8, 13), (64, 65, 66)] {
+            let a = test_matrix(m, k, 1);
+            let b = test_matrix(k, n, 2);
+            let got = a.matmul(&b).unwrap();
+            let want = matmul_reference(&a, &b);
+            for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((x - y).abs() < 1e-9, "{m}x{k}x{n}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_blocking_crosses_k_block_boundary() {
+        // k > K_BLOCK exercises the blocked path; blocking must not
+        // change the k-ascending accumulation order, so the result is
+        // bit-identical to the unblocked ikj product.
+        let a = test_matrix(4, 3 * K_BLOCK + 7, 3);
+        let b = test_matrix(3 * K_BLOCK + 7, 5, 4);
+        let mut want = Matrix::zeros(4, 5);
+        for i in 0..4 {
+            for k in 0..a.cols() {
+                let av = a[(i, k)];
+                for j in 0..5 {
+                    want[(i, j)] += av * b[(k, j)];
+                }
+            }
+        }
+        assert_eq!(a.matmul(&b).unwrap(), want);
+    }
+
+    #[test]
+    fn matmul_onehot_matches_dense_on_onehot_operand() {
+        let mut onehot = Matrix::zeros(6, 3);
+        for r in 0..6 {
+            onehot[(r, r % 3)] = 1.0;
+        }
+        let b = test_matrix(3, 8, 5);
+        assert_eq!(
+            onehot.matmul_onehot(&b).unwrap(),
+            onehot.matmul(&b).unwrap()
+        );
+        assert!(onehot.matmul_onehot(&Matrix::zeros(4, 4)).is_err());
+    }
+
+    #[test]
+    fn transpose_fused_variants_match_explicit_transpose() {
+        let x = test_matrix(32, 13, 6);
+        let g = test_matrix(32, 9, 7);
+        let fused = x.matmul_transpose_a(&g).unwrap();
+        assert_eq!(fused, x.transpose().matmul(&g).unwrap());
+
+        let w = test_matrix(9, 13, 8);
+        let h = test_matrix(4, 13, 9);
+        let fused_b = h.matmul_transpose_b(&w).unwrap();
+        assert_eq!(fused_b, h.matmul(&w.transpose()).unwrap());
+    }
+
+    #[test]
+    fn transpose_fused_variants_check_shapes() {
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(5, 4);
+        assert!(a.matmul_transpose_a(&b).is_err());
+        assert!(a.matmul_transpose_b(&Matrix::zeros(2, 5)).is_err());
+        let mut acc = Matrix::zeros(1, 1);
+        assert!(a.matmul_transpose_a_acc(&Matrix::zeros(3, 2), &mut acc).is_err());
+    }
+
+    #[test]
+    fn transpose_a_acc_accumulates() {
+        let x = test_matrix(5, 3, 10);
+        let g = test_matrix(5, 2, 11);
+        let product = x.matmul_transpose_a(&g).unwrap();
+        let mut acc = Matrix::filled(3, 2, 1.0);
+        x.matmul_transpose_a_acc(&g, &mut acc).unwrap();
+        let want = &Matrix::filled(3, 2, 1.0) + &product;
+        for (a, b) in acc.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_is_thread_count_invariant() {
+        // Big enough to clear PAR_MIN_FLOPS so the parallel path runs.
+        let a = test_matrix(96, 80, 12);
+        let b = test_matrix(80, 64, 13);
+        let g = test_matrix(96, 64, 14);
+        gansec_parallel::set_threads(1);
+        let serial = a.matmul(&b).unwrap();
+        let serial_ta = a.matmul_transpose_a(&g).unwrap();
+        gansec_parallel::set_threads(4);
+        let parallel = a.matmul(&b).unwrap();
+        let parallel_ta = a.matmul_transpose_a(&g).unwrap();
+        gansec_parallel::set_threads(0);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_ta, parallel_ta);
+    }
+
+    #[test]
+    fn inplace_ops_match_allocating_ops() {
+        let a = test_matrix(4, 5, 20);
+        let b = test_matrix(4, 5, 21);
+        let mut h = a.clone();
+        h.hadamard_inplace(&b).unwrap();
+        assert_eq!(h, a.hadamard(&b).unwrap());
+
+        let mut z = a.clone();
+        z.zip_map_inplace(&b, |x, y| x - 2.0 * y).unwrap();
+        assert_eq!(z, a.zip_map(&b, |x, y| x - 2.0 * y).unwrap());
+        assert!(z.zip_map_inplace(&Matrix::zeros(1, 1), |x, _| x).is_err());
+
+        let bias = Matrix::row_vector(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut br = a.clone();
+        br.add_row_broadcast_inplace(&bias).unwrap();
+        assert_eq!(br, a.add_row_broadcast(&bias).unwrap());
+        assert!(br.add_row_broadcast_inplace(&Matrix::zeros(1, 2)).is_err());
     }
 
     #[test]

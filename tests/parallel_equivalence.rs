@@ -1,0 +1,152 @@
+//! Serial/parallel equivalence: every parallel section of the codebase
+//! must produce bit-identical results at any worker-thread count.
+//!
+//! The parallelism layer only ever splits work into contiguous index
+//! ranges and stitches results back in index order — floating-point
+//! accumulation order never changes. These tests pin that contract at
+//! the observable boundaries: CWT feature extraction, Algorithm 3
+//! analysis, the full pipeline, the multi-pair fan-out, and
+//! fault-tolerant training.
+//!
+//! The thread override is process-global, so every test serializes on
+//! one mutex and restores the default before releasing it.
+
+use std::sync::Mutex;
+
+use gansec::{FaultTolerance, GanSecPipeline, LikelihoodAnalysis, PipelineConfig};
+use gansec_amsim::{calibration_pattern, PrinterSim};
+use gansec_dsp::{FeatureExtractor, FrequencyBins, ScalingKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` under a forced worker-thread count, restoring the default
+/// afterwards. Holds the global lock so concurrent tests cannot clobber
+/// each other's override.
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    gansec_parallel::set_threads(n);
+    let out = f();
+    gansec_parallel::set_threads(0);
+    out
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn cwt_features_are_thread_count_invariant() {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sim = PrinterSim::printrbot_class();
+    let mut rng = StdRng::seed_from_u64(5);
+    let trace = sim.run(&calibration_pattern(1), &mut rng);
+    let extractor = FeatureExtractor::new(
+        FrequencyBins::log_spaced(16, 50.0, 5000.0),
+        1024,
+        512,
+        ScalingKind::MinMax,
+    );
+    let fs = trace.sample_rate;
+    let serial = with_threads(1, || extractor.extract(&trace.audio, fs));
+    let parallel = with_threads(4, || extractor.extract(&trace.audio, fs));
+    assert_eq!(serial.n_rows(), parallel.n_rows());
+    for (l, (a, b)) in serial.rows().iter().zip(parallel.rows()).enumerate() {
+        assert_bits_eq(a, b, &format!("feature frame {l}"));
+    }
+}
+
+#[test]
+fn analysis_is_thread_count_invariant() {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = PipelineConfig::smoke_test();
+    // Train once, serially, so both analyses score the same model.
+    let outcome = with_threads(1, || GanSecPipeline::new(cfg.clone()).run(11)).expect("pipeline");
+    let mut model = outcome.model;
+    let top = outcome.train.top_feature_indices(cfg.n_top_features);
+    let analysis = LikelihoodAnalysis::new(cfg.h, cfg.gsize, top);
+
+    let serial = with_threads(1, || {
+        let mut rng = StdRng::seed_from_u64(23);
+        analysis.analyze(&mut model, &outcome.test, &mut rng)
+    });
+    let parallel = with_threads(4, || {
+        let mut rng = StdRng::seed_from_u64(23);
+        analysis.analyze(&mut model, &outcome.test, &mut rng)
+    });
+    assert_eq!(serial, parallel, "Algorithm 3 reports must be identical");
+    for (s, p) in serial.conditions.iter().zip(&parallel.conditions) {
+        assert_bits_eq(&s.avg_cor, &p.avg_cor, "avg_cor");
+        assert_bits_eq(&s.avg_inc, &p.avg_inc, "avg_inc");
+    }
+}
+
+#[test]
+fn full_pipeline_is_thread_count_invariant() {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = PipelineConfig::smoke_test();
+    let serial = with_threads(1, || GanSecPipeline::new(cfg.clone()).run(7)).expect("serial run");
+    let parallel =
+        with_threads(4, || GanSecPipeline::new(cfg.clone()).run(7)).expect("parallel run");
+
+    assert_eq!(serial.likelihood, parallel.likelihood);
+    assert_eq!(
+        serial.history.len(),
+        parallel.history.len(),
+        "training lengths must match"
+    );
+    let serial_losses: Vec<f64> = serial.history.records().iter().map(|s| s.d_loss).collect();
+    let parallel_losses: Vec<f64> = parallel.history.records().iter().map(|s| s.d_loss).collect();
+    assert_bits_eq(&serial_losses, &parallel_losses, "discriminator losses");
+    assert_eq!(serial.confidentiality, parallel.confidentiality);
+}
+
+#[test]
+fn multi_pair_run_is_thread_count_invariant() {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = PipelineConfig::smoke_test();
+    let serial =
+        with_threads(1, || GanSecPipeline::new(cfg.clone()).run_multi_pair(3)).expect("serial");
+    let parallel =
+        with_threads(4, || GanSecPipeline::new(cfg.clone()).run_multi_pair(3)).expect("parallel");
+
+    assert_eq!(serial.per_pair.len(), parallel.per_pair.len());
+    for (s, p) in serial.per_pair.iter().zip(&parallel.per_pair) {
+        assert_eq!(s.pair, p.pair);
+        assert_eq!(s.seed, p.seed, "derived pair seeds must not depend on scheduling");
+        assert_eq!(s.likelihood, p.likelihood);
+        let s_losses: Vec<f64> = s.history.records().iter().map(|st| st.g_loss).collect();
+        let p_losses: Vec<f64> = p.history.records().iter().map(|st| st.g_loss).collect();
+        assert_bits_eq(&s_losses, &p_losses, "per-pair generator losses");
+    }
+}
+
+#[test]
+fn fault_tolerant_training_is_thread_count_invariant() {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // In-memory fault tolerance (no checkpoint file): rollback snapshots
+    // and divergence recovery must not perturb determinism across thread
+    // counts.
+    let cfg = PipelineConfig::smoke_test();
+    let ft = FaultTolerance::every(20);
+    let serial = with_threads(1, || {
+        GanSecPipeline::new(cfg.clone()).run_fault_tolerant(13, &ft)
+    })
+    .expect("serial ft run");
+    let parallel = with_threads(4, || {
+        GanSecPipeline::new(cfg.clone()).run_fault_tolerant(13, &ft)
+    })
+    .expect("parallel ft run");
+
+    assert_eq!(serial.likelihood, parallel.likelihood);
+    let s_losses: Vec<f64> = serial.history.records().iter().map(|st| st.d_loss).collect();
+    let p_losses: Vec<f64> = parallel.history.records().iter().map(|st| st.d_loss).collect();
+    assert_bits_eq(&s_losses, &p_losses, "fault-tolerant losses");
+}
