@@ -1,6 +1,8 @@
 //! The realistic slicer-style fixture (`assets/sample_part.gcode`) must
 //! flow through the whole substrate: parse, plan, simulate, label.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec_amsim::{Axis, GCodeProgram, Kinematics, PrinterSim};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,6 +1,8 @@
 //! Property tests for the simulator: parser round-trips, kinematic
 //! invariants, attack-injection guarantees.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec_amsim::{
     Attack, AttackInjector, AttackKind, Axis, GCodeCommand, GCodeProgram, GCodeWord, Kinematics,
     MotorSet,

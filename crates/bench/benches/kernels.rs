@@ -2,6 +2,8 @@
 //! experiments: FFT, CWT feature extraction, G-code parsing, Algorithm 1
 //! graph generation, one CGAN training step, and Parzen scoring.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 

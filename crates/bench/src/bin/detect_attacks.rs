@@ -37,8 +37,7 @@ fn attacked_frames(
         let claimed = benign_plan
             .iter()
             .find(|s| s.command_index == rec.segment.command_index)
-            .map(MotorSet::from_segment)
-            .unwrap_or(rec.motors);
+            .map_or(rec.motors, MotorSet::from_segment);
         let Some(cond) = ConditionEncoding::Simple3.encode(claimed) else {
             continue;
         };

@@ -55,8 +55,7 @@ fn main() {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i as f64 / (GRID - 1) as f64)
-            .unwrap_or(0.0);
+            .map_or(0.0, |(i, _)| i as f64 / (GRID - 1) as f64);
         println!(
             "Cond{} ({motor}): {}  peak at magnitude {:.2}",
             ci + 1,

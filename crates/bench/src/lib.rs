@@ -8,6 +8,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

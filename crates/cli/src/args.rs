@@ -172,11 +172,9 @@ mod tests {
         assert!(!a.has_switch("out"));
         assert_eq!(a.get("out"), Some("x.json"));
         // A declared switch never consumes the next token.
-        let b = ParsedArgs::parse_with_switches(
-            ["--smoke"].iter().map(|s| s.to_string()),
-            &["smoke"],
-        )
-        .unwrap();
+        let b =
+            ParsedArgs::parse_with_switches(["--smoke"].iter().map(|s| s.to_string()), &["smoke"])
+                .unwrap();
         assert!(b.has_switch("smoke"));
     }
 

@@ -204,7 +204,8 @@ fn bench_features(smoke: bool) -> String {
     let signal: Vec<f64> = (0..n)
         .map(|i| {
             let t = i as f64 / fs;
-            (std::f64::consts::TAU * 440.0 * t).sin() + 0.5 * (std::f64::consts::TAU * 1320.0 * t).sin()
+            (std::f64::consts::TAU * 440.0 * t).sin()
+                + 0.5 * (std::f64::consts::TAU * 1320.0 * t).sin()
         })
         .collect();
     let fx = FeatureExtractor::new(

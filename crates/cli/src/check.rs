@@ -1,0 +1,195 @@
+//! `gansec check`: static analysis of the CPPS graph, the CGAN
+//! architecture, and the pipeline configuration — plus the pre-flight
+//! gate the analysis commands run before doing any expensive work.
+
+use gansec::PipelineConfig;
+use gansec_cpps::CppsArchitecture;
+use gansec_lint::{render_json, render_text, CheckInput, CheckReport, GraphSpec};
+
+use crate::{ExitCode, ParsedArgs};
+
+/// `gansec check [flags]`: run every analysis pass and print the
+/// diagnostics, `--format text` (default) or `--format json`.
+///
+/// Exit codes: [`ExitCode::Ok`] when nothing gates execution,
+/// [`ExitCode::Flagged`] on errors (or, with `--strict`, warnings),
+/// [`ExitCode::Usage`] on malformed flags.
+pub fn check(args: &ParsedArgs) -> Result<ExitCode, String> {
+    let input = build_input(args)?;
+    let report = gansec_lint::check(&input);
+    match args.get("format").unwrap_or("text") {
+        "text" => print!("{}", render_text(&report)),
+        "json" => println!("{}", render_json(&report)),
+        other => {
+            return Err(format!(
+                "unknown --format {other:?} (expected text or json)"
+            ))
+        }
+    }
+    if report.should_fail(args.has_switch("strict")) {
+        Ok(ExitCode::Flagged)
+    } else {
+        Ok(ExitCode::Ok)
+    }
+}
+
+/// The pre-flight gate: `audit`, `detect`, `reconstruct`, and `bench`
+/// call this before touching the simulator or the trainer. Runs the
+/// same passes as `gansec check` over the flags the command will use,
+/// printing any findings to stderr.
+///
+/// Returns `Some(ExitCode::Flagged)` when the run should abort (any
+/// error, or any warning under `--strict`), `None` to proceed. The
+/// `--no-check` switch skips the gate entirely.
+pub fn preflight(args: &ParsedArgs) -> Result<Option<ExitCode>, String> {
+    if args.has_switch("no-check") {
+        return Ok(None);
+    }
+    let report = gansec_lint::check(&build_input(args)?);
+    if report.should_fail(args.has_switch("strict")) {
+        eprint!("{}", render_text(&report));
+        eprintln!("pre-flight check failed; fix the flags above or rerun with --no-check");
+        return Ok(Some(ExitCode::Flagged));
+    }
+    // Warnings still surface, they just don't gate.
+    for d in report.diagnostics() {
+        eprintln!("# {d}");
+    }
+    Ok(None)
+}
+
+/// Assembles the [`CheckInput`] the flags describe: the built-in
+/// printer graph (or `--arch <file>`), the CGAN shape spec with any
+/// width overrides applied, and the pipeline numbers.
+fn build_input(args: &ParsedArgs) -> Result<CheckInput, String> {
+    let cfg = config_from_args(args)?;
+    let mut input = cfg.lint_input();
+
+    // Model overrides ride on the config's CGAN spec, so data_dim stays
+    // tied to --bins exactly as in the real pipeline. The unchecked
+    // constructor matters: describing a broken config is the job here.
+    let mut cgan = cfg.cgan_config_unchecked();
+    cgan.noise_dim = args
+        .get_parsed("noise-dim", cgan.noise_dim)
+        .map_err(|e| e.to_string())?;
+    cgan.cond_dim = args
+        .get_parsed("cond-dim", cgan.cond_dim)
+        .map_err(|e| e.to_string())?;
+    cgan.disc_steps = args
+        .get_parsed("disc-steps", cgan.disc_steps)
+        .map_err(|e| e.to_string())?;
+    if let Some(raw) = args.get("gen-hidden") {
+        cgan.gen_hidden = parse_widths("--gen-hidden", raw)?;
+    }
+    if let Some(raw) = args.get("disc-hidden") {
+        cgan.disc_hidden = parse_widths("--disc-hidden", raw)?;
+    }
+    input.model = Some(cgan.lint_spec().with_label_cardinality(cfg.encoding.dim()));
+
+    if let Some(pipeline) = input.pipeline.as_mut() {
+        pipeline.disc_steps = cgan.disc_steps;
+        match args
+            .get_parsed::<usize>("threads", 0)
+            .map_err(|e| e.to_string())?
+        {
+            0 => {}
+            n => pipeline.threads = Some(n),
+        }
+        if let Some(path) = args.get("checkpoint") {
+            pipeline.checkpoint_paths = vec![path.to_string()];
+        }
+    }
+
+    // A user-supplied architecture replaces the built-in printer graph
+    // and gets the stricter design-time treatment (feedback = error).
+    if let Some(path) = args.get("arch") {
+        let arch = load_architecture(path)?;
+        input.graph = Some(GraphSpec::from_architecture(&arch, true));
+        if let Some(pipeline) = input.pipeline.as_mut() {
+            pipeline.pair_count = None;
+        }
+    }
+    Ok(input)
+}
+
+/// The pipeline configuration the flags describe, defaulting to the
+/// values the analysis commands actually run with.
+fn config_from_args(args: &ParsedArgs) -> Result<PipelineConfig, String> {
+    let mut cfg = PipelineConfig::paper_scale();
+    cfg.n_bins = args
+        .get_parsed("bins", 48usize)
+        .map_err(|e| e.to_string())?;
+    cfg.train_iterations = args
+        .get_parsed("iters", 600usize)
+        .map_err(|e| e.to_string())?;
+    cfg.h = args.get_parsed("h", cfg.h).map_err(|e| e.to_string())?;
+    cfg.gsize = args
+        .get_parsed("gsize", cfg.gsize)
+        .map_err(|e| e.to_string())?;
+    cfg.batch_size = args
+        .get_parsed("batch-size", cfg.batch_size)
+        .map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+fn parse_widths(flag: &str, raw: &str) -> Result<Vec<usize>, String> {
+    raw.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("invalid value {part:?} in {flag} (expected e.g. 64,64)"))
+        })
+        .collect()
+}
+
+fn load_architecture(path: &str) -> Result<CppsArchitecture, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&source).map_err(|e| format!("{path}: not a CPPS architecture: {e}"))
+}
+
+/// Exposed so integration tests can check gating decisions without
+/// spawning the binary.
+pub fn report_for(args: &ParsedArgs) -> Result<CheckReport, String> {
+    Ok(gansec_lint::check(&build_input(args)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(flags: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse_with_switches(
+            flags.iter().map(|s| s.to_string()),
+            &["smoke", "no-check", "strict"],
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn default_flags_are_clean() {
+        let report = report_for(&parsed(&[])).expect("check");
+        assert!(!report.should_fail(false), "{:?}", report.diagnostics());
+    }
+
+    #[test]
+    fn zero_bandwidth_is_flagged() {
+        let report = report_for(&parsed(&["--h", "0"])).expect("check");
+        assert!(report.has(gansec_lint::codes::BAD_BANDWIDTH));
+        assert!(report.should_fail(false));
+    }
+
+    #[test]
+    fn hidden_width_lists_parse() {
+        assert_eq!(
+            parse_widths("--gen-hidden", "64, 32").expect("ok"),
+            vec![64, 32]
+        );
+        assert!(parse_widths("--gen-hidden", "64,x").is_err());
+    }
+
+    #[test]
+    fn zero_noise_dim_is_flagged() {
+        let report = report_for(&parsed(&["--noise-dim", "0"])).expect("check");
+        assert!(report.has(gansec_lint::codes::ZERO_DIM));
+    }
+}

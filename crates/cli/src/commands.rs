@@ -203,11 +203,11 @@ pub fn graph(_args: &ParsedArgs) -> Result<ExitCode, String> {
         if let Some(route) = g.explain_pair(&pair) {
             let names: Vec<&str> = route
                 .iter()
-                .map(|&f| g.flow(f).map(|fl| fl.name()).unwrap_or("?"))
+                .map(|&f| g.flow(f).map_or("?", |fl| fl.name()))
                 .collect();
             eprintln!(
                 "# leakage route to {}: {}",
-                g.flow(acoustic).map(|f| f.name()).unwrap_or("?"),
+                g.flow(acoustic).map_or("?", |f| f.name()),
                 names.join(" => ")
             );
         }
@@ -321,8 +321,7 @@ pub fn detect(args: &ParsedArgs) -> Result<ExitCode, String> {
         let claimed = benign_plan
             .iter()
             .find(|s| s.command_index == rec.segment.command_index)
-            .map(MotorSet::from_segment)
-            .unwrap_or(rec.motors);
+            .map_or(rec.motors, MotorSet::from_segment);
         let Some(cond) = ConditionEncoding::Simple3.encode(claimed) else {
             continue;
         };
@@ -391,8 +390,7 @@ pub fn reconstruct(args: &ParsedArgs) -> Result<ExitCode, String> {
         let voted = estimator.majority_vote(&preds).expect("nonempty frames");
         let recovered = estimator
             .motor(voted)
-            .map(|m| m.to_string())
-            .unwrap_or_default();
+            .map_or_else(String::new, |m| m.to_string());
         let truth_idx = truth_cond.iter().position(|&v| v == 1.0).expect("one-hot");
         total += 1;
         if voted == truth_idx {

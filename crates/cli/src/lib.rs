@@ -8,9 +8,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod args;
 pub mod bench;
+pub mod check;
 pub mod commands;
 
 pub use args::{ArgError, ParsedArgs};
@@ -56,6 +58,11 @@ COMMANDS:
                                   check a suspect program's emission against
                                   the benign program's claims
     reconstruct [--gcode <file>]  simulate an eavesdropper recovering commands
+    check     [flags]             static analysis of the CPPS graph, the CGAN
+                                  shapes, and the pipeline configuration;
+                                  prints GS-coded diagnostics (--format json
+                                  for machine-readable output) and exits 2 on
+                                  errors (--strict: also on warnings)
     bench     [--smoke] [--out <file>]
                                   pinned-seed macro-benchmark of the hot
                                   kernels and pipeline; writes
@@ -69,7 +76,23 @@ COMMON FLAGS:
     --moves <n>        calibration moves per axis for training (default 5)
     --threads <n>      worker threads for parallel sections (default: all
                        cores; 1 forces serial execution)
+    --no-check         skip the pre-flight static analysis that audit,
+                       detect, reconstruct, and bench run before starting
+    --strict           pre-flight/check: treat warnings as errors
     -h, --help         this text
+
+CHECK FLAGS:
+    --format <text|json>     diagnostic rendering (default text)
+    --h <f>                  Parzen bandwidth to validate (default 0.2)
+    --gsize <n>              generated samples per condition (default 500)
+    --batch-size <n>         CGAN minibatch size (default 32)
+    --disc-steps <k>         discriminator steps per generator step
+    --noise-dim <n>          generator noise width (default 16)
+    --cond-dim <n>           condition one-hot width (default 3)
+    --gen-hidden <w,w,..>    generator hidden widths (default 64,64)
+    --disc-hidden <w,w,..>   discriminator hidden widths (default 64,32)
+    --arch <file>            check a user-supplied CPPS architecture (JSON)
+                             instead of the built-in printer graph
 
 FAULT TOLERANCE (audit):
     --checkpoint <file>      write a training checkpoint every interval

@@ -1,6 +1,6 @@
 //! The `gansec` command-line entry point.
 
-use gansec_cli::{bench, commands, usage, ExitCode, ParsedArgs};
+use gansec_cli::{bench, check, commands, usage, ExitCode, ParsedArgs};
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -13,7 +13,7 @@ fn main() {
         std::process::exit(ExitCode::Ok.status());
     }
 
-    let args = match ParsedArgs::parse_with_switches(argv, &["smoke"]) {
+    let args = match ParsedArgs::parse_with_switches(argv, &["smoke", "no-check", "strict"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -36,12 +36,29 @@ fn main() {
         }
     }
 
+    // Pre-flight static analysis: the expensive commands refuse to run a
+    // configuration `gansec check` would reject (bypass: --no-check).
+    if matches!(
+        command.as_str(),
+        "audit" | "detect" | "reconstruct" | "bench"
+    ) {
+        match check::preflight(&args) {
+            Ok(None) => {}
+            Ok(Some(code)) => std::process::exit(code.status()),
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(ExitCode::Usage.status());
+            }
+        }
+    }
+
     let result = match command.as_str() {
         "graph" => commands::graph(&args),
         "simulate" => commands::simulate(&args),
         "audit" => commands::audit(&args),
         "detect" => commands::detect(&args),
         "reconstruct" => commands::reconstruct(&args),
+        "check" => check::check(&args),
         "bench" => bench::bench(&args),
         other => {
             eprintln!("error: unknown command {other:?}");

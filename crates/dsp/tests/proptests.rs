@@ -2,6 +2,8 @@
 //! binning invariants that the feature pipeline (and hence every
 //! experiment) silently relies on.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec_dsp::{fft, ifft, Complex, FeatureMatrix, FrequencyBins};
 use proptest::prelude::*;
 

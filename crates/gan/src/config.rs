@@ -216,6 +216,14 @@ impl CganConfigBuilder {
         self.config.validate();
         self.config
     }
+
+    /// Finishes the builder **without** validating, for diagnostic
+    /// tooling (`gansec check`) that must be able to describe an
+    /// invalid configuration instead of panicking on it. Anything that
+    /// actually trains must go through [`CganConfigBuilder::build`].
+    pub fn build_unchecked(self) -> CganConfig {
+        self.config
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod cgan;
 mod checkpoint;
@@ -52,6 +53,7 @@ mod config;
 mod data;
 mod gan;
 mod history;
+mod lint;
 
 pub use cgan::{Cgan, StepLosses, TrainError};
 pub use checkpoint::{

@@ -1,0 +1,100 @@
+//! Conversions into the `gansec-lint` analysis IR, so `gansec check`
+//! can shape-check a configuration before training and a trained model
+//! after loading.
+
+use gansec_lint::{LayerSpec, ModelSpec};
+use gansec_nn::{Activation, Layer, Sequential};
+
+use crate::{Cgan, CganConfig};
+
+impl CganConfig {
+    /// The [`ModelSpec`] the network builder will realize for this
+    /// configuration: hidden stacks with LeakyReLU, sigmoid generator
+    /// head, raw-logit discriminator.
+    pub fn lint_spec(&self) -> ModelSpec {
+        ModelSpec::mlp(
+            self.noise_dim,
+            self.cond_dim,
+            self.data_dim,
+            &self.gen_hidden,
+            &self.disc_hidden,
+        )
+    }
+}
+
+impl Cgan {
+    /// The [`ModelSpec`] of the *actual* layer stacks, read off the
+    /// built networks — unlike [`CganConfig::lint_spec`] this reflects
+    /// what a checkpoint really contains, so it catches corrupted or
+    /// hand-edited models too.
+    pub fn lint_spec(&self) -> ModelSpec {
+        let c = self.config();
+        ModelSpec {
+            noise_dim: c.noise_dim,
+            cond_dim: c.cond_dim,
+            data_dim: c.data_dim,
+            label_cardinality: None,
+            generator: layer_specs(self.generator()),
+            discriminator: layer_specs(self.discriminator()),
+        }
+    }
+}
+
+/// Projects a network onto the shape-relevant layer descriptions.
+fn layer_specs(net: &Sequential) -> Vec<LayerSpec> {
+    net.layers()
+        .iter()
+        .map(|layer| match layer {
+            Layer::Dense(d) => LayerSpec::Dense {
+                input: d.input_dim(),
+                output: d.output_dim(),
+            },
+            Layer::Activation { act, .. } => LayerSpec::Activation {
+                name: activation_name(act).to_string(),
+            },
+            Layer::Dropout(d) => LayerSpec::Dropout { rate: d.rate() },
+        })
+        .collect()
+}
+
+fn activation_name(act: &Activation) -> &'static str {
+    match act {
+        Activation::Relu => "Relu",
+        Activation::LeakyRelu { .. } => "LeakyRelu",
+        Activation::Sigmoid => "Sigmoid",
+        Activation::Tanh => "Tanh",
+        Activation::Identity => "Identity",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn config_spec_matches_built_network() {
+        let config = CganConfig::builder(48, 3).noise_dim(16).build();
+        let from_config = config.lint_spec();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cgan = Cgan::new(config, &mut rng);
+        let from_network = cgan.lint_spec();
+        assert_eq!(from_config, from_network);
+    }
+
+    #[test]
+    fn built_network_passes_shape_check() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cgan = Cgan::new(CganConfig::paper_case_study(), &mut rng);
+        let report = gansec_lint::check(
+            &gansec_lint::CheckInput::new().with_model(cgan.lint_spec().with_label_cardinality(3)),
+        );
+        assert!(
+            report.diagnostics().is_empty(),
+            "unexpected: {:?}",
+            report.diagnostics()
+        );
+    }
+}

@@ -2,6 +2,8 @@
 //! configuration, one Algorithm 2 step must preserve shapes, finiteness,
 //! and the paired-data alignment it samples from.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec_gan::{Cgan, CganConfig, GeneratorLoss, OptimKind, PairedData};
 use gansec_tensor::Matrix;
 use proptest::prelude::*;

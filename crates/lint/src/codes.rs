@@ -1,0 +1,296 @@
+//! The stable `GS0xxx` error-code table.
+//!
+//! Codes are grouped by hundreds: `GS01xx` CPPS graph analysis, `GS02xx`
+//! GAN architecture shape inference, `GS03xx` pipeline configuration.
+//! Once published a code's number and meaning never change; retired
+//! checks leave a hole in the numbering rather than recycling it.
+
+use std::fmt;
+
+use crate::Severity;
+
+/// A stable diagnostic code, rendered as `GS0xxx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Code(pub u16);
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GS{:04}", self.0)
+    }
+}
+
+// --- GS01xx: CPPS graph analysis (Algorithm 1 inputs/outputs) ---
+
+/// A cycle survives among kept (non-feedback) flows: feedback-loop
+/// removal failed its invariant, so reachability queries may not
+/// terminate meaningfully.
+pub const RESIDUAL_CYCLE: Code = Code(101);
+/// A flow endpoint or pair member references an entity that does not
+/// exist in the graph.
+pub const DANGLING_REFERENCE: Code = Code(102);
+/// A component has no kept flow in or out: it cannot participate in any
+/// flow pair.
+pub const ORPHAN_COMPONENT: Code = Code(103);
+/// A modeled flow pair whose head is not DFS-reachable from its tail
+/// along kept flows: `Pr(F_2 | F_1)` is not physically meaningful.
+pub const UNREACHABLE_PAIR: Code = Code(104);
+/// A pair was selected for modeling without backing historical data.
+pub const PAIR_WITHOUT_DATA: Code = Code(105);
+/// The declared architecture contains feedback cycles. An error for
+/// design-time (user-supplied) graphs, informational for graphs already
+/// validated by Algorithm 1's removal step.
+pub const FEEDBACK_IN_DECLARED_GRAPH: Code = Code(106);
+/// A flow's kind disagrees with its endpoints' domains (e.g. a signal
+/// flow originating in a purely physical component).
+pub const DOMAIN_MISMATCH: Code = Code(107);
+/// The graph yields no flow pairs to model at all.
+pub const NO_FLOW_PAIRS: Code = Code(108);
+
+// --- GS02xx: GAN architecture shape inference ---
+
+/// Generator first-layer input width differs from `noise_dim + cond_dim`.
+pub const GEN_INPUT_MISMATCH: Code = Code(201);
+/// Two consecutive layers disagree on the tensor width between them.
+pub const LAYER_SHAPE_MISMATCH: Code = Code(202);
+/// Generator output width differs from `data_dim`, so generated samples
+/// cannot feed the discriminator or the Parzen estimator.
+pub const GEN_OUTPUT_MISMATCH: Code = Code(203);
+/// Discriminator first-layer input width differs from
+/// `data_dim + cond_dim`.
+pub const DISC_INPUT_MISMATCH: Code = Code(204);
+/// Discriminator output is not a single logit.
+pub const DISC_OUTPUT_MISMATCH: Code = Code(205);
+/// One-hot condition width differs from the dataset's label cardinality.
+pub const COND_WIDTH_MISMATCH: Code = Code(206);
+/// A dense layer with zero input or output width: no information flows
+/// through it.
+pub const DEAD_LAYER: Code = Code(207);
+/// `noise_dim` or `data_dim` is zero.
+pub const ZERO_DIM: Code = Code(208);
+/// A network contains no dense layers at all (identity network).
+pub const EMPTY_NETWORK: Code = Code(209);
+
+// --- GS03xx: pipeline configuration ---
+
+/// Parzen bandwidth `h` is non-finite or not positive: every kernel
+/// density degenerates and Algorithm 3 likelihoods are meaningless.
+pub const BAD_BANDWIDTH: Code = Code(301);
+/// Train/test split is degenerate (an empty split, or a training split
+/// smaller than one minibatch).
+pub const BAD_SPLIT: Code = Code(302);
+/// Discriminator steps `k` per iteration is zero (Algorithm 2 line 4
+/// requires `k >= 1`).
+pub const BAD_DISC_STEPS: Code = Code(303);
+/// Two flow-pair runs write checkpoints to the same path.
+pub const CHECKPOINT_COLLISION: Code = Code(304);
+/// More worker threads requested than flow pairs to train.
+pub const THREADS_EXCEED_PAIRS: Code = Code(305);
+/// Algorithm 3 `GSize` is zero: no samples to fit the Parzen window on.
+pub const ZERO_GSIZE: Code = Code(306);
+/// Zero training iterations: the model stays at initialization.
+pub const ZERO_ITERATIONS: Code = Code(307);
+/// Zero minibatch size.
+pub const ZERO_BATCH: Code = Code(308);
+
+/// One row of the published code table.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeInfo {
+    /// The stable code.
+    pub code: Code,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// Default severity (passes may adjust, e.g. [`FEEDBACK_IN_DECLARED_GRAPH`]).
+    pub severity: Severity,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// The full published code table, in code order.
+pub fn code_table() -> &'static [CodeInfo] {
+    const TABLE: &[CodeInfo] = &[
+        CodeInfo {
+            code: RESIDUAL_CYCLE,
+            name: "residual-cycle",
+            severity: Severity::Error,
+            summary: "cycle among kept flows after feedback-loop removal",
+        },
+        CodeInfo {
+            code: DANGLING_REFERENCE,
+            name: "dangling-reference",
+            severity: Severity::Error,
+            summary: "flow or pair references an unknown graph entity",
+        },
+        CodeInfo {
+            code: ORPHAN_COMPONENT,
+            name: "orphan-component",
+            severity: Severity::Warning,
+            summary: "component with no kept flow in or out",
+        },
+        CodeInfo {
+            code: UNREACHABLE_PAIR,
+            name: "unreachable-pair",
+            severity: Severity::Error,
+            summary: "pair head not reachable from pair tail along kept flows",
+        },
+        CodeInfo {
+            code: PAIR_WITHOUT_DATA,
+            name: "pair-without-data",
+            severity: Severity::Warning,
+            summary: "pair selected for modeling without backing data",
+        },
+        CodeInfo {
+            code: FEEDBACK_IN_DECLARED_GRAPH,
+            name: "feedback-in-declared-graph",
+            severity: Severity::Error,
+            summary: "declared architecture contains feedback cycles",
+        },
+        CodeInfo {
+            code: DOMAIN_MISMATCH,
+            name: "domain-mismatch",
+            severity: Severity::Warning,
+            summary: "flow kind disagrees with its endpoints' domains",
+        },
+        CodeInfo {
+            code: NO_FLOW_PAIRS,
+            name: "no-flow-pairs",
+            severity: Severity::Warning,
+            summary: "no flow pairs to model",
+        },
+        CodeInfo {
+            code: GEN_INPUT_MISMATCH,
+            name: "gen-input-mismatch",
+            severity: Severity::Error,
+            summary: "generator input width != noise_dim + cond_dim",
+        },
+        CodeInfo {
+            code: LAYER_SHAPE_MISMATCH,
+            name: "layer-shape-mismatch",
+            severity: Severity::Error,
+            summary: "consecutive layers disagree on tensor width",
+        },
+        CodeInfo {
+            code: GEN_OUTPUT_MISMATCH,
+            name: "gen-output-mismatch",
+            severity: Severity::Error,
+            summary: "generator output width != data_dim",
+        },
+        CodeInfo {
+            code: DISC_INPUT_MISMATCH,
+            name: "disc-input-mismatch",
+            severity: Severity::Error,
+            summary: "discriminator input width != data_dim + cond_dim",
+        },
+        CodeInfo {
+            code: DISC_OUTPUT_MISMATCH,
+            name: "disc-output-mismatch",
+            severity: Severity::Error,
+            summary: "discriminator output is not a single logit",
+        },
+        CodeInfo {
+            code: COND_WIDTH_MISMATCH,
+            name: "cond-width-mismatch",
+            severity: Severity::Error,
+            summary: "condition width != dataset label cardinality",
+        },
+        CodeInfo {
+            code: DEAD_LAYER,
+            name: "dead-layer",
+            severity: Severity::Error,
+            summary: "dense layer with zero input or output width",
+        },
+        CodeInfo {
+            code: ZERO_DIM,
+            name: "zero-dim",
+            severity: Severity::Error,
+            summary: "noise_dim or data_dim is zero",
+        },
+        CodeInfo {
+            code: EMPTY_NETWORK,
+            name: "empty-network",
+            severity: Severity::Warning,
+            summary: "network contains no dense layers",
+        },
+        CodeInfo {
+            code: BAD_BANDWIDTH,
+            name: "bad-bandwidth",
+            severity: Severity::Error,
+            summary: "Parzen bandwidth h is non-finite or not positive",
+        },
+        CodeInfo {
+            code: BAD_SPLIT,
+            name: "bad-split",
+            severity: Severity::Error,
+            summary: "degenerate train/test split",
+        },
+        CodeInfo {
+            code: BAD_DISC_STEPS,
+            name: "bad-disc-steps",
+            severity: Severity::Error,
+            summary: "discriminator steps k < 1",
+        },
+        CodeInfo {
+            code: CHECKPOINT_COLLISION,
+            name: "checkpoint-collision",
+            severity: Severity::Error,
+            summary: "checkpoint path shared by multiple pair runs",
+        },
+        CodeInfo {
+            code: THREADS_EXCEED_PAIRS,
+            name: "threads-exceed-pairs",
+            severity: Severity::Warning,
+            summary: "more worker threads than flow pairs",
+        },
+        CodeInfo {
+            code: ZERO_GSIZE,
+            name: "zero-gsize",
+            severity: Severity::Error,
+            summary: "Algorithm 3 GSize is zero",
+        },
+        CodeInfo {
+            code: ZERO_ITERATIONS,
+            name: "zero-iterations",
+            severity: Severity::Warning,
+            summary: "zero training iterations",
+        },
+        CodeInfo {
+            code: ZERO_BATCH,
+            name: "zero-batch",
+            severity: Severity::Error,
+            summary: "zero minibatch size",
+        },
+    ];
+    TABLE
+}
+
+/// Looks up the published info for `code`.
+pub fn code_info(code: Code) -> Option<&'static CodeInfo> {
+    code_table().iter().find(|i| i.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_render_zero_padded() {
+        assert_eq!(RESIDUAL_CYCLE.to_string(), "GS0101");
+        assert_eq!(ZERO_BATCH.to_string(), "GS0308");
+    }
+
+    #[test]
+    fn table_is_sorted_and_unique() {
+        let table = code_table();
+        for w in table.windows(2) {
+            assert!(w[0].code < w[1].code, "{} !< {}", w[0].code, w[1].code);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_every_published_code() {
+        for info in code_table() {
+            let found = code_info(info.code).expect("published code");
+            assert_eq!(found.name, info.name);
+        }
+        assert!(code_info(Code(999)).is_none());
+    }
+}

@@ -1,0 +1,288 @@
+//! Typed diagnostics: severity levels, structured origins, and the
+//! report a check run produces.
+
+use std::fmt;
+
+use crate::Code;
+
+/// How serious a diagnostic is.
+///
+/// Ordered so that `Error > Warning > Info`, letting callers take the
+/// maximum over a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Purely informational; never gates execution.
+    Info,
+    /// Suspicious but runnable; gates only under `--strict`.
+    Warning,
+    /// The pipeline would panic, diverge, or silently produce garbage.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Which GAN network a diagnostic refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Network {
+    /// The generator `G(Z | Cond)`.
+    Generator,
+    /// The discriminator `D(X | Cond)`.
+    Discriminator,
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Network::Generator => write!(f, "generator"),
+            Network::Discriminator => write!(f, "discriminator"),
+        }
+    }
+}
+
+/// Structured source location of a diagnostic: where in the analyzed
+/// input the problem sits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Origin {
+    /// An entity of the CPPS graph, e.g. `flow f2 (acoustic emission)`.
+    Graph {
+        /// Human-readable entity description.
+        entity: String,
+    },
+    /// A layer of a GAN network.
+    Layer {
+        /// Which network the layer belongs to.
+        network: Network,
+        /// Zero-based index into the layer stack.
+        index: usize,
+    },
+    /// A network- or model-level property (dims, cardinalities).
+    Model {
+        /// The property, e.g. `noise_dim`.
+        field: String,
+    },
+    /// A pipeline configuration field, e.g. `h`.
+    Config {
+        /// The field name.
+        field: String,
+    },
+    /// The analyzed input as a whole.
+    Input,
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Origin::Graph { entity } => write!(f, "graph: {entity}"),
+            Origin::Layer { network, index } => write!(f, "{network}: layer {index}"),
+            Origin::Model { field } => write!(f, "model.{field}"),
+            Origin::Config { field } => write!(f, "config.{field}"),
+            Origin::Input => write!(f, "input"),
+        }
+    }
+}
+
+/// One finding from a static analysis pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (see [`crate::codes`]).
+    pub code: Code,
+    /// Severity, usually the code's published default.
+    pub severity: Severity,
+    /// Structured location in the analyzed input.
+    pub origin: Origin,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// How to fix it, when a fix is known.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the code's published default severity.
+    ///
+    /// Falls back to [`Severity::Error`] for unpublished codes, so a
+    /// pass emitting a brand-new code fails loudly rather than slipping
+    /// through as info.
+    pub fn new(code: Code, origin: Origin, message: impl Into<String>) -> Self {
+        let severity = crate::code_info(code).map_or(Severity::Error, |i| i.severity);
+        Self {
+            code,
+            severity,
+            origin,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Overrides the severity (e.g. [`crate::FEEDBACK_IN_DECLARED_GRAPH`]
+    /// downgraded to info for already-validated graphs).
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Attaches a fix suggestion.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} ({})",
+            self.severity, self.code, self.message, self.origin
+        )
+    }
+}
+
+/// Everything a check run produced: diagnostics in pass order plus the
+/// list of passes that ran.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckReport {
+    diagnostics: Vec<Diagnostic>,
+    passes: Vec<&'static str>,
+}
+
+impl CheckReport {
+    /// Assembles a report. Diagnostics keep their emission order, which
+    /// is deterministic because passes run in registration order.
+    pub fn new(diagnostics: Vec<Diagnostic>, passes: Vec<&'static str>) -> Self {
+        Self {
+            diagnostics,
+            passes,
+        }
+    }
+
+    /// All diagnostics in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Identifiers of the passes that ran.
+    pub fn passes(&self) -> &[&'static str] {
+        &self.passes
+    }
+
+    /// Number of diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Number of errors.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warnings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Whether the report contains no errors (warnings and infos are
+    /// allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Whether a gate should refuse to proceed: any error, or — under
+    /// `strict` — any warning.
+    pub fn should_fail(&self, strict: bool) -> bool {
+        self.errors() > 0 || (strict && self.warnings() > 0)
+    }
+
+    /// The first diagnostic carrying `code`, if any. Test helper and
+    /// programmatic consumer convenience.
+    pub fn find(&self, code: Code) -> Option<&Diagnostic> {
+        self.diagnostics.iter().find(|d| d.code == code)
+    }
+
+    /// Whether any diagnostic carries `code`.
+    pub fn has(&self, code: Code) -> bool {
+        self.find(code).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes;
+
+    fn sample() -> CheckReport {
+        CheckReport::new(
+            vec![
+                Diagnostic::new(
+                    codes::BAD_BANDWIDTH,
+                    Origin::Config { field: "h".into() },
+                    "h must be positive",
+                ),
+                Diagnostic::new(
+                    codes::ORPHAN_COMPONENT,
+                    Origin::Graph {
+                        entity: "component n3 (bed)".into(),
+                    },
+                    "no kept flows",
+                )
+                .with_help("connect it or drop it"),
+            ],
+            vec!["config::bounds", "graph::orphans"],
+        )
+    }
+
+    #[test]
+    fn severity_orders_and_displays() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+
+    #[test]
+    fn default_severity_comes_from_table() {
+        let r = sample();
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.is_clean());
+        assert!(r.should_fail(false));
+    }
+
+    #[test]
+    fn strict_promotes_warnings() {
+        let warn_only = CheckReport::new(
+            vec![Diagnostic::new(codes::ORPHAN_COMPONENT, Origin::Input, "x")],
+            vec![],
+        );
+        assert!(warn_only.is_clean());
+        assert!(!warn_only.should_fail(false));
+        assert!(warn_only.should_fail(true));
+    }
+
+    #[test]
+    fn find_and_has_locate_codes() {
+        let r = sample();
+        assert!(r.has(codes::BAD_BANDWIDTH));
+        assert!(!r.has(codes::RESIDUAL_CYCLE));
+        let d = r.find(codes::ORPHAN_COMPONENT).expect("present");
+        assert_eq!(d.help.as_deref(), Some("connect it or drop it"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let report = sample();
+        assert_eq!(
+            report.diagnostics()[0].to_string(),
+            "error[GS0301]: h must be positive (config.h)"
+        );
+    }
+}

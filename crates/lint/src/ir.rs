@@ -1,0 +1,457 @@
+//! The analysis IR: lightweight, dependency-free descriptions of the
+//! three things `gansec check` inspects — the CPPS graph, the GAN
+//! architecture, and the pipeline configuration.
+//!
+//! Passes operate only on these specs, never on the heavyweight runtime
+//! types, so the engine stays cheap to construct in tests and usable
+//! from every crate without dependency cycles. Conversions from the
+//! real `gansec-cpps` types live here; conversions from the GAN and
+//! pipeline crates live in those crates (they depend on this one).
+
+use gansec_cpps::{CppsArchitecture, CppsGraph, FlowPairList};
+
+/// Cyber or physical, mirroring `gansec_cpps::Domain` without dragging
+/// the full architecture types into every pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainKind {
+    /// Computation/communication components.
+    Cyber,
+    /// Matter/energy components.
+    Physical,
+}
+
+/// Signal (discrete, cyber) or energy (continuous, physical) flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKindSpec {
+    /// Discrete signal flow `F_S`.
+    Signal,
+    /// Continuous energy flow `F_E`.
+    Energy,
+}
+
+/// One graph node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSpec {
+    /// Dense node id.
+    pub id: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// Cyber or physical.
+    pub domain: DomainKind,
+}
+
+/// One directed edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Dense edge id.
+    pub id: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// Signal or energy.
+    pub kind: FlowKindSpec,
+    /// Source node id.
+    pub from: usize,
+    /// Destination node id.
+    pub to: usize,
+    /// Whether Algorithm 1 classified this flow as a feedback loop and
+    /// removed it from traversal.
+    pub feedback: bool,
+}
+
+/// One flow pair selected for modeling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairSpec {
+    /// Conditioning flow id (`F_1`).
+    pub from: usize,
+    /// Modeled flow id (`F_2`).
+    pub to: usize,
+    /// Whether historical data backs the pair; `None` when unknown.
+    pub has_data: Option<bool>,
+}
+
+/// The CPPS graph as the analysis sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    /// Architecture display name.
+    pub name: String,
+    /// `true` for user-supplied, design-time graphs (stricter checks:
+    /// feedback cycles are errors); `false` for graphs that already went
+    /// through Algorithm 1's removal step.
+    pub design_time: bool,
+    /// Nodes in id order.
+    pub components: Vec<ComponentSpec>,
+    /// Edges in id order, feedback flows included (flagged).
+    pub flows: Vec<FlowSpec>,
+    /// The pairs selected for modeling (not all candidates).
+    pub pairs: Vec<PairSpec>,
+}
+
+impl GraphSpec {
+    /// Builds the spec from an architecture by running Algorithm 1's
+    /// graph generation, carrying over feedback classifications and
+    /// enumerating all candidate pairs with unknown data backing.
+    ///
+    /// `design_time` selects strictness: pass `true` for user-supplied
+    /// architectures (feedback cycles become errors), `false` for
+    /// already-validated built-in ones.
+    pub fn from_architecture(arch: &CppsArchitecture, design_time: bool) -> Self {
+        let graph = arch.build_graph();
+        let pairs = graph.candidate_flow_pairs();
+        Self::from_graph(arch, &graph, &pairs, design_time)
+    }
+
+    /// Builds the spec from an already-built graph and an explicit pair
+    /// selection.
+    pub fn from_graph(
+        arch: &CppsArchitecture,
+        graph: &CppsGraph,
+        pairs: &FlowPairList,
+        design_time: bool,
+    ) -> Self {
+        let components = graph
+            .components()
+            .iter()
+            .map(|c| ComponentSpec {
+                id: c.id().index(),
+                name: c.name().to_string(),
+                domain: match c.domain() {
+                    gansec_cpps::Domain::Cyber => DomainKind::Cyber,
+                    gansec_cpps::Domain::Physical => DomainKind::Physical,
+                },
+            })
+            .collect();
+        let flows = graph
+            .flows()
+            .iter()
+            .map(|f| FlowSpec {
+                id: f.id().index(),
+                name: f.name().to_string(),
+                kind: match f.kind() {
+                    gansec_cpps::FlowKind::Signal => FlowKindSpec::Signal,
+                    gansec_cpps::FlowKind::Energy => FlowKindSpec::Energy,
+                },
+                from: f.from().index(),
+                to: f.to().index(),
+                feedback: !graph.is_kept(f.id()),
+            })
+            .collect();
+        let pairs = pairs
+            .iter()
+            .map(|p| PairSpec {
+                from: p.from.index(),
+                to: p.to.index(),
+                has_data: None,
+            })
+            .collect();
+        Self {
+            name: arch.name().to_string(),
+            design_time,
+            components,
+            flows,
+            pairs,
+        }
+    }
+
+    /// Replaces the pair selection.
+    pub fn with_pairs(mut self, pairs: Vec<PairSpec>) -> Self {
+        self.pairs = pairs;
+        self
+    }
+
+    /// Stamps data availability onto every pair via `has(from, to)`.
+    pub fn with_data_flags(mut self, has: impl Fn(usize, usize) -> bool) -> Self {
+        for p in &mut self.pairs {
+            p.has_data = Some(has(p.from, p.to));
+        }
+        self
+    }
+
+    /// A short label for the flow with id `id`, e.g. `flow f2 (acoustic)`.
+    pub fn flow_label(&self, id: usize) -> String {
+        match self.flows.iter().find(|f| f.id == id) {
+            Some(f) => format!("flow f{} ({})", f.id, f.name),
+            None => format!("flow f{id} (unknown)"),
+        }
+    }
+
+    /// A short label for the component with id `id`.
+    pub fn component_label(&self, id: usize) -> String {
+        match self.components.iter().find(|c| c.id == id) {
+            Some(c) => format!("component n{} ({})", c.id, c.name),
+            None => format!("component n{id} (unknown)"),
+        }
+    }
+}
+
+/// One layer of a network stack, shape-relevant details only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerSpec {
+    /// Fully-connected layer mapping `input`-wide rows to `output`-wide.
+    Dense {
+        /// Input width.
+        input: usize,
+        /// Output width.
+        output: usize,
+    },
+    /// Elementwise activation; shape-preserving.
+    Activation {
+        /// Display name, e.g. `LeakyRelu`.
+        name: String,
+    },
+    /// Dropout; shape-preserving.
+    Dropout {
+        /// Drop probability.
+        rate: f64,
+    },
+}
+
+/// The GAN architecture as the analysis sees it: both layer stacks plus
+/// the dims they must agree with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Noise prior width `Z`.
+    pub noise_dim: usize,
+    /// Condition width (0 = unconditional GAN).
+    pub cond_dim: usize,
+    /// Modeled sample width (e.g. frequency bins).
+    pub data_dim: usize,
+    /// Number of distinct condition labels the dataset one-hot encodes,
+    /// when known. Checked against `cond_dim`.
+    pub label_cardinality: Option<usize>,
+    /// Generator layer stack in forward order.
+    pub generator: Vec<LayerSpec>,
+    /// Discriminator layer stack in forward order.
+    pub discriminator: Vec<LayerSpec>,
+}
+
+impl ModelSpec {
+    /// Builds the spec for the standard GAN-Sec MLP pair: hidden stacks
+    /// with LeakyReLU, sigmoid generator head, raw-logit discriminator —
+    /// mirroring `gansec-gan`'s network builder.
+    pub fn mlp(
+        noise_dim: usize,
+        cond_dim: usize,
+        data_dim: usize,
+        gen_hidden: &[usize],
+        disc_hidden: &[usize],
+    ) -> Self {
+        Self {
+            noise_dim,
+            cond_dim,
+            data_dim,
+            label_cardinality: None,
+            generator: mlp_stack(noise_dim + cond_dim, gen_hidden, data_dim, Some("Sigmoid")),
+            discriminator: mlp_stack(data_dim + cond_dim, disc_hidden, 1, None),
+        }
+    }
+
+    /// Sets the dataset label cardinality to check `cond_dim` against.
+    pub fn with_label_cardinality(mut self, n: usize) -> Self {
+        self.label_cardinality = Some(n);
+        self
+    }
+}
+
+/// Expands `(input, hidden..., output)` into a dense/activation stack
+/// the same way the GAN crate's builder does.
+fn mlp_stack(
+    input: usize,
+    hidden: &[usize],
+    output: usize,
+    output_act: Option<&str>,
+) -> Vec<LayerSpec> {
+    let mut layers = Vec::new();
+    let mut prev = input;
+    for &h in hidden {
+        layers.push(LayerSpec::Dense {
+            input: prev,
+            output: h,
+        });
+        layers.push(LayerSpec::Activation {
+            name: "LeakyRelu".to_string(),
+        });
+        prev = h;
+    }
+    layers.push(LayerSpec::Dense {
+        input: prev,
+        output,
+    });
+    if let Some(name) = output_act {
+        layers.push(LayerSpec::Activation {
+            name: name.to_string(),
+        });
+    }
+    layers
+}
+
+/// The pipeline configuration as the analysis sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSpec {
+    /// Parzen bandwidth `h` for Algorithm 3.
+    pub h: f64,
+    /// Generated samples per condition (`GSize`).
+    pub gsize: usize,
+    /// Algorithm 2 iterations.
+    pub train_iterations: usize,
+    /// Minibatch size `n`.
+    pub batch_size: usize,
+    /// Discriminator steps `k` per generator step.
+    pub disc_steps: usize,
+    /// Training split size, when already known.
+    pub train_len: Option<usize>,
+    /// Held-out split size, when already known.
+    pub test_len: Option<usize>,
+    /// Checkpoint destination per flow-pair run (empty = no
+    /// checkpointing). Duplicates across runs collide.
+    pub checkpoint_paths: Vec<String>,
+    /// Explicitly requested worker threads (`None` = runtime default).
+    pub threads: Option<usize>,
+    /// Number of flow pairs the run will train, when known.
+    pub pair_count: Option<usize>,
+}
+
+impl Default for PipelineSpec {
+    /// The paper's defaults: `h = 0.2`, `GSize = 500`, 1500 iterations,
+    /// 32-wide minibatches, `k = 1`.
+    fn default() -> Self {
+        Self {
+            h: 0.2,
+            gsize: 500,
+            train_iterations: 1500,
+            batch_size: 32,
+            disc_steps: 1,
+            train_len: None,
+            test_len: None,
+            checkpoint_paths: Vec::new(),
+            threads: None,
+            pair_count: None,
+        }
+    }
+}
+
+/// Everything a check run inspects. Absent sections are skipped by the
+/// passes that need them, so partial checks (config only, graph only)
+/// work naturally.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckInput {
+    /// The CPPS graph, if available.
+    pub graph: Option<GraphSpec>,
+    /// The GAN architecture, if available.
+    pub model: Option<ModelSpec>,
+    /// The pipeline configuration, if available.
+    pub pipeline: Option<PipelineSpec>,
+}
+
+impl CheckInput {
+    /// An empty input (every pass is a no-op).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the graph section.
+    pub fn with_graph(mut self, graph: GraphSpec) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Sets the model section.
+    pub fn with_model(mut self, model: ModelSpec) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the pipeline section.
+    pub fn with_pipeline(mut self, pipeline: PipelineSpec) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gansec_cpps::FlowKind;
+
+    #[test]
+    fn from_architecture_carries_feedback_flags() {
+        let mut arch = CppsArchitecture::new("cyclic");
+        let s = arch.add_subsystem("s");
+        let a = arch.add_cyber(s, "a").expect("add");
+        let b = arch.add_physical(s, "b").expect("add");
+        let _ = arch.add_flow("ab", FlowKind::Signal, a, b).expect("flow");
+        let _ = arch.add_flow("ba", FlowKind::Energy, b, a).expect("flow");
+        let spec = GraphSpec::from_architecture(&arch, true);
+        assert_eq!(spec.components.len(), 2);
+        assert_eq!(spec.flows.len(), 2);
+        assert_eq!(spec.flows.iter().filter(|f| f.feedback).count(), 1);
+        assert!(spec.design_time);
+        assert_eq!(spec.components[0].domain, DomainKind::Cyber);
+        assert_eq!(spec.flows[1].kind, FlowKindSpec::Energy);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let mut arch = CppsArchitecture::new("toy");
+        let s = arch.add_subsystem("s");
+        let a = arch.add_cyber(s, "ctrl").expect("add");
+        let b = arch.add_physical(s, "motor").expect("add");
+        let _ = arch.add_flow("pwm", FlowKind::Signal, a, b).expect("flow");
+        let spec = GraphSpec::from_architecture(&arch, false);
+        assert_eq!(spec.flow_label(0), "flow f0 (pwm)");
+        assert_eq!(spec.component_label(1), "component n1 (motor)");
+        assert_eq!(spec.flow_label(9), "flow f9 (unknown)");
+    }
+
+    #[test]
+    fn mlp_spec_mirrors_builder_shapes() {
+        let m = ModelSpec::mlp(16, 3, 100, &[64, 64], &[64, 32]);
+        // dense, act, dense, act, dense, sigmoid
+        assert_eq!(m.generator.len(), 6);
+        assert_eq!(
+            m.generator[0],
+            LayerSpec::Dense {
+                input: 19,
+                output: 64
+            }
+        );
+        assert_eq!(
+            m.generator[4],
+            LayerSpec::Dense {
+                input: 64,
+                output: 100
+            }
+        );
+        // dense, act, dense, act, dense (no output activation)
+        assert_eq!(m.discriminator.len(), 5);
+        assert_eq!(
+            m.discriminator[0],
+            LayerSpec::Dense {
+                input: 103,
+                output: 64
+            }
+        );
+        assert_eq!(
+            m.discriminator[4],
+            LayerSpec::Dense {
+                input: 32,
+                output: 1
+            }
+        );
+    }
+
+    #[test]
+    fn data_flags_stamp_every_pair() {
+        let mut arch = CppsArchitecture::new("toy");
+        let s = arch.add_subsystem("s");
+        let a = arch.add_cyber(s, "a").expect("add");
+        let b = arch.add_physical(s, "b").expect("add");
+        let c = arch.add_physical(s, "c").expect("add");
+        let _ = arch.add_flow("ab", FlowKind::Signal, a, b).expect("flow");
+        let _ = arch.add_flow("bc", FlowKind::Energy, b, c).expect("flow");
+        let spec = GraphSpec::from_architecture(&arch, false).with_data_flags(|from, _| from == 0);
+        assert!(!spec.pairs.is_empty());
+        for p in &spec.pairs {
+            assert_eq!(p.has_data, Some(p.from == 0));
+        }
+    }
+}

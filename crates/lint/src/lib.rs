@@ -1,0 +1,56 @@
+//! Static analysis & diagnostics for the GAN-Sec pipeline.
+//!
+//! GAN-Sec's Algorithm 1 is itself a static analysis: it inspects the
+//! design-time CPPS graph before any data-driven step runs. This crate
+//! generalizes that idea into a typed diagnostics engine with stable
+//! `GS0xxx` error codes and a registry of passes over the three things
+//! that can be checked *before* spending minutes of CGAN training:
+//!
+//! * **`GS01xx` — CPPS graph analysis** ([`passes::GraphPass`]):
+//!   residual cycles after feedback-loop removal, orphan components,
+//!   unreachable or data-less flow pairs, signal/energy domain
+//!   mismatches.
+//! * **`GS02xx` — GAN shape inference** ([`passes::ShapePass`]):
+//!   symbolic width propagation through the generator and discriminator
+//!   stacks, input/output dim agreement, condition width vs. label
+//!   cardinality, dead layers.
+//! * **`GS03xx` — pipeline config validation** ([`passes::ConfigPass`]):
+//!   Parzen bandwidth, split sanity, discriminator steps, checkpoint
+//!   collisions, thread/pair balance.
+//!
+//! The entry point is [`check`]; inputs are the lightweight specs in
+//! [`ir`], built either by hand or via the `lint_spec` conversions the
+//! `gansec-gan` and `gansec` (core) crates provide. Reports render as
+//! rustc-style text ([`render_text`]) or stable JSON ([`render_json`]).
+//!
+//! ```
+//! use gansec_lint::{check, codes, CheckInput, PipelineSpec};
+//!
+//! let input = CheckInput::new().with_pipeline(PipelineSpec {
+//!     h: 0.0,
+//!     ..PipelineSpec::default()
+//! });
+//! let report = check(&input);
+//! assert!(report.has(codes::BAD_BANDWIDTH));
+//! assert!(report.should_fail(false));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod codes;
+mod diag;
+pub mod ir;
+pub mod passes;
+mod registry;
+mod render;
+
+pub use codes::{code_info, code_table, Code, CodeInfo};
+pub use diag::{CheckReport, Diagnostic, Network, Origin, Severity};
+pub use ir::{
+    CheckInput, ComponentSpec, DomainKind, FlowKindSpec, FlowSpec, GraphSpec, LayerSpec, ModelSpec,
+    PairSpec, PipelineSpec,
+};
+pub use registry::{check, Pass, Registry};
+pub use render::{render_json, render_text};

@@ -1,0 +1,182 @@
+//! Pipeline configuration validation: the scalar knobs Algorithms 2
+//! and 3 assume are sane.
+
+use std::collections::HashMap;
+
+use crate::codes;
+use crate::diag::{Diagnostic, Origin};
+use crate::ir::{CheckInput, PipelineSpec};
+use crate::registry::Pass;
+
+/// Checks the pipeline configuration: Parzen bandwidth, splits,
+/// discriminator steps, checkpoint collisions, thread/pair balance.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConfigPass;
+
+impl Pass for ConfigPass {
+    fn id(&self) -> &'static str {
+        "config"
+    }
+
+    fn description(&self) -> &'static str {
+        "pipeline config: bandwidth, splits, k-steps, checkpoints, threads"
+    }
+
+    fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
+        let Some(p) = &input.pipeline else { return };
+        check_bandwidth(p, out);
+        check_counts(p, out);
+        check_split(p, out);
+        check_checkpoints(p, out);
+        check_threads(p, out);
+    }
+}
+
+/// GS0301: `h` must be finite and positive or every Parzen kernel
+/// density degenerates.
+fn check_bandwidth(p: &PipelineSpec, out: &mut Vec<Diagnostic>) {
+    if !p.h.is_finite() || p.h <= 0.0 {
+        out.push(
+            Diagnostic::new(
+                codes::BAD_BANDWIDTH,
+                Origin::Config {
+                    field: "h".to_string(),
+                },
+                format!(
+                    "Parzen bandwidth h must be finite and positive, got {}",
+                    p.h
+                ),
+            )
+            .with_help("the paper's case study uses h = 0.2"),
+        );
+    }
+}
+
+/// GS0303/GS0306/GS0307/GS0308: the integer knobs that must not be zero.
+fn check_counts(p: &PipelineSpec, out: &mut Vec<Diagnostic>) {
+    if p.disc_steps == 0 {
+        out.push(
+            Diagnostic::new(
+                codes::BAD_DISC_STEPS,
+                Origin::Config {
+                    field: "disc_steps".to_string(),
+                },
+                "discriminator steps k is 0; Algorithm 2 requires k >= 1",
+            )
+            .with_help("the paper uses k = 1"),
+        );
+    }
+    if p.gsize == 0 {
+        out.push(
+            Diagnostic::new(
+                codes::ZERO_GSIZE,
+                Origin::Config {
+                    field: "gsize".to_string(),
+                },
+                "GSize is 0: no generated samples to fit the Parzen window on",
+            )
+            .with_help("the paper's case study uses GSize = 500"),
+        );
+    }
+    if p.train_iterations == 0 {
+        out.push(
+            Diagnostic::new(
+                codes::ZERO_ITERATIONS,
+                Origin::Config {
+                    field: "train_iterations".to_string(),
+                },
+                "0 training iterations: the model stays at initialization",
+            )
+            .with_help("likelihoods from an untrained generator are noise"),
+        );
+    }
+    if p.batch_size == 0 {
+        out.push(Diagnostic::new(
+            codes::ZERO_BATCH,
+            Origin::Config {
+                field: "batch_size".to_string(),
+            },
+            "minibatch size is 0",
+        ));
+    }
+}
+
+/// GS0302: both splits non-empty and the training split at least one
+/// minibatch wide.
+fn check_split(p: &PipelineSpec, out: &mut Vec<Diagnostic>) {
+    let (Some(train), Some(test)) = (p.train_len, p.test_len) else {
+        return;
+    };
+    if train == 0 || test == 0 {
+        out.push(
+            Diagnostic::new(
+                codes::BAD_SPLIT,
+                Origin::Config {
+                    field: "split".to_string(),
+                },
+                format!("degenerate split: train = {train}, test = {test}"),
+            )
+            .with_help("both training and held-out splits must be non-empty"),
+        );
+    } else if p.batch_size > 0 && train < p.batch_size {
+        out.push(
+            Diagnostic::new(
+                codes::BAD_SPLIT,
+                Origin::Config {
+                    field: "split".to_string(),
+                },
+                format!(
+                    "training split ({train} samples) is smaller than one minibatch \
+                     ({} samples)",
+                    p.batch_size
+                ),
+            )
+            .with_help("shrink batch_size or supply more training data"),
+        );
+    }
+}
+
+/// GS0304: two pair runs writing the same checkpoint path silently
+/// clobber each other.
+fn check_checkpoints(p: &PipelineSpec, out: &mut Vec<Diagnostic>) {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for path in &p.checkpoint_paths {
+        if path.is_empty() {
+            continue;
+        }
+        *seen.entry(path.as_str()).or_insert(0) += 1;
+    }
+    let mut dups: Vec<(&str, usize)> = seen.into_iter().filter(|&(_, n)| n > 1).collect();
+    dups.sort_unstable();
+    for (path, n) in dups {
+        out.push(
+            Diagnostic::new(
+                codes::CHECKPOINT_COLLISION,
+                Origin::Config {
+                    field: "checkpoint".to_string(),
+                },
+                format!("{n} pair runs write checkpoints to the same path '{path}'"),
+            )
+            .with_help("derive the checkpoint path from the flow-pair ids"),
+        );
+    }
+}
+
+/// GS0305: threads beyond the pair count sit idle.
+fn check_threads(p: &PipelineSpec, out: &mut Vec<Diagnostic>) {
+    let (Some(threads), Some(pairs)) = (p.threads, p.pair_count) else {
+        return;
+    };
+    if pairs > 0 && threads > pairs {
+        out.push(
+            Diagnostic::new(
+                codes::THREADS_EXCEED_PAIRS,
+                Origin::Config {
+                    field: "threads".to_string(),
+                },
+                format!("{threads} worker threads requested for only {pairs} flow pair(s)"),
+            )
+            .with_help("extra threads sit idle; pair-level parallelism caps at the pair count"),
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! CPPS graph analysis: structural invariants Algorithm 1 relies on.
+
+use crate::codes;
+use crate::diag::{Diagnostic, Origin, Severity};
+use crate::ir::{CheckInput, DomainKind, FlowKindSpec, GraphSpec};
+use crate::registry::Pass;
+
+/// Checks the CPPS graph: dangling references, feedback cycles,
+/// residual cycles among kept flows, orphan components, unreachable or
+/// data-less flow pairs, domain mismatches, and empty pair sets.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GraphPass;
+
+impl Pass for GraphPass {
+    fn id(&self) -> &'static str {
+        "graph"
+    }
+
+    fn description(&self) -> &'static str {
+        "CPPS graph structure: cycles, orphans, pair reachability, domains"
+    }
+
+    fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
+        let Some(g) = &input.graph else { return };
+        // Referential integrity first: the later checks index by id and
+        // assume the references resolve.
+        let sound = check_references(g, out);
+        check_feedback(g, out);
+        if sound {
+            check_residual_cycles(g, out);
+            check_orphans(g, out);
+            check_pairs(g, out);
+            check_domains(g, out);
+        }
+        if g.pairs.is_empty() && !g.flows.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    codes::NO_FLOW_PAIRS,
+                    Origin::Input,
+                    format!("graph '{}' yields no flow pairs to model", g.name),
+                )
+                .with_help("check that at least two kept flows lie on a common causal path"),
+            );
+        }
+    }
+}
+
+/// GS0102: every flow endpoint and pair member must resolve. Returns
+/// whether the graph is referentially sound.
+fn check_references(g: &GraphSpec, out: &mut Vec<Diagnostic>) -> bool {
+    let n = g.components.len();
+    let nf = g.flows.len();
+    let mut sound = true;
+    for f in &g.flows {
+        for (end, id) in [("source", f.from), ("destination", f.to)] {
+            if id >= n {
+                sound = false;
+                out.push(Diagnostic::new(
+                    codes::DANGLING_REFERENCE,
+                    Origin::Graph {
+                        entity: format!("flow f{} ({})", f.id, f.name),
+                    },
+                    format!("{end} references unknown component n{id}"),
+                ));
+            }
+        }
+    }
+    for p in &g.pairs {
+        for (role, id) in [("conditioning flow", p.from), ("modeled flow", p.to)] {
+            if id >= nf {
+                sound = false;
+                out.push(Diagnostic::new(
+                    codes::DANGLING_REFERENCE,
+                    Origin::Graph {
+                        entity: format!("pair (f{}, f{})", p.from, p.to),
+                    },
+                    format!("{role} references unknown flow f{id}"),
+                ));
+            }
+        }
+    }
+    sound
+}
+
+/// GS0106: feedback cycles in the declared architecture. An error at
+/// design time, informational once Algorithm 1 has already classified
+/// and removed them.
+fn check_feedback(g: &GraphSpec, out: &mut Vec<Diagnostic>) {
+    let feedback: Vec<&crate::ir::FlowSpec> = g.flows.iter().filter(|f| f.feedback).collect();
+    if feedback.is_empty() {
+        return;
+    }
+    let names: Vec<String> = feedback.iter().map(|f| format!("f{}", f.id)).collect();
+    let d = Diagnostic::new(
+        codes::FEEDBACK_IN_DECLARED_GRAPH,
+        Origin::Graph {
+            entity: g.flow_label(feedback[0].id),
+        },
+        format!(
+            "architecture '{}' contains {} feedback flow(s): {}",
+            g.name,
+            feedback.len(),
+            names.join(", ")
+        ),
+    );
+    if g.design_time {
+        out.push(d.with_help(
+            "remove the feedback edge or let Algorithm 1's loop-removal step run first",
+        ));
+    } else {
+        out.push(
+            d.with_severity(Severity::Info)
+                .with_help("already removed from traversal by feedback-loop classification"),
+        );
+    }
+}
+
+/// Kept-flow adjacency list: `adj[c] = [(neighbor, flow_id)]`.
+fn kept_adjacency(g: &GraphSpec) -> Vec<Vec<(usize, usize)>> {
+    let mut adj = vec![Vec::new(); g.components.len()];
+    for f in g.flows.iter().filter(|f| !f.feedback) {
+        adj[f.from].push((f.to, f.id));
+    }
+    adj
+}
+
+/// GS0101: a cycle among kept flows means feedback-loop removal failed
+/// its post-condition; pair enumeration would double-count paths.
+fn check_residual_cycles(g: &GraphSpec, out: &mut Vec<Diagnostic>) {
+    let adj = kept_adjacency(g);
+    let n = g.components.len();
+    // Iterative three-color DFS; on finding a back edge, report the
+    // component that closes the cycle.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; n];
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        color[root] = GRAY;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if let Some(&(u, _)) = adj[v].get(*next) {
+                *next += 1;
+                match color[u] {
+                    WHITE => {
+                        color[u] = GRAY;
+                        stack.push((u, 0));
+                    }
+                    GRAY => {
+                        out.push(
+                            Diagnostic::new(
+                                codes::RESIDUAL_CYCLE,
+                                Origin::Graph {
+                                    entity: g.component_label(u),
+                                },
+                                format!(
+                                    "cycle among kept flows passes through {}",
+                                    g.component_label(u)
+                                ),
+                            )
+                            .with_help(
+                                "feedback-loop removal must leave the graph acyclic; \
+                                 classify one edge of this cycle as feedback",
+                            ),
+                        );
+                        // One representative cycle per DFS tree is enough.
+                        color[u] = BLACK;
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+}
+
+/// GS0103: components with no kept flow touching them can never appear
+/// in a flow pair.
+fn check_orphans(g: &GraphSpec, out: &mut Vec<Diagnostic>) {
+    let mut touched = vec![false; g.components.len()];
+    for f in g.flows.iter().filter(|f| !f.feedback) {
+        touched[f.from] = true;
+        touched[f.to] = true;
+    }
+    for c in &g.components {
+        if !touched[c.id] {
+            out.push(
+                Diagnostic::new(
+                    codes::ORPHAN_COMPONENT,
+                    Origin::Graph {
+                        entity: g.component_label(c.id),
+                    },
+                    format!("{} has no kept flow in or out", g.component_label(c.id)),
+                )
+                .with_help("connect it with a flow or drop it from the architecture"),
+            );
+        }
+    }
+}
+
+/// GS0104 + GS0105: each modeled pair `(F1, F2)` needs `F2`'s head
+/// reachable from `F1`'s tail along kept flows, and backing data.
+fn check_pairs(g: &GraphSpec, out: &mut Vec<Diagnostic>) {
+    let adj = kept_adjacency(g);
+    for p in &g.pairs {
+        let f1 = &g.flows[p.from];
+        let f2 = &g.flows[p.to];
+        let entity = format!("pair (f{}, f{})", p.from, p.to);
+        if f1.feedback || f2.feedback || p.from == p.to || !reaches(&adj, f1.from, f2.to) {
+            out.push(
+                Diagnostic::new(
+                    codes::UNREACHABLE_PAIR,
+                    Origin::Graph {
+                        entity: entity.clone(),
+                    },
+                    format!(
+                        "head of {} is not reachable from tail of {} along kept flows",
+                        g.flow_label(p.to),
+                        g.flow_label(p.from)
+                    ),
+                )
+                .with_help("Pr(F2 | F1) is only meaningful for flows on a common causal path"),
+            );
+        }
+        if p.has_data == Some(false) {
+            out.push(
+                Diagnostic::new(
+                    codes::PAIR_WITHOUT_DATA,
+                    Origin::Graph { entity },
+                    format!(
+                        "pair (f{}, f{}) selected for modeling without backing data",
+                        p.from, p.to
+                    ),
+                )
+                .with_help("Algorithm 1 line 15 prunes pairs with no historical observations"),
+            );
+        }
+    }
+}
+
+/// DFS reachability over the kept-flow adjacency (a node reaches itself).
+fn reaches(adj: &[Vec<(usize, usize)>], from: usize, to: usize) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut visited = vec![false; adj.len()];
+    let mut stack = vec![from];
+    visited[from] = true;
+    while let Some(v) = stack.pop() {
+        for &(u, _) in &adj[v] {
+            if u == to {
+                return true;
+            }
+            if !visited[u] {
+                visited[u] = true;
+                stack.push(u);
+            }
+        }
+    }
+    false
+}
+
+/// GS0107: flows whose kind contradicts their endpoints' domains. A
+/// discrete signal flow must originate in a cyber component (matter
+/// does not compute); a continuous energy flow may leave a cyber
+/// component only toward a physical one (actuation, e.g. a stepper
+/// driver's drive current), never toward another cyber component.
+fn check_domains(g: &GraphSpec, out: &mut Vec<Diagnostic>) {
+    for f in &g.flows {
+        let src = &g.components[f.from];
+        let dst = &g.components[f.to];
+        let message = match f.kind {
+            FlowKindSpec::Signal if src.domain == DomainKind::Physical => Some(format!(
+                "signal flow {} originates in physical {}",
+                g.flow_label(f.id),
+                g.component_label(src.id)
+            )),
+            FlowKindSpec::Energy
+                if src.domain == DomainKind::Cyber && dst.domain == DomainKind::Cyber =>
+            {
+                Some(format!(
+                    "energy flow {} runs between cyber {} and {}",
+                    g.flow_label(f.id),
+                    g.component_label(src.id),
+                    g.component_label(dst.id)
+                ))
+            }
+            _ => None,
+        };
+        if let Some(message) = message {
+            out.push(
+                Diagnostic::new(
+                    codes::DOMAIN_MISMATCH,
+                    Origin::Graph {
+                        entity: g.flow_label(f.id),
+                    },
+                    message,
+                )
+                .with_help(
+                    "signal flows start in cyber components; energy flows end in the physical world",
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Symbolic shape inference over the generator and discriminator layer
+//! stacks.
+//!
+//! Widths are propagated layer by layer: dense layers map `input ->
+//! output`, activations and dropout preserve width. Every disagreement
+//! gets a code tied to where it bites — the network boundary codes
+//! (`GS0201`/`GS0203`/`GS0204`/`GS0205`) for the stack's interface with
+//! the rest of the pipeline, `GS0202` for internal seams.
+
+use crate::codes;
+use crate::diag::{Diagnostic, Network, Origin};
+use crate::ir::{CheckInput, LayerSpec, ModelSpec};
+use crate::registry::Pass;
+
+/// Checks the GAN architecture: input/output/internal shape agreement,
+/// condition width vs. label cardinality, dead layers, zero dims.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShapePass;
+
+impl Pass for ShapePass {
+    fn id(&self) -> &'static str {
+        "shape"
+    }
+
+    fn description(&self) -> &'static str {
+        "GAN shape inference: layer stacks, dims, condition width"
+    }
+
+    fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
+        let Some(m) = &input.model else { return };
+        check_dims(m, out);
+        check_cond_width(m, out);
+        propagate(
+            Network::Generator,
+            &m.generator,
+            m.noise_dim + m.cond_dim,
+            "noise_dim + cond_dim",
+            m.data_dim,
+            "data_dim",
+            codes::GEN_INPUT_MISMATCH,
+            codes::GEN_OUTPUT_MISMATCH,
+            out,
+        );
+        propagate(
+            Network::Discriminator,
+            &m.discriminator,
+            m.data_dim + m.cond_dim,
+            "data_dim + cond_dim",
+            1,
+            "a single logit",
+            codes::DISC_INPUT_MISMATCH,
+            codes::DISC_OUTPUT_MISMATCH,
+            out,
+        );
+    }
+}
+
+/// GS0208: zero noise or data width makes the whole model degenerate.
+fn check_dims(m: &ModelSpec, out: &mut Vec<Diagnostic>) {
+    for (field, value) in [("noise_dim", m.noise_dim), ("data_dim", m.data_dim)] {
+        if value == 0 {
+            out.push(
+                Diagnostic::new(
+                    codes::ZERO_DIM,
+                    Origin::Model {
+                        field: field.to_string(),
+                    },
+                    format!("{field} is zero"),
+                )
+                .with_help("both the noise prior and the modeled samples need width > 0"),
+            );
+        }
+    }
+}
+
+/// GS0206: a one-hot condition must be exactly as wide as the dataset's
+/// label set.
+fn check_cond_width(m: &ModelSpec, out: &mut Vec<Diagnostic>) {
+    if let Some(n) = m.label_cardinality {
+        if m.cond_dim != n {
+            out.push(
+                Diagnostic::new(
+                    codes::COND_WIDTH_MISMATCH,
+                    Origin::Model {
+                        field: "cond_dim".to_string(),
+                    },
+                    format!(
+                        "cond_dim is {} but the dataset one-hot encodes {} labels",
+                        m.cond_dim, n
+                    ),
+                )
+                .with_help("set cond_dim to the label cardinality (or 0 for an unconditional GAN)"),
+            );
+        }
+    }
+}
+
+/// Walks one layer stack, emitting boundary and seam mismatches, dead
+/// layers, and empty-network warnings.
+#[allow(clippy::too_many_arguments)]
+fn propagate(
+    network: Network,
+    layers: &[LayerSpec],
+    input_width: usize,
+    input_desc: &str,
+    output_width: usize,
+    output_desc: &str,
+    input_code: codes::Code,
+    output_code: codes::Code,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut width = input_width;
+    let mut seen_dense = false;
+    for (index, layer) in layers.iter().enumerate() {
+        let LayerSpec::Dense { input, output } = layer else {
+            continue;
+        };
+        if *input == 0 || *output == 0 {
+            out.push(
+                Diagnostic::new(
+                    codes::DEAD_LAYER,
+                    Origin::Layer { network, index },
+                    format!(
+                        "{network} layer {index} is dense {input} -> {output}: zero-width, \
+                         no information flows through it"
+                    ),
+                )
+                .with_help("remove the layer or give it a positive width"),
+            );
+        }
+        if *input != width {
+            if seen_dense {
+                out.push(
+                    Diagnostic::new(
+                        codes::LAYER_SHAPE_MISMATCH,
+                        Origin::Layer { network, index },
+                        format!(
+                            "{network} layer {index} expects input width {input} but the \
+                             previous layer produces {width}"
+                        ),
+                    )
+                    .with_help("make consecutive dense widths agree"),
+                );
+            } else {
+                out.push(
+                    Diagnostic::new(
+                        input_code,
+                        Origin::Layer { network, index },
+                        format!(
+                            "{network} first dense layer expects input width {input} but \
+                             {input_desc} is {width}"
+                        ),
+                    )
+                    .with_help("the first dense layer must consume the concatenated input"),
+                );
+            }
+        }
+        seen_dense = true;
+        width = *output;
+    }
+    if !seen_dense {
+        out.push(
+            Diagnostic::new(
+                codes::EMPTY_NETWORK,
+                Origin::Model {
+                    field: format!("{network}"),
+                },
+                format!("{network} contains no dense layers"),
+            )
+            .with_help("an identity network cannot be trained"),
+        );
+        return;
+    }
+    if width != output_width {
+        out.push(
+            Diagnostic::new(
+                output_code,
+                Origin::Model {
+                    field: format!("{network}"),
+                },
+                format!("{network} produces width {width} but must produce {output_desc} ({output_width})"),
+            )
+            .with_help("the final dense layer's output width is wrong"),
+        );
+    }
+}

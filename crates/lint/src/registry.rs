@@ -1,0 +1,108 @@
+//! The pass registry: passes implement [`Pass`], a [`Registry`] runs
+//! them in registration order, and [`check`] runs the default set.
+
+use crate::diag::{CheckReport, Diagnostic};
+use crate::ir::CheckInput;
+use crate::passes::{ConfigPass, GraphPass, ShapePass};
+
+/// One static analysis pass.
+///
+/// Passes must be deterministic: same input, same diagnostics in the
+/// same order. A pass skips silently when the input section it inspects
+/// is absent.
+pub trait Pass {
+    /// Stable identifier, e.g. `graph`.
+    fn id(&self) -> &'static str;
+
+    /// One-line description for `--list-passes`-style output.
+    fn description(&self) -> &'static str;
+
+    /// Appends findings for `input` to `out`.
+    fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of passes.
+#[derive(Default)]
+pub struct Registry {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in passes in canonical order: graph, shape, config.
+    pub fn with_default_passes() -> Self {
+        let mut r = Self::new();
+        r.register(Box::new(GraphPass));
+        r.register(Box::new(ShapePass));
+        r.register(Box::new(ConfigPass));
+        r
+    }
+
+    /// Appends a pass; it runs after everything already registered.
+    pub fn register(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    /// Registered passes in run order.
+    pub fn passes(&self) -> impl Iterator<Item = &dyn Pass> {
+        self.passes.iter().map(AsRef::as_ref)
+    }
+
+    /// Runs every pass over `input` and assembles the report.
+    pub fn run(&self, input: &CheckInput) -> CheckReport {
+        let mut diagnostics = Vec::new();
+        let mut ids = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            pass.run(input, &mut diagnostics);
+            ids.push(pass.id());
+        }
+        CheckReport::new(diagnostics, ids)
+    }
+}
+
+/// Runs the default pass set over `input`.
+pub fn check(input: &CheckInput) -> CheckReport {
+    Registry::with_default_passes().run(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_runs_all_passes_in_order() {
+        let report = check(&CheckInput::new());
+        assert_eq!(report.passes(), &["graph", "shape", "config"]);
+        assert!(report.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn custom_pass_registration() {
+        struct Always;
+        impl Pass for Always {
+            fn id(&self) -> &'static str {
+                "always"
+            }
+            fn description(&self) -> &'static str {
+                "always fires"
+            }
+            fn run(&self, _input: &CheckInput, out: &mut Vec<Diagnostic>) {
+                out.push(Diagnostic::new(
+                    crate::codes::NO_FLOW_PAIRS,
+                    crate::Origin::Input,
+                    "synthetic",
+                ));
+            }
+        }
+        let mut r = Registry::new();
+        r.register(Box::new(Always));
+        let report = r.run(&CheckInput::new());
+        assert_eq!(report.passes(), &["always"]);
+        assert_eq!(report.diagnostics().len(), 1);
+        assert_eq!(r.passes().count(), 1);
+    }
+}

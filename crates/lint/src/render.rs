@@ -1,0 +1,204 @@
+//! Report rendering: rustc-style text for humans, hand-rolled JSON for
+//! machines.
+//!
+//! The JSON renderer is deliberately dependency-free: the schema is
+//! flat and fully controlled here, so a serializer would buy nothing
+//! but a dependency edge from a crate whose whole point is having none.
+
+use std::fmt::Write as _;
+
+use crate::codes::code_info;
+use crate::diag::{CheckReport, Diagnostic, Severity};
+
+/// Renders the report in rustc-style text:
+///
+/// ```text
+/// error[GS0301]: Parzen bandwidth h must be finite and positive, got 0
+///   --> config.h
+///   help: the paper's case study uses h = 0.2
+///
+/// check: 1 error, 0 warnings, 0 infos (passes: graph, shape, config)
+/// ```
+pub fn render_text(report: &CheckReport) -> String {
+    let mut out = String::new();
+    for d in report.diagnostics() {
+        render_text_diagnostic(&mut out, d);
+        out.push('\n');
+    }
+    let errors = report.errors();
+    let warnings = report.warnings();
+    let infos = report.count(Severity::Info);
+    let _ = writeln!(
+        out,
+        "check: {} error{}, {} warning{}, {} info{} (passes: {})",
+        errors,
+        plural(errors),
+        warnings,
+        plural(warnings),
+        infos,
+        plural(infos),
+        report.passes().join(", ")
+    );
+    out
+}
+
+fn render_text_diagnostic(out: &mut String, d: &Diagnostic) {
+    let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+    let _ = writeln!(out, "  --> {}", d.origin);
+    if let Some(info) = code_info(d.code) {
+        let _ = writeln!(out, "  note: {} ({})", info.summary, info.name);
+    }
+    if let Some(help) = &d.help {
+        let _ = writeln!(out, "  help: {help}");
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Renders the report as a single JSON object:
+///
+/// ```json
+/// {"errors":1,"warnings":0,"infos":0,
+///  "passes":["graph","shape","config"],
+///  "diagnostics":[{"code":"GS0301","name":"bad-bandwidth",
+///    "severity":"error","origin":"config.h",
+///    "message":"...","help":"..."}]}
+/// ```
+///
+/// `help` is `null` when no fix suggestion exists. Keys and array
+/// orders are stable; golden tests pin the exact bytes.
+pub fn render_json(report: &CheckReport) -> String {
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"errors\":{},\"warnings\":{},\"infos\":{},",
+        report.errors(),
+        report.warnings(),
+        report.count(Severity::Info)
+    );
+    out.push_str("\"passes\":[");
+    for (i, p) in report.passes().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(&mut out, p);
+    }
+    out.push_str("],\"diagnostics\":[");
+    for (i, d) in report.diagnostics().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_json_diagnostic(&mut out, d);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn render_json_diagnostic(out: &mut String, d: &Diagnostic) {
+    out.push('{');
+    out.push_str("\"code\":");
+    json_string(out, &d.code.to_string());
+    out.push_str(",\"name\":");
+    match code_info(d.code) {
+        Some(info) => json_string(out, info.name),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"severity\":");
+    json_string(out, &d.severity.to_string());
+    out.push_str(",\"origin\":");
+    json_string(out, &d.origin.to_string());
+    out.push_str(",\"message\":");
+    json_string(out, &d.message);
+    out.push_str(",\"help\":");
+    match &d.help {
+        Some(h) => json_string(out, h),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+/// Appends `s` as a JSON string literal with full escaping.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes;
+    use crate::diag::Origin;
+
+    fn report() -> CheckReport {
+        CheckReport::new(
+            vec![Diagnostic::new(
+                codes::BAD_BANDWIDTH,
+                Origin::Config { field: "h".into() },
+                "Parzen bandwidth h must be finite and positive, got 0",
+            )
+            .with_help("the paper's case study uses h = 0.2")],
+            vec!["config"],
+        )
+    }
+
+    #[test]
+    fn text_render_is_rustc_style() {
+        let text = render_text(&report());
+        assert!(text
+            .starts_with("error[GS0301]: Parzen bandwidth h must be finite and positive, got 0\n"));
+        assert!(text.contains("  --> config.h\n"));
+        assert!(text.contains("  help: the paper's case study uses h = 0.2\n"));
+        assert!(text.ends_with("check: 1 error, 0 warnings, 0 infos (passes: config)\n"));
+    }
+
+    #[test]
+    fn json_render_is_machine_parseable() {
+        let json = render_json(&report());
+        assert!(json.starts_with("{\"errors\":1,\"warnings\":0,\"infos\":0,"));
+        assert!(json.contains("\"code\":\"GS0301\""));
+        assert!(json.contains("\"name\":\"bad-bandwidth\""));
+        assert!(json.contains("\"help\":\"the paper's case study uses h = 0.2\""));
+        assert!(json.ends_with("}]}"));
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_chars() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_renders_cleanly() {
+        let empty = CheckReport::new(vec![], vec!["graph", "shape", "config"]);
+        assert_eq!(
+            render_text(&empty),
+            "check: 0 errors, 0 warnings, 0 infos (passes: graph, shape, config)\n"
+        );
+        assert_eq!(
+            render_json(&empty),
+            "{\"errors\":0,\"warnings\":0,\"infos\":0,\
+             \"passes\":[\"graph\",\"shape\",\"config\"],\"diagnostics\":[]}"
+        );
+    }
+}

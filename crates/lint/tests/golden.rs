@@ -1,0 +1,107 @@
+//! Golden-snapshot tests: the exact bytes of the text and JSON
+//! renderers are part of the crate's contract (scripts parse them), so
+//! they are pinned here. A renderer change must update these strings
+//! deliberately.
+
+#![allow(clippy::unwrap_used)]
+
+use gansec_cpps::{CppsArchitecture, FlowKind};
+use gansec_lint::{check, render_json, render_text, CheckInput, GraphSpec, PipelineSpec};
+
+/// A config with one error (negative bandwidth) and one warning (zero
+/// training iterations).
+fn broken_pipeline() -> CheckInput {
+    CheckInput::new().with_pipeline(PipelineSpec {
+        h: -1.0,
+        train_iterations: 0,
+        ..PipelineSpec::default()
+    })
+}
+
+#[test]
+fn golden_text_broken_pipeline() {
+    let report = check(&broken_pipeline());
+    let expected = "\
+error[GS0301]: Parzen bandwidth h must be finite and positive, got -1
+  --> config.h
+  note: Parzen bandwidth h is non-finite or not positive (bad-bandwidth)
+  help: the paper's case study uses h = 0.2
+
+warning[GS0307]: 0 training iterations: the model stays at initialization
+  --> config.train_iterations
+  note: zero training iterations (zero-iterations)
+  help: likelihoods from an untrained generator are noise
+
+check: 1 error, 1 warning, 0 infos (passes: graph, shape, config)
+";
+    assert_eq!(render_text(&report), expected);
+}
+
+#[test]
+fn golden_json_broken_pipeline() {
+    let report = check(&broken_pipeline());
+    let expected = concat!(
+        "{\"errors\":1,\"warnings\":1,\"infos\":0,",
+        "\"passes\":[\"graph\",\"shape\",\"config\"],",
+        "\"diagnostics\":[",
+        "{\"code\":\"GS0301\",\"name\":\"bad-bandwidth\",\"severity\":\"error\",",
+        "\"origin\":\"config.h\",",
+        "\"message\":\"Parzen bandwidth h must be finite and positive, got -1\",",
+        "\"help\":\"the paper's case study uses h = 0.2\"},",
+        "{\"code\":\"GS0307\",\"name\":\"zero-iterations\",\"severity\":\"warning\",",
+        "\"origin\":\"config.train_iterations\",",
+        "\"message\":\"0 training iterations: the model stays at initialization\",",
+        "\"help\":\"likelihoods from an untrained generator are noise\"}",
+        "]}"
+    );
+    assert_eq!(render_json(&report), expected);
+}
+
+#[test]
+fn golden_text_clean_report() {
+    let report = check(&CheckInput::new().with_pipeline(PipelineSpec::default()));
+    assert_eq!(
+        render_text(&report),
+        "check: 0 errors, 0 warnings, 0 infos (passes: graph, shape, config)\n"
+    );
+}
+
+#[test]
+fn golden_json_clean_report() {
+    let report = check(&CheckInput::new().with_pipeline(PipelineSpec::default()));
+    assert_eq!(
+        render_json(&report),
+        "{\"errors\":0,\"warnings\":0,\"infos\":0,\
+         \"passes\":[\"graph\",\"shape\",\"config\"],\"diagnostics\":[]}"
+    );
+}
+
+/// A validated (non-design-time) cyclic architecture: the feedback flow
+/// renders as info, the empty pair set as a warning — and neither gates
+/// a non-strict run.
+#[test]
+fn golden_text_validated_cycle() {
+    let mut arch = CppsArchitecture::new("cyclic");
+    let s = arch.add_subsystem("s");
+    let a = arch.add_cyber(s, "a").unwrap();
+    let b = arch.add_physical(s, "b").unwrap();
+    arch.add_flow("ab", FlowKind::Signal, a, b).unwrap();
+    arch.add_flow("ba", FlowKind::Energy, b, a).unwrap();
+    let spec = GraphSpec::from_architecture(&arch, false);
+    let report = check(&CheckInput::new().with_graph(spec));
+    let expected = "\
+info[GS0106]: architecture 'cyclic' contains 1 feedback flow(s): f1
+  --> graph: flow f1 (ba)
+  note: declared architecture contains feedback cycles (feedback-in-declared-graph)
+  help: already removed from traversal by feedback-loop classification
+
+warning[GS0108]: graph 'cyclic' yields no flow pairs to model
+  --> input
+  note: no flow pairs to model (no-flow-pairs)
+  help: check that at least two kept flows lie on a common causal path
+
+check: 0 errors, 1 warning, 1 info (passes: graph, shape, config)
+";
+    assert_eq!(render_text(&report), expected);
+    assert!(!report.should_fail(false));
+}

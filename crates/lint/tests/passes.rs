@@ -1,0 +1,486 @@
+//! Negative-path coverage: every published `GS0xxx` code fires on a
+//! deliberately broken graph/architecture/config, and the clean inputs
+//! fire nothing.
+
+#![allow(clippy::unwrap_used)]
+
+use gansec_lint::{
+    check, codes, CheckInput, ComponentSpec, DomainKind, FlowKindSpec, FlowSpec, GraphSpec,
+    LayerSpec, ModelSpec, PairSpec, PipelineSpec, Severity,
+};
+
+// --- spec-building helpers --------------------------------------------
+
+fn component(id: usize, name: &str, domain: DomainKind) -> ComponentSpec {
+    ComponentSpec {
+        id,
+        name: name.to_string(),
+        domain,
+    }
+}
+
+fn flow(id: usize, name: &str, kind: FlowKindSpec, from: usize, to: usize) -> FlowSpec {
+    FlowSpec {
+        id,
+        name: name.to_string(),
+        kind,
+        from,
+        to,
+        feedback: false,
+    }
+}
+
+fn pair(from: usize, to: usize) -> PairSpec {
+    PairSpec {
+        from,
+        to,
+        has_data: None,
+    }
+}
+
+/// A sound little line: cyber controller -> physical motor -> physical
+/// frame, with a signal flow then an energy flow, paired (f0, f1).
+fn clean_graph() -> GraphSpec {
+    GraphSpec {
+        name: "line".to_string(),
+        design_time: true,
+        components: vec![
+            component(0, "controller", DomainKind::Cyber),
+            component(1, "motor", DomainKind::Physical),
+            component(2, "frame", DomainKind::Physical),
+        ],
+        flows: vec![
+            flow(0, "gcode", FlowKindSpec::Signal, 0, 1),
+            flow(1, "acoustic", FlowKindSpec::Energy, 1, 2),
+        ],
+        pairs: vec![pair(0, 1)],
+    }
+}
+
+fn clean_model() -> ModelSpec {
+    ModelSpec::mlp(16, 3, 48, &[64, 64], &[64, 32])
+}
+
+fn graph_input(g: GraphSpec) -> CheckInput {
+    CheckInput::new().with_graph(g)
+}
+
+fn model_input(m: ModelSpec) -> CheckInput {
+    CheckInput::new().with_model(m)
+}
+
+fn pipeline_input(p: PipelineSpec) -> CheckInput {
+    CheckInput::new().with_pipeline(p)
+}
+
+// --- clean inputs stay clean ------------------------------------------
+
+#[test]
+fn clean_everything_yields_no_diagnostics() {
+    let input = CheckInput::new()
+        .with_graph(clean_graph())
+        .with_model(clean_model())
+        .with_pipeline(PipelineSpec::default());
+    let report = check(&input);
+    assert!(
+        report.diagnostics().is_empty(),
+        "unexpected: {:?}",
+        report.diagnostics()
+    );
+    assert!(!report.should_fail(true));
+}
+
+// --- GS01xx: graph ----------------------------------------------------
+
+#[test]
+fn gs0101_residual_cycle_among_kept_flows() {
+    let mut g = clean_graph();
+    // Close the loop frame -> controller without marking it feedback:
+    // exactly the invariant violation Algorithm 1 must never produce.
+    g.flows.push(flow(2, "haunted", FlowKindSpec::Energy, 2, 0));
+    let report = check(&graph_input(g));
+    let d = report.find(codes::RESIDUAL_CYCLE).expect("GS0101");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(report.should_fail(false));
+}
+
+#[test]
+fn gs0102_dangling_flow_endpoint() {
+    let mut g = clean_graph();
+    g.flows.push(flow(2, "stray", FlowKindSpec::Signal, 0, 99));
+    let report = check(&graph_input(g));
+    let d = report.find(codes::DANGLING_REFERENCE).expect("GS0102");
+    assert!(d.message.contains("n99"));
+}
+
+#[test]
+fn gs0102_dangling_pair_member() {
+    let mut g = clean_graph();
+    g.pairs.push(pair(0, 42));
+    let report = check(&graph_input(g));
+    let d = report.find(codes::DANGLING_REFERENCE).expect("GS0102");
+    assert!(d.message.contains("f42"));
+}
+
+#[test]
+fn gs0103_orphan_component() {
+    let mut g = clean_graph();
+    g.components
+        .push(component(3, "decorative bed", DomainKind::Physical));
+    let report = check(&graph_input(g));
+    let d = report.find(codes::ORPHAN_COMPONENT).expect("GS0103");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("decorative bed"));
+    // Warnings alone do not gate by default, only under strict.
+    assert!(!report.should_fail(false));
+    assert!(report.should_fail(true));
+}
+
+#[test]
+fn gs0104_unreachable_pair() {
+    let mut g = clean_graph();
+    // A disconnected second line: no kept path from the main line's
+    // controller to the aux motor, so (gcode, aux vibration) is not a
+    // causal pair.
+    g.components
+        .push(component(3, "aux controller", DomainKind::Cyber));
+    g.components
+        .push(component(4, "aux motor", DomainKind::Physical));
+    g.flows
+        .push(flow(2, "aux gcode", FlowKindSpec::Signal, 3, 4));
+    g.pairs = vec![pair(0, 2)];
+    let report = check(&graph_input(g));
+    assert!(report.has(codes::UNREACHABLE_PAIR));
+    assert!(report.should_fail(false));
+}
+
+#[test]
+fn gs0104_pair_over_feedback_flow() {
+    let mut g = clean_graph();
+    g.flows[1].feedback = true; // the modeled flow was removed
+    g.pairs = vec![pair(0, 1)];
+    let report = check(&graph_input(g));
+    assert!(report.has(codes::UNREACHABLE_PAIR));
+}
+
+#[test]
+fn gs0105_pair_without_data() {
+    let g = clean_graph().with_data_flags(|_, _| false);
+    let report = check(&graph_input(g));
+    let d = report.find(codes::PAIR_WITHOUT_DATA).expect("GS0105");
+    assert_eq!(d.severity, Severity::Warning);
+}
+
+#[test]
+fn gs0106_feedback_is_error_at_design_time() {
+    let mut g = clean_graph();
+    g.flows.push(FlowSpec {
+        id: 2,
+        name: "thermal feedback".to_string(),
+        kind: FlowKindSpec::Energy,
+        from: 2,
+        to: 0,
+        feedback: true,
+    });
+    let report = check(&graph_input(g));
+    let d = report
+        .find(codes::FEEDBACK_IN_DECLARED_GRAPH)
+        .expect("GS0106");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn gs0106_feedback_is_info_after_validation() {
+    let mut g = clean_graph();
+    g.design_time = false;
+    g.flows.push(FlowSpec {
+        id: 2,
+        name: "thermal feedback".to_string(),
+        kind: FlowKindSpec::Energy,
+        from: 2,
+        to: 0,
+        feedback: true,
+    });
+    let report = check(&graph_input(g));
+    let d = report
+        .find(codes::FEEDBACK_IN_DECLARED_GRAPH)
+        .expect("GS0106");
+    assert_eq!(d.severity, Severity::Info);
+    assert!(!report.should_fail(true));
+}
+
+#[test]
+fn gs0107_signal_flow_from_physical_component() {
+    let mut g = clean_graph();
+    g.flows
+        .push(flow(2, "ghost gcode", FlowKindSpec::Signal, 1, 2));
+    let report = check(&graph_input(g));
+    let d = report.find(codes::DOMAIN_MISMATCH).expect("GS0107");
+    assert_eq!(d.severity, Severity::Warning);
+}
+
+#[test]
+fn gs0107_energy_flow_between_cyber_components() {
+    let mut g = clean_graph();
+    g.components.push(component(3, "logger", DomainKind::Cyber));
+    g.flows
+        .push(flow(2, "ghost heat", FlowKindSpec::Energy, 0, 3));
+    let report = check(&graph_input(g));
+    assert!(report.has(codes::DOMAIN_MISMATCH));
+}
+
+#[test]
+fn gs0107_energy_actuation_into_physical_is_legal() {
+    // A stepper driver's drive current: energy leaving a cyber
+    // component toward the physical world is actuation, not a mismatch.
+    let mut g = clean_graph();
+    g.flows
+        .push(flow(2, "drive current", FlowKindSpec::Energy, 0, 1));
+    let report = check(&graph_input(g));
+    assert!(!report.has(codes::DOMAIN_MISMATCH));
+}
+
+#[test]
+fn gs0108_no_flow_pairs() {
+    let mut g = clean_graph();
+    g.pairs.clear();
+    let report = check(&graph_input(g));
+    let d = report.find(codes::NO_FLOW_PAIRS).expect("GS0108");
+    assert_eq!(d.severity, Severity::Warning);
+}
+
+// --- GS02xx: shapes ---------------------------------------------------
+
+#[test]
+fn gs0201_generator_input_mismatch() {
+    let mut m = clean_model();
+    // noise 16 + cond 3 = 19, but the first layer wants 20.
+    m.generator[0] = LayerSpec::Dense {
+        input: 20,
+        output: 64,
+    };
+    let report = check(&model_input(m));
+    assert!(report.has(codes::GEN_INPUT_MISMATCH));
+    assert!(report.should_fail(false));
+}
+
+#[test]
+fn gs0202_internal_seam_mismatch() {
+    let mut m = clean_model();
+    // Generator layers: dense(19,64) act dense(64,64) act dense(64,48) sigmoid.
+    m.generator[2] = LayerSpec::Dense {
+        input: 65,
+        output: 64,
+    };
+    let report = check(&model_input(m));
+    assert!(report.has(codes::LAYER_SHAPE_MISMATCH));
+    assert!(!report.has(codes::GEN_INPUT_MISMATCH));
+}
+
+#[test]
+fn gs0203_generator_output_mismatch() {
+    let mut m = clean_model();
+    m.generator[4] = LayerSpec::Dense {
+        input: 64,
+        output: 47, // data_dim is 48
+    };
+    let report = check(&model_input(m));
+    assert!(report.has(codes::GEN_OUTPUT_MISMATCH));
+}
+
+#[test]
+fn gs0204_discriminator_input_mismatch() {
+    let mut m = clean_model();
+    // data 48 + cond 3 = 51, but the first layer wants 48 (forgot cond).
+    m.discriminator[0] = LayerSpec::Dense {
+        input: 48,
+        output: 64,
+    };
+    let report = check(&model_input(m));
+    assert!(report.has(codes::DISC_INPUT_MISMATCH));
+}
+
+#[test]
+fn gs0205_discriminator_not_single_logit() {
+    let mut m = clean_model();
+    m.discriminator[4] = LayerSpec::Dense {
+        input: 32,
+        output: 2,
+    };
+    let report = check(&model_input(m));
+    assert!(report.has(codes::DISC_OUTPUT_MISMATCH));
+}
+
+#[test]
+fn gs0206_condition_width_vs_label_cardinality() {
+    let m = clean_model().with_label_cardinality(5); // cond_dim is 3
+    let report = check(&model_input(m));
+    assert!(report.has(codes::COND_WIDTH_MISMATCH));
+
+    let ok = clean_model().with_label_cardinality(3);
+    assert!(!check(&model_input(ok)).has(codes::COND_WIDTH_MISMATCH));
+}
+
+#[test]
+fn gs0207_dead_layer() {
+    let mut m = clean_model();
+    m.generator[2] = LayerSpec::Dense {
+        input: 64,
+        output: 0,
+    };
+    let report = check(&model_input(m));
+    assert!(report.has(codes::DEAD_LAYER));
+}
+
+#[test]
+fn gs0208_zero_noise_dim() {
+    let m = ModelSpec::mlp(0, 3, 48, &[64], &[64]);
+    let report = check(&model_input(m));
+    assert!(report.has(codes::ZERO_DIM));
+}
+
+#[test]
+fn gs0209_empty_network() {
+    let mut m = clean_model();
+    m.generator = vec![LayerSpec::Activation {
+        name: "Sigmoid".to_string(),
+    }];
+    let report = check(&model_input(m));
+    let d = report.find(codes::EMPTY_NETWORK).expect("GS0209");
+    assert_eq!(d.severity, Severity::Warning);
+    // An empty stack must not also complain about output width.
+    assert!(!report.has(codes::GEN_OUTPUT_MISMATCH));
+}
+
+// --- GS03xx: config ---------------------------------------------------
+
+#[test]
+fn gs0301_bad_bandwidth() {
+    for h in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+        let report = check(&pipeline_input(PipelineSpec {
+            h,
+            ..PipelineSpec::default()
+        }));
+        assert!(report.has(codes::BAD_BANDWIDTH), "h = {h}");
+        assert!(report.should_fail(false));
+    }
+}
+
+#[test]
+fn gs0302_degenerate_split() {
+    let report = check(&pipeline_input(PipelineSpec {
+        train_len: Some(0),
+        test_len: Some(10),
+        ..PipelineSpec::default()
+    }));
+    assert!(report.has(codes::BAD_SPLIT));
+}
+
+#[test]
+fn gs0302_train_smaller_than_minibatch() {
+    let report = check(&pipeline_input(PipelineSpec {
+        train_len: Some(8),
+        test_len: Some(4),
+        batch_size: 32,
+        ..PipelineSpec::default()
+    }));
+    assert!(report.has(codes::BAD_SPLIT));
+
+    let ok = check(&pipeline_input(PipelineSpec {
+        train_len: Some(64),
+        test_len: Some(16),
+        batch_size: 32,
+        ..PipelineSpec::default()
+    }));
+    assert!(!ok.has(codes::BAD_SPLIT));
+}
+
+#[test]
+fn gs0303_zero_disc_steps() {
+    let report = check(&pipeline_input(PipelineSpec {
+        disc_steps: 0,
+        ..PipelineSpec::default()
+    }));
+    assert!(report.has(codes::BAD_DISC_STEPS));
+}
+
+#[test]
+fn gs0304_checkpoint_collision() {
+    let report = check(&pipeline_input(PipelineSpec {
+        checkpoint_paths: vec![
+            "ckpt/run.json".to_string(),
+            "ckpt/other.json".to_string(),
+            "ckpt/run.json".to_string(),
+        ],
+        ..PipelineSpec::default()
+    }));
+    let d = report.find(codes::CHECKPOINT_COLLISION).expect("GS0304");
+    assert!(d.message.contains("ckpt/run.json"));
+    // Empty paths mean "no checkpointing", never a collision.
+    let ok = check(&pipeline_input(PipelineSpec {
+        checkpoint_paths: vec![String::new(), String::new()],
+        ..PipelineSpec::default()
+    }));
+    assert!(!ok.has(codes::CHECKPOINT_COLLISION));
+}
+
+#[test]
+fn gs0305_threads_exceed_pairs() {
+    let report = check(&pipeline_input(PipelineSpec {
+        threads: Some(8),
+        pair_count: Some(3),
+        ..PipelineSpec::default()
+    }));
+    let d = report.find(codes::THREADS_EXCEED_PAIRS).expect("GS0305");
+    assert_eq!(d.severity, Severity::Warning);
+
+    let ok = check(&pipeline_input(PipelineSpec {
+        threads: Some(3),
+        pair_count: Some(3),
+        ..PipelineSpec::default()
+    }));
+    assert!(!ok.has(codes::THREADS_EXCEED_PAIRS));
+}
+
+#[test]
+fn gs0306_zero_gsize() {
+    let report = check(&pipeline_input(PipelineSpec {
+        gsize: 0,
+        ..PipelineSpec::default()
+    }));
+    assert!(report.has(codes::ZERO_GSIZE));
+}
+
+#[test]
+fn gs0307_zero_iterations_is_warning() {
+    let report = check(&pipeline_input(PipelineSpec {
+        train_iterations: 0,
+        ..PipelineSpec::default()
+    }));
+    let d = report.find(codes::ZERO_ITERATIONS).expect("GS0307");
+    assert_eq!(d.severity, Severity::Warning);
+}
+
+#[test]
+fn gs0308_zero_batch() {
+    let report = check(&pipeline_input(PipelineSpec {
+        batch_size: 0,
+        ..PipelineSpec::default()
+    }));
+    assert!(report.has(codes::ZERO_BATCH));
+}
+
+// --- every published code is exercised above --------------------------
+
+#[test]
+fn published_code_table_matches_pass_coverage() {
+    // The table has exactly the codes this suite exercises; adding a
+    // code without a negative-path test (or vice versa) breaks this.
+    let published: Vec<u16> = gansec_lint::code_table().iter().map(|i| i.code.0).collect();
+    let expected: Vec<u16> = vec![
+        101, 102, 103, 104, 105, 106, 107, 108, // graph
+        201, 202, 203, 204, 205, 206, 207, 208, 209, // shape
+        301, 302, 303, 304, 305, 306, 307, 308, // config
+    ];
+    assert_eq!(published, expected);
+}

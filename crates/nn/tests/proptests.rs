@@ -2,6 +2,8 @@
 //! finite differences for randomly shaped networks, and the losses must
 //! satisfy their analytic identities on random inputs.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec_nn::{bce_with_logits, gradient_check, mse, sigmoid, Activation, Layer, Sequential};
 use gansec_tensor::Matrix;
 use proptest::prelude::*;

@@ -1,6 +1,8 @@
 //! Property tests for the statistics layer: the probabilistic invariants
 //! Algorithm 3's likelihood metrics depend on.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec_stats::{
     entropy, js_divergence, kl_divergence, mutual_information, roc_auc, ConfusionMatrix, Histogram,
     ParzenWindow,

@@ -38,9 +38,7 @@ where
 /// beat the memory-bound single-`k` loop.
 #[inline]
 fn axpy4(out_row: &mut [f64], c: [f64; 4], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) {
-    for ((((o, &v0), &v1), &v2), &v3) in
-        out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-    {
+    for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
         let mut acc = *o;
         acc += c[0] * v0;
         acc += c[1] * v1;
@@ -506,7 +504,11 @@ impl Matrix {
     /// Returns a [`ShapeError`] if `self.cols() != other.rows()`.
     pub fn matmul_onehot(&self, other: &Self) -> Result<Self, ShapeError> {
         if self.cols != other.rows {
-            return Err(ShapeError::new("matmul_onehot", self.shape(), other.shape()));
+            return Err(ShapeError::new(
+                "matmul_onehot",
+                self.shape(),
+                other.shape(),
+            ));
         }
         let mut out = Self::zeros(self.rows, other.cols);
         let n = other.cols;
@@ -1146,7 +1148,9 @@ mod tests {
         assert!(a.matmul_transpose_a(&b).is_err());
         assert!(a.matmul_transpose_b(&Matrix::zeros(2, 5)).is_err());
         let mut acc = Matrix::zeros(1, 1);
-        assert!(a.matmul_transpose_a_acc(&Matrix::zeros(3, 2), &mut acc).is_err());
+        assert!(a
+            .matmul_transpose_a_acc(&Matrix::zeros(3, 2), &mut acc)
+            .is_err());
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! paper) depends on these identities holding exactly or to floating
 //! point tolerance.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec_tensor::{argmax, dot, softmax, Matrix};
 use proptest::prelude::*;
 

@@ -7,6 +7,8 @@
 //! cargo run --release --example attack_detection
 //! ```
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,8 +47,7 @@ fn attacked_frames(
         let claimed = benign_plan
             .iter()
             .find(|s| s.command_index == rec.segment.command_index)
-            .map(MotorSet::from_segment)
-            .unwrap_or(rec.motors);
+            .map_or(rec.motors, MotorSet::from_segment);
         let Some(cond) = ConditionEncoding::Simple3.encode(claimed) else {
             continue;
         };

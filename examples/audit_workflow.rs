@@ -7,6 +7,8 @@
 //! cargo run --release --example audit_workflow
 //! ```
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -10,6 +10,8 @@
 //! cargo run --release --example custom_cpps
 //! ```
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

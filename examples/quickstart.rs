@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec::{GanSecPipeline, PipelineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

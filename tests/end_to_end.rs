@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: the full paper pipeline from
 //! architecture description to security verdict.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec::{ConfidentialityReport, GanSecPipeline, LikelihoodAnalysis, PipelineConfig};
 use gansec_amsim::printer_architecture;
 use rand::rngs::StdRng;

@@ -2,6 +2,8 @@
 //! checkpoint/resume equivalence through the full pipeline, and graceful
 //! analysis of fault-injected capture.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec::{
     CheckpointedTrainer, FaultTolerance, GanSecPipeline, LikelihoodAnalysis, PipelineConfig,
     RecoveryPolicy, SecurityModel, SideChannelDataset,

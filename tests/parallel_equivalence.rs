@@ -11,6 +11,8 @@
 //! The thread override is process-global, so every test serializes on
 //! one mutex and restores the default before releasing it.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use std::sync::Mutex;
 
 use gansec::{FaultTolerance, GanSecPipeline, LikelihoodAnalysis, PipelineConfig};
@@ -103,7 +105,12 @@ fn full_pipeline_is_thread_count_invariant() {
         "training lengths must match"
     );
     let serial_losses: Vec<f64> = serial.history.records().iter().map(|s| s.d_loss).collect();
-    let parallel_losses: Vec<f64> = parallel.history.records().iter().map(|s| s.d_loss).collect();
+    let parallel_losses: Vec<f64> = parallel
+        .history
+        .records()
+        .iter()
+        .map(|s| s.d_loss)
+        .collect();
     assert_bits_eq(&serial_losses, &parallel_losses, "discriminator losses");
     assert_eq!(serial.confidentiality, parallel.confidentiality);
 }
@@ -120,7 +127,10 @@ fn multi_pair_run_is_thread_count_invariant() {
     assert_eq!(serial.per_pair.len(), parallel.per_pair.len());
     for (s, p) in serial.per_pair.iter().zip(&parallel.per_pair) {
         assert_eq!(s.pair, p.pair);
-        assert_eq!(s.seed, p.seed, "derived pair seeds must not depend on scheduling");
+        assert_eq!(
+            s.seed, p.seed,
+            "derived pair seeds must not depend on scheduling"
+        );
         assert_eq!(s.likelihood, p.likelihood);
         let s_losses: Vec<f64> = s.history.records().iter().map(|st| st.g_loss).collect();
         let p_losses: Vec<f64> = p.history.records().iter().map(|st| st.g_loss).collect();
@@ -146,7 +156,17 @@ fn fault_tolerant_training_is_thread_count_invariant() {
     .expect("parallel ft run");
 
     assert_eq!(serial.likelihood, parallel.likelihood);
-    let s_losses: Vec<f64> = serial.history.records().iter().map(|st| st.d_loss).collect();
-    let p_losses: Vec<f64> = parallel.history.records().iter().map(|st| st.d_loss).collect();
+    let s_losses: Vec<f64> = serial
+        .history
+        .records()
+        .iter()
+        .map(|st| st.d_loss)
+        .collect();
+    let p_losses: Vec<f64> = parallel
+        .history
+        .records()
+        .iter()
+        .map(|st| st.d_loss)
+        .collect();
     assert_bits_eq(&s_losses, &p_losses, "fault-tolerant losses");
 }

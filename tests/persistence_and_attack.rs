@@ -1,6 +1,8 @@
 //! Integration tests for the persistence + attacker layers across a
 //! process-boundary-like round trip.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec::{GCodeEstimator, SecurityModel, SideChannelDataset};
 use gansec_amsim::{calibration_pattern, ConditionEncoding, PrinterSim};
 use gansec_dsp::FrequencyBins;

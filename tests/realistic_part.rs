@@ -3,6 +3,8 @@
 //! starves while the paper's suggested `2^3` combination encoding
 //! captures the workload.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec::SideChannelDataset;
 use gansec_amsim::{ConditionEncoding, GCodeProgram, PrinterSim};
 use gansec_dsp::FrequencyBins;
@@ -30,7 +32,7 @@ fn combination_encoding_captures_the_real_part() {
 
     // The real part is dominated by X+Y printing moves, so the 8-way
     // encoding sees strictly more frames than the single-motor subset.
-    let simple_len = simple.map(|d| d.len()).unwrap_or(0);
+    let simple_len = simple.map_or(0, |d| d.len());
     assert!(
         combo.len() > simple_len,
         "combo {} vs simple {simple_len}",

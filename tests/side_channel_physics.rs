@@ -3,6 +3,8 @@
 //! recoverable (and nothing else), or every downstream experiment is
 //! meaningless.
 
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
 use gansec::SideChannelDataset;
 use gansec_amsim::{
     calibration_pattern, single_axis_program, Axis, ConditionEncoding, MotorSet, PrinterSim,
