@@ -10,7 +10,9 @@ use std::hint::black_box;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use gansec::{GanSecPipeline, PipelineConfig, ScoreScratch};
 use gansec_amsim::{calibration_pattern, printer_architecture, Kinematics, PrinterSim};
+use gansec_engine::ScoringEngine;
 use gansec_dsp::{fft_real, FeatureExtractor, FrequencyBins, ScalingKind};
 use gansec_gan::{Cgan, CganConfig, PairedData};
 use gansec_stats::ParzenWindow;
@@ -106,7 +108,7 @@ fn bench_cgan_step(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
-    let mut cgan = Cgan::new(config, &mut rng);
+    let cgan = Cgan::new(config, &mut rng);
     let gen_conds = Matrix::from_fn(100, 3, |_, c| if c == 0 { 1.0 } else { 0.0 });
     group.bench_function("generate_100_samples", |b| {
         b.iter(|| black_box(cgan.generate(black_box(&gen_conds), &mut rng)))
@@ -207,6 +209,47 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serve-layer scoring over a sealed smoke bundle: the per-frame scalar
+/// entry point, the engine's batched path drawing warm scratch from its
+/// buffer pool, and the raw detector batch kernel with a caller-held
+/// scratch — the zero-allocations-per-frame steady state the pool
+/// amortizes the whole batch down to.
+fn bench_engine_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+    let stage = pipeline.train_stage(3).expect("train");
+    let (_, test) = pipeline.datasets(3).expect("datasets");
+    let engine = ScoringEngine::from_bundle(stage.to_bundle());
+    let features = test.features();
+    let conds = test.conds();
+
+    group.bench_function("engine_score_frame", |b| {
+        b.iter(|| {
+            black_box(engine.score_frame(black_box(features.row(0)), black_box(conds.row(0))))
+        })
+    });
+    group.bench_function(format!("engine_score_frames_{}", features.rows()), |b| {
+        b.iter(|| black_box(engine.score_frames(black_box(features), black_box(conds))))
+    });
+    let detector = engine.detector();
+    let mut scratch = ScoreScratch::default();
+    let mut out = Vec::new();
+    detector.score_frames_into(features, conds, &mut scratch, &mut out);
+    group.bench_function("detector_batch_warm_scratch", |b| {
+        b.iter(|| {
+            detector.score_frames_into(
+                black_box(features),
+                black_box(conds),
+                &mut scratch,
+                &mut out,
+            );
+            black_box(out[0])
+        })
+    });
+    group.finish();
+}
+
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation");
     group.sample_size(10);
@@ -232,6 +275,7 @@ criterion_group!(
     bench_matmul,
     bench_parzen,
     bench_parallel_scaling,
+    bench_engine_scoring,
     bench_simulation
 );
 criterion_main!(benches);

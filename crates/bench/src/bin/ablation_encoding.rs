@@ -48,7 +48,7 @@ fn main() {
             .expect("training is stable at bench scales");
         let top = train.top_feature_indices(3);
         let report =
-            LikelihoodAnalysis::new(0.2, scale.gsize(), top).analyze(&mut model, &test, &mut rng);
+            LikelihoodAnalysis::new(0.2, scale.gsize(), top).analyze(&model, &test, &mut rng);
         // Only score conditions that actually occur in the test data.
         let seen: Vec<&gansec::ConditionLikelihood> = report
             .conditions

@@ -42,7 +42,7 @@ fn main() {
             .collect();
         let top = study.train.top_feature_indices(3);
         let report = LikelihoodAnalysis::new(0.2, scale.gsize(), top).analyze(
-            &mut model,
+            &model,
             &study.test,
             &mut rng,
         );

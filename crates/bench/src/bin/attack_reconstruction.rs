@@ -21,10 +21,10 @@ fn main() {
     println!("== Extension: G/M-code reconstruction from audio alone ==\n");
 
     let study = CaseStudy::build(scale, 42);
-    let mut model = study.train_model(6);
+    let model = study.train_model(6);
     let mut rng = StdRng::seed_from_u64(66);
     let features = study.train.per_condition_top_features(3);
-    let estimator = GCodeEstimator::fit(&mut model, 0.2, scale.gsize(), features, &mut rng);
+    let estimator = GCodeEstimator::fit(&model, 0.2, scale.gsize(), features, &mut rng);
 
     // Frame-level: held-out frames, attacker sees features only.
     let confusion = estimator.evaluate(&study.test);

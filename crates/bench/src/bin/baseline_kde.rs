@@ -29,7 +29,7 @@ fn main() {
             .train(&train, scale.train_iterations(), &mut rng)
             .expect("training is stable at bench scales");
         let cgan = LikelihoodAnalysis::new(0.2, scale.gsize(), top.clone()).analyze(
-            &mut model,
+            &model,
             &study.test,
             &mut rng,
         );

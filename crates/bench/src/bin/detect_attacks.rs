@@ -101,11 +101,11 @@ fn main() {
     println!("== A5: attack detection through the acoustic side-channel ==\n");
 
     let study = CaseStudy::build(scale, 42);
-    let mut model = study.train_model(5);
+    let model = study.train_model(5);
     let mut rng = StdRng::seed_from_u64(55);
     let top = study.train.top_feature_indices(6);
     let detector = AttackDetector::fit(
-        &mut model,
+        &model,
         &study.train,
         0.2,
         scale.gsize(),

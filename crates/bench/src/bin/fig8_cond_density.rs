@@ -22,7 +22,7 @@ fn main() {
     println!("== Figure 8: conditional density of the acoustic feature (h = {H}) ==\n");
 
     let study = CaseStudy::build(scale, 42);
-    let mut model = study.train_model(8);
+    let model = study.train_model(8);
     let mut rng = StdRng::seed_from_u64(88);
 
     let ft = study.train.top_feature_indices(1)[0];

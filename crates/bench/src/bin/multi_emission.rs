@@ -55,9 +55,9 @@ fn main() {
             .expect("training stable");
         let features = train.per_condition_top_features(2);
         let report = LikelihoodAnalysis::new(0.2, scale.gsize(), features.clone())
-            .analyze(&mut model, &test, &mut rng);
+            .analyze(&model, &test, &mut rng);
         let margins: Vec<f64> = report.conditions.iter().map(|c| c.margin()).collect();
-        let estimator = GCodeEstimator::fit(&mut model, 0.2, scale.gsize(), features, &mut rng);
+        let estimator = GCodeEstimator::fit(&model, 0.2, scale.gsize(), features, &mut rng);
         let acc = estimator.evaluate(&test).accuracy();
         println!(
             "{name:<12}{:>8}{:>10}{:>14.4}{:>14.4}{:>14.4}{acc:>14.3}",

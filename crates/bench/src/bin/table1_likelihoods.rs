@@ -80,11 +80,11 @@ fn main() {
     let mut acc = vec![vec![(0.0f64, 0.0f64); H_VALUES.len()]; 3];
     let mut motors = [None; 3];
     for &seed in &SEEDS {
-        let mut model = study.train_model(seed);
+        let model = study.train_model(seed);
         let mut rng = StdRng::seed_from_u64(seed * 31 + 11);
         for (hi, &h) in H_VALUES.iter().enumerate() {
             let report = LikelihoodAnalysis::new(h, scale.gsize(), top.clone()).analyze(
-                &mut model,
+                &model,
                 &study.test,
                 &mut rng,
             );

@@ -106,9 +106,9 @@ fn main() {
             .expect("training stable");
         let features = train.per_condition_top_features(2);
         let report = LikelihoodAnalysis::new(0.2, scale.gsize(), features.clone())
-            .analyze(&mut model, &test, &mut rng);
+            .analyze(&model, &test, &mut rng);
         let margin = report.mean_cor() - report.mean_inc();
-        let estimator = GCodeEstimator::fit(&mut model, 0.2, scale.gsize(), features, &mut rng);
+        let estimator = GCodeEstimator::fit(&model, 0.2, scale.gsize(), features, &mut rng);
         let acc = estimator.evaluate(&test).accuracy();
         println!(
             "{damping:>9.1}{noise:>11.2}{:>14}{:>12}{margin:>14.4}{acc:>14.3}",

@@ -167,7 +167,7 @@ fn bench_analyze(smoke: bool) -> Result<String, String> {
     let cfg = workload(smoke);
     let pipeline = GanSecPipeline::new(cfg.clone());
     let outcome = pipeline.run(BENCH_SEED).map_err(|e| e.to_string())?;
-    let mut model: SecurityModel = outcome.model;
+    let model: SecurityModel = outcome.model;
     let test = outcome.test;
     let top = outcome.train.top_feature_indices(cfg.n_top_features);
     let analysis = LikelihoodAnalysis::new(cfg.h, cfg.gsize, top);
@@ -177,12 +177,12 @@ fn bench_analyze(smoke: bool) -> Result<String, String> {
     gansec_parallel::set_threads(1);
     let serial_ms = best_of_ms(reps, || {
         let mut rng = StdRng::seed_from_u64(BENCH_SEED);
-        std::hint::black_box(analysis.analyze(&mut model, &test, &mut rng));
+        std::hint::black_box(analysis.analyze(&model, &test, &mut rng));
     });
     gansec_parallel::set_threads(requested);
     let parallel_ms = best_of_ms(reps, || {
         let mut rng = StdRng::seed_from_u64(BENCH_SEED);
-        std::hint::black_box(analysis.analyze(&mut model, &test, &mut rng));
+        std::hint::black_box(analysis.analyze(&model, &test, &mut rng));
     });
     gansec_parallel::set_threads(0);
 

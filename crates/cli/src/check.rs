@@ -2,7 +2,7 @@
 //! architecture, and the pipeline configuration — plus the pre-flight
 //! gate the analysis commands run before doing any expensive work.
 
-use gansec::PipelineConfig;
+use gansec::{ModelBundle, PipelineConfig};
 use gansec_cpps::CppsArchitecture;
 use gansec_lint::{render_json, render_text, CheckInput, CheckReport, GraphSpec};
 
@@ -109,6 +109,19 @@ fn build_input(args: &ParsedArgs) -> Result<CheckInput, String> {
             pipeline.pair_count = None;
         }
     }
+
+    // A sealed bundle joins the pass inputs. The unchecked load matters:
+    // describing an unsupported or tampered bundle is the job here.
+    // Config drift (GS0408) is only diagnosed against a config the flags
+    // actually pinned — `gansec check --bundle x.json` with no config
+    // flags checks the bundle's internal consistency alone.
+    if let Some(path) = args.get("bundle") {
+        let bundle = ModelBundle::load_unchecked(path).map_err(|e| format!("{path}: {e}"))?;
+        let pinned = ["bins", "iters", "h", "gsize", "batch-size"]
+            .iter()
+            .any(|flag| args.get(flag).is_some());
+        input = input.with_bundle(bundle.lint_spec(pinned.then_some(&cfg)));
+    }
     Ok(input)
 }
 
@@ -191,5 +204,48 @@ mod tests {
     fn zero_noise_dim_is_flagged() {
         let report = report_for(&parsed(&["--noise-dim", "0"])).expect("check");
         assert!(report.has(gansec_lint::codes::ZERO_DIM));
+    }
+
+    #[test]
+    fn bundle_flag_attaches_the_bundle_pass() {
+        use gansec::GanSecPipeline;
+        let dir = std::env::temp_dir().join("gansec-cli-check-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bundle.json");
+        let bundle = GanSecPipeline::new(PipelineConfig::smoke_test())
+            .train_stage(5)
+            .expect("train")
+            .to_bundle();
+        bundle.save(&path).expect("save");
+        let p = path.to_str().expect("utf8 path");
+
+        // No config flags: internal consistency alone, and a healthy
+        // bundle is clean even under --strict.
+        let report = report_for(&parsed(&["--bundle", p])).expect("check");
+        assert!(!report.should_fail(true), "{:?}", report.diagnostics());
+
+        // Pinning a config that differs from the sealed one is drift:
+        // a warning, so it gates only under --strict.
+        let report = report_for(&parsed(&["--bundle", p, "--bins", "48"])).expect("check");
+        assert!(report.has(gansec_lint::codes::BUNDLE_CONFIG_DRIFT));
+        assert!(!report.should_fail(false));
+        assert!(report.should_fail(true));
+
+        // A tampered schema version is an error — the unchecked load
+        // must still parse it so the pass can say why it is unusable.
+        let tampered = dir.join("tampered.json");
+        let mut broken = ModelBundle::load_unchecked(&path).expect("reload");
+        broken.schema_version = 99;
+        std::fs::write(&tampered, broken.to_json().expect("json")).expect("write");
+        let report = report_for(&parsed(&[
+            "--bundle",
+            tampered.to_str().expect("utf8 path"),
+        ]))
+        .expect("check");
+        assert!(report.has(gansec_lint::codes::BUNDLE_VERSION_MISMATCH));
+        assert!(report.should_fail(false));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&tampered).ok();
     }
 }

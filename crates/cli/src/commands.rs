@@ -109,7 +109,7 @@ impl FtFlags {
     }
 }
 
-fn load_program(path: &str) -> Result<GCodeProgram, String> {
+pub(crate) fn load_program(path: &str) -> Result<GCodeProgram, String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     GCodeProgram::parse(&source).map_err(|e| format!("{path}: {e}"))
 }
@@ -266,7 +266,7 @@ pub fn audit(args: &ParsedArgs) -> Result<ExitCode, String> {
     };
     let mut rng = StdRng::seed_from_u64(common.seed);
 
-    let (mut model, train, test) = match args.get("gcode") {
+    let (model, train, test) = match args.get("gcode") {
         None => train_on_calibration(&common, ft, &mut rng)?,
         Some(path) => {
             let program = load_program(path)?;
@@ -287,7 +287,7 @@ pub fn audit(args: &ParsedArgs) -> Result<ExitCode, String> {
     };
 
     let features = train.per_condition_top_features(2);
-    let report = LikelihoodAnalysis::new(0.2, 300, features).analyze(&mut model, &test, &mut rng);
+    let report = LikelihoodAnalysis::new(0.2, 300, features).analyze(&model, &test, &mut rng);
     let verdict = ConfidentialityReport::from_likelihoods(&report, 0.02);
     print!("{verdict}");
     if verdict.leaks() {
@@ -300,15 +300,20 @@ pub fn audit(args: &ParsedArgs) -> Result<ExitCode, String> {
 }
 
 /// `gansec detect --benign <file> --suspect <file>`: does the suspect
-/// program's emission match the benign program's claims?
+/// program's emission match the benign program's claims? With
+/// `--bundle <file>` the model is reloaded from a sealed bundle and
+/// scoring runs through the engine — no retraining.
 pub fn detect(args: &ParsedArgs) -> Result<ExitCode, String> {
+    if let Some(bundle) = args.get("bundle") {
+        return crate::serve::detect_bundle(args, bundle);
+    }
     let common = Common::from_args(args)?;
     let benign = load_program(args.require("benign").map_err(|e| e.to_string())?)?;
     let suspect = load_program(args.require("suspect").map_err(|e| e.to_string())?)?;
     let mut rng = StdRng::seed_from_u64(common.seed);
-    let (mut model, train, _) = train_on_calibration(&common, None, &mut rng)?;
+    let (model, train, _) = train_on_calibration(&common, None, &mut rng)?;
     let features = train.per_condition_top_features(4);
-    let detector = AttackDetector::fit(&mut model, &train, 0.2, 300, features, 0.05, &mut rng);
+    let detector = AttackDetector::fit(&model, &train, 0.2, 300, features, 0.05, &mut rng);
 
     let sim = PrinterSim::printrbot_class();
     let trace = sim.run(&suspect, &mut rng);
@@ -358,9 +363,9 @@ pub fn detect(args: &ParsedArgs) -> Result<ExitCode, String> {
 pub fn reconstruct(args: &ParsedArgs) -> Result<ExitCode, String> {
     let common = Common::from_args(args)?;
     let mut rng = StdRng::seed_from_u64(common.seed);
-    let (mut model, train, _) = train_on_calibration(&common, None, &mut rng)?;
+    let (model, train, _) = train_on_calibration(&common, None, &mut rng)?;
     let features = train.per_condition_top_features(3);
-    let estimator = GCodeEstimator::fit(&mut model, 0.2, 300, features, &mut rng);
+    let estimator = GCodeEstimator::fit(&model, 0.2, 300, features, &mut rng);
 
     let program = match args.get("gcode") {
         Some(path) => load_program(path)?,

@@ -14,6 +14,7 @@ mod args;
 pub mod bench;
 pub mod check;
 pub mod commands;
+pub mod serve;
 
 pub use args::{ArgError, ParsedArgs};
 
@@ -54,10 +55,19 @@ COMMANDS:
     graph                         print the printer's G_CPPS as Graphviz DOT
     simulate  --gcode <file>      run a program and summarize the emission trace
     audit     [--gcode <file>]    train the CGAN and report per-motor leakage
-    detect    --benign <file> --suspect <file>
+    detect    --benign <file> --suspect <file> [--bundle <file>]
                                   check a suspect program's emission against
-                                  the benign program's claims
+                                  the benign program's claims; with --bundle,
+                                  reuse a sealed model instead of retraining
     reconstruct [--gcode <file>]  simulate an eavesdropper recovering commands
+    train     [--smoke] --out <file>
+                                  train once and seal the generator, fitted
+                                  Parzen scorers, and calibrated threshold
+                                  into a versioned model bundle
+    score     --bundle <file> [--input <gcode>]
+                                  reload a sealed bundle and print per-frame
+                                  consistency scores (default input: the
+                                  bundle's deterministic held-out split)
     check     [flags]             static analysis of the CPPS graph, the CGAN
                                   shapes, and the pipeline configuration;
                                   prints GS-coded diagnostics (--format json
@@ -83,6 +93,10 @@ COMMON FLAGS:
 
 CHECK FLAGS:
     --format <text|json>     diagnostic rendering (default text)
+    --bundle <file>          also lint a sealed model bundle (GS04xx):
+                             schema version, fingerprint, dimensions; config
+                             drift is reported only when config flags are
+                             given to compare against
     --h <f>                  Parzen bandwidth to validate (default 0.2)
     --gsize <n>              generated samples per condition (default 500)
     --batch-size <n>         CGAN minibatch size (default 32)

@@ -1,6 +1,6 @@
 //! The `gansec` command-line entry point.
 
-use gansec_cli::{bench, check, commands, usage, ExitCode, ParsedArgs};
+use gansec_cli::{bench, check, commands, serve, usage, ExitCode, ParsedArgs};
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -40,7 +40,7 @@ fn main() {
     // configuration `gansec check` would reject (bypass: --no-check).
     if matches!(
         command.as_str(),
-        "audit" | "detect" | "reconstruct" | "bench"
+        "audit" | "detect" | "reconstruct" | "bench" | "train"
     ) {
         match check::preflight(&args) {
             Ok(None) => {}
@@ -58,6 +58,8 @@ fn main() {
         "audit" => commands::audit(&args),
         "detect" => commands::detect(&args),
         "reconstruct" => commands::reconstruct(&args),
+        "train" => serve::train(&args),
+        "score" => serve::score(&args),
         "check" => check::check(&args),
         "bench" => bench::bench(&args),
         other => {

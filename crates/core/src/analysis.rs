@@ -82,7 +82,7 @@ impl LikelihoodAnalysis {
     /// shared encoding).
     pub fn analyze(
         &self,
-        model: &mut SecurityModel,
+        model: &SecurityModel,
         test: &SideChannelDataset,
         rng: &mut impl Rng,
     ) -> LikelihoodReport {
@@ -346,7 +346,7 @@ mod tests {
         let mut model = SecurityModel::for_dataset(&train, &mut rng);
         model.train(&train, 30, &mut rng).unwrap();
         let analysis = LikelihoodAnalysis::new(0.2, 50, vec![0, 5]);
-        let report = analysis.analyze(&mut model, &test, &mut rng);
+        let report = analysis.analyze(&model, &test, &mut rng);
         assert_eq!(report.conditions.len(), 3);
         for c in &report.conditions {
             assert_eq!(c.avg_cor.len(), 2);
@@ -368,7 +368,7 @@ mod tests {
         model.train(&train, 600, &mut rng).unwrap();
         let top = train.top_feature_indices(1);
         let analysis = LikelihoodAnalysis::new(0.2, 200, top);
-        let report = analysis.analyze(&mut model, &test, &mut rng);
+        let report = analysis.analyze(&model, &test, &mut rng);
         assert!(
             report.mean_cor() > report.mean_inc(),
             "cor {} should beat inc {}",
@@ -399,7 +399,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut model = SecurityModel::for_dataset(&train, &mut rng);
         model.train(&train, 50, &mut rng).unwrap();
-        let report = LikelihoodAnalysis::new(0.2, 50, vec![0]).analyze(&mut model, &test, &mut rng);
+        let report =
+            LikelihoodAnalysis::new(0.2, 50, vec![0]).analyze(&model, &test, &mut rng);
         let best = report.most_identifiable().unwrap();
         for c in &report.conditions {
             assert!(best.margin() >= c.margin());
@@ -413,7 +414,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let mut model = SecurityModel::for_dataset(&train, &mut rng);
         model.train(&train, 20, &mut rng).unwrap();
-        let report = LikelihoodAnalysis::new(0.2, 30, vec![0]).analyze(&mut model, &test, &mut rng);
+        let report =
+            LikelihoodAnalysis::new(0.2, 30, vec![0]).analyze(&model, &test, &mut rng);
         assert!(report.warnings.is_clean());
     }
 
@@ -447,7 +449,7 @@ mod tests {
         let mut model = SecurityModel::for_dataset(&clean, &mut rng);
         model.train(&clean, 20, &mut rng).unwrap();
         let analysis = LikelihoodAnalysis::new(0.2, 30, vec![0, 5]);
-        let report = analysis.analyze(&mut model, &corrupted, &mut rng);
+        let report = analysis.analyze(&model, &corrupted, &mut rng);
         assert!(report.warnings.non_finite_test_frames > 0);
         for c in &report.conditions {
             assert!(c.avg_cor.iter().all(|v| v.is_finite()));
@@ -460,8 +462,8 @@ mod tests {
     fn out_of_range_feature_panics() {
         let ds = dataset(9);
         let mut rng = StdRng::seed_from_u64(10);
-        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
-        let _ = LikelihoodAnalysis::new(0.2, 10, vec![999]).analyze(&mut model, &ds, &mut rng);
+        let model = SecurityModel::for_dataset(&ds, &mut rng);
+        let _ = LikelihoodAnalysis::new(0.2, 10, vec![999]).analyze(&model, &ds, &mut rng);
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! The versioned train→serve artifact: everything detection needs,
+//! nothing training does.
+//!
+//! Design-time analysis (Figure 4) is expensive — simulation, CGAN
+//! training, Parzen fitting. Audit-time detection is not: scoring a
+//! frame window against already-fitted per-condition densities takes
+//! microseconds. A [`ModelBundle`] is the boundary between the two: the
+//! training stage seals its outputs (generator weights, fitted Parzen
+//! scorers, calibrated detector threshold) into one schema-versioned
+//! JSON artifact, and the serving layer (`gansec-engine`, `gansec score
+//! --bundle`, `gansec detect --bundle`) reloads it without retraining.
+//!
+//! Load-time validation is strict: an unsupported schema version or an
+//! internally inconsistent bundle is a typed [`PersistError`], never a
+//! panic downstream. The config the bundle was trained under travels
+//! inside it along with an FNV-1a fingerprint, so `gansec check` can
+//! diagnose bundle-vs-config drift with stable `GS04xx` codes.
+
+use std::fs;
+use std::path::Path;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gansec_gan::write_atomic;
+
+use crate::{
+    AttackDetector, GCodeEstimator, PersistError, PipelineConfig, SecurityModel,
+    SideChannelDataset,
+};
+
+/// The bundle schema version this build reads and writes. Bump on any
+/// breaking change to [`ModelBundle`]'s wire format; loaders reject
+/// other versions with [`PersistError::BundleVersion`] instead of
+/// misinterpreting fields.
+pub const BUNDLE_SCHEMA_VERSION: u32 = 1;
+
+/// The benign-frame false-alarm rate the bundled detector threshold is
+/// calibrated to.
+pub const BUNDLE_FALSE_ALARM_RATE: f64 = 0.05;
+
+/// A sealed train-time artifact: the trained generator, the fitted
+/// per-condition Parzen scorers, and the calibrated detector threshold,
+/// plus enough provenance (seed, config, fingerprint) to reproduce or
+/// cross-check the run that produced it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// Wire-format version; see [`BUNDLE_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// The pipeline seed the artifact was trained under.
+    pub seed: u64,
+    /// FNV-1a fingerprint of the canonical JSON of `config`, stamped at
+    /// save time and re-derived at load time.
+    pub config_fingerprint: u64,
+    /// The full pipeline configuration the bundle was trained under.
+    pub config: PipelineConfig,
+    /// The analyzed feature indices shared by both scorers.
+    pub feature_indices: Vec<usize>,
+    /// The trained per-flow-pair model (generator weights included).
+    pub model: SecurityModel,
+    /// Detector with fitted per-condition Parzen windows and the
+    /// threshold calibrated to [`BUNDLE_FALSE_ALARM_RATE`].
+    pub detector: AttackDetector,
+    /// The maximum-likelihood condition estimator over the same
+    /// generated support.
+    pub estimator: GCodeEstimator,
+}
+
+impl ModelBundle {
+    /// Fits the serve-time scorers from a trained model and seals the
+    /// artifact. `rng` drives the generator sampling for the Parzen
+    /// fits; pass a stream derived from (but distinct from) the
+    /// training stream so bundling never perturbs a co-resident
+    /// analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty or the configuration's analysis knobs
+    /// are invalid (the scorer constructors' own contracts).
+    pub fn fit(
+        config: &PipelineConfig,
+        seed: u64,
+        model: SecurityModel,
+        train: &SideChannelDataset,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let feature_indices = train.top_feature_indices(config.n_top_features);
+        let detector = AttackDetector::fit(
+            &model,
+            train,
+            config.h,
+            config.gsize,
+            feature_indices.clone(),
+            BUNDLE_FALSE_ALARM_RATE,
+            rng,
+        );
+        let estimator =
+            GCodeEstimator::fit(&model, config.h, config.gsize, feature_indices.clone(), rng);
+        Self {
+            schema_version: BUNDLE_SCHEMA_VERSION,
+            seed,
+            config_fingerprint: config_fingerprint(config),
+            config: config.clone(),
+            feature_indices,
+            model,
+            detector,
+            estimator,
+        }
+    }
+
+    /// Serializes the bundle to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Json`] on serialization failure (cannot
+    /// happen for well-formed bundles).
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Parses and validates a bundle from [`ModelBundle::to_json`]
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Json`] for malformed JSON,
+    /// [`PersistError::BundleVersion`] for an unsupported schema
+    /// version, and [`PersistError::BundleInvalid`] when the parsed
+    /// bundle fails any internal-consistency check.
+    pub fn from_json(json: &str) -> Result<Self, PersistError> {
+        let bundle: Self = serde_json::from_str(json)?;
+        bundle.validate()?;
+        Ok(bundle)
+    }
+
+    /// Writes the bundle to `path` atomically: an existing file is
+    /// either fully replaced or left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or serialization failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        write_atomic(path.as_ref(), self.to_json()?.as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads and strictly validates a bundle written by
+    /// [`ModelBundle::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelBundle::from_json`], plus [`PersistError::Io`] for
+    /// filesystem failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::from_json(&fs::read_to_string(path)?)
+    }
+
+    /// Parses a bundle *without* validation — for diagnostics only.
+    /// `gansec check --bundle` must be able to describe an unsupported
+    /// or tampered bundle (via [`ModelBundle::lint_spec`]) instead of
+    /// failing at the exact defect it exists to report. Every scoring
+    /// path goes through [`ModelBundle::load`] instead.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] or [`PersistError::Json`] only.
+    pub fn load_unchecked(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+    }
+
+    /// The strict load-time validation: schema version, fingerprint,
+    /// and cross-field consistency. Every [`ModelBundle::from_json`]
+    /// (and therefore [`ModelBundle::load`]) runs this.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BundleVersion`] or [`PersistError::BundleInvalid`].
+    pub fn validate(&self) -> Result<(), PersistError> {
+        if self.schema_version != BUNDLE_SCHEMA_VERSION {
+            return Err(PersistError::BundleVersion {
+                found: self.schema_version,
+                supported: BUNDLE_SCHEMA_VERSION,
+            });
+        }
+        let expected = config_fingerprint(&self.config);
+        if self.config_fingerprint != expected {
+            return Err(PersistError::BundleInvalid(format!(
+                "config fingerprint {:#018x} does not match the embedded config ({expected:#018x}); \
+                 the bundle was edited after sealing",
+                self.config_fingerprint
+            )));
+        }
+        let invalid = |msg: String| Err(PersistError::BundleInvalid(msg));
+        if self.feature_indices.is_empty() {
+            return invalid("no analyzed feature indices".to_string());
+        }
+        if let Some(&ft) = self.feature_indices.iter().find(|&&ft| ft >= self.config.n_bins) {
+            return invalid(format!(
+                "feature index {ft} out of range for {} frequency bins",
+                self.config.n_bins
+            ));
+        }
+        if !self.config.h.is_finite() || self.config.h <= 0.0 {
+            return invalid(format!("Parzen bandwidth h = {} is degenerate", self.config.h));
+        }
+        let model_cfg = self.model.cgan().config();
+        if model_cfg.data_dim != self.config.n_bins {
+            return invalid(format!(
+                "model data_dim {} != config n_bins {}",
+                model_cfg.data_dim, self.config.n_bins
+            ));
+        }
+        if self.model.encoding() != self.config.encoding {
+            return invalid(format!(
+                "model encoding {:?} != config encoding {:?}",
+                self.model.encoding(),
+                self.config.encoding
+            ));
+        }
+        if self.detector.feature_indices() != self.feature_indices {
+            return invalid("detector feature indices diverge from the bundle's".to_string());
+        }
+        if self.estimator.feature_indices() != self.feature_indices {
+            return invalid("estimator feature indices diverge from the bundle's".to_string());
+        }
+        if self.detector.h() != self.config.h || self.estimator.h() != self.config.h {
+            return invalid("scorer bandwidth diverges from the config's h".to_string());
+        }
+        if self.detector.conditions().len() != self.config.encoding.dim()
+            || self.estimator.n_conditions() != self.config.encoding.dim()
+        {
+            return invalid(format!(
+                "scorer condition count != encoding cardinality {}",
+                self.config.encoding.dim()
+            ));
+        }
+        if !self.detector.threshold().is_finite() {
+            return invalid(format!(
+                "detector threshold {} is non-finite",
+                self.detector.threshold()
+            ));
+        }
+        Ok(())
+    }
+
+    /// The [`gansec_lint::BundleSpec`] describing this bundle, for
+    /// `gansec check --bundle`'s compatibility pass. Pass the session's
+    /// configuration as `current` to diagnose bundle-vs-config drift;
+    /// `None` checks internal consistency only.
+    pub fn lint_spec(&self, current: Option<&PipelineConfig>) -> gansec_lint::BundleSpec {
+        let model_cfg = self.model.cgan().config();
+        gansec_lint::BundleSpec {
+            schema_version: self.schema_version,
+            supported_version: BUNDLE_SCHEMA_VERSION,
+            seed: self.seed,
+            config_fingerprint: self.config_fingerprint,
+            sealed_fingerprint: config_fingerprint(&self.config),
+            current_fingerprint: current.map(config_fingerprint),
+            h: self.config.h,
+            gsize: self.config.gsize,
+            n_bins: self.config.n_bins,
+            data_dim: model_cfg.data_dim,
+            cond_dim: model_cfg.cond_dim,
+            label_cardinality: self.config.encoding.dim(),
+            feature_indices: self.feature_indices.clone(),
+            threshold: self.detector.threshold(),
+        }
+    }
+}
+
+/// FNV-1a (64-bit) over the canonical JSON encoding of a pipeline
+/// configuration: a stable, dependency-free fingerprint for detecting
+/// config drift between a sealed bundle and the session loading it.
+pub fn config_fingerprint(config: &PipelineConfig) -> u64 {
+    let json = serde_json::to_string(config).expect("pipeline config serializes");
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &b in json.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_bundle() -> ModelBundle {
+        let pipeline = crate::GanSecPipeline::new(PipelineConfig::smoke_test());
+        let stage = pipeline.train_stage(7).unwrap();
+        stage.to_bundle()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_config_sensitive() {
+        let a = PipelineConfig::smoke_test();
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&a.clone()));
+        let mut b = a.clone();
+        b.h = 0.3;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+    }
+
+    #[test]
+    fn bundle_round_trips_and_validates() {
+        let bundle = smoke_bundle();
+        assert_eq!(bundle.schema_version, BUNDLE_SCHEMA_VERSION);
+        let json = bundle.to_json().unwrap();
+        let reloaded = ModelBundle::from_json(&json).unwrap();
+        assert_eq!(reloaded.seed, bundle.seed);
+        assert_eq!(reloaded.config, bundle.config);
+        assert_eq!(reloaded.feature_indices, bundle.feature_indices);
+        assert_eq!(reloaded.detector, bundle.detector);
+        assert_eq!(reloaded.estimator, bundle.estimator);
+    }
+
+    #[test]
+    fn unsupported_schema_version_is_typed_error() {
+        let mut bundle = smoke_bundle();
+        bundle.schema_version = BUNDLE_SCHEMA_VERSION + 1;
+        let json = bundle.to_json().unwrap();
+        let err = ModelBundle::from_json(&json).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PersistError::BundleVersion {
+                    found,
+                    supported: BUNDLE_SCHEMA_VERSION,
+                } if found == BUNDLE_SCHEMA_VERSION + 1
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn tampered_config_fails_fingerprint_check() {
+        let mut bundle = smoke_bundle();
+        bundle.config.h = 0.7; // fingerprint now stale
+        let json = bundle.to_json().unwrap();
+        let err = ModelBundle::from_json(&json).unwrap_err();
+        assert!(matches!(err, PersistError::BundleInvalid(_)), "{err}");
+        assert!(err.to_string().contains("fingerprint"));
+    }
+
+    #[test]
+    fn truncated_file_is_json_error() {
+        let bundle = smoke_bundle();
+        let json = bundle.to_json().unwrap();
+        let truncated = &json[..json.len() / 2];
+        let err = ModelBundle::from_json(truncated).unwrap_err();
+        assert!(matches!(err, PersistError::Json(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = ModelBundle::load("/nonexistent/gansec/bundle.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip_is_lossless() {
+        let bundle = smoke_bundle();
+        let dir = std::env::temp_dir().join("gansec_bundle_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.json");
+        bundle.save(&path).unwrap();
+        let reloaded = ModelBundle::load(&path).unwrap();
+        assert_eq!(reloaded.detector, bundle.detector);
+        assert_eq!(reloaded.config_fingerprint, bundle.config_fingerprint);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lint_spec_reports_drift_against_current_config() {
+        let bundle = smoke_bundle();
+        let spec = bundle.lint_spec(Some(&bundle.config));
+        assert_eq!(spec.current_fingerprint, Some(spec.config_fingerprint));
+        let mut drifted = bundle.config.clone();
+        drifted.n_bins += 1;
+        let spec = bundle.lint_spec(Some(&drifted));
+        assert_ne!(spec.current_fingerprint, Some(spec.config_fingerprint));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_feature() {
+        let mut bundle = smoke_bundle();
+        bundle.feature_indices[0] = bundle.config.n_bins + 5;
+        let err = bundle.validate().unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    // RNG isolation: sealing a bundle must not perturb the analysis
+    // stream — covered end-to-end in tests/train_serve_split.rs.
+}

@@ -38,7 +38,7 @@ impl AttackDetector {
     /// Panics if `h <= 0`, `gsize == 0`, `feature_indices` is empty or
     /// out of range, or `false_alarm_rate` is outside `(0, 1)`.
     pub fn fit(
-        model: &mut SecurityModel,
+        model: &SecurityModel,
         benign: &SideChannelDataset,
         h: f64,
         gsize: usize,
@@ -78,10 +78,11 @@ impl AttackDetector {
             threshold: 0.0,
             h,
         };
-        // Calibrate: benign frames scored under their own (true) claims.
-        let mut scores: Vec<f64> = (0..benign.len())
-            .map(|i| detector.score_frame(benign.features().row(i), benign.conds().row(i)))
-            .collect();
+        // Calibrate: benign frames scored under their own (true) claims,
+        // through the same batched path serving uses.
+        let mut scratch = ScoreScratch::default();
+        let mut scores = Vec::new();
+        detector.score_frames_into(benign.features(), benign.conds(), &mut scratch, &mut scores);
         scores.sort_by(f64::total_cmp);
         let idx = ((scores.len() as f64 * false_alarm_rate) as usize).min(scores.len() - 1);
         detector.threshold = scores[idx];
@@ -101,6 +102,10 @@ impl AttackDetector {
     /// Consistency score of one frame under the claimed condition: mean
     /// windowed likelihood over the analyzed features. Returns 0 for an
     /// unknown claimed condition (maximally suspicious).
+    ///
+    /// Runs the same Parzen kernel in the same feature order as the
+    /// batched [`AttackDetector::score_frames_into`], so the two paths
+    /// are bit-identical per frame.
     pub fn score_frame(&self, features: &[f64], claimed_cond: &[f64]) -> f64 {
         let Some(ci) = self.condition_index(claimed_cond) else {
             return 0.0;
@@ -111,6 +116,54 @@ impl AttackDetector {
             acc += kdes[k].windowed_likelihood(features[ft]);
         }
         acc / self.feature_indices.len() as f64
+    }
+
+    /// Batch-scores every row of `(features, claimed_conds)` into `out`,
+    /// reusing `scratch` so a warm call allocates nothing.
+    ///
+    /// Frames are grouped by claimed condition and each fitted Parzen
+    /// window scores its whole group through the buffer-reusing batch
+    /// path; per frame the likelihoods still accumulate in analyzed
+    /// feature order, so every entry is exactly what
+    /// [`AttackDetector::score_frame`] returns for that row. Frames
+    /// claiming an unknown condition score 0 (maximally suspicious).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two row counts differ.
+    pub fn score_frames_into(
+        &self,
+        features: &Matrix,
+        claimed_conds: &Matrix,
+        scratch: &mut ScoreScratch,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(features.rows(), claimed_conds.rows(), "row count mismatch");
+        out.clear();
+        out.resize(features.rows(), 0.0);
+        let k_features = self.feature_indices.len() as f64;
+        for (ci, kdes) in self.kdes.iter().enumerate() {
+            scratch.rows.clear();
+            scratch.rows.extend((0..features.rows()).filter(|&r| {
+                self.condition_index(claimed_conds.row(r)) == Some(ci)
+            }));
+            if scratch.rows.is_empty() {
+                continue;
+            }
+            for (k, &ft) in self.feature_indices.iter().enumerate() {
+                scratch.xs.clear();
+                scratch
+                    .xs
+                    .extend(scratch.rows.iter().map(|&r| features[(r, ft)]));
+                kdes[k].windowed_likelihoods_into(&scratch.xs, &mut scratch.likes);
+                for (i, &r) in scratch.rows.iter().enumerate() {
+                    out[r] += scratch.likes[i];
+                }
+            }
+            for &r in &scratch.rows {
+                out[r] /= k_features;
+            }
+        }
     }
 
     /// Whether a score trips the alarm.
@@ -132,9 +185,9 @@ impl AttackDetector {
     ) -> DetectionOutcome {
         assert_eq!(features.rows(), claimed_conds.rows(), "row count mismatch");
         assert_eq!(features.rows(), attacked.len(), "label count mismatch");
-        let scores: Vec<f64> = (0..features.rows())
-            .map(|i| self.score_frame(features.row(i), claimed_conds.row(i)))
-            .collect();
+        let mut scratch = ScoreScratch::default();
+        let mut scores = Vec::new();
+        self.score_frames_into(features, claimed_conds, &mut scratch, &mut scores);
         // Lower likelihood = more anomalous, so negate for AUC.
         let anomaly: Vec<f64> = scores.iter().map(|&s| -s).collect();
         let auc = roc_auc(attacked, &anomaly);
@@ -150,10 +203,38 @@ impl AttackDetector {
         }
     }
 
+    /// The analyzed feature indices, in scoring order.
+    pub fn feature_indices(&self) -> &[usize] {
+        &self.feature_indices
+    }
+
+    /// The known condition vectors, in encoding order.
+    pub fn conditions(&self) -> &[Vec<f64>] {
+        &self.conditions
+    }
+
     fn condition_index(&self, cond: &[f64]) -> Option<usize> {
         self.conditions.iter().position(|c| {
             c.len() == cond.len() && c.iter().zip(cond).all(|(&a, &b)| (a - b).abs() < 1e-9)
         })
+    }
+}
+
+/// Reusable buffers for [`AttackDetector::score_frames_into`] (and the
+/// estimator's batched path): row index gather plus per-feature query
+/// and likelihood vectors. One scratch per thread; warm buffers make
+/// batch scoring allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreScratch {
+    pub(crate) rows: Vec<usize>,
+    pub(crate) xs: Vec<f64>,
+    pub(crate) likes: Vec<f64>,
+}
+
+impl ScoreScratch {
+    /// An empty scratch; the first batch sizes it.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -198,7 +279,7 @@ mod tests {
         let mut model = SecurityModel::for_dataset(train, &mut rng);
         model.train(train, 500, &mut rng).unwrap();
         let top = train.top_feature_indices(4);
-        AttackDetector::fit(&mut model, train, 0.2, 200, top, 0.05, &mut rng)
+        AttackDetector::fit(&model, train, 0.2, 200, top, 0.05, &mut rng)
     }
 
     /// Builds attacked frames: swap X and Y, so the cyber domain claims X
@@ -276,6 +357,26 @@ mod tests {
     }
 
     #[test]
+    fn batched_scores_match_scalar_score_frame() {
+        let ds = benign_dataset(10);
+        let (train, test) = ds.split_even_odd();
+        let det = fitted_detector(11, &train);
+        let mut scratch = ScoreScratch::new();
+        // Dirty output buffer: the batch must fully overwrite it.
+        let mut batch = vec![f64::NAN; 7];
+        det.score_frames_into(test.features(), test.conds(), &mut scratch, &mut batch);
+        assert_eq!(batch.len(), test.len());
+        for i in 0..test.len() {
+            let scalar = det.score_frame(test.features().row(i), test.conds().row(i));
+            assert_eq!(batch[i], scalar, "frame {i}");
+        }
+        // Warm scratch, second batch: still identical.
+        let mut again = Vec::new();
+        det.score_frames_into(test.features(), test.conds(), &mut scratch, &mut again);
+        assert_eq!(again, batch);
+    }
+
+    #[test]
     fn unknown_condition_scores_zero() {
         let ds = benign_dataset(6);
         let det = fitted_detector(7, &ds);
@@ -289,7 +390,7 @@ mod tests {
     fn bad_false_alarm_rate_rejected() {
         let ds = benign_dataset(8);
         let mut rng = StdRng::seed_from_u64(9);
-        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
-        let _ = AttackDetector::fit(&mut model, &ds, 0.2, 10, vec![0], 1.5, &mut rng);
+        let model = SecurityModel::for_dataset(&ds, &mut rng);
+        let _ = AttackDetector::fit(&model, &ds, 0.2, 10, vec![0], 1.5, &mut rng);
     }
 }

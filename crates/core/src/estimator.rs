@@ -16,7 +16,7 @@ use gansec_amsim::MotorSet;
 use gansec_stats::{MultiConfusion, ParzenWindow};
 use gansec_tensor::Matrix;
 
-use crate::{SecurityModel, SideChannelDataset};
+use crate::{ScoreScratch, SecurityModel, SideChannelDataset};
 
 /// A maximum-likelihood condition estimator built from a trained CGAN:
 /// the attacker model of the paper's confidentiality analysis.
@@ -39,7 +39,7 @@ impl GCodeEstimator {
     ///
     /// Panics if `h <= 0`, `gsize == 0` or `feature_indices` is empty.
     pub fn fit(
-        model: &mut SecurityModel,
+        model: &SecurityModel,
         h: f64,
         gsize: usize,
         feature_indices: Vec<usize>,
@@ -85,9 +85,18 @@ impl GCodeEstimator {
         self.h
     }
 
+    /// The analyzed feature indices, in scoring order.
+    pub fn feature_indices(&self) -> &[usize] {
+        &self.feature_indices
+    }
+
     /// Joint log-likelihood of one frame under condition `ci` (sum of
     /// per-feature log densities — features treated as independent, the
     /// naive-Bayes attacker).
+    ///
+    /// Runs the same Parzen kernel in the same feature order as the
+    /// batched [`GCodeEstimator::log_likelihoods_into`], so the two
+    /// paths are bit-identical per frame.
     ///
     /// # Panics
     ///
@@ -100,6 +109,40 @@ impl GCodeEstimator {
             .enumerate()
             .map(|(k, &ft)| self.kdes[ci][k].log_density(features[ft]))
             .sum()
+    }
+
+    /// Batched [`GCodeEstimator::log_likelihood`]: the joint
+    /// log-likelihood of every feature row under condition `ci`, into
+    /// `out`, reusing `scratch` so a warm call allocates nothing. Each
+    /// fitted window scores the whole column batch at once; per frame
+    /// the per-feature log densities still accumulate in analyzed
+    /// feature order, so every entry is exactly what the scalar call
+    /// returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ci` is out of range or a feature index is out of range
+    /// for `features`.
+    pub fn log_likelihoods_into(
+        &self,
+        features: &Matrix,
+        ci: usize,
+        scratch: &mut ScoreScratch,
+        out: &mut Vec<f64>,
+    ) {
+        assert!(ci < self.conditions.len(), "condition {ci} out of range");
+        out.clear();
+        out.resize(features.rows(), 0.0);
+        for (k, &ft) in self.feature_indices.iter().enumerate() {
+            scratch.xs.clear();
+            scratch
+                .xs
+                .extend((0..features.rows()).map(|r| features[(r, ft)]));
+            self.kdes[ci][k].log_densities_into(&scratch.xs, &mut scratch.likes);
+            for (r, &ld) in scratch.likes.iter().enumerate() {
+                out[r] += ld;
+            }
+        }
     }
 
     /// The maximum-likelihood condition index for one frame.
@@ -116,11 +159,26 @@ impl GCodeEstimator {
         best
     }
 
-    /// Classifies every row of a feature matrix.
+    /// Classifies every row of a feature matrix through the batched
+    /// log-likelihood path; each prediction equals what
+    /// [`GCodeEstimator::classify_frame`] returns for that row (ties
+    /// resolve identically: the first condition index with the maximal
+    /// log-likelihood wins).
     pub fn classify_frames(&self, features: &Matrix) -> Vec<usize> {
-        (0..features.rows())
-            .map(|i| self.classify_frame(features.row(i)))
-            .collect()
+        let mut scratch = ScoreScratch::new();
+        let mut lls = Vec::new();
+        let mut best = vec![0usize; features.rows()];
+        let mut best_ll = vec![f64::NEG_INFINITY; features.rows()];
+        for ci in 0..self.conditions.len() {
+            self.log_likelihoods_into(features, ci, &mut scratch, &mut lls);
+            for (r, &ll) in lls.iter().enumerate() {
+                if ll > best_ll[r] {
+                    best_ll[r] = ll;
+                    best[r] = ci;
+                }
+            }
+        }
+        best
     }
 
     /// The decoded motor set for condition index `ci`, if the encoding
@@ -209,7 +267,7 @@ mod tests {
         model.train(&train, 600, &mut rng).unwrap();
         let features = train.per_condition_top_features(3);
         (
-            GCodeEstimator::fit(&mut model, 0.2, 300, features, &mut rng),
+            GCodeEstimator::fit(&model, 0.2, 300, features, &mut rng),
             test,
         )
     }
@@ -250,8 +308,24 @@ mod tests {
     fn classify_frames_matches_single_calls() {
         let (estimator, test) = fitted(4);
         let all = estimator.classify_frames(test.features());
-        for (i, &p) in all.iter().enumerate().take(10) {
+        assert_eq!(all.len(), test.len());
+        for (i, &p) in all.iter().enumerate() {
             assert_eq!(p, estimator.classify_frame(test.features().row(i)));
+        }
+    }
+
+    #[test]
+    fn batched_log_likelihoods_match_scalar_calls() {
+        let (estimator, test) = fitted(6);
+        let mut scratch = ScoreScratch::new();
+        // Dirty buffer: the batch must fully overwrite it.
+        let mut lls = vec![f64::NAN; 3];
+        for ci in 0..estimator.n_conditions() {
+            estimator.log_likelihoods_into(test.features(), ci, &mut scratch, &mut lls);
+            assert_eq!(lls.len(), test.len());
+            for (r, &ll) in lls.iter().enumerate() {
+                assert_eq!(ll, estimator.log_likelihood(test.features().row(r), ci));
+            }
         }
     }
 
@@ -260,7 +334,7 @@ mod tests {
     fn fit_rejects_bad_h() {
         let ds = dataset(5);
         let mut rng = StdRng::seed_from_u64(6);
-        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
-        let _ = GCodeEstimator::fit(&mut model, 0.0, 10, vec![0], &mut rng);
+        let model = SecurityModel::for_dataset(&ds, &mut rng);
+        let _ = GCodeEstimator::fit(&model, 0.0, 10, vec![0], &mut rng);
     }
 }

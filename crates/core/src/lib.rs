@@ -25,7 +25,13 @@
 //! * [`GanSecPipeline`] — the end-to-end design-time flow of Figure 4:
 //!   architecture → `G_CPPS` → flow pairs → CGAN models → analysis, with
 //!   a fault-tolerant variant (checkpoint/resume plus divergence
-//!   recovery) behind [`FaultTolerance`].
+//!   recovery) behind [`FaultTolerance`]. The flow decomposes into
+//!   [`GanSecPipeline::train_stage`] → [`TrainStage`] →
+//!   [`GanSecPipeline::analyze_stage`];
+//! * [`ModelBundle`] — the versioned train→serve artifact sealed by
+//!   [`TrainStage::to_bundle`]: generator weights, fitted Parzen
+//!   scorers, and the calibrated detector threshold, reloadable for
+//!   audit-time scoring (`gansec-engine`) without retraining.
 //!
 //! # Quickstart
 //!
@@ -48,6 +54,7 @@
 
 mod analysis;
 mod baseline;
+mod bundle;
 mod dataset;
 mod detector;
 mod estimator;
@@ -58,14 +65,17 @@ mod report;
 
 pub use analysis::{AnalysisWarnings, ConditionLikelihood, LikelihoodAnalysis, LikelihoodReport};
 pub use baseline::KdeBaseline;
+pub use bundle::{
+    config_fingerprint, ModelBundle, BUNDLE_FALSE_ALARM_RATE, BUNDLE_SCHEMA_VERSION,
+};
 pub use dataset::{DatasetError, EmissionChannel, FrameScreenReport, SideChannelDataset};
-pub use detector::{AttackDetector, DetectionOutcome};
+pub use detector::{AttackDetector, DetectionOutcome, ScoreScratch};
 pub use estimator::GCodeEstimator;
 pub use model::{ModelError, SecurityModel};
 pub use persist::{load_report, save_report, PersistError};
 pub use pipeline::{
     FaultTolerance, FlowPairRun, GanSecPipeline, MultiPairOutcome, PipelineConfig, PipelineError,
-    PipelineOutcome,
+    PipelineOutcome, TrainStage,
 };
 pub use report::{ConditionVerdict, ConfidentialityReport, TableOneRow};
 

@@ -119,8 +119,8 @@ impl SecurityModel {
         &self.cgan
     }
 
-    /// Mutable CGAN access (generation requires `&mut` for the forward
-    /// pass caches).
+    /// Mutable CGAN access (training mutates the networks; generation
+    /// needs only `&self`).
     pub fn cgan_mut(&mut self) -> &mut Cgan {
         &mut self.cgan
     }
@@ -176,7 +176,7 @@ impl SecurityModel {
     ///
     /// Returns [`ModelError::CondWidth`] for a wrong-width condition.
     pub fn generate_for_condition(
-        &mut self,
+        &self,
         cond: &[f64],
         n: usize,
         rng: &mut impl Rng,
@@ -260,7 +260,7 @@ mod tests {
     fn generate_for_condition_shapes() {
         let ds = dataset(5);
         let mut rng = StdRng::seed_from_u64(6);
-        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
+        let model = SecurityModel::for_dataset(&ds, &mut rng);
         let out = model
             .generate_for_condition(&[1.0, 0.0, 0.0], 7, &mut rng)
             .unwrap();
@@ -272,7 +272,7 @@ mod tests {
     fn wrong_cond_width_is_error() {
         let ds = dataset(7);
         let mut rng = StdRng::seed_from_u64(8);
-        let mut model = SecurityModel::for_dataset(&ds, &mut rng);
+        let model = SecurityModel::for_dataset(&ds, &mut rng);
         let err = model
             .generate_for_condition(&[1.0, 0.0], 3, &mut rng)
             .unwrap_err();

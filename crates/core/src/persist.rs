@@ -30,6 +30,18 @@ pub enum PersistError {
     Io(std::io::Error),
     /// (De)serialization failure.
     Json(serde_json::Error),
+    /// A [`crate::ModelBundle`] carries a schema version this build does
+    /// not support.
+    BundleVersion {
+        /// The version stamped in the bundle file.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// A [`crate::ModelBundle`] parsed but failed load-time validation
+    /// (fingerprint mismatch, inconsistent dimensions, degenerate
+    /// scorer parameters).
+    BundleInvalid(String),
 }
 
 impl fmt::Display for PersistError {
@@ -37,6 +49,11 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "i/o failure: {e}"),
             PersistError::Json(e) => write!(f, "json failure: {e}"),
+            PersistError::BundleVersion { found, supported } => write!(
+                f,
+                "unsupported bundle schema version {found} (this build supports {supported})"
+            ),
+            PersistError::BundleInvalid(msg) => write!(f, "invalid bundle: {msg}"),
         }
     }
 }
@@ -46,6 +63,7 @@ impl Error for PersistError {
         match self {
             PersistError::Io(e) => Some(e),
             PersistError::Json(e) => Some(e),
+            PersistError::BundleVersion { .. } | PersistError::BundleInvalid(_) => None,
         }
     }
 }
@@ -158,17 +176,17 @@ mod tests {
 
     #[test]
     fn json_round_trip_preserves_generation() {
-        let (mut model, _) = trained_model();
+        let (model, _) = trained_model();
         let json = model.to_json().unwrap();
-        let mut restored = SecurityModel::from_json(&json).unwrap();
+        let restored = SecurityModel::from_json(&json).unwrap();
 
         // Same noise, same conditions -> identical output.
         let z = Matrix::from_fn(4, model.cgan().config().noise_dim, |r, c| {
             ((r * 3 + c) as f64 * 0.21).sin()
         });
         let conds = Matrix::from_fn(4, 3, |r, c| if r % 3 == c { 1.0 } else { 0.0 });
-        let a = model.cgan_mut().generate_with_noise(&z, &conds);
-        let b = restored.cgan_mut().generate_with_noise(&z, &conds);
+        let a = model.cgan().generate_with_noise(&z, &conds);
+        let b = restored.cgan().generate_with_noise(&z, &conds);
         assert_eq!(a, b);
         assert_eq!(model.history().len(), restored.history().len());
         assert_eq!(model.encoding(), restored.encoding());
@@ -202,10 +220,10 @@ mod tests {
     #[test]
     fn restored_model_supports_analysis() {
         let (model, ds) = trained_model();
-        let mut restored = SecurityModel::from_json(&model.to_json().unwrap()).unwrap();
+        let restored = SecurityModel::from_json(&model.to_json().unwrap()).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let report =
-            LikelihoodAnalysis::new(0.2, 20, vec![0]).analyze(&mut restored, &ds, &mut rng);
+            LikelihoodAnalysis::new(0.2, 20, vec![0]).analyze(&restored, &ds, &mut rng);
         assert_eq!(report.conditions.len(), 3);
     }
 

@@ -18,8 +18,8 @@ use gansec_gan::{
 };
 
 use crate::{
-    ConfidentialityReport, DatasetError, LikelihoodAnalysis, LikelihoodReport, ModelError,
-    SecurityModel, SideChannelDataset,
+    ConfidentialityReport, DatasetError, LikelihoodAnalysis, LikelihoodReport, ModelBundle,
+    ModelError, SecurityModel, SideChannelDataset,
 };
 
 /// Errors from the end-to-end pipeline.
@@ -330,6 +330,22 @@ impl GanSecPipeline {
     /// Returns [`PipelineError`] if the workload is too small to frame or
     /// training diverges.
     pub fn run(&self, seed: u64) -> Result<PipelineOutcome, PipelineError> {
+        let stage = self.train_stage(seed)?;
+        self.analyze_stage(stage)
+    }
+
+    /// Steps 1-4 of [`GanSecPipeline::run`] as a standalone stage:
+    /// architecture, simulation, dataset, and CGAN training. The
+    /// returned [`TrainStage`] carries the mid-stream RNG, so
+    /// `analyze_stage(train_stage(seed)?)` is bit-identical to
+    /// `run(seed)` — and in between, [`TrainStage::to_bundle`] can seal
+    /// the trained artifact for serving without perturbing either.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if the workload is too small to frame or
+    /// training diverges.
+    pub fn train_stage(&self, seed: u64) -> Result<TrainStage, PipelineError> {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(seed);
         let prepared = self.prepare(&mut rng)?;
@@ -338,6 +354,30 @@ impl GanSecPipeline {
         let mut model = SecurityModel::new(cfg.cgan_config(), cfg.encoding, &mut rng);
         model.train(&prepared.train, cfg.train_iterations, &mut rng)?;
 
+        Ok(TrainStage {
+            config: cfg.clone(),
+            seed,
+            prepared,
+            model,
+            rng,
+        })
+    }
+
+    /// Step 5 of [`GanSecPipeline::run`] as a standalone stage: consumes
+    /// a [`TrainStage`] and produces the full outcome, continuing the
+    /// stage's RNG stream exactly where training left it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] on analysis failure (none currently
+    /// possible; the signature is shared with the other stages).
+    pub fn analyze_stage(&self, stage: TrainStage) -> Result<PipelineOutcome, PipelineError> {
+        let TrainStage {
+            prepared,
+            model,
+            mut rng,
+            ..
+        } = stage;
         self.finish(prepared, model, &mut rng)
     }
 
@@ -420,7 +460,7 @@ impl GanSecPipeline {
                 let history = model.history().clone();
                 let top = prepared.train.top_feature_indices(cfg.n_top_features);
                 let analysis = LikelihoodAnalysis::new(cfg.h, cfg.gsize, top);
-                let likelihood = analysis.analyze(&mut model, &prepared.test, &mut pair_rng);
+                let likelihood = analysis.analyze(&model, &prepared.test, &mut pair_rng);
                 let confidentiality =
                     ConfidentialityReport::from_likelihoods(&likelihood, cfg.margin_threshold);
                 Ok(FlowPairRun {
@@ -443,6 +483,24 @@ impl GanSecPipeline {
             test_len: prepared.test.len(),
             per_pair,
         })
+    }
+
+    /// Rebuilds the deterministic steps 1-3 outputs for `seed` without
+    /// training: exactly the train/test split `run(seed)` and
+    /// `train_stage(seed)` see. The serve layer uses this to
+    /// reconstruct scoring inputs (and the feature scaling they carry)
+    /// from a bundle's `(seed, config)` alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if the workload is too small to frame.
+    pub fn datasets(
+        &self,
+        seed: u64,
+    ) -> Result<(SideChannelDataset, SideChannelDataset), PipelineError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prepared = self.prepare(&mut rng)?;
+        Ok((prepared.train, prepared.test))
     }
 
     /// Steps 1-3: architecture and flow pairs, workload simulation,
@@ -490,14 +548,14 @@ impl GanSecPipeline {
     fn finish(
         &self,
         prepared: Prepared,
-        mut model: SecurityModel,
+        model: SecurityModel,
         rng: &mut StdRng,
     ) -> Result<PipelineOutcome, PipelineError> {
         let cfg = &self.config;
         let history = model.history().clone();
         let top = prepared.train.top_feature_indices(cfg.n_top_features);
         let analysis = LikelihoodAnalysis::new(cfg.h, cfg.gsize, top);
-        let likelihood = analysis.analyze(&mut model, &prepared.test, rng);
+        let likelihood = analysis.analyze(&model, &prepared.test, rng);
         let confidentiality =
             ConfidentialityReport::from_likelihoods(&likelihood, cfg.margin_threshold);
 
@@ -573,6 +631,72 @@ struct Prepared {
     test: SideChannelDataset,
 }
 
+/// The output of [`GanSecPipeline::train_stage`]: a trained model plus
+/// everything [`GanSecPipeline::analyze_stage`] needs to continue the
+/// run — including the mid-stream RNG, so staging never changes the
+/// numbers a monolithic [`GanSecPipeline::run`] produces.
+pub struct TrainStage {
+    config: PipelineConfig,
+    seed: u64,
+    prepared: Prepared,
+    model: SecurityModel,
+    rng: StdRng,
+}
+
+impl TrainStage {
+    /// The configuration the stage trained under.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The run seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &SecurityModel {
+        &self.model
+    }
+
+    /// The training split.
+    pub fn train(&self) -> &SideChannelDataset {
+        &self.prepared.train
+    }
+
+    /// The held-out split.
+    pub fn test(&self) -> &SideChannelDataset {
+        &self.prepared.test
+    }
+
+    /// Seals the trained artifact into a [`ModelBundle`] for the serve
+    /// layer. The bundle's scorers are fitted under an RNG stream
+    /// derived from the run seed with a bundle-specific salt — distinct
+    /// from both the training stream and every per-pair stream — so
+    /// sealing a bundle perturbs neither a subsequent
+    /// [`GanSecPipeline::analyze_stage`] nor a re-run.
+    pub fn to_bundle(&self) -> ModelBundle {
+        let mut rng = StdRng::seed_from_u64(derive_bundle_seed(self.seed));
+        ModelBundle::fit(
+            &self.config,
+            self.seed,
+            self.model.clone(),
+            &self.prepared.train,
+            &mut rng,
+        )
+    }
+}
+
+/// The bundle-sealing RNG stream for a run seed: salted and mixed so it
+/// collides with neither the run stream nor any [`derive_pair_seed`]
+/// stream.
+fn derive_bundle_seed(seed: u64) -> u64 {
+    // Index 0x5EA1 ("seal") is far above any realistic pair count, so
+    // this stream never collides with a per-pair stream for the same
+    // run seed even before the xor salt.
+    derive_pair_seed(seed ^ 0xBD1E_5EED_0C0F_FEE5, 0x5EA1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,6 +713,41 @@ mod tests {
         assert_eq!(outcome.history.len(), 60);
         assert_eq!(outcome.likelihood.conditions.len(), 3);
         assert_eq!(outcome.confidentiality.conditions.len(), 3);
+    }
+
+    #[test]
+    fn staged_run_matches_monolithic_run() {
+        let p = GanSecPipeline::new(PipelineConfig::smoke_test());
+        let mono = p.run(9).unwrap();
+        let stage = p.train_stage(9).unwrap();
+        assert_eq!(stage.seed(), 9);
+        assert_eq!(stage.config(), p.config());
+        assert!(stage.train().len() > 0 && stage.test().len() > 0);
+        let staged = p.analyze_stage(stage).unwrap();
+        // Same weights: identical generation from identical noise.
+        let z = gansec_tensor::Matrix::from_fn(
+            4,
+            staged.model.cgan().config().noise_dim,
+            |r, c| ((r * 5 + c) as f64 * 0.13).sin(),
+        );
+        let conds = gansec_tensor::Matrix::from_fn(4, 3, |r, c| f64::from(u8::from(r % 3 == c)));
+        assert_eq!(
+            staged.model.cgan().generate_with_noise(&z, &conds),
+            mono.model.cgan().generate_with_noise(&z, &conds)
+        );
+        assert_eq!(staged.likelihood, mono.likelihood);
+        assert_eq!(staged.confidentiality, mono.confidentiality);
+    }
+
+    #[test]
+    fn sealing_a_bundle_does_not_perturb_analysis() {
+        let p = GanSecPipeline::new(PipelineConfig::smoke_test());
+        let baseline = p.run(11).unwrap();
+        let stage = p.train_stage(11).unwrap();
+        let bundle = stage.to_bundle();
+        assert_eq!(bundle.seed, 11);
+        let outcome = p.analyze_stage(stage).unwrap();
+        assert_eq!(outcome.likelihood, baseline.likelihood);
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! # gansec-engine
+//!
+//! The inference-time half of the train/serve split: an immutable
+//! [`ScoringEngine`] built from a sealed [`gansec::ModelBundle`] that
+//! scores frame windows for attack detection and condition estimation
+//! without touching training code.
+//!
+//! Design-time analysis (the `gansec` core pipeline) is minutes of CGAN
+//! training; audit-time detection is microseconds of Parzen scoring
+//! against already-fitted densities. This crate owns the second half:
+//!
+//! * **Immutability** — the engine holds the bundle's fitted
+//!   [`gansec::AttackDetector`] and [`gansec::GCodeEstimator`] behind
+//!   `&self` methods only. [`ScoringEngine`] is `Send + Sync`, so one
+//!   engine serves any number of threads.
+//! * **Buffer reuse** — batch scoring draws [`gansec::ScoreScratch`]
+//!   buffers from an internal per-thread pool; after warm-up the
+//!   per-frame hot path performs zero heap allocations.
+//! * **Deterministic parallelism** — [`ScoringEngine::score_frames`]
+//!   fans frame blocks out through `gansec-parallel`'s collect-then-
+//!   reduce primitives, so results are bit-identical at every thread
+//!   count and equal to the scalar [`ScoringEngine::score_frame`] per
+//!   row.
+//!
+//! ```no_run
+//! use gansec_engine::ScoringEngine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let engine = ScoringEngine::load("bundle.json")?;
+//! # let (features, conds) = unimplemented!();
+//! let scores = engine.score_frames(&features, &conds);
+//! let alarms = scores.iter().filter(|&&s| engine.is_attack(s)).count();
+//! println!("{alarms} of {} frames flagged", scores.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+use std::path::Path;
+use std::sync::Mutex;
+
+use gansec::{
+    AttackDetector, GCodeEstimator, ModelBundle, PersistError, PipelineConfig, ScoreScratch,
+};
+use gansec_tensor::Matrix;
+
+/// Frames per parallel scoring block: large enough to amortize the
+/// per-block gather, small enough to spread across workers.
+const BLOCK: usize = 256;
+
+/// A pool of reusable [`ScoreScratch`] buffers: one per concurrently
+/// scoring thread, grown on demand and recycled across batches, so warm
+/// batch scoring allocates nothing per frame.
+#[derive(Debug, Default)]
+struct ScratchPool {
+    free: Mutex<Vec<ScoreScratch>>,
+}
+
+impl ScratchPool {
+    fn acquire(&self) -> ScoreScratch {
+        self.free
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn release(&self, scratch: ScoreScratch) {
+        self.free
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .push(scratch);
+    }
+}
+
+/// An immutable serve-time scoring engine over a sealed model bundle.
+///
+/// Construction consumes a validated [`ModelBundle`]; every scoring
+/// method takes `&self`, and the engine is `Send + Sync` (asserted at
+/// compile time in this crate's tests), so it can be shared across
+/// threads behind an `Arc` — or used directly by
+/// [`ScoringEngine::score_frames`], which parallelizes internally.
+#[derive(Debug)]
+pub struct ScoringEngine {
+    seed: u64,
+    schema_version: u32,
+    config_fingerprint: u64,
+    config: PipelineConfig,
+    feature_indices: Vec<usize>,
+    detector: AttackDetector,
+    estimator: GCodeEstimator,
+    pool: ScratchPool,
+}
+
+impl ScoringEngine {
+    /// Builds the engine from a validated bundle.
+    pub fn from_bundle(bundle: ModelBundle) -> Self {
+        Self {
+            seed: bundle.seed,
+            schema_version: bundle.schema_version,
+            config_fingerprint: bundle.config_fingerprint,
+            config: bundle.config,
+            feature_indices: bundle.feature_indices,
+            detector: bundle.detector,
+            estimator: bundle.estimator,
+            pool: ScratchPool::default(),
+        }
+    }
+
+    /// Loads a bundle from disk (with the bundle's strict load-time
+    /// validation) and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem, parse, or validation
+    /// failure — an unsupported schema version or internally
+    /// inconsistent bundle never becomes an engine.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Ok(Self::from_bundle(ModelBundle::load(path)?))
+    }
+
+    /// The run seed the bundle was trained under.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The bundle schema version.
+    pub fn schema_version(&self) -> u32 {
+        self.schema_version
+    }
+
+    /// The sealed config fingerprint.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fingerprint
+    }
+
+    /// The pipeline configuration the bundle was trained under.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The analyzed feature indices, in scoring order.
+    pub fn feature_indices(&self) -> &[usize] {
+        &self.feature_indices
+    }
+
+    /// The calibrated alarm threshold.
+    pub fn threshold(&self) -> f64 {
+        self.detector.threshold()
+    }
+
+    /// The bundled detector.
+    pub fn detector(&self) -> &AttackDetector {
+        &self.detector
+    }
+
+    /// The bundled condition estimator.
+    pub fn estimator(&self) -> &GCodeEstimator {
+        &self.estimator
+    }
+
+    /// Consistency score of one frame under the claimed condition —
+    /// exactly [`AttackDetector::score_frame`] on the bundled detector.
+    pub fn score_frame(&self, features: &[f64], claimed_cond: &[f64]) -> f64 {
+        self.detector.score_frame(features, claimed_cond)
+    }
+
+    /// Whether a score trips the alarm.
+    pub fn is_attack(&self, score: f64) -> bool {
+        self.detector.is_attack(score)
+    }
+
+    /// Joint log-likelihood of one frame under condition `ci` — exactly
+    /// [`GCodeEstimator::log_likelihood`] on the bundled estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ci` is out of range for the bundled encoding.
+    pub fn log_likelihood(&self, features: &[f64], ci: usize) -> f64 {
+        self.estimator.log_likelihood(features, ci)
+    }
+
+    /// Batch-scores every row of `(features, claimed_conds)`: frame
+    /// blocks fan out across threads, each drawing a scratch from the
+    /// engine's buffer pool, and results concatenate in row order.
+    /// Every entry equals what [`ScoringEngine::score_frame`] returns
+    /// for that row, at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two row counts differ.
+    pub fn score_frames(&self, features: &Matrix, claimed_conds: &Matrix) -> Vec<f64> {
+        assert_eq!(features.rows(), claimed_conds.rows(), "row count mismatch");
+        let n = features.rows();
+        if n == 0 {
+            return Vec::new();
+        }
+        let blocks = n.div_ceil(BLOCK);
+        let per_block: Vec<Vec<f64>> = gansec_parallel::par_map_indexed(blocks, |b| {
+            let start = b * BLOCK;
+            let len = BLOCK.min(n - start);
+            let f = Matrix::from_fn(len, features.cols(), |r, c| features[(start + r, c)]);
+            let cc =
+                Matrix::from_fn(len, claimed_conds.cols(), |r, c| claimed_conds[(start + r, c)]);
+            let mut scratch = self.pool.acquire();
+            let mut out = Vec::new();
+            self.detector.score_frames_into(&f, &cc, &mut scratch, &mut out);
+            self.pool.release(scratch);
+            out
+        });
+        per_block.concat()
+    }
+
+    /// Batch attack detection: scores every frame and applies the
+    /// calibrated threshold. `verdicts[i]` is `true` when frame `i`
+    /// trips the alarm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two row counts differ.
+    pub fn detect_frames(&self, features: &Matrix, claimed_conds: &Matrix) -> DetectionSummary {
+        let scores = self.score_frames(features, claimed_conds);
+        let verdicts: Vec<bool> = scores.iter().map(|&s| self.is_attack(s)).collect();
+        let flagged = verdicts.iter().filter(|&&v| v).count();
+        DetectionSummary {
+            threshold: self.threshold(),
+            flagged,
+            scores,
+            verdicts,
+        }
+    }
+
+    /// Batch condition estimation: the maximum-likelihood condition
+    /// index for every frame row, through the estimator's batched
+    /// buffer-reusing path.
+    pub fn classify_frames(&self, features: &Matrix) -> Vec<usize> {
+        self.estimator.classify_frames(features)
+    }
+}
+
+/// The outcome of [`ScoringEngine::detect_frames`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionSummary {
+    /// The calibrated threshold the verdicts used.
+    pub threshold: f64,
+    /// Number of frames flagged as attacks.
+    pub flagged: usize,
+    /// Per-frame consistency scores (higher = more benign-looking).
+    pub scores: Vec<f64>,
+    /// Per-frame verdicts (`true` = attack).
+    pub verdicts: Vec<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gansec::{GanSecPipeline, PipelineConfig};
+
+    /// Compile-time Send + Sync assertion: the engine (and everything it
+    /// holds) must be shareable across serving threads. A non-Sync field
+    /// fails this function's bounds at compile time.
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        assert_send_sync::<ScoringEngine>();
+        assert_send_sync::<DetectionSummary>();
+    }
+
+    fn engine_and_test_split() -> (ScoringEngine, gansec::SideChannelDataset) {
+        let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+        let stage = pipeline.train_stage(3).unwrap();
+        let test = stage.test().clone();
+        (ScoringEngine::from_bundle(stage.to_bundle()), test)
+    }
+
+    #[test]
+    fn engine_scores_match_scalar_detector_path() {
+        let (engine, test) = engine_and_test_split();
+        let batch = engine.score_frames(test.features(), test.conds());
+        assert_eq!(batch.len(), test.len());
+        for i in 0..test.len() {
+            assert_eq!(
+                batch[i],
+                engine.score_frame(test.features().row(i), test.conds().row(i)),
+                "frame {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_scores() {
+        let (engine, test) = engine_and_test_split();
+        gansec_parallel::set_threads(1);
+        let serial = engine.score_frames(test.features(), test.conds());
+        gansec_parallel::set_threads(4);
+        let parallel = engine.score_frames(test.features(), test.conds());
+        gansec_parallel::set_threads(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn detect_frames_applies_threshold() {
+        let (engine, test) = engine_and_test_split();
+        let summary = engine.detect_frames(test.features(), test.conds());
+        assert_eq!(summary.scores.len(), test.len());
+        assert_eq!(summary.verdicts.len(), test.len());
+        assert_eq!(summary.threshold, engine.threshold());
+        assert_eq!(
+            summary.flagged,
+            summary.verdicts.iter().filter(|&&v| v).count()
+        );
+        for (i, &v) in summary.verdicts.iter().enumerate() {
+            assert_eq!(v, engine.is_attack(summary.scores[i]));
+        }
+    }
+
+    #[test]
+    fn classify_frames_routes_through_estimator() {
+        let (engine, test) = engine_and_test_split();
+        let predicted = engine.classify_frames(test.features());
+        assert_eq!(predicted.len(), test.len());
+        for (i, &p) in predicted.iter().enumerate() {
+            assert!(p < engine.estimator().n_conditions());
+            let mut best = 0;
+            let mut best_ll = f64::NEG_INFINITY;
+            for ci in 0..engine.estimator().n_conditions() {
+                let ll = engine.log_likelihood(test.features().row(i), ci);
+                if ll > best_ll {
+                    best_ll = ll;
+                    best = ci;
+                }
+            }
+            assert_eq!(p, best, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_scores_empty() {
+        let (engine, _) = engine_and_test_split();
+        let f = Matrix::zeros(0, engine.config().n_bins);
+        let c = Matrix::zeros(0, 3);
+        assert!(engine.score_frames(&f, &c).is_empty());
+    }
+
+    #[test]
+    fn metadata_survives_the_bundle_boundary() {
+        let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+        let stage = pipeline.train_stage(5).unwrap();
+        let bundle = stage.to_bundle();
+        let fingerprint = bundle.config_fingerprint;
+        let features = bundle.feature_indices.clone();
+        let engine = ScoringEngine::from_bundle(bundle);
+        assert_eq!(engine.seed(), 5);
+        assert_eq!(engine.schema_version(), gansec::BUNDLE_SCHEMA_VERSION);
+        assert_eq!(engine.config_fingerprint(), fingerprint);
+        assert_eq!(engine.feature_indices(), features);
+        assert!(engine.threshold().is_finite());
+    }
+
+    #[test]
+    fn scratch_pool_recycles_buffers() {
+        let pool = ScratchPool::default();
+        let a = pool.acquire();
+        pool.release(a);
+        // The recycled buffer comes back instead of a fresh one.
+        let _b = pool.acquire();
+        assert!(pool.free.lock().unwrap().is_empty());
+        let c = pool.acquire();
+        pool.release(c);
+        assert_eq!(pool.free.lock().unwrap().len(), 1);
+    }
+}

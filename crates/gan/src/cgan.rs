@@ -6,7 +6,9 @@ use std::fmt;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use gansec_nn::{bce_with_logits, Activation, Adam, Layer, OptimError, Optimizer, Sequential, Sgd};
+use gansec_nn::{
+    bce_with_logits, Activation, Adam, ForwardScratch, Layer, OptimError, Optimizer, Sequential, Sgd,
+};
 use gansec_tensor::{sample_standard_normal, Matrix, WeightInit};
 
 use crate::{CganConfig, GeneratorLoss, IterationRecord, OptimKind, PairedData, TrainingHistory};
@@ -249,13 +251,25 @@ impl Cgan {
         })
     }
 
+    /// An inference-only view of the generator for the serving path:
+    /// borrows the trained network immutably, so any number of threads
+    /// can generate concurrently, each with its own scratch.
+    pub fn generator_inference(&self) -> GeneratorInference<'_> {
+        GeneratorInference {
+            net: &self.generator,
+            noise_dim: self.config.noise_dim,
+            cond_dim: self.config.cond_dim,
+        }
+    }
+
     /// Generates samples from `G(Z | conds)`, one row per condition row,
-    /// with fresh noise. The generator runs in evaluation mode.
+    /// with fresh noise. The generator runs in evaluation mode through
+    /// the cache-free inference forward, so no `&mut self` is needed.
     ///
     /// # Panics
     ///
     /// Panics if `conds.cols() != config.cond_dim`.
-    pub fn generate(&mut self, conds: &Matrix, rng: &mut impl Rng) -> Matrix {
+    pub fn generate(&self, conds: &Matrix, rng: &mut impl Rng) -> Matrix {
         let z = self.sample_noise(conds.rows(), rng);
         self.generate_with_noise(&z, conds)
     }
@@ -267,19 +281,11 @@ impl Cgan {
     ///
     /// Panics if `z.rows() != conds.rows()`, `z.cols() != noise_dim` or
     /// `conds.cols() != cond_dim`.
-    pub fn generate_with_noise(&mut self, z: &Matrix, conds: &Matrix) -> Matrix {
-        assert_eq!(z.cols(), self.config.noise_dim, "noise width mismatch");
-        assert_eq!(
-            conds.cols(),
-            self.config.cond_dim,
-            "condition width mismatch"
-        );
-        let input = z.hstack(conds).expect("row counts must match");
-        let was_training = self.generator.is_training();
-        self.generator.set_training(false);
-        let out = self.generator.forward(&input);
-        self.generator.set_training(was_training);
-        out
+    pub fn generate_with_noise(&self, z: &Matrix, conds: &Matrix) -> Matrix {
+        let mut scratch = ForwardScratch::new();
+        self.generator_inference()
+            .generate_with_noise(z, conds, &mut scratch)
+            .clone()
     }
 
     /// `D(F_1 | F_2)` as probabilities (sigmoid of the logit), evaluation
@@ -288,7 +294,7 @@ impl Cgan {
     /// # Panics
     ///
     /// Panics if widths do not match the configuration.
-    pub fn discriminate(&mut self, data: &Matrix, conds: &Matrix) -> Vec<f64> {
+    pub fn discriminate(&self, data: &Matrix, conds: &Matrix) -> Vec<f64> {
         assert_eq!(data.cols(), self.config.data_dim, "data width mismatch");
         assert_eq!(
             conds.cols(),
@@ -296,10 +302,8 @@ impl Cgan {
             "condition width mismatch"
         );
         let input = data.hstack(conds).expect("row counts must match");
-        let was_training = self.discriminator.is_training();
-        self.discriminator.set_training(false);
-        let logits = self.discriminator.forward(&input);
-        self.discriminator.set_training(was_training);
+        let mut scratch = ForwardScratch::new();
+        let logits = self.discriminator.forward(&input, &mut scratch);
         logits
             .as_slice()
             .iter()
@@ -349,19 +353,19 @@ impl Cgan {
             let (x, c) = dataset.sample_batch(n, rng);
             let z = self.sample_noise(n, rng);
             let g_in = z.hstack(&c).expect("batch rows align");
-            let fake = self.generator.forward(&g_in);
+            let fake = self.generator.forward_training(&g_in);
 
             // Line 8: ascend log D(x|c) + log(1 - D(G(z|c)|c)).
             self.discriminator.zero_grad();
             let real_logits = self
                 .discriminator
-                .forward(&x.hstack(&c).expect("batch rows align"));
+                .forward_training(&x.hstack(&c).expect("batch rows align"));
             let (l_real, grad_real) =
                 bce_with_logits(&real_logits, &real_targets).expect("shapes fixed by config");
             self.discriminator.backward(&grad_real);
             let fake_logits = self
                 .discriminator
-                .forward(&fake.hstack(&c).expect("batch rows align"));
+                .forward_training(&fake.hstack(&c).expect("batch rows align"));
             let (l_fake, grad_fake) =
                 bce_with_logits(&fake_logits, &zeros).expect("shapes fixed by config");
             self.discriminator.backward(&grad_fake);
@@ -376,9 +380,9 @@ impl Cgan {
         // Lines 9-10: generator step with fresh noise, same conditions.
         let z = self.sample_noise(n, rng);
         let g_in = z.hstack(&last_conds).expect("batch rows align");
-        let fake = self.generator.forward(&g_in);
+        let fake = self.generator.forward_training(&g_in);
         let d_in = fake.hstack(&last_conds).expect("batch rows align");
-        let logits = self.discriminator.forward(&d_in);
+        let logits = self.discriminator.forward_training(&d_in);
 
         let (g_report, _) = bce_with_logits(&logits, &ones).expect("shapes fixed by config");
         let grad_logits = match self.config.generator_loss {
@@ -450,6 +454,54 @@ impl Cgan {
             }
         }
         Ok(history)
+    }
+}
+
+/// Inference-only view of a trained generator.
+///
+/// Borrowed from [`Cgan::generator_inference`]: holds `&Sequential`, so it
+/// is `Copy`-cheap, `Send + Sync`, and many scoring threads can hold one
+/// view over a shared model, each bringing its own [`ForwardScratch`].
+/// Runs the cache-free evaluation forward — bit-identical to the training
+/// forward in evaluation mode, without the `&mut` or the activation
+/// caches.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorInference<'a> {
+    net: &'a Sequential,
+    noise_dim: usize,
+    cond_dim: usize,
+}
+
+impl<'a> GeneratorInference<'a> {
+    /// Width of the noise prior `Z` this generator consumes.
+    pub fn noise_dim(&self) -> usize {
+        self.noise_dim
+    }
+
+    /// Width of the conditioning vector `F_2` this generator consumes.
+    pub fn cond_dim(&self) -> usize {
+        self.cond_dim
+    }
+
+    /// Generates samples from `G(z | conds)` with caller-provided noise
+    /// and scratch; returns a reference into the scratch. A warm scratch
+    /// makes the pass allocation-free apart from the `hstack` of the
+    /// network input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.rows() != conds.rows()`, `z.cols() != noise_dim` or
+    /// `conds.cols() != cond_dim`.
+    pub fn generate_with_noise<'s>(
+        &self,
+        z: &Matrix,
+        conds: &Matrix,
+        scratch: &'s mut ForwardScratch,
+    ) -> &'s Matrix {
+        assert_eq!(z.cols(), self.noise_dim, "noise width mismatch");
+        assert_eq!(conds.cols(), self.cond_dim, "condition width mismatch");
+        let input = z.hstack(conds).expect("row counts must match");
+        self.net.forward(&input, scratch)
     }
 }
 
@@ -525,7 +577,7 @@ mod tests {
     #[test]
     fn construction_shapes() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut cgan = Cgan::new(small_config(), &mut rng);
+        let cgan = Cgan::new(small_config(), &mut rng);
         let conds = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
         let out = cgan.generate(&conds, &mut rng);
         assert_eq!(out.shape(), (2, 1));
@@ -536,12 +588,28 @@ mod tests {
     #[test]
     fn generate_with_noise_is_deterministic() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut cgan = Cgan::new(small_config(), &mut rng);
+        let cgan = Cgan::new(small_config(), &mut rng);
         let z = Matrix::filled(3, 4, 0.5);
         let c = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]]).unwrap();
         let a = cgan.generate_with_noise(&z, &c);
         let b = cgan.generate_with_noise(&z, &c);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generator_inference_view_matches_generate() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let cgan = Cgan::new(small_config(), &mut rng);
+        let z = Matrix::filled(3, 4, 0.25);
+        let c = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let owned = cgan.generate_with_noise(&z, &c);
+        let view = cgan.generator_inference();
+        assert_eq!(view.noise_dim(), 4);
+        assert_eq!(view.cond_dim(), 2);
+        let mut scratch = ForwardScratch::new();
+        assert_eq!(view.generate_with_noise(&z, &c, &mut scratch), &owned);
+        // Warm-scratch second pass stays identical.
+        assert_eq!(view.generate_with_noise(&z, &c, &mut scratch), &owned);
     }
 
     #[test]
@@ -657,7 +725,7 @@ mod tests {
     #[test]
     fn discriminate_returns_probabilities() {
         let mut rng = StdRng::seed_from_u64(23);
-        let mut cgan = Cgan::new(small_config(), &mut rng);
+        let cgan = Cgan::new(small_config(), &mut rng);
         let data = Matrix::from_rows(&[&[0.2], &[0.8]]).unwrap();
         let conds = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
         let probs = cgan.discriminate(&data, &conds);

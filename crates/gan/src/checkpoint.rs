@@ -544,7 +544,7 @@ mod tests {
         // The reloaded generator reproduces the original's outputs exactly.
         let z = Matrix::filled(4, 4, 0.3);
         let c = Matrix::from_fn(4, 2, |r, j| if r % 2 == j { 1.0 } else { 0.0 });
-        let mut reloaded_cgan = loaded.cgan;
+        let reloaded_cgan = loaded.cgan;
         assert_eq!(
             cgan.generate_with_noise(&z, &c),
             reloaded_cgan.generate_with_noise(&z, &c)
@@ -691,7 +691,7 @@ mod tests {
         let ckpt = TrainingCheckpoint::load(&path).unwrap();
         assert_eq!(ckpt.completed_iterations, 16);
         let mut resumed_rng = StdRng::seed_from_u64(4242); // value must not matter
-        let (mut resumed, resumed_history) = persisting
+        let (resumed, resumed_history) = persisting
             .resume(ckpt, &dataset, 24, &mut resumed_rng)
             .unwrap();
 
@@ -746,7 +746,7 @@ mod tests {
             history: part_history,
         };
         let mut resumed_rng = StdRng::seed_from_u64(4242); // value must not matter
-        let (mut resumed, resumed_history) = trainer
+        let (resumed, resumed_history) = trainer
             .resume(ckpt, &dataset, 24, &mut resumed_rng)
             .unwrap();
 

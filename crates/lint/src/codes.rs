@@ -1,7 +1,8 @@
 //! The stable `GS0xxx` error-code table.
 //!
 //! Codes are grouped by hundreds: `GS01xx` CPPS graph analysis, `GS02xx`
-//! GAN architecture shape inference, `GS03xx` pipeline configuration.
+//! GAN architecture shape inference, `GS03xx` pipeline configuration,
+//! `GS04xx` model-bundle compatibility.
 //! Once published a code's number and meaning never change; retired
 //! checks leave a hole in the numbering rather than recycling it.
 
@@ -91,6 +92,33 @@ pub const ZERO_GSIZE: Code = Code(306);
 pub const ZERO_ITERATIONS: Code = Code(307);
 /// Zero minibatch size.
 pub const ZERO_BATCH: Code = Code(308);
+
+// --- GS04xx: model-bundle compatibility (train/serve split) ---
+
+/// The bundle's schema version is not the one this build supports:
+/// loading would misinterpret the wire format.
+pub const BUNDLE_VERSION_MISMATCH: Code = Code(401);
+/// The fingerprint stamped in the bundle does not match the config
+/// embedded in it: the artifact was edited after sealing.
+pub const BUNDLE_FINGERPRINT_MISMATCH: Code = Code(402);
+/// The bundled generator's `data_dim` differs from the bundled config's
+/// frequency-bin count: the scorers index features that do not exist.
+pub const BUNDLE_DIM_MISMATCH: Code = Code(403);
+/// The bundled generator's `cond_dim` differs from the encoding's label
+/// cardinality: claimed conditions cannot be scored.
+pub const BUNDLE_COND_MISMATCH: Code = Code(404);
+/// A bundled analyzed-feature index is out of range for the feature
+/// width.
+pub const BUNDLE_FEATURE_OUT_OF_RANGE: Code = Code(405);
+/// The bundled detector threshold is non-finite: every frame (or no
+/// frame) trips the alarm.
+pub const BUNDLE_BAD_THRESHOLD: Code = Code(406);
+/// The bundled Parzen bandwidth `h` is non-finite or not positive.
+pub const BUNDLE_BAD_BANDWIDTH: Code = Code(407);
+/// The session's current configuration differs from the one the bundle
+/// was trained under: scoring still follows the bundle's own config, but
+/// comparisons against fresh runs will not line up.
+pub const BUNDLE_CONFIG_DRIFT: Code = Code(408);
 
 /// One row of the published code table.
 #[derive(Debug, Clone, Copy)]
@@ -257,6 +285,54 @@ pub fn code_table() -> &'static [CodeInfo] {
             name: "zero-batch",
             severity: Severity::Error,
             summary: "zero minibatch size",
+        },
+        CodeInfo {
+            code: BUNDLE_VERSION_MISMATCH,
+            name: "bundle-version-mismatch",
+            severity: Severity::Error,
+            summary: "bundle schema version unsupported by this build",
+        },
+        CodeInfo {
+            code: BUNDLE_FINGERPRINT_MISMATCH,
+            name: "bundle-fingerprint-mismatch",
+            severity: Severity::Error,
+            summary: "bundle fingerprint does not match its embedded config",
+        },
+        CodeInfo {
+            code: BUNDLE_DIM_MISMATCH,
+            name: "bundle-dim-mismatch",
+            severity: Severity::Error,
+            summary: "bundled generator data_dim != config frequency bins",
+        },
+        CodeInfo {
+            code: BUNDLE_COND_MISMATCH,
+            name: "bundle-cond-mismatch",
+            severity: Severity::Error,
+            summary: "bundled generator cond_dim != encoding cardinality",
+        },
+        CodeInfo {
+            code: BUNDLE_FEATURE_OUT_OF_RANGE,
+            name: "bundle-feature-out-of-range",
+            severity: Severity::Error,
+            summary: "bundled feature index out of range",
+        },
+        CodeInfo {
+            code: BUNDLE_BAD_THRESHOLD,
+            name: "bundle-bad-threshold",
+            severity: Severity::Error,
+            summary: "bundled detector threshold is non-finite",
+        },
+        CodeInfo {
+            code: BUNDLE_BAD_BANDWIDTH,
+            name: "bundle-bad-bandwidth",
+            severity: Severity::Error,
+            summary: "bundled Parzen bandwidth h is degenerate",
+        },
+        CodeInfo {
+            code: BUNDLE_CONFIG_DRIFT,
+            name: "bundle-config-drift",
+            severity: Severity::Warning,
+            summary: "session config differs from the bundle's training config",
         },
     ];
     TABLE

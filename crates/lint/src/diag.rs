@@ -73,6 +73,11 @@ pub enum Origin {
         /// The field name.
         field: String,
     },
+    /// A field of a sealed model bundle, e.g. `schema_version`.
+    Bundle {
+        /// The field name.
+        field: String,
+    },
     /// The analyzed input as a whole.
     Input,
 }
@@ -84,6 +89,7 @@ impl fmt::Display for Origin {
             Origin::Layer { network, index } => write!(f, "{network}: layer {index}"),
             Origin::Model { field } => write!(f, "model.{field}"),
             Origin::Config { field } => write!(f, "config.{field}"),
+            Origin::Bundle { field } => write!(f, "bundle.{field}"),
             Origin::Input => write!(f, "input"),
         }
     }

@@ -1,6 +1,6 @@
 //! The analysis IR: lightweight, dependency-free descriptions of the
-//! three things `gansec check` inspects — the CPPS graph, the GAN
-//! architecture, and the pipeline configuration.
+//! four things `gansec check` inspects — the CPPS graph, the GAN
+//! architecture, the pipeline configuration, and a sealed model bundle.
 //!
 //! Passes operate only on these specs, never on the heavyweight runtime
 //! types, so the engine stays cheap to construct in tests and usable
@@ -329,6 +329,45 @@ impl Default for PipelineSpec {
     }
 }
 
+/// A sealed train-time artifact as the analysis sees it: the metadata a
+/// `gansec` model bundle carries, flattened for the `GS04xx`
+/// compatibility pass without dragging the heavyweight bundle types into
+/// this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundleSpec {
+    /// Schema version stamped in the bundle file.
+    pub schema_version: u32,
+    /// The schema version the loading build supports.
+    pub supported_version: u32,
+    /// The run seed the bundle was trained under.
+    pub seed: u64,
+    /// The config fingerprint stamped at seal time.
+    pub config_fingerprint: u64,
+    /// The fingerprint re-derived from the config embedded in the
+    /// bundle; differs from [`BundleSpec::config_fingerprint`] when the
+    /// artifact was edited after sealing.
+    pub sealed_fingerprint: u64,
+    /// The fingerprint of the session's current configuration, when one
+    /// is in force (`None` checks internal consistency only).
+    pub current_fingerprint: Option<u64>,
+    /// The bundled Parzen bandwidth.
+    pub h: f64,
+    /// Generated samples per condition the scorers were fitted from.
+    pub gsize: usize,
+    /// Frequency bins the bundled config declares.
+    pub n_bins: usize,
+    /// The bundled generator's sample width.
+    pub data_dim: usize,
+    /// The bundled generator's condition width.
+    pub cond_dim: usize,
+    /// The bundled encoding's label cardinality.
+    pub label_cardinality: usize,
+    /// The analyzed feature indices the bundled scorers use.
+    pub feature_indices: Vec<usize>,
+    /// The calibrated detector threshold.
+    pub threshold: f64,
+}
+
 /// Everything a check run inspects. Absent sections are skipped by the
 /// passes that need them, so partial checks (config only, graph only)
 /// work naturally.
@@ -340,6 +379,8 @@ pub struct CheckInput {
     pub model: Option<ModelSpec>,
     /// The pipeline configuration, if available.
     pub pipeline: Option<PipelineSpec>,
+    /// A sealed model bundle, if one is being checked.
+    pub bundle: Option<BundleSpec>,
 }
 
 impl CheckInput {
@@ -363,6 +404,12 @@ impl CheckInput {
     /// Sets the pipeline section.
     pub fn with_pipeline(mut self, pipeline: PipelineSpec) -> Self {
         self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// Sets the bundle section.
+    pub fn with_bundle(mut self, bundle: BundleSpec) -> Self {
+        self.bundle = Some(bundle);
         self
     }
 }

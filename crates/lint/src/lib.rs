@@ -3,8 +3,8 @@
 //! GAN-Sec's Algorithm 1 is itself a static analysis: it inspects the
 //! design-time CPPS graph before any data-driven step runs. This crate
 //! generalizes that idea into a typed diagnostics engine with stable
-//! `GS0xxx` error codes and a registry of passes over the three things
-//! that can be checked *before* spending minutes of CGAN training:
+//! `GS0xxx` error codes and a registry of passes over the things that
+//! can be checked *before* spending minutes of CGAN training:
 //!
 //! * **`GS01xx` — CPPS graph analysis** ([`passes::GraphPass`]):
 //!   residual cycles after feedback-loop removal, orphan components,
@@ -17,6 +17,10 @@
 //! * **`GS03xx` — pipeline config validation** ([`passes::ConfigPass`]):
 //!   Parzen bandwidth, split sanity, discriminator steps, checkpoint
 //!   collisions, thread/pair balance.
+//! * **`GS04xx` — model-bundle compatibility** ([`passes::BundlePass`]):
+//!   schema version, seal fingerprint, scorer/config dimension
+//!   agreement, and drift between a sealed bundle and the session's
+//!   current configuration.
 //!
 //! The entry point is [`check`]; inputs are the lightweight specs in
 //! [`ir`], built either by hand or via the `lint_spec` conversions the
@@ -49,8 +53,8 @@ mod render;
 pub use codes::{code_info, code_table, Code, CodeInfo};
 pub use diag::{CheckReport, Diagnostic, Network, Origin, Severity};
 pub use ir::{
-    CheckInput, ComponentSpec, DomainKind, FlowKindSpec, FlowSpec, GraphSpec, LayerSpec, ModelSpec,
-    PairSpec, PipelineSpec,
+    BundleSpec, CheckInput, ComponentSpec, DomainKind, FlowKindSpec, FlowSpec, GraphSpec,
+    LayerSpec, ModelSpec, PairSpec, PipelineSpec,
 };
 pub use registry::{check, Pass, Registry};
 pub use render::{render_json, render_text};

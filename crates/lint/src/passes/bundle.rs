@@ -1,0 +1,291 @@
+//! Model-bundle compatibility: can a sealed train-time artifact
+//! actually serve under this build and session?
+//!
+//! The train/serve split makes a new class of mistake possible that the
+//! other passes cannot see: a bundle trained last week against a config
+//! that has since drifted, an artifact hand-edited after sealing, or a
+//! file produced by a newer build with a different schema. This pass
+//! diagnoses all of them from the bundle's own metadata, before any
+//! scoring runs.
+
+use crate::codes;
+use crate::diag::{Diagnostic, Origin};
+use crate::ir::{BundleSpec, CheckInput};
+use crate::registry::Pass;
+
+/// Checks a sealed model bundle: schema version, seal fingerprint,
+/// scorer/config dimension agreement, and drift against the session's
+/// current configuration.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BundlePass;
+
+impl Pass for BundlePass {
+    fn id(&self) -> &'static str {
+        "bundle"
+    }
+
+    fn description(&self) -> &'static str {
+        "model bundle: schema version, fingerprint, dims, config drift"
+    }
+
+    fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
+        let Some(b) = &input.bundle else { return };
+        check_version(b, out);
+        check_fingerprint(b, out);
+        check_dims(b, out);
+        check_scorers(b, out);
+        check_drift(b, out);
+    }
+}
+
+fn origin(field: &str) -> Origin {
+    Origin::Bundle {
+        field: field.to_string(),
+    }
+}
+
+/// GS0401: the wire format is only defined for the supported version.
+fn check_version(b: &BundleSpec, out: &mut Vec<Diagnostic>) {
+    if b.schema_version != b.supported_version {
+        out.push(
+            Diagnostic::new(
+                codes::BUNDLE_VERSION_MISMATCH,
+                origin("schema_version"),
+                format!(
+                    "bundle carries schema version {} but this build supports {}",
+                    b.schema_version, b.supported_version
+                ),
+            )
+            .with_help("re-train and re-seal the bundle with this build"),
+        );
+    }
+}
+
+/// GS0402: the stamp must match the config actually embedded.
+fn check_fingerprint(b: &BundleSpec, out: &mut Vec<Diagnostic>) {
+    if b.config_fingerprint != b.sealed_fingerprint {
+        out.push(
+            Diagnostic::new(
+                codes::BUNDLE_FINGERPRINT_MISMATCH,
+                origin("config_fingerprint"),
+                format!(
+                    "stamped fingerprint {:#018x} does not match the embedded config \
+                     ({:#018x}); the artifact was edited after sealing",
+                    b.config_fingerprint, b.sealed_fingerprint
+                ),
+            )
+            .with_help("never edit a sealed bundle; re-run `gansec train` instead"),
+        );
+    }
+}
+
+/// GS0403/GS0404: generator dims must agree with the bundled config.
+fn check_dims(b: &BundleSpec, out: &mut Vec<Diagnostic>) {
+    if b.data_dim != b.n_bins {
+        out.push(Diagnostic::new(
+            codes::BUNDLE_DIM_MISMATCH,
+            origin("data_dim"),
+            format!(
+                "bundled generator emits {}-wide samples but the config declares {} \
+                 frequency bins",
+                b.data_dim, b.n_bins
+            ),
+        ));
+    }
+    if b.cond_dim != b.label_cardinality {
+        out.push(Diagnostic::new(
+            codes::BUNDLE_COND_MISMATCH,
+            origin("cond_dim"),
+            format!(
+                "bundled generator conditions on {}-wide vectors but the encoding has \
+                 {} labels",
+                b.cond_dim, b.label_cardinality
+            ),
+        ));
+    }
+}
+
+/// GS0405/GS0406/GS0407: the scorer parameters detection will run with.
+fn check_scorers(b: &BundleSpec, out: &mut Vec<Diagnostic>) {
+    for &ft in &b.feature_indices {
+        if ft >= b.n_bins {
+            out.push(
+                Diagnostic::new(
+                    codes::BUNDLE_FEATURE_OUT_OF_RANGE,
+                    origin("feature_indices"),
+                    format!(
+                        "analyzed feature index {ft} out of range for {} frequency bins",
+                        b.n_bins
+                    ),
+                )
+                .with_help("the bundle's scorers cannot index the feature matrix"),
+            );
+        }
+    }
+    if !b.threshold.is_finite() {
+        out.push(Diagnostic::new(
+            codes::BUNDLE_BAD_THRESHOLD,
+            origin("threshold"),
+            format!(
+                "calibrated detector threshold is {}; alarms are meaningless",
+                b.threshold
+            ),
+        ));
+    }
+    if !b.h.is_finite() || b.h <= 0.0 {
+        out.push(
+            Diagnostic::new(
+                codes::BUNDLE_BAD_BANDWIDTH,
+                origin("h"),
+                format!("bundled Parzen bandwidth h must be finite and positive, got {}", b.h),
+            )
+            .with_help("the paper's case study uses h = 0.2"),
+        );
+    }
+}
+
+/// GS0408: the session config differs from the training config. A
+/// warning, not an error: scoring still follows the bundle's own config,
+/// but fresh-run comparisons will not line up.
+fn check_drift(b: &BundleSpec, out: &mut Vec<Diagnostic>) {
+    let Some(current) = b.current_fingerprint else {
+        return;
+    };
+    if current != b.config_fingerprint {
+        out.push(
+            Diagnostic::new(
+                codes::BUNDLE_CONFIG_DRIFT,
+                origin("config"),
+                format!(
+                    "session config fingerprint {current:#018x} differs from the bundle's \
+                     training config ({:#018x})",
+                    b.config_fingerprint
+                ),
+            )
+            .with_help(
+                "scoring uses the bundle's own config; re-train to pick up the session's",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::check;
+
+    fn healthy() -> BundleSpec {
+        BundleSpec {
+            schema_version: 1,
+            supported_version: 1,
+            seed: 7,
+            config_fingerprint: 0xAB,
+            sealed_fingerprint: 0xAB,
+            current_fingerprint: Some(0xAB),
+            h: 0.2,
+            gsize: 50,
+            n_bins: 16,
+            data_dim: 16,
+            cond_dim: 3,
+            label_cardinality: 3,
+            feature_indices: vec![0, 5, 15],
+            threshold: 0.01,
+        }
+    }
+
+    fn run(spec: BundleSpec) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        BundlePass.run(&CheckInput::new().with_bundle(spec), &mut out);
+        out
+    }
+
+    #[test]
+    fn healthy_bundle_is_clean() {
+        assert!(run(healthy()).is_empty());
+    }
+
+    #[test]
+    fn absent_bundle_is_skipped() {
+        let mut out = Vec::new();
+        BundlePass.run(&CheckInput::new(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn version_mismatch_is_flagged() {
+        let mut b = healthy();
+        b.schema_version = 2;
+        let out = run(b);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::BUNDLE_VERSION_MISMATCH);
+    }
+
+    #[test]
+    fn tampered_fingerprint_is_flagged() {
+        let mut b = healthy();
+        b.sealed_fingerprint = 0xCD;
+        let out = run(b);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::BUNDLE_FINGERPRINT_MISMATCH);
+    }
+
+    #[test]
+    fn dim_and_cond_mismatches_are_flagged() {
+        let mut b = healthy();
+        b.data_dim = 100;
+        b.cond_dim = 4;
+        let out = run(b);
+        let codes_found: Vec<_> = out.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes_found,
+            vec![codes::BUNDLE_DIM_MISMATCH, codes::BUNDLE_COND_MISMATCH]
+        );
+    }
+
+    #[test]
+    fn out_of_range_feature_is_flagged_per_index() {
+        let mut b = healthy();
+        b.feature_indices = vec![0, 16, 99];
+        let out = run(b);
+        assert_eq!(out.len(), 2);
+        assert!(out
+            .iter()
+            .all(|d| d.code == codes::BUNDLE_FEATURE_OUT_OF_RANGE));
+    }
+
+    #[test]
+    fn degenerate_scorer_params_are_flagged() {
+        let mut b = healthy();
+        b.threshold = f64::NAN;
+        b.h = 0.0;
+        let out = run(b);
+        let codes_found: Vec<_> = out.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes_found,
+            vec![codes::BUNDLE_BAD_THRESHOLD, codes::BUNDLE_BAD_BANDWIDTH]
+        );
+    }
+
+    #[test]
+    fn config_drift_is_a_warning() {
+        let mut b = healthy();
+        b.current_fingerprint = Some(0xEE);
+        let out = run(b);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::BUNDLE_CONFIG_DRIFT);
+        assert_eq!(out[0].severity, crate::Severity::Warning);
+        // No current config to compare against: internal checks only.
+        let mut b = healthy();
+        b.current_fingerprint = None;
+        assert!(run(b).is_empty());
+    }
+
+    #[test]
+    fn bundle_diagnostics_flow_through_default_registry() {
+        let mut b = healthy();
+        b.schema_version = 9;
+        let report = check(&CheckInput::new().with_bundle(b));
+        assert!(report.has(codes::BUNDLE_VERSION_MISMATCH));
+        assert!(report.should_fail(false));
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::diag::{CheckReport, Diagnostic};
 use crate::ir::CheckInput;
-use crate::passes::{ConfigPass, GraphPass, ShapePass};
+use crate::passes::{BundlePass, ConfigPass, GraphPass, ShapePass};
 
 /// One static analysis pass.
 ///
@@ -33,12 +33,14 @@ impl Registry {
         Self::default()
     }
 
-    /// The built-in passes in canonical order: graph, shape, config.
+    /// The built-in passes in canonical order: graph, shape, config,
+    /// bundle.
     pub fn with_default_passes() -> Self {
         let mut r = Self::new();
         r.register(Box::new(GraphPass));
         r.register(Box::new(ShapePass));
         r.register(Box::new(ConfigPass));
+        r.register(Box::new(BundlePass));
         r
     }
 
@@ -76,7 +78,7 @@ mod tests {
     #[test]
     fn default_registry_runs_all_passes_in_order() {
         let report = check(&CheckInput::new());
-        assert_eq!(report.passes(), &["graph", "shape", "config"]);
+        assert_eq!(report.passes(), &["graph", "shape", "config", "bundle"]);
         assert!(report.diagnostics().is_empty());
     }
 

@@ -5,8 +5,8 @@
 #![allow(clippy::unwrap_used)]
 
 use gansec_lint::{
-    check, codes, CheckInput, ComponentSpec, DomainKind, FlowKindSpec, FlowSpec, GraphSpec,
-    LayerSpec, ModelSpec, PairSpec, PipelineSpec, Severity,
+    check, codes, BundleSpec, CheckInput, ComponentSpec, DomainKind, FlowKindSpec, FlowSpec,
+    GraphSpec, LayerSpec, ModelSpec, PairSpec, PipelineSpec, Severity,
 };
 
 // --- spec-building helpers --------------------------------------------
@@ -71,6 +71,31 @@ fn model_input(m: ModelSpec) -> CheckInput {
 
 fn pipeline_input(p: PipelineSpec) -> CheckInput {
     CheckInput::new().with_pipeline(p)
+}
+
+/// A healthy sealed bundle: consistent fingerprints, dims, and scorer
+/// parameters, with no current-session config to drift against.
+fn clean_bundle() -> BundleSpec {
+    BundleSpec {
+        schema_version: 1,
+        supported_version: 1,
+        seed: 42,
+        config_fingerprint: 0xFEED,
+        sealed_fingerprint: 0xFEED,
+        current_fingerprint: None,
+        h: 0.2,
+        gsize: 50,
+        n_bins: 16,
+        data_dim: 16,
+        cond_dim: 3,
+        label_cardinality: 3,
+        feature_indices: vec![2, 7],
+        threshold: -3.5,
+    }
+}
+
+fn bundle_input(b: BundleSpec) -> CheckInput {
+    CheckInput::new().with_bundle(b)
 }
 
 // --- clean inputs stay clean ------------------------------------------
@@ -470,6 +495,102 @@ fn gs0308_zero_batch() {
     assert!(report.has(codes::ZERO_BATCH));
 }
 
+// --- GS04xx: bundle ---------------------------------------------------
+
+#[test]
+fn clean_bundle_yields_no_diagnostics() {
+    let report = check(&bundle_input(clean_bundle()));
+    assert!(
+        report.diagnostics().is_empty(),
+        "unexpected: {:?}",
+        report.diagnostics()
+    );
+}
+
+#[test]
+fn gs0401_schema_version_mismatch() {
+    let mut b = clean_bundle();
+    b.schema_version = 2;
+    let report = check(&bundle_input(b));
+    let d = report.find(codes::BUNDLE_VERSION_MISMATCH).expect("GS0401");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(report.should_fail(false));
+}
+
+#[test]
+fn gs0402_fingerprint_mismatch() {
+    let mut b = clean_bundle();
+    b.sealed_fingerprint = 0xBEEF;
+    let report = check(&bundle_input(b));
+    let d = report
+        .find(codes::BUNDLE_FINGERPRINT_MISMATCH)
+        .expect("GS0402");
+    assert!(d.message.contains("edited after sealing"));
+}
+
+#[test]
+fn gs0403_generator_width_vs_bins() {
+    let mut b = clean_bundle();
+    b.data_dim = 100;
+    let report = check(&bundle_input(b));
+    assert!(report.has(codes::BUNDLE_DIM_MISMATCH));
+}
+
+#[test]
+fn gs0404_condition_width_vs_labels() {
+    let mut b = clean_bundle();
+    b.cond_dim = 8;
+    let report = check(&bundle_input(b));
+    assert!(report.has(codes::BUNDLE_COND_MISMATCH));
+}
+
+#[test]
+fn gs0405_feature_index_out_of_range() {
+    let mut b = clean_bundle();
+    b.feature_indices = vec![2, 16]; // n_bins is 16
+    let report = check(&bundle_input(b));
+    let d = report
+        .find(codes::BUNDLE_FEATURE_OUT_OF_RANGE)
+        .expect("GS0405");
+    assert!(d.message.contains("16"));
+}
+
+#[test]
+fn gs0406_non_finite_threshold() {
+    for t in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut b = clean_bundle();
+        b.threshold = t;
+        let report = check(&bundle_input(b));
+        assert!(report.has(codes::BUNDLE_BAD_THRESHOLD), "threshold = {t}");
+    }
+}
+
+#[test]
+fn gs0407_degenerate_bandwidth() {
+    for h in [0.0, -0.2, f64::NAN] {
+        let mut b = clean_bundle();
+        b.h = h;
+        let report = check(&bundle_input(b));
+        assert!(report.has(codes::BUNDLE_BAD_BANDWIDTH), "h = {h}");
+    }
+}
+
+#[test]
+fn gs0408_config_drift_is_warning() {
+    let mut b = clean_bundle();
+    b.current_fingerprint = Some(0xD1FF);
+    let report = check(&bundle_input(b));
+    let d = report.find(codes::BUNDLE_CONFIG_DRIFT).expect("GS0408");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(!report.should_fail(false));
+    assert!(report.should_fail(true));
+
+    // A matching current config, or none at all, is not drift.
+    let mut b = clean_bundle();
+    b.current_fingerprint = Some(b.config_fingerprint);
+    assert!(!check(&bundle_input(b)).has(codes::BUNDLE_CONFIG_DRIFT));
+}
+
 // --- every published code is exercised above --------------------------
 
 #[test]
@@ -481,6 +602,7 @@ fn published_code_table_matches_pass_coverage() {
         101, 102, 103, 104, 105, 106, 107, 108, // graph
         201, 202, 203, 204, 205, 206, 207, 208, 209, // shape
         301, 302, 303, 304, 305, 306, 307, 308, // config
+        401, 402, 403, 404, 405, 406, 407, 408, // bundle
     ];
     assert_eq!(published, expected);
 }

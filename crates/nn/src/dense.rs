@@ -65,18 +65,33 @@ impl Dense {
         self.weight.len() + self.bias.len()
     }
 
-    /// Forward pass over a batch; caches the input for backprop.
+    /// Training forward pass over a batch; caches the input for backprop.
     ///
     /// # Panics
     ///
     /// Panics if `x.cols() != self.input_dim()`.
-    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+    pub fn forward_training(&mut self, x: &Matrix) -> Matrix {
         let y = x
             .matmul(&self.weight)
             .and_then(|xw| xw.add_row_broadcast(&self.bias))
             .expect("dense forward: input width must equal layer input_dim");
         self.cached_input = Some(x.clone());
         y
+    }
+
+    /// Inference forward pass into a caller-provided buffer: no input
+    /// caching, no allocation once `out`'s capacity is warm. Runs the
+    /// same matmul kernel and bias add as [`Dense::forward_training`],
+    /// so outputs are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_dim()`.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.weight, out)
+            .expect("dense forward: input width must equal layer input_dim");
+        out.add_row_broadcast_inplace(&self.bias)
+            .expect("bias width equals weight cols by construction");
     }
 
     /// Backward pass: accumulates parameter gradients and returns the
@@ -88,8 +103,8 @@ impl Dense {
     ///
     /// # Panics
     ///
-    /// Panics if called before [`Dense::forward`] or with a gradient whose
-    /// shape does not match the forward output.
+    /// Panics if called before [`Dense::forward_training`] or with a
+    /// gradient whose shape does not match the forward output.
     pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         let x = self
             .cached_input
@@ -145,14 +160,14 @@ mod tests {
     fn forward_shape() {
         let mut l = layer();
         let x = Matrix::zeros(5, 3);
-        assert_eq!(l.forward(&x).shape(), (5, 2));
+        assert_eq!(l.forward_training(&x).shape(), (5, 2));
     }
 
     #[test]
     fn forward_zero_input_yields_bias() {
         let mut l = layer();
         let x = Matrix::zeros(2, 3);
-        let y = l.forward(&x);
+        let y = l.forward_training(&x);
         for r in 0..2 {
             for c in 0..2 {
                 assert_eq!(y[(r, c)], l.bias()[(0, c)]);
@@ -161,10 +176,21 @@ mod tests {
     }
 
     #[test]
+    fn forward_into_matches_forward_training() {
+        let mut l = layer();
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Matrix::from_fn(5, 3, |_, _| rand::Rng::gen_range(&mut rng, -2.0..2.0));
+        let want = l.forward_training(&x);
+        let mut out = Matrix::zeros(0, 0);
+        l.forward_into(&x, &mut out);
+        assert_eq!(out, want);
+    }
+
+    #[test]
     fn backward_bias_grad_is_row_sum() {
         let mut l = layer();
         let x = Matrix::filled(4, 3, 1.0);
-        let _ = l.forward(&x);
+        let _ = l.forward_training(&x);
         let g = Matrix::filled(4, 2, 0.5);
         let _ = l.backward(&g);
         // bias grad should be the column sums of g: 4 * 0.5 = 2.0
@@ -177,7 +203,7 @@ mod tests {
     fn backward_returns_input_shaped_grad() {
         let mut l = layer();
         let x = Matrix::zeros(4, 3);
-        let _ = l.forward(&x);
+        let _ = l.forward_training(&x);
         let gin = l.backward(&Matrix::zeros(4, 2));
         assert_eq!(gin.shape(), (4, 3));
     }
@@ -193,7 +219,7 @@ mod tests {
     fn zero_grad_resets() {
         let mut l = layer();
         let x = Matrix::filled(1, 3, 1.0);
-        let _ = l.forward(&x);
+        let _ = l.forward_training(&x);
         let _ = l.backward(&Matrix::filled(1, 2, 1.0));
         assert!(l.grad_sq_norm() > 0.0);
         l.zero_grad();
@@ -204,10 +230,10 @@ mod tests {
     fn grads_accumulate_across_backwards() {
         let mut l = layer();
         let x = Matrix::filled(1, 3, 1.0);
-        let _ = l.forward(&x);
+        let _ = l.forward_training(&x);
         let _ = l.backward(&Matrix::filled(1, 2, 1.0));
         let n1 = l.grad_sq_norm();
-        let _ = l.forward(&x);
+        let _ = l.forward_training(&x);
         let _ = l.backward(&Matrix::filled(1, 2, 1.0));
         let n2 = l.grad_sq_norm();
         assert!(

@@ -45,8 +45,8 @@ pub fn gradient_check(
     target: &Matrix,
     step: f64,
 ) -> GradCheckReport {
-    let y1 = net.forward(input);
-    let y2 = net.forward(input);
+    let y1 = net.forward_training(input);
+    let y2 = net.forward_training(input);
     assert_eq!(
         y1, y2,
         "gradient_check requires a deterministic network (disable dropout)"
@@ -64,9 +64,9 @@ pub fn gradient_check(
     let mut numeric = Vec::with_capacity(n_params);
     for i in 0..n_params {
         let orig = perturb_param(net, i, step);
-        let (lp, _) = mse(&net.forward(input), target).expect("checked above");
+        let (lp, _) = mse(&net.forward_training(input), target).expect("checked above");
         set_param(net, i, orig - step);
-        let (lm, _) = mse(&net.forward(input), target).expect("checked above");
+        let (lm, _) = mse(&net.forward_training(input), target).expect("checked above");
         set_param(net, i, orig);
         numeric.push((lp - lm) / (2.0 * step));
     }
@@ -227,7 +227,7 @@ mod tests {
         // manually: the doubled analytic gradient must not match.
         let clean = gradient_check(&mut net, &x, &t, 1e-5);
         assert!(clean.passed(1e-5));
-        let y = net.forward(&x);
+        let y = net.forward_training(&x);
         let (_, grad) = mse(&y, &t).unwrap();
         net.zero_grad();
         net.backward(&grad);
@@ -235,7 +235,7 @@ mod tests {
         let mut doubled = Vec::new();
         super::collect_grads(&mut net, &mut doubled);
         let mut single = Vec::new();
-        let y = net.forward(&x);
+        let y = net.forward_training(&x);
         let (_, grad) = mse(&y, &t).unwrap();
         net.zero_grad();
         net.backward(&grad);

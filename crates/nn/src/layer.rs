@@ -57,10 +57,11 @@ impl Layer {
         Layer::Dropout(Dropout::new(rate, seed))
     }
 
-    /// Forward pass; `training` controls dropout behaviour.
-    pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+    /// Training forward pass, caching whatever the backward pass needs;
+    /// `training` controls dropout behaviour.
+    pub fn forward_training(&mut self, x: &Matrix, training: bool) -> Matrix {
         match self {
-            Layer::Dense(d) => d.forward(x),
+            Layer::Dense(d) => d.forward_training(x),
             Layer::Activation { act, cached_input } => {
                 let a = *act;
                 let y = x.map(|v| a.apply(v));
@@ -68,6 +69,35 @@ impl Layer {
                 y
             }
             Layer::Dropout(d) => d.forward(x, training),
+        }
+    }
+
+    /// Inference forward pass into a caller-provided buffer: evaluation
+    /// mode (dropout is the deterministic identity), no activation
+    /// caching, no allocation once `out`'s capacity is warm.
+    ///
+    /// Returns `true` when the layer wrote its output to `out`, `false`
+    /// when the layer is an identity at evaluation time and the input
+    /// stands unchanged (dropout), letting the caller skip a copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s width does not fit the layer.
+    pub fn forward_eval_into(&self, x: &Matrix, out: &mut Matrix) -> bool {
+        match self {
+            Layer::Dense(d) => {
+                d.forward_into(x, out);
+                true
+            }
+            Layer::Activation { act, .. } => {
+                let a = *act;
+                x.map_into(|v| a.apply(v), out);
+                true
+            }
+            // Inverted dropout scales at training time so evaluation is
+            // exactly the identity — same contract as the training path
+            // with `training == false`.
+            Layer::Dropout(_) => false,
         }
     }
 
@@ -208,7 +238,7 @@ mod tests {
     fn activation_layer_round_trip() {
         let mut l = Layer::activation(Activation::Tanh);
         let x = Matrix::row_vector(&[0.5, -0.5]);
-        let y = l.forward(&x, true);
+        let y = l.forward_training(&x, true);
         assert!((y[(0, 0)] - 0.5f64.tanh()).abs() < 1e-12);
         let g = l.backward(&Matrix::row_vector(&[1.0, 1.0]));
         let expected = 1.0 - 0.5f64.tanh().powi(2);
@@ -219,7 +249,7 @@ mod tests {
     fn dropout_eval_is_identity() {
         let mut l = Layer::dropout(0.5, 1);
         let x = Matrix::filled(3, 3, 2.0);
-        assert_eq!(l.forward(&x, false), x);
+        assert_eq!(l.forward_training(&x, false), x);
     }
 
     #[test]

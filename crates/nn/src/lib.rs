@@ -36,13 +36,13 @@
 //! let t = Matrix::from_rows(&[&[0.0], &[1.0]])?;
 //! let mut opt = Sgd::with_momentum(0.3, 0.9);
 //! for _ in 0..1000 {
-//!     let y = net.forward(&x);
+//!     let y = net.forward_training(&x);
 //!     let (_, grad) = mse(&y, &t)?;
 //!     net.zero_grad();
 //!     net.backward(&grad);
 //!     net.step(&mut opt)?;
 //! }
-//! let y = net.forward(&x);
+//! let y = net.forward_training(&x);
 //! assert!((y[(0, 0)] - 0.0).abs() < 0.2);
 //! assert!((y[(1, 0)] - 1.0).abs() < 0.2);
 //! # Ok(())
@@ -67,4 +67,4 @@ pub use gradcheck::{gradient_check, GradCheckReport};
 pub use layer::{Dropout, Layer};
 pub use loss::{bce_with_logits, mse, sigmoid, LossError};
 pub use optim::{Adam, OptimError, Optimizer, Sgd};
-pub use sequential::Sequential;
+pub use sequential::{ForwardScratch, Sequential};

@@ -45,14 +45,41 @@ impl Sequential {
         self.layers.iter().map(Layer::param_count).sum()
     }
 
-    /// Forward pass through all layers, caching activations for backprop.
-    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+    /// Training forward pass through all layers, caching activations for
+    /// backprop. Requires `&mut self` because every layer records what
+    /// its backward pass needs; use [`Sequential::forward`] for the
+    /// cache-free inference path.
+    pub fn forward_training(&mut self, x: &Matrix) -> Matrix {
         let training = self.training;
         let mut h = x.clone();
         for layer in &mut self.layers {
-            h = layer.forward(&h, training);
+            h = layer.forward_training(&h, training);
         }
         h
+    }
+
+    /// Inference forward pass: evaluation mode (dropout disabled), no
+    /// activation caching, no `&mut self`. All intermediate activations
+    /// live in the caller-provided [`ForwardScratch`], so a warm scratch
+    /// makes the whole pass allocation-free and any number of threads can
+    /// share one network, each with its own scratch.
+    ///
+    /// Bit-identical to [`Sequential::forward_training`] on a network in
+    /// evaluation mode (`set_training(false)`): every layer runs the same
+    /// kernels in the same order, it just skips the caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s width does not match the first layer.
+    pub fn forward<'s>(&self, x: &Matrix, scratch: &'s mut ForwardScratch) -> &'s Matrix {
+        let ForwardScratch { front, back } = scratch;
+        front.copy_from(x);
+        for layer in &self.layers {
+            if layer.forward_eval_into(front, back) {
+                std::mem::swap(front, back);
+            }
+        }
+        front
     }
 
     /// Backward pass; accumulates parameter gradients and returns the
@@ -62,7 +89,7 @@ impl Sequential {
     ///
     /// # Panics
     ///
-    /// Panics if called before [`Sequential::forward`].
+    /// Panics if called before [`Sequential::forward_training`].
     pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         let mut g = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -141,6 +168,26 @@ impl Default for Sequential {
     }
 }
 
+/// Reusable activation buffers for [`Sequential::forward`].
+///
+/// The inference pass ping-pongs between the two matrices, so after the
+/// first (warming) call through a given network the buffers hold enough
+/// capacity for every intermediate activation and later calls allocate
+/// nothing. One scratch per thread: the buffers are scribbled on by every
+/// pass, but the network itself is shared immutably.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    front: Matrix,
+    back: Matrix,
+}
+
+impl ForwardScratch {
+    /// Creates an empty scratch; the first forward pass sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,7 +208,7 @@ mod tests {
     fn empty_network_is_identity() {
         let mut net = Sequential::default();
         let x = Matrix::row_vector(&[1.0, 2.0]);
-        assert_eq!(net.forward(&x), x);
+        assert_eq!(net.forward_training(&x), x);
         assert_eq!(net.backward(&x), x);
         assert_eq!(net.param_count(), 0);
     }
@@ -169,8 +216,59 @@ mod tests {
     #[test]
     fn forward_shape_flows_through() {
         let mut net = tiny_net(1);
-        let y = net.forward(&Matrix::zeros(7, 2));
+        let y = net.forward_training(&Matrix::zeros(7, 2));
         assert_eq!(y.shape(), (7, 1));
+    }
+
+    #[test]
+    fn inference_forward_matches_training_eval_mode() {
+        let mut net = tiny_net(2);
+        net.set_training(false);
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Matrix::from_fn(5, 2, |_, _| rand::Rng::gen_range(&mut rng, -3.0..3.0));
+        let want = net.forward_training(&x);
+        let mut scratch = ForwardScratch::new();
+        assert_eq!(net.forward(&x, &mut scratch), &want);
+        // A second pass through the warm scratch stays identical.
+        assert_eq!(net.forward(&x, &mut scratch), &want);
+    }
+
+    #[test]
+    fn inference_forward_on_empty_network_is_identity() {
+        let net = Sequential::default();
+        let x = Matrix::row_vector(&[1.0, 2.0]);
+        let mut scratch = ForwardScratch::new();
+        assert_eq!(net.forward(&x, &mut scratch), &x);
+    }
+
+    #[test]
+    fn inference_forward_applies_eval_mode_dropout() {
+        // Regression test for the train/serve asymmetry: inverted dropout
+        // scales survivors by 1/keep during training, so evaluation must
+        // be exactly the identity — the inference path has to match the
+        // training path's eval mode bit-for-bit, dropout included.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Sequential::new(vec![
+            Layer::dense(3, 16, &mut rng),
+            Layer::activation(Activation::Relu),
+            Layer::dropout(0.4, 11),
+            Layer::dense(16, 2, &mut rng),
+        ]);
+        let x = Matrix::from_fn(8, 3, |_, _| rand::Rng::gen_range(&mut rng, -1.0..1.0));
+
+        // Training mode actually drops units: output differs from eval.
+        let trained = net.forward_training(&x);
+        net.set_training(false);
+        let eval = net.forward_training(&x);
+        assert_ne!(trained, eval, "dropout must be active in training mode");
+
+        let mut scratch = ForwardScratch::new();
+        assert_eq!(net.forward(&x, &mut scratch), &eval);
+
+        // Inference ignores the training flag entirely: even on a network
+        // left in training mode the inference pass is deterministic eval.
+        net.set_training(true);
+        assert_eq!(net.forward(&x, &mut scratch), &eval);
     }
 
     #[test]
@@ -189,7 +287,7 @@ mod tests {
         let mut opt = Sgd::with_momentum(0.5, 0.9);
         let mut last = f64::INFINITY;
         for _ in 0..2000 {
-            let y = net.forward(&x);
+            let y = net.forward_training(&x);
             let (loss, grad) = mse(&y, &t).unwrap();
             last = loss;
             net.zero_grad();
@@ -197,7 +295,7 @@ mod tests {
             net.step(&mut opt).unwrap();
         }
         assert!(last < 0.02, "xor loss {last}");
-        let y = net.forward(&x);
+        let y = net.forward_training(&x);
         for (i, &target) in [0.0, 1.0, 1.0, 0.0].iter().enumerate() {
             assert!((y[(i, 0)] - target).abs() < 0.3, "row {i}: {}", y[(i, 0)]);
         }
@@ -208,7 +306,7 @@ mod tests {
         let mut net = tiny_net(5);
         let x = Matrix::filled(4, 2, 10.0);
         let t = Matrix::filled(4, 1, -10.0);
-        let y = net.forward(&x);
+        let y = net.forward_training(&x);
         let (_, grad) = mse(&y, &t).unwrap();
         net.zero_grad();
         net.backward(&grad);
@@ -232,7 +330,7 @@ mod tests {
         let t = Matrix::filled(2, 1, 0.0);
         let mut opt = Sgd::new(1e300);
         for _ in 0..4 {
-            let y = net.forward(&x);
+            let y = net.forward_training(&x);
             let (_, grad) = mse(&y, &t).unwrap();
             net.zero_grad();
             net.backward(&grad);

@@ -127,7 +127,26 @@ impl ParzenWindow {
     /// optimize further) — Algorithm 3 scores every test frame against
     /// the same fitted window.
     pub fn log_densities(&self, xs: &[f64]) -> Vec<f64> {
-        xs.iter().map(|&x| self.log_density(x)).collect()
+        let mut out = Vec::new();
+        self.log_densities_into(xs, &mut out);
+        out
+    }
+
+    /// Buffer-reusing [`ParzenWindow::log_densities`]: clears `out` and
+    /// appends one log-density per query, in query order. A warm `out`
+    /// makes repeated batches allocation-free — the serving path scores
+    /// every frame window through this call.
+    pub fn log_densities_into(&self, xs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.log_density(x)));
+    }
+
+    /// Buffer-reusing batch of [`ParzenWindow::windowed_likelihood`]:
+    /// clears `out` and appends `density(x) * h` per query, in query
+    /// order; each entry is exactly what the scalar call returns.
+    pub fn windowed_likelihoods_into(&self, xs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.windowed_likelihood(x)));
     }
 
     /// Algorithm 3 line 10: the *windowed likelihood* `exp(score(x)) * h`.
@@ -244,6 +263,23 @@ mod tests {
             assert_eq!(ld, kde.log_density(x));
         }
         assert!(kde.log_densities(&[]).is_empty());
+    }
+
+    #[test]
+    fn into_variants_match_scalar_calls_and_reuse_buffers() {
+        let kde = ParzenWindow::fit(&[0.0, 0.25, -0.4, 1.1], 0.15).unwrap();
+        let queries = [-2.0, -0.4, 0.0, 0.3, 0.9, 5.0];
+        // Dirty, over-sized buffer: the batch must clear it first.
+        let mut out = vec![f64::NAN; 32];
+        kde.log_densities_into(&queries, &mut out);
+        assert_eq!(out, kde.log_densities(&queries));
+        kde.windowed_likelihoods_into(&queries, &mut out);
+        assert_eq!(out.len(), queries.len());
+        for (&x, &w) in queries.iter().zip(&out) {
+            assert_eq!(w, kde.windowed_likelihood(x));
+        }
+        kde.windowed_likelihoods_into(&[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

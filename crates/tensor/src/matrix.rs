@@ -407,8 +407,34 @@ impl Matrix {
             return Err(ShapeError::new("matmul", self.shape(), other.shape()));
         }
         let mut out = Self::zeros(self.rows, other.cols);
-        if out.data.is_empty() {
-            return Ok(out);
+        self.matmul_dense_into(other, &mut out.data);
+        Ok(out)
+    }
+
+    /// Buffer-reusing form of [`Matrix::matmul`]: computes `self * other`
+    /// into `out`, resizing it (and reusing its allocation when the
+    /// capacity suffices) instead of allocating a fresh matrix. Runs the
+    /// same blocked kernel as [`Matrix::matmul`], so results are
+    /// bit-identical to the allocating form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols() != other.rows()`.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) -> Result<(), ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new("matmul_into", self.shape(), other.shape()));
+        }
+        out.reset(self.rows, other.cols);
+        self.matmul_dense_into(other, &mut out.data);
+        Ok(())
+    }
+
+    /// Shared kernel behind [`Matrix::matmul`] and [`Matrix::matmul_into`]:
+    /// accumulates `self * other` into `out` (assumed zeroed,
+    /// `self.rows x other.cols`, row-major).
+    fn matmul_dense_into(&self, other: &Self, out: &mut [f64]) {
+        if out.is_empty() {
+            return;
         }
         let (k_dim, n) = (self.cols, other.cols);
         let a = &self.data;
@@ -486,8 +512,7 @@ impl Matrix {
                 }
             }
         };
-        run_row_quads(&mut out.data, n, 2 * self.rows * k_dim * n, &quad_op);
-        Ok(out)
+        run_row_quads(out, n, 2 * self.rows * k_dim * n, &quad_op);
     }
 
     /// Matrix product `self * other` with a zero-skip fast path per inner
@@ -735,6 +760,35 @@ impl Matrix {
             cols: self.cols,
             data: self.data.iter().map(|&x| f(x)).collect(),
         }
+    }
+
+    /// Buffer-reusing form of [`Matrix::map`]: writes `f` applied
+    /// elementwise to `self` into `out`, reshaping it and reusing its
+    /// allocation when the capacity suffices.
+    pub fn map_into(&self, f: impl Fn(f64) -> f64, out: &mut Self) {
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.extend(self.data.iter().map(|&x| f(x)));
+    }
+
+    /// Makes `self` a copy of `src`, reshaping and reusing the existing
+    /// allocation when the capacity suffices — the buffer-reusing form of
+    /// `clone_from` for hot paths that cycle shapes.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Reshapes `self` to `rows x cols` filled with zeros, reusing the
+    /// existing allocation when the capacity suffices.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Applies `f` elementwise in place.
@@ -1112,6 +1166,44 @@ mod tests {
             }
         }
         assert_eq!(a.matmul(&b).unwrap(), want);
+    }
+
+    #[test]
+    fn matmul_into_is_bit_identical_to_matmul() {
+        let a = test_matrix(13, 2 * K_BLOCK + 5, 6);
+        let b = test_matrix(2 * K_BLOCK + 5, 9, 7);
+        let want = a.matmul(&b).unwrap();
+        // Start the output oversized and dirty: reuse must reshape and
+        // zero correctly.
+        let mut out = Matrix::filled(40, 40, f64::NAN);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, want);
+        // Second call reuses the warm buffer.
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn matmul_into_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(0, 0);
+        assert_eq!(a.matmul_into(&b, &mut out).unwrap_err().op(), "matmul_into");
+    }
+
+    #[test]
+    fn map_into_and_copy_from_reuse_buffers() {
+        let a = test_matrix(4, 6, 8);
+        let mut out = Matrix::filled(2, 2, 7.0);
+        a.map_into(|x| x * 2.0, &mut out);
+        assert_eq!(out, a.map(|x| x * 2.0));
+        let mut c = Matrix::zeros(1, 1);
+        c.copy_from(&a);
+        assert_eq!(c, a);
+        let cap = c.as_slice().len();
+        c.reset(2, 3);
+        assert_eq!(c, Matrix::zeros(2, 3));
+        assert!(cap >= c.as_slice().len());
     }
 
     #[test]

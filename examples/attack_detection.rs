@@ -91,7 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     model.train(&train, 800, &mut rng)?;
 
     let top = train.top_feature_indices(6);
-    let detector = AttackDetector::fit(&mut model, &train, 0.2, 300, top, 0.05, &mut rng);
+    let detector = AttackDetector::fit(&model, &train, 0.2, 300, top, 0.05, &mut rng);
     println!(
         "calibrated alarm threshold: {:.5} (targeting 5% false alarms)\n",
         detector.threshold()

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Audit time: reload and analyze -----------------------------------
     println!("\n== audit time (fresh process would start here) ==");
-    let mut reloaded = SecurityModel::load(&model_path)?;
+    let reloaded = SecurityModel::load(&model_path)?;
     println!(
         "reloaded model: {} training iterations on record, encoding {:?}",
         reloaded.history().len(),
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let features = train.per_condition_top_features(2);
     let report =
-        LikelihoodAnalysis::new(0.2, 300, features.clone()).analyze(&mut reloaded, &test, &mut rng);
+        LikelihoodAnalysis::new(0.2, 300, features.clone()).analyze(&reloaded, &test, &mut rng);
     println!("\nAlgorithm 3 on the reloaded model:");
     for c in &report.conditions {
         println!(
@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let estimator = GCodeEstimator::fit(&mut reloaded, 0.2, 300, features, &mut rng);
+    let estimator = GCodeEstimator::fit(&reloaded, 0.2, 300, features, &mut rng);
     let confusion = estimator.evaluate(&test);
     println!(
         "\nattacker reconstruction from the stored model: {:.1}% frame accuracy (chance 33.3%)",

@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     for &h in &h_values {
         let report =
-            LikelihoodAnalysis::new(h, 400, top.clone()).analyze(&mut model, &test, &mut rng);
+            LikelihoodAnalysis::new(h, 400, top.clone()).analyze(&model, &test, &mut rng);
         for c in &report.conditions {
             rows[c.condition_index].motor = c.motor;
             rows[c.condition_index]
@@ -126,7 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Baseline comparison: direct KDE on real data, same test frames.
     let baseline = KdeBaseline::new(0.2, top.clone()).analyze(&train, &test);
-    let cgan = LikelihoodAnalysis::new(0.2, 400, top).analyze(&mut model, &test, &mut rng);
+    let cgan = LikelihoodAnalysis::new(0.2, 400, top).analyze(&model, &test, &mut rng);
     println!("\nCGAN vs direct-KDE baseline (h = 0.2, margin = Cor - Inc):");
     for (b, c) in baseline.conditions.iter().zip(&cgan.conditions) {
         println!(

@@ -65,10 +65,10 @@ fn untrained_model_shows_weaker_separation_than_trained() {
 
     // Re-analyze with an untrained model of the same shape.
     let mut rng = StdRng::seed_from_u64(3);
-    let mut fresh = gansec::SecurityModel::new(config.cgan_config(), config.encoding, &mut rng);
+    let fresh = gansec::SecurityModel::new(config.cgan_config(), config.encoding, &mut rng);
     let top = trained.train.top_feature_indices(config.n_top_features);
     let analysis = LikelihoodAnalysis::new(config.h, config.gsize, top);
-    let untrained_report = analysis.analyze(&mut fresh, &trained.test, &mut rng);
+    let untrained_report = analysis.analyze(&fresh, &trained.test, &mut rng);
 
     let trained_margin = trained.likelihood.mean_cor() - trained.likelihood.mean_inc();
     let untrained_margin = untrained_report.mean_cor() - untrained_report.mean_inc();

@@ -160,7 +160,7 @@ fn fault_injected_capture_screens_into_a_clean_analysis() {
     assert!(screen.dropped_fraction() < 1.0);
 
     // ...and Algorithm 3 on the survivors stays finite and clean.
-    let report = LikelihoodAnalysis::new(0.2, 50, vec![0]).analyze(&mut model, &screened, &mut rng);
+    let report = LikelihoodAnalysis::new(0.2, 50, vec![0]).analyze(&model, &screened, &mut rng);
     assert!(report.warnings.is_clean(), "{:?}", report.warnings);
     for c in &report.conditions {
         assert!(c.avg_cor.iter().all(|v| v.is_finite() && *v >= 0.0));

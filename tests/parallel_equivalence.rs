@@ -71,17 +71,17 @@ fn analysis_is_thread_count_invariant() {
     let cfg = PipelineConfig::smoke_test();
     // Train once, serially, so both analyses score the same model.
     let outcome = with_threads(1, || GanSecPipeline::new(cfg.clone()).run(11)).expect("pipeline");
-    let mut model = outcome.model;
+    let model = outcome.model;
     let top = outcome.train.top_feature_indices(cfg.n_top_features);
     let analysis = LikelihoodAnalysis::new(cfg.h, cfg.gsize, top);
 
     let serial = with_threads(1, || {
         let mut rng = StdRng::seed_from_u64(23);
-        analysis.analyze(&mut model, &outcome.test, &mut rng)
+        analysis.analyze(&model, &outcome.test, &mut rng)
     });
     let parallel = with_threads(4, || {
         let mut rng = StdRng::seed_from_u64(23);
-        analysis.analyze(&mut model, &outcome.test, &mut rng)
+        analysis.analyze(&model, &outcome.test, &mut rng)
     });
     assert_eq!(serial, parallel, "Algorithm 3 reports must be identical");
     for (s, p) in serial.conditions.iter().zip(&parallel.conditions) {

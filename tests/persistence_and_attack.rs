@@ -29,19 +29,19 @@ fn setup(seed: u64) -> (SecurityModel, SideChannelDataset, SideChannelDataset) {
 
 #[test]
 fn estimator_survives_model_persistence() {
-    let (mut model, train, test) = setup(11);
+    let (model, train, test) = setup(11);
     let features = train.per_condition_top_features(2);
 
     // Estimator from the live model.
     let mut rng = StdRng::seed_from_u64(12);
-    let live = GCodeEstimator::fit(&mut model, 0.2, 200, features.clone(), &mut rng);
+    let live = GCodeEstimator::fit(&model, 0.2, 200, features.clone(), &mut rng);
     let live_acc = live.evaluate(&test).accuracy();
 
     // Estimator from a JSON round-tripped model with the same RNG seed.
-    let mut restored =
+    let restored =
         SecurityModel::from_json(&model.to_json().expect("serialize")).expect("deserialize");
     let mut rng = StdRng::seed_from_u64(12);
-    let stored = GCodeEstimator::fit(&mut restored, 0.2, 200, features, &mut rng);
+    let stored = GCodeEstimator::fit(&restored, 0.2, 200, features, &mut rng);
     let stored_acc = stored.evaluate(&test).accuracy();
 
     assert!(
@@ -75,7 +75,7 @@ fn attacker_degrades_gracefully_with_tiny_training() {
         let mut model = SecurityModel::for_dataset(&train, rng);
         model.train(&train, iters, rng).expect("stable");
         let features = train.per_condition_top_features(2);
-        GCodeEstimator::fit(&mut model, 0.2, 200, features, rng)
+        GCodeEstimator::fit(&model, 0.2, 200, features, rng)
             .evaluate(&test)
             .accuracy()
     };
@@ -92,11 +92,11 @@ fn attacker_degrades_gracefully_with_tiny_training() {
 
 #[test]
 fn save_report_round_trips_likelihood_report() {
-    let (mut model, train, test) = setup(31);
+    let (model, train, test) = setup(31);
     let mut rng = StdRng::seed_from_u64(32);
     let top = train.top_feature_indices(1);
     let report =
-        gansec::LikelihoodAnalysis::new(0.2, 100, top).analyze(&mut model, &test, &mut rng);
+        gansec::LikelihoodAnalysis::new(0.2, 100, top).analyze(&model, &test, &mut rng);
 
     let dir = std::env::temp_dir().join("gansec_integration_reports");
     std::fs::create_dir_all(&dir).expect("temp dir");

@@ -58,7 +58,7 @@ fn real_part_leaks_through_the_combination_model() {
     let mut model = gansec::SecurityModel::for_dataset(&train, &mut rng);
     model.train(&train, 500, &mut rng).expect("stable");
     let features = train.top_feature_indices(3);
-    let estimator = gansec::GCodeEstimator::fit(&mut model, 0.2, 200, features, &mut rng);
+    let estimator = gansec::GCodeEstimator::fit(&model, 0.2, 200, features, &mut rng);
     let confusion = estimator.evaluate(&test);
     // 8 conditions -> chance is 0.125; the occupied conditions are
     // fewer, but beating 0.5 shows real reconstruction on a real part.

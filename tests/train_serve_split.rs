@@ -1,0 +1,150 @@
+//! Cross-crate tests for the train/serve split: the staged pipeline is
+//! bit-identical to the monolithic run, a sealed [`ModelBundle`] round-
+//! trips through disk into a [`ScoringEngine`] without perturbing a
+//! single score at any thread count, and corrupted artifacts surface as
+//! typed [`PersistError`]s instead of panics or silent misloads.
+
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
+use gansec::{
+    config_fingerprint, GanSecPipeline, ModelBundle, PersistError, PipelineConfig,
+    BUNDLE_SCHEMA_VERSION,
+};
+use gansec_engine::ScoringEngine;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("gansec-train-serve-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn staged_pipeline_is_bit_identical_to_monolithic() {
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+    let mono = pipeline.run(21).expect("monolithic run");
+    let stage = pipeline.train_stage(21).expect("train stage");
+    let staged = pipeline.analyze_stage(stage).expect("analyze stage");
+
+    assert_eq!(staged.train_len, mono.train_len);
+    assert_eq!(staged.test_len, mono.test_len);
+    assert_eq!(staged.likelihood, mono.likelihood, "Algorithm 3 output");
+    assert_eq!(staged.confidentiality, mono.confidentiality, "verdicts");
+    assert_eq!(staged.history.len(), mono.history.len());
+}
+
+#[test]
+fn bundle_survives_disk_and_scores_bit_identical_at_any_thread_count() {
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+    let stage = pipeline.train_stage(8).expect("train stage");
+    let bundle = stage.to_bundle();
+
+    let path = temp_path("round-trip.json");
+    bundle.save(&path).expect("save");
+    let reloaded = ScoringEngine::load(&path).expect("load");
+    let in_memory = ScoringEngine::from_bundle(bundle);
+
+    let (_, test) = pipeline.datasets(8).expect("datasets");
+    assert!(!test.is_empty(), "held-out split must be nonempty");
+
+    // Loaded-from-disk and in-memory engines agree bit-for-bit, and the
+    // batched path agrees with the scalar per-frame entry point.
+    let from_disk = reloaded.score_frames(test.features(), test.conds());
+    let from_memory = in_memory.score_frames(test.features(), test.conds());
+    assert_eq!(from_disk, from_memory, "persistence must not move scores");
+    for (i, &s) in from_disk.iter().enumerate() {
+        assert_eq!(
+            s,
+            in_memory.score_frame(test.features().row(i), test.conds().row(i)),
+            "frame {i}: batched vs scalar"
+        );
+    }
+
+    // Thread count partitions the batch differently but must not change
+    // one bit of any score.
+    gansec_parallel::set_threads(1);
+    let serial = reloaded.score_frames(test.features(), test.conds());
+    gansec_parallel::set_threads(4);
+    let threaded = reloaded.score_frames(test.features(), test.conds());
+    gansec_parallel::set_threads(0);
+    assert_eq!(serial, threaded, "1 vs 4 threads");
+    assert_eq!(serial, from_disk);
+
+    // The estimator rides along: per-frame log-likelihoods match too.
+    for ci in 0..reloaded.config().encoding.dim() {
+        for i in 0..test.len() {
+            assert_eq!(
+                reloaded.log_likelihood(test.features().row(i), ci),
+                in_memory.log_likelihood(test.features().row(i), ci),
+            );
+        }
+    }
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sealing_a_bundle_never_perturbs_the_analysis() {
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+
+    let stage = pipeline.train_stage(13).expect("train stage");
+    let _bundle = stage.to_bundle();
+    let sealed = pipeline.analyze_stage(stage).expect("analyze after seal");
+
+    let stage = pipeline.train_stage(13).expect("train stage");
+    let unsealed = pipeline.analyze_stage(stage).expect("analyze");
+
+    assert_eq!(sealed.likelihood, unsealed.likelihood);
+    assert_eq!(sealed.confidentiality, unsealed.confidentiality);
+}
+
+#[test]
+fn corrupted_bundles_surface_typed_errors() {
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+    let bundle = pipeline.train_stage(4).expect("train stage").to_bundle();
+    let json = bundle.to_json().expect("serialize");
+
+    // Truncation breaks the JSON itself.
+    let truncated = temp_path("truncated.json");
+    std::fs::write(&truncated, &json[..json.len() / 2]).expect("write");
+    assert!(matches!(
+        ModelBundle::load(&truncated),
+        Err(PersistError::Json(_))
+    ));
+
+    // A future schema version is refused with both versions reported.
+    let mut future = bundle.clone();
+    future.schema_version = BUNDLE_SCHEMA_VERSION + 1;
+    let future_path = temp_path("future.json");
+    std::fs::write(&future_path, future.to_json().expect("serialize")).expect("write");
+    match ModelBundle::load(&future_path) {
+        Err(PersistError::BundleVersion { found, supported }) => {
+            assert_eq!(found, BUNDLE_SCHEMA_VERSION + 1);
+            assert_eq!(supported, BUNDLE_SCHEMA_VERSION);
+        }
+        other => panic!("expected BundleVersion, got {other:?}"),
+    }
+
+    // Config tampering breaks the sealed fingerprint.
+    let mut tampered = bundle.clone();
+    tampered.config.h *= 2.0;
+    assert_ne!(
+        config_fingerprint(&tampered.config),
+        tampered.config_fingerprint
+    );
+    let tampered_path = temp_path("tampered.json");
+    std::fs::write(&tampered_path, tampered.to_json().expect("serialize")).expect("write");
+    assert!(matches!(
+        ModelBundle::load(&tampered_path),
+        Err(PersistError::BundleInvalid(_))
+    ));
+
+    // A missing file is an I/O error, not a panic.
+    assert!(matches!(
+        ModelBundle::load(temp_path("does-not-exist.json")),
+        Err(PersistError::Io(_))
+    ));
+
+    std::fs::remove_file(&truncated).ok();
+    std::fs::remove_file(&future_path).ok();
+    std::fs::remove_file(&tampered_path).ok();
+}
