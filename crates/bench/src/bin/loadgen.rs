@@ -1,0 +1,81 @@
+//! Serving-layer load generator: seals a pinned-seed model bundle,
+//! starts an in-process `gansec-serve` server on an ephemeral port, and
+//! hammers `POST /v1/score` with closed-loop clients, writing
+//! `BENCH_serve.json` (throughput, p50/p99 latency) so the serving
+//! layer enters the perf trajectory next to `BENCH_pipeline.json`.
+//!
+//! Scale comes from `GANSEC_SCALE` like every other bench binary
+//! (`paper` for the full configuration, anything else the fast one);
+//! the load shape is overridable from the environment too:
+//! `LOADGEN_CLIENTS`, `LOADGEN_REQUESTS` (per client), `LOADGEN_FRAMES`
+//! (per request), and `LOADGEN_OUT` for the report path.
+
+use gansec::{GanSecPipeline, PipelineConfig};
+use gansec_bench::Scale;
+use gansec_engine::ScoringEngine;
+use gansec_serve::loadgen::{self, LoadgenOptions};
+use gansec_serve::{ServeConfig, Server};
+
+/// Pinned seed: every run of the same binary benches the same workload.
+const BENCH_SEED: u64 = 42;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut cfg = PipelineConfig::smoke_test();
+    if scale == Scale::Paper {
+        cfg = PipelineConfig::paper_scale();
+    }
+    let opts = LoadgenOptions {
+        clients: env_usize("LOADGEN_CLIENTS", 4),
+        requests_per_client: env_usize("LOADGEN_REQUESTS", 100),
+        frames_per_request: env_usize("LOADGEN_FRAMES", 16),
+    };
+    let out = std::env::var("LOADGEN_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+
+    eprintln!("training a pinned-seed bundle ({scale:?} scale)...");
+    let stage = GanSecPipeline::new(cfg)
+        .train_stage(BENCH_SEED)
+        .expect("training is stable at bench scales");
+    let engine = ScoringEngine::from_bundle(stage.to_bundle());
+
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        },
+        ScoringEngine::from_bundle(stage.to_bundle()),
+        "loadgen-in-process",
+    )
+    .expect("ephemeral bind");
+    eprintln!(
+        "serving on http://{}; {} clients x {} requests x {} frames",
+        server.addr(),
+        opts.clients,
+        opts.requests_per_client,
+        opts.frames_per_request
+    );
+
+    let outcome = loadgen::run(server.addr(), &engine, &opts);
+    server.shutdown();
+    let report = outcome.expect("load run completes");
+
+    println!(
+        "{} ok / {} rejected / {} failed; {:.0} frames/s; p50 {:.3} ms, p99 {:.3} ms",
+        report.ok_requests,
+        report.rejected_requests,
+        report.failed_requests,
+        report.throughput_fps,
+        report.p50_ms,
+        report.p99_ms
+    );
+    let json = report.to_json(&opts);
+    std::fs::write(&out, format!("{json}\n")).expect("write report");
+    eprintln!("(saved {out})");
+}

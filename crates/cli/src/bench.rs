@@ -30,20 +30,67 @@ const BENCH_SEED: u64 = 42;
 /// Runs the macro-benchmark and writes the JSON report.
 ///
 /// Flags: `--smoke` (tiny workloads, schema validation only), `--out
-/// <file>` (default `BENCH_pipeline.json`), `--threads <n>` (handled
+/// <file>` (default `BENCH_pipeline.json`, or `BENCH_serve.json` with
+/// `--serve`), `--serve` (bench the HTTP serving layer against an
+/// in-process server instead of the kernels), `--threads <n>` (handled
 /// globally in `main`, echoed into the report).
 ///
 /// # Errors
 ///
 /// Returns a message if the report file cannot be written or the
-/// pipeline workload fails to build.
+/// workload fails to build.
 pub fn bench(args: &ParsedArgs) -> Result<ExitCode, String> {
     let smoke = args.has_switch("smoke");
-    let out_path = args.get("out").unwrap_or("BENCH_pipeline.json");
-    let report = run(smoke)?;
+    let (report, default_out) = if args.has_switch("serve") {
+        (run_serve(smoke)?, "BENCH_serve.json")
+    } else {
+        (run(smoke)?, "BENCH_pipeline.json")
+    };
+    let out_path = args.get("out").unwrap_or(default_out);
     std::fs::write(out_path, &report).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!("wrote {out_path}");
     Ok(ExitCode::Ok)
+}
+
+/// Benches the serving layer: seals a pinned-seed smoke engine, starts
+/// an in-process [`gansec_serve::Server`] on an ephemeral port, and
+/// drives it with the closed-loop load generator.
+///
+/// # Errors
+///
+/// Returns a message when training, serving, or the load run fails
+/// (including JSON-stub environments where request bodies cannot be
+/// built).
+pub fn run_serve(smoke: bool) -> Result<String, String> {
+    use gansec_serve::{loadgen, ServeConfig, Server};
+
+    let cfg = workload(smoke);
+    let pipeline = GanSecPipeline::new(cfg);
+    let stage = pipeline
+        .train_stage(BENCH_SEED)
+        .map_err(|e| e.to_string())?;
+    let engine = gansec_engine::ScoringEngine::from_bundle(stage.to_bundle());
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        },
+        gansec_engine::ScoringEngine::from_bundle(stage.to_bundle()),
+        "bench-in-process",
+    )?;
+    let opts = loadgen::LoadgenOptions {
+        clients: 4,
+        requests_per_client: if smoke { 5 } else { 100 },
+        frames_per_request: 16,
+    };
+    let outcome = loadgen::run(server.addr(), &engine, &opts);
+    server.shutdown();
+    let report = outcome?;
+    Ok(format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"mode\":\"{mode}\",\"seed\":{BENCH_SEED},{}\n",
+        report.to_json(&opts).strip_prefix('{').unwrap_or_default(),
+        mode = if smoke { "smoke" } else { "full" },
+    ))
 }
 
 /// Runs every section and renders the JSON document.
@@ -260,6 +307,30 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn serve_bench_smoke_schema() {
+        // Offline stub serde_json cannot round-trip request bodies; the
+        // requests all fail but the bench itself must not panic.
+        if serde_json::from_str::<serde_json::Value>("null").is_err() {
+            drop(run_serve(true));
+            return;
+        }
+        let json = run_serve(true).unwrap();
+        for key in [
+            "\"schema_version\"",
+            "\"mode\":\"smoke\"",
+            "\"clients\"",
+            "\"ok_requests\"",
+            "\"frames_scored\"",
+            "\"throughput_fps\"",
+            "\"p50_ms\"",
+            "\"p99_ms\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

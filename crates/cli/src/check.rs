@@ -4,7 +4,7 @@
 
 use gansec::{ModelBundle, PipelineConfig};
 use gansec_cpps::CppsArchitecture;
-use gansec_lint::{render_json, render_text, CheckInput, CheckReport, GraphSpec};
+use gansec_lint::{render_json, render_text, CheckInput, CheckReport, GraphSpec, ServeSpec};
 
 use crate::{ExitCode, ParsedArgs};
 
@@ -45,7 +45,10 @@ pub fn preflight(args: &ParsedArgs) -> Result<Option<ExitCode>, String> {
     if args.has_switch("no-check") {
         return Ok(None);
     }
-    let report = gansec_lint::check(&build_input(args)?);
+    // Bundle lint runs inside `load_bundle_gated` for the commands that
+    // consume one — the file is parsed exactly once there, so the gate
+    // here covers everything but the `--bundle` flag.
+    let report = gansec_lint::check(&build_input_inner(args, false)?);
     if report.should_fail(args.has_switch("strict")) {
         eprint!("{}", render_text(&report));
         eprintln!("pre-flight check failed; fix the flags above or rerun with --no-check");
@@ -58,10 +61,69 @@ pub fn preflight(args: &ParsedArgs) -> Result<Option<ExitCode>, String> {
     Ok(None)
 }
 
+/// What [`load_bundle_gated`] decided.
+pub enum GatedBundle {
+    /// The bundle parsed, passed the lint gate, and validated strictly.
+    Ready(ModelBundle),
+    /// The lint gate refused the run; diagnostics already went to
+    /// stderr, so the caller just exits with the code.
+    Refused(ExitCode),
+}
+
+/// The bundle-command pre-flight: parses the bundle JSON **once**, runs
+/// the lint gate over that same parsed value, then strictly validates it
+/// — `score`, `serve`, and `detect --bundle` share the artifact with
+/// their engine instead of re-reading the file after the check pass.
+///
+/// `serve` carries the server-config spec when the caller is about to
+/// bind a socket, so GS05xx findings gate alongside the GS04xx ones.
+/// `--no-check` skips the lint gate (strict validation still runs:
+/// an unusable bundle can never become an engine); `--strict` promotes
+/// warnings to gating errors. Config drift (GS0408) is diagnosed only
+/// when config flags pin a config to compare against.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be read/parsed or fails
+/// strict validation.
+pub fn load_bundle_gated(
+    args: &ParsedArgs,
+    path: &str,
+    serve: Option<ServeSpec>,
+) -> Result<GatedBundle, String> {
+    let bundle = ModelBundle::load_unchecked(path).map_err(|e| format!("{path}: {e}"))?;
+    if !args.has_switch("no-check") {
+        let cfg = config_from_args(args)?;
+        let pinned = ["bins", "iters", "h", "gsize", "batch-size"]
+            .iter()
+            .any(|flag| args.get(flag).is_some());
+        let mut input = CheckInput::new().with_bundle(bundle.lint_spec(pinned.then_some(&cfg)));
+        if let Some(spec) = serve {
+            input = input.with_serve(spec);
+        }
+        let report = gansec_lint::check(&input);
+        if report.should_fail(args.has_switch("strict")) {
+            eprint!("{}", render_text(&report));
+            eprintln!("pre-flight check failed; fix the bundle above or rerun with --no-check");
+            return Ok(GatedBundle::Refused(ExitCode::Flagged));
+        }
+        for d in report.diagnostics() {
+            eprintln!("# {d}");
+        }
+    }
+    bundle.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(GatedBundle::Ready(bundle))
+}
+
 /// Assembles the [`CheckInput`] the flags describe: the built-in
 /// printer graph (or `--arch <file>`), the CGAN shape spec with any
-/// width overrides applied, and the pipeline numbers.
+/// width overrides applied, the pipeline numbers, and (for the `check`
+/// command itself) any `--bundle` artifact.
 fn build_input(args: &ParsedArgs) -> Result<CheckInput, String> {
+    build_input_inner(args, true)
+}
+
+fn build_input_inner(args: &ParsedArgs, include_bundle: bool) -> Result<CheckInput, String> {
     let cfg = config_from_args(args)?;
     let mut input = cfg.lint_input();
 
@@ -115,12 +177,14 @@ fn build_input(args: &ParsedArgs) -> Result<CheckInput, String> {
     // Config drift (GS0408) is only diagnosed against a config the flags
     // actually pinned — `gansec check --bundle x.json` with no config
     // flags checks the bundle's internal consistency alone.
-    if let Some(path) = args.get("bundle") {
-        let bundle = ModelBundle::load_unchecked(path).map_err(|e| format!("{path}: {e}"))?;
-        let pinned = ["bins", "iters", "h", "gsize", "batch-size"]
-            .iter()
-            .any(|flag| args.get(flag).is_some());
-        input = input.with_bundle(bundle.lint_spec(pinned.then_some(&cfg)));
+    if include_bundle {
+        if let Some(path) = args.get("bundle") {
+            let bundle = ModelBundle::load_unchecked(path).map_err(|e| format!("{path}: {e}"))?;
+            let pinned = ["bins", "iters", "h", "gsize", "batch-size"]
+                .iter()
+                .any(|flag| args.get(flag).is_some());
+            input = input.with_bundle(bundle.lint_spec(pinned.then_some(&cfg)));
+        }
     }
     Ok(input)
 }

@@ -68,6 +68,13 @@ COMMANDS:
                                   reload a sealed bundle and print per-frame
                                   consistency scores (default input: the
                                   bundle's deterministic held-out split)
+    serve     --bundle <file> [serve flags]
+                                  serve the bundle's scoring engine over
+                                  HTTP: POST /v1/score, /v1/detect,
+                                  /v1/classify (JSON), GET /healthz and
+                                  /metrics (Prometheus text), POST
+                                  /admin/reload (atomic bundle swap) and
+                                  /admin/shutdown (graceful drain)
     check     [flags]             static analysis of the CPPS graph, the CGAN
                                   shapes, and the pipeline configuration;
                                   prints GS-coded diagnostics (--format json
@@ -77,7 +84,10 @@ COMMANDS:
                                   pinned-seed macro-benchmark of the hot
                                   kernels and pipeline; writes
                                   BENCH_pipeline.json (--smoke: tiny
-                                  workloads for schema validation)
+                                  workloads for schema validation);
+                                  --serve benches the HTTP serving layer
+                                  against an in-process server and writes
+                                  BENCH_serve.json instead
 
 COMMON FLAGS:
     --seed <u64>       RNG seed (default 42)
@@ -87,7 +97,8 @@ COMMON FLAGS:
     --threads <n>      worker threads for parallel sections (default: all
                        cores; 1 forces serial execution)
     --no-check         skip the pre-flight static analysis that audit,
-                       detect, reconstruct, and bench run before starting
+                       detect, reconstruct, bench, train, score, and
+                       serve run before starting
     --strict           pre-flight/check: treat warnings as errors
     -h, --help         this text
 
@@ -107,6 +118,19 @@ CHECK FLAGS:
     --disc-hidden <w,w,..>   discriminator hidden widths (default 64,32)
     --arch <file>            check a user-supplied CPPS architecture (JSON)
                              instead of the built-in printer graph
+
+SERVE FLAGS:
+    --addr <host:port>       bind address (default 127.0.0.1:7878)
+    --workers <n>            connection worker threads (default 4)
+    --max-batch <n>          frames per scoring micro-batch (default 64)
+    --batch-linger-ms <ms>   micro-batch collection window (default 2)
+    --queue-frames <n>       scoring queue capacity in frames; a full
+                             queue answers 503 + Retry-After (default 1024)
+    --max-conns <n>          simultaneous connection cap (default 64)
+    --read-timeout-ms <ms>   per-connection read timeout, 0 = unlimited
+                             (default 5000)
+    --write-timeout-ms <ms>  per-connection write timeout, 0 = unlimited
+                             (default 5000)
 
 FAULT TOLERANCE (audit):
     --checkpoint <file>      write a training checkpoint every interval

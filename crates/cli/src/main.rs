@@ -13,14 +13,15 @@ fn main() {
         std::process::exit(ExitCode::Ok.status());
     }
 
-    let args = match ParsedArgs::parse_with_switches(argv, &["smoke", "no-check", "strict"]) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            eprint!("{}", usage());
-            std::process::exit(ExitCode::Usage.status());
-        }
-    };
+    let args =
+        match ParsedArgs::parse_with_switches(argv, &["smoke", "no-check", "strict", "serve"]) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprint!("{}", usage());
+                std::process::exit(ExitCode::Usage.status());
+            }
+        };
     if args.wants_help() {
         print!("{}", usage());
         std::process::exit(ExitCode::Ok.status());
@@ -38,9 +39,12 @@ fn main() {
 
     // Pre-flight static analysis: the expensive commands refuse to run a
     // configuration `gansec check` would reject (bypass: --no-check).
+    // Bundle artifacts are linted separately inside the commands that
+    // consume them (score/serve/detect --bundle), where the file is
+    // parsed once and shared with the engine.
     if matches!(
         command.as_str(),
-        "audit" | "detect" | "reconstruct" | "bench" | "train"
+        "audit" | "detect" | "reconstruct" | "bench" | "train" | "score" | "serve"
     ) {
         match check::preflight(&args) {
             Ok(None) => {}
@@ -60,6 +64,7 @@ fn main() {
         "reconstruct" => commands::reconstruct(&args),
         "train" => serve::train(&args),
         "score" => serve::score(&args),
+        "serve" => serve::serve(&args),
         "check" => check::check(&args),
         "bench" => bench::bench(&args),
         other => {

@@ -1,7 +1,12 @@
 //! The bundle-facing subcommands: `gansec train` seals a trained
 //! pipeline into a versioned [`ModelBundle`]; `gansec score` and
 //! `gansec detect --bundle` reload it through the immutable
-//! [`ScoringEngine`] so detection runs without retraining.
+//! [`ScoringEngine`] so detection runs without retraining; `gansec
+//! serve` puts that engine behind a socket for online detection.
+//!
+//! Every bundle consumer goes through [`check::load_bundle_gated`], so
+//! the artifact is parsed exactly once and the same in-memory value
+//! feeds both the pre-flight lint gate and the engine.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -10,8 +15,10 @@ use gansec::{GanSecPipeline, PipelineConfig, SideChannelDataset};
 use gansec_amsim::{GCodeProgram, MotorSet, PrinterSim};
 use gansec_dsp::{FeatureExtractor, FrequencyBins, ScalingKind};
 use gansec_engine::ScoringEngine;
+use gansec_serve::{ServeConfig, Server};
 use gansec_tensor::Matrix;
 
+use crate::check::{self, GatedBundle};
 use crate::commands::load_program;
 use crate::{ExitCode, ParsedArgs};
 
@@ -75,7 +82,11 @@ pub fn train(args: &ParsedArgs) -> Result<ExitCode, String> {
 /// monolithic run's detection stage.
 pub fn score(args: &ParsedArgs) -> Result<ExitCode, String> {
     let path = args.require("bundle").map_err(|e| e.to_string())?;
-    let engine = ScoringEngine::load(path).map_err(|e| format!("{path}: {e}"))?;
+    let bundle = match check::load_bundle_gated(args, path, None)? {
+        GatedBundle::Ready(bundle) => bundle,
+        GatedBundle::Refused(code) => return Ok(code),
+    };
+    let engine = ScoringEngine::from_bundle(bundle);
     let pipeline = GanSecPipeline::new(engine.config().clone());
     let (train, test) = pipeline
         .datasets(engine.seed())
@@ -133,8 +144,11 @@ pub fn score(args: &ParsedArgs) -> Result<ExitCode, String> {
 /// the monolithic path, but the model comes from a sealed bundle and
 /// scoring runs through the engine's batched, buffer-pooled path.
 pub fn detect_bundle(args: &ParsedArgs, bundle_path: &str) -> Result<ExitCode, String> {
-    let engine =
-        ScoringEngine::load(bundle_path).map_err(|e| format!("{bundle_path}: {e}"))?;
+    let bundle = match check::load_bundle_gated(args, bundle_path, None)? {
+        GatedBundle::Ready(bundle) => bundle,
+        GatedBundle::Refused(code) => return Ok(code),
+    };
+    let engine = ScoringEngine::from_bundle(bundle);
     let benign = load_program(args.require("benign").map_err(|e| e.to_string())?)?;
     let suspect = load_program(args.require("suspect").map_err(|e| e.to_string())?)?;
     let seed = args.get_parsed("seed", 42u64).map_err(|e| e.to_string())?;
@@ -143,8 +157,7 @@ pub fn detect_bundle(args: &ParsedArgs, bundle_path: &str) -> Result<ExitCode, S
     let (train, _) = pipeline
         .datasets(engine.seed())
         .map_err(|e| e.to_string())?;
-    let (features, conds) =
-        claimed_frames(&suspect, Some(&benign), engine.config(), &train, seed)?;
+    let (features, conds) = claimed_frames(&suspect, Some(&benign), engine.config(), &train, seed)?;
     let checked = features.rows();
     if checked == 0 {
         return Err("suspect program produced no analyzable frames".into());
@@ -165,6 +178,68 @@ pub fn detect_bundle(args: &ParsedArgs, bundle_path: &str) -> Result<ExitCode, S
         println!("result: emission consistent with the claimed program.");
         Ok(ExitCode::Ok)
     }
+}
+
+/// The server configuration the serve flags describe, over the crate's
+/// defaults.
+fn serve_config(args: &ParsedArgs) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    if let Some(addr) = args.get("addr") {
+        config.addr = addr.to_string();
+    }
+    config.workers = args
+        .get_parsed("workers", config.workers)
+        .map_err(|e| e.to_string())?;
+    config.max_batch = args
+        .get_parsed("max-batch", config.max_batch)
+        .map_err(|e| e.to_string())?;
+    config.batch_linger_ms = args
+        .get_parsed("batch-linger-ms", config.batch_linger_ms)
+        .map_err(|e| e.to_string())?;
+    config.queue_frames = args
+        .get_parsed("queue-frames", config.queue_frames)
+        .map_err(|e| e.to_string())?;
+    config.max_conns = args
+        .get_parsed("max-conns", config.max_conns)
+        .map_err(|e| e.to_string())?;
+    config.read_timeout_ms = args
+        .get_parsed("read-timeout-ms", config.read_timeout_ms)
+        .map_err(|e| e.to_string())?;
+    config.write_timeout_ms = args
+        .get_parsed("write-timeout-ms", config.write_timeout_ms)
+        .map_err(|e| e.to_string())?;
+    Ok(config)
+}
+
+/// `gansec serve --bundle <file> [--addr] [--workers] [--max-batch]
+/// [--batch-linger-ms] [--max-conns] ...`: load a sealed bundle into a
+/// [`ScoringEngine`] and serve it over HTTP until `POST /admin/shutdown`
+/// drains the server. The pre-flight gate lints the bundle *and* the
+/// server configuration (GS04xx + GS05xx) off one bundle parse before
+/// the socket binds; `--no-check` bypasses it.
+pub fn serve(args: &ParsedArgs) -> Result<ExitCode, String> {
+    let path = args.require("bundle").map_err(|e| e.to_string())?;
+    let config = serve_config(args)?;
+    let bundle = match check::load_bundle_gated(args, path, Some(config.lint_spec()))? {
+        GatedBundle::Ready(bundle) => bundle,
+        GatedBundle::Refused(code) => return Ok(code),
+    };
+    let engine = ScoringEngine::from_bundle(bundle);
+    println!(
+        "serving bundle {path}: schema v{}, seed {}, config fingerprint {:016x}",
+        engine.schema_version(),
+        engine.seed(),
+        engine.config_fingerprint()
+    );
+    let server = Server::start(config, engine, path).map_err(|e| format!("{path}: {e}"))?;
+    println!("listening on http://{}", server.addr());
+    println!(
+        "  POST /v1/score /v1/detect /v1/classify; GET /healthz /metrics; \
+         POST /admin/reload /admin/shutdown"
+    );
+    server.join();
+    println!("drained and shut down cleanly");
+    Ok(ExitCode::Ok)
 }
 
 /// Simulates `program` and extracts `(features, claimed-condition)` row
@@ -232,10 +307,48 @@ mod tests {
     fn knobs_override_either_base_config() {
         let cfg = train_config(&parsed(&["--smoke", "--bins", "24"])).expect("config");
         assert_eq!(cfg.n_bins, 24);
-        assert_eq!(cfg.train_iterations, PipelineConfig::smoke_test().train_iterations);
+        assert_eq!(
+            cfg.train_iterations,
+            PipelineConfig::smoke_test().train_iterations
+        );
         let cfg = train_config(&parsed(&["--iters", "9"])).expect("config");
         assert_eq!(cfg.train_iterations, 9);
         assert_eq!(cfg.n_bins, PipelineConfig::paper_scale().n_bins);
+    }
+
+    #[test]
+    fn serve_flags_override_the_defaults() {
+        let cfg = serve_config(&parsed(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--max-batch",
+            "8",
+            "--batch-linger-ms",
+            "40",
+            "--queue-frames",
+            "32",
+            "--max-conns",
+            "5",
+        ]))
+        .expect("config");
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.max_batch, 8);
+        assert_eq!(cfg.batch_linger_ms, 40);
+        assert_eq!(cfg.queue_frames, 32);
+        assert_eq!(cfg.max_conns, 5);
+        assert_eq!(cfg.read_timeout_ms, ServeConfig::default().read_timeout_ms);
+
+        let defaults = serve_config(&parsed(&[])).expect("config");
+        assert_eq!(defaults, ServeConfig::default());
+    }
+
+    #[test]
+    fn serve_requires_a_bundle_path() {
+        let err = serve(&parsed(&[])).expect_err("must demand --bundle");
+        assert!(err.contains("bundle"), "{err}");
     }
 
     #[test]
@@ -257,8 +370,8 @@ mod tests {
         let out = dir.join("bundle.json");
         let out_str = out.to_str().expect("utf8 path");
 
-        let code = train(&parsed(&["--smoke", "--seed", "3", "--out", out_str]))
-            .expect("train succeeds");
+        let code =
+            train(&parsed(&["--smoke", "--seed", "3", "--out", out_str])).expect("train succeeds");
         assert_eq!(code, ExitCode::Ok);
 
         // The sealed bundle reloads and reproduces the monolithic

@@ -203,11 +203,13 @@ impl ScoringEngine {
             let start = b * BLOCK;
             let len = BLOCK.min(n - start);
             let f = Matrix::from_fn(len, features.cols(), |r, c| features[(start + r, c)]);
-            let cc =
-                Matrix::from_fn(len, claimed_conds.cols(), |r, c| claimed_conds[(start + r, c)]);
+            let cc = Matrix::from_fn(len, claimed_conds.cols(), |r, c| {
+                claimed_conds[(start + r, c)]
+            });
             let mut scratch = self.pool.acquire();
             let mut out = Vec::new();
-            self.detector.score_frames_into(&f, &cc, &mut scratch, &mut out);
+            self.detector
+                .score_frames_into(&f, &cc, &mut scratch, &mut out);
             self.pool.release(scratch);
             out
         });
@@ -239,6 +241,56 @@ impl ScoringEngine {
     pub fn classify_frames(&self, features: &Matrix) -> Vec<usize> {
         self.estimator.classify_frames(features)
     }
+
+    /// Batch condition estimation with the evidence attached: the
+    /// argmax condition per frame plus the full per-condition joint
+    /// log-likelihood table, through the estimator's batched path with
+    /// a pooled scratch. Predictions equal [`ScoringEngine::classify_frames`]
+    /// (ties resolve first-wins), and each table entry equals the scalar
+    /// [`ScoringEngine::log_likelihood`] for that `(frame, condition)`.
+    pub fn classify_frames_detailed(&self, features: &Matrix) -> ClassificationDetail {
+        let rows = features.rows();
+        let n_conditions = self.estimator.n_conditions();
+        let mut table = vec![vec![0.0f64; n_conditions]; rows];
+        let mut scratch = self.pool.acquire();
+        let mut lls = Vec::new();
+        for ci in 0..n_conditions {
+            self.estimator
+                .log_likelihoods_into(features, ci, &mut scratch, &mut lls);
+            for (r, &ll) in lls.iter().enumerate() {
+                table[r][ci] = ll;
+            }
+        }
+        self.pool.release(scratch);
+        let conditions = table
+            .iter()
+            .map(|row| {
+                let mut best = 0usize;
+                let mut best_ll = f64::NEG_INFINITY;
+                for (ci, &ll) in row.iter().enumerate() {
+                    if ll > best_ll {
+                        best_ll = ll;
+                        best = ci;
+                    }
+                }
+                best
+            })
+            .collect();
+        ClassificationDetail {
+            conditions,
+            log_likelihoods: table,
+        }
+    }
+}
+
+/// The outcome of [`ScoringEngine::classify_frames_detailed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationDetail {
+    /// Maximum-likelihood condition index per frame (first-wins ties).
+    pub conditions: Vec<usize>,
+    /// Per-frame, per-condition joint log-likelihoods
+    /// (`log_likelihoods[frame][condition]`).
+    pub log_likelihoods: Vec<Vec<f64>>,
 }
 
 /// The outcome of [`ScoringEngine::detect_frames`].
@@ -335,6 +387,25 @@ mod tests {
                 }
             }
             assert_eq!(p, best, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn detailed_classification_matches_the_scalar_paths() {
+        let (engine, test) = engine_and_test_split();
+        let detail = engine.classify_frames_detailed(test.features());
+        assert_eq!(detail.conditions, engine.classify_frames(test.features()));
+        assert_eq!(detail.log_likelihoods.len(), test.len());
+        let k = engine.estimator().n_conditions();
+        for (i, row) in detail.log_likelihoods.iter().enumerate() {
+            assert_eq!(row.len(), k);
+            for (ci, &ll) in row.iter().enumerate() {
+                assert_eq!(
+                    ll,
+                    engine.log_likelihood(test.features().row(i), ci),
+                    "frame {i} condition {ci}"
+                );
+            }
         }
     }
 

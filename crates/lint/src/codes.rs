@@ -2,7 +2,7 @@
 //!
 //! Codes are grouped by hundreds: `GS01xx` CPPS graph analysis, `GS02xx`
 //! GAN architecture shape inference, `GS03xx` pipeline configuration,
-//! `GS04xx` model-bundle compatibility.
+//! `GS04xx` model-bundle compatibility, `GS05xx` serving configuration.
 //! Once published a code's number and meaning never change; retired
 //! checks leave a hole in the numbering rather than recycling it.
 
@@ -119,6 +119,33 @@ pub const BUNDLE_BAD_BANDWIDTH: Code = Code(407);
 /// was trained under: scoring still follows the bundle's own config, but
 /// comparisons against fresh runs will not line up.
 pub const BUNDLE_CONFIG_DRIFT: Code = Code(408);
+
+// --- GS05xx: serving configuration (gansec serve) ---
+
+/// Zero connection-worker threads: the server would accept connections
+/// and never service them.
+pub const SERVE_ZERO_WORKERS: Code = Code(501);
+/// Zero frame-queue capacity: every scoring request is rejected with
+/// backpressure before the scorer sees a single frame.
+pub const SERVE_ZERO_QUEUE: Code = Code(502);
+/// `max_batch` exceeds the frame-queue capacity, so a full batch can
+/// never assemble and the linger deadline always expires first.
+pub const SERVE_BATCH_EXCEEDS_QUEUE: Code = Code(503);
+/// Zero `max_batch`: the scorer would drain batches that may not hold
+/// even one frame's worth of budget.
+pub const SERVE_ZERO_BATCH: Code = Code(504);
+/// The batch linger is at least as long as the read timeout, so a
+/// lingering batch can outwait the very connections feeding it.
+pub const SERVE_LINGER_EXCEEDS_TIMEOUT: Code = Code(505);
+/// Bind port 0 asks the OS for an ephemeral port: fine for tests, but a
+/// production endpoint nobody can predict.
+pub const SERVE_EPHEMERAL_PORT: Code = Code(506);
+/// Zero simultaneous connections allowed: every client is turned away
+/// at the accept loop.
+pub const SERVE_ZERO_CONNS: Code = Code(507);
+/// More worker threads than admitted connections: the excess workers
+/// can never all be busy at once.
+pub const SERVE_WORKERS_EXCEED_CONNS: Code = Code(508);
 
 /// One row of the published code table.
 #[derive(Debug, Clone, Copy)]
@@ -333,6 +360,54 @@ pub fn code_table() -> &'static [CodeInfo] {
             name: "bundle-config-drift",
             severity: Severity::Warning,
             summary: "session config differs from the bundle's training config",
+        },
+        CodeInfo {
+            code: SERVE_ZERO_WORKERS,
+            name: "serve-zero-workers",
+            severity: Severity::Error,
+            summary: "zero connection-worker threads",
+        },
+        CodeInfo {
+            code: SERVE_ZERO_QUEUE,
+            name: "serve-zero-queue",
+            severity: Severity::Error,
+            summary: "zero frame-queue capacity",
+        },
+        CodeInfo {
+            code: SERVE_BATCH_EXCEEDS_QUEUE,
+            name: "serve-batch-exceeds-queue",
+            severity: Severity::Warning,
+            summary: "max batch larger than the frame queue",
+        },
+        CodeInfo {
+            code: SERVE_ZERO_BATCH,
+            name: "serve-zero-batch",
+            severity: Severity::Error,
+            summary: "zero max batch size",
+        },
+        CodeInfo {
+            code: SERVE_LINGER_EXCEEDS_TIMEOUT,
+            name: "serve-linger-exceeds-timeout",
+            severity: Severity::Warning,
+            summary: "batch linger not shorter than the read timeout",
+        },
+        CodeInfo {
+            code: SERVE_EPHEMERAL_PORT,
+            name: "serve-ephemeral-port",
+            severity: Severity::Warning,
+            summary: "bind port 0 requests an unpredictable ephemeral port",
+        },
+        CodeInfo {
+            code: SERVE_ZERO_CONNS,
+            name: "serve-zero-conns",
+            severity: Severity::Error,
+            summary: "zero admitted connections",
+        },
+        CodeInfo {
+            code: SERVE_WORKERS_EXCEED_CONNS,
+            name: "serve-workers-exceed-conns",
+            severity: Severity::Warning,
+            summary: "more worker threads than admitted connections",
         },
     ];
     TABLE

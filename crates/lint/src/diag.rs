@@ -78,6 +78,11 @@ pub enum Origin {
         /// The field name.
         field: String,
     },
+    /// A field of a serving configuration, e.g. `workers`.
+    Serve {
+        /// The field name.
+        field: String,
+    },
     /// The analyzed input as a whole.
     Input,
 }
@@ -90,6 +95,7 @@ impl fmt::Display for Origin {
             Origin::Model { field } => write!(f, "model.{field}"),
             Origin::Config { field } => write!(f, "config.{field}"),
             Origin::Bundle { field } => write!(f, "bundle.{field}"),
+            Origin::Serve { field } => write!(f, "serve.{field}"),
             Origin::Input => write!(f, "input"),
         }
     }

@@ -1,6 +1,7 @@
 //! The analysis IR: lightweight, dependency-free descriptions of the
-//! four things `gansec check` inspects — the CPPS graph, the GAN
-//! architecture, the pipeline configuration, and a sealed model bundle.
+//! five things `gansec check` inspects — the CPPS graph, the GAN
+//! architecture, the pipeline configuration, a sealed model bundle, and
+//! a serving configuration.
 //!
 //! Passes operate only on these specs, never on the heavyweight runtime
 //! types, so the engine stays cheap to construct in tests and usable
@@ -368,6 +369,30 @@ pub struct BundleSpec {
     pub threshold: f64,
 }
 
+/// A serving configuration as the analysis sees it: the knobs of the
+/// `gansec serve` online-detection server, flattened for the `GS05xx`
+/// sanity pass without dragging the server types into this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSpec {
+    /// The bind port, when the address parses to one (`None` skips the
+    /// port checks).
+    pub port: Option<u16>,
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Frames the scorer drains into one batch at most.
+    pub max_batch: usize,
+    /// Micro-batching linger window in milliseconds.
+    pub batch_linger_ms: u64,
+    /// Frame-queue capacity (backpressure bound).
+    pub queue_frames: usize,
+    /// Maximum simultaneously admitted connections.
+    pub max_conns: usize,
+    /// Per-connection read timeout in milliseconds (`0` = unlimited).
+    pub read_timeout_ms: u64,
+    /// Per-connection write timeout in milliseconds (`0` = unlimited).
+    pub write_timeout_ms: u64,
+}
+
 /// Everything a check run inspects. Absent sections are skipped by the
 /// passes that need them, so partial checks (config only, graph only)
 /// work naturally.
@@ -381,6 +406,8 @@ pub struct CheckInput {
     pub pipeline: Option<PipelineSpec>,
     /// A sealed model bundle, if one is being checked.
     pub bundle: Option<BundleSpec>,
+    /// A serving configuration, if one is being checked.
+    pub serve: Option<ServeSpec>,
 }
 
 impl CheckInput {
@@ -410,6 +437,12 @@ impl CheckInput {
     /// Sets the bundle section.
     pub fn with_bundle(mut self, bundle: BundleSpec) -> Self {
         self.bundle = Some(bundle);
+        self
+    }
+
+    /// Sets the serve section.
+    pub fn with_serve(mut self, serve: ServeSpec) -> Self {
+        self.serve = Some(serve);
         self
     }
 }

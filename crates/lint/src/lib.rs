@@ -21,6 +21,9 @@
 //!   schema version, seal fingerprint, scorer/config dimension
 //!   agreement, and drift between a sealed bundle and the session's
 //!   current configuration.
+//! * **`GS05xx` — serving configuration** ([`passes::ServePass`]):
+//!   worker/queue/connection capacities, micro-batching tuning against
+//!   the connection timeouts, and bind-port sanity for `gansec serve`.
 //!
 //! The entry point is [`check`]; inputs are the lightweight specs in
 //! [`ir`], built either by hand or via the `lint_spec` conversions the
@@ -54,7 +57,7 @@ pub use codes::{code_info, code_table, Code, CodeInfo};
 pub use diag::{CheckReport, Diagnostic, Network, Origin, Severity};
 pub use ir::{
     BundleSpec, CheckInput, ComponentSpec, DomainKind, FlowKindSpec, FlowSpec, GraphSpec,
-    LayerSpec, ModelSpec, PairSpec, PipelineSpec,
+    LayerSpec, ModelSpec, PairSpec, PipelineSpec, ServeSpec,
 };
 pub use registry::{check, Pass, Registry};
 pub use render::{render_json, render_text};

@@ -137,7 +137,10 @@ fn check_scorers(b: &BundleSpec, out: &mut Vec<Diagnostic>) {
             Diagnostic::new(
                 codes::BUNDLE_BAD_BANDWIDTH,
                 origin("h"),
-                format!("bundled Parzen bandwidth h must be finite and positive, got {}", b.h),
+                format!(
+                    "bundled Parzen bandwidth h must be finite and positive, got {}",
+                    b.h
+                ),
             )
             .with_help("the paper's case study uses h = 0.2"),
         );
@@ -162,9 +165,7 @@ fn check_drift(b: &BundleSpec, out: &mut Vec<Diagnostic>) {
                     b.config_fingerprint
                 ),
             )
-            .with_help(
-                "scoring uses the bundle's own config; re-train to pick up the session's",
-            ),
+            .with_help("scoring uses the bundle's own config; re-train to pick up the session's"),
         );
     }
 }

@@ -1,0 +1,263 @@
+//! Serving-configuration sanity: would this `gansec serve` deployment
+//! actually serve traffic?
+//!
+//! The serving layer introduces knobs the other passes never see —
+//! worker counts, queue bounds, batch/linger tuning, connection caps —
+//! and several degenerate combinations (zero workers, a batch that can
+//! never fill its queue budget) produce a server that binds, answers
+//! `/healthz`, and silently scores nothing. This pass catches them
+//! before a socket is bound.
+
+use crate::codes;
+use crate::diag::{Diagnostic, Origin};
+use crate::ir::{CheckInput, ServeSpec};
+use crate::registry::Pass;
+
+/// Checks a serving configuration: thread/queue capacities, batching
+/// tuning against the timeouts, and bind-port sanity.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ServePass;
+
+impl Pass for ServePass {
+    fn id(&self) -> &'static str {
+        "serve"
+    }
+
+    fn description(&self) -> &'static str {
+        "serving config: workers, queue bounds, batching, bind port"
+    }
+
+    fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
+        let Some(s) = &input.serve else { return };
+        check_capacities(s, out);
+        check_batching(s, out);
+        check_port(s, out);
+    }
+}
+
+fn origin(field: &str) -> Origin {
+    Origin::Serve {
+        field: field.to_string(),
+    }
+}
+
+/// GS0501/GS0502/GS0507/GS0508: thread and queue capacities.
+fn check_capacities(s: &ServeSpec, out: &mut Vec<Diagnostic>) {
+    if s.workers == 0 {
+        out.push(
+            Diagnostic::new(
+                codes::SERVE_ZERO_WORKERS,
+                origin("workers"),
+                "zero worker threads: accepted connections would never be serviced",
+            )
+            .with_help("pass --workers >= 1"),
+        );
+    }
+    if s.queue_frames == 0 {
+        out.push(
+            Diagnostic::new(
+                codes::SERVE_ZERO_QUEUE,
+                origin("queue_frames"),
+                "zero frame-queue capacity: every scoring request is rejected with 503",
+            )
+            .with_help("size the queue for at least one request's worth of frames"),
+        );
+    }
+    if s.max_conns == 0 {
+        out.push(
+            Diagnostic::new(
+                codes::SERVE_ZERO_CONNS,
+                origin("max_conns"),
+                "zero admitted connections: every client is turned away at accept",
+            )
+            .with_help("pass --max-conns >= 1"),
+        );
+    }
+    if s.max_conns > 0 && s.workers > s.max_conns {
+        out.push(
+            Diagnostic::new(
+                codes::SERVE_WORKERS_EXCEED_CONNS,
+                origin("workers"),
+                format!(
+                    "{} worker threads but only {} admitted connections; the excess \
+                     workers can never all be busy",
+                    s.workers, s.max_conns
+                ),
+            )
+            .with_help("lower --workers or raise --max-conns"),
+        );
+    }
+}
+
+/// GS0503/GS0504/GS0505: micro-batching tuning.
+fn check_batching(s: &ServeSpec, out: &mut Vec<Diagnostic>) {
+    if s.max_batch == 0 {
+        out.push(
+            Diagnostic::new(
+                codes::SERVE_ZERO_BATCH,
+                origin("max_batch"),
+                "zero max batch: the scorer has no frame budget to drain",
+            )
+            .with_help("pass --max-batch >= 1"),
+        );
+    }
+    if s.max_batch > 0 && s.queue_frames > 0 && s.max_batch > s.queue_frames {
+        out.push(
+            Diagnostic::new(
+                codes::SERVE_BATCH_EXCEEDS_QUEUE,
+                origin("max_batch"),
+                format!(
+                    "max batch {} exceeds the {}-frame queue, so a full batch can \
+                     never assemble and every batch waits out the full linger",
+                    s.max_batch, s.queue_frames
+                ),
+            )
+            .with_help("keep --max-batch <= --queue-frames"),
+        );
+    }
+    if s.read_timeout_ms > 0 && s.batch_linger_ms >= s.read_timeout_ms {
+        out.push(
+            Diagnostic::new(
+                codes::SERVE_LINGER_EXCEEDS_TIMEOUT,
+                origin("batch_linger_ms"),
+                format!(
+                    "batch linger {}ms is not shorter than the {}ms read timeout; a \
+                     lingering batch can outwait the connections feeding it",
+                    s.batch_linger_ms, s.read_timeout_ms
+                ),
+            )
+            .with_help("keep the linger a small fraction of the read timeout"),
+        );
+    }
+}
+
+/// GS0506: bind-port sanity.
+fn check_port(s: &ServeSpec, out: &mut Vec<Diagnostic>) {
+    if s.port == Some(0) {
+        out.push(
+            Diagnostic::new(
+                codes::SERVE_EPHEMERAL_PORT,
+                origin("addr"),
+                "bind port 0 asks the OS for an ephemeral port nobody can predict",
+            )
+            .with_help("fine for tests; name a fixed port for production"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::check;
+    use crate::Severity;
+
+    fn healthy() -> ServeSpec {
+        ServeSpec {
+            port: Some(7878),
+            workers: 4,
+            max_batch: 64,
+            batch_linger_ms: 2,
+            queue_frames: 1024,
+            max_conns: 64,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+        }
+    }
+
+    fn run(spec: ServeSpec) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        ServePass.run(&CheckInput::new().with_serve(spec), &mut out);
+        out
+    }
+
+    #[test]
+    fn healthy_serve_config_is_clean() {
+        assert!(run(healthy()).is_empty());
+    }
+
+    #[test]
+    fn absent_serve_section_is_skipped() {
+        let mut out = Vec::new();
+        ServePass.run(&CheckInput::new(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_capacities_are_errors() {
+        let mut s = healthy();
+        s.workers = 0;
+        s.queue_frames = 0;
+        s.max_conns = 0;
+        s.max_batch = 0;
+        let out = run(s);
+        let found: Vec<_> = out.iter().map(|d| d.code).collect();
+        assert_eq!(
+            found,
+            vec![
+                codes::SERVE_ZERO_WORKERS,
+                codes::SERVE_ZERO_QUEUE,
+                codes::SERVE_ZERO_CONNS,
+                codes::SERVE_ZERO_BATCH,
+            ]
+        );
+        assert!(out.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn batch_exceeding_queue_is_a_warning() {
+        let mut s = healthy();
+        s.max_batch = 16;
+        s.queue_frames = 8;
+        let out = run(s);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::SERVE_BATCH_EXCEEDS_QUEUE);
+        assert_eq!(out[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn linger_at_or_past_the_read_timeout_is_flagged() {
+        let mut s = healthy();
+        s.batch_linger_ms = 5_000;
+        let out = run(s);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::SERVE_LINGER_EXCEEDS_TIMEOUT);
+        // An unlimited read timeout cannot be outwaited.
+        let mut s = healthy();
+        s.read_timeout_ms = 0;
+        s.batch_linger_ms = 60_000;
+        assert!(run(s).is_empty());
+    }
+
+    #[test]
+    fn ephemeral_and_unknown_ports() {
+        let mut s = healthy();
+        s.port = Some(0);
+        let out = run(s);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::SERVE_EPHEMERAL_PORT);
+        assert_eq!(out[0].origin.to_string(), "serve.addr");
+        // Unknown port: the port checks are skipped, not failed.
+        let mut s = healthy();
+        s.port = None;
+        assert!(run(s).is_empty());
+    }
+
+    #[test]
+    fn workers_exceeding_conns_is_a_warning() {
+        let mut s = healthy();
+        s.workers = 128;
+        let out = run(s);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::SERVE_WORKERS_EXCEED_CONNS);
+        assert_eq!(out[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn serve_diagnostics_flow_through_default_registry() {
+        let mut s = healthy();
+        s.workers = 0;
+        let report = check(&CheckInput::new().with_serve(s));
+        assert!(report.has(codes::SERVE_ZERO_WORKERS));
+        assert!(report.should_fail(false));
+    }
+}

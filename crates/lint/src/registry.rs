@@ -3,7 +3,7 @@
 
 use crate::diag::{CheckReport, Diagnostic};
 use crate::ir::CheckInput;
-use crate::passes::{BundlePass, ConfigPass, GraphPass, ShapePass};
+use crate::passes::{BundlePass, ConfigPass, GraphPass, ServePass, ShapePass};
 
 /// One static analysis pass.
 ///
@@ -34,13 +34,14 @@ impl Registry {
     }
 
     /// The built-in passes in canonical order: graph, shape, config,
-    /// bundle.
+    /// bundle, serve.
     pub fn with_default_passes() -> Self {
         let mut r = Self::new();
         r.register(Box::new(GraphPass));
         r.register(Box::new(ShapePass));
         r.register(Box::new(ConfigPass));
         r.register(Box::new(BundlePass));
+        r.register(Box::new(ServePass));
         r
     }
 
@@ -78,7 +79,10 @@ mod tests {
     #[test]
     fn default_registry_runs_all_passes_in_order() {
         let report = check(&CheckInput::new());
-        assert_eq!(report.passes(), &["graph", "shape", "config", "bundle"]);
+        assert_eq!(
+            report.passes(),
+            &["graph", "shape", "config", "bundle", "serve"]
+        );
         assert!(report.diagnostics().is_empty());
     }
 

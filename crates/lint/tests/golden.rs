@@ -32,7 +32,7 @@ warning[GS0307]: 0 training iterations: the model stays at initialization
   note: zero training iterations (zero-iterations)
   help: likelihoods from an untrained generator are noise
 
-check: 1 error, 1 warning, 0 infos (passes: graph, shape, config, bundle)
+check: 1 error, 1 warning, 0 infos (passes: graph, shape, config, bundle, serve)
 ";
     assert_eq!(render_text(&report), expected);
 }
@@ -42,7 +42,7 @@ fn golden_json_broken_pipeline() {
     let report = check(&broken_pipeline());
     let expected = concat!(
         "{\"errors\":1,\"warnings\":1,\"infos\":0,",
-        "\"passes\":[\"graph\",\"shape\",\"config\",\"bundle\"],",
+        "\"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\"],",
         "\"diagnostics\":[",
         "{\"code\":\"GS0301\",\"name\":\"bad-bandwidth\",\"severity\":\"error\",",
         "\"origin\":\"config.h\",",
@@ -62,7 +62,7 @@ fn golden_text_clean_report() {
     let report = check(&CheckInput::new().with_pipeline(PipelineSpec::default()));
     assert_eq!(
         render_text(&report),
-        "check: 0 errors, 0 warnings, 0 infos (passes: graph, shape, config, bundle)\n"
+        "check: 0 errors, 0 warnings, 0 infos (passes: graph, shape, config, bundle, serve)\n"
     );
 }
 
@@ -72,7 +72,7 @@ fn golden_json_clean_report() {
     assert_eq!(
         render_json(&report),
         "{\"errors\":0,\"warnings\":0,\"infos\":0,\
-         \"passes\":[\"graph\",\"shape\",\"config\",\"bundle\"],\"diagnostics\":[]}"
+         \"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\"],\"diagnostics\":[]}"
     );
 }
 
@@ -100,7 +100,7 @@ warning[GS0108]: graph 'cyclic' yields no flow pairs to model
   note: no flow pairs to model (no-flow-pairs)
   help: check that at least two kept flows lie on a common causal path
 
-check: 0 errors, 1 warning, 1 info (passes: graph, shape, config, bundle)
+check: 0 errors, 1 warning, 1 info (passes: graph, shape, config, bundle, serve)
 ";
     assert_eq!(render_text(&report), expected);
     assert!(!report.should_fail(false));

@@ -6,7 +6,7 @@
 
 use gansec_lint::{
     check, codes, BundleSpec, CheckInput, ComponentSpec, DomainKind, FlowKindSpec, FlowSpec,
-    GraphSpec, LayerSpec, ModelSpec, PairSpec, PipelineSpec, Severity,
+    GraphSpec, LayerSpec, ModelSpec, PairSpec, PipelineSpec, ServeSpec, Severity,
 };
 
 // --- spec-building helpers --------------------------------------------
@@ -591,6 +591,117 @@ fn gs0408_config_drift_is_warning() {
     assert!(!check(&bundle_input(b)).has(codes::BUNDLE_CONFIG_DRIFT));
 }
 
+// --- serve pass (GS05xx) ----------------------------------------------
+
+/// A healthy serving configuration: a real port, sensible thread and
+/// queue capacities, and a linger far inside the read timeout.
+fn clean_serve() -> ServeSpec {
+    ServeSpec {
+        port: Some(7878),
+        workers: 4,
+        max_batch: 64,
+        batch_linger_ms: 2,
+        queue_frames: 1024,
+        max_conns: 64,
+        read_timeout_ms: 5000,
+        write_timeout_ms: 5000,
+    }
+}
+
+fn serve_input(s: ServeSpec) -> CheckInput {
+    CheckInput::new().with_serve(s)
+}
+
+#[test]
+fn clean_serve_config_is_silent() {
+    assert!(check(&serve_input(clean_serve())).is_clean());
+}
+
+#[test]
+fn gs0501_zero_workers() {
+    let mut s = clean_serve();
+    s.workers = 0;
+    let report = check(&serve_input(s));
+    let d = report.find(codes::SERVE_ZERO_WORKERS).expect("GS0501");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn gs0502_zero_queue() {
+    let mut s = clean_serve();
+    s.queue_frames = 0;
+    let report = check(&serve_input(s));
+    assert!(report.has(codes::SERVE_ZERO_QUEUE));
+}
+
+#[test]
+fn gs0503_batch_exceeds_queue() {
+    let mut s = clean_serve();
+    s.max_batch = 2048;
+    let report = check(&serve_input(s));
+    let d = report
+        .find(codes::SERVE_BATCH_EXCEEDS_QUEUE)
+        .expect("GS0503");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(!report.should_fail(false));
+    assert!(report.should_fail(true));
+}
+
+#[test]
+fn gs0504_zero_batch() {
+    let mut s = clean_serve();
+    s.max_batch = 0;
+    let report = check(&serve_input(s));
+    assert!(report.has(codes::SERVE_ZERO_BATCH));
+}
+
+#[test]
+fn gs0505_linger_exceeds_timeout() {
+    let mut s = clean_serve();
+    s.batch_linger_ms = 6000;
+    let report = check(&serve_input(s));
+    assert!(report.has(codes::SERVE_LINGER_EXCEEDS_TIMEOUT));
+
+    // An unlimited read timeout cannot be outlasted.
+    let mut s = clean_serve();
+    s.batch_linger_ms = 6000;
+    s.read_timeout_ms = 0;
+    assert!(!check(&serve_input(s)).has(codes::SERVE_LINGER_EXCEEDS_TIMEOUT));
+}
+
+#[test]
+fn gs0506_ephemeral_port() {
+    let mut s = clean_serve();
+    s.port = Some(0);
+    let report = check(&serve_input(s));
+    let d = report.find(codes::SERVE_EPHEMERAL_PORT).expect("GS0506");
+    assert_eq!(d.severity, Severity::Warning);
+
+    // An unparsed address skips the port checks entirely.
+    let mut s = clean_serve();
+    s.port = None;
+    assert!(!check(&serve_input(s)).has(codes::SERVE_EPHEMERAL_PORT));
+}
+
+#[test]
+fn gs0507_zero_conns() {
+    let mut s = clean_serve();
+    s.max_conns = 0;
+    let report = check(&serve_input(s));
+    assert!(report.has(codes::SERVE_ZERO_CONNS));
+}
+
+#[test]
+fn gs0508_workers_exceed_conns() {
+    let mut s = clean_serve();
+    s.workers = 128;
+    let report = check(&serve_input(s));
+    let d = report
+        .find(codes::SERVE_WORKERS_EXCEED_CONNS)
+        .expect("GS0508");
+    assert_eq!(d.severity, Severity::Warning);
+}
+
 // --- every published code is exercised above --------------------------
 
 #[test]
@@ -603,6 +714,7 @@ fn published_code_table_matches_pass_coverage() {
         201, 202, 203, 204, 205, 206, 207, 208, 209, // shape
         301, 302, 303, 304, 305, 306, 307, 308, // config
         401, 402, 403, 404, 405, 406, 407, 408, // bundle
+        501, 502, 503, 504, 505, 506, 507, 508, // serve
     ];
     assert_eq!(published, expected);
 }

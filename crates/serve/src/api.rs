@@ -1,0 +1,140 @@
+//! The JSON wire types of the scoring endpoints.
+//!
+//! Both directions derive `Serialize` and `Deserialize` so the server,
+//! the test suite, and the load generator share one schema. Floats ride
+//! on `serde_json`'s `float_roundtrip`, so a score survives the wire
+//! bit-exactly — the property the serve-vs-offline identity tests pin.
+
+use serde::{Deserialize, Serialize};
+
+/// Body of `POST /v1/score` and `POST /v1/detect`: frame rows plus the
+/// condition each frame claims to be running under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreRequest {
+    /// Feature rows, each exactly `n_bins` wide (the bundle's framing).
+    pub frames: Vec<Vec<f64>>,
+    /// Claimed condition rows, one per frame, each exactly the bundled
+    /// encoding's cardinality wide.
+    pub conds: Vec<Vec<f64>>,
+}
+
+/// Reply of `POST /v1/score`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreResponse {
+    /// Per-frame consistency scores, in request order; bit-identical to
+    /// a direct `ScoringEngine::score_frames` call on the same rows.
+    pub scores: Vec<f64>,
+}
+
+/// Reply of `POST /v1/detect`: scores plus the calibrated verdicts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectResponse {
+    /// The bundled alarm threshold the verdicts used.
+    pub threshold: f64,
+    /// Number of frames flagged as attacks.
+    pub flagged: usize,
+    /// Per-frame consistency scores, in request order.
+    pub scores: Vec<f64>,
+    /// Per-frame verdicts (`true` = attack).
+    pub verdicts: Vec<bool>,
+}
+
+/// Body of `POST /v1/classify`: frames without claimed conditions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifyRequest {
+    /// Feature rows, each exactly `n_bins` wide.
+    pub frames: Vec<Vec<f64>>,
+}
+
+/// Reply of `POST /v1/classify`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifyResponse {
+    /// Maximum-likelihood condition index per frame.
+    pub conditions: Vec<usize>,
+    /// Per-frame, per-condition joint log-likelihoods
+    /// (`log_likelihoods[frame][condition]`).
+    pub log_likelihoods: Vec<Vec<f64>>,
+}
+
+/// Body of `POST /admin/reload`. An empty request body reloads the
+/// bundle path the server was started with.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReloadRequest {
+    /// Path of the bundle to load instead of the startup path.
+    #[serde(default)]
+    pub bundle: Option<String>,
+}
+
+/// Reply of a successful `POST /admin/reload`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReloadResponse {
+    /// The path the new engine was loaded from.
+    pub bundle: String,
+    /// The new bundle's schema version.
+    pub schema_version: u32,
+    /// The new bundle's run seed.
+    pub seed: u64,
+    /// The new bundle's config fingerprint, `{:016x}`-rendered.
+    pub config_fingerprint: String,
+}
+
+/// Reply of `GET /healthz`: liveness plus the provenance of the bundle
+/// currently serving.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the server can answer at all.
+    pub status: String,
+    /// The path the serving bundle was loaded from.
+    pub bundle: String,
+    /// The serving bundle's schema version.
+    pub schema_version: u32,
+    /// The serving bundle's run seed.
+    pub seed: u64,
+    /// The serving bundle's config fingerprint, `{:016x}`-rendered.
+    pub config_fingerprint: String,
+    /// The calibrated alarm threshold in force.
+    pub threshold: f64,
+}
+
+/// Error reply body used by every non-2xx JSON response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// What went wrong, in one sentence.
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Offline stub builds ship a serde_json whose deserializer always
+    /// errors; tests that need a real JSON round-trip probe for it first.
+    fn json_roundtrip_available() -> bool {
+        serde_json::from_str::<serde_json::Value>("null").is_ok()
+    }
+
+    #[test]
+    fn score_request_round_trips_floats_bit_exactly() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let req = ScoreRequest {
+            frames: vec![vec![0.1 + 0.2, f64::MIN_POSITIVE, -1.0 / 3.0]],
+            conds: vec![vec![1.0, 0.0, 0.0]],
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: ScoreRequest = serde_json::from_str(&json).unwrap();
+        for (a, b) in req.frames[0].iter().zip(&back.frames[0]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reload_request_accepts_an_empty_object() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let req: ReloadRequest = serde_json::from_str("{}").unwrap();
+        assert_eq!(req, ReloadRequest::default());
+    }
+}

@@ -1,0 +1,296 @@
+//! The micro-batching queue between connection workers and the scorer.
+//!
+//! Workers submit [`ScoreJob`]s — flattened frame/condition rows plus a
+//! reply channel — onto one bounded, frame-counted queue. A single
+//! scorer thread drains up to `max_batch` frames per pass, waiting out a
+//! short linger window for co-batching, and answers each job over its
+//! reply channel. Jobs stay *in* the queue during the linger, so the
+//! queue depth reflects real backpressure and a saturated queue rejects
+//! deterministically.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One scoring request's worth of frames, flattened row-major.
+#[derive(Debug)]
+pub struct ScoreJob {
+    /// `rows * frame_width` feature values.
+    pub features: Vec<f64>,
+    /// `rows * cond_width` claimed-condition values.
+    pub conds: Vec<f64>,
+    /// Number of frames in this job.
+    pub rows: usize,
+    /// Where the per-frame scores (or a rejection) go. The sender is
+    /// rendezvous-buffered by the submitting worker, which blocks on
+    /// `recv` — the scorer never blocks sending.
+    pub reply: SyncSender<Result<Vec<f64>, String>>,
+}
+
+/// Why a job was not accepted.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Accepting the job would push queued frames past capacity.
+    QueueFull {
+        /// Frames currently queued.
+        depth: usize,
+        /// The configured frame capacity.
+        capacity: usize,
+    },
+    /// The queue is closed; the server is shutting down.
+    Closed,
+    /// The job itself holds more frames than the queue can ever hold.
+    TooLarge {
+        /// Frames in the rejected job.
+        rows: usize,
+        /// The configured frame capacity.
+        capacity: usize,
+    },
+}
+
+#[derive(Debug)]
+struct QueueState {
+    jobs: VecDeque<ScoreJob>,
+    /// Total frames across `jobs` (the capacity unit).
+    frames: usize,
+    closed: bool,
+}
+
+/// Bounded MPSC frame queue with condvar wakeups.
+#[derive(Debug)]
+pub struct BatchQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    capacity_frames: usize,
+}
+
+impl BatchQueue {
+    /// A queue admitting at most `capacity_frames` queued frames.
+    pub fn new(capacity_frames: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                frames: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity_frames,
+        }
+    }
+
+    /// Frames currently queued (the `/metrics` gauge).
+    pub fn depth_frames(&self) -> usize {
+        self.state.lock().expect("batch queue lock poisoned").frames
+    }
+
+    /// Enqueues `job` unless the queue is full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] on backpressure (→ `503`),
+    /// [`SubmitError::TooLarge`] if the job can never fit (→ `422`), and
+    /// [`SubmitError::Closed`] during shutdown (→ `503`).
+    pub fn submit(&self, job: ScoreJob) -> Result<(), SubmitError> {
+        if job.rows > self.capacity_frames {
+            return Err(SubmitError::TooLarge {
+                rows: job.rows,
+                capacity: self.capacity_frames,
+            });
+        }
+        let mut state = self.state.lock().expect("batch queue lock poisoned");
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.frames + job.rows > self.capacity_frames {
+            return Err(SubmitError::QueueFull {
+                depth: state.frames,
+                capacity: self.capacity_frames,
+            });
+        }
+        state.frames += job.rows;
+        state.jobs.push_back(job);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: future submits fail, and `drain` returns `None`
+    /// once the backlog is empty.
+    pub fn close(&self) {
+        self.state.lock().expect("batch queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Blocks for the next batch: waits for a first job, then lingers up
+    /// to `linger` for more, and returns up to `max_batch` frames' worth
+    /// of whole jobs. Returns `None` only when the queue is closed *and*
+    /// fully drained — the graceful-shutdown contract.
+    pub fn drain(&self, max_batch: usize, linger: Duration) -> Option<Vec<ScoreJob>> {
+        let mut state = self.state.lock().expect("batch queue lock poisoned");
+        // Phase 1: wait (indefinitely) for any work or for closure.
+        while state.jobs.is_empty() {
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .expect("batch queue lock poisoned");
+        }
+        // Phase 2: linger for co-batching, unless the batch is already
+        // full or the queue is closing.
+        let deadline = Instant::now() + linger;
+        while !state.closed && state.frames < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timeout) = self
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("batch queue lock poisoned");
+            state = next;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        // Phase 3: pop whole jobs until the next would overflow the
+        // batch. The first job always ships, even if it alone exceeds
+        // `max_batch` — a job is never split across batches.
+        let mut batch = Vec::new();
+        let mut frames = 0usize;
+        while let Some(job) = state.jobs.front() {
+            if !batch.is_empty() && frames + job.rows > max_batch {
+                break;
+            }
+            frames += job.rows;
+            let job = state.jobs.pop_front().expect("front was Some");
+            state.frames -= job.rows;
+            batch.push(job);
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+    use std::sync::Arc;
+
+    fn job(
+        rows: usize,
+    ) -> (
+        ScoreJob,
+        std::sync::mpsc::Receiver<Result<Vec<f64>, String>>,
+    ) {
+        let (tx, rx) = sync_channel(1);
+        (
+            ScoreJob {
+                features: vec![0.0; rows * 3],
+                conds: vec![0.0; rows * 2],
+                rows,
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn rejects_when_frames_exceed_capacity() {
+        let q = BatchQueue::new(8);
+        let (j, _rx) = job(5);
+        q.submit(j).unwrap();
+        assert_eq!(q.depth_frames(), 5);
+        let (j, _rx2) = job(4);
+        assert_eq!(
+            q.submit(j),
+            Err(SubmitError::QueueFull {
+                depth: 5,
+                capacity: 8
+            })
+        );
+        let (j, _rx3) = job(3);
+        q.submit(j).unwrap();
+        assert_eq!(q.depth_frames(), 8);
+    }
+
+    #[test]
+    fn oversized_job_is_too_large_even_when_empty() {
+        let q = BatchQueue::new(8);
+        let (j, _rx) = job(9);
+        assert_eq!(
+            q.submit(j),
+            Err(SubmitError::TooLarge {
+                rows: 9,
+                capacity: 8
+            })
+        );
+    }
+
+    #[test]
+    fn drain_respects_max_batch_and_keeps_jobs_whole() {
+        let q = BatchQueue::new(100);
+        let mut rxs = Vec::new();
+        for rows in [4, 4, 4] {
+            let (j, rx) = job(rows);
+            q.submit(j).unwrap();
+            rxs.push(rx);
+        }
+        let batch = q.drain(8, Duration::ZERO).unwrap();
+        assert_eq!(batch.iter().map(|j| j.rows).sum::<usize>(), 8);
+        assert_eq!(q.depth_frames(), 4);
+        let batch = q.drain(8, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn first_job_ships_even_when_larger_than_max_batch() {
+        let q = BatchQueue::new(100);
+        let (j, _rx) = job(50);
+        q.submit(j).unwrap();
+        let batch = q.drain(8, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].rows, 50);
+    }
+
+    #[test]
+    fn close_drains_backlog_then_returns_none() {
+        let q = Arc::new(BatchQueue::new(100));
+        let (j, _rx) = job(2);
+        q.submit(j).unwrap();
+        q.close();
+        let (j2, _rx2) = job(1);
+        assert_eq!(q.submit(j2), Err(SubmitError::Closed));
+        assert!(q.drain(8, Duration::from_millis(50)).is_some());
+        assert!(q.drain(8, Duration::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn linger_collects_a_late_job() {
+        let q = Arc::new(BatchQueue::new(100));
+        let (j, _rx) = job(2);
+        q.submit(j).unwrap();
+        let q2 = Arc::clone(&q);
+        let late = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let (j, rx) = job(3);
+            q2.submit(j).unwrap();
+            rx
+        });
+        let batch = q.drain(64, Duration::from_millis(500)).unwrap();
+        let _rx2 = late.join().unwrap();
+        assert_eq!(batch.iter().map(|j| j.rows).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_drain() {
+        let q = Arc::new(BatchQueue::new(100));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.drain(8, Duration::from_secs(60)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(waiter.join().unwrap().is_none());
+    }
+}

@@ -1,0 +1,123 @@
+//! A minimal blocking HTTP/1.1 client for the server's own API: used by
+//! the integration tests, the load generator, and `gansec bench
+//! --serve`. One request per connection, mirroring the server's
+//! `Connection: close` policy.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The reply body.
+    pub body: Vec<u8>,
+    /// The `Retry-After` header, when the server sent one.
+    pub retry_after: Option<String>,
+}
+
+/// `GET path`.
+///
+/// # Errors
+///
+/// Returns a message on connection, write, read, or parse failure.
+pub fn get(addr: SocketAddr, path: &str) -> Result<Response, String> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a body (always JSON on this API).
+///
+/// # Errors
+///
+/// Returns a message on connection, write, read, or parse failure.
+pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> Result<Response, String> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// Sends one request and reads the whole reply (the server closes the
+/// connection after each response, so read-to-end frames it).
+///
+/// # Errors
+///
+/// Returns a message on connection, write, read, or parse failure.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<Response, String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    drop(stream.set_read_timeout(Some(Duration::from_secs(30))));
+    drop(stream.set_write_timeout(Some(Duration::from_secs(30))));
+
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    if let Some(body) = body {
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        head.push_str("Content-Type: application/json\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| format!("write {addr}: {e}"))?;
+    if let Some(body) = body {
+        stream
+            .write_all(body)
+            .map_err(|e| format!("write {addr}: {e}"))?;
+    }
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    parse_response(&raw)
+}
+
+/// Splits a raw HTTP/1.1 reply into status, headers of interest, and
+/// body.
+fn parse_response(raw: &[u8]) -> Result<Response, String> {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| "reply has no header terminator".to_string())?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|e| format!("bad reply head: {e}"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| "empty reply".to_string())?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let retry_after = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(name, _)| name.trim().eq_ignore_ascii_case("retry-after"))
+        .map(|(_, value)| value.trim().to_string());
+    Ok(Response {
+        status,
+        body: raw[split + 4..].to_vec(),
+        retry_after,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_reply() {
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 2\r\nRetry-After: 1\r\n\r\nhi";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.body, b"hi");
+        assert_eq!(r.retry_after.as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+}

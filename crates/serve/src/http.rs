@@ -1,0 +1,286 @@
+//! Minimal HTTP/1.1 framing over blocking streams: just enough protocol
+//! for a JSON scoring API — no chunked bodies, no keep-alive, no TLS.
+//!
+//! Every reply carries `Connection: close`, so a connection serves
+//! exactly one request; that keeps the worker loop allocation-simple
+//! and makes timeouts per-request by construction. Request parsing is
+//! defensive: a malformed request line, an oversized or unfinished
+//! body, and a missing `Content-Length` each map to a distinct status
+//! code instead of a panic or a hang.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line plus headers; beyond it the request is
+/// malformed (431-ish, reported as 400 to keep the status set small).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, ... — uppercase as received.
+    pub method: String,
+    /// Request target, e.g. `/v1/score` (query strings are not split).
+    pub path: String,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Malformed request line or headers → `400`.
+    BadRequest(String),
+    /// A body-bearing method without `Content-Length` → `411`.
+    LengthRequired,
+    /// Declared body longer than the configured cap → `413`.
+    PayloadTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured cap it exceeded.
+        cap: usize,
+    },
+    /// The peer closed or timed out before a full request arrived; no
+    /// reply is possible or useful.
+    Disconnected,
+}
+
+/// Reads one request from `stream`, enforcing the body-size cap.
+///
+/// # Errors
+///
+/// See [`ReadError`]; the caller maps each variant to a status code
+/// (or, for [`ReadError::Disconnected`], drops the connection).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    let mut reader = BufReader::new(stream);
+    let mut head_bytes = 0usize;
+
+    let request_line = read_line(&mut reader, &mut head_bytes)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(ReadError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::BadRequest(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let method = method.to_string();
+    let path = path.to_string();
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = read_line(&mut reader, &mut head_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::BadRequest(format!("malformed header {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| ReadError::BadRequest(format!("bad Content-Length {value:?}")))?;
+            content_length = Some(n);
+        }
+    }
+
+    let body = match (method.as_str(), content_length) {
+        ("GET", _) => Vec::new(),
+        (_, None) => return Err(ReadError::LengthRequired),
+        (_, Some(n)) if n > max_body => {
+            return Err(ReadError::PayloadTooLarge {
+                declared: n,
+                cap: max_body,
+            })
+        }
+        (_, Some(n)) => {
+            let mut body = vec![0u8; n];
+            reader
+                .read_exact(&mut body)
+                .map_err(|_| ReadError::Disconnected)?;
+            body
+        }
+    };
+
+    Ok(Request { method, path, body })
+}
+
+/// Reads one CRLF-terminated line, charging it against the head cap.
+fn read_line(
+    reader: &mut BufReader<&mut TcpStream>,
+    head_bytes: &mut usize,
+) -> Result<String, ReadError> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(ReadError::Disconnected),
+        Ok(_) => {}
+        Err(_) => return Err(ReadError::Disconnected),
+    }
+    *head_bytes += line.len();
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(ReadError::BadRequest("request head too large".to_string()));
+    }
+    if !line.ends_with('\n') {
+        return Err(ReadError::Disconnected);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes a full response with `Connection: close`. Write failures are
+/// swallowed — the peer may already be gone, and there is nobody left
+/// to tell.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, String)],
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body);
+    let _ = stream.flush();
+}
+
+/// Writes a JSON error body `{"error": ...}` with the given status.
+pub fn write_error(stream: &mut TcpStream, status: u16, message: &str, extra: &[(&str, String)]) {
+    // Hand-escaped so error reporting cannot itself fail to serialize.
+    let escaped: String = message
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let body = format!("{{\"error\":\"{escaped}\"}}");
+    write_response(stream, status, "application/json", body.as_bytes(), extra);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Runs `read_request` against raw bytes sent over a real socket.
+    fn parse(raw: &[u8], max_body: usize) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let got = read_request(&mut stream, max_body);
+        writer.join().unwrap();
+        got
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            b"POST /v1/score HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+            64,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/score");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn get_needs_no_content_length() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n", 64).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_request_line_is_bad_request() {
+        assert!(matches!(
+            parse(b"NONSENSE\r\n\r\n", 64),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET noslash HTTP/1.1\r\n\r\n", 64),
+            Err(ReadError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn post_without_length_is_length_required() {
+        assert!(matches!(
+            parse(b"POST /v1/score HTTP/1.1\r\n\r\n", 64),
+            Err(ReadError::LengthRequired)
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_without_reading_it() {
+        let got = parse(
+            b"POST /v1/score HTTP/1.1\r\nContent-Length: 999\r\n\r\n",
+            64,
+        );
+        assert!(matches!(
+            got,
+            Err(ReadError::PayloadTooLarge {
+                declared: 999,
+                cap: 64
+            })
+        ));
+    }
+
+    #[test]
+    fn short_body_is_disconnected() {
+        let got = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 64);
+        assert!(matches!(got, Err(ReadError::Disconnected)));
+    }
+
+    #[test]
+    fn reasons_cover_the_emitted_codes() {
+        for code in [200, 400, 404, 405, 409, 411, 413, 422, 500, 503] {
+            assert!(!reason(code).is_empty(), "{code}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! # gansec-serve
+//!
+//! The networked half of the train/serve split: a dependency-light,
+//! multi-threaded HTTP/1.1 server that loads a sealed
+//! [`gansec::ModelBundle`] into an immutable
+//! [`gansec_engine::ScoringEngine`] and scores acoustic frames *online*
+//! — integrity/availability attacks on the printer are flagged while
+//! the job is running, which is how GAN-based CPS detectors deploy in
+//! practice (MAD-GAN, G-IDS).
+//!
+//! ## Architecture
+//!
+//! ```text
+//! acceptor ──▶ bounded conn queue ──▶ N worker threads (parse + route)
+//!                                          │  score/detect jobs
+//!                                          ▼
+//!                              bounded frame queue (backpressure: 503)
+//!                                          │  drain ≤ max_batch frames
+//!                                          ▼            or linger deadline
+//!                                  scorer thread ──▶ engine.score_frames
+//!                                  (one Arc<ScoringEngine> read per batch)
+//! ```
+//!
+//! * **Micro-batching** — scoring requests enqueue their frames on one
+//!   bounded queue; a single scorer thread drains up to
+//!   [`ServeConfig::max_batch`] frames (or gives up waiting at the
+//!   [`ServeConfig::batch_linger_ms`] deadline) and scores them as one
+//!   block-parallel [`gansec_engine::ScoringEngine::score_frames`] call,
+//!   amortizing scratch reuse across connections. Per-frame scores are
+//!   bit-identical to a direct engine call at any batch composition,
+//!   because every frame's accumulation order is internal to its row.
+//! * **Backpressure** — a full frame queue rejects with `503` and a
+//!   `Retry-After` header instead of queueing unboundedly; a connection
+//!   cap does the same at the accept loop.
+//! * **Atomic hot reload** — `POST /admin/reload` parses, lints, and
+//!   strictly validates a new bundle before swapping the
+//!   `Arc<ScoringEngine>`; in-flight batches keep scoring against the
+//!   engine they started with.
+//! * **Graceful drain** — shutdown (the `POST /admin/shutdown` endpoint
+//!   or [`ServerHandle::trigger_shutdown`]) stops accepting, lets
+//!   workers finish their connections, flushes every queued job through
+//!   the scorer, and joins all threads. (OS signal handlers need
+//!   `unsafe` FFI, which this workspace forbids; supervisors should use
+//!   the admin endpoint as the stop hook — the drain path is the same.)
+//!
+//! The server threads are long-lived blocking I/O loops, so they use
+//! `std::thread` directly; all numeric work still fans out through
+//! `gansec-parallel` inside the engine, keeping the deterministic
+//! fork-join model for the hot path.
+//!
+//! ## Endpoints
+//!
+//! | Route | Method | Body | Reply |
+//! |-------|--------|------|-------|
+//! | `/v1/score` | POST | [`api::ScoreRequest`] | [`api::ScoreResponse`] |
+//! | `/v1/detect` | POST | [`api::ScoreRequest`] | [`api::DetectResponse`] |
+//! | `/v1/classify` | POST | [`api::ClassifyRequest`] | [`api::ClassifyResponse`] |
+//! | `/healthz` | GET | — | bundle provenance JSON |
+//! | `/metrics` | GET | — | Prometheus text format |
+//! | `/admin/reload` | POST | [`api::ReloadRequest`] (optional) | [`api::ReloadResponse`] |
+//! | `/admin/shutdown` | POST | — | ack, then graceful drain |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod api;
+mod batch;
+pub mod client;
+pub mod http;
+pub mod loadgen;
+mod metrics;
+mod server;
+
+pub use metrics::Metrics;
+pub use server::{Server, ServerHandle};
+
+/// Everything the server's behavior is configured by. The CLI's
+/// `gansec serve` flags map onto these fields one-to-one, and
+/// [`ServeConfig::lint_spec`] hands the same numbers to `gansec check`'s
+/// `GS05xx` pass before a socket is ever bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`. Port `0` asks the OS for an
+    /// ephemeral port (useful in tests, flagged by lint for production).
+    pub addr: String,
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Frames the scorer drains into one batch at most.
+    pub max_batch: usize,
+    /// How long the scorer waits for more frames after the first job of
+    /// a batch arrives, in milliseconds. `0` dispatches immediately.
+    pub batch_linger_ms: u64,
+    /// Frame-queue capacity; a request that would push the queued frame
+    /// count past this is rejected with `503` + `Retry-After`.
+    pub queue_frames: usize,
+    /// Maximum simultaneously accepted connections (queued + in
+    /// service); excess connections get an immediate `503`.
+    pub max_conns: usize,
+    /// Per-connection read timeout in milliseconds (`0` = unlimited).
+    pub read_timeout_ms: u64,
+    /// Per-connection write timeout in milliseconds (`0` = unlimited).
+    pub write_timeout_ms: u64,
+    /// Largest accepted request body; beyond it the server answers
+    /// `413` without reading the payload.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            max_batch: 64,
+            batch_linger_ms: 2,
+            queue_frames: 1024,
+            max_conns: 64,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The `gansec-lint` [`gansec_lint::ServeSpec`] describing this
+    /// configuration, for the `GS05xx` server-sanity pass.
+    pub fn lint_spec(&self) -> gansec_lint::ServeSpec {
+        gansec_lint::ServeSpec {
+            port: self.addr.rsplit(':').next().and_then(|p| p.parse().ok()),
+            workers: self.workers,
+            max_batch: self.max_batch,
+            batch_linger_ms: self.batch_linger_ms,
+            queue_frames: self.queue_frames,
+            max_conns: self.max_conns,
+            read_timeout_ms: self.read_timeout_ms,
+            write_timeout_ms: self.write_timeout_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_lint_clean() {
+        let cfg = ServeConfig::default();
+        let report =
+            gansec_lint::check(&gansec_lint::CheckInput::new().with_serve(cfg.lint_spec()));
+        assert!(
+            report.diagnostics().is_empty(),
+            "{:?}",
+            report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn lint_spec_parses_the_port() {
+        let cfg = ServeConfig {
+            addr: "0.0.0.0:9100".into(),
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg.lint_spec().port, Some(9100));
+        let cfg = ServeConfig {
+            addr: "garbage".into(),
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg.lint_spec().port, None);
+    }
+}

@@ -1,0 +1,232 @@
+//! A closed-loop load generator for the scoring API: N client threads
+//! posting synthetic `POST /v1/score` requests as fast as the server
+//! answers, reporting throughput and latency percentiles. Backs the
+//! `loadgen` bench binary and the `gansec bench --serve` group.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gansec_engine::ScoringEngine;
+
+use crate::api::{ScoreRequest, ScoreResponse};
+use crate::client;
+
+/// Load shape knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadgenOptions {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client sends.
+    pub requests_per_client: usize,
+    /// Frames per request.
+    pub frames_per_request: usize,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            requests_per_client: 25,
+            frames_per_request: 16,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenReport {
+    /// Requests that completed with `200`.
+    pub ok_requests: usize,
+    /// Requests rejected with `503` backpressure.
+    pub rejected_requests: usize,
+    /// Requests that failed any other way (transport error, non-200).
+    pub failed_requests: usize,
+    /// Frames successfully scored.
+    pub frames_scored: usize,
+    /// Wall time of the whole run, in seconds.
+    pub elapsed_secs: f64,
+    /// Scored frames per second of wall time.
+    pub throughput_fps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl LoadgenReport {
+    /// Renders the stable JSON object `BENCH_serve.json` records.
+    pub fn to_json(&self, opts: &LoadgenOptions) -> String {
+        format!(
+            concat!(
+                "{{\"clients\":{},\"requests_per_client\":{},\"frames_per_request\":{},",
+                "\"ok_requests\":{},\"rejected_requests\":{},\"failed_requests\":{},",
+                "\"frames_scored\":{},\"elapsed_secs\":{:.6},\"throughput_fps\":{:.1},",
+                "\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}"
+            ),
+            opts.clients,
+            opts.requests_per_client,
+            opts.frames_per_request,
+            self.ok_requests,
+            self.rejected_requests,
+            self.failed_requests,
+            self.frames_scored,
+            self.elapsed_secs,
+            self.throughput_fps,
+            self.p50_ms,
+            self.p99_ms,
+        )
+    }
+}
+
+/// Builds one deterministic synthetic request body shaped for `engine`:
+/// frame values sweep the unit interval per bin, and every frame claims
+/// the first condition of the bundled encoding.
+///
+/// # Errors
+///
+/// Returns a message when serialization fails (offline JSON stubs).
+pub fn synthetic_body(engine: &ScoringEngine, frames: usize, salt: u64) -> Result<Vec<u8>, String> {
+    let frame_width = engine.config().n_bins;
+    let cond_width = engine.config().encoding.dim();
+    let frames: Vec<Vec<f64>> = (0..frames)
+        .map(|r| {
+            (0..frame_width)
+                .map(|c| {
+                    let x = (salt as usize + r * frame_width + c) % 97;
+                    x as f64 / 96.0
+                })
+                .collect()
+        })
+        .collect();
+    let mut cond = vec![0.0; cond_width];
+    if let Some(first) = cond.first_mut() {
+        *first = 1.0;
+    }
+    let conds = vec![cond; frames.len()];
+    serde_json::to_vec(&ScoreRequest { frames, conds }).map_err(|e| e.to_string())
+}
+
+/// Runs the closed loop against a live server and aggregates the
+/// per-request latencies.
+///
+/// # Errors
+///
+/// Returns a message when the request body cannot be built; transport
+/// failures during the run are counted, not fatal.
+pub fn run(
+    addr: SocketAddr,
+    engine: &ScoringEngine,
+    opts: &LoadgenOptions,
+) -> Result<LoadgenReport, String> {
+    let bodies: Vec<Arc<Vec<u8>>> = (0..opts.clients)
+        .map(|i| synthetic_body(engine, opts.frames_per_request, i as u64).map(Arc::new))
+        .collect::<Result<_, _>>()?;
+
+    let started = Instant::now();
+    let threads: Vec<_> = bodies
+        .into_iter()
+        .map(|body| {
+            let requests = opts.requests_per_client;
+            let frames = opts.frames_per_request;
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                let mut rejected = 0usize;
+                let mut failed = 0usize;
+                let mut scored = 0usize;
+                let mut latencies = Vec::with_capacity(requests);
+                for _ in 0..requests {
+                    let sent = Instant::now();
+                    match client::post(addr, "/v1/score", &body) {
+                        Ok(reply) if reply.status == 200 => {
+                            latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                            ok += 1;
+                            let parsed: Result<ScoreResponse, _> =
+                                serde_json::from_slice(&reply.body);
+                            scored += parsed.map_or(frames, |r| r.scores.len());
+                        }
+                        Ok(reply) if reply.status == 503 => rejected += 1,
+                        _ => failed += 1,
+                    }
+                }
+                (ok, rejected, failed, scored, latencies)
+            })
+        })
+        .collect();
+
+    let mut ok_requests = 0;
+    let mut rejected_requests = 0;
+    let mut failed_requests = 0;
+    let mut frames_scored = 0;
+    let mut latencies = Vec::new();
+    for t in threads {
+        let (ok, rejected, failed, scored, lat) =
+            t.join().map_err(|_| "load client panicked".to_string())?;
+        ok_requests += ok;
+        rejected_requests += rejected;
+        failed_requests += failed;
+        frames_scored += scored;
+        latencies.extend(lat);
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    latencies.sort_by(f64::total_cmp);
+    Ok(LoadgenReport {
+        ok_requests,
+        rejected_requests,
+        failed_requests,
+        frames_scored,
+        elapsed_secs,
+        throughput_fps: if elapsed_secs > 0.0 {
+            frames_scored as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+    })
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0 when empty.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn report_json_is_stable() {
+        let report = LoadgenReport {
+            ok_requests: 10,
+            rejected_requests: 1,
+            failed_requests: 0,
+            frames_scored: 160,
+            elapsed_secs: 0.5,
+            throughput_fps: 320.0,
+            p50_ms: 2.125,
+            p99_ms: 9.75,
+        };
+        let json = report.to_json(&LoadgenOptions::default());
+        assert!(json.starts_with("{\"clients\":4,"));
+        assert!(json.contains("\"frames_scored\":160"));
+        assert!(json.contains("\"throughput_fps\":320.0"));
+        assert!(json.contains("\"p99_ms\":9.750"));
+        assert!(json.ends_with('}'));
+    }
+}

@@ -1,0 +1,315 @@
+//! Serving metrics in Prometheus text exposition format.
+//!
+//! Counters and histograms are lock-free atomics on the hot path; the
+//! request-count map takes a short mutex per request completion (label
+//! sets are tiny and bounded by the route table). Rendering is fully
+//! deterministic — `BTreeMap` ordering plus fixed bucket tables — so
+//! tests can assert on exact lines.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Latency histogram bucket upper bounds, in seconds.
+const LATENCY_BUCKETS: &[f64] = &[
+    0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+];
+
+/// Batch-size histogram bucket upper bounds, in frames.
+const BATCH_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+
+/// A fixed-bucket cumulative histogram.
+#[derive(Debug)]
+struct Histogram {
+    bounds: &'static [f64],
+    /// One count per bound, plus the +Inf bucket at the end.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values in micro-units (µs for seconds, frames
+    /// for batch sizes — integral either way).
+    sum_micro: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        Self {
+            bounds,
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_micro: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: f64, micro: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_micro.fetch_add(micro, Ordering::Relaxed);
+    }
+
+    /// Renders `_bucket`/`_sum`/`_count` lines; `sum_scale` converts the
+    /// micro-unit sum back to the metric's unit.
+    fn render(&self, out: &mut String, name: &str, sum_scale: f64) {
+        let mut cumulative = 0u64;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.counts[self.bounds.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let sum = self.sum_micro.load(Ordering::Relaxed) as f64 * sum_scale;
+        let _ = writeln!(out, "{name}_sum {sum}");
+        let _ = writeln!(out, "{name}_count {cumulative}");
+    }
+
+    #[cfg(test)]
+    fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// All serving metrics, shared by every server thread.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Completed requests by `(route, status)`.
+    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// Requests turned away, by reason.
+    rejected_queue_full: AtomicU64,
+    rejected_over_capacity: AtomicU64,
+    /// Wall time from parsed request to written response.
+    latency: Histogram,
+    /// Frames per scored batch.
+    batch_frames: Histogram,
+    /// Batches the scorer thread dispatched.
+    batches: AtomicU64,
+    /// Requests whose frames were co-batched with at least one other
+    /// request — proof the micro-batching engages.
+    batched_requests: AtomicU64,
+    /// Frames scored since startup.
+    frames_scored: AtomicU64,
+    /// Successful hot reloads.
+    reloads: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self {
+            requests: Mutex::new(BTreeMap::new()),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_over_capacity: AtomicU64::new(0),
+            latency: Histogram::new(LATENCY_BUCKETS),
+            batch_frames: Histogram::new(BATCH_BUCKETS),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            frames_scored: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one completed request.
+    pub fn observe_request(&self, route: &'static str, status: u16, elapsed: Duration) {
+        *self
+            .requests
+            .lock()
+            .expect("metrics lock poisoned")
+            .entry((route, status))
+            .or_insert(0) += 1;
+        self.latency.observe(
+            elapsed.as_secs_f64(),
+            u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        );
+    }
+
+    /// Records a request rejected for queue backpressure.
+    pub fn observe_queue_full(&self) {
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection rejected at the accept loop.
+    pub fn observe_over_capacity(&self) {
+        self.rejected_over_capacity.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one scored batch of `frames` frames drawn from
+    /// `requests` distinct requests.
+    pub fn observe_batch(&self, frames: usize, requests: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.frames_scored
+            .fetch_add(frames as u64, Ordering::Relaxed);
+        if requests > 1 {
+            self.batched_requests
+                .fetch_add(requests as u64, Ordering::Relaxed);
+        }
+        self.batch_frames.observe(frames as f64, frames as u64);
+    }
+
+    /// Records a successful hot reload.
+    pub fn observe_reload(&self) {
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Batches dispatched so far (test/driver convenience).
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Frames scored so far (test/driver convenience).
+    pub fn frames_scored(&self) -> u64 {
+        self.frames_scored.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text payload. `queue_depth` and
+    /// `active_connections` are sampled by the caller at render time
+    /// because they are gauges owned by the queue and the accept loop.
+    pub fn render(&self, queue_depth: usize, active_connections: usize) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str(
+            "# HELP gansec_serve_requests_total Completed requests by route and status.\n",
+        );
+        out.push_str("# TYPE gansec_serve_requests_total counter\n");
+        for ((route, status), n) in self.requests.lock().expect("metrics lock poisoned").iter() {
+            let _ = writeln!(
+                out,
+                "gansec_serve_requests_total{{route=\"{route}\",code=\"{status}\"}} {n}"
+            );
+        }
+
+        out.push_str("# HELP gansec_serve_rejected_total Requests turned away, by reason.\n");
+        out.push_str("# TYPE gansec_serve_rejected_total counter\n");
+        let _ = writeln!(
+            out,
+            "gansec_serve_rejected_total{{reason=\"queue_full\"}} {}",
+            self.rejected_queue_full.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "gansec_serve_rejected_total{{reason=\"over_capacity\"}} {}",
+            self.rejected_over_capacity.load(Ordering::Relaxed)
+        );
+
+        out.push_str(
+            "# HELP gansec_serve_request_duration_seconds Request wall time, parse to reply.\n",
+        );
+        out.push_str("# TYPE gansec_serve_request_duration_seconds histogram\n");
+        self.latency
+            .render(&mut out, "gansec_serve_request_duration_seconds", 1e-6);
+
+        out.push_str("# HELP gansec_serve_batch_frames Frames per scored batch.\n");
+        out.push_str("# TYPE gansec_serve_batch_frames histogram\n");
+        self.batch_frames
+            .render(&mut out, "gansec_serve_batch_frames", 1.0);
+
+        out.push_str("# HELP gansec_serve_batches_total Batches dispatched by the scorer.\n");
+        out.push_str("# TYPE gansec_serve_batches_total counter\n");
+        let _ = writeln!(
+            out,
+            "gansec_serve_batches_total {}",
+            self.batches.load(Ordering::Relaxed)
+        );
+
+        out.push_str(
+            "# HELP gansec_serve_batched_requests_total Requests co-batched with another request.\n",
+        );
+        out.push_str("# TYPE gansec_serve_batched_requests_total counter\n");
+        let _ = writeln!(
+            out,
+            "gansec_serve_batched_requests_total {}",
+            self.batched_requests.load(Ordering::Relaxed)
+        );
+
+        out.push_str("# HELP gansec_serve_frames_scored_total Frames scored since startup.\n");
+        out.push_str("# TYPE gansec_serve_frames_scored_total counter\n");
+        let _ = writeln!(
+            out,
+            "gansec_serve_frames_scored_total {}",
+            self.frames_scored.load(Ordering::Relaxed)
+        );
+
+        out.push_str("# HELP gansec_serve_reloads_total Successful hot bundle reloads.\n");
+        out.push_str("# TYPE gansec_serve_reloads_total counter\n");
+        let _ = writeln!(
+            out,
+            "gansec_serve_reloads_total {}",
+            self.reloads.load(Ordering::Relaxed)
+        );
+
+        out.push_str("# HELP gansec_serve_queue_depth Frames waiting in the batch queue.\n");
+        out.push_str("# TYPE gansec_serve_queue_depth gauge\n");
+        let _ = writeln!(out, "gansec_serve_queue_depth {queue_depth}");
+
+        out.push_str(
+            "# HELP gansec_serve_active_connections Connections accepted and unfinished.\n",
+        );
+        out.push_str("# TYPE gansec_serve_active_connections gauge\n");
+        let _ = writeln!(out, "gansec_serve_active_connections {active_connections}");
+
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic_and_labeled() {
+        let m = Metrics::new();
+        m.observe_request("/v1/score", 200, Duration::from_millis(3));
+        m.observe_request("/v1/score", 200, Duration::from_millis(7));
+        m.observe_request("/healthz", 200, Duration::from_micros(80));
+        m.observe_queue_full();
+        m.observe_batch(24, 3);
+        m.observe_reload();
+        let text = m.render(5, 2);
+        assert!(text.contains("gansec_serve_requests_total{route=\"/v1/score\",code=\"200\"} 2"));
+        assert!(text.contains("gansec_serve_requests_total{route=\"/healthz\",code=\"200\"} 1"));
+        assert!(text.contains("gansec_serve_rejected_total{reason=\"queue_full\"} 1"));
+        assert!(text.contains("gansec_serve_batches_total 1"));
+        assert!(text.contains("gansec_serve_batched_requests_total 3"));
+        assert!(text.contains("gansec_serve_frames_scored_total 24"));
+        assert!(text.contains("gansec_serve_reloads_total 1"));
+        assert!(text.contains("gansec_serve_queue_depth 5"));
+        assert!(text.contains("gansec_serve_active_connections 2"));
+        assert_eq!(text, m.render(5, 2));
+    }
+
+    #[test]
+    fn histograms_are_cumulative_with_inf_bucket() {
+        let m = Metrics::new();
+        m.observe_batch(1, 1);
+        m.observe_batch(3, 1);
+        m.observe_batch(100_000, 1);
+        let text = m.render(0, 0);
+        assert!(text.contains("gansec_serve_batch_frames_bucket{le=\"1\"} 1"));
+        assert!(text.contains("gansec_serve_batch_frames_bucket{le=\"4\"} 2"));
+        assert!(text.contains("gansec_serve_batch_frames_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("gansec_serve_batch_frames_count 3"));
+        assert_eq!(m.batch_frames.count(), 3);
+        assert_eq!(m.frames_scored(), 100_004);
+        assert_eq!(m.batches(), 3);
+    }
+
+    #[test]
+    fn single_request_batches_do_not_count_as_batched() {
+        let m = Metrics::new();
+        m.observe_batch(8, 1);
+        assert!(m
+            .render(0, 0)
+            .contains("gansec_serve_batched_requests_total 0"));
+        m.observe_batch(8, 2);
+        assert!(m
+            .render(0, 0)
+            .contains("gansec_serve_batched_requests_total 2"));
+    }
+}

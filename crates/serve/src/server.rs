@@ -1,0 +1,877 @@
+//! The server proper: acceptor, connection workers, routing, the scorer
+//! thread, hot reload, and graceful shutdown.
+//!
+//! Thread topology (all plain `std::thread` blocking loops):
+//!
+//! * **acceptor** — accepts sockets, enforces the connection cap, sets
+//!   per-connection timeouts, and hands streams to the workers over a
+//!   bounded channel. Woken for shutdown by a dummy self-connection.
+//! * **workers** — parse one request per connection, route it, and
+//!   reply. Scoring requests park on a reply channel while their frames
+//!   ride the batch queue.
+//! * **batcher** — drains the queue into micro-batches and runs the
+//!   engine's block-parallel scorer once per batch.
+//!
+//! Teardown order is the graceful-drain contract: join the acceptor
+//! (no new connections), drop the stream channel (workers finish their
+//! in-flight requests and exit), close the batch queue (the batcher
+//! flushes every queued job), then join the batcher.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gansec::ModelBundle;
+use gansec_engine::ScoringEngine;
+use gansec_tensor::Matrix;
+
+use crate::api::{
+    ClassifyRequest, ClassifyResponse, DetectResponse, HealthResponse, ReloadRequest,
+    ReloadResponse, ScoreRequest, ScoreResponse,
+};
+use crate::batch::{BatchQueue, ScoreJob, SubmitError};
+use crate::http::{self, ReadError, Request};
+use crate::metrics::Metrics;
+use crate::ServeConfig;
+
+/// State shared by every server thread.
+struct Shared {
+    config: ServeConfig,
+    /// The bound listen address (resolved, so port 0 shows the real
+    /// port); the shutdown wake-up connects here.
+    listen_addr: SocketAddr,
+    /// The serving engine; swapped whole by `/admin/reload`, read once
+    /// per request/batch so in-flight work keeps its snapshot.
+    engine: RwLock<Arc<ScoringEngine>>,
+    /// Where the serving bundle came from (reload may repoint it).
+    bundle_path: Mutex<String>,
+    metrics: Metrics,
+    queue: BatchQueue,
+    active_conns: AtomicUsize,
+    shutting_down: AtomicBool,
+}
+
+impl Shared {
+    /// The current engine snapshot.
+    fn engine(&self) -> Arc<ScoringEngine> {
+        Arc::clone(&self.engine.read().expect("engine lock poisoned"))
+    }
+
+    /// Flags shutdown (idempotent) and wakes the blocked acceptor with a
+    /// throwaway self-connection.
+    fn trigger_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        drop(TcpStream::connect(self.listen_addr));
+    }
+}
+
+/// A running online-detection server. Dropping the struct does not stop
+/// the threads; call [`Server::shutdown`] (or serve a
+/// `POST /admin/shutdown` and then [`Server::join`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+/// A cloneable remote control for a running [`Server`] — safe to hand
+/// to supervisor threads while the owner blocks in [`Server::join`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolved, so port 0 shows the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.listen_addr
+    }
+
+    /// Starts a graceful shutdown without waiting for it to finish.
+    pub fn trigger_shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Batches the scorer has dispatched so far.
+    pub fn batches(&self) -> u64 {
+        self.shared.metrics.batches()
+    }
+
+    /// Frames scored so far.
+    pub fn frames_scored(&self) -> u64 {
+        self.shared.metrics.frames_scored()
+    }
+}
+
+impl Server {
+    /// Binds `config.addr` and spawns the acceptor, worker, and scorer
+    /// threads around `engine`. `bundle_path` is advertised by
+    /// `/healthz` and is the default target of `/admin/reload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the address cannot be bound.
+    pub fn start(
+        config: ServeConfig,
+        engine: ScoringEngine,
+        bundle_path: impl Into<String>,
+    ) -> Result<Self, String> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: BatchQueue::new(config.queue_frames),
+            config,
+            listen_addr: addr,
+            engine: RwLock::new(Arc::new(engine)),
+            bundle_path: Mutex::new(bundle_path.into()),
+            metrics: Metrics::new(),
+            active_conns: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+
+        let (conn_tx, conn_rx) = sync_channel::<TcpStream>(shared.config.max_conns.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gansec-serve-accept".into())
+                .spawn(move || accept_loop(&shared, &listener, &conn_tx))
+                .map_err(|e| format!("cannot spawn acceptor: {e}"))?
+        };
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let conn_rx = Arc::clone(&conn_rx);
+                std::thread::Builder::new()
+                    .name(format!("gansec-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &conn_rx))
+                    .map_err(|e| format!("cannot spawn worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gansec-serve-batcher".into())
+                .spawn(move || batcher_loop(&shared))
+                .map_err(|e| format!("cannot spawn batcher: {e}"))?
+        };
+
+        Ok(Self {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The bound address (resolved, so port 0 shows the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable remote control for this server.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Blocks until the server shuts down (via `POST /admin/shutdown`
+    /// or [`ServerHandle::trigger_shutdown`]), then drains and joins
+    /// every thread in teardown order.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            drop(acceptor.join());
+        }
+        for worker in self.workers.drain(..) {
+            drop(worker.join());
+        }
+        self.shared.queue.close();
+        if let Some(batcher) = self.batcher.take() {
+            drop(batcher.join());
+        }
+    }
+
+    /// Triggers a graceful shutdown and waits for the drain to finish.
+    pub fn shutdown(self) {
+        self.shared.trigger_shutdown();
+        self.join();
+    }
+}
+
+/// Accepts connections until shutdown: enforces the connection cap,
+/// stamps per-connection timeouts, and hands streams to the workers.
+/// Dropping `conn_tx` on exit is what releases the workers.
+fn accept_loop(shared: &Shared, listener: &TcpListener, conn_tx: &SyncSender<TcpStream>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        set_timeouts(&stream, &shared.config);
+        if shared.active_conns.load(Ordering::SeqCst) >= shared.config.max_conns.max(1) {
+            shared.metrics.observe_over_capacity();
+            http::write_error(
+                &mut stream,
+                503,
+                "connection capacity reached",
+                &[("Retry-After", "1".to_string())],
+            );
+            continue;
+        }
+        shared.active_conns.fetch_add(1, Ordering::SeqCst);
+        if conn_tx.send(stream).is_err() {
+            break;
+        }
+    }
+}
+
+fn set_timeouts(stream: &TcpStream, config: &ServeConfig) {
+    let to = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
+    drop(stream.set_read_timeout(to(config.read_timeout_ms)));
+    drop(stream.set_write_timeout(to(config.write_timeout_ms)));
+}
+
+/// Services connections off the shared channel until the acceptor drops
+/// its sender; each already-queued connection still gets a full reply,
+/// which is half of the graceful-drain guarantee.
+fn worker_loop(shared: &Shared, conn_rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        let stream = conn_rx.lock().expect("connection channel poisoned").recv();
+        let Ok(mut stream) = stream else { break };
+        handle_connection(shared, &mut stream);
+        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+    let started = Instant::now();
+    let request = match http::read_request(stream, shared.config.max_body_bytes) {
+        Ok(request) => request,
+        Err(ReadError::Disconnected) => return,
+        Err(ReadError::BadRequest(msg)) => {
+            http::write_error(stream, 400, &msg, &[]);
+            shared
+                .metrics
+                .observe_request("(malformed)", 400, started.elapsed());
+            return;
+        }
+        Err(ReadError::LengthRequired) => {
+            http::write_error(stream, 411, "Content-Length required", &[]);
+            shared
+                .metrics
+                .observe_request("(malformed)", 411, started.elapsed());
+            return;
+        }
+        Err(ReadError::PayloadTooLarge { declared, cap }) => {
+            http::write_error(
+                stream,
+                413,
+                &format!("declared body of {declared} bytes exceeds the {cap}-byte cap"),
+                &[],
+            );
+            shared
+                .metrics
+                .observe_request("(malformed)", 413, started.elapsed());
+            return;
+        }
+    };
+    route(shared, stream, &request, started);
+}
+
+/// `(label, allowed method)` for every published route; the label
+/// doubles as the metrics route tag.
+const ROUTES: &[(&str, &str)] = &[
+    ("/healthz", "GET"),
+    ("/metrics", "GET"),
+    ("/v1/score", "POST"),
+    ("/v1/detect", "POST"),
+    ("/v1/classify", "POST"),
+    ("/admin/reload", "POST"),
+    ("/admin/shutdown", "POST"),
+];
+
+/// The route table. Every known path gets a static metrics label; a
+/// known path with the wrong method is `405`, everything else `404`.
+fn route(shared: &Shared, stream: &mut TcpStream, request: &Request, started: Instant) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_health(shared, stream, started),
+        ("GET", "/metrics") => handle_metrics(shared, stream, started),
+        ("POST", "/v1/score") => handle_score(shared, stream, request, started),
+        ("POST", "/v1/detect") => handle_detect(shared, stream, request, started),
+        ("POST", "/v1/classify") => handle_classify(shared, stream, request, started),
+        ("POST", "/admin/reload") => handle_reload(shared, stream, request, started),
+        ("POST", "/admin/shutdown") => handle_shutdown(shared, stream, started),
+        (_, path) => match ROUTES.iter().find(|(label, _)| *label == path) {
+            Some(&(label, allowed)) => {
+                http::write_error(
+                    stream,
+                    405,
+                    &format!("use {allowed}"),
+                    &[("Allow", allowed.to_string())],
+                );
+                shared
+                    .metrics
+                    .observe_request(label, 405, started.elapsed());
+            }
+            None => {
+                http::write_error(stream, 404, &format!("no route {path}"), &[]);
+                shared
+                    .metrics
+                    .observe_request("(unknown)", 404, started.elapsed());
+            }
+        },
+    }
+}
+
+/// Serializes `body` and writes a JSON `200`; serialization failure
+/// degrades to a `500`.
+fn reply_json<T: serde::Serialize>(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    route: &'static str,
+    body: &T,
+    started: Instant,
+) {
+    match serde_json::to_string(body) {
+        Ok(json) => {
+            http::write_response(stream, 200, "application/json", json.as_bytes(), &[]);
+            shared
+                .metrics
+                .observe_request(route, 200, started.elapsed());
+        }
+        Err(e) => reply_error(
+            shared,
+            stream,
+            route,
+            500,
+            &format!("serialization failed: {e}"),
+            started,
+        ),
+    }
+}
+
+fn reply_error(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    route: &'static str,
+    status: u16,
+    message: &str,
+    started: Instant,
+) {
+    if status == 503 {
+        // Backpressure replies tell well-behaved clients when to retry.
+        http::write_error(stream, status, message, &[("Retry-After", "1".to_string())]);
+    } else {
+        http::write_error(stream, status, message, &[]);
+    }
+    shared
+        .metrics
+        .observe_request(route, status, started.elapsed());
+}
+
+fn handle_health(shared: &Shared, stream: &mut TcpStream, started: Instant) {
+    let engine = shared.engine();
+    let body = HealthResponse {
+        status: "ok".to_string(),
+        bundle: shared
+            .bundle_path
+            .lock()
+            .expect("bundle path poisoned")
+            .clone(),
+        schema_version: engine.schema_version(),
+        seed: engine.seed(),
+        config_fingerprint: format!("{:016x}", engine.config_fingerprint()),
+        threshold: engine.threshold(),
+    };
+    reply_json(shared, stream, "/healthz", &body, started);
+}
+
+fn handle_metrics(shared: &Shared, stream: &mut TcpStream, started: Instant) {
+    let text = shared.metrics.render(
+        shared.queue.depth_frames(),
+        shared.active_conns.load(Ordering::SeqCst),
+    );
+    http::write_response(
+        stream,
+        200,
+        "text/plain; version=0.0.4",
+        text.as_bytes(),
+        &[],
+    );
+    shared
+        .metrics
+        .observe_request("/metrics", 200, started.elapsed());
+}
+
+/// Parses and shape-checks a score/detect body against the current
+/// engine, returning flattened rows ready for the batch queue.
+fn parse_scoring_body(
+    body: &[u8],
+    engine: &ScoringEngine,
+) -> Result<(Vec<f64>, Vec<f64>, usize), (u16, String)> {
+    let req: ScoreRequest =
+        serde_json::from_slice(body).map_err(|e| (400, format!("invalid JSON body: {e}")))?;
+    let frame_width = engine.config().n_bins;
+    let cond_width = engine.config().encoding.dim();
+    if req.frames.len() != req.conds.len() {
+        return Err((
+            422,
+            format!(
+                "{} frames but {} claimed conditions",
+                req.frames.len(),
+                req.conds.len()
+            ),
+        ));
+    }
+    let rows = req.frames.len();
+    let mut features = Vec::with_capacity(rows * frame_width);
+    let mut conds = Vec::with_capacity(rows * cond_width);
+    for (i, frame) in req.frames.iter().enumerate() {
+        if frame.len() != frame_width {
+            return Err((
+                422,
+                format!(
+                    "frame {i} is {} wide; the serving bundle frames are {frame_width} bins",
+                    frame.len()
+                ),
+            ));
+        }
+        features.extend_from_slice(frame);
+    }
+    for (i, cond) in req.conds.iter().enumerate() {
+        if cond.len() != cond_width {
+            return Err((
+                422,
+                format!(
+                    "condition {i} is {} wide; the serving encoding is {cond_width} wide",
+                    cond.len()
+                ),
+            ));
+        }
+        conds.extend_from_slice(cond);
+    }
+    Ok((features, conds, rows))
+}
+
+/// Submits flattened rows to the batch queue and blocks for the scores.
+fn score_via_queue(
+    shared: &Shared,
+    features: Vec<f64>,
+    conds: Vec<f64>,
+    rows: usize,
+) -> Result<Vec<f64>, (u16, String)> {
+    let (reply_tx, reply_rx) = sync_channel(1);
+    let job = ScoreJob {
+        features,
+        conds,
+        rows,
+        reply: reply_tx,
+    };
+    match shared.queue.submit(job) {
+        Ok(()) => {}
+        Err(SubmitError::QueueFull { depth, capacity }) => {
+            shared.metrics.observe_queue_full();
+            return Err((
+                503,
+                format!("scoring queue full ({depth} of {capacity} frames); retry shortly"),
+            ));
+        }
+        Err(SubmitError::TooLarge { rows, capacity }) => {
+            return Err((
+                422,
+                format!(
+                    "request holds {rows} frames but the queue admits at most {capacity}; \
+                     split the request"
+                ),
+            ));
+        }
+        Err(SubmitError::Closed) => {
+            return Err((503, "server is shutting down".to_string()));
+        }
+    }
+    match reply_rx.recv() {
+        Ok(Ok(scores)) => Ok(scores),
+        Ok(Err(msg)) => Err((409, msg)),
+        Err(_) => Err((500, "scorer thread went away".to_string())),
+    }
+}
+
+fn handle_score(shared: &Shared, stream: &mut TcpStream, request: &Request, started: Instant) {
+    let engine = shared.engine();
+    let (features, conds, rows) = match parse_scoring_body(&request.body, &engine) {
+        Ok(parsed) => parsed,
+        Err((status, msg)) => {
+            return reply_error(shared, stream, "/v1/score", status, &msg, started)
+        }
+    };
+    if rows == 0 {
+        return reply_json(
+            shared,
+            stream,
+            "/v1/score",
+            &ScoreResponse { scores: vec![] },
+            started,
+        );
+    }
+    match score_via_queue(shared, features, conds, rows) {
+        Ok(scores) => reply_json(
+            shared,
+            stream,
+            "/v1/score",
+            &ScoreResponse { scores },
+            started,
+        ),
+        Err((status, msg)) => reply_error(shared, stream, "/v1/score", status, &msg, started),
+    }
+}
+
+fn handle_detect(shared: &Shared, stream: &mut TcpStream, request: &Request, started: Instant) {
+    let engine = shared.engine();
+    let (features, conds, rows) = match parse_scoring_body(&request.body, &engine) {
+        Ok(parsed) => parsed,
+        Err((status, msg)) => {
+            return reply_error(shared, stream, "/v1/detect", status, &msg, started)
+        }
+    };
+    if rows == 0 {
+        let body = DetectResponse {
+            threshold: engine.threshold(),
+            flagged: 0,
+            scores: vec![],
+            verdicts: vec![],
+        };
+        return reply_json(shared, stream, "/v1/detect", &body, started);
+    }
+    match score_via_queue(shared, features, conds, rows) {
+        Ok(scores) => {
+            // Verdicts come from the engine snapshot taken at request
+            // time, matching what the batch was scored against.
+            let verdicts: Vec<bool> = scores.iter().map(|&s| engine.is_attack(s)).collect();
+            let body = DetectResponse {
+                threshold: engine.threshold(),
+                flagged: verdicts.iter().filter(|&&v| v).count(),
+                scores,
+                verdicts,
+            };
+            reply_json(shared, stream, "/v1/detect", &body, started);
+        }
+        Err((status, msg)) => reply_error(shared, stream, "/v1/detect", status, &msg, started),
+    }
+}
+
+fn handle_classify(shared: &Shared, stream: &mut TcpStream, request: &Request, started: Instant) {
+    let req: ClassifyRequest = match serde_json::from_slice(&request.body) {
+        Ok(req) => req,
+        Err(e) => {
+            return reply_error(
+                shared,
+                stream,
+                "/v1/classify",
+                400,
+                &format!("invalid JSON body: {e}"),
+                started,
+            )
+        }
+    };
+    let engine = shared.engine();
+    let frame_width = engine.config().n_bins;
+    for (i, frame) in req.frames.iter().enumerate() {
+        if frame.len() != frame_width {
+            return reply_error(
+                shared,
+                stream,
+                "/v1/classify",
+                422,
+                &format!(
+                    "frame {i} is {} wide; the serving bundle frames are {frame_width} bins",
+                    frame.len()
+                ),
+                started,
+            );
+        }
+    }
+    let rows = req.frames.len();
+    let flat: Vec<f64> = req.frames.into_iter().flatten().collect();
+    let Ok(features) = Matrix::from_vec(rows, frame_width, flat) else {
+        return reply_error(
+            shared,
+            stream,
+            "/v1/classify",
+            500,
+            "shape assembly failed",
+            started,
+        );
+    };
+    let detail = engine.classify_frames_detailed(&features);
+    let body = ClassifyResponse {
+        conditions: detail.conditions,
+        log_likelihoods: detail.log_likelihoods,
+    };
+    reply_json(shared, stream, "/v1/classify", &body, started);
+}
+
+/// Loads, lints, and strictly validates a bundle for hot reload. Both
+/// gates must pass before the engine swap — a tampered or incompatible
+/// artifact never replaces a healthy one.
+fn load_reload_bundle(path: &str) -> Result<ModelBundle, String> {
+    let bundle = ModelBundle::load_unchecked(path).map_err(|e| format!("{path}: {e}"))?;
+    let report =
+        gansec_lint::check(&gansec_lint::CheckInput::new().with_bundle(bundle.lint_spec(None)));
+    if !report.is_clean() {
+        let first = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.severity == gansec_lint::Severity::Error)
+            .map_or_else(|| "unknown defect".to_string(), ToString::to_string);
+        return Err(format!("{path}: rejected by lint: {first}"));
+    }
+    bundle.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(bundle)
+}
+
+fn handle_reload(shared: &Shared, stream: &mut TcpStream, request: &Request, started: Instant) {
+    let req: ReloadRequest = if request.body.is_empty() {
+        ReloadRequest::default()
+    } else {
+        match serde_json::from_slice(&request.body) {
+            Ok(req) => req,
+            Err(e) => {
+                return reply_error(
+                    shared,
+                    stream,
+                    "/admin/reload",
+                    400,
+                    &format!("invalid JSON body: {e}"),
+                    started,
+                )
+            }
+        }
+    };
+    let path = req.bundle.unwrap_or_else(|| {
+        shared
+            .bundle_path
+            .lock()
+            .expect("bundle path poisoned")
+            .clone()
+    });
+    match load_reload_bundle(&path) {
+        Ok(bundle) => {
+            let body = ReloadResponse {
+                bundle: path.clone(),
+                schema_version: bundle.schema_version,
+                seed: bundle.seed,
+                config_fingerprint: format!("{:016x}", bundle.config_fingerprint),
+            };
+            let engine = Arc::new(ScoringEngine::from_bundle(bundle));
+            *shared.engine.write().expect("engine lock poisoned") = engine;
+            *shared.bundle_path.lock().expect("bundle path poisoned") = path;
+            shared.metrics.observe_reload();
+            reply_json(shared, stream, "/admin/reload", &body, started);
+        }
+        Err(msg) => reply_error(shared, stream, "/admin/reload", 422, &msg, started),
+    }
+}
+
+fn handle_shutdown(shared: &Shared, stream: &mut TcpStream, started: Instant) {
+    // Reply first: once the drain starts this connection still deserves
+    // its acknowledgment.
+    http::write_response(
+        stream,
+        200,
+        "application/json",
+        b"{\"status\":\"shutting down\"}",
+        &[],
+    );
+    shared
+        .metrics
+        .observe_request("/admin/shutdown", 200, started.elapsed());
+    shared.trigger_shutdown();
+}
+
+/// The scorer thread: drain → validate against the current engine →
+/// one block-parallel `score_frames` call → scatter replies.
+fn batcher_loop(shared: &Shared) {
+    let linger = Duration::from_millis(shared.config.batch_linger_ms);
+    let max_batch = shared.config.max_batch.max(1);
+    while let Some(batch) = shared.queue.drain(max_batch, linger) {
+        if batch.is_empty() {
+            continue;
+        }
+        let engine = shared.engine();
+        let frame_width = engine.config().n_bins;
+        let cond_width = engine.config().encoding.dim();
+
+        // A reload between submit and drain can change the expected
+        // widths; such jobs are rejected instead of panicking mid-batch.
+        let mut jobs = Vec::with_capacity(batch.len());
+        let mut rows = 0usize;
+        for job in batch {
+            if job.features.len() == job.rows * frame_width
+                && job.conds.len() == job.rows * cond_width
+            {
+                rows += job.rows;
+                jobs.push(job);
+            } else {
+                drop(job.reply.try_send(Err(
+                    "bundle reloaded with different dimensions; re-shape the request".to_string(),
+                )));
+            }
+        }
+        if jobs.is_empty() {
+            continue;
+        }
+
+        let mut features = Vec::with_capacity(rows * frame_width);
+        let mut conds = Vec::with_capacity(rows * cond_width);
+        for job in &jobs {
+            features.extend_from_slice(&job.features);
+            conds.extend_from_slice(&job.conds);
+        }
+        let (Ok(feature_matrix), Ok(cond_matrix)) = (
+            Matrix::from_vec(rows, frame_width, features),
+            Matrix::from_vec(rows, cond_width, conds),
+        ) else {
+            for job in jobs {
+                drop(
+                    job.reply
+                        .try_send(Err("batch shape assembly failed".to_string())),
+                );
+            }
+            continue;
+        };
+        let scores = engine.score_frames(&feature_matrix, &cond_matrix);
+        shared.metrics.observe_batch(rows, jobs.len());
+        let mut offset = 0usize;
+        for job in jobs {
+            let slice = scores[offset..offset + job.rows].to_vec();
+            offset += job.rows;
+            drop(job.reply.try_send(Ok(slice)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use gansec::{GanSecPipeline, PipelineConfig};
+
+    fn json_roundtrip_available() -> bool {
+        serde_json::from_str::<serde_json::Value>("null").is_ok()
+    }
+
+    fn smoke_engine() -> ScoringEngine {
+        let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+        let stage = pipeline.train_stage(3).expect("smoke training");
+        ScoringEngine::from_bundle(stage.to_bundle())
+    }
+
+    fn test_server() -> Server {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        Server::start(config, smoke_engine(), "test-bundle.json").expect("server starts")
+    }
+
+    #[test]
+    fn routes_and_drains_gracefully() {
+        let server = test_server();
+        let addr = server.addr();
+
+        let missing = client::get(addr, "/nope").expect("roundtrip");
+        assert_eq!(missing.status, 404);
+        let wrong_method = client::get(addr, "/v1/score").expect("roundtrip");
+        assert_eq!(wrong_method.status, 405);
+        let metrics = client::get(addr, "/metrics").expect("roundtrip");
+        assert_eq!(metrics.status, 200);
+        let text = String::from_utf8(metrics.body).expect("utf8");
+        assert!(text.contains("gansec_serve_requests_total"));
+
+        let handle = server.handle();
+        handle.trigger_shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn scores_via_http_match_the_engine() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let engine = smoke_engine();
+        let pipeline = GanSecPipeline::new(engine.config().clone());
+        let (_, test) = pipeline.datasets(engine.seed()).expect("datasets");
+        let server = test_server();
+        let addr = server.addr();
+
+        let n = test.len().min(6);
+        let frames: Vec<Vec<f64>> = (0..n).map(|i| test.features().row(i).to_vec()).collect();
+        let conds: Vec<Vec<f64>> = (0..n).map(|i| test.conds().row(i).to_vec()).collect();
+        let body = serde_json::to_vec(&ScoreRequest {
+            frames: frames.clone(),
+            conds: conds.clone(),
+        })
+        .expect("serialize");
+        let reply = client::post(addr, "/v1/score", &body).expect("roundtrip");
+        assert_eq!(
+            reply.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&reply.body)
+        );
+        let scored: ScoreResponse = serde_json::from_slice(&reply.body).expect("parse");
+        assert_eq!(scored.scores.len(), n);
+        for i in 0..n {
+            assert_eq!(
+                scored.scores[i].to_bits(),
+                engine.score_frame(&frames[i], &conds[i]).to_bits(),
+                "frame {i}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shape_mismatches_are_422() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let server = test_server();
+        let addr = server.addr();
+        let body = serde_json::to_vec(&ScoreRequest {
+            frames: vec![vec![0.0; 2]],
+            conds: vec![vec![0.0; 2]],
+        })
+        .expect("serialize");
+        let reply = client::post(addr, "/v1/score", &body).expect("roundtrip");
+        assert_eq!(reply.status, 422);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_the_server() {
+        let server = test_server();
+        let addr = server.addr();
+        let ack = client::post(addr, "/admin/shutdown", b"").expect("roundtrip");
+        assert_eq!(ack.status, 200);
+        // join returns because the endpoint triggered the drain.
+        server.join();
+        assert!(client::get(addr, "/healthz").is_err());
+    }
+}

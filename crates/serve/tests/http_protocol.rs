@@ -1,0 +1,112 @@
+//! HTTP-layer conformance against a live server: every malformed or
+//! misdirected request maps to the documented status code, over raw TCP
+//! so nothing in the client library can paper over framing bugs.
+//!
+//! These paths never deserialize a bundle from disk and only exercise
+//! JSON *rejection*, so they hold in offline stub-JSON builds too.
+
+#![allow(clippy::unwrap_used)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use gansec::{GanSecPipeline, PipelineConfig};
+use gansec_engine::ScoringEngine;
+use gansec_serve::{ServeConfig, Server};
+
+fn smoke_server() -> Server {
+    let stage = GanSecPipeline::new(PipelineConfig::smoke_test())
+        .train_stage(3)
+        .expect("smoke training");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        max_body_bytes: 4096,
+        ..ServeConfig::default()
+    };
+    Server::start(
+        config,
+        ScoringEngine::from_bundle(stage.to_bundle()),
+        "protocol-test.json",
+    )
+    .expect("server starts")
+}
+
+/// Sends raw bytes and returns `(status, reply)`; the server closes the
+/// connection after one response, so read-to-end frames it.
+fn raw_roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw).expect("write");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read");
+    let text = String::from_utf8_lossy(&reply).to_string();
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable reply {text:?}"));
+    (status, text)
+}
+
+#[test]
+fn protocol_errors_map_to_the_documented_statuses() {
+    let server = smoke_server();
+    let addr = server.addr();
+
+    // Malformed request line: not `METHOD /path HTTP/1.x`.
+    let (status, _) = raw_roundtrip(addr, b"NONSENSE\r\n\r\n");
+    assert_eq!(status, 400);
+    let (status, _) = raw_roundtrip(addr, b"GET noslash HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 400);
+    let (status, _) = raw_roundtrip(addr, b"GET /healthz SPDY/3\r\n\r\n");
+    assert_eq!(status, 400);
+
+    // Declared body past the cap: rejected before reading the payload.
+    let (status, body) = raw_roundtrip(
+        addr,
+        b"POST /v1/score HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+    );
+    assert_eq!(status, 413);
+    assert!(body.contains("4096"), "{body}");
+
+    // Unknown route.
+    let (status, _) = raw_roundtrip(addr, b"GET /nope HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 404);
+
+    // Known route, wrong method: 405 with an Allow header.
+    let (status, reply) = raw_roundtrip(addr, b"GET /v1/score HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 405);
+    assert!(reply.contains("Allow: POST"), "{reply}");
+    let (status, reply) =
+        raw_roundtrip(addr, b"POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status, 405);
+    assert!(reply.contains("Allow: GET"), "{reply}");
+
+    // A POST that never declares a length.
+    let (status, _) = raw_roundtrip(addr, b"POST /v1/score HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 411);
+
+    // Truncated JSON: the framing is fine (Content-Length matches the
+    // bytes sent) but the document ends mid-array.
+    let body = b"{\"frames\": [[0.1,";
+    let head = format!(
+        "POST /v1/score HTTP/1.1\r\nContent-Length: {}\r\nContent-Type: application/json\r\n\r\n",
+        body.len()
+    );
+    let mut raw = head.into_bytes();
+    raw.extend_from_slice(body);
+    let (status, reply) = raw_roundtrip(addr, &raw);
+    assert_eq!(status, 400, "{reply}");
+    assert!(reply.contains("invalid JSON"), "{reply}");
+
+    // Every reply above closed the connection (read_to_end returned),
+    // and the server is still healthy afterwards.
+    let (status, _) = raw_roundtrip(addr, b"GET /metrics HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+}

@@ -1,0 +1,272 @@
+//! Acceptance tests for the online-detection server: scores served over
+//! HTTP are bit-identical to offline [`ScoringEngine`] calls under
+//! concurrent load, the batcher actually co-batches concurrent
+//! requests (visible in `/metrics`), and a hot reload swaps bundles
+//! without dropping in-flight work.
+//!
+//! Everything here round-trips real JSON, so the whole file gates on
+//! the deserializer probe (offline stub builds skip it).
+
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
+use std::net::SocketAddr;
+use std::thread;
+
+use gansec::{GanSecPipeline, PipelineConfig};
+use gansec_engine::ScoringEngine;
+use gansec_serve::api::{
+    DetectResponse, ReloadRequest, ReloadResponse, ScoreRequest, ScoreResponse,
+};
+use gansec_serve::{client, ServeConfig, Server};
+
+fn json_roundtrip_available() -> bool {
+    serde_json::from_str::<serde_json::Value>("null").is_ok()
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("gansec-serve-online-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// Trains one smoke bundle and returns `(reference engine, server)`
+/// built from two independent copies of the same sealed bundle, plus
+/// the held-out split the scores are checked on.
+fn smoke_fixture(
+    seed: u64,
+    config: ServeConfig,
+) -> (ScoringEngine, Server, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+    let stage = pipeline.train_stage(seed).expect("smoke training");
+    let engine = ScoringEngine::from_bundle(stage.to_bundle());
+    let server = Server::start(
+        config,
+        ScoringEngine::from_bundle(stage.to_bundle()),
+        "serve-online-test.json",
+    )
+    .expect("server starts");
+    let (_, test) = pipeline.datasets(seed).expect("datasets");
+    let frames: Vec<Vec<f64>> = (0..test.len())
+        .map(|i| test.features().row(i).to_vec())
+        .collect();
+    let conds: Vec<Vec<f64>> = (0..test.len())
+        .map(|i| test.conds().row(i).to_vec())
+        .collect();
+    (engine, server, frames, conds)
+}
+
+fn post_score(addr: SocketAddr, frames: &[Vec<f64>], conds: &[Vec<f64>]) -> ScoreResponse {
+    let body = serde_json::to_vec(&ScoreRequest {
+        frames: frames.to_vec(),
+        conds: conds.to_vec(),
+    })
+    .expect("serialize");
+    let reply = client::post(addr, "/v1/score", &body).expect("roundtrip");
+    assert_eq!(
+        reply.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&reply.body)
+    );
+    serde_json::from_slice(&reply.body).expect("parse")
+}
+
+/// Pulls the value of a single-sample counter out of the Prometheus
+/// exposition text.
+fn counter(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} missing from:\n{metrics}"))
+        .trim()
+        .parse()
+        .expect("counter value")
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_scores_and_requests_co_batch() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    // A generous linger so the four clients' requests land in shared
+    // batches; correctness must hold regardless, the linger only makes
+    // the co-batching counter deterministic enough to assert on.
+    let (engine, server, frames, conds) = smoke_fixture(
+        11,
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            batch_linger_ms: 50,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let expected: Vec<u64> = frames
+        .iter()
+        .zip(&conds)
+        .map(|(f, c)| engine.score_frame(f, c).to_bits())
+        .collect();
+
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 3;
+    let results = thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client_id| {
+                let frames = &frames;
+                let conds = &conds;
+                scope.spawn(move || {
+                    // Each client walks a different rotation of the
+                    // held-out split so batches mix rows from several
+                    // requests, repeatedly.
+                    let mut seen = Vec::new();
+                    for round in 0..ROUNDS {
+                        let start = (client_id + round) % frames.len();
+                        let order: Vec<usize> = (0..frames.len())
+                            .map(|i| (start + i) % frames.len())
+                            .collect();
+                        let f: Vec<Vec<f64>> = order.iter().map(|&i| frames[i].clone()).collect();
+                        let c: Vec<Vec<f64>> = order.iter().map(|&i| conds[i].clone()).collect();
+                        let scored = post_score(addr, &f, &c);
+                        assert_eq!(scored.scores.len(), order.len());
+                        seen.push((order, scored.scores));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect::<Vec<_>>()
+    });
+
+    for per_client in &results {
+        for (order, scores) in per_client {
+            for (pos, &row) in order.iter().enumerate() {
+                assert_eq!(
+                    scores[pos].to_bits(),
+                    expected[row],
+                    "row {row} served != offline"
+                );
+            }
+        }
+    }
+
+    // The batcher must have run, and with four clients under a 50 ms
+    // linger at least some requests must have shared a batch.
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    let text = String::from_utf8(metrics.body).expect("utf8");
+    assert!(counter(&text, "gansec_serve_batches_total") > 0.0);
+    assert!(
+        counter(&text, "gansec_serve_batched_requests_total") > 0.0,
+        "no request was ever co-batched:\n{text}"
+    );
+    let frames_scored = counter(&text, "gansec_serve_frames_scored_total");
+    assert_eq!(frames_scored as usize, CLIENTS * ROUNDS * frames.len());
+
+    server.shutdown();
+}
+
+#[test]
+fn detect_endpoint_applies_the_bundled_threshold() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    let (engine, server, frames, conds) = smoke_fixture(
+        17,
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    let body = serde_json::to_vec(&ScoreRequest {
+        frames: frames.clone(),
+        conds: conds.clone(),
+    })
+    .expect("serialize");
+    let reply = client::post(addr, "/v1/detect", &body).expect("roundtrip");
+    assert_eq!(
+        reply.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&reply.body)
+    );
+    let detected: DetectResponse = serde_json::from_slice(&reply.body).expect("parse");
+
+    assert_eq!(detected.threshold, engine.threshold());
+    assert_eq!(detected.scores.len(), frames.len());
+    let mut flagged = 0usize;
+    for (i, (&score, &verdict)) in detected.scores.iter().zip(&detected.verdicts).enumerate() {
+        assert_eq!(
+            score.to_bits(),
+            engine.score_frame(&frames[i], &conds[i]).to_bits()
+        );
+        assert_eq!(verdict, engine.is_attack(score), "frame {i}");
+        flagged += usize::from(verdict);
+    }
+    assert_eq!(detected.flagged, flagged);
+
+    server.shutdown();
+}
+
+#[test]
+fn hot_reload_swaps_bundles_and_keeps_serving() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    let (_, server, frames, conds) = smoke_fixture(
+        5,
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let before = post_score(addr, &frames, &conds);
+
+    // Seal a differently-seeded bundle to disk and hot-swap it in.
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+    let stage = pipeline.train_stage(6).expect("smoke training");
+    let replacement = stage.to_bundle();
+    let path = temp_path("replacement.json");
+    replacement.save(&path).expect("save bundle");
+
+    let req = ReloadRequest {
+        bundle: Some(path.display().to_string()),
+    };
+    let reply = client::post(
+        addr,
+        "/admin/reload",
+        &serde_json::to_vec(&req).expect("serialize"),
+    )
+    .expect("roundtrip");
+    assert_eq!(
+        reply.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&reply.body)
+    );
+    let ack: ReloadResponse = serde_json::from_slice(&reply.body).expect("parse");
+    assert_eq!(ack.seed, 6);
+
+    // The health endpoint reports the new provenance and served scores
+    // now track the replacement engine, still bit-exactly.
+    let health = client::get(addr, "/healthz").expect("health");
+    assert!(String::from_utf8_lossy(&health.body).contains(&path.display().to_string()));
+    let swapped = ScoringEngine::from_bundle(replacement);
+    let after = post_score(addr, &frames, &conds);
+    assert_ne!(before.scores, after.scores, "reload must change the model");
+    for (i, &score) in after.scores.iter().enumerate() {
+        assert_eq!(
+            score.to_bits(),
+            swapped.score_frame(&frames[i], &conds[i]).to_bits()
+        );
+    }
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
