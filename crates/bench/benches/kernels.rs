@@ -12,8 +12,8 @@ use rand::SeedableRng;
 
 use gansec::{GanSecPipeline, PipelineConfig, ScoreScratch};
 use gansec_amsim::{calibration_pattern, printer_architecture, Kinematics, PrinterSim};
-use gansec_engine::ScoringEngine;
 use gansec_dsp::{fft_real, FeatureExtractor, FrequencyBins, ScalingKind};
+use gansec_engine::ScoringEngine;
 use gansec_gan::{Cgan, CganConfig, PairedData};
 use gansec_stats::ParzenWindow;
 use gansec_tensor::Matrix;
@@ -230,7 +230,7 @@ fn bench_engine_scoring(c: &mut Criterion) {
         })
     });
     group.bench_function(format!("engine_score_frames_{}", features.rows()), |b| {
-        b.iter(|| black_box(engine.score_frames(black_box(features), black_box(conds))))
+        b.iter(|| black_box(engine.score_frames_unchecked(black_box(features), black_box(conds))))
     });
     let detector = engine.detector();
     let mut scratch = ScoreScratch::default();

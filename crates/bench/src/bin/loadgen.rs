@@ -8,7 +8,8 @@
 //! (`paper` for the full configuration, anything else the fast one);
 //! the load shape is overridable from the environment too:
 //! `LOADGEN_CLIENTS`, `LOADGEN_REQUESTS` (per client), `LOADGEN_FRAMES`
-//! (per request), and `LOADGEN_OUT` for the report path.
+//! (per request), `LOADGEN_RETRIES` (`503` retries per request), and
+//! `LOADGEN_OUT` for the report path.
 
 use gansec::{GanSecPipeline, PipelineConfig};
 use gansec_bench::Scale;
@@ -36,6 +37,7 @@ fn main() {
         clients: env_usize("LOADGEN_CLIENTS", 4),
         requests_per_client: env_usize("LOADGEN_REQUESTS", 100),
         frames_per_request: env_usize("LOADGEN_FRAMES", 16),
+        max_retries: env_usize("LOADGEN_RETRIES", 4) as u32,
     };
     let out = std::env::var("LOADGEN_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
 
@@ -67,10 +69,11 @@ fn main() {
     let report = outcome.expect("load run completes");
 
     println!(
-        "{} ok / {} rejected / {} failed; {:.0} frames/s; p50 {:.3} ms, p99 {:.3} ms",
+        "{} ok / {} rejected / {} failed ({} retries); {:.0} frames/s; p50 {:.3} ms, p99 {:.3} ms",
         report.ok_requests,
         report.rejected_requests,
         report.failed_requests,
+        report.retries,
         report.throughput_fps,
         report.p50_ms,
         report.p99_ms

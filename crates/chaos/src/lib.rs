@@ -1,0 +1,552 @@
+//! # gansec-chaos
+//!
+//! Deterministic fault injection for the serving stack. A [`ChaosPlan`]
+//! is a seeded JSON document naming *exactly* which faults fire and
+//! when — "panic the scorer at batch 2", "fail the next reload", "turn
+//! one frame of batch 3 into NaN" — so every recovery path in
+//! `gansec-serve` (watchdog restart, circuit breaker, quarantine,
+//! degraded health) is exercised by tests instead of trusted on faith.
+//!
+//! Two halves:
+//!
+//! * **Server-side plans** — [`ChaosPlan`] / [`ChaosState`]: compiled
+//!   into the server behind its `chaos` cargo feature and consulted at
+//!   two injection points (the scorer's per-batch hook, the reload
+//!   path). Production builds compile none of this in.
+//! * **Client-side faults** — [`slowloris`], [`abort_mid_request`],
+//!   [`FlakyWriter`]: misbehaving peers and flaky I/O for tests to
+//!   throw at a real listener. These need no server cooperation.
+//!
+//! Everything is deterministic under the plan's `seed`: the only
+//! randomness is a [`splitmix64`] stream used to choose *which* value
+//! corrupts and *what* non-finite poison it becomes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// The splitmix64 mixer: the workspace's standard cheap deterministic
+/// stream (also used for per-pair seed derivation in the core crate).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One fault in a plan. `at_batch` counts the scorer's dispatched
+/// batches from zero, *including* the batch the fault fires on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case", deny_unknown_fields)]
+pub enum FaultSpec {
+    /// Panic the scorer thread when it picks up batch `at_batch`.
+    ScorerPanic {
+        /// Zero-based batch index the panic fires on.
+        at_batch: u64,
+    },
+    /// Stall the scorer for `hang_ms` at batch `at_batch` — long enough
+    /// (past the configured stall threshold) to look like a hang.
+    ScorerHang {
+        /// Zero-based batch index the stall fires on.
+        at_batch: u64,
+        /// How long the scorer sleeps mid-batch, in milliseconds.
+        hang_ms: u64,
+    },
+    /// Corrupt one value of the *assembled* batch matrix at `at_batch`,
+    /// after per-job validation — the engine's own output/input checks
+    /// must catch it, which is the circuit-breaker failure path.
+    PoisonBatch {
+        /// Zero-based batch index the corruption fires on.
+        at_batch: u64,
+        /// How many consecutive batches to poison (default 1).
+        #[serde(default = "one")]
+        count: u64,
+    },
+    /// Corrupt one value of the first *job* in batch `at_batch`, before
+    /// per-job validation — the quarantine path must reject exactly that
+    /// job with a typed non-finite-input error.
+    CorruptJob {
+        /// Zero-based batch index the corruption fires on.
+        at_batch: u64,
+    },
+    /// Delay the next `count` bundle reloads by `delay_ms` each — a slow
+    /// artifact store.
+    ReloadDelay {
+        /// Added latency per reload, in milliseconds.
+        delay_ms: u64,
+        /// How many reloads to slow down.
+        count: u64,
+    },
+    /// Fail the next `count` bundle reloads outright — a torn or
+    /// unreadable artifact.
+    ReloadFail {
+        /// How many reloads to fail.
+        count: u64,
+    },
+}
+
+fn one() -> u64 {
+    1
+}
+
+/// A seeded, declarative fault schedule, loaded from JSON by
+/// `gansec serve --chaos-plan <file>` (chaos builds only).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ChaosPlan {
+    /// Seed of the corruption-value stream; two runs of the same plan
+    /// inject bit-identical poison.
+    pub seed: u64,
+    /// The faults, in any order; batch indices decide firing time.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl ChaosPlan {
+    /// Parses a plan from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O or parse failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        serde_json::from_str(&raw).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Compiles the plan into runtime state.
+    pub fn into_state(self) -> ChaosState {
+        let mut reload_delay = None;
+        let mut reload_fails = 0u64;
+        for fault in &self.faults {
+            match *fault {
+                FaultSpec::ReloadDelay { delay_ms, count } => {
+                    reload_delay = Some((Duration::from_millis(delay_ms), count));
+                }
+                FaultSpec::ReloadFail { count } => reload_fails += count,
+                _ => {}
+            }
+        }
+        ChaosState {
+            batch: AtomicU64::new(0),
+            rng: Mutex::new(self.seed),
+            faults: self.faults,
+            reload_delay: Mutex::new(reload_delay),
+            reload_fails: AtomicU64::new(reload_fails),
+        }
+    }
+}
+
+/// What the scorer must do with the batch it just picked up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchFault {
+    /// Proceed normally.
+    None,
+    /// Panic now (the watchdog-restart drill).
+    Panic,
+    /// Sleep this long mid-batch (the stall-detection drill).
+    Hang(Duration),
+    /// Poison one value of the assembled batch matrix.
+    PoisonBatch,
+    /// Poison one value of the first job, pre-validation.
+    CorruptJob,
+}
+
+/// What a reload attempt must suffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReloadFault {
+    /// Proceed normally.
+    None,
+    /// Sleep this long first (slow artifact store).
+    Delay(Duration),
+    /// Fail the reload outright.
+    Fail,
+}
+
+/// Compiled, thread-safe runtime state of one [`ChaosPlan`]. The server
+/// holds one behind an `Arc` and consults it at each injection point.
+#[derive(Debug)]
+pub struct ChaosState {
+    /// Batches the scorer has picked up (monotone across restarts).
+    batch: AtomicU64,
+    /// splitmix64 stream for corruption sites and values.
+    rng: Mutex<u64>,
+    faults: Vec<FaultSpec>,
+    reload_delay: Mutex<Option<(Duration, u64)>>,
+    reload_fails: AtomicU64,
+}
+
+impl ChaosState {
+    /// Called by the scorer once per picked-up batch; advances the batch
+    /// counter and returns the fault (if any) scheduled for it. When
+    /// several faults name the same batch, the most disruptive wins
+    /// (panic > hang > poison > corrupt).
+    pub fn next_batch(&self) -> BatchFault {
+        let b = self.batch.fetch_add(1, Ordering::SeqCst);
+        let mut fault = BatchFault::None;
+        for spec in &self.faults {
+            let candidate = match *spec {
+                FaultSpec::ScorerPanic { at_batch } if at_batch == b => BatchFault::Panic,
+                FaultSpec::ScorerHang { at_batch, hang_ms } if at_batch == b => {
+                    BatchFault::Hang(Duration::from_millis(hang_ms))
+                }
+                FaultSpec::PoisonBatch { at_batch, count }
+                    if b >= at_batch && b < at_batch + count =>
+                {
+                    BatchFault::PoisonBatch
+                }
+                FaultSpec::CorruptJob { at_batch } if at_batch == b => BatchFault::CorruptJob,
+                _ => continue,
+            };
+            if severity(candidate) > severity(fault) {
+                fault = candidate;
+            }
+        }
+        fault
+    }
+
+    /// Batches the scorer has picked up so far.
+    pub fn batches_seen(&self) -> u64 {
+        self.batch.load(Ordering::SeqCst)
+    }
+
+    /// Called by the reload path before loading; consumes scheduled
+    /// reload faults (failures before delays).
+    pub fn next_reload(&self) -> ReloadFault {
+        let fails = self.reload_fails.load(Ordering::SeqCst);
+        if fails > 0
+            && self
+                .reload_fails
+                .compare_exchange(fails, fails - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            return ReloadFault::Fail;
+        }
+        let mut delay = self
+            .reload_delay
+            .lock()
+            .expect("chaos reload lock poisoned");
+        if let Some((d, remaining)) = *delay {
+            if remaining > 0 {
+                *delay = Some((d, remaining - 1));
+                return ReloadFault::Delay(d);
+            }
+        }
+        ReloadFault::None
+    }
+
+    /// A deterministic index into a buffer of `len` values — where the
+    /// next corruption lands.
+    pub fn corruption_site(&self, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let mut rng = self.rng.lock().expect("chaos rng lock poisoned");
+        (splitmix64(&mut rng) % len as u64) as usize
+    }
+
+    /// The next non-finite poison value: alternates NaN and the two
+    /// infinities deterministically under the plan seed.
+    pub fn poison_value(&self) -> f64 {
+        let mut rng = self.rng.lock().expect("chaos rng lock poisoned");
+        match splitmix64(&mut rng) % 3 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Outcome of a [`slowloris`] attack run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowlorisOutcome {
+    /// Bytes the victim accepted before hanging up (or the cap).
+    pub bytes_written: usize,
+    /// Whether the server closed the connection on us — the defense
+    /// working.
+    pub server_hung_up: bool,
+}
+
+/// Drip-feeds an eternally unfinished request head at one byte per
+/// `interval`, up to `max_bytes`. A server with only per-read timeouts
+/// never times this connection out; one with an overall request
+/// deadline hangs up, which the outcome reports.
+///
+/// # Errors
+///
+/// Returns the connect error; write errors after connect are the
+/// expected server-hang-up signal, not failures.
+pub fn slowloris(
+    addr: SocketAddr,
+    interval: Duration,
+    max_bytes: usize,
+) -> io::Result<SlowlorisOutcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    // An endless header stream: a valid prefix that never terminates.
+    let head = b"POST /v1/score HTTP/1.1\r\nX-Drip: ";
+    let mut written = 0usize;
+    let mut hung_up = false;
+    while written < max_bytes {
+        let byte = [if written < head.len() {
+            head[written]
+        } else {
+            b'a'
+        }];
+        match stream.write_all(&byte) {
+            Ok(()) => written += 1,
+            Err(_) => {
+                hung_up = true;
+                break;
+            }
+        }
+        std::thread::sleep(interval);
+        // A closed peer surfaces as a read of 0 bytes / reset; probe
+        // non-destructively so the loop exits promptly after the server
+        // enforces its deadline.
+        let mut probe = [0u8; 1];
+        drop(stream.set_read_timeout(Some(Duration::from_millis(1))));
+        match stream.read(&mut probe) {
+            Ok(0) => {
+                hung_up = true;
+                break;
+            }
+            Ok(_) => {
+                // The server replied (an error response) — also a close.
+                hung_up = true;
+                break;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => {
+                hung_up = true;
+                break;
+            }
+        }
+    }
+    Ok(SlowlorisOutcome {
+        bytes_written: written,
+        server_hung_up: hung_up,
+    })
+}
+
+/// Connects, writes a partial request head, and drops the socket —
+/// a connection reset mid-request. Returns the bytes written.
+///
+/// # Errors
+///
+/// Returns the connect error.
+pub fn abort_mid_request(addr: SocketAddr) -> io::Result<usize> {
+    let mut stream = TcpStream::connect(addr)?;
+    let partial = b"POST /v1/score HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"fra";
+    let n = stream.write(partial)?;
+    drop(stream);
+    Ok(n)
+}
+
+/// An `io::Write` adapter that fails the first `failures` write calls
+/// with a transient error, then passes through — checkpoint/bundle
+/// writers must survive exactly this.
+#[derive(Debug)]
+pub struct FlakyWriter<W> {
+    inner: W,
+    failures: u32,
+}
+
+impl<W> FlakyWriter<W> {
+    /// Wraps `inner`, failing its first `failures` write calls.
+    pub fn new(inner: W, failures: u32) -> Self {
+        Self { inner, failures }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// Transient failures still pending.
+    pub fn remaining_failures(&self) -> u32 {
+        self.failures
+    }
+}
+
+impl<W: Write> Write for FlakyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.failures > 0 {
+            self.failures -= 1;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient write failure",
+            ));
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Ranks batch faults for same-batch conflicts.
+fn severity(f: BatchFault) -> u8 {
+    match f {
+        BatchFault::None => 0,
+        BatchFault::CorruptJob => 1,
+        BatchFault::PoisonBatch => 2,
+        BatchFault::Hang(_) => 3,
+        BatchFault::Panic => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json_roundtrip_available() -> bool {
+        serde_json::from_str::<serde_json::Value>("null").is_ok()
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let xs: Vec<u64> = (0..4).map(|_| splitmix64(&mut a)).collect();
+        let ys: Vec<u64> = (0..4).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn plan_parses_from_tagged_json() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let plan: ChaosPlan = serde_json::from_str(
+            r#"{"seed":7,"faults":[
+                {"kind":"scorer_panic","at_batch":1},
+                {"kind":"poison_batch","at_batch":2},
+                {"kind":"reload_fail","count":1},
+                {"kind":"scorer_hang","at_batch":3,"hang_ms":250}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.faults.len(), 4);
+        assert_eq!(plan.faults[0], FaultSpec::ScorerPanic { at_batch: 1 });
+        assert_eq!(
+            plan.faults[1],
+            FaultSpec::PoisonBatch {
+                at_batch: 2,
+                count: 1
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_fault_kinds_are_rejected() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        assert!(serde_json::from_str::<ChaosPlan>(
+            r#"{"seed":1,"faults":[{"kind":"meteor_strike"}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn batch_faults_fire_at_their_index_only() {
+        let state = ChaosPlan {
+            seed: 1,
+            faults: vec![
+                FaultSpec::ScorerPanic { at_batch: 1 },
+                FaultSpec::PoisonBatch {
+                    at_batch: 3,
+                    count: 2,
+                },
+            ],
+        }
+        .into_state();
+        assert_eq!(state.next_batch(), BatchFault::None); // batch 0
+        assert_eq!(state.next_batch(), BatchFault::Panic); // batch 1
+        assert_eq!(state.next_batch(), BatchFault::None); // batch 2
+        assert_eq!(state.next_batch(), BatchFault::PoisonBatch); // batch 3
+        assert_eq!(state.next_batch(), BatchFault::PoisonBatch); // batch 4
+        assert_eq!(state.next_batch(), BatchFault::None); // batch 5
+        assert_eq!(state.batches_seen(), 6);
+    }
+
+    #[test]
+    fn conflicting_faults_resolve_most_disruptive_first() {
+        let state = ChaosPlan {
+            seed: 1,
+            faults: vec![
+                FaultSpec::CorruptJob { at_batch: 0 },
+                FaultSpec::ScorerPanic { at_batch: 0 },
+            ],
+        }
+        .into_state();
+        assert_eq!(state.next_batch(), BatchFault::Panic);
+    }
+
+    #[test]
+    fn reload_faults_consume_their_counts() {
+        let state = ChaosPlan {
+            seed: 1,
+            faults: vec![
+                FaultSpec::ReloadFail { count: 1 },
+                FaultSpec::ReloadDelay {
+                    delay_ms: 5,
+                    count: 1,
+                },
+            ],
+        }
+        .into_state();
+        assert_eq!(state.next_reload(), ReloadFault::Fail);
+        assert_eq!(
+            state.next_reload(),
+            ReloadFault::Delay(Duration::from_millis(5))
+        );
+        assert_eq!(state.next_reload(), ReloadFault::None);
+    }
+
+    #[test]
+    fn poison_stream_is_seed_deterministic_and_nonfinite() {
+        let a = ChaosPlan {
+            seed: 9,
+            faults: vec![],
+        }
+        .into_state();
+        let b = ChaosPlan {
+            seed: 9,
+            faults: vec![],
+        }
+        .into_state();
+        for _ in 0..8 {
+            let (x, y) = (a.poison_value(), b.poison_value());
+            assert!(!x.is_finite());
+            assert_eq!(x.to_bits(), y.to_bits());
+            assert_eq!(a.corruption_site(13), b.corruption_site(13));
+        }
+        assert_eq!(a.corruption_site(0), 0);
+    }
+
+    #[test]
+    fn flaky_writer_fails_then_recovers() {
+        let mut w = FlakyWriter::new(Vec::new(), 2);
+        assert!(w.write(b"x").is_err());
+        assert_eq!(w.remaining_failures(), 1);
+        assert!(w.write(b"x").is_err());
+        assert!(w.write(b"ok").is_ok());
+        w.flush().unwrap();
+        assert_eq!(w.into_inner(), b"ok");
+    }
+}

@@ -82,6 +82,7 @@ pub fn run_serve(smoke: bool) -> Result<String, String> {
         clients: 4,
         requests_per_client: if smoke { 5 } else { 100 },
         frames_per_request: 16,
+        max_retries: 4,
     };
     let outcome = loadgen::run(server.addr(), &engine, &opts);
     server.shutdown();
@@ -322,7 +323,10 @@ mod tests {
             "\"schema_version\"",
             "\"mode\":\"smoke\"",
             "\"clients\"",
+            "\"max_retries\"",
             "\"ok_requests\"",
+            "\"retries\"",
+            "\"retried_requests\"",
             "\"frames_scored\"",
             "\"throughput_fps\"",
             "\"p50_ms\"",

@@ -131,6 +131,22 @@ SERVE FLAGS:
                              (default 5000)
     --write-timeout-ms <ms>  per-connection write timeout, 0 = unlimited
                              (default 5000)
+    --heartbeat-ms <ms>      watchdog poll interval over the scorer
+                             thread (default 100)
+    --stall-ms <ms>          in-flight batch age before the watchdog
+                             calls the scorer hung, 0 = never
+                             (default 10000)
+    --restart-attempts <n>   scorer restarts before serving degraded
+                             forever; attempts reset on progress
+                             (default 5)
+    --restart-backoff-ms <ms> base restart delay, doubling per attempt
+                             up to 5 s (default 50)
+    --breaker-threshold <n>  consecutive scoring failures that trip the
+                             circuit breaker (default 5)
+    --breaker-cooldown-ms <ms> open-breaker load-shed window before a
+                             half-open probe (default 1000)
+    --chaos-plan <file>      inject a seeded fault plan (JSON); needs a
+                             binary built with the `chaos` feature
 
 FAULT TOLERANCE (audit):
     --checkpoint <file>      write a training checkpoint every interval

@@ -111,7 +111,9 @@ pub fn score(args: &ParsedArgs) -> Result<ExitCode, String> {
         return Err("no analyzable frames to score".into());
     }
 
-    let summary = engine.detect_frames(&features, &conds);
+    let summary = engine
+        .detect_frames(&features, &conds)
+        .map_err(|e| e.to_string())?;
     println!(
         "# bundle {path}: schema v{}, seed {}, config fingerprint {:016x}",
         engine.schema_version(),
@@ -163,7 +165,9 @@ pub fn detect_bundle(args: &ParsedArgs, bundle_path: &str) -> Result<ExitCode, S
         return Err("suspect program produced no analyzable frames".into());
     }
 
-    let summary = engine.detect_frames(&features, &conds);
+    let summary = engine
+        .detect_frames(&features, &conds)
+        .map_err(|e| e.to_string())?;
     let rate = summary.flagged as f64 / checked as f64;
     println!(
         "checked {checked} emission frames against the benign claims; {} flagged ({:.1}%)",
@@ -208,7 +212,67 @@ fn serve_config(args: &ParsedArgs) -> Result<ServeConfig, String> {
     config.write_timeout_ms = args
         .get_parsed("write-timeout-ms", config.write_timeout_ms)
         .map_err(|e| e.to_string())?;
+    config.heartbeat_ms = args
+        .get_parsed("heartbeat-ms", config.heartbeat_ms)
+        .map_err(|e| e.to_string())?;
+    config.scorer_stall_ms = args
+        .get_parsed("stall-ms", config.scorer_stall_ms)
+        .map_err(|e| e.to_string())?;
+    config.restart_attempts = args
+        .get_parsed("restart-attempts", config.restart_attempts)
+        .map_err(|e| e.to_string())?;
+    config.restart_backoff_ms = args
+        .get_parsed("restart-backoff-ms", config.restart_backoff_ms)
+        .map_err(|e| e.to_string())?;
+    config.breaker_threshold = args
+        .get_parsed("breaker-threshold", config.breaker_threshold)
+        .map_err(|e| e.to_string())?;
+    config.breaker_cooldown_ms = args
+        .get_parsed("breaker-cooldown-ms", config.breaker_cooldown_ms)
+        .map_err(|e| e.to_string())?;
     Ok(config)
+}
+
+/// Starts the server, injecting the `--chaos-plan` faults when the
+/// binary was built with the `chaos` feature.
+#[cfg(feature = "chaos")]
+fn start_server(
+    config: ServeConfig,
+    engine: ScoringEngine,
+    path: &str,
+    chaos_plan: Option<&str>,
+) -> Result<Server, String> {
+    match chaos_plan {
+        Some(plan_path) => {
+            let plan = gansec_chaos::ChaosPlan::load(plan_path)?;
+            println!(
+                "CHAOS: injecting {} fault(s) from {plan_path} (seed {})",
+                plan.faults.len(),
+                plan.seed
+            );
+            let state = std::sync::Arc::new(plan.into_state());
+            Server::start_with_chaos(config, engine, path, state)
+        }
+        None => Server::start(config, engine, path),
+    }
+}
+
+/// Without the `chaos` feature a requested plan is a hard error — the
+/// lint gate (GS0512) says the same thing, but `--no-check` must not
+/// turn fault injection into a silent no-op.
+#[cfg(not(feature = "chaos"))]
+fn start_server(
+    config: ServeConfig,
+    engine: ScoringEngine,
+    path: &str,
+    chaos_plan: Option<&str>,
+) -> Result<Server, String> {
+    if chaos_plan.is_some() {
+        return Err(
+            "--chaos-plan requires a gansec binary built with the `chaos` feature".to_string(),
+        );
+    }
+    Server::start(config, engine, path)
 }
 
 /// `gansec serve --bundle <file> [--addr] [--workers] [--max-batch]
@@ -220,7 +284,10 @@ fn serve_config(args: &ParsedArgs) -> Result<ServeConfig, String> {
 pub fn serve(args: &ParsedArgs) -> Result<ExitCode, String> {
     let path = args.require("bundle").map_err(|e| e.to_string())?;
     let config = serve_config(args)?;
-    let bundle = match check::load_bundle_gated(args, path, Some(config.lint_spec()))? {
+    let chaos_plan = args.get("chaos-plan");
+    let mut spec = config.lint_spec();
+    spec.chaos_plan = chaos_plan.is_some();
+    let bundle = match check::load_bundle_gated(args, path, Some(spec))? {
         GatedBundle::Ready(bundle) => bundle,
         GatedBundle::Refused(code) => return Ok(code),
     };
@@ -231,7 +298,8 @@ pub fn serve(args: &ParsedArgs) -> Result<ExitCode, String> {
         engine.seed(),
         engine.config_fingerprint()
     );
-    let server = Server::start(config, engine, path).map_err(|e| format!("{path}: {e}"))?;
+    let server =
+        start_server(config, engine, path, chaos_plan).map_err(|e| format!("{path}: {e}"))?;
     println!("listening on http://{}", server.addr());
     println!(
         "  POST /v1/score /v1/detect /v1/classify; GET /healthz /metrics; \
@@ -346,6 +414,57 @@ mod tests {
     }
 
     #[test]
+    fn resilience_flags_override_the_defaults() {
+        let cfg = serve_config(&parsed(&[
+            "--heartbeat-ms",
+            "20",
+            "--stall-ms",
+            "2000",
+            "--restart-attempts",
+            "9",
+            "--restart-backoff-ms",
+            "10",
+            "--breaker-threshold",
+            "3",
+            "--breaker-cooldown-ms",
+            "250",
+        ]))
+        .expect("config");
+        assert_eq!(cfg.heartbeat_ms, 20);
+        assert_eq!(cfg.scorer_stall_ms, 2000);
+        assert_eq!(cfg.restart_attempts, 9);
+        assert_eq!(cfg.restart_backoff_ms, 10);
+        assert_eq!(cfg.breaker_threshold, 3);
+        assert_eq!(cfg.breaker_cooldown_ms, 250);
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[test]
+    fn chaos_plan_without_the_feature_is_a_hard_error() {
+        let result = start_server(
+            ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                ..ServeConfig::default()
+            },
+            ScoringEngine::from_bundle(
+                GanSecPipeline::new(PipelineConfig::smoke_test())
+                    .train_stage(7)
+                    .expect("train")
+                    .to_bundle(),
+            ),
+            "unused",
+            Some("plan.json"),
+        );
+        match result {
+            Err(err) => assert!(err.contains("chaos"), "{err}"),
+            Ok(server) => {
+                server.shutdown();
+                panic!("must refuse silent fault injection");
+            }
+        }
+    }
+
+    #[test]
     fn serve_requires_a_bundle_path() {
         let err = serve(&parsed(&[])).expect_err("must demand --bundle");
         assert!(err.contains("bundle"), "{err}");
@@ -379,7 +498,9 @@ mod tests {
         let engine = ScoringEngine::load(out_str).expect("reload");
         let pipeline = GanSecPipeline::new(engine.config().clone());
         let (_, test) = pipeline.datasets(engine.seed()).expect("datasets");
-        let batch = engine.score_frames(test.features(), test.conds());
+        let batch = engine
+            .score_frames(test.features(), test.conds())
+            .expect("finite split");
         assert_eq!(batch.len(), test.len());
         for (i, &s) in batch.iter().enumerate() {
             assert_eq!(

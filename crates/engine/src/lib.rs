@@ -28,7 +28,7 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let engine = ScoringEngine::load("bundle.json")?;
 //! # let (features, conds) = unimplemented!();
-//! let scores = engine.score_frames(&features, &conds);
+//! let scores = engine.score_frames(&features, &conds)?;
 //! let alarms = scores.iter().filter(|&&s| engine.is_attack(s)).count();
 //! println!("{alarms} of {} frames flagged", scores.len());
 //! # Ok(())
@@ -50,6 +50,86 @@ use gansec_tensor::Matrix;
 /// Frames per parallel scoring block: large enough to amortize the
 /// per-block gather, small enough to spread across workers.
 const BLOCK: usize = 256;
+
+/// Why a batch could not be scored: non-finite poison on the way in or
+/// out. The checked scoring paths return this instead of letting NaN
+/// propagate silently into verdicts — an online server quarantines the
+/// offending request and keeps serving.
+///
+/// Note that `-inf` *scores* are legitimate (a Parzen log-density can
+/// underflow for extreme but finite inputs, and a finite threshold
+/// still classifies them); only a NaN score is poison. Inputs, by
+/// contrast, must be fully finite — sensors do not emit infinities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreError {
+    /// A feature value was NaN or infinite.
+    NonFiniteFeature {
+        /// The offending frame row.
+        row: usize,
+        /// The offending column within the frame.
+        col: usize,
+    },
+    /// A claimed-condition value was NaN or infinite.
+    NonFiniteCond {
+        /// The offending frame row.
+        row: usize,
+        /// The offending column within the condition vector.
+        col: usize,
+    },
+    /// A computed score came out NaN — numeric poison inside the model
+    /// itself (a corrupted bundle, not a bad request).
+    NonFiniteScore {
+        /// The frame row whose score was NaN.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ScoreError::NonFiniteFeature { row, col } => {
+                write!(f, "frame {row} feature {col} is not finite")
+            }
+            ScoreError::NonFiniteCond { row, col } => {
+                write!(f, "frame {row} claimed-condition value {col} is not finite")
+            }
+            ScoreError::NonFiniteScore { row } => {
+                write!(f, "score for frame {row} came out NaN (model poisoned?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+impl ScoreError {
+    /// The frame row the error anchors to.
+    pub fn row(&self) -> usize {
+        match *self {
+            ScoreError::NonFiniteFeature { row, .. }
+            | ScoreError::NonFiniteCond { row, .. }
+            | ScoreError::NonFiniteScore { row } => row,
+        }
+    }
+
+    /// Whether the poison arrived with the request (`true`) or emerged
+    /// from the model (`false`) — the caller's quarantine/fail split.
+    pub fn is_input(&self) -> bool {
+        !matches!(self, ScoreError::NonFiniteScore { .. })
+    }
+}
+
+/// Returns the first `(row, col)` holding a non-finite value, if any.
+fn first_non_finite(m: &Matrix) -> Option<(usize, usize)> {
+    for r in 0..m.rows() {
+        for (c, &v) in m.row(r).iter().enumerate() {
+            if !v.is_finite() {
+                return Some((r, c));
+            }
+        }
+    }
+    None
+}
 
 /// A pool of reusable [`ScoreScratch`] buffers: one per concurrently
 /// scoring thread, grown on demand and recycled across batches, so warm
@@ -183,16 +263,55 @@ impl ScoringEngine {
         self.estimator.log_likelihood(features, ci)
     }
 
-    /// Batch-scores every row of `(features, claimed_conds)`: frame
-    /// blocks fan out across threads, each drawing a scratch from the
-    /// engine's buffer pool, and results concatenate in row order.
-    /// Every entry equals what [`ScoringEngine::score_frame`] returns
-    /// for that row, at any thread count.
+    /// Batch-scores every row of `(features, claimed_conds)` with
+    /// non-finite poison fenced at both ends: inputs are validated
+    /// before scoring and scores are checked for NaN after, so a
+    /// corrupted frame (or a poisoned model) surfaces as a typed
+    /// [`ScoreError`] instead of silently propagating into verdicts.
+    /// On success, every entry is bit-identical to
+    /// [`ScoringEngine::score_frames_unchecked`] on the same rows.
+    ///
+    /// # Errors
+    ///
+    /// [`ScoreError::NonFiniteFeature`]/[`ScoreError::NonFiniteCond`]
+    /// when a request value is NaN or infinite;
+    /// [`ScoreError::NonFiniteScore`] when a computed score is NaN.
     ///
     /// # Panics
     ///
     /// Panics if the two row counts differ.
-    pub fn score_frames(&self, features: &Matrix, claimed_conds: &Matrix) -> Vec<f64> {
+    pub fn score_frames(
+        &self,
+        features: &Matrix,
+        claimed_conds: &Matrix,
+    ) -> Result<Vec<f64>, ScoreError> {
+        assert_eq!(features.rows(), claimed_conds.rows(), "row count mismatch");
+        if let Some((row, col)) = first_non_finite(features) {
+            return Err(ScoreError::NonFiniteFeature { row, col });
+        }
+        if let Some((row, col)) = first_non_finite(claimed_conds) {
+            return Err(ScoreError::NonFiniteCond { row, col });
+        }
+        let scores = self.score_frames_unchecked(features, claimed_conds);
+        if let Some(row) = scores.iter().position(|s| s.is_nan()) {
+            return Err(ScoreError::NonFiniteScore { row });
+        }
+        Ok(scores)
+    }
+
+    /// Batch-scores every row of `(features, claimed_conds)` with no
+    /// finiteness fencing: frame blocks fan out across threads, each
+    /// drawing a scratch from the engine's buffer pool, and results
+    /// concatenate in row order. Every entry equals what
+    /// [`ScoringEngine::score_frame`] returns for that row, at any
+    /// thread count. Offline pipelines that control their own inputs
+    /// (and the benches) use this; the serving path goes through the
+    /// checked [`ScoringEngine::score_frames`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two row counts differ.
+    pub fn score_frames_unchecked(&self, features: &Matrix, claimed_conds: &Matrix) -> Vec<f64> {
         assert_eq!(features.rows(), claimed_conds.rows(), "row count mismatch");
         let n = features.rows();
         if n == 0 {
@@ -216,23 +335,32 @@ impl ScoringEngine {
         per_block.concat()
     }
 
-    /// Batch attack detection: scores every frame and applies the
-    /// calibrated threshold. `verdicts[i]` is `true` when frame `i`
-    /// trips the alarm.
+    /// Batch attack detection: scores every frame through the checked
+    /// path and applies the calibrated threshold. `verdicts[i]` is
+    /// `true` when frame `i` trips the alarm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the checked scorer's [`ScoreError`] — a non-finite
+    /// input or a NaN score never becomes a verdict.
     ///
     /// # Panics
     ///
     /// Panics if the two row counts differ.
-    pub fn detect_frames(&self, features: &Matrix, claimed_conds: &Matrix) -> DetectionSummary {
-        let scores = self.score_frames(features, claimed_conds);
+    pub fn detect_frames(
+        &self,
+        features: &Matrix,
+        claimed_conds: &Matrix,
+    ) -> Result<DetectionSummary, ScoreError> {
+        let scores = self.score_frames(features, claimed_conds)?;
         let verdicts: Vec<bool> = scores.iter().map(|&s| self.is_attack(s)).collect();
         let flagged = verdicts.iter().filter(|&&v| v).count();
-        DetectionSummary {
+        Ok(DetectionSummary {
             threshold: self.threshold(),
             flagged,
             scores,
             verdicts,
-        }
+        })
     }
 
     /// Batch condition estimation: the maximum-likelihood condition
@@ -332,7 +460,7 @@ mod tests {
     #[test]
     fn engine_scores_match_scalar_detector_path() {
         let (engine, test) = engine_and_test_split();
-        let batch = engine.score_frames(test.features(), test.conds());
+        let batch = engine.score_frames(test.features(), test.conds()).unwrap();
         assert_eq!(batch.len(), test.len());
         for i in 0..test.len() {
             assert_eq!(
@@ -347,9 +475,9 @@ mod tests {
     fn thread_counts_do_not_change_scores() {
         let (engine, test) = engine_and_test_split();
         gansec_parallel::set_threads(1);
-        let serial = engine.score_frames(test.features(), test.conds());
+        let serial = engine.score_frames(test.features(), test.conds()).unwrap();
         gansec_parallel::set_threads(4);
-        let parallel = engine.score_frames(test.features(), test.conds());
+        let parallel = engine.score_frames(test.features(), test.conds()).unwrap();
         gansec_parallel::set_threads(0);
         assert_eq!(serial, parallel);
     }
@@ -357,7 +485,7 @@ mod tests {
     #[test]
     fn detect_frames_applies_threshold() {
         let (engine, test) = engine_and_test_split();
-        let summary = engine.detect_frames(test.features(), test.conds());
+        let summary = engine.detect_frames(test.features(), test.conds()).unwrap();
         assert_eq!(summary.scores.len(), test.len());
         assert_eq!(summary.verdicts.len(), test.len());
         assert_eq!(summary.threshold, engine.threshold());
@@ -414,7 +542,62 @@ mod tests {
         let (engine, _) = engine_and_test_split();
         let f = Matrix::zeros(0, engine.config().n_bins);
         let c = Matrix::zeros(0, 3);
-        assert!(engine.score_frames(&f, &c).is_empty());
+        assert!(engine.score_frames(&f, &c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn checked_and_unchecked_scores_are_bit_identical() {
+        let (engine, test) = engine_and_test_split();
+        let checked = engine.score_frames(test.features(), test.conds()).unwrap();
+        let unchecked = engine.score_frames_unchecked(test.features(), test.conds());
+        assert_eq!(checked.len(), unchecked.len());
+        for (a, b) in checked.iter().zip(&unchecked) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_are_typed_errors_not_poison() {
+        let (engine, test) = engine_and_test_split();
+        let n_bins = engine.config().n_bins;
+        let rows = test.len().min(3);
+
+        let mut f = Matrix::from_fn(rows, n_bins, |r, c| test.features()[(r, c)]);
+        let cols = test.conds().cols();
+        let c = Matrix::from_fn(rows, cols, |r, cc| test.conds()[(r, cc)]);
+        f[(1, 2)] = f64::NAN;
+        assert_eq!(
+            engine.score_frames(&f, &c),
+            Err(ScoreError::NonFiniteFeature { row: 1, col: 2 })
+        );
+        f[(1, 2)] = f64::INFINITY;
+        let err = engine.score_frames(&f, &c).unwrap_err();
+        assert!(err.is_input());
+        assert_eq!(err.row(), 1);
+        assert_eq!(
+            engine.detect_frames(&f, &c),
+            Err(ScoreError::NonFiniteFeature { row: 1, col: 2 })
+        );
+
+        let f = Matrix::from_fn(rows, n_bins, |r, cc| test.features()[(r, cc)]);
+        let mut c = Matrix::from_fn(rows, cols, |r, cc| test.conds()[(r, cc)]);
+        c[(0, 0)] = f64::NEG_INFINITY;
+        assert_eq!(
+            engine.score_frames(&f, &c),
+            Err(ScoreError::NonFiniteCond { row: 0, col: 0 })
+        );
+    }
+
+    #[test]
+    fn score_error_messages_name_the_site() {
+        assert_eq!(
+            ScoreError::NonFiniteFeature { row: 3, col: 7 }.to_string(),
+            "frame 3 feature 7 is not finite"
+        );
+        assert!(!ScoreError::NonFiniteScore { row: 0 }.is_input());
+        assert!(ScoreError::NonFiniteScore { row: 5 }
+            .to_string()
+            .contains("NaN"));
     }
 
     #[test]

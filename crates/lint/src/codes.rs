@@ -146,6 +146,20 @@ pub const SERVE_ZERO_CONNS: Code = Code(507);
 /// More worker threads than admitted connections: the excess workers
 /// can never all be busy at once.
 pub const SERVE_WORKERS_EXCEED_CONNS: Code = Code(508);
+/// The scorer-watchdog heartbeat interval is at least as long as the
+/// write timeout: clients give up on their replies before the watchdog
+/// even notices the scorer died.
+pub const SERVE_HEARTBEAT_EXCEEDS_WRITE_TIMEOUT: Code = Code(509);
+/// Zero scorer restart attempts: the first scorer panic permanently
+/// degrades the server instead of being supervised back up.
+pub const SERVE_ZERO_RESTART_ATTEMPTS: Code = Code(510);
+/// Zero circuit-breaker threshold: "trip after 0 consecutive failures"
+/// is contradictory — the server clamps it to 1, so the configured
+/// number lies about the behavior.
+pub const SERVE_ZERO_BREAKER_THRESHOLD: Code = Code(511);
+/// A chaos fault-injection plan was requested but the binary was built
+/// without the `chaos` feature: the plan would be silently ignored.
+pub const SERVE_CHAOS_WITHOUT_FEATURE: Code = Code(512);
 
 /// One row of the published code table.
 #[derive(Debug, Clone, Copy)]
@@ -408,6 +422,30 @@ pub fn code_table() -> &'static [CodeInfo] {
             name: "serve-workers-exceed-conns",
             severity: Severity::Warning,
             summary: "more worker threads than admitted connections",
+        },
+        CodeInfo {
+            code: SERVE_HEARTBEAT_EXCEEDS_WRITE_TIMEOUT,
+            name: "serve-heartbeat-exceeds-write-timeout",
+            severity: Severity::Warning,
+            summary: "watchdog heartbeat not shorter than the write timeout",
+        },
+        CodeInfo {
+            code: SERVE_ZERO_RESTART_ATTEMPTS,
+            name: "serve-zero-restart-attempts",
+            severity: Severity::Warning,
+            summary: "zero scorer restart attempts: first panic degrades forever",
+        },
+        CodeInfo {
+            code: SERVE_ZERO_BREAKER_THRESHOLD,
+            name: "serve-zero-breaker-threshold",
+            severity: Severity::Error,
+            summary: "circuit-breaker threshold of 0 is contradictory",
+        },
+        CodeInfo {
+            code: SERVE_CHAOS_WITHOUT_FEATURE,
+            name: "serve-chaos-without-feature",
+            severity: Severity::Error,
+            summary: "chaos plan requested in a build without the chaos feature",
         },
     ];
     TABLE

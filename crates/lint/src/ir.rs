@@ -391,6 +391,16 @@ pub struct ServeSpec {
     pub read_timeout_ms: u64,
     /// Per-connection write timeout in milliseconds (`0` = unlimited).
     pub write_timeout_ms: u64,
+    /// Scorer-watchdog heartbeat interval in milliseconds.
+    pub heartbeat_ms: u64,
+    /// Scorer restart attempts before permanent degradation.
+    pub restart_attempts: u32,
+    /// Consecutive scoring failures that trip the circuit breaker.
+    pub breaker_threshold: u32,
+    /// Whether a chaos fault-injection plan was requested.
+    pub chaos_plan: bool,
+    /// Whether the serving binary was built with the `chaos` feature.
+    pub chaos_built: bool,
 }
 
 /// Everything a check run inspects. Absent sections are skipped by the

@@ -32,6 +32,7 @@ impl Pass for ServePass {
         check_capacities(s, out);
         check_batching(s, out);
         check_port(s, out);
+        check_resilience(s, out);
     }
 }
 
@@ -131,6 +132,59 @@ fn check_batching(s: &ServeSpec, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// GS0509/GS0510/GS0511/GS0512: resilience-layer configuration — the
+/// watchdog, the restart policy, the circuit breaker, and chaos plans.
+fn check_resilience(s: &ServeSpec, out: &mut Vec<Diagnostic>) {
+    if s.write_timeout_ms > 0 && s.heartbeat_ms >= s.write_timeout_ms {
+        out.push(
+            Diagnostic::new(
+                codes::SERVE_HEARTBEAT_EXCEEDS_WRITE_TIMEOUT,
+                origin("heartbeat_ms"),
+                format!(
+                    "watchdog heartbeat {}ms is not shorter than the {}ms write timeout; \
+                     clients give up on replies before a dead scorer is even noticed",
+                    s.heartbeat_ms, s.write_timeout_ms
+                ),
+            )
+            .with_help("keep --heartbeat-ms a small fraction of --write-timeout-ms"),
+        );
+    }
+    if s.restart_attempts == 0 {
+        out.push(
+            Diagnostic::new(
+                codes::SERVE_ZERO_RESTART_ATTEMPTS,
+                origin("restart_attempts"),
+                "zero scorer restart attempts: the first scorer panic degrades the \
+                 server permanently instead of being supervised back up",
+            )
+            .with_help("pass --restart-attempts >= 1 unless fail-fast is intended"),
+        );
+    }
+    if s.breaker_threshold == 0 {
+        out.push(
+            Diagnostic::new(
+                codes::SERVE_ZERO_BREAKER_THRESHOLD,
+                origin("breaker_threshold"),
+                "circuit-breaker threshold 0 (\"trip after zero consecutive failures\") \
+                 is contradictory; the server clamps it to 1, so the configured \
+                 number misstates the behavior",
+            )
+            .with_help("pass --breaker-threshold >= 1"),
+        );
+    }
+    if s.chaos_plan && !s.chaos_built {
+        out.push(
+            Diagnostic::new(
+                codes::SERVE_CHAOS_WITHOUT_FEATURE,
+                origin("chaos_plan"),
+                "a chaos fault-injection plan was requested but this binary was built \
+                 without the `chaos` feature; the plan would be silently ignored",
+            )
+            .with_help("rebuild with --features chaos, or drop --chaos-plan"),
+        );
+    }
+}
+
 /// GS0506: bind-port sanity.
 fn check_port(s: &ServeSpec, out: &mut Vec<Diagnostic>) {
     if s.port == Some(0) {
@@ -161,6 +215,11 @@ mod tests {
             max_conns: 64,
             read_timeout_ms: 5_000,
             write_timeout_ms: 5_000,
+            heartbeat_ms: 100,
+            restart_attempts: 5,
+            breaker_threshold: 5,
+            chaos_plan: false,
+            chaos_built: false,
         }
     }
 
@@ -250,6 +309,57 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].code, codes::SERVE_WORKERS_EXCEED_CONNS);
         assert_eq!(out[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn heartbeat_at_or_past_the_write_timeout_is_flagged() {
+        let mut s = healthy();
+        s.heartbeat_ms = 5_000;
+        let out = run(s);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::SERVE_HEARTBEAT_EXCEEDS_WRITE_TIMEOUT);
+        assert_eq!(out[0].severity, Severity::Warning);
+        // An unlimited write timeout cannot be outpolled.
+        let mut s = healthy();
+        s.write_timeout_ms = 0;
+        s.heartbeat_ms = 60_000;
+        assert!(run(s).is_empty());
+    }
+
+    #[test]
+    fn zero_restart_attempts_is_a_warning() {
+        let mut s = healthy();
+        s.restart_attempts = 0;
+        let out = run(s);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::SERVE_ZERO_RESTART_ATTEMPTS);
+        assert_eq!(out[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn zero_breaker_threshold_is_an_error() {
+        let mut s = healthy();
+        s.breaker_threshold = 0;
+        let out = run(s);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::SERVE_ZERO_BREAKER_THRESHOLD);
+        assert_eq!(out[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn chaos_plan_without_the_feature_is_an_error() {
+        let mut s = healthy();
+        s.chaos_plan = true;
+        s.chaos_built = false;
+        let out = run(s);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::SERVE_CHAOS_WITHOUT_FEATURE);
+        assert_eq!(out[0].severity, Severity::Error);
+        // A chaos build may run chaos plans.
+        let mut s = healthy();
+        s.chaos_plan = true;
+        s.chaos_built = true;
+        assert!(run(s).is_empty());
     }
 
     #[test]

@@ -6,7 +6,9 @@
 #![allow(clippy::unwrap_used)]
 
 use gansec_cpps::{CppsArchitecture, FlowKind};
-use gansec_lint::{check, render_json, render_text, CheckInput, GraphSpec, PipelineSpec};
+use gansec_lint::{
+    check, render_json, render_text, CheckInput, GraphSpec, PipelineSpec, ServeSpec,
+};
 
 /// A config with one error (negative bandwidth) and one warning (zero
 /// training iterations).
@@ -74,6 +76,67 @@ fn golden_json_clean_report() {
         "{\"errors\":0,\"warnings\":0,\"infos\":0,\
          \"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\"],\"diagnostics\":[]}"
     );
+}
+
+/// A serving config with two resilience defects: a fail-fast restart
+/// policy (warning) and a chaos plan in a non-chaos build (error).
+fn broken_resilience() -> CheckInput {
+    CheckInput::new().with_serve(ServeSpec {
+        port: Some(7878),
+        workers: 4,
+        max_batch: 64,
+        batch_linger_ms: 2,
+        queue_frames: 1024,
+        max_conns: 64,
+        read_timeout_ms: 5_000,
+        write_timeout_ms: 5_000,
+        heartbeat_ms: 100,
+        restart_attempts: 0,
+        breaker_threshold: 5,
+        chaos_plan: true,
+        chaos_built: false,
+    })
+}
+
+#[test]
+fn golden_text_broken_resilience() {
+    let report = check(&broken_resilience());
+    let expected = "\
+warning[GS0510]: zero scorer restart attempts: the first scorer panic degrades the server permanently instead of being supervised back up
+  --> serve.restart_attempts
+  note: zero scorer restart attempts: first panic degrades forever (serve-zero-restart-attempts)
+  help: pass --restart-attempts >= 1 unless fail-fast is intended
+
+error[GS0512]: a chaos fault-injection plan was requested but this binary was built without the `chaos` feature; the plan would be silently ignored
+  --> serve.chaos_plan
+  note: chaos plan requested in a build without the chaos feature (serve-chaos-without-feature)
+  help: rebuild with --features chaos, or drop --chaos-plan
+
+check: 1 error, 1 warning, 0 infos (passes: graph, shape, config, bundle, serve)
+";
+    assert_eq!(render_text(&report), expected);
+}
+
+#[test]
+fn golden_json_broken_resilience() {
+    let report = check(&broken_resilience());
+    let expected = concat!(
+        "{\"errors\":1,\"warnings\":1,\"infos\":0,",
+        "\"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\"],",
+        "\"diagnostics\":[",
+        "{\"code\":\"GS0510\",\"name\":\"serve-zero-restart-attempts\",\"severity\":\"warning\",",
+        "\"origin\":\"serve.restart_attempts\",",
+        "\"message\":\"zero scorer restart attempts: the first scorer panic degrades ",
+        "the server permanently instead of being supervised back up\",",
+        "\"help\":\"pass --restart-attempts >= 1 unless fail-fast is intended\"},",
+        "{\"code\":\"GS0512\",\"name\":\"serve-chaos-without-feature\",\"severity\":\"error\",",
+        "\"origin\":\"serve.chaos_plan\",",
+        "\"message\":\"a chaos fault-injection plan was requested but this binary ",
+        "was built without the `chaos` feature; the plan would be silently ignored\",",
+        "\"help\":\"rebuild with --features chaos, or drop --chaos-plan\"}",
+        "]}"
+    );
+    assert_eq!(render_json(&report), expected);
 }
 
 /// A validated (non-design-time) cyclic architecture: the feedback flow

@@ -605,6 +605,11 @@ fn clean_serve() -> ServeSpec {
         max_conns: 64,
         read_timeout_ms: 5000,
         write_timeout_ms: 5000,
+        heartbeat_ms: 100,
+        restart_attempts: 5,
+        breaker_threshold: 5,
+        chaos_plan: false,
+        chaos_built: false,
     }
 }
 
@@ -702,6 +707,65 @@ fn gs0508_workers_exceed_conns() {
     assert_eq!(d.severity, Severity::Warning);
 }
 
+#[test]
+fn gs0509_heartbeat_exceeds_write_timeout() {
+    let mut s = clean_serve();
+    s.heartbeat_ms = 5000;
+    let report = check(&serve_input(s));
+    let d = report
+        .find(codes::SERVE_HEARTBEAT_EXCEEDS_WRITE_TIMEOUT)
+        .expect("GS0509");
+    assert_eq!(d.severity, Severity::Warning);
+
+    // An unlimited write timeout cannot be outpolled.
+    let mut s = clean_serve();
+    s.heartbeat_ms = 60_000;
+    s.write_timeout_ms = 0;
+    assert!(!check(&serve_input(s)).has(codes::SERVE_HEARTBEAT_EXCEEDS_WRITE_TIMEOUT));
+}
+
+#[test]
+fn gs0510_zero_restart_attempts() {
+    let mut s = clean_serve();
+    s.restart_attempts = 0;
+    let report = check(&serve_input(s));
+    let d = report
+        .find(codes::SERVE_ZERO_RESTART_ATTEMPTS)
+        .expect("GS0510");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(!report.should_fail(false));
+    assert!(report.should_fail(true));
+}
+
+#[test]
+fn gs0511_zero_breaker_threshold() {
+    let mut s = clean_serve();
+    s.breaker_threshold = 0;
+    let report = check(&serve_input(s));
+    let d = report
+        .find(codes::SERVE_ZERO_BREAKER_THRESHOLD)
+        .expect("GS0511");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(report.should_fail(false));
+}
+
+#[test]
+fn gs0512_chaos_plan_without_feature() {
+    let mut s = clean_serve();
+    s.chaos_plan = true;
+    let report = check(&serve_input(s));
+    let d = report
+        .find(codes::SERVE_CHAOS_WITHOUT_FEATURE)
+        .expect("GS0512");
+    assert_eq!(d.severity, Severity::Error);
+
+    // A chaos-built binary may run chaos plans.
+    let mut s = clean_serve();
+    s.chaos_plan = true;
+    s.chaos_built = true;
+    assert!(check(&serve_input(s)).is_clean());
+}
+
 // --- every published code is exercised above --------------------------
 
 #[test]
@@ -714,7 +778,7 @@ fn published_code_table_matches_pass_coverage() {
         201, 202, 203, 204, 205, 206, 207, 208, 209, // shape
         301, 302, 303, 304, 305, 306, 307, 308, // config
         401, 402, 403, 404, 405, 406, 407, 408, // bundle
-        501, 502, 503, 504, 505, 506, 507, 508, // serve
+        501, 502, 503, 504, 505, 506, 507, 508, 509, 510, 511, 512, // serve
     ];
     assert_eq!(published, expected);
 }

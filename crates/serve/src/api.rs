@@ -78,11 +78,12 @@ pub struct ReloadResponse {
     pub config_fingerprint: String,
 }
 
-/// Reply of `GET /healthz`: liveness plus the provenance of the bundle
-/// currently serving.
+/// Reply of `GET /healthz`: tri-state health plus the provenance of the
+/// bundle currently serving.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HealthResponse {
-    /// Always `"ok"` when the server can answer at all.
+    /// `"ok"`, `"degraded"` (scorer down, breaker open, or quarantine
+    /// active — reads still work), or `"draining"` (shutting down).
     pub status: String,
     /// The path the serving bundle was loaded from.
     pub bundle: String,
@@ -94,6 +95,14 @@ pub struct HealthResponse {
     pub config_fingerprint: String,
     /// The calibrated alarm threshold in force.
     pub threshold: f64,
+    /// Whether a live scorer incarnation is draining the batch queue.
+    pub scorer_alive: bool,
+    /// Scorer incarnations the watchdog has replaced since startup.
+    pub scorer_restarts: u64,
+    /// Circuit-breaker phase: `"closed"`, `"open"`, or `"half_open"`.
+    pub breaker: String,
+    /// Non-finite frames quarantined since startup, across all bundles.
+    pub quarantined_frames: u64,
 }
 
 /// Error reply body used by every non-2xx JSON response.

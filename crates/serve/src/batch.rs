@@ -9,9 +9,70 @@
 //! deterministically.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::mpsc::SyncSender;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Why one job's reply is an error instead of scores. Each variant maps
+/// to a distinct HTTP status so callers can tell their own bad input
+/// (quarantine, `422`) from server-side trouble (`503`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The served bundle was hot-swapped to different frame/condition
+    /// widths between submit and scoring (→ `409`).
+    Reshaped {
+        /// Frame width the engine now expects.
+        frame_width: usize,
+        /// Condition width the engine now expects.
+        cond_width: usize,
+    },
+    /// The job carries a NaN or infinite value; it is quarantined before
+    /// scoring so it cannot poison co-batched requests (→ `422`).
+    NonFinite {
+        /// Zero-based frame index within the job.
+        row: usize,
+        /// `"feature"` or `"condition"`.
+        kind: &'static str,
+    },
+    /// The engine rejected the whole batch — model poison, not client
+    /// input (→ `503`, counts against the circuit breaker).
+    ScoringFailed(String),
+    /// The scorer died (or was shut down) before answering (→ `503`).
+    ScorerLost,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Reshaped {
+                frame_width,
+                cond_width,
+            } => write!(
+                f,
+                "bundle was reloaded mid-flight: resend for frame width {frame_width}, \
+                 condition width {cond_width}"
+            ),
+            JobError::NonFinite { row, kind } => write!(
+                f,
+                "frame {row} holds a non-finite {kind} value; the request was quarantined"
+            ),
+            JobError::ScoringFailed(msg) => write!(f, "scoring failed: {msg}"),
+            JobError::ScorerLost => f.write_str("scorer thread went away"),
+        }
+    }
+}
+
+impl JobError {
+    /// The HTTP status this error renders as.
+    pub fn status(&self) -> u16 {
+        match self {
+            JobError::Reshaped { .. } => 409,
+            JobError::NonFinite { .. } => 422,
+            JobError::ScoringFailed(_) | JobError::ScorerLost => 503,
+        }
+    }
+}
 
 /// One scoring request's worth of frames, flattened row-major.
 #[derive(Debug)]
@@ -25,7 +86,7 @@ pub struct ScoreJob {
     /// Where the per-frame scores (or a rejection) go. The sender is
     /// rendezvous-buffered by the submitting worker, which blocks on
     /// `recv` — the scorer never blocks sending.
-    pub reply: SyncSender<Result<Vec<f64>, String>>,
+    pub reply: SyncSender<Result<Vec<f64>, JobError>>,
 }
 
 /// Why a job was not accepted.
@@ -122,6 +183,26 @@ impl BatchQueue {
         self.not_empty.notify_all();
     }
 
+    /// Closes the queue *and* fails every queued job with
+    /// [`JobError::ScorerLost`] — the supervisor's give-up path, where no
+    /// scorer will ever drain the backlog. Returns how many jobs were
+    /// failed.
+    pub fn close_and_fail_pending(&self) -> usize {
+        let mut state = self.state.lock().expect("batch queue lock poisoned");
+        state.closed = true;
+        let orphans: Vec<ScoreJob> = state.jobs.drain(..).collect();
+        state.frames = 0;
+        drop(state);
+        self.not_empty.notify_all();
+        let failed = orphans.len();
+        for job in orphans {
+            // The worker may itself have timed out and dropped the
+            // receiver; that is fine.
+            let _ = job.reply.send(Err(JobError::ScorerLost));
+        }
+        failed
+    }
+
     /// Blocks for the next batch: waits for a first job, then lingers up
     /// to `linger` for more, and returns up to `max_batch` frames' worth
     /// of whole jobs. Returns `None` only when the queue is closed *and*
@@ -183,7 +264,7 @@ mod tests {
         rows: usize,
     ) -> (
         ScoreJob,
-        std::sync::mpsc::Receiver<Result<Vec<f64>, String>>,
+        std::sync::mpsc::Receiver<Result<Vec<f64>, JobError>>,
     ) {
         let (tx, rx) = sync_channel(1);
         (
@@ -282,6 +363,43 @@ mod tests {
         let batch = q.drain(64, Duration::from_millis(500)).unwrap();
         let _rx2 = late.join().unwrap();
         assert_eq!(batch.iter().map(|j| j.rows).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn close_and_fail_pending_answers_every_queued_job() {
+        let q = BatchQueue::new(100);
+        let (j1, rx1) = job(2);
+        let (j2, rx2) = job(3);
+        q.submit(j1).unwrap();
+        q.submit(j2).unwrap();
+        assert_eq!(q.close_and_fail_pending(), 2);
+        assert_eq!(rx1.recv().unwrap(), Err(JobError::ScorerLost));
+        assert_eq!(rx2.recv().unwrap(), Err(JobError::ScorerLost));
+        assert_eq!(q.depth_frames(), 0);
+        let (j3, _rx3) = job(1);
+        assert_eq!(q.submit(j3), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn job_error_statuses_separate_client_from_server_faults() {
+        assert_eq!(
+            JobError::Reshaped {
+                frame_width: 6,
+                cond_width: 3
+            }
+            .status(),
+            409
+        );
+        assert_eq!(
+            JobError::NonFinite {
+                row: 0,
+                kind: "feature"
+            }
+            .status(),
+            422
+        );
+        assert_eq!(JobError::ScoringFailed("x".into()).status(), 503);
+        assert_eq!(JobError::ScorerLost.status(), 503);
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Circuit breaker over the scoring path.
+//!
+//! The breaker watches *batch verdicts* — a batch that scores is a
+//! success, a batch the engine rejects (or that dies with its scorer) is
+//! a failure — and trips open after a configured run of consecutive
+//! failures. While open, scoring requests are shed at admission with
+//! `503` + `Retry-After` instead of queueing work a poisoned model will
+//! fail anyway. After a cooldown one *probe* batch is admitted
+//! (half-open); its verdict closes the breaker or re-opens it for
+//! another cooldown.
+//!
+//! Admission and verdicts come from different threads (workers admit,
+//! the scorer judges), so the state lives behind one small mutex; no
+//! lock is held across I/O or scoring.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What the breaker says about one incoming scoring request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: proceed normally.
+    Allowed,
+    /// Breaker half-open and this request is the probe: proceed, and
+    /// *must* settle the probe via a verdict or [`Breaker::abort_probe`].
+    Probe,
+    /// Breaker open: shed with `503`, hinting the client to retry after
+    /// this many seconds.
+    Rejected {
+        /// Whole seconds until the next half-open probe window.
+        retry_after_secs: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Closed,
+    Open { since: Instant },
+    HalfOpen { probe_in_flight: bool },
+}
+
+#[derive(Debug)]
+struct State {
+    phase: Phase,
+    /// Consecutive batch failures while closed.
+    consecutive_failures: u32,
+    /// Total times the breaker has tripped open (monotonic, for metrics).
+    trips: u64,
+}
+
+/// Consecutive-failure circuit breaker; see the module docs.
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: Mutex<State>,
+}
+
+/// A point-in-time snapshot for `/healthz` and `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerSnapshot {
+    /// Scoring flows normally.
+    Closed,
+    /// Scoring is shed; the breaker re-probes after the cooldown.
+    Open,
+    /// One probe batch decides whether to close or re-open.
+    HalfOpen,
+}
+
+impl BreakerSnapshot {
+    /// Stable lowercase label used in JSON and Prometheus output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerSnapshot::Closed => "closed",
+            BreakerSnapshot::Open => "open",
+            BreakerSnapshot::HalfOpen => "half_open",
+        }
+    }
+}
+
+impl Breaker {
+    /// A closed breaker tripping after `threshold` consecutive failures
+    /// (clamped to at least 1) and cooling down for `cooldown` when open.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        Breaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: Mutex::new(State {
+                phase: Phase::Closed,
+                consecutive_failures: 0,
+                trips: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A panicking holder leaves no torn state: every transition is a
+        // single assignment, so recover the guard rather than poisoning
+        // the whole server.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Gate one scoring request. `Probe` admissions *must* later settle
+    /// via [`Breaker::record_success`], [`Breaker::record_failure`], or
+    /// [`Breaker::abort_probe`], else the breaker wedges half-open.
+    pub fn admit(&self) -> Admission {
+        let mut s = self.lock();
+        match s.phase {
+            Phase::Closed => Admission::Allowed,
+            Phase::Open { since } => {
+                let elapsed = since.elapsed();
+                if elapsed >= self.cooldown {
+                    s.phase = Phase::HalfOpen {
+                        probe_in_flight: true,
+                    };
+                    Admission::Probe
+                } else {
+                    let remaining = self.cooldown - elapsed;
+                    Admission::Rejected {
+                        retry_after_secs: remaining.as_secs().max(1),
+                    }
+                }
+            }
+            Phase::HalfOpen { probe_in_flight } => {
+                if probe_in_flight {
+                    Admission::Rejected {
+                        retry_after_secs: self.cooldown.as_secs().max(1),
+                    }
+                } else {
+                    s.phase = Phase::HalfOpen {
+                        probe_in_flight: true,
+                    };
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// A batch scored cleanly: close the breaker and clear the failure
+    /// run.
+    pub fn record_success(&self) {
+        let mut s = self.lock();
+        s.consecutive_failures = 0;
+        s.phase = Phase::Closed;
+    }
+
+    /// A batch failed in the engine (or died with its scorer). Returns
+    /// `true` when this verdict tripped the breaker open.
+    pub fn record_failure(&self) -> bool {
+        let mut s = self.lock();
+        match s.phase {
+            Phase::Closed => {
+                s.consecutive_failures += 1;
+                if s.consecutive_failures >= self.threshold {
+                    s.phase = Phase::Open {
+                        since: Instant::now(),
+                    };
+                    s.trips += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            // A failed probe re-opens for a fresh cooldown.
+            Phase::HalfOpen { .. } => {
+                s.phase = Phase::Open {
+                    since: Instant::now(),
+                };
+                s.trips += 1;
+                true
+            }
+            Phase::Open { .. } => false,
+        }
+    }
+
+    /// A probe admission whose batch never reached a verdict (queue
+    /// full, request quarantined before scoring): release the half-open
+    /// slot so the next request can probe instead.
+    pub fn abort_probe(&self) {
+        let mut s = self.lock();
+        if let Phase::HalfOpen { .. } = s.phase {
+            s.phase = Phase::HalfOpen {
+                probe_in_flight: false,
+            };
+        }
+    }
+
+    /// Current phase, for health and metrics.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        match self.lock().phase {
+            Phase::Closed => BreakerSnapshot::Closed,
+            Phase::Open { .. } => BreakerSnapshot::Open,
+            Phase::HalfOpen { .. } => BreakerSnapshot::HalfOpen,
+        }
+    }
+
+    /// How many times the breaker has tripped open since startup.
+    /// (The server mirrors trips into its metrics via the
+    /// `record_failure` return value; this accessor pins the invariant
+    /// in unit tests.)
+    #[cfg(test)]
+    pub fn trips(&self) -> u64 {
+        self.lock().trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> Breaker {
+        Breaker::new(threshold, Duration::from_millis(cooldown_ms))
+    }
+
+    #[test]
+    fn stays_closed_below_the_threshold() {
+        let b = breaker(3, 1_000);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert_eq!(b.snapshot(), BreakerSnapshot::Closed);
+        assert_eq!(b.admit(), Admission::Allowed);
+        // A success clears the run: two more failures still don't trip.
+        b.record_success();
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert_eq!(b.snapshot(), BreakerSnapshot::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn trips_open_and_sheds_with_retry_after() {
+        let b = breaker(2, 60_000);
+        assert!(!b.record_failure());
+        assert!(b.record_failure());
+        assert_eq!(b.snapshot(), BreakerSnapshot::Open);
+        assert_eq!(b.trips(), 1);
+        match b.admit() {
+            Admission::Rejected { retry_after_secs } => assert!(retry_after_secs >= 1),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let b = breaker(1, 0);
+        assert!(b.record_failure());
+        // Zero cooldown: the next admission is immediately the probe.
+        assert_eq!(b.admit(), Admission::Probe);
+        // Concurrent requests while the probe is in flight are shed.
+        assert!(matches!(b.admit(), Admission::Rejected { .. }));
+        assert_eq!(b.snapshot(), BreakerSnapshot::HalfOpen);
+        b.record_success();
+        assert_eq!(b.snapshot(), BreakerSnapshot::Closed);
+        assert_eq!(b.admit(), Admission::Allowed);
+    }
+
+    #[test]
+    fn half_open_probe_reopens_on_failure() {
+        let b = breaker(1, 0);
+        assert!(b.record_failure());
+        assert_eq!(b.admit(), Admission::Probe);
+        assert!(b.record_failure());
+        assert_eq!(b.snapshot(), BreakerSnapshot::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn aborted_probe_frees_the_slot() {
+        let b = breaker(1, 0);
+        assert!(b.record_failure());
+        assert_eq!(b.admit(), Admission::Probe);
+        assert!(matches!(b.admit(), Admission::Rejected { .. }));
+        b.abort_probe();
+        // The slot is free again: the next admission probes.
+        assert_eq!(b.admit(), Admission::Probe);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let b = breaker(0, 60_000);
+        assert!(b.record_failure());
+        assert_eq!(b.snapshot(), BreakerSnapshot::Open);
+    }
+
+    #[test]
+    fn snapshot_labels_are_stable() {
+        assert_eq!(BreakerSnapshot::Closed.label(), "closed");
+        assert_eq!(BreakerSnapshot::Open.label(), "open");
+        assert_eq!(BreakerSnapshot::HalfOpen.label(), "half_open");
+    }
+}

@@ -10,6 +10,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Cap on the request line plus headers; beyond it the request is
 /// malformed (431-ish, reported as 400 to keep the status set small).
@@ -45,17 +46,28 @@ pub enum ReadError {
     Disconnected,
 }
 
-/// Reads one request from `stream`, enforcing the body-size cap.
+/// Reads one request from `stream`, enforcing the body-size cap and an
+/// optional whole-request deadline.
+///
+/// The deadline is what actually defeats slow-drip (slowloris) clients:
+/// a per-syscall read timeout restarts with every byte received, so a
+/// client feeding one byte per interval can hold a worker forever.
+/// Before every read the remaining budget is re-armed as the socket
+/// timeout, so the *sum* of waiting is bounded, not each wait.
 ///
 /// # Errors
 ///
 /// See [`ReadError`]; the caller maps each variant to a status code
 /// (or, for [`ReadError::Disconnected`], drops the connection).
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    deadline: Option<Instant>,
+) -> Result<Request, ReadError> {
     let mut reader = BufReader::new(stream);
     let mut head_bytes = 0usize;
 
-    let request_line = read_line(&mut reader, &mut head_bytes)?;
+    let request_line = read_line(&mut reader, &mut head_bytes, deadline)?;
     let mut parts = request_line.split(' ');
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
@@ -75,7 +87,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
 
     let mut content_length: Option<usize> = None;
     loop {
-        let line = read_line(&mut reader, &mut head_bytes)?;
+        let line = read_line(&mut reader, &mut head_bytes, deadline)?;
         if line.is_empty() {
             break;
         }
@@ -101,10 +113,18 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             })
         }
         (_, Some(n)) => {
+            // Read in bounded chunks, re-arming the deadline between
+            // them, so a byte-dripped body cannot outlive the budget.
             let mut body = vec![0u8; n];
-            reader
-                .read_exact(&mut body)
-                .map_err(|_| ReadError::Disconnected)?;
+            let mut filled = 0usize;
+            while filled < n {
+                arm_deadline(&mut reader, deadline)?;
+                let upper = (filled + 8 * 1024).min(n);
+                match reader.read(&mut body[filled..upper]) {
+                    Ok(0) | Err(_) => return Err(ReadError::Disconnected),
+                    Ok(k) => filled += k,
+                }
+            }
             body
         }
     };
@@ -112,28 +132,64 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     Ok(Request { method, path, body })
 }
 
+/// Re-arms the socket read timeout to the remaining deadline budget, or
+/// fails with [`ReadError::Disconnected`] once the budget is spent.
+fn arm_deadline(
+    reader: &mut BufReader<&mut TcpStream>,
+    deadline: Option<Instant>,
+) -> Result<(), ReadError> {
+    let Some(deadline) = deadline else {
+        return Ok(());
+    };
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(ReadError::Disconnected);
+    }
+    // `set_read_timeout(Some(0))` is an error by contract; the zero case
+    // returned above, but clamp anyway against sub-millisecond truncation.
+    reader
+        .get_ref()
+        .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+        .map_err(|_| ReadError::Disconnected)
+}
+
 /// Reads one CRLF-terminated line, charging it against the head cap.
+///
+/// Deliberately NOT `BufReader::read_line`: that loops syscalls
+/// internally until it sees `\n`, so a peer dripping bytes *within* a
+/// line would reset the socket timeout on every byte and outlive any
+/// whole-request deadline. Here the remaining budget is re-armed before
+/// each underlying read instead.
 fn read_line(
     reader: &mut BufReader<&mut TcpStream>,
     head_bytes: &mut usize,
+    deadline: Option<Instant>,
 ) -> Result<String, ReadError> {
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => return Err(ReadError::Disconnected),
-        Ok(_) => {}
-        Err(_) => return Err(ReadError::Disconnected),
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        arm_deadline(reader, deadline)?;
+        let buf = match reader.fill_buf() {
+            Ok([]) | Err(_) => return Err(ReadError::Disconnected),
+            Ok(buf) => buf,
+        };
+        let (used, complete) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (buf.len(), false),
+        };
+        line.extend_from_slice(&buf[..used]);
+        reader.consume(used);
+        *head_bytes += used;
+        if *head_bytes > MAX_HEAD_BYTES {
+            return Err(ReadError::BadRequest("request head too large".to_string()));
+        }
+        if complete {
+            break;
+        }
     }
-    *head_bytes += line.len();
-    if *head_bytes > MAX_HEAD_BYTES {
-        return Err(ReadError::BadRequest("request head too large".to_string()));
-    }
-    if !line.ends_with('\n') {
-        return Err(ReadError::Disconnected);
-    }
-    while line.ends_with('\n') || line.ends_with('\r') {
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
         line.pop();
     }
-    Ok(line)
+    String::from_utf8(line).map_err(|_| ReadError::Disconnected)
 }
 
 /// The reason phrase for the status codes this server emits.
@@ -212,7 +268,7 @@ mod tests {
             s.write_all(&raw).unwrap();
         });
         let (mut stream, _) = listener.accept().unwrap();
-        let got = read_request(&mut stream, max_body);
+        let got = read_request(&mut stream, max_body, None);
         writer.join().unwrap();
         got
     }
@@ -275,6 +331,58 @@ mod tests {
     fn short_body_is_disconnected() {
         let got = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 64);
         assert!(matches!(got, Err(ReadError::Disconnected)));
+    }
+
+    #[test]
+    fn deadline_bounds_a_slow_drip_client() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dripper = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // One byte at a time, never finishing the request line. Each
+            // byte would reset a naive per-syscall timeout.
+            for b in b"POST /v1/score HT" {
+                if s.write_all(&[*b]).is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let started = Instant::now();
+        let got = read_request(
+            &mut stream,
+            64,
+            Some(Instant::now() + Duration::from_millis(150)),
+        );
+        assert!(matches!(got, Err(ReadError::Disconnected)));
+        // Bounded by the deadline, not by 17 bytes x 30 ms of dripping.
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "took {:?}",
+            started.elapsed()
+        );
+        drop(stream);
+        dripper.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_in_the_future_does_not_reject_a_fast_request() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let got = read_request(
+            &mut stream,
+            64,
+            Some(Instant::now() + Duration::from_secs(5)),
+        )
+        .unwrap();
+        assert_eq!(got.path, "/healthz");
+        writer.join().unwrap();
     }
 
     #[test]

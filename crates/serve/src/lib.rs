@@ -42,6 +42,19 @@
 //!   the scorer, and joins all threads. (OS signal handlers need
 //!   `unsafe` FFI, which this workspace forbids; supervisors should use
 //!   the admin endpoint as the stop hook — the drain path is the same.)
+//! * **Scorer supervision** — the scorer runs under a watchdog that
+//!   polls its liveness every [`ServeConfig::heartbeat_ms`]. A panicked
+//!   (or, with [`ServeConfig::scorer_stall_ms`], hung) incarnation is
+//!   replaced with exponential backoff after the replacement engine is
+//!   re-validated against the served bundle, so post-recovery scores
+//!   stay bit-identical; worker panics are likewise contained to their
+//!   connection.
+//! * **Degraded-mode serving** — `/healthz` reports a tri-state
+//!   `ok` / `degraded` / `draining`; a circuit breaker trips after
+//!   [`ServeConfig::breaker_threshold`] consecutive scoring failures and
+//!   sheds load with `503` + `Retry-After` until a half-open probe
+//!   succeeds. Non-finite frames are quarantined with a typed `422`
+//!   instead of poisoning co-batched requests.
 //!
 //! The server threads are long-lived blocking I/O loops, so they use
 //! `std::thread` directly; all numeric work still fans out through
@@ -66,6 +79,7 @@
 
 pub mod api;
 mod batch;
+mod breaker;
 pub mod client;
 pub mod http;
 pub mod loadgen;
@@ -104,6 +118,25 @@ pub struct ServeConfig {
     /// Largest accepted request body; beyond it the server answers
     /// `413` without reading the payload.
     pub max_body_bytes: usize,
+    /// Watchdog poll interval over the scorer thread, in milliseconds.
+    pub heartbeat_ms: u64,
+    /// How long one batch may stay in flight before the watchdog calls
+    /// the scorer hung and replaces it (`0` = never; a hang is then only
+    /// visible as rising queue depth).
+    pub scorer_stall_ms: u64,
+    /// How many times the watchdog restarts a dead scorer before giving
+    /// up and serving degraded forever. Attempts reset once a restarted
+    /// scorer completes a batch.
+    pub restart_attempts: u32,
+    /// Base delay between scorer restarts, in milliseconds; doubles per
+    /// consecutive failure up to a 5 s cap.
+    pub restart_backoff_ms: u64,
+    /// Consecutive scoring-batch failures that trip the circuit breaker
+    /// (clamped to at least 1).
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker rejects scoring traffic before letting
+    /// one half-open probe batch through, in milliseconds.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +151,12 @@ impl Default for ServeConfig {
             read_timeout_ms: 5_000,
             write_timeout_ms: 5_000,
             max_body_bytes: 1 << 20,
+            heartbeat_ms: 100,
+            scorer_stall_ms: 10_000,
+            restart_attempts: 5,
+            restart_backoff_ms: 50,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 1_000,
         }
     }
 }
@@ -135,6 +174,14 @@ impl ServeConfig {
             max_conns: self.max_conns,
             read_timeout_ms: self.read_timeout_ms,
             write_timeout_ms: self.write_timeout_ms,
+            heartbeat_ms: self.heartbeat_ms,
+            restart_attempts: self.restart_attempts,
+            breaker_threshold: self.breaker_threshold,
+            // Whether a chaos plan is in play is a runtime property the
+            // CLI knows, not a config field; it fills these in before
+            // gating on the report.
+            chaos_plan: false,
+            chaos_built: cfg!(feature = "chaos"),
         }
     }
 }

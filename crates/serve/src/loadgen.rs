@@ -2,15 +2,27 @@
 //! posting synthetic `POST /v1/score` requests as fast as the server
 //! answers, reporting throughput and latency percentiles. Backs the
 //! `loadgen` bench binary and the `gansec bench --serve` group.
+//!
+//! `503` replies are retried with capped exponential backoff. The delay
+//! honors the server's `Retry-After` hint when it exceeds the local
+//! schedule, and a deterministic per-client jitter decorrelates the
+//! retry storms a tripped circuit breaker would otherwise synchronize.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gansec_engine::ScoringEngine;
 
 use crate::api::{ScoreRequest, ScoreResponse};
 use crate::client;
+
+/// Ceiling on a single retry delay, hint or not.
+const RETRY_CAP_MS: u64 = 1_000;
+/// First-retry backoff; doubles per attempt up to the cap.
+const RETRY_BASE_MS: u64 = 25;
+/// Jitter is drawn uniformly from `[0, RETRY_JITTER_MS)`.
+const RETRY_JITTER_MS: u64 = 25;
 
 /// Load shape knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +33,8 @@ pub struct LoadgenOptions {
     pub requests_per_client: usize,
     /// Frames per request.
     pub frames_per_request: usize,
+    /// Retries per request on a `503` before counting it rejected.
+    pub max_retries: u32,
 }
 
 impl Default for LoadgenOptions {
@@ -29,6 +43,7 @@ impl Default for LoadgenOptions {
             clients: 4,
             requests_per_client: 25,
             frames_per_request: 16,
+            max_retries: 4,
         }
     }
 }
@@ -38,10 +53,14 @@ impl Default for LoadgenOptions {
 pub struct LoadgenReport {
     /// Requests that completed with `200`.
     pub ok_requests: usize,
-    /// Requests rejected with `503` backpressure.
+    /// Requests still rejected with `503` after every retry.
     pub rejected_requests: usize,
     /// Requests that failed any other way (transport error, non-200).
     pub failed_requests: usize,
+    /// Total retry attempts across the run.
+    pub retries: usize,
+    /// Requests that needed at least one retry (however they ended).
+    pub retried_requests: usize,
     /// Frames successfully scored.
     pub frames_scored: usize,
     /// Wall time of the whole run, in seconds.
@@ -60,16 +79,21 @@ impl LoadgenReport {
         format!(
             concat!(
                 "{{\"clients\":{},\"requests_per_client\":{},\"frames_per_request\":{},",
+                "\"max_retries\":{},",
                 "\"ok_requests\":{},\"rejected_requests\":{},\"failed_requests\":{},",
+                "\"retries\":{},\"retried_requests\":{},",
                 "\"frames_scored\":{},\"elapsed_secs\":{:.6},\"throughput_fps\":{:.1},",
                 "\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}"
             ),
             opts.clients,
             opts.requests_per_client,
             opts.frames_per_request,
+            opts.max_retries,
             self.ok_requests,
             self.rejected_requests,
             self.failed_requests,
+            self.retries,
+            self.retried_requests,
             self.frames_scored,
             self.elapsed_secs,
             self.throughput_fps,
@@ -77,6 +101,33 @@ impl LoadgenReport {
             self.p99_ms,
         )
     }
+}
+
+/// One step of the splitmix64 sequence: the jitter source. Fully
+/// deterministic per client, no external RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pre-jitter delay before retry number `attempt` (1-based): the local
+/// exponential schedule `RETRY_BASE_MS · 2^(attempt-1)`, raised to the
+/// server's `Retry-After` hint when the hint is longer, capped at
+/// [`RETRY_CAP_MS`] either way.
+fn retry_delay_ms(attempt: u32, hint_ms: Option<u64>) -> u64 {
+    let expo = RETRY_BASE_MS.saturating_mul(1u64 << attempt.saturating_sub(1).min(10));
+    hint_ms.unwrap_or(0).max(expo).min(RETRY_CAP_MS)
+}
+
+/// Parses a `Retry-After` header value (whole seconds) into
+/// milliseconds; `None` for absent or non-numeric values.
+fn retry_after_ms(header: Option<&str>) -> Option<u64> {
+    header
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .map(|secs| secs.saturating_mul(1_000))
 }
 
 /// Builds one deterministic synthetic request body shaped for `engine`:
@@ -107,6 +158,60 @@ pub fn synthetic_body(engine: &ScoringEngine, frames: usize, salt: u64) -> Resul
     serde_json::to_vec(&ScoreRequest { frames, conds }).map_err(|e| e.to_string())
 }
 
+/// Per-thread tallies one closed-loop client accumulates.
+#[derive(Default)]
+struct ClientTally {
+    ok: usize,
+    rejected: usize,
+    failed: usize,
+    retries: usize,
+    retried_requests: usize,
+    scored: usize,
+    latencies: Vec<f64>,
+}
+
+/// Sends one request, retrying `503`s per the backoff policy, and folds
+/// the outcome into `tally`. The recorded latency covers the final
+/// attempt only (service latency, not backoff sleep).
+fn one_request(
+    addr: SocketAddr,
+    body: &[u8],
+    frames: usize,
+    max_retries: u32,
+    jitter_state: &mut u64,
+    tally: &mut ClientTally,
+) {
+    let mut attempt = 0u32;
+    loop {
+        let sent = Instant::now();
+        match client::post(addr, "/v1/score", body) {
+            Ok(reply) if reply.status == 200 => {
+                tally.latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                tally.ok += 1;
+                let parsed: Result<ScoreResponse, _> = serde_json::from_slice(&reply.body);
+                tally.scored += parsed.map_or(frames, |r| r.scores.len());
+            }
+            Ok(reply) if reply.status == 503 => {
+                if attempt < max_retries {
+                    attempt += 1;
+                    tally.retries += 1;
+                    let base =
+                        retry_delay_ms(attempt, retry_after_ms(reply.retry_after.as_deref()));
+                    let jitter = splitmix64(jitter_state) % RETRY_JITTER_MS.max(1);
+                    std::thread::sleep(Duration::from_millis(base + jitter));
+                    continue;
+                }
+                tally.rejected += 1;
+            }
+            _ => tally.failed += 1,
+        }
+        if attempt > 0 {
+            tally.retried_requests += 1;
+        }
+        return;
+    }
+}
+
 /// Runs the closed loop against a live server and aggregates the
 /// per-request latencies.
 ///
@@ -126,30 +231,28 @@ pub fn run(
     let started = Instant::now();
     let threads: Vec<_> = bodies
         .into_iter()
-        .map(|body| {
+        .enumerate()
+        .map(|(client_idx, body)| {
             let requests = opts.requests_per_client;
             let frames = opts.frames_per_request;
+            let max_retries = opts.max_retries;
             std::thread::spawn(move || {
-                let mut ok = 0usize;
-                let mut rejected = 0usize;
-                let mut failed = 0usize;
-                let mut scored = 0usize;
-                let mut latencies = Vec::with_capacity(requests);
+                let mut tally = ClientTally {
+                    latencies: Vec::with_capacity(requests),
+                    ..ClientTally::default()
+                };
+                let mut jitter_state = 0x6761_6E73_6563_0000 ^ client_idx as u64;
                 for _ in 0..requests {
-                    let sent = Instant::now();
-                    match client::post(addr, "/v1/score", &body) {
-                        Ok(reply) if reply.status == 200 => {
-                            latencies.push(sent.elapsed().as_secs_f64() * 1e3);
-                            ok += 1;
-                            let parsed: Result<ScoreResponse, _> =
-                                serde_json::from_slice(&reply.body);
-                            scored += parsed.map_or(frames, |r| r.scores.len());
-                        }
-                        Ok(reply) if reply.status == 503 => rejected += 1,
-                        _ => failed += 1,
-                    }
+                    one_request(
+                        addr,
+                        &body,
+                        frames,
+                        max_retries,
+                        &mut jitter_state,
+                        &mut tally,
+                    );
                 }
-                (ok, rejected, failed, scored, latencies)
+                tally
             })
         })
         .collect();
@@ -157,16 +260,19 @@ pub fn run(
     let mut ok_requests = 0;
     let mut rejected_requests = 0;
     let mut failed_requests = 0;
+    let mut retries = 0;
+    let mut retried_requests = 0;
     let mut frames_scored = 0;
     let mut latencies = Vec::new();
     for t in threads {
-        let (ok, rejected, failed, scored, lat) =
-            t.join().map_err(|_| "load client panicked".to_string())?;
-        ok_requests += ok;
-        rejected_requests += rejected;
-        failed_requests += failed;
-        frames_scored += scored;
-        latencies.extend(lat);
+        let tally = t.join().map_err(|_| "load client panicked".to_string())?;
+        ok_requests += tally.ok;
+        rejected_requests += tally.rejected;
+        failed_requests += tally.failed;
+        retries += tally.retries;
+        retried_requests += tally.retried_requests;
+        frames_scored += tally.scored;
+        latencies.extend(tally.latencies);
     }
     let elapsed_secs = started.elapsed().as_secs_f64();
 
@@ -175,6 +281,8 @@ pub fn run(
         ok_requests,
         rejected_requests,
         failed_requests,
+        retries,
+        retried_requests,
         frames_scored,
         elapsed_secs,
         throughput_fps: if elapsed_secs > 0.0 {
@@ -211,11 +319,50 @@ mod tests {
     }
 
     #[test]
+    fn retry_schedule_doubles_and_caps() {
+        // No hint: the local exponential schedule.
+        assert_eq!(retry_delay_ms(1, None), 25);
+        assert_eq!(retry_delay_ms(2, None), 50);
+        assert_eq!(retry_delay_ms(3, None), 100);
+        assert_eq!(retry_delay_ms(4, None), 200);
+        // The schedule never exceeds the cap.
+        assert_eq!(retry_delay_ms(30, None), RETRY_CAP_MS);
+        // A longer server hint wins over the schedule...
+        assert_eq!(retry_delay_ms(1, Some(500)), 500);
+        // ...but a shorter hint does not shrink the backoff...
+        assert_eq!(retry_delay_ms(4, Some(100)), 200);
+        // ...and even the hint obeys the cap.
+        assert_eq!(retry_delay_ms(1, Some(60_000)), RETRY_CAP_MS);
+    }
+
+    #[test]
+    fn retry_after_header_parses_whole_seconds() {
+        assert_eq!(retry_after_ms(Some("1")), Some(1_000));
+        assert_eq!(retry_after_ms(Some(" 3 ")), Some(3_000));
+        assert_eq!(retry_after_ms(Some("soon")), None);
+        assert_eq!(retry_after_ms(None), None);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for _ in 0..100 {
+            let x = splitmix64(&mut a) % RETRY_JITTER_MS;
+            let y = splitmix64(&mut b) % RETRY_JITTER_MS;
+            assert_eq!(x, y);
+            assert!(x < RETRY_JITTER_MS);
+        }
+    }
+
+    #[test]
     fn report_json_is_stable() {
         let report = LoadgenReport {
             ok_requests: 10,
             rejected_requests: 1,
             failed_requests: 0,
+            retries: 3,
+            retried_requests: 2,
             frames_scored: 160,
             elapsed_secs: 0.5,
             throughput_fps: 320.0,
@@ -224,6 +371,9 @@ mod tests {
         };
         let json = report.to_json(&LoadgenOptions::default());
         assert!(json.starts_with("{\"clients\":4,"));
+        assert!(json.contains("\"max_retries\":4"));
+        assert!(json.contains("\"retries\":3"));
+        assert!(json.contains("\"retried_requests\":2"));
         assert!(json.contains("\"frames_scored\":160"));
         assert!(json.contains("\"throughput_fps\":320.0"));
         assert!(json.contains("\"p99_ms\":9.750"));

@@ -92,6 +92,21 @@ pub struct Metrics {
     frames_scored: AtomicU64,
     /// Successful hot reloads.
     reloads: AtomicU64,
+    /// Scorer incarnations the watchdog replaced after a panic or hang.
+    scorer_restarts: AtomicU64,
+    /// Restarts that were triggered by a stall rather than a panic.
+    scorer_stalls: AtomicU64,
+    /// Worker threads that panicked while handling a connection.
+    worker_panics: AtomicU64,
+    /// Times the circuit breaker tripped open.
+    breaker_trips: AtomicU64,
+    /// Requests shed because the breaker was open or half-open-busy.
+    rejected_breaker_open: AtomicU64,
+    /// Batches the engine rejected whole (model poison, not client input).
+    batch_failures: AtomicU64,
+    /// Non-finite frames quarantined before scoring, per bundle
+    /// config-fingerprint.
+    quarantined: Mutex<BTreeMap<u64, u64>>,
 }
 
 impl Metrics {
@@ -107,6 +122,13 @@ impl Metrics {
             batched_requests: AtomicU64::new(0),
             frames_scored: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            scorer_restarts: AtomicU64::new(0),
+            scorer_stalls: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            rejected_breaker_open: AtomicU64::new(0),
+            batch_failures: AtomicU64::new(0),
+            quarantined: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -152,6 +174,46 @@ impl Metrics {
         self.reloads.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one scorer restart; `stalled` marks it as hang-triggered
+    /// rather than panic-triggered.
+    pub fn observe_scorer_restart(&self, stalled: bool) {
+        self.scorer_restarts.fetch_add(1, Ordering::Relaxed);
+        if stalled {
+            self.scorer_stalls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a worker thread panicking on a connection.
+    pub fn observe_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the circuit breaker tripping open.
+    pub fn observe_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request shed because the breaker was open.
+    pub fn observe_breaker_rejection(&self) {
+        self.rejected_breaker_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a whole batch the engine rejected.
+    pub fn observe_batch_failure(&self) {
+        self.batch_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `frames` non-finite frames quarantined while bundle
+    /// `fingerprint` was being served.
+    pub fn observe_quarantine(&self, fingerprint: u64, frames: usize) {
+        *self
+            .quarantined
+            .lock()
+            .expect("metrics lock poisoned")
+            .entry(fingerprint)
+            .or_insert(0) += frames as u64;
+    }
+
     /// Batches dispatched so far (test/driver convenience).
     pub fn batches(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
@@ -162,10 +224,37 @@ impl Metrics {
         self.frames_scored.load(Ordering::Relaxed)
     }
 
-    /// Renders the Prometheus text payload. `queue_depth` and
-    /// `active_connections` are sampled by the caller at render time
-    /// because they are gauges owned by the queue and the accept loop.
-    pub fn render(&self, queue_depth: usize, active_connections: usize) -> String {
+    /// Scorer restarts so far (test/driver convenience).
+    pub fn scorer_restarts(&self) -> u64 {
+        self.scorer_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Engine-rejected batches so far (test/driver convenience).
+    pub fn batch_failures(&self) -> u64 {
+        self.batch_failures.load(Ordering::Relaxed)
+    }
+
+    /// Total quarantined frames across all bundles.
+    pub fn quarantined_frames(&self) -> u64 {
+        self.quarantined
+            .lock()
+            .expect("metrics lock poisoned")
+            .values()
+            .sum()
+    }
+
+    /// Renders the Prometheus text payload. `queue_depth`,
+    /// `active_connections`, `health` (`"ok"` / `"degraded"` /
+    /// `"draining"`), and `breaker` (`"closed"` / `"open"` /
+    /// `"half_open"`) are sampled by the caller at render time because
+    /// they are gauges owned by other components.
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        active_connections: usize,
+        health: &str,
+        breaker: &str,
+    ) -> String {
         let mut out = String::with_capacity(4096);
 
         out.push_str(
@@ -190,6 +279,11 @@ impl Metrics {
             out,
             "gansec_serve_rejected_total{{reason=\"over_capacity\"}} {}",
             self.rejected_over_capacity.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "gansec_serve_rejected_total{{reason=\"breaker_open\"}} {}",
+            self.rejected_breaker_open.load(Ordering::Relaxed)
         );
 
         out.push_str(
@@ -238,6 +332,95 @@ impl Metrics {
             self.reloads.load(Ordering::Relaxed)
         );
 
+        out.push_str(
+            "# HELP gansec_scorer_restarts_total Scorer incarnations replaced by the watchdog.\n",
+        );
+        out.push_str("# TYPE gansec_scorer_restarts_total counter\n");
+        let _ = writeln!(
+            out,
+            "gansec_scorer_restarts_total {}",
+            self.scorer_restarts.load(Ordering::Relaxed)
+        );
+
+        out.push_str(
+            "# HELP gansec_serve_scorer_stalls_total Restarts triggered by a stalled batch.\n",
+        );
+        out.push_str("# TYPE gansec_serve_scorer_stalls_total counter\n");
+        let _ = writeln!(
+            out,
+            "gansec_serve_scorer_stalls_total {}",
+            self.scorer_stalls.load(Ordering::Relaxed)
+        );
+
+        out.push_str(
+            "# HELP gansec_serve_worker_panics_total Worker panics contained to one connection.\n",
+        );
+        out.push_str("# TYPE gansec_serve_worker_panics_total counter\n");
+        let _ = writeln!(
+            out,
+            "gansec_serve_worker_panics_total {}",
+            self.worker_panics.load(Ordering::Relaxed)
+        );
+
+        out.push_str("# HELP gansec_serve_breaker_trips_total Circuit-breaker trips to open.\n");
+        out.push_str("# TYPE gansec_serve_breaker_trips_total counter\n");
+        let _ = writeln!(
+            out,
+            "gansec_serve_breaker_trips_total {}",
+            self.breaker_trips.load(Ordering::Relaxed)
+        );
+
+        out.push_str(
+            "# HELP gansec_serve_batch_failures_total Whole batches the engine rejected.\n",
+        );
+        out.push_str("# TYPE gansec_serve_batch_failures_total counter\n");
+        let _ = writeln!(
+            out,
+            "gansec_serve_batch_failures_total {}",
+            self.batch_failures.load(Ordering::Relaxed)
+        );
+
+        out.push_str(
+            "# HELP gansec_serve_quarantined_frames_total Non-finite frames quarantined \
+             before scoring, by bundle config fingerprint.\n",
+        );
+        out.push_str("# TYPE gansec_serve_quarantined_frames_total counter\n");
+        for (fingerprint, n) in self
+            .quarantined
+            .lock()
+            .expect("metrics lock poisoned")
+            .iter()
+        {
+            let _ = writeln!(
+                out,
+                "gansec_serve_quarantined_frames_total{{bundle=\"{fingerprint:016x}\"}} {n}"
+            );
+        }
+
+        out.push_str(
+            "# HELP gansec_serve_health_state Tri-state server health (exactly one is 1).\n",
+        );
+        out.push_str("# TYPE gansec_serve_health_state gauge\n");
+        for state in ["ok", "degraded", "draining"] {
+            let _ = writeln!(
+                out,
+                "gansec_serve_health_state{{state=\"{state}\"}} {}",
+                u8::from(state == health)
+            );
+        }
+
+        out.push_str(
+            "# HELP gansec_serve_breaker_state Circuit-breaker phase (exactly one is 1).\n",
+        );
+        out.push_str("# TYPE gansec_serve_breaker_state gauge\n");
+        for state in ["closed", "open", "half_open"] {
+            let _ = writeln!(
+                out,
+                "gansec_serve_breaker_state{{state=\"{state}\"}} {}",
+                u8::from(state == breaker)
+            );
+        }
+
         out.push_str("# HELP gansec_serve_queue_depth Frames waiting in the batch queue.\n");
         out.push_str("# TYPE gansec_serve_queue_depth gauge\n");
         let _ = writeln!(out, "gansec_serve_queue_depth {queue_depth}");
@@ -271,7 +454,7 @@ mod tests {
         m.observe_queue_full();
         m.observe_batch(24, 3);
         m.observe_reload();
-        let text = m.render(5, 2);
+        let text = m.render(5, 2, "ok", "closed");
         assert!(text.contains("gansec_serve_requests_total{route=\"/v1/score\",code=\"200\"} 2"));
         assert!(text.contains("gansec_serve_requests_total{route=\"/healthz\",code=\"200\"} 1"));
         assert!(text.contains("gansec_serve_rejected_total{reason=\"queue_full\"} 1"));
@@ -281,7 +464,43 @@ mod tests {
         assert!(text.contains("gansec_serve_reloads_total 1"));
         assert!(text.contains("gansec_serve_queue_depth 5"));
         assert!(text.contains("gansec_serve_active_connections 2"));
-        assert_eq!(text, m.render(5, 2));
+        assert_eq!(text, m.render(5, 2, "ok", "closed"));
+    }
+
+    #[test]
+    fn resilience_counters_and_states_render() {
+        let m = Metrics::new();
+        m.observe_scorer_restart(false);
+        m.observe_scorer_restart(true);
+        m.observe_worker_panic();
+        m.observe_breaker_trip();
+        m.observe_breaker_rejection();
+        m.observe_batch_failure();
+        m.observe_quarantine(0xABCD, 3);
+        m.observe_quarantine(0xABCD, 2);
+        m.observe_quarantine(0x1, 1);
+        let text = m.render(0, 0, "degraded", "open");
+        assert!(text.contains("gansec_scorer_restarts_total 2"));
+        assert!(text.contains("gansec_serve_scorer_stalls_total 1"));
+        assert!(text.contains("gansec_serve_worker_panics_total 1"));
+        assert!(text.contains("gansec_serve_breaker_trips_total 1"));
+        assert!(text.contains("gansec_serve_rejected_total{reason=\"breaker_open\"} 1"));
+        assert!(text.contains("gansec_serve_batch_failures_total 1"));
+        assert!(
+            text.contains("gansec_serve_quarantined_frames_total{bundle=\"000000000000abcd\"} 5")
+        );
+        assert!(
+            text.contains("gansec_serve_quarantined_frames_total{bundle=\"0000000000000001\"} 1")
+        );
+        assert!(text.contains("gansec_serve_health_state{state=\"ok\"} 0"));
+        assert!(text.contains("gansec_serve_health_state{state=\"degraded\"} 1"));
+        assert!(text.contains("gansec_serve_health_state{state=\"draining\"} 0"));
+        assert!(text.contains("gansec_serve_breaker_state{state=\"closed\"} 0"));
+        assert!(text.contains("gansec_serve_breaker_state{state=\"open\"} 1"));
+        assert!(text.contains("gansec_serve_breaker_state{state=\"half_open\"} 0"));
+        assert_eq!(m.scorer_restarts(), 2);
+        assert_eq!(m.batch_failures(), 1);
+        assert_eq!(m.quarantined_frames(), 6);
     }
 
     #[test]
@@ -290,7 +509,7 @@ mod tests {
         m.observe_batch(1, 1);
         m.observe_batch(3, 1);
         m.observe_batch(100_000, 1);
-        let text = m.render(0, 0);
+        let text = m.render(0, 0, "ok", "closed");
         assert!(text.contains("gansec_serve_batch_frames_bucket{le=\"1\"} 1"));
         assert!(text.contains("gansec_serve_batch_frames_bucket{le=\"4\"} 2"));
         assert!(text.contains("gansec_serve_batch_frames_bucket{le=\"+Inf\"} 3"));
@@ -305,11 +524,11 @@ mod tests {
         let m = Metrics::new();
         m.observe_batch(8, 1);
         assert!(m
-            .render(0, 0)
+            .render(0, 0, "ok", "closed")
             .contains("gansec_serve_batched_requests_total 0"));
         m.observe_batch(8, 2);
         assert!(m
-            .render(0, 0)
+            .render(0, 0, "ok", "closed")
             .contains("gansec_serve_batched_requests_total 2"));
     }
 }

@@ -1,5 +1,5 @@
-//! The server proper: acceptor, connection workers, routing, the scorer
-//! thread, hot reload, and graceful shutdown.
+//! The server proper: acceptor, connection workers, routing, the
+//! supervised scorer thread, hot reload, and graceful shutdown.
 //!
 //! Thread topology (all plain `std::thread` blocking loops):
 //!
@@ -8,19 +8,28 @@
 //!   bounded channel. Woken for shutdown by a dummy self-connection.
 //! * **workers** — parse one request per connection, route it, and
 //!   reply. Scoring requests park on a reply channel while their frames
-//!   ride the batch queue.
-//! * **batcher** — drains the queue into micro-batches and runs the
-//!   engine's block-parallel scorer once per batch.
+//!   ride the batch queue. A panic while handling a connection is
+//!   contained to that connection.
+//! * **supervisor** — owns the scorer: spawns it, polls its liveness
+//!   every [`ServeConfig::heartbeat_ms`], and replaces a panicked (or
+//!   stalled) incarnation with exponential backoff after re-validating
+//!   the serving engine, so post-recovery scores stay bit-identical.
+//! * **batcher** (the supervised scorer) — drains the queue into
+//!   micro-batches, quarantines non-finite jobs, and runs the engine's
+//!   checked block-parallel scorer once per batch; batch verdicts feed
+//!   the circuit breaker.
 //!
 //! Teardown order is the graceful-drain contract: join the acceptor
 //! (no new connections), drop the stream channel (workers finish their
 //! in-flight requests and exit), close the batch queue (the batcher
-//! flushes every queued job), then join the batcher.
+//! flushes every queued job), then join the supervisor (which joins its
+//! scorer).
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -28,14 +37,21 @@ use gansec::ModelBundle;
 use gansec_engine::ScoringEngine;
 use gansec_tensor::Matrix;
 
+#[cfg(feature = "chaos")]
+use gansec_chaos::{BatchFault, ChaosState, ReloadFault};
+
 use crate::api::{
     ClassifyRequest, ClassifyResponse, DetectResponse, HealthResponse, ReloadRequest,
     ReloadResponse, ScoreRequest, ScoreResponse,
 };
-use crate::batch::{BatchQueue, ScoreJob, SubmitError};
+use crate::batch::{BatchQueue, JobError, ScoreJob, SubmitError};
+use crate::breaker::{Admission, Breaker, BreakerSnapshot};
 use crate::http::{self, ReadError, Request};
 use crate::metrics::Metrics;
 use crate::ServeConfig;
+
+/// Ceiling on the exponential restart backoff.
+const MAX_BACKOFF_MS: u64 = 5_000;
 
 /// State shared by every server thread.
 struct Shared {
@@ -50,14 +66,33 @@ struct Shared {
     bundle_path: Mutex<String>,
     metrics: Metrics,
     queue: BatchQueue,
+    breaker: Breaker,
     active_conns: AtomicUsize,
     shutting_down: AtomicBool,
+    /// Whether a live scorer incarnation is draining the queue; cleared
+    /// by the supervisor between a death and its replacement (and
+    /// forever once restarts are exhausted).
+    scorer_alive: AtomicBool,
+    /// Sticky quarantine flag: set when a non-finite job is quarantined,
+    /// cleared when a batch scores with nothing quarantined — the
+    /// "degraded" signal that poison has been seen recently.
+    quarantined: AtomicBool,
+    /// Milliseconds since `started` when the scorer picked up its
+    /// current batch (`0` = idle); the supervisor's stall detector.
+    busy_since_ms: AtomicU64,
+    /// Monotonic reference for `busy_since_ms`.
+    started: Instant,
+    /// The fault-injection schedule, when one was requested at startup.
+    #[cfg(feature = "chaos")]
+    chaos: Option<Arc<ChaosState>>,
 }
 
 impl Shared {
-    /// The current engine snapshot.
+    /// The current engine snapshot. Recovers from lock poisoning: the
+    /// engine `Arc` is swapped atomically, so a panicked holder cannot
+    /// leave it torn.
     fn engine(&self) -> Arc<ScoringEngine> {
-        Arc::clone(&self.engine.read().expect("engine lock poisoned"))
+        Arc::clone(&self.engine.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Flags shutdown (idempotent) and wakes the blocked acceptor with a
@@ -67,6 +102,50 @@ impl Shared {
             return;
         }
         drop(TcpStream::connect(self.listen_addr));
+    }
+
+    /// Milliseconds since server start (monotonic).
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// The scorer picked up a batch.
+    fn mark_scorer_busy(&self) {
+        // `max(1)` keeps an instant-zero pickup distinct from "idle".
+        self.busy_since_ms
+            .store(self.now_ms().max(1), Ordering::SeqCst);
+    }
+
+    /// The scorer finished (or abandoned) its batch.
+    fn mark_scorer_idle(&self) {
+        self.busy_since_ms.store(0, Ordering::SeqCst);
+    }
+
+    /// Whether the current batch has been in flight longer than the
+    /// configured stall threshold.
+    fn scorer_stalled(&self) -> bool {
+        let stall = self.config.scorer_stall_ms;
+        if stall == 0 {
+            return false;
+        }
+        let busy = self.busy_since_ms.load(Ordering::SeqCst);
+        busy != 0 && self.now_ms().saturating_sub(busy) > stall
+    }
+
+    /// The tri-state health label: `draining` while shutting down,
+    /// `degraded` when the scorer is down, the breaker is not closed, or
+    /// quarantine is active, else `ok`.
+    fn health_state(&self) -> &'static str {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            "draining"
+        } else if !self.scorer_alive.load(Ordering::SeqCst)
+            || self.breaker.snapshot() != BreakerSnapshot::Closed
+            || self.quarantined.load(Ordering::SeqCst)
+        {
+            "degraded"
+        } else {
+            "ok"
+        }
     }
 }
 
@@ -78,7 +157,7 @@ pub struct Server {
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    batcher: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 /// A cloneable remote control for a running [`Server`] — safe to hand
@@ -108,12 +187,23 @@ impl ServerHandle {
     pub fn frames_scored(&self) -> u64 {
         self.shared.metrics.frames_scored()
     }
+
+    /// Scorer incarnations the watchdog has replaced so far.
+    pub fn scorer_restarts(&self) -> u64 {
+        self.shared.metrics.scorer_restarts()
+    }
+
+    /// The current tri-state health label.
+    pub fn health(&self) -> &'static str {
+        self.shared.health_state()
+    }
 }
 
 impl Server {
-    /// Binds `config.addr` and spawns the acceptor, worker, and scorer
-    /// threads around `engine`. `bundle_path` is advertised by
-    /// `/healthz` and is the default target of `/admin/reload`.
+    /// Binds `config.addr` and spawns the acceptor, worker, and
+    /// supervised scorer threads around `engine`. `bundle_path` is
+    /// advertised by `/healthz` and is the default target of
+    /// `/admin/reload`.
     ///
     /// # Errors
     ///
@@ -122,6 +212,37 @@ impl Server {
         config: ServeConfig,
         engine: ScoringEngine,
         bundle_path: impl Into<String>,
+    ) -> Result<Self, String> {
+        Self::start_inner(
+            config,
+            engine,
+            bundle_path,
+            #[cfg(feature = "chaos")]
+            None,
+        )
+    }
+
+    /// Like [`Server::start`], but with a compiled fault-injection plan
+    /// the scorer and reload paths consult. Chaos builds only.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the address cannot be bound.
+    #[cfg(feature = "chaos")]
+    pub fn start_with_chaos(
+        config: ServeConfig,
+        engine: ScoringEngine,
+        bundle_path: impl Into<String>,
+        chaos: Arc<ChaosState>,
+    ) -> Result<Self, String> {
+        Self::start_inner(config, engine, bundle_path, Some(chaos))
+    }
+
+    fn start_inner(
+        config: ServeConfig,
+        engine: ScoringEngine,
+        bundle_path: impl Into<String>,
+        #[cfg(feature = "chaos")] chaos: Option<Arc<ChaosState>>,
     ) -> Result<Self, String> {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
@@ -132,6 +253,10 @@ impl Server {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             queue: BatchQueue::new(config.queue_frames),
+            breaker: Breaker::new(
+                config.breaker_threshold,
+                Duration::from_millis(config.breaker_cooldown_ms),
+            ),
             config,
             listen_addr: addr,
             engine: RwLock::new(Arc::new(engine)),
@@ -139,6 +264,12 @@ impl Server {
             metrics: Metrics::new(),
             active_conns: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
+            scorer_alive: AtomicBool::new(true),
+            quarantined: AtomicBool::new(false),
+            busy_since_ms: AtomicU64::new(0),
+            started: Instant::now(),
+            #[cfg(feature = "chaos")]
+            chaos,
         });
 
         let (conn_tx, conn_rx) = sync_channel::<TcpStream>(shared.config.max_conns.max(1));
@@ -161,12 +292,12 @@ impl Server {
                     .map_err(|e| format!("cannot spawn worker: {e}"))
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let batcher = {
+        let supervisor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name("gansec-serve-batcher".into())
-                .spawn(move || batcher_loop(&shared))
-                .map_err(|e| format!("cannot spawn batcher: {e}"))?
+                .name("gansec-serve-watchdog".into())
+                .spawn(move || supervisor_loop(&shared))
+                .map_err(|e| format!("cannot spawn watchdog: {e}"))?
         };
 
         Ok(Self {
@@ -174,7 +305,7 @@ impl Server {
             addr,
             acceptor: Some(acceptor),
             workers: worker_handles,
-            batcher: Some(batcher),
+            supervisor: Some(supervisor),
         })
     }
 
@@ -201,8 +332,8 @@ impl Server {
             drop(worker.join());
         }
         self.shared.queue.close();
-        if let Some(batcher) = self.batcher.take() {
-            drop(batcher.join());
+        if let Some(supervisor) = self.supervisor.take() {
+            drop(supervisor.join());
         }
     }
 
@@ -248,19 +379,33 @@ fn set_timeouts(stream: &TcpStream, config: &ServeConfig) {
 
 /// Services connections off the shared channel until the acceptor drops
 /// its sender; each already-queued connection still gets a full reply,
-/// which is half of the graceful-drain guarantee.
+/// which is half of the graceful-drain guarantee. A panic while
+/// handling one connection is caught, counted, and contained — the
+/// worker lives on to serve the next connection.
 fn worker_loop(shared: &Shared, conn_rx: &Arc<Mutex<Receiver<TcpStream>>>) {
     loop {
-        let stream = conn_rx.lock().expect("connection channel poisoned").recv();
+        let stream = conn_rx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .recv();
         let Ok(mut stream) = stream else { break };
-        handle_connection(shared, &mut stream);
+        let outcome =
+            std::panic::catch_unwind(AssertUnwindSafe(|| handle_connection(shared, &mut stream)));
+        if outcome.is_err() {
+            shared.metrics.observe_worker_panic();
+        }
         shared.active_conns.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
 fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
     let started = Instant::now();
-    let request = match http::read_request(stream, shared.config.max_body_bytes) {
+    // The read timeout doubles as the *overall* request deadline, so a
+    // slowloris client dripping one byte per poll cannot hold a worker
+    // past it.
+    let deadline = (shared.config.read_timeout_ms > 0)
+        .then(|| started + Duration::from_millis(shared.config.read_timeout_ms));
+    let request = match http::read_request(stream, shared.config.max_body_bytes, deadline) {
         Ok(request) => request,
         Err(ReadError::Disconnected) => return,
         Err(ReadError::BadRequest(msg)) => {
@@ -338,6 +483,31 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request, started: In
     }
 }
 
+/// One request's terminal rejection: an HTTP status, a message, and an
+/// optional `Retry-After` hint (always set on shed-load `503`s).
+struct Rejection {
+    status: u16,
+    message: String,
+    retry_after_secs: Option<u64>,
+}
+
+impl Rejection {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+            // Plain backpressure 503s default to the 1-second hint the
+            // pre-resilience server always sent.
+            retry_after_secs: (status == 503).then_some(1),
+        }
+    }
+
+    fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after_secs = Some(secs);
+        self
+    }
+}
+
 /// Serializes `body` and writes a JSON `200`; serialization failure
 /// degrades to a `500`.
 fn reply_json<T: serde::Serialize>(
@@ -347,19 +517,31 @@ fn reply_json<T: serde::Serialize>(
     body: &T,
     started: Instant,
 ) {
+    reply_json_status(shared, stream, route, 200, body, started);
+}
+
+/// Like [`reply_json`] but with an explicit status (health degrades to
+/// `503` while draining so load balancers pull the instance).
+fn reply_json_status<T: serde::Serialize>(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    route: &'static str,
+    status: u16,
+    body: &T,
+    started: Instant,
+) {
     match serde_json::to_string(body) {
         Ok(json) => {
-            http::write_response(stream, 200, "application/json", json.as_bytes(), &[]);
+            http::write_response(stream, status, "application/json", json.as_bytes(), &[]);
             shared
                 .metrics
-                .observe_request(route, 200, started.elapsed());
+                .observe_request(route, status, started.elapsed());
         }
         Err(e) => reply_error(
             shared,
             stream,
             route,
-            500,
-            &format!("serialization failed: {e}"),
+            &Rejection::new(500, format!("serialization failed: {e}")),
             started,
         ),
     }
@@ -369,42 +551,56 @@ fn reply_error(
     shared: &Shared,
     stream: &mut TcpStream,
     route: &'static str,
-    status: u16,
-    message: &str,
+    rejection: &Rejection,
     started: Instant,
 ) {
-    if status == 503 {
-        // Backpressure replies tell well-behaved clients when to retry.
-        http::write_error(stream, status, message, &[("Retry-After", "1".to_string())]);
-    } else {
-        http::write_error(stream, status, message, &[]);
+    match rejection.retry_after_secs {
+        Some(secs) => http::write_error(
+            stream,
+            rejection.status,
+            &rejection.message,
+            &[("Retry-After", secs.to_string())],
+        ),
+        None => http::write_error(stream, rejection.status, &rejection.message, &[]),
     }
     shared
         .metrics
-        .observe_request(route, status, started.elapsed());
+        .observe_request(route, rejection.status, started.elapsed());
 }
 
 fn handle_health(shared: &Shared, stream: &mut TcpStream, started: Instant) {
     let engine = shared.engine();
+    let health = shared.health_state();
     let body = HealthResponse {
-        status: "ok".to_string(),
+        status: health.to_string(),
         bundle: shared
             .bundle_path
             .lock()
-            .expect("bundle path poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clone(),
         schema_version: engine.schema_version(),
         seed: engine.seed(),
         config_fingerprint: format!("{:016x}", engine.config_fingerprint()),
         threshold: engine.threshold(),
+        scorer_alive: shared.scorer_alive.load(Ordering::SeqCst),
+        scorer_restarts: shared.metrics.scorer_restarts(),
+        breaker: shared.breaker.snapshot().label().to_string(),
+        quarantined_frames: shared.metrics.quarantined_frames(),
     };
-    reply_json(shared, stream, "/healthz", &body, started);
+    // Degraded still answers 200 — reads and diagnostics work, and
+    // orchestrators should not restart-loop a server that is busy
+    // supervising itself back to health. Draining answers 503 so load
+    // balancers stop routing to it.
+    let status = if health == "draining" { 503 } else { 200 };
+    reply_json_status(shared, stream, "/healthz", status, &body, started);
 }
 
 fn handle_metrics(shared: &Shared, stream: &mut TcpStream, started: Instant) {
     let text = shared.metrics.render(
         shared.queue.depth_frames(),
         shared.active_conns.load(Ordering::SeqCst),
+        shared.health_state(),
+        shared.breaker.snapshot().label(),
     );
     http::write_response(
         stream,
@@ -423,13 +619,13 @@ fn handle_metrics(shared: &Shared, stream: &mut TcpStream, started: Instant) {
 fn parse_scoring_body(
     body: &[u8],
     engine: &ScoringEngine,
-) -> Result<(Vec<f64>, Vec<f64>, usize), (u16, String)> {
-    let req: ScoreRequest =
-        serde_json::from_slice(body).map_err(|e| (400, format!("invalid JSON body: {e}")))?;
+) -> Result<(Vec<f64>, Vec<f64>, usize), Rejection> {
+    let req: ScoreRequest = serde_json::from_slice(body)
+        .map_err(|e| Rejection::new(400, format!("invalid JSON body: {e}")))?;
     let frame_width = engine.config().n_bins;
     let cond_width = engine.config().encoding.dim();
     if req.frames.len() != req.conds.len() {
-        return Err((
+        return Err(Rejection::new(
             422,
             format!(
                 "{} frames but {} claimed conditions",
@@ -443,7 +639,7 @@ fn parse_scoring_body(
     let mut conds = Vec::with_capacity(rows * cond_width);
     for (i, frame) in req.frames.iter().enumerate() {
         if frame.len() != frame_width {
-            return Err((
+            return Err(Rejection::new(
                 422,
                 format!(
                     "frame {i} is {} wide; the serving bundle frames are {frame_width} bins",
@@ -455,7 +651,7 @@ fn parse_scoring_body(
     }
     for (i, cond) in req.conds.iter().enumerate() {
         if cond.len() != cond_width {
-            return Err((
+            return Err(Rejection::new(
                 422,
                 format!(
                     "condition {i} is {} wide; the serving encoding is {cond_width} wide",
@@ -468,13 +664,32 @@ fn parse_scoring_body(
     Ok((features, conds, rows))
 }
 
-/// Submits flattened rows to the batch queue and blocks for the scores.
+/// Submits flattened rows to the batch queue and blocks for the scores,
+/// honoring the circuit breaker at admission. A `Probe` admission is
+/// settled either by the batch verdict inside the scorer or by
+/// [`Breaker::abort_probe`] here when the request never reaches one.
 fn score_via_queue(
     shared: &Shared,
     features: Vec<f64>,
     conds: Vec<f64>,
     rows: usize,
-) -> Result<Vec<f64>, (u16, String)> {
+) -> Result<Vec<f64>, Rejection> {
+    let admission = shared.breaker.admit();
+    if let Admission::Rejected { retry_after_secs } = admission {
+        shared.metrics.observe_breaker_rejection();
+        return Err(Rejection::new(
+            503,
+            "circuit breaker is open: scoring is failing and load is shed while it recovers",
+        )
+        .with_retry_after(retry_after_secs));
+    }
+    let probe = admission == Admission::Probe;
+    let abort_probe_if_needed = || {
+        if probe {
+            shared.breaker.abort_probe();
+        }
+    };
+
     let (reply_tx, reply_rx) = sync_channel(1);
     let job = ScoreJob {
         features,
@@ -485,14 +700,16 @@ fn score_via_queue(
     match shared.queue.submit(job) {
         Ok(()) => {}
         Err(SubmitError::QueueFull { depth, capacity }) => {
+            abort_probe_if_needed();
             shared.metrics.observe_queue_full();
-            return Err((
+            return Err(Rejection::new(
                 503,
                 format!("scoring queue full ({depth} of {capacity} frames); retry shortly"),
             ));
         }
         Err(SubmitError::TooLarge { rows, capacity }) => {
-            return Err((
+            abort_probe_if_needed();
+            return Err(Rejection::new(
                 422,
                 format!(
                     "request holds {rows} frames but the queue admits at most {capacity}; \
@@ -501,13 +718,32 @@ fn score_via_queue(
             ));
         }
         Err(SubmitError::Closed) => {
-            return Err((503, "server is shutting down".to_string()));
+            abort_probe_if_needed();
+            return Err(Rejection::new(
+                503,
+                "scoring queue is closed (server draining or scorer retired)",
+            ));
         }
     }
     match reply_rx.recv() {
         Ok(Ok(scores)) => Ok(scores),
-        Ok(Err(msg)) => Err((409, msg)),
-        Err(_) => Err((500, "scorer thread went away".to_string())),
+        Ok(Err(err)) => {
+            // Scoring-failure verdicts already settled the breaker in
+            // the scorer; verdict-less rejections release the probe.
+            if !matches!(err, JobError::ScoringFailed(_)) {
+                abort_probe_if_needed();
+            }
+            Err(Rejection::new(err.status(), err.to_string()))
+        }
+        Err(_) => {
+            // The scorer died holding this job; the supervisor is
+            // already replacing it.
+            abort_probe_if_needed();
+            Err(Rejection::new(
+                503,
+                "scorer thread died mid-batch; a replacement is being supervised in",
+            ))
+        }
     }
 }
 
@@ -515,9 +751,7 @@ fn handle_score(shared: &Shared, stream: &mut TcpStream, request: &Request, star
     let engine = shared.engine();
     let (features, conds, rows) = match parse_scoring_body(&request.body, &engine) {
         Ok(parsed) => parsed,
-        Err((status, msg)) => {
-            return reply_error(shared, stream, "/v1/score", status, &msg, started)
-        }
+        Err(rejection) => return reply_error(shared, stream, "/v1/score", &rejection, started),
     };
     if rows == 0 {
         return reply_json(
@@ -536,7 +770,7 @@ fn handle_score(shared: &Shared, stream: &mut TcpStream, request: &Request, star
             &ScoreResponse { scores },
             started,
         ),
-        Err((status, msg)) => reply_error(shared, stream, "/v1/score", status, &msg, started),
+        Err(rejection) => reply_error(shared, stream, "/v1/score", &rejection, started),
     }
 }
 
@@ -544,9 +778,7 @@ fn handle_detect(shared: &Shared, stream: &mut TcpStream, request: &Request, sta
     let engine = shared.engine();
     let (features, conds, rows) = match parse_scoring_body(&request.body, &engine) {
         Ok(parsed) => parsed,
-        Err((status, msg)) => {
-            return reply_error(shared, stream, "/v1/detect", status, &msg, started)
-        }
+        Err(rejection) => return reply_error(shared, stream, "/v1/detect", &rejection, started),
     };
     if rows == 0 {
         let body = DetectResponse {
@@ -570,7 +802,7 @@ fn handle_detect(shared: &Shared, stream: &mut TcpStream, request: &Request, sta
             };
             reply_json(shared, stream, "/v1/detect", &body, started);
         }
-        Err((status, msg)) => reply_error(shared, stream, "/v1/detect", status, &msg, started),
+        Err(rejection) => reply_error(shared, stream, "/v1/detect", &rejection, started),
     }
 }
 
@@ -582,8 +814,7 @@ fn handle_classify(shared: &Shared, stream: &mut TcpStream, request: &Request, s
                 shared,
                 stream,
                 "/v1/classify",
-                400,
-                &format!("invalid JSON body: {e}"),
+                &Rejection::new(400, format!("invalid JSON body: {e}")),
                 started,
             )
         }
@@ -596,10 +827,12 @@ fn handle_classify(shared: &Shared, stream: &mut TcpStream, request: &Request, s
                 shared,
                 stream,
                 "/v1/classify",
-                422,
-                &format!(
-                    "frame {i} is {} wide; the serving bundle frames are {frame_width} bins",
-                    frame.len()
+                &Rejection::new(
+                    422,
+                    format!(
+                        "frame {i} is {} wide; the serving bundle frames are {frame_width} bins",
+                        frame.len()
+                    ),
                 ),
                 started,
             );
@@ -612,8 +845,7 @@ fn handle_classify(shared: &Shared, stream: &mut TcpStream, request: &Request, s
             shared,
             stream,
             "/v1/classify",
-            500,
-            "shape assembly failed",
+            &Rejection::new(500, "shape assembly failed"),
             started,
         );
     };
@@ -645,6 +877,18 @@ fn load_reload_bundle(path: &str) -> Result<ModelBundle, String> {
 }
 
 fn handle_reload(shared: &Shared, stream: &mut TcpStream, request: &Request, started: Instant) {
+    // A drain is a promise that the serving snapshot is final; swapping
+    // engines mid-drain would hand in-flight clients a bundle nobody
+    // asked for.
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return reply_error(
+            shared,
+            stream,
+            "/admin/reload",
+            &Rejection::new(409, "server is draining; reload rejected"),
+            started,
+        );
+    }
     let req: ReloadRequest = if request.body.is_empty() {
         ReloadRequest::default()
     } else {
@@ -655,18 +899,33 @@ fn handle_reload(shared: &Shared, stream: &mut TcpStream, request: &Request, sta
                     shared,
                     stream,
                     "/admin/reload",
-                    400,
-                    &format!("invalid JSON body: {e}"),
+                    &Rejection::new(400, format!("invalid JSON body: {e}")),
                     started,
                 )
             }
         }
     };
+    #[cfg(feature = "chaos")]
+    if let Some(chaos) = &shared.chaos {
+        match chaos.next_reload() {
+            ReloadFault::Delay(pause) => std::thread::sleep(pause),
+            ReloadFault::Fail => {
+                return reply_error(
+                    shared,
+                    stream,
+                    "/admin/reload",
+                    &Rejection::new(422, "chaos: injected reload failure (torn artifact)"),
+                    started,
+                )
+            }
+            ReloadFault::None => {}
+        }
+    }
     let path = req.bundle.unwrap_or_else(|| {
         shared
             .bundle_path
             .lock()
-            .expect("bundle path poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clone()
     });
     match load_reload_bundle(&path) {
@@ -678,33 +937,66 @@ fn handle_reload(shared: &Shared, stream: &mut TcpStream, request: &Request, sta
                 config_fingerprint: format!("{:016x}", bundle.config_fingerprint),
             };
             let engine = Arc::new(ScoringEngine::from_bundle(bundle));
-            *shared.engine.write().expect("engine lock poisoned") = engine;
-            *shared.bundle_path.lock().expect("bundle path poisoned") = path;
+            *shared
+                .engine
+                .write()
+                .unwrap_or_else(PoisonError::into_inner) = engine;
+            *shared
+                .bundle_path
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = path;
             shared.metrics.observe_reload();
             reply_json(shared, stream, "/admin/reload", &body, started);
         }
-        Err(msg) => reply_error(shared, stream, "/admin/reload", 422, &msg, started),
+        Err(msg) => reply_error(
+            shared,
+            stream,
+            "/admin/reload",
+            &Rejection::new(422, msg),
+            started,
+        ),
     }
 }
 
 fn handle_shutdown(shared: &Shared, stream: &mut TcpStream, started: Instant) {
-    // Reply first: once the drain starts this connection still deserves
-    // its acknowledgment.
+    // Flag the drain *before* acknowledging, so any request racing this
+    // one observes `draining` deterministically once the ack is read
+    // (the reload-during-drain 409 contract).
+    shared.trigger_shutdown();
     http::write_response(
         stream,
         200,
         "application/json",
-        b"{\"status\":\"shutting down\"}",
+        b"{\"status\":\"draining\"}",
         &[],
     );
     shared
         .metrics
         .observe_request("/admin/shutdown", 200, started.elapsed());
-    shared.trigger_shutdown();
 }
 
-/// The scorer thread: drain → validate against the current engine →
-/// one block-parallel `score_frames` call → scatter replies.
+/// Returns the quarantine error for the first non-finite value in one
+/// job, if any.
+fn job_poison(job: &ScoreJob, frame_width: usize, cond_width: usize) -> Option<JobError> {
+    if let Some(i) = job.features.iter().position(|v| !v.is_finite()) {
+        return Some(JobError::NonFinite {
+            row: i / frame_width.max(1),
+            kind: "feature",
+        });
+    }
+    if let Some(i) = job.conds.iter().position(|v| !v.is_finite()) {
+        return Some(JobError::NonFinite {
+            row: i / cond_width.max(1),
+            kind: "condition",
+        });
+    }
+    None
+}
+
+/// The scorer thread: drain → quarantine/validate against the current
+/// engine → one checked block-parallel `score_frames` call → scatter
+/// replies, with batch verdicts feeding the circuit breaker. Exits only
+/// when the queue is closed and fully drained.
 fn batcher_loop(shared: &Shared) {
     let linger = Duration::from_millis(shared.config.batch_linger_ms);
     let max_batch = shared.config.max_batch.max(1);
@@ -712,57 +1004,273 @@ fn batcher_loop(shared: &Shared) {
         if batch.is_empty() {
             continue;
         }
-        let engine = shared.engine();
-        let frame_width = engine.config().n_bins;
-        let cond_width = engine.config().encoding.dim();
+        shared.mark_scorer_busy();
+        score_batch(shared, batch);
+        shared.mark_scorer_idle();
+    }
+}
 
-        // A reload between submit and drain can change the expected
-        // widths; such jobs are rejected instead of panicking mid-batch.
-        let mut jobs = Vec::with_capacity(batch.len());
-        let mut rows = 0usize;
-        for job in batch {
-            if job.features.len() == job.rows * frame_width
-                && job.conds.len() == job.rows * cond_width
-            {
-                rows += job.rows;
-                jobs.push(job);
-            } else {
-                drop(job.reply.try_send(Err(
-                    "bundle reloaded with different dimensions; re-shape the request".to_string(),
-                )));
+/// Scores one drained batch; factored out of [`batcher_loop`] so the
+/// busy/idle bracket around it stays obvious.
+fn score_batch(shared: &Shared, batch: Vec<ScoreJob>) {
+    // Chaos injection point: consult the fault schedule for this batch.
+    // `CorruptJob` fires *before* per-job validation (drilling the
+    // quarantine) and is applied here; `PoisonBatch` fires *after* it
+    // (drilling the engine's own checks and the breaker) and is applied
+    // further down.
+    #[cfg(feature = "chaos")]
+    let (chaos_fault, batch) = {
+        let mut batch = batch;
+        let fault = shared
+            .chaos
+            .as_ref()
+            .map_or(BatchFault::None, |chaos| chaos.next_batch());
+        match fault {
+            BatchFault::Panic => panic!("chaos: injected scorer panic"),
+            BatchFault::Hang(pause) => std::thread::sleep(pause),
+            BatchFault::CorruptJob => {
+                if let (Some(chaos), Some(job)) = (&shared.chaos, batch.first_mut()) {
+                    if !job.features.is_empty() {
+                        let site = chaos.corruption_site(job.features.len());
+                        job.features[site] = chaos.poison_value();
+                    }
+                }
+            }
+            BatchFault::PoisonBatch | BatchFault::None => {}
+        }
+        (fault, batch)
+    };
+
+    let engine = shared.engine();
+    let frame_width = engine.config().n_bins;
+    let cond_width = engine.config().encoding.dim();
+
+    // Per-job gatekeeping: a reload between submit and drain can change
+    // the expected widths (409), and a non-finite job is quarantined
+    // (422) so it cannot poison co-batched requests. Neither is a batch
+    // verdict for the breaker — the batch the engine sees excludes them.
+    let mut jobs = Vec::with_capacity(batch.len());
+    let mut rows = 0usize;
+    let mut quarantined_any = false;
+    for job in batch {
+        if job.features.len() != job.rows * frame_width || job.conds.len() != job.rows * cond_width
+        {
+            drop(job.reply.try_send(Err(JobError::Reshaped {
+                frame_width,
+                cond_width,
+            })));
+        } else if let Some(poison) = job_poison(&job, frame_width, cond_width) {
+            quarantined_any = true;
+            shared.quarantined.store(true, Ordering::SeqCst);
+            shared
+                .metrics
+                .observe_quarantine(engine.config_fingerprint(), job.rows);
+            drop(job.reply.try_send(Err(poison)));
+        } else {
+            rows += job.rows;
+            jobs.push(job);
+        }
+    }
+    if jobs.is_empty() {
+        return;
+    }
+
+    #[cfg(feature = "chaos")]
+    let jobs = {
+        let mut jobs = jobs;
+        if chaos_fault == BatchFault::PoisonBatch {
+            if let (Some(chaos), Some(job)) = (&shared.chaos, jobs.first_mut()) {
+                if !job.features.is_empty() {
+                    let site = chaos.corruption_site(job.features.len());
+                    job.features[site] = chaos.poison_value();
+                }
             }
         }
-        if jobs.is_empty() {
-            continue;
-        }
+        jobs
+    };
 
-        let mut features = Vec::with_capacity(rows * frame_width);
-        let mut conds = Vec::with_capacity(rows * cond_width);
-        for job in &jobs {
-            features.extend_from_slice(&job.features);
-            conds.extend_from_slice(&job.conds);
+    let mut features = Vec::with_capacity(rows * frame_width);
+    let mut conds = Vec::with_capacity(rows * cond_width);
+    for job in &jobs {
+        features.extend_from_slice(&job.features);
+        conds.extend_from_slice(&job.conds);
+    }
+    let assembled = match (
+        Matrix::from_vec(rows, frame_width, features),
+        Matrix::from_vec(rows, cond_width, conds),
+    ) {
+        (Ok(f), Ok(c)) => Ok((f, c)),
+        _ => Err("batch shape assembly failed".to_string()),
+    };
+    let scores = assembled.and_then(|(feature_matrix, cond_matrix)| {
+        engine
+            .score_frames(&feature_matrix, &cond_matrix)
+            .map_err(|e| e.to_string())
+    });
+    match scores {
+        Ok(scores) => {
+            shared.breaker.record_success();
+            if !quarantined_any {
+                // A fully clean batch clears the sticky quarantine flag:
+                // the poison stream has (for now) stopped.
+                shared.quarantined.store(false, Ordering::SeqCst);
+            }
+            shared.metrics.observe_batch(rows, jobs.len());
+            let mut offset = 0usize;
+            for job in jobs {
+                let slice = scores[offset..offset + job.rows].to_vec();
+                offset += job.rows;
+                drop(job.reply.try_send(Ok(slice)));
+            }
         }
-        let (Ok(feature_matrix), Ok(cond_matrix)) = (
-            Matrix::from_vec(rows, frame_width, features),
-            Matrix::from_vec(rows, cond_width, conds),
-        ) else {
+        Err(msg) => {
+            // The engine rejected the whole batch: a breaker-counted
+            // scoring failure, not client input (that was quarantined
+            // above).
+            shared.metrics.observe_batch_failure();
+            if shared.breaker.record_failure() {
+                shared.metrics.observe_breaker_trip();
+            }
             for job in jobs {
                 drop(
                     job.reply
-                        .try_send(Err("batch shape assembly failed".to_string())),
+                        .try_send(Err(JobError::ScoringFailed(msg.clone()))),
                 );
             }
-            continue;
-        };
-        let scores = engine.score_frames(&feature_matrix, &cond_matrix);
-        shared.metrics.observe_batch(rows, jobs.len());
-        let mut offset = 0usize;
-        for job in jobs {
-            let slice = scores[offset..offset + job.rows].to_vec();
-            offset += job.rows;
-            drop(job.reply.try_send(Ok(slice)));
         }
     }
+}
+
+/// Re-checks the serving engine before a scorer restart: its sealed
+/// fingerprint must still match a recomputation over its config, and
+/// the calibrated threshold must be finite. The engine is immutable
+/// and shared, so a panic cannot have "moved" the model — but a
+/// corrupted one must not be silently resurrected either, and a
+/// replacement scorer on a revalidated engine produces bit-identical
+/// scores.
+fn revalidate_engine(shared: &Shared) -> Result<(), String> {
+    let engine = shared.engine();
+    let recomputed = gansec::config_fingerprint(engine.config());
+    if recomputed != engine.config_fingerprint() {
+        return Err(format!(
+            "config fingerprint mismatch after scorer death: sealed {:016x}, \
+             recomputed {recomputed:016x}",
+            engine.config_fingerprint()
+        ));
+    }
+    if !engine.threshold().is_finite() {
+        return Err(format!(
+            "calibrated threshold is not finite after scorer death: {}",
+            engine.threshold()
+        ));
+    }
+    Ok(())
+}
+
+/// Exponential backoff before restart `attempt` (1-based), capped.
+fn backoff_ms(base: u64, attempt: u32) -> u64 {
+    base.max(1)
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(12))
+        .min(MAX_BACKOFF_MS)
+}
+
+/// Sleeps up to `total`, waking early (in 25 ms slices) once shutdown
+/// begins so a backoff never stalls the drain.
+fn sleep_interruptible(shared: &Shared, total: Duration) {
+    let deadline = Instant::now() + total;
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(25)));
+    }
+}
+
+/// The watchdog: spawns the scorer and polls it every heartbeat. A
+/// normal exit (queue closed and drained) ends supervision; a panic —
+/// or a batch in flight past [`ServeConfig::scorer_stall_ms`] — marks
+/// the scorer dead, re-validates the engine, waits out an exponential
+/// backoff, and spawns a replacement. Restart attempts reset whenever a
+/// batch completed since the last spawn; once they are exhausted (or
+/// revalidation fails) every queued and future job is failed and the
+/// server stays degraded.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let heartbeat = Duration::from_millis(shared.config.heartbeat_ms.max(1));
+    let mut generation = 0u64;
+    let Ok(mut incarnation) = spawn_batcher(shared, generation) else {
+        shared.scorer_alive.store(false, Ordering::SeqCst);
+        shared.queue.close_and_fail_pending();
+        return;
+    };
+    let mut attempts = 0u32;
+    let mut batches_at_spawn = shared.metrics.batches();
+    loop {
+        std::thread::sleep(heartbeat);
+        let mut stalled = false;
+        if incarnation.is_finished() {
+            if incarnation.join().is_ok() {
+                // Graceful exit: the queue was closed and fully drained.
+                return;
+            }
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                // Died during the drain: answer whatever is left rather
+                // than restarting into a closing server.
+                shared.scorer_alive.store(false, Ordering::SeqCst);
+                shared.queue.close_and_fail_pending();
+                return;
+            }
+        } else if shared.scorer_stalled() {
+            // A hung thread cannot be killed from safe code: detach the
+            // zombie (if it ever wakes it will harmlessly compete for
+            // the same queue, then exit at close) and supervise a fresh
+            // incarnation in.
+            stalled = true;
+        } else {
+            continue;
+        }
+
+        shared.scorer_alive.store(false, Ordering::SeqCst);
+        shared.mark_scorer_idle();
+        if shared.metrics.batches() > batches_at_spawn {
+            // Progress since the last spawn: this is a fresh incident,
+            // not the same crash loop.
+            attempts = 0;
+        }
+        if attempts >= shared.config.restart_attempts {
+            shared.queue.close_and_fail_pending();
+            return;
+        }
+        attempts += 1;
+        if revalidate_engine(shared).is_err() {
+            shared.queue.close_and_fail_pending();
+            return;
+        }
+        sleep_interruptible(
+            shared,
+            Duration::from_millis(backoff_ms(shared.config.restart_backoff_ms, attempts)),
+        );
+        shared.metrics.observe_scorer_restart(stalled);
+        generation += 1;
+        let Ok(replacement) = spawn_batcher(shared, generation) else {
+            shared.queue.close_and_fail_pending();
+            return;
+        };
+        incarnation = replacement;
+        batches_at_spawn = shared.metrics.batches();
+        shared.scorer_alive.store(true, Ordering::SeqCst);
+    }
+}
+
+fn spawn_batcher(shared: &Arc<Shared>, generation: u64) -> Result<JoinHandle<()>, String> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("gansec-serve-batcher-{generation}"))
+        .spawn(move || batcher_loop(&shared))
+        .map_err(|e| format!("cannot spawn batcher: {e}"))
 }
 
 #[cfg(test)]
@@ -803,8 +1311,12 @@ mod tests {
         assert_eq!(metrics.status, 200);
         let text = String::from_utf8(metrics.body).expect("utf8");
         assert!(text.contains("gansec_serve_requests_total"));
+        assert!(text.contains("gansec_serve_health_state{state=\"ok\"} 1"));
+        assert!(text.contains("gansec_serve_breaker_state{state=\"closed\"} 1"));
+        assert!(text.contains("gansec_scorer_restarts_total 0"));
 
         let handle = server.handle();
+        assert_eq!(handle.health(), "ok");
         handle.trigger_shutdown();
         server.join();
     }
@@ -865,6 +1377,73 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_frames_are_quarantined_not_scored() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let engine = smoke_engine();
+        let frame_width = engine.config().n_bins;
+        let cond_width = engine.config().encoding.dim();
+        let server = test_server();
+        let addr = server.addr();
+
+        let mut frame = vec![0.25; frame_width];
+        frame[frame_width / 2] = f64::NAN;
+        let body = serde_json::to_vec(&ScoreRequest {
+            frames: vec![frame],
+            conds: vec![vec![1.0; cond_width]],
+        })
+        .expect("serialize");
+        let reply = client::post(addr, "/v1/score", &body).expect("roundtrip");
+        assert_eq!(
+            reply.status,
+            422,
+            "{}",
+            String::from_utf8_lossy(&reply.body)
+        );
+        assert!(String::from_utf8_lossy(&reply.body).contains("quarantined"));
+
+        // The quarantine degrades health without touching the breaker.
+        let health = client::get(addr, "/healthz").expect("roundtrip");
+        assert_eq!(health.status, 200);
+        let parsed: HealthResponse = serde_json::from_slice(&health.body).expect("parse");
+        assert_eq!(parsed.status, "degraded");
+        assert_eq!(parsed.breaker, "closed");
+        assert!(parsed.scorer_alive);
+        assert_eq!(parsed.quarantined_frames, 1);
+
+        // One clean batch clears the sticky flag.
+        let clean = serde_json::to_vec(&ScoreRequest {
+            frames: vec![vec![0.25; frame_width]],
+            conds: vec![vec![1.0; cond_width]],
+        })
+        .expect("serialize");
+        let reply = client::post(addr, "/v1/score", &clean).expect("roundtrip");
+        assert_eq!(reply.status, 200);
+        let health = client::get(addr, "/healthz").expect("roundtrip");
+        let parsed: HealthResponse = serde_json::from_slice(&health.body).expect("parse");
+        assert_eq!(parsed.status, "ok");
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_reports_resilience_fields() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let server = test_server();
+        let reply = client::get(server.addr(), "/healthz").expect("roundtrip");
+        assert_eq!(reply.status, 200);
+        let parsed: HealthResponse = serde_json::from_slice(&reply.body).expect("parse");
+        assert_eq!(parsed.status, "ok");
+        assert!(parsed.scorer_alive);
+        assert_eq!(parsed.scorer_restarts, 0);
+        assert_eq!(parsed.breaker, "closed");
+        assert_eq!(parsed.quarantined_frames, 0);
+        server.shutdown();
+    }
+
+    #[test]
     fn shutdown_endpoint_stops_the_server() {
         let server = test_server();
         let addr = server.addr();
@@ -873,5 +1452,15 @@ mod tests {
         // join returns because the endpoint triggered the drain.
         server.join();
         assert!(client::get(addr, "/healthz").is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff_ms(50, 1), 50);
+        assert_eq!(backoff_ms(50, 2), 100);
+        assert_eq!(backoff_ms(50, 3), 200);
+        assert_eq!(backoff_ms(50, 8), 5_000);
+        assert_eq!(backoff_ms(0, 1), 1);
+        assert_eq!(backoff_ms(u64::MAX, 40), 5_000);
     }
 }

@@ -110,3 +110,45 @@ fn protocol_errors_map_to_the_documented_statuses() {
 
     server.shutdown();
 }
+
+#[test]
+fn reload_during_drain_is_rejected_with_409() {
+    let server = smoke_server();
+    let addr = server.addr();
+
+    // Open the reload connection *before* the drain starts so the
+    // acceptor still admits it; the worker then blocks reading it.
+    let mut reload_conn = TcpStream::connect(addr).expect("connect before drain");
+    reload_conn
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // Start the drain and read its ack: the shutdown flag is set before
+    // the ack is written, so anything observed after it is mid-drain.
+    let (status, reply) = raw_roundtrip(
+        addr,
+        b"POST /admin/shutdown HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("draining"), "{reply}");
+
+    // The held connection now asks for a reload: the swap must be
+    // refused — a bundle swap racing a drain would tear the engine out
+    // from under in-flight batches.
+    reload_conn
+        .write_all(b"POST /admin/reload HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}")
+        .expect("write reload during drain");
+    let mut raw = Vec::new();
+    reload_conn.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8_lossy(&raw).to_string();
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable reply {text:?}"));
+    assert_eq!(status, 409, "{text}");
+    assert!(text.contains("draining"), "{text}");
+
+    // The drain still completes cleanly.
+    server.join();
+}

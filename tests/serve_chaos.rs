@@ -1,0 +1,434 @@
+//! Chaos-recovery acceptance tests: seeded fault plans from
+//! `gansec-chaos` are injected into a live server and every resilience
+//! invariant is checked end to end — a killed scorer is supervised back
+//! up and post-recovery scores stay bit-identical, the circuit breaker
+//! trips/half-opens/closes around a poisoned-batch burst, non-finite
+//! jobs are quarantined without poisoning neighbors, a slowloris peer
+//! cannot hold a worker past the request deadline, and injected reload
+//! faults surface as typed errors instead of torn swaps.
+//!
+//! Scoring round-trips real JSON, so those tests gate on the
+//! deserializer probe (offline stub builds skip them).
+
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gansec::{GanSecPipeline, PipelineConfig};
+use gansec_chaos::{slowloris, ChaosPlan, FaultSpec};
+use gansec_engine::ScoringEngine;
+use gansec_serve::api::{ScoreRequest, ScoreResponse};
+use gansec_serve::{client, ServeConfig, Server};
+
+fn json_roundtrip_available() -> bool {
+    serde_json::from_str::<serde_json::Value>("null").is_ok()
+}
+
+/// A serve config tuned for fast drills: tight heartbeat, quick restart
+/// backoff, small breaker cooldown.
+fn drill_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        heartbeat_ms: 10,
+        restart_backoff_ms: 10,
+        breaker_threshold: 3,
+        breaker_cooldown_ms: 150,
+        ..ServeConfig::default()
+    }
+}
+
+/// Trains one smoke bundle and returns `(reference engine, server under
+/// the chaos plan, held-out frames, conds)`.
+fn chaos_fixture(
+    seed: u64,
+    config: ServeConfig,
+    plan: ChaosPlan,
+) -> (ScoringEngine, Server, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+    let stage = pipeline.train_stage(seed).expect("smoke training");
+    let engine = ScoringEngine::from_bundle(stage.to_bundle());
+    let server = Server::start_with_chaos(
+        config,
+        ScoringEngine::from_bundle(stage.to_bundle()),
+        "serve-chaos-test.json",
+        Arc::new(plan.into_state()),
+    )
+    .expect("server starts");
+    let (_, test) = pipeline.datasets(seed).expect("datasets");
+    let frames: Vec<Vec<f64>> = (0..test.len())
+        .map(|i| test.features().row(i).to_vec())
+        .collect();
+    let conds: Vec<Vec<f64>> = (0..test.len())
+        .map(|i| test.conds().row(i).to_vec())
+        .collect();
+    (engine, server, frames, conds)
+}
+
+fn score_body(frames: &[Vec<f64>], conds: &[Vec<f64>]) -> Vec<u8> {
+    serde_json::to_vec(&ScoreRequest {
+        frames: frames.to_vec(),
+        conds: conds.to_vec(),
+    })
+    .expect("serialize")
+}
+
+/// Posts until the server answers `200` (the recovery window after an
+/// injected fault), panicking after `deadline`.
+fn post_until_ok(addr: SocketAddr, body: &[u8], deadline: Duration) -> ScoreResponse {
+    let started = Instant::now();
+    loop {
+        match client::post(addr, "/v1/score", body) {
+            Ok(reply) if reply.status == 200 => {
+                return serde_json::from_slice(&reply.body).expect("parse");
+            }
+            Ok(reply) if started.elapsed() > deadline => panic!(
+                "no recovery within {deadline:?}; last status {}: {}",
+                reply.status,
+                String::from_utf8_lossy(&reply.body)
+            ),
+            Err(e) if started.elapsed() > deadline => {
+                panic!("no recovery within {deadline:?}; last transport error: {e}")
+            }
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Pulls a single-sample counter out of the Prometheus exposition text.
+fn counter(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} missing from:\n{metrics}"))
+        .trim()
+        .parse()
+        .expect("counter value")
+}
+
+fn metrics_text(addr: SocketAddr) -> String {
+    let reply = client::get(addr, "/metrics").expect("metrics");
+    String::from_utf8(reply.body).expect("utf8")
+}
+
+#[test]
+fn killed_scorer_is_supervised_back_up_with_bit_identical_scores() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    // The scorer panics when it picks up its second batch; the watchdog
+    // must replace it and the replacement must score the same bits.
+    let (engine, server, frames, conds) = chaos_fixture(
+        11,
+        drill_config(),
+        ChaosPlan {
+            seed: 7,
+            faults: vec![FaultSpec::ScorerPanic { at_batch: 1 }],
+        },
+    );
+    let addr = server.addr();
+    let handle = server.handle();
+    let body = score_body(&frames, &conds);
+    let expected: Vec<u64> = frames
+        .iter()
+        .zip(&conds)
+        .map(|(f, c)| engine.score_frame(f, c).to_bits())
+        .collect();
+
+    // Batch 0 scores normally.
+    let first = post_until_ok(addr, &body, Duration::from_secs(5));
+    for (score, want) in first.scores.iter().zip(&expected) {
+        assert_eq!(score.to_bits(), *want, "pre-fault scores must match");
+    }
+
+    // Batch 1 kills the scorer: this request's reply channel dies with
+    // it, so the worker sheds it with a 503 (or, if the watchdog wins
+    // the race, the replacement scores it fine — both are acceptable;
+    // what is *not* acceptable is a hang or a wrong score).
+    match client::post(addr, "/v1/score", &body) {
+        Ok(reply) if reply.status == 200 => {
+            let parsed: ScoreResponse = serde_json::from_slice(&reply.body).expect("parse");
+            for (score, want) in parsed.scores.iter().zip(&expected) {
+                assert_eq!(score.to_bits(), *want);
+            }
+        }
+        Ok(reply) => assert_eq!(
+            reply.status,
+            503,
+            "{}",
+            String::from_utf8_lossy(&reply.body)
+        ),
+        Err(e) => panic!("transport must survive a scorer panic: {e}"),
+    }
+
+    // The watchdog restarts the scorer; post-recovery scores are
+    // bit-identical to the offline engine.
+    let recovered = post_until_ok(addr, &body, Duration::from_secs(5));
+    for (score, want) in recovered.scores.iter().zip(&expected) {
+        assert_eq!(score.to_bits(), *want, "post-recovery scores must match");
+    }
+    assert_eq!(
+        handle.scorer_restarts(),
+        1,
+        "exactly one supervised restart"
+    );
+    assert_eq!(handle.health(), "ok", "recovered server reports ok");
+
+    let text = metrics_text(addr);
+    assert_eq!(counter(&text, "gansec_scorer_restarts_total"), 1.0);
+    assert!(text.contains("gansec_serve_health_state{state=\"ok\"} 1"));
+
+    server.shutdown();
+}
+
+#[test]
+fn breaker_trips_sheds_with_retry_after_and_closes_after_a_probe() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    // Batches 0..3 are poisoned post-validation, so the engine rejects
+    // them — three consecutive scoring failures trip the breaker
+    // (threshold 3). The probe after the cooldown hits clean batch 3
+    // and closes it again.
+    let (engine, server, frames, conds) = chaos_fixture(
+        13,
+        ServeConfig {
+            // A generous cooldown so the shed-while-open assertion cannot
+            // race the half-open transition on a slow machine.
+            breaker_cooldown_ms: 600,
+            ..drill_config()
+        },
+        ChaosPlan {
+            seed: 21,
+            faults: vec![FaultSpec::PoisonBatch {
+                at_batch: 0,
+                count: 3,
+            }],
+        },
+    );
+    let addr = server.addr();
+    let body = score_body(&frames, &conds);
+
+    // Three poisoned batches: each request fails 503 with a Retry-After
+    // hint, and the third trips the breaker.
+    for i in 0..3 {
+        let reply = client::post(addr, "/v1/score", &body).expect("roundtrip");
+        assert_eq!(
+            reply.status,
+            503,
+            "poisoned batch {i}: {}",
+            String::from_utf8_lossy(&reply.body)
+        );
+        assert!(
+            reply.retry_after.is_some(),
+            "scoring failures must hint a retry"
+        );
+    }
+    let text = metrics_text(addr);
+    assert_eq!(counter(&text, "gansec_serve_breaker_trips_total"), 1.0);
+    assert_eq!(counter(&text, "gansec_serve_batch_failures_total"), 3.0);
+    assert!(text.contains("gansec_serve_breaker_state{state=\"open\"} 1"));
+    assert!(text.contains("gansec_serve_health_state{state=\"degraded\"} 1"));
+
+    // While open, requests are shed at admission: no new batch runs.
+    let shed = client::post(addr, "/v1/score", &body).expect("roundtrip");
+    assert_eq!(shed.status, 503);
+    assert!(shed.retry_after.is_some());
+    assert!(
+        String::from_utf8_lossy(&shed.body).contains("circuit breaker is open"),
+        "{}",
+        String::from_utf8_lossy(&shed.body)
+    );
+
+    // After the cooldown a half-open probe reaches clean batch 3,
+    // succeeds, and closes the breaker; scores are bit-identical again.
+    std::thread::sleep(Duration::from_millis(700));
+    let recovered = post_until_ok(addr, &body, Duration::from_secs(5));
+    for (i, score) in recovered.scores.iter().enumerate() {
+        assert_eq!(
+            score.to_bits(),
+            engine.score_frame(&frames[i], &conds[i]).to_bits()
+        );
+    }
+    assert_eq!(server.handle().health(), "ok");
+    let text = metrics_text(addr);
+    assert!(text.contains("gansec_serve_breaker_state{state=\"closed\"} 1"));
+    assert_eq!(
+        counter(
+            &text,
+            "gansec_serve_rejected_total{reason=\"breaker_open\"}"
+        ),
+        1.0
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn corrupted_job_is_quarantined_without_breaker_involvement() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    // Batch 0's first job is corrupted *before* validation: the typed
+    // quarantine (422) must catch it, degrade health, and leave the
+    // breaker closed; the next clean request restores `ok`.
+    let (engine, server, frames, conds) = chaos_fixture(
+        17,
+        drill_config(),
+        ChaosPlan {
+            seed: 3,
+            faults: vec![FaultSpec::CorruptJob { at_batch: 0 }],
+        },
+    );
+    let addr = server.addr();
+    let body = score_body(&frames, &conds);
+
+    let reply = client::post(addr, "/v1/score", &body).expect("roundtrip");
+    assert_eq!(
+        reply.status,
+        422,
+        "{}",
+        String::from_utf8_lossy(&reply.body)
+    );
+    assert!(String::from_utf8_lossy(&reply.body).contains("quarantined"));
+    assert_eq!(server.handle().health(), "degraded");
+
+    let text = metrics_text(addr);
+    assert_eq!(
+        counter(&text, "gansec_serve_batch_failures_total"),
+        0.0,
+        "quarantine must not count as a scoring failure"
+    );
+    assert!(text.contains("gansec_serve_breaker_state{state=\"closed\"} 1"));
+
+    // The poison stream has stopped: a clean request scores
+    // bit-identically and clears the degraded flag.
+    let recovered = post_until_ok(addr, &body, Duration::from_secs(5));
+    for (i, score) in recovered.scores.iter().enumerate() {
+        assert_eq!(
+            score.to_bits(),
+            engine.score_frame(&frames[i], &conds[i]).to_bits()
+        );
+    }
+    assert_eq!(server.handle().health(), "ok");
+
+    server.shutdown();
+}
+
+#[test]
+fn slowloris_peers_are_cut_at_the_request_deadline() {
+    // No JSON needed: the drip never finishes a request head. A server
+    // with only per-read socket timeouts would keep this connection
+    // forever (each byte arrives "in time"); the overall request
+    // deadline must hang it up.
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+    let stage = pipeline.train_stage(19).expect("smoke training");
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            read_timeout_ms: 300,
+            ..ServeConfig::default()
+        },
+        ScoringEngine::from_bundle(stage.to_bundle()),
+        "serve-chaos-slowloris.json",
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Two attackers against two workers: without the deadline this
+    // starves the whole worker pool.
+    let attackers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                slowloris(addr, Duration::from_millis(50), 10_000).expect("connect")
+            })
+        })
+        .collect();
+    for t in attackers {
+        let outcome = t.join().expect("attacker thread");
+        assert!(
+            outcome.server_hung_up,
+            "server never enforced its deadline ({} bytes accepted)",
+            outcome.bytes_written
+        );
+        // 300 ms deadline at ~20 bytes/s: the drip cannot get far.
+        assert!(
+            outcome.bytes_written < 100,
+            "accepted {} bytes past the deadline",
+            outcome.bytes_written
+        );
+    }
+
+    // The worker pool is free again: a health probe answers promptly.
+    let health = client::get(addr, "/healthz").expect("health after attack");
+    assert_eq!(health.status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn injected_reload_faults_surface_as_typed_errors() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    // One reload fails (torn artifact), the next is delayed but
+    // succeeds — a slow artifact store must not look like a failure.
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+    let stage = pipeline.train_stage(23).expect("smoke training");
+    let dir = std::env::temp_dir().join("gansec-serve-chaos-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("reload-target.json");
+    stage.to_bundle().save(&path).expect("save bundle");
+    let path_str = path.display().to_string();
+
+    let plan = ChaosPlan {
+        seed: 5,
+        faults: vec![
+            FaultSpec::ReloadFail { count: 1 },
+            FaultSpec::ReloadDelay {
+                delay_ms: 50,
+                count: 1,
+            },
+        ],
+    };
+    let server = Server::start_with_chaos(
+        drill_config(),
+        ScoringEngine::from_bundle(stage.to_bundle()),
+        path_str.clone(),
+        Arc::new(plan.into_state()),
+    )
+    .expect("server starts");
+    let addr = server.addr();
+    let req = serde_json::to_vec(&gansec_serve::api::ReloadRequest {
+        bundle: Some(path_str),
+    })
+    .expect("serialize");
+
+    let failed = client::post(addr, "/admin/reload", &req).expect("roundtrip");
+    assert_eq!(
+        failed.status,
+        422,
+        "{}",
+        String::from_utf8_lossy(&failed.body)
+    );
+    assert!(String::from_utf8_lossy(&failed.body).contains("chaos: injected reload failure"));
+
+    let started = Instant::now();
+    let delayed = client::post(addr, "/admin/reload", &req).expect("roundtrip");
+    assert_eq!(
+        delayed.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&delayed.body)
+    );
+    assert!(
+        started.elapsed() >= Duration::from_millis(50),
+        "the reload delay was not injected"
+    );
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}

@@ -48,8 +48,12 @@ fn bundle_survives_disk_and_scores_bit_identical_at_any_thread_count() {
 
     // Loaded-from-disk and in-memory engines agree bit-for-bit, and the
     // batched path agrees with the scalar per-frame entry point.
-    let from_disk = reloaded.score_frames(test.features(), test.conds());
-    let from_memory = in_memory.score_frames(test.features(), test.conds());
+    let from_disk = reloaded
+        .score_frames(test.features(), test.conds())
+        .expect("finite split");
+    let from_memory = in_memory
+        .score_frames(test.features(), test.conds())
+        .expect("finite split");
     assert_eq!(from_disk, from_memory, "persistence must not move scores");
     for (i, &s) in from_disk.iter().enumerate() {
         assert_eq!(
@@ -62,9 +66,13 @@ fn bundle_survives_disk_and_scores_bit_identical_at_any_thread_count() {
     // Thread count partitions the batch differently but must not change
     // one bit of any score.
     gansec_parallel::set_threads(1);
-    let serial = reloaded.score_frames(test.features(), test.conds());
+    let serial = reloaded
+        .score_frames(test.features(), test.conds())
+        .expect("finite split");
     gansec_parallel::set_threads(4);
-    let threaded = reloaded.score_frames(test.features(), test.conds());
+    let threaded = reloaded
+        .score_frames(test.features(), test.conds())
+        .expect("finite split");
     gansec_parallel::set_threads(0);
     assert_eq!(serial, threaded, "1 vs 4 threads");
     assert_eq!(serial, from_disk);
