@@ -12,11 +12,13 @@ use rand::SeedableRng;
 
 use gansec::{GanSecPipeline, PipelineConfig, ScoreScratch};
 use gansec_amsim::{calibration_pattern, printer_architecture, Kinematics, PrinterSim};
-use gansec_dsp::{fft_real, FeatureExtractor, FrequencyBins, ScalingKind};
+use gansec_dsp::{
+    fft_real, CwtPlan, FeatureExtractor, FrequencyBins, MorletCwt, RealFftPlan, ScalingKind,
+};
 use gansec_engine::ScoringEngine;
 use gansec_gan::{Cgan, CganConfig, PairedData};
 use gansec_stats::ParzenWindow;
-use gansec_tensor::Matrix;
+use gansec_tensor::{Matrix, MatrixF32};
 
 fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
@@ -25,12 +27,46 @@ fn bench_fft(c: &mut Criterion) {
         group.bench_function(format!("radix2_{n}"), |b| {
             b.iter(|| black_box(fft_real(black_box(&signal))))
         });
+        // Same transform through a pre-built plan: cached twiddles and
+        // the packed real-input split, amortized across iterations.
+        let plan = RealFftPlan::new(n);
+        group.bench_function(format!("planned_real_{n}"), |b| {
+            b.iter(|| black_box(plan.forward(black_box(&signal))))
+        });
     }
     // Non-power-of-two exercises the Bluestein path.
     let signal: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.37).sin()).collect();
     group.bench_function("bluestein_3000", |b| {
         b.iter(|| black_box(fft_real(black_box(&signal))))
     });
+    let plan = RealFftPlan::new(3000);
+    group.bench_function("planned_real_3000", |b| {
+        b.iter(|| black_box(plan.forward(black_box(&signal))))
+    });
+    group.finish();
+}
+
+/// Planned vs. unplanned CWT over a one-second trace: the unplanned
+/// path re-derives daughter-wavelet spectra and twiddles per call, the
+/// plan precomputes both and runs allocation-free in steady state.
+fn bench_cwt_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cwt_plan");
+    group.sample_size(10);
+    let fs = 12_000.0;
+    let signal: Vec<f64> = (0..(fs as usize))
+        .map(|i| (std::f64::consts::TAU * 1600.0 * i as f64 / fs).sin())
+        .collect();
+    for n_bins in [48usize, 100] {
+        let freqs = FrequencyBins::log_spaced(n_bins, 50.0, 5000.0).centers();
+        let cwt = MorletCwt::standard(freqs);
+        group.bench_function(format!("unplanned_{n_bins}_bins"), |b| {
+            b.iter(|| black_box(cwt.transform(black_box(&signal), fs)))
+        });
+        let plan = CwtPlan::new(&cwt, signal.len(), fs);
+        group.bench_function(format!("planned_{n_bins}_bins"), |b| {
+            b.iter(|| black_box(plan.transform(black_box(&signal))))
+        });
+    }
     group.finish();
 }
 
@@ -158,6 +194,13 @@ fn bench_matmul(c: &mut Criterion) {
             )
         })
     });
+    // The narrowed mirror at the same shape: half the memory traffic
+    // per element, the width-generic groundwork for the f32 fast path.
+    let xf = MatrixF32::from_matrix(&x);
+    let wf = MatrixF32::from_matrix(&w);
+    group.bench_function("f32_blocked_32x103x128", |b| {
+        b.iter(|| black_box(black_box(&xf).matmul(black_box(&wf)).expect("shapes")))
+    });
     group.finish();
 }
 
@@ -269,6 +312,7 @@ criterion_group!(
     benches,
     bench_fft,
     bench_cwt_features,
+    bench_cwt_plan,
     bench_gcode,
     bench_algorithm1,
     bench_cgan_step,

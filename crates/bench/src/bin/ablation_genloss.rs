@@ -41,11 +41,8 @@ fn main() {
             .map(|r| r.g_loss)
             .collect();
         let top = study.train.top_feature_indices(3);
-        let report = LikelihoodAnalysis::new(0.2, scale.gsize(), top).analyze(
-            &model,
-            &study.test,
-            &mut rng,
-        );
+        let report =
+            LikelihoodAnalysis::new(0.2, scale.gsize(), top).analyze(&model, &study.test, &mut rng);
         let early_g: f64 = g[..4].iter().sum::<f64>() / 4.0;
         let late_g = model.history().final_g_loss(scale.train_iterations() / 10);
         println!("{name}:");

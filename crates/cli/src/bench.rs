@@ -16,13 +16,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use gansec::{GanSecPipeline, LikelihoodAnalysis, PipelineConfig, SecurityModel};
-use gansec_dsp::{FeatureExtractor, FrequencyBins, ScalingKind};
+use gansec_dsp::{
+    fft, Complex, CwtPlan, FeatureExtractor, FftPlan, FrequencyBins, MorletCwt, PlanCache,
+    ScalingKind,
+};
 use gansec_tensor::Matrix;
 
 use crate::{ExitCode, ParsedArgs};
 
 /// Bumped whenever a field is added, removed, or renamed.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: added the `fft` and `cwt` planned-vs-unplanned sections,
+/// `features.planned_extract_ms` (with `frames_per_sec` now measuring
+/// the warm planned path — the steady-state streaming number), and the
+/// `engine` f64/f32 scoring section.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Pinned seed: every run of the same binary benches the same workload.
 const BENCH_SEED: u64 = 42;
@@ -102,10 +110,13 @@ pub fn run(smoke: bool) -> Result<String, String> {
     let matmul = bench_matmul(smoke);
     let train = bench_train_step(smoke)?;
     let analyze = bench_analyze(smoke)?;
+    let fft = bench_fft(smoke);
+    let cwt = bench_cwt(smoke);
     let features = bench_features(smoke);
+    let engine = bench_engine(smoke)?;
 
     Ok(format!(
-        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"mode\": \"{mode}\",\n  \"seed\": {BENCH_SEED},\n  \"threads\": {threads},\n  \"available_parallelism\": {hardware},\n  \"parallel_feature\": {parallel},\n  \"matmul\": {matmul},\n  \"train_step\": {train},\n  \"analyze\": {analyze},\n  \"features\": {features}\n}}\n",
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"mode\": \"{mode}\",\n  \"seed\": {BENCH_SEED},\n  \"threads\": {threads},\n  \"available_parallelism\": {hardware},\n  \"parallel_feature\": {parallel},\n  \"matmul\": {matmul},\n  \"train_step\": {train},\n  \"analyze\": {analyze},\n  \"fft\": {fft},\n  \"cwt\": {cwt},\n  \"features\": {features},\n  \"engine\": {engine}\n}}\n",
         mode = if smoke { "smoke" } else { "full" },
         parallel = gansec_parallel::parallel_enabled(),
     ))
@@ -243,19 +254,71 @@ fn bench_analyze(smoke: bool) -> Result<String, String> {
     ))
 }
 
-/// CWT feature-extraction throughput in frames per second.
-fn bench_features(smoke: bool) -> String {
-    let (n_bins, seconds) = if smoke { (8, 0.5) } else { (48, 4.0) };
-    let fs = 16_000.0;
-    let n = (fs * seconds) as usize;
-    // Deterministic multi-tone test signal (no RNG: identical across runs).
-    let signal: Vec<f64> = (0..n)
+/// The deterministic multi-tone bench signal (no RNG: identical across
+/// runs).
+fn bench_signal(n: usize, fs: f64) -> Vec<f64> {
+    (0..n)
         .map(|i| {
             let t = i as f64 / fs;
             (std::f64::consts::TAU * 440.0 * t).sin()
                 + 0.5 * (std::f64::consts::TAU * 1320.0 * t).sin()
         })
+        .collect()
+}
+
+/// Planned vs. unplanned forward FFT at a streaming-frame-like length.
+fn bench_fft(smoke: bool) -> String {
+    let (n, reps) = if smoke { (1024, 2) } else { (16_384, 200) };
+    let x: Vec<Complex> = (0..n)
+        .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
         .collect();
+    let unplanned_ms = best_of_ms(reps, || {
+        std::hint::black_box(fft(std::hint::black_box(&x)));
+    });
+    let plan = FftPlan::new(n);
+    let mut buf = x.clone();
+    let planned_ms = best_of_ms(reps, || {
+        buf.copy_from_slice(&x);
+        plan.forward(std::hint::black_box(&mut buf));
+    });
+    std::hint::black_box(&buf);
+    format!(
+        "{{ \"n\": {n}, \"reps\": {reps}, \"unplanned_ms\": {unplanned_ms:.6}, \"planned_ms\": {planned_ms:.6}, \"speedup\": {:.3} }}",
+        unplanned_ms / planned_ms.max(1e-12)
+    )
+}
+
+/// Planned vs. unplanned Morlet CWT at the feature-extraction shape.
+fn bench_cwt(smoke: bool) -> String {
+    let (n_bins, n, reps) = if smoke { (8, 2048, 1) } else { (48, 16_000, 3) };
+    let fs = 16_000.0;
+    let signal = bench_signal(n, fs);
+    let cwt = MorletCwt::standard(FrequencyBins::log_spaced(n_bins, 50.0, 5000.0).centers());
+    let unplanned_ms = best_of_ms(reps, || {
+        std::hint::black_box(cwt.transform(std::hint::black_box(&signal), fs));
+    });
+    let t = Instant::now();
+    let plan = CwtPlan::new(&cwt, n, fs);
+    let plan_build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let planned_ms = best_of_ms(reps, || {
+        std::hint::black_box(plan.transform(std::hint::black_box(&signal)));
+    });
+    format!(
+        "{{ \"samples\": {n}, \"bins\": {n_bins}, \"reps\": {reps}, \"unplanned_ms\": {unplanned_ms:.3}, \"plan_build_ms\": {plan_build_ms:.3}, \"planned_ms\": {planned_ms:.3}, \"speedup\": {:.3} }}",
+        unplanned_ms / planned_ms.max(1e-12)
+    )
+}
+
+/// CWT feature-extraction throughput in frames per second.
+///
+/// `extract_ms` times the unplanned per-call path; `planned_extract_ms`
+/// times the planned front end against a warm [`PlanCache`], and
+/// `frames_per_sec` reports that steady-state streaming number.
+fn bench_features(smoke: bool) -> String {
+    let (n_bins, seconds) = if smoke { (8, 0.5) } else { (48, 4.0) };
+    let fs = 16_000.0;
+    let n = (fs * seconds) as usize;
+    let signal = bench_signal(n, fs);
     let fx = FeatureExtractor::new(
         FrequencyBins::log_spaced(n_bins, 50.0, 5000.0),
         1024,
@@ -269,10 +332,76 @@ fn bench_features(smoke: bool) -> String {
         frames = fm.n_rows();
         std::hint::black_box(fm);
     });
+    let plans = PlanCache::new();
+    // Warm the cache first: steady-state cost is what streaming pays.
+    std::hint::black_box(fx.extract_planned(&signal, fs, &plans));
+    let planned_ms = best_of_ms(reps, || {
+        std::hint::black_box(fx.extract_planned(std::hint::black_box(&signal), fs, &plans));
+    });
     format!(
-        "{{ \"samples\": {n}, \"bins\": {n_bins}, \"frames\": {frames}, \"extract_ms\": {ms:.3}, \"frames_per_sec\": {:.1} }}",
-        frames as f64 / (ms / 1e3).max(1e-12)
+        "{{ \"samples\": {n}, \"bins\": {n_bins}, \"frames\": {frames}, \"extract_ms\": {ms:.3}, \"planned_extract_ms\": {planned_ms:.3}, \"frames_per_sec\": {:.1} }}",
+        frames as f64 / (planned_ms / 1e3).max(1e-12)
     )
+}
+
+/// Engine batch-scoring wall time over the bundle's held-out split:
+/// the f64 reference path always, the f32 fast path when this binary
+/// was built with the `f32` feature (`null` otherwise, keeping the
+/// schema stable across builds).
+fn bench_engine(smoke: bool) -> Result<String, String> {
+    let cfg = workload(smoke);
+    let pipeline = GanSecPipeline::new(cfg);
+    let stage = pipeline
+        .train_stage(BENCH_SEED)
+        .map_err(|e| e.to_string())?;
+    let mut engine = gansec_engine::ScoringEngine::from_bundle(stage.to_bundle());
+    let features = stage.test().features().clone();
+    let conditions = stage.test().conds().clone();
+    if features.rows() == 0 {
+        return Err("bench workload produced no held-out frames".to_string());
+    }
+    let frames = features.rows();
+    let reps = if smoke { 1 } else { 5 };
+    let f64_ms = best_of_ms(reps, || {
+        let scores = engine.score_frames(
+            std::hint::black_box(&features),
+            std::hint::black_box(&conditions),
+        );
+        let _ = std::hint::black_box(scores);
+    });
+    let f32_ms = bench_engine_f32(&mut engine, &features, &conditions, reps);
+    Ok(format!(
+        "{{ \"frames\": {frames}, \"reps\": {reps}, \"score_f64_ms\": {f64_ms:.3}, \"score_f32_ms\": {f32_ms} }}",
+    ))
+}
+
+#[cfg(feature = "f32")]
+fn bench_engine_f32(
+    engine: &mut gansec_engine::ScoringEngine,
+    features: &Matrix,
+    conditions: &Matrix,
+    reps: usize,
+) -> String {
+    engine.set_precision(gansec_engine::Precision::F32);
+    let ms = best_of_ms(reps, || {
+        let scores = engine.score_frames(
+            std::hint::black_box(features),
+            std::hint::black_box(conditions),
+        );
+        let _ = std::hint::black_box(scores);
+    });
+    engine.set_precision(gansec_engine::Precision::F64);
+    format!("{ms:.3}")
+}
+
+#[cfg(not(feature = "f32"))]
+fn bench_engine_f32(
+    _engine: &mut gansec_engine::ScoringEngine,
+    _features: &Matrix,
+    _conditions: &Matrix,
+    _reps: usize,
+) -> String {
+    "null".to_string()
 }
 
 #[cfg(test)]
@@ -298,12 +427,23 @@ mod tests {
             "\"analyze\"",
             "\"serial_ms\"",
             "\"parallel_ms\"",
+            "\"fft\"",
+            "\"unplanned_ms\"",
+            "\"planned_ms\"",
+            "\"cwt\"",
+            "\"plan_build_ms\"",
             "\"features\"",
+            "\"extract_ms\"",
+            "\"planned_extract_ms\"",
             "\"frames_per_sec\"",
+            "\"engine\"",
+            "\"score_f64_ms\"",
+            "\"score_f32_ms\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.contains("\"mode\": \"smoke\""));
+        assert!(json.contains("\"schema_version\": 2"));
         // Balanced braces: structurally valid JSON for this flat schema.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();

@@ -4,7 +4,9 @@
 
 use gansec::{ModelBundle, PipelineConfig};
 use gansec_cpps::CppsArchitecture;
-use gansec_lint::{render_json, render_text, CheckInput, CheckReport, GraphSpec, ServeSpec};
+use gansec_lint::{
+    render_json, render_text, CheckInput, CheckReport, FastPathSpec, GraphSpec, ServeSpec,
+};
 
 use crate::{ExitCode, ParsedArgs};
 
@@ -97,7 +99,9 @@ pub fn load_bundle_gated(
         let pinned = ["bins", "iters", "h", "gsize", "batch-size"]
             .iter()
             .any(|flag| args.get(flag).is_some());
-        let mut input = CheckInput::new().with_bundle(bundle.lint_spec(pinned.then_some(&cfg)));
+        let mut input = CheckInput::new()
+            .with_bundle(bundle.lint_spec(pinned.then_some(&cfg)))
+            .with_fastpath(fastpath_spec(args));
         if let Some(spec) = serve {
             input = input.with_serve(spec);
         }
@@ -186,7 +190,23 @@ fn build_input_inner(args: &ParsedArgs, include_bundle: bool) -> Result<CheckInp
             input = input.with_bundle(bundle.lint_spec(pinned.then_some(&cfg)));
         }
     }
+    // `gansec check --precision f32` judges a planned fast-path run even
+    // without a bundle (build support alone).
+    if args.get("precision").is_some() {
+        input = input.with_fastpath(fastpath_spec(args));
+    }
     Ok(input)
+}
+
+/// The reduced-precision request the flags describe, against what this
+/// binary was built with. The GS06xx pass judges the combination; the
+/// hard refusal for an unbuildable request lives in the serve module's
+/// precision resolver (it must fire even under `--no-check`).
+pub fn fastpath_spec(args: &ParsedArgs) -> FastPathSpec {
+    FastPathSpec {
+        requested_f32: args.get("precision") == Some("f32"),
+        f32_built: cfg!(feature = "f32"),
+    }
 }
 
 /// The pipeline configuration the flags describe, defaulting to the

@@ -99,6 +99,11 @@ COMMON FLAGS:
     --no-check         skip the pre-flight static analysis that audit,
                        detect, reconstruct, bench, train, score, and
                        serve run before starting
+    --precision <f64|f32>
+                       scoring arithmetic for score/detect/serve: f64
+                       (default, bit-exact reference) or f32 (narrowed
+                       fast path; needs a binary built with the `f32`
+                       feature, gated by the GS06xx checks)
     --strict           pre-flight/check: treat warnings as errors
     -h, --help         this text
 

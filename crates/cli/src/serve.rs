@@ -14,13 +14,41 @@ use rand::SeedableRng;
 use gansec::{GanSecPipeline, PipelineConfig, SideChannelDataset};
 use gansec_amsim::{GCodeProgram, MotorSet, PrinterSim};
 use gansec_dsp::{FeatureExtractor, FrequencyBins, ScalingKind};
-use gansec_engine::ScoringEngine;
+use gansec_engine::{Precision, ScoringEngine};
 use gansec_serve::{ServeConfig, Server};
 use gansec_tensor::Matrix;
 
 use crate::check::{self, GatedBundle};
 use crate::commands::load_program;
 use crate::{ExitCode, ParsedArgs};
+
+/// Resolves `--precision <f64|f32>` into an engine precision.
+#[cfg(feature = "f32")]
+fn resolve_precision(args: &ParsedArgs) -> Result<Precision, String> {
+    match args.get("precision") {
+        None | Some("f64") => Ok(Precision::F64),
+        Some("f32") => Ok(Precision::F32),
+        Some(other) => Err(format!(
+            "unknown --precision {other:?} (expected f64 or f32)"
+        )),
+    }
+}
+
+/// Without the `f32` feature a requested fast path is a hard error —
+/// the lint gate (GS0601) says the same thing, but `--no-check` must
+/// not turn a precision request into a silent f64 fallback.
+#[cfg(not(feature = "f32"))]
+fn resolve_precision(args: &ParsedArgs) -> Result<Precision, String> {
+    match args.get("precision") {
+        None | Some("f64") => Ok(Precision::F64),
+        Some("f32") => {
+            Err("--precision f32 requires a gansec binary built with the `f32` feature".to_string())
+        }
+        Some(other) => Err(format!(
+            "unknown --precision {other:?} (expected f64 or f32)"
+        )),
+    }
+}
 
 /// The pipeline configuration the training flags describe: `--smoke`
 /// for the tiny CI-sized workload, otherwise paper scale; the standard
@@ -82,11 +110,13 @@ pub fn train(args: &ParsedArgs) -> Result<ExitCode, String> {
 /// monolithic run's detection stage.
 pub fn score(args: &ParsedArgs) -> Result<ExitCode, String> {
     let path = args.require("bundle").map_err(|e| e.to_string())?;
+    let precision = resolve_precision(args)?;
     let bundle = match check::load_bundle_gated(args, path, None)? {
         GatedBundle::Ready(bundle) => bundle,
         GatedBundle::Refused(code) => return Ok(code),
     };
-    let engine = ScoringEngine::from_bundle(bundle);
+    let mut engine = ScoringEngine::from_bundle(bundle);
+    engine.set_precision(precision);
     let pipeline = GanSecPipeline::new(engine.config().clone());
     let (train, test) = pipeline
         .datasets(engine.seed())
@@ -115,10 +145,11 @@ pub fn score(args: &ParsedArgs) -> Result<ExitCode, String> {
         .detect_frames(&features, &conds)
         .map_err(|e| e.to_string())?;
     println!(
-        "# bundle {path}: schema v{}, seed {}, config fingerprint {:016x}",
+        "# bundle {path}: schema v{}, seed {}, config fingerprint {:016x}, {} scoring",
         engine.schema_version(),
         engine.seed(),
-        engine.config_fingerprint()
+        engine.config_fingerprint(),
+        engine.precision()
     );
     println!(
         "# scoring {} frames from {source}; alarm threshold {:.6}",
@@ -146,11 +177,13 @@ pub fn score(args: &ParsedArgs) -> Result<ExitCode, String> {
 /// the monolithic path, but the model comes from a sealed bundle and
 /// scoring runs through the engine's batched, buffer-pooled path.
 pub fn detect_bundle(args: &ParsedArgs, bundle_path: &str) -> Result<ExitCode, String> {
+    let precision = resolve_precision(args)?;
     let bundle = match check::load_bundle_gated(args, bundle_path, None)? {
         GatedBundle::Ready(bundle) => bundle,
         GatedBundle::Refused(code) => return Ok(code),
     };
-    let engine = ScoringEngine::from_bundle(bundle);
+    let mut engine = ScoringEngine::from_bundle(bundle);
+    engine.set_precision(precision);
     let benign = load_program(args.require("benign").map_err(|e| e.to_string())?)?;
     let suspect = load_program(args.require("suspect").map_err(|e| e.to_string())?)?;
     let seed = args.get_parsed("seed", 42u64).map_err(|e| e.to_string())?;
@@ -284,6 +317,7 @@ fn start_server(
 pub fn serve(args: &ParsedArgs) -> Result<ExitCode, String> {
     let path = args.require("bundle").map_err(|e| e.to_string())?;
     let config = serve_config(args)?;
+    let precision = resolve_precision(args)?;
     let chaos_plan = args.get("chaos-plan");
     let mut spec = config.lint_spec();
     spec.chaos_plan = chaos_plan.is_some();
@@ -291,12 +325,14 @@ pub fn serve(args: &ParsedArgs) -> Result<ExitCode, String> {
         GatedBundle::Ready(bundle) => bundle,
         GatedBundle::Refused(code) => return Ok(code),
     };
-    let engine = ScoringEngine::from_bundle(bundle);
+    let mut engine = ScoringEngine::from_bundle(bundle);
+    engine.set_precision(precision);
     println!(
-        "serving bundle {path}: schema v{}, seed {}, config fingerprint {:016x}",
+        "serving bundle {path}: schema v{}, seed {}, config fingerprint {:016x} ({} scoring)",
         engine.schema_version(),
         engine.seed(),
-        engine.config_fingerprint()
+        engine.config_fingerprint(),
+        engine.precision()
     );
     let server =
         start_server(config, engine, path, chaos_plan).map_err(|e| format!("{path}: {e}"))?;
@@ -462,6 +498,36 @@ mod tests {
                 panic!("must refuse silent fault injection");
             }
         }
+    }
+
+    #[test]
+    fn precision_flag_parses_and_rejects_junk() {
+        assert_eq!(
+            resolve_precision(&parsed(&[])).expect("default"),
+            Precision::F64
+        );
+        assert_eq!(
+            resolve_precision(&parsed(&["--precision", "f64"])).expect("f64"),
+            Precision::F64
+        );
+        let err = resolve_precision(&parsed(&["--precision", "f16"])).expect_err("junk");
+        assert!(err.contains("f16"), "{err}");
+    }
+
+    #[cfg(not(feature = "f32"))]
+    #[test]
+    fn f32_precision_without_the_feature_is_a_hard_error() {
+        let err = resolve_precision(&parsed(&["--precision", "f32"])).expect_err("must refuse");
+        assert!(err.contains("f32"), "{err}");
+    }
+
+    #[cfg(feature = "f32")]
+    #[test]
+    fn f32_precision_with_the_feature_resolves() {
+        assert_eq!(
+            resolve_precision(&parsed(&["--precision", "f32"])).expect("f32"),
+            Precision::F32
+        );
     }
 
     #[test]

@@ -399,8 +399,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut model = SecurityModel::for_dataset(&train, &mut rng);
         model.train(&train, 50, &mut rng).unwrap();
-        let report =
-            LikelihoodAnalysis::new(0.2, 50, vec![0]).analyze(&model, &test, &mut rng);
+        let report = LikelihoodAnalysis::new(0.2, 50, vec![0]).analyze(&model, &test, &mut rng);
         let best = report.most_identifiable().unwrap();
         for c in &report.conditions {
             assert!(best.margin() >= c.margin());
@@ -414,8 +413,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let mut model = SecurityModel::for_dataset(&train, &mut rng);
         model.train(&train, 20, &mut rng).unwrap();
-        let report =
-            LikelihoodAnalysis::new(0.2, 30, vec![0]).analyze(&model, &test, &mut rng);
+        let report = LikelihoodAnalysis::new(0.2, 30, vec![0]).analyze(&model, &test, &mut rng);
         assert!(report.warnings.is_clean());
     }
 

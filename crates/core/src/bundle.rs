@@ -25,8 +25,7 @@ use serde::{Deserialize, Serialize};
 use gansec_gan::write_atomic;
 
 use crate::{
-    AttackDetector, GCodeEstimator, PersistError, PipelineConfig, SecurityModel,
-    SideChannelDataset,
+    AttackDetector, GCodeEstimator, PersistError, PipelineConfig, SecurityModel, SideChannelDataset,
 };
 
 /// The bundle schema version this build reads and writes. Bump on any
@@ -194,14 +193,21 @@ impl ModelBundle {
         if self.feature_indices.is_empty() {
             return invalid("no analyzed feature indices".to_string());
         }
-        if let Some(&ft) = self.feature_indices.iter().find(|&&ft| ft >= self.config.n_bins) {
+        if let Some(&ft) = self
+            .feature_indices
+            .iter()
+            .find(|&&ft| ft >= self.config.n_bins)
+        {
             return invalid(format!(
                 "feature index {ft} out of range for {} frequency bins",
                 self.config.n_bins
             ));
         }
         if !self.config.h.is_finite() || self.config.h <= 0.0 {
-            return invalid(format!("Parzen bandwidth h = {} is degenerate", self.config.h));
+            return invalid(format!(
+                "Parzen bandwidth h = {} is degenerate",
+                self.config.h
+            ));
         }
         let model_cfg = self.model.cgan().config();
         if model_cfg.data_dim != self.config.n_bins {

@@ -144,9 +144,10 @@ impl AttackDetector {
         let k_features = self.feature_indices.len() as f64;
         for (ci, kdes) in self.kdes.iter().enumerate() {
             scratch.rows.clear();
-            scratch.rows.extend((0..features.rows()).filter(|&r| {
-                self.condition_index(claimed_conds.row(r)) == Some(ci)
-            }));
+            scratch.rows.extend(
+                (0..features.rows())
+                    .filter(|&r| self.condition_index(claimed_conds.row(r)) == Some(ci)),
+            );
             if scratch.rows.is_empty() {
                 continue;
             }
@@ -213,7 +214,17 @@ impl AttackDetector {
         &self.conditions
     }
 
-    fn condition_index(&self, cond: &[f64]) -> Option<usize> {
+    /// The fitted per-condition, per-feature Parzen windows:
+    /// `windows()[condition_index][k]` scores the k-th analyzed feature.
+    /// Exposed so reduced-precision serving paths can mirror the
+    /// estimator state without refitting.
+    pub fn windows(&self) -> &[Vec<ParzenWindow>] {
+        &self.kdes
+    }
+
+    /// Index of `cond` among the known condition vectors (tolerance
+    /// `1e-9` per component), or `None` for an unknown condition.
+    pub fn condition_index(&self, cond: &[f64]) -> Option<usize> {
         self.conditions.iter().position(|c| {
             c.len() == cond.len() && c.iter().zip(cond).all(|(&a, &b)| (a - b).abs() < 1e-9)
         })

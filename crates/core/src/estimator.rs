@@ -90,6 +90,14 @@ impl GCodeEstimator {
         &self.feature_indices
     }
 
+    /// The fitted per-condition, per-feature Parzen windows:
+    /// `windows()[ci][k]` scores the k-th analyzed feature under
+    /// condition `ci`. Exposed so reduced-precision serving paths can
+    /// mirror the estimator state without refitting.
+    pub fn windows(&self) -> &[Vec<ParzenWindow>] {
+        &self.kdes
+    }
+
     /// Joint log-likelihood of one frame under condition `ci` (sum of
     /// per-feature log densities — features treated as independent, the
     /// naive-Bayes attacker).

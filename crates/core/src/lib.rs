@@ -65,9 +65,7 @@ mod report;
 
 pub use analysis::{AnalysisWarnings, ConditionLikelihood, LikelihoodAnalysis, LikelihoodReport};
 pub use baseline::KdeBaseline;
-pub use bundle::{
-    config_fingerprint, ModelBundle, BUNDLE_FALSE_ALARM_RATE, BUNDLE_SCHEMA_VERSION,
-};
+pub use bundle::{config_fingerprint, ModelBundle, BUNDLE_FALSE_ALARM_RATE, BUNDLE_SCHEMA_VERSION};
 pub use dataset::{DatasetError, EmissionChannel, FrameScreenReport, SideChannelDataset};
 pub use detector::{AttackDetector, DetectionOutcome, ScoreScratch};
 pub use estimator::GCodeEstimator;

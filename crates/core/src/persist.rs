@@ -222,8 +222,7 @@ mod tests {
         let (model, ds) = trained_model();
         let restored = SecurityModel::from_json(&model.to_json().unwrap()).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let report =
-            LikelihoodAnalysis::new(0.2, 20, vec![0]).analyze(&restored, &ds, &mut rng);
+        let report = LikelihoodAnalysis::new(0.2, 20, vec![0]).analyze(&restored, &ds, &mut rng);
         assert_eq!(report.conditions.len(), 3);
     }
 

@@ -725,11 +725,10 @@ mod tests {
         assert!(stage.train().len() > 0 && stage.test().len() > 0);
         let staged = p.analyze_stage(stage).unwrap();
         // Same weights: identical generation from identical noise.
-        let z = gansec_tensor::Matrix::from_fn(
-            4,
-            staged.model.cgan().config().noise_dim,
-            |r, c| ((r * 5 + c) as f64 * 0.13).sin(),
-        );
+        let z =
+            gansec_tensor::Matrix::from_fn(4, staged.model.cgan().config().noise_dim, |r, c| {
+                ((r * 5 + c) as f64 * 0.13).sin()
+            });
         let conds = gansec_tensor::Matrix::from_fn(4, 3, |r, c| f64::from(u8::from(r % 3 == c)));
         assert_eq!(
             staged.model.cgan().generate_with_noise(&z, &conds),

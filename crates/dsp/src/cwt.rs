@@ -57,6 +57,11 @@ impl MorletCwt {
         &self.frequencies_hz
     }
 
+    /// The Morlet non-dimensional frequency.
+    pub fn omega0(&self) -> f64 {
+        self.omega0
+    }
+
     /// Converts a center frequency (Hz) to a Morlet scale in seconds,
     /// using the Torrence & Compo Fourier-period relation.
     pub fn frequency_to_scale(&self, freq_hz: f64) -> f64 {

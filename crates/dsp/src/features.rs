@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{FrequencyBins, MorletCwt, Stft, Window};
+use crate::{FrequencyBins, MorletCwt, PlanCache, Stft, Window};
 
 /// Which time-frequency analysis backs the feature construction `f_X`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -282,6 +282,43 @@ impl FeatureExtractor {
         fm
     }
 
+    /// [`FeatureExtractor::extract`] through the planned DSP front end:
+    /// the CWT plan for this signal shape is taken from (or built into)
+    /// `plans`, so repeat extractions over equal-length segments skip
+    /// the per-call twiddle/daughter-spectrum setup entirely. Output is
+    /// bit-identical to [`FeatureExtractor::extract`] at any thread
+    /// count; STFT-backed extractors fall through to the unplanned path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate <= 0`.
+    pub fn extract_planned(
+        &self,
+        signal: &[f64],
+        sample_rate: f64,
+        plans: &PlanCache,
+    ) -> FeatureMatrix {
+        if self.analysis != AnalysisKind::Cwt {
+            return self.extract(signal, sample_rate);
+        }
+        let n_frames = self.frame_count(signal.len());
+        if n_frames == 0 {
+            return FeatureMatrix::from_rows(Vec::new());
+        }
+        let cwt = MorletCwt::standard(self.bins.centers());
+        let plan = plans.cwt_plan(&cwt, signal.len(), sample_rate);
+        let scal = plan.transform(signal);
+        let rows = gansec_parallel::par_map_indexed(n_frames, |f| {
+            let start = f * self.hop;
+            scal.mean_per_frequency_in(start, start + self.frame_len)
+        });
+        let mut fm = FeatureMatrix::from_rows(rows);
+        if self.scaling == ScalingKind::MinMax {
+            fm.minmax_scale_global();
+        }
+        fm
+    }
+
     fn extract_cwt_rows(&self, signal: &[f64], sample_rate: f64, n_frames: usize) -> Vec<Vec<f64>> {
         let cwt = MorletCwt::standard(self.bins.centers());
         let scal = cwt.transform(signal, sample_rate);
@@ -485,6 +522,52 @@ mod tests {
             .0;
         let peak_freq = fx.bins().centers()[peak];
         assert!((peak_freq / 1000.0).ln().abs() < 0.3, "peak {peak_freq} Hz");
+    }
+
+    #[test]
+    fn planned_extract_is_bit_identical_to_unplanned() {
+        let fs = 8000.0;
+        let fx = small_extractor();
+        let mut sig = tone(440.0, fs, 2048);
+        sig.extend(tone(1500.0, fs, 2048));
+        let plans = PlanCache::new();
+        let planned = fx.extract_planned(&sig, fs, &plans);
+        let unplanned = fx.extract(&sig, fs);
+        assert_eq!(planned.n_rows(), unplanned.n_rows());
+        for (a, b) in planned.rows().iter().zip(unplanned.rows()) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+            }
+        }
+        assert_eq!(plans.len(), 1);
+        // A second extraction reuses the cached plan and stays identical.
+        let again = fx.extract_planned(&sig, fs, &plans);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(again, planned);
+    }
+
+    #[test]
+    fn planned_extract_stft_falls_through() {
+        let fs = 8000.0;
+        let fx = FeatureExtractor::with_analysis(
+            FrequencyBins::log_spaced(20, 50.0, 4000.0),
+            512,
+            256,
+            ScalingKind::MinMax,
+            AnalysisKind::Stft,
+        );
+        let sig = tone(440.0, fs, 2048);
+        let plans = PlanCache::new();
+        assert_eq!(fx.extract_planned(&sig, fs, &plans), fx.extract(&sig, fs));
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn planned_extract_short_signal_is_empty() {
+        let plans = PlanCache::new();
+        let fm = small_extractor().extract_planned(&[0.0; 100], 8000.0, &plans);
+        assert_eq!(fm.n_rows(), 0);
+        assert!(plans.is_empty());
     }
 
     #[test]

@@ -49,10 +49,20 @@ pub fn ifft(input: &[Complex]) -> Vec<Complex> {
     out
 }
 
-/// Convenience wrapper: FFT of a real signal.
+/// FFT of a real signal.
+///
+/// Power-of-two lengths run the packed real-input transform (one
+/// half-length complex FFT instead of widening every sample to
+/// [`Complex`]); other lengths fall back to widening + Bluestein. The
+/// result matches the complex path to rounding on the fast path.
 pub fn fft_real(input: &[f64]) -> Vec<Complex> {
-    let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
-    fft(&buf)
+    let n = input.len();
+    if n > 1 && n.is_power_of_two() {
+        crate::RealFftPlan::new(n).forward(input)
+    } else {
+        let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
+        fft(&buf)
+    }
 }
 
 /// Iterative radix-2 Cooley-Tukey; `inverse` flips the twiddle sign.
@@ -275,5 +285,24 @@ mod tests {
             .map(|&v| Complex::from_real(v))
             .collect::<Vec<_>>());
         assert_close(&a, &b, 1e-12);
+    }
+
+    #[test]
+    fn fft_real_packed_path_matches_complex_on_power_of_two() {
+        for n in [2usize, 4, 8, 16, 64, 256, 1024] {
+            let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin() - 0.1).collect();
+            let a = fft_real(&xs);
+            let widened: Vec<Complex> = xs.iter().map(|&v| Complex::from_real(v)).collect();
+            let b = fft(&widened);
+            assert_close(&a, &b, 1e-12 * (1.0 + n as f64));
+        }
+    }
+
+    #[test]
+    fn fft_real_degenerate_lengths() {
+        assert!(fft_real(&[]).is_empty());
+        let one = fft_real(&[2.5]);
+        assert_eq!(one.len(), 1);
+        assert!((one[0].re - 2.5).abs() < 1e-15 && one[0].im.abs() < 1e-15);
     }
 }

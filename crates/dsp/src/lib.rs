@@ -42,6 +42,7 @@ mod complex;
 mod cwt;
 mod features;
 mod fft;
+mod plan;
 mod stft;
 mod window;
 
@@ -50,5 +51,6 @@ pub use complex::Complex;
 pub use cwt::{cwt, MorletCwt, Scalogram};
 pub use features::{AnalysisKind, FeatureExtractor, FeatureMatrix, ScalingKind};
 pub use fft::{fft, fft_real, ifft, next_power_of_two};
+pub use plan::{CwtPlan, FftPlan, FlatScalogram, PlanCache, RealFftPlan};
 pub use stft::{Spectrogram, Stft};
 pub use window::Window;

@@ -1,0 +1,956 @@
+//! Precomputed transform plans: the repeat-call fast path of the DSP
+//! front end.
+//!
+//! The streaming workload transforms thousands of equal-length frames
+//! with identical parameters, yet [`fft`](crate::fft) re-derives the
+//! twiddle factors on every call and [`MorletCwt::transform`] rebuilds
+//! the angular-frequency table and every daughter-wavelet spectrum per
+//! signal. A plan hoists all of that work into construction:
+//!
+//! * [`FftPlan`]: cached bit-reversal and per-stage twiddle tables with
+//!   an in-place execute. The tables are built with the *same* running-
+//!   product recurrence as the ad-hoc kernel, so planned transforms are
+//!   bit-identical to [`fft`](crate::fft)/[`ifft`](crate::ifft) — and
+//!   the table lookup also removes the serial `w *= wlen` dependency
+//!   chain from the butterfly loop.
+//! * [`RealFftPlan`]: a packed real-input forward transform that runs
+//!   one half-length complex FFT instead of widening every sample.
+//! * [`CwtPlan`]: precomputed daughter spectra and a scratch-buffer
+//!   pool, reducing per-signal work to one forward FFT, a per-bin
+//!   multiply and inverse FFT each, with zero steady-state allocations.
+//!   Output is bit-identical to the unplanned [`MorletCwt::transform`].
+//! * [`PlanCache`]: a thread-safe map from CWT parameters to shared
+//!   plans, for batch extraction over many equal-length segments.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::{next_power_of_two, Complex, MorletCwt};
+
+/// Locks a mutex, recovering the guard if a panicking thread poisoned it
+/// (plan state is read-only or a buffer pool, so poison is harmless).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A planned power-of-two FFT: cached bit-reversal permutation plus
+/// per-stage twiddle tables for both directions.
+///
+/// [`FftPlan::forward`] and [`FftPlan::inverse_norm`] are bit-identical
+/// to [`fft`](crate::fft) and [`ifft`](crate::ifft) on the same input:
+/// the tables store exactly the values the ad-hoc kernel's running
+/// product visits, and the butterflies apply them in the same order.
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    bitrev: Vec<usize>,
+    // Twiddles stored planar (split real/imaginary) so the split-layout
+    // execute reads contiguous f64 streams the compiler can vectorize;
+    // the interleaved execute reassembles the same bitwise values.
+    fwd_re: Vec<f64>,
+    fwd_im: Vec<f64>,
+    inv_re: Vec<f64>,
+    inv_im: Vec<f64>,
+}
+
+/// Stage-major twiddle tables matching the ad-hoc kernel's running
+/// product: for each stage `len = 2, 4, .., n` the `len/2` successive
+/// powers of `exp(sign * i * TAU / len)`, accumulated by repeated
+/// multiplication exactly as `fft_in_place` does, so every stored value
+/// is bitwise the one the unplanned butterfly loop would compute.
+/// Returned as planar `(re, im)` arrays.
+fn stage_twiddles(n: usize, inverse: bool) -> (Vec<f64>, Vec<f64>) {
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out_re = Vec::with_capacity(n.saturating_sub(1));
+    let mut out_im = Vec::with_capacity(n.saturating_sub(1));
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let mut w = Complex::ONE;
+        for _ in 0..len / 2 {
+            out_re.push(w.re);
+            out_im.push(w.im);
+            w *= wlen;
+        }
+        len <<= 1;
+    }
+    (out_re, out_im)
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "planned radix-2 FFT requires power-of-two length"
+        );
+        let bitrev = if n <= 1 {
+            Vec::new()
+        } else {
+            let bits = n.trailing_zeros();
+            (0..n)
+                .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
+                .collect()
+        };
+        let (fwd_re, fwd_im) = stage_twiddles(n, false);
+        let (inv_re, inv_im) = stage_twiddles(n, true);
+        Self {
+            n,
+            bitrev,
+            fwd_re,
+            fwd_im,
+            inv_re,
+            inv_im,
+        }
+    }
+
+    /// Transform length the plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: plans exist only for lengths `>= 1`.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT; bit-identical to [`fft`](crate::fft).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        self.execute(buf, &self.fwd_re, &self.fwd_im);
+    }
+
+    /// In-place unnormalized inverse DFT (no `1/n` factor); the raw
+    /// building block for callers that fold the normalization into
+    /// later work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        self.execute(buf, &self.inv_re, &self.inv_im);
+    }
+
+    /// In-place forward DFT over split (planar) real/imaginary storage;
+    /// component-for-component bit-identical to [`FftPlan::forward`],
+    /// but the contiguous `f64` lanes let the compiler vectorize the
+    /// butterflies. This is the hot path used by [`CwtPlan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re.len()` or `im.len()` differs from the planned
+    /// length.
+    pub fn forward_split(&self, re: &mut [f64], im: &mut [f64]) {
+        self.execute_split(re, im, &self.fwd_re, &self.fwd_im);
+    }
+
+    /// In-place unnormalized inverse DFT over split storage; the planar
+    /// counterpart of [`FftPlan::inverse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re.len()` or `im.len()` differs from the planned
+    /// length.
+    pub fn inverse_split(&self, re: &mut [f64], im: &mut [f64]) {
+        self.execute_split(re, im, &self.inv_re, &self.inv_im);
+    }
+
+    /// Unnormalized planar inverse DFT of a buffer whose contents were
+    /// written directly into bit-reversed positions (see
+    /// [`FftPlan::bitrev_positions`]), skipping the permutation sweep.
+    /// Bit-identical to permuting then calling the stage sweep.
+    fn inverse_split_prepermuted(&self, re: &mut [f64], im: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(re.len(), n, "planned FFT length mismatch");
+        assert_eq!(im.len(), n, "planned FFT length mismatch");
+        if n <= 1 {
+            return;
+        }
+        self.stages_split(re, im, &self.inv_re, &self.inv_im);
+    }
+
+    /// The bit-reversal permutation table: natural index `k` belongs at
+    /// position `bitrev_positions()[k]` of a pre-permuted buffer (empty
+    /// for `n <= 1`, where the permutation is the identity).
+    fn bitrev_positions(&self) -> &[usize] {
+        &self.bitrev
+    }
+
+    /// In-place normalized inverse DFT; bit-identical to
+    /// [`ifft`](crate::ifft).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn inverse_norm(&self, buf: &mut [Complex]) {
+        self.execute(buf, &self.inv_re, &self.inv_im);
+        let scale = 1.0 / self.n as f64;
+        for c in buf {
+            *c = c.scale(scale);
+        }
+    }
+
+    /// The shared butterfly schedule over interleaved [`Complex`]
+    /// storage: bit-reversal permutation from the cached table, then the
+    /// standard radix-2 stages reading twiddles from the planar tables
+    /// instead of a serial running product.
+    fn execute(&self, buf: &mut [Complex], twr: &[f64], twi: &[f64]) {
+        let n = self.n;
+        assert_eq!(buf.len(), n, "planned FFT length mismatch");
+        if n <= 1 {
+            return;
+        }
+        for (i, &j) in self.bitrev.iter().enumerate() {
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        let mut offset = 0;
+        while len <= n {
+            let half = len / 2;
+            let tw_re = &twr[offset..offset + half];
+            let tw_im = &twi[offset..offset + half];
+            let mut i = 0;
+            while i < n {
+                let (lo, hi) = buf[i..i + len].split_at_mut(half);
+                for (j, (a, b)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                    let u = *a;
+                    let v = *b * Complex::new(tw_re[j], tw_im[j]);
+                    *a = u + v;
+                    *b = u - v;
+                }
+                i += len;
+            }
+            offset += half;
+            len <<= 1;
+        }
+    }
+
+    /// The same butterfly schedule over split (planar) storage. Every
+    /// scalar expression matches the interleaved path exactly — `v.re =
+    /// b.re * w.re - b.im * w.im` and so on in the same order — so the
+    /// two layouts produce bitwise identical results; the planar lanes
+    /// are simply contiguous and therefore vectorizable.
+    fn execute_split(&self, re: &mut [f64], im: &mut [f64], twr: &[f64], twi: &[f64]) {
+        let n = self.n;
+        assert_eq!(re.len(), n, "planned FFT length mismatch");
+        assert_eq!(im.len(), n, "planned FFT length mismatch");
+        if n <= 1 {
+            return;
+        }
+        for (i, &j) in self.bitrev.iter().enumerate() {
+            if i < j {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        self.stages_split(re, im, twr, twi);
+    }
+
+    /// The radix-2 stage sweep alone (no bit-reversal permutation), for
+    /// callers that already produced the buffer in bit-reversed order.
+    /// The first three stages (`len = 2, 4, 8`) are fused into a single
+    /// pass over 8-element blocks: each block's butterflies run while
+    /// the data sits in registers, saving two full-array memory sweeps
+    /// and the short-loop overhead of the worst-vectorizing stages.
+    /// Each element still sees the identical operation sequence, so the
+    /// fusion is bit-transparent.
+    fn stages_split(&self, re: &mut [f64], im: &mut [f64], twr: &[f64], twi: &[f64]) {
+        let n = self.n;
+        let mut len = 2;
+        let mut offset = 0;
+        if n >= 8 {
+            let w4 = [(twr[1], twi[1]), (twr[2], twi[2])];
+            let w8 = [
+                (twr[3], twi[3]),
+                (twr[4], twi[4]),
+                (twr[5], twi[5]),
+                (twr[6], twi[6]),
+            ];
+            let mut b = 0;
+            while b < n {
+                let r = &mut re[b..b + 8];
+                let q = &mut im[b..b + 8];
+                // Stage len = 2: pairs (0,1), (2,3), (4,5), (6,7).
+                for p in [0usize, 2, 4, 6] {
+                    butterfly(r, q, p, p + 1, twr[0], twi[0]);
+                }
+                // Stage len = 4: (0,2), (1,3) then (4,6), (5,7).
+                for base in [0usize, 4] {
+                    for (j, &(wr, wi)) in w4.iter().enumerate() {
+                        butterfly(r, q, base + j, base + j + 2, wr, wi);
+                    }
+                }
+                // Stage len = 8: (j, j+4).
+                for (j, &(wr, wi)) in w8.iter().enumerate() {
+                    butterfly(r, q, j, j + 4, wr, wi);
+                }
+                b += 8;
+            }
+            len = 16;
+            offset = 7;
+        }
+        while len <= n {
+            let half = len / 2;
+            let tw_re = &twr[offset..offset + half];
+            let tw_im = &twi[offset..offset + half];
+            let mut i = 0;
+            while i < n {
+                let (lre, hre) = re[i..i + len].split_at_mut(half);
+                let (lim, him) = im[i..i + len].split_at_mut(half);
+                for j in 0..half {
+                    let br = hre[j];
+                    let bi = him[j];
+                    let vr = br * tw_re[j] - bi * tw_im[j];
+                    let vi = br * tw_im[j] + bi * tw_re[j];
+                    let ur = lre[j];
+                    let ui = lim[j];
+                    lre[j] = ur + vr;
+                    lim[j] = ui + vi;
+                    hre[j] = ur - vr;
+                    him[j] = ui - vi;
+                }
+                i += len;
+            }
+            offset += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// One radix-2 butterfly on planar storage, the exact expression
+/// sequence of the generic stage loop: `v = b * w`, then `a + v` /
+/// `a - v` componentwise.
+#[inline(always)]
+fn butterfly(re: &mut [f64], im: &mut [f64], a: usize, b: usize, wr: f64, wi: f64) {
+    let br = re[b];
+    let bi = im[b];
+    let vr = br * wr - bi * wi;
+    let vi = br * wi + bi * wr;
+    let ur = re[a];
+    let ui = im[a];
+    re[a] = ur + vr;
+    im[a] = ui + vi;
+    re[b] = ur - vr;
+    im[b] = ui - vi;
+}
+
+/// A planned packed real-input forward FFT.
+///
+/// The `n` real samples are packed into `n/2` complex values
+/// (even-index samples in the real part, odd-index in the imaginary), a
+/// single half-length complex FFT runs, and the hermitian-symmetric
+/// spectrum is untangled from the result — roughly halving the work of
+/// the widen-to-complex path. The output matches the complex path to
+/// rounding (it is *not* bit-identical; see
+/// `real_plan_matches_complex_path` for the enforced tolerance).
+#[derive(Debug)]
+pub struct RealFftPlan {
+    n: usize,
+    half: FftPlan,
+    /// Untangling twiddles `exp(-i * TAU * k / n)` for `k in 0..=n/2`.
+    wk: Vec<Complex>,
+}
+
+impl RealFftPlan {
+    /// Builds a plan for real inputs of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "planned real FFT requires power-of-two length"
+        );
+        let wk = (0..=n / 2)
+            .map(|k| Complex::from_angle(-std::f64::consts::TAU * k as f64 / n as f64))
+            .collect();
+        Self {
+            n,
+            half: FftPlan::new((n / 2).max(1)),
+            wk,
+        }
+    }
+
+    /// Input length the plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: plans exist only for lengths `>= 1`.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Full `n`-point spectrum of a real signal (hermitian upper half
+    /// mirrored from the lower, as [`fft`](crate::fft) would return).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the planned length.
+    pub fn forward(&self, input: &[f64]) -> Vec<Complex> {
+        assert_eq!(input.len(), self.n, "planned real FFT length mismatch");
+        if self.n == 1 {
+            return vec![Complex::from_real(input[0])];
+        }
+        let h = self.n / 2;
+        let mut z_re: Vec<f64> = (0..h).map(|j| input[2 * j]).collect();
+        let mut z_im: Vec<f64> = (0..h).map(|j| input[2 * j + 1]).collect();
+        self.half.forward_split(&mut z_re, &mut z_im);
+        let z = |k: usize| Complex::new(z_re[k], z_im[k]);
+        let mut out = vec![Complex::ZERO; self.n];
+        for (k, o) in out.iter_mut().enumerate().take(h + 1) {
+            let zk = z(k % h);
+            let zm = z((h - k) % h).conj();
+            // Even/odd sample spectra: F_e = (Z[k] + conj(Z[h-k])) / 2,
+            // F_o = (Z[k] - conj(Z[h-k])) / (2i); X[k] = F_e + W^k F_o.
+            let fe = (zk + zm).scale(0.5);
+            let fo_i = (zk - zm).scale(0.5);
+            let fo = Complex::new(fo_i.im, -fo_i.re);
+            *o = fe + self.wk[k] * fo;
+        }
+        for k in h + 1..self.n {
+            out[k] = out[self.n - k].conj();
+        }
+        out
+    }
+}
+
+/// A planned Morlet CWT for one `(signal length, sample rate,
+/// frequencies, omega0)` shape.
+///
+/// Construction precomputes everything [`MorletCwt::transform`] derives
+/// per call — the padded [`FftPlan`] and every daughter-wavelet
+/// spectrum — and owns a scratch-buffer pool, so a warm
+/// [`CwtPlan::transform`] performs one forward FFT plus one per-bin
+/// multiply/inverse-FFT pass with no steady-state allocations beyond
+/// the output. Magnitudes are bit-identical to the unplanned transform,
+/// which stays the reference oracle.
+#[derive(Debug)]
+pub struct CwtPlan {
+    frequencies_hz: Vec<f64>,
+    sample_rate: f64,
+    n: usize,
+    m: usize,
+    fft: FftPlan,
+    /// Daughter spectra, `n_bins` rows of `m/2` values row-major; entry
+    /// `j` of a row is the daughter at FFT bin `k = j + 1` (the analytic
+    /// Morlet is zero at DC and for negative frequencies, i.e. outside
+    /// `1 <= k <= m/2`).
+    daughters: Vec<f64>,
+    /// Bit-reversed destination of FFT bin `k = j + 1` for `j` in
+    /// `0..m/2`: daughter products are scattered straight into the
+    /// inverse transform's post-permutation layout, so each per-bin
+    /// inverse FFT skips its bit-reversal sweep.
+    scatter: Vec<usize>,
+    /// Pooled pairs of planar (real, imaginary) work buffers, each of
+    /// length `m`.
+    scratch: Mutex<Vec<(Vec<f64>, Vec<f64>)>>,
+}
+
+impl CwtPlan {
+    /// Plans `cwt.transform(signal, sample_rate)` for signals of exactly
+    /// `signal_len` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate <= 0`.
+    pub fn new(cwt: &MorletCwt, signal_len: usize, sample_rate: f64) -> Self {
+        assert!(sample_rate > 0.0, "sample_rate must be positive");
+        let n = signal_len;
+        let m = next_power_of_two(n);
+        let dt = 1.0 / sample_rate;
+        let half = m / 2;
+        let omega0 = cwt.omega0();
+        let norm_pi = std::f64::consts::PI.powf(-0.25);
+        // Same arithmetic, expression for expression, as the per-call
+        // loop in `MorletCwt::transform`, evaluated once per plan.
+        let rows = gansec_parallel::par_map(cwt.frequencies_hz(), |&f| {
+            let s = cwt.frequency_to_scale(f);
+            let norm = (std::f64::consts::TAU * s / dt).sqrt() * norm_pi;
+            let mut row = vec![0.0; half];
+            for (j, d) in row.iter_mut().enumerate() {
+                let w = std::f64::consts::TAU * (j + 1) as f64 / (m as f64 * dt);
+                let e = -(s * w - omega0).powi(2) / 2.0;
+                // exp underflows harmlessly to zero far from the band.
+                *d = norm * e.exp();
+            }
+            row
+        });
+        let fft = FftPlan::new(m);
+        let scatter = if m > 1 {
+            fft.bitrev_positions()[1..half + 1].to_vec()
+        } else {
+            Vec::new()
+        };
+        Self {
+            frequencies_hz: cwt.frequencies_hz().to_vec(),
+            sample_rate,
+            n,
+            m,
+            fft,
+            daughters: rows.concat(),
+            scatter,
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Center frequencies (Hz), one scalogram row per entry.
+    pub fn frequencies_hz(&self) -> &[f64] {
+        &self.frequencies_hz
+    }
+
+    /// Sample rate the plan was built for.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Signal length the plan was built for.
+    pub fn signal_len(&self) -> usize {
+        self.n
+    }
+
+    /// Padded FFT length.
+    pub fn fft_len(&self) -> usize {
+        self.m
+    }
+
+    /// Scratch buffers currently pooled (grows to the worker count on
+    /// first use, then stays flat).
+    pub fn pooled_buffers(&self) -> usize {
+        lock_unpoisoned(&self.scratch).len()
+    }
+
+    fn acquire(&self) -> (Vec<f64>, Vec<f64>) {
+        lock_unpoisoned(&self.scratch)
+            .pop()
+            .unwrap_or_else(|| (vec![0.0; self.m], vec![0.0; self.m]))
+    }
+
+    fn release(&self, buf: (Vec<f64>, Vec<f64>)) {
+        lock_unpoisoned(&self.scratch).push(buf);
+    }
+
+    /// Scalogram of `signal`, bit-identical to the unplanned
+    /// [`MorletCwt::transform`] at any thread count, in flat row-major
+    /// storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len()` differs from the planned length.
+    pub fn transform(&self, signal: &[f64]) -> FlatScalogram {
+        assert_eq!(
+            signal.len(),
+            self.n,
+            "planned CWT signal length mismatch: plan {} vs signal {}",
+            self.n,
+            signal.len()
+        );
+        let n_bins = self.frequencies_hz.len();
+        if self.n == 0 {
+            return FlatScalogram {
+                frequencies_hz: self.frequencies_hz.clone(),
+                data: Vec::new(),
+                n_times: 0,
+                sample_rate: self.sample_rate,
+            };
+        }
+        let (mut spec_re, mut spec_im) = self.acquire();
+        // Planar image of the unplanned path's `Complex::from_real`
+        // widening: the signal in the real lane, zeros everywhere else.
+        spec_re[..self.n].copy_from_slice(signal);
+        spec_re[self.n..].fill(0.0);
+        spec_im.fill(0.0);
+        self.fft.forward_split(&mut spec_re, &mut spec_im);
+
+        let half = self.m / 2;
+        let inv_m = 1.0 / self.m as f64;
+        let mut data = vec![0.0; n_bins * self.n];
+        // One contiguous output row per bin; rows are independent, so
+        // they fan out across threads exactly like the unplanned
+        // per-frequency loop.
+        gansec_parallel::par_fill_chunks(&mut data, self.n, |bin, out| {
+            let row = &self.daughters[bin * half..(bin + 1) * half];
+            let (mut prod_re, mut prod_im) = self.acquire();
+            prod_re.fill(0.0);
+            prod_im.fill(0.0);
+            // `spectrum[k].scale(d)` for `k = 1..=m/2`, planar, written
+            // straight into bit-reversed order so the inverse FFT can
+            // skip its permutation sweep (same products, same slots).
+            let src_re = &spec_re[1..half + 1];
+            let src_im = &spec_im[1..half + 1];
+            for j in 0..half {
+                let p = self.scatter[j];
+                prod_re[p] = src_re[j] * row[j];
+                prod_im[p] = src_im[j] * row[j];
+            }
+            self.fft
+                .inverse_split_prepermuted(&mut prod_re, &mut prod_im);
+            // `c.scale(inv_m).abs()` on the first `n` coefficients.
+            for (o, (&r, &i)) in out
+                .iter_mut()
+                .zip(prod_re[..self.n].iter().zip(&prod_im[..self.n]))
+            {
+                *o = (r * inv_m).hypot(i * inv_m);
+            }
+            self.release((prod_re, prod_im));
+        });
+        self.release((spec_re, spec_im));
+        FlatScalogram {
+            frequencies_hz: self.frequencies_hz.clone(),
+            data,
+            n_times: self.n,
+            sample_rate: self.sample_rate,
+        }
+    }
+}
+
+/// CWT magnitudes in one flat row-major buffer, `[frequency][time]`.
+///
+/// The planned counterpart of [`Scalogram`](crate::Scalogram): same
+/// accessors and identical (bitwise) values, but a single allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatScalogram {
+    frequencies_hz: Vec<f64>,
+    data: Vec<f64>,
+    n_times: usize,
+    sample_rate: f64,
+}
+
+impl FlatScalogram {
+    /// Center frequencies (Hz), one per magnitude row.
+    pub fn frequencies_hz(&self) -> &[f64] {
+        &self.frequencies_hz
+    }
+
+    /// Number of frequency rows.
+    pub fn n_bins(&self) -> usize {
+        self.frequencies_hz.len()
+    }
+
+    /// Number of time samples per row.
+    pub fn n_times(&self) -> usize {
+        self.n_times
+    }
+
+    /// Sample rate of the analyzed signal.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// The flat row-major magnitude buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Magnitudes of frequency row `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= self.n_bins()`.
+    pub fn row(&self, bin: usize) -> &[f64] {
+        &self.data[bin * self.n_times..(bin + 1) * self.n_times]
+    }
+
+    /// Mean magnitude of each frequency row over the whole signal.
+    pub fn mean_per_frequency(&self) -> Vec<f64> {
+        self.mean_per_frequency_in(0, self.n_times)
+    }
+
+    /// Mean magnitude of each frequency row within `[start, end)` time
+    /// samples, clamped to the available range. Same arithmetic — and
+    /// therefore bitwise the same result — as
+    /// [`Scalogram::mean_per_frequency_in`](crate::Scalogram::mean_per_frequency_in).
+    pub fn mean_per_frequency_in(&self, start: usize, end: usize) -> Vec<f64> {
+        let n = self.n_times;
+        let start = start.min(n);
+        let end = end.min(n).max(start);
+        (0..self.n_bins())
+            .map(|bin| {
+                if end == start {
+                    0.0
+                } else {
+                    let row = self.row(bin);
+                    row[start..end].iter().sum::<f64>() / (end - start) as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Interned CWT-plan key: float parameters compared bitwise.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CwtKey {
+    n: usize,
+    sample_rate: u64,
+    omega0: u64,
+    frequencies: Vec<u64>,
+}
+
+impl CwtKey {
+    fn new(cwt: &MorletCwt, signal_len: usize, sample_rate: f64) -> Self {
+        Self {
+            n: signal_len,
+            sample_rate: sample_rate.to_bits(),
+            omega0: cwt.omega0().to_bits(),
+            frequencies: cwt.frequencies_hz().iter().map(|f| f.to_bits()).collect(),
+        }
+    }
+}
+
+/// A thread-safe cache of [`CwtPlan`]s keyed on their full parameter
+/// shape, so batch extraction over many equal-length segments builds
+/// each plan once and shares it across threads.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    cwt: Mutex<HashMap<CwtKey, Arc<CwtPlan>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached CWT plans.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.cwt).len()
+    }
+
+    /// True when nothing has been planned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared plan for `cwt.transform` over `signal_len`-sample
+    /// signals at `sample_rate`, building it on first request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate <= 0`.
+    pub fn cwt_plan(&self, cwt: &MorletCwt, signal_len: usize, sample_rate: f64) -> Arc<CwtPlan> {
+        let key = CwtKey::new(cwt, signal_len, sample_rate);
+        if let Some(plan) = lock_unpoisoned(&self.cwt).get(&key) {
+            return Arc::clone(plan);
+        }
+        // Built outside the lock: planning is expensive and concurrent
+        // misses on the same key are rare (the loser's build is dropped
+        // in favor of the canonical entry).
+        let plan = Arc::new(CwtPlan::new(cwt, signal_len, sample_rate));
+        Arc::clone(lock_unpoisoned(&self.cwt).entry(key).or_insert(plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cwt, fft, ifft};
+
+    fn bits(c: Complex) -> (u64, u64) {
+        (c.re.to_bits(), c.im.to_bits())
+    }
+
+    fn test_signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.73).sin(), (i as f64 * 1.31).cos() * 0.4))
+            .collect()
+    }
+
+    #[test]
+    fn planned_forward_is_bit_identical_to_fft() {
+        for n in [1usize, 2, 4, 8, 64, 256, 1024] {
+            let x = test_signal(n);
+            let plan = FftPlan::new(n);
+            let mut buf = x.clone();
+            plan.forward(&mut buf);
+            let reference = fft(&x);
+            for (a, b) in buf.iter().zip(&reference) {
+                assert_eq!(bits(*a), bits(*b), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_inverse_is_bit_identical_to_ifft() {
+        for n in [1usize, 2, 16, 128, 512] {
+            let x = test_signal(n);
+            let plan = FftPlan::new(n);
+            let mut buf = x.clone();
+            plan.inverse_norm(&mut buf);
+            let reference = ifft(&x);
+            for (a, b) in buf.iter().zip(&reference) {
+                assert_eq!(bits(*a), bits(*b), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_execute_is_bit_identical_to_interleaved() {
+        for n in [1usize, 2, 4, 32, 256, 1024] {
+            let x = test_signal(n);
+            let plan = FftPlan::new(n);
+            let mut re: Vec<f64> = x.iter().map(|c| c.re).collect();
+            let mut im: Vec<f64> = x.iter().map(|c| c.im).collect();
+            plan.forward_split(&mut re, &mut im);
+            let reference = fft(&x);
+            for (k, b) in reference.iter().enumerate() {
+                assert_eq!(re[k].to_bits(), b.re.to_bits(), "n = {n}");
+                assert_eq!(im[k].to_bits(), b.im.to_bits(), "n = {n}");
+            }
+            let mut re: Vec<f64> = x.iter().map(|c| c.re).collect();
+            let mut im: Vec<f64> = x.iter().map(|c| c.im).collect();
+            plan.inverse_split(&mut re, &mut im);
+            let mut inv = x.clone();
+            plan.inverse(&mut inv);
+            for (k, b) in inv.iter().enumerate() {
+                assert_eq!(re[k].to_bits(), b.re.to_bits(), "n = {n}");
+                assert_eq!(im[k].to_bits(), b.im.to_bits(), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn plan_rejects_non_power_of_two() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn plan_rejects_wrong_buffer_length() {
+        let plan = FftPlan::new(8);
+        let mut buf = vec![Complex::ZERO; 4];
+        plan.forward(&mut buf);
+    }
+
+    #[test]
+    fn real_plan_matches_complex_path() {
+        for n in [1usize, 2, 4, 8, 64, 256, 1024] {
+            let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin() + 0.2).collect();
+            let plan = RealFftPlan::new(n);
+            let packed = plan.forward(&xs);
+            let widened: Vec<Complex> = xs.iter().map(|&v| Complex::from_real(v)).collect();
+            let reference = fft(&widened);
+            let scale = 1.0 + xs.len() as f64;
+            for (i, (a, b)) in packed.iter().zip(&reference).enumerate() {
+                assert!(
+                    (*a - *b).abs() < 1e-12 * scale,
+                    "n = {n} bin {i}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn real_plan_output_is_hermitian() {
+        let n = 64;
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 1.7).cos()).collect();
+        let spec = RealFftPlan::new(n).forward(&xs);
+        for k in 1..n {
+            let mirror = spec[n - k].conj();
+            assert!((spec[k] - mirror).abs() < 1e-12 * n as f64);
+        }
+    }
+
+    #[test]
+    fn planned_cwt_is_bit_identical_to_unplanned() {
+        let fs = 8000.0;
+        let n = 1000; // pads to 1024
+        let signal: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (std::f64::consts::TAU * 440.0 * t).sin()
+                    + 0.5 * (std::f64::consts::TAU * 1320.0 * t).cos()
+            })
+            .collect();
+        let freqs = vec![100.0, 250.0, 440.0, 1000.0, 2500.0];
+        let reference = cwt(&signal, fs, &freqs);
+        let plan = CwtPlan::new(&MorletCwt::standard(freqs.clone()), n, fs);
+        let flat = plan.transform(&signal);
+        assert_eq!(flat.n_bins(), freqs.len());
+        assert_eq!(flat.n_times(), n);
+        for (bin, row) in reference.magnitudes().iter().enumerate() {
+            for (t, (a, b)) in row.iter().zip(flat.row(bin)).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "bin {bin} t {t}: {a} vs {b}");
+            }
+        }
+        // Aggregations agree bitwise too.
+        assert_eq!(
+            reference.mean_per_frequency_in(100, 612),
+            flat.mean_per_frequency_in(100, 612)
+        );
+        assert_eq!(reference.mean_per_frequency(), flat.mean_per_frequency());
+    }
+
+    #[test]
+    fn planned_cwt_exact_power_of_two_length() {
+        let fs = 4000.0;
+        let n = 512; // no padding: n == m
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let freqs = vec![50.0, 500.0];
+        let reference = cwt(&signal, fs, &freqs);
+        let flat = CwtPlan::new(&MorletCwt::standard(freqs), n, fs).transform(&signal);
+        for (bin, row) in reference.magnitudes().iter().enumerate() {
+            for (a, b) in row.iter().zip(flat.row(bin)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn planned_cwt_empty_signal() {
+        let plan = CwtPlan::new(&MorletCwt::standard(vec![100.0, 200.0]), 0, 8000.0);
+        let flat = plan.transform(&[]);
+        assert_eq!(flat.n_times(), 0);
+        assert_eq!(flat.n_bins(), 2);
+        assert_eq!(flat.mean_per_frequency(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn scratch_pool_recycles_buffers() {
+        let n = 256;
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+        let plan = CwtPlan::new(&MorletCwt::standard(vec![100.0, 300.0, 900.0]), n, 8000.0);
+        assert_eq!(plan.pooled_buffers(), 0);
+        let first = plan.transform(&signal);
+        let warm = plan.pooled_buffers();
+        assert!(warm > 0, "transform should return buffers to the pool");
+        let second = plan.transform(&signal);
+        // Steady state: reuse, no pool growth, identical output.
+        assert!(plan.pooled_buffers() <= warm.max(gansec_parallel::threads() + 1));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn plan_cache_shares_plans_by_key() {
+        let cache = PlanCache::new();
+        let cwt_a = MorletCwt::standard(vec![100.0, 200.0]);
+        let p1 = cache.cwt_plan(&cwt_a, 1000, 8000.0);
+        let p2 = cache.cwt_plan(&cwt_a, 1000, 8000.0);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.len(), 1);
+        // Any parameter change is a different plan.
+        let p3 = cache.cwt_plan(&cwt_a, 1001, 8000.0);
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        let p4 = cache.cwt_plan(&cwt_a, 1000, 16000.0);
+        let cwt_b = MorletCwt::standard(vec![100.0, 250.0]);
+        let p5 = cache.cwt_plan(&cwt_b, 1000, 8000.0);
+        assert!(!Arc::ptr_eq(&p1, &p4));
+        assert!(!Arc::ptr_eq(&p1, &p5));
+        assert_eq!(cache.len(), 4);
+        assert!(!cache.is_empty());
+    }
+}

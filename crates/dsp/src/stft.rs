@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{fft_real, Window};
+use crate::{fft_real, RealFftPlan, Window};
 
 /// Configuration for a short-time Fourier transform.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -61,11 +61,18 @@ impl Stft {
         let n_bins = self.frame_len / 2 + 1;
         let mut mags = Vec::with_capacity(n_frames);
         let mut frame = vec![0.0; self.frame_len];
+        // One packed real-input plan shared by every frame (power-of-two
+        // frame lengths only; odd sizes fall back to the ad-hoc path).
+        let plan = (n_frames > 0 && self.frame_len > 1 && self.frame_len.is_power_of_two())
+            .then(|| RealFftPlan::new(self.frame_len));
         for f in 0..n_frames {
             let start = f * self.hop;
             frame.copy_from_slice(&signal[start..start + self.frame_len]);
             self.window.apply(&mut frame);
-            let spec = fft_real(&frame);
+            let spec = match &plan {
+                Some(p) => p.forward(&frame),
+                None => fft_real(&frame),
+            };
             mags.push(spec[..n_bins].iter().map(|c| c.abs()).collect());
         }
         let bin_hz = sample_rate / self.frame_len as f64;

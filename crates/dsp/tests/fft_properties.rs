@@ -1,0 +1,193 @@
+//! Property tests for the FFT layer, written as seeded deterministic
+//! sweeps: many pseudo-random signals per length régime, checking the
+//! identities (round-trip, Parseval) and a naive-DFT oracle across
+//! power-of-two (radix-2), prime (Bluestein), and the degenerate
+//! length-0/length-1 inputs — including the planned and packed-real
+//! paths.
+
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
+use gansec_dsp::{fft, fft_real, ifft, Complex, FftPlan, RealFftPlan};
+
+/// Power-of-two lengths (radix-2 path) plus the degenerate cases.
+const POW2_LENGTHS: &[usize] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
+/// Prime lengths: all exercise the Bluestein chirp-z path.
+const PRIME_LENGTHS: &[usize] = &[3, 5, 7, 11, 13, 31, 127, 251];
+
+/// splitmix64: the repo's standard tiny deterministic generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[-10, 10)`.
+    fn value(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0
+    }
+
+    fn complex_signal(&mut self, n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|_| Complex::new(self.value(), self.value()))
+            .collect()
+    }
+
+    fn real_signal(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.value()).collect()
+    }
+}
+
+fn naive_dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let ang = -std::f64::consts::TAU * (k * j) as f64 / n as f64;
+                acc += x * Complex::from_angle(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Magnitude budget for relative tolerances.
+fn mass(x: &[Complex]) -> f64 {
+    1.0 + x.iter().map(Complex::abs).sum::<f64>()
+}
+
+fn for_each_case(lengths: &[usize], cases: usize, mut f: impl FnMut(usize, Vec<Complex>)) {
+    let mut rng = Rng(0x5eed_0ff7);
+    for &n in lengths {
+        for _ in 0..cases {
+            f(n, rng.complex_signal(n));
+        }
+    }
+}
+
+#[test]
+fn fft_matches_naive_dft_power_of_two() {
+    for_each_case(POW2_LENGTHS, 8, |n, x| {
+        let spec = fft(&x);
+        let oracle = naive_dft(&x);
+        assert_eq!(spec.len(), oracle.len());
+        let tol = 1e-10 * mass(&x);
+        for (k, (a, b)) in spec.iter().zip(&oracle).enumerate() {
+            assert!((*a - *b).abs() < tol, "n {n} bin {k}: {a:?} vs {b:?}");
+        }
+    });
+}
+
+#[test]
+fn fft_matches_naive_dft_prime_bluestein() {
+    for_each_case(PRIME_LENGTHS, 8, |n, x| {
+        let spec = fft(&x);
+        let oracle = naive_dft(&x);
+        let tol = 1e-9 * mass(&x);
+        for (k, (a, b)) in spec.iter().zip(&oracle).enumerate() {
+            assert!((*a - *b).abs() < tol, "n {n} bin {k}: {a:?} vs {b:?}");
+        }
+    });
+}
+
+#[test]
+fn ifft_round_trips_all_regimes() {
+    for_each_case(&[POW2_LENGTHS, PRIME_LENGTHS].concat(), 8, |n, x| {
+        let back = ifft(&fft(&x));
+        assert_eq!(back.len(), x.len());
+        let tol = 1e-10 * mass(&x);
+        for (i, (a, b)) in x.iter().zip(&back).enumerate() {
+            assert!((*a - *b).abs() < tol, "n {n} sample {i}: {a:?} vs {b:?}");
+        }
+    });
+}
+
+#[test]
+fn parseval_holds_all_regimes() {
+    for_each_case(&[POW2_LENGTHS, PRIME_LENGTHS].concat(), 8, |n, x| {
+        if n == 0 {
+            assert!(fft(&x).is_empty());
+            return;
+        }
+        let spec = fft(&x);
+        let time_energy: f64 = x.iter().map(Complex::norm_sq).sum();
+        let freq_energy: f64 = spec.iter().map(Complex::norm_sq).sum::<f64>() / n as f64;
+        assert!(
+            (time_energy - freq_energy).abs() < 1e-8 * (1.0 + time_energy),
+            "n {n}: {time_energy} vs {freq_energy}"
+        );
+    });
+}
+
+#[test]
+fn degenerate_lengths_are_identities() {
+    // Length 0: empty in, empty out, everywhere.
+    assert!(fft(&[]).is_empty());
+    assert!(ifft(&[]).is_empty());
+    assert!(fft_real(&[]).is_empty());
+    // Length 1: the DFT is the identity map.
+    let x = [Complex::new(3.25, -1.5)];
+    assert_eq!(fft(&x), x.to_vec());
+    assert_eq!(ifft(&x), x.to_vec());
+    let mut buf = x.to_vec();
+    let plan = FftPlan::new(1);
+    plan.forward(&mut buf);
+    assert_eq!(buf, x.to_vec());
+    plan.inverse_norm(&mut buf);
+    assert_eq!(buf, x.to_vec());
+    assert_eq!(
+        RealFftPlan::new(1).forward(&[4.5]),
+        vec![Complex::from_real(4.5)]
+    );
+}
+
+#[test]
+fn planned_fft_bit_identical_across_regimes() {
+    let mut rng = Rng(0x9_1a2b);
+    for &n in POW2_LENGTHS {
+        if n == 0 {
+            continue;
+        }
+        let plan = FftPlan::new(n);
+        for _ in 0..4 {
+            let x = rng.complex_signal(n);
+            let mut fwd = x.clone();
+            plan.forward(&mut fwd);
+            let reference = fft(&x);
+            for (a, b) in fwd.iter().zip(&reference) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+            let mut inv = x.clone();
+            plan.inverse_norm(&mut inv);
+            let reference = ifft(&x);
+            for (a, b) in inv.iter().zip(&reference) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_real_matches_widened_complex() {
+    let mut rng = Rng(0xfeed);
+    for &n in &[0usize, 1, 2, 4, 8, 64, 256, 3, 7, 12, 100, 127] {
+        for _ in 0..4 {
+            let x = rng.real_signal(n);
+            let packed = fft_real(&x);
+            let widened: Vec<Complex> = x.iter().map(|&v| Complex::from_real(v)).collect();
+            let reference = fft(&widened);
+            assert_eq!(packed.len(), reference.len());
+            let tol = 1e-11 * mass(&widened);
+            for (k, (a, b)) in packed.iter().zip(&reference).enumerate() {
+                assert!((*a - *b).abs() < tol, "n {n} bin {k}: {a:?} vs {b:?}");
+            }
+        }
+    }
+}

@@ -45,7 +45,48 @@ use std::sync::Mutex;
 use gansec::{
     AttackDetector, GCodeEstimator, ModelBundle, PersistError, PipelineConfig, ScoreScratch,
 };
+#[cfg(feature = "f32")]
+use gansec_stats::ParzenWindowF32;
 use gansec_tensor::Matrix;
+
+/// Which arithmetic width the engine's scoring paths run at.
+///
+/// [`Precision::F64`] is the reference path: bit-identical to the scalar
+/// detector/estimator at every thread count. The `f32` build adds
+/// [`Precision::F32`], a narrowed fast path over single-precision Parzen
+/// mirrors — verdicts match the reference on well-conditioned bundles
+/// (see the workspace parity harness) but raw scores carry a bounded
+/// relative error, so it is opt-in per engine via
+/// [`ScoringEngine::set_precision`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Double precision — the default, bit-exact reference path.
+    #[default]
+    F64,
+    /// Single precision — narrowed Parzen mirrors, widened back to
+    /// `f64` at the API boundary. Only available on `f32` builds.
+    #[cfg(feature = "f32")]
+    F32,
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::F64 => write!(f, "f64"),
+            #[cfg(feature = "f32")]
+            Precision::F32 => write!(f, "f32"),
+        }
+    }
+}
+
+/// Narrows every fitted Parzen window of a `[condition][feature]` table
+/// to its single-precision mirror.
+#[cfg(feature = "f32")]
+fn narrow_windows(kdes: &[Vec<gansec_stats::ParzenWindow>]) -> Vec<Vec<ParzenWindowF32>> {
+    kdes.iter()
+        .map(|row| row.iter().map(ParzenWindowF32::from_window).collect())
+        .collect()
+}
 
 /// Frames per parallel scoring block: large enough to amortize the
 /// per-block gather, small enough to spread across workers.
@@ -173,11 +214,27 @@ pub struct ScoringEngine {
     detector: AttackDetector,
     estimator: GCodeEstimator,
     pool: ScratchPool,
+    precision: Precision,
+    /// Single-precision mirrors of the detector's fitted windows,
+    /// indexed `[condition][feature]` like the originals.
+    #[cfg(feature = "f32")]
+    detector_f32: Vec<Vec<ParzenWindowF32>>,
+    /// Single-precision mirrors of the estimator's fitted windows.
+    #[cfg(feature = "f32")]
+    estimator_f32: Vec<Vec<ParzenWindowF32>>,
 }
 
 impl ScoringEngine {
     /// Builds the engine from a validated bundle.
+    ///
+    /// On `f32` builds this also materializes the single-precision
+    /// Parzen mirrors, so switching precision later is free; the engine
+    /// still starts on the [`Precision::F64`] reference path.
     pub fn from_bundle(bundle: ModelBundle) -> Self {
+        #[cfg(feature = "f32")]
+        let detector_f32 = narrow_windows(bundle.detector.windows());
+        #[cfg(feature = "f32")]
+        let estimator_f32 = narrow_windows(bundle.estimator.windows());
         Self {
             seed: bundle.seed,
             schema_version: bundle.schema_version,
@@ -187,6 +244,11 @@ impl ScoringEngine {
             detector: bundle.detector,
             estimator: bundle.estimator,
             pool: ScratchPool::default(),
+            precision: Precision::F64,
+            #[cfg(feature = "f32")]
+            detector_f32,
+            #[cfg(feature = "f32")]
+            estimator_f32,
         }
     }
 
@@ -232,6 +294,22 @@ impl ScoringEngine {
         self.detector.threshold()
     }
 
+    /// The arithmetic width the scoring paths currently run at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Selects the arithmetic width for subsequent scoring calls.
+    ///
+    /// The engine always starts on [`Precision::F64`]; flipping to
+    /// [`Precision::F32`] (only available on `f32` builds) routes
+    /// `score_frame`, the batch scorers, and the classifiers through the
+    /// pre-narrowed single-precision mirrors. Threshold comparisons and
+    /// condition matching stay in `f64` either way.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+    }
+
     /// The bundled detector.
     pub fn detector(&self) -> &AttackDetector {
         &self.detector
@@ -242,10 +320,49 @@ impl ScoringEngine {
         &self.estimator
     }
 
-    /// Consistency score of one frame under the claimed condition —
-    /// exactly [`AttackDetector::score_frame`] on the bundled detector.
+    /// Consistency score of one frame under the claimed condition.
+    ///
+    /// At [`Precision::F64`] this is exactly
+    /// [`AttackDetector::score_frame`] on the bundled detector; at
+    /// [`Precision::F32`] the same kernel runs over the narrowed
+    /// mirrors, with the per-feature terms accumulated in `f64` and the
+    /// result widened back.
     pub fn score_frame(&self, features: &[f64], claimed_cond: &[f64]) -> f64 {
-        self.detector.score_frame(features, claimed_cond)
+        match self.precision {
+            Precision::F64 => self.detector.score_frame(features, claimed_cond),
+            #[cfg(feature = "f32")]
+            Precision::F32 => self.score_frame_f32(features, claimed_cond),
+        }
+    }
+
+    /// The f32 mirror of [`AttackDetector::score_frame`]: same condition
+    /// matching (in `f64`), same feature order, same
+    /// unknown-condition-scores-0 contract; only the per-feature Parzen
+    /// kernel is narrowed.
+    #[cfg(feature = "f32")]
+    fn score_frame_f32(&self, features: &[f64], claimed_cond: &[f64]) -> f64 {
+        let Some(ci) = self.detector.condition_index(claimed_cond) else {
+            return 0.0;
+        };
+        let kdes = &self.detector_f32[ci];
+        let mut acc = 0.0f64;
+        for (k, &ft) in self.detector.feature_indices().iter().enumerate() {
+            acc += f64::from(kdes[k].windowed_likelihood(features[ft] as f32));
+        }
+        acc / self.detector.feature_indices().len() as f64
+    }
+
+    /// The f32 mirror of [`GCodeEstimator::log_likelihood`]: per-feature
+    /// log densities evaluated in single precision, summed in `f64`.
+    #[cfg(feature = "f32")]
+    fn log_likelihood_f32(&self, features: &[f64], ci: usize) -> f64 {
+        let kdes = &self.estimator_f32[ci];
+        self.estimator
+            .feature_indices()
+            .iter()
+            .enumerate()
+            .map(|(k, &ft)| f64::from(kdes[k].log_density(features[ft] as f32)))
+            .sum()
     }
 
     /// Whether a score trips the alarm.
@@ -321,16 +438,26 @@ impl ScoringEngine {
         let per_block: Vec<Vec<f64>> = gansec_parallel::par_map_indexed(blocks, |b| {
             let start = b * BLOCK;
             let len = BLOCK.min(n - start);
-            let f = Matrix::from_fn(len, features.cols(), |r, c| features[(start + r, c)]);
-            let cc = Matrix::from_fn(len, claimed_conds.cols(), |r, c| {
-                claimed_conds[(start + r, c)]
-            });
-            let mut scratch = self.pool.acquire();
-            let mut out = Vec::new();
-            self.detector
-                .score_frames_into(&f, &cc, &mut scratch, &mut out);
-            self.pool.release(scratch);
-            out
+            match self.precision {
+                Precision::F64 => {
+                    let f = Matrix::from_fn(len, features.cols(), |r, c| features[(start + r, c)]);
+                    let cc = Matrix::from_fn(len, claimed_conds.cols(), |r, c| {
+                        claimed_conds[(start + r, c)]
+                    });
+                    let mut scratch = self.pool.acquire();
+                    let mut out = Vec::new();
+                    self.detector
+                        .score_frames_into(&f, &cc, &mut scratch, &mut out);
+                    self.pool.release(scratch);
+                    out
+                }
+                #[cfg(feature = "f32")]
+                Precision::F32 => (0..len)
+                    .map(|r| {
+                        self.score_frame_f32(features.row(start + r), claimed_conds.row(start + r))
+                    })
+                    .collect(),
+            }
         });
         per_block.concat()
     }
@@ -365,31 +492,49 @@ impl ScoringEngine {
 
     /// Batch condition estimation: the maximum-likelihood condition
     /// index for every frame row, through the estimator's batched
-    /// buffer-reusing path.
+    /// buffer-reusing path (or the narrowed mirrors at
+    /// [`Precision::F32`]). Ties resolve first-wins at both widths.
     pub fn classify_frames(&self, features: &Matrix) -> Vec<usize> {
-        self.estimator.classify_frames(features)
+        match self.precision {
+            Precision::F64 => self.estimator.classify_frames(features),
+            #[cfg(feature = "f32")]
+            Precision::F32 => self.classify_frames_detailed(features).conditions,
+        }
     }
 
     /// Batch condition estimation with the evidence attached: the
     /// argmax condition per frame plus the full per-condition joint
     /// log-likelihood table, through the estimator's batched path with
     /// a pooled scratch. Predictions equal [`ScoringEngine::classify_frames`]
-    /// (ties resolve first-wins), and each table entry equals the scalar
-    /// [`ScoringEngine::log_likelihood`] for that `(frame, condition)`.
+    /// (ties resolve first-wins). At [`Precision::F64`] each table entry
+    /// equals the scalar [`ScoringEngine::log_likelihood`] for that
+    /// `(frame, condition)`; at [`Precision::F32`] entries are the
+    /// narrowed mirror's sums, widened back to `f64`.
     pub fn classify_frames_detailed(&self, features: &Matrix) -> ClassificationDetail {
         let rows = features.rows();
         let n_conditions = self.estimator.n_conditions();
-        let mut table = vec![vec![0.0f64; n_conditions]; rows];
-        let mut scratch = self.pool.acquire();
-        let mut lls = Vec::new();
-        for ci in 0..n_conditions {
-            self.estimator
-                .log_likelihoods_into(features, ci, &mut scratch, &mut lls);
-            for (r, &ll) in lls.iter().enumerate() {
-                table[r][ci] = ll;
+        let table: Vec<Vec<f64>> = match self.precision {
+            Precision::F64 => {
+                let mut table = vec![vec![0.0f64; n_conditions]; rows];
+                let mut scratch = self.pool.acquire();
+                let mut lls = Vec::new();
+                for ci in 0..n_conditions {
+                    self.estimator
+                        .log_likelihoods_into(features, ci, &mut scratch, &mut lls);
+                    for (row, &ll) in table.iter_mut().zip(&lls) {
+                        row[ci] = ll;
+                    }
+                }
+                self.pool.release(scratch);
+                table
             }
-        }
-        self.pool.release(scratch);
+            #[cfg(feature = "f32")]
+            Precision::F32 => gansec_parallel::par_map_indexed(rows, |r| {
+                (0..n_conditions)
+                    .map(|ci| self.log_likelihood_f32(features.row(r), ci))
+                    .collect()
+            }),
+        };
         let conditions = table
             .iter()
             .map(|row| {
@@ -613,6 +758,52 @@ mod tests {
         assert_eq!(engine.config_fingerprint(), fingerprint);
         assert_eq!(engine.feature_indices(), features);
         assert!(engine.threshold().is_finite());
+    }
+
+    #[test]
+    fn precision_defaults_to_f64() {
+        let (engine, _) = engine_and_test_split();
+        assert_eq!(engine.precision(), Precision::F64);
+        assert_eq!(Precision::F64.to_string(), "f64");
+    }
+
+    #[cfg(feature = "f32")]
+    #[test]
+    fn f32_scores_track_f64_and_verdicts_match() {
+        let (mut engine, test) = engine_and_test_split();
+        let reference = engine.score_frames(test.features(), test.conds()).unwrap();
+        let ref_classes = engine.classify_frames(test.features());
+        engine.set_precision(Precision::F32);
+        assert_eq!(engine.precision().to_string(), "f32");
+        let fast = engine.score_frames(test.features(), test.conds()).unwrap();
+        assert_eq!(fast.len(), reference.len());
+        for (i, (&a, &b)) in reference.iter().zip(&fast).enumerate() {
+            assert!(
+                (a - b).abs() <= 5e-4 * (1.0 + a.abs()),
+                "frame {i}: f64 {a} vs f32 {b}"
+            );
+            assert_eq!(engine.is_attack(a), engine.is_attack(b), "frame {i}");
+        }
+        assert_eq!(engine.classify_frames(test.features()), ref_classes);
+    }
+
+    #[cfg(feature = "f32")]
+    #[test]
+    fn f32_batch_equals_f32_scalar_bitwise() {
+        let (mut engine, test) = engine_and_test_split();
+        engine.set_precision(Precision::F32);
+        let batch = engine.score_frames(test.features(), test.conds()).unwrap();
+        for i in 0..test.len() {
+            assert_eq!(
+                batch[i].to_bits(),
+                engine
+                    .score_frame(test.features().row(i), test.conds().row(i))
+                    .to_bits(),
+                "frame {i}"
+            );
+        }
+        let detail = engine.classify_frames_detailed(test.features());
+        assert_eq!(detail.conditions, engine.classify_frames(test.features()));
     }
 
     #[test]

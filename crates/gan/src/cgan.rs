@@ -7,7 +7,8 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use gansec_nn::{
-    bce_with_logits, Activation, Adam, ForwardScratch, Layer, OptimError, Optimizer, Sequential, Sgd,
+    bce_with_logits, Activation, Adam, ForwardScratch, Layer, OptimError, Optimizer, Sequential,
+    Sgd,
 };
 use gansec_tensor::{sample_standard_normal, Matrix, WeightInit};
 

@@ -2,7 +2,8 @@
 //!
 //! Codes are grouped by hundreds: `GS01xx` CPPS graph analysis, `GS02xx`
 //! GAN architecture shape inference, `GS03xx` pipeline configuration,
-//! `GS04xx` model-bundle compatibility, `GS05xx` serving configuration.
+//! `GS04xx` model-bundle compatibility, `GS05xx` serving configuration,
+//! `GS06xx` the reduced-precision fast path.
 //! Once published a code's number and meaning never change; retired
 //! checks leave a hole in the numbering rather than recycling it.
 
@@ -160,6 +161,23 @@ pub const SERVE_ZERO_BREAKER_THRESHOLD: Code = Code(511);
 /// A chaos fault-injection plan was requested but the binary was built
 /// without the `chaos` feature: the plan would be silently ignored.
 pub const SERVE_CHAOS_WITHOUT_FEATURE: Code = Code(512);
+
+// --- GS06xx: reduced-precision fast path (--precision f32) ---
+
+/// Single-precision scoring was requested but the binary was built
+/// without the `f32` feature: the request cannot be honored and must not
+/// silently fall back to `f64`.
+pub const FASTPATH_WITHOUT_FEATURE: Code = Code(601);
+/// The bundled Parzen bandwidth is so small that single-precision
+/// density evaluation underflows or loses most of its mantissa.
+pub const FASTPATH_TINY_BANDWIDTH: Code = Code(602);
+/// The bundled detector threshold does not survive an f32 round trip
+/// (overflows or collapses): verdict parity with the f64 path cannot be
+/// reasoned about.
+pub const FASTPATH_THRESHOLD_NOT_REPRESENTABLE: Code = Code(603);
+/// The bundled detector threshold sits below the f32 score-noise floor:
+/// narrowed scores near the threshold can flip verdicts.
+pub const FASTPATH_THRESHOLD_BELOW_NOISE: Code = Code(604);
 
 /// One row of the published code table.
 #[derive(Debug, Clone, Copy)]
@@ -446,6 +464,30 @@ pub fn code_table() -> &'static [CodeInfo] {
             name: "serve-chaos-without-feature",
             severity: Severity::Error,
             summary: "chaos plan requested in a build without the chaos feature",
+        },
+        CodeInfo {
+            code: FASTPATH_WITHOUT_FEATURE,
+            name: "fastpath-without-feature",
+            severity: Severity::Error,
+            summary: "f32 scoring requested in a build without the f32 feature",
+        },
+        CodeInfo {
+            code: FASTPATH_TINY_BANDWIDTH,
+            name: "fastpath-tiny-bandwidth",
+            severity: Severity::Warning,
+            summary: "Parzen bandwidth too small for stable f32 evaluation",
+        },
+        CodeInfo {
+            code: FASTPATH_THRESHOLD_NOT_REPRESENTABLE,
+            name: "fastpath-threshold-not-representable",
+            severity: Severity::Error,
+            summary: "detector threshold does not survive an f32 round trip",
+        },
+        CodeInfo {
+            code: FASTPATH_THRESHOLD_BELOW_NOISE,
+            name: "fastpath-threshold-below-noise",
+            severity: Severity::Warning,
+            summary: "detector threshold below the f32 score-noise floor",
         },
     ];
     TABLE

@@ -1,7 +1,7 @@
 //! The analysis IR: lightweight, dependency-free descriptions of the
-//! five things `gansec check` inspects — the CPPS graph, the GAN
-//! architecture, the pipeline configuration, a sealed model bundle, and
-//! a serving configuration.
+//! things `gansec check` inspects — the CPPS graph, the GAN
+//! architecture, the pipeline configuration, a sealed model bundle, a
+//! serving configuration, and a reduced-precision scoring request.
 //!
 //! Passes operate only on these specs, never on the heavyweight runtime
 //! types, so the engine stays cheap to construct in tests and usable
@@ -403,6 +403,19 @@ pub struct ServeSpec {
     pub chaos_built: bool,
 }
 
+/// The reduced-precision serving request as the analysis sees it: did
+/// the user ask for the f32 fast path, and can this binary honor it?
+/// The `GS06xx` pass checks the request against the build and — when a
+/// bundle section is also present — against the bundle's numerics
+/// (bandwidth, threshold).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastPathSpec {
+    /// Whether `--precision f32` was requested.
+    pub requested_f32: bool,
+    /// Whether the binary was built with the `f32` feature.
+    pub f32_built: bool,
+}
+
 /// Everything a check run inspects. Absent sections are skipped by the
 /// passes that need them, so partial checks (config only, graph only)
 /// work naturally.
@@ -418,6 +431,8 @@ pub struct CheckInput {
     pub bundle: Option<BundleSpec>,
     /// A serving configuration, if one is being checked.
     pub serve: Option<ServeSpec>,
+    /// A reduced-precision scoring request, if one is being checked.
+    pub fastpath: Option<FastPathSpec>,
 }
 
 impl CheckInput {
@@ -453,6 +468,12 @@ impl CheckInput {
     /// Sets the serve section.
     pub fn with_serve(mut self, serve: ServeSpec) -> Self {
         self.serve = Some(serve);
+        self
+    }
+
+    /// Sets the fast-path section.
+    pub fn with_fastpath(mut self, fastpath: FastPathSpec) -> Self {
+        self.fastpath = Some(fastpath);
         self
     }
 }

@@ -56,8 +56,8 @@ mod render;
 pub use codes::{code_info, code_table, Code, CodeInfo};
 pub use diag::{CheckReport, Diagnostic, Network, Origin, Severity};
 pub use ir::{
-    BundleSpec, CheckInput, ComponentSpec, DomainKind, FlowKindSpec, FlowSpec, GraphSpec,
-    LayerSpec, ModelSpec, PairSpec, PipelineSpec, ServeSpec,
+    BundleSpec, CheckInput, ComponentSpec, DomainKind, FastPathSpec, FlowKindSpec, FlowSpec,
+    GraphSpec, LayerSpec, ModelSpec, PairSpec, PipelineSpec, ServeSpec,
 };
 pub use registry::{check, Pass, Registry};
 pub use render::{render_json, render_text};

@@ -1,0 +1,260 @@
+//! Reduced-precision fast-path sanity: can this deployment honor
+//! `--precision f32`, and will the narrowed scores still mean what the
+//! `f64` reference path means?
+//!
+//! The f32 engine path trades mantissa for bandwidth. That trade is
+//! safe for well-conditioned bundles (the parity harness bounds the
+//! score error and verdicts match), but two bundle shapes break it: a
+//! Parzen bandwidth so small that single-precision densities underflow,
+//! and an alarm threshold whose magnitude drowns in f32 rounding noise.
+//! This pass catches both before a narrowed engine is built — and, like
+//! the chaos gate (GS0512), refuses to let a requested fast path
+//! silently degrade into something else on a build that lacks it.
+
+use crate::codes;
+use crate::diag::{Diagnostic, Origin};
+use crate::ir::{BundleSpec, CheckInput, FastPathSpec};
+use crate::registry::Pass;
+
+/// Bandwidths below this lose most of their f32 mantissa inside the
+/// Parzen exponent; densities start underflowing to `-inf` well inside
+/// the data range.
+const MIN_F32_BANDWIDTH: f64 = 1e-3;
+
+/// Score magnitudes below this are indistinguishable from f32 rounding
+/// noise after a few hundred accumulated kernel terms.
+const F32_SCORE_NOISE_FLOOR: f64 = 1e-5;
+
+/// Checks a reduced-precision scoring request: build support, and the
+/// bundle numerics the narrowed kernels would run over.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastPathPass;
+
+impl Pass for FastPathPass {
+    fn id(&self) -> &'static str {
+        "fastpath"
+    }
+
+    fn description(&self) -> &'static str {
+        "f32 fast path: build support, bandwidth and threshold numerics"
+    }
+
+    fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
+        let Some(f) = &input.fastpath else { return };
+        check_build(f, out);
+        if !f.requested_f32 {
+            return;
+        }
+        if let Some(b) = &input.bundle {
+            check_bundle_numerics(b, out);
+        }
+    }
+}
+
+fn bundle_origin(field: &str) -> Origin {
+    Origin::Bundle {
+        field: field.to_string(),
+    }
+}
+
+/// GS0601: a requested fast path the binary cannot honor.
+fn check_build(f: &FastPathSpec, out: &mut Vec<Diagnostic>) {
+    if f.requested_f32 && !f.f32_built {
+        out.push(
+            Diagnostic::new(
+                codes::FASTPATH_WITHOUT_FEATURE,
+                Origin::Input,
+                "single-precision scoring was requested but this binary was built \
+                 without the `f32` feature; the request cannot be honored",
+            )
+            .with_help("rebuild with --features f32, or drop --precision f32"),
+        );
+    }
+}
+
+/// GS0602/GS0603/GS0604: would the bundle's numerics survive narrowing?
+fn check_bundle_numerics(b: &BundleSpec, out: &mut Vec<Diagnostic>) {
+    // Degenerate bandwidths are GS0407's job; only warn about widths
+    // that are fine in f64 and fragile in f32.
+    if b.h.is_finite() && b.h > 0.0 && b.h < MIN_F32_BANDWIDTH {
+        out.push(
+            Diagnostic::new(
+                codes::FASTPATH_TINY_BANDWIDTH,
+                bundle_origin("h"),
+                format!(
+                    "Parzen bandwidth {} is below {MIN_F32_BANDWIDTH}; single-precision \
+                     densities will underflow well inside the data range",
+                    b.h
+                ),
+            )
+            .with_help("stay on the f64 path for this bundle, or refit with a wider h"),
+        );
+    }
+    // Non-finite thresholds are GS0406's job.
+    if b.threshold.is_finite() {
+        let narrowed = b.threshold as f32;
+        if !narrowed.is_finite() || (b.threshold != 0.0 && narrowed == 0.0) {
+            out.push(
+                Diagnostic::new(
+                    codes::FASTPATH_THRESHOLD_NOT_REPRESENTABLE,
+                    bundle_origin("threshold"),
+                    format!(
+                        "detector threshold {} does not survive an f32 round trip; \
+                         verdict parity with the f64 path cannot be established",
+                        b.threshold
+                    ),
+                )
+                .with_help("this bundle must be served at f64"),
+            );
+        } else if b.threshold != 0.0 && b.threshold.abs() < F32_SCORE_NOISE_FLOOR {
+            out.push(
+                Diagnostic::new(
+                    codes::FASTPATH_THRESHOLD_BELOW_NOISE,
+                    bundle_origin("threshold"),
+                    format!(
+                        "detector threshold {} sits below the ~{F32_SCORE_NOISE_FLOOR} f32 \
+                         score-noise floor; narrowed scores near the threshold can flip \
+                         verdicts",
+                        b.threshold
+                    ),
+                )
+                .with_help("verify verdict parity on held-out data before trusting f32 alarms"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::check;
+    use crate::Severity;
+
+    fn healthy_bundle() -> BundleSpec {
+        BundleSpec {
+            schema_version: 1,
+            supported_version: 1,
+            seed: 42,
+            config_fingerprint: 7,
+            sealed_fingerprint: 7,
+            current_fingerprint: None,
+            h: 0.2,
+            gsize: 500,
+            n_bins: 48,
+            data_dim: 48,
+            cond_dim: 3,
+            label_cardinality: 3,
+            feature_indices: vec![0, 1, 2],
+            threshold: 0.0625,
+        }
+    }
+
+    fn run(input: CheckInput) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        FastPathPass.run(&input, &mut out);
+        out
+    }
+
+    fn requested(built: bool) -> FastPathSpec {
+        FastPathSpec {
+            requested_f32: true,
+            f32_built: built,
+        }
+    }
+
+    #[test]
+    fn absent_fastpath_section_is_skipped() {
+        assert!(run(CheckInput::new()).is_empty());
+        // A bundle alone never triggers fast-path findings.
+        assert!(run(CheckInput::new().with_bundle(healthy_bundle())).is_empty());
+    }
+
+    #[test]
+    fn f64_request_is_always_clean() {
+        let spec = FastPathSpec {
+            requested_f32: false,
+            f32_built: false,
+        };
+        let mut b = healthy_bundle();
+        b.h = 1e-9;
+        b.threshold = 1e-9;
+        assert!(run(CheckInput::new().with_fastpath(spec).with_bundle(b)).is_empty());
+    }
+
+    #[test]
+    fn f32_without_the_feature_is_an_error() {
+        let out = run(CheckInput::new().with_fastpath(requested(false)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::FASTPATH_WITHOUT_FEATURE);
+        assert_eq!(out[0].severity, Severity::Error);
+        // A built binary honors the request silently.
+        assert!(run(CheckInput::new().with_fastpath(requested(true))).is_empty());
+    }
+
+    #[test]
+    fn tiny_bandwidth_is_a_warning() {
+        let mut b = healthy_bundle();
+        b.h = 1e-4;
+        let out = run(CheckInput::new()
+            .with_fastpath(requested(true))
+            .with_bundle(b));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::FASTPATH_TINY_BANDWIDTH);
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert_eq!(out[0].origin.to_string(), "bundle.h");
+        // Degenerate bandwidths belong to the bundle pass, not this one.
+        let mut b = healthy_bundle();
+        b.h = 0.0;
+        assert!(run(CheckInput::new()
+            .with_fastpath(requested(true))
+            .with_bundle(b))
+        .is_empty());
+    }
+
+    #[test]
+    fn unrepresentable_threshold_is_an_error() {
+        // Collapses to zero in f32.
+        let mut b = healthy_bundle();
+        b.threshold = 1e-60;
+        let out = run(CheckInput::new()
+            .with_fastpath(requested(true))
+            .with_bundle(b));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::FASTPATH_THRESHOLD_NOT_REPRESENTABLE);
+        assert_eq!(out[0].severity, Severity::Error);
+        // Overflows to infinity in f32.
+        let mut b = healthy_bundle();
+        b.threshold = 1e200;
+        let out = run(CheckInput::new()
+            .with_fastpath(requested(true))
+            .with_bundle(b));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::FASTPATH_THRESHOLD_NOT_REPRESENTABLE);
+    }
+
+    #[test]
+    fn threshold_below_the_noise_floor_is_a_warning() {
+        let mut b = healthy_bundle();
+        b.threshold = 5e-6;
+        let out = run(CheckInput::new()
+            .with_fastpath(requested(true))
+            .with_bundle(b));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::FASTPATH_THRESHOLD_BELOW_NOISE);
+        assert_eq!(out[0].severity, Severity::Warning);
+        // Zero is exactly representable and compares exactly: clean.
+        let mut b = healthy_bundle();
+        b.threshold = 0.0;
+        assert!(run(CheckInput::new()
+            .with_fastpath(requested(true))
+            .with_bundle(b))
+        .is_empty());
+    }
+
+    #[test]
+    fn fastpath_diagnostics_flow_through_default_registry() {
+        let report = check(&CheckInput::new().with_fastpath(requested(false)));
+        assert!(report.has(codes::FASTPATH_WITHOUT_FEATURE));
+        assert!(report.should_fail(false));
+    }
+}

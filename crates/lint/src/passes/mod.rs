@@ -2,19 +2,21 @@
 //!
 //! Each pass is a unit struct implementing [`crate::Pass`]; the default
 //! registry runs them in the order graph → shape → config → bundle →
-//! serve. To add a pass: pick the next free `GS0xxx` code in
+//! serve → fastpath. To add a pass: pick the next free `GS0xxx` code in
 //! [`crate::codes`], add it to the published table, implement
 //! [`crate::Pass`] here, and register it in
 //! [`crate::Registry::with_default_passes`].
 
 mod bundle;
 mod config;
+mod fastpath;
 mod graph;
 mod serve;
 mod shape;
 
 pub use bundle::BundlePass;
 pub use config::ConfigPass;
+pub use fastpath::FastPathPass;
 pub use graph::GraphPass;
 pub use serve::ServePass;
 pub use shape::ShapePass;

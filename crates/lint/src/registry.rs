@@ -3,7 +3,7 @@
 
 use crate::diag::{CheckReport, Diagnostic};
 use crate::ir::CheckInput;
-use crate::passes::{BundlePass, ConfigPass, GraphPass, ServePass, ShapePass};
+use crate::passes::{BundlePass, ConfigPass, FastPathPass, GraphPass, ServePass, ShapePass};
 
 /// One static analysis pass.
 ///
@@ -34,7 +34,7 @@ impl Registry {
     }
 
     /// The built-in passes in canonical order: graph, shape, config,
-    /// bundle, serve.
+    /// bundle, serve, fastpath.
     pub fn with_default_passes() -> Self {
         let mut r = Self::new();
         r.register(Box::new(GraphPass));
@@ -42,6 +42,7 @@ impl Registry {
         r.register(Box::new(ConfigPass));
         r.register(Box::new(BundlePass));
         r.register(Box::new(ServePass));
+        r.register(Box::new(FastPathPass));
         r
     }
 
@@ -81,7 +82,7 @@ mod tests {
         let report = check(&CheckInput::new());
         assert_eq!(
             report.passes(),
-            &["graph", "shape", "config", "bundle", "serve"]
+            &["graph", "shape", "config", "bundle", "serve", "fastpath"]
         );
         assert!(report.diagnostics().is_empty());
     }

@@ -936,7 +936,11 @@ fn handle_reload(shared: &Shared, stream: &mut TcpStream, request: &Request, sta
                 seed: bundle.seed,
                 config_fingerprint: format!("{:016x}", bundle.config_fingerprint),
             };
-            let engine = Arc::new(ScoringEngine::from_bundle(bundle));
+            let mut engine = ScoringEngine::from_bundle(bundle);
+            // A hot reload replaces the model, not the serving policy:
+            // the new engine keeps the precision the old one ran at.
+            engine.set_precision(shared.engine().precision());
+            let engine = Arc::new(engine);
             *shared
                 .engine
                 .write()

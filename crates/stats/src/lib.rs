@@ -26,4 +26,4 @@ mod parzen;
 pub use histogram::Histogram;
 pub use info::{entropy, js_divergence, kl_divergence, mutual_information};
 pub use metrics::{roc_auc, ConfusionMatrix, MultiConfusion};
-pub use parzen::{FitError, ParzenWindow};
+pub use parzen::{FitError, ParzenWindow, ParzenWindowF32};

@@ -91,6 +91,12 @@ impl ParzenWindow {
         self.samples.len()
     }
 
+    /// The fitted support samples, in fit order (the basis for
+    /// reduced-precision mirrors such as [`ParzenWindowF32`]).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
     /// The probability density at `x`.
     pub fn density(&self, x: f64) -> f64 {
         self.log_density(x).exp()
@@ -189,6 +195,87 @@ impl ParzenWindow {
             acc += self.density(lo + dx * i as f64);
         }
         acc * dx
+    }
+}
+
+/// Single-precision mirror of a fitted [`ParzenWindow`]: the same
+/// Gaussian kernel density over `f32` samples, for serving paths that
+/// trade the last digits of the score for bandwidth and vector width.
+///
+/// The kernel is written to autovectorize — the support is a flat `f32`
+/// slice, the division by `h` is a precomputed reciprocal multiply, and
+/// the two log-sum-exp passes are simple reductions. Scores track the
+/// `f64` window to roughly single-precision relative accuracy; verdicts
+/// (threshold comparisons, argmaxes) are expected to match except for
+/// scores within a hair of the decision boundary. The double-precision
+/// [`ParzenWindow`] remains the reference oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParzenWindowF32 {
+    samples: Vec<f32>,
+    bandwidth: f32,
+    /// `1 / h`: a multiply in the hot loop instead of a divide.
+    inv_h: f32,
+    /// `log(n · h · √(2π))` evaluated in `f32`.
+    log_norm: f32,
+}
+
+impl ParzenWindowF32 {
+    /// Builds the single-precision mirror of a fitted window by
+    /// narrowing its support and bandwidth.
+    pub fn from_window(w: &ParzenWindow) -> Self {
+        let bandwidth = w.bandwidth() as f32;
+        let n = w.n_samples() as f32;
+        Self {
+            samples: w.samples().iter().map(|&s| s as f32).collect(),
+            bandwidth,
+            inv_h: 1.0 / bandwidth,
+            log_norm: (n * bandwidth * std::f32::consts::TAU.sqrt()).ln(),
+        }
+    }
+
+    /// The bandwidth `h`, narrowed to `f32`.
+    pub fn bandwidth(&self) -> f32 {
+        self.bandwidth
+    }
+
+    /// Number of support samples.
+    pub fn n_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The log-density at `x`: the same two-pass log-sum-exp as
+    /// [`ParzenWindow::log_density`], in single precision.
+    ///
+    /// Returns `-inf` (rather than `NaN`) when every exponent
+    /// overflows: `f32` squares overflow for queries ~1e19 bandwidths
+    /// from the support, where the density is zero for any practical
+    /// purpose.
+    pub fn log_density(&self, x: f32) -> f32 {
+        let mut max = f32::NEG_INFINITY;
+        for &xi in &self.samples {
+            let d = (x - xi) * self.inv_h;
+            max = max.max(-0.5 * d * d);
+        }
+        if max == f32::NEG_INFINITY {
+            return f32::NEG_INFINITY;
+        }
+        let mut sum = 0.0f32;
+        for &xi in &self.samples {
+            let d = (x - xi) * self.inv_h;
+            sum += (-0.5 * d * d - max).exp();
+        }
+        max + sum.ln() - self.log_norm
+    }
+
+    /// The probability density at `x`.
+    pub fn density(&self, x: f32) -> f32 {
+        self.log_density(x).exp()
+    }
+
+    /// The windowed likelihood `density(x) * h` — the `f32` counterpart
+    /// of [`ParzenWindow::windowed_likelihood`].
+    pub fn windowed_likelihood(&self, x: f32) -> f32 {
+        self.density(x) * self.bandwidth
     }
 }
 
@@ -325,5 +412,33 @@ mod tests {
         let kde = ParzenWindow::fit(&[0.0], 0.1).unwrap();
         assert_eq!(kde.integrate(1.0, 0.0, 100), 0.0);
         assert_eq!(kde.integrate(0.0, 1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn f32_mirror_tracks_f64_scores() {
+        let kde = ParzenWindow::fit(&[0.0, 0.25, -0.4, 1.1, 0.3], 0.15).unwrap();
+        let f32_kde = ParzenWindowF32::from_window(&kde);
+        assert_eq!(f32_kde.n_samples(), kde.n_samples());
+        assert!((f32_kde.bandwidth() as f64 - kde.bandwidth()).abs() < 1e-7);
+        for &x in &[-1.0f64, -0.4, 0.0, 0.3, 0.9, 2.0] {
+            let ld64 = kde.log_density(x);
+            let ld32 = f32_kde.log_density(x as f32) as f64;
+            let tol = 1e-4 * (1.0 + ld64.abs());
+            assert!((ld64 - ld32).abs() < tol, "x {x}: {ld64} vs {ld32}");
+            let wl64 = kde.windowed_likelihood(x);
+            let wl32 = f32_kde.windowed_likelihood(x as f32) as f64;
+            assert!((wl64 - wl32).abs() < 1e-4 * (1.0 + wl64), "x {x}");
+        }
+    }
+
+    #[test]
+    fn f32_mirror_underflows_to_neg_infinity_not_nan() {
+        let kde = ParzenWindow::fit(&[0.0], 1e-30).unwrap();
+        let f32_kde = ParzenWindowF32::from_window(&kde);
+        // d = (x - 0) / 1e-30 squares to +inf in f32: the guard returns
+        // -inf instead of the NaN a naive log-sum-exp would produce.
+        let ld = f32_kde.log_density(1.0);
+        assert_eq!(ld, f32::NEG_INFINITY);
+        assert_eq!(f32_kde.density(1.0), 0.0);
     }
 }

@@ -6,6 +6,8 @@
 //! [`Matrix`] type rather than a general n-dimensional tensor. Everything
 //! is `f64`: the training loops are numerically delicate (minimax descent)
 //! and the matrices are tiny, so precision is worth more than bandwidth.
+//! The one exception is [`MatrixF32`], a narrowed mirror for
+//! inference-time fast paths where bandwidth wins.
 //!
 //! # Example
 //!
@@ -25,9 +27,11 @@
 mod error;
 mod init;
 mod matrix;
+mod matrix_f32;
 mod vector;
 
 pub use error::ShapeError;
 pub use init::{he_normal, sample_standard_normal, xavier_uniform, WeightInit};
 pub use matrix::Matrix;
+pub use matrix_f32::MatrixF32;
 pub use vector::{argmax, dot, l2_norm, mean, softmax, variance};

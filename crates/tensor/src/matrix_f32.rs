@@ -1,0 +1,240 @@
+//! Single-precision dense matrix: the width-generic counterpart of
+//! [`Matrix`](crate::Matrix) for serving fast paths.
+//!
+//! Training stays `f64` (minimax descent is numerically delicate), but
+//! inference-time kernels — dense matmuls and density evaluations over
+//! already-fitted weights — tolerate single precision and gain twice the
+//! SIMD lanes and half the memory traffic from it. [`MatrixF32`] carries
+//! the narrowed views those fast paths operate on; the `f64` path
+//! remains the reference oracle.
+
+use std::ops::{Index, IndexMut};
+
+use crate::{Matrix, ShapeError};
+
+/// Cache-block width over the inner (k) dimension of the f32 matmul.
+const K_BLOCK: usize = 128;
+
+/// A dense row-major `f32` matrix.
+///
+/// Deliberately small API: the narrowed serving kernels need
+/// construction from an existing [`Matrix`], element access, and a
+/// matmul written to autovectorize — everything else stays on the `f64`
+/// type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// Creates a matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows.checked_mul(cols).expect("matrix size overflow");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Narrows an `f64` matrix to single precision, element by element.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_vec", (rows, cols), (data.len(), 1)));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major backing storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Widens back to an `f64` [`Matrix`] (each element exactly
+    /// representable, so this is lossless).
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| {
+            f64::from(self.data[r * self.cols + c])
+        })
+    }
+
+    /// Dense product `self * other`, blocked over the inner dimension.
+    ///
+    /// The kernel accumulates whole output rows with contiguous
+    /// `axpy`-style inner loops (`out_row += a_ik * b_row_k`), which the
+    /// compiler vectorizes at twice the lane width of the `f64` matmul.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new("matmul", self.shape(), other.shape()));
+        }
+        let n = other.cols;
+        let k_dim = self.cols;
+        let mut out = Self::zeros(self.rows, n);
+        if out.data.is_empty() {
+            return Ok(out);
+        }
+        for (i, out_row) in out.data.chunks_exact_mut(n).enumerate() {
+            let a_row = &self.data[i * k_dim..(i + 1) * k_dim];
+            let mut kb = 0;
+            while kb < k_dim {
+                let k_end = (kb + K_BLOCK).min(k_dim);
+                for (k, &aik) in a_row.iter().enumerate().take(k_end).skip(kb) {
+                    let b_row = &other.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * b;
+                    }
+                }
+                kb = k_end;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Index<(usize, usize)> for MatrixF32 {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for MatrixF32 {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(rows: usize, cols: usize, seed: f64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r * cols + c) as f64 * 0.37 + seed).sin()
+        })
+    }
+
+    #[test]
+    fn narrowing_round_trips_through_f64() {
+        let m = dense(3, 4, 0.1);
+        let narrowed = MatrixF32::from_matrix(&m);
+        assert_eq!(narrowed.shape(), (3, 4));
+        let widened = narrowed.to_matrix();
+        for r in 0..3 {
+            for c in 0..4 {
+                assert!((widened[(r, c)] - m[(r, c)]).abs() < 1e-7);
+                assert_eq!(widened[(r, c)], f64::from(narrowed[(r, c)]));
+            }
+        }
+    }
+
+    #[test]
+    fn f32_matmul_tracks_f64_matmul() {
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (3, 5, 4),
+            (16, 200, 8),
+            (7, 130, 70),
+        ] {
+            let a = dense(m, k, 0.0);
+            let b = dense(k, n, 1.3);
+            let reference = a.matmul(&b).unwrap();
+            let got = MatrixF32::from_matrix(&a)
+                .matmul(&MatrixF32::from_matrix(&b))
+                .unwrap();
+            assert_eq!(got.shape(), (m, n));
+            for r in 0..m {
+                for c in 0..n {
+                    let want = reference[(r, c)];
+                    let diff = (f64::from(got[(r, c)]) - want).abs();
+                    assert!(
+                        diff < 1e-4 * (1.0 + k as f64 + want.abs()),
+                        "({r},{c}): {} vs {want}",
+                        got[(r, c)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = MatrixF32::zeros(2, 3);
+        let b = MatrixF32::zeros(4, 2);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn empty_matmul_is_empty() {
+        let a = MatrixF32::zeros(0, 3);
+        let b = MatrixF32::zeros(3, 2);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (0, 2));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(MatrixF32::from_vec(2, 2, vec![0.0; 3]).is_err());
+        let m = MatrixF32::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.data().len(), 4);
+    }
+}

@@ -74,8 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
     }
     for &h in &h_values {
-        let report =
-            LikelihoodAnalysis::new(h, 400, top.clone()).analyze(&model, &test, &mut rng);
+        let report = LikelihoodAnalysis::new(h, 400, top.clone()).analyze(&model, &test, &mut rng);
         for c in &report.conditions {
             rows[c.condition_index].motor = c.motor;
             rows[c.condition_index]

@@ -1,0 +1,140 @@
+//! Accuracy-parity harness for the single-precision fast path.
+//!
+//! The contract documented in DESIGN.md §13: the f32 engine path may
+//! perturb raw scores within a bounded relative error, but it must make
+//! the SAME decisions — identical attack verdicts at the calibrated
+//! threshold and identical condition classifications — on the bundle's
+//! held-out evaluation split. Meanwhile the f64 path must remain
+//! bit-identical to the scalar reference at every thread count, fast
+//! path compiled in or not.
+
+use gansec::{GanSecPipeline, PipelineConfig, SideChannelDataset};
+use gansec_engine::{Precision, ScoringEngine};
+
+/// Relative score-error budget for the narrowed path. f32 carries ~7
+/// significant digits; the per-frame score is a mean of ~dozens of
+/// kernel terms accumulated in f64, so the observed error is orders of
+/// magnitude below this. The budget is deliberately loose enough to be
+/// stable across compilers and tight enough that a broken kernel
+/// (wrong bandwidth, wrong normalization) blows through it.
+const REL_TOL: f64 = 5e-4;
+
+fn engine_and_eval_split() -> (ScoringEngine, SideChannelDataset) {
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+    let stage = pipeline.train_stage(3).expect("train");
+    let test = stage.test().clone();
+    (ScoringEngine::from_bundle(stage.to_bundle()), test)
+}
+
+#[test]
+fn f32_scores_stay_within_the_documented_error_bound() {
+    let (mut engine, eval) = engine_and_eval_split();
+    let reference = engine
+        .score_frames(eval.features(), eval.conds())
+        .expect("finite split");
+    engine.set_precision(Precision::F32);
+    let narrowed = engine
+        .score_frames(eval.features(), eval.conds())
+        .expect("finite split");
+    assert_eq!(reference.len(), narrowed.len());
+    assert!(!reference.is_empty(), "eval split must not be empty");
+    for (i, (&a, &b)) in reference.iter().zip(&narrowed).enumerate() {
+        assert!(
+            (a - b).abs() <= REL_TOL * (1.0 + a.abs()),
+            "frame {i}: f64 score {a} vs f32 score {b} exceeds the {REL_TOL} budget"
+        );
+    }
+}
+
+#[test]
+fn f32_detection_verdicts_are_identical() {
+    let (mut engine, eval) = engine_and_eval_split();
+    let reference = engine
+        .detect_frames(eval.features(), eval.conds())
+        .expect("finite split");
+    engine.set_precision(Precision::F32);
+    let narrowed = engine
+        .detect_frames(eval.features(), eval.conds())
+        .expect("finite split");
+    assert_eq!(reference.verdicts, narrowed.verdicts);
+    assert_eq!(reference.flagged, narrowed.flagged);
+    assert_eq!(reference.threshold, narrowed.threshold);
+}
+
+#[test]
+fn f32_classifications_are_identical() {
+    let (mut engine, eval) = engine_and_eval_split();
+    let reference = engine.classify_frames(eval.features());
+    let reference_detail = engine.classify_frames_detailed(eval.features());
+    engine.set_precision(Precision::F32);
+    let narrowed = engine.classify_frames(eval.features());
+    let narrowed_detail = engine.classify_frames_detailed(eval.features());
+    assert_eq!(reference, narrowed);
+    assert_eq!(reference_detail.conditions, narrowed_detail.conditions);
+    // The log-likelihood evidence tracks within the same kind of bound
+    // (joint log-likelihoods are large-magnitude sums, so the bound
+    // scales with magnitude).
+    for (r, (ref_row, nar_row)) in reference_detail
+        .log_likelihoods
+        .iter()
+        .zip(&narrowed_detail.log_likelihoods)
+        .enumerate()
+    {
+        for (ci, (&a, &b)) in ref_row.iter().zip(nar_row).enumerate() {
+            if a == f64::NEG_INFINITY {
+                assert_eq!(b, f64::NEG_INFINITY, "frame {r} condition {ci}");
+                continue;
+            }
+            assert!(
+                (a - b).abs() <= REL_TOL * (1.0 + a.abs()),
+                "frame {r} condition {ci}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn f64_path_is_bit_identical_at_one_and_four_threads() {
+    let (engine, eval) = engine_and_eval_split();
+    assert_eq!(engine.precision(), Precision::F64);
+    gansec_parallel::set_threads(1);
+    let serial = engine
+        .score_frames(eval.features(), eval.conds())
+        .expect("finite split");
+    gansec_parallel::set_threads(4);
+    let threaded = engine
+        .score_frames(eval.features(), eval.conds())
+        .expect("finite split");
+    gansec_parallel::set_threads(0);
+    for (i, (&a, &b)) in serial.iter().zip(&threaded).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "frame {i}");
+    }
+    // And the scalar reference agrees bitwise with the batched path.
+    for (i, &s) in serial.iter().enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            engine
+                .score_frame(eval.features().row(i), eval.conds().row(i))
+                .to_bits(),
+            "frame {i}"
+        );
+    }
+}
+
+#[test]
+fn f32_path_is_deterministic_across_thread_counts() {
+    let (mut engine, eval) = engine_and_eval_split();
+    engine.set_precision(Precision::F32);
+    gansec_parallel::set_threads(1);
+    let serial = engine
+        .score_frames(eval.features(), eval.conds())
+        .expect("finite split");
+    gansec_parallel::set_threads(4);
+    let threaded = engine
+        .score_frames(eval.features(), eval.conds())
+        .expect("finite split");
+    gansec_parallel::set_threads(0);
+    for (i, (&a, &b)) in serial.iter().zip(&threaded).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "frame {i}");
+    }
+}

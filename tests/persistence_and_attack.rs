@@ -95,8 +95,7 @@ fn save_report_round_trips_likelihood_report() {
     let (model, train, test) = setup(31);
     let mut rng = StdRng::seed_from_u64(32);
     let top = train.top_feature_indices(1);
-    let report =
-        gansec::LikelihoodAnalysis::new(0.2, 100, top).analyze(&model, &test, &mut rng);
+    let report = gansec::LikelihoodAnalysis::new(0.2, 100, top).analyze(&model, &test, &mut rng);
 
     let dir = std::env::temp_dir().join("gansec_integration_reports");
     std::fs::create_dir_all(&dir).expect("temp dir");
