@@ -5,27 +5,66 @@
 use gansec::{ModelBundle, PipelineConfig};
 use gansec_cpps::CppsArchitecture;
 use gansec_lint::{
-    render_json, render_text, CheckInput, CheckReport, FastPathSpec, GraphSpec, ServeSpec,
+    code_doc, code_info, render_code_table_json, render_code_table_text, render_fix_plan,
+    render_json, render_sarif, render_text, CheckInput, CheckReport, Code, DeploymentSpec,
+    FastPathSpec, GraphSpec, ServeSpec,
 };
 
 use crate::{ExitCode, ParsedArgs};
 
+/// Every diagnostic rendering `--format` accepts. The dispatch below
+/// and the error message both derive from this one table, so a new
+/// renderer can never be reachable but unadvertised (or vice versa).
+pub const FORMATS: &[&str] = &["text", "json", "sarif"];
+
+/// The fault kinds this binary's chaos build can inject, mirroring the
+/// `gansec-chaos` `FaultSpec` serde tags. The dataflow pass (GS0707)
+/// compares a plan's declared kinds against this list so a typo'd plan
+/// is refused before the server boots with silently inert faults.
+pub const CHAOS_FAULT_KINDS: &[&str] = &[
+    "scorer_panic",
+    "scorer_hang",
+    "poison_batch",
+    "corrupt_job",
+    "reload_delay",
+    "reload_fail",
+];
+
 /// `gansec check [flags]`: run every analysis pass and print the
-/// diagnostics, `--format text` (default) or `--format json`.
+/// diagnostics, `--format text` (default), `json`, or `sarif`
+/// (SARIF 2.1.0 for CI ingestion).
+///
+/// Sidecars: `--list-codes` dumps the published diagnostic code table,
+/// `--explain <GSxxxx>` prints one code's full documentation, and
+/// `--fix-plan` replaces the listing with a JSON patch of suggested
+/// flag changes (never an in-place mutation).
 ///
 /// Exit codes: [`ExitCode::Ok`] when nothing gates execution,
 /// [`ExitCode::Flagged`] on errors (or, with `--strict`, warnings),
 /// [`ExitCode::Usage`] on malformed flags.
 pub fn check(args: &ParsedArgs) -> Result<ExitCode, String> {
+    if let Some(raw) = args.get("explain") {
+        return explain(raw);
+    }
+    let format = args.get("format").unwrap_or("text");
+    if !FORMATS.contains(&format) {
+        return Err(format!(
+            "unknown --format {format:?} (expected {})",
+            FORMATS.join(", ")
+        ));
+    }
+    if args.has_switch("list-codes") {
+        return list_codes(format);
+    }
     let input = build_input(args)?;
     let report = gansec_lint::check(&input);
-    match args.get("format").unwrap_or("text") {
-        "text" => print!("{}", render_text(&report)),
-        "json" => println!("{}", render_json(&report)),
-        other => {
-            return Err(format!(
-                "unknown --format {other:?} (expected text or json)"
-            ))
+    if args.has_switch("fix-plan") {
+        println!("{}", render_fix_plan(&report));
+    } else {
+        match format {
+            "json" => println!("{}", render_json(&report)),
+            "sarif" => println!("{}", render_sarif(&report)),
+            _ => print!("{}", render_text(&report)),
         }
     }
     if report.should_fail(args.has_switch("strict")) {
@@ -33,6 +72,46 @@ pub fn check(args: &ParsedArgs) -> Result<ExitCode, String> {
     } else {
         Ok(ExitCode::Ok)
     }
+}
+
+/// `gansec check --explain <code>`: the long-form documentation behind
+/// one published diagnostic code. Accepts `GS0703`, `gs0703`, or `703`.
+fn explain(raw: &str) -> Result<ExitCode, String> {
+    let digits = raw
+        .strip_prefix("GS")
+        .or_else(|| raw.strip_prefix("gs"))
+        .unwrap_or(raw);
+    let code = digits
+        .parse::<u16>()
+        .ok()
+        .map(Code)
+        .filter(|&c| code_info(c).is_some())
+        .ok_or_else(|| {
+            format!("unknown diagnostic code {raw:?} (try `gansec check --list-codes`)")
+        })?;
+    let info = code_info(code).expect("filtered to published codes");
+    // Every published code has a long-form doc; the summary is a safe
+    // fallback should the two tables ever diverge mid-refactor.
+    let doc = code_doc(code).unwrap_or(info.summary);
+    println!("{} {} ({})", info.code, info.name, info.severity);
+    println!();
+    println!("{doc}");
+    Ok(ExitCode::Ok)
+}
+
+/// `gansec check --list-codes`: the published code table, generated
+/// from the registry so it can never drift from what the passes emit.
+fn list_codes(format: &str) -> Result<ExitCode, String> {
+    match format {
+        "json" => println!("{}", render_code_table_json()),
+        "text" => print!("{}", render_code_table_text()),
+        other => {
+            return Err(format!(
+                "--list-codes supports --format text or json, not {other:?}"
+            ))
+        }
+    }
+    Ok(ExitCode::Ok)
 }
 
 /// The pre-flight gate: `audit`, `detect`, `reconstruct`, and `bench`
@@ -105,6 +184,12 @@ pub fn load_bundle_gated(
         if let Some(spec) = serve {
             input = input.with_serve(spec);
         }
+        // The deployment-wide join: the dataflow pass (GS07xx) sees the
+        // bundle's fitted feature ranges and any chaos plan alongside
+        // the specs, so serve/score/detect gate on contradictions no
+        // single artifact shows.
+        let deployment = deployment_spec(args, &input, Some(&bundle))?;
+        input = input.with_deployment(deployment);
         let report = gansec_lint::check(&input);
         if report.should_fail(args.has_switch("strict")) {
             eprint!("{}", render_text(&report));
@@ -181,6 +266,7 @@ fn build_input_inner(args: &ParsedArgs, include_bundle: bool) -> Result<CheckInp
     // Config drift (GS0408) is only diagnosed against a config the flags
     // actually pinned — `gansec check --bundle x.json` with no config
     // flags checks the bundle's internal consistency alone.
+    let mut loaded_bundle = None;
     if include_bundle {
         if let Some(path) = args.get("bundle") {
             let bundle = ModelBundle::load_unchecked(path).map_err(|e| format!("{path}: {e}"))?;
@@ -188,6 +274,7 @@ fn build_input_inner(args: &ParsedArgs, include_bundle: bool) -> Result<CheckInp
                 .iter()
                 .any(|flag| args.get(flag).is_some());
             input = input.with_bundle(bundle.lint_spec(pinned.then_some(&cfg)));
+            loaded_bundle = Some(bundle);
         }
     }
     // `gansec check --precision f32` judges a planned fast-path run even
@@ -195,7 +282,73 @@ fn build_input_inner(args: &ParsedArgs, include_bundle: bool) -> Result<CheckInp
     if args.get("precision").is_some() {
         input = input.with_fastpath(fastpath_spec(args));
     }
+    // The deployment-wide join is attached only when it carries more
+    // than the dataflow pass derives itself from the bare sections:
+    // estimator ranges from a loaded bundle, or a chaos plan's fault
+    // kinds. (Without enrichment the pass joins the input on its own.)
+    if include_bundle && (loaded_bundle.is_some() || args.get("chaos-plan").is_some()) {
+        let deployment = deployment_spec(args, &input, loaded_bundle.as_ref())?;
+        input = input.with_deployment(deployment);
+    }
     Ok(input)
+}
+
+/// Joins every artifact the flags describe — specs already on `input`,
+/// the loaded bundle's fitted estimator ranges, and a `--chaos-plan`
+/// file's declared fault kinds — into the one [`DeploymentSpec`] the
+/// dataflow pass (GS07xx) propagates intervals through.
+///
+/// The chaos plan is scanned textually for its `"kind"` tags rather
+/// than parsed: the full parse (and its error surface) stays with the
+/// serve path, while the lint layer stays dependency-free. Known kinds
+/// are only claimed when this binary is built with the `chaos` feature,
+/// so a plain build never asserts it can inject anything (GS0512
+/// already covers serving a plan without the feature).
+///
+/// # Errors
+///
+/// Returns a message when the `--chaos-plan` file cannot be read.
+pub fn deployment_spec(
+    args: &ParsedArgs,
+    input: &CheckInput,
+    bundle: Option<&ModelBundle>,
+) -> Result<DeploymentSpec, String> {
+    let mut dep = DeploymentSpec::join(input);
+    if let Some(bundle) = bundle {
+        dep = dep.with_ranges(bundle.range_spec());
+    }
+    if let Some(path) = args.get("chaos-plan") {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        dep = dep.with_chaos_plan(plan_fault_kinds(&source));
+        if cfg!(feature = "chaos") {
+            dep = dep.with_chaos_known(CHAOS_FAULT_KINDS.iter().map(|k| k.to_string()).collect());
+        }
+    }
+    Ok(dep)
+}
+
+/// Extracts every `"kind": "<value>"` tag from a chaos-plan JSON
+/// source, order-preserving. Tolerant by construction: anything that
+/// does not look like a kind tag is skipped, and a malformed plan then
+/// simply declares fewer kinds than it should — the serve path's real
+/// parser still owns rejecting it.
+fn plan_fault_kinds(source: &str) -> Vec<String> {
+    let mut kinds = Vec::new();
+    let mut rest = source;
+    while let Some(at) = rest.find("\"kind\"") {
+        rest = &rest[at + "\"kind\"".len()..];
+        let Some(after_colon) = rest.trim_start().strip_prefix(':') else {
+            continue;
+        };
+        let Some(value) = after_colon.trim_start().strip_prefix('"') else {
+            continue;
+        };
+        if let Some(end) = value.find('"') {
+            kinds.push(value[..end].to_string());
+        }
+    }
+    kinds
 }
 
 /// The reduced-precision request the flags describe, against what this
@@ -257,9 +410,119 @@ mod tests {
     fn parsed(flags: &[&str]) -> ParsedArgs {
         ParsedArgs::parse_with_switches(
             flags.iter().map(|s| s.to_string()),
-            &["smoke", "no-check", "strict"],
+            &["smoke", "no-check", "strict", "list-codes", "fix-plan"],
         )
         .expect("parse")
+    }
+
+    #[test]
+    fn format_error_lists_every_supported_renderer() {
+        let err = check(&parsed(&["--format", "yaml"])).expect_err("refused");
+        assert!(err.contains("text, json, sarif"), "{err}");
+    }
+
+    #[test]
+    fn list_codes_and_explain_have_their_own_outputs() {
+        assert_eq!(check(&parsed(&["--list-codes"])), Ok(ExitCode::Ok));
+        assert_eq!(
+            check(&parsed(&["--list-codes", "--format", "json"])),
+            Ok(ExitCode::Ok)
+        );
+        // SARIF is a results format; a code listing is not a result set.
+        assert!(check(&parsed(&["--list-codes", "--format", "sarif"])).is_err());
+        assert_eq!(check(&parsed(&["--explain", "GS0703"])), Ok(ExitCode::Ok));
+        assert_eq!(check(&parsed(&["--explain", "703"])), Ok(ExitCode::Ok));
+        let err = check(&parsed(&["--explain", "GS9999"])).expect_err("unknown");
+        assert!(err.contains("GS9999"), "{err}");
+    }
+
+    #[test]
+    fn fix_plan_keeps_the_gating_exit_code() {
+        // A broken bandwidth gates the run whether or not the output is
+        // the patch instead of the listing.
+        assert_eq!(
+            check(&parsed(&["--fix-plan", "--h", "0"])),
+            Ok(ExitCode::Flagged)
+        );
+        assert_eq!(check(&parsed(&["--fix-plan"])), Ok(ExitCode::Ok));
+    }
+
+    #[test]
+    fn chaos_plan_kinds_are_scanned_textually() {
+        let kinds = plan_fault_kinds(
+            r#"{"seed":7,"faults":[
+                {"kind":"scorer_panic","at_batch":1},
+                { "kind" : "meteor_strike" },
+                {"kind":"reload_fail","count":1}
+            ]}"#,
+        );
+        assert_eq!(kinds, vec!["scorer_panic", "meteor_strike", "reload_fail"]);
+        assert!(plan_fault_kinds("{}").is_empty());
+        // A dangling key without a string value is skipped, not a panic.
+        assert!(plan_fault_kinds("\"kind\":42").is_empty());
+    }
+
+    #[test]
+    fn contradictory_deployment_yields_a_dataflow_error_with_a_fix() {
+        use gansec::GanSecPipeline;
+        // A bundle sealed with an absurdly narrow bandwidth: every
+        // support gap spans thousands of sigmas, so the f32 fast path
+        // hard-underflows between samples while f64 stays positive.
+        let mut cfg = PipelineConfig::smoke_test();
+        cfg.h = 1e-6;
+        let bundle = GanSecPipeline::new(cfg)
+            .train_stage(5)
+            .expect("train")
+            .to_bundle();
+        let args = parsed(&["--precision", "f32"]);
+        let input = CheckInput::new()
+            .with_bundle(bundle.lint_spec(None))
+            .with_fastpath(fastpath_spec(&args));
+        let deployment = deployment_spec(&args, &input, Some(&bundle)).expect("assemble");
+        let report = gansec_lint::check(&input.with_deployment(deployment));
+        assert!(
+            report.has(gansec_lint::codes::DATAFLOW_F32_RANGE_UNDERFLOW),
+            "{:?}",
+            report.diagnostics()
+        );
+        assert!(report.should_fail(false));
+        let fix = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == gansec_lint::codes::DATAFLOW_F32_RANGE_UNDERFLOW)
+            .and_then(|d| d.fix.as_ref())
+            .expect("GS0703 carries a machine-applicable fix");
+        assert_eq!(fix.flag, "--precision");
+        assert_eq!(fix.current, "f32");
+        assert_eq!(fix.suggested, "f64");
+    }
+
+    #[test]
+    fn unknown_chaos_kind_gates_only_when_the_build_can_inject() {
+        let dir = std::env::temp_dir().join("gansec-cli-chaos-lint-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("plan.json");
+        std::fs::write(&path, r#"{"seed":1,"faults":[{"kind":"meteor_strike"}]}"#)
+            .expect("write plan");
+        let args = parsed(&["--chaos-plan", path.to_str().expect("utf8 path")]);
+        let input = CheckInput::new();
+        let dep = deployment_spec(&args, &input, None).expect("assemble");
+        assert_eq!(dep.chaos_fault_kinds, vec!["meteor_strike"]);
+        let report = gansec_lint::check(&input.with_deployment(dep));
+        // Without the chaos feature no kinds are claimed as known and
+        // GS0707 stays silent (GS0512 owns the feature mismatch); a
+        // chaos build refuses the typo'd plan outright.
+        assert_eq!(
+            report.has(gansec_lint::codes::DATAFLOW_UNKNOWN_CHAOS_FAULT),
+            cfg!(feature = "chaos")
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_chaos_plan_file_is_a_real_error() {
+        let args = parsed(&["--chaos-plan", "/nonexistent/plan.json"]);
+        assert!(deployment_spec(&args, &CheckInput::new(), None).is_err());
     }
 
     #[test]

@@ -76,9 +76,10 @@ COMMANDS:
                                   /admin/reload (atomic bundle swap) and
                                   /admin/shutdown (graceful drain)
     check     [flags]             static analysis of the CPPS graph, the CGAN
-                                  shapes, and the pipeline configuration;
-                                  prints GS-coded diagnostics (--format json
-                                  for machine-readable output) and exits 2 on
+                                  shapes, the pipeline configuration, and the
+                                  joined deployment dataflow; prints GS-coded
+                                  diagnostics (--format json or sarif for
+                                  machine-readable output) and exits 2 on
                                   errors (--strict: also on warnings)
     bench     [--smoke] [--out <file>]
                                   pinned-seed macro-benchmark of the hot
@@ -108,11 +109,24 @@ COMMON FLAGS:
     -h, --help         this text
 
 CHECK FLAGS:
-    --format <text|json>     diagnostic rendering (default text)
+    --format <text|json|sarif>
+                             diagnostic rendering (default text); sarif
+                             emits a SARIF 2.1.0 document for CI upload
+    --list-codes             print the published GS diagnostic code table
+                             (honors --format text or json) and exit
+    --explain <GSxxxx>       print one code's full documentation and exit
+    --fix-plan               print a JSON patch of suggested flag changes
+                             ({\"fixes\":[..]}) instead of the diagnostic
+                             listing; flags are never mutated in place
     --bundle <file>          also lint a sealed model bundle (GS04xx):
                              schema version, fingerprint, dimensions; config
                              drift is reported only when config flags are
-                             given to compare against
+                             given to compare against; with the bundle the
+                             GS07xx dataflow pass also propagates its fitted
+                             feature ranges through the serving chain
+    --chaos-plan <file>      also lint a fault-injection plan's declared
+                             fault kinds against what this binary can
+                             inject (GS0707, chaos builds)
     --h <f>                  Parzen bandwidth to validate (default 0.2)
     --gsize <n>              generated samples per condition (default 500)
     --batch-size <n>         CGAN minibatch size (default 32)

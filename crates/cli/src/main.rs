@@ -13,15 +13,24 @@ fn main() {
         std::process::exit(ExitCode::Ok.status());
     }
 
-    let args =
-        match ParsedArgs::parse_with_switches(argv, &["smoke", "no-check", "strict", "serve"]) {
-            Ok(a) => a,
-            Err(e) => {
-                eprintln!("error: {e}");
-                eprint!("{}", usage());
-                std::process::exit(ExitCode::Usage.status());
-            }
-        };
+    let args = match ParsedArgs::parse_with_switches(
+        argv,
+        &[
+            "smoke",
+            "no-check",
+            "strict",
+            "serve",
+            "list-codes",
+            "fix-plan",
+        ],
+    ) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", usage());
+            std::process::exit(ExitCode::Usage.status());
+        }
+    };
     if args.wants_help() {
         print!("{}", usage());
         std::process::exit(ExitCode::Ok.status());

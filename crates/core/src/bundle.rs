@@ -272,6 +272,13 @@ impl ModelBundle {
             threshold: self.detector.threshold(),
         }
     }
+
+    /// Range metadata of the bundled estimators for deployment-wide
+    /// static analysis (interval seeding of the `GS07xx` dataflow
+    /// pass). Delegates to the calibrated detector's fitted bank.
+    pub fn range_spec(&self) -> gansec_lint::EstimatorRangeSpec {
+        self.detector.range_spec()
+    }
 }
 
 /// FNV-1a (64-bit) over the canonical JSON encoding of a pipeline

@@ -229,6 +229,47 @@ impl AttackDetector {
             c.len() == cond.len() && c.iter().zip(cond).all(|(&a, &b)| (a - b).abs() < 1e-9)
         })
     }
+
+    /// Range metadata of the fitted estimator bank for deployment-wide
+    /// static analysis: per analyzed feature, the support interval and
+    /// widest nearest-neighbor gap merged (worst case) over conditions.
+    pub fn range_spec(&self) -> gansec_lint::EstimatorRangeSpec {
+        let features = self
+            .feature_indices
+            .iter()
+            .enumerate()
+            .map(|(k, &feature)| {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                let mut max_gap: f64 = 0.0;
+                let mut n_samples = usize::MAX;
+                for per_cond in &self.kdes {
+                    let w = &per_cond[k];
+                    let (wlo, whi) = w.support_range();
+                    lo = lo.min(wlo);
+                    hi = hi.max(whi);
+                    max_gap = max_gap.max(w.max_gap());
+                    n_samples = n_samples.min(w.n_samples());
+                }
+                gansec_lint::FeatureRangeSpec {
+                    feature,
+                    lo,
+                    hi,
+                    max_gap,
+                    n_samples: if n_samples == usize::MAX {
+                        0
+                    } else {
+                        n_samples
+                    },
+                }
+            })
+            .collect();
+        gansec_lint::EstimatorRangeSpec {
+            h: self.h(),
+            conditions: self.conditions.len(),
+            features,
+        }
+    }
 }
 
 /// Reusable buffers for [`AttackDetector::score_frames_into`] (and the

@@ -320,6 +320,14 @@ impl ScoringEngine {
         &self.estimator
     }
 
+    /// Range metadata of the loaded estimator bank, for seeding the
+    /// deployment-wide dataflow analysis (`gansec check`'s `GS07xx`
+    /// interval propagation) with the support this engine would
+    /// actually score over.
+    pub fn range_spec(&self) -> gansec_lint::EstimatorRangeSpec {
+        self.detector.range_spec()
+    }
+
     /// Consistency score of one frame under the claimed condition.
     ///
     /// At [`Precision::F64`] this is exactly

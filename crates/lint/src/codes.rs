@@ -3,7 +3,8 @@
 //! Codes are grouped by hundreds: `GS01xx` CPPS graph analysis, `GS02xx`
 //! GAN architecture shape inference, `GS03xx` pipeline configuration,
 //! `GS04xx` model-bundle compatibility, `GS05xx` serving configuration,
-//! `GS06xx` the reduced-precision fast path.
+//! `GS06xx` the reduced-precision fast path, `GS07xx` deployment-wide
+//! dataflow analysis.
 //! Once published a code's number and meaning never change; retired
 //! checks leave a hole in the numbering rather than recycling it.
 
@@ -178,6 +179,46 @@ pub const FASTPATH_THRESHOLD_NOT_REPRESENTABLE: Code = Code(603);
 /// The bundled detector threshold sits below the f32 score-noise floor:
 /// narrowed scores near the threshold can flip verdicts.
 pub const FASTPATH_THRESHOLD_BELOW_NOISE: Code = Code(604);
+
+// --- GS07xx: deployment-wide dataflow analysis ---
+
+/// The calibrated alarm threshold is at or below zero. Consistency
+/// scores are means of non-negative windowed likelihoods and the alarm
+/// fires on `score < threshold`, so the ATTACK verdict is unreachable:
+/// the deployed detector can never flag anything.
+pub const DATAFLOW_ALARM_UNREACHABLE: Code = Code(701);
+/// The calibrated alarm threshold exceeds the kernel-peak score ceiling
+/// `1/sqrt(2*pi)`. No frame — not even one sitting exactly on the
+/// training support — can score that high, so every frame trips the
+/// alarm: the deployment is a constant-ATTACK detector.
+pub const DATAFLOW_THRESHOLD_SATURATES: Code = Code(702);
+/// Interval propagation through this bundle's fitted support shows that
+/// single-precision Parzen densities hard-underflow to zero somewhere
+/// inside the observed feature range: the widest nearest-neighbor gap
+/// is so many bandwidths wide that the f32 mirror returns exactly 0
+/// where the f64 reference is positive, so narrowed scores diverge from
+/// the reference and verdicts near the threshold can flip.
+pub const DATAFLOW_F32_RANGE_UNDERFLOW: Code = Code(703);
+/// A completely full frame queue drains into fewer scoring batches than
+/// the circuit breaker needs consecutive failures to trip: load
+/// shedding can only start after clients refill the queue with doomed
+/// requests at least once.
+pub const DATAFLOW_BREAKER_BEYOND_QUEUE: Code = Code(704);
+/// The scorer stall budget is shorter than one watchdog heartbeat: the
+/// watchdog samples the in-flight batch age once per heartbeat, so a
+/// stall threshold below the sampling period cannot be enforced as
+/// configured — every busy scorer observed by the first poll past the
+/// budget is already declared hung.
+pub const DATAFLOW_STALL_BELOW_HEARTBEAT: Code = Code(705);
+/// The micro-batch collection window is at least as long as the scorer
+/// stall budget. The stall clock starts when scoring begins, so a batch
+/// may legitimately spend longer assembling than the watchdog would
+/// ever allow it to score: `--stall-ms` does not bound end-to-end batch
+/// latency the way the two numbers suggest.
+pub const DATAFLOW_LINGER_OUTLIVES_STALL: Code = Code(706);
+/// The chaos fault plan names a fault kind this build cannot inject:
+/// the drill would silently skip the step instead of exercising it.
+pub const DATAFLOW_UNKNOWN_CHAOS_FAULT: Code = Code(707);
 
 /// One row of the published code table.
 #[derive(Debug, Clone, Copy)]
@@ -489,6 +530,48 @@ pub fn code_table() -> &'static [CodeInfo] {
             severity: Severity::Warning,
             summary: "detector threshold below the f32 score-noise floor",
         },
+        CodeInfo {
+            code: DATAFLOW_ALARM_UNREACHABLE,
+            name: "dataflow-alarm-unreachable",
+            severity: Severity::Error,
+            summary: "alarm threshold <= 0: the ATTACK verdict is unreachable",
+        },
+        CodeInfo {
+            code: DATAFLOW_THRESHOLD_SATURATES,
+            name: "dataflow-threshold-saturates",
+            severity: Severity::Error,
+            summary: "alarm threshold above the score ceiling: every frame alarms",
+        },
+        CodeInfo {
+            code: DATAFLOW_F32_RANGE_UNDERFLOW,
+            name: "dataflow-f32-range-underflow",
+            severity: Severity::Error,
+            summary: "f32 densities hard-underflow inside this bundle's data range",
+        },
+        CodeInfo {
+            code: DATAFLOW_BREAKER_BEYOND_QUEUE,
+            name: "dataflow-breaker-beyond-queue",
+            severity: Severity::Warning,
+            summary: "a full queue drains in fewer batches than trip the breaker",
+        },
+        CodeInfo {
+            code: DATAFLOW_STALL_BELOW_HEARTBEAT,
+            name: "dataflow-stall-below-heartbeat",
+            severity: Severity::Warning,
+            summary: "stall budget shorter than one watchdog heartbeat",
+        },
+        CodeInfo {
+            code: DATAFLOW_LINGER_OUTLIVES_STALL,
+            name: "dataflow-linger-outlives-stall",
+            severity: Severity::Warning,
+            summary: "batch linger window at least as long as the stall budget",
+        },
+        CodeInfo {
+            code: DATAFLOW_UNKNOWN_CHAOS_FAULT,
+            name: "dataflow-unknown-chaos-fault",
+            severity: Severity::Error,
+            summary: "chaos plan names a fault kind this build cannot inject",
+        },
     ];
     TABLE
 }
@@ -496,6 +579,257 @@ pub fn code_table() -> &'static [CodeInfo] {
 /// Looks up the published info for `code`.
 pub fn code_info(code: Code) -> Option<&'static CodeInfo> {
     code_table().iter().find(|i| i.code == code)
+}
+
+/// The long-form documentation for `code`, mirroring the rustdoc on its
+/// constant: what the check means, why it matters, and (where one
+/// exists) the usual way out. Backs `gansec check --explain GS0xxx`.
+pub fn code_doc(code: Code) -> Option<&'static str> {
+    Some(match code {
+        RESIDUAL_CYCLE => {
+            "A cycle survives among kept (non-feedback) flows: feedback-loop removal \
+             failed its invariant, so reachability queries may not terminate meaningfully."
+        }
+        DANGLING_REFERENCE => {
+            "A flow endpoint or pair member references an entity that does not exist in \
+             the graph."
+        }
+        ORPHAN_COMPONENT => {
+            "A component has no kept flow in or out: it cannot participate in any flow \
+             pair. Connect it to the graph or drop it from the architecture."
+        }
+        UNREACHABLE_PAIR => {
+            "A modeled flow pair whose head is not DFS-reachable from its tail along \
+             kept flows: Pr(F_2 | F_1) is not physically meaningful."
+        }
+        PAIR_WITHOUT_DATA => {
+            "A pair was selected for modeling without backing historical data; the CGAN \
+             for it would train on nothing."
+        }
+        FEEDBACK_IN_DECLARED_GRAPH => {
+            "The declared architecture contains feedback cycles. An error for \
+             design-time (user-supplied) graphs, informational for graphs already \
+             validated by Algorithm 1's removal step."
+        }
+        DOMAIN_MISMATCH => {
+            "A flow's kind disagrees with its endpoints' domains (e.g. a signal flow \
+             originating in a purely physical component)."
+        }
+        NO_FLOW_PAIRS => {
+            "The graph yields no flow pairs to model at all; check that at least two \
+             kept flows lie on a common causal path."
+        }
+        GEN_INPUT_MISMATCH => {
+            "Generator first-layer input width differs from noise_dim + cond_dim: the \
+             concatenated (noise, condition) rows cannot feed the first dense layer."
+        }
+        LAYER_SHAPE_MISMATCH => {
+            "Two consecutive layers disagree on the tensor width between them; the \
+             forward pass would panic at that boundary."
+        }
+        GEN_OUTPUT_MISMATCH => {
+            "Generator output width differs from data_dim, so generated samples cannot \
+             feed the discriminator or the Parzen estimator."
+        }
+        DISC_INPUT_MISMATCH => {
+            "Discriminator first-layer input width differs from data_dim + cond_dim."
+        }
+        DISC_OUTPUT_MISMATCH => {
+            "Discriminator output is not a single logit; the BCE loss expects exactly \
+             one real/fake score per row."
+        }
+        COND_WIDTH_MISMATCH => {
+            "One-hot condition width differs from the dataset's label cardinality: \
+             claimed conditions cannot be encoded, or some encodings can never occur."
+        }
+        DEAD_LAYER => {
+            "A dense layer with zero input or output width: no information flows \
+             through it."
+        }
+        ZERO_DIM => "noise_dim or data_dim is zero; the GAN has nothing to model.",
+        EMPTY_NETWORK => {
+            "A network contains no dense layers at all (identity network); it cannot \
+             learn anything."
+        }
+        BAD_BANDWIDTH => {
+            "Parzen bandwidth h is non-finite or not positive: every kernel density \
+             degenerates and Algorithm 3 likelihoods are meaningless. The paper's case \
+             study uses h = 0.2."
+        }
+        BAD_SPLIT => {
+            "Train/test split is degenerate: an empty split, or a training split \
+             smaller than one minibatch."
+        }
+        BAD_DISC_STEPS => {
+            "Discriminator steps k per iteration is zero (Algorithm 2 line 4 requires \
+             k >= 1)."
+        }
+        CHECKPOINT_COLLISION => {
+            "Two flow-pair runs write checkpoints to the same path; one run's snapshots \
+             silently overwrite the other's. Derive the path from the flow-pair ids."
+        }
+        THREADS_EXCEED_PAIRS => {
+            "More worker threads requested than flow pairs to train; the excess threads \
+             can never be busy."
+        }
+        ZERO_GSIZE => {
+            "Algorithm 3 GSize is zero: no generated samples to fit the Parzen window \
+             on."
+        }
+        ZERO_ITERATIONS => {
+            "Zero training iterations: the model stays at initialization and its \
+             likelihoods are noise."
+        }
+        ZERO_BATCH => "Zero minibatch size; no gradient step can be formed.",
+        BUNDLE_VERSION_MISMATCH => {
+            "The bundle's schema version is not the one this build supports: loading \
+             would misinterpret the wire format."
+        }
+        BUNDLE_FINGERPRINT_MISMATCH => {
+            "The fingerprint stamped in the bundle does not match the config embedded \
+             in it: the artifact was edited after sealing."
+        }
+        BUNDLE_DIM_MISMATCH => {
+            "The bundled generator's data_dim differs from the bundled config's \
+             frequency-bin count: the scorers index features that do not exist."
+        }
+        BUNDLE_COND_MISMATCH => {
+            "The bundled generator's cond_dim differs from the encoding's label \
+             cardinality: claimed conditions cannot be scored."
+        }
+        BUNDLE_FEATURE_OUT_OF_RANGE => {
+            "A bundled analyzed-feature index is out of range for the feature width."
+        }
+        BUNDLE_BAD_THRESHOLD => {
+            "The bundled detector threshold is non-finite: every frame (or no frame) \
+             trips the alarm."
+        }
+        BUNDLE_BAD_BANDWIDTH => "The bundled Parzen bandwidth h is non-finite or not positive.",
+        BUNDLE_CONFIG_DRIFT => {
+            "The session's current configuration differs from the one the bundle was \
+             trained under: scoring still follows the bundle's own config, but \
+             comparisons against fresh runs will not line up."
+        }
+        SERVE_ZERO_WORKERS => {
+            "Zero connection-worker threads: the server would accept connections and \
+             never service them."
+        }
+        SERVE_ZERO_QUEUE => {
+            "Zero frame-queue capacity: every scoring request is rejected with \
+             backpressure before the scorer sees a single frame."
+        }
+        SERVE_BATCH_EXCEEDS_QUEUE => {
+            "max_batch exceeds the frame-queue capacity, so a full batch can never \
+             assemble and the linger deadline always expires first."
+        }
+        SERVE_ZERO_BATCH => "Zero max_batch: batches may not hold even one frame.",
+        SERVE_LINGER_EXCEEDS_TIMEOUT => {
+            "The batch linger is at least as long as the read timeout, so a lingering \
+             batch can outwait the very connections feeding it."
+        }
+        SERVE_EPHEMERAL_PORT => {
+            "Bind port 0 asks the OS for an ephemeral port: fine for tests, but a \
+             production endpoint nobody can predict."
+        }
+        SERVE_ZERO_CONNS => {
+            "Zero simultaneous connections allowed: every client is turned away at the \
+             accept loop."
+        }
+        SERVE_WORKERS_EXCEED_CONNS => {
+            "More worker threads than admitted connections: the excess workers can \
+             never all be busy at once."
+        }
+        SERVE_HEARTBEAT_EXCEEDS_WRITE_TIMEOUT => {
+            "The scorer-watchdog heartbeat interval is at least as long as the write \
+             timeout: clients give up on their replies before the watchdog even \
+             notices the scorer died."
+        }
+        SERVE_ZERO_RESTART_ATTEMPTS => {
+            "Zero scorer restart attempts: the first scorer panic permanently degrades \
+             the server instead of being supervised back up."
+        }
+        SERVE_ZERO_BREAKER_THRESHOLD => {
+            "A circuit-breaker threshold of 0 — 'trip after 0 consecutive failures' — \
+             is contradictory; the server clamps it to 1, so the configured number \
+             lies about the behavior."
+        }
+        SERVE_CHAOS_WITHOUT_FEATURE => {
+            "A chaos fault-injection plan was requested but the binary was built \
+             without the `chaos` feature: the plan would be silently ignored."
+        }
+        FASTPATH_WITHOUT_FEATURE => {
+            "Single-precision scoring was requested but the binary was built without \
+             the `f32` feature: the request cannot be honored and must not silently \
+             fall back to f64."
+        }
+        FASTPATH_TINY_BANDWIDTH => {
+            "The bundled Parzen bandwidth is so small that single-precision density \
+             evaluation underflows or loses most of its mantissa, independent of the \
+             fitted support."
+        }
+        FASTPATH_THRESHOLD_NOT_REPRESENTABLE => {
+            "The bundled detector threshold does not survive an f32 round trip \
+             (overflows or collapses): verdict parity with the f64 path cannot be \
+             reasoned about."
+        }
+        FASTPATH_THRESHOLD_BELOW_NOISE => {
+            "The bundled detector threshold sits below the f32 score-noise floor: \
+             narrowed scores near the threshold can flip verdicts."
+        }
+        DATAFLOW_ALARM_UNREACHABLE => {
+            "The calibrated alarm threshold is at or below zero. Consistency scores \
+             are means of non-negative windowed likelihoods and the alarm fires on \
+             score < threshold, so the ATTACK verdict is unreachable: the deployed \
+             detector can never flag anything. Recalibrate the threshold on benign \
+             frames and reseal the bundle."
+        }
+        DATAFLOW_THRESHOLD_SATURATES => {
+            "The calibrated alarm threshold exceeds the kernel-peak score ceiling \
+             1/sqrt(2*pi) ~= 0.3989 — the windowed likelihood a frame earns when the \
+             entire Parzen support coincides with it. No frame can score that high, \
+             so every frame trips the alarm: the deployment is a constant-ATTACK \
+             detector. Recalibrate the threshold and reseal the bundle."
+        }
+        DATAFLOW_F32_RANGE_UNDERFLOW => {
+            "Interval propagation through this bundle's fitted support shows that \
+             single-precision Parzen densities hard-underflow to exactly zero \
+             somewhere inside the observed feature range: the widest nearest-neighbor \
+             gap between support samples is so many bandwidths wide that at the gap's \
+             midpoint every f32 kernel term is below the smallest positive f32, while \
+             the f64 reference density is still positive. Narrowed scores diverge \
+             from the reference there and verdicts near the threshold can flip. \
+             Serve this bundle at --precision f64, or refit with a wider h."
+        }
+        DATAFLOW_BREAKER_BEYOND_QUEUE => {
+            "A completely full frame queue drains into fewer scoring batches \
+             (ceil(queue_frames / max_batch)) than the circuit breaker needs \
+             consecutive failures to trip: against a persistently failing scorer, \
+             load shedding can only start after clients refill the queue with doomed \
+             requests at least once. Lower --breaker-threshold or grow the queue."
+        }
+        DATAFLOW_STALL_BELOW_HEARTBEAT => {
+            "The scorer stall budget is shorter than one watchdog heartbeat. The \
+             watchdog samples the in-flight batch age once per heartbeat, so a stall \
+             threshold below the sampling period cannot be enforced as configured: \
+             the first poll that can observe a busy scorer is already past the \
+             budget. Lower --heartbeat-ms or raise --stall-ms."
+        }
+        DATAFLOW_LINGER_OUTLIVES_STALL => {
+            "The micro-batch collection window is at least as long as the scorer \
+             stall budget. The stall clock starts when scoring begins, so a batch \
+             may legitimately spend longer assembling than the watchdog would ever \
+             allow it to score: --stall-ms does not bound end-to-end batch latency \
+             the way the two numbers suggest. Shorten --batch-linger-ms or document \
+             the intended latency budget."
+        }
+        DATAFLOW_UNKNOWN_CHAOS_FAULT => {
+            "The chaos fault plan names a fault kind this build cannot inject: the \
+             drill would silently skip the step instead of exercising it. Use only \
+             the fault kinds the serving binary publishes, or rebuild with the \
+             feature that provides the missing kind."
+        }
+        _ => return None,
+    })
 }
 
 #[cfg(test)]

@@ -101,6 +101,22 @@ impl fmt::Display for Origin {
     }
 }
 
+/// A machine-applicable flag change that would resolve a diagnostic.
+///
+/// Fixes never mutate anything in place: they are rendered into the
+/// report (and the `--fix-plan` patch) for the operator to apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// The CLI flag to change, e.g. `--precision`.
+    pub flag: String,
+    /// The value the analyzed deployment currently carries.
+    pub current: String,
+    /// The value that would clear the finding.
+    pub suggested: String,
+    /// Why the suggested value is sound, in one sentence.
+    pub rationale: String,
+}
+
 /// One finding from a static analysis pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
@@ -114,6 +130,8 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it, when a fix is known.
     pub help: Option<String>,
+    /// A machine-applicable flag change, when one is known.
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -130,6 +148,7 @@ impl Diagnostic {
             origin,
             message: message.into(),
             help: None,
+            fix: None,
         }
     }
 
@@ -143,6 +162,12 @@ impl Diagnostic {
     /// Attaches a fix suggestion.
     pub fn with_help(mut self, help: impl Into<String>) -> Self {
         self.help = Some(help.into());
+        self
+    }
+
+    /// Attaches a machine-applicable flag change.
+    pub fn with_fix(mut self, fix: Fix) -> Self {
+        self.fix = Some(fix);
         self
     }
 }
@@ -168,7 +193,27 @@ pub struct CheckReport {
 impl CheckReport {
     /// Assembles a report. Diagnostics keep their emission order, which
     /// is deterministic because passes run in registration order.
+    ///
+    /// Exact repeats — same code, same origin, same message — are
+    /// dropped, keeping the first occurrence. Overlapping inputs (a
+    /// `--bundle` plus explicit fastpath flags, a deployment spec built
+    /// from the same artifacts) can route one finding through two
+    /// passes; the reader should see it once. Distinct messages under a
+    /// shared origin (e.g. per-path checkpoint collisions) survive.
     pub fn new(diagnostics: Vec<Diagnostic>, passes: Vec<&'static str>) -> Self {
+        let mut seen: Vec<(Code, Origin, String)> = Vec::new();
+        let diagnostics = diagnostics
+            .into_iter()
+            .filter(|d| {
+                let key = (d.code, d.origin.clone(), d.message.clone());
+                if seen.contains(&key) {
+                    false
+                } else {
+                    seen.push(key);
+                    true
+                }
+            })
+            .collect();
         Self {
             diagnostics,
             passes,
@@ -224,6 +269,12 @@ impl CheckReport {
     /// Whether any diagnostic carries `code`.
     pub fn has(&self, code: Code) -> bool {
         self.find(code).is_some()
+    }
+
+    /// Diagnostics carrying a machine-applicable fix, in emission order.
+    /// Feeds the `--fix-plan` renderer.
+    pub fn fixes(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.fix.is_some())
     }
 }
 
@@ -296,5 +347,49 @@ mod tests {
             report.diagnostics()[0].to_string(),
             "error[GS0301]: h must be positive (config.h)"
         );
+    }
+
+    #[test]
+    fn exact_repeats_are_deduplicated() {
+        let d = Diagnostic::new(
+            codes::BAD_BANDWIDTH,
+            Origin::Config { field: "h".into() },
+            "h must be positive",
+        );
+        let r = CheckReport::new(vec![d.clone(), d], vec![]);
+        assert_eq!(r.diagnostics().len(), 1);
+        // Distinct messages under a shared (code, origin) both survive.
+        let a = Diagnostic::new(
+            codes::CHECKPOINT_COLLISION,
+            Origin::Config {
+                field: "checkpoint".into(),
+            },
+            "path a collides",
+        );
+        let b = Diagnostic::new(
+            codes::CHECKPOINT_COLLISION,
+            Origin::Config {
+                field: "checkpoint".into(),
+            },
+            "path b collides",
+        );
+        let r = CheckReport::new(vec![a, b], vec![]);
+        assert_eq!(r.diagnostics().len(), 2);
+    }
+
+    #[test]
+    fn fixes_surface_only_diagnostics_that_carry_one() {
+        let fixed =
+            Diagnostic::new(codes::BAD_BANDWIDTH, Origin::Input, "narrow h").with_fix(Fix {
+                flag: "--h".into(),
+                current: "1e-9".into(),
+                suggested: "0.2".into(),
+                rationale: "the paper's case-study bandwidth".into(),
+            });
+        let plain = Diagnostic::new(codes::ORPHAN_COMPONENT, Origin::Input, "orphan");
+        let r = CheckReport::new(vec![plain, fixed], vec![]);
+        let fixes: Vec<_> = r.fixes().collect();
+        assert_eq!(fixes.len(), 1);
+        assert_eq!(fixes[0].fix.as_ref().unwrap().flag, "--h");
     }
 }

@@ -393,6 +393,9 @@ pub struct ServeSpec {
     pub write_timeout_ms: u64,
     /// Scorer-watchdog heartbeat interval in milliseconds.
     pub heartbeat_ms: u64,
+    /// In-flight batch age in milliseconds past which the watchdog
+    /// declares the scorer stalled (`0` = stall detection off).
+    pub scorer_stall_ms: u64,
     /// Scorer restart attempts before permanent degradation.
     pub restart_attempts: u32,
     /// Consecutive scoring failures that trip the circuit breaker.
@@ -416,6 +419,171 @@ pub struct FastPathSpec {
     pub f32_built: bool,
 }
 
+/// The fitted support of one analyzed feature, merged over conditions:
+/// the interval the Parzen samples span and the widest nearest-neighbor
+/// gap inside it. Seeds the `GS07xx` interval propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureRangeSpec {
+    /// The analyzed feature index (into the frame's frequency bins).
+    pub feature: usize,
+    /// Smallest support sample over all conditions.
+    pub lo: f64,
+    /// Largest support sample over all conditions.
+    pub hi: f64,
+    /// Widest gap between adjacent support samples, maximized over
+    /// conditions: the most support-starved in-range point sits at half
+    /// this distance from its nearest kernel.
+    pub max_gap: f64,
+    /// Smallest per-condition support size (kernel count) over all
+    /// conditions.
+    pub n_samples: usize,
+}
+
+/// Range metadata of a fitted Parzen estimator bank, as exposed by the
+/// engine for interval seeding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorRangeSpec {
+    /// The fitted Parzen bandwidth.
+    pub h: f64,
+    /// Number of conditions the bank scores.
+    pub conditions: usize,
+    /// Per analyzed feature, the merged support interval.
+    pub features: Vec<FeatureRangeSpec>,
+}
+
+/// A stage of the deployment dataflow chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployNode {
+    /// The sealed train-time artifact on disk.
+    Bundle,
+    /// The scoring engine the bundle loads into (precision applied here).
+    Engine,
+    /// The batch scorer thread draining the frame queue.
+    Scorer,
+    /// The network endpoint clients talk to.
+    Endpoint,
+}
+
+/// One typed edge of the deployment chain: data flows `from → to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeployEdge {
+    /// Producing stage.
+    pub from: DeployNode,
+    /// Consuming stage.
+    pub to: DeployNode,
+}
+
+/// The whole deployment as one analyzable object: every artifact the
+/// server would load, joined so cross-artifact contradictions are
+/// visible. Sections mirror [`CheckInput`]'s but are meant to be
+/// populated *together* by the CLI's `deployment_spec` assembler; the
+/// dataflow pass falls back to joining a bare [`CheckInput`] when no
+/// explicit deployment section was built.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeploymentSpec {
+    /// The sealed bundle feeding the engine.
+    pub bundle: Option<BundleSpec>,
+    /// Fitted-support ranges of the bundle's estimators, when the
+    /// heavyweight artifact was actually opened (pure-spec checks run
+    /// without them).
+    pub ranges: Option<EstimatorRangeSpec>,
+    /// The precision request applied at the engine stage.
+    pub fastpath: Option<FastPathSpec>,
+    /// The serving configuration at the scorer/endpoint stages.
+    pub serve: Option<ServeSpec>,
+    /// Fault kinds a requested chaos plan references (empty = no plan
+    /// or no parseable steps).
+    pub chaos_fault_kinds: Vec<String>,
+    /// Fault kinds this build can actually inject (empty = chaos not
+    /// built; the kind check is skipped so GS0512 stays the sole
+    /// finding).
+    pub chaos_known_kinds: Vec<String>,
+}
+
+impl DeploymentSpec {
+    /// An empty deployment (the dataflow pass is a no-op).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Joins the per-domain sections of `input` into one deployment.
+    /// Ranges and chaos kinds cannot be derived from a bare input; use
+    /// the builders to enrich them.
+    pub fn join(input: &CheckInput) -> Self {
+        Self {
+            bundle: input.bundle.clone(),
+            ranges: None,
+            fastpath: input.fastpath,
+            serve: input.serve.clone(),
+            chaos_fault_kinds: Vec::new(),
+            chaos_known_kinds: Vec::new(),
+        }
+    }
+
+    /// Sets the bundle stage.
+    pub fn with_bundle(mut self, bundle: BundleSpec) -> Self {
+        self.bundle = Some(bundle);
+        self
+    }
+
+    /// Sets the fitted-support ranges.
+    pub fn with_ranges(mut self, ranges: EstimatorRangeSpec) -> Self {
+        self.ranges = Some(ranges);
+        self
+    }
+
+    /// Sets the precision request.
+    pub fn with_fastpath(mut self, fastpath: FastPathSpec) -> Self {
+        self.fastpath = Some(fastpath);
+        self
+    }
+
+    /// Sets the serving configuration.
+    pub fn with_serve(mut self, serve: ServeSpec) -> Self {
+        self.serve = Some(serve);
+        self
+    }
+
+    /// Sets the fault kinds the chaos plan references.
+    pub fn with_chaos_plan(mut self, kinds: Vec<String>) -> Self {
+        self.chaos_fault_kinds = kinds;
+        self
+    }
+
+    /// Sets the fault kinds this build can inject.
+    pub fn with_chaos_known(mut self, kinds: Vec<String>) -> Self {
+        self.chaos_known_kinds = kinds;
+        self
+    }
+
+    /// The typed edges of the dataflow chain this deployment populates:
+    /// `bundle → engine` when a bundle is present, `engine → scorer`
+    /// when anything feeds the engine (bundle or a precision request),
+    /// `scorer → endpoint` when a serving configuration is present.
+    pub fn edges(&self) -> Vec<DeployEdge> {
+        let mut edges = Vec::new();
+        if self.bundle.is_some() {
+            edges.push(DeployEdge {
+                from: DeployNode::Bundle,
+                to: DeployNode::Engine,
+            });
+        }
+        if self.bundle.is_some() || self.fastpath.is_some() {
+            edges.push(DeployEdge {
+                from: DeployNode::Engine,
+                to: DeployNode::Scorer,
+            });
+        }
+        if self.serve.is_some() {
+            edges.push(DeployEdge {
+                from: DeployNode::Scorer,
+                to: DeployNode::Endpoint,
+            });
+        }
+        edges
+    }
+}
+
 /// Everything a check run inspects. Absent sections are skipped by the
 /// passes that need them, so partial checks (config only, graph only)
 /// work naturally.
@@ -433,6 +601,9 @@ pub struct CheckInput {
     pub serve: Option<ServeSpec>,
     /// A reduced-precision scoring request, if one is being checked.
     pub fastpath: Option<FastPathSpec>,
+    /// The joined whole-deployment view, when an assembler built one.
+    /// When absent, the dataflow pass joins the sections above itself.
+    pub deployment: Option<DeploymentSpec>,
 }
 
 impl CheckInput {
@@ -474,6 +645,12 @@ impl CheckInput {
     /// Sets the fast-path section.
     pub fn with_fastpath(mut self, fastpath: FastPathSpec) -> Self {
         self.fastpath = Some(fastpath);
+        self
+    }
+
+    /// Sets the joined deployment section.
+    pub fn with_deployment(mut self, deployment: DeploymentSpec) -> Self {
+        self.deployment = Some(deployment);
         self
     }
 }
@@ -548,6 +725,75 @@ mod tests {
                 output: 1
             }
         );
+    }
+
+    #[test]
+    fn deployment_join_copies_sections_and_edges_follow_presence() {
+        let bundle = BundleSpec {
+            schema_version: 1,
+            supported_version: 1,
+            seed: 42,
+            config_fingerprint: 7,
+            sealed_fingerprint: 7,
+            current_fingerprint: None,
+            h: 0.2,
+            gsize: 500,
+            n_bins: 48,
+            data_dim: 48,
+            cond_dim: 3,
+            label_cardinality: 3,
+            feature_indices: vec![0, 1, 2],
+            threshold: 0.0625,
+        };
+        let fastpath = FastPathSpec {
+            requested_f32: true,
+            f32_built: true,
+        };
+        let input = CheckInput::new()
+            .with_bundle(bundle.clone())
+            .with_fastpath(fastpath);
+        let dep = DeploymentSpec::join(&input);
+        assert_eq!(dep.bundle, Some(bundle));
+        assert_eq!(dep.fastpath, Some(fastpath));
+        assert!(dep.serve.is_none());
+        assert!(dep.ranges.is_none());
+        // bundle → engine → scorer, but no serving endpoint.
+        assert_eq!(
+            dep.edges(),
+            vec![
+                DeployEdge {
+                    from: DeployNode::Bundle,
+                    to: DeployNode::Engine
+                },
+                DeployEdge {
+                    from: DeployNode::Engine,
+                    to: DeployNode::Scorer
+                },
+            ]
+        );
+        // An empty deployment has no edges at all.
+        assert!(DeploymentSpec::new().edges().is_empty());
+    }
+
+    #[test]
+    fn deployment_builders_enrich_the_join() {
+        let dep = DeploymentSpec::new()
+            .with_ranges(EstimatorRangeSpec {
+                h: 0.2,
+                conditions: 3,
+                features: vec![FeatureRangeSpec {
+                    feature: 0,
+                    lo: 0.0,
+                    hi: 1.0,
+                    max_gap: 0.25,
+                    n_samples: 500,
+                }],
+            })
+            .with_chaos_plan(vec!["scorer_panic".into()])
+            .with_chaos_known(vec!["scorer_panic".into(), "poison_batch".into()]);
+        assert_eq!(dep.ranges.as_ref().unwrap().features.len(), 1);
+        assert_eq!(dep.chaos_fault_kinds, vec!["scorer_panic".to_string()]);
+        assert_eq!(dep.chaos_known_kinds.len(), 2);
     }
 
     #[test]

@@ -24,11 +24,23 @@
 //! * **`GS05xx` — serving configuration** ([`passes::ServePass`]):
 //!   worker/queue/connection capacities, micro-batching tuning against
 //!   the connection timeouts, and bind-port sanity for `gansec serve`.
+//! * **`GS06xx` — f32 fast path** ([`passes::FastPathPass`]): build
+//!   support for a reduced-precision scoring request and the bundle
+//!   numerics the narrowed kernels would run over.
+//! * **`GS07xx` — deployment-wide dataflow analysis**
+//!   ([`passes::DataflowPass`]): abstract interval propagation through
+//!   the joined [`DeploymentSpec`] — feature-range intervals from the
+//!   fitted estimators, through per-precision Parzen density bounds, to
+//!   the threshold comparison — plus cross-artifact resilience
+//!   contradictions (breaker vs queue, stall vs heartbeat vs linger,
+//!   chaos plans naming uninjectable faults).
 //!
 //! The entry point is [`check`]; inputs are the lightweight specs in
 //! [`ir`], built either by hand or via the `lint_spec` conversions the
 //! `gansec-gan` and `gansec` (core) crates provide. Reports render as
-//! rustc-style text ([`render_text`]) or stable JSON ([`render_json`]).
+//! rustc-style text ([`render_text`]), stable JSON ([`render_json`]),
+//! SARIF 2.1.0 ([`render_sarif`]), or a machine-applicable patch of
+//! suggested flag changes ([`render_fix_plan`]).
 //!
 //! ```
 //! use gansec_lint::{check, codes, CheckInput, PipelineSpec};
@@ -52,12 +64,17 @@ pub mod ir;
 pub mod passes;
 mod registry;
 mod render;
+mod sarif;
 
-pub use codes::{code_info, code_table, Code, CodeInfo};
-pub use diag::{CheckReport, Diagnostic, Network, Origin, Severity};
+pub use codes::{code_doc, code_info, code_table, Code, CodeInfo};
+pub use diag::{CheckReport, Diagnostic, Fix, Network, Origin, Severity};
 pub use ir::{
-    BundleSpec, CheckInput, ComponentSpec, DomainKind, FastPathSpec, FlowKindSpec, FlowSpec,
-    GraphSpec, LayerSpec, ModelSpec, PairSpec, PipelineSpec, ServeSpec,
+    BundleSpec, CheckInput, ComponentSpec, DeployEdge, DeployNode, DeploymentSpec, DomainKind,
+    EstimatorRangeSpec, FastPathSpec, FeatureRangeSpec, FlowKindSpec, FlowSpec, GraphSpec,
+    LayerSpec, ModelSpec, PairSpec, PipelineSpec, ServeSpec,
 };
 pub use registry::{check, Pass, Registry};
-pub use render::{render_json, render_text};
+pub use render::{
+    render_code_table_json, render_code_table_text, render_fix_plan, render_json, render_text,
+};
+pub use sarif::render_sarif;

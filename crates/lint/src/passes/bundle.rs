@@ -28,6 +28,19 @@ impl Pass for BundlePass {
         "model bundle: schema version, fingerprint, dims, config drift"
     }
 
+    fn codes(&self) -> &'static [crate::Code] {
+        &[
+            codes::BUNDLE_VERSION_MISMATCH,
+            codes::BUNDLE_FINGERPRINT_MISMATCH,
+            codes::BUNDLE_DIM_MISMATCH,
+            codes::BUNDLE_COND_MISMATCH,
+            codes::BUNDLE_FEATURE_OUT_OF_RANGE,
+            codes::BUNDLE_BAD_THRESHOLD,
+            codes::BUNDLE_BAD_BANDWIDTH,
+            codes::BUNDLE_CONFIG_DRIFT,
+        ]
+    }
+
     fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
         let Some(b) = &input.bundle else { return };
         check_version(b, out);

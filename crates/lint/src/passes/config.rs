@@ -22,6 +22,19 @@ impl Pass for ConfigPass {
         "pipeline config: bandwidth, splits, k-steps, checkpoints, threads"
     }
 
+    fn codes(&self) -> &'static [crate::Code] {
+        &[
+            codes::BAD_BANDWIDTH,
+            codes::BAD_SPLIT,
+            codes::BAD_DISC_STEPS,
+            codes::CHECKPOINT_COLLISION,
+            codes::THREADS_EXCEED_PAIRS,
+            codes::ZERO_GSIZE,
+            codes::ZERO_ITERATIONS,
+            codes::ZERO_BATCH,
+        ]
+    }
+
     fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
         let Some(p) = &input.pipeline else { return };
         check_bandwidth(p, out);

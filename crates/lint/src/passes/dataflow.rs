@@ -1,0 +1,572 @@
+//! Deployment-wide dataflow analysis: abstract interval propagation
+//! through the numeric chain the deployed detector actually runs —
+//! feature-range intervals from the bundle's fitted estimators, through
+//! log-sum-exp Parzen density bounds (per precision), to the threshold
+//! comparison — plus the cross-artifact resilience contradictions no
+//! single-spec pass can see.
+//!
+//! The domain is deliberately over-approximating: every bound is chosen
+//! so a flagged deployment is *certainly* broken (false negatives are
+//! preferred over false positives), because these findings are errors
+//! that gate serving. A score ceiling uses the kernel peak (all support
+//! mass coincident with the frame); the f32 underflow bound evaluates
+//! the log-density at the midpoint of the widest nearest-neighbor gap,
+//! a point certainly inside the observed range, with the LSE bounded
+//! above by `max_term + ln(n)`.
+//!
+//! The pass prefers the joined [`DeploymentSpec`] section when the CLI
+//! assembler built one (ranges and chaos kinds only exist there) and
+//! falls back to joining the bare input so pure-spec callers still get
+//! the threshold and resilience findings.
+
+use crate::codes;
+use crate::diag::{Diagnostic, Fix, Origin};
+use crate::ir::{CheckInput, DeploymentSpec, ServeSpec};
+use crate::registry::Pass;
+use crate::Code;
+
+/// The largest consistency score any frame can earn: the standard
+/// normal kernel peak `1/sqrt(2*pi)`. A frame's windowed likelihood is
+/// `density(x) * h`, and the density is at most `1/(h*sqrt(2*pi))`
+/// (every kernel centered exactly on `x`), so the per-feature — and
+/// hence the mean — score is bounded by this.
+const SCORE_CEILING: f64 = 0.398_942_280_401_432_7;
+
+/// Magnitude of the natural log of the smallest positive `f32`
+/// (subnormal, `~1.4e-45`, `ln ~= -103.28`), with margin. When a
+/// log-density upper bound sits below `-F32_UNDERFLOW_LOG_BUDGET`, the
+/// f32 path's `exp` is exactly zero — a hard underflow, not rounding.
+const F32_UNDERFLOW_LOG_BUDGET: f64 = 104.0;
+
+/// Whole-deployment dataflow checks (`GS0701+`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DataflowPass;
+
+impl Pass for DataflowPass {
+    fn id(&self) -> &'static str {
+        "dataflow"
+    }
+
+    fn description(&self) -> &'static str {
+        "deployment dataflow: interval propagation and cross-artifact contradictions"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[
+            codes::DATAFLOW_ALARM_UNREACHABLE,
+            codes::DATAFLOW_THRESHOLD_SATURATES,
+            codes::DATAFLOW_F32_RANGE_UNDERFLOW,
+            codes::DATAFLOW_BREAKER_BEYOND_QUEUE,
+            codes::DATAFLOW_STALL_BELOW_HEARTBEAT,
+            codes::DATAFLOW_LINGER_OUTLIVES_STALL,
+            codes::DATAFLOW_UNKNOWN_CHAOS_FAULT,
+        ]
+    }
+
+    fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
+        let joined;
+        let dep = match &input.deployment {
+            Some(d) => d,
+            None => {
+                joined = DeploymentSpec::join(input);
+                &joined
+            }
+        };
+        check_threshold_interval(dep, out);
+        check_f32_underflow(dep, out);
+        if let Some(s) = &dep.serve {
+            check_breaker_vs_queue(s, out);
+            check_stall_vs_heartbeat(s, out);
+            check_linger_vs_stall(s, out);
+        }
+        check_chaos_kinds(dep, out);
+    }
+}
+
+fn bundle_origin(field: &str) -> Origin {
+    Origin::Bundle {
+        field: field.to_string(),
+    }
+}
+
+fn serve_origin(field: &str) -> Origin {
+    Origin::Serve {
+        field: field.to_string(),
+    }
+}
+
+/// GS0701/GS0702: propagate the score interval `[0, SCORE_CEILING]` to
+/// the `score < threshold` comparison. Non-finite thresholds are
+/// GS0406's job.
+fn check_threshold_interval(dep: &DeploymentSpec, out: &mut Vec<Diagnostic>) {
+    let Some(b) = &dep.bundle else { return };
+    if !b.threshold.is_finite() {
+        return;
+    }
+    if b.threshold <= 0.0 {
+        out.push(
+            Diagnostic::new(
+                codes::DATAFLOW_ALARM_UNREACHABLE,
+                bundle_origin("threshold"),
+                format!(
+                    "alarm threshold {} is not positive; scores are non-negative and the \
+                     alarm fires on score < threshold, so the ATTACK verdict is unreachable",
+                    b.threshold
+                ),
+            )
+            .with_help("recalibrate the threshold on benign frames and reseal the bundle"),
+        );
+    } else if b.threshold > SCORE_CEILING {
+        out.push(
+            Diagnostic::new(
+                codes::DATAFLOW_THRESHOLD_SATURATES,
+                bundle_origin("threshold"),
+                format!(
+                    "alarm threshold {} exceeds the kernel-peak score ceiling \
+                     {SCORE_CEILING:.4}; no frame can score that high, so every frame alarms",
+                    b.threshold
+                ),
+            )
+            .with_help("recalibrate the threshold on benign frames and reseal the bundle"),
+        );
+    }
+}
+
+/// GS0703: with the f32 path requested and the fitted support known,
+/// does the narrowed density hard-underflow somewhere certainly inside
+/// the observed feature range?
+///
+/// At the midpoint of a nearest-neighbor gap `g`, every support sample
+/// is at least `g/2` away, so each log kernel term is at most
+/// `-0.5*(g/(2h))^2 - ln(n*h*sqrt(2*pi))` and the log-sum-exp is at
+/// most that plus `ln(n)`. The `ln(n)` cancels the `n` in the norm,
+/// leaving `-0.5*(g/(2h))^2 - ln(h*sqrt(2*pi))`: when that upper bound
+/// is below the f32 representable floor, the narrowed density is
+/// exactly zero while the f64 reference is still positive.
+fn check_f32_underflow(dep: &DeploymentSpec, out: &mut Vec<Diagnostic>) {
+    let Some(f) = &dep.fastpath else { return };
+    if !f.requested_f32 {
+        return;
+    }
+    let Some(r) = &dep.ranges else { return };
+    if !r.h.is_finite() || r.h <= 0.0 {
+        return; // degenerate bandwidths are GS0407/GS0602's job
+    }
+    let log_norm = (r.h * (2.0 * std::f64::consts::PI).sqrt()).ln();
+    for feat in &r.features {
+        if feat.n_samples < 2 || !feat.max_gap.is_finite() || feat.max_gap <= 0.0 {
+            continue;
+        }
+        let half_gap_sigmas = feat.max_gap / (2.0 * r.h);
+        let log_density_bound = -0.5 * half_gap_sigmas * half_gap_sigmas - log_norm;
+        if log_density_bound < -F32_UNDERFLOW_LOG_BUDGET {
+            out.push(
+                Diagnostic::new(
+                    codes::DATAFLOW_F32_RANGE_UNDERFLOW,
+                    bundle_origin("h"),
+                    format!(
+                        "feature {}: the widest support gap ({:.3}) spans {:.0} bandwidths; \
+                         at its midpoint the f32 density hard-underflows to exactly zero \
+                         while the f64 reference stays positive",
+                        feat.feature,
+                        feat.max_gap,
+                        feat.max_gap / r.h
+                    ),
+                )
+                .with_help(
+                    "serve this bundle at f64, or refit with a wider h so the support \
+                     gaps stay within the f32 exponent range",
+                )
+                .with_fix(Fix {
+                    flag: "--precision".to_string(),
+                    current: "f32".to_string(),
+                    suggested: "f64".to_string(),
+                    rationale: "f64 densities stay positive across this bundle's fitted \
+                                support; the f32 fast path does not"
+                        .to_string(),
+                }),
+            );
+        }
+    }
+}
+
+/// GS0704: a completely full queue drains into
+/// `ceil(queue_frames / max_batch)` batches at most; if that is fewer
+/// than the consecutive failures the breaker needs, shedding cannot
+/// start within one queue's worth of doomed requests. Zero-valued
+/// fields are GS05xx's job.
+fn check_breaker_vs_queue(s: &ServeSpec, out: &mut Vec<Diagnostic>) {
+    if s.max_batch == 0 || s.queue_frames == 0 || s.breaker_threshold == 0 {
+        return;
+    }
+    let drain_batches = s.queue_frames.div_ceil(s.max_batch);
+    if drain_batches < s.breaker_threshold as usize {
+        out.push(
+            Diagnostic::new(
+                codes::DATAFLOW_BREAKER_BEYOND_QUEUE,
+                serve_origin("breaker_threshold"),
+                format!(
+                    "a full queue of {} frames drains in at most {} batches, but the \
+                     breaker trips only after {} consecutive failures; load shedding \
+                     cannot start within one queue's worth of requests",
+                    s.queue_frames, drain_batches, s.breaker_threshold
+                ),
+            )
+            .with_help("lower --breaker-threshold or grow --queue-frames")
+            .with_fix(Fix {
+                flag: "--breaker-threshold".to_string(),
+                current: s.breaker_threshold.to_string(),
+                suggested: drain_batches.to_string(),
+                rationale: "trips within one full-queue drain against a persistently \
+                            failing scorer"
+                    .to_string(),
+            }),
+        );
+    }
+}
+
+/// GS0705: the watchdog samples the in-flight batch age once per
+/// heartbeat, so a stall budget below the sampling period cannot be
+/// enforced as configured. `0` disables stall detection and is fine.
+fn check_stall_vs_heartbeat(s: &ServeSpec, out: &mut Vec<Diagnostic>) {
+    if s.scorer_stall_ms > 0 && s.scorer_stall_ms < s.heartbeat_ms {
+        out.push(
+            Diagnostic::new(
+                codes::DATAFLOW_STALL_BELOW_HEARTBEAT,
+                serve_origin("scorer_stall_ms"),
+                format!(
+                    "stall budget {}ms is shorter than one {}ms watchdog heartbeat; the \
+                     first poll that can observe a busy scorer is already past the budget",
+                    s.scorer_stall_ms, s.heartbeat_ms
+                ),
+            )
+            .with_help("raise --stall-ms to at least the heartbeat, or lower --heartbeat-ms")
+            .with_fix(Fix {
+                flag: "--stall-ms".to_string(),
+                current: s.scorer_stall_ms.to_string(),
+                suggested: s.heartbeat_ms.to_string(),
+                rationale: "a stall budget of at least one heartbeat is observable by the \
+                            watchdog"
+                    .to_string(),
+            }),
+        );
+    }
+}
+
+/// GS0706: the stall clock starts when scoring begins, but a batch may
+/// legitimately spend `batch_linger_ms` assembling first — a linger at
+/// least as long as the stall budget means `--stall-ms` does not bound
+/// end-to-end batch latency the way the two numbers suggest.
+fn check_linger_vs_stall(s: &ServeSpec, out: &mut Vec<Diagnostic>) {
+    if s.scorer_stall_ms > 0 && s.batch_linger_ms >= s.scorer_stall_ms {
+        out.push(
+            Diagnostic::new(
+                codes::DATAFLOW_LINGER_OUTLIVES_STALL,
+                serve_origin("batch_linger_ms"),
+                format!(
+                    "batch linger {}ms is at least the {}ms stall budget; a batch can \
+                     legitimately outwait the watchdog's whole budget before scoring starts",
+                    s.batch_linger_ms, s.scorer_stall_ms
+                ),
+            )
+            .with_help("shorten --batch-linger-ms to keep assembly well inside the stall budget")
+            .with_fix(Fix {
+                flag: "--batch-linger-ms".to_string(),
+                current: s.batch_linger_ms.to_string(),
+                suggested: (s.scorer_stall_ms / 2).to_string(),
+                rationale: "keeps batch assembly inside half the stall budget".to_string(),
+            }),
+        );
+    }
+}
+
+/// GS0707: a chaos plan step referencing a fault kind the build cannot
+/// inject would be silently skipped at drill time. Skipped when the
+/// known-kind list is empty (chaos not built — GS0512 already covers
+/// the whole plan then).
+fn check_chaos_kinds(dep: &DeploymentSpec, out: &mut Vec<Diagnostic>) {
+    if dep.chaos_known_kinds.is_empty() {
+        return;
+    }
+    for kind in &dep.chaos_fault_kinds {
+        if !dep.chaos_known_kinds.iter().any(|k| k == kind) {
+            out.push(
+                Diagnostic::new(
+                    codes::DATAFLOW_UNKNOWN_CHAOS_FAULT,
+                    serve_origin("chaos_plan"),
+                    format!(
+                        "chaos plan references fault kind {kind:?}, which this build \
+                         cannot inject; the drill would silently skip it"
+                    ),
+                )
+                .with_help(format!(
+                    "known fault kinds: {}",
+                    dep.chaos_known_kinds.join(", ")
+                )),
+            );
+        }
+    }
+}
+
+/// Exposed for the renderer/doc tests: the score ceiling the threshold
+/// interval check compares against.
+pub fn score_ceiling() -> f64 {
+    SCORE_CEILING
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BundleSpec, EstimatorRangeSpec, FastPathSpec, FeatureRangeSpec};
+    use crate::registry::check;
+    use crate::Severity;
+
+    fn healthy_bundle() -> BundleSpec {
+        BundleSpec {
+            schema_version: 1,
+            supported_version: 1,
+            seed: 42,
+            config_fingerprint: 7,
+            sealed_fingerprint: 7,
+            current_fingerprint: None,
+            h: 0.2,
+            gsize: 500,
+            n_bins: 48,
+            data_dim: 48,
+            cond_dim: 3,
+            label_cardinality: 3,
+            feature_indices: vec![0, 1, 2],
+            threshold: 0.0625,
+        }
+    }
+
+    fn healthy_serve() -> ServeSpec {
+        ServeSpec {
+            port: Some(7878),
+            workers: 4,
+            max_batch: 64,
+            batch_linger_ms: 2,
+            queue_frames: 1024,
+            max_conns: 64,
+            read_timeout_ms: 5000,
+            write_timeout_ms: 5000,
+            heartbeat_ms: 100,
+            scorer_stall_ms: 10_000,
+            restart_attempts: 5,
+            breaker_threshold: 5,
+            chaos_plan: false,
+            chaos_built: false,
+        }
+    }
+
+    fn ranges(h: f64, max_gap: f64) -> EstimatorRangeSpec {
+        EstimatorRangeSpec {
+            h,
+            conditions: 3,
+            features: vec![FeatureRangeSpec {
+                feature: 7,
+                lo: 0.0,
+                hi: 1.0,
+                max_gap,
+                n_samples: 500,
+            }],
+        }
+    }
+
+    fn run(input: CheckInput) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        DataflowPass.run(&input, &mut out);
+        out
+    }
+
+    fn run_dep(dep: DeploymentSpec) -> Vec<Diagnostic> {
+        run(CheckInput::new().with_deployment(dep))
+    }
+
+    #[test]
+    fn empty_input_is_clean() {
+        assert!(run(CheckInput::new()).is_empty());
+        assert!(run_dep(DeploymentSpec::new()).is_empty());
+    }
+
+    #[test]
+    fn healthy_deployment_is_clean() {
+        let dep = DeploymentSpec::new()
+            .with_bundle(healthy_bundle())
+            .with_ranges(ranges(0.2, 0.25))
+            .with_fastpath(FastPathSpec {
+                requested_f32: true,
+                f32_built: true,
+            })
+            .with_serve(healthy_serve());
+        assert!(run_dep(dep).is_empty());
+    }
+
+    #[test]
+    fn gs0701_non_positive_threshold_is_unreachable() {
+        for t in [0.0, -1.5] {
+            let mut b = healthy_bundle();
+            b.threshold = t;
+            let out = run_dep(DeploymentSpec::new().with_bundle(b));
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].code, codes::DATAFLOW_ALARM_UNREACHABLE);
+            assert_eq!(out[0].severity, Severity::Error);
+            assert_eq!(out[0].origin.to_string(), "bundle.threshold");
+        }
+        // Non-finite thresholds belong to the bundle pass, not this one.
+        let mut b = healthy_bundle();
+        b.threshold = f64::NAN;
+        assert!(run_dep(DeploymentSpec::new().with_bundle(b)).is_empty());
+    }
+
+    #[test]
+    fn gs0702_threshold_above_ceiling_saturates() {
+        let mut b = healthy_bundle();
+        b.threshold = 0.5;
+        let out = run_dep(DeploymentSpec::new().with_bundle(b));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::DATAFLOW_THRESHOLD_SATURATES);
+        assert_eq!(out[0].severity, Severity::Error);
+        // Exactly at the ceiling is conservatively allowed.
+        let mut b = healthy_bundle();
+        b.threshold = score_ceiling();
+        assert!(run_dep(DeploymentSpec::new().with_bundle(b)).is_empty());
+    }
+
+    #[test]
+    fn gs0703_wide_gap_underflows_f32_and_carries_a_fix() {
+        // g/(2h) = 50 sigmas: 0.5*50^2 = 1250 >> 104. Certain underflow.
+        let dep = DeploymentSpec::new()
+            .with_bundle(healthy_bundle())
+            .with_ranges(ranges(1e-3, 0.1))
+            .with_fastpath(FastPathSpec {
+                requested_f32: true,
+                f32_built: true,
+            });
+        let out = run_dep(dep);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::DATAFLOW_F32_RANGE_UNDERFLOW);
+        assert_eq!(out[0].severity, Severity::Error);
+        let fix = out[0].fix.as_ref().expect("fix attached");
+        assert_eq!(fix.flag, "--precision");
+        assert_eq!(fix.current, "f32");
+        assert_eq!(fix.suggested, "f64");
+    }
+
+    #[test]
+    fn gs0703_requires_an_f32_request_and_a_real_gap() {
+        // Same fragile ranges, but f64 requested: clean.
+        let dep = DeploymentSpec::new()
+            .with_ranges(ranges(1e-3, 0.1))
+            .with_fastpath(FastPathSpec {
+                requested_f32: false,
+                f32_built: true,
+            });
+        assert!(run_dep(dep).is_empty());
+        // f32 requested but the support is dense: clean.
+        let dep = DeploymentSpec::new()
+            .with_ranges(ranges(0.2, 0.05))
+            .with_fastpath(FastPathSpec {
+                requested_f32: true,
+                f32_built: true,
+            });
+        assert!(run_dep(dep).is_empty());
+        // Degenerate bandwidth is another pass's finding.
+        let dep = DeploymentSpec::new()
+            .with_ranges(ranges(0.0, 10.0))
+            .with_fastpath(FastPathSpec {
+                requested_f32: true,
+                f32_built: true,
+            });
+        assert!(run_dep(dep).is_empty());
+    }
+
+    #[test]
+    fn gs0704_breaker_beyond_one_queue_drain() {
+        let mut s = healthy_serve();
+        s.queue_frames = 64;
+        s.max_batch = 64; // one batch per drain
+        s.breaker_threshold = 5;
+        let out = run_dep(DeploymentSpec::new().with_serve(s));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::DATAFLOW_BREAKER_BEYOND_QUEUE);
+        assert_eq!(out[0].severity, Severity::Warning);
+        let fix = out[0].fix.as_ref().expect("fix attached");
+        assert_eq!(fix.flag, "--breaker-threshold");
+        assert_eq!(fix.suggested, "1");
+        // Threshold within one drain: clean.
+        let mut s = healthy_serve();
+        s.queue_frames = 1024;
+        s.max_batch = 64;
+        s.breaker_threshold = 16;
+        assert!(run_dep(DeploymentSpec::new().with_serve(s)).is_empty());
+    }
+
+    #[test]
+    fn gs0705_stall_below_heartbeat() {
+        let mut s = healthy_serve();
+        s.heartbeat_ms = 100;
+        s.scorer_stall_ms = 50;
+        let out = run_dep(DeploymentSpec::new().with_serve(s));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::DATAFLOW_STALL_BELOW_HEARTBEAT);
+        assert_eq!(out[0].fix.as_ref().unwrap().suggested, "100");
+        // Stall detection off is clean.
+        let mut s = healthy_serve();
+        s.scorer_stall_ms = 0;
+        assert!(run_dep(DeploymentSpec::new().with_serve(s)).is_empty());
+    }
+
+    #[test]
+    fn gs0706_linger_at_least_the_stall_budget() {
+        let mut s = healthy_serve();
+        s.scorer_stall_ms = 100;
+        s.batch_linger_ms = 100;
+        let out = run_dep(DeploymentSpec::new().with_serve(s));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::DATAFLOW_LINGER_OUTLIVES_STALL);
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert_eq!(out[0].fix.as_ref().unwrap().flag, "--batch-linger-ms");
+    }
+
+    #[test]
+    fn gs0707_unknown_chaos_fault_kind() {
+        let dep = DeploymentSpec::new()
+            .with_serve(healthy_serve())
+            .with_chaos_plan(vec!["scorer_panic".into(), "disk_full".into()])
+            .with_chaos_known(vec![
+                "scorer_panic".into(),
+                "scorer_hang".into(),
+                "poison_batch".into(),
+            ]);
+        let out = run_dep(dep);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::DATAFLOW_UNKNOWN_CHAOS_FAULT);
+        assert_eq!(out[0].severity, Severity::Error);
+        assert!(out[0].message.contains("disk_full"));
+        // With no known kinds (chaos not built) the check is GS0512's.
+        let dep = DeploymentSpec::new()
+            .with_serve(healthy_serve())
+            .with_chaos_plan(vec!["disk_full".into()]);
+        assert!(run_dep(dep).is_empty());
+    }
+
+    #[test]
+    fn falls_back_to_joining_the_bare_input() {
+        let mut b = healthy_bundle();
+        b.threshold = 0.0;
+        let out = run(CheckInput::new().with_bundle(b));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::DATAFLOW_ALARM_UNREACHABLE);
+    }
+
+    #[test]
+    fn dataflow_diagnostics_flow_through_default_registry() {
+        let mut b = healthy_bundle();
+        b.threshold = -1.0;
+        let report = check(&CheckInput::new().with_bundle(b));
+        assert!(report.has(codes::DATAFLOW_ALARM_UNREACHABLE));
+        assert!(report.should_fail(false));
+        assert!(report.passes().contains(&"dataflow"));
+    }
+}

@@ -39,6 +39,15 @@ impl Pass for FastPathPass {
         "f32 fast path: build support, bandwidth and threshold numerics"
     }
 
+    fn codes(&self) -> &'static [crate::Code] {
+        &[
+            codes::FASTPATH_WITHOUT_FEATURE,
+            codes::FASTPATH_TINY_BANDWIDTH,
+            codes::FASTPATH_THRESHOLD_NOT_REPRESENTABLE,
+            codes::FASTPATH_THRESHOLD_BELOW_NOISE,
+        ]
+    }
+
     fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
         let Some(f) = &input.fastpath else { return };
         check_build(f, out);

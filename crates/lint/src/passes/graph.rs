@@ -20,6 +20,19 @@ impl Pass for GraphPass {
         "CPPS graph structure: cycles, orphans, pair reachability, domains"
     }
 
+    fn codes(&self) -> &'static [crate::Code] {
+        &[
+            codes::RESIDUAL_CYCLE,
+            codes::DANGLING_REFERENCE,
+            codes::ORPHAN_COMPONENT,
+            codes::UNREACHABLE_PAIR,
+            codes::PAIR_WITHOUT_DATA,
+            codes::FEEDBACK_IN_DECLARED_GRAPH,
+            codes::DOMAIN_MISMATCH,
+            codes::NO_FLOW_PAIRS,
+        ]
+    }
+
     fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
         let Some(g) = &input.graph else { return };
         // Referential integrity first: the later checks index by id and

@@ -2,13 +2,15 @@
 //!
 //! Each pass is a unit struct implementing [`crate::Pass`]; the default
 //! registry runs them in the order graph → shape → config → bundle →
-//! serve → fastpath. To add a pass: pick the next free `GS0xxx` code in
-//! [`crate::codes`], add it to the published table, implement
-//! [`crate::Pass`] here, and register it in
+//! serve → fastpath → dataflow. To add a pass: pick the next free
+//! `GS0xxx` code in [`crate::codes`], add it to the published table,
+//! implement [`crate::Pass`] here (declaring the codes it owns via
+//! [`crate::Pass::codes`]), and register it in
 //! [`crate::Registry::with_default_passes`].
 
 mod bundle;
 mod config;
+mod dataflow;
 mod fastpath;
 mod graph;
 mod serve;
@@ -16,6 +18,7 @@ mod shape;
 
 pub use bundle::BundlePass;
 pub use config::ConfigPass;
+pub use dataflow::{score_ceiling, DataflowPass};
 pub use fastpath::FastPathPass;
 pub use graph::GraphPass;
 pub use serve::ServePass;

@@ -27,6 +27,23 @@ impl Pass for ServePass {
         "serving config: workers, queue bounds, batching, bind port"
     }
 
+    fn codes(&self) -> &'static [crate::Code] {
+        &[
+            codes::SERVE_ZERO_WORKERS,
+            codes::SERVE_ZERO_QUEUE,
+            codes::SERVE_BATCH_EXCEEDS_QUEUE,
+            codes::SERVE_ZERO_BATCH,
+            codes::SERVE_LINGER_EXCEEDS_TIMEOUT,
+            codes::SERVE_EPHEMERAL_PORT,
+            codes::SERVE_ZERO_CONNS,
+            codes::SERVE_WORKERS_EXCEED_CONNS,
+            codes::SERVE_HEARTBEAT_EXCEEDS_WRITE_TIMEOUT,
+            codes::SERVE_ZERO_RESTART_ATTEMPTS,
+            codes::SERVE_ZERO_BREAKER_THRESHOLD,
+            codes::SERVE_CHAOS_WITHOUT_FEATURE,
+        ]
+    }
+
     fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
         let Some(s) = &input.serve else { return };
         check_capacities(s, out);
@@ -216,6 +233,7 @@ mod tests {
             read_timeout_ms: 5_000,
             write_timeout_ms: 5_000,
             heartbeat_ms: 100,
+            scorer_stall_ms: 10_000,
             restart_attempts: 5,
             breaker_threshold: 5,
             chaos_plan: false,

@@ -26,6 +26,20 @@ impl Pass for ShapePass {
         "GAN shape inference: layer stacks, dims, condition width"
     }
 
+    fn codes(&self) -> &'static [crate::Code] {
+        &[
+            codes::GEN_INPUT_MISMATCH,
+            codes::LAYER_SHAPE_MISMATCH,
+            codes::GEN_OUTPUT_MISMATCH,
+            codes::DISC_INPUT_MISMATCH,
+            codes::DISC_OUTPUT_MISMATCH,
+            codes::COND_WIDTH_MISMATCH,
+            codes::DEAD_LAYER,
+            codes::ZERO_DIM,
+            codes::EMPTY_NETWORK,
+        ]
+    }
+
     fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
         let Some(m) = &input.model else { return };
         check_dims(m, out);

@@ -3,7 +3,10 @@
 
 use crate::diag::{CheckReport, Diagnostic};
 use crate::ir::CheckInput;
-use crate::passes::{BundlePass, ConfigPass, FastPathPass, GraphPass, ServePass, ShapePass};
+use crate::passes::{
+    BundlePass, ConfigPass, DataflowPass, FastPathPass, GraphPass, ServePass, ShapePass,
+};
+use crate::Code;
 
 /// One static analysis pass.
 ///
@@ -16,6 +19,13 @@ pub trait Pass {
 
     /// One-line description for `--list-passes`-style output.
     fn description(&self) -> &'static str;
+
+    /// The published codes this pass (and only this pass) emits. Every
+    /// published code must be owned by exactly one registered pass —
+    /// enforced by a registry test.
+    fn codes(&self) -> &'static [Code] {
+        &[]
+    }
 
     /// Appends findings for `input` to `out`.
     fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>);
@@ -34,7 +44,7 @@ impl Registry {
     }
 
     /// The built-in passes in canonical order: graph, shape, config,
-    /// bundle, serve, fastpath.
+    /// bundle, serve, fastpath, dataflow.
     pub fn with_default_passes() -> Self {
         let mut r = Self::new();
         r.register(Box::new(GraphPass));
@@ -43,6 +53,7 @@ impl Registry {
         r.register(Box::new(BundlePass));
         r.register(Box::new(ServePass));
         r.register(Box::new(FastPathPass));
+        r.register(Box::new(DataflowPass));
         r
     }
 
@@ -82,9 +93,36 @@ mod tests {
         let report = check(&CheckInput::new());
         assert_eq!(
             report.passes(),
-            &["graph", "shape", "config", "bundle", "serve", "fastpath"]
+            &["graph", "shape", "config", "bundle", "serve", "fastpath", "dataflow"]
         );
         assert!(report.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn every_published_code_is_owned_by_exactly_one_pass() {
+        let registry = Registry::with_default_passes();
+        let mut owners: Vec<(Code, &'static str)> = Vec::new();
+        for pass in registry.passes() {
+            for &code in pass.codes() {
+                if let Some((_, other)) = owners.iter().find(|(c, _)| *c == code) {
+                    panic!("{code} claimed by both {other} and {}", pass.id());
+                }
+                owners.push((code, pass.id()));
+            }
+        }
+        for info in crate::code_table() {
+            assert!(
+                owners.iter().any(|(c, _)| *c == info.code),
+                "{} ({}) is published but no pass owns it",
+                info.code,
+                info.name
+            );
+        }
+        assert_eq!(
+            owners.len(),
+            crate::code_table().len(),
+            "a pass claims a code missing from the published table"
+        );
     }
 
     #[test]

@@ -51,6 +51,13 @@ fn render_text_diagnostic(out: &mut String, d: &Diagnostic) {
     if let Some(help) = &d.help {
         let _ = writeln!(out, "  help: {help}");
     }
+    if let Some(fix) = &d.fix {
+        let _ = writeln!(
+            out,
+            "  fix: {} {} -> {} ({})",
+            fix.flag, fix.current, fix.suggested, fix.rationale
+        );
+    }
 }
 
 fn plural(n: usize) -> &'static str {
@@ -121,11 +128,109 @@ fn render_json_diagnostic(out: &mut String, d: &Diagnostic) {
         Some(h) => json_string(out, h),
         None => out.push_str("null"),
     }
+    out.push_str(",\"fix\":");
+    match &d.fix {
+        Some(f) => render_json_fix(out, f),
+        None => out.push_str("null"),
+    }
     out.push('}');
 }
 
+fn render_json_fix(out: &mut String, f: &crate::diag::Fix) {
+    out.push_str("{\"flag\":");
+    json_string(out, &f.flag);
+    out.push_str(",\"current\":");
+    json_string(out, &f.current);
+    out.push_str(",\"suggested\":");
+    json_string(out, &f.suggested);
+    out.push_str(",\"rationale\":");
+    json_string(out, &f.rationale);
+    out.push('}');
+}
+
+/// Renders the machine-applicable patch of suggested flag changes:
+///
+/// ```json
+/// {"fixes":[{"code":"GS0703","flag":"--precision",
+///   "current":"f32","suggested":"f64","rationale":"..."}]}
+/// ```
+///
+/// Only diagnostics carrying a [`crate::Fix`] appear; the patch is a
+/// plan for the operator to apply, never an in-place mutation. Keys and
+/// order (emission order) are stable.
+pub fn render_fix_plan(report: &CheckReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\"fixes\":[");
+    for (i, d) in report.fixes().enumerate() {
+        let f = d
+            .fix
+            .as_ref()
+            .expect("fixes() yields only fixed diagnostics");
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"code\":");
+        json_string(&mut out, &d.code.to_string());
+        out.push_str(",\"flag\":");
+        json_string(&mut out, &f.flag);
+        out.push_str(",\"current\":");
+        json_string(&mut out, &f.current);
+        out.push_str(",\"suggested\":");
+        json_string(&mut out, &f.suggested);
+        out.push_str(",\"rationale\":");
+        json_string(&mut out, &f.rationale);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the full published code table as aligned text, one code per
+/// line — the `gansec check --list-codes` payload. Generated from
+/// [`crate::code_table`] so the listing can never drift from the
+/// registered codes.
+pub fn render_code_table_text() -> String {
+    let table = crate::codes::code_table();
+    let name_width = table.iter().map(|i| i.name.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for info in table {
+        // `Severity`'s `Display` does not honor widths; pad the string.
+        let severity = info.severity.to_string();
+        let _ = writeln!(
+            out,
+            "{}  {severity:<7}  {:<name_width$}  {}",
+            info.code, info.name, info.summary
+        );
+    }
+    out
+}
+
+/// Renders the code table as a single-line JSON array of
+/// `{"code","name","severity","summary"}` objects, in the same order as
+/// the text listing.
+pub fn render_code_table_json() -> String {
+    let mut out = String::new();
+    out.push('[');
+    for (i, info) in crate::codes::code_table().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"code\":");
+        json_string(&mut out, &info.code.to_string());
+        out.push_str(",\"name\":");
+        json_string(&mut out, info.name);
+        out.push_str(",\"severity\":");
+        json_string(&mut out, &info.severity.to_string());
+        out.push_str(",\"summary\":");
+        json_string(&mut out, info.summary);
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
 /// Appends `s` as a JSON string literal with full escaping.
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -148,6 +253,27 @@ mod tests {
     use super::*;
     use crate::codes;
     use crate::diag::Origin;
+
+    #[test]
+    fn code_table_renderings_cover_every_published_code() {
+        let text = render_code_table_text();
+        let json = render_code_table_json();
+        for info in crate::codes::code_table() {
+            let id = info.code.to_string();
+            assert!(text.contains(&id), "text listing misses {id}");
+            assert!(
+                json.contains(&format!("{{\"code\":\"{id}\"")),
+                "json listing misses {id}"
+            );
+        }
+        assert_eq!(text.lines().count(), crate::codes::code_table().len());
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        // Spot-check one full JSON row so the key order stays pinned.
+        assert!(json.contains(
+            "{\"code\":\"GS0705\",\"name\":\"dataflow-stall-below-heartbeat\",\
+             \"severity\":\"warning\",\"summary\":"
+        ));
+    }
 
     fn report() -> CheckReport {
         CheckReport::new(
@@ -186,6 +312,44 @@ mod tests {
         let mut s = String::new();
         json_string(&mut s, "a\"b\\c\nd\te\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn fixes_render_in_text_json_and_the_plan() {
+        use crate::diag::Fix;
+        let fixed = CheckReport::new(
+            vec![Diagnostic::new(
+                codes::DATAFLOW_STALL_BELOW_HEARTBEAT,
+                Origin::Serve {
+                    field: "scorer_stall_ms".into(),
+                },
+                "stall budget below one heartbeat",
+            )
+            .with_fix(Fix {
+                flag: "--stall-ms".into(),
+                current: "50".into(),
+                suggested: "100".into(),
+                rationale: "observable by the watchdog".into(),
+            })],
+            vec!["dataflow"],
+        );
+        let text = render_text(&fixed);
+        assert!(text.contains("  fix: --stall-ms 50 -> 100 (observable by the watchdog)\n"));
+        let json = render_json(&fixed);
+        assert!(json.contains(
+            "\"fix\":{\"flag\":\"--stall-ms\",\"current\":\"50\",\
+             \"suggested\":\"100\",\"rationale\":\"observable by the watchdog\"}"
+        ));
+        assert_eq!(
+            render_fix_plan(&fixed),
+            "{\"fixes\":[{\"code\":\"GS0705\",\"flag\":\"--stall-ms\",\
+             \"current\":\"50\",\"suggested\":\"100\",\
+             \"rationale\":\"observable by the watchdog\"}]}"
+        );
+        // A fixless report yields an empty plan, not an error.
+        assert_eq!(render_fix_plan(&report()), "{\"fixes\":[]}");
+        // And its JSON diagnostics carry an explicit null.
+        assert!(render_json(&report()).contains("\"fix\":null"));
     }
 
     #[test]

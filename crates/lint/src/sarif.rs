@@ -1,0 +1,217 @@
+//! SARIF 2.1.0 rendering: the Static Analysis Results Interchange
+//! Format that CI systems and editors ingest natively.
+//!
+//! Like the JSON renderer, this is hand-rolled and dependency-free: the
+//! emitted subset is small, flat, and fully controlled here, and golden
+//! tests pin the exact bytes. The mapping:
+//!
+//! * each published `GS0xxx` code a result references becomes a
+//!   `reportingDescriptor` in `tool.driver.rules`, deduplicated in
+//!   first-appearance order;
+//! * each diagnostic becomes a `result` with `ruleId`/`ruleIndex`, the
+//!   severity mapped to a SARIF `level` (`error`/`warning`/`note`), and
+//!   the structured [`crate::Origin`] carried as a logical location
+//!   (`gansec check` analyzes specs, not source files, so there are no
+//!   physical locations);
+//! * `help` and a machine-applicable [`crate::Fix`] ride in the
+//!   result's `properties` bag, keeping the document schema-valid
+//!   without inventing fields.
+
+use std::fmt::Write as _;
+
+use crate::codes::code_info;
+use crate::diag::{CheckReport, Diagnostic, Severity};
+use crate::render::json_string;
+
+/// The schema the emitted document declares.
+const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Renders the report as a single-line SARIF 2.1.0 document.
+pub fn render_sarif(report: &CheckReport) -> String {
+    // Rules referenced by the results, first appearance first.
+    let mut rule_ids: Vec<String> = Vec::new();
+    for d in report.diagnostics() {
+        let id = d.code.to_string();
+        if !rule_ids.contains(&id) {
+            rule_ids.push(id);
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\"$schema\":");
+    json_string(&mut out, SARIF_SCHEMA);
+    out.push_str(",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    out.push_str("\"name\":\"gansec-lint\",\"rules\":[");
+    for (i, id) in rule_ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_rule(&mut out, id, report);
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in report.diagnostics().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rule_index = rule_ids
+            .iter()
+            .position(|id| *id == d.code.to_string())
+            .expect("every result's rule was collected");
+        render_result(&mut out, d, rule_index);
+    }
+    out.push_str("]}]}");
+    out
+}
+
+/// One `reportingDescriptor`: id, short description, default level.
+fn render_rule(out: &mut String, id: &str, report: &CheckReport) {
+    out.push_str("{\"id\":");
+    json_string(out, id);
+    // All diagnostics under one code share the code's published info.
+    let info = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code.to_string() == id)
+        .and_then(|d| code_info(d.code));
+    if let Some(info) = info {
+        out.push_str(",\"name\":");
+        json_string(out, info.name);
+        out.push_str(",\"shortDescription\":{\"text\":");
+        json_string(out, info.summary);
+        out.push_str("},\"defaultConfiguration\":{\"level\":");
+        json_string(out, sarif_level(info.severity));
+        out.push('}');
+    }
+    out.push('}');
+}
+
+fn render_result(out: &mut String, d: &Diagnostic, rule_index: usize) {
+    out.push_str("{\"ruleId\":");
+    json_string(out, &d.code.to_string());
+    let _ = write!(out, ",\"ruleIndex\":{rule_index}");
+    out.push_str(",\"level\":");
+    json_string(out, sarif_level(d.severity));
+    out.push_str(",\"message\":{\"text\":");
+    json_string(out, &d.message);
+    out.push_str("},\"locations\":[{\"logicalLocations\":[{\"fullyQualifiedName\":");
+    json_string(out, &d.origin.to_string());
+    out.push_str("}]}]");
+    if d.help.is_some() || d.fix.is_some() {
+        out.push_str(",\"properties\":{");
+        let mut first = true;
+        if let Some(help) = &d.help {
+            out.push_str("\"help\":");
+            json_string(out, help);
+            first = false;
+        }
+        if let Some(fix) = &d.fix {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("\"fix\":{\"flag\":");
+            json_string(out, &fix.flag);
+            out.push_str(",\"current\":");
+            json_string(out, &fix.current);
+            out.push_str(",\"suggested\":");
+            json_string(out, &fix.suggested);
+            out.push_str(",\"rationale\":");
+            json_string(out, &fix.rationale);
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// SARIF has three levels; `Info` maps to `note`.
+fn sarif_level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "note",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes;
+    use crate::diag::{Fix, Origin};
+
+    fn report() -> CheckReport {
+        CheckReport::new(
+            vec![
+                Diagnostic::new(
+                    codes::BAD_BANDWIDTH,
+                    Origin::Config { field: "h".into() },
+                    "h must be positive",
+                )
+                .with_help("use h = 0.2"),
+                Diagnostic::new(
+                    codes::DATAFLOW_F32_RANGE_UNDERFLOW,
+                    Origin::Bundle { field: "h".into() },
+                    "f32 densities underflow",
+                )
+                .with_fix(Fix {
+                    flag: "--precision".into(),
+                    current: "f32".into(),
+                    suggested: "f64".into(),
+                    rationale: "f64 stays positive".into(),
+                }),
+                Diagnostic::new(
+                    codes::BAD_BANDWIDTH,
+                    Origin::Bundle { field: "h".into() },
+                    "bundled h must be positive",
+                ),
+            ],
+            vec!["config", "dataflow"],
+        )
+    }
+
+    #[test]
+    fn document_declares_sarif_2_1_0() {
+        let s = render_sarif(&report());
+        assert!(s.starts_with("{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs"));
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"name\":\"gansec-lint\""));
+    }
+
+    #[test]
+    fn rules_are_deduplicated_in_first_appearance_order() {
+        let s = render_sarif(&report());
+        // GS0301 appears twice among results but once among rules.
+        let rules = s.split("\"results\"").next().unwrap();
+        assert_eq!(rules.matches("{\"id\":\"GS0301\"").count(), 1);
+        assert_eq!(rules.matches("{\"id\":\"GS0703\"").count(), 1);
+        // Both GS0301 results share ruleIndex 0; GS0703 gets 1.
+        assert_eq!(s.matches("\"ruleIndex\":0").count(), 2);
+        assert_eq!(s.matches("\"ruleIndex\":1").count(), 1);
+    }
+
+    #[test]
+    fn levels_and_locations_map_from_diagnostics() {
+        let s = render_sarif(&report());
+        assert!(s.contains("\"level\":\"error\""));
+        assert!(s.contains("\"fullyQualifiedName\":\"config.h\""));
+        assert!(s.contains("\"fullyQualifiedName\":\"bundle.h\""));
+    }
+
+    #[test]
+    fn help_and_fix_ride_in_the_properties_bag() {
+        let s = render_sarif(&report());
+        assert!(s.contains("\"properties\":{\"help\":\"use h = 0.2\"}"));
+        assert!(s.contains(
+            "\"properties\":{\"fix\":{\"flag\":\"--precision\",\"current\":\"f32\",\
+             \"suggested\":\"f64\",\"rationale\":\"f64 stays positive\"}}"
+        ));
+    }
+
+    #[test]
+    fn empty_report_is_still_a_valid_run() {
+        let empty = CheckReport::new(vec![], vec!["graph"]);
+        let s = render_sarif(&empty);
+        assert!(s.contains("\"rules\":[]"));
+        assert!(s.ends_with("\"results\":[]}]}"));
+    }
+}

@@ -1,4 +1,4 @@
-//! Golden-snapshot tests: the exact bytes of the text and JSON
+//! Golden-snapshot tests: the exact bytes of the text, JSON, and SARIF
 //! renderers are part of the crate's contract (scripts parse them), so
 //! they are pinned here. A renderer change must update these strings
 //! deliberately.
@@ -7,8 +7,11 @@
 
 use gansec_cpps::{CppsArchitecture, FlowKind};
 use gansec_lint::{
-    check, render_json, render_text, CheckInput, GraphSpec, PipelineSpec, ServeSpec,
+    check, render_fix_plan, render_json, render_sarif, render_text, CheckInput, GraphSpec,
+    PipelineSpec, ServeSpec,
 };
+
+const ALL_PASSES_TEXT: &str = "graph, shape, config, bundle, serve, fastpath, dataflow";
 
 /// A config with one error (negative bandwidth) and one warning (zero
 /// training iterations).
@@ -23,7 +26,8 @@ fn broken_pipeline() -> CheckInput {
 #[test]
 fn golden_text_broken_pipeline() {
     let report = check(&broken_pipeline());
-    let expected = "\
+    let expected = format!(
+        "\
 error[GS0301]: Parzen bandwidth h must be finite and positive, got -1
   --> config.h
   note: Parzen bandwidth h is non-finite or not positive (bad-bandwidth)
@@ -34,8 +38,9 @@ warning[GS0307]: 0 training iterations: the model stays at initialization
   note: zero training iterations (zero-iterations)
   help: likelihoods from an untrained generator are noise
 
-check: 1 error, 1 warning, 0 infos (passes: graph, shape, config, bundle, serve)
-";
+check: 1 error, 1 warning, 0 infos (passes: {ALL_PASSES_TEXT})
+"
+    );
     assert_eq!(render_text(&report), expected);
 }
 
@@ -44,16 +49,17 @@ fn golden_json_broken_pipeline() {
     let report = check(&broken_pipeline());
     let expected = concat!(
         "{\"errors\":1,\"warnings\":1,\"infos\":0,",
-        "\"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\"],",
+        "\"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\",",
+        "\"fastpath\",\"dataflow\"],",
         "\"diagnostics\":[",
         "{\"code\":\"GS0301\",\"name\":\"bad-bandwidth\",\"severity\":\"error\",",
         "\"origin\":\"config.h\",",
         "\"message\":\"Parzen bandwidth h must be finite and positive, got -1\",",
-        "\"help\":\"the paper's case study uses h = 0.2\"},",
+        "\"help\":\"the paper's case study uses h = 0.2\",\"fix\":null},",
         "{\"code\":\"GS0307\",\"name\":\"zero-iterations\",\"severity\":\"warning\",",
         "\"origin\":\"config.train_iterations\",",
         "\"message\":\"0 training iterations: the model stays at initialization\",",
-        "\"help\":\"likelihoods from an untrained generator are noise\"}",
+        "\"help\":\"likelihoods from an untrained generator are noise\",\"fix\":null}",
         "]}"
     );
     assert_eq!(render_json(&report), expected);
@@ -64,7 +70,7 @@ fn golden_text_clean_report() {
     let report = check(&CheckInput::new().with_pipeline(PipelineSpec::default()));
     assert_eq!(
         render_text(&report),
-        "check: 0 errors, 0 warnings, 0 infos (passes: graph, shape, config, bundle, serve)\n"
+        format!("check: 0 errors, 0 warnings, 0 infos (passes: {ALL_PASSES_TEXT})\n")
     );
 }
 
@@ -74,7 +80,8 @@ fn golden_json_clean_report() {
     assert_eq!(
         render_json(&report),
         "{\"errors\":0,\"warnings\":0,\"infos\":0,\
-         \"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\"],\"diagnostics\":[]}"
+         \"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\",\
+         \"fastpath\",\"dataflow\"],\"diagnostics\":[]}"
     );
 }
 
@@ -91,6 +98,7 @@ fn broken_resilience() -> CheckInput {
         read_timeout_ms: 5_000,
         write_timeout_ms: 5_000,
         heartbeat_ms: 100,
+        scorer_stall_ms: 10_000,
         restart_attempts: 0,
         breaker_threshold: 5,
         chaos_plan: true,
@@ -101,7 +109,8 @@ fn broken_resilience() -> CheckInput {
 #[test]
 fn golden_text_broken_resilience() {
     let report = check(&broken_resilience());
-    let expected = "\
+    let expected = format!(
+        "\
 warning[GS0510]: zero scorer restart attempts: the first scorer panic degrades the server permanently instead of being supervised back up
   --> serve.restart_attempts
   note: zero scorer restart attempts: first panic degrades forever (serve-zero-restart-attempts)
@@ -112,8 +121,9 @@ error[GS0512]: a chaos fault-injection plan was requested but this binary was bu
   note: chaos plan requested in a build without the chaos feature (serve-chaos-without-feature)
   help: rebuild with --features chaos, or drop --chaos-plan
 
-check: 1 error, 1 warning, 0 infos (passes: graph, shape, config, bundle, serve)
-";
+check: 1 error, 1 warning, 0 infos (passes: {ALL_PASSES_TEXT})
+"
+    );
     assert_eq!(render_text(&report), expected);
 }
 
@@ -122,18 +132,21 @@ fn golden_json_broken_resilience() {
     let report = check(&broken_resilience());
     let expected = concat!(
         "{\"errors\":1,\"warnings\":1,\"infos\":0,",
-        "\"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\"],",
+        "\"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\",",
+        "\"fastpath\",\"dataflow\"],",
         "\"diagnostics\":[",
         "{\"code\":\"GS0510\",\"name\":\"serve-zero-restart-attempts\",\"severity\":\"warning\",",
         "\"origin\":\"serve.restart_attempts\",",
         "\"message\":\"zero scorer restart attempts: the first scorer panic degrades ",
         "the server permanently instead of being supervised back up\",",
-        "\"help\":\"pass --restart-attempts >= 1 unless fail-fast is intended\"},",
+        "\"help\":\"pass --restart-attempts >= 1 unless fail-fast is intended\",",
+        "\"fix\":null},",
         "{\"code\":\"GS0512\",\"name\":\"serve-chaos-without-feature\",\"severity\":\"error\",",
         "\"origin\":\"serve.chaos_plan\",",
         "\"message\":\"a chaos fault-injection plan was requested but this binary ",
         "was built without the `chaos` feature; the plan would be silently ignored\",",
-        "\"help\":\"rebuild with --features chaos, or drop --chaos-plan\"}",
+        "\"help\":\"rebuild with --features chaos, or drop --chaos-plan\",",
+        "\"fix\":null}",
         "]}"
     );
     assert_eq!(render_json(&report), expected);
@@ -152,7 +165,8 @@ fn golden_text_validated_cycle() {
     arch.add_flow("ba", FlowKind::Energy, b, a).unwrap();
     let spec = GraphSpec::from_architecture(&arch, false);
     let report = check(&CheckInput::new().with_graph(spec));
-    let expected = "\
+    let expected = format!(
+        "\
 info[GS0106]: architecture 'cyclic' contains 1 feedback flow(s): f1
   --> graph: flow f1 (ba)
   note: declared architecture contains feedback cycles (feedback-in-declared-graph)
@@ -163,8 +177,77 @@ warning[GS0108]: graph 'cyclic' yields no flow pairs to model
   note: no flow pairs to model (no-flow-pairs)
   help: check that at least two kept flows lie on a common causal path
 
-check: 0 errors, 1 warning, 1 info (passes: graph, shape, config, bundle, serve)
-";
+check: 0 errors, 1 warning, 1 info (passes: {ALL_PASSES_TEXT})
+"
+    );
     assert_eq!(render_text(&report), expected);
     assert!(!report.should_fail(false));
+}
+
+/// A serving config whose stall budget sits below one watchdog
+/// heartbeat: the dataflow pass flags it and attaches a fix — the
+/// canonical single-finding SARIF document.
+fn stall_below_heartbeat() -> CheckInput {
+    let mut spec = match broken_resilience().serve {
+        Some(s) => s,
+        None => unreachable!(),
+    };
+    spec.restart_attempts = 5;
+    spec.chaos_plan = false;
+    spec.scorer_stall_ms = 50;
+    CheckInput::new().with_serve(spec)
+}
+
+#[test]
+fn golden_sarif_stall_below_heartbeat() {
+    let report = check(&stall_below_heartbeat());
+    let expected = concat!(
+        "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/",
+        "master/Schemata/sarif-schema-2.1.0.json\",",
+        "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{",
+        "\"name\":\"gansec-lint\",\"rules\":[",
+        "{\"id\":\"GS0705\",\"name\":\"dataflow-stall-below-heartbeat\",",
+        "\"shortDescription\":{\"text\":\"stall budget shorter than one watchdog ",
+        "heartbeat\"},",
+        "\"defaultConfiguration\":{\"level\":\"warning\"}}",
+        "]}},\"results\":[",
+        "{\"ruleId\":\"GS0705\",\"ruleIndex\":0,\"level\":\"warning\",",
+        "\"message\":{\"text\":\"stall budget 50ms is shorter than one 100ms watchdog ",
+        "heartbeat; the first poll that can observe a busy scorer is already past the ",
+        "budget\"},",
+        "\"locations\":[{\"logicalLocations\":[",
+        "{\"fullyQualifiedName\":\"serve.scorer_stall_ms\"}]}],",
+        "\"properties\":{",
+        "\"help\":\"raise --stall-ms to at least the heartbeat, or lower ",
+        "--heartbeat-ms\",",
+        "\"fix\":{\"flag\":\"--stall-ms\",\"current\":\"50\",\"suggested\":\"100\",",
+        "\"rationale\":\"a stall budget of at least one heartbeat is observable by ",
+        "the watchdog\"}}}",
+        "]}]}"
+    );
+    assert_eq!(render_sarif(&report), expected);
+}
+
+#[test]
+fn golden_sarif_clean_report() {
+    let report = check(&CheckInput::new().with_pipeline(PipelineSpec::default()));
+    assert_eq!(
+        render_sarif(&report),
+        "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/\
+         master/Schemata/sarif-schema-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"gansec-lint\",\"rules\":[]}},\"results\":[]}]}"
+    );
+}
+
+#[test]
+fn golden_fix_plan_stall_below_heartbeat() {
+    let report = check(&stall_below_heartbeat());
+    assert_eq!(
+        render_fix_plan(&report),
+        "{\"fixes\":[{\"code\":\"GS0705\",\"flag\":\"--stall-ms\",\
+         \"current\":\"50\",\"suggested\":\"100\",\
+         \"rationale\":\"a stall budget of at least one heartbeat is observable by \
+         the watchdog\"}]}"
+    );
 }

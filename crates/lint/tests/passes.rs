@@ -90,7 +90,7 @@ fn clean_bundle() -> BundleSpec {
         cond_dim: 3,
         label_cardinality: 3,
         feature_indices: vec![2, 7],
-        threshold: -3.5,
+        threshold: 0.0625,
     }
 }
 
@@ -606,6 +606,7 @@ fn clean_serve() -> ServeSpec {
         read_timeout_ms: 5000,
         write_timeout_ms: 5000,
         heartbeat_ms: 100,
+        scorer_stall_ms: 10_000,
         restart_attempts: 5,
         breaker_threshold: 5,
         chaos_plan: false,
@@ -779,6 +780,167 @@ fn published_code_table_matches_pass_coverage() {
         301, 302, 303, 304, 305, 306, 307, 308, // config
         401, 402, 403, 404, 405, 406, 407, 408, // bundle
         501, 502, 503, 504, 505, 506, 507, 508, 509, 510, 511, 512, // serve
+        601, 602, 603, 604, // fastpath
+        701, 702, 703, 704, 705, 706, 707, // dataflow
     ];
     assert_eq!(published, expected);
+}
+
+// --- dataflow pass (GS07xx) -------------------------------------------
+
+use gansec_lint::{DeploymentSpec, EstimatorRangeSpec, FastPathSpec, FeatureRangeSpec};
+
+fn deployment_input(dep: DeploymentSpec) -> CheckInput {
+    CheckInput::new().with_deployment(dep)
+}
+
+#[test]
+fn gs0701_alarm_unreachable() {
+    let mut b = clean_bundle();
+    b.threshold = 0.0;
+    let report = check(&bundle_input(b));
+    let d = report
+        .find(codes::DATAFLOW_ALARM_UNREACHABLE)
+        .expect("GS0701");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(report.should_fail(false));
+}
+
+#[test]
+fn gs0702_threshold_saturates() {
+    let mut b = clean_bundle();
+    b.threshold = 1.0; // above the 1/sqrt(2*pi) score ceiling
+    let report = check(&bundle_input(b));
+    let d = report
+        .find(codes::DATAFLOW_THRESHOLD_SATURATES)
+        .expect("GS0702");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn gs0703_f32_range_underflow_carries_a_precision_fix() {
+    let dep = DeploymentSpec::new()
+        .with_bundle(clean_bundle())
+        .with_fastpath(FastPathSpec {
+            requested_f32: true,
+            f32_built: true,
+        })
+        .with_ranges(EstimatorRangeSpec {
+            h: 1e-3,
+            conditions: 3,
+            features: vec![FeatureRangeSpec {
+                feature: 2,
+                lo: 0.0,
+                hi: 1.0,
+                max_gap: 0.5, // 250 bandwidths half-gap: certain underflow
+                n_samples: 50,
+            }],
+        });
+    let report = check(&deployment_input(dep));
+    let d = report
+        .find(codes::DATAFLOW_F32_RANGE_UNDERFLOW)
+        .expect("GS0703");
+    assert_eq!(d.severity, Severity::Error);
+    let fix = d.fix.as_ref().expect("fix attached");
+    assert_eq!(fix.flag, "--precision");
+    assert_eq!(fix.suggested, "f64");
+}
+
+#[test]
+fn gs0704_breaker_beyond_queue() {
+    let mut s = clean_serve();
+    s.queue_frames = 64;
+    s.max_batch = 64;
+    s.breaker_threshold = 8;
+    let report = check(&serve_input(s));
+    let d = report
+        .find(codes::DATAFLOW_BREAKER_BEYOND_QUEUE)
+        .expect("GS0704");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.fix.as_ref().expect("fix").flag, "--breaker-threshold");
+}
+
+#[test]
+fn gs0705_stall_below_heartbeat() {
+    let mut s = clean_serve();
+    s.scorer_stall_ms = 50; // heartbeat is 100
+    let report = check(&serve_input(s));
+    let d = report
+        .find(codes::DATAFLOW_STALL_BELOW_HEARTBEAT)
+        .expect("GS0705");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.fix.as_ref().expect("fix").suggested, "100");
+}
+
+#[test]
+fn gs0706_linger_outlives_stall() {
+    let mut s = clean_serve();
+    s.scorer_stall_ms = 100;
+    s.batch_linger_ms = 250;
+    let report = check(&serve_input(s));
+    let d = report
+        .find(codes::DATAFLOW_LINGER_OUTLIVES_STALL)
+        .expect("GS0706");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.fix.as_ref().expect("fix").flag, "--batch-linger-ms");
+}
+
+#[test]
+fn gs0707_unknown_chaos_fault() {
+    let mut s = clean_serve();
+    s.chaos_plan = true;
+    s.chaos_built = true;
+    let dep = DeploymentSpec::new()
+        .with_serve(s)
+        .with_chaos_plan(vec!["scorer_panic".into(), "meteor_strike".into()])
+        .with_chaos_known(vec![
+            "scorer_panic".into(),
+            "scorer_hang".into(),
+            "poison_batch".into(),
+            "corrupt_job".into(),
+            "reload_delay".into(),
+            "reload_fail".into(),
+        ]);
+    let report = check(&deployment_input(dep));
+    let d = report
+        .find(codes::DATAFLOW_UNKNOWN_CHAOS_FAULT)
+        .expect("GS0707");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("meteor_strike"));
+}
+
+// --- registry ordering and code ownership ------------------------------
+
+#[test]
+fn registry_pass_sequence_is_pinned() {
+    let report = check(&CheckInput::new());
+    assert_eq!(
+        report.passes(),
+        &["graph", "shape", "config", "bundle", "serve", "fastpath", "dataflow"]
+    );
+}
+
+#[test]
+fn each_code_is_emitted_by_exactly_one_pass() {
+    let registry = gansec_lint::Registry::with_default_passes();
+    let mut owners: Vec<(u16, &'static str)> = Vec::new();
+    for pass in registry.passes() {
+        for code in pass.codes() {
+            assert!(
+                !owners.iter().any(|(c, _)| *c == code.0),
+                "{code} claimed by more than one pass"
+            );
+            owners.push((code.0, pass.id()));
+        }
+    }
+    for info in gansec_lint::code_table() {
+        let owner = owners.iter().find(|(c, _)| *c == info.code.0);
+        assert!(
+            owner.is_some(),
+            "{} ({}) is published but unowned",
+            info.code,
+            info.name
+        );
+    }
+    assert_eq!(owners.len(), gansec_lint::code_table().len());
 }

@@ -175,6 +175,7 @@ impl ServeConfig {
             read_timeout_ms: self.read_timeout_ms,
             write_timeout_ms: self.write_timeout_ms,
             heartbeat_ms: self.heartbeat_ms,
+            scorer_stall_ms: self.scorer_stall_ms,
             restart_attempts: self.restart_attempts,
             breaker_threshold: self.breaker_threshold,
             // Whether a chaos plan is in play is a runtime property the

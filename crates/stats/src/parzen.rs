@@ -97,6 +97,29 @@ impl ParzenWindow {
         &self.samples
     }
 
+    /// The interval the fitted support spans, `(min, max)`. Seeds the
+    /// feature-range intervals of deployment-wide static analysis.
+    pub fn support_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &s in &self.samples {
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        (lo, hi)
+    }
+
+    /// The widest gap between adjacent support samples (0 for a single
+    /// sample). The midpoint of this gap is the most support-starved
+    /// point inside [`ParzenWindow::support_range`]: its nearest kernel
+    /// sits exactly half a gap away, which bounds how small the density
+    /// can get anywhere in range.
+    pub fn max_gap(&self) -> f64 {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        sorted.windows(2).map(|w| w[1] - w[0]).fold(0.0, f64::max)
+    }
+
     /// The probability density at `x`.
     pub fn density(&self, x: f64) -> f64 {
         self.log_density(x).exp()
@@ -290,6 +313,18 @@ mod tests {
         assert!((kde.density(0.0) - expected_peak).abs() < 1e-12);
         // Symmetry.
         assert!((kde.density(1.5) - kde.density(-1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_range_and_max_gap_describe_the_fit() {
+        let kde = ParzenWindow::fit(&[2.5, -1.0, 0.0, 2.0], 0.3).unwrap();
+        assert_eq!(kde.support_range(), (-1.0, 2.5));
+        // Sorted: -1, 0, 2, 2.5 — widest adjacent gap is 0 → 2.
+        assert!((kde.max_gap() - 2.0).abs() < 1e-12);
+        // A single sample spans a point and has no gap.
+        let one = ParzenWindow::fit(&[0.7], 0.3).unwrap();
+        assert_eq!(one.support_range(), (0.7, 0.7));
+        assert_eq!(one.max_gap(), 0.0);
     }
 
     #[test]
