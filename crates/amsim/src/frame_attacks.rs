@@ -1,0 +1,359 @@
+//! Frame-level side-channel attacks for detection benchmarking.
+//!
+//! The injectors in [`crate::attacks`] tamper with the *G-code* a
+//! printer executes; these operate one layer later, on the extracted
+//! `(feature row, claimed condition)` pairs the detector actually
+//! scores. That is the right place to express attacks that target the
+//! *detector* rather than the part — an adversary who knows the defense
+//! is a per-feature Parzen model can craft emission that keeps every
+//! per-feature marginal plausible while the joint spectrum is
+//! nonsensical, and only joint-aware evidence (discriminator,
+//! generator inversion) can catch it.
+//!
+//! Everything here is pure data-to-data: rows in, rows out, seeded and
+//! deterministic. No tensor or model dependency, so the attack library
+//! stays reusable from any layer of the stack.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The frame-level attack classes of the detection benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrameAttackKind {
+    /// Adaptive integrity attack on a marginal-KDE defense: within each
+    /// claimed condition, every feature column is independently
+    /// permuted across frames. Each per-(condition, bin) value multiset
+    /// is *exactly* preserved — a per-feature Parzen scorer sees the
+    /// same marginals and stays near-blind — but the joint spectral
+    /// structure of each frame is destroyed.
+    KdeEvadingInjection,
+    /// Replay: the recorded emission is genuine, but it is replayed
+    /// under a different claimed operation — every condition label is
+    /// rotated to another condition observed in the batch.
+    Replay,
+    /// Partial-axis spoofing: the low half of each spectrum is spliced
+    /// in from a frame of a *different* condition while the claim (and
+    /// the upper half) stay benign — one motor's contribution is
+    /// forged, the rest is honest.
+    PartialAxisSpoof,
+    /// Additive acoustic masking: a noise source near the microphone
+    /// raises every bin by a positive amount proportional to the
+    /// frame's RMS level, hiding detail under broadband energy.
+    AcousticMasking {
+        /// Noise amplitude as a fraction of each frame's RMS.
+        amplitude: f64,
+    },
+    /// Availability attack on the sensor: each bin independently drops
+    /// to zero with probability `p` (an intermittently jammed or
+    /// saturated channel).
+    SensorDropout {
+        /// Per-bin dropout probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+impl FrameAttackKind {
+    /// Stable snake_case identifier for reports and JSON keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FrameAttackKind::KdeEvadingInjection => "kde_evading_injection",
+            FrameAttackKind::Replay => "replay",
+            FrameAttackKind::PartialAxisSpoof => "partial_axis_spoof",
+            FrameAttackKind::AcousticMasking { .. } => "acoustic_masking",
+            FrameAttackKind::SensorDropout { .. } => "sensor_dropout",
+        }
+    }
+
+    /// The benchmark roster: one of each class at its standard
+    /// strength, in report order.
+    pub fn roster() -> [FrameAttackKind; 5] {
+        [
+            FrameAttackKind::KdeEvadingInjection,
+            FrameAttackKind::Replay,
+            FrameAttackKind::PartialAxisSpoof,
+            FrameAttackKind::AcousticMasking { amplitude: 0.5 },
+            FrameAttackKind::SensorDropout { p: 0.25 },
+        ]
+    }
+}
+
+/// Applies [`FrameAttackKind`]s to benign `(features, conds)` batches.
+///
+/// Deterministic: the same `(seed, kind, input)` always produces the
+/// same attacked batch, so benchmark ROC numbers are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameAttacker {
+    seed: u64,
+}
+
+impl FrameAttacker {
+    /// Creates an attacker with a pinned seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Applies `kind` to the batch, returning the attacked
+    /// `(features, claimed_conds)` rows. Both inputs must have one cond
+    /// row per feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ or a masking/dropout parameter
+    /// is out of range.
+    pub fn apply(
+        &self,
+        kind: FrameAttackKind,
+        frames: &[Vec<f64>],
+        conds: &[Vec<f64>],
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        assert_eq!(frames.len(), conds.len(), "one cond row per frame");
+        // Domain-separate the stream per attack kind so adding one to
+        // the roster never perturbs another's draws.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ fold_name(kind.name()));
+        let mut out_frames = frames.to_vec();
+        let mut out_conds = conds.to_vec();
+        match kind {
+            FrameAttackKind::KdeEvadingInjection => {
+                for group in condition_groups(conds) {
+                    let cols = group.first().map_or(0, |&r| frames[r].len());
+                    for col in 0..cols {
+                        let mut values: Vec<f64> =
+                            group.iter().map(|&r| frames[r][col]).collect();
+                        shuffle(&mut values, &mut rng);
+                        for (&r, v) in group.iter().zip(values) {
+                            out_frames[r][col] = v;
+                        }
+                    }
+                }
+            }
+            FrameAttackKind::Replay => {
+                let classes = distinct_rows(conds);
+                if classes.len() > 1 {
+                    for cond in out_conds.iter_mut() {
+                        let at = classes
+                            .iter()
+                            .position(|c| c == cond)
+                            .expect("own class is distinct");
+                        cond.clone_from(&classes[(at + 1) % classes.len()]);
+                    }
+                }
+            }
+            FrameAttackKind::PartialAxisSpoof => {
+                let groups = condition_groups(conds);
+                for (g, group) in groups.iter().enumerate() {
+                    // Donor frames come from some *other* condition; a
+                    // single-condition batch degenerates to in-group
+                    // splicing (still joint-inconsistent).
+                    let donors = if groups.len() > 1 {
+                        &groups[(g + 1) % groups.len()]
+                    } else {
+                        group
+                    };
+                    for &r in group {
+                        let donor = donors[rng.gen_range(0..donors.len())];
+                        let half = frames[r].len() / 2;
+                        for col in 0..half {
+                            out_frames[r][col] = frames[donor][col];
+                        }
+                    }
+                }
+            }
+            FrameAttackKind::AcousticMasking { amplitude } => {
+                assert!(
+                    amplitude.is_finite() && amplitude > 0.0,
+                    "amplitude must be positive"
+                );
+                for row in out_frames.iter_mut() {
+                    let rms = (row.iter().map(|v| v * v).sum::<f64>()
+                        / row.len().max(1) as f64)
+                        .sqrt();
+                    for v in row.iter_mut() {
+                        *v += amplitude * rms * rng.gen::<f64>();
+                    }
+                }
+            }
+            FrameAttackKind::SensorDropout { p } => {
+                assert!((0.0..=1.0).contains(&p), "p must be a probability");
+                for row in out_frames.iter_mut() {
+                    for v in row.iter_mut() {
+                        if rng.gen_bool(p) {
+                            *v = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        (out_frames, out_conds)
+    }
+}
+
+/// Frame indices grouped by identical condition row, in first-seen
+/// order (bit-exact comparison: one-hot rows either match or don't).
+fn condition_groups(conds: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let mut keys: Vec<&Vec<f64>> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, cond) in conds.iter().enumerate() {
+        match keys.iter().position(|k| *k == cond) {
+            Some(at) => groups[at].push(i),
+            None => {
+                keys.push(cond);
+                groups.push(vec![i]);
+            }
+        }
+    }
+    groups
+}
+
+/// The distinct condition rows, in first-seen order.
+fn distinct_rows(conds: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut classes: Vec<Vec<f64>> = Vec::new();
+    for cond in conds {
+        if !classes.contains(cond) {
+            classes.push(cond.clone());
+        }
+    }
+    classes
+}
+
+/// Fisher–Yates with the crate's deterministic stream.
+fn shuffle(values: &mut [f64], rng: &mut StdRng) {
+    for i in (1..values.len()).rev() {
+        values.swap(i, rng.gen_range(0..=i));
+    }
+}
+
+/// FNV-1a fold of an attack name into a 64-bit domain separator.
+fn fold_name(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two conditions, four frames each, distinct joint structure.
+    fn batch() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut frames = Vec::new();
+        let mut conds = Vec::new();
+        for i in 0..8 {
+            let class = i % 2;
+            frames.push(
+                (0..6)
+                    .map(|c| (i * 6 + c) as f64 * 0.1 + class as f64)
+                    .collect(),
+            );
+            conds.push(if class == 0 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            });
+        }
+        (frames, conds)
+    }
+
+    #[test]
+    fn attacks_are_deterministic_per_seed() {
+        let (frames, conds) = batch();
+        for kind in FrameAttackKind::roster() {
+            let a = FrameAttacker::new(7).apply(kind, &frames, &conds);
+            let b = FrameAttacker::new(7).apply(kind, &frames, &conds);
+            assert_eq!(a, b, "{} must be reproducible", kind.name());
+        }
+    }
+
+    #[test]
+    fn injection_preserves_per_condition_marginals_exactly() {
+        let (frames, conds) = batch();
+        let (attacked, aconds) =
+            FrameAttacker::new(3).apply(FrameAttackKind::KdeEvadingInjection, &frames, &conds);
+        assert_eq!(aconds, conds);
+        for group in condition_groups(&conds) {
+            for col in 0..6 {
+                let mut before: Vec<f64> = group.iter().map(|&r| frames[r][col]).collect();
+                let mut after: Vec<f64> = group.iter().map(|&r| attacked[r][col]).collect();
+                before.sort_by(f64::total_cmp);
+                after.sort_by(f64::total_cmp);
+                assert_eq!(before, after, "column {col} multiset must survive");
+            }
+        }
+        // ... but the joint rows themselves must actually change.
+        assert_ne!(attacked, frames);
+    }
+
+    #[test]
+    fn replay_rotates_every_claim_and_keeps_the_audio() {
+        let (frames, conds) = batch();
+        let (attacked, aconds) =
+            FrameAttacker::new(3).apply(FrameAttackKind::Replay, &frames, &conds);
+        assert_eq!(attacked, frames);
+        for (before, after) in conds.iter().zip(&aconds) {
+            assert_ne!(before, after, "every claim must be displaced");
+        }
+    }
+
+    #[test]
+    fn spoof_splices_the_low_half_from_another_condition() {
+        let (frames, conds) = batch();
+        let (attacked, aconds) =
+            FrameAttacker::new(3).apply(FrameAttackKind::PartialAxisSpoof, &frames, &conds);
+        assert_eq!(aconds, conds);
+        for (before, after) in frames.iter().zip(&attacked) {
+            // Upper half untouched.
+            assert_eq!(before[3..], after[3..]);
+            // Lower half comes from the other class, whose values are
+            // offset by ±1 — so it must differ.
+            assert_ne!(before[..3], after[..3]);
+        }
+    }
+
+    #[test]
+    fn masking_only_adds_energy() {
+        let (frames, conds) = batch();
+        let (attacked, _) = FrameAttacker::new(3).apply(
+            FrameAttackKind::AcousticMasking { amplitude: 0.5 },
+            &frames,
+            &conds,
+        );
+        for (before, after) in frames.iter().zip(&attacked) {
+            for (b, a) in before.iter().zip(after) {
+                assert!(a >= b, "masking noise is additive and non-negative");
+            }
+        }
+        assert_ne!(attacked, frames);
+    }
+
+    #[test]
+    fn dropout_zeroes_roughly_p_of_the_bins() {
+        let (frames, conds) = batch();
+        let (attacked, _) =
+            FrameAttacker::new(3).apply(FrameAttackKind::SensorDropout { p: 0.5 }, &frames, &conds);
+        let zeroed = attacked
+            .iter()
+            .flatten()
+            .filter(|v| **v == 0.0)
+            .count();
+        assert!(zeroed > 0, "some bins must drop");
+        assert!(zeroed < 48, "not all bins may drop at p=0.5");
+    }
+
+    #[test]
+    fn roster_names_are_distinct() {
+        let names: Vec<_> = FrameAttackKind::roster().iter().map(|k| k.name()).collect();
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "one cond row per frame")]
+    fn row_count_mismatch_rejected() {
+        let (frames, _) = batch();
+        let _ = FrameAttacker::new(0).apply(FrameAttackKind::Replay, &frames, &[]);
+    }
+}

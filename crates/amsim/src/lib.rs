@@ -46,6 +46,7 @@ mod arch;
 mod attacks;
 mod encoding;
 mod faults;
+mod frame_attacks;
 mod gcode;
 mod kinematics;
 mod simulator;
@@ -56,6 +57,7 @@ pub use arch::{printer_architecture, PrinterArchitecture};
 pub use attacks::{Attack, AttackInjector, AttackKind};
 pub use encoding::{ConditionEncoding, MotorSet};
 pub use faults::{CorruptionKind, FaultModel, FaultReport};
+pub use frame_attacks::{FrameAttackKind, FrameAttacker};
 pub use gcode::{GCodeCommand, GCodeProgram, GCodeWord, ParseGCodeError};
 pub use kinematics::{Axis, Kinematics, MotionSegment};
 pub use simulator::{PrinterSim, SegmentRecord, SimulationTrace};

@@ -38,10 +38,13 @@ const BENCH_SEED: u64 = 42;
 /// Runs the macro-benchmark and writes the JSON report.
 ///
 /// Flags: `--smoke` (tiny workloads, schema validation only), `--out
-/// <file>` (default `BENCH_pipeline.json`, or `BENCH_serve.json` with
-/// `--serve`), `--serve` (bench the HTTP serving layer against an
-/// in-process server instead of the kernels), `--threads <n>` (handled
-/// globally in `main`, echoed into the report).
+/// <file>` (default `BENCH_pipeline.json`; `BENCH_serve.json` with
+/// `--serve`; `bench_results/BENCH_detect.json` with `--detect`),
+/// `--serve` (bench the HTTP serving layer against an in-process
+/// server instead of the kernels), `--detect` (bench detection quality:
+/// per-attack ROC/AUC of every evidence channel over the frame-attack
+/// roster), `--threads <n>` (handled globally in `main`, echoed into
+/// the report).
 ///
 /// # Errors
 ///
@@ -49,12 +52,20 @@ const BENCH_SEED: u64 = 42;
 /// workload fails to build.
 pub fn bench(args: &ParsedArgs) -> Result<ExitCode, String> {
     let smoke = args.has_switch("smoke");
-    let (report, default_out) = if args.has_switch("serve") {
+    let (report, default_out) = if args.has_switch("detect") {
+        (run_detect(smoke)?, "bench_results/BENCH_detect.json")
+    } else if args.has_switch("serve") {
         (run_serve(smoke)?, "BENCH_serve.json")
     } else {
         (run(smoke)?, "BENCH_pipeline.json")
     };
     let out_path = args.get("out").unwrap_or(default_out);
+    if let Some(parent) = std::path::Path::new(out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
     std::fs::write(out_path, &report).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!("wrote {out_path}");
     Ok(ExitCode::Ok)
@@ -100,6 +111,95 @@ pub fn run_serve(smoke: bool) -> Result<String, String> {
         report.to_json(&opts).strip_prefix('{').unwrap_or_default(),
         mode = if smoke { "smoke" } else { "full" },
     ))
+}
+
+/// Benches detection *quality* instead of speed: seals a pinned-seed
+/// bundle (v2, with the evidence seal), replays the held-out split
+/// through the [`gansec_amsim::FrameAttacker`] roster, and reports
+/// per-attack ROC/AUC for every evidence channel plus the combined
+/// stack. Higher is better; 0.5 is a blind channel.
+///
+/// The headline number this report exists to track: on the
+/// marginal-preserving `kde_evading_injection` attack the KDE channel
+/// is near-blind by construction, and the combined stack's AUC must
+/// stay above it — the whole point of multi-evidence scoring.
+///
+/// # Errors
+///
+/// Returns a message when training fails or a scored batch turns
+/// non-finite.
+pub fn run_detect(smoke: bool) -> Result<String, String> {
+    use gansec_amsim::{FrameAttackKind, FrameAttacker};
+    use gansec_engine::EvidenceKind;
+
+    let cfg = workload(smoke);
+    let pipeline = GanSecPipeline::new(cfg);
+    let stage = pipeline
+        .train_stage(BENCH_SEED)
+        .map_err(|e| e.to_string())?;
+    let engine = gansec_engine::ScoringEngine::from_bundle(stage.to_bundle());
+    let kinds = [EvidenceKind::Kde, EvidenceKind::Disc, EvidenceKind::Recon];
+    let build = engine
+        .build_evidence(&kinds, &[])
+        .map_err(|e| e.to_string())?;
+
+    let features = stage.test().features();
+    let conds = stage.test().conds();
+    let frames = features.rows();
+    if frames == 0 {
+        return Err("bench workload produced no held-out frames".to_string());
+    }
+    let benign_rows: Vec<Vec<f64>> = (0..frames).map(|r| features.row(r).to_vec()).collect();
+    let cond_rows: Vec<Vec<f64>> = (0..frames).map(|r| conds.row(r).to_vec()).collect();
+    let benign = engine
+        .detect_frames_detailed(features, conds, &build.stack)
+        .map_err(|e| e.to_string())?;
+
+    let attacker = FrameAttacker::new(BENCH_SEED);
+    let mut sections = Vec::new();
+    for kind in FrameAttackKind::roster() {
+        let (a_frames, a_conds) = attacker.apply(kind, &benign_rows, &cond_rows);
+        let af = Matrix::from_fn(frames, features.cols(), |r, c| a_frames[r][c]);
+        let ac = Matrix::from_fn(frames, conds.cols(), |r, c| a_conds[r][c]);
+        let attacked = engine
+            .detect_frames_detailed(&af, &ac, &build.stack)
+            .map_err(|e| format!("{}: {e}", kind.name()))?;
+        let channel = |k: EvidenceKind| {
+            let at = kinds.iter().position(|&x| x == k).expect("roster kind");
+            auc(&benign.per_evidence[at], &attacked.per_evidence[at])
+        };
+        sections.push(format!(
+            "{{ \"attack\": \"{name}\", \"frames\": {frames}, \"auc\": {{ \"kde\": {kde:.4}, \"disc\": {disc:.4}, \"recon\": {recon:.4}, \"combined\": {combined:.4} }} }}",
+            name = kind.name(),
+            kde = channel(EvidenceKind::Kde),
+            disc = channel(EvidenceKind::Disc),
+            recon = channel(EvidenceKind::Recon),
+            combined = auc(&benign.combined, &attacked.combined),
+        ));
+    }
+    Ok(format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"mode\": \"{mode}\",\n  \"seed\": {BENCH_SEED},\n  \"attacks\": [\n    {}\n  ]\n}}\n",
+        sections.join(",\n    "),
+        mode = if smoke { "smoke" } else { "full" },
+    ))
+}
+
+/// Area under the ROC curve by the rank statistic: the probability a
+/// benign frame outscores an attacked one (ties count half). Scores
+/// are oriented higher-is-benign, so 1.0 is perfect separation and 0.5
+/// is a coin flip.
+fn auc(benign: &[f64], attacked: &[f64]) -> f64 {
+    let mut wins = 0.0;
+    for &b in benign {
+        for &a in attacked {
+            if b > a {
+                wins += 1.0;
+            } else if b == a {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (benign.len() * attacked.len()).max(1) as f64
 }
 
 /// Runs every section and renders the JSON document.
@@ -475,6 +575,44 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn detect_bench_smoke_schema() {
+        let json = run_detect(true).unwrap();
+        for key in [
+            "\"schema_version\"",
+            "\"mode\": \"smoke\"",
+            "\"seed\"",
+            "\"attacks\"",
+            "\"kde_evading_injection\"",
+            "\"replay\"",
+            "\"partial_axis_spoof\"",
+            "\"acoustic_masking\"",
+            "\"sensor_dropout\"",
+            "\"frames\"",
+            "\"auc\"",
+            "\"kde\"",
+            "\"disc\"",
+            "\"recon\"",
+            "\"combined\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // AUC is a probability on every channel of every section.
+        for chunk in json.split("\"combined\": ").skip(1) {
+            let value: f64 = chunk[..6].trim_end_matches(' ').parse().unwrap();
+            assert!((0.0..=1.0).contains(&value), "AUC out of range: {value}");
+        }
+    }
+
+    #[test]
+    fn auc_is_the_rank_statistic() {
+        assert_eq!(auc(&[2.0, 3.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(auc(&[0.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(auc(&[1.0], &[1.0]), 0.5);
+        assert_eq!(auc(&[1.0, 3.0], &[2.0, 2.0]), 0.5);
     }
 
     #[test]

@@ -184,6 +184,12 @@ pub fn load_bundle_gated(
         if let Some(spec) = serve {
             input = input.with_serve(spec);
         }
+        // An `--evidence` request is judged against the bundle it will
+        // run on (GS08xx): seal presence, weight normalizability, and
+        // the inversion budget vs. any serve read timeout.
+        if let Some((kinds, weights)) = evidence_flags(args)? {
+            input = input.with_evidence(bundle.evidence_lint_spec(&kinds, &weights));
+        }
         // The deployment-wide join: the dataflow pass (GS07xx) sees the
         // bundle's fitted feature ranges and any chaos plan alongside
         // the specs, so serve/score/detect gate on contradictions no
@@ -282,6 +288,12 @@ fn build_input_inner(args: &ParsedArgs, include_bundle: bool) -> Result<CheckInp
     if args.get("precision").is_some() {
         input = input.with_fastpath(fastpath_spec(args));
     }
+    // An evidence request needs the bundle it would run against; with
+    // no bundle there is no seal to judge, so the flags alone don't
+    // attach the pass (GS0803 would fire on every unsealed default).
+    if let (Some((kinds, weights)), Some(bundle)) = (evidence_flags(args)?, &loaded_bundle) {
+        input = input.with_evidence(bundle.evidence_lint_spec(&kinds, &weights));
+    }
     // The deployment-wide join is attached only when it carries more
     // than the dataflow pass derives itself from the bare sections:
     // estimator ranges from a loaded bundle, or a chaos plan's fault
@@ -349,6 +361,48 @@ fn plan_fault_kinds(source: &str) -> Vec<String> {
         }
     }
     kinds
+}
+
+/// Parses the multi-evidence request flags: `--evidence kde,disc,recon`
+/// (comma list of channel kinds) and `--evidence-weights 0.5,0.3,0.2`
+/// (comma list of combination weights, empty = uniform). Returns `None`
+/// when no evidence stack was requested.
+///
+/// The kind strings are passed through raw — the GS08xx lint pass and
+/// the engine's `build_evidence` own rejecting unknown kinds, so their
+/// richer diagnostics are not pre-empted here.
+///
+/// # Errors
+///
+/// Returns a message when a weight fails to parse as a float, or when
+/// `--evidence-weights` is given without `--evidence`.
+pub fn evidence_flags(args: &ParsedArgs) -> Result<Option<(Vec<String>, Vec<f64>)>, String> {
+    let weights = match args.get("evidence-weights") {
+        None => Vec::new(),
+        Some(raw) => raw
+            .split(',')
+            .map(|part| {
+                part.trim().parse::<f64>().map_err(|_| {
+                    format!("invalid value {part:?} in --evidence-weights (expected e.g. 0.5,0.3,0.2)")
+                })
+            })
+            .collect::<Result<Vec<f64>, String>>()?,
+    };
+    match args.get("evidence") {
+        Some(raw) => {
+            let kinds: Vec<String> = raw
+                .split(',')
+                .map(|k| k.trim().to_string())
+                .filter(|k| !k.is_empty())
+                .collect();
+            if kinds.is_empty() {
+                return Err("--evidence lists no kinds (expected e.g. kde,disc,recon)".into());
+            }
+            Ok(Some((kinds, weights)))
+        }
+        None if weights.is_empty() => Ok(None),
+        None => Err("--evidence-weights without --evidence names no channels to weight".into()),
+    }
 }
 
 /// The reduced-precision request the flags describe, against what this
@@ -551,6 +605,86 @@ mod tests {
     fn zero_noise_dim_is_flagged() {
         let report = report_for(&parsed(&["--noise-dim", "0"])).expect("check");
         assert!(report.has(gansec_lint::codes::ZERO_DIM));
+    }
+
+    #[test]
+    fn evidence_flags_parse_lists_and_reject_orphans() {
+        assert_eq!(evidence_flags(&parsed(&[])).expect("none"), None);
+        let (kinds, weights) = evidence_flags(&parsed(&["--evidence", "kde, disc,recon"]))
+            .expect("parses")
+            .expect("requested");
+        assert_eq!(kinds, vec!["kde", "disc", "recon"]);
+        assert!(weights.is_empty());
+        let (_, weights) = evidence_flags(&parsed(&[
+            "--evidence",
+            "kde,disc",
+            "--evidence-weights",
+            "0.7, 0.3",
+        ]))
+        .expect("parses")
+        .expect("requested");
+        assert_eq!(weights, vec![0.7, 0.3]);
+
+        let err = evidence_flags(&parsed(&["--evidence-weights", "0.5"])).expect_err("orphan");
+        assert!(err.contains("--evidence"), "{err}");
+        let err = evidence_flags(&parsed(&["--evidence", "kde", "--evidence-weights", "x"]))
+            .expect_err("junk weight");
+        assert!(err.contains("evidence-weights"), "{err}");
+        let err = evidence_flags(&parsed(&["--evidence", " , "])).expect_err("empty list");
+        assert!(err.contains("no kinds"), "{err}");
+    }
+
+    #[test]
+    fn evidence_request_attaches_the_gs08_pass_against_the_bundle() {
+        use gansec::GanSecPipeline;
+        // Offline stub builds ship a serde_json that cannot round-trip
+        // the bundle file this test pivots on.
+        if serde_json::from_str::<serde_json::Value>("null").is_err() {
+            return;
+        }
+        let dir = std::env::temp_dir().join("gansec-cli-evidence-lint-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bundle.json");
+        GanSecPipeline::new(PipelineConfig::smoke_test())
+            .train_stage(5)
+            .expect("train")
+            .to_bundle()
+            .save(&path)
+            .expect("save");
+        let p = path.to_str().expect("utf8 path");
+
+        // A sealed v2 bundle honors the full request cleanly.
+        let report = report_for(&parsed(&["--bundle", p, "--evidence", "kde,disc,recon"]))
+            .expect("check");
+        assert!(!report.should_fail(true), "{:?}", report.diagnostics());
+
+        // Degenerate weights gate the run (GS0801).
+        let report = report_for(&parsed(&[
+            "--bundle",
+            p,
+            "--evidence",
+            "kde,disc",
+            "--evidence-weights",
+            "0,0",
+        ]))
+        .expect("check");
+        assert!(report.has(gansec_lint::codes::EVIDENCE_WEIGHTS_NOT_NORMALIZABLE));
+        assert!(report.should_fail(false));
+
+        // A typo'd kind is refused before any scoring (GS0806).
+        let report =
+            report_for(&parsed(&["--bundle", p, "--evidence", "astrology"])).expect("check");
+        assert!(report.has(gansec_lint::codes::EVIDENCE_UNKNOWN_KIND));
+
+        // Without a bundle the flags alone attach nothing: no seal to
+        // judge, so no GS08xx false positives.
+        let report = report_for(&parsed(&["--evidence", "disc"])).expect("check");
+        assert!(
+            !report.has(gansec_lint::codes::EVIDENCE_NOT_SEALED),
+            "{:?}",
+            report.diagnostics()
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

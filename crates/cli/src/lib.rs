@@ -58,7 +58,10 @@ COMMANDS:
     detect    --benign <file> --suspect <file> [--bundle <file>]
                                   check a suspect program's emission against
                                   the benign program's claims; with --bundle,
-                                  reuse a sealed model instead of retraining
+                                  reuse a sealed model instead of retraining;
+                                  --evidence kde,disc,recon combines multiple
+                                  evidence channels into the verdict (see
+                                  EVIDENCE FLAGS)
     reconstruct [--gcode <file>]  simulate an eavesdropper recovering commands
     train     [--smoke] --out <file>
                                   train once and seal the generator, fitted
@@ -88,7 +91,11 @@ COMMANDS:
                                   workloads for schema validation);
                                   --serve benches the HTTP serving layer
                                   against an in-process server and writes
-                                  BENCH_serve.json instead
+                                  BENCH_serve.json instead; --detect
+                                  benches detection quality (per-attack
+                                  ROC/AUC of every evidence channel over
+                                  the frame-attack roster) and writes
+                                  bench_results/BENCH_detect.json
 
 COMMON FLAGS:
     --seed <u64>       RNG seed (default 42)
@@ -107,6 +114,18 @@ COMMON FLAGS:
                        feature, gated by the GS06xx checks)
     --strict           pre-flight/check: treat warnings as errors
     -h, --help         this text
+
+EVIDENCE FLAGS (detect --bundle, check --bundle):
+    --evidence <k,k,..>      evidence channels to combine into the verdict:
+                             kde (Parzen consistency, the default), disc
+                             (discriminator logit), recon (generator-
+                             inversion reconstruction error); disc/recon
+                             need a schema-v2 bundle with an evidence seal
+                             (GS0803), a v1 bundle degrades kde-only with a
+                             warning
+    --evidence-weights <w,w,..>
+                             combination weights, one per channel (default
+                             uniform); normalized to sum 1, judged by GS0801
 
 CHECK FLAGS:
     --format <text|json|sarif>

@@ -20,6 +20,7 @@ fn main() {
             "no-check",
             "strict",
             "serve",
+            "detect",
             "list-codes",
             "fix-plan",
         ],

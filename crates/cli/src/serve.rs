@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use gansec::{GanSecPipeline, PipelineConfig, SideChannelDataset};
 use gansec_amsim::{GCodeProgram, MotorSet, PrinterSim};
 use gansec_dsp::{FeatureExtractor, FrequencyBins, ScalingKind};
-use gansec_engine::{Precision, ScoringEngine};
+use gansec_engine::{EvidenceKind, Precision, ScoringEngine};
 use gansec_serve::{ServeConfig, Server};
 use gansec_tensor::Matrix;
 
@@ -176,8 +176,15 @@ pub fn score(args: &ParsedArgs) -> Result<ExitCode, String> {
 /// The `--bundle` mode of `gansec detect`: identical verdict policy to
 /// the monolithic path, but the model comes from a sealed bundle and
 /// scoring runs through the engine's batched, buffer-pooled path.
+///
+/// `--evidence kde,disc,recon [--evidence-weights 0.5,0.3,0.2]` routes
+/// the verdicts through a multi-evidence stack instead of the default
+/// KDE-only passthrough, printing the per-channel breakdown; without
+/// the flag the output and verdicts are bit-identical to the
+/// pre-evidence path.
 pub fn detect_bundle(args: &ParsedArgs, bundle_path: &str) -> Result<ExitCode, String> {
     let precision = resolve_precision(args)?;
+    let evidence = check::evidence_flags(args)?;
     let bundle = match check::load_bundle_gated(args, bundle_path, None)? {
         GatedBundle::Ready(bundle) => bundle,
         GatedBundle::Refused(code) => return Ok(code),
@@ -198,13 +205,49 @@ pub fn detect_bundle(args: &ParsedArgs, bundle_path: &str) -> Result<ExitCode, S
         return Err("suspect program produced no analyzable frames".into());
     }
 
-    let summary = engine
-        .detect_frames(&features, &conds)
-        .map_err(|e| e.to_string())?;
-    let rate = summary.flagged as f64 / checked as f64;
+    let flagged = match evidence {
+        None => {
+            engine
+                .detect_frames(&features, &conds)
+                .map_err(|e| e.to_string())?
+                .flagged
+        }
+        Some((kinds, weights)) => {
+            let kinds = kinds
+                .iter()
+                .map(|k| k.parse::<EvidenceKind>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| e.to_string())?;
+            let build = engine
+                .build_evidence(&kinds, &weights)
+                .map_err(|e| e.to_string())?;
+            for warning in &build.warnings {
+                eprintln!("# {warning}");
+            }
+            let detail = engine
+                .detect_frames_detailed(&features, &conds, &build.stack)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "evidence stack over {checked} frames (combined threshold {:.6}):",
+                detail.threshold
+            );
+            let channel_weights = build.stack.weights();
+            for (i, kind) in detail.kinds.iter().enumerate() {
+                let below = detail.per_evidence[i]
+                    .iter()
+                    .filter(|&&s| s < detail.evidence_thresholds[i])
+                    .count();
+                println!(
+                    "  {kind:<5} weight {:.3}  threshold {:+.6}  {below} frame(s) below",
+                    channel_weights[i], detail.evidence_thresholds[i],
+                );
+            }
+            detail.flagged
+        }
+    };
+    let rate = flagged as f64 / checked as f64;
     println!(
-        "checked {checked} emission frames against the benign claims; {} flagged ({:.1}%)",
-        summary.flagged,
+        "checked {checked} emission frames against the benign claims; {flagged} flagged ({:.1}%)",
         rate * 100.0
     );
     // Calibrated to ~5% false alarms; 3x that is a confident detection.
@@ -546,6 +589,87 @@ mod tests {
     fn score_requires_a_bundle_path() {
         let err = score(&parsed(&[])).expect_err("must demand --bundle");
         assert!(err.contains("bundle"), "{err}");
+    }
+
+    #[test]
+    fn detect_bundle_routes_an_evidence_stack() {
+        // Offline stub builds ship a serde_json that cannot round-trip
+        // the bundle file this test pivots on.
+        if serde_json::from_str::<serde_json::Value>("null").is_err() {
+            return;
+        }
+        let dir = std::env::temp_dir().join("gansec-cli-detect-evidence-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let bundle = dir.join("bundle.json");
+        let bundle_str = bundle.to_str().expect("utf8 path");
+        let gcode = dir.join("benign.gcode");
+        std::fs::write(&gcode, "G1 F1200 X10\nG1 F1200 X0\nG1 F1200 X10\n").expect("write gcode");
+        let gcode_str = gcode.to_str().expect("utf8 path");
+
+        let code = train(&parsed(&["--smoke", "--seed", "3", "--out", bundle_str]))
+            .expect("train succeeds");
+        assert_eq!(code, ExitCode::Ok);
+
+        // An honest program through the full three-channel stack: runs,
+        // and exits through the same rate policy as the default path.
+        let code = detect_bundle(
+            &parsed(&[
+                "--benign",
+                gcode_str,
+                "--suspect",
+                gcode_str,
+                "--evidence",
+                "kde,disc,recon",
+                "--evidence-weights",
+                "0.5,0.3,0.2",
+            ]),
+            bundle_str,
+        )
+        .expect("evidence detect runs");
+        assert!(matches!(code, ExitCode::Ok | ExitCode::Flagged));
+
+        // Same rows, default path: still works bit-identically (the
+        // golden parity tests pin the scores; here we pin the wiring).
+        let code = detect_bundle(
+            &parsed(&["--benign", gcode_str, "--suspect", gcode_str]),
+            bundle_str,
+        )
+        .expect("default detect runs");
+        assert!(matches!(code, ExitCode::Ok | ExitCode::Flagged));
+
+        // A typo'd kind gates at the lint pass (GS0806); under
+        // --no-check the engine-side parse still refuses it hard —
+        // never a silent KDE fallback.
+        let code = detect_bundle(
+            &parsed(&[
+                "--benign",
+                gcode_str,
+                "--suspect",
+                gcode_str,
+                "--evidence",
+                "astrology",
+            ]),
+            bundle_str,
+        )
+        .expect("lint gate refuses with an exit code");
+        assert_eq!(code, ExitCode::Flagged);
+        let err = detect_bundle(
+            &parsed(&[
+                "--no-check",
+                "--benign",
+                gcode_str,
+                "--suspect",
+                gcode_str,
+                "--evidence",
+                "astrology",
+            ]),
+            bundle_str,
+        )
+        .expect_err("unknown kind");
+        assert!(err.contains("astrology"), "{err}");
+
+        std::fs::remove_file(&bundle).ok();
+        std::fs::remove_file(&gcode).ok();
     }
 
     #[test]

@@ -19,24 +19,220 @@
 use std::fs;
 use std::path::Path;
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use gansec_gan::write_atomic;
+use gansec_nn::ForwardScratch;
+use gansec_tensor::{sample_standard_normal, Matrix};
 
 use crate::{
-    AttackDetector, GCodeEstimator, PersistError, PipelineConfig, SecurityModel, SideChannelDataset,
+    AttackDetector, GCodeEstimator, PersistError, PipelineConfig, ScoreScratch, SecurityModel,
+    SideChannelDataset,
 };
 
-/// The bundle schema version this build reads and writes. Bump on any
-/// breaking change to [`ModelBundle`]'s wire format; loaders reject
-/// other versions with [`PersistError::BundleVersion`] instead of
-/// misinterpreting fields.
-pub const BUNDLE_SCHEMA_VERSION: u32 = 1;
+/// The bundle schema version this build writes. Bump on any breaking
+/// change to [`ModelBundle`]'s wire format; loaders reject versions
+/// outside [`BUNDLE_SUPPORTED_VERSIONS`] with
+/// [`PersistError::BundleVersion`] instead of misinterpreting fields.
+pub const BUNDLE_SCHEMA_VERSION: u32 = 2;
+
+/// Every schema version this build can *read*. Version 1 predates the
+/// evidence seal: such bundles load with [`ModelBundle::evidence`] as
+/// `None` and degrade to KDE-only scoring downstream.
+pub const BUNDLE_SUPPORTED_VERSIONS: &[u32] = &[1, 2];
 
 /// The benign-frame false-alarm rate the bundled detector threshold is
 /// calibrated to.
 pub const BUNDLE_FALSE_ALARM_RATE: f64 = 0.05;
+
+/// Default gradient-descent iteration budget for generator-inversion
+/// (reconstruction) evidence sealed into new bundles.
+pub const BUNDLE_RECON_ITERS: u32 = 40;
+
+/// Default gradient-descent learning rate for generator-inversion
+/// (reconstruction) evidence sealed into new bundles.
+pub const BUNDLE_RECON_LR: f64 = 0.1;
+
+/// Cap on the number of benign frames scored while calibrating the
+/// reconstruction evidence: frames are subsampled evenly above this.
+const RECON_CALIBRATION_FRAMES: usize = 256;
+
+/// Calibration statistics for one evidence channel, computed over benign
+/// training frames scored under their own (true) condition claims.
+///
+/// `threshold` is the [`BUNDLE_FALSE_ALARM_RATE`] quantile of the benign
+/// score distribution (scores *below* it are flagged, matching
+/// [`AttackDetector::is_attack`]); `mean`/`std` standardize the channel
+/// so differently-scaled evidence kinds combine on one axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceCalibration {
+    /// Alarm threshold on the raw score (below = attack).
+    pub threshold: f64,
+    /// Benign-score mean, for standardized combination.
+    pub mean: f64,
+    /// Benign-score standard deviation, for standardized combination.
+    pub std: f64,
+}
+
+impl EvidenceCalibration {
+    fn from_scores(scores: &[f64], threshold: f64) -> Self {
+        let n = scores.len() as f64;
+        let mean = scores.iter().sum::<f64>() / n;
+        let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        Self {
+            threshold,
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+/// The [`BUNDLE_FALSE_ALARM_RATE`] quantile of a benign score sample:
+/// the same calibration rule [`AttackDetector::fit`] applies to the KDE
+/// channel, reused verbatim for the other evidence channels.
+fn quantile_threshold(scores: &[f64]) -> f64 {
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() as f64 * BUNDLE_FALSE_ALARM_RATE) as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Schema-v2 evidence metadata sealed next to the model: per-channel
+/// calibrations plus the reconstruction-evidence budget, covered by
+/// their own fingerprint (the config fingerprint stays config-only so
+/// `GS0408` drift comparisons remain meaningful).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceSeal {
+    /// KDE (Parzen) channel calibration; its threshold equals the
+    /// detector's own calibrated threshold.
+    pub kde: EvidenceCalibration,
+    /// Discriminator-logit channel calibration.
+    pub disc: EvidenceCalibration,
+    /// Generator-inversion (reconstruction) channel calibration; raw
+    /// scores are negative mean-squared reconstruction error.
+    pub recon: EvidenceCalibration,
+    /// Gradient-descent iteration budget for inversion at serve time.
+    pub recon_iters: u32,
+    /// Gradient-descent learning rate for inversion at serve time.
+    pub recon_lr: f64,
+    /// Seed for the per-frame deterministic `Z` initialization.
+    pub recon_seed: u64,
+    /// FNV-1a over the bit patterns of every other sealed field,
+    /// stamped at seal time and re-derived at load time.
+    pub seal_fingerprint: u64,
+}
+
+impl EvidenceSeal {
+    /// Re-derives the fingerprint from the sealed fields. Hashes the
+    /// exact `f64` bit patterns (not a serialized rendering) so the
+    /// check is independent of any JSON formatter.
+    pub fn expected_fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(11 * 8);
+        for cal in [&self.kde, &self.disc, &self.recon] {
+            bytes.extend_from_slice(&cal.threshold.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&cal.mean.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&cal.std.to_bits().to_le_bytes());
+        }
+        bytes.extend_from_slice(&u64::from(self.recon_iters).to_le_bytes());
+        bytes.extend_from_slice(&self.recon_lr.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&self.recon_seed.to_le_bytes());
+        fnv1a(&bytes)
+    }
+
+    /// Calibrates all three evidence channels over benign frames scored
+    /// under their true claims. Consumes `rng` only *after* the detector
+    /// and estimator fits, so the sealed scorers of earlier schema
+    /// versions stay bit-identical.
+    fn fit(
+        model: &SecurityModel,
+        detector: &AttackDetector,
+        train: &SideChannelDataset,
+        rng: &mut impl Rng,
+    ) -> Self {
+        // KDE: the detector's own benign scores; the threshold is the
+        // detector's, so KDE-only evidence is a pure passthrough.
+        let mut scratch = ScoreScratch::new();
+        let mut kde_scores = Vec::new();
+        detector.score_frames_into(train.features(), train.conds(), &mut scratch, &mut kde_scores);
+        let kde = EvidenceCalibration::from_scores(&kde_scores, detector.threshold());
+
+        // Discriminator: raw logits, higher = more real-looking.
+        let mut fwd = ForwardScratch::new();
+        let disc_scores =
+            model
+                .cgan()
+                .discriminator_inference()
+                .logits(train.features(), train.conds(), &mut fwd);
+        let disc = EvidenceCalibration::from_scores(&disc_scores, quantile_threshold(&disc_scores));
+
+        // Reconstruction: negative inversion MSE over an evenly-spaced
+        // benign subsample, with the same per-frame seeded Z init the
+        // serve path uses.
+        let recon_seed = rng.gen::<u64>();
+        let n = train.len();
+        let stride = n.div_ceil(RECON_CALIBRATION_FRAMES).max(1);
+        let rows: Vec<usize> = (0..n).step_by(stride).collect();
+        let mut inverter = model.cgan().generator_inverter();
+        let noise_dim = inverter.noise_dim();
+        let targets = Matrix::from_fn(rows.len(), train.features().cols(), |i, j| {
+            train.features()[(rows[i], j)]
+        });
+        let conds = Matrix::from_fn(rows.len(), train.conds().cols(), |i, j| {
+            train.conds()[(rows[i], j)]
+        });
+        let mut z = Matrix::zeros(rows.len(), noise_dim);
+        for (i, &r) in rows.iter().enumerate() {
+            let row = recon_noise_row(recon_seed, r as u64, noise_dim);
+            z.as_mut_slice()[i * noise_dim..(i + 1) * noise_dim].copy_from_slice(&row);
+        }
+        let mse = inverter.invert(
+            &targets,
+            &conds,
+            &mut z,
+            BUNDLE_RECON_ITERS as usize,
+            BUNDLE_RECON_LR,
+            &mut fwd,
+        );
+        let recon_scores: Vec<f64> = mse.iter().map(|&e| -e).collect();
+        let recon =
+            EvidenceCalibration::from_scores(&recon_scores, quantile_threshold(&recon_scores));
+
+        let mut seal = Self {
+            kde,
+            disc,
+            recon,
+            recon_iters: BUNDLE_RECON_ITERS,
+            recon_lr: BUNDLE_RECON_LR,
+            recon_seed,
+            seal_fingerprint: 0,
+        };
+        seal.seal_fingerprint = seal.expected_fingerprint();
+        seal
+    }
+}
+
+/// Splitmix64-style mix of the seal's reconstruction seed and a global
+/// frame index: per-frame `Z` initialization streams that depend only on
+/// `(recon_seed, frame_index)`, never on batching or thread scheduling.
+pub fn derive_recon_frame_seed(recon_seed: u64, frame_index: u64) -> u64 {
+    let mut z = recon_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(frame_index + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic inversion starting point for one frame: standard
+/// normal noise drawn from the frame's own seeded stream. Calibration
+/// and every serve-time scoring path share this, so reconstruction
+/// scores are identical however frames are batched.
+pub fn recon_noise_row(recon_seed: u64, frame_index: u64, noise_dim: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(derive_recon_frame_seed(recon_seed, frame_index));
+    (0..noise_dim)
+        .map(|_| sample_standard_normal(&mut rng))
+        .collect()
+}
 
 /// A sealed train-time artifact: the trained generator, the fitted
 /// per-condition Parzen scorers, and the calibrated detector threshold,
@@ -63,6 +259,10 @@ pub struct ModelBundle {
     /// The maximum-likelihood condition estimator over the same
     /// generated support.
     pub estimator: GCodeEstimator,
+    /// Schema-v2 evidence calibrations. `None` for legacy v1 bundles,
+    /// which degrade to KDE-only scoring.
+    #[serde(default)]
+    pub evidence: Option<EvidenceSeal>,
 }
 
 impl ModelBundle {
@@ -95,6 +295,10 @@ impl ModelBundle {
         );
         let estimator =
             GCodeEstimator::fit(&model, config.h, config.gsize, feature_indices.clone(), rng);
+        // Evidence calibration consumes the stream strictly after the
+        // detector/estimator fits, so those artifacts match what a
+        // pre-evidence build sealed from the same stream.
+        let evidence = EvidenceSeal::fit(&model, &detector, train, rng);
         Self {
             schema_version: BUNDLE_SCHEMA_VERSION,
             seed,
@@ -104,6 +308,7 @@ impl ModelBundle {
             model,
             detector,
             estimator,
+            evidence: Some(evidence),
         }
     }
 
@@ -175,7 +380,7 @@ impl ModelBundle {
     ///
     /// [`PersistError::BundleVersion`] or [`PersistError::BundleInvalid`].
     pub fn validate(&self) -> Result<(), PersistError> {
-        if self.schema_version != BUNDLE_SCHEMA_VERSION {
+        if !BUNDLE_SUPPORTED_VERSIONS.contains(&self.schema_version) {
             return Err(PersistError::BundleVersion {
                 found: self.schema_version,
                 supported: BUNDLE_SCHEMA_VERSION,
@@ -246,6 +451,34 @@ impl ModelBundle {
                 self.detector.threshold()
             ));
         }
+        match (&self.evidence, self.schema_version) {
+            (None, 2..) => {
+                return invalid(format!(
+                    "schema version {} bundle is missing its evidence seal",
+                    self.schema_version
+                ));
+            }
+            (Some(seal), _) => {
+                if seal.seal_fingerprint != seal.expected_fingerprint() {
+                    return invalid(format!(
+                        "evidence seal fingerprint {:#018x} does not match the sealed \
+                         calibrations ({:#018x}); the bundle was edited after sealing",
+                        seal.seal_fingerprint,
+                        seal.expected_fingerprint()
+                    ));
+                }
+                if seal.recon_iters == 0 {
+                    return invalid("evidence seal has a zero inversion budget".to_string());
+                }
+                if !seal.recon_lr.is_finite() || seal.recon_lr <= 0.0 {
+                    return invalid(format!(
+                        "evidence seal inversion learning rate {} is degenerate",
+                        seal.recon_lr
+                    ));
+                }
+            }
+            (None, _) => {}
+        }
         Ok(())
     }
 
@@ -255,9 +488,16 @@ impl ModelBundle {
     /// `None` checks internal consistency only.
     pub fn lint_spec(&self, current: Option<&PipelineConfig>) -> gansec_lint::BundleSpec {
         let model_cfg = self.model.cgan().config();
+        // Any readable version is "supported" for the GS0401 check: a
+        // legacy v1 bundle degrades gracefully rather than flagging.
+        let supported_version = if BUNDLE_SUPPORTED_VERSIONS.contains(&self.schema_version) {
+            self.schema_version
+        } else {
+            BUNDLE_SCHEMA_VERSION
+        };
         gansec_lint::BundleSpec {
             schema_version: self.schema_version,
-            supported_version: BUNDLE_SCHEMA_VERSION,
+            supported_version,
             seed: self.seed,
             config_fingerprint: self.config_fingerprint,
             sealed_fingerprint: config_fingerprint(&self.config),
@@ -279,6 +519,28 @@ impl ModelBundle {
     pub fn range_spec(&self) -> gansec_lint::EstimatorRangeSpec {
         self.detector.range_spec()
     }
+
+    /// The [`gansec_lint::EvidenceSpec`] describing an evidence request
+    /// against this bundle, for `gansec check`'s `GS08xx` pass:
+    /// `requested` carries the raw `--evidence` kind strings and
+    /// `weights` the raw `--evidence-weights` values (empty = uniform).
+    pub fn evidence_lint_spec(
+        &self,
+        requested: &[String],
+        weights: &[f64],
+    ) -> gansec_lint::EvidenceSpec {
+        gansec_lint::EvidenceSpec {
+            requested: requested.to_vec(),
+            weights: weights.to_vec(),
+            sealed: self.evidence.is_some(),
+            recon_iters: self.evidence.as_ref().map(|s| u64::from(s.recon_iters)),
+            thresholds: self
+                .evidence
+                .as_ref()
+                .map(|s| vec![s.kde.threshold, s.disc.threshold, s.recon.threshold])
+                .unwrap_or_default(),
+        }
+    }
 }
 
 /// FNV-1a (64-bit) over the canonical JSON encoding of a pipeline
@@ -286,10 +548,15 @@ impl ModelBundle {
 /// config drift between a sealed bundle and the session loading it.
 pub fn config_fingerprint(config: &PipelineConfig) -> u64 {
     let json = serde_json::to_string(config).expect("pipeline config serializes");
+    fnv1a(json.as_bytes())
+}
+
+/// FNV-1a, 64-bit.
+fn fnv1a(bytes: &[u8]) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut hash = FNV_OFFSET;
-    for &b in json.as_bytes() {
+    for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(FNV_PRIME);
     }
@@ -401,6 +668,75 @@ mod tests {
         bundle.feature_indices[0] = bundle.config.n_bins + 5;
         let err = bundle.validate().unwrap_err();
         assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn new_bundles_carry_a_calibrated_evidence_seal() {
+        let bundle = smoke_bundle();
+        let seal = bundle.evidence.as_ref().expect("v2 bundles seal evidence");
+        assert_eq!(seal.kde.threshold, bundle.detector.threshold());
+        for cal in [&seal.kde, &seal.disc, &seal.recon] {
+            assert!(cal.threshold.is_finite());
+            assert!(cal.mean.is_finite());
+            assert!(cal.std.is_finite() && cal.std >= 0.0);
+        }
+        assert_eq!(seal.recon_iters, BUNDLE_RECON_ITERS);
+        assert_eq!(seal.seal_fingerprint, seal.expected_fingerprint());
+    }
+
+    #[test]
+    fn legacy_v1_bundle_loads_without_evidence() {
+        let mut bundle = smoke_bundle();
+        bundle.schema_version = 1;
+        bundle.evidence = None;
+        // A v1 bundle without a seal is valid as-is (the engine degrades
+        // to KDE-only evidence), and its lint stamp reports its own
+        // readable version.
+        bundle.validate().unwrap();
+        let spec = bundle.lint_spec(None);
+        assert_eq!(spec.supported_version, 1);
+        let json = bundle.to_json().unwrap();
+        if json.is_empty() {
+            return; // vendored serde_json stub: no parser in this build
+        }
+        // A pre-evidence writer omits the key entirely; `#[serde(default)]`
+        // must absorb that, so strip it rather than leaving `null`.
+        let json = json
+            .replace(",\"evidence\":null", "")
+            .replace("\"evidence\":null,", "");
+        let reloaded = ModelBundle::from_json(&json).unwrap();
+        assert_eq!(reloaded.schema_version, 1);
+        assert!(reloaded.evidence.is_none());
+        // The GS0401 lint stamp treats a readable legacy version as
+        // supported, so loading it does not spuriously flag.
+        let spec = reloaded.lint_spec(None);
+        assert_eq!(spec.supported_version, 1);
+    }
+
+    #[test]
+    fn v2_bundle_missing_seal_is_invalid() {
+        let mut bundle = smoke_bundle();
+        bundle.evidence = None;
+        let err = bundle.validate().unwrap_err();
+        assert!(err.to_string().contains("evidence seal"), "{err}");
+    }
+
+    #[test]
+    fn tampered_evidence_seal_fails_fingerprint_check() {
+        let mut bundle = smoke_bundle();
+        bundle.evidence.as_mut().unwrap().recon_iters += 1;
+        let err = bundle.validate().unwrap_err();
+        assert!(err.to_string().contains("evidence seal fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn recon_noise_rows_depend_only_on_seed_and_index() {
+        let a = recon_noise_row(7, 3, 8);
+        let b = recon_noise_row(7, 3, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, recon_noise_row(7, 4, 8));
+        assert_ne!(a, recon_noise_row(8, 3, 8));
+        assert!(a.iter().all(|v| v.is_finite()));
     }
 
     // RNG isolation: sealing a bundle must not perturb the analysis

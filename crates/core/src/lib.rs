@@ -65,7 +65,11 @@ mod report;
 
 pub use analysis::{AnalysisWarnings, ConditionLikelihood, LikelihoodAnalysis, LikelihoodReport};
 pub use baseline::KdeBaseline;
-pub use bundle::{config_fingerprint, ModelBundle, BUNDLE_FALSE_ALARM_RATE, BUNDLE_SCHEMA_VERSION};
+pub use bundle::{
+    config_fingerprint, derive_recon_frame_seed, recon_noise_row, EvidenceCalibration,
+    EvidenceSeal, ModelBundle, BUNDLE_FALSE_ALARM_RATE, BUNDLE_RECON_ITERS, BUNDLE_RECON_LR,
+    BUNDLE_SCHEMA_VERSION, BUNDLE_SUPPORTED_VERSIONS,
+};
 pub use dataset::{DatasetError, EmissionChannel, FrameScreenReport, SideChannelDataset};
 pub use detector::{AttackDetector, DetectionOutcome, ScoreScratch};
 pub use estimator::GCodeEstimator;

@@ -1,0 +1,600 @@
+//! The pluggable multi-evidence layer: every verdict path runs through
+//! an [`EvidenceStack`] of [`EvidenceScorer`]s.
+//!
+//! GAN-Sec's detector originally judged a frame by one signal — the
+//! mean windowed Parzen likelihood under the claimed condition. A
+//! trained CGAN carries two more attack-sensitive signals for free:
+//!
+//! * the **discriminator logit** — D was trained to tell real emissions
+//!   from generated ones, so frames off the benign manifold score low;
+//! * the **reconstruction error** of inverting G — if no latent `z`
+//!   renders the claimed `(frame, condition)` pair, the generator never
+//!   learned such emissions and the frame is suspect.
+//!
+//! Each channel is an [`EvidenceScorer`] with a sealed calibration
+//! (threshold + standardization moments, fitted over benign training
+//! frames at bundle-seal time). A single-scorer stack is a **raw-score
+//! passthrough** — `EvidenceStack::kde_only` is bit-identical to the
+//! pre-evidence detector path at every thread count. A multi-scorer
+//! stack combines **standardized** scores, `Σ wᵢ·(sᵢ−μᵢ)/σᵢ`, with the
+//! per-channel thresholds transformed onto the same axis, so all three
+//! channels keep the detector's orientation: higher = more benign,
+//! score below threshold = attack.
+//!
+//! Determinism: the stack fans frame blocks out through
+//! `gansec-parallel` exactly like the engine's scalar scoring path, and
+//! reconstruction evidence seeds each frame's latent initialization
+//! from `(recon_seed, global frame index)` — scores depend only on the
+//! request contents, never on batching or thread scheduling.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
+
+use gansec::{
+    derive_recon_frame_seed, recon_noise_row, AttackDetector, EvidenceCalibration, ScoreScratch,
+    SecurityModel,
+};
+use gansec_nn::ForwardScratch;
+use gansec_tensor::Matrix;
+
+/// Frames per parallel evidence block — matches the engine's scoring
+/// block so the KDE passthrough reproduces the exact same per-block
+/// gather.
+const BLOCK: usize = 256;
+
+/// One evidence channel the stack can score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvidenceKind {
+    /// Mean windowed Parzen likelihood under the claimed condition —
+    /// the paper's detector, and the default channel.
+    Kde,
+    /// Raw discriminator logit of `(frame, claimed condition)`.
+    Disc,
+    /// Negative mean-squared error of inverting the generator for the
+    /// claimed condition under a bounded gradient-descent budget.
+    Recon,
+}
+
+impl fmt::Display for EvidenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvidenceKind::Kde => write!(f, "kde"),
+            EvidenceKind::Disc => write!(f, "disc"),
+            EvidenceKind::Recon => write!(f, "recon"),
+        }
+    }
+}
+
+/// Typed parse failure for an evidence-kind string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEvidenceKindError(pub String);
+
+impl fmt::Display for ParseEvidenceKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown evidence kind `{}` (try kde, disc, recon)", self.0)
+    }
+}
+
+impl std::error::Error for ParseEvidenceKindError {}
+
+impl FromStr for EvidenceKind {
+    type Err = ParseEvidenceKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "kde" => Ok(EvidenceKind::Kde),
+            "disc" => Ok(EvidenceKind::Disc),
+            "recon" => Ok(EvidenceKind::Recon),
+            other => Err(ParseEvidenceKindError(other.to_string())),
+        }
+    }
+}
+
+/// Reusable per-thread buffers for one evidence block: the detector's
+/// Parzen scratch plus a network forward scratch, pooled by the stack
+/// so warm batches allocate nothing per frame.
+#[derive(Debug, Default)]
+pub struct EvidenceScratch {
+    /// Parzen scoring buffers (KDE channel).
+    pub score: ScoreScratch,
+    /// Network forward-pass buffers (discriminator and inversion
+    /// channels).
+    pub fwd: ForwardScratch,
+}
+
+/// One evidence channel: scores a block of frames and carries its
+/// sealed calibration.
+///
+/// Implementations must be deterministic functions of the frame
+/// contents and the block's position in the request (`first_row`) —
+/// never of thread scheduling — so stack results are bit-identical at
+/// every thread count.
+pub trait EvidenceScorer: Send + Sync {
+    /// Which channel this scorer implements.
+    fn kind(&self) -> EvidenceKind;
+
+    /// The sealed raw-score alarm threshold (below = attack).
+    fn threshold(&self) -> f64;
+
+    /// Benign-score mean, for standardized combination.
+    fn mean(&self) -> f64;
+
+    /// Benign-score standard deviation, for standardized combination.
+    fn std(&self) -> f64;
+
+    /// Raw scores for every row of `(features, claimed_conds)`, higher
+    /// = more benign-looking. `first_row` is the block's offset within
+    /// the full request, for scorers whose per-frame determinism is
+    /// keyed on the global frame index.
+    fn score_frames(
+        &self,
+        features: &Matrix,
+        claimed_conds: &Matrix,
+        first_row: usize,
+        scratch: &mut EvidenceScratch,
+    ) -> Vec<f64>;
+}
+
+/// The paper's detector as an evidence channel: mean windowed Parzen
+/// likelihood under the claimed condition, via the exact same
+/// `score_frames_into` kernel the pre-evidence engine called.
+pub struct KdeEvidence {
+    detector: Arc<AttackDetector>,
+    mean: f64,
+    std: f64,
+}
+
+impl KdeEvidence {
+    /// Wraps the bundled detector with its sealed standardization
+    /// moments. The threshold is always the detector's own calibrated
+    /// threshold, so a KDE-only stack is a pure passthrough.
+    pub fn new(detector: Arc<AttackDetector>, mean: f64, std: f64) -> Self {
+        Self {
+            detector,
+            mean,
+            std,
+        }
+    }
+
+    /// Wraps a legacy (v1, unsealed) detector: standardization moments
+    /// default to `(0, 1)`, which is irrelevant for the only stack such
+    /// a bundle can build (single-channel KDE, a raw passthrough).
+    pub fn legacy(detector: Arc<AttackDetector>) -> Self {
+        Self::new(detector, 0.0, 1.0)
+    }
+}
+
+impl EvidenceScorer for KdeEvidence {
+    fn kind(&self) -> EvidenceKind {
+        EvidenceKind::Kde
+    }
+
+    fn threshold(&self) -> f64 {
+        self.detector.threshold()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn std(&self) -> f64 {
+        self.std
+    }
+
+    fn score_frames(
+        &self,
+        features: &Matrix,
+        claimed_conds: &Matrix,
+        _first_row: usize,
+        scratch: &mut EvidenceScratch,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.detector
+            .score_frames_into(features, claimed_conds, &mut scratch.score, &mut out);
+        out
+    }
+}
+
+/// The sealed discriminator's raw logit as an evidence channel.
+pub struct DiscriminatorEvidence {
+    model: Arc<SecurityModel>,
+    cal: EvidenceCalibration,
+}
+
+impl DiscriminatorEvidence {
+    /// Wraps the sealed model's discriminator with its calibration.
+    pub fn new(model: Arc<SecurityModel>, cal: EvidenceCalibration) -> Self {
+        Self { model, cal }
+    }
+}
+
+impl EvidenceScorer for DiscriminatorEvidence {
+    fn kind(&self) -> EvidenceKind {
+        EvidenceKind::Disc
+    }
+
+    fn threshold(&self) -> f64 {
+        self.cal.threshold
+    }
+
+    fn mean(&self) -> f64 {
+        self.cal.mean
+    }
+
+    fn std(&self) -> f64 {
+        self.cal.std
+    }
+
+    fn score_frames(
+        &self,
+        features: &Matrix,
+        claimed_conds: &Matrix,
+        _first_row: usize,
+        scratch: &mut EvidenceScratch,
+    ) -> Vec<f64> {
+        self.model
+            .cgan()
+            .discriminator_inference()
+            .logits(features, claimed_conds, &mut scratch.fwd)
+    }
+}
+
+/// Generator-inversion (reconstruction) evidence: negative MSE of the
+/// best generator output reachable from a seeded latent initialization
+/// under a fixed gradient-descent budget.
+pub struct ReconstructionEvidence {
+    model: Arc<SecurityModel>,
+    cal: EvidenceCalibration,
+    iters: usize,
+    lr: f64,
+    seed: u64,
+}
+
+impl ReconstructionEvidence {
+    /// Wraps the sealed model's generator with the sealed inversion
+    /// budget (`iters`, `lr`) and the seal's latent-init seed.
+    pub fn new(
+        model: Arc<SecurityModel>,
+        cal: EvidenceCalibration,
+        iters: usize,
+        lr: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            model,
+            cal,
+            iters,
+            lr,
+            seed,
+        }
+    }
+
+    /// The deterministic latent-init seed for one global frame index.
+    pub fn frame_seed(&self, frame_index: u64) -> u64 {
+        derive_recon_frame_seed(self.seed, frame_index)
+    }
+}
+
+impl EvidenceScorer for ReconstructionEvidence {
+    fn kind(&self) -> EvidenceKind {
+        EvidenceKind::Recon
+    }
+
+    fn threshold(&self) -> f64 {
+        self.cal.threshold
+    }
+
+    fn mean(&self) -> f64 {
+        self.cal.mean
+    }
+
+    fn std(&self) -> f64 {
+        self.cal.std
+    }
+
+    fn score_frames(
+        &self,
+        features: &Matrix,
+        claimed_conds: &Matrix,
+        first_row: usize,
+        scratch: &mut EvidenceScratch,
+    ) -> Vec<f64> {
+        let rows = features.rows();
+        if rows == 0 {
+            return Vec::new();
+        }
+        let mut inverter = self.model.cgan().generator_inverter();
+        let noise_dim = inverter.noise_dim();
+        let mut z = Matrix::zeros(rows, noise_dim);
+        for r in 0..rows {
+            let row = recon_noise_row(self.seed, (first_row + r) as u64, noise_dim);
+            z.as_mut_slice()[r * noise_dim..(r + 1) * noise_dim].copy_from_slice(&row);
+        }
+        let mse = inverter.invert(
+            features,
+            claimed_conds,
+            &mut z,
+            self.iters,
+            self.lr,
+            &mut scratch.fwd,
+        );
+        mse.iter().map(|&e| -e).collect()
+    }
+}
+
+/// Why an evidence stack could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvidenceError {
+    /// No evidence kinds were requested.
+    Empty,
+    /// The same kind was requested twice.
+    Duplicate(EvidenceKind),
+    /// Discriminator or reconstruction evidence was requested against a
+    /// legacy (v1) bundle that carries no evidence seal.
+    NotSealed(EvidenceKind),
+    /// The weight vector cannot be normalized (wrong length, negative,
+    /// non-finite, or zero-sum entries).
+    BadWeights(String),
+}
+
+impl fmt::Display for EvidenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvidenceError::Empty => write!(f, "no evidence kinds requested"),
+            EvidenceError::Duplicate(k) => write!(f, "evidence kind `{k}` requested twice"),
+            EvidenceError::NotSealed(k) => write!(
+                f,
+                "evidence kind `{k}` needs a sealed bundle (schema v2); this bundle \
+                 is legacy v1 with no evidence seal — re-train to seal, or request \
+                 only kde evidence"
+            ),
+            EvidenceError::BadWeights(msg) => write!(f, "bad evidence weights: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvidenceError {}
+
+/// A non-fatal degradation encountered while building a stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvidenceWarning {
+    /// The bundle is legacy (v1, unsealed): only KDE evidence is
+    /// available, and the stack was built KDE-only.
+    LegacyKdeOnly,
+}
+
+impl fmt::Display for EvidenceWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvidenceWarning::LegacyKdeOnly => write!(
+                f,
+                "legacy v1 bundle carries no evidence seal: scoring degrades to \
+                 KDE-only evidence"
+            ),
+        }
+    }
+}
+
+/// Raw and combined scores from one stack pass over a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceScores {
+    /// Raw per-channel scores, `per_evidence[channel][frame]`, in stack
+    /// order.
+    pub per_evidence: Vec<Vec<f64>>,
+    /// The combined verdict-axis score per frame: the single channel's
+    /// raw score for a one-scorer stack, the standardized weighted sum
+    /// otherwise.
+    pub combined: Vec<f64>,
+}
+
+/// An ordered, weighted set of evidence scorers with one combined
+/// verdict axis.
+pub struct EvidenceStack {
+    scorers: Vec<Box<dyn EvidenceScorer>>,
+    /// Normalized to sum 1, same length as `scorers`.
+    weights: Vec<f64>,
+    pool: Mutex<Vec<EvidenceScratch>>,
+}
+
+impl fmt::Debug for EvidenceStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvidenceStack")
+            .field("kinds", &self.kinds())
+            .field("weights", &self.weights)
+            .finish()
+    }
+}
+
+/// A channel's standardization scale, guarded against degenerate seals:
+/// a zero or non-finite benign-score spread falls back to 1 so the
+/// channel still contributes its centered score.
+fn safe_std(s: f64) -> f64 {
+    if s.is_finite() && s > 0.0 {
+        s
+    } else {
+        1.0
+    }
+}
+
+impl EvidenceStack {
+    /// Builds a stack from scorers and (optionally empty = uniform)
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// [`EvidenceError::Empty`] with no scorers,
+    /// [`EvidenceError::Duplicate`] when a kind repeats, and
+    /// [`EvidenceError::BadWeights`] when `weights` is non-empty but
+    /// not the scorer count, or not normalizable (negative, non-finite,
+    /// or zero-sum).
+    pub fn new(
+        scorers: Vec<Box<dyn EvidenceScorer>>,
+        weights: &[f64],
+    ) -> Result<Self, EvidenceError> {
+        if scorers.is_empty() {
+            return Err(EvidenceError::Empty);
+        }
+        for (i, s) in scorers.iter().enumerate() {
+            if scorers[..i].iter().any(|o| o.kind() == s.kind()) {
+                return Err(EvidenceError::Duplicate(s.kind()));
+            }
+        }
+        let weights = if weights.is_empty() {
+            vec![1.0 / scorers.len() as f64; scorers.len()]
+        } else {
+            if weights.len() != scorers.len() {
+                return Err(EvidenceError::BadWeights(format!(
+                    "{} weights for {} evidence kinds",
+                    weights.len(),
+                    scorers.len()
+                )));
+            }
+            let sum: f64 = weights.iter().sum();
+            if weights.iter().any(|w| !w.is_finite() || *w < 0.0) || !sum.is_finite() || sum <= 0.0
+            {
+                return Err(EvidenceError::BadWeights(format!(
+                    "{weights:?} is not normalizable (need finite, non-negative \
+                     values with a positive sum)"
+                )));
+            }
+            weights.iter().map(|w| w / sum).collect()
+        };
+        Ok(Self {
+            scorers,
+            weights,
+            pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The default stack: the bundled detector as the sole channel — a
+    /// raw-score passthrough bit-identical to the pre-evidence verdict
+    /// path.
+    pub fn kde_only(detector: Arc<AttackDetector>) -> Self {
+        Self {
+            scorers: vec![Box::new(KdeEvidence::legacy(detector))],
+            weights: vec![1.0],
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Channel kinds in stack order.
+    pub fn kinds(&self) -> Vec<EvidenceKind> {
+        self.scorers.iter().map(|s| s.kind()).collect()
+    }
+
+    /// Normalized combination weights, in stack order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Raw per-channel alarm thresholds, in stack order.
+    pub fn thresholds(&self) -> Vec<f64> {
+        self.scorers.iter().map(|s| s.threshold()).collect()
+    }
+
+    /// Whether the stack is a single-channel raw passthrough.
+    pub fn is_passthrough(&self) -> bool {
+        self.scorers.len() == 1
+    }
+
+    /// The alarm threshold on the combined axis: the single channel's
+    /// raw threshold for a passthrough stack, otherwise the per-channel
+    /// thresholds standardized and weighted exactly like the scores.
+    pub fn combined_threshold(&self) -> f64 {
+        if self.is_passthrough() {
+            return self.scorers[0].threshold();
+        }
+        self.scorers
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, w)| w * (s.threshold() - s.mean()) / safe_std(s.std()))
+            .sum()
+    }
+
+    /// Whether a combined-axis score trips the alarm (below threshold =
+    /// attack, matching the detector's orientation).
+    pub fn is_attack(&self, combined: f64) -> bool {
+        combined < self.combined_threshold()
+    }
+
+    /// Scores every row of `(features, claimed_conds)` through every
+    /// channel: frame blocks fan out across threads exactly like the
+    /// engine's scalar path, each block drawing a pooled scratch, and
+    /// per-channel results concatenate in row order. Bit-identical at
+    /// every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two row counts differ.
+    pub fn score_frames(&self, features: &Matrix, claimed_conds: &Matrix) -> EvidenceScores {
+        assert_eq!(features.rows(), claimed_conds.rows(), "row count mismatch");
+        let n = features.rows();
+        let k = self.scorers.len();
+        if n == 0 {
+            return EvidenceScores {
+                per_evidence: vec![Vec::new(); k],
+                combined: Vec::new(),
+            };
+        }
+        let blocks = n.div_ceil(BLOCK);
+        // [block][channel][frame-in-block]
+        let per_block: Vec<Vec<Vec<f64>>> = gansec_parallel::par_map_indexed(blocks, |b| {
+            let start = b * BLOCK;
+            let len = BLOCK.min(n - start);
+            let f = Matrix::from_fn(len, features.cols(), |r, c| features[(start + r, c)]);
+            let cc = Matrix::from_fn(len, claimed_conds.cols(), |r, c| {
+                claimed_conds[(start + r, c)]
+            });
+            let mut scratch = self.acquire();
+            let out = self
+                .scorers
+                .iter()
+                .map(|s| s.score_frames(&f, &cc, start, &mut scratch))
+                .collect();
+            self.release(scratch);
+            out
+        });
+        let mut per_evidence = vec![Vec::with_capacity(n); k];
+        for block in &per_block {
+            for (ci, chunk) in block.iter().enumerate() {
+                per_evidence[ci].extend_from_slice(chunk);
+            }
+        }
+        let combined = if self.is_passthrough() {
+            per_evidence[0].clone()
+        } else {
+            (0..n)
+                .map(|i| {
+                    self.scorers
+                        .iter()
+                        .zip(&self.weights)
+                        .enumerate()
+                        .map(|(ci, (s, w))| {
+                            w * (per_evidence[ci][i] - s.mean()) / safe_std(s.std())
+                        })
+                        .sum()
+                })
+                .collect()
+        };
+        EvidenceScores {
+            per_evidence,
+            combined,
+        }
+    }
+
+    fn acquire(&self) -> EvidenceScratch {
+        self.pool
+            .lock()
+            .expect("evidence scratch pool lock poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn release(&self, scratch: EvidenceScratch) {
+        self.pool
+            .lock()
+            .expect("evidence scratch pool lock poisoned")
+            .push(scratch);
+    }
+}

@@ -21,6 +21,15 @@
 //!   reduce primitives, so results are bit-identical at every thread
 //!   count and equal to the scalar [`ScoringEngine::score_frame`] per
 //!   row.
+//! * **Pluggable evidence** — every verdict path runs through an
+//!   [`EvidenceStack`] of [`EvidenceScorer`]s: the paper's Parzen
+//!   detector ([`KdeEvidence`], the default and a bit-identical
+//!   passthrough), the sealed discriminator's logit
+//!   ([`DiscriminatorEvidence`]), and bounded generator inversion
+//!   ([`ReconstructionEvidence`]). [`ScoringEngine::build_evidence`]
+//!   assembles a stack from a request;
+//!   [`ScoringEngine::detect_frames_detailed`] returns per-channel
+//!   scores next to the combined verdicts.
 //!
 //! ```no_run
 //! use gansec_engine::ScoringEngine;
@@ -39,15 +48,24 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+mod evidence;
+
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use gansec::{
-    AttackDetector, GCodeEstimator, ModelBundle, PersistError, PipelineConfig, ScoreScratch,
+    AttackDetector, EvidenceSeal, GCodeEstimator, ModelBundle, PersistError, PipelineConfig,
+    ScoreScratch, SecurityModel,
 };
 #[cfg(feature = "f32")]
 use gansec_stats::ParzenWindowF32;
 use gansec_tensor::Matrix;
+
+pub use evidence::{
+    DiscriminatorEvidence, EvidenceError, EvidenceKind, EvidenceScores, EvidenceScorer,
+    EvidenceScratch, EvidenceStack, EvidenceWarning, KdeEvidence, ParseEvidenceKindError,
+    ReconstructionEvidence,
+};
 
 /// Which arithmetic width the engine's scoring paths run at.
 ///
@@ -211,44 +229,58 @@ pub struct ScoringEngine {
     config_fingerprint: u64,
     config: PipelineConfig,
     feature_indices: Vec<usize>,
-    detector: AttackDetector,
+    detector: Arc<AttackDetector>,
     estimator: GCodeEstimator,
+    /// The sealed CGAN — the discriminator and generator evidence
+    /// channels score through it.
+    model: Arc<SecurityModel>,
+    /// The bundle's evidence seal; `None` on legacy v1 bundles, which
+    /// degrade to KDE-only evidence.
+    evidence: Option<EvidenceSeal>,
+    /// The default verdict path: a KDE-only passthrough stack.
+    kde_stack: EvidenceStack,
     pool: ScratchPool,
     precision: Precision,
     /// Single-precision mirrors of the detector's fitted windows,
-    /// indexed `[condition][feature]` like the originals.
+    /// indexed `[condition][feature]` like the originals. Built lazily
+    /// by the first [`ScoringEngine::set_precision`] request for
+    /// [`Precision::F32`]; `None` until then.
     #[cfg(feature = "f32")]
-    detector_f32: Vec<Vec<ParzenWindowF32>>,
-    /// Single-precision mirrors of the estimator's fitted windows.
+    detector_f32: Option<Vec<Vec<ParzenWindowF32>>>,
+    /// Single-precision mirrors of the estimator's fitted windows,
+    /// built lazily alongside the detector mirrors.
     #[cfg(feature = "f32")]
-    estimator_f32: Vec<Vec<ParzenWindowF32>>,
+    estimator_f32: Option<Vec<Vec<ParzenWindowF32>>>,
 }
 
 impl ScoringEngine {
     /// Builds the engine from a validated bundle.
     ///
-    /// On `f32` builds this also materializes the single-precision
-    /// Parzen mirrors, so switching precision later is free; the engine
-    /// still starts on the [`Precision::F64`] reference path.
+    /// The engine starts on the [`Precision::F64`] reference path; on
+    /// `f32` builds the single-precision Parzen mirrors are only
+    /// materialized by the first [`ScoringEngine::set_precision`]
+    /// request for [`Precision::F32`], so a pure-f64 deployment never
+    /// pays for them.
     pub fn from_bundle(bundle: ModelBundle) -> Self {
-        #[cfg(feature = "f32")]
-        let detector_f32 = narrow_windows(bundle.detector.windows());
-        #[cfg(feature = "f32")]
-        let estimator_f32 = narrow_windows(bundle.estimator.windows());
+        let detector = Arc::new(bundle.detector);
+        let kde_stack = EvidenceStack::kde_only(Arc::clone(&detector));
         Self {
             seed: bundle.seed,
             schema_version: bundle.schema_version,
             config_fingerprint: bundle.config_fingerprint,
             config: bundle.config,
             feature_indices: bundle.feature_indices,
-            detector: bundle.detector,
+            detector,
             estimator: bundle.estimator,
+            model: Arc::new(bundle.model),
+            evidence: bundle.evidence,
+            kde_stack,
             pool: ScratchPool::default(),
             precision: Precision::F64,
             #[cfg(feature = "f32")]
-            detector_f32,
+            detector_f32: None,
             #[cfg(feature = "f32")]
-            estimator_f32,
+            estimator_f32: None,
         }
     }
 
@@ -303,10 +335,20 @@ impl ScoringEngine {
     ///
     /// The engine always starts on [`Precision::F64`]; flipping to
     /// [`Precision::F32`] (only available on `f32` builds) routes
-    /// `score_frame`, the batch scorers, and the classifiers through the
-    /// pre-narrowed single-precision mirrors. Threshold comparisons and
+    /// `score_frame`, the batch scorers, and the classifiers through
+    /// single-precision Parzen mirrors, narrowed here on the first
+    /// request and cached for later flips. Threshold comparisons and
     /// condition matching stay in `f64` either way.
     pub fn set_precision(&mut self, precision: Precision) {
+        #[cfg(feature = "f32")]
+        if precision == Precision::F32 {
+            if self.detector_f32.is_none() {
+                self.detector_f32 = Some(narrow_windows(self.detector.windows()));
+            }
+            if self.estimator_f32.is_none() {
+                self.estimator_f32 = Some(narrow_windows(self.estimator.windows()));
+            }
+        }
         self.precision = precision;
     }
 
@@ -352,7 +394,10 @@ impl ScoringEngine {
         let Some(ci) = self.detector.condition_index(claimed_cond) else {
             return 0.0;
         };
-        let kdes = &self.detector_f32[ci];
+        let kdes = &self
+            .detector_f32
+            .as_ref()
+            .expect("f32 mirrors built by set_precision")[ci];
         let mut acc = 0.0f64;
         for (k, &ft) in self.detector.feature_indices().iter().enumerate() {
             acc += f64::from(kdes[k].windowed_likelihood(features[ft] as f32));
@@ -364,7 +409,10 @@ impl ScoringEngine {
     /// log densities evaluated in single precision, summed in `f64`.
     #[cfg(feature = "f32")]
     fn log_likelihood_f32(&self, features: &[f64], ci: usize) -> f64 {
-        let kdes = &self.estimator_f32[ci];
+        let kdes = &self
+            .estimator_f32
+            .as_ref()
+            .expect("f32 mirrors built by set_precision")[ci];
         self.estimator
             .feature_indices()
             .iter()
@@ -470,9 +518,86 @@ impl ScoringEngine {
         per_block.concat()
     }
 
+    /// The default evidence stack: the bundled detector as a KDE-only
+    /// passthrough. This is the stack [`ScoringEngine::detect_frames`]
+    /// routes through.
+    pub fn kde_stack(&self) -> &EvidenceStack {
+        &self.kde_stack
+    }
+
+    /// The bundle's evidence seal, when present (schema v2).
+    pub fn evidence_seal(&self) -> Option<&EvidenceSeal> {
+        self.evidence.as_ref()
+    }
+
+    /// Builds an [`EvidenceStack`] for the requested channels against
+    /// this engine's sealed artifacts.
+    ///
+    /// Against a legacy v1 bundle (no evidence seal), a KDE-only
+    /// request still succeeds but degrades with a typed
+    /// [`EvidenceWarning::LegacyKdeOnly`]; requesting discriminator or
+    /// reconstruction evidence is a typed [`EvidenceError::NotSealed`].
+    ///
+    /// # Errors
+    ///
+    /// [`EvidenceError`] on an empty or duplicated kind list,
+    /// unnormalizable weights, or an unsealed channel request.
+    pub fn build_evidence(
+        &self,
+        kinds: &[EvidenceKind],
+        weights: &[f64],
+    ) -> Result<EvidenceBuild, EvidenceError> {
+        if kinds.is_empty() {
+            return Err(EvidenceError::Empty);
+        }
+        let mut warnings = Vec::new();
+        let mut scorers: Vec<Box<dyn EvidenceScorer>> = Vec::with_capacity(kinds.len());
+        match &self.evidence {
+            Some(seal) => {
+                for kind in kinds {
+                    scorers.push(match kind {
+                        EvidenceKind::Kde => Box::new(KdeEvidence::new(
+                            Arc::clone(&self.detector),
+                            seal.kde.mean,
+                            seal.kde.std,
+                        )),
+                        EvidenceKind::Disc => Box::new(DiscriminatorEvidence::new(
+                            Arc::clone(&self.model),
+                            seal.disc.clone(),
+                        )),
+                        EvidenceKind::Recon => Box::new(ReconstructionEvidence::new(
+                            Arc::clone(&self.model),
+                            seal.recon.clone(),
+                            seal.recon_iters as usize,
+                            seal.recon_lr,
+                            seal.recon_seed,
+                        )),
+                    });
+                }
+            }
+            None => {
+                if let Some(k) = kinds.iter().find(|k| **k != EvidenceKind::Kde) {
+                    return Err(EvidenceError::NotSealed(*k));
+                }
+                warnings.push(EvidenceWarning::LegacyKdeOnly);
+                for _ in kinds {
+                    scorers.push(Box::new(KdeEvidence::legacy(Arc::clone(&self.detector))));
+                }
+            }
+        }
+        let stack = EvidenceStack::new(scorers, weights)?;
+        Ok(EvidenceBuild { stack, warnings })
+    }
+
     /// Batch attack detection: scores every frame through the checked
     /// path and applies the calibrated threshold. `verdicts[i]` is
     /// `true` when frame `i` trips the alarm.
+    ///
+    /// At [`Precision::F64`] this routes through the engine's default
+    /// KDE-only [`EvidenceStack`] — a raw-score passthrough, so scores
+    /// and verdicts are bit-identical to the pre-evidence path at every
+    /// thread count. At [`Precision::F32`] the narrowed scalar mirrors
+    /// score directly (the evidence layer is f64-only).
     ///
     /// # Errors
     ///
@@ -487,13 +612,72 @@ impl ScoringEngine {
         features: &Matrix,
         claimed_conds: &Matrix,
     ) -> Result<DetectionSummary, ScoreError> {
-        let scores = self.score_frames(features, claimed_conds)?;
-        let verdicts: Vec<bool> = scores.iter().map(|&s| self.is_attack(s)).collect();
-        let flagged = verdicts.iter().filter(|&&v| v).count();
+        #[cfg(feature = "f32")]
+        if self.precision == Precision::F32 {
+            let scores = self.score_frames(features, claimed_conds)?;
+            let verdicts: Vec<bool> = scores.iter().map(|&s| self.is_attack(s)).collect();
+            let flagged = verdicts.iter().filter(|&&v| v).count();
+            return Ok(DetectionSummary {
+                threshold: self.threshold(),
+                flagged,
+                scores,
+                verdicts,
+            });
+        }
+        let detail = self.detect_frames_detailed(features, claimed_conds, &self.kde_stack)?;
         Ok(DetectionSummary {
-            threshold: self.threshold(),
+            threshold: detail.threshold,
+            flagged: detail.flagged,
+            scores: detail.combined,
+            verdicts: detail.verdicts,
+        })
+    }
+
+    /// Batch attack detection through an explicit [`EvidenceStack`],
+    /// with the per-channel raw scores attached: inputs are fenced like
+    /// [`ScoringEngine::score_frames`], every channel is scored
+    /// blockwise in parallel, and verdicts apply the stack's combined
+    /// threshold (below = attack). Always runs the f64 reference
+    /// kernels regardless of [`ScoringEngine::precision`].
+    ///
+    /// # Errors
+    ///
+    /// [`ScoreError::NonFiniteFeature`]/[`ScoreError::NonFiniteCond`]
+    /// for poisoned inputs; [`ScoreError::NonFiniteScore`] when any
+    /// channel produces a NaN score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two row counts differ.
+    pub fn detect_frames_detailed(
+        &self,
+        features: &Matrix,
+        claimed_conds: &Matrix,
+        stack: &EvidenceStack,
+    ) -> Result<DetectionDetail, ScoreError> {
+        assert_eq!(features.rows(), claimed_conds.rows(), "row count mismatch");
+        if let Some((row, col)) = first_non_finite(features) {
+            return Err(ScoreError::NonFiniteFeature { row, col });
+        }
+        if let Some((row, col)) = first_non_finite(claimed_conds) {
+            return Err(ScoreError::NonFiniteCond { row, col });
+        }
+        let scores = stack.score_frames(features, claimed_conds);
+        for channel in &scores.per_evidence {
+            if let Some(row) = channel.iter().position(|s| s.is_nan()) {
+                return Err(ScoreError::NonFiniteScore { row });
+            }
+        }
+        let threshold = stack.combined_threshold();
+        let verdicts: Vec<bool> = scores.combined.iter().map(|&s| s < threshold).collect();
+        let flagged = verdicts.iter().filter(|&&v| v).count();
+        Ok(DetectionDetail {
+            kinds: stack.kinds(),
+            evidence_thresholds: stack.thresholds(),
+            per_evidence: scores.per_evidence,
+            combined: scores.combined,
+            threshold,
             flagged,
-            scores,
             verdicts,
         })
     }
@@ -572,6 +756,37 @@ pub struct ClassificationDetail {
     /// Per-frame, per-condition joint log-likelihoods
     /// (`log_likelihoods[frame][condition]`).
     pub log_likelihoods: Vec<Vec<f64>>,
+}
+
+/// A built evidence stack plus any non-fatal degradations encountered
+/// while building it (the outcome of [`ScoringEngine::build_evidence`]).
+#[derive(Debug)]
+pub struct EvidenceBuild {
+    /// The ready-to-score stack.
+    pub stack: EvidenceStack,
+    /// Typed degradation warnings (e.g. a legacy bundle falling back to
+    /// KDE-only evidence).
+    pub warnings: Vec<EvidenceWarning>,
+}
+
+/// The outcome of [`ScoringEngine::detect_frames_detailed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionDetail {
+    /// Channel kinds, in stack order.
+    pub kinds: Vec<EvidenceKind>,
+    /// Raw per-channel alarm thresholds, in stack order.
+    pub evidence_thresholds: Vec<f64>,
+    /// Raw per-channel scores, `per_evidence[channel][frame]`.
+    pub per_evidence: Vec<Vec<f64>>,
+    /// Combined verdict-axis score per frame (raw for a single-channel
+    /// stack, standardized weighted sum otherwise).
+    pub combined: Vec<f64>,
+    /// The combined-axis alarm threshold the verdicts used.
+    pub threshold: f64,
+    /// Number of frames flagged as attacks.
+    pub flagged: usize,
+    /// Per-frame verdicts (`true` = attack).
+    pub verdicts: Vec<bool>,
 }
 
 /// The outcome of [`ScoringEngine::detect_frames`].
@@ -812,6 +1027,159 @@ mod tests {
         }
         let detail = engine.classify_frames_detailed(test.features());
         assert_eq!(detail.conditions, engine.classify_frames(test.features()));
+    }
+
+    /// Golden parity: the KDE-only evidence stack is bit-identical to
+    /// the pre-evidence verdict path (checked scorer + detector
+    /// threshold) at one and four threads.
+    #[test]
+    fn kde_only_stack_is_bit_identical_to_score_frames() {
+        let (engine, test) = engine_and_test_split();
+        for threads in [1usize, 4] {
+            gansec_parallel::set_threads(threads);
+            let reference = engine.score_frames(test.features(), test.conds()).unwrap();
+            let detail = engine
+                .detect_frames_detailed(test.features(), test.conds(), engine.kde_stack())
+                .unwrap();
+            assert_eq!(detail.kinds, vec![EvidenceKind::Kde]);
+            assert_eq!(detail.threshold, engine.threshold());
+            assert_eq!(detail.evidence_thresholds, vec![engine.threshold()]);
+            assert_eq!(detail.combined.len(), reference.len());
+            for (i, (a, b)) in reference.iter().zip(&detail.combined).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "frame {i} at {threads} threads");
+            }
+            assert_eq!(detail.per_evidence[0], detail.combined);
+            for (i, &v) in detail.verdicts.iter().enumerate() {
+                assert_eq!(v, engine.is_attack(reference[i]), "frame {i}");
+            }
+            let summary = engine.detect_frames(test.features(), test.conds()).unwrap();
+            assert_eq!(summary.scores, reference);
+            assert_eq!(summary.verdicts, detail.verdicts);
+            assert_eq!(summary.flagged, detail.flagged);
+        }
+        gansec_parallel::set_threads(0);
+    }
+
+    /// Reconstruction evidence is a deterministic function of the
+    /// request: same scores at every thread count and across repeated
+    /// runs (the seeded latent init is keyed on the global frame index,
+    /// and batched inversion is row-wise independent).
+    #[test]
+    fn recon_evidence_is_deterministic_across_thread_counts() {
+        let (engine, test) = engine_and_test_split();
+        let build = engine
+            .build_evidence(&[EvidenceKind::Recon], &[])
+            .unwrap();
+        assert!(build.warnings.is_empty());
+        gansec_parallel::set_threads(1);
+        let serial = build.stack.score_frames(test.features(), test.conds());
+        gansec_parallel::set_threads(4);
+        let parallel = build.stack.score_frames(test.features(), test.conds());
+        let repeat = build.stack.score_frames(test.features(), test.conds());
+        gansec_parallel::set_threads(0);
+        for (a, b) in serial.combined.iter().zip(&parallel.combined) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(parallel.combined, repeat.combined);
+        assert!(serial.combined.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn full_stack_combines_standardized_channels() {
+        let (engine, test) = engine_and_test_split();
+        let kinds = [EvidenceKind::Kde, EvidenceKind::Disc, EvidenceKind::Recon];
+        let weights = [0.5, 0.3, 0.2];
+        let build = engine.build_evidence(&kinds, &weights).unwrap();
+        assert_eq!(build.stack.kinds(), kinds.to_vec());
+        assert!(!build.stack.is_passthrough());
+        let detail = engine
+            .detect_frames_detailed(test.features(), test.conds(), &build.stack)
+            .unwrap();
+        assert_eq!(detail.per_evidence.len(), 3);
+        // Combined scores are the standardized weighted sum of the raw
+        // channels under the sealed calibrations.
+        let seal = engine.evidence_seal().unwrap().clone();
+        let cals = [&seal.kde, &seal.disc, &seal.recon];
+        for i in 0..test.len() {
+            let expected: f64 = (0..3)
+                .map(|c| {
+                    let std = if cals[c].std > 0.0 { cals[c].std } else { 1.0 };
+                    build.stack.weights()[c] * (detail.per_evidence[c][i] - cals[c].mean) / std
+                })
+                .sum();
+            assert_eq!(expected.to_bits(), detail.combined[i].to_bits(), "frame {i}");
+        }
+        // The combined threshold is the same transform of the sealed
+        // per-channel thresholds.
+        let expected_thresh: f64 = (0..3)
+            .map(|c| {
+                let std = if cals[c].std > 0.0 { cals[c].std } else { 1.0 };
+                build.stack.weights()[c] * (cals[c].threshold - cals[c].mean) / std
+            })
+            .sum();
+        assert_eq!(expected_thresh.to_bits(), detail.threshold.to_bits());
+        // The KDE channel's raw scores equal the reference scorer.
+        let reference = engine.score_frames(test.features(), test.conds()).unwrap();
+        assert_eq!(detail.per_evidence[0], reference);
+    }
+
+    #[test]
+    fn legacy_bundle_degrades_to_kde_with_typed_warning() {
+        let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+        let stage = pipeline.train_stage(3).unwrap();
+        let test = stage.test().clone();
+        let mut bundle = stage.to_bundle();
+        bundle.schema_version = 1;
+        bundle.evidence = None;
+        let engine = ScoringEngine::from_bundle(bundle);
+
+        // KDE-only request: succeeds with the typed degradation warning.
+        let build = engine.build_evidence(&[EvidenceKind::Kde], &[]).unwrap();
+        assert_eq!(build.warnings, vec![EvidenceWarning::LegacyKdeOnly]);
+        let detail = engine
+            .detect_frames_detailed(test.features(), test.conds(), &build.stack)
+            .unwrap();
+        let reference = engine.score_frames(test.features(), test.conds()).unwrap();
+        assert_eq!(detail.combined, reference);
+
+        // Disc/recon requests: typed errors, not panics.
+        for kind in [EvidenceKind::Disc, EvidenceKind::Recon] {
+            let err = engine.build_evidence(&[EvidenceKind::Kde, kind], &[]).unwrap_err();
+            assert_eq!(err, EvidenceError::NotSealed(kind));
+            assert!(err.to_string().contains("legacy v1"));
+        }
+    }
+
+    #[test]
+    fn evidence_request_validation_is_typed() {
+        let (engine, _) = engine_and_test_split();
+        assert_eq!(
+            engine.build_evidence(&[], &[]).unwrap_err(),
+            EvidenceError::Empty
+        );
+        assert_eq!(
+            engine
+                .build_evidence(&[EvidenceKind::Kde, EvidenceKind::Kde], &[])
+                .unwrap_err(),
+            EvidenceError::Duplicate(EvidenceKind::Kde)
+        );
+        assert!(matches!(
+            engine
+                .build_evidence(&[EvidenceKind::Kde, EvidenceKind::Disc], &[1.0])
+                .unwrap_err(),
+            EvidenceError::BadWeights(_)
+        ));
+        assert!(matches!(
+            engine
+                .build_evidence(&[EvidenceKind::Kde, EvidenceKind::Disc], &[0.0, 0.0])
+                .unwrap_err(),
+            EvidenceError::BadWeights(_)
+        ));
+        // Kind strings round-trip through FromStr/Display.
+        for kind in [EvidenceKind::Kde, EvidenceKind::Disc, EvidenceKind::Recon] {
+            assert_eq!(kind.to_string().parse::<EvidenceKind>().unwrap(), kind);
+        }
+        assert!("mahalanobis".parse::<EvidenceKind>().is_err());
     }
 
     #[test]

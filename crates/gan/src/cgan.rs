@@ -289,6 +289,32 @@ impl Cgan {
             .clone()
     }
 
+    /// An inference-only view of the discriminator for the serving path:
+    /// borrows the trained network immutably, so any number of scoring
+    /// threads can evaluate raw logits concurrently, each with its own
+    /// scratch.
+    pub fn discriminator_inference(&self) -> DiscriminatorInference<'_> {
+        DiscriminatorInference {
+            net: &self.discriminator,
+            data_dim: self.config.data_dim,
+            cond_dim: self.config.cond_dim,
+        }
+    }
+
+    /// An owned generator-inversion engine: clones the trained generator
+    /// so gradient descent on `Z` can run its caching forward/backward
+    /// passes without mutating (or even borrowing) the sealed model.
+    pub fn generator_inverter(&self) -> GeneratorInverter {
+        let mut net = self.generator.clone();
+        net.set_training(true);
+        GeneratorInverter {
+            net,
+            noise_dim: self.config.noise_dim,
+            cond_dim: self.config.cond_dim,
+            data_dim: self.config.data_dim,
+        }
+    }
+
     /// `D(F_1 | F_2)` as probabilities (sigmoid of the logit), evaluation
     /// mode; one probability per row.
     ///
@@ -503,6 +529,125 @@ impl<'a> GeneratorInference<'a> {
         assert_eq!(conds.cols(), self.cond_dim, "condition width mismatch");
         let input = z.hstack(conds).expect("row counts must match");
         self.net.forward(&input, scratch)
+    }
+}
+
+/// Inference-only view of a trained discriminator.
+///
+/// Borrowed from [`Cgan::discriminator_inference`]: holds `&Sequential`,
+/// so it is `Copy`-cheap, `Send + Sync`, and many scoring threads can
+/// share one view over a sealed model, each bringing its own
+/// [`ForwardScratch`]. Returns the *raw logit* — not the sigmoid
+/// probability — because evidence scoring wants the unsquashed margin
+/// (higher = more real-looking), and calibration happens downstream.
+#[derive(Debug, Clone, Copy)]
+pub struct DiscriminatorInference<'a> {
+    net: &'a Sequential,
+    data_dim: usize,
+    cond_dim: usize,
+}
+
+impl<'a> DiscriminatorInference<'a> {
+    /// Width of the data vector `F_1` this discriminator consumes.
+    pub fn data_dim(&self) -> usize {
+        self.data_dim
+    }
+
+    /// Width of the conditioning vector `F_2` this discriminator consumes.
+    pub fn cond_dim(&self) -> usize {
+        self.cond_dim
+    }
+
+    /// Evaluates `D(data | conds)` returning one raw logit per row via
+    /// the cache-free evaluation forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.rows() != conds.rows()`, `data.cols() != data_dim`
+    /// or `conds.cols() != cond_dim`.
+    pub fn logits(&self, data: &Matrix, conds: &Matrix, scratch: &mut ForwardScratch) -> Vec<f64> {
+        assert_eq!(data.cols(), self.data_dim, "data width mismatch");
+        assert_eq!(conds.cols(), self.cond_dim, "condition width mismatch");
+        let input = data.hstack(conds).expect("row counts must match");
+        self.net.forward(&input, scratch).as_slice().to_vec()
+    }
+}
+
+/// Gradient-descent inversion of a trained generator: given an observed
+/// frame `x` and its claimed condition `c`, descend `Z` to minimize
+/// `||G(z|c) - x||^2`. A frame the generator can reconstruct closely is
+/// consistent with the learned benign manifold; a large residual after a
+/// fixed iteration budget is evidence of attack (the MAD-GAN / G-IDS
+/// reconstruction score).
+///
+/// Owns a *clone* of the generator because backpropagation needs the
+/// caching `&mut` forward; the sealed model is never touched. Every row
+/// of a batch is optimized independently — dense layers and elementwise
+/// activations act row-wise, so results are bit-identical however frames
+/// are batched across blocks or threads.
+#[derive(Debug, Clone)]
+pub struct GeneratorInverter {
+    net: Sequential,
+    noise_dim: usize,
+    cond_dim: usize,
+    data_dim: usize,
+}
+
+impl GeneratorInverter {
+    /// Width of the noise prior `Z` being optimized.
+    pub fn noise_dim(&self) -> usize {
+        self.noise_dim
+    }
+
+    /// Runs `iters` full-batch gradient-descent steps on `z` (one row per
+    /// frame) minimizing the per-row mean squared reconstruction error of
+    /// `G(z | conds)` against `targets`, then returns the final per-row
+    /// MSE evaluated after the last update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts of `targets`, `conds` and `z` differ or
+    /// any width disagrees with the generator's configuration.
+    pub fn invert(
+        &mut self,
+        targets: &Matrix,
+        conds: &Matrix,
+        z: &mut Matrix,
+        iters: usize,
+        lr: f64,
+        scratch: &mut ForwardScratch,
+    ) -> Vec<f64> {
+        assert_eq!(targets.cols(), self.data_dim, "target width mismatch");
+        assert_eq!(conds.cols(), self.cond_dim, "condition width mismatch");
+        assert_eq!(z.cols(), self.noise_dim, "noise width mismatch");
+        assert_eq!(targets.rows(), conds.rows(), "row counts must match");
+        assert_eq!(targets.rows(), z.rows(), "row counts must match");
+        let d = self.data_dim as f64;
+        for _ in 0..iters {
+            let input = z.hstack(conds).expect("row counts must match");
+            let out = self.net.forward_training(&input);
+            let grad_out = Matrix::from_fn(out.rows(), out.cols(), |i, j| {
+                2.0 * (out.row(i)[j] - targets.row(i)[j]) / d
+            });
+            self.net.zero_grad();
+            let grad_in = self.net.backward(&grad_out);
+            let grad_z = grad_in.slice_cols(0, self.noise_dim);
+            for (zv, gv) in z.as_mut_slice().iter_mut().zip(grad_z.as_slice()) {
+                *zv -= lr * gv;
+            }
+        }
+        let input = z.hstack(conds).expect("row counts must match");
+        let out = self.net.forward(&input, scratch);
+        (0..out.rows())
+            .map(|i| {
+                out.row(i)
+                    .iter()
+                    .zip(targets.row(i))
+                    .map(|(&g, &t)| (g - t) * (g - t))
+                    .sum::<f64>()
+                    / d
+            })
+            .collect()
     }
 }
 
@@ -732,6 +877,83 @@ mod tests {
         let probs = cgan.discriminate(&data, &conds);
         assert_eq!(probs.len(), 2);
         assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn discriminator_inference_matches_discriminate() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let cgan = Cgan::new(small_config(), &mut rng);
+        let data = Matrix::from_rows(&[&[0.2], &[0.8]]).unwrap();
+        let conds = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let view = cgan.discriminator_inference();
+        assert_eq!(view.data_dim(), 1);
+        assert_eq!(view.cond_dim(), 2);
+        let mut scratch = ForwardScratch::new();
+        let logits = view.logits(&data, &conds, &mut scratch);
+        let probs = cgan.discriminate(&data, &conds);
+        for (z, p) in logits.iter().zip(&probs) {
+            assert_eq!(gansec_nn::sigmoid(*z), *p);
+        }
+        // Warm-scratch second pass stays identical.
+        assert_eq!(view.logits(&data, &conds, &mut scratch), logits);
+    }
+
+    #[test]
+    fn inversion_reduces_reconstruction_error() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let dataset = two_cluster_dataset();
+        let mut cgan = Cgan::new(small_config(), &mut rng);
+        cgan.train(&dataset, 800, &mut rng).unwrap();
+        let targets = Matrix::from_rows(&[&[0.2], &[0.8]]).unwrap();
+        let conds = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let mut scratch = ForwardScratch::new();
+        let z0 = Matrix::filled(2, 4, 0.1);
+        let mut z = z0.clone();
+        let start =
+            cgan.generator_inverter()
+                .invert(&targets, &conds, &mut z.clone(), 0, 0.1, &mut scratch);
+        let end = cgan
+            .generator_inverter()
+            .invert(&targets, &conds, &mut z, 40, 0.1, &mut scratch);
+        let sum = |v: &[f64]| v.iter().sum::<f64>();
+        assert!(
+            sum(&end) < sum(&start),
+            "descent must reduce MSE: {start:?} -> {end:?}"
+        );
+        // The sealed model is untouched by inversion.
+        let z2 = Matrix::filled(2, 4, 0.1);
+        let again = cgan.generator_inverter().invert(
+            &targets,
+            &conds,
+            &mut z2.clone(),
+            0,
+            0.1,
+            &mut scratch,
+        );
+        assert_eq!(again, start);
+    }
+
+    #[test]
+    fn inversion_is_batch_invariant() {
+        let mut rng = StdRng::seed_from_u64(59);
+        let cgan = Cgan::new(small_config(), &mut rng);
+        let targets = Matrix::from_rows(&[&[0.3], &[0.7], &[0.5]]).unwrap();
+        let conds =
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let mut scratch = ForwardScratch::new();
+        let mut z_all = Matrix::from_fn(3, 4, |i, j| 0.05 * (i * 4 + j) as f64);
+        let batched =
+            cgan.generator_inverter()
+                .invert(&targets, &conds, &mut z_all, 12, 0.1, &mut scratch);
+        for i in 0..3 {
+            let t = Matrix::from_rows(&[targets.row(i)]).unwrap();
+            let c = Matrix::from_rows(&[conds.row(i)]).unwrap();
+            let mut z = Matrix::from_fn(1, 4, |_, j| 0.05 * (i * 4 + j) as f64);
+            let solo = cgan
+                .generator_inverter()
+                .invert(&t, &c, &mut z, 12, 0.1, &mut scratch);
+            assert_eq!(solo[0].to_bits(), batched[i].to_bits());
+        }
     }
 
     #[test]

@@ -55,7 +55,9 @@ mod gan;
 mod history;
 mod lint;
 
-pub use cgan::{Cgan, GeneratorInference, StepLosses, TrainError};
+pub use cgan::{
+    Cgan, DiscriminatorInference, GeneratorInference, GeneratorInverter, StepLosses, TrainError,
+};
 pub use checkpoint::{
     write_atomic, CheckpointError, CheckpointedTrainer, RecoveryPolicy, TrainingCheckpoint,
     CHECKPOINT_VERSION,

@@ -4,7 +4,7 @@
 //! GAN architecture shape inference, `GS03xx` pipeline configuration,
 //! `GS04xx` model-bundle compatibility, `GS05xx` serving configuration,
 //! `GS06xx` the reduced-precision fast path, `GS07xx` deployment-wide
-//! dataflow analysis.
+//! dataflow analysis, `GS08xx` multi-evidence scoring.
 //! Once published a code's number and meaning never change; retired
 //! checks leave a hole in the numbering rather than recycling it.
 
@@ -219,6 +219,33 @@ pub const DATAFLOW_LINGER_OUTLIVES_STALL: Code = Code(706);
 /// The chaos fault plan names a fault kind this build cannot inject:
 /// the drill would silently skip the step instead of exercising it.
 pub const DATAFLOW_UNKNOWN_CHAOS_FAULT: Code = Code(707);
+
+// --- GS08xx: multi-evidence scoring ---
+
+/// The requested evidence weights cannot be normalized: their sum is
+/// zero, negative, or non-finite, so no convex combination of the
+/// per-evidence scores exists and every combined verdict is undefined.
+pub const EVIDENCE_WEIGHTS_NOT_NORMALIZABLE: Code = Code(801);
+/// Reconstruction evidence was requested but the sealed inversion
+/// budget is zero iterations: the "reconstruction" score would be the
+/// error of the untouched random init, which carries no signal.
+pub const EVIDENCE_ZERO_INVERSION_BUDGET: Code = Code(802);
+/// Discriminator or reconstruction evidence was requested against a
+/// bundle with no evidence seal (schema v1): those channels have no
+/// calibration to score against, so the request cannot be honored.
+pub const EVIDENCE_NOT_SEALED: Code = Code(803);
+/// A sealed per-evidence threshold is non-finite: alarms on that
+/// channel are meaningless and any combination including it inherits
+/// the poison.
+pub const EVIDENCE_BAD_THRESHOLD: Code = Code(804);
+/// Reconstruction evidence is requested in a serve deployment whose
+/// per-connection read timeout is no larger than the inversion
+/// iteration budget (in the millisecond heuristic): clients are likely
+/// to time out waiting for gradient descent to finish.
+pub const EVIDENCE_RECON_BUDGET_VS_TIMEOUT: Code = Code(805);
+/// An `--evidence` kind string is not one of the known evidence kinds
+/// (`kde`, `disc`, `recon`).
+pub const EVIDENCE_UNKNOWN_KIND: Code = Code(806);
 
 /// One row of the published code table.
 #[derive(Debug, Clone, Copy)]
@@ -572,6 +599,42 @@ pub fn code_table() -> &'static [CodeInfo] {
             severity: Severity::Error,
             summary: "chaos plan names a fault kind this build cannot inject",
         },
+        CodeInfo {
+            code: EVIDENCE_WEIGHTS_NOT_NORMALIZABLE,
+            name: "evidence-weights-not-normalizable",
+            severity: Severity::Error,
+            summary: "evidence weights sum to zero, negative, or non-finite",
+        },
+        CodeInfo {
+            code: EVIDENCE_ZERO_INVERSION_BUDGET,
+            name: "evidence-zero-inversion-budget",
+            severity: Severity::Error,
+            summary: "reconstruction evidence requested with a zero-iteration budget",
+        },
+        CodeInfo {
+            code: EVIDENCE_NOT_SEALED,
+            name: "evidence-not-sealed",
+            severity: Severity::Error,
+            summary: "disc/recon evidence requested against a bundle with no seal",
+        },
+        CodeInfo {
+            code: EVIDENCE_BAD_THRESHOLD,
+            name: "evidence-bad-threshold",
+            severity: Severity::Error,
+            summary: "a sealed per-evidence threshold is non-finite",
+        },
+        CodeInfo {
+            code: EVIDENCE_RECON_BUDGET_VS_TIMEOUT,
+            name: "evidence-recon-budget-vs-timeout",
+            severity: Severity::Warning,
+            summary: "inversion budget may outlast the serve read timeout",
+        },
+        CodeInfo {
+            code: EVIDENCE_UNKNOWN_KIND,
+            name: "evidence-unknown-kind",
+            severity: Severity::Error,
+            summary: "unknown --evidence kind (expected kde, disc, recon)",
+        },
     ];
     TABLE
 }
@@ -827,6 +890,43 @@ pub fn code_doc(code: Code) -> Option<&'static str> {
              drill would silently skip the step instead of exercising it. Use only \
              the fault kinds the serving binary publishes, or rebuild with the \
              feature that provides the missing kind."
+        }
+        EVIDENCE_WEIGHTS_NOT_NORMALIZABLE => {
+            "The requested evidence weights cannot be normalized: their sum is zero, \
+             negative, or non-finite, so no convex combination of the per-evidence \
+             scores exists and every combined verdict is undefined. Pass finite \
+             non-negative --evidence-weights with a positive sum, or omit the flag \
+             for uniform weighting."
+        }
+        EVIDENCE_ZERO_INVERSION_BUDGET => {
+            "Reconstruction evidence was requested but the sealed inversion budget is \
+             zero iterations: the \"reconstruction\" score would be the error of the \
+             untouched random init, which carries no signal. Re-seal the bundle with \
+             a positive iteration budget."
+        }
+        EVIDENCE_NOT_SEALED => {
+            "Discriminator or reconstruction evidence was requested against a bundle \
+             with no evidence seal (schema v1): those channels have no calibration to \
+             score against, so the request cannot be honored. Re-train and re-seal \
+             the bundle with this build, or request only kde evidence — a legacy \
+             bundle degrades to KDE-only scoring with a warning."
+        }
+        EVIDENCE_BAD_THRESHOLD => {
+            "A sealed per-evidence threshold is non-finite: alarms on that channel \
+             are meaningless and any combination including it inherits the poison. \
+             Never edit a sealed bundle; re-run gansec train instead."
+        }
+        EVIDENCE_RECON_BUDGET_VS_TIMEOUT => {
+            "Reconstruction evidence is requested in a serve deployment whose \
+             per-connection read timeout is no larger than the inversion iteration \
+             budget (in the millisecond heuristic): clients are likely to time out \
+             waiting for gradient descent to finish. Raise --read-timeout-ms or \
+             re-seal with a smaller budget."
+        }
+        EVIDENCE_UNKNOWN_KIND => {
+            "An --evidence kind string is not one of the known evidence kinds: kde \
+             (Parzen likelihood), disc (discriminator logit), recon \
+             (generator-inversion reconstruction error)."
         }
         _ => return None,
     })

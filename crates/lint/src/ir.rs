@@ -419,6 +419,25 @@ pub struct FastPathSpec {
     pub f32_built: bool,
 }
 
+/// A multi-evidence scoring request as the analysis sees it: the raw
+/// `--evidence`/`--evidence-weights` request plus what the bundle
+/// actually sealed, flattened for the `GS08xx` pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvidenceSpec {
+    /// Requested evidence kinds, verbatim (e.g. `kde`, `disc`, `recon`);
+    /// unknown strings are diagnosed rather than rejected upstream.
+    pub requested: Vec<String>,
+    /// Requested combination weights, verbatim (empty = uniform).
+    pub weights: Vec<f64>,
+    /// Whether the bundle carries an evidence seal (schema v2).
+    pub sealed: bool,
+    /// The sealed inversion iteration budget, when sealed.
+    pub recon_iters: Option<u64>,
+    /// The sealed per-evidence thresholds (kde, disc, recon order),
+    /// empty when not sealed.
+    pub thresholds: Vec<f64>,
+}
+
 /// The fitted support of one analyzed feature, merged over conditions:
 /// the interval the Parzen samples span and the widest nearest-neighbor
 /// gap inside it. Seeds the `GS07xx` interval propagation.
@@ -601,6 +620,8 @@ pub struct CheckInput {
     pub serve: Option<ServeSpec>,
     /// A reduced-precision scoring request, if one is being checked.
     pub fastpath: Option<FastPathSpec>,
+    /// A multi-evidence scoring request, if one is being checked.
+    pub evidence: Option<EvidenceSpec>,
     /// The joined whole-deployment view, when an assembler built one.
     /// When absent, the dataflow pass joins the sections above itself.
     pub deployment: Option<DeploymentSpec>,
@@ -645,6 +666,12 @@ impl CheckInput {
     /// Sets the fast-path section.
     pub fn with_fastpath(mut self, fastpath: FastPathSpec) -> Self {
         self.fastpath = Some(fastpath);
+        self
+    }
+
+    /// Sets the evidence section.
+    pub fn with_evidence(mut self, evidence: EvidenceSpec) -> Self {
+        self.evidence = Some(evidence);
         self
     }
 

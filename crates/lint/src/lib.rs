@@ -34,6 +34,11 @@
 //!   the threshold comparison — plus cross-artifact resilience
 //!   contradictions (breaker vs queue, stall vs heartbeat vs linger,
 //!   chaos plans naming uninjectable faults).
+//! * **`GS08xx` — multi-evidence scoring** ([`passes::EvidencePass`]):
+//!   evidence kind strings, combination-weight normalizability, seal
+//!   presence for discriminator/reconstruction channels, sealed
+//!   threshold numerics, and the generator-inversion budget against the
+//!   serve deployment's read timeout.
 //!
 //! The entry point is [`check`]; inputs are the lightweight specs in
 //! [`ir`], built either by hand or via the `lint_spec` conversions the
@@ -70,8 +75,8 @@ pub use codes::{code_doc, code_info, code_table, Code, CodeInfo};
 pub use diag::{CheckReport, Diagnostic, Fix, Network, Origin, Severity};
 pub use ir::{
     BundleSpec, CheckInput, ComponentSpec, DeployEdge, DeployNode, DeploymentSpec, DomainKind,
-    EstimatorRangeSpec, FastPathSpec, FeatureRangeSpec, FlowKindSpec, FlowSpec, GraphSpec,
-    LayerSpec, ModelSpec, PairSpec, PipelineSpec, ServeSpec,
+    EstimatorRangeSpec, EvidenceSpec, FastPathSpec, FeatureRangeSpec, FlowKindSpec, FlowSpec,
+    GraphSpec, LayerSpec, ModelSpec, PairSpec, PipelineSpec, ServeSpec,
 };
 pub use registry::{check, Pass, Registry};
 pub use render::{

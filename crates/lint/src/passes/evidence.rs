@@ -1,0 +1,323 @@
+//! Multi-evidence scoring sanity: can this deployment honor an
+//! `--evidence` request, and do the sealed calibrations mean anything?
+//!
+//! The evidence stack combines per-channel scores (Parzen KDE,
+//! discriminator logit, generator-inversion reconstruction error) into
+//! one verdict. Each channel only works if the bundle sealed a
+//! calibration for it and the combination weights actually form a
+//! convex combination — both properties are checkable before any frame
+//! is scored, which is exactly this pass's job. The cross-artifact
+//! check (inversion budget vs. serve read timeout) mirrors the dataflow
+//! pass's philosophy: contradictions between artifacts that are each
+//! individually fine.
+
+use crate::codes;
+use crate::diag::{Diagnostic, Origin};
+use crate::ir::{CheckInput, EvidenceSpec};
+use crate::registry::Pass;
+
+/// The evidence kind strings the engine understands.
+const KNOWN_KINDS: &[&str] = &["kde", "disc", "recon"];
+
+/// Checks a multi-evidence scoring request: kind strings, weight
+/// normalizability, seal presence, sealed calibration numerics, and the
+/// inversion budget against the serve deployment's read timeout.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EvidencePass;
+
+impl Pass for EvidencePass {
+    fn id(&self) -> &'static str {
+        "evidence"
+    }
+
+    fn description(&self) -> &'static str {
+        "multi-evidence scoring: kinds, weights, seal presence, budgets"
+    }
+
+    fn codes(&self) -> &'static [crate::Code] {
+        &[
+            codes::EVIDENCE_WEIGHTS_NOT_NORMALIZABLE,
+            codes::EVIDENCE_ZERO_INVERSION_BUDGET,
+            codes::EVIDENCE_NOT_SEALED,
+            codes::EVIDENCE_BAD_THRESHOLD,
+            codes::EVIDENCE_RECON_BUDGET_VS_TIMEOUT,
+            codes::EVIDENCE_UNKNOWN_KIND,
+        ]
+    }
+
+    fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
+        let Some(e) = &input.evidence else { return };
+        check_kinds(e, out);
+        check_weights(e, out);
+        check_seal(e, out);
+        check_thresholds(e, out);
+        check_recon_budget(e, input, out);
+    }
+}
+
+fn bundle_origin(field: &str) -> Origin {
+    Origin::Bundle {
+        field: field.to_string(),
+    }
+}
+
+/// GS0806: every requested kind must be one the engine understands.
+fn check_kinds(e: &EvidenceSpec, out: &mut Vec<Diagnostic>) {
+    for kind in &e.requested {
+        if !KNOWN_KINDS.contains(&kind.as_str()) {
+            out.push(
+                Diagnostic::new(
+                    codes::EVIDENCE_UNKNOWN_KIND,
+                    Origin::Input,
+                    format!("unknown evidence kind `{kind}`"),
+                )
+                .with_help("known kinds: kde, disc, recon"),
+            );
+        }
+    }
+}
+
+/// GS0801: the weights must form a normalizable combination.
+fn check_weights(e: &EvidenceSpec, out: &mut Vec<Diagnostic>) {
+    if e.weights.is_empty() {
+        return; // uniform weighting is always normalizable
+    }
+    let sum: f64 = e.weights.iter().sum();
+    if e.weights.iter().any(|w| !w.is_finite() || *w < 0.0) || !sum.is_finite() || sum <= 0.0 {
+        out.push(
+            Diagnostic::new(
+                codes::EVIDENCE_WEIGHTS_NOT_NORMALIZABLE,
+                Origin::Input,
+                format!(
+                    "evidence weights {:?} cannot be normalized (need finite, \
+                     non-negative values with a positive sum)",
+                    e.weights
+                ),
+            )
+            .with_help("fix --evidence-weights, or omit it for uniform weighting"),
+        );
+    }
+}
+
+/// GS0803/GS0802: channels beyond KDE need a seal, and reconstruction
+/// needs a positive iteration budget.
+fn check_seal(e: &EvidenceSpec, out: &mut Vec<Diagnostic>) {
+    let wants_sealed = e
+        .requested
+        .iter()
+        .any(|k| k == "disc" || k == "recon");
+    if wants_sealed && !e.sealed {
+        out.push(
+            Diagnostic::new(
+                codes::EVIDENCE_NOT_SEALED,
+                bundle_origin("evidence"),
+                "discriminator/reconstruction evidence requested but the bundle \
+                 carries no evidence seal (schema v1)",
+            )
+            .with_help("re-train and re-seal with this build, or request only kde evidence"),
+        );
+    }
+    if e.requested.iter().any(|k| k == "recon") && e.recon_iters == Some(0) {
+        out.push(
+            Diagnostic::new(
+                codes::EVIDENCE_ZERO_INVERSION_BUDGET,
+                bundle_origin("evidence.recon_iters"),
+                "reconstruction evidence requested but the sealed inversion budget \
+                 is zero iterations",
+            )
+            .with_help("re-seal the bundle with a positive iteration budget"),
+        );
+    }
+}
+
+/// GS0804: every sealed threshold must be finite.
+fn check_thresholds(e: &EvidenceSpec, out: &mut Vec<Diagnostic>) {
+    for (i, t) in e.thresholds.iter().enumerate() {
+        if !t.is_finite() {
+            out.push(Diagnostic::new(
+                codes::EVIDENCE_BAD_THRESHOLD,
+                bundle_origin("evidence.thresholds"),
+                format!("sealed evidence threshold #{i} is {t}; alarms on that channel \
+                         are meaningless"),
+            ));
+        }
+    }
+}
+
+/// GS0805: inversion budget vs. the serve deployment's read timeout.
+/// Heuristic: one gradient-descent iteration costs at least a
+/// millisecond-scale forward+backward on serve hardware, so a read
+/// timeout not exceeding the iteration count (in ms) risks client
+/// timeouts.
+fn check_recon_budget(e: &EvidenceSpec, input: &CheckInput, out: &mut Vec<Diagnostic>) {
+    if !e.requested.iter().any(|k| k == "recon") {
+        return;
+    }
+    let (Some(iters), Some(serve)) = (e.recon_iters, &input.serve) else {
+        return;
+    };
+    if serve.read_timeout_ms > 0 && iters >= serve.read_timeout_ms {
+        out.push(
+            Diagnostic::new(
+                codes::EVIDENCE_RECON_BUDGET_VS_TIMEOUT,
+                Origin::Input,
+                format!(
+                    "inversion budget of {iters} iterations may outlast the \
+                     {}ms connection read timeout",
+                    serve.read_timeout_ms
+                ),
+            )
+            .with_help("raise --read-timeout-ms or re-seal with a smaller budget"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ServeSpec;
+    use crate::registry::check;
+
+    fn sealed_request(kinds: &[&str]) -> EvidenceSpec {
+        EvidenceSpec {
+            requested: kinds.iter().map(|s| s.to_string()).collect(),
+            weights: Vec::new(),
+            sealed: true,
+            recon_iters: Some(40),
+            thresholds: vec![0.01, -0.5, -0.002],
+        }
+    }
+
+    fn run(spec: EvidenceSpec) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        EvidencePass.run(&CheckInput::new().with_evidence(spec), &mut out);
+        out
+    }
+
+    #[test]
+    fn healthy_request_is_clean() {
+        assert!(run(sealed_request(&["kde", "disc", "recon"])).is_empty());
+    }
+
+    #[test]
+    fn absent_section_is_skipped() {
+        let mut out = Vec::new();
+        EvidencePass.run(&CheckInput::new(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unknown_kind_is_flagged() {
+        let out = run(sealed_request(&["kde", "mahalanobis"]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::EVIDENCE_UNKNOWN_KIND);
+        assert!(out[0].message.contains("mahalanobis"));
+    }
+
+    #[test]
+    fn bad_weights_are_flagged() {
+        for weights in [
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, -2.0, 0.5],
+            vec![f64::NAN, 1.0],
+            vec![f64::INFINITY],
+        ] {
+            let mut e = sealed_request(&["kde", "disc"]);
+            e.weights = weights.clone();
+            let out = run(e);
+            assert_eq!(out.len(), 1, "{weights:?}");
+            assert_eq!(out[0].code, codes::EVIDENCE_WEIGHTS_NOT_NORMALIZABLE);
+        }
+        // Uniform (empty) and proper weights are fine.
+        let mut e = sealed_request(&["kde", "disc"]);
+        e.weights = vec![0.7, 0.3];
+        assert!(run(e).is_empty());
+    }
+
+    #[test]
+    fn unsealed_disc_request_is_flagged() {
+        let mut e = sealed_request(&["disc"]);
+        e.sealed = false;
+        e.recon_iters = None;
+        e.thresholds = Vec::new();
+        let out = run(e);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::EVIDENCE_NOT_SEALED);
+        // A kde-only request against the same legacy bundle is clean:
+        // the engine degrades with a warning, not a lint error.
+        let mut e = sealed_request(&["kde"]);
+        e.sealed = false;
+        e.recon_iters = None;
+        e.thresholds = Vec::new();
+        assert!(run(e).is_empty());
+    }
+
+    #[test]
+    fn zero_inversion_budget_is_flagged() {
+        let mut e = sealed_request(&["recon"]);
+        e.recon_iters = Some(0);
+        let out = run(e);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::EVIDENCE_ZERO_INVERSION_BUDGET);
+        // A zero budget without a recon request is not this pass's
+        // problem (validate() rejects it at load).
+        let mut e = sealed_request(&["kde", "disc"]);
+        e.recon_iters = Some(0);
+        assert!(run(e).is_empty());
+    }
+
+    #[test]
+    fn non_finite_threshold_is_flagged_per_channel() {
+        let mut e = sealed_request(&["kde"]);
+        e.thresholds = vec![0.01, f64::NAN, f64::NEG_INFINITY];
+        let out = run(e);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.code == codes::EVIDENCE_BAD_THRESHOLD));
+    }
+
+    #[test]
+    fn recon_budget_vs_read_timeout_is_a_warning() {
+        let serve = ServeSpec {
+            port: Some(8080),
+            workers: 4,
+            max_batch: 64,
+            batch_linger_ms: 2,
+            queue_frames: 1024,
+            max_conns: 64,
+            read_timeout_ms: 30,
+            write_timeout_ms: 5000,
+            heartbeat_ms: 200,
+            scorer_stall_ms: 5000,
+            restart_attempts: 3,
+            breaker_threshold: 5,
+            chaos_plan: false,
+            chaos_built: false,
+        };
+        let input = CheckInput::new()
+            .with_evidence(sealed_request(&["recon"]))
+            .with_serve(serve.clone());
+        let mut out = Vec::new();
+        EvidencePass.run(&input, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::EVIDENCE_RECON_BUDGET_VS_TIMEOUT);
+        assert_eq!(out[0].severity, crate::Severity::Warning);
+        // A generous timeout silences it.
+        let mut roomy = serve;
+        roomy.read_timeout_ms = 5000;
+        let input = CheckInput::new()
+            .with_evidence(sealed_request(&["recon"]))
+            .with_serve(roomy);
+        let mut out = Vec::new();
+        EvidencePass.run(&input, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn evidence_diagnostics_flow_through_default_registry() {
+        let mut e = sealed_request(&["recon"]);
+        e.sealed = false;
+        let report = check(&CheckInput::new().with_evidence(e));
+        assert!(report.has(codes::EVIDENCE_NOT_SEALED));
+        assert!(report.should_fail(false));
+    }
+}

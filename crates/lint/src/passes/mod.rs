@@ -2,7 +2,7 @@
 //!
 //! Each pass is a unit struct implementing [`crate::Pass`]; the default
 //! registry runs them in the order graph → shape → config → bundle →
-//! serve → fastpath → dataflow. To add a pass: pick the next free
+//! serve → fastpath → dataflow → evidence. To add a pass: pick the next free
 //! `GS0xxx` code in [`crate::codes`], add it to the published table,
 //! implement [`crate::Pass`] here (declaring the codes it owns via
 //! [`crate::Pass::codes`]), and register it in
@@ -11,6 +11,7 @@
 mod bundle;
 mod config;
 mod dataflow;
+mod evidence;
 mod fastpath;
 mod graph;
 mod serve;
@@ -19,6 +20,7 @@ mod shape;
 pub use bundle::BundlePass;
 pub use config::ConfigPass;
 pub use dataflow::{score_ceiling, DataflowPass};
+pub use evidence::EvidencePass;
 pub use fastpath::FastPathPass;
 pub use graph::GraphPass;
 pub use serve::ServePass;

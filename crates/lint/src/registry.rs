@@ -4,7 +4,8 @@
 use crate::diag::{CheckReport, Diagnostic};
 use crate::ir::CheckInput;
 use crate::passes::{
-    BundlePass, ConfigPass, DataflowPass, FastPathPass, GraphPass, ServePass, ShapePass,
+    BundlePass, ConfigPass, DataflowPass, EvidencePass, FastPathPass, GraphPass, ServePass,
+    ShapePass,
 };
 use crate::Code;
 
@@ -44,7 +45,7 @@ impl Registry {
     }
 
     /// The built-in passes in canonical order: graph, shape, config,
-    /// bundle, serve, fastpath, dataflow.
+    /// bundle, serve, fastpath, dataflow, evidence.
     pub fn with_default_passes() -> Self {
         let mut r = Self::new();
         r.register(Box::new(GraphPass));
@@ -54,6 +55,7 @@ impl Registry {
         r.register(Box::new(ServePass));
         r.register(Box::new(FastPathPass));
         r.register(Box::new(DataflowPass));
+        r.register(Box::new(EvidencePass));
         r
     }
 
@@ -93,7 +95,7 @@ mod tests {
         let report = check(&CheckInput::new());
         assert_eq!(
             report.passes(),
-            &["graph", "shape", "config", "bundle", "serve", "fastpath", "dataflow"]
+            &["graph", "shape", "config", "bundle", "serve", "fastpath", "dataflow", "evidence"]
         );
         assert!(report.diagnostics().is_empty());
     }

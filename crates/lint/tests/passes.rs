@@ -782,6 +782,7 @@ fn published_code_table_matches_pass_coverage() {
         501, 502, 503, 504, 505, 506, 507, 508, 509, 510, 511, 512, // serve
         601, 602, 603, 604, // fastpath
         701, 702, 703, 704, 705, 706, 707, // dataflow
+        801, 802, 803, 804, 805, 806, // evidence
     ];
     assert_eq!(published, expected);
 }
@@ -909,6 +910,91 @@ fn gs0707_unknown_chaos_fault() {
     assert!(d.message.contains("meteor_strike"));
 }
 
+// --- evidence pass (GS08xx) -------------------------------------------
+
+use gansec_lint::EvidenceSpec;
+
+fn sealed_evidence(kinds: &[&str]) -> EvidenceSpec {
+    EvidenceSpec {
+        requested: kinds.iter().map(|s| s.to_string()).collect(),
+        weights: Vec::new(),
+        sealed: true,
+        recon_iters: Some(40),
+        thresholds: vec![0.01, -0.5, -0.002],
+    }
+}
+
+fn evidence_input(e: EvidenceSpec) -> CheckInput {
+    CheckInput::new().with_evidence(e)
+}
+
+#[test]
+fn gs0801_weights_not_normalizable() {
+    let mut e = sealed_evidence(&["kde", "disc"]);
+    e.weights = vec![0.0, 0.0];
+    let report = check(&evidence_input(e));
+    let d = report
+        .find(codes::EVIDENCE_WEIGHTS_NOT_NORMALIZABLE)
+        .expect("GS0801");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(report.should_fail(false));
+}
+
+#[test]
+fn gs0802_zero_inversion_budget() {
+    let mut e = sealed_evidence(&["recon"]);
+    e.recon_iters = Some(0);
+    let report = check(&evidence_input(e));
+    let d = report
+        .find(codes::EVIDENCE_ZERO_INVERSION_BUDGET)
+        .expect("GS0802");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn gs0803_not_sealed() {
+    let mut e = sealed_evidence(&["disc"]);
+    e.sealed = false;
+    e.recon_iters = None;
+    e.thresholds = Vec::new();
+    let report = check(&evidence_input(e));
+    let d = report.find(codes::EVIDENCE_NOT_SEALED).expect("GS0803");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(report.should_fail(false));
+}
+
+#[test]
+fn gs0804_bad_threshold() {
+    let mut e = sealed_evidence(&["kde"]);
+    e.thresholds = vec![f64::NAN, -0.5, -0.002];
+    let report = check(&evidence_input(e));
+    let d = report.find(codes::EVIDENCE_BAD_THRESHOLD).expect("GS0804");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn gs0805_recon_budget_vs_timeout() {
+    let mut s = clean_serve();
+    s.read_timeout_ms = 30;
+    let report = check(
+        &CheckInput::new()
+            .with_evidence(sealed_evidence(&["recon"]))
+            .with_serve(s),
+    );
+    let d = report
+        .find(codes::EVIDENCE_RECON_BUDGET_VS_TIMEOUT)
+        .expect("GS0805");
+    assert_eq!(d.severity, Severity::Warning);
+}
+
+#[test]
+fn gs0806_unknown_kind() {
+    let report = check(&evidence_input(sealed_evidence(&["kde", "mahalanobis"])));
+    let d = report.find(codes::EVIDENCE_UNKNOWN_KIND).expect("GS0806");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("mahalanobis"));
+}
+
 // --- registry ordering and code ownership ------------------------------
 
 #[test]
@@ -916,7 +1002,7 @@ fn registry_pass_sequence_is_pinned() {
     let report = check(&CheckInput::new());
     assert_eq!(
         report.passes(),
-        &["graph", "shape", "config", "bundle", "serve", "fastpath", "dataflow"]
+        &["graph", "shape", "config", "bundle", "serve", "fastpath", "dataflow", "evidence"]
     );
 }
 

@@ -26,17 +26,67 @@ pub struct ScoreResponse {
     pub scores: Vec<f64>,
 }
 
+/// Body of `POST /v1/detect`: the [`ScoreRequest`] shape plus an
+/// optional evidence selection. A body without `evidence` is exactly a
+/// `ScoreRequest`, so pre-evidence clients keep working verbatim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectRequest {
+    /// Feature rows, each exactly `n_bins` wide (the bundle's framing).
+    pub frames: Vec<Vec<f64>>,
+    /// Claimed condition rows, one per frame.
+    pub conds: Vec<Vec<f64>>,
+    /// Which evidence channels to combine for the verdicts. Omitted =
+    /// the default KDE-only path, bit-identical to the pre-evidence
+    /// server.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub evidence: Option<EvidenceRequest>,
+}
+
+/// The evidence selection of a [`DetectRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceRequest {
+    /// Evidence kinds to combine: `"kde"`, `"disc"`, and/or `"recon"`.
+    pub kinds: Vec<String>,
+    /// Combination weights, one per kind; empty = uniform.
+    #[serde(default)]
+    pub weights: Vec<f64>,
+}
+
 /// Reply of `POST /v1/detect`: scores plus the calibrated verdicts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DetectResponse {
-    /// The bundled alarm threshold the verdicts used.
+    /// The alarm threshold the verdicts used — the bundled KDE threshold
+    /// on the default path, the combined-axis threshold when an
+    /// evidence stack was requested.
     pub threshold: f64,
     /// Number of frames flagged as attacks.
     pub flagged: usize,
-    /// Per-frame consistency scores, in request order.
+    /// Per-frame scores on the verdict axis, in request order (raw KDE
+    /// scores on the default path, combined evidence otherwise).
     pub scores: Vec<f64>,
     /// Per-frame verdicts (`true` = attack).
     pub verdicts: Vec<bool>,
+    /// Per-channel breakdown, present only when the request selected an
+    /// evidence stack.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub evidence: Option<EvidenceBreakdown>,
+}
+
+/// Per-channel evidence detail on a [`DetectResponse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceBreakdown {
+    /// Channel kinds, in stack order.
+    pub kinds: Vec<String>,
+    /// Normalized combination weights, in stack order.
+    pub weights: Vec<f64>,
+    /// Raw per-channel alarm thresholds, in stack order.
+    pub thresholds: Vec<f64>,
+    /// Raw per-channel scores, `per_evidence[channel][frame]`.
+    pub per_evidence: Vec<Vec<f64>>,
+    /// Typed degradation notices (e.g. a legacy v1 bundle falling back
+    /// to KDE-only evidence), rendered as sentences.
+    #[serde(default)]
+    pub warnings: Vec<String>,
 }
 
 /// Body of `POST /v1/classify`: frames without claimed conditions.
@@ -136,6 +186,29 @@ mod tests {
         for (a, b) in req.frames[0].iter().zip(&back.frames[0]) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn detect_request_without_evidence_parses_a_plain_score_body() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let body = serde_json::to_string(&ScoreRequest {
+            frames: vec![vec![0.5, 0.25]],
+            conds: vec![vec![1.0, 0.0]],
+        })
+        .unwrap();
+        let req: DetectRequest = serde_json::from_str(&body).unwrap();
+        assert!(req.evidence.is_none());
+        assert_eq!(req.frames, vec![vec![0.5, 0.25]]);
+        let explicit: DetectRequest = serde_json::from_str(
+            "{\"frames\":[[0.5,0.25]],\"conds\":[[1.0,0.0]],\
+             \"evidence\":{\"kinds\":[\"kde\",\"disc\"]}}",
+        )
+        .unwrap();
+        let evidence = explicit.evidence.expect("evidence parsed");
+        assert_eq!(evidence.kinds, vec!["kde", "disc"]);
+        assert!(evidence.weights.is_empty());
     }
 
     #[test]

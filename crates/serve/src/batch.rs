@@ -14,6 +14,8 @@ use std::sync::mpsc::SyncSender;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use gansec_engine::EvidenceKind;
+
 /// Why one job's reply is an error instead of scores. Each variant maps
 /// to a distinct HTTP status so callers can tell their own bad input
 /// (quarantine, `422`) from server-side trouble (`503`).
@@ -35,6 +37,11 @@ pub enum JobError {
         /// `"feature"` or `"condition"`.
         kind: &'static str,
     },
+    /// The evidence stack this job asked for cannot be built against
+    /// the engine now serving — a hot reload swapped in a bundle
+    /// without the requested channels between submit and scoring
+    /// (→ `409`, verdict-less: not a breaker failure).
+    EvidenceUnavailable(String),
     /// The engine rejected the whole batch — model poison, not client
     /// input (→ `503`, counts against the circuit breaker).
     ScoringFailed(String),
@@ -57,6 +64,10 @@ impl fmt::Display for JobError {
                 f,
                 "frame {row} holds a non-finite {kind} value; the request was quarantined"
             ),
+            JobError::EvidenceUnavailable(msg) => write!(
+                f,
+                "bundle was reloaded mid-flight and cannot serve the requested evidence: {msg}"
+            ),
             JobError::ScoringFailed(msg) => write!(f, "scoring failed: {msg}"),
             JobError::ScorerLost => f.write_str("scorer thread went away"),
         }
@@ -67,11 +78,51 @@ impl JobError {
     /// The HTTP status this error renders as.
     pub fn status(&self) -> u16 {
         match self {
-            JobError::Reshaped { .. } => 409,
+            JobError::Reshaped { .. } | JobError::EvidenceUnavailable(_) => 409,
             JobError::NonFinite { .. } => 422,
             JobError::ScoringFailed(_) | JobError::ScorerLost => 503,
         }
     }
+}
+
+/// Which evidence channels a job wants combined, pre-validated by the
+/// submitting worker. Jobs with identical selections co-batch into one
+/// engine call; `None` rides the default KDE path untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceSelection {
+    /// Evidence kinds, in request order.
+    pub kinds: Vec<EvidenceKind>,
+    /// Combination weights, one per kind; empty = uniform.
+    pub weights: Vec<f64>,
+}
+
+/// Per-channel detail riding back on an evidence-selecting job's reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceDetail {
+    /// Channel kinds, in stack order.
+    pub kinds: Vec<EvidenceKind>,
+    /// Normalized combination weights, in stack order.
+    pub weights: Vec<f64>,
+    /// Raw per-channel alarm thresholds, in stack order.
+    pub thresholds: Vec<f64>,
+    /// The combined-axis alarm threshold the verdicts used.
+    pub threshold: f64,
+    /// Raw per-channel scores for this job's frames,
+    /// `per_evidence[channel][frame]`.
+    pub per_evidence: Vec<Vec<f64>>,
+    /// Per-frame verdicts for this job (`true` = attack).
+    pub verdicts: Vec<bool>,
+}
+
+/// A successful scoring reply: verdict-axis scores, plus the evidence
+/// breakdown when the job selected a stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReply {
+    /// Per-frame scores on the verdict axis, in job order (raw KDE on
+    /// the default path, combined evidence otherwise).
+    pub scores: Vec<f64>,
+    /// The per-channel breakdown; `None` on the default path.
+    pub evidence: Option<EvidenceDetail>,
 }
 
 /// One scoring request's worth of frames, flattened row-major.
@@ -83,10 +134,13 @@ pub struct ScoreJob {
     pub conds: Vec<f64>,
     /// Number of frames in this job.
     pub rows: usize,
+    /// The evidence stack to score through; `None` = the default KDE
+    /// path, bit-identical to the pre-evidence server.
+    pub evidence: Option<EvidenceSelection>,
     /// Where the per-frame scores (or a rejection) go. The sender is
     /// rendezvous-buffered by the submitting worker, which blocks on
     /// `recv` — the scorer never blocks sending.
-    pub reply: SyncSender<Result<Vec<f64>, JobError>>,
+    pub reply: SyncSender<Result<JobReply, JobError>>,
 }
 
 /// Why a job was not accepted.
@@ -264,7 +318,7 @@ mod tests {
         rows: usize,
     ) -> (
         ScoreJob,
-        std::sync::mpsc::Receiver<Result<Vec<f64>, JobError>>,
+        std::sync::mpsc::Receiver<Result<JobReply, JobError>>,
     ) {
         let (tx, rx) = sync_channel(1);
         (
@@ -272,6 +326,7 @@ mod tests {
                 features: vec![0.0; rows * 3],
                 conds: vec![0.0; rows * 2],
                 rows,
+                evidence: None,
                 reply: tx,
             },
             rx,
@@ -398,6 +453,7 @@ mod tests {
             .status(),
             422
         );
+        assert_eq!(JobError::EvidenceUnavailable("x".into()).status(), 409);
         assert_eq!(JobError::ScoringFailed("x".into()).status(), 503);
         assert_eq!(JobError::ScorerLost.status(), 503);
     }

@@ -66,7 +66,7 @@
 //! | Route | Method | Body | Reply |
 //! |-------|--------|------|-------|
 //! | `/v1/score` | POST | [`api::ScoreRequest`] | [`api::ScoreResponse`] |
-//! | `/v1/detect` | POST | [`api::ScoreRequest`] | [`api::DetectResponse`] |
+//! | `/v1/detect` | POST | [`api::DetectRequest`] | [`api::DetectResponse`] |
 //! | `/v1/classify` | POST | [`api::ClassifyRequest`] | [`api::ClassifyResponse`] |
 //! | `/healthz` | GET | — | bundle provenance JSON |
 //! | `/metrics` | GET | — | Prometheus text format |

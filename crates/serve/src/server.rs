@@ -41,10 +41,12 @@ use gansec_tensor::Matrix;
 use gansec_chaos::{BatchFault, ChaosState, ReloadFault};
 
 use crate::api::{
-    ClassifyRequest, ClassifyResponse, DetectResponse, HealthResponse, ReloadRequest,
-    ReloadResponse, ScoreRequest, ScoreResponse,
+    ClassifyRequest, ClassifyResponse, DetectRequest, DetectResponse, EvidenceBreakdown,
+    EvidenceRequest, HealthResponse, ReloadRequest, ReloadResponse, ScoreRequest, ScoreResponse,
 };
-use crate::batch::{BatchQueue, JobError, ScoreJob, SubmitError};
+use crate::batch::{
+    BatchQueue, EvidenceDetail, EvidenceSelection, JobError, JobReply, ScoreJob, SubmitError,
+};
 use crate::breaker::{Admission, Breaker, BreakerSnapshot};
 use crate::http::{self, ReadError, Request};
 use crate::metrics::Metrics;
@@ -614,30 +616,40 @@ fn handle_metrics(shared: &Shared, stream: &mut TcpStream, started: Instant) {
         .observe_request("/metrics", 200, started.elapsed());
 }
 
-/// Parses and shape-checks a score/detect body against the current
-/// engine, returning flattened rows ready for the batch queue.
+/// Parses and shape-checks a score body against the current engine,
+/// returning flattened rows ready for the batch queue.
 fn parse_scoring_body(
     body: &[u8],
     engine: &ScoringEngine,
 ) -> Result<(Vec<f64>, Vec<f64>, usize), Rejection> {
     let req: ScoreRequest = serde_json::from_slice(body)
         .map_err(|e| Rejection::new(400, format!("invalid JSON body: {e}")))?;
+    flatten_rows(&req.frames, &req.conds, engine)
+}
+
+/// Shape-checks frame/condition rows against the current engine and
+/// flattens them row-major for the batch queue.
+fn flatten_rows(
+    req_frames: &[Vec<f64>],
+    req_conds: &[Vec<f64>],
+    engine: &ScoringEngine,
+) -> Result<(Vec<f64>, Vec<f64>, usize), Rejection> {
     let frame_width = engine.config().n_bins;
     let cond_width = engine.config().encoding.dim();
-    if req.frames.len() != req.conds.len() {
+    if req_frames.len() != req_conds.len() {
         return Err(Rejection::new(
             422,
             format!(
                 "{} frames but {} claimed conditions",
-                req.frames.len(),
-                req.conds.len()
+                req_frames.len(),
+                req_conds.len()
             ),
         ));
     }
-    let rows = req.frames.len();
+    let rows = req_frames.len();
     let mut features = Vec::with_capacity(rows * frame_width);
     let mut conds = Vec::with_capacity(rows * cond_width);
-    for (i, frame) in req.frames.iter().enumerate() {
+    for (i, frame) in req_frames.iter().enumerate() {
         if frame.len() != frame_width {
             return Err(Rejection::new(
                 422,
@@ -649,7 +661,7 @@ fn parse_scoring_body(
         }
         features.extend_from_slice(frame);
     }
-    for (i, cond) in req.conds.iter().enumerate() {
+    for (i, cond) in req_conds.iter().enumerate() {
         if cond.len() != cond_width {
             return Err(Rejection::new(
                 422,
@@ -664,6 +676,44 @@ fn parse_scoring_body(
     Ok((features, conds, rows))
 }
 
+/// Validates a request's evidence selection against the current engine
+/// snapshot, returning the parsed selection plus the warnings the
+/// validation build raised (e.g. a legacy v1 bundle degrading to
+/// KDE-only). A bad kind name or weight vector is the client's fault
+/// (`422`); channels the serving bundle never sealed are a state
+/// conflict (`409`).
+fn validate_evidence(
+    request: Option<&EvidenceRequest>,
+    engine: &ScoringEngine,
+) -> Result<Option<(EvidenceSelection, Vec<String>)>, Rejection> {
+    let Some(request) = request else {
+        return Ok(None);
+    };
+    let mut kinds = Vec::with_capacity(request.kinds.len());
+    for name in &request.kinds {
+        kinds.push(
+            name.parse::<gansec_engine::EvidenceKind>()
+                .map_err(|e| Rejection::new(422, e.to_string()))?,
+        );
+    }
+    match engine.build_evidence(&kinds, &request.weights) {
+        Ok(build) => Ok(Some((
+            EvidenceSelection {
+                kinds,
+                weights: request.weights.clone(),
+            },
+            build.warnings.iter().map(ToString::to_string).collect(),
+        ))),
+        Err(err) => {
+            let status = match err {
+                gansec_engine::EvidenceError::NotSealed(_) => 409,
+                _ => 422,
+            };
+            Err(Rejection::new(status, err.to_string()))
+        }
+    }
+}
+
 /// Submits flattened rows to the batch queue and blocks for the scores,
 /// honoring the circuit breaker at admission. A `Probe` admission is
 /// settled either by the batch verdict inside the scorer or by
@@ -673,7 +723,8 @@ fn score_via_queue(
     features: Vec<f64>,
     conds: Vec<f64>,
     rows: usize,
-) -> Result<Vec<f64>, Rejection> {
+    evidence: Option<EvidenceSelection>,
+) -> Result<JobReply, Rejection> {
     let admission = shared.breaker.admit();
     if let Admission::Rejected { retry_after_secs } = admission {
         shared.metrics.observe_breaker_rejection();
@@ -695,6 +746,7 @@ fn score_via_queue(
         features,
         conds,
         rows,
+        evidence,
         reply: reply_tx,
     };
     match shared.queue.submit(job) {
@@ -726,7 +778,7 @@ fn score_via_queue(
         }
     }
     match reply_rx.recv() {
-        Ok(Ok(scores)) => Ok(scores),
+        Ok(Ok(reply)) => Ok(reply),
         Ok(Err(err)) => {
             // Scoring-failure verdicts already settled the breaker in
             // the scorer; verdict-less rejections release the probe.
@@ -762,12 +814,14 @@ fn handle_score(shared: &Shared, stream: &mut TcpStream, request: &Request, star
             started,
         );
     }
-    match score_via_queue(shared, features, conds, rows) {
-        Ok(scores) => reply_json(
+    match score_via_queue(shared, features, conds, rows, None) {
+        Ok(reply) => reply_json(
             shared,
             stream,
             "/v1/score",
-            &ScoreResponse { scores },
+            &ScoreResponse {
+                scores: reply.scores,
+            },
             started,
         ),
         Err(rejection) => reply_error(shared, stream, "/v1/score", &rejection, started),
@@ -776,29 +830,104 @@ fn handle_score(shared: &Shared, stream: &mut TcpStream, request: &Request, star
 
 fn handle_detect(shared: &Shared, stream: &mut TcpStream, request: &Request, started: Instant) {
     let engine = shared.engine();
-    let (features, conds, rows) = match parse_scoring_body(&request.body, &engine) {
+    let req: DetectRequest = match serde_json::from_slice(&request.body) {
+        Ok(req) => req,
+        Err(e) => {
+            return reply_error(
+                shared,
+                stream,
+                "/v1/detect",
+                &Rejection::new(400, format!("invalid JSON body: {e}")),
+                started,
+            )
+        }
+    };
+    // The evidence selection is validated against the request-time
+    // engine snapshot for a clean early rejection; the scorer
+    // re-validates at batch time in case a reload races the queue.
+    let validated = match validate_evidence(req.evidence.as_ref(), &engine) {
+        Ok(validated) => validated,
+        Err(rejection) => return reply_error(shared, stream, "/v1/detect", &rejection, started),
+    };
+    let (features, conds, rows) = match flatten_rows(&req.frames, &req.conds, &engine) {
         Ok(parsed) => parsed,
         Err(rejection) => return reply_error(shared, stream, "/v1/detect", &rejection, started),
     };
+    let (selection, warnings) = match validated {
+        Some((selection, warnings)) => (Some(selection), warnings),
+        None => (None, Vec::new()),
+    };
     if rows == 0 {
-        let body = DetectResponse {
-            threshold: engine.threshold(),
-            flagged: 0,
-            scores: vec![],
-            verdicts: vec![],
+        let body = match &selection {
+            None => DetectResponse {
+                threshold: engine.threshold(),
+                flagged: 0,
+                scores: vec![],
+                verdicts: vec![],
+                evidence: None,
+            },
+            Some(selection) => {
+                // Already validated above, so this build cannot fail.
+                match engine.build_evidence(&selection.kinds, &selection.weights) {
+                    Ok(build) => DetectResponse {
+                        threshold: build.stack.combined_threshold(),
+                        flagged: 0,
+                        scores: vec![],
+                        verdicts: vec![],
+                        evidence: Some(EvidenceBreakdown {
+                            kinds: build.stack.kinds().iter().map(ToString::to_string).collect(),
+                            weights: build.stack.weights().to_vec(),
+                            thresholds: build.stack.thresholds(),
+                            per_evidence: vec![Vec::new(); build.stack.kinds().len()],
+                            warnings,
+                        }),
+                    },
+                    Err(e) => {
+                        return reply_error(
+                            shared,
+                            stream,
+                            "/v1/detect",
+                            &Rejection::new(409, e.to_string()),
+                            started,
+                        )
+                    }
+                }
+            }
         };
         return reply_json(shared, stream, "/v1/detect", &body, started);
     }
-    match score_via_queue(shared, features, conds, rows) {
-        Ok(scores) => {
-            // Verdicts come from the engine snapshot taken at request
-            // time, matching what the batch was scored against.
-            let verdicts: Vec<bool> = scores.iter().map(|&s| engine.is_attack(s)).collect();
-            let body = DetectResponse {
-                threshold: engine.threshold(),
-                flagged: verdicts.iter().filter(|&&v| v).count(),
-                scores,
-                verdicts,
+    match score_via_queue(shared, features, conds, rows, selection) {
+        Ok(JobReply { scores, evidence }) => {
+            let body = match evidence {
+                // The scorer answered through an evidence stack: the
+                // verdict axis, threshold, and verdicts all come from
+                // the stack it actually scored with.
+                Some(detail) => DetectResponse {
+                    threshold: detail.threshold,
+                    flagged: detail.verdicts.iter().filter(|&&v| v).count(),
+                    scores,
+                    verdicts: detail.verdicts,
+                    evidence: Some(EvidenceBreakdown {
+                        kinds: detail.kinds.iter().map(ToString::to_string).collect(),
+                        weights: detail.weights,
+                        thresholds: detail.thresholds,
+                        per_evidence: detail.per_evidence,
+                        warnings,
+                    }),
+                },
+                // Verdicts come from the engine snapshot taken at
+                // request time, matching what the batch was scored
+                // against.
+                None => {
+                    let verdicts: Vec<bool> = scores.iter().map(|&s| engine.is_attack(s)).collect();
+                    DetectResponse {
+                        threshold: engine.threshold(),
+                        flagged: verdicts.iter().filter(|&&v| v).count(),
+                        scores,
+                        verdicts,
+                        evidence: None,
+                    }
+                }
             };
             reply_json(shared, stream, "/v1/detect", &body, started);
         }
@@ -1054,7 +1183,6 @@ fn score_batch(shared: &Shared, batch: Vec<ScoreJob>) {
     // (422) so it cannot poison co-batched requests. Neither is a batch
     // verdict for the breaker — the batch the engine sees excludes them.
     let mut jobs = Vec::with_capacity(batch.len());
-    let mut rows = 0usize;
     let mut quarantined_any = false;
     for job in batch {
         if job.features.len() != job.rows * frame_width || job.conds.len() != job.rows * cond_width
@@ -1071,7 +1199,6 @@ fn score_batch(shared: &Shared, batch: Vec<ScoreJob>) {
                 .observe_quarantine(engine.config_fingerprint(), job.rows);
             drop(job.reply.try_send(Err(poison)));
         } else {
-            rows += job.rows;
             jobs.push(job);
         }
     }
@@ -1093,9 +1220,56 @@ fn score_batch(shared: &Shared, batch: Vec<ScoreJob>) {
         jobs
     };
 
+    // Jobs with identical evidence selections co-batch into one engine
+    // call each; the default (`None`) group keeps the exact
+    // pre-evidence single `score_frames` call, preserving the
+    // serve-vs-offline bit-identity contract.
+    let mut groups: Vec<(Option<EvidenceSelection>, Vec<ScoreJob>)> = Vec::new();
+    for job in jobs {
+        match groups.iter_mut().find(|(sel, _)| *sel == job.evidence) {
+            Some((_, members)) => members.push(job),
+            None => groups.push((job.evidence.clone(), vec![job])),
+        }
+    }
+    for (selection, group) in groups {
+        score_group(shared, &engine, selection.as_ref(), group, quarantined_any);
+    }
+}
+
+/// Scores one evidence-selection group of gatekept jobs: build the
+/// stack (when one was selected), assemble the group into one matrix
+/// pair, run the engine once, and scatter per-job reply slices. Engine
+/// verdicts feed the circuit breaker; a stack that can no longer be
+/// built (a reload raced the queue) is a verdict-less per-job conflict
+/// instead.
+fn score_group(
+    shared: &Shared,
+    engine: &ScoringEngine,
+    selection: Option<&EvidenceSelection>,
+    group: Vec<ScoreJob>,
+    quarantined_any: bool,
+) {
+    let frame_width = engine.config().n_bins;
+    let cond_width = engine.config().encoding.dim();
+    let rows: usize = group.iter().map(|job| job.rows).sum();
+    let stack = match selection {
+        None => None,
+        Some(selection) => match engine.build_evidence(&selection.kinds, &selection.weights) {
+            Ok(build) => Some(build.stack),
+            Err(err) => {
+                for job in group {
+                    drop(
+                        job.reply
+                            .try_send(Err(JobError::EvidenceUnavailable(err.to_string()))),
+                    );
+                }
+                return;
+            }
+        },
+    };
     let mut features = Vec::with_capacity(rows * frame_width);
     let mut conds = Vec::with_capacity(rows * cond_width);
-    for job in &jobs {
+    for job in &group {
         features.extend_from_slice(&job.features);
         conds.extend_from_slice(&job.conds);
     }
@@ -1106,36 +1280,60 @@ fn score_batch(shared: &Shared, batch: Vec<ScoreJob>) {
         (Ok(f), Ok(c)) => Ok((f, c)),
         _ => Err("batch shape assembly failed".to_string()),
     };
-    let scores = assembled.and_then(|(feature_matrix, cond_matrix)| {
-        engine
+    let outcome = assembled.and_then(|(feature_matrix, cond_matrix)| match &stack {
+        None => engine
             .score_frames(&feature_matrix, &cond_matrix)
-            .map_err(|e| e.to_string())
+            .map(|scores| (scores, None))
+            .map_err(|e| e.to_string()),
+        Some(stack) => engine
+            .detect_frames_detailed(&feature_matrix, &cond_matrix, stack)
+            .map(|detail| (detail.combined.clone(), Some(detail)))
+            .map_err(|e| e.to_string()),
     });
-    match scores {
-        Ok(scores) => {
+    match outcome {
+        Ok((scores, detail)) => {
             shared.breaker.record_success();
             if !quarantined_any {
                 // A fully clean batch clears the sticky quarantine flag:
                 // the poison stream has (for now) stopped.
                 shared.quarantined.store(false, Ordering::SeqCst);
             }
-            shared.metrics.observe_batch(rows, jobs.len());
+            shared.metrics.observe_batch(rows, group.len());
             let mut offset = 0usize;
-            for job in jobs {
+            for job in group {
                 let slice = scores[offset..offset + job.rows].to_vec();
+                let evidence = detail.as_ref().map(|detail| EvidenceDetail {
+                    kinds: detail.kinds.clone(),
+                    weights: stack
+                        .as_ref()
+                        .expect("stack exists whenever detail does")
+                        .weights()
+                        .to_vec(),
+                    thresholds: detail.evidence_thresholds.clone(),
+                    threshold: detail.threshold,
+                    per_evidence: detail
+                        .per_evidence
+                        .iter()
+                        .map(|channel| channel[offset..offset + job.rows].to_vec())
+                        .collect(),
+                    verdicts: detail.verdicts[offset..offset + job.rows].to_vec(),
+                });
                 offset += job.rows;
-                drop(job.reply.try_send(Ok(slice)));
+                drop(job.reply.try_send(Ok(JobReply {
+                    scores: slice,
+                    evidence,
+                })));
             }
         }
         Err(msg) => {
-            // The engine rejected the whole batch: a breaker-counted
+            // The engine rejected the whole group: a breaker-counted
             // scoring failure, not client input (that was quarantined
             // above).
             shared.metrics.observe_batch_failure();
             if shared.breaker.record_failure() {
                 shared.metrics.observe_breaker_trip();
             }
-            for job in jobs {
+            for job in group {
                 drop(
                     job.reply
                         .try_send(Err(JobError::ScoringFailed(msg.clone()))),
@@ -1360,6 +1558,133 @@ mod tests {
                 "frame {i}"
             );
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn detect_with_evidence_stack_returns_breakdown() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let engine = smoke_engine();
+        let pipeline = GanSecPipeline::new(engine.config().clone());
+        let (_, test) = pipeline.datasets(engine.seed()).expect("datasets");
+        let server = test_server();
+        let addr = server.addr();
+
+        let n = test.len().min(4);
+        let frames: Vec<Vec<f64>> = (0..n).map(|i| test.features().row(i).to_vec()).collect();
+        let conds: Vec<Vec<f64>> = (0..n).map(|i| test.conds().row(i).to_vec()).collect();
+
+        // KDE-only evidence is a passthrough: scores stay bit-identical
+        // to the default path, and the breakdown is present.
+        let body = serde_json::to_vec(&DetectRequest {
+            frames: frames.clone(),
+            conds: conds.clone(),
+            evidence: Some(EvidenceRequest {
+                kinds: vec!["kde".to_string()],
+                weights: vec![],
+            }),
+        })
+        .expect("serialize");
+        let reply = client::post(addr, "/v1/detect", &body).expect("roundtrip");
+        assert_eq!(
+            reply.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&reply.body)
+        );
+        let detected: DetectResponse = serde_json::from_slice(&reply.body).expect("parse");
+        let breakdown = detected.evidence.expect("breakdown present");
+        assert_eq!(breakdown.kinds, vec!["kde"]);
+        assert_eq!(breakdown.weights, vec![1.0]);
+        assert_eq!(detected.threshold.to_bits(), engine.threshold().to_bits());
+        for i in 0..n {
+            assert_eq!(
+                detected.scores[i].to_bits(),
+                engine.score_frame(&frames[i], &conds[i]).to_bits(),
+                "frame {i}"
+            );
+            assert_eq!(
+                breakdown.per_evidence[0][i].to_bits(),
+                detected.scores[i].to_bits()
+            );
+        }
+
+        // A full stack answers per-channel scores for every channel.
+        let body = serde_json::to_vec(&DetectRequest {
+            frames: frames.clone(),
+            conds: conds.clone(),
+            evidence: Some(EvidenceRequest {
+                kinds: vec!["kde".to_string(), "disc".to_string(), "recon".to_string()],
+                weights: vec![0.5, 0.3, 0.2],
+            }),
+        })
+        .expect("serialize");
+        let reply = client::post(addr, "/v1/detect", &body).expect("roundtrip");
+        assert_eq!(
+            reply.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&reply.body)
+        );
+        let detected: DetectResponse = serde_json::from_slice(&reply.body).expect("parse");
+        let breakdown = detected.evidence.expect("breakdown present");
+        assert_eq!(breakdown.kinds, vec!["kde", "disc", "recon"]);
+        assert_eq!(breakdown.per_evidence.len(), 3);
+        assert_eq!(breakdown.thresholds.len(), 3);
+        assert!(breakdown.per_evidence.iter().all(|ch| ch.len() == n));
+        assert_eq!(detected.scores.len(), n);
+        assert_eq!(detected.verdicts.len(), n);
+        assert_eq!(
+            detected.flagged,
+            detected.verdicts.iter().filter(|&&v| v).count()
+        );
+
+        // A plain body stays on the default path with no breakdown.
+        let body = serde_json::to_vec(&ScoreRequest {
+            frames: frames.clone(),
+            conds: conds.clone(),
+        })
+        .expect("serialize");
+        let reply = client::post(addr, "/v1/detect", &body).expect("roundtrip");
+        assert_eq!(reply.status, 200);
+        let detected: DetectResponse = serde_json::from_slice(&reply.body).expect("parse");
+        assert!(detected.evidence.is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn detect_with_bad_evidence_request_is_422() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let server = test_server();
+        let addr = server.addr();
+        let engine_width = smoke_engine().config().n_bins;
+        let cond_width = smoke_engine().config().encoding.dim();
+        let body = serde_json::to_vec(&DetectRequest {
+            frames: vec![vec![0.25; engine_width]],
+            conds: vec![vec![1.0; cond_width]],
+            evidence: Some(EvidenceRequest {
+                kinds: vec!["astrology".to_string()],
+                weights: vec![],
+            }),
+        })
+        .expect("serialize");
+        let reply = client::post(addr, "/v1/detect", &body).expect("roundtrip");
+        assert_eq!(reply.status, 422);
+        let dup = serde_json::to_vec(&DetectRequest {
+            frames: vec![vec![0.25; engine_width]],
+            conds: vec![vec![1.0; cond_width]],
+            evidence: Some(EvidenceRequest {
+                kinds: vec!["kde".to_string(), "kde".to_string()],
+                weights: vec![],
+            }),
+        })
+        .expect("serialize");
+        let reply = client::post(addr, "/v1/detect", &dup).expect("roundtrip");
+        assert_eq!(reply.status, 422);
         server.shutdown();
     }
 
