@@ -117,8 +117,7 @@ impl FrameAttacker {
                 for group in condition_groups(conds) {
                     let cols = group.first().map_or(0, |&r| frames[r].len());
                     for col in 0..cols {
-                        let mut values: Vec<f64> =
-                            group.iter().map(|&r| frames[r][col]).collect();
+                        let mut values: Vec<f64> = group.iter().map(|&r| frames[r][col]).collect();
                         shuffle(&mut values, &mut rng);
                         for (&r, v) in group.iter().zip(values) {
                             out_frames[r][col] = v;
@@ -129,7 +128,7 @@ impl FrameAttacker {
             FrameAttackKind::Replay => {
                 let classes = distinct_rows(conds);
                 if classes.len() > 1 {
-                    for cond in out_conds.iter_mut() {
+                    for cond in &mut out_conds {
                         let at = classes
                             .iter()
                             .position(|c| c == cond)
@@ -163,10 +162,9 @@ impl FrameAttacker {
                     amplitude.is_finite() && amplitude > 0.0,
                     "amplitude must be positive"
                 );
-                for row in out_frames.iter_mut() {
-                    let rms = (row.iter().map(|v| v * v).sum::<f64>()
-                        / row.len().max(1) as f64)
-                        .sqrt();
+                for row in &mut out_frames {
+                    let rms =
+                        (row.iter().map(|v| v * v).sum::<f64>() / row.len().max(1) as f64).sqrt();
                     for v in row.iter_mut() {
                         *v += amplitude * rms * rng.gen::<f64>();
                     }
@@ -174,7 +172,7 @@ impl FrameAttacker {
             }
             FrameAttackKind::SensorDropout { p } => {
                 assert!((0.0..=1.0).contains(&p), "p must be a probability");
-                for row in out_frames.iter_mut() {
+                for row in &mut out_frames {
                     for v in row.iter_mut() {
                         if rng.gen_bool(p) {
                             *v = 0.0;
@@ -332,11 +330,7 @@ mod tests {
         let (frames, conds) = batch();
         let (attacked, _) =
             FrameAttacker::new(3).apply(FrameAttackKind::SensorDropout { p: 0.5 }, &frames, &conds);
-        let zeroed = attacked
-            .iter()
-            .flatten()
-            .filter(|v| **v == 0.0)
-            .count();
+        let zeroed = attacked.iter().flatten().filter(|v| **v == 0.0).count();
         assert!(zeroed > 0, "some bins must drop");
         assert!(zeroed < 48, "not all bins may drop at p=0.5");
     }

@@ -72,6 +72,17 @@ impl SimulationTrace {
     pub fn duration_s(&self) -> f64 {
         self.audio.len() as f64 / self.sample_rate
     }
+
+    /// The motors active at an absolute sample index — the live G-code
+    /// condition channel a streaming replay attaches to each chunk.
+    /// Returns `None` past the end of the trace (or in a gap, which the
+    /// simulator never emits).
+    pub fn motors_at(&self, sample_index: usize) -> Option<MotorSet> {
+        self.segments
+            .iter()
+            .find(|rec| rec.audio_start <= sample_index && sample_index < rec.audio_end)
+            .map(|rec| rec.motors)
+    }
 }
 
 /// The printer simulator: kinematics + acoustics + microphone.
@@ -210,6 +221,19 @@ mod tests {
             cursor = rec.audio_end;
         }
         assert_eq!(cursor, trace.audio.len());
+    }
+
+    #[test]
+    fn motors_at_resolves_every_sample_and_none_past_the_end() {
+        let sim = PrinterSim::printrbot_class();
+        let mut rng = StdRng::seed_from_u64(3);
+        let program = single_axis_program(Axis::Y, 4, 8.0, 900.0);
+        let trace = sim.run(&program, &mut rng);
+        for rec in &trace.segments {
+            assert_eq!(trace.motors_at(rec.audio_start), Some(rec.motors));
+            assert_eq!(trace.motors_at(rec.audio_end - 1), Some(rec.motors));
+        }
+        assert_eq!(trace.motors_at(trace.audio.len()), None);
     }
 
     #[test]

@@ -93,6 +93,23 @@ pub enum FaultSpec {
         /// How many reloads to fail.
         count: u64,
     },
+    /// Stall the streaming-ingest handler for `stall_ms` while it holds
+    /// chunk `at_ingest` — a sensor whose network path freezes mid-push;
+    /// the session must survive (or be idle-evicted) without corrupting
+    /// sibling sessions.
+    SessionStall {
+        /// Zero-based stream-ingest index the stall fires on.
+        at_ingest: u64,
+        /// How long the handler sleeps, in milliseconds.
+        stall_ms: u64,
+    },
+    /// Drop the connection after ingesting chunk `at_ingest` but before
+    /// writing the response — the client never learns whether its chunk
+    /// landed; a retry or stats probe must see consistent session state.
+    MidChunkDisconnect {
+        /// Zero-based stream-ingest index the disconnect fires on.
+        at_ingest: u64,
+    },
 }
 
 fn one() -> u64 {
@@ -138,6 +155,7 @@ impl ChaosPlan {
         }
         ChaosState {
             batch: AtomicU64::new(0),
+            ingest: AtomicU64::new(0),
             rng: Mutex::new(self.seed),
             faults: self.faults,
             reload_delay: Mutex::new(reload_delay),
@@ -161,6 +179,18 @@ pub enum BatchFault {
     CorruptJob,
 }
 
+/// What the streaming-ingest handler must do with the chunk it just
+/// accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFault {
+    /// Proceed normally.
+    None,
+    /// Sleep this long before scoring (the frozen-sensor drill).
+    Stall(Duration),
+    /// Ingest the chunk, then drop the connection without replying.
+    Disconnect,
+}
+
 /// What a reload attempt must suffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReloadFault {
@@ -178,6 +208,8 @@ pub enum ReloadFault {
 pub struct ChaosState {
     /// Batches the scorer has picked up (monotone across restarts).
     batch: AtomicU64,
+    /// Stream-ingest chunks accepted (all sessions pooled).
+    ingest: AtomicU64,
     /// splitmix64 stream for corruption sites and values.
     rng: Mutex<u64>,
     faults: Vec<FaultSpec>,
@@ -217,6 +249,36 @@ impl ChaosState {
     /// Batches the scorer has picked up so far.
     pub fn batches_seen(&self) -> u64 {
         self.batch.load(Ordering::SeqCst)
+    }
+
+    /// Called by the streaming-ingest handler once per accepted chunk;
+    /// advances the ingest counter and returns the fault (if any)
+    /// scheduled for it. When both kinds name the same chunk, the
+    /// disconnect wins (it is the harder recovery).
+    pub fn next_stream_ingest(&self) -> StreamFault {
+        let i = self.ingest.fetch_add(1, Ordering::SeqCst);
+        let mut fault = StreamFault::None;
+        for spec in &self.faults {
+            let candidate = match *spec {
+                FaultSpec::SessionStall {
+                    at_ingest,
+                    stall_ms,
+                } if at_ingest == i => StreamFault::Stall(Duration::from_millis(stall_ms)),
+                FaultSpec::MidChunkDisconnect { at_ingest } if at_ingest == i => {
+                    StreamFault::Disconnect
+                }
+                _ => continue,
+            };
+            if stream_severity(candidate) > stream_severity(fault) {
+                fault = candidate;
+            }
+        }
+        fault
+    }
+
+    /// Stream-ingest chunks accepted so far.
+    pub fn ingests_seen(&self) -> u64 {
+        self.ingest.load(Ordering::SeqCst)
     }
 
     /// Called by the reload path before loading; consumes scheduled
@@ -396,6 +458,15 @@ impl<W: Write> Write for FlakyWriter<W> {
     }
 }
 
+/// Ranks stream faults for same-chunk conflicts.
+fn stream_severity(f: StreamFault) -> u8 {
+    match f {
+        StreamFault::None => 0,
+        StreamFault::Stall(_) => 1,
+        StreamFault::Disconnect => 2,
+    }
+}
+
 /// Ranks batch faults for same-batch conflicts.
 fn severity(f: BatchFault) -> u8 {
     match f {
@@ -435,12 +506,14 @@ mod tests {
                 {"kind":"scorer_panic","at_batch":1},
                 {"kind":"poison_batch","at_batch":2},
                 {"kind":"reload_fail","count":1},
-                {"kind":"scorer_hang","at_batch":3,"hang_ms":250}
+                {"kind":"scorer_hang","at_batch":3,"hang_ms":250},
+                {"kind":"session_stall","at_ingest":4,"stall_ms":80},
+                {"kind":"mid_chunk_disconnect","at_ingest":5}
             ]}"#,
         )
         .unwrap();
         assert_eq!(plan.seed, 7);
-        assert_eq!(plan.faults.len(), 4);
+        assert_eq!(plan.faults.len(), 6);
         assert_eq!(plan.faults[0], FaultSpec::ScorerPanic { at_batch: 1 });
         assert_eq!(
             plan.faults[1],
@@ -448,6 +521,17 @@ mod tests {
                 at_batch: 2,
                 count: 1
             }
+        );
+        assert_eq!(
+            plan.faults[4],
+            FaultSpec::SessionStall {
+                at_ingest: 4,
+                stall_ms: 80
+            }
+        );
+        assert_eq!(
+            plan.faults[5],
+            FaultSpec::MidChunkDisconnect { at_ingest: 5 }
         );
     }
 
@@ -482,6 +566,51 @@ mod tests {
         assert_eq!(state.next_batch(), BatchFault::PoisonBatch); // batch 4
         assert_eq!(state.next_batch(), BatchFault::None); // batch 5
         assert_eq!(state.batches_seen(), 6);
+    }
+
+    #[test]
+    fn stream_faults_fire_at_their_index_only() {
+        let state = ChaosPlan {
+            seed: 1,
+            faults: vec![
+                FaultSpec::SessionStall {
+                    at_ingest: 1,
+                    stall_ms: 40,
+                },
+                FaultSpec::MidChunkDisconnect { at_ingest: 3 },
+                // Batch faults must not leak into the ingest counter.
+                FaultSpec::ScorerPanic { at_batch: 0 },
+            ],
+        }
+        .into_state();
+        assert_eq!(state.next_stream_ingest(), StreamFault::None); // chunk 0
+        assert_eq!(
+            state.next_stream_ingest(),
+            StreamFault::Stall(Duration::from_millis(40)) // chunk 1
+        );
+        assert_eq!(state.next_stream_ingest(), StreamFault::None); // chunk 2
+        assert_eq!(state.next_stream_ingest(), StreamFault::Disconnect); // chunk 3
+        assert_eq!(state.next_stream_ingest(), StreamFault::None); // chunk 4
+        assert_eq!(state.ingests_seen(), 5);
+        // The batch counter is untouched by stream ingest.
+        assert_eq!(state.batches_seen(), 0);
+        assert_eq!(state.next_batch(), BatchFault::Panic);
+    }
+
+    #[test]
+    fn conflicting_stream_faults_resolve_disconnect_first() {
+        let state = ChaosPlan {
+            seed: 1,
+            faults: vec![
+                FaultSpec::SessionStall {
+                    at_ingest: 0,
+                    stall_ms: 10,
+                },
+                FaultSpec::MidChunkDisconnect { at_ingest: 0 },
+            ],
+        }
+        .into_state();
+        assert_eq!(state.next_stream_ingest(), StreamFault::Disconnect);
     }
 
     #[test]

@@ -30,7 +30,11 @@ use crate::{ExitCode, ParsedArgs};
 /// `features.planned_extract_ms` (with `frames_per_sec` now measuring
 /// the warm planned path — the steady-state streaming number), and the
 /// `engine` f64/f32 scoring section.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: added the `--stream` report (`bench_results/BENCH_stream.json`):
+/// sessionful chunked ingest→verdict latency percentiles plus the
+/// transforms-per-hop invariant of the incremental CWT.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Pinned seed: every run of the same binary benches the same workload.
 const BENCH_SEED: u64 = 42;
@@ -54,6 +58,8 @@ pub fn bench(args: &ParsedArgs) -> Result<ExitCode, String> {
     let smoke = args.has_switch("smoke");
     let (report, default_out) = if args.has_switch("detect") {
         (run_detect(smoke)?, "bench_results/BENCH_detect.json")
+    } else if args.has_switch("stream") {
+        (run_stream(smoke)?, "bench_results/BENCH_stream.json")
     } else if args.has_switch("serve") {
         (run_serve(smoke)?, "BENCH_serve.json")
     } else {
@@ -110,6 +116,123 @@ pub fn run_serve(smoke: bool) -> Result<String, String> {
         "{{\"schema_version\":{SCHEMA_VERSION},\"mode\":\"{mode}\",\"seed\":{BENCH_SEED},{}\n",
         report.to_json(&opts).strip_prefix('{').unwrap_or_default(),
         mode = if smoke { "smoke" } else { "full" },
+    ))
+}
+
+/// Benches the streaming ingest layer: seals a pinned-seed engine,
+/// starts an in-process server, and drives one session with a long
+/// deterministic signal in fixed-size chunks, timing each ingest→verdict
+/// round trip. Reports p50/p99 latency and the incremental extractor's
+/// transforms-per-hop ratio — and *fails* if that ratio exceeds 1, since
+/// more than one CWT transform per hop block means the streaming front
+/// end has regressed to re-transforming old samples.
+///
+/// # Errors
+///
+/// Returns a message when training or serving fails, a request is
+/// rejected (including JSON-stub environments), or the transform
+/// invariant is violated.
+pub fn run_stream(smoke: bool) -> Result<String, String> {
+    use gansec_serve::api::{StreamCloseResponse, StreamIngestRequest, StreamStatsResponse};
+    use gansec_serve::{client, ServeConfig, Server};
+
+    // The stream bench measures real HTTP round trips, so it needs a
+    // working JSON deserializer; bail before spending time on training.
+    if serde_json::from_str::<serde_json::Value>("null").is_err() {
+        return Err(
+            "json failure: this build has no real JSON parser; the streaming bench round-trips \
+             HTTP bodies and cannot run here"
+                .to_string(),
+        );
+    }
+
+    let cfg = workload(smoke);
+    let pipeline = GanSecPipeline::new(cfg);
+    let stage = pipeline
+        .train_stage(BENCH_SEED)
+        .map_err(|e| e.to_string())?;
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let hop = config.stream_hop.max(1);
+    let server = Server::start(
+        config,
+        gansec_engine::ScoringEngine::from_bundle(stage.to_bundle()),
+        "bench-in-process",
+    )?;
+    let addr = server.addr();
+
+    let fs = 16_000.0;
+    let n = if smoke { 8_192 } else { 160_000 };
+    let chunk = 2_048;
+    let signal = bench_signal(n, fs);
+    // The held-out split's first condition row: guaranteed encodable
+    // under the sealed bundle, so scoring exercises the real KDE path.
+    if stage.test().is_empty() {
+        return Err("bench workload produced no held-out frames".to_string());
+    }
+    let cond: Vec<f64> = stage.test().conds().row(0).to_vec();
+
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut frames = 0usize;
+    for piece in signal.chunks(chunk) {
+        let body = serde_json::to_vec(&StreamIngestRequest {
+            samples: piece.to_vec(),
+            cond: cond.clone(),
+            sample_rate: fs,
+        })
+        .map_err(|e| e.to_string())?;
+        let t = Instant::now();
+        let reply = client::post(addr, "/v1/stream/bench/samples", &body)?;
+        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        if reply.status != 200 {
+            server.shutdown();
+            return Err(format!(
+                "stream bench ingest rejected with {}: {}",
+                reply.status,
+                String::from_utf8_lossy(&reply.body)
+            ));
+        }
+        let parsed: gansec_serve::api::StreamIngestResponse =
+            serde_json::from_slice(&reply.body).map_err(|e| e.to_string())?;
+        frames += parsed.scores.len();
+    }
+    let stats = client::get(addr, "/v1/stream/bench/stats")?;
+    let stats: StreamStatsResponse =
+        serde_json::from_slice(&stats.body).map_err(|e| e.to_string())?;
+    let close = client::post(addr, "/v1/stream/bench/close", b"")?;
+    let close: StreamCloseResponse =
+        serde_json::from_slice(&close.body).map_err(|e| e.to_string())?;
+    frames += close.scores.len();
+    server.shutdown();
+
+    let hops = (n as u64).div_ceil(hop as u64);
+    let transforms_per_hop = stats.transforms as f64 / hops.max(1) as f64;
+    if transforms_per_hop > 1.0 {
+        return Err(format!(
+            "incremental extractor regressed: {} transforms for {hops} hop blocks \
+             (transforms_per_hop {transforms_per_hop:.3} > 1)",
+            stats.transforms
+        ));
+    }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let pick = |p: f64| -> f64 {
+        match latencies_ms.len() {
+            0 => 0.0,
+            len => latencies_ms[(((len - 1) as f64) * p).round() as usize],
+        }
+    };
+    let total_ms: f64 = latencies_ms.iter().sum();
+    Ok(format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"mode\": \"{mode}\",\n  \"seed\": {BENCH_SEED},\n  \"samples\": {n},\n  \"chunk\": {chunk},\n  \"requests\": {requests},\n  \"frames\": {frames},\n  \"transforms\": {transforms},\n  \"hops\": {hops},\n  \"transforms_per_hop\": {transforms_per_hop:.4},\n  \"ingest_p50_ms\": {p50:.3},\n  \"ingest_p99_ms\": {p99:.3},\n  \"throughput_frames_per_sec\": {fps:.1}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        requests = latencies_ms.len(),
+        transforms = stats.transforms,
+        p50 = pick(0.50),
+        p99 = pick(0.99),
+        fps = frames as f64 / (total_ms / 1e3).max(1e-12),
     ))
 }
 
@@ -543,7 +666,7 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.contains("\"mode\": \"smoke\""));
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         // Balanced braces: structurally valid JSON for this flat schema.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
@@ -575,6 +698,40 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn stream_bench_smoke_schema() {
+        // Offline stub serde_json cannot round-trip request bodies; the
+        // bench must error out rather than panic in that environment.
+        if serde_json::from_str::<serde_json::Value>("null").is_err() {
+            drop(run_stream(true));
+            return;
+        }
+        let json = run_stream(true).unwrap();
+        for key in [
+            "\"schema_version\": 3",
+            "\"mode\": \"smoke\"",
+            "\"seed\"",
+            "\"samples\"",
+            "\"chunk\"",
+            "\"requests\"",
+            "\"frames\"",
+            "\"transforms\"",
+            "\"hops\"",
+            "\"transforms_per_hop\"",
+            "\"ingest_p50_ms\"",
+            "\"ingest_p99_ms\"",
+            "\"throughput_frames_per_sec\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The invariant the report exists to pin: at most one transform
+        // per hop block, already enforced inside run_stream.
+        let ratio_at = json.find("\"transforms_per_hop\": ").expect("key") + 23;
+        let ratio: f64 = json[ratio_at..ratio_at + 6].parse().expect("ratio parses");
+        assert!(ratio <= 1.0, "transforms_per_hop {ratio} > 1");
     }
 
     #[test]

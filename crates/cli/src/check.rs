@@ -7,8 +7,9 @@ use gansec_cpps::CppsArchitecture;
 use gansec_lint::{
     code_doc, code_info, render_code_table_json, render_code_table_text, render_fix_plan,
     render_json, render_sarif, render_text, CheckInput, CheckReport, Code, DeploymentSpec,
-    FastPathSpec, GraphSpec, ServeSpec,
+    FastPathSpec, GraphSpec, ServeSpec, StreamSpec,
 };
+use gansec_serve::ServeConfig;
 
 use crate::{ExitCode, ParsedArgs};
 
@@ -28,6 +29,8 @@ pub const CHAOS_FAULT_KINDS: &[&str] = &[
     "corrupt_job",
     "reload_delay",
     "reload_fail",
+    "session_stall",
+    "mid_chunk_disconnect",
 ];
 
 /// `gansec check [flags]`: run every analysis pass and print the
@@ -183,6 +186,14 @@ pub fn load_bundle_gated(
             .with_fastpath(fastpath_spec(args));
         if let Some(spec) = serve {
             input = input.with_serve(spec);
+            // A server exposes the streaming endpoints whether or not
+            // any --stream-* flag was given, so the GS09xx pass always
+            // judges the numbers it will actually run with.
+            let mut stream_cfg = ServeConfig::default();
+            apply_stream_flags(args, &mut stream_cfg)?;
+            input = input.with_stream(stream_cfg.stream_lint_spec());
+        } else if let Some(stream) = stream_spec(args)? {
+            input = input.with_stream(stream);
         }
         // An `--evidence` request is judged against the bundle it will
         // run on (GS08xx): seal presence, weight normalizability, and
@@ -288,6 +299,11 @@ fn build_input_inner(args: &ParsedArgs, include_bundle: bool) -> Result<CheckInp
     if args.get("precision").is_some() {
         input = input.with_fastpath(fastpath_spec(args));
     }
+    // Likewise, any `--stream-*` flag attaches the streaming-ingest pass
+    // (GS09xx) against the numbers a `serve`/`stream` run would use.
+    if let Some(stream) = stream_spec(args)? {
+        input = input.with_stream(stream);
+    }
     // An evidence request needs the bundle it would run against; with
     // no bundle there is no seal to judge, so the flags alone don't
     // attach the pass (GS0803 would fire on every unsealed default).
@@ -383,7 +399,9 @@ pub fn evidence_flags(args: &ParsedArgs) -> Result<Option<(Vec<String>, Vec<f64>
             .split(',')
             .map(|part| {
                 part.trim().parse::<f64>().map_err(|_| {
-                    format!("invalid value {part:?} in --evidence-weights (expected e.g. 0.5,0.3,0.2)")
+                    format!(
+                        "invalid value {part:?} in --evidence-weights (expected e.g. 0.5,0.3,0.2)"
+                    )
                 })
             })
             .collect::<Result<Vec<f64>, String>>()?,
@@ -403,6 +421,76 @@ pub fn evidence_flags(args: &ParsedArgs) -> Result<Option<(Vec<String>, Vec<f64>
         None if weights.is_empty() => Ok(None),
         None => Err("--evidence-weights without --evidence names no channels to weight".into()),
     }
+}
+
+/// The `--stream-*` value flags shared by `serve`, `stream`, and
+/// `check`. (`--stream-recalibrate` is a switch and rides separately.)
+pub const STREAM_FLAGS: &[&str] = &[
+    "stream-frame-len",
+    "stream-hop",
+    "stream-max-sessions",
+    "stream-max-chunk-samples",
+    "stream-idle-timeout-ms",
+    "stream-reservoir",
+    "stream-warmup",
+    "stream-drift-alpha",
+];
+
+/// Applies the `--stream-*` flags onto a server configuration — the one
+/// parser `serve`, `stream`, and the lint attachments all go through, so
+/// the linted numbers are always the served numbers.
+///
+/// # Errors
+///
+/// Returns a message when a flag value fails to parse.
+pub fn apply_stream_flags(args: &ParsedArgs, config: &mut ServeConfig) -> Result<(), String> {
+    config.stream_frame_len = args
+        .get_parsed("stream-frame-len", config.stream_frame_len)
+        .map_err(|e| e.to_string())?;
+    config.stream_hop = args
+        .get_parsed("stream-hop", config.stream_hop)
+        .map_err(|e| e.to_string())?;
+    config.stream_max_sessions = args
+        .get_parsed("stream-max-sessions", config.stream_max_sessions)
+        .map_err(|e| e.to_string())?;
+    config.stream_max_chunk_samples = args
+        .get_parsed("stream-max-chunk-samples", config.stream_max_chunk_samples)
+        .map_err(|e| e.to_string())?;
+    config.stream_idle_timeout_ms = args
+        .get_parsed("stream-idle-timeout-ms", config.stream_idle_timeout_ms)
+        .map_err(|e| e.to_string())?;
+    config.stream_reservoir = args
+        .get_parsed("stream-reservoir", config.stream_reservoir)
+        .map_err(|e| e.to_string())?;
+    config.stream_warmup = args
+        .get_parsed("stream-warmup", config.stream_warmup)
+        .map_err(|e| e.to_string())?;
+    config.stream_drift_alpha = args
+        .get_parsed("stream-drift-alpha", config.stream_drift_alpha)
+        .map_err(|e| e.to_string())?;
+    if args.has_switch("stream-recalibrate") {
+        config.stream_recalibrate = true;
+    }
+    Ok(())
+}
+
+/// The streaming-ingest spec the flags describe, or `None` when no
+/// `--stream-*` flag was given — `gansec check` with no streaming
+/// request must not attach the GS09xx pass against pure defaults, just
+/// as `--precision` gates the fast-path pass.
+///
+/// # Errors
+///
+/// Returns a message when a flag value fails to parse.
+pub fn stream_spec(args: &ParsedArgs) -> Result<Option<StreamSpec>, String> {
+    let requested = STREAM_FLAGS.iter().any(|flag| args.get(flag).is_some())
+        || args.has_switch("stream-recalibrate");
+    if !requested {
+        return Ok(None);
+    }
+    let mut config = ServeConfig::default();
+    apply_stream_flags(args, &mut config)?;
+    Ok(Some(config.stream_lint_spec()))
 }
 
 /// The reduced-precision request the flags describe, against what this
@@ -602,6 +690,37 @@ mod tests {
     }
 
     #[test]
+    fn stream_flags_attach_the_gs09_pass_only_when_given() {
+        // No stream flags: no spec, no GS09xx attachment.
+        assert_eq!(stream_spec(&parsed(&[])).expect("parses"), None);
+
+        // A hop wider than the analysis window gates the run.
+        let report = report_for(&parsed(&[
+            "--stream-frame-len",
+            "256",
+            "--stream-hop",
+            "512",
+        ]))
+        .expect("check");
+        assert!(report.has(gansec_lint::codes::STREAM_WINDOW_BELOW_HOP));
+        assert!(report.should_fail(false));
+
+        // The same numbers through the one shared parser.
+        let spec = stream_spec(&parsed(&["--stream-hop", "256"]))
+            .expect("parses")
+            .expect("requested");
+        assert_eq!(spec.hop, 256);
+        assert_eq!(
+            spec.frame_len,
+            ServeConfig::default().stream_frame_len,
+            "unset flags keep the serve defaults"
+        );
+
+        // Junk values are parse errors, not silent defaults.
+        assert!(stream_spec(&parsed(&["--stream-warmup", "many"])).is_err());
+    }
+
+    #[test]
     fn zero_noise_dim_is_flagged() {
         let report = report_for(&parsed(&["--noise-dim", "0"])).expect("check");
         assert!(report.has(gansec_lint::codes::ZERO_DIM));
@@ -654,8 +773,8 @@ mod tests {
         let p = path.to_str().expect("utf8 path");
 
         // A sealed v2 bundle honors the full request cleanly.
-        let report = report_for(&parsed(&["--bundle", p, "--evidence", "kde,disc,recon"]))
-            .expect("check");
+        let report =
+            report_for(&parsed(&["--bundle", p, "--evidence", "kde,disc,recon"])).expect("check");
         assert!(!report.should_fail(true), "{:?}", report.diagnostics());
 
         // Degenerate weights gate the run (GS0801).

@@ -15,6 +15,7 @@ pub mod bench;
 pub mod check;
 pub mod commands;
 pub mod serve;
+pub mod stream;
 
 pub use args::{ArgError, ParsedArgs};
 
@@ -77,7 +78,20 @@ COMMANDS:
                                   /v1/classify (JSON), GET /healthz and
                                   /metrics (Prometheus text), POST
                                   /admin/reload (atomic bundle swap) and
-                                  /admin/shutdown (graceful drain)
+                                  /admin/shutdown (graceful drain); plus
+                                  sessionful streaming ingest: POST
+                                  /v1/stream/{id}/samples and
+                                  /v1/stream/{id}/close, GET
+                                  /v1/stream/{id}/stats
+    stream    --bundle <file> [--input <gcode>] [--chunk <n>]
+                                  replay a simulated emission trace against
+                                  an in-process streaming server chunk by
+                                  chunk (one session per trace segment) and
+                                  verify the streamed scores against the
+                                  offline reference bit for bit; fails if
+                                  any score diverges or the incremental
+                                  extractor ran more than one transform
+                                  per hop block
     check     [flags]             static analysis of the CPPS graph, the CGAN
                                   shapes, the pipeline configuration, and the
                                   joined deployment dataflow; prints GS-coded
@@ -95,7 +109,11 @@ COMMANDS:
                                   benches detection quality (per-attack
                                   ROC/AUC of every evidence channel over
                                   the frame-attack roster) and writes
-                                  bench_results/BENCH_detect.json
+                                  bench_results/BENCH_detect.json;
+                                  --stream benches chunked streaming
+                                  ingest latency (p50/p99 per chunk,
+                                  transforms per hop block) and writes
+                                  bench_results/BENCH_stream.json
 
 COMMON FLAGS:
     --seed <u64>       RNG seed (default 42)
@@ -105,8 +123,8 @@ COMMON FLAGS:
     --threads <n>      worker threads for parallel sections (default: all
                        cores; 1 forces serial execution)
     --no-check         skip the pre-flight static analysis that audit,
-                       detect, reconstruct, bench, train, score, and
-                       serve run before starting
+                       detect, reconstruct, bench, train, score, serve,
+                       and stream run before starting
     --precision <f64|f32>
                        scoring arithmetic for score/detect/serve: f64
                        (default, bit-exact reference) or f32 (narrowed
@@ -185,6 +203,32 @@ SERVE FLAGS:
                              half-open probe (default 1000)
     --chaos-plan <file>      inject a seeded fault plan (JSON); needs a
                              binary built with the `chaos` feature
+
+STREAM FLAGS (serve, stream; linted by the GS09xx checks):
+    --stream-frame-len <n>   samples per scored frame (default 1024)
+    --stream-hop <n>         samples per hop block; one incremental
+                             transform is run per completed hop
+                             (default 512)
+    --stream-max-sessions <n> concurrent session cap; at the cap new
+                             sessions are shed with 503 + Retry-After
+                             (default 64)
+    --stream-max-chunk-samples <n>
+                             largest single ingest chunk accepted before
+                             backpressure answers 422 (default 65536)
+    --stream-idle-timeout-ms <ms>
+                             idle age before the supervisor heartbeat
+                             evicts a session (default 30000)
+    --stream-reservoir <n>   score reservoir per session for drift
+                             tracking (default 512)
+    --stream-warmup <n>      scores observed before drift verdicts are
+                             issued (default 64)
+    --stream-drift-alpha <f> EWMA smoothing for the drift z-score, in
+                             (0, 1] (default 0.05)
+    --stream-recalibrate     report-only live recalibration: drifting
+                             sessions also report the threshold the
+                             reservoir would re-fit (never applied)
+    --chunk <n>              stream replay: samples per HTTP chunk
+                             (default 2048)
 
 FAULT TOLERANCE (audit):
     --checkpoint <file>      write a training checkpoint every interval

@@ -1,6 +1,6 @@
 //! The `gansec` command-line entry point.
 
-use gansec_cli::{bench, check, commands, serve, usage, ExitCode, ParsedArgs};
+use gansec_cli::{bench, check, commands, serve, stream, usage, ExitCode, ParsedArgs};
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -21,6 +21,8 @@ fn main() {
             "strict",
             "serve",
             "detect",
+            "stream",
+            "stream-recalibrate",
             "list-codes",
             "fix-plan",
         ],
@@ -54,7 +56,7 @@ fn main() {
     // parsed once and shared with the engine.
     if matches!(
         command.as_str(),
-        "audit" | "detect" | "reconstruct" | "bench" | "train" | "score" | "serve"
+        "audit" | "detect" | "reconstruct" | "bench" | "train" | "score" | "serve" | "stream"
     ) {
         match check::preflight(&args) {
             Ok(None) => {}
@@ -75,6 +77,7 @@ fn main() {
         "train" => serve::train(&args),
         "score" => serve::score(&args),
         "serve" => serve::serve(&args),
+        "stream" => stream::stream(&args),
         "check" => check::check(&args),
         "bench" => bench::bench(&args),
         other => {

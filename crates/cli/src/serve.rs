@@ -24,7 +24,7 @@ use crate::{ExitCode, ParsedArgs};
 
 /// Resolves `--precision <f64|f32>` into an engine precision.
 #[cfg(feature = "f32")]
-fn resolve_precision(args: &ParsedArgs) -> Result<Precision, String> {
+pub(crate) fn resolve_precision(args: &ParsedArgs) -> Result<Precision, String> {
     match args.get("precision") {
         None | Some("f64") => Ok(Precision::F64),
         Some("f32") => Ok(Precision::F32),
@@ -38,7 +38,7 @@ fn resolve_precision(args: &ParsedArgs) -> Result<Precision, String> {
 /// the lint gate (GS0601) says the same thing, but `--no-check` must
 /// not turn a precision request into a silent f64 fallback.
 #[cfg(not(feature = "f32"))]
-fn resolve_precision(args: &ParsedArgs) -> Result<Precision, String> {
+pub(crate) fn resolve_precision(args: &ParsedArgs) -> Result<Precision, String> {
     match args.get("precision") {
         None | Some("f64") => Ok(Precision::F64),
         Some("f32") => {
@@ -306,6 +306,7 @@ fn serve_config(args: &ParsedArgs) -> Result<ServeConfig, String> {
     config.breaker_cooldown_ms = args
         .get_parsed("breaker-cooldown-ms", config.breaker_cooldown_ms)
         .map_err(|e| e.to_string())?;
+    check::apply_stream_flags(args, &mut config)?;
     Ok(config)
 }
 
@@ -383,6 +384,10 @@ pub fn serve(args: &ParsedArgs) -> Result<ExitCode, String> {
     println!(
         "  POST /v1/score /v1/detect /v1/classify; GET /healthz /metrics; \
          POST /admin/reload /admin/shutdown"
+    );
+    println!(
+        "  streaming: POST /v1/stream/{{id}}/samples /v1/stream/{{id}}/close; \
+         GET /v1/stream/{{id}}/stats"
     );
     server.join();
     println!("drained and shut down cleanly");
@@ -490,6 +495,47 @@ mod tests {
 
         let defaults = serve_config(&parsed(&[])).expect("config");
         assert_eq!(defaults, ServeConfig::default());
+    }
+
+    #[test]
+    fn stream_flags_override_the_defaults() {
+        let cfg = serve_config(&parsed(&[
+            "--stream-frame-len",
+            "2048",
+            "--stream-hop",
+            "1024",
+            "--stream-max-sessions",
+            "8",
+            "--stream-max-chunk-samples",
+            "4096",
+            "--stream-idle-timeout-ms",
+            "9000",
+            "--stream-reservoir",
+            "128",
+            "--stream-warmup",
+            "16",
+            "--stream-drift-alpha",
+            "0.1",
+        ]))
+        .expect("config");
+        assert_eq!(cfg.stream_frame_len, 2048);
+        assert_eq!(cfg.stream_hop, 1024);
+        assert_eq!(cfg.stream_max_sessions, 8);
+        assert_eq!(cfg.stream_max_chunk_samples, 4096);
+        assert_eq!(cfg.stream_idle_timeout_ms, 9000);
+        assert_eq!(cfg.stream_reservoir, 128);
+        assert_eq!(cfg.stream_warmup, 16);
+        assert_eq!(cfg.stream_drift_alpha, 0.1);
+        assert!(!cfg.stream_recalibrate, "report-only by default");
+        let cfg = serve_config(
+            &ParsedArgs::parse_with_switches(
+                ["--stream-recalibrate"].iter().map(|s| s.to_string()),
+                &["stream-recalibrate"],
+            )
+            .expect("parse"),
+        )
+        .expect("config");
+        assert!(cfg.stream_recalibrate);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! `gansec stream`: replay a simulated emission trace against an
+//! in-process streaming server, chunk by chunk, and verify the chunked
+//! scores against the offline reference bit for bit.
+//!
+//! Each trace segment becomes one streaming session (its claimed motor
+//! condition rides along), driven over HTTP exactly as a live sensor
+//! gateway would drive `gansec serve`. The same trace is also pushed
+//! through a locally-built [`SessionManager`] in a single chunk — the
+//! offline reference — and the command fails hard if any score differs,
+//! so the replay doubles as an end-to-end parity check of the whole
+//! ingest → frame → scale → score → drift chain.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gansec::GanSecPipeline;
+use gansec_amsim::{GCodeProgram, PrinterSim};
+use gansec_engine::ScoringEngine;
+use gansec_serve::api::{
+    StreamCloseResponse, StreamIngestRequest, StreamIngestResponse, StreamStatsResponse,
+};
+use gansec_serve::{client, ServeConfig, Server};
+use gansec_stream::{Baseline, SessionManager};
+
+use crate::check::{self, GatedBundle};
+use crate::commands::load_program;
+use crate::serve::resolve_precision;
+use crate::{ExitCode, ParsedArgs};
+
+/// The default replay workload when no `--input` program is given: a
+/// short single-axis calibration sweep whose segments all encode
+/// cleanly under the standard condition encodings.
+const CALIBRATION_SWEEP: &str =
+    "G1 F1200 X10\nG1 F1200 Y10\nG1 F1200 Z2\nG1 F1200 X0\nG1 F1200 Y0\n";
+
+/// `gansec stream --bundle <file> [--input <gcode>] [--chunk <n>]
+/// [--stream-* flags]`: chunked streaming replay with offline parity
+/// verification.
+///
+/// # Errors
+///
+/// Returns a message when the bundle cannot be loaded, the server
+/// fails, a request is rejected, the streamed scores diverge from the
+/// offline reference, or the incremental extractor ran more than one
+/// transform per hop block.
+pub fn stream(args: &ParsedArgs) -> Result<ExitCode, String> {
+    let path = args.require("bundle").map_err(|e| e.to_string())?;
+    let precision = resolve_precision(args)?;
+    let chunk = args
+        .get_parsed("chunk", 2048usize)
+        .map_err(|e| e.to_string())?;
+    if chunk == 0 {
+        return Err("--chunk must be at least 1".into());
+    }
+    let seed = args.get_parsed("seed", 42u64).map_err(|e| e.to_string())?;
+    let bundle = match check::load_bundle_gated(args, path, None)? {
+        GatedBundle::Ready(bundle) => bundle,
+        GatedBundle::Refused(code) => return Ok(code),
+    };
+    let mut engine = ScoringEngine::from_bundle(bundle.clone());
+    engine.set_precision(precision);
+
+    let program = match args.get("input") {
+        Some(gcode) => load_program(gcode)?,
+        None => GCodeProgram::parse(CALIBRATION_SWEEP)
+            .map_err(|e| format!("built-in calibration sweep: {e}"))?,
+    };
+    let sim = PrinterSim::printrbot_class();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = sim.run(&program, &mut rng);
+
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    check::apply_stream_flags(args, &mut config)?;
+    let hop = config.stream_hop.max(1);
+
+    // The offline reference manager is built with the same provenance
+    // the server builds its own from: the seal's KDE calibration as the
+    // drift baseline and the training dataset's fitted min-max range.
+    let baseline = engine.evidence_seal().map(|seal| Baseline {
+        mean: seal.kde.mean,
+        std: seal.kde.std,
+        threshold: seal.kde.threshold,
+    });
+    let scale = GanSecPipeline::new(engine.config().clone())
+        .datasets(engine.seed())
+        .ok()
+        .map(|(train, _)| train.scale());
+    let reference = SessionManager::new(
+        config.stream_config(engine.seed()),
+        engine.config().bins(),
+        baseline,
+        scale,
+    );
+
+    let mut server_engine = ScoringEngine::from_bundle(bundle);
+    server_engine.set_precision(precision);
+    let server = Server::start(config, server_engine, path).map_err(|e| format!("{path}: {e}"))?;
+    let addr = server.addr();
+    println!(
+        "replaying {} segment(s) against http://{addr} (chunk {chunk}, frame {}/hop {hop}, {} scoring)",
+        trace.segments.len(),
+        engine.config().frame_len,
+        engine.precision(),
+    );
+
+    let mut total_frames = 0usize;
+    let mut total_flagged = 0usize;
+    let mut total_transforms = 0u64;
+    let mut total_hops = 0u64;
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut diverged = 0usize;
+    for (i, rec) in trace.segments.iter().enumerate() {
+        let Some(cond) = engine.config().encoding.encode(rec.motors) else {
+            println!("  seg {i}: condition not encodable under this bundle; skipped");
+            continue;
+        };
+        let audio = trace.segment_audio(i);
+        let id = format!("seg-{i}");
+
+        // Offline: the whole segment in one chunk, scored directly.
+        let mut rows = reference
+            .ingest(&id, audio, &cond, trace.sample_rate, 0)
+            .map_err(|e| format!("seg {i}: reference ingest: {e}"))?
+            .rows;
+        rows.extend(
+            reference
+                .flush(&id, 0)
+                .map_err(|e| format!("seg {i}: reference flush: {e}"))?
+                .rows,
+        );
+        reference.remove(&id);
+        let expected: Vec<f64> = rows
+            .iter()
+            .map(|row| engine.score_frame(row, &cond))
+            .collect();
+
+        // Streamed: the same segment over HTTP in `chunk`-sized pieces.
+        let mut streamed = Vec::new();
+        let mut flagged = 0usize;
+        let mut drift_state = String::from("stable");
+        for piece in audio.chunks(chunk) {
+            let body = serde_json::to_vec(&StreamIngestRequest {
+                samples: piece.to_vec(),
+                cond: cond.clone(),
+                sample_rate: trace.sample_rate,
+            })
+            .map_err(|e| e.to_string())?;
+            let started = Instant::now();
+            let reply = client::post(addr, &format!("/v1/stream/{id}/samples"), &body)?;
+            latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+            if reply.status != 200 {
+                return Err(format!(
+                    "seg {i}: ingest rejected with {}: {}",
+                    reply.status,
+                    String::from_utf8_lossy(&reply.body)
+                ));
+            }
+            let parsed: StreamIngestResponse =
+                serde_json::from_slice(&reply.body).map_err(|e| format!("seg {i}: {e}"))?;
+            flagged += parsed.flagged;
+            drift_state = parsed.drift.state.clone();
+            streamed.extend(parsed.scores);
+        }
+
+        let stats = client::get(addr, &format!("/v1/stream/{id}/stats"))?;
+        if stats.status != 200 {
+            return Err(format!("seg {i}: stats rejected with {}", stats.status));
+        }
+        let stats: StreamStatsResponse =
+            serde_json::from_slice(&stats.body).map_err(|e| format!("seg {i}: {e}"))?;
+        total_transforms += stats.transforms;
+        total_hops += (audio.len() as u64).div_ceil(hop as u64);
+
+        let close = client::post(addr, &format!("/v1/stream/{id}/close"), b"")?;
+        if close.status != 200 {
+            return Err(format!("seg {i}: close rejected with {}", close.status));
+        }
+        let close: StreamCloseResponse =
+            serde_json::from_slice(&close.body).map_err(|e| format!("seg {i}: {e}"))?;
+        flagged += close.flagged;
+        streamed.extend(close.scores);
+
+        let parity = streamed == expected;
+        if !parity {
+            diverged += 1;
+        }
+        total_frames += streamed.len();
+        total_flagged += flagged;
+        println!(
+            "  seg {i}: {} samples, {} frame(s), {flagged} flagged, drift {drift_state}, parity {}",
+            audio.len(),
+            streamed.len(),
+            if parity { "ok" } else { "DIVERGED" },
+        );
+    }
+    server.shutdown();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    println!(
+        "{total_frames} frame(s) scored, {total_flagged} flagged; {total_transforms} transform(s) \
+         over {total_hops} hop block(s); ingest latency p50 {:.2} ms, p99 {:.2} ms",
+        percentile(&latencies_ms, 0.50),
+        percentile(&latencies_ms, 0.99),
+    );
+    if total_transforms > total_hops {
+        return Err(format!(
+            "incremental extractor regressed: {total_transforms} transforms for {total_hops} hop \
+             blocks (must be at most one per hop)"
+        ));
+    }
+    if diverged > 0 {
+        return Err(format!(
+            "{diverged} segment(s) diverged from the offline reference — streamed and offline \
+             scores must be bit-identical"
+        ));
+    }
+    println!("parity: streamed scores are bit-identical to the offline reference");
+    Ok(ExitCode::Ok)
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample; 0 when empty.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    match sorted_ms.len() {
+        0 => 0.0,
+        n => sorted_ms[(((n - 1) as f64) * p).round() as usize],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::train;
+
+    fn parsed(flags: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse_with_switches(
+            flags.iter().map(|s| s.to_string()),
+            &["smoke", "no-check", "strict", "stream-recalibrate"],
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.5), 3.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.99), 4.0);
+    }
+
+    #[test]
+    fn stream_requires_a_bundle_path() {
+        let err = stream(&parsed(&[])).expect_err("must demand --bundle");
+        assert!(err.contains("bundle"), "{err}");
+    }
+
+    #[test]
+    fn zero_chunk_is_refused() {
+        let err = stream(&parsed(&["--bundle", "x.json", "--chunk", "0"]))
+            .expect_err("must refuse a zero chunk");
+        assert!(err.contains("chunk"), "{err}");
+    }
+
+    #[test]
+    fn builtin_sweep_replays_with_bit_exact_parity() {
+        // Offline stub builds ship a serde_json that cannot round-trip
+        // the request bodies this command lives on.
+        if serde_json::from_str::<serde_json::Value>("null").is_err() {
+            return;
+        }
+        let dir = std::env::temp_dir().join("gansec-cli-stream-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let out = dir.join("bundle.json");
+        let out_str = out.to_str().expect("utf8 path");
+        let code =
+            train(&parsed(&["--smoke", "--seed", "3", "--out", out_str])).expect("train succeeds");
+        assert_eq!(code, ExitCode::Ok);
+
+        // A ragged chunk size that never aligns with the hop: the replay
+        // exits cleanly only when every segment's parity held and the
+        // transforms-per-hop invariant survived the trip.
+        let code =
+            stream(&parsed(&["--bundle", out_str, "--chunk", "997"])).expect("replay succeeds");
+        assert_eq!(code, ExitCode::Ok);
+        std::fs::remove_file(&out).ok();
+    }
+}

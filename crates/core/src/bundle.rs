@@ -155,16 +155,21 @@ impl EvidenceSeal {
         // detector's, so KDE-only evidence is a pure passthrough.
         let mut scratch = ScoreScratch::new();
         let mut kde_scores = Vec::new();
-        detector.score_frames_into(train.features(), train.conds(), &mut scratch, &mut kde_scores);
+        detector.score_frames_into(
+            train.features(),
+            train.conds(),
+            &mut scratch,
+            &mut kde_scores,
+        );
         let kde = EvidenceCalibration::from_scores(&kde_scores, detector.threshold());
 
         // Discriminator: raw logits, higher = more real-looking.
         let mut fwd = ForwardScratch::new();
-        let disc_scores =
-            model
-                .cgan()
-                .discriminator_inference()
-                .logits(train.features(), train.conds(), &mut fwd);
+        let disc_scores = model.cgan().discriminator_inference().logits(
+            train.features(),
+            train.conds(),
+            &mut fwd,
+        );
         let disc = EvidenceCalibration::from_scores(&disc_scores, quantile_threshold(&disc_scores));
 
         // Reconstruction: negative inversion MSE over an evenly-spaced
@@ -726,7 +731,10 @@ mod tests {
         let mut bundle = smoke_bundle();
         bundle.evidence.as_mut().unwrap().recon_iters += 1;
         let err = bundle.validate().unwrap_err();
-        assert!(err.to_string().contains("evidence seal fingerprint"), "{err}");
+        assert!(
+            err.to_string().contains("evidence seal fingerprint"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -319,6 +319,75 @@ impl FeatureExtractor {
         fm
     }
 
+    /// The hop-blocked offline reference for streaming ingest: the
+    /// signal is partitioned into hop-sized blocks by absolute sample
+    /// index, each block is CWT-transformed **once** (so overlapping
+    /// frames never re-transform shared samples), and frame rows are
+    /// per-bin means over the concatenated block magnitudes.
+    ///
+    /// This is deliberately *not* bit-identical to
+    /// [`FeatureExtractor::extract_planned`]: the planned path runs one
+    /// FFT circular convolution over the whole signal, so every output
+    /// sample depends on every input sample — a shape no incremental
+    /// extractor can reproduce without buffering the entire stream.
+    /// Blocking the convolution at hop boundaries makes the output a
+    /// pure function of each hop block, which is exactly what lets
+    /// `gansec-stream` produce bit-identical rows for *any* chunking of
+    /// the same samples. This function is the canonical offline batch
+    /// path those parity tests compare against; the per-frame arithmetic
+    /// is shared through [`frame_mean_per_bin`].
+    ///
+    /// A final partial block (fewer than `hop` samples) is transformed
+    /// with its own shorter plan, matching the streaming extractor's
+    /// flush at session close. Total transforms: `ceil(n / hop)` — the
+    /// "≤ 1 transform per hop" contract.
+    ///
+    /// Output is bit-identical at any thread count: block transforms and
+    /// frame rows are independent units stitched in index order.
+    /// STFT-backed extractors fall through to the unplanned path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate <= 0`.
+    pub fn extract_streamed(
+        &self,
+        signal: &[f64],
+        sample_rate: f64,
+        plans: &PlanCache,
+    ) -> FeatureMatrix {
+        if self.analysis != AnalysisKind::Cwt {
+            return self.extract(signal, sample_rate);
+        }
+        let n_frames = self.frame_count(signal.len());
+        if n_frames == 0 {
+            return FeatureMatrix::from_rows(Vec::new());
+        }
+        let cwt = MorletCwt::standard(self.bins.centers());
+        let n = signal.len();
+        let n_blocks = n.div_ceil(self.hop);
+        let blocks = gansec_parallel::par_map_indexed(n_blocks, |b| {
+            let start = b * self.hop;
+            let end = (start + self.hop).min(n);
+            let plan = plans.cwt_plan(&cwt, end - start, sample_rate);
+            plan.transform(&signal[start..end])
+        });
+        let n_bins = self.bins.n_bins();
+        let mut mags: Vec<Vec<f64>> = vec![Vec::with_capacity(n); n_bins];
+        for block in &blocks {
+            for (bin, mag) in mags.iter_mut().enumerate() {
+                mag.extend_from_slice(block.row(bin));
+            }
+        }
+        let rows = gansec_parallel::par_map_indexed(n_frames, |f| {
+            frame_mean_per_bin(&mags, f * self.hop, self.frame_len)
+        });
+        let mut fm = FeatureMatrix::from_rows(rows);
+        if self.scaling == ScalingKind::MinMax {
+            fm.minmax_scale_global();
+        }
+        fm
+    }
+
     fn extract_cwt_rows(&self, signal: &[f64], sample_rate: f64, n_frames: usize) -> Vec<Vec<f64>> {
         let cwt = MorletCwt::standard(self.bins.centers());
         let scal = cwt.transform(signal, sample_rate);
@@ -358,6 +427,26 @@ impl Default for FeatureExtractor {
     fn default() -> Self {
         Self::paper_default()
     }
+}
+
+/// One frame row of the hop-blocked feature path: the per-bin mean of
+/// `mags[bin][start .. start + frame_len]`, summed strictly left to
+/// right.
+///
+/// Shared by [`FeatureExtractor::extract_streamed`] and the incremental
+/// extractor in `gansec-stream` so both sides execute the *same*
+/// floating-point operation sequence — the foundation of the
+/// streamed-vs-offline bit-identity contract. `start` is relative to
+/// the magnitude buffers, which lets the streaming side pass a trimmed
+/// window of its history.
+///
+/// # Panics
+///
+/// Panics if any bin buffer is shorter than `start + frame_len`.
+pub fn frame_mean_per_bin(mags: &[Vec<f64>], start: usize, frame_len: usize) -> Vec<f64> {
+    mags.iter()
+        .map(|bin| bin[start..start + frame_len].iter().sum::<f64>() / frame_len as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -568,6 +657,61 @@ mod tests {
         let fm = small_extractor().extract_planned(&[0.0; 100], 8000.0, &plans);
         assert_eq!(fm.n_rows(), 0);
         assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn streamed_extract_shapes_match_planned() {
+        let fs = 8000.0;
+        let fx = small_extractor();
+        let mut sig = tone(440.0, fs, 2048);
+        sig.extend(tone(1500.0, fs, 1500)); // non-multiple of hop: partial tail block
+        let plans = PlanCache::new();
+        let streamed = fx.extract_streamed(&sig, fs, &plans);
+        assert_eq!(streamed.n_rows(), fx.frame_count(sig.len()));
+        assert_eq!(streamed.n_features(), 20);
+        // Two plan shapes at most: the hop block and the partial tail.
+        assert!(plans.len() <= 2, "plans: {}", plans.len());
+        // Deterministic: a second run is bit-identical.
+        let again = fx.extract_streamed(&sig, fs, &plans);
+        assert_eq!(again, streamed);
+    }
+
+    #[test]
+    fn streamed_extract_is_thread_count_invariant() {
+        let fs = 8000.0;
+        let fx = FeatureExtractor::new(
+            FrequencyBins::log_spaced(20, 50.0, 4000.0),
+            512,
+            256,
+            ScalingKind::None,
+        );
+        let sig = tone(700.0, fs, 3000);
+        let plans = PlanCache::new();
+        gansec_parallel::set_threads(1);
+        let serial = fx.extract_streamed(&sig, fs, &plans);
+        gansec_parallel::set_threads(4);
+        let parallel = fx.extract_streamed(&sig, fs, &plans);
+        gansec_parallel::set_threads(0);
+        for (a, b) in serial.rows().iter().zip(parallel.rows()) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_extract_short_signal_is_empty() {
+        let plans = PlanCache::new();
+        let fm = small_extractor().extract_streamed(&[0.0; 100], 8000.0, &plans);
+        assert_eq!(fm.n_rows(), 0);
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn frame_mean_per_bin_is_the_sequential_mean() {
+        let mags = vec![vec![1.0, 2.0, 3.0, 4.0], vec![0.5, 0.5, 0.5, 0.5]];
+        let row = frame_mean_per_bin(&mags, 1, 2);
+        assert_eq!(row, vec![2.5, 0.5]);
     }
 
     #[test]

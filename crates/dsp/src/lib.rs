@@ -49,7 +49,9 @@ mod window;
 pub use bins::FrequencyBins;
 pub use complex::Complex;
 pub use cwt::{cwt, MorletCwt, Scalogram};
-pub use features::{AnalysisKind, FeatureExtractor, FeatureMatrix, ScalingKind};
+pub use features::{
+    frame_mean_per_bin, AnalysisKind, FeatureExtractor, FeatureMatrix, ScalingKind,
+};
 pub use fft::{fft, fft_real, ifft, next_power_of_two};
 pub use plan::{CwtPlan, FftPlan, FlatScalogram, PlanCache, RealFftPlan};
 pub use stft::{Spectrogram, Stft};

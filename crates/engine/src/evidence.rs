@@ -72,7 +72,11 @@ pub struct ParseEvidenceKindError(pub String);
 
 impl fmt::Display for ParseEvidenceKindError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown evidence kind `{}` (try kde, disc, recon)", self.0)
+        write!(
+            f,
+            "unknown evidence kind `{}` (try kde, disc, recon)",
+            self.0
+        )
     }
 }
 
@@ -233,10 +237,11 @@ impl EvidenceScorer for DiscriminatorEvidence {
         _first_row: usize,
         scratch: &mut EvidenceScratch,
     ) -> Vec<f64> {
-        self.model
-            .cgan()
-            .discriminator_inference()
-            .logits(features, claimed_conds, &mut scratch.fwd)
+        self.model.cgan().discriminator_inference().logits(
+            features,
+            claimed_conds,
+            &mut scratch.fwd,
+        )
     }
 }
 

@@ -51,6 +51,8 @@
 mod evidence;
 
 use std::path::Path;
+#[cfg(feature = "f32")]
+use std::sync::OnceLock;
 use std::sync::{Arc, Mutex};
 
 use gansec::{
@@ -62,7 +64,7 @@ use gansec_stats::ParzenWindowF32;
 use gansec_tensor::Matrix;
 
 pub use evidence::{
-    DiscriminatorEvidence, EvidenceError, EvidenceKind, EvidenceScores, EvidenceScorer,
+    DiscriminatorEvidence, EvidenceError, EvidenceKind, EvidenceScorer, EvidenceScores,
     EvidenceScratch, EvidenceStack, EvidenceWarning, KdeEvidence, ParseEvidenceKindError,
     ReconstructionEvidence,
 };
@@ -242,15 +244,17 @@ pub struct ScoringEngine {
     pool: ScratchPool,
     precision: Precision,
     /// Single-precision mirrors of the detector's fitted windows,
-    /// indexed `[condition][feature]` like the originals. Built lazily
-    /// by the first [`ScoringEngine::set_precision`] request for
-    /// [`Precision::F32`]; `None` until then.
+    /// indexed `[condition][feature]` like the originals. Built at most
+    /// once, on first use (or pre-warmed by
+    /// [`ScoringEngine::set_precision`]); the `OnceLock` makes that
+    /// first build race-safe when many serve connections hit a shared
+    /// engine concurrently.
     #[cfg(feature = "f32")]
-    detector_f32: Option<Vec<Vec<ParzenWindowF32>>>,
+    detector_f32: OnceLock<Vec<Vec<ParzenWindowF32>>>,
     /// Single-precision mirrors of the estimator's fitted windows,
-    /// built lazily alongside the detector mirrors.
+    /// built race-safely alongside the detector mirrors.
     #[cfg(feature = "f32")]
-    estimator_f32: Option<Vec<Vec<ParzenWindowF32>>>,
+    estimator_f32: OnceLock<Vec<Vec<ParzenWindowF32>>>,
 }
 
 impl ScoringEngine {
@@ -278,9 +282,9 @@ impl ScoringEngine {
             pool: ScratchPool::default(),
             precision: Precision::F64,
             #[cfg(feature = "f32")]
-            detector_f32: None,
+            detector_f32: OnceLock::new(),
             #[cfg(feature = "f32")]
-            estimator_f32: None,
+            estimator_f32: OnceLock::new(),
         }
     }
 
@@ -336,20 +340,33 @@ impl ScoringEngine {
     /// The engine always starts on [`Precision::F64`]; flipping to
     /// [`Precision::F32`] (only available on `f32` builds) routes
     /// `score_frame`, the batch scorers, and the classifiers through
-    /// single-precision Parzen mirrors, narrowed here on the first
-    /// request and cached for later flips. Threshold comparisons and
-    /// condition matching stay in `f64` either way.
+    /// single-precision Parzen mirrors. The mirrors are pre-warmed here
+    /// when possible, but their authoritative build site is the
+    /// `OnceLock` at first use, so an engine published to concurrent
+    /// readers before (or without) this call still narrows exactly once
+    /// with every racer seeing the same mirrors. Threshold comparisons
+    /// and condition matching stay in `f64` either way.
     pub fn set_precision(&mut self, precision: Precision) {
         #[cfg(feature = "f32")]
         if precision == Precision::F32 {
-            if self.detector_f32.is_none() {
-                self.detector_f32 = Some(narrow_windows(self.detector.windows()));
-            }
-            if self.estimator_f32.is_none() {
-                self.estimator_f32 = Some(narrow_windows(self.estimator.windows()));
-            }
+            self.detector_mirrors();
+            self.estimator_mirrors();
         }
         self.precision = precision;
+    }
+
+    /// The detector's f32 mirrors, built race-safely on first use.
+    #[cfg(feature = "f32")]
+    fn detector_mirrors(&self) -> &[Vec<ParzenWindowF32>] {
+        self.detector_f32
+            .get_or_init(|| narrow_windows(self.detector.windows()))
+    }
+
+    /// The estimator's f32 mirrors, built race-safely on first use.
+    #[cfg(feature = "f32")]
+    fn estimator_mirrors(&self) -> &[Vec<ParzenWindowF32>] {
+        self.estimator_f32
+            .get_or_init(|| narrow_windows(self.estimator.windows()))
     }
 
     /// The bundled detector.
@@ -394,10 +411,7 @@ impl ScoringEngine {
         let Some(ci) = self.detector.condition_index(claimed_cond) else {
             return 0.0;
         };
-        let kdes = &self
-            .detector_f32
-            .as_ref()
-            .expect("f32 mirrors built by set_precision")[ci];
+        let kdes = &self.detector_mirrors()[ci];
         let mut acc = 0.0f64;
         for (k, &ft) in self.detector.feature_indices().iter().enumerate() {
             acc += f64::from(kdes[k].windowed_likelihood(features[ft] as f32));
@@ -409,10 +423,7 @@ impl ScoringEngine {
     /// log densities evaluated in single precision, summed in `f64`.
     #[cfg(feature = "f32")]
     fn log_likelihood_f32(&self, features: &[f64], ci: usize) -> f64 {
-        let kdes = &self
-            .estimator_f32
-            .as_ref()
-            .expect("f32 mirrors built by set_precision")[ci];
+        let kdes = &self.estimator_mirrors()[ci];
         self.estimator
             .feature_indices()
             .iter()
@@ -1029,6 +1040,50 @@ mod tests {
         assert_eq!(detail.conditions, engine.classify_frames(test.features()));
     }
 
+    /// Regression for the lazily-built f32 mirrors: many threads hitting
+    /// an engine whose mirrors were never pre-warmed must all observe
+    /// one consistent build (no panic, no torn state, bitwise-equal
+    /// scores). Before the `OnceLock` the first-use path expected
+    /// `set_precision` to have run already.
+    #[cfg(feature = "f32")]
+    #[test]
+    fn f32_mirrors_survive_concurrent_first_use() {
+        let (engine, test) = engine_and_test_split();
+        let engine = std::sync::Arc::new(engine);
+        let row: Vec<f64> = test.features().row(0).to_vec();
+        let cond: Vec<f64> = test.conds().row(0).to_vec();
+        let scores: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let engine = std::sync::Arc::clone(&engine);
+                    let (row, cond) = (row.clone(), cond.clone());
+                    s.spawn(move || {
+                        // First use races the mirror build across threads.
+                        let score = engine.score_frame_f32(&row, &cond);
+                        let ll = engine.log_likelihood_f32(&row, 0);
+                        (score, ll)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let (score, ll) = h.join().unwrap();
+                    assert!(ll.is_finite());
+                    score
+                })
+                .collect()
+        });
+        for &s in &scores {
+            assert_eq!(s.to_bits(), scores[0].to_bits(), "racers disagree");
+        }
+        // A sequential call after the race sees the same mirrors.
+        assert_eq!(
+            engine.score_frame_f32(&row, &cond).to_bits(),
+            scores[0].to_bits()
+        );
+    }
+
     /// Golden parity: the KDE-only evidence stack is bit-identical to
     /// the pre-evidence verdict path (checked scorer + detector
     /// threshold) at one and four threads.
@@ -1067,9 +1122,7 @@ mod tests {
     #[test]
     fn recon_evidence_is_deterministic_across_thread_counts() {
         let (engine, test) = engine_and_test_split();
-        let build = engine
-            .build_evidence(&[EvidenceKind::Recon], &[])
-            .unwrap();
+        let build = engine.build_evidence(&[EvidenceKind::Recon], &[]).unwrap();
         assert!(build.warnings.is_empty());
         gansec_parallel::set_threads(1);
         let serial = build.stack.score_frames(test.features(), test.conds());
@@ -1107,7 +1160,11 @@ mod tests {
                     build.stack.weights()[c] * (detail.per_evidence[c][i] - cals[c].mean) / std
                 })
                 .sum();
-            assert_eq!(expected.to_bits(), detail.combined[i].to_bits(), "frame {i}");
+            assert_eq!(
+                expected.to_bits(),
+                detail.combined[i].to_bits(),
+                "frame {i}"
+            );
         }
         // The combined threshold is the same transform of the sealed
         // per-channel thresholds.
@@ -1144,7 +1201,9 @@ mod tests {
 
         // Disc/recon requests: typed errors, not panics.
         for kind in [EvidenceKind::Disc, EvidenceKind::Recon] {
-            let err = engine.build_evidence(&[EvidenceKind::Kde, kind], &[]).unwrap_err();
+            let err = engine
+                .build_evidence(&[EvidenceKind::Kde, kind], &[])
+                .unwrap_err();
             assert_eq!(err, EvidenceError::NotSealed(kind));
             assert!(err.to_string().contains("legacy v1"));
         }

@@ -909,9 +909,14 @@ mod tests {
         let mut scratch = ForwardScratch::new();
         let z0 = Matrix::filled(2, 4, 0.1);
         let mut z = z0.clone();
-        let start =
-            cgan.generator_inverter()
-                .invert(&targets, &conds, &mut z.clone(), 0, 0.1, &mut scratch);
+        let start = cgan.generator_inverter().invert(
+            &targets,
+            &conds,
+            &mut z.clone(),
+            0,
+            0.1,
+            &mut scratch,
+        );
         let end = cgan
             .generator_inverter()
             .invert(&targets, &conds, &mut z, 40, 0.1, &mut scratch);
@@ -938,8 +943,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(59);
         let cgan = Cgan::new(small_config(), &mut rng);
         let targets = Matrix::from_rows(&[&[0.3], &[0.7], &[0.5]]).unwrap();
-        let conds =
-            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let conds = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]]).unwrap();
         let mut scratch = ForwardScratch::new();
         let mut z_all = Matrix::from_fn(3, 4, |i, j| 0.05 * (i * 4 + j) as f64);
         let batched =

@@ -247,6 +247,28 @@ pub const EVIDENCE_RECON_BUDGET_VS_TIMEOUT: Code = Code(805);
 /// (`kde`, `disc`, `recon`).
 pub const EVIDENCE_UNKNOWN_KIND: Code = Code(806);
 
+// --- GS09xx: streaming ingest ---
+
+/// The streaming analysis window is smaller than the hop: samples
+/// between consecutive windows are never scored, so an attack shorter
+/// than the gap is invisible to the detector.
+pub const STREAM_WINDOW_BELOW_HOP: Code = Code(901);
+/// The session capacity is zero: every ingest is refused and the
+/// streaming endpoints can never admit a sensor.
+pub const STREAM_ZERO_SESSIONS: Code = Code(902);
+/// The idle-eviction timeout is no larger than the scorer's batch
+/// linger: a session can be evicted while its own frames are still
+/// waiting in the micro-batcher, losing their scores.
+pub const STREAM_IDLE_TIMEOUT_BELOW_LINGER: Code = Code(903);
+/// The recalibration reservoir holds fewer scores than the warm-up
+/// requires: the reported recalibrated threshold would be computed from
+/// a sample that can never reach the declared minimum evidence.
+pub const STREAM_RESERVOIR_BELOW_WARMUP: Code = Code(904);
+/// The drift EWMA smoothing factor is outside `(0, 1]`: the statistic
+/// either never updates (alpha 0), diverges, or flips sign, so the
+/// drift state machine is meaningless.
+pub const STREAM_BAD_DRIFT_ALPHA: Code = Code(905);
+
 /// One row of the published code table.
 #[derive(Debug, Clone, Copy)]
 pub struct CodeInfo {
@@ -635,6 +657,36 @@ pub fn code_table() -> &'static [CodeInfo] {
             severity: Severity::Error,
             summary: "unknown --evidence kind (expected kde, disc, recon)",
         },
+        CodeInfo {
+            code: STREAM_WINDOW_BELOW_HOP,
+            name: "stream-window-below-hop",
+            severity: Severity::Error,
+            summary: "streaming window smaller than hop leaves unscored gaps",
+        },
+        CodeInfo {
+            code: STREAM_ZERO_SESSIONS,
+            name: "stream-zero-sessions",
+            severity: Severity::Error,
+            summary: "session capacity is zero; every ingest is refused",
+        },
+        CodeInfo {
+            code: STREAM_IDLE_TIMEOUT_BELOW_LINGER,
+            name: "stream-idle-timeout-below-linger",
+            severity: Severity::Warning,
+            summary: "idle eviction can outrun the scorer's batch linger",
+        },
+        CodeInfo {
+            code: STREAM_RESERVOIR_BELOW_WARMUP,
+            name: "stream-reservoir-below-warmup",
+            severity: Severity::Error,
+            summary: "recalibration reservoir smaller than its warm-up",
+        },
+        CodeInfo {
+            code: STREAM_BAD_DRIFT_ALPHA,
+            name: "stream-bad-drift-alpha",
+            severity: Severity::Error,
+            summary: "drift EWMA alpha outside (0, 1]",
+        },
     ];
     TABLE
 }
@@ -927,6 +979,39 @@ pub fn code_doc(code: Code) -> Option<&'static str> {
             "An --evidence kind string is not one of the known evidence kinds: kde \
              (Parzen likelihood), disc (discriminator logit), recon \
              (generator-inversion reconstruction error)."
+        }
+        STREAM_WINDOW_BELOW_HOP => {
+            "The streaming analysis window (--stream-frame-len) is smaller than the \
+             hop (--stream-hop): consecutive windows leave hop - frame_len samples \
+             that no frame ever covers, so an attack confined to the gap is \
+             invisible. Make the window at least as large as the hop (the offline \
+             pipeline uses 1024/512, i.e. 50% overlap)."
+        }
+        STREAM_ZERO_SESSIONS => {
+            "--stream-max-sessions is zero: the session table can never admit a \
+             sensor, so every streaming ingest is refused with capacity exhaustion. \
+             Set a positive cap sized to the deployment's sensor count."
+        }
+        STREAM_IDLE_TIMEOUT_BELOW_LINGER => {
+            "The idle-eviction timeout (--stream-idle-timeout-ms) is no larger than \
+             the scorer's batch linger (--batch-linger-ms): a quiet session can be \
+             evicted while frames it just ingested are still lingering in the \
+             micro-batcher, so their scores arrive for a session that no longer \
+             exists and its rolling statistics silently lose them. Raise the idle \
+             timeout well above the linger."
+        }
+        STREAM_RESERVOIR_BELOW_WARMUP => {
+            "The recalibration reservoir (--stream-reservoir) retains fewer scores \
+             than the warm-up minimum (--stream-warmup): the reservoir can never \
+             hold the evidence the warm-up promises, so the reported recalibrated \
+             threshold would rest on a smaller sample than declared. Grow the \
+             reservoir or shrink the warm-up."
+        }
+        STREAM_BAD_DRIFT_ALPHA => {
+            "The drift EWMA smoothing factor (--stream-drift-alpha) is outside \
+             (0, 1]: zero never updates the statistic, values above one amplify \
+             instead of smoothing, and non-finite values poison it. Use a small \
+             positive alpha (the default is 0.05)."
         }
         _ => return None,
     })

@@ -83,6 +83,11 @@ pub enum Origin {
         /// The field name.
         field: String,
     },
+    /// A streaming-ingest configuration field.
+    Stream {
+        /// The field name.
+        field: String,
+    },
     /// The analyzed input as a whole.
     Input,
 }
@@ -96,6 +101,7 @@ impl fmt::Display for Origin {
             Origin::Config { field } => write!(f, "config.{field}"),
             Origin::Bundle { field } => write!(f, "bundle.{field}"),
             Origin::Serve { field } => write!(f, "serve.{field}"),
+            Origin::Stream { field } => write!(f, "stream.{field}"),
             Origin::Input => write!(f, "input"),
         }
     }

@@ -406,6 +406,29 @@ pub struct ServeSpec {
     pub chaos_built: bool,
 }
 
+/// The streaming-ingest configuration as the analysis sees it: the
+/// incremental extractor's windowing, the session table's capacity and
+/// eviction tuning, and the drift/recalibration knobs. The `GS09xx`
+/// pass checks it alone and — when a serve section is also present —
+/// against the scorer's batching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSpec {
+    /// Analysis window length in samples.
+    pub frame_len: usize,
+    /// Hop between frame starts in samples.
+    pub hop: usize,
+    /// Maximum concurrently open sessions.
+    pub max_sessions: usize,
+    /// Idle-eviction timeout in milliseconds.
+    pub idle_timeout_ms: u64,
+    /// Recalibration reservoir capacity (retained scores).
+    pub reservoir: usize,
+    /// Scores required before a recalibrated threshold is reported.
+    pub warmup: usize,
+    /// EWMA smoothing factor for the drift statistic.
+    pub drift_alpha: f64,
+}
+
 /// The reduced-precision serving request as the analysis sees it: did
 /// the user ask for the f32 fast path, and can this binary honor it?
 /// The `GS06xx` pass checks the request against the build and — when a
@@ -618,6 +641,8 @@ pub struct CheckInput {
     pub bundle: Option<BundleSpec>,
     /// A serving configuration, if one is being checked.
     pub serve: Option<ServeSpec>,
+    /// A streaming-ingest configuration, if one is being checked.
+    pub stream: Option<StreamSpec>,
     /// A reduced-precision scoring request, if one is being checked.
     pub fastpath: Option<FastPathSpec>,
     /// A multi-evidence scoring request, if one is being checked.
@@ -660,6 +685,12 @@ impl CheckInput {
     /// Sets the serve section.
     pub fn with_serve(mut self, serve: ServeSpec) -> Self {
         self.serve = Some(serve);
+        self
+    }
+
+    /// Sets the streaming-ingest section.
+    pub fn with_stream(mut self, stream: StreamSpec) -> Self {
+        self.stream = Some(stream);
         self
     }
 

@@ -76,7 +76,7 @@ pub use diag::{CheckReport, Diagnostic, Fix, Network, Origin, Severity};
 pub use ir::{
     BundleSpec, CheckInput, ComponentSpec, DeployEdge, DeployNode, DeploymentSpec, DomainKind,
     EstimatorRangeSpec, EvidenceSpec, FastPathSpec, FeatureRangeSpec, FlowKindSpec, FlowSpec,
-    GraphSpec, LayerSpec, ModelSpec, PairSpec, PipelineSpec, ServeSpec,
+    GraphSpec, LayerSpec, ModelSpec, PairSpec, PipelineSpec, ServeSpec, StreamSpec,
 };
 pub use registry::{check, Pass, Registry};
 pub use render::{

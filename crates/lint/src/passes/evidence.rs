@@ -102,10 +102,7 @@ fn check_weights(e: &EvidenceSpec, out: &mut Vec<Diagnostic>) {
 /// GS0803/GS0802: channels beyond KDE need a seal, and reconstruction
 /// needs a positive iteration budget.
 fn check_seal(e: &EvidenceSpec, out: &mut Vec<Diagnostic>) {
-    let wants_sealed = e
-        .requested
-        .iter()
-        .any(|k| k == "disc" || k == "recon");
+    let wants_sealed = e.requested.iter().any(|k| k == "disc" || k == "recon");
     if wants_sealed && !e.sealed {
         out.push(
             Diagnostic::new(
@@ -137,8 +134,10 @@ fn check_thresholds(e: &EvidenceSpec, out: &mut Vec<Diagnostic>) {
             out.push(Diagnostic::new(
                 codes::EVIDENCE_BAD_THRESHOLD,
                 bundle_origin("evidence.thresholds"),
-                format!("sealed evidence threshold #{i} is {t}; alarms on that channel \
-                         are meaningless"),
+                format!(
+                    "sealed evidence threshold #{i} is {t}; alarms on that channel \
+                         are meaningless"
+                ),
             ));
         }
     }

@@ -2,7 +2,7 @@
 //!
 //! Each pass is a unit struct implementing [`crate::Pass`]; the default
 //! registry runs them in the order graph → shape → config → bundle →
-//! serve → fastpath → dataflow → evidence. To add a pass: pick the next free
+//! serve → stream → fastpath → dataflow → evidence. To add a pass: pick the next free
 //! `GS0xxx` code in [`crate::codes`], add it to the published table,
 //! implement [`crate::Pass`] here (declaring the codes it owns via
 //! [`crate::Pass::codes`]), and register it in
@@ -16,6 +16,7 @@ mod fastpath;
 mod graph;
 mod serve;
 mod shape;
+mod stream;
 
 pub use bundle::BundlePass;
 pub use config::ConfigPass;
@@ -25,3 +26,4 @@ pub use fastpath::FastPathPass;
 pub use graph::GraphPass;
 pub use serve::ServePass;
 pub use shape::ShapePass;
+pub use stream::StreamPass;

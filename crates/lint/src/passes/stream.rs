@@ -1,0 +1,328 @@
+//! Streaming-ingest sanity: would this sessionful deployment actually
+//! score a live stream?
+//!
+//! The streaming subsystem adds knobs no other pass sees — the
+//! incremental extractor's windowing, the session table's capacity and
+//! eviction tuning, and the drift/recalibration statistics — and
+//! several degenerate combinations (a window smaller than its hop, a
+//! zero-capacity session table) produce a server that accepts chunks
+//! and silently never alarms. This pass catches them before a session
+//! is opened.
+
+use crate::codes;
+use crate::diag::{Diagnostic, Fix, Origin};
+use crate::ir::{CheckInput, StreamSpec};
+use crate::registry::Pass;
+
+/// Checks a streaming-ingest configuration: extractor windowing,
+/// session capacity and eviction against the scorer's batching, and the
+/// drift/recalibration statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StreamPass;
+
+impl Pass for StreamPass {
+    fn id(&self) -> &'static str {
+        "stream"
+    }
+
+    fn description(&self) -> &'static str {
+        "streaming ingest: windowing, session capacity, eviction, drift tuning"
+    }
+
+    fn codes(&self) -> &'static [crate::Code] {
+        &[
+            codes::STREAM_WINDOW_BELOW_HOP,
+            codes::STREAM_ZERO_SESSIONS,
+            codes::STREAM_IDLE_TIMEOUT_BELOW_LINGER,
+            codes::STREAM_RESERVOIR_BELOW_WARMUP,
+            codes::STREAM_BAD_DRIFT_ALPHA,
+        ]
+    }
+
+    fn run(&self, input: &CheckInput, out: &mut Vec<Diagnostic>) {
+        let Some(s) = &input.stream else { return };
+        check_windowing(s, out);
+        check_sessions(s, input, out);
+        check_drift(s, out);
+    }
+}
+
+fn origin(field: &str) -> Origin {
+    Origin::Stream {
+        field: field.to_string(),
+    }
+}
+
+/// GS0901: the analysis window must cover at least one hop, or samples
+/// between consecutive windows are never scored.
+fn check_windowing(s: &StreamSpec, out: &mut Vec<Diagnostic>) {
+    if s.frame_len < s.hop {
+        out.push(
+            Diagnostic::new(
+                codes::STREAM_WINDOW_BELOW_HOP,
+                origin("frame_len"),
+                format!(
+                    "window of {} samples with a hop of {}: {} samples per hop are \
+                     covered by no frame, so an attack confined there is invisible",
+                    s.frame_len,
+                    s.hop,
+                    s.hop - s.frame_len
+                ),
+            )
+            .with_help("make the window at least as large as the hop (offline uses 1024/512)")
+            .with_fix(Fix {
+                flag: "--stream-frame-len".to_string(),
+                current: s.frame_len.to_string(),
+                suggested: s.hop.to_string(),
+                rationale: "a window >= hop leaves no unscored gap between frames".to_string(),
+            }),
+        );
+    }
+}
+
+/// GS0902/GS0903: the session table must admit sensors, and eviction
+/// must not outrun the scorer's micro-batching.
+fn check_sessions(s: &StreamSpec, input: &CheckInput, out: &mut Vec<Diagnostic>) {
+    if s.max_sessions == 0 {
+        out.push(
+            Diagnostic::new(
+                codes::STREAM_ZERO_SESSIONS,
+                origin("max_sessions"),
+                "zero session capacity: every streaming ingest is refused",
+            )
+            .with_help("pass --stream-max-sessions >= 1"),
+        );
+    }
+    if let Some(serve) = &input.serve {
+        if serve.batch_linger_ms > 0 && s.idle_timeout_ms <= serve.batch_linger_ms {
+            out.push(
+                Diagnostic::new(
+                    codes::STREAM_IDLE_TIMEOUT_BELOW_LINGER,
+                    origin("idle_timeout_ms"),
+                    format!(
+                        "idle timeout of {} ms with a {} ms batch linger: a session can \
+                         be evicted while its frames still linger in the micro-batcher, \
+                         and their scores are silently dropped",
+                        s.idle_timeout_ms, serve.batch_linger_ms
+                    ),
+                )
+                .with_help("raise --stream-idle-timeout-ms well above --batch-linger-ms"),
+            );
+        }
+    }
+}
+
+/// GS0904/GS0905: the recalibration and drift statistics must be
+/// computable as declared.
+fn check_drift(s: &StreamSpec, out: &mut Vec<Diagnostic>) {
+    if s.reservoir < s.warmup {
+        out.push(
+            Diagnostic::new(
+                codes::STREAM_RESERVOIR_BELOW_WARMUP,
+                origin("reservoir"),
+                format!(
+                    "reservoir of {} scores with a warm-up of {}: the recalibrated \
+                     threshold would rest on a smaller sample than the warm-up declares",
+                    s.reservoir, s.warmup
+                ),
+            )
+            .with_help("grow --stream-reservoir or shrink --stream-warmup")
+            .with_fix(Fix {
+                flag: "--stream-reservoir".to_string(),
+                current: s.reservoir.to_string(),
+                suggested: s.warmup.to_string(),
+                rationale: "a reservoir >= warmup holds the evidence the warm-up promises"
+                    .to_string(),
+            }),
+        );
+    }
+    if !(s.drift_alpha > 0.0 && s.drift_alpha <= 1.0) {
+        out.push(
+            Diagnostic::new(
+                codes::STREAM_BAD_DRIFT_ALPHA,
+                origin("drift_alpha"),
+                format!(
+                    "drift EWMA alpha {} is outside (0, 1]: the statistic never \
+                     updates, diverges, or is poisoned",
+                    s.drift_alpha
+                ),
+            )
+            .with_help("use a small positive alpha; the default is 0.05"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ServeSpec;
+
+    fn clean_spec() -> StreamSpec {
+        StreamSpec {
+            frame_len: 1024,
+            hop: 512,
+            max_sessions: 64,
+            idle_timeout_ms: 30_000,
+            reservoir: 512,
+            warmup: 64,
+            drift_alpha: 0.05,
+        }
+    }
+
+    fn run(spec: StreamSpec) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        StreamPass.run(&CheckInput::new().with_stream(spec), &mut out);
+        out
+    }
+
+    fn has(out: &[Diagnostic], code: crate::Code) -> bool {
+        out.iter().any(|d| d.code == code)
+    }
+
+    #[test]
+    fn clean_stream_spec_raises_nothing() {
+        assert!(run(clean_spec()).is_empty());
+    }
+
+    #[test]
+    fn no_stream_section_is_a_noop() {
+        let mut out = Vec::new();
+        StreamPass.run(&CheckInput::new(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn gs0901_window_below_hop() {
+        let out = run(StreamSpec {
+            frame_len: 256,
+            hop: 512,
+            ..clean_spec()
+        });
+        assert!(has(&out, codes::STREAM_WINDOW_BELOW_HOP));
+        let d = out
+            .iter()
+            .find(|d| d.code == codes::STREAM_WINDOW_BELOW_HOP)
+            .unwrap();
+        assert_eq!(d.origin.to_string(), "stream.frame_len");
+        assert!(d.fix.is_some(), "suggests a concrete flag change");
+        // Equal window and hop (back-to-back frames) is legal.
+        assert!(!has(
+            &run(StreamSpec {
+                frame_len: 512,
+                hop: 512,
+                ..clean_spec()
+            }),
+            codes::STREAM_WINDOW_BELOW_HOP
+        ));
+    }
+
+    #[test]
+    fn gs0902_zero_sessions() {
+        let out = run(StreamSpec {
+            max_sessions: 0,
+            ..clean_spec()
+        });
+        assert!(has(&out, codes::STREAM_ZERO_SESSIONS));
+        assert!(!has(
+            &run(StreamSpec {
+                max_sessions: 1,
+                ..clean_spec()
+            }),
+            codes::STREAM_ZERO_SESSIONS
+        ));
+    }
+
+    #[test]
+    fn gs0903_idle_timeout_vs_linger_needs_the_serve_section() {
+        let spec = StreamSpec {
+            idle_timeout_ms: 2,
+            ..clean_spec()
+        };
+        // Without a serve section there is no linger to compare against.
+        assert!(!has(&run(spec), codes::STREAM_IDLE_TIMEOUT_BELOW_LINGER));
+
+        let serve = ServeSpec {
+            port: Some(8080),
+            workers: 4,
+            max_batch: 64,
+            batch_linger_ms: 2,
+            queue_frames: 1024,
+            max_conns: 64,
+            read_timeout_ms: 5000,
+            write_timeout_ms: 5000,
+            heartbeat_ms: 100,
+            scorer_stall_ms: 10_000,
+            restart_attempts: 5,
+            breaker_threshold: 5,
+            chaos_plan: false,
+            chaos_built: false,
+        };
+        let mut out = Vec::new();
+        StreamPass.run(
+            &CheckInput::new()
+                .with_stream(spec)
+                .with_serve(serve.clone()),
+            &mut out,
+        );
+        assert!(has(&out, codes::STREAM_IDLE_TIMEOUT_BELOW_LINGER));
+
+        // A comfortably larger timeout is clean.
+        let mut out = Vec::new();
+        StreamPass.run(
+            &CheckInput::new()
+                .with_stream(StreamSpec {
+                    idle_timeout_ms: 30_000,
+                    ..clean_spec()
+                })
+                .with_serve(serve),
+            &mut out,
+        );
+        assert!(!has(&out, codes::STREAM_IDLE_TIMEOUT_BELOW_LINGER));
+    }
+
+    #[test]
+    fn gs0904_reservoir_below_warmup() {
+        let out = run(StreamSpec {
+            reservoir: 10,
+            warmup: 64,
+            ..clean_spec()
+        });
+        assert!(has(&out, codes::STREAM_RESERVOIR_BELOW_WARMUP));
+        assert!(!has(
+            &run(StreamSpec {
+                reservoir: 64,
+                warmup: 64,
+                ..clean_spec()
+            }),
+            codes::STREAM_RESERVOIR_BELOW_WARMUP
+        ));
+    }
+
+    #[test]
+    fn gs0905_bad_drift_alpha() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(
+                has(
+                    &run(StreamSpec {
+                        drift_alpha: bad,
+                        ..clean_spec()
+                    }),
+                    codes::STREAM_BAD_DRIFT_ALPHA
+                ),
+                "alpha {bad}"
+            );
+        }
+        for ok in [0.05, 1.0, 1e-6] {
+            assert!(
+                !has(
+                    &run(StreamSpec {
+                        drift_alpha: ok,
+                        ..clean_spec()
+                    }),
+                    codes::STREAM_BAD_DRIFT_ALPHA
+                ),
+                "alpha {ok}"
+            );
+        }
+    }
+}

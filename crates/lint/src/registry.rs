@@ -5,7 +5,7 @@ use crate::diag::{CheckReport, Diagnostic};
 use crate::ir::CheckInput;
 use crate::passes::{
     BundlePass, ConfigPass, DataflowPass, EvidencePass, FastPathPass, GraphPass, ServePass,
-    ShapePass,
+    ShapePass, StreamPass,
 };
 use crate::Code;
 
@@ -45,7 +45,7 @@ impl Registry {
     }
 
     /// The built-in passes in canonical order: graph, shape, config,
-    /// bundle, serve, fastpath, dataflow, evidence.
+    /// bundle, serve, stream, fastpath, dataflow, evidence.
     pub fn with_default_passes() -> Self {
         let mut r = Self::new();
         r.register(Box::new(GraphPass));
@@ -53,6 +53,7 @@ impl Registry {
         r.register(Box::new(ConfigPass));
         r.register(Box::new(BundlePass));
         r.register(Box::new(ServePass));
+        r.register(Box::new(StreamPass));
         r.register(Box::new(FastPathPass));
         r.register(Box::new(DataflowPass));
         r.register(Box::new(EvidencePass));
@@ -95,7 +96,10 @@ mod tests {
         let report = check(&CheckInput::new());
         assert_eq!(
             report.passes(),
-            &["graph", "shape", "config", "bundle", "serve", "fastpath", "dataflow", "evidence"]
+            &[
+                "graph", "shape", "config", "bundle", "serve", "stream", "fastpath", "dataflow",
+                "evidence"
+            ]
         );
         assert!(report.diagnostics().is_empty());
     }

@@ -11,7 +11,8 @@ use gansec_lint::{
     PipelineSpec, ServeSpec,
 };
 
-const ALL_PASSES_TEXT: &str = "graph, shape, config, bundle, serve, fastpath, dataflow, evidence";
+const ALL_PASSES_TEXT: &str =
+    "graph, shape, config, bundle, serve, stream, fastpath, dataflow, evidence";
 
 /// A config with one error (negative bandwidth) and one warning (zero
 /// training iterations).
@@ -50,7 +51,7 @@ fn golden_json_broken_pipeline() {
     let expected = concat!(
         "{\"errors\":1,\"warnings\":1,\"infos\":0,",
         "\"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\",",
-        "\"fastpath\",\"dataflow\",\"evidence\"],",
+        "\"stream\",\"fastpath\",\"dataflow\",\"evidence\"],",
         "\"diagnostics\":[",
         "{\"code\":\"GS0301\",\"name\":\"bad-bandwidth\",\"severity\":\"error\",",
         "\"origin\":\"config.h\",",
@@ -80,7 +81,7 @@ fn golden_json_clean_report() {
     assert_eq!(
         render_json(&report),
         "{\"errors\":0,\"warnings\":0,\"infos\":0,\
-         \"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\",\
+         \"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\",\"stream\",\
          \"fastpath\",\"dataflow\",\"evidence\"],\"diagnostics\":[]}"
     );
 }
@@ -133,7 +134,7 @@ fn golden_json_broken_resilience() {
     let expected = concat!(
         "{\"errors\":1,\"warnings\":1,\"infos\":0,",
         "\"passes\":[\"graph\",\"shape\",\"config\",\"bundle\",\"serve\",",
-        "\"fastpath\",\"dataflow\",\"evidence\"],",
+        "\"stream\",\"fastpath\",\"dataflow\",\"evidence\"],",
         "\"diagnostics\":[",
         "{\"code\":\"GS0510\",\"name\":\"serve-zero-restart-attempts\",\"severity\":\"warning\",",
         "\"origin\":\"serve.restart_attempts\",",

@@ -783,6 +783,7 @@ fn published_code_table_matches_pass_coverage() {
         601, 602, 603, 604, // fastpath
         701, 702, 703, 704, 705, 706, 707, // dataflow
         801, 802, 803, 804, 805, 806, // evidence
+        901, 902, 903, 904, 905, // stream
     ];
     assert_eq!(published, expected);
 }
@@ -1002,7 +1003,10 @@ fn registry_pass_sequence_is_pinned() {
     let report = check(&CheckInput::new());
     assert_eq!(
         report.passes(),
-        &["graph", "shape", "config", "bundle", "serve", "fastpath", "dataflow", "evidence"]
+        &[
+            "graph", "shape", "config", "bundle", "serve", "stream", "fastpath", "dataflow",
+            "evidence"
+        ]
     );
 }
 

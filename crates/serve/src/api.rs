@@ -106,6 +106,119 @@ pub struct ClassifyResponse {
     pub log_likelihoods: Vec<Vec<f64>>,
 }
 
+/// Body of `POST /v1/stream/{session}/samples`: one chunk of raw
+/// signal for a sensor session, plus the condition the live G-code
+/// channel currently claims.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamIngestRequest {
+    /// Raw time-domain samples, in capture order. Any chunking is
+    /// legal — one sample, a half-frame, many frames — and never
+    /// changes the emitted scores.
+    pub samples: Vec<f64>,
+    /// The session's current condition row, exactly the bundled
+    /// encoding's cardinality wide; repeated for every frame this chunk
+    /// completes.
+    pub cond: Vec<f64>,
+    /// Sample rate in Hz; fixed at session creation, later chunks must
+    /// agree.
+    pub sample_rate: f64,
+}
+
+/// Drift + recalibration summary attached to streaming replies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamDriftStatus {
+    /// Whether the serving bundle sealed calibration stats; without
+    /// them the drift channel is disabled.
+    pub calibrated: bool,
+    /// Current EWMA of standardised scores.
+    pub ewma: f64,
+    /// `"stable"` or `"drifting"`.
+    pub state: String,
+    /// The bundle's sealed alarm threshold, when calibrated.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sealed_threshold: Option<f64>,
+    /// Live recalibrated threshold — reported only, never applied to
+    /// verdicts.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recalibrated_threshold: Option<f64>,
+    /// Scores folded into the session statistics so far.
+    pub scored_frames: u64,
+    /// Running mean of raw session scores.
+    pub score_mean: f64,
+    /// Running population variance of raw session scores.
+    pub score_variance: f64,
+}
+
+/// Reply of `POST /v1/stream/{session}/samples`: verdicts for every
+/// frame this chunk completed, plus the session's drift report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamIngestResponse {
+    /// The session id from the path.
+    pub session: String,
+    /// Frames the session had emitted before this chunk (stable frame
+    /// indexing across chunks).
+    pub frames_before: u64,
+    /// Scores for the frames this chunk completed (may be empty when
+    /// the chunk did not fill a frame); bit-identical to the offline
+    /// blocked extractor on the same sample stream.
+    pub scores: Vec<f64>,
+    /// Per-frame verdicts (`true` = attack), always against the sealed
+    /// threshold.
+    pub verdicts: Vec<bool>,
+    /// The sealed alarm threshold the verdicts used.
+    pub threshold: f64,
+    /// Frames flagged in this chunk.
+    pub flagged: usize,
+    /// Session drift + recalibration summary after this chunk.
+    pub drift: StreamDriftStatus,
+}
+
+/// Reply of `POST /v1/stream/{session}/close`: the flushed tail frames
+/// and the session's final statistics. The session is removed after
+/// this reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCloseResponse {
+    /// The session id from the path.
+    pub session: String,
+    /// Frames the session had emitted before the flush.
+    pub frames_before: u64,
+    /// Scores for the final frames the tail flush completed.
+    pub scores: Vec<f64>,
+    /// Per-frame verdicts for the tail frames.
+    pub verdicts: Vec<bool>,
+    /// The sealed alarm threshold the verdicts used.
+    pub threshold: f64,
+    /// Tail frames flagged.
+    pub flagged: usize,
+    /// Final drift + recalibration summary.
+    pub drift: StreamDriftStatus,
+}
+
+/// Reply of `GET /v1/stream/{session}/stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStatsResponse {
+    /// The session id from the path.
+    pub session: String,
+    /// Raw samples accepted so far.
+    pub samples: u64,
+    /// Feature frames emitted so far.
+    pub frames: u64,
+    /// CWT transforms executed so far (at most one per hop block).
+    pub transforms: u64,
+    /// Samples buffered awaiting a full hop block.
+    pub pending_samples: usize,
+    /// The session's sample rate in Hz.
+    pub sample_rate: f64,
+    /// The session's current condition row.
+    pub condition: Vec<f64>,
+    /// Milliseconds since the session last ingested.
+    pub idle_ms: u64,
+    /// Whether the session was flushed by a close.
+    pub closed: bool,
+    /// Drift + recalibration summary.
+    pub drift: StreamDriftStatus,
+}
+
 /// Body of `POST /admin/reload`. An empty request body reloads the
 /// bundle path the server was started with.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -209,6 +322,36 @@ mod tests {
         let evidence = explicit.evidence.expect("evidence parsed");
         assert_eq!(evidence.kinds, vec!["kde", "disc"]);
         assert!(evidence.weights.is_empty());
+    }
+
+    #[test]
+    fn stream_ingest_round_trips_and_elides_absent_thresholds() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let reply = StreamIngestResponse {
+            session: "s1".into(),
+            frames_before: 3,
+            scores: vec![-12.5, 0.1 + 0.2],
+            verdicts: vec![false, true],
+            threshold: -14.0,
+            flagged: 1,
+            drift: StreamDriftStatus {
+                calibrated: false,
+                ewma: 0.0,
+                state: "stable".into(),
+                sealed_threshold: None,
+                recalibrated_threshold: None,
+                scored_frames: 5,
+                score_mean: -6.2,
+                score_variance: 0.4,
+            },
+        };
+        let json = serde_json::to_string(&reply).unwrap();
+        assert!(!json.contains("sealed_threshold"), "absent fields elided");
+        let back: StreamIngestResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.scores[1].to_bits(), reply.scores[1].to_bits());
+        assert_eq!(back, reply);
     }
 
     #[test]

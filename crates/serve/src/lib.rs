@@ -68,6 +68,9 @@
 //! | `/v1/score` | POST | [`api::ScoreRequest`] | [`api::ScoreResponse`] |
 //! | `/v1/detect` | POST | [`api::DetectRequest`] | [`api::DetectResponse`] |
 //! | `/v1/classify` | POST | [`api::ClassifyRequest`] | [`api::ClassifyResponse`] |
+//! | `/v1/stream/{id}/samples` | POST | [`api::StreamIngestRequest`] | [`api::StreamIngestResponse`] |
+//! | `/v1/stream/{id}/close` | POST | — | [`api::StreamCloseResponse`] |
+//! | `/v1/stream/{id}/stats` | GET | — | [`api::StreamStatsResponse`] |
 //! | `/healthz` | GET | — | bundle provenance JSON |
 //! | `/metrics` | GET | — | Prometheus text format |
 //! | `/admin/reload` | POST | [`api::ReloadRequest`] (optional) | [`api::ReloadResponse`] |
@@ -86,14 +89,15 @@ pub mod loadgen;
 mod metrics;
 mod server;
 
-pub use metrics::Metrics;
+pub use metrics::{Metrics, StreamGauges};
 pub use server::{Server, ServerHandle};
 
 /// Everything the server's behavior is configured by. The CLI's
 /// `gansec serve` flags map onto these fields one-to-one, and
 /// [`ServeConfig::lint_spec`] hands the same numbers to `gansec check`'s
-/// `GS05xx` pass before a socket is ever bound.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// `GS05xx` pass (and [`ServeConfig::stream_lint_spec`] to the `GS09xx`
+/// stream pass) before a socket is ever bound.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7878`. Port `0` asks the OS for an
     /// ephemeral port (useful in tests, flagged by lint for production).
@@ -137,6 +141,28 @@ pub struct ServeConfig {
     /// How long a tripped breaker rejects scoring traffic before letting
     /// one half-open probe batch through, in milliseconds.
     pub breaker_cooldown_ms: u64,
+    /// Streaming analysis window length in samples.
+    pub stream_frame_len: usize,
+    /// Streaming hop between frame starts in samples.
+    pub stream_hop: usize,
+    /// Maximum concurrently open streaming sessions.
+    pub stream_max_sessions: usize,
+    /// Per-chunk streaming backpressure cap, in samples.
+    pub stream_max_chunk_samples: usize,
+    /// Streaming sessions idle longer than this are evicted, in
+    /// milliseconds.
+    pub stream_idle_timeout_ms: u64,
+    /// Recalibration reservoir capacity per streaming session.
+    pub stream_reservoir: usize,
+    /// Scores a session must observe before a recalibrated threshold is
+    /// reported.
+    pub stream_warmup: usize,
+    /// EWMA smoothing factor for the streaming drift statistic, in
+    /// `(0, 1]`.
+    pub stream_drift_alpha: f64,
+    /// Whether streaming sessions compute (and report — never apply) a
+    /// live recalibrated threshold.
+    pub stream_recalibrate: bool,
 }
 
 impl Default for ServeConfig {
@@ -157,6 +183,15 @@ impl Default for ServeConfig {
             restart_backoff_ms: 50,
             breaker_threshold: 5,
             breaker_cooldown_ms: 1_000,
+            stream_frame_len: 1024,
+            stream_hop: 512,
+            stream_max_sessions: 64,
+            stream_max_chunk_samples: 1 << 16,
+            stream_idle_timeout_ms: 30_000,
+            stream_reservoir: 512,
+            stream_warmup: 64,
+            stream_drift_alpha: 0.05,
+            stream_recalibrate: false,
         }
     }
 }
@@ -185,6 +220,39 @@ impl ServeConfig {
             chaos_built: cfg!(feature = "chaos"),
         }
     }
+
+    /// The `gansec-lint` [`gansec_lint::StreamSpec`] describing the
+    /// streaming knobs, for the `GS09xx` stream-ingest pass.
+    pub fn stream_lint_spec(&self) -> gansec_lint::StreamSpec {
+        gansec_lint::StreamSpec {
+            frame_len: self.stream_frame_len,
+            hop: self.stream_hop,
+            max_sessions: self.stream_max_sessions,
+            idle_timeout_ms: self.stream_idle_timeout_ms,
+            reservoir: self.stream_reservoir,
+            warmup: self.stream_warmup,
+            drift_alpha: self.stream_drift_alpha,
+        }
+    }
+
+    /// The [`gansec_stream::StreamConfig`] these knobs select. `seed` is
+    /// the serving bundle's run seed, so per-session RNG streams are
+    /// reproducible per deployment.
+    pub fn stream_config(&self, seed: u64) -> gansec_stream::StreamConfig {
+        gansec_stream::StreamConfig {
+            frame_len: self.stream_frame_len,
+            hop: self.stream_hop,
+            max_sessions: self.stream_max_sessions,
+            max_chunk_samples: self.stream_max_chunk_samples,
+            idle_timeout_ms: self.stream_idle_timeout_ms,
+            reservoir: self.stream_reservoir,
+            warmup: self.stream_warmup,
+            drift_alpha: self.stream_drift_alpha,
+            recalibrate: self.stream_recalibrate,
+            seed,
+            ..gansec_stream::StreamConfig::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -194,13 +262,32 @@ mod tests {
     #[test]
     fn default_config_is_lint_clean() {
         let cfg = ServeConfig::default();
-        let report =
-            gansec_lint::check(&gansec_lint::CheckInput::new().with_serve(cfg.lint_spec()));
+        let report = gansec_lint::check(
+            &gansec_lint::CheckInput::new()
+                .with_serve(cfg.lint_spec())
+                .with_stream(cfg.stream_lint_spec()),
+        );
         assert!(
             report.diagnostics().is_empty(),
             "{:?}",
             report.diagnostics()
         );
+    }
+
+    #[test]
+    fn stream_config_carries_the_knobs_and_seed() {
+        let cfg = ServeConfig {
+            stream_frame_len: 256,
+            stream_hop: 128,
+            stream_recalibrate: true,
+            ..ServeConfig::default()
+        };
+        let sc = cfg.stream_config(42);
+        assert_eq!(sc.frame_len, 256);
+        assert_eq!(sc.hop, 128);
+        assert_eq!(sc.seed, 42);
+        assert!(sc.recalibrate);
+        assert_eq!(sc.max_sessions, cfg.stream_max_sessions);
     }
 
     #[test]

@@ -71,6 +71,21 @@ impl Histogram {
     }
 }
 
+/// Point-in-time streaming gauges, sampled from the session manager at
+/// render time (it owns the live counts; [`Metrics`] stays a pure
+/// request-side sink). All zero before the first streaming request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamGauges {
+    /// Open streaming sessions.
+    pub sessions: usize,
+    /// Idle-timeout evictions since startup.
+    pub evictions: u64,
+    /// Open sessions whose drift tracker is in the stable state.
+    pub stable: usize,
+    /// Open sessions whose drift tracker is in the drifting state.
+    pub drifting: usize,
+}
+
 /// All serving metrics, shared by every server thread.
 #[derive(Debug)]
 pub struct Metrics {
@@ -245,8 +260,8 @@ impl Metrics {
 
     /// Renders the Prometheus text payload. `queue_depth`,
     /// `active_connections`, `health` (`"ok"` / `"degraded"` /
-    /// `"draining"`), and `breaker` (`"closed"` / `"open"` /
-    /// `"half_open"`) are sampled by the caller at render time because
+    /// `"draining"`), `breaker` (`"closed"` / `"open"` / `"half_open"`),
+    /// and `stream` are sampled by the caller at render time because
     /// they are gauges owned by other components.
     pub fn render(
         &self,
@@ -254,6 +269,7 @@ impl Metrics {
         active_connections: usize,
         health: &str,
         breaker: &str,
+        stream: StreamGauges,
     ) -> String {
         let mut out = String::with_capacity(4096);
 
@@ -431,6 +447,29 @@ impl Metrics {
         out.push_str("# TYPE gansec_serve_active_connections gauge\n");
         let _ = writeln!(out, "gansec_serve_active_connections {active_connections}");
 
+        out.push_str("# HELP gansec_stream_sessions Open streaming sessions.\n");
+        out.push_str("# TYPE gansec_stream_sessions gauge\n");
+        let _ = writeln!(out, "gansec_stream_sessions {}", stream.sessions);
+
+        out.push_str(
+            "# HELP gansec_stream_evictions_total Streaming sessions evicted by idle timeout.\n",
+        );
+        out.push_str("# TYPE gansec_stream_evictions_total counter\n");
+        let _ = writeln!(out, "gansec_stream_evictions_total {}", stream.evictions);
+
+        out.push_str("# HELP gansec_stream_drift_state Open sessions per drift state.\n");
+        out.push_str("# TYPE gansec_stream_drift_state gauge\n");
+        let _ = writeln!(
+            out,
+            "gansec_stream_drift_state{{state=\"stable\"}} {}",
+            stream.stable
+        );
+        let _ = writeln!(
+            out,
+            "gansec_stream_drift_state{{state=\"drifting\"}} {}",
+            stream.drifting
+        );
+
         out
     }
 }
@@ -454,7 +493,7 @@ mod tests {
         m.observe_queue_full();
         m.observe_batch(24, 3);
         m.observe_reload();
-        let text = m.render(5, 2, "ok", "closed");
+        let text = m.render(5, 2, "ok", "closed", StreamGauges::default());
         assert!(text.contains("gansec_serve_requests_total{route=\"/v1/score\",code=\"200\"} 2"));
         assert!(text.contains("gansec_serve_requests_total{route=\"/healthz\",code=\"200\"} 1"));
         assert!(text.contains("gansec_serve_rejected_total{reason=\"queue_full\"} 1"));
@@ -464,7 +503,10 @@ mod tests {
         assert!(text.contains("gansec_serve_reloads_total 1"));
         assert!(text.contains("gansec_serve_queue_depth 5"));
         assert!(text.contains("gansec_serve_active_connections 2"));
-        assert_eq!(text, m.render(5, 2, "ok", "closed"));
+        assert_eq!(
+            text,
+            m.render(5, 2, "ok", "closed", StreamGauges::default())
+        );
     }
 
     #[test]
@@ -479,7 +521,7 @@ mod tests {
         m.observe_quarantine(0xABCD, 3);
         m.observe_quarantine(0xABCD, 2);
         m.observe_quarantine(0x1, 1);
-        let text = m.render(0, 0, "degraded", "open");
+        let text = m.render(0, 0, "degraded", "open", StreamGauges::default());
         assert!(text.contains("gansec_scorer_restarts_total 2"));
         assert!(text.contains("gansec_serve_scorer_stalls_total 1"));
         assert!(text.contains("gansec_serve_worker_panics_total 1"));
@@ -509,7 +551,7 @@ mod tests {
         m.observe_batch(1, 1);
         m.observe_batch(3, 1);
         m.observe_batch(100_000, 1);
-        let text = m.render(0, 0, "ok", "closed");
+        let text = m.render(0, 0, "ok", "closed", StreamGauges::default());
         assert!(text.contains("gansec_serve_batch_frames_bucket{le=\"1\"} 1"));
         assert!(text.contains("gansec_serve_batch_frames_bucket{le=\"4\"} 2"));
         assert!(text.contains("gansec_serve_batch_frames_bucket{le=\"+Inf\"} 3"));
@@ -524,11 +566,11 @@ mod tests {
         let m = Metrics::new();
         m.observe_batch(8, 1);
         assert!(m
-            .render(0, 0, "ok", "closed")
+            .render(0, 0, "ok", "closed", StreamGauges::default())
             .contains("gansec_serve_batched_requests_total 0"));
         m.observe_batch(8, 2);
         assert!(m
-            .render(0, 0, "ok", "closed")
+            .render(0, 0, "ok", "closed", StreamGauges::default())
             .contains("gansec_serve_batched_requests_total 2"));
     }
 }

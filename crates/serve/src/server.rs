@@ -33,23 +33,26 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use gansec::ModelBundle;
+use gansec::{GanSecPipeline, ModelBundle};
 use gansec_engine::ScoringEngine;
+use gansec_stream::{Baseline, DriftReport, SessionManager, StreamError};
 use gansec_tensor::Matrix;
 
 #[cfg(feature = "chaos")]
-use gansec_chaos::{BatchFault, ChaosState, ReloadFault};
+use gansec_chaos::{BatchFault, ChaosState, ReloadFault, StreamFault};
 
 use crate::api::{
     ClassifyRequest, ClassifyResponse, DetectRequest, DetectResponse, EvidenceBreakdown,
     EvidenceRequest, HealthResponse, ReloadRequest, ReloadResponse, ScoreRequest, ScoreResponse,
+    StreamCloseResponse, StreamDriftStatus, StreamIngestRequest, StreamIngestResponse,
+    StreamStatsResponse,
 };
 use crate::batch::{
     BatchQueue, EvidenceDetail, EvidenceSelection, JobError, JobReply, ScoreJob, SubmitError,
 };
 use crate::breaker::{Admission, Breaker, BreakerSnapshot};
 use crate::http::{self, ReadError, Request};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, StreamGauges};
 use crate::ServeConfig;
 
 /// Ceiling on the exponential restart backoff.
@@ -84,6 +87,11 @@ struct Shared {
     busy_since_ms: AtomicU64,
     /// Monotonic reference for `busy_since_ms`.
     started: Instant,
+    /// The streaming session manager, built lazily on the first stream
+    /// request (its bundle-derived scale needs a dataset rebuild) and
+    /// reset by a hot reload (sessions are bound to the engine that
+    /// opened them).
+    stream: Mutex<Option<Arc<SessionManager>>>,
     /// The fault-injection schedule, when one was requested at startup.
     #[cfg(feature = "chaos")]
     chaos: Option<Arc<ChaosState>>,
@@ -132,6 +140,62 @@ impl Shared {
         }
         let busy = self.busy_since_ms.load(Ordering::SeqCst);
         busy != 0 && self.now_ms().saturating_sub(busy) > stall
+    }
+
+    /// The streaming session manager, building it on first use. The
+    /// manager pins the engine snapshot current at build time: the
+    /// bundle's frequency binning, its sealed KDE calibration as the
+    /// drift baseline, and the training dataset's fitted min-max range
+    /// (rebuilt from the sealed `(seed, config)`) so streamed rows match
+    /// the offline `apply_scale` path bit-for-bit.
+    fn stream_manager(&self) -> Arc<SessionManager> {
+        let mut slot = self.stream.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(manager) = slot.as_ref() {
+            return Arc::clone(manager);
+        }
+        let engine = self.engine();
+        let baseline = engine.evidence_seal().map(|seal| Baseline {
+            mean: seal.kde.mean,
+            std: seal.kde.std,
+            threshold: seal.kde.threshold,
+        });
+        let scale = GanSecPipeline::new(engine.config().clone())
+            .datasets(engine.seed())
+            .ok()
+            .map(|(train, _)| train.scale());
+        let manager = Arc::new(SessionManager::new(
+            self.config.stream_config(engine.seed()),
+            engine.config().bins(),
+            baseline,
+            scale,
+        ));
+        *slot = Some(Arc::clone(&manager));
+        manager
+    }
+
+    /// The streaming manager if one has been built, without building.
+    fn stream_manager_if_built(&self) -> Option<Arc<SessionManager>> {
+        self.stream
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Point-in-time streaming gauges for `/metrics`; all zero before
+    /// the first streaming request.
+    fn stream_gauges(&self) -> StreamGauges {
+        match self.stream_manager_if_built() {
+            None => StreamGauges::default(),
+            Some(manager) => {
+                let (stable, drifting) = manager.drift_counts();
+                StreamGauges {
+                    sessions: manager.session_count(),
+                    evictions: manager.evictions(),
+                    stable,
+                    drifting,
+                }
+            }
+        }
     }
 
     /// The tri-state health label: `draining` while shutting down,
@@ -270,6 +334,7 @@ impl Server {
             quarantined: AtomicBool::new(false),
             busy_since_ms: AtomicU64::new(0),
             started: Instant::now(),
+            stream: Mutex::new(None),
             #[cfg(feature = "chaos")]
             chaos,
         });
@@ -452,9 +517,21 @@ const ROUTES: &[(&str, &str)] = &[
     ("/admin/shutdown", "POST"),
 ];
 
+/// Splits a `/v1/stream/{id}/{action}` path into `(id, action)`. The id
+/// must be non-empty and slash-free; anything else falls through to the
+/// 404 arm.
+fn stream_route(path: &str) -> Option<(&str, &str)> {
+    let rest = path.strip_prefix("/v1/stream/")?;
+    let (id, action) = rest.split_once('/')?;
+    (!id.is_empty() && !action.contains('/')).then_some((id, action))
+}
+
 /// The route table. Every known path gets a static metrics label; a
 /// known path with the wrong method is `405`, everything else `404`.
 fn route(shared: &Shared, stream: &mut TcpStream, request: &Request, started: Instant) {
+    if let Some((id, action)) = stream_route(&request.path) {
+        return route_stream(shared, stream, request, started, id, action);
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_health(shared, stream, started),
         ("GET", "/metrics") => handle_metrics(shared, stream, started),
@@ -482,6 +559,51 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request, started: In
                     .observe_request("(unknown)", 404, started.elapsed());
             }
         },
+    }
+}
+
+/// Dispatches one parsed `/v1/stream/{id}/{action}` request: method
+/// check, then the session handlers. Labels are static per action so
+/// metrics stay bounded regardless of session-id cardinality.
+fn route_stream(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    request: &Request,
+    started: Instant,
+    id: &str,
+    action: &str,
+) {
+    match (request.method.as_str(), action) {
+        ("POST", "samples") => handle_stream_samples(shared, stream, request, started, id),
+        ("POST", "close") => handle_stream_close(shared, stream, started, id),
+        ("GET", "stats") => handle_stream_stats(shared, stream, started, id),
+        (_, "samples" | "close") => {
+            http::write_error(stream, 405, "use POST", &[("Allow", "POST".to_string())]);
+            shared
+                .metrics
+                .observe_request(stream_label(action), 405, started.elapsed());
+        }
+        (_, "stats") => {
+            http::write_error(stream, 405, "use GET", &[("Allow", "GET".to_string())]);
+            shared
+                .metrics
+                .observe_request("/v1/stream/{id}/stats", 405, started.elapsed());
+        }
+        (_, other) => {
+            http::write_error(stream, 404, &format!("no stream action {other}"), &[]);
+            shared
+                .metrics
+                .observe_request("(unknown)", 404, started.elapsed());
+        }
+    }
+}
+
+/// The static metrics label of a stream action.
+fn stream_label(action: &str) -> &'static str {
+    match action {
+        "samples" => "/v1/stream/{id}/samples",
+        "close" => "/v1/stream/{id}/close",
+        _ => "/v1/stream/{id}/stats",
     }
 }
 
@@ -603,6 +725,7 @@ fn handle_metrics(shared: &Shared, stream: &mut TcpStream, started: Instant) {
         shared.active_conns.load(Ordering::SeqCst),
         shared.health_state(),
         shared.breaker.snapshot().label(),
+        shared.stream_gauges(),
     );
     http::write_response(
         stream,
@@ -875,7 +998,12 @@ fn handle_detect(shared: &Shared, stream: &mut TcpStream, request: &Request, sta
                         scores: vec![],
                         verdicts: vec![],
                         evidence: Some(EvidenceBreakdown {
-                            kinds: build.stack.kinds().iter().map(ToString::to_string).collect(),
+                            kinds: build
+                                .stack
+                                .kinds()
+                                .iter()
+                                .map(ToString::to_string)
+                                .collect(),
                             weights: build.stack.weights().to_vec(),
                             thresholds: build.stack.thresholds(),
                             per_evidence: vec![Vec::new(); build.stack.kinds().len()],
@@ -986,6 +1114,227 @@ fn handle_classify(shared: &Shared, stream: &mut TcpStream, request: &Request, s
     reply_json(shared, stream, "/v1/classify", &body, started);
 }
 
+/// Maps a streaming-layer error onto an HTTP rejection: an unknown
+/// session is `404`; a full session table is shed load (`503` +
+/// `Retry-After`); an oversized or poisoned chunk is the client's fault
+/// (`422`); a rate change or a closed session is a state conflict
+/// (`409`).
+fn stream_rejection(err: &StreamError) -> Rejection {
+    let status = match err {
+        StreamError::UnknownSession(_) => 404,
+        StreamError::CapacityExhausted { .. } => 503,
+        StreamError::Backpressure { .. } | StreamError::NonFiniteSample { .. } => 422,
+        StreamError::SampleRateMismatch { .. } | StreamError::AlreadyClosed(_) => 409,
+    };
+    Rejection::new(status, err.to_string())
+}
+
+/// Converts the session manager's drift report into its wire form.
+fn drift_status(report: &DriftReport) -> StreamDriftStatus {
+    StreamDriftStatus {
+        calibrated: report.calibrated,
+        ewma: report.ewma,
+        state: report.state.as_str().to_string(),
+        sealed_threshold: report.sealed_threshold,
+        recalibrated_threshold: report.recalibrated_threshold,
+        scored_frames: report.scored_frames,
+        score_mean: report.score_mean,
+        score_variance: report.score_variance,
+    }
+}
+
+/// Scores one ingest batch's emitted rows through the shared micro-batch
+/// queue, replicating the session condition per row. Empty batches skip
+/// the queue entirely.
+fn score_stream_rows(
+    shared: &Shared,
+    rows: &[Vec<f64>],
+    cond: &[f64],
+) -> Result<Vec<f64>, Rejection> {
+    if rows.is_empty() {
+        return Ok(Vec::new());
+    }
+    let features: Vec<f64> = rows.iter().flatten().copied().collect();
+    let mut conds = Vec::with_capacity(rows.len() * cond.len());
+    for _ in 0..rows.len() {
+        conds.extend_from_slice(cond);
+    }
+    score_via_queue(shared, features, conds, rows.len(), None).map(|reply| reply.scores)
+}
+
+fn handle_stream_samples(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    request: &Request,
+    started: Instant,
+    id: &str,
+) {
+    const ROUTE: &str = "/v1/stream/{id}/samples";
+    let req: StreamIngestRequest = match serde_json::from_slice(&request.body) {
+        Ok(req) => req,
+        Err(e) => {
+            return reply_error(
+                shared,
+                stream,
+                ROUTE,
+                &Rejection::new(400, format!("invalid JSON body: {e}")),
+                started,
+            )
+        }
+    };
+    let engine = shared.engine();
+    let cond_width = engine.config().encoding.dim();
+    if req.cond.len() != cond_width {
+        return reply_error(
+            shared,
+            stream,
+            ROUTE,
+            &Rejection::new(
+                422,
+                format!(
+                    "condition is {} wide; the serving encoding is {cond_width} wide",
+                    req.cond.len()
+                ),
+            ),
+            started,
+        );
+    }
+    if !(req.sample_rate.is_finite() && req.sample_rate > 0.0) {
+        return reply_error(
+            shared,
+            stream,
+            ROUTE,
+            &Rejection::new(422, format!("invalid sample rate {}", req.sample_rate)),
+            started,
+        );
+    }
+    let manager = shared.stream_manager();
+
+    // Chaos injection point: a stall freezes the handler while it holds
+    // the chunk; a disconnect ingests the chunk, then drops the
+    // connection before the reply is written.
+    #[cfg(feature = "chaos")]
+    let drop_reply = match shared.chaos.as_ref().map(|c| c.next_stream_ingest()) {
+        Some(StreamFault::Stall(pause)) => {
+            std::thread::sleep(pause);
+            false
+        }
+        Some(StreamFault::Disconnect) => true,
+        Some(StreamFault::None) | None => false,
+    };
+
+    let batch = match manager.ingest(
+        id,
+        &req.samples,
+        &req.cond,
+        req.sample_rate,
+        shared.now_ms(),
+    ) {
+        Ok(batch) => batch,
+        Err(e) => return reply_error(shared, stream, ROUTE, &stream_rejection(&e), started),
+    };
+    let scores = match score_stream_rows(shared, &batch.rows, &batch.cond) {
+        Ok(scores) => scores,
+        Err(rejection) => return reply_error(shared, stream, ROUTE, &rejection, started),
+    };
+    let report = match manager.record_scores(id, &scores) {
+        Ok(report) => report,
+        Err(e) => return reply_error(shared, stream, ROUTE, &stream_rejection(&e), started),
+    };
+
+    #[cfg(feature = "chaos")]
+    if drop_reply {
+        // The chunk landed and was scored; the client just never hears
+        // about it. 499 is the conventional "client gone" tally.
+        shared
+            .metrics
+            .observe_request(ROUTE, 499, started.elapsed());
+        return;
+    }
+
+    let verdicts: Vec<bool> = scores.iter().map(|&s| engine.is_attack(s)).collect();
+    let body = StreamIngestResponse {
+        session: id.to_string(),
+        frames_before: batch.frames_before,
+        flagged: verdicts.iter().filter(|&&v| v).count(),
+        scores,
+        verdicts,
+        threshold: engine.threshold(),
+        drift: drift_status(&report),
+    };
+    reply_json(shared, stream, ROUTE, &body, started);
+}
+
+fn handle_stream_close(shared: &Shared, stream: &mut TcpStream, started: Instant, id: &str) {
+    const ROUTE: &str = "/v1/stream/{id}/close";
+    // No manager yet means no session was ever opened; don't pay the
+    // manager build just to say 404.
+    let Some(manager) = shared.stream_manager_if_built() else {
+        return reply_error(
+            shared,
+            stream,
+            ROUTE,
+            &stream_rejection(&StreamError::UnknownSession(id.to_string())),
+            started,
+        );
+    };
+    let batch = match manager.flush(id, shared.now_ms()) {
+        Ok(batch) => batch,
+        Err(e) => return reply_error(shared, stream, ROUTE, &stream_rejection(&e), started),
+    };
+    let engine = shared.engine();
+    let scores = match score_stream_rows(shared, &batch.rows, &batch.cond) {
+        Ok(scores) => scores,
+        Err(rejection) => return reply_error(shared, stream, ROUTE, &rejection, started),
+    };
+    let report = match manager.record_scores(id, &scores) {
+        Ok(report) => report,
+        Err(e) => return reply_error(shared, stream, ROUTE, &stream_rejection(&e), started),
+    };
+    manager.remove(id);
+    let verdicts: Vec<bool> = scores.iter().map(|&s| engine.is_attack(s)).collect();
+    let body = StreamCloseResponse {
+        session: id.to_string(),
+        frames_before: batch.frames_before,
+        flagged: verdicts.iter().filter(|&&v| v).count(),
+        scores,
+        verdicts,
+        threshold: engine.threshold(),
+        drift: drift_status(&report),
+    };
+    reply_json(shared, stream, ROUTE, &body, started);
+}
+
+fn handle_stream_stats(shared: &Shared, stream: &mut TcpStream, started: Instant, id: &str) {
+    const ROUTE: &str = "/v1/stream/{id}/stats";
+    let Some(manager) = shared.stream_manager_if_built() else {
+        return reply_error(
+            shared,
+            stream,
+            ROUTE,
+            &stream_rejection(&StreamError::UnknownSession(id.to_string())),
+            started,
+        );
+    };
+    let stats = match manager.stats(id, shared.now_ms()) {
+        Ok(stats) => stats,
+        Err(e) => return reply_error(shared, stream, ROUTE, &stream_rejection(&e), started),
+    };
+    let body = StreamStatsResponse {
+        session: id.to_string(),
+        samples: stats.samples,
+        frames: stats.frames,
+        transforms: stats.transforms,
+        pending_samples: stats.pending_samples,
+        sample_rate: stats.sample_rate,
+        condition: stats.condition,
+        idle_ms: stats.idle_ms,
+        closed: stats.closed,
+        drift: drift_status(&stats.drift),
+    };
+    reply_json(shared, stream, ROUTE, &body, started);
+}
+
 /// Loads, lints, and strictly validates a bundle for hot reload. Both
 /// gates must pass before the engine swap — a tampered or incompatible
 /// artifact never replaces a healthy one.
@@ -1078,6 +1427,10 @@ fn handle_reload(shared: &Shared, stream: &mut TcpStream, request: &Request, sta
                 .bundle_path
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner) = path;
+            // Streaming sessions are pinned to the engine snapshot that
+            // opened them (binning, baseline, scale). Drop the manager so
+            // the next stream request rebuilds against the new engine.
+            *shared.stream.lock().unwrap_or_else(PoisonError::into_inner) = None;
             shared.metrics.observe_reload();
             reply_json(shared, stream, "/admin/reload", &body, started);
         }
@@ -1412,6 +1765,12 @@ fn supervisor_loop(shared: &Arc<Shared>) {
     let mut batches_at_spawn = shared.metrics.batches();
     loop {
         std::thread::sleep(heartbeat);
+        // Piggyback the idle-session sweep on the watchdog heartbeat:
+        // abandoned streaming sessions are reclaimed even if no stream
+        // request ever arrives again.
+        if let Some(manager) = shared.stream_manager_if_built() {
+            manager.evict_idle(shared.now_ms());
+        }
         let mut stalled = false;
         if incarnation.is_finished() {
             if incarnation.join().is_ok() {
@@ -1791,5 +2150,280 @@ mod tests {
         assert_eq!(backoff_ms(50, 8), 5_000);
         assert_eq!(backoff_ms(0, 1), 1);
         assert_eq!(backoff_ms(u64::MAX, 40), 5_000);
+    }
+
+    /// A deterministic synthetic spindle trace long enough to complete
+    /// several frames under the default 1024/512 framing.
+    fn stream_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.021).sin() + 0.3 * (i as f64 * 0.17).cos())
+            .collect()
+    }
+
+    fn ingest_body(samples: &[f64], cond: &[f64], sample_rate: f64) -> Vec<u8> {
+        serde_json::to_vec(&StreamIngestRequest {
+            samples: samples.to_vec(),
+            cond: cond.to_vec(),
+            sample_rate,
+        })
+        .expect("encode ingest request")
+    }
+
+    #[test]
+    fn stream_sessions_ingest_score_and_close() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let server = test_server();
+        let addr = server.addr();
+
+        // Before any session exists the manager is never built: stats on
+        // a ghost session is a cheap 404.
+        let missing = client::get(addr, "/v1/stream/ghost/stats").expect("roundtrip");
+        assert_eq!(missing.status, 404);
+
+        let cond = [1.0, 0.0, 0.0];
+        let signal = stream_signal(1_500);
+        let reply = client::post(
+            addr,
+            "/v1/stream/mill-7/samples",
+            &ingest_body(&signal, &cond, 16_000.0),
+        )
+        .expect("roundtrip");
+        assert_eq!(
+            reply.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&reply.body)
+        );
+        let parsed: StreamIngestResponse = serde_json::from_slice(&reply.body).expect("parse");
+        assert_eq!(parsed.session, "mill-7");
+        assert_eq!(parsed.frames_before, 0);
+        assert!(!parsed.scores.is_empty(), "1500 samples complete a frame");
+        assert_eq!(parsed.scores.len(), parsed.verdicts.len());
+        assert!(
+            parsed.drift.calibrated,
+            "smoke bundle carries an evidence seal"
+        );
+        assert!(parsed.drift.sealed_threshold.is_some());
+
+        let stats = client::get(addr, "/v1/stream/mill-7/stats").expect("roundtrip");
+        assert_eq!(stats.status, 200);
+        let stats: StreamStatsResponse = serde_json::from_slice(&stats.body).expect("parse");
+        assert_eq!(stats.samples, 1_500);
+        assert_eq!(stats.frames, parsed.scores.len() as u64);
+        assert_eq!(stats.condition, cond.to_vec());
+        assert!(!stats.closed);
+
+        // The stream gauges surface on /metrics while the session lives.
+        let metrics = client::get(addr, "/metrics").expect("roundtrip");
+        let text = String::from_utf8(metrics.body).expect("utf8");
+        assert!(text.contains("gansec_stream_sessions 1"), "{text}");
+        assert!(text.contains("gansec_stream_evictions_total 0"));
+        assert!(text.contains("gansec_stream_drift_state{state=\"stable\"} 1"));
+
+        let wrong_method = client::get(addr, "/v1/stream/mill-7/samples").expect("roundtrip");
+        assert_eq!(wrong_method.status, 405);
+        let unknown_action =
+            client::post(addr, "/v1/stream/mill-7/teardown", b"").expect("roundtrip");
+        assert_eq!(unknown_action.status, 404);
+
+        let closed = client::post(addr, "/v1/stream/mill-7/close", b"").expect("roundtrip");
+        assert_eq!(
+            closed.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&closed.body)
+        );
+        let closed: StreamCloseResponse = serde_json::from_slice(&closed.body).expect("parse");
+        assert_eq!(closed.session, "mill-7");
+        assert_eq!(closed.frames_before, parsed.scores.len() as u64);
+
+        // Close removes the session; it no longer answers.
+        let gone = client::get(addr, "/v1/stream/mill-7/stats").expect("roundtrip");
+        assert_eq!(gone.status, 404);
+        let gone = client::post(addr, "/v1/stream/mill-7/close", b"").expect("roundtrip");
+        assert_eq!(gone.status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn stream_rejects_malformed_chunks_with_typed_statuses() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let server = test_server();
+        let addr = server.addr();
+        let cond = [1.0, 0.0, 0.0];
+
+        let bad_json = client::post(addr, "/v1/stream/s/samples", b"{").expect("roundtrip");
+        assert_eq!(bad_json.status, 400);
+
+        let wide_cond = client::post(
+            addr,
+            "/v1/stream/s/samples",
+            &ingest_body(&[0.0; 8], &[1.0; 5], 16_000.0),
+        )
+        .expect("roundtrip");
+        assert_eq!(wide_cond.status, 422, "cond width must match the encoding");
+
+        let bad_rate = client::post(
+            addr,
+            "/v1/stream/s/samples",
+            &ingest_body(&[0.0; 8], &cond, 0.0),
+        )
+        .expect("roundtrip");
+        assert_eq!(bad_rate.status, 422);
+
+        let poisoned = client::post(
+            addr,
+            "/v1/stream/s/samples",
+            &ingest_body(&[0.5, f64::NAN, 0.5], &cond, 16_000.0),
+        )
+        .expect("roundtrip");
+        assert_eq!(
+            poisoned.status, 422,
+            "NaN samples are quarantined at ingest"
+        );
+
+        // Open a real session, then change its sample rate: conflict.
+        let opened = client::post(
+            addr,
+            "/v1/stream/s/samples",
+            &ingest_body(&[0.5; 16], &cond, 16_000.0),
+        )
+        .expect("roundtrip");
+        assert_eq!(opened.status, 200);
+        let relabeled = client::post(
+            addr,
+            "/v1/stream/s/samples",
+            &ingest_body(&[0.5; 16], &cond, 8_000.0),
+        )
+        .expect("roundtrip");
+        assert_eq!(relabeled.status, 409);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn stream_capacity_sheds_load_with_retry_after() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            stream_max_sessions: 1,
+            ..ServeConfig::default()
+        };
+        let server =
+            Server::start(config, smoke_engine(), "test-bundle.json").expect("server starts");
+        let addr = server.addr();
+        let cond = [1.0, 0.0, 0.0];
+
+        let first = client::post(
+            addr,
+            "/v1/stream/a/samples",
+            &ingest_body(&[0.5; 16], &cond, 16_000.0),
+        )
+        .expect("roundtrip");
+        assert_eq!(first.status, 200);
+
+        let second = client::post(
+            addr,
+            "/v1/stream/b/samples",
+            &ingest_body(&[0.5; 16], &cond, 16_000.0),
+        )
+        .expect("roundtrip");
+        assert_eq!(second.status, 503, "session table is full");
+        assert!(second.retry_after.is_some(), "shed load advertises a retry");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn streamed_scores_match_the_offline_reference_bit_for_bit() {
+        if !json_roundtrip_available() {
+            return;
+        }
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let engine = smoke_engine();
+        let cond = [0.0, 1.0, 0.0];
+        let fs = 16_000.0;
+        let signal = stream_signal(3_000);
+
+        // Offline reference: one manager built exactly the way the
+        // server builds its own (same seal baseline, same rebuilt
+        // training scale), fed the whole trace in a single chunk, each
+        // emitted row scored directly on the engine.
+        let baseline = engine.evidence_seal().map(|seal| Baseline {
+            mean: seal.kde.mean,
+            std: seal.kde.std,
+            threshold: seal.kde.threshold,
+        });
+        let scale = GanSecPipeline::new(engine.config().clone())
+            .datasets(engine.seed())
+            .ok()
+            .map(|(train, _)| train.scale());
+        assert!(scale.is_some(), "smoke config rebuilds its training scale");
+        let reference = SessionManager::new(
+            config.stream_config(engine.seed()),
+            engine.config().bins(),
+            baseline,
+            scale,
+        );
+        let mut rows = reference
+            .ingest("ref", &signal, &cond, fs, 0)
+            .expect("reference ingest")
+            .rows;
+        rows.extend(reference.flush("ref", 0).expect("reference flush").rows);
+        let expected: Vec<f64> = rows
+            .iter()
+            .map(|row| engine.score_frame(row, &cond))
+            .collect();
+        assert!(
+            expected.len() >= 4,
+            "3000 samples complete at least 4 frames"
+        );
+
+        // Streamed: same trace over HTTP in ragged chunks.
+        let server =
+            Server::start(config, smoke_engine(), "test-bundle.json").expect("server starts");
+        let addr = server.addr();
+        let mut streamed = Vec::new();
+        for chunk in signal.chunks(997) {
+            let reply = client::post(
+                addr,
+                "/v1/stream/parity/samples",
+                &ingest_body(chunk, &cond, fs),
+            )
+            .expect("roundtrip");
+            assert_eq!(
+                reply.status,
+                200,
+                "{}",
+                String::from_utf8_lossy(&reply.body)
+            );
+            let parsed: StreamIngestResponse = serde_json::from_slice(&reply.body).expect("parse");
+            for (&score, &verdict) in parsed.scores.iter().zip(&parsed.verdicts) {
+                assert_eq!(verdict, engine.is_attack(score));
+            }
+            streamed.extend(parsed.scores);
+        }
+        let closed = client::post(addr, "/v1/stream/parity/close", b"").expect("roundtrip");
+        assert_eq!(closed.status, 200);
+        let closed: StreamCloseResponse = serde_json::from_slice(&closed.body).expect("parse");
+        streamed.extend(closed.scores);
+
+        assert_eq!(
+            streamed, expected,
+            "streamed scores are bit-identical to offline"
+        );
+        server.shutdown();
     }
 }

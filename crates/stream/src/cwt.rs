@@ -1,0 +1,331 @@
+//! The incremental sliding-window feature extractor.
+//!
+//! [`StreamingCwt`] consumes raw samples in arbitrary chunk sizes and
+//! emits feature rows exactly when enough signal has arrived, doing
+//! **one** CWT transform per hop block instead of one per frame. The
+//! output is bit-identical to the offline
+//! [`gansec_dsp::FeatureExtractor::extract_streamed`] reference on the
+//! same samples for *any* chunking, because both sides:
+//!
+//! * segment the signal into hop blocks by absolute sample index (so
+//!   chunk boundaries never move a block boundary),
+//! * transform each block with the same cached [`gansec_dsp::CwtPlan`]
+//!   (one FFT circular convolution per block — a pure function of the
+//!   block), and
+//! * compute each frame row through the shared
+//!   [`gansec_dsp::frame_mean_per_bin`] kernel, which fixes the
+//!   floating-point summation order left-to-right over the frame
+//!   window.
+//!
+//! Overlap reuse: with `frame_len = 1024, hop = 512` each sample sits in
+//! two frames, but its magnitude is computed once — the naive per-frame
+//! path would transform `frame_len / hop ≈ 2×` the samples. The
+//! [`StreamingCwt::transforms`] probe counts transforms so callers can
+//! assert the `≤ 1 per hop` contract.
+
+use gansec_dsp::{frame_mean_per_bin, FrequencyBins, MorletCwt, PlanCache};
+
+/// Incremental hop-blocked CWT feature extractor for one sensor stream.
+#[derive(Debug)]
+pub struct StreamingCwt {
+    bins: FrequencyBins,
+    frame_len: usize,
+    hop: usize,
+    sample_rate: f64,
+    cwt: MorletCwt,
+    plans: PlanCache,
+    /// Raw samples awaiting a complete hop block (always `< hop`
+    /// between calls).
+    pending: Vec<f64>,
+    /// Bin-major magnitude history: `mags[bin][i]` is the CWT magnitude
+    /// of absolute sample `mags_offset + i`. Trimmed to what un-emitted
+    /// frames still need.
+    mags: Vec<Vec<f64>>,
+    /// Absolute sample index of `mags[_][0]`.
+    mags_offset: usize,
+    /// Absolute count of samples whose magnitudes exist.
+    transformed: usize,
+    frames_emitted: usize,
+    transforms: u64,
+    finished: bool,
+}
+
+impl StreamingCwt {
+    /// Creates an extractor for one stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len == 0`, `hop == 0`, or `sample_rate <= 0`.
+    pub fn new(bins: FrequencyBins, frame_len: usize, hop: usize, sample_rate: f64) -> Self {
+        assert!(frame_len > 0, "frame_len must be positive");
+        assert!(hop > 0, "hop must be positive");
+        assert!(sample_rate > 0.0, "sample_rate must be positive");
+        let cwt = MorletCwt::standard(bins.centers());
+        let n_bins = bins.n_bins();
+        Self {
+            bins,
+            frame_len,
+            hop,
+            sample_rate,
+            cwt,
+            plans: PlanCache::new(),
+            pending: Vec::new(),
+            mags: vec![Vec::new(); n_bins],
+            mags_offset: 0,
+            transformed: 0,
+            frames_emitted: 0,
+            transforms: 0,
+            finished: false,
+        }
+    }
+
+    /// Feeds a chunk of raw samples, returning every frame row that
+    /// became complete. Rows are raw per-bin mean magnitudes — callers
+    /// apply the bundle's fitted min-max scale, exactly as the offline
+    /// path does after extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`StreamingCwt::finish`].
+    pub fn push(&mut self, samples: &[f64]) -> Vec<Vec<f64>> {
+        assert!(!self.finished, "push after finish");
+        self.pending.extend_from_slice(samples);
+        while self.pending.len() >= self.hop {
+            let block: Vec<f64> = self.pending.drain(..self.hop).collect();
+            self.transform_block(&block);
+        }
+        self.emit_ready()
+    }
+
+    /// Flushes the stream: transforms the final partial block (if any)
+    /// and returns the remaining complete frame rows, mirroring the
+    /// offline reference's partial-tail transform. Idempotent — a
+    /// second call returns no rows.
+    pub fn finish(&mut self) -> Vec<Vec<f64>> {
+        if self.finished {
+            return Vec::new();
+        }
+        self.finished = true;
+        if !self.pending.is_empty() {
+            let block = std::mem::take(&mut self.pending);
+            self.transform_block(&block);
+        }
+        self.emit_ready()
+    }
+
+    /// CWT transforms executed so far — the transform-count probe
+    /// behind the "≤ 1 transform per hop" contract: after `n` samples
+    /// (and a [`StreamingCwt::finish`]), this reads `ceil(n / hop)`.
+    pub fn transforms(&self) -> u64 {
+        self.transforms
+    }
+
+    /// Frames emitted so far.
+    pub fn frames_emitted(&self) -> usize {
+        self.frames_emitted
+    }
+
+    /// Total raw samples accepted so far (transformed + pending).
+    pub fn samples_seen(&self) -> usize {
+        self.transformed + self.pending.len()
+    }
+
+    /// Raw samples buffered but not yet transformed (always `< hop`
+    /// between calls; bounded by construction).
+    pub fn pending_samples(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of frequency bins per emitted row.
+    pub fn n_bins(&self) -> usize {
+        self.bins.n_bins()
+    }
+
+    /// Frame length in samples.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// Hop size in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// The stream's sample rate in Hz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Whether [`StreamingCwt::finish`] has been called.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    fn transform_block(&mut self, block: &[f64]) {
+        let plan = self
+            .plans
+            .cwt_plan(&self.cwt, block.len(), self.sample_rate);
+        let scal = plan.transform(block);
+        for (bin, mag) in self.mags.iter_mut().enumerate() {
+            mag.extend_from_slice(scal.row(bin));
+        }
+        self.transformed += block.len();
+        self.transforms += 1;
+    }
+
+    /// Emits every frame whose window is fully transformed, then trims
+    /// magnitude history the next frame no longer needs.
+    fn emit_ready(&mut self) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        loop {
+            let start = self.frames_emitted * self.hop;
+            if start + self.frame_len > self.transformed {
+                break;
+            }
+            let rel = start - self.mags_offset;
+            out.push(frame_mean_per_bin(&self.mags, rel, self.frame_len));
+            self.frames_emitted += 1;
+        }
+        let next_start = self.frames_emitted * self.hop;
+        if next_start > self.mags_offset {
+            let held = self.mags.first().map_or(0, Vec::len);
+            let drop = (next_start - self.mags_offset).min(held);
+            for bin in &mut self.mags {
+                bin.drain(..drop);
+            }
+            self.mags_offset += drop;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gansec_dsp::{FeatureExtractor, ScalingKind};
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn bins() -> FrequencyBins {
+        FrequencyBins::log_spaced(12, 50.0, 3500.0)
+    }
+
+    fn offline_rows(signal: &[f64], fs: f64, frame_len: usize, hop: usize) -> Vec<Vec<f64>> {
+        let fx = FeatureExtractor::new(bins(), frame_len, hop, ScalingKind::None);
+        fx.extract_streamed(signal, fs, &PlanCache::new())
+            .into_rows()
+    }
+
+    fn assert_rows_bit_identical(a: &[Vec<f64>], b: &[Vec<f64>]) {
+        assert_eq!(a.len(), b.len(), "row counts differ");
+        for (ra, rb) in a.iter().zip(b) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_streaming_matches_offline_reference_bitwise() {
+        let fs = 8000.0;
+        let mut sig = tone(440.0, fs, 1700);
+        sig.extend(tone(1200.0, fs, 1500)); // 3200 samples, tail 3200 % 256 = 128
+        let offline = offline_rows(&sig, fs, 512, 256);
+        assert!(!offline.is_empty());
+
+        // 1 sample, odd primes, and whole-file chunkings all match.
+        for chunk in [1usize, 7, 97, 251, 1009, sig.len()] {
+            let mut sx = StreamingCwt::new(bins(), 512, 256, fs);
+            let mut rows = Vec::new();
+            for c in sig.chunks(chunk) {
+                rows.extend(sx.push(c));
+            }
+            rows.extend(sx.finish());
+            assert_rows_bit_identical(&rows, &offline);
+            assert_eq!(
+                sx.transforms(),
+                sig.len().div_ceil(256) as u64,
+                "chunk {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_tail_block_completes_final_frames() {
+        // frame_len not a multiple of hop: the last frame needs the tail.
+        let fs = 8000.0;
+        let sig = tone(900.0, fs, 1512);
+        let offline = offline_rows(&sig, fs, 1000, 512);
+        assert_eq!(offline.len(), 2); // (1512 - 1000) / 512 + 1
+        let mut sx = StreamingCwt::new(bins(), 1000, 512, fs);
+        let mut rows = sx.push(&sig);
+        assert_eq!(rows.len(), 1, "second frame needs the flushed tail");
+        rows.extend(sx.finish());
+        assert_rows_bit_identical(&rows, &offline);
+    }
+
+    #[test]
+    fn one_transform_per_hop_not_per_frame() {
+        let fs = 8000.0;
+        let sig = tone(500.0, fs, 4096);
+        let mut sx = StreamingCwt::new(bins(), 1024, 512, fs);
+        let rows = sx.push(&sig);
+        assert_eq!(rows.len(), (4096 - 1024) / 512 + 1);
+        // 8 hop blocks; the naive path would transform 1024 samples per
+        // frame x 7 frames ≈ 14 hop-equivalents.
+        assert_eq!(sx.transforms(), 8);
+        assert!(sx.finish().is_empty());
+        assert_eq!(sx.transforms(), 8, "finish with nothing pending is free");
+    }
+
+    #[test]
+    fn history_stays_bounded() {
+        let fs = 8000.0;
+        let mut sx = StreamingCwt::new(bins(), 1024, 512, fs);
+        for c in tone(700.0, fs, 20_000).chunks(333) {
+            sx.push(c);
+            let held = sx.mags.first().map_or(0, Vec::len);
+            assert!(
+                held <= 1024 + 512,
+                "magnitude history grew unbounded: {held}"
+            );
+            assert!(sx.pending_samples() < 512);
+        }
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_push_after_finish_panics() {
+        let fs = 8000.0;
+        // frame_len 500 with hop 256: after 510 samples only one 256
+        // block is transformed, so the first frame completes at finish.
+        let mut sx = StreamingCwt::new(bins(), 500, 256, fs);
+        assert!(sx.push(&tone(440.0, fs, 510)).is_empty());
+        let first = sx.finish();
+        assert!(!first.is_empty());
+        assert!(sx.finish().is_empty());
+        assert!(sx.finished());
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sx.push(&[0.0]);
+        }))
+        .is_err();
+        assert!(panicked, "push after finish must panic");
+    }
+
+    #[test]
+    fn accessors_report_progress() {
+        let fs = 8000.0;
+        let mut sx = StreamingCwt::new(bins(), 512, 256, fs);
+        assert_eq!(sx.n_bins(), 12);
+        assert_eq!(sx.frame_len(), 512);
+        assert_eq!(sx.hop(), 256);
+        assert_eq!(sx.sample_rate(), fs);
+        sx.push(&tone(440.0, fs, 300));
+        assert_eq!(sx.samples_seen(), 300);
+        assert_eq!(sx.pending_samples(), 300 - 256);
+        assert_eq!(sx.frames_emitted(), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Online drift tracking and report-only threshold recalibration.
+//!
+//! The bundle seals calibration statistics (mean/std of benign KDE
+//! scores and the quantile threshold) at `gansec seal` time. At serve
+//! time the sensor may drift — nozzle wear, ambient noise, mounting
+//! changes — so each session standardises its live scores against the
+//! sealed baseline and folds them into an EWMA drift statistic with
+//! hysteresis. When the operator opts in, a bounded reservoir of live
+//! scores yields a *recalibrated* threshold computed with the bundle's
+//! exact quantile rule; it is always **reported**, never applied, so a
+//! drifted (possibly attacked) stream can never silently loosen its own
+//! detection threshold.
+
+use rand::{rngs::StdRng, Rng};
+
+/// The sealed calibration baseline a session's live scores are
+/// standardised against (from the bundle's evidence seal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Baseline {
+    /// Mean benign score at seal time.
+    pub mean: f64,
+    /// Benign score standard deviation at seal time.
+    pub std: f64,
+    /// The sealed detection threshold.
+    pub threshold: f64,
+}
+
+/// Hysteresis state of the EWMA drift statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftState {
+    /// |EWMA| has not exceeded the enter band (or has re-entered the
+    /// exit band after drifting).
+    Stable,
+    /// |EWMA| exceeded the enter band and has not yet fallen back
+    /// below the (lower) exit band.
+    Drifting,
+}
+
+impl DriftState {
+    /// Stable label for wire formats and Prometheus.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DriftState::Stable => "stable",
+            DriftState::Drifting => "drifting",
+        }
+    }
+}
+
+/// EWMA drift statistic over standardised scores, with enter/exit
+/// hysteresis so the state does not chatter around a single threshold.
+#[derive(Debug, Clone)]
+pub struct DriftTracker {
+    alpha: f64,
+    enter: f64,
+    exit: f64,
+    ewma: f64,
+    state: DriftState,
+    observed: u64,
+}
+
+impl DriftTracker {
+    /// Creates a tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or `exit > enter` — the
+    /// same contract lint code GS0905 checks statically.
+    pub fn new(alpha: f64, enter: f64, exit: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "drift alpha must be in (0, 1]");
+        assert!(
+            exit <= enter,
+            "hysteresis exit band must not exceed enter band"
+        );
+        Self {
+            alpha,
+            enter,
+            exit,
+            ewma: 0.0,
+            state: DriftState::Stable,
+            observed: 0,
+        }
+    }
+
+    /// Folds one standardised score `z = (s - mean) / std` into the
+    /// EWMA and applies the hysteresis transition.
+    pub fn observe(&mut self, z: f64) {
+        self.ewma = self.alpha * z + (1.0 - self.alpha) * self.ewma;
+        self.observed += 1;
+        match self.state {
+            DriftState::Stable if self.ewma.abs() > self.enter => {
+                self.state = DriftState::Drifting;
+            }
+            DriftState::Drifting if self.ewma.abs() < self.exit => {
+                self.state = DriftState::Stable;
+            }
+            _ => {}
+        }
+    }
+
+    /// Current EWMA of standardised scores.
+    pub fn ewma(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Current hysteresis state.
+    pub fn state(&self) -> DriftState {
+        self.state
+    }
+
+    /// Scores observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+/// Bounded uniform reservoir (Algorithm R) of live scores backing the
+/// opt-in recalibrated threshold.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    cap: usize,
+    seen: u64,
+    samples: Vec<f64>,
+}
+
+impl Reservoir {
+    /// Creates an empty reservoir holding at most `cap` scores.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            seen: 0,
+            samples: Vec::with_capacity(cap.min(1024)),
+        }
+    }
+
+    /// Offers one score; the per-session RNG keeps the kept subset a
+    /// uniform sample of everything seen.
+    pub fn push(&mut self, score: f64, rng: &mut StdRng) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(score);
+        } else if self.cap > 0 {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.cap {
+                self.samples[j as usize] = score;
+            }
+        }
+    }
+
+    /// Total scores offered (not just retained).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Scores currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Recalibrated threshold: the `rate` quantile of the retained
+    /// scores, computed with the bundle's exact rule (sort ascending by
+    /// `total_cmp`, index `(len * rate) as usize`, clamped to the last
+    /// element) so a reservoir drawn from undrifted benign scores
+    /// reproduces the sealed threshold's construction.
+    pub fn quantile_threshold(&self, rate: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((sorted.len() as f64 * rate) as usize).min(sorted.len() - 1);
+        Some(sorted[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ewma_hysteresis_enters_and_exits_with_separate_bands() {
+        let mut t = DriftTracker::new(0.5, 2.0, 0.5);
+        assert_eq!(t.state(), DriftState::Stable);
+        // Drive the EWMA above the enter band.
+        for _ in 0..8 {
+            t.observe(5.0);
+        }
+        assert_eq!(t.state(), DriftState::Drifting);
+        // A dip below enter but above exit must NOT flip back.
+        while t.ewma().abs() >= 0.5 {
+            t.observe(0.0);
+            if t.ewma().abs() > 0.5 {
+                assert_eq!(t.state(), DriftState::Drifting, "inside hysteresis band");
+            }
+        }
+        assert_eq!(t.state(), DriftState::Stable);
+    }
+
+    #[test]
+    fn tracker_rejects_bad_alpha_and_inverted_bands() {
+        for bad in [0.0, -0.1, 1.5, f64::NAN] {
+            assert!(std::panic::catch_unwind(|| DriftTracker::new(bad, 2.0, 0.5)).is_err());
+        }
+        assert!(std::panic::catch_unwind(|| DriftTracker::new(0.1, 1.0, 2.0)).is_err());
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_deterministic_per_seed() {
+        let mut a = Reservoir::new(16);
+        let mut b = Reservoir::new(16);
+        let mut ra = StdRng::seed_from_u64(7);
+        let mut rb = StdRng::seed_from_u64(7);
+        for i in 0..1000 {
+            a.push(i as f64, &mut ra);
+            b.push(i as f64, &mut rb);
+        }
+        assert_eq!(a.len(), 16);
+        assert_eq!(a.seen(), 1000);
+        assert_eq!(a.samples, b.samples, "same seed, same reservoir");
+    }
+
+    #[test]
+    fn quantile_threshold_matches_the_bundle_rule() {
+        let mut r = Reservoir::new(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..100 {
+            r.push(i as f64, &mut rng);
+        }
+        // 100 retained values 0..100; rate 0.05 -> index 5.
+        assert_eq!(r.quantile_threshold(0.05), Some(5.0));
+        // Rate 1.0 clamps to the last element rather than overflowing.
+        assert_eq!(r.quantile_threshold(1.0), Some(99.0));
+        assert_eq!(Reservoir::new(8).quantile_threshold(0.05), None);
+    }
+}

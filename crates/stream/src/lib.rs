@@ -1,0 +1,54 @@
+//! Sessionful streaming ingest for the GAN-Sec detector.
+//!
+//! GAN-Sec's deployment story — continuous side-channel monitoring of a
+//! running 3D printer — is a 24/7 sensor stream, while the scoring
+//! layers below only accept batches of pre-extracted frames. This crate
+//! bridges the two, layered between `gansec-dsp` and `gansec-serve`:
+//!
+//! * [`StreamingCwt`] — an incremental sliding-window feature extractor
+//!   that transforms each hop block **once** (not once per overlapping
+//!   frame) and emits rows bit-identical to the offline
+//!   [`gansec_dsp::FeatureExtractor::extract_streamed`] reference for
+//!   any chunking of the input;
+//! * [`SessionManager`] / per-sensor session state — live G-code
+//!   condition, Welford score statistics, seeded per-session RNG,
+//!   capacity caps, idle-timeout eviction, per-chunk backpressure;
+//! * [`DriftTracker`] + [`Reservoir`] — an EWMA drift statistic over
+//!   scores standardised against the bundle's sealed calibration
+//!   [`Baseline`], with hysteresis, and opt-in live threshold
+//!   recalibration that is always *reported*, never applied.
+//!
+//! The crate is transport-agnostic: it emits scaled feature rows and
+//! consumes scores, so the serve layer keeps its existing micro-batching
+//! scorer thread and the CLI can drive the same sessions in-process.
+//!
+//! # Example
+//!
+//! ```
+//! use gansec_stream::{SessionManager, StreamConfig};
+//! use gansec_dsp::FrequencyBins;
+//!
+//! let cfg = StreamConfig { frame_len: 256, hop: 128, ..StreamConfig::default() };
+//! let mgr = SessionManager::new(cfg, FrequencyBins::log_spaced(8, 50.0, 3500.0), None, None);
+//! let chunk: Vec<f64> = (0..300)
+//!     .map(|i| (std::f64::consts::TAU * 440.0 * i as f64 / 8000.0).sin())
+//!     .collect();
+//! let batch = mgr.ingest("nozzle-cam-1", &chunk, &[1.0, 0.0], 8000.0, 0).unwrap();
+//! assert_eq!(batch.rows.len(), 1); // one full 256-sample frame so far
+//! let tail = mgr.flush("nozzle-cam-1", 5).unwrap();
+//! assert_eq!(tail.frames_before, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+mod cwt;
+mod drift;
+mod session;
+
+pub use cwt::StreamingCwt;
+pub use drift::{Baseline, DriftState, DriftTracker, Reservoir};
+pub use session::{
+    DriftReport, IngestBatch, SessionManager, SessionStats, StreamConfig, StreamError, Welford,
+};

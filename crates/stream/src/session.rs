@@ -1,0 +1,770 @@
+//! Per-sensor session state and the sessionful ingest manager.
+//!
+//! A [`StreamSession`] owns one sensor's incremental extractor, its
+//! current condition from the live G-code channel, rolling score
+//! statistics (Welford), a seeded per-session RNG, and the drift
+//! tracker + recalibration reservoir. The [`SessionManager`] multiplexes
+//! many sessions behind capacity caps, idle-timeout eviction, and
+//! per-chunk backpressure.
+//!
+//! Time is a *logical* clock: every mutating call takes `now_ms` so
+//! tests drive eviction deterministically and the serve layer supplies
+//! wall-clock milliseconds.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use gansec_dsp::{FeatureMatrix, FrequencyBins};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::cwt::StreamingCwt;
+use crate::drift::{Baseline, DriftState, DriftTracker, Reservoir};
+
+/// Tuning knobs for the streaming subsystem. Defaults are lint-clean
+/// under the GS09xx stream pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Analysis window length in samples.
+    pub frame_len: usize,
+    /// Hop between frame starts in samples.
+    pub hop: usize,
+    /// Maximum concurrently open sessions.
+    pub max_sessions: usize,
+    /// Per-request backpressure cap: a single ingest chunk may not
+    /// exceed this many samples.
+    pub max_chunk_samples: usize,
+    /// Sessions idle longer than this are evicted.
+    pub idle_timeout_ms: u64,
+    /// EWMA smoothing factor for the drift statistic, in `(0, 1]`.
+    pub drift_alpha: f64,
+    /// |EWMA| above this enters the `Drifting` state.
+    pub drift_enter: f64,
+    /// |EWMA| below this (while drifting) returns to `Stable`.
+    pub drift_exit: f64,
+    /// Recalibration reservoir capacity (retained scores).
+    pub reservoir: usize,
+    /// Minimum scores observed before a recalibrated threshold is
+    /// reported.
+    pub warmup: usize,
+    /// Whether to compute (and report — never apply) the live
+    /// recalibrated threshold.
+    pub recalibrate: bool,
+    /// False-alarm quantile used by the recalibrated threshold; matches
+    /// the bundle's sealing rate.
+    pub recalib_rate: f64,
+    /// Base seed; each session derives its own RNG stream from this
+    /// and its id.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            frame_len: 1024,
+            hop: 512,
+            max_sessions: 64,
+            max_chunk_samples: 1 << 16,
+            idle_timeout_ms: 30_000,
+            drift_alpha: 0.05,
+            drift_enter: 3.0,
+            drift_exit: 1.0,
+            reservoir: 512,
+            warmup: 64,
+            recalibrate: false,
+            recalib_rate: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Ways a streaming call can fail; the serve layer maps these onto
+/// HTTP statuses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// No session with that id (never created, closed, or evicted).
+    UnknownSession(String),
+    /// Session table is full even after evicting idle sessions.
+    CapacityExhausted {
+        /// Configured session cap.
+        max: usize,
+    },
+    /// One chunk exceeded the per-request backpressure cap.
+    Backpressure {
+        /// Samples in the rejected chunk.
+        samples: usize,
+        /// Configured per-chunk cap.
+        cap: usize,
+    },
+    /// A sample was NaN or infinite; the chunk is rejected before it
+    /// can poison extractor state.
+    NonFiniteSample {
+        /// Index of the offending sample within the chunk.
+        index: usize,
+    },
+    /// The chunk's sample rate disagrees with the rate the session was
+    /// opened with.
+    SampleRateMismatch {
+        /// Rate fixed at session creation.
+        session: f64,
+        /// Rate in the rejected chunk.
+        got: f64,
+    },
+    /// The session was already flushed by a close.
+    AlreadyClosed(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::UnknownSession(id) => write!(f, "unknown stream session '{id}'"),
+            StreamError::CapacityExhausted { max } => {
+                write!(f, "session capacity exhausted ({max} open)")
+            }
+            StreamError::Backpressure { samples, cap } => write!(
+                f,
+                "chunk of {samples} samples exceeds per-request cap of {cap}"
+            ),
+            StreamError::NonFiniteSample { index } => {
+                write!(f, "non-finite sample at chunk index {index}")
+            }
+            StreamError::SampleRateMismatch { session, got } => write!(
+                f,
+                "sample rate {got} Hz does not match session rate {session} Hz"
+            ),
+            StreamError::AlreadyClosed(id) => write!(f, "stream session '{id}' already closed"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Rolling count/mean/variance via Welford's online algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 before any observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 before any observation).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+}
+
+/// Frames emitted by one ingest/flush call, already scaled with the
+/// bundle's fitted min-max range when the manager holds one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestBatch {
+    /// Scaled feature rows ready for the scoring engine.
+    pub rows: Vec<Vec<f64>>,
+    /// The session's current condition vector, repeated per row by the
+    /// caller.
+    pub cond: Vec<f64>,
+    /// Frames this session had emitted *before* this batch (stable
+    /// frame indexing across chunks).
+    pub frames_before: u64,
+}
+
+/// Drift + recalibration summary, reported on every scored ingest and
+/// in stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Whether a sealed baseline exists; without one the drift channel
+    /// is disabled (degraded / uncalibrated).
+    pub calibrated: bool,
+    /// Current EWMA of standardised scores (0 when uncalibrated).
+    pub ewma: f64,
+    /// Current hysteresis state (Stable when uncalibrated).
+    pub state: DriftState,
+    /// The bundle's sealed threshold, when calibrated.
+    pub sealed_threshold: Option<f64>,
+    /// Live recalibrated threshold — present only when recalibration
+    /// is enabled *and* warm-up is met. Report-only; verdicts always
+    /// use the sealed threshold.
+    pub recalibrated_threshold: Option<f64>,
+    /// Scores folded into the session statistics so far.
+    pub scored_frames: u64,
+    /// Running mean of raw scores.
+    pub score_mean: f64,
+    /// Running population variance of raw scores.
+    pub score_variance: f64,
+}
+
+/// Point-in-time session statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// Raw samples accepted so far.
+    pub samples: u64,
+    /// Feature frames emitted so far.
+    pub frames: u64,
+    /// CWT transforms executed so far (the ≤ 1-per-hop probe).
+    pub transforms: u64,
+    /// Samples buffered awaiting a full hop block.
+    pub pending_samples: usize,
+    /// The session's sample rate in Hz.
+    pub sample_rate: f64,
+    /// Current condition vector.
+    pub condition: Vec<f64>,
+    /// Milliseconds since the session last ingested, at the caller's
+    /// logical `now_ms`.
+    pub idle_ms: u64,
+    /// Whether the session has been flushed by a close.
+    pub closed: bool,
+    /// Drift + recalibration summary.
+    pub drift: DriftReport,
+}
+
+/// One sensor's streaming state.
+#[derive(Debug)]
+struct StreamSession {
+    cwt: StreamingCwt,
+    cond: Vec<f64>,
+    rng: StdRng,
+    scores: Welford,
+    drift: DriftTracker,
+    reservoir: Reservoir,
+    last_active_ms: u64,
+    samples: u64,
+    frames_scored: u64,
+    closed: bool,
+}
+
+/// Derives a per-session RNG seed from the base seed and the session
+/// id (FNV-1a over the id bytes, then a splitmix64-style finalizer) so
+/// sessions get decorrelated but reproducible streams.
+fn session_seed(base: u64, id: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h ^ base.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Multiplexes per-sensor [`StreamSession`]s: creation, capacity caps,
+/// idle eviction, chunked ingest, score recording, and stats.
+///
+/// All methods take `&self`; internal state is behind a mutex, so the
+/// serve layer shares one manager across connections via `Arc`.
+#[derive(Debug)]
+pub struct SessionManager {
+    cfg: StreamConfig,
+    bins: FrequencyBins,
+    baseline: Option<Baseline>,
+    /// Fitted min-max range from the bundle's training dataset; applied
+    /// to every emitted row so streamed features match the offline
+    /// `apply_scale` path bit-for-bit.
+    scale: Option<(f64, f64)>,
+    sessions: Mutex<HashMap<String, StreamSession>>,
+    evictions: AtomicU64,
+}
+
+impl SessionManager {
+    /// Creates a manager.
+    ///
+    /// * `bins` — the bundle's frequency binning.
+    /// * `baseline` — sealed calibration stats, when the bundle has an
+    ///   evidence seal (v1 bundles do not: drift is then disabled).
+    /// * `scale` — the training dataset's fitted `(lo, hi)` min-max
+    ///   range; `None` leaves rows unscaled (offline `ScalingKind::None`).
+    pub fn new(
+        cfg: StreamConfig,
+        bins: FrequencyBins,
+        baseline: Option<Baseline>,
+        scale: Option<(f64, f64)>,
+    ) -> Self {
+        Self {
+            cfg,
+            bins,
+            baseline,
+            scale,
+            sessions: Mutex::new(HashMap::new()),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Open sessions right now.
+    pub fn session_count(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Total idle-timeout evictions since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Counts sessions per drift state as `(stable, drifting)` for the
+    /// `gansec_stream_drift_state` gauge.
+    pub fn drift_counts(&self) -> (usize, usize) {
+        let sessions = self.lock();
+        let drifting = sessions
+            .values()
+            .filter(|s| s.drift.state() == DriftState::Drifting)
+            .count();
+        (sessions.len() - drifting, drifting)
+    }
+
+    /// Evicts sessions idle past the configured timeout, returning the
+    /// evicted ids. Called internally on every ingest; exposed so the
+    /// serve layer can sweep on a heartbeat too.
+    pub fn evict_idle(&self, now_ms: u64) -> Vec<String> {
+        let mut sessions = self.lock();
+        let timeout = self.cfg.idle_timeout_ms;
+        let stale: Vec<String> = sessions
+            .iter()
+            .filter(|(_, s)| now_ms.saturating_sub(s.last_active_ms) > timeout)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in &stale {
+            sessions.remove(id);
+        }
+        self.evictions
+            .fetch_add(stale.len() as u64, Ordering::Relaxed);
+        stale
+    }
+
+    /// Ingests one chunk for `id`, creating the session on first use.
+    /// `cond` updates the session's live G-code condition; emitted rows
+    /// are scaled and paired with the condition current at emission.
+    pub fn ingest(
+        &self,
+        id: &str,
+        samples: &[f64],
+        cond: &[f64],
+        sample_rate: f64,
+        now_ms: u64,
+    ) -> Result<IngestBatch, StreamError> {
+        if samples.len() > self.cfg.max_chunk_samples {
+            return Err(StreamError::Backpressure {
+                samples: samples.len(),
+                cap: self.cfg.max_chunk_samples,
+            });
+        }
+        if let Some(index) = samples.iter().position(|s| !s.is_finite()) {
+            return Err(StreamError::NonFiniteSample { index });
+        }
+        self.evict_idle(now_ms);
+        let mut sessions = self.lock();
+        let session = match sessions.get_mut(id) {
+            Some(s) => s,
+            None => {
+                if sessions.len() >= self.cfg.max_sessions {
+                    return Err(StreamError::CapacityExhausted {
+                        max: self.cfg.max_sessions,
+                    });
+                }
+                sessions
+                    .entry(id.to_string())
+                    .or_insert_with(|| self.new_session(id, sample_rate, now_ms))
+            }
+        };
+        if session.closed {
+            return Err(StreamError::AlreadyClosed(id.to_string()));
+        }
+        if session.cwt.sample_rate() != sample_rate {
+            return Err(StreamError::SampleRateMismatch {
+                session: session.cwt.sample_rate(),
+                got: sample_rate,
+            });
+        }
+        session.cond = cond.to_vec();
+        session.last_active_ms = now_ms;
+        session.samples += samples.len() as u64;
+        let frames_before = session.cwt.frames_emitted() as u64;
+        let rows = session.cwt.push(samples);
+        Ok(IngestBatch {
+            rows: self.scaled(rows),
+            cond: session.cond.clone(),
+            frames_before,
+        })
+    }
+
+    /// Flushes the session's partial tail block, emitting any final
+    /// frames. The session stays resident (for `record_scores` and
+    /// `stats`) until [`SessionManager::remove`].
+    pub fn flush(&self, id: &str, now_ms: u64) -> Result<IngestBatch, StreamError> {
+        let mut sessions = self.lock();
+        let session = sessions
+            .get_mut(id)
+            .ok_or_else(|| StreamError::UnknownSession(id.to_string()))?;
+        if session.closed {
+            return Err(StreamError::AlreadyClosed(id.to_string()));
+        }
+        session.closed = true;
+        session.last_active_ms = now_ms;
+        let frames_before = session.cwt.frames_emitted() as u64;
+        let rows = session.cwt.finish();
+        Ok(IngestBatch {
+            rows: self.scaled(rows),
+            cond: session.cond.clone(),
+            frames_before,
+        })
+    }
+
+    /// Folds this chunk's scores back into the session's rolling
+    /// statistics, drift tracker, and (when enabled) recalibration
+    /// reservoir, returning the updated drift report.
+    pub fn record_scores(&self, id: &str, scores: &[f64]) -> Result<DriftReport, StreamError> {
+        let mut sessions = self.lock();
+        let session = sessions
+            .get_mut(id)
+            .ok_or_else(|| StreamError::UnknownSession(id.to_string()))?;
+        for &s in scores {
+            session.frames_scored += 1;
+            session.scores.push(s);
+            if let Some(b) = self.baseline {
+                if b.std > 0.0 {
+                    session.drift.observe((s - b.mean) / b.std);
+                }
+            }
+            if self.cfg.recalibrate {
+                session.reservoir.push(s, &mut session.rng);
+            }
+        }
+        Ok(self.report(session))
+    }
+
+    /// Point-in-time statistics for `id`.
+    pub fn stats(&self, id: &str, now_ms: u64) -> Result<SessionStats, StreamError> {
+        let sessions = self.lock();
+        let session = sessions
+            .get(id)
+            .ok_or_else(|| StreamError::UnknownSession(id.to_string()))?;
+        Ok(SessionStats {
+            samples: session.samples,
+            frames: session.cwt.frames_emitted() as u64,
+            transforms: session.cwt.transforms(),
+            pending_samples: session.cwt.pending_samples(),
+            sample_rate: session.cwt.sample_rate(),
+            condition: session.cond.clone(),
+            idle_ms: now_ms.saturating_sub(session.last_active_ms),
+            closed: session.closed,
+            drift: self.report(session),
+        })
+    }
+
+    /// Drops the session outright. Returns whether it existed.
+    pub fn remove(&self, id: &str) -> bool {
+        self.lock().remove(id).is_some()
+    }
+
+    fn new_session(&self, id: &str, sample_rate: f64, now_ms: u64) -> StreamSession {
+        StreamSession {
+            cwt: StreamingCwt::new(
+                self.bins.clone(),
+                self.cfg.frame_len,
+                self.cfg.hop,
+                sample_rate,
+            ),
+            cond: Vec::new(),
+            rng: StdRng::seed_from_u64(session_seed(self.cfg.seed, id)),
+            scores: Welford::default(),
+            drift: DriftTracker::new(
+                self.cfg.drift_alpha,
+                self.cfg.drift_enter,
+                self.cfg.drift_exit,
+            ),
+            reservoir: Reservoir::new(self.cfg.reservoir),
+            last_active_ms: now_ms,
+            samples: 0,
+            frames_scored: 0,
+            closed: false,
+        }
+    }
+
+    fn scaled(&self, rows: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        match self.scale {
+            Some((lo, hi)) if !rows.is_empty() => {
+                let mut fm = FeatureMatrix::from_rows(rows);
+                fm.apply_minmax(lo, hi);
+                fm.into_rows()
+            }
+            _ => rows,
+        }
+    }
+
+    fn report(&self, session: &StreamSession) -> DriftReport {
+        let calibrated = self.baseline.is_some_and(|b| b.std > 0.0);
+        let recalibrated_threshold =
+            if self.cfg.recalibrate && session.frames_scored >= self.cfg.warmup as u64 {
+                session.reservoir.quantile_threshold(self.cfg.recalib_rate)
+            } else {
+                None
+            };
+        DriftReport {
+            calibrated,
+            ewma: session.drift.ewma(),
+            state: session.drift.state(),
+            sealed_threshold: self.baseline.map(|b| b.threshold),
+            recalibrated_threshold,
+            scored_frames: session.frames_scored,
+            score_mean: session.scores.mean(),
+            score_variance: session.scores.variance(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, StreamSession>> {
+        self.sessions
+            .lock()
+            .expect("stream session table poisoned: a holder panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bins() -> FrequencyBins {
+        FrequencyBins::log_spaced(8, 50.0, 3500.0)
+    }
+
+    fn small_cfg() -> StreamConfig {
+        StreamConfig {
+            frame_len: 256,
+            hop: 128,
+            max_sessions: 2,
+            max_chunk_samples: 4096,
+            idle_timeout_ms: 1000,
+            ..StreamConfig::default()
+        }
+    }
+
+    fn tone(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * 440.0 * i as f64 / 8000.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn welford_matches_two_pass_statistics() {
+        let xs = [1.5, -2.0, 0.25, 7.0, 3.5];
+        let mut w = Welford::default();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn ingest_creates_sessions_and_enforces_capacity() {
+        let m = SessionManager::new(small_cfg(), bins(), None, None);
+        m.ingest("a", &tone(64), &[1.0], 8000.0, 0).unwrap();
+        m.ingest("b", &tone(64), &[1.0], 8000.0, 0).unwrap();
+        assert_eq!(m.session_count(), 2);
+        let err = m.ingest("c", &tone(64), &[1.0], 8000.0, 0).unwrap_err();
+        assert_eq!(err, StreamError::CapacityExhausted { max: 2 });
+        // Existing sessions keep working at capacity.
+        m.ingest("a", &tone(64), &[1.0], 8000.0, 1).unwrap();
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_and_counted() {
+        let m = SessionManager::new(small_cfg(), bins(), None, None);
+        m.ingest("a", &tone(64), &[1.0], 8000.0, 0).unwrap();
+        m.ingest("b", &tone(64), &[1.0], 8000.0, 900).unwrap();
+        // At t=1500, "a" is 1500ms idle (> 1000), "b" only 600ms.
+        let evicted = m.evict_idle(1500);
+        assert_eq!(evicted, vec!["a".to_string()]);
+        assert_eq!(m.session_count(), 1);
+        assert_eq!(m.evictions(), 1);
+        assert!(matches!(
+            m.stats("a", 1500).unwrap_err(),
+            StreamError::UnknownSession(_)
+        ));
+    }
+
+    #[test]
+    fn backpressure_and_nonfinite_chunks_are_rejected_without_state_change() {
+        let m = SessionManager::new(small_cfg(), bins(), None, None);
+        m.ingest("a", &tone(64), &[1.0], 8000.0, 0).unwrap();
+        let before = m.stats("a", 0).unwrap();
+        let big = vec![0.0; 5000];
+        assert!(matches!(
+            m.ingest("a", &big, &[1.0], 8000.0, 0).unwrap_err(),
+            StreamError::Backpressure {
+                samples: 5000,
+                cap: 4096
+            }
+        ));
+        let mut poison = tone(64);
+        poison[7] = f64::NAN;
+        assert_eq!(
+            m.ingest("a", &poison, &[1.0], 8000.0, 0).unwrap_err(),
+            StreamError::NonFiniteSample { index: 7 }
+        );
+        let after = m.stats("a", 0).unwrap();
+        assert_eq!(
+            before.samples, after.samples,
+            "rejected chunks leave no trace"
+        );
+    }
+
+    #[test]
+    fn sample_rate_is_fixed_at_creation() {
+        let m = SessionManager::new(small_cfg(), bins(), None, None);
+        m.ingest("a", &tone(64), &[1.0], 8000.0, 0).unwrap();
+        assert!(matches!(
+            m.ingest("a", &tone(64), &[1.0], 44_100.0, 0).unwrap_err(),
+            StreamError::SampleRateMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn flush_emits_tail_frames_and_blocks_further_ingest() {
+        // frame_len 250 with hop 128: frame 1 spans [128, 378), which
+        // only the flushed 124-sample tail of a 380-sample stream covers.
+        let cfg = StreamConfig {
+            frame_len: 250,
+            ..small_cfg()
+        };
+        let m = SessionManager::new(cfg, bins(), None, None);
+        let batch = m.ingest("a", &tone(380), &[1.0], 8000.0, 0).unwrap();
+        assert_eq!(batch.rows.len(), 1);
+        assert_eq!(batch.frames_before, 0);
+        let tail = m.flush("a", 1).unwrap();
+        assert_eq!(tail.frames_before, 1);
+        assert!(!tail.rows.is_empty());
+        assert_eq!(
+            m.ingest("a", &tone(64), &[1.0], 8000.0, 2).unwrap_err(),
+            StreamError::AlreadyClosed("a".to_string())
+        );
+        assert_eq!(
+            m.flush("a", 3).unwrap_err(),
+            StreamError::AlreadyClosed("a".to_string())
+        );
+        assert!(m.stats("a", 3).unwrap().closed);
+        assert!(m.remove("a"));
+        assert!(!m.remove("a"));
+    }
+
+    #[test]
+    fn drift_is_disabled_without_a_baseline_and_tracks_with_one() {
+        let uncal = SessionManager::new(small_cfg(), bins(), None, None);
+        uncal.ingest("a", &tone(64), &[1.0], 8000.0, 0).unwrap();
+        let r = uncal.record_scores("a", &[-100.0, -90.0]).unwrap();
+        assert!(!r.calibrated);
+        assert_eq!(r.state, DriftState::Stable);
+        assert_eq!(r.ewma, 0.0);
+        assert_eq!(r.sealed_threshold, None);
+
+        let baseline = Baseline {
+            mean: -10.0,
+            std: 2.0,
+            threshold: -14.0,
+        };
+        let cfg = StreamConfig {
+            drift_alpha: 0.5,
+            ..small_cfg()
+        };
+        let cal = SessionManager::new(cfg, bins(), Some(baseline), None);
+        cal.ingest("a", &tone(64), &[1.0], 8000.0, 0).unwrap();
+        // Scores far below the baseline drive |EWMA| over the enter band.
+        let far: Vec<f64> = (0..32).map(|_| -40.0).collect();
+        let r = cal.record_scores("a", &far).unwrap();
+        assert!(r.calibrated);
+        assert_eq!(r.state, DriftState::Drifting);
+        assert_eq!(r.sealed_threshold, Some(-14.0));
+        assert_eq!(cal.drift_counts(), (0, 1));
+    }
+
+    #[test]
+    fn recalibrated_threshold_appears_only_after_warmup_and_when_enabled() {
+        let baseline = Baseline {
+            mean: -10.0,
+            std: 2.0,
+            threshold: -14.0,
+        };
+        let cfg = StreamConfig {
+            recalibrate: true,
+            warmup: 10,
+            ..small_cfg()
+        };
+        let m = SessionManager::new(cfg, bins(), Some(baseline), None);
+        m.ingest("a", &tone(64), &[1.0], 8000.0, 0).unwrap();
+        let r = m.record_scores("a", &[-10.0; 5]).unwrap();
+        assert_eq!(r.recalibrated_threshold, None, "below warmup");
+        let scores: Vec<f64> = (0..20).map(|i| -20.0 + i as f64).collect();
+        let r = m.record_scores("a", &scores).unwrap();
+        assert!(r.recalibrated_threshold.is_some(), "past warmup");
+
+        // Disabled by default: same flow, no recalibrated threshold.
+        let off = SessionManager::new(small_cfg(), bins(), Some(baseline), None);
+        off.ingest("a", &tone(64), &[1.0], 8000.0, 0).unwrap();
+        let r = off.record_scores("a", &scores).unwrap();
+        assert_eq!(r.recalibrated_threshold, None);
+    }
+
+    #[test]
+    fn sessions_are_isolated_and_seeded_independently() {
+        let cfg = StreamConfig {
+            recalibrate: true,
+            warmup: 1,
+            ..small_cfg()
+        };
+        let m = SessionManager::new(cfg, bins(), None, None);
+        m.ingest("a", &tone(300), &[1.0], 8000.0, 0).unwrap();
+        m.ingest("b", &tone(300), &[0.0], 8000.0, 0).unwrap();
+        m.record_scores("a", &[-1.0, -2.0]).unwrap();
+        let sa = m.stats("a", 0).unwrap();
+        let sb = m.stats("b", 0).unwrap();
+        assert_eq!(sa.drift.scored_frames, 2);
+        assert_eq!(sb.drift.scored_frames, 0, "b never saw a's scores");
+        assert_eq!(sa.condition, vec![1.0]);
+        assert_eq!(sb.condition, vec![0.0]);
+        assert_ne!(
+            session_seed(0, "a"),
+            session_seed(0, "b"),
+            "distinct ids, distinct RNG streams"
+        );
+        assert_eq!(session_seed(7, "a"), session_seed(7, "a"), "reproducible");
+    }
+
+    #[test]
+    fn scaled_rows_match_the_offline_apply_minmax_path() {
+        let m = SessionManager::new(small_cfg(), bins(), None, Some((0.0, 2.0)));
+        let batch = m.ingest("a", &tone(256), &[1.0], 8000.0, 0).unwrap();
+        let raw = SessionManager::new(small_cfg(), bins(), None, None)
+            .ingest("a", &tone(256), &[1.0], 8000.0, 0)
+            .unwrap();
+        let mut fm = FeatureMatrix::from_rows(raw.rows);
+        fm.apply_minmax(0.0, 2.0);
+        assert_eq!(batch.rows, fm.into_rows());
+    }
+}

@@ -1,0 +1,379 @@
+//! Chaos drills for the streaming ingest subsystem: a stalled sensor
+//! push delays its own session but never corrupts the emitted scores, a
+//! mid-chunk disconnect loses only the *reply* (the chunk itself lands
+//! and a stats probe sees consistent session state), and idle sessions
+//! are reaped by the supervisor heartbeat with the eviction visible in
+//! `/metrics`.
+//!
+//! Everything here round-trips real JSON, so the whole file gates on
+//! the deserializer probe (offline stub builds skip it).
+
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gansec::{GanSecPipeline, PipelineConfig};
+use gansec_chaos::{ChaosPlan, FaultSpec};
+use gansec_engine::ScoringEngine;
+use gansec_serve::api::{StreamCloseResponse, StreamIngestRequest, StreamIngestResponse};
+use gansec_serve::{client, ServeConfig, Server};
+use gansec_stream::{Baseline, SessionManager};
+
+fn json_roundtrip_available() -> bool {
+    serde_json::from_str::<serde_json::Value>("null").is_ok()
+}
+
+fn stream_signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.021).sin() + 0.3 * (i as f64 * 0.17).cos())
+        .collect()
+}
+
+/// Trains one smoke bundle and returns the reference engine, a server
+/// under the given fault plan, and an offline reference manager built
+/// with the server's own provenance.
+fn chaos_stream_fixture(
+    seed: u64,
+    config: &ServeConfig,
+    plan: ChaosPlan,
+) -> (ScoringEngine, Server, SessionManager) {
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+    let stage = pipeline.train_stage(seed).expect("smoke training");
+    let engine = ScoringEngine::from_bundle(stage.to_bundle());
+    let server = Server::start_with_chaos(
+        config.clone(),
+        ScoringEngine::from_bundle(stage.to_bundle()),
+        "stream-chaos-test.json",
+        Arc::new(plan.into_state()),
+    )
+    .expect("server starts");
+    let baseline = engine.evidence_seal().map(|seal| Baseline {
+        mean: seal.kde.mean,
+        std: seal.kde.std,
+        threshold: seal.kde.threshold,
+    });
+    let scale = GanSecPipeline::new(engine.config().clone())
+        .datasets(engine.seed())
+        .ok()
+        .map(|(train, _)| train.scale());
+    let reference = SessionManager::new(
+        config.stream_config(engine.seed()),
+        engine.config().bins(),
+        baseline,
+        scale,
+    );
+    (engine, server, reference)
+}
+
+fn offline_scores(
+    reference: &SessionManager,
+    engine: &ScoringEngine,
+    signal: &[f64],
+    cond: &[f64],
+    sample_rate: f64,
+) -> Vec<f64> {
+    let id = "offline";
+    let mut rows = reference
+        .ingest(id, signal, cond, sample_rate, 0)
+        .expect("reference ingest")
+        .rows;
+    rows.extend(reference.flush(id, 0).expect("reference flush").rows);
+    reference.remove(id);
+    rows.iter()
+        .map(|row| engine.score_frame(row, cond))
+        .collect()
+}
+
+fn ingest_body(samples: &[f64], cond: &[f64], sample_rate: f64) -> Vec<u8> {
+    serde_json::to_vec(&StreamIngestRequest {
+        samples: samples.to_vec(),
+        cond: cond.to_vec(),
+        sample_rate,
+    })
+    .expect("serialize")
+}
+
+#[test]
+fn session_stall_delays_the_push_but_scores_stay_bit_identical() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    const STALL_MS: u64 = 400;
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let plan = ChaosPlan {
+        seed: 7,
+        faults: vec![FaultSpec::SessionStall {
+            at_ingest: 1,
+            stall_ms: STALL_MS,
+        }],
+    };
+    let (engine, server, reference) = chaos_stream_fixture(31, &config, plan);
+    let addr = server.addr();
+
+    let signal = stream_signal(3 * config.stream_frame_len + 97);
+    let cond = vec![1.0, 0.0, 0.0];
+    let fs = 16_000.0;
+    let expected = offline_scores(&reference, &engine, &signal, &cond, fs);
+
+    let chunk = config.stream_frame_len; // several chunks, fault on #1
+    let mut scores = Vec::new();
+    let mut stalled_elapsed = Duration::ZERO;
+    for (i, piece) in signal.chunks(chunk).enumerate() {
+        let started = Instant::now();
+        let reply = client::post(
+            addr,
+            "/v1/stream/stalled/samples",
+            &ingest_body(piece, &cond, fs),
+        )
+        .expect("ingest");
+        let elapsed = started.elapsed();
+        assert_eq!(reply.status, 200, "chunk {i}");
+        if i == 1 {
+            stalled_elapsed = elapsed;
+        }
+        let parsed: StreamIngestResponse = serde_json::from_slice(&reply.body).expect("parse");
+        scores.extend(parsed.scores);
+    }
+    assert!(
+        stalled_elapsed >= Duration::from_millis(STALL_MS - 50),
+        "the injected stall must actually hold the handler, took {stalled_elapsed:?}"
+    );
+
+    let close = client::post(addr, "/v1/stream/stalled/close", b"").expect("close");
+    assert_eq!(close.status, 200);
+    let close: StreamCloseResponse = serde_json::from_slice(&close.body).expect("parse");
+    scores.extend(close.scores);
+
+    assert_eq!(scores.len(), expected.len());
+    for (i, (&got, &want)) in scores.iter().zip(&expected).enumerate() {
+        assert_eq!(got.to_bits(), want.to_bits(), "frame {i} after stall");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn mid_chunk_disconnect_loses_the_reply_but_the_chunk_lands() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let plan = ChaosPlan {
+        seed: 11,
+        faults: vec![FaultSpec::MidChunkDisconnect { at_ingest: 1 }],
+    };
+    let (engine, server, reference) = chaos_stream_fixture(37, &config, plan);
+    let addr = server.addr();
+
+    let signal = stream_signal(4 * config.stream_frame_len + 173);
+    let cond = vec![1.0, 0.0, 0.0];
+    let fs = 16_000.0;
+    let expected = offline_scores(&reference, &engine, &signal, &cond, fs);
+
+    // Collect (frame index, score) pairs from the replies we *do* get;
+    // `frames_before` re-anchors the indexing after the lost reply.
+    let chunk = config.stream_frame_len;
+    let mut received: Vec<(usize, f64)> = Vec::new();
+    let mut lost_replies = 0usize;
+    for piece in signal.chunks(chunk) {
+        match client::post(
+            addr,
+            "/v1/stream/flaky/samples",
+            &ingest_body(piece, &cond, fs),
+        ) {
+            Ok(reply) => {
+                assert_eq!(reply.status, 200);
+                let parsed: StreamIngestResponse =
+                    serde_json::from_slice(&reply.body).expect("parse");
+                for (off, &score) in parsed.scores.iter().enumerate() {
+                    received.push((parsed.frames_before as usize + off, score));
+                }
+            }
+            Err(_) => lost_replies += 1,
+        }
+    }
+    assert_eq!(lost_replies, 1, "exactly the injected disconnect");
+
+    // The dropped reply's chunk still landed: the session's sample
+    // count covers the whole signal, not the whole signal minus one
+    // chunk.
+    let stats = client::get(addr, "/v1/stream/flaky/stats").expect("stats");
+    assert_eq!(stats.status, 200);
+    let stats_body = String::from_utf8_lossy(&stats.body).to_string();
+    assert!(
+        stats_body.contains(&format!("\"samples\": {}", signal.len()))
+            || stats_body.contains(&format!("\"samples\":{}", signal.len())),
+        "lost-reply chunk must still be ingested: {stats_body}"
+    );
+
+    let close = client::post(addr, "/v1/stream/flaky/close", b"").expect("close");
+    assert_eq!(close.status, 200);
+    let close: StreamCloseResponse = serde_json::from_slice(&close.body).expect("parse");
+    for (off, &score) in close.scores.iter().enumerate() {
+        received.push((close.frames_before as usize + off, score));
+    }
+
+    // Every score that did reach the client is the bit-exact offline
+    // score for its frame index — the disconnect punched a hole in the
+    // replies, never in the stream itself.
+    assert!(
+        received.len() < expected.len(),
+        "the lost reply must actually have carried frames"
+    );
+    for &(idx, score) in &received {
+        assert_eq!(
+            score.to_bits(),
+            expected[idx].to_bits(),
+            "frame {idx} inconsistent after disconnect"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_reaped_by_the_heartbeat() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        heartbeat_ms: 10,
+        stream_idle_timeout_ms: 100,
+        ..ServeConfig::default()
+    };
+    let (_, server, _) = chaos_stream_fixture(
+        41,
+        &config,
+        ChaosPlan {
+            seed: 1,
+            faults: vec![],
+        },
+    );
+    let addr = server.addr();
+
+    let signal = stream_signal(config.stream_frame_len);
+    let reply = client::post(
+        addr,
+        "/v1/stream/sleepy/samples",
+        &ingest_body(&signal, &[1.0, 0.0, 0.0], 16_000.0),
+    )
+    .expect("ingest");
+    assert_eq!(reply.status, 200);
+
+    // Wait out the idle window plus several heartbeats.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let evicted = loop {
+        let stats = client::get(addr, "/v1/stream/sleepy/stats").expect("stats");
+        if stats.status == 404 {
+            break true;
+        }
+        if Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(evicted, "idle session must be evicted within the deadline");
+
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    let text = String::from_utf8(metrics.body).expect("utf8");
+    let count: f64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("gansec_stream_evictions_total "))
+        .expect("eviction counter exported")
+        .trim()
+        .parse()
+        .expect("counter value");
+    assert!(count >= 1.0, "eviction must be counted:\n{text}");
+    server.shutdown();
+}
+
+#[test]
+fn poisoned_chunks_are_quarantined_without_leaking_into_the_session() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let (engine, server, reference) = chaos_stream_fixture(
+        43,
+        &config,
+        ChaosPlan {
+            seed: 1,
+            faults: vec![],
+        },
+    );
+    let addr = server.addr();
+
+    let signal = stream_signal(3 * config.stream_frame_len + 59);
+    let cond = vec![1.0, 0.0, 0.0];
+    let fs = 16_000.0;
+    let expected = offline_scores(&reference, &engine, &signal, &cond, fs);
+
+    // Interleave poisoned pushes — a NaN sample, the wrong claimed
+    // sample rate — between clean chunks. Each must be rejected with a
+    // typed status *before* any buffering, so the clean stream's scores
+    // come out bit-identical to a never-poisoned run.
+    let chunk = 769usize;
+    let mut scores = Vec::new();
+    for (i, piece) in signal.chunks(chunk).enumerate() {
+        let nan = client::post(
+            addr,
+            "/v1/stream/dirty/samples",
+            &ingest_body(&[0.1, f64::NAN, 0.2], &cond, fs),
+        )
+        .expect("poisoned push");
+        assert_eq!(nan.status, 422, "non-finite samples must be quarantined");
+        if i > 0 {
+            // The session exists now, pinned at `fs`; a different
+            // claimed rate must conflict, not rebind.
+            let wrong_rate = client::post(
+                addr,
+                "/v1/stream/dirty/samples",
+                &ingest_body(&[0.1, 0.2], &cond, fs / 2.0),
+            )
+            .expect("rate-mismatch push");
+            assert_eq!(wrong_rate.status, 409, "sample-rate changes must conflict");
+        }
+
+        let reply = client::post(
+            addr,
+            "/v1/stream/dirty/samples",
+            &ingest_body(piece, &cond, fs),
+        )
+        .expect("clean push");
+        assert_eq!(
+            reply.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&reply.body)
+        );
+        let parsed: StreamIngestResponse = serde_json::from_slice(&reply.body).expect("parse");
+        scores.extend(parsed.scores);
+    }
+    let close = client::post(addr, "/v1/stream/dirty/close", b"").expect("close");
+    assert_eq!(close.status, 200);
+    let close: StreamCloseResponse = serde_json::from_slice(&close.body).expect("parse");
+    scores.extend(close.scores);
+
+    assert_eq!(scores.len(), expected.len());
+    for (i, (&got, &want)) in scores.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "frame {i} corrupted by a quarantined chunk"
+        );
+    }
+    server.shutdown();
+}

@@ -1,0 +1,275 @@
+//! Acceptance tests for the streaming ingest subsystem: scores served
+//! over the sessionful HTTP endpoints are bit-identical to the offline
+//! blocked extractor **for every chunking of the same signal** — one
+//! sample at a time, ragged primes, or the whole capture in one shot —
+//! and concurrent sessions never contaminate each other.
+//!
+//! Everything here round-trips real JSON, so the whole file gates on
+//! the deserializer probe (offline stub builds skip it).
+
+#![allow(clippy::unwrap_used)] // test/example code may panic freely
+
+use std::net::SocketAddr;
+
+use gansec::{GanSecPipeline, PipelineConfig};
+use gansec_engine::ScoringEngine;
+use gansec_serve::api::{
+    StreamCloseResponse, StreamIngestRequest, StreamIngestResponse, StreamStatsResponse,
+};
+use gansec_serve::{client, ServeConfig, Server};
+use gansec_stream::{Baseline, SessionManager};
+
+fn json_roundtrip_available() -> bool {
+    serde_json::from_str::<serde_json::Value>("null").is_ok()
+}
+
+/// Deterministic synthetic sensor capture (same family the serve unit
+/// tests use): a two-tone sweep long enough for several hop blocks.
+fn stream_signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.021).sin() + 0.3 * (i as f64 * 0.17).cos())
+        .collect()
+}
+
+/// Trains one smoke bundle and returns the reference engine, a server
+/// built from an independent copy of the same sealed bundle, and an
+/// offline [`SessionManager`] constructed with the exact provenance the
+/// server builds its own from.
+fn stream_fixture(seed: u64, config: &ServeConfig) -> (ScoringEngine, Server, SessionManager) {
+    let pipeline = GanSecPipeline::new(PipelineConfig::smoke_test());
+    let stage = pipeline.train_stage(seed).expect("smoke training");
+    let engine = ScoringEngine::from_bundle(stage.to_bundle());
+    let server = Server::start(
+        config.clone(),
+        ScoringEngine::from_bundle(stage.to_bundle()),
+        "stream-parity-test.json",
+    )
+    .expect("server starts");
+
+    let baseline = engine.evidence_seal().map(|seal| Baseline {
+        mean: seal.kde.mean,
+        std: seal.kde.std,
+        threshold: seal.kde.threshold,
+    });
+    let scale = GanSecPipeline::new(engine.config().clone())
+        .datasets(engine.seed())
+        .ok()
+        .map(|(train, _)| train.scale());
+    let reference = SessionManager::new(
+        config.stream_config(engine.seed()),
+        engine.config().bins(),
+        baseline,
+        scale,
+    );
+    (engine, server, reference)
+}
+
+/// Feeds the whole signal to the offline reference manager in a single
+/// ingest + flush and scores every emitted frame directly.
+fn offline_scores(
+    reference: &SessionManager,
+    engine: &ScoringEngine,
+    signal: &[f64],
+    cond: &[f64],
+    sample_rate: f64,
+) -> (Vec<f64>, Vec<bool>) {
+    let id = format!("offline-{:x}", signal.len());
+    let mut rows = reference
+        .ingest(&id, signal, cond, sample_rate, 0)
+        .expect("reference ingest")
+        .rows;
+    rows.extend(reference.flush(&id, 0).expect("reference flush").rows);
+    reference.remove(&id);
+    let scores: Vec<f64> = rows
+        .iter()
+        .map(|row| engine.score_frame(row, cond))
+        .collect();
+    let verdicts: Vec<bool> = scores.iter().map(|&s| engine.is_attack(s)).collect();
+    (scores, verdicts)
+}
+
+/// Streams the signal over HTTP in `chunk`-sized pieces and returns the
+/// accumulated `(scores, verdicts, transforms)` after the final close.
+fn stream_session(
+    addr: SocketAddr,
+    id: &str,
+    signal: &[f64],
+    cond: &[f64],
+    sample_rate: f64,
+    chunk: usize,
+) -> (Vec<f64>, Vec<bool>, u64) {
+    let mut scores = Vec::new();
+    let mut verdicts = Vec::new();
+    for piece in signal.chunks(chunk) {
+        let body = serde_json::to_vec(&StreamIngestRequest {
+            samples: piece.to_vec(),
+            cond: cond.to_vec(),
+            sample_rate,
+        })
+        .expect("serialize");
+        let reply = client::post(addr, &format!("/v1/stream/{id}/samples"), &body)
+            .expect("ingest roundtrip");
+        assert_eq!(
+            reply.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&reply.body)
+        );
+        let parsed: StreamIngestResponse = serde_json::from_slice(&reply.body).expect("parse");
+        assert_eq!(
+            parsed.frames_before as usize,
+            scores.len(),
+            "frame indexing must be stable across chunk boundaries"
+        );
+        scores.extend(parsed.scores);
+        verdicts.extend(parsed.verdicts);
+    }
+
+    let stats = client::get(addr, &format!("/v1/stream/{id}/stats")).expect("stats roundtrip");
+    assert_eq!(stats.status, 200);
+    let stats: StreamStatsResponse = serde_json::from_slice(&stats.body).expect("parse stats");
+    assert_eq!(stats.samples as usize, signal.len());
+    let transforms = stats.transforms;
+
+    let close =
+        client::post(addr, &format!("/v1/stream/{id}/close"), b"").expect("close roundtrip");
+    assert_eq!(close.status, 200);
+    let close: StreamCloseResponse = serde_json::from_slice(&close.body).expect("parse close");
+    scores.extend(close.scores);
+    verdicts.extend(close.verdicts);
+    (scores, verdicts, transforms)
+}
+
+#[test]
+fn every_chunking_matches_the_offline_reference_bit_for_bit() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let (engine, server, reference) = stream_fixture(23, &config);
+    let addr = server.addr();
+
+    let signal = stream_signal(2 * config.stream_frame_len + 3 * config.stream_hop + 41);
+    let cond = vec![1.0, 0.0, 0.0];
+    let fs = 16_000.0;
+    let (expected_scores, expected_verdicts) =
+        offline_scores(&reference, &engine, &signal, &cond, fs);
+    assert!(
+        expected_scores.len() >= 4,
+        "fixture must emit several frames, got {}",
+        expected_scores.len()
+    );
+
+    // Ragged primes that never align with the hop, a prime larger than
+    // the frame, and the whole capture at once — each case under a
+    // different worker-pool width (the scorer reads the global thread
+    // setting, so this file must run with `--test-threads 1`, like
+    // tests/parallel_equivalence.rs): the emitted scores must be the
+    // same bits every time.
+    let hops = (signal.len() as u64).div_ceil(config.stream_hop as u64);
+    for (case, (chunk, threads)) in [(7usize, 1usize), (13, 4), (997, 2), (signal.len(), 0)]
+        .into_iter()
+        .enumerate()
+    {
+        gansec_parallel::set_threads(threads);
+        let id = format!("chunking-{case}");
+        let (scores, verdicts, transforms) = stream_session(addr, &id, &signal, &cond, fs, chunk);
+        gansec_parallel::set_threads(0);
+        assert_eq!(
+            scores.len(),
+            expected_scores.len(),
+            "chunk {chunk}: frame count"
+        );
+        for (i, (&got, &want)) in scores.iter().zip(&expected_scores).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "chunk {chunk}, frame {i}: streamed != offline"
+            );
+        }
+        assert_eq!(verdicts, expected_verdicts, "chunk {chunk}: verdicts");
+        assert!(
+            transforms <= hops,
+            "chunk {chunk}: {transforms} transforms for {hops} hop blocks — the incremental \
+             extractor must run at most one transform per hop"
+        );
+
+        // Closed sessions are gone: their stats answer 404.
+        let gone = client::get(addr, &format!("/v1/stream/{id}/stats")).expect("stats");
+        assert_eq!(gone.status, 404, "closed session must be removed");
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn interleaved_sessions_stay_isolated() {
+    if !json_roundtrip_available() {
+        return;
+    }
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let (engine, server, reference) = stream_fixture(29, &config);
+    let addr = server.addr();
+    let fs = 16_000.0;
+
+    // Two sensors with different signals and different claimed motor
+    // conditions, their chunks interleaved on the wire.
+    let a_signal = stream_signal(3 * config.stream_frame_len + 17);
+    let b_signal: Vec<f64> = stream_signal(2 * config.stream_frame_len + 251)
+        .into_iter()
+        .map(|x| 1.4 * x + 0.05)
+        .collect();
+    let a_cond = vec![1.0, 0.0, 0.0];
+    let b_cond = vec![0.0, 1.0, 0.0];
+    let (a_expected, _) = offline_scores(&reference, &engine, &a_signal, &a_cond, fs);
+    let (b_expected, _) = offline_scores(&reference, &engine, &b_signal, &b_cond, fs);
+
+    let chunk = 601usize;
+    let mut a_chunks = a_signal.chunks(chunk);
+    let mut b_chunks = b_signal.chunks(chunk);
+    let mut a_scores = Vec::new();
+    let mut b_scores = Vec::new();
+    loop {
+        let a_piece = a_chunks.next();
+        let b_piece = b_chunks.next();
+        if a_piece.is_none() && b_piece.is_none() {
+            break;
+        }
+        for (id, piece, cond, scores) in [
+            ("sensor-a", a_piece, &a_cond, &mut a_scores),
+            ("sensor-b", b_piece, &b_cond, &mut b_scores),
+        ] {
+            let Some(piece) = piece else { continue };
+            let body = serde_json::to_vec(&StreamIngestRequest {
+                samples: piece.to_vec(),
+                cond: cond.clone(),
+                sample_rate: fs,
+            })
+            .expect("serialize");
+            let reply =
+                client::post(addr, &format!("/v1/stream/{id}/samples"), &body).expect("ingest");
+            assert_eq!(reply.status, 200);
+            let parsed: StreamIngestResponse = serde_json::from_slice(&reply.body).expect("parse");
+            scores.extend(parsed.scores);
+        }
+    }
+    for (id, scores) in [("sensor-a", &mut a_scores), ("sensor-b", &mut b_scores)] {
+        let close = client::post(addr, &format!("/v1/stream/{id}/close"), b"").expect("close");
+        assert_eq!(close.status, 200);
+        let close: StreamCloseResponse = serde_json::from_slice(&close.body).expect("parse");
+        scores.extend(close.scores);
+    }
+
+    assert_eq!(a_scores, a_expected, "interleaving contaminated sensor-a");
+    assert_eq!(b_scores, b_expected, "interleaving contaminated sensor-b");
+
+    server.shutdown();
+}
